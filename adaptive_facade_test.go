@@ -1,0 +1,83 @@
+package tbtm
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestAtomicSiteWithoutClassifier(t *testing.T) {
+	tm := MustNew()
+	v := NewVar(tm, 1)
+	th := tm.NewThread()
+	if err := th.AtomicSite("anything", func(tx Tx) error {
+		return v.Write(tx, 2)
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAtomicSitePromotesScans(t *testing.T) {
+	tm := MustNew(WithConsistency(ZLinearizable), WithAutoClassify(32))
+	vars := make([]*Var[int64], 64)
+	for i := range vars {
+		vars[i] = NewVar(tm, int64(1))
+	}
+	th := tm.NewThread()
+	scan := func(tx Tx) error {
+		var sum int64
+		for _, v := range vars {
+			x, err := v.Read(tx)
+			if err != nil {
+				return err
+			}
+			sum += x
+		}
+		if sum != 64 {
+			t.Errorf("sum = %d", sum)
+		}
+		return nil
+	}
+	// First run executes as Short (unknown site) and is observed with a
+	// 64-object footprint, promoting the site.
+	if err := th.AtomicSite("scan", scan); err != nil {
+		t.Fatal(err)
+	}
+	before := tm.Stats().LongCommits
+	if err := th.AtomicSite("scan", scan); err != nil {
+		t.Fatal(err)
+	}
+	if got := tm.Stats().LongCommits; got != before+1 {
+		t.Fatalf("second scan ran as kind short (long commits %d -> %d)", before, got)
+	}
+	// A small site stays short.
+	if err := th.AtomicSite("touch", func(tx Tx) error {
+		return vars[0].Write(tx, 1)
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if got := tm.Stats().LongCommits; got != before+1 {
+		t.Fatal("small site ran as long")
+	}
+}
+
+func TestAtomicSitePassesThroughUserErrors(t *testing.T) {
+	tm := MustNew(WithAutoClassify(0))
+	th := tm.NewThread()
+	sentinel := errors.New("boom")
+	if err := th.AtomicSite("s", func(Tx) error { return sentinel }); !errors.Is(err, sentinel) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestAtomicSiteMaxRetries(t *testing.T) {
+	tm := MustNew(WithAutoClassify(0), WithMaxRetries(2))
+	th := tm.NewThread()
+	calls := 0
+	err := th.AtomicSite("s", func(Tx) error {
+		calls++
+		return ErrConflict
+	})
+	if !errors.Is(err, ErrRetriesExhausted) || calls != 2 {
+		t.Fatalf("err = %v, calls = %d", err, calls)
+	}
+}

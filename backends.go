@@ -1,0 +1,298 @@
+package tbtm
+
+import (
+	"tbtm/internal/clock"
+	"tbtm/internal/cm"
+	"tbtm/internal/core"
+	"tbtm/internal/cstm"
+	"tbtm/internal/lsa"
+	"tbtm/internal/sistm"
+	"tbtm/internal/sstm"
+	"tbtm/internal/vclock"
+	"tbtm/internal/zstm"
+)
+
+// backoff delegates to the shared truncated exponential backoff.
+func backoff(round int) { cm.Backoff(round) }
+
+func buildCM(cfg config) cm.Manager {
+	switch cfg.contention {
+	case ContentionPolite:
+		return &cm.Polite{}
+	case ContentionAggressive:
+		return cm.Aggressive{}
+	case ContentionSuicide:
+		return cm.Suicide{}
+	case ContentionKarma:
+		return cm.Karma{}
+	case ContentionTimestamp:
+		return cm.Timestamp{}
+	case ContentionGreedy:
+		return cm.Greedy{}
+	case ContentionRandomized:
+		return &cm.Randomized{}
+	case ContentionZoneAware:
+		return &cm.ZoneAware{}
+	default:
+		if cfg.consistency == ZLinearizable {
+			return &cm.ZoneAware{}
+		}
+		return &cm.Polite{}
+	}
+}
+
+func buildClock(cfg config) clock.TimeBase {
+	if cfg.realTime {
+		return clock.NewSimRealTime(cfg.rtMaxThreads, cfg.rtEpsilon, cfg.rtTick)
+	}
+	return clock.NewCounter()
+}
+
+func buildBackend(cfg config, tm *TM) backend {
+	switch cfg.consistency {
+	case Linearizable:
+		return &lsaBackend{tm: tm, stm: lsa.New(lsa.Config{
+			Clock:              buildClock(cfg),
+			CM:                 buildCM(cfg),
+			Versions:           cfg.versions,
+			NoReadSets:         cfg.noReadSets,
+			ValidationFastPath: cfg.validationFastPath,
+		})}
+	case SingleVersion:
+		return &lsaBackend{tm: tm, stm: lsa.New(lsa.Config{
+			Clock:              buildClock(cfg),
+			CM:                 buildCM(cfg),
+			Versions:           1,
+			NoExtension:        true,
+			NoReadSets:         cfg.noReadSets,
+			ValidationFastPath: cfg.validationFastPath,
+		})}
+	case CausallySerializable:
+		csVersions := 1 // the paper's base CS-STM keeps no old versions
+		if cfg.versionsSet {
+			csVersions = cfg.versions
+		}
+		return &csBackend{tm: tm, stm: cstm.New(cstm.Config{
+			Threads:  cfg.threads,
+			Entries:  cfg.entries,
+			Mapping:  vclock.Mapping(cfg.mapping),
+			Comb:     cfg.comb,
+			CM:       buildCM(cfg),
+			Versions: csVersions,
+		})}
+	case Serializable:
+		return &ssBackend{tm: tm, stm: sstm.New(sstm.Config{
+			Threads: cfg.threads,
+			Entries: cfg.entries,
+			Mapping: vclock.Mapping(cfg.mapping),
+			Comb:    cfg.comb,
+			CM:      buildCM(cfg),
+		})}
+	case SnapshotIsolation:
+		return &siBackend{tm: tm, stm: sistm.New(sistm.Config{
+			Clock:    buildClock(cfg),
+			CM:       buildCM(cfg),
+			Versions: cfg.versions,
+		})}
+	default: // ZLinearizable (validated in New)
+		return &zBackend{tm: tm, stm: zstm.New(zstm.Config{
+			Clock:              buildClock(cfg),
+			CM:                 buildCM(cfg),
+			Versions:           cfg.versions,
+			NoReadSets:         cfg.noReadSets,
+			ZonePatience:       cfg.zonePatience,
+			ValidationFastPath: cfg.validationFastPath,
+		})}
+	}
+}
+
+// innerTx is the shape every STM implementation's transaction type
+// shares, parameterized by its object type.
+type innerTx[O any] interface {
+	Read(O) (any, error)
+	Write(O, any) error
+	Commit() error
+	Abort()
+	Meta() *core.TxMeta
+}
+
+// adaptedTx lifts an implementation transaction to the facade Tx,
+// checking object affinity on every access.
+type adaptedTx[O any, T innerTx[O]] struct {
+	tm   *TM
+	kind TxKind
+	tx   T
+}
+
+var _ Tx = (*adaptedTx[*core.Object, *lsa.Tx])(nil)
+
+func (a *adaptedTx[O, T]) Kind() TxKind       { return a.kind }
+func (a *adaptedTx[O, T]) meta() *core.TxMeta { return a.tx.Meta() }
+func (a *adaptedTx[O, T]) Commit() error      { return a.tx.Commit() }
+func (a *adaptedTx[O, T]) Abort()             { a.tx.Abort() }
+
+func (a *adaptedTx[O, T]) Read(obj Object) (any, error) {
+	o, err := unwrap[O](a.tm, obj)
+	if err != nil {
+		return nil, err
+	}
+	return a.tx.Read(o)
+}
+
+func (a *adaptedTx[O, T]) Write(obj Object, val any) error {
+	o, err := unwrap[O](a.tm, obj)
+	if err != nil {
+		return err
+	}
+	return a.tx.Write(o, val)
+}
+
+// unwrap extracts a backend object handle, verifying the object belongs
+// to the transaction's TM.
+func unwrap[O any](tm *TM, obj Object) (O, error) {
+	var zero O
+	if obj.tm != tm {
+		return zero, core.ErrWrongObject
+	}
+	h, ok := obj.h.(O)
+	if !ok {
+		return zero, core.ErrWrongObject
+	}
+	return h, nil
+}
+
+// --- LSA / SingleVersion backend ---
+
+type lsaBackend struct {
+	tm  *TM
+	stm *lsa.STM
+}
+
+func (b *lsaBackend) newObject(initial any) any { return b.stm.NewObject(initial) }
+func (b *lsaBackend) newThread() backendThread  { return &lsaThread{b: b, th: b.stm.NewThread()} }
+func (b *lsaBackend) stats() Stats {
+	s := b.stm.Stats()
+	return Stats{
+		Commits: s.Commits, Aborts: s.Aborts, Conflicts: s.Conflicts,
+		Extensions: s.Extensions, FastValidations: s.FastValidations,
+	}
+}
+
+type lsaThread struct {
+	b  *lsaBackend
+	th *lsa.Thread
+}
+
+func (t *lsaThread) id() int { return t.th.ID() }
+func (t *lsaThread) begin(kind TxKind, ro bool) Tx {
+	return &adaptedTx[*core.Object, *lsa.Tx]{tm: t.b.tm, kind: kind, tx: t.th.Begin(kind, ro)}
+}
+
+// --- CS-STM backend ---
+
+type csBackend struct {
+	tm  *TM
+	stm *cstm.STM
+}
+
+func (b *csBackend) newObject(initial any) any { return b.stm.NewObject(initial) }
+func (b *csBackend) newThread() backendThread  { return &csThread{b: b, th: b.stm.NewThread()} }
+func (b *csBackend) stats() Stats {
+	s := b.stm.Stats()
+	return Stats{Commits: s.Commits, Aborts: s.Aborts, Conflicts: s.Conflicts}
+}
+
+type csThread struct {
+	b  *csBackend
+	th *cstm.Thread
+}
+
+func (t *csThread) id() int { return t.th.ID() }
+func (t *csThread) begin(kind TxKind, ro bool) Tx {
+	return &adaptedTx[*cstm.Object, *cstm.Tx]{tm: t.b.tm, kind: kind, tx: t.th.Begin(kind, ro)}
+}
+
+// --- S-STM backend ---
+
+type ssBackend struct {
+	tm  *TM
+	stm *sstm.STM
+}
+
+func (b *ssBackend) newObject(initial any) any { return b.stm.NewObject(initial) }
+func (b *ssBackend) newThread() backendThread  { return &ssThread{b: b, th: b.stm.NewThread()} }
+func (b *ssBackend) stats() Stats {
+	s := b.stm.Stats()
+	return Stats{Commits: s.Commits, Aborts: s.Aborts, Conflicts: s.Conflicts}
+}
+
+type ssThread struct {
+	b  *ssBackend
+	th *sstm.Thread
+}
+
+func (t *ssThread) id() int { return t.th.ID() }
+func (t *ssThread) begin(kind TxKind, ro bool) Tx {
+	return &adaptedTx[*sstm.Object, *sstm.Tx]{tm: t.b.tm, kind: kind, tx: t.th.Begin(kind, ro)}
+}
+
+// --- SI-STM backend ---
+
+type siBackend struct {
+	tm  *TM
+	stm *sistm.STM
+}
+
+func (b *siBackend) newObject(initial any) any { return b.stm.NewObject(initial) }
+func (b *siBackend) newThread() backendThread  { return &siThread{b: b, th: b.stm.NewThread()} }
+func (b *siBackend) stats() Stats {
+	s := b.stm.Stats()
+	return Stats{Commits: s.Commits, Aborts: s.Aborts, Conflicts: s.Conflicts}
+}
+
+type siThread struct {
+	b  *siBackend
+	th *sistm.Thread
+}
+
+func (t *siThread) id() int { return t.th.ID() }
+func (t *siThread) begin(kind TxKind, ro bool) Tx {
+	return &adaptedTx[*core.Object, *sistm.Tx]{tm: t.b.tm, kind: kind, tx: t.th.Begin(kind, ro)}
+}
+
+// --- Z-STM backend ---
+
+type zBackend struct {
+	tm  *TM
+	stm *zstm.STM
+}
+
+func (b *zBackend) newObject(initial any) any { return b.stm.NewObject(initial) }
+func (b *zBackend) newThread() backendThread  { return &zThread{b: b, th: b.stm.NewThread()} }
+func (b *zBackend) stats() Stats {
+	s := b.stm.Stats()
+	return Stats{
+		Commits:         s.Short.Commits,
+		Aborts:          s.Short.Aborts,
+		Conflicts:       s.Short.Conflicts,
+		Extensions:      s.Short.Extensions,
+		FastValidations: s.Short.FastValidations,
+		LongCommits:     s.LongCommits,
+		LongAborts:      s.LongAborts,
+		ZoneCrosses:     s.ZoneCrosses,
+		ZoneWaits:       s.ZoneWaits,
+	}
+}
+
+type zThread struct {
+	b  *zBackend
+	th *zstm.Thread
+}
+
+func (t *zThread) id() int { return t.th.ID() }
+func (t *zThread) begin(kind TxKind, ro bool) Tx {
+	if kind == Long {
+		return &adaptedTx[*core.Object, *zstm.LongTx]{tm: t.b.tm, kind: Long, tx: t.th.BeginLong(ro)}
+	}
+	return &adaptedTx[*core.Object, *zstm.ShortTx]{tm: t.b.tm, kind: Short, tx: t.th.BeginShort(ro)}
+}

@@ -1,0 +1,149 @@
+// Command bankbench reproduces the paper's evaluation (§5.5, Figures 6
+// and 7): throughput of the bank micro-benchmark — short Transfer
+// transactions and long Compute-Total transactions — across thread
+// counts, comparing LSA-STM, LSA-STM without read sets, and Z-STM.
+//
+// Usage:
+//
+//	bankbench -figure 6                # read-only Compute-Total
+//	bankbench -figure 7                # update Compute-Total
+//	bankbench -figure 6 -duration 1s -accounts 1000
+//
+// Absolute numbers differ from the paper (Go on this host vs Java on an
+// 8-core UltraSPARC T1); the series shapes and orderings are what the
+// reproduction targets (see EXPERIMENTS.md).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"tbtm"
+	"tbtm/internal/harness"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "bankbench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("bankbench", flag.ContinueOnError)
+	figure := fs.Int("figure", 6, "paper figure to reproduce (6: read-only totals, 7: update totals)")
+	duration := fs.Duration("duration", 500*time.Millisecond, "measurement window per point")
+	accounts := fs.Int("accounts", 1000, "number of bank accounts")
+	threadsFlag := fs.String("threads", "", "comma-separated thread counts (default 1,2,8,16,32)")
+	seed := fs.Int64("seed", 42, "workload seed")
+	yieldEvery := fs.Int("yield", 50, "yield every N accounts during scans (simulates hardware parallelism on few-core hosts; 0 disables)")
+	stats := fs.Bool("stats", false, "print per-point latency distributions (committed ops, end to end)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	threads := harness.PaperThreads
+	if *threadsFlag != "" {
+		threads = nil
+		for _, part := range strings.Split(*threadsFlag, ",") {
+			n, err := strconv.Atoi(strings.TrimSpace(part))
+			if err != nil || n < 1 {
+				return fmt.Errorf("invalid thread count %q", part)
+			}
+			threads = append(threads, n)
+		}
+	}
+
+	update := false
+	switch *figure {
+	case 6:
+	case 7:
+		update = true
+	default:
+		return fmt.Errorf("unknown figure %d (want 6 or 7)", *figure)
+	}
+
+	base := harness.BankConfig{
+		Accounts:     *accounts,
+		Duration:     *duration,
+		UpdateTotals: update,
+		YieldEvery:   *yieldEvery,
+		Seed:         *seed,
+	}
+
+	var configs []harness.BankConfig
+	lsaCfg := base
+	lsaCfg.Name = "LSA-STM"
+	lsaCfg.Options = []tbtm.Option{tbtm.WithConsistency(tbtm.Linearizable), tbtm.WithVersions(1024)}
+	configs = append(configs, lsaCfg)
+	if !update {
+		nrs := base
+		nrs.Name = "LSA-STM(no-readsets)"
+		nrs.Options = []tbtm.Option{tbtm.WithConsistency(tbtm.Linearizable), tbtm.WithNoReadSets(), tbtm.WithVersions(1024)}
+		configs = append(configs, nrs)
+	}
+	zCfg := base
+	zCfg.Name = "Z-STM"
+	zCfg.Options = []tbtm.Option{tbtm.WithConsistency(tbtm.ZLinearizable), tbtm.WithVersions(1024)}
+	configs = append(configs, zCfg)
+
+	variant := "read-only"
+	if update {
+		variant = "update"
+	}
+	fmt.Printf("Reproducing Figure %d: bank benchmark, %d accounts, %s Compute-Total, %v per point\n",
+		*figure, *accounts, variant, *duration)
+	fmt.Printf("(thread 0 mixes 80%% transfers / 20%% totals; other threads transfer only)\n\n")
+
+	var series []harness.Series
+	for _, cfg := range configs {
+		fmt.Printf("running %-22s threads:", cfg.Name)
+		s := harness.Series{Name: cfg.Name}
+		for _, n := range threads {
+			c := cfg
+			c.Threads = n
+			r, err := harness.RunBank(c)
+			if err != nil {
+				return err
+			}
+			if !r.InvariantOK {
+				return fmt.Errorf("%s at %d threads: bank invariant violated", cfg.Name, n)
+			}
+			s.Results = append(s.Results, r)
+			fmt.Printf(" %d", n)
+		}
+		fmt.Println(" done")
+		series = append(series, s)
+	}
+	fmt.Println()
+
+	fmt.Println(harness.FormatTable(
+		fmt.Sprintf("Figure %d left: Compute-Total transactions (%s), Tx/s", *figure, variant),
+		harness.MetricTotals, threads, series))
+	fmt.Println(harness.FormatTable(
+		fmt.Sprintf("Figure %d right: Transfer transactions, Tx/s", *figure),
+		harness.MetricTransfers, threads, series))
+
+	fmt.Println("Per-series stats at the largest thread count:")
+	for _, s := range series {
+		last := s.Results[len(s.Results)-1]
+		st := last.Stats
+		fmt.Printf("  %-22s commits=%d aborts=%d conflicts=%d longCommits=%d longAborts=%d zoneCrosses=%d\n",
+			s.Name, st.Commits, st.Aborts, st.Conflicts, st.LongCommits, st.LongAborts, st.ZoneCrosses)
+	}
+
+	if *stats {
+		fmt.Println()
+		fmt.Println(harness.FormatLatencyTable(
+			fmt.Sprintf("Compute-Total latency (%s, committed, incl. retries)", variant),
+			harness.MetricTotals, series))
+		fmt.Println(harness.FormatLatencyTable(
+			"Transfer latency (committed, incl. retries)",
+			harness.MetricTransfers, series))
+	}
+	return nil
+}

@@ -1,0 +1,34 @@
+package main
+
+import (
+	"testing"
+)
+
+func TestRunFigure6Tiny(t *testing.T) {
+	err := run([]string{"-figure", "6", "-duration", "20ms", "-threads", "1,2", "-accounts", "50"})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunFigure7Tiny(t *testing.T) {
+	err := run([]string{"-figure", "7", "-duration", "20ms", "-threads", "2", "-accounts", "50"})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunRejectsUnknownFigure(t *testing.T) {
+	if err := run([]string{"-figure", "9"}); err == nil {
+		t.Fatal("unknown figure accepted")
+	}
+}
+
+func TestRunRejectsBadThreads(t *testing.T) {
+	if err := run([]string{"-threads", "1,zero"}); err == nil {
+		t.Fatal("bad thread list accepted")
+	}
+	if err := run([]string{"-threads", "0"}); err == nil {
+		t.Fatal("zero threads accepted")
+	}
+}

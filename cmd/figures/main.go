@@ -1,0 +1,524 @@
+// Command figures runs the full experiment suite: both panels of the
+// paper's Figures 6 and 7 plus the harness-based ablation experiments
+// from DESIGN.md §4 — A1 (vector-clock overhead), A2 (plausible-clock
+// width), A3 (version-retention depth), A6 (snapshot isolation on the
+// Figure 7 workload), A7 (first-attempt commit probability versus
+// transaction length, the paper's motivating claim), A8 (long-transaction
+// frequency), A9 (real-time clock deviation), A10 (zone-crossing
+// patience) and A12 (multi-version CS-STM, §4.1 footnote 1). A5 and A11
+// are testing.B benchmarks in the root package.
+// Its output is the source for EXPERIMENTS.md.
+//
+// Usage:
+//
+//	figures                  # everything, default durations
+//	figures -duration 300ms  # faster, noisier
+//	figures -run fig6,a2     # subset
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"tbtm"
+	"tbtm/internal/harness"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "figures:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("figures", flag.ContinueOnError)
+	duration := fs.Duration("duration", 500*time.Millisecond, "measurement window per point")
+	runList := fs.String("run", "fig6,fig7,a1,a2,a3,a6,a7,a8,a9,a10,a12", "comma-separated experiments")
+	seed := fs.Int64("seed", 42, "workload seed")
+	yieldEvery := fs.Int("yield", 50, "yield every N accounts during scans (0 disables)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	want := map[string]bool{}
+	for _, e := range strings.Split(*runList, ",") {
+		want[strings.TrimSpace(e)] = true
+	}
+
+	if want["fig6"] {
+		if err := figure(6, false, *duration, *seed, *yieldEvery); err != nil {
+			return err
+		}
+	}
+	if want["fig7"] {
+		if err := figure(7, true, *duration, *seed, *yieldEvery); err != nil {
+			return err
+		}
+	}
+	if want["a1"] {
+		if err := ablationClockOverhead(*duration, *seed); err != nil {
+			return err
+		}
+	}
+	if want["a2"] {
+		if err := ablationPlausibleWidth(*duration, *seed); err != nil {
+			return err
+		}
+	}
+	if want["a3"] {
+		if err := ablationVersionDepth(*duration, *seed, *yieldEvery); err != nil {
+			return err
+		}
+	}
+	if want["a6"] {
+		if err := ablationSnapshotIsolation(*duration, *seed, *yieldEvery); err != nil {
+			return err
+		}
+	}
+	if want["a7"] {
+		if err := ablationCommitProbability(*seed); err != nil {
+			return err
+		}
+	}
+	if want["a8"] {
+		if err := ablationLongFrequency(*duration, *seed, *yieldEvery); err != nil {
+			return err
+		}
+	}
+	if want["a9"] {
+		if err := ablationClockDeviation(*duration, *seed); err != nil {
+			return err
+		}
+	}
+	if want["a10"] {
+		if err := ablationZonePatience(*duration, *seed, *yieldEvery); err != nil {
+			return err
+		}
+	}
+	if want["a12"] {
+		if err := ablationMultiVersionCS(*duration, *seed, *yieldEvery); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ablationMultiVersionCS (A12) measures §4.1 footnote 1 on the bank
+// workload: long read-only Compute-Total transactions under transfer
+// churn, CS-STM with a single retained version (the paper's base
+// algorithm) versus eight retained versions. The single-version series
+// starves the long scans — every concurrent update invalidates them —
+// while the multi-version variant picks older retained versions and
+// sustains total throughput; transfer throughput is unaffected.
+func ablationMultiVersionCS(d time.Duration, seed int64, yieldEvery int) error {
+	threads := []int{1, 2, 8}
+	base := harness.BankConfig{Accounts: 1000, Duration: d, YieldEvery: yieldEvery, Seed: seed}
+	sv := base
+	sv.Name = "CS-STM(single)"
+	sv.Options = []tbtm.Option{tbtm.WithConsistency(tbtm.CausallySerializable), tbtm.WithThreads(16)}
+	mv := base
+	mv.Name = "CS-STM(8 versions)"
+	mv.Options = []tbtm.Option{
+		tbtm.WithConsistency(tbtm.CausallySerializable),
+		tbtm.WithThreads(16), tbtm.WithVersions(8),
+	}
+	series, err := runSeries([]harness.BankConfig{sv, mv}, threads)
+	if err != nil {
+		return err
+	}
+	fmt.Println("== A12: multi-version CS-STM (§4.1 footnote 1) ==")
+	fmt.Println()
+	fmt.Println(harness.FormatTable("Compute-Total Tx/s (read-only)", harness.MetricTotals, threads, series))
+	fmt.Println(harness.FormatTable("Transfer Tx/s", harness.MetricTransfers, threads, series))
+	return nil
+}
+
+func runSeries(cfgs []harness.BankConfig, threads []int) ([]harness.Series, error) {
+	var out []harness.Series
+	for _, cfg := range cfgs {
+		s, err := harness.RunSeries(cfg, threads)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, s)
+	}
+	return out, nil
+}
+
+func figure(num int, update bool, d time.Duration, seed int64, yieldEvery int) error {
+	variant := "read-only"
+	if update {
+		variant = "update"
+	}
+	base := harness.BankConfig{Accounts: 1000, Duration: d, UpdateTotals: update, YieldEvery: yieldEvery, Seed: seed}
+	lsaCfg := base
+	lsaCfg.Name = "LSA-STM"
+	lsaCfg.Options = []tbtm.Option{tbtm.WithConsistency(tbtm.Linearizable), tbtm.WithVersions(1024)}
+	cfgs := []harness.BankConfig{lsaCfg}
+	if !update {
+		nrs := base
+		nrs.Name = "LSA-STM(no-readsets)"
+		nrs.Options = []tbtm.Option{tbtm.WithConsistency(tbtm.Linearizable), tbtm.WithNoReadSets(), tbtm.WithVersions(1024)}
+		cfgs = append(cfgs, nrs)
+	}
+	zCfg := base
+	zCfg.Name = "Z-STM"
+	zCfg.Options = []tbtm.Option{tbtm.WithConsistency(tbtm.ZLinearizable), tbtm.WithVersions(1024)}
+	cfgs = append(cfgs, zCfg)
+
+	series, err := runSeries(cfgs, harness.PaperThreads)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("== E%d/E%d: Figure %d (%s Compute-Total) ==\n\n", num-5, num-3, num, variant)
+	fmt.Println(harness.FormatTable(
+		fmt.Sprintf("Figure %d left: Compute-Total Tx/s (%s)", num, variant),
+		harness.MetricTotals, harness.PaperThreads, series))
+	fmt.Println(harness.FormatTable(
+		fmt.Sprintf("Figure %d right: Transfer Tx/s", num),
+		harness.MetricTransfers, harness.PaperThreads, series))
+	return nil
+}
+
+// ablationClockOverhead compares transfers-only throughput of the scalar
+// LSA-STM against the vector-clock CS-STM (§4.4/§6: "the runtime overhead
+// for managing vector time can be quite significant").
+func ablationClockOverhead(d time.Duration, seed int64) error {
+	threads := []int{1, 2, 8}
+	base := harness.BankConfig{Accounts: 1000, Duration: d, TotalPct: -1, Seed: seed}
+	mk := func(name string, opts ...tbtm.Option) harness.BankConfig {
+		c := base
+		c.Name = name
+		c.Options = opts
+		return c
+	}
+	cfgs := []harness.BankConfig{
+		mk("LSA(counter)", tbtm.WithConsistency(tbtm.Linearizable)),
+		mk("CS-STM(vector16)", tbtm.WithConsistency(tbtm.CausallySerializable), tbtm.WithThreads(16)),
+		mk("CS-STM(plaus r=2)", tbtm.WithConsistency(tbtm.CausallySerializable), tbtm.WithThreads(16), tbtm.WithPlausibleEntries(2)),
+		mk("S-STM(vector16)", tbtm.WithConsistency(tbtm.Serializable), tbtm.WithThreads(16)),
+	}
+	series, err := runSeries(cfgs, threads)
+	if err != nil {
+		return err
+	}
+	fmt.Println("== A1: time-base overhead (transfers only) ==")
+	fmt.Println()
+	fmt.Println(harness.FormatTable("Transfer Tx/s", harness.MetricTransfers, threads, series))
+	return nil
+}
+
+// ablationPlausibleWidth isolates the §4.3 accuracy trade-off: workers
+// update pairwise-disjoint objects (no true conflicts are possible for a
+// reader spanning them) while one observer repeatedly reads across all
+// partitions and commits a private write. With exact vector clocks the
+// observer never aborts; as r shrinks, false orderings between the
+// concurrent updates make the observer's validation fail spuriously.
+func ablationPlausibleWidth(d time.Duration, seed int64) error {
+	_ = seed
+	const workers = 6
+	fmt.Println("== A2: plausible-clock width r (CS-STM, disjoint updates + cross-partition reader) ==")
+	fmt.Println()
+	fmt.Printf("%-10s %18s %18s %15s\n", "r", "observer commits", "observer aborts", "false-abort %")
+	configs := []struct {
+		label string
+		opts  []tbtm.Option
+	}{
+		{"1", []tbtm.Option{tbtm.WithPlausibleEntries(1)}},
+		{"2", []tbtm.Option{tbtm.WithPlausibleEntries(2)}},
+		{"2+comb", []tbtm.Option{tbtm.WithPlausibleEntries(2), tbtm.WithPlausibleComb()}},
+		{"3", []tbtm.Option{tbtm.WithPlausibleEntries(3)}},
+		{"6", []tbtm.Option{tbtm.WithPlausibleEntries(6)}},
+	}
+	for _, c := range configs {
+		opts := append([]tbtm.Option{
+			tbtm.WithConsistency(tbtm.CausallySerializable),
+			tbtm.WithThreads(workers + 1),
+		}, c.opts...)
+		tm, err := tbtm.New(opts...)
+		if err != nil {
+			return err
+		}
+		// One object per worker; workers only ever touch their own.
+		objs := make([]*tbtm.Var[int64], workers)
+		for i := range objs {
+			objs[i] = tbtm.NewVar(tm, int64(0))
+		}
+		sink := tbtm.NewVar(tm, int64(0))
+
+		var stop atomic.Bool
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				th := tm.NewThread()
+				var n int64
+				for !stop.Load() {
+					n++
+					v := n
+					_ = th.Atomic(tbtm.Short, func(tx tbtm.Tx) error {
+						return objs[w].Write(tx, v)
+					})
+					// Throttle so a scan overlaps roughly one update:
+					// the false-abort probability then reflects the
+					// clock's accuracy rather than saturating.
+					time.Sleep(200 * time.Microsecond)
+				}
+			}(w)
+		}
+
+		th := tm.NewThread()
+		var commits, aborts uint64
+		deadline := time.Now().Add(d)
+		for time.Now().Before(deadline) {
+			tx := th.Begin(tbtm.Long)
+			failed := false
+			var sum int64
+			for _, o := range objs {
+				runtime.Gosched() // let updaters run between reads
+				v, err := o.Read(tx)
+				if err != nil {
+					failed = true
+					break
+				}
+				sum += v
+			}
+			if !failed {
+				failed = sink.Write(tx, sum) != nil
+			}
+			if failed {
+				tx.Abort()
+				aborts++
+				continue
+			}
+			if tx.Commit() != nil {
+				aborts++
+			} else {
+				commits++
+			}
+		}
+		stop.Store(true)
+		wg.Wait()
+		pct := 0.0
+		if commits+aborts > 0 {
+			pct = 100 * float64(aborts) / float64(commits+aborts)
+		}
+		fmt.Printf("%-10s %18d %18d %14.1f%%\n", c.label, commits, aborts, pct)
+	}
+	fmt.Println()
+	return nil
+}
+
+// ablationSnapshotIsolation runs the Figure 7 workload (update
+// Compute-Total) on SI-STM next to Z-STM: both sustain the long update
+// transaction, but SI admits write skew (examples/writeskew) while
+// z-linearizability keeps the whole history serializable — the paper's
+// §4.1 semantics-versus-throughput trade-off as one table.
+func ablationSnapshotIsolation(d time.Duration, seed int64, yieldEvery int) error {
+	threads := []int{1, 2, 8}
+	base := harness.BankConfig{Accounts: 1000, Duration: d, UpdateTotals: true, YieldEvery: yieldEvery, Seed: seed}
+	mk := func(name string, opts ...tbtm.Option) harness.BankConfig {
+		c := base
+		c.Name = name
+		c.Options = opts
+		return c
+	}
+	cfgs := []harness.BankConfig{
+		mk("SI-STM", tbtm.WithConsistency(tbtm.SnapshotIsolation), tbtm.WithVersions(1024)),
+		mk("Z-STM", tbtm.WithConsistency(tbtm.ZLinearizable), tbtm.WithVersions(1024)),
+	}
+	series, err := runSeries(cfgs, threads)
+	if err != nil {
+		return err
+	}
+	fmt.Println("== A6: snapshot isolation on the Figure 7 workload ==")
+	fmt.Println()
+	fmt.Println(harness.FormatTable("Compute-Total Tx/s (update)", harness.MetricTotals, threads, series))
+	fmt.Println(harness.FormatTable("Transfer Tx/s", harness.MetricTransfers, threads, series))
+	return nil
+}
+
+// ablationCommitProbability measures the paper's motivating claim
+// directly: the first-attempt commit probability of an update
+// transaction versus its read-set size, under fixed background transfer
+// churn, for the linearizable baseline and for Z-STM long transactions.
+func ablationCommitProbability(seed int64) error {
+	lengths := []int{2, 10, 50, 200, 1000}
+	probes := []harness.ProbeConfig{
+		{
+			Name:    "LSA-STM(short)",
+			Options: []tbtm.Option{tbtm.WithConsistency(tbtm.Linearizable), tbtm.WithVersions(1024)},
+			Lengths: lengths, Seed: seed,
+		},
+		{
+			Name:    "SI-STM(short)",
+			Options: []tbtm.Option{tbtm.WithConsistency(tbtm.SnapshotIsolation), tbtm.WithVersions(1024)},
+			Lengths: lengths, Seed: seed,
+		},
+		{
+			Name:    "Z-STM(long)",
+			Options: []tbtm.Option{tbtm.WithConsistency(tbtm.ZLinearizable), tbtm.WithVersions(1024)},
+			Long:    true,
+			Lengths: lengths, Seed: seed,
+		},
+	}
+	var series []harness.ProbeResult
+	for _, cfg := range probes {
+		res, err := harness.RunProbe(cfg)
+		if err != nil {
+			return err
+		}
+		series = append(series, res)
+	}
+	fmt.Println("== A7: first-attempt commit probability vs transaction length ==")
+	fmt.Println()
+	fmt.Println(harness.FormatProbeTable(
+		"Commit probability (update tx reading N accounts, 2 churn threads)", series))
+	return nil
+}
+
+// ablationLongFrequency stresses the paper's standing assumption that
+// "long transactions are executed infrequently" (§5): the mixed thread's
+// Compute-Total share rises from the paper's 20% to 80%, with update
+// totals so every long transaction opens a zone. Transfer throughput
+// under Z-STM should degrade as zone churn grows — the regime boundary
+// of the z-linearizable design.
+func ablationLongFrequency(d time.Duration, seed int64, yieldEvery int) error {
+	const threads = 8
+	fmt.Println("== A8: long-transaction frequency (Z-STM, update totals, 8 threads) ==")
+	fmt.Println()
+	fmt.Printf("%-12s %15s %15s %15s %15s\n", "totals %", "totals Tx/s", "transfers Tx/s", "zone crosses", "long aborts")
+	for _, pct := range []int{5, 20, 50, 80} {
+		r, err := harness.RunBank(harness.BankConfig{
+			Name:         fmt.Sprintf("Z-STM(%d%%)", pct),
+			Options:      []tbtm.Option{tbtm.WithConsistency(tbtm.ZLinearizable), tbtm.WithVersions(1024)},
+			Threads:      threads,
+			Duration:     d,
+			TotalPct:     pct,
+			UpdateTotals: true,
+			YieldEvery:   yieldEvery,
+			Seed:         seed,
+		})
+		if err != nil {
+			return err
+		}
+		if !r.InvariantOK {
+			return fmt.Errorf("a8: invariant violated at %d%% totals", pct)
+		}
+		fmt.Printf("%-12d %15.1f %15.1f %15d %15d\n",
+			pct, r.TotalsPerSec(), r.TransfersPerSec(), r.Stats.ZoneCrosses, r.Stats.LongAborts)
+	}
+	fmt.Println()
+	return nil
+}
+
+// ablationClockDeviation quantifies §2's claim that with internally
+// synchronized real-time clocks "the probability of spurious aborts
+// increases with the deviation of clocks": transfers-only LSA on the
+// simulated real-time base, sweeping the deviation bound ε.
+func ablationClockDeviation(d time.Duration, seed int64) error {
+	const threads = 4
+	fmt.Println("== A9: simulated real-time clock deviation (LSA, transfers only, 4 threads) ==")
+	fmt.Println()
+	fmt.Printf("%-12s %15s %15s %15s\n", "epsilon", "transfers Tx/s", "conflicts", "conflict %")
+	for _, eps := range []uint64{0, 4, 16, 64} {
+		r, err := harness.RunBank(harness.BankConfig{
+			Name: fmt.Sprintf("eps=%d", eps),
+			Options: []tbtm.Option{
+				tbtm.WithConsistency(tbtm.Linearizable),
+				tbtm.WithSimRealTimeClock(threads, eps, 5*time.Microsecond),
+			},
+			Threads:  threads,
+			Duration: d,
+			TotalPct: -1, // transfers only
+			Seed:     seed,
+		})
+		if err != nil {
+			return err
+		}
+		if !r.InvariantOK {
+			return fmt.Errorf("a9: invariant violated at eps=%d", eps)
+		}
+		attempts := r.Stats.Commits + r.Stats.Aborts
+		pct := 0.0
+		if attempts > 0 {
+			pct = 100 * float64(r.Stats.Conflicts) / float64(attempts)
+		}
+		fmt.Printf("%-12d %15.1f %15d %14.2f%%\n", eps, r.TransfersPerSec(), r.Stats.Conflicts, pct)
+	}
+	fmt.Println()
+	return nil
+}
+
+// ablationZonePatience sweeps how long a short transaction waits on a
+// zone crossing before aborting (Algorithm 3 line 18's contention-manager
+// policy): impatient shorts burn work re-executing; very patient shorts
+// serialize behind the long transaction.
+func ablationZonePatience(d time.Duration, seed int64, yieldEvery int) error {
+	const threads = 8
+	fmt.Println("== A10: zone-crossing patience (Z-STM, update totals, 8 threads) ==")
+	fmt.Println()
+	fmt.Printf("%-12s %15s %15s %15s %15s\n", "patience", "totals Tx/s", "transfers Tx/s", "crossings", "short aborts")
+	for _, patience := range []int{1, 8, 64, 512} {
+		r, err := harness.RunBank(harness.BankConfig{
+			Name: fmt.Sprintf("patience=%d", patience),
+			Options: []tbtm.Option{
+				tbtm.WithConsistency(tbtm.ZLinearizable),
+				tbtm.WithVersions(1024),
+				tbtm.WithZonePatience(patience),
+			},
+			Threads:      threads,
+			Duration:     d,
+			UpdateTotals: true,
+			YieldEvery:   yieldEvery,
+			Seed:         seed,
+		})
+		if err != nil {
+			return err
+		}
+		if !r.InvariantOK {
+			return fmt.Errorf("a10: invariant violated at patience=%d", patience)
+		}
+		fmt.Printf("%-12d %15.1f %15.1f %15d %15d\n",
+			patience, r.TotalsPerSec(), r.TransfersPerSec(), r.Stats.ZoneCrosses, r.Stats.Aborts)
+	}
+	fmt.Println()
+	return nil
+}
+
+// ablationVersionDepth compares multi-version LSA against the
+// single-version TL2-like variant under the Figure 6 workload (§4.4:
+// "single-version objects can decrease performance" for long read-only
+// transactions).
+func ablationVersionDepth(d time.Duration, seed int64, yieldEvery int) error {
+	threads := []int{1, 2, 8}
+	base := harness.BankConfig{Accounts: 1000, Duration: d, YieldEvery: yieldEvery, Seed: seed}
+	mk := func(name string, opts ...tbtm.Option) harness.BankConfig {
+		c := base
+		c.Name = name
+		c.Options = opts
+		return c
+	}
+	cfgs := []harness.BankConfig{
+		mk("LSA(8 versions)", tbtm.WithConsistency(tbtm.Linearizable), tbtm.WithVersions(8)),
+		mk("LSA(1 version)", tbtm.WithConsistency(tbtm.Linearizable), tbtm.WithVersions(1)),
+		mk("SingleVersion/TL2", tbtm.WithConsistency(tbtm.SingleVersion)),
+	}
+	series, err := runSeries(cfgs, threads)
+	if err != nil {
+		return err
+	}
+	fmt.Println("== A3: version retention depth (Figure 6 workload) ==")
+	fmt.Println()
+	fmt.Println(harness.FormatTable("Compute-Total Tx/s (read-only)", harness.MetricTotals, threads, series))
+	fmt.Println(harness.FormatTable("Transfer Tx/s", harness.MetricTransfers, threads, series))
+	return nil
+}

@@ -1,0 +1,41 @@
+package main
+
+import (
+	"testing"
+)
+
+func TestRunSubsetTiny(t *testing.T) {
+	if err := run([]string{"-run", "a1", "-duration", "15ms"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunA2Tiny(t *testing.T) {
+	if err := run([]string{"-run", "a2", "-duration", "15ms"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunA6A7Tiny(t *testing.T) {
+	if err := run([]string{"-run", "a6", "-duration", "15ms"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunA8A9A10Tiny(t *testing.T) {
+	if err := run([]string{"-run", "a8,a9,a10", "-duration", "15ms"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunNothing(t *testing.T) {
+	if err := run([]string{"-run", "none"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunBadFlag(t *testing.T) {
+	if err := run([]string{"-nope"}); err == nil {
+		t.Fatal("bad flag accepted")
+	}
+}

@@ -1,0 +1,367 @@
+// Command schedviz replays the paper's schedule figures against the real
+// STM implementations and renders the result as ASCII timelines (one row
+// per thread, the global axis left to right, long transactions drawn
+// with double brackets). It makes the consistency-criteria differences
+// visible: the same interleaving commits or aborts different
+// transactions depending on the criterion.
+//
+// Usage:
+//
+//	schedviz            # all figures
+//	schedviz -fig 1     # just Figure 1
+//
+// Figures:
+//
+//	1  long TL spans two disjoint short writers; linearizability aborts
+//	   TL, the weaker criteria (and z-linearizability) commit everything
+//	2  Figure 1 plus T3, which fixes an order; serializability lets only
+//	   one of TL/T3 commit, causal serializability commits both
+//	3  a transaction reads versions both before and after a committed
+//	   writer; CS-STM aborts it
+//	4  Z-STM zones: shorts joining the active zone commit, shorts that
+//	   would cross it abort, and proceed after the long commits
+package main
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"os"
+
+	"tbtm"
+	"tbtm/internal/trace"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "schedviz:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("schedviz", flag.ContinueOnError)
+	fig := fs.Int("fig", 0, "figure to replay (1-4; 0 = all)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	figures := []func() error{figure1, figure2, figure3, figure4}
+	if *fig != 0 {
+		if *fig < 1 || *fig > len(figures) {
+			return fmt.Errorf("unknown figure %d", *fig)
+		}
+		return figures[*fig-1]()
+	}
+	for _, f := range figures {
+		if err := f(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// outcome folds a commit error into the recorder and returns a label.
+func outcome(t *trace.Tx, err error) {
+	if err == nil {
+		t.Commit()
+	} else {
+		t.Abort()
+	}
+}
+
+// figure1 replays Figure 1: TL reads o1, o2, then T1 overwrites both and
+// commits, T2 writes o3 twice and commits, and TL finally reads o3 and
+// writes o4.
+func figure1() error {
+	fmt.Println("== Figure 1: linearizability forces the long transaction to abort ==")
+	fmt.Println()
+	for _, level := range []tbtm.Consistency{
+		tbtm.Linearizable, tbtm.CausallySerializable, tbtm.Serializable, tbtm.ZLinearizable,
+	} {
+		rec := trace.New()
+		tm := tbtm.MustNew(tbtm.WithConsistency(level), tbtm.WithContention(tbtm.ContentionSuicide))
+		o1 := tbtm.NewVar(tm, "o1v0")
+		o2 := tbtm.NewVar(tm, "o2v0")
+		o3 := tbtm.NewVar(tm, "o3v0")
+		o4 := tbtm.NewVar(tm, "o4v0")
+
+		p1, p2, p3 := tm.NewThread(), tm.NewThread(), tm.NewThread()
+
+		tl := p3.Begin(tbtm.Long)
+		ltr := rec.Begin("p3", "TL", true)
+		if _, err := o1.Read(tl); err != nil {
+			return fmt.Errorf("TL r(o1): %w", err)
+		}
+		ltr.Read("o1")
+		if _, err := o2.Read(tl); err != nil {
+			return fmt.Errorf("TL r(o2): %w", err)
+		}
+		ltr.Read("o2")
+
+		t1 := p1.Begin(tbtm.Short)
+		t1r := rec.Begin("p1", "T1", false)
+		err := o1.Write(t1, "o1v1")
+		if err == nil {
+			t1r.Write("o1")
+			if err = o2.Write(t1, "o2v1"); err == nil {
+				t1r.Write("o2")
+				err = t1.Commit()
+			}
+		}
+		outcome(t1r, err)
+
+		t2 := p2.Begin(tbtm.Short)
+		t2r := rec.Begin("p2", "T2", false)
+		err = o3.Write(t2, "o3v1a")
+		if err == nil {
+			t2r.Write("o3")
+			if err = o3.Write(t2, "o3v1b"); err == nil {
+				t2r.Write("o3")
+				err = t2.Commit()
+			}
+		}
+		outcome(t2r, err)
+
+		_, err = o3.Read(tl)
+		if err == nil {
+			ltr.Read("o3")
+			if err = o4.Write(tl, "o4v1"); err == nil {
+				ltr.Write("o4")
+				err = tl.Commit()
+			}
+		}
+		outcome(ltr, err)
+
+		printFigure(level, rec)
+	}
+	return nil
+}
+
+// figure2 replays Figure 2: Figure 1 plus T3 (reads o3, writes o2),
+// which imposes the order T1 → T2; only one of TL and T3 may then commit
+// under serializability, while causal serializability admits both.
+func figure2() error {
+	fmt.Println("== Figure 2: causally serializable but not serializable ==")
+	fmt.Println()
+	for _, level := range []tbtm.Consistency{
+		tbtm.CausallySerializable, tbtm.Serializable,
+	} {
+		rec := trace.New()
+		tm := tbtm.MustNew(tbtm.WithConsistency(level), tbtm.WithContention(tbtm.ContentionSuicide))
+		o1 := tbtm.NewVar(tm, "o1v0")
+		o2 := tbtm.NewVar(tm, "o2v0")
+		o3 := tbtm.NewVar(tm, "o3v0")
+		o4 := tbtm.NewVar(tm, "o4v0")
+
+		p1, p2, p3, p4 := tm.NewThread(), tm.NewThread(), tm.NewThread(), tm.NewThread()
+
+		tl := p3.Begin(tbtm.Long)
+		ltr := rec.Begin("p3", "TL", true)
+		if _, err := o1.Read(tl); err != nil {
+			return err
+		}
+		ltr.Read("o1")
+		if _, err := o2.Read(tl); err != nil {
+			return err
+		}
+		ltr.Read("o2")
+
+		t1 := p1.Begin(tbtm.Short)
+		t1r := rec.Begin("p1", "T1", false)
+		err := o1.Write(t1, "o1v1")
+		if err == nil {
+			t1r.Write("o1")
+			if err = o2.Write(t1, "o2v1"); err == nil {
+				t1r.Write("o2")
+				err = t1.Commit()
+			}
+		}
+		outcome(t1r, err)
+
+		// T3 reads o3 before T2 commits (the initial version): committing
+		// T3 then fixes T1 → T3 → T2, the order incompatible with TL's
+		// T2 → TL → T1.
+		t3 := p4.Begin(tbtm.Short)
+		t3r := rec.Begin("p4", "T3", false)
+		_, err = o3.Read(t3)
+		if err == nil {
+			t3r.Read("o3")
+		}
+
+		t2 := p2.Begin(tbtm.Short)
+		t2r := rec.Begin("p2", "T2", false)
+		err2 := o3.Write(t2, "o3v1")
+		if err2 == nil {
+			t2r.Write("o3")
+			err2 = t2.Commit()
+		}
+		outcome(t2r, err2)
+
+		if err == nil {
+			if err = o2.Write(t3, "o2v2"); err == nil {
+				t3r.Write("o2")
+				err = t3.Commit()
+			}
+		}
+		outcome(t3r, err)
+
+		_, err = o3.Read(tl)
+		if err == nil {
+			ltr.Read("o3")
+			if err = o4.Write(tl, "o4v1"); err == nil {
+				ltr.Write("o4")
+				err = tl.Commit()
+			}
+		}
+		outcome(ltr, err)
+
+		printFigure(level, rec)
+	}
+	return nil
+}
+
+// figure3 replays Figure 3's abort pattern: T1 reads a version of o3
+// that T2 then overwrites; by also reading T2's o1 it would causally
+// both precede and follow T2, so CS-STM aborts it at validation.
+func figure3() error {
+	fmt.Println("== Figure 3: reading around a committed writer aborts ==")
+	fmt.Println()
+	level := tbtm.CausallySerializable
+	rec := trace.New()
+	tm := tbtm.MustNew(tbtm.WithConsistency(level), tbtm.WithContention(tbtm.ContentionSuicide))
+	o1 := tbtm.NewVar(tm, "o1v0")
+	o3 := tbtm.NewVar(tm, "o3v0")
+	p1, p2 := tm.NewThread(), tm.NewThread()
+
+	t1 := p1.Begin(tbtm.Short)
+	t1r := rec.Begin("p1", "T1", false)
+	if _, err := o3.Read(t1); err != nil {
+		return err
+	}
+	t1r.Read("o3")
+
+	t2 := p2.Begin(tbtm.Short)
+	t2r := rec.Begin("p2", "T2", false)
+	err := o1.Write(t2, "o1v1")
+	if err == nil {
+		t2r.Write("o1")
+		if err = o3.Write(t2, "o3v1"); err == nil {
+			t2r.Write("o3")
+			err = t2.Commit()
+		}
+	}
+	outcome(t2r, err)
+
+	_, err = o1.Read(t1)
+	if err == nil {
+		t1r.Read("o1")
+		if err = o1.Write(t1, "o1v2"); err == nil {
+			t1r.Write("o1")
+			err = t1.Commit()
+		}
+	}
+	outcome(t1r, err)
+
+	printFigure(level, rec)
+	return nil
+}
+
+// figure4 replays the zone partitioning of Figures 4/5 on Z-STM: while
+// long TL1 is active, short S1 (touching only objects in TL1's zone)
+// commits, short S2 (spanning the zone boundary) aborts on the crossing,
+// and after TL1 commits the same operations succeed as S3.
+func figure4() error {
+	fmt.Println("== Figures 4/5: zones under Z-STM ==")
+	fmt.Println()
+	level := tbtm.ZLinearizable
+	rec := trace.New()
+	tm := tbtm.MustNew(tbtm.WithConsistency(level), tbtm.WithZonePatience(1))
+	o1 := tbtm.NewVar(tm, "o1v0")
+	o2 := tbtm.NewVar(tm, "o2v0")
+	o3 := tbtm.NewVar(tm, "o3v0")
+	pL, pS := tm.NewThread(), tm.NewThread()
+
+	tl := pL.Begin(tbtm.Long)
+	ltr := rec.Begin("pL", "TL1", true)
+	if _, err := o1.Read(tl); err != nil {
+		return err
+	}
+	ltr.Read("o1")
+	if _, err := o2.Read(tl); err != nil {
+		return err
+	}
+	ltr.Read("o2")
+
+	// S1 joins TL1's zone (both objects already opened by TL1).
+	s1 := pS.Begin(tbtm.Short)
+	s1r := rec.Begin("pS", "S1", false)
+	_, err := o1.Read(s1)
+	if err == nil {
+		s1r.Read("o1")
+		if err = o2.Write(s1, "o2v1"); err == nil {
+			s1r.Write("o2")
+			err = s1.Commit()
+		}
+	}
+	outcome(s1r, err)
+	if err != nil {
+		return fmt.Errorf("S1 must commit inside the zone: %w", err)
+	}
+
+	// S2 crosses from the active zone to the primordial one: aborted.
+	s2 := pS.Begin(tbtm.Short)
+	s2r := rec.Begin("pS", "S2", false)
+	_, err = o1.Read(s2)
+	if err == nil {
+		s2r.Read("o1")
+		if _, err = o3.Read(s2); err == nil {
+			s2r.Read("o3")
+			err = s2.Commit()
+		} else {
+			s2r.Note("cross!")
+		}
+	}
+	outcome(s2r, err)
+	if err == nil {
+		return errors.New("S2 crossed an active zone; it must abort")
+	}
+	s2.Abort()
+
+	if err := tl.Commit(); err != nil {
+		return fmt.Errorf("TL1 commit: %w", err)
+	}
+	ltr.Commit()
+
+	// The same operations proceed once the zone is in the past.
+	s3 := pS.Begin(tbtm.Short)
+	s3r := rec.Begin("pS", "S3", false)
+	_, err = o1.Read(s3)
+	if err == nil {
+		s3r.Read("o1")
+		if _, err = o3.Read(s3); err == nil {
+			s3r.Read("o3")
+			err = s3.Commit()
+		}
+	}
+	outcome(s3r, err)
+	if err != nil {
+		return fmt.Errorf("S3 must commit after the long finished: %w", err)
+	}
+
+	printFigure(level, rec)
+	return nil
+}
+
+func printFigure(level tbtm.Consistency, rec *trace.Recorder) {
+	fmt.Printf("--- %s ---\n", level)
+	fmt.Print(rec.Render())
+	out := rec.Outcomes()
+	fmt.Print("outcomes:")
+	for _, tx := range []string{"T1", "T2", "T3", "TL", "TL1", "S1", "S2", "S3"} {
+		if o, ok := out[tx]; ok {
+			fmt.Printf(" %s=%s", tx, o)
+		}
+	}
+	fmt.Println()
+	fmt.Println()
+}

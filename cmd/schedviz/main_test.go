@@ -1,0 +1,29 @@
+package main
+
+import "testing"
+
+func TestAllFigures(t *testing.T) {
+	if err := run(nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSingleFigure(t *testing.T) {
+	for fig := 1; fig <= 4; fig++ {
+		if err := run([]string{"-fig", string(rune('0' + fig))}); err != nil {
+			t.Fatalf("figure %d: %v", fig, err)
+		}
+	}
+}
+
+func TestBadFigure(t *testing.T) {
+	if err := run([]string{"-fig", "9"}); err == nil {
+		t.Fatal("figure 9 accepted")
+	}
+}
+
+func TestBadFlag(t *testing.T) {
+	if err := run([]string{"-nope"}); err == nil {
+		t.Fatal("bad flag accepted")
+	}
+}

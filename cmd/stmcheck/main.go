@@ -1,0 +1,109 @@
+// Command stmcheck fuzzes an STM implementation with random concurrent
+// workloads and validates the recorded histories against the
+// implementation's advertised consistency criterion (DESIGN.md §6):
+//
+//	lsa, lsa-noreadsets  → linearizability
+//	cstm, cstm-plausible → causal serializability
+//	sstm                 → serializability
+//	zstm                 → serializability and z-linearizability
+//	sistm                → snapshot isolation (timestamp-exact)
+//
+// Usage:
+//
+//	stmcheck -stm zstm -rounds 200
+//	stmcheck -stm all -rounds 50 -threads 6 -objects 4
+//	stmcheck -stm sstm -rounds 500 -dump /tmp   # save failing histories
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"tbtm/internal/checker"
+	"tbtm/internal/conformance"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "stmcheck:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("stmcheck", flag.ContinueOnError)
+	stm := fs.String("stm", "all", "system to check: lsa, lsa-noreadsets, lsa-fastpath, cstm, cstm-plausible, cstm-plausible-block, cstm-multiversion, cstm-comb, sstm, zstm, sistm, or all")
+	rounds := fs.Int("rounds", 50, "fuzz rounds per system (one seed each)")
+	threads := fs.Int("threads", 4, "worker goroutines")
+	txPer := fs.Int("tx", 50, "transactions per worker")
+	objects := fs.Int("objects", 6, "object universe size")
+	seed := fs.Int64("seed", time.Now().UnixNano()%1e9, "base seed")
+	dump := fs.String("dump", "", "directory to write failing histories to (JSON)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	var systems []conformance.System
+	if *stm == "all" {
+		systems = []conformance.System{
+			conformance.LSA, conformance.LSANoReadSets, conformance.LSAFast,
+			conformance.CSTM, conformance.CSTMPlausible, conformance.CSTMPlausibleBlock,
+			conformance.CSTMMulti, conformance.CSTMComb,
+			conformance.SSTM, conformance.ZSTM, conformance.SISTM,
+		}
+	} else {
+		s, err := conformance.ParseSystem(*stm)
+		if err != nil {
+			return err
+		}
+		systems = []conformance.System{s}
+	}
+
+	for _, sys := range systems {
+		start := time.Now()
+		checked := 0
+		for r := 0; r < *rounds; r++ {
+			cfg := conformance.Config{
+				System:      sys,
+				Threads:     *threads,
+				TxPerThread: *txPer,
+				Objects:     *objects,
+				Seed:        *seed + int64(r),
+			}
+			hist, err := conformance.Run(cfg)
+			if err == nil {
+				checked += len(hist.Txs)
+				err = conformance.CheckHistory(sys, hist)
+			}
+			if err != nil {
+				if *dump != "" && hist != nil {
+					path := filepath.Join(*dump, fmt.Sprintf("%s-seed%d.json", sys, cfg.Seed))
+					if derr := dumpHistory(path, hist); derr != nil {
+						fmt.Fprintln(os.Stderr, "stmcheck: dump failed:", derr)
+					} else {
+						fmt.Fprintln(os.Stderr, "stmcheck: failing history written to", path)
+					}
+				}
+				return fmt.Errorf("%s round %d (seed %d): %w", sys, r, cfg.Seed, err)
+			}
+		}
+		fmt.Printf("%-16s OK: %d rounds, %d committed transactions checked in %v\n",
+			sys, *rounds, checked, time.Since(start).Round(time.Millisecond))
+	}
+	return nil
+}
+
+func dumpHistory(path string, hist *checker.History) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := checker.SaveJSON(f, hist); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

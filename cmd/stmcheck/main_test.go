@@ -1,0 +1,31 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRunSingleSystem(t *testing.T) {
+	if err := run([]string{"-stm", "zstm", "-rounds", "2", "-tx", "10", "-seed", "1"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunAll(t *testing.T) {
+	if err := run([]string{"-stm", "all", "-rounds", "1", "-tx", "8", "-threads", "2", "-seed", "3"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunUnknownSystem(t *testing.T) {
+	err := run([]string{"-stm", "nonsense"})
+	if err == nil || !strings.Contains(err.Error(), "unknown system") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestRunBadFlag(t *testing.T) {
+	if err := run([]string{"-definitely-not-a-flag"}); err == nil {
+		t.Fatal("bad flag accepted")
+	}
+}

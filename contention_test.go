@@ -1,0 +1,64 @@
+package tbtm
+
+import (
+	"sync"
+	"testing"
+)
+
+// TestAllContentionPoliciesMakeProgress runs the same contended counter
+// workload under every policy: liveness (every increment eventually
+// commits) and isolation (no lost updates) must hold regardless of how
+// conflicts are arbitrated.
+func TestAllContentionPoliciesMakeProgress(t *testing.T) {
+	policies := []Contention{
+		ContentionDefault, ContentionPolite, ContentionAggressive,
+		ContentionSuicide, ContentionKarma, ContentionTimestamp,
+		ContentionGreedy, ContentionRandomized, ContentionZoneAware,
+	}
+	for _, p := range policies {
+		p := p
+		t.Run(map[Contention]string{
+			ContentionDefault: "default", ContentionPolite: "polite",
+			ContentionAggressive: "aggressive", ContentionSuicide: "suicide",
+			ContentionKarma: "karma", ContentionTimestamp: "timestamp",
+			ContentionGreedy: "greedy", ContentionRandomized: "randomized",
+			ContentionZoneAware: "zone-aware",
+		}[p], func(t *testing.T) {
+			tm := MustNew(WithConsistency(Linearizable), WithContention(p))
+			counter := NewVar(tm, int64(0))
+			const (
+				workers = 4
+				each    = 50
+			)
+			var wg sync.WaitGroup
+			for w := 0; w < workers; w++ {
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					th := tm.NewThread()
+					for i := 0; i < each; i++ {
+						if err := th.Atomic(Short, func(tx Tx) error {
+							return counter.Modify(tx, func(x int64) int64 { return x + 1 })
+						}); err != nil {
+							t.Errorf("increment: %v", err)
+							return
+						}
+					}
+				}()
+			}
+			wg.Wait()
+			var got int64
+			th := tm.NewThread()
+			if err := th.AtomicReadOnly(Short, func(tx Tx) error {
+				var err error
+				got, err = counter.Read(tx)
+				return err
+			}); err != nil {
+				t.Fatal(err)
+			}
+			if got != workers*each {
+				t.Fatalf("counter = %d, want %d (lost update under %v)", got, workers*each, p)
+			}
+		})
+	}
+}

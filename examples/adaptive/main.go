@@ -1,0 +1,108 @@
+// Adaptive: demonstrates automatic long/short classification (§5.3's
+// "automatic marking based on past behaviors of transactions"). The
+// application never declares transaction kinds; the report site is
+// promoted to Long after its first execution reveals a large footprint,
+// after which it sustains commits under update contention — the Figure 7
+// behaviour without annotations.
+package main
+
+import (
+	"fmt"
+	"log"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"tbtm"
+)
+
+func main() {
+	tm, err := tbtm.New(
+		tbtm.WithConsistency(tbtm.ZLinearizable),
+		tbtm.WithAutoClassify(64), // promote sites averaging >= 64 opens
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	const items = 256
+	stock := make([]*tbtm.Var[int64], items)
+	for i := range stock {
+		stock[i] = tbtm.NewVar(tm, int64(10))
+	}
+	report := tbtm.NewVar(tm, int64(0))
+
+	var stop atomic.Bool
+	var wg sync.WaitGroup
+	// Order processors: small transactions, classified short forever.
+	for w := 0; w < 3; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			th := tm.NewThread()
+			i := 0
+			for !stop.Load() {
+				i++
+				src, dst := (w*5+i)%items, (w*11+i*3+1)%items
+				if src == dst {
+					continue
+				}
+				err := th.AtomicSite("move-stock", func(tx tbtm.Tx) error {
+					s, err := stock[src].Read(tx)
+					if err != nil {
+						return err
+					}
+					d, err := stock[dst].Read(tx)
+					if err != nil {
+						return err
+					}
+					if err := stock[src].Write(tx, s-1); err != nil {
+						return err
+					}
+					return stock[dst].Write(tx, d+1)
+				})
+				if err != nil {
+					log.Fatalf("move-stock: %v", err)
+				}
+			}
+		}(w)
+	}
+
+	// Inventory reporter: scans everything and persists the total. The
+	// site starts as Short; its first run observes a 257-object footprint
+	// and promotes it to Long.
+	th := tm.NewThread()
+	reports := 0
+	deadline := time.Now().Add(300 * time.Millisecond)
+	for time.Now().Before(deadline) {
+		err := th.AtomicSite("inventory-report", func(tx tbtm.Tx) error {
+			var sum int64
+			for _, v := range stock {
+				x, err := v.Read(tx)
+				if err != nil {
+					return err
+				}
+				sum += x
+			}
+			if sum != items*10 {
+				return fmt.Errorf("inconsistent inventory: %d", sum)
+			}
+			return report.Write(tx, sum)
+		})
+		if err != nil {
+			log.Fatalf("inventory-report: %v", err)
+		}
+		reports++
+	}
+	stop.Store(true)
+	wg.Wait()
+
+	st := tm.Stats()
+	fmt.Printf("inventory reports committed: %d\n", reports)
+	fmt.Printf("of those, ran as long transactions: %d (first run executes short, then the site is promoted)\n",
+		st.LongCommits)
+	fmt.Printf("short commits: %d, zone crossings: %d\n", st.Commits, st.ZoneCrosses)
+	if st.LongCommits == 0 {
+		log.Fatal("classifier never promoted the report site")
+	}
+}

@@ -1,0 +1,162 @@
+// Bank: the paper's §5.5 scenario as an application. A bank with 1,000
+// accounts processes concurrent transfers while one teller computes the
+// aggregate balance in long transactions — first read-only, then as
+// update transactions persisting the audit result. Run with different
+// -consistency values to see which criteria keep the auditor live under
+// load (the paper's Figure 7 phenomenon: linearizable LSA-STM starves
+// long update transactions; Z-STM sustains them).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"tbtm"
+)
+
+func main() {
+	consistency := flag.String("consistency", "z-linearizable",
+		"linearizable | single-version | causally-serializable | serializable | z-linearizable")
+	accounts := flag.Int("accounts", 1000, "number of accounts")
+	duration := flag.Duration("duration", 300*time.Millisecond, "run duration")
+	flag.Parse()
+
+	level, err := parseLevel(*consistency)
+	if err != nil {
+		log.Fatal(err)
+	}
+	tm, err := tbtm.New(tbtm.WithConsistency(level), tbtm.WithVersions(256))
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	vars := make([]*tbtm.Var[int64], *accounts)
+	for i := range vars {
+		vars[i] = tbtm.NewVar(tm, int64(1000))
+	}
+	auditLog := tbtm.NewVar(tm, int64(0))
+	want := int64(*accounts) * 1000
+
+	var (
+		stop      atomic.Bool
+		transfers atomic.Uint64
+		audits    atomic.Uint64
+		wg        sync.WaitGroup
+	)
+
+	// Three transfer tellers.
+	for w := 0; w < 3; w++ {
+		wg.Add(1)
+		go func(seed int) {
+			defer wg.Done()
+			th := tm.NewThread()
+			i := 0
+			for !stop.Load() {
+				i++
+				from := (seed*31 + i*7) % *accounts
+				to := (seed*17 + i*13 + 1) % *accounts
+				if from == to {
+					continue
+				}
+				err := th.Atomic(tbtm.Short, func(tx tbtm.Tx) error {
+					f, err := vars[from].Read(tx)
+					if err != nil {
+						return err
+					}
+					t, err := vars[to].Read(tx)
+					if err != nil {
+						return err
+					}
+					if err := vars[from].Write(tx, f-1); err != nil {
+						return err
+					}
+					return vars[to].Write(tx, t+1)
+				})
+				if err == nil {
+					transfers.Add(1)
+				}
+			}
+		}(w)
+	}
+
+	// One auditor running long update transactions.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		th := tm.NewThread()
+		for !stop.Load() {
+			err := th.Atomic(tbtm.Long, func(tx tbtm.Tx) error {
+				var sum int64
+				for _, v := range vars {
+					x, err := v.Read(tx)
+					if err != nil {
+						return err
+					}
+					sum += x
+				}
+				if sum != want {
+					return fmt.Errorf("inconsistent snapshot: %d != %d", sum, want)
+				}
+				return auditLog.Write(tx, sum)
+			})
+			if err != nil {
+				log.Fatalf("audit: %v", err)
+			}
+			audits.Add(1)
+		}
+	}()
+
+	time.Sleep(*duration)
+	stop.Store(true)
+	wg.Wait()
+
+	// Final consistency check.
+	th := tm.NewThread()
+	var total int64
+	if err := th.AtomicReadOnly(tbtm.Long, func(tx tbtm.Tx) error {
+		total = 0
+		for _, v := range vars {
+			x, err := v.Read(tx)
+			if err != nil {
+				return err
+			}
+			total += x
+		}
+		return nil
+	}); err != nil {
+		log.Fatal(err)
+	}
+
+	st := tm.Stats()
+	fmt.Printf("consistency: %s\n", level)
+	fmt.Printf("transfers committed: %d (%.0f/s)\n", transfers.Load(),
+		float64(transfers.Load())/duration.Seconds())
+	fmt.Printf("audits committed:    %d (%.0f/s)\n", audits.Load(),
+		float64(audits.Load())/duration.Seconds())
+	fmt.Printf("total: %d (invariant %d, %s)\n", total, want, okStr(total == want))
+	fmt.Printf("aborts: %d short, %d long, %d zone crossings\n",
+		st.Aborts, st.LongAborts, st.ZoneCrosses)
+}
+
+func parseLevel(s string) (tbtm.Consistency, error) {
+	for _, c := range []tbtm.Consistency{
+		tbtm.Linearizable, tbtm.SingleVersion, tbtm.CausallySerializable,
+		tbtm.Serializable, tbtm.ZLinearizable,
+	} {
+		if c.String() == s {
+			return c, nil
+		}
+	}
+	return 0, fmt.Errorf("unknown consistency level %q", s)
+}
+
+func okStr(ok bool) string {
+	if ok {
+		return "OK"
+	}
+	return "VIOLATED"
+}

@@ -1,0 +1,150 @@
+// Package adaptive implements automatic long/short transaction
+// classification, the alternative the paper sketches in §5.3: "an
+// automatic marking based on past behaviors of transactions would be a
+// viable alternative" to explicit programmer annotation.
+//
+// A Classifier tracks, per call site, an exponential moving average of
+// the number of objects a transaction opens and its recent abort streak.
+// A site is promoted to Long once its average footprint exceeds the
+// threshold, or when it keeps aborting as a short transaction despite a
+// sizeable footprint (the situation of Figure 7's Compute-Total under a
+// linearizable STM). A long-classified site whose footprint shrinks is
+// demoted again, with hysteresis to avoid flapping.
+package adaptive
+
+import (
+	"sync"
+
+	"tbtm/internal/core"
+)
+
+// Config tunes the classifier.
+type Config struct {
+	// LongOpens promotes a site whose average open count is at or above
+	// this value (default 64).
+	LongOpens float64
+	// DemoteOpens demotes a long site whose average falls below this
+	// value (default LongOpens/2). Must be below LongOpens.
+	DemoteOpens float64
+	// AbortStreak promotes a site that aborted this many consecutive
+	// times with at least MinOpensForAbortPromotion opens (default 8).
+	AbortStreak int
+	// MinOpensForAbortPromotion guards the abort-streak rule against
+	// promoting genuinely tiny transactions (default 8).
+	MinOpensForAbortPromotion float64
+	// Alpha is the EMA smoothing factor in (0, 1] (default 0.2).
+	Alpha float64
+}
+
+func (c *Config) defaults() {
+	if c.LongOpens <= 0 {
+		c.LongOpens = 64
+	}
+	if c.DemoteOpens <= 0 || c.DemoteOpens >= c.LongOpens {
+		c.DemoteOpens = c.LongOpens / 2
+	}
+	if c.AbortStreak <= 0 {
+		c.AbortStreak = 8
+	}
+	if c.MinOpensForAbortPromotion <= 0 {
+		c.MinOpensForAbortPromotion = 8
+	}
+	if c.Alpha <= 0 || c.Alpha > 1 {
+		c.Alpha = 0.2
+	}
+}
+
+// site is the per-call-site statistics record.
+type site struct {
+	emaOpens    float64
+	abortStreak int
+	long        bool
+	samples     uint64
+}
+
+// Classifier assigns transaction kinds from past behaviour. It is safe
+// for concurrent use.
+type Classifier struct {
+	cfg Config
+
+	mu    sync.Mutex
+	sites map[string]*site
+}
+
+// NewClassifier returns a classifier with the given configuration.
+func NewClassifier(cfg Config) *Classifier {
+	cfg.defaults()
+	return &Classifier{cfg: cfg, sites: make(map[string]*site)}
+}
+
+// Classify returns the kind to run the named site's next transaction as.
+// Unknown sites start as Short (the paper's default assumption: most
+// transactions are short).
+func (c *Classifier) Classify(name string) core.TxKind {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if s := c.sites[name]; s != nil && s.long {
+		return core.Long
+	}
+	return core.Short
+}
+
+// Observe records one finished execution of the named site: how many
+// objects it opened and whether it committed. It returns the kind the
+// site is classified as after the observation.
+func (c *Classifier) Observe(name string, opens int, committed bool) core.TxKind {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	s := c.sites[name]
+	if s == nil {
+		s = &site{}
+		c.sites[name] = s
+	}
+	s.samples++
+	if s.emaOpens == 0 {
+		s.emaOpens = float64(opens)
+	} else {
+		s.emaOpens = (1-c.cfg.Alpha)*s.emaOpens + c.cfg.Alpha*float64(opens)
+	}
+	if committed {
+		s.abortStreak = 0
+	} else {
+		s.abortStreak++
+	}
+
+	switch {
+	case !s.long && s.emaOpens >= c.cfg.LongOpens:
+		s.long = true
+	case !s.long && s.abortStreak >= c.cfg.AbortStreak && s.emaOpens >= c.cfg.MinOpensForAbortPromotion:
+		s.long = true
+	case s.long && s.emaOpens < c.cfg.DemoteOpens && s.abortStreak == 0:
+		s.long = false
+	}
+	if s.long {
+		return core.Long
+	}
+	return core.Short
+}
+
+// SiteStats is a snapshot of one site's statistics.
+type SiteStats struct {
+	Name        string
+	EMAOpens    float64
+	AbortStreak int
+	Long        bool
+	Samples     uint64
+}
+
+// Stats returns a snapshot of every known site.
+func (c *Classifier) Stats() []SiteStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]SiteStats, 0, len(c.sites))
+	for name, s := range c.sites {
+		out = append(out, SiteStats{
+			Name: name, EMAOpens: s.emaOpens, AbortStreak: s.abortStreak,
+			Long: s.long, Samples: s.samples,
+		})
+	}
+	return out
+}

@@ -1,0 +1,93 @@
+package adaptive
+
+import (
+	"strconv"
+	"testing"
+	"testing/quick"
+
+	"tbtm/internal/core"
+)
+
+// TestQuickObserveNeverPanicsAndClassifies feeds arbitrary observation
+// streams through one classifier and checks the classification stays a
+// valid kind and Classify agrees with the last Observe verdict.
+func TestQuickObserveNeverPanicsAndClassifies(t *testing.T) {
+	c := NewClassifier(Config{})
+	prop := func(siteID uint8, opens []uint16, commits []bool) bool {
+		name := "site" + strconv.Itoa(int(siteID%8))
+		last := c.Classify(name)
+		for i, o := range opens {
+			committed := i < len(commits) && commits[i]
+			last = c.Observe(name, int(o%2048), committed)
+			if last != core.Short && last != core.Long {
+				return false
+			}
+		}
+		return c.Classify(name) == last
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickPromotionAboveThreshold checks the promotion law for
+// arbitrary thresholds: a site that always opens at least the threshold
+// is Long after its first observation (the EMA seeds at the first
+// sample), and stays Long while its footprint stays there.
+func TestQuickPromotionAboveThreshold(t *testing.T) {
+	prop := func(threshold uint8, over uint8, commits []bool) bool {
+		th := float64(threshold%200) + 1
+		c := NewClassifier(Config{LongOpens: th})
+		opens := int(th) + int(over)
+		name := "hot"
+		for i := 0; i < 10; i++ {
+			committed := i < len(commits) && commits[i]
+			if c.Observe(name, opens, committed) != core.Long {
+				return false
+			}
+		}
+		return c.Classify(name) == core.Long
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickTinySitesNeverPromoted checks the guard rails: sites whose
+// footprint stays below both the long threshold and the abort-promotion
+// minimum are never classified Long, no matter the commit/abort pattern.
+func TestQuickTinySitesNeverPromoted(t *testing.T) {
+	c := NewClassifier(Config{LongOpens: 64, MinOpensForAbortPromotion: 8})
+	prop := func(opens []uint8, commits []bool) bool {
+		name := "tiny"
+		for i, o := range opens {
+			committed := i < len(commits) && commits[i]
+			if c.Observe(name, int(o%8), committed) == core.Long {
+				return false
+			}
+		}
+		return c.Classify(name) == core.Short
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickStatsAccountAllSamples checks Stats bookkeeping: the sample
+// count across sites equals the number of Observe calls.
+func TestQuickStatsAccountAllSamples(t *testing.T) {
+	prop := func(stream []uint8) bool {
+		c := NewClassifier(Config{})
+		for i, b := range stream {
+			c.Observe("s"+strconv.Itoa(int(b%4)), int(b), i%3 != 0)
+		}
+		var total uint64
+		for _, s := range c.Stats() {
+			total += s.Samples
+		}
+		return total == uint64(len(stream))
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,123 @@
+package adaptive
+
+import (
+	"sync"
+	"testing"
+
+	"tbtm/internal/core"
+)
+
+func TestUnknownSiteIsShort(t *testing.T) {
+	c := NewClassifier(Config{})
+	if got := c.Classify("new"); got != core.Short {
+		t.Fatalf("Classify(new) = %v, want short", got)
+	}
+}
+
+func TestPromotionByFootprint(t *testing.T) {
+	c := NewClassifier(Config{LongOpens: 50})
+	// A site that opens 1000 objects is promoted immediately (EMA seeds
+	// at the first sample).
+	if got := c.Observe("total", 1000, true); got != core.Long {
+		t.Fatalf("Observe = %v, want long", got)
+	}
+	if got := c.Classify("total"); got != core.Long {
+		t.Fatalf("Classify = %v, want long", got)
+	}
+}
+
+func TestSmallSitesStayShort(t *testing.T) {
+	c := NewClassifier(Config{LongOpens: 50})
+	for i := 0; i < 100; i++ {
+		if got := c.Observe("transfer", 2, true); got != core.Short {
+			t.Fatalf("iteration %d: %v", i, got)
+		}
+	}
+}
+
+func TestPromotionByAbortStreak(t *testing.T) {
+	c := NewClassifier(Config{LongOpens: 1000, AbortStreak: 5, MinOpensForAbortPromotion: 10})
+	// A mid-sized transaction that keeps aborting as short gets promoted.
+	for i := 0; i < 4; i++ {
+		if got := c.Observe("sum", 40, false); got != core.Short {
+			t.Fatalf("promoted too early at %d", i)
+		}
+	}
+	if got := c.Observe("sum", 40, false); got != core.Long {
+		t.Fatal("abort streak did not promote")
+	}
+}
+
+func TestAbortStreakGuardedByFootprint(t *testing.T) {
+	c := NewClassifier(Config{AbortStreak: 3, MinOpensForAbortPromotion: 10})
+	for i := 0; i < 20; i++ {
+		if got := c.Observe("tiny", 2, false); got != core.Short {
+			t.Fatal("tiny aborting site promoted")
+		}
+	}
+}
+
+func TestDemotionWithHysteresis(t *testing.T) {
+	c := NewClassifier(Config{LongOpens: 50, Alpha: 0.5})
+	c.Observe("site", 200, true) // promoted
+	if c.Classify("site") != core.Long {
+		t.Fatal("not promoted")
+	}
+	// Footprint shrinks: EMA decays toward 2, eventually below 25.
+	for i := 0; i < 20; i++ {
+		c.Observe("site", 2, true)
+	}
+	if c.Classify("site") != core.Short {
+		t.Fatal("not demoted after footprint shrank")
+	}
+	// In-between footprint (between demote and promote) stays put.
+	c2 := NewClassifier(Config{LongOpens: 50, Alpha: 1})
+	c2.Observe("s", 200, true)
+	c2.Observe("s", 30, true) // 30 >= 25 (demote threshold): stays long
+	if c2.Classify("s") != core.Long {
+		t.Fatal("hysteresis band did not hold")
+	}
+}
+
+func TestStatsSnapshot(t *testing.T) {
+	c := NewClassifier(Config{})
+	c.Observe("a", 10, true)
+	c.Observe("b", 100, false)
+	st := c.Stats()
+	if len(st) != 2 {
+		t.Fatalf("stats has %d sites", len(st))
+	}
+	for _, s := range st {
+		if s.Samples != 1 {
+			t.Fatalf("site %s samples = %d", s.Name, s.Samples)
+		}
+	}
+}
+
+func TestConcurrentObserve(t *testing.T) {
+	c := NewClassifier(Config{})
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				c.Observe("shared", 100, i%2 == 0)
+				c.Classify("shared")
+			}
+		}()
+	}
+	wg.Wait()
+	st := c.Stats()
+	if len(st) != 1 || st[0].Samples != 1600 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestDefaultsApplied(t *testing.T) {
+	c := NewClassifier(Config{DemoteOpens: 99999}) // invalid: above LongOpens
+	// Promotion at default threshold 64 still works.
+	if got := c.Observe("x", 64, true); got != core.Long {
+		t.Fatal("default LongOpens not applied")
+	}
+}

@@ -1,0 +1,145 @@
+// Package bank implements the paper's bank micro-benchmark (§5.5): a set
+// of accounts manipulated by short Transfer transactions (withdraw from
+// one account, deposit to another) and long Compute-Total transactions
+// that sum every account, in a read-only variant and an update variant
+// that writes the result to private but transactional state.
+package bank
+
+import (
+	"fmt"
+	"runtime"
+
+	"tbtm"
+)
+
+// Bank is a transactional bank over a TM instance.
+type Bank struct {
+	tm       *tbtm.TM
+	accounts []*tbtm.Var[int64]
+	initial  int64
+
+	// YieldEvery, when positive, makes Compute-Total scans yield the
+	// processor every YieldEvery accounts. On a single-CPU host this
+	// simulates the physical concurrency of the paper's 32-hardware-
+	// thread testbed, where transfers execute during a long scan; without
+	// it a scan completes within one scheduler quantum and never
+	// experiences interference (see DESIGN.md §7). It applies identically
+	// to every STM under test.
+	YieldEvery int
+}
+
+// New creates a bank with accounts accounts of initialBalance each.
+func New(tm *tbtm.TM, accounts int, initialBalance int64) *Bank {
+	b := &Bank{tm: tm, initial: initialBalance}
+	b.accounts = make([]*tbtm.Var[int64], accounts)
+	for i := range b.accounts {
+		b.accounts[i] = tbtm.NewVar(tm, initialBalance)
+	}
+	return b
+}
+
+// TM returns the owning TM instance.
+func (b *Bank) TM() *tbtm.TM { return b.tm }
+
+// Accounts returns the number of accounts.
+func (b *Bank) Accounts() int { return len(b.accounts) }
+
+// ExpectedTotal returns the invariant total balance.
+func (b *Bank) ExpectedTotal() int64 { return int64(len(b.accounts)) * b.initial }
+
+// Account returns the transactional variable of one account, for callers
+// that compose their own transactions (e.g. the commit-probability probe
+// in internal/harness).
+func (b *Bank) Account(i int) *tbtm.Var[int64] { return b.accounts[i] }
+
+// Transfer moves amount from one account to another in a short update
+// transaction, retrying on conflicts.
+func (b *Bank) Transfer(th *tbtm.Thread, from, to int, amount int64) error {
+	if from == to {
+		return fmt.Errorf("bank: transfer to self (account %d)", from)
+	}
+	return th.Atomic(tbtm.Short, func(tx tbtm.Tx) error {
+		f, err := b.accounts[from].Read(tx)
+		if err != nil {
+			return err
+		}
+		g, err := b.accounts[to].Read(tx)
+		if err != nil {
+			return err
+		}
+		if err := b.accounts[from].Write(tx, f-amount); err != nil {
+			return err
+		}
+		return b.accounts[to].Write(tx, g+amount)
+	})
+}
+
+// ComputeTotal sums all accounts in a long read-only transaction.
+func (b *Bank) ComputeTotal(th *tbtm.Thread) (int64, error) {
+	var total int64
+	err := th.AtomicReadOnly(tbtm.Long, func(tx tbtm.Tx) error {
+		sum, err := b.sum(tx)
+		if err != nil {
+			return err
+		}
+		total = sum
+		return nil
+	})
+	return total, err
+}
+
+// ComputeTotalUpdate sums all accounts in a long update transaction that
+// writes the result to dest — the paper's "update transactions that write
+// to private but transactional state" variant (Figure 7).
+func (b *Bank) ComputeTotalUpdate(th *tbtm.Thread, dest *tbtm.Var[int64]) (int64, error) {
+	var total int64
+	err := th.Atomic(tbtm.Long, func(tx tbtm.Tx) error {
+		sum, err := b.sum(tx)
+		if err != nil {
+			return err
+		}
+		total = sum
+		return dest.Write(tx, sum)
+	})
+	return total, err
+}
+
+func (b *Bank) sum(tx tbtm.Tx) (int64, error) {
+	var sum int64
+	for i, a := range b.accounts {
+		if b.YieldEvery > 0 && i > 0 && i%b.YieldEvery == 0 {
+			runtime.Gosched()
+		}
+		v, err := a.Read(tx)
+		if err != nil {
+			return 0, err
+		}
+		sum += v
+	}
+	return sum, nil
+}
+
+// CheckInvariant verifies that the total balance equals the invariant,
+// using a long transaction. It returns an error describing the deficit
+// when the invariant is violated.
+func (b *Bank) CheckInvariant(th *tbtm.Thread) error {
+	total, err := b.ComputeTotal(th)
+	if err != nil {
+		return fmt.Errorf("bank: computing total: %w", err)
+	}
+	if want := b.ExpectedTotal(); total != want {
+		return fmt.Errorf("bank: invariant violated: total %d, want %d", total, want)
+	}
+	return nil
+}
+
+// Balance reads one account in a short read-only transaction.
+func (b *Bank) Balance(th *tbtm.Thread, account int) (int64, error) {
+	var v int64
+	err := th.AtomicReadOnly(tbtm.Short, func(tx tbtm.Tx) error {
+		var err error
+		v, err = b.accounts[account].Read(tx)
+		return err
+	})
+	return v, err
+}

@@ -1,0 +1,109 @@
+package bank
+
+import (
+	"sync"
+	"testing"
+
+	"tbtm"
+)
+
+func TestTransferAndBalance(t *testing.T) {
+	tm := tbtm.MustNew()
+	b := New(tm, 4, 100)
+	th := tm.NewThread()
+	if err := b.Transfer(th, 0, 1, 25); err != nil {
+		t.Fatal(err)
+	}
+	v0, err := b.Balance(th, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v1, err := b.Balance(th, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v0 != 75 || v1 != 125 {
+		t.Fatalf("balances = %d, %d; want 75, 125", v0, v1)
+	}
+}
+
+func TestTransferToSelfRejected(t *testing.T) {
+	tm := tbtm.MustNew()
+	b := New(tm, 2, 100)
+	if err := b.Transfer(tm.NewThread(), 1, 1, 5); err == nil {
+		t.Fatal("self transfer accepted")
+	}
+}
+
+func TestComputeTotalVariants(t *testing.T) {
+	tm := tbtm.MustNew()
+	b := New(tm, 10, 50)
+	th := tm.NewThread()
+	total, err := b.ComputeTotal(th)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if total != 500 {
+		t.Fatalf("total = %d, want 500", total)
+	}
+	dest := tbtm.NewVar(tm, int64(0))
+	total, err = b.ComputeTotalUpdate(th, dest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if total != 500 {
+		t.Fatalf("update total = %d", total)
+	}
+	var stored int64
+	if err := th.AtomicReadOnly(tbtm.Short, func(tx tbtm.Tx) error {
+		var err error
+		stored, err = dest.Read(tx)
+		return err
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if stored != 500 {
+		t.Fatalf("dest = %d, want 500", stored)
+	}
+	if got := tm.Stats().LongCommits; got != 2 {
+		t.Fatalf("long commits = %d, want 2", got)
+	}
+}
+
+func TestInvariantHolds(t *testing.T) {
+	for _, level := range []tbtm.Consistency{tbtm.Linearizable, tbtm.ZLinearizable} {
+		tm := tbtm.MustNew(tbtm.WithConsistency(level))
+		b := New(tm, 8, 100)
+		var wg sync.WaitGroup
+		for wkr := 0; wkr < 4; wkr++ {
+			wg.Add(1)
+			go func(seed int) {
+				defer wg.Done()
+				th := tm.NewThread()
+				for i := 0; i < 40; i++ {
+					from := (seed + i) % 8
+					to := (seed + i*3 + 1) % 8
+					if from == to {
+						continue
+					}
+					if err := b.Transfer(th, from, to, 1); err != nil {
+						t.Errorf("transfer: %v", err)
+						return
+					}
+				}
+			}(wkr)
+		}
+		wg.Wait()
+		if err := b.CheckInvariant(tm.NewThread()); err != nil {
+			t.Fatalf("%v: %v", level, err)
+		}
+	}
+}
+
+func TestAccessors(t *testing.T) {
+	tm := tbtm.MustNew()
+	b := New(tm, 3, 10)
+	if b.Accounts() != 3 || b.ExpectedTotal() != 30 || b.TM() != tm {
+		t.Fatalf("accessors: %d accounts, total %d", b.Accounts(), b.ExpectedTotal())
+	}
+}

@@ -1,0 +1,72 @@
+package bank
+
+import (
+	"strings"
+	"testing"
+
+	"tbtm"
+)
+
+// TestAccountAccessorComposes verifies Account exposes the live
+// transactional variable: a write through it is visible to Transfer's
+// invariant machinery.
+func TestAccountAccessorComposes(t *testing.T) {
+	tm := tbtm.MustNew()
+	b := New(tm, 4, 10)
+	th := tm.NewThread()
+	if err := th.Atomic(tbtm.Short, func(tx tbtm.Tx) error {
+		return b.Account(0).Write(tx, 50)
+	}); err != nil {
+		t.Fatal(err)
+	}
+	got, err := b.Balance(th, 0)
+	if err != nil || got != 50 {
+		t.Fatalf("balance = %d, %v; want 50, nil", got, err)
+	}
+}
+
+// TestCheckInvariantDetectsViolation verifies CheckInvariant reports a
+// broken total with a diagnostic rather than succeeding silently.
+func TestCheckInvariantDetectsViolation(t *testing.T) {
+	tm := tbtm.MustNew()
+	b := New(tm, 4, 10)
+	th := tm.NewThread()
+	if err := b.CheckInvariant(th); err != nil {
+		t.Fatalf("fresh bank: %v", err)
+	}
+	// Inject money out of band.
+	if err := th.Atomic(tbtm.Short, func(tx tbtm.Tx) error {
+		return b.Account(2).Write(tx, 11)
+	}); err != nil {
+		t.Fatal(err)
+	}
+	err := b.CheckInvariant(th)
+	if err == nil {
+		t.Fatal("invariant violation not detected")
+	}
+	if !strings.Contains(err.Error(), "invariant violated") {
+		t.Fatalf("unexpected diagnostic: %v", err)
+	}
+}
+
+// TestTransferBubblesRetryExhaustion verifies Transfer surfaces the
+// facade's retry-limit error instead of looping forever when the TM is
+// configured with a retry budget and the transfer keeps losing.
+func TestTransferBubblesRetryExhaustion(t *testing.T) {
+	tm := tbtm.MustNew(tbtm.WithMaxRetries(1))
+	b := New(tm, 2, 10)
+	th := tm.NewThread()
+	blocker := tm.NewThread()
+
+	// Hold a write lock on account 0 with an open transaction so the
+	// transfer's single attempt conflicts and the budget is spent.
+	tx := blocker.Begin(tbtm.Short)
+	if err := b.Account(0).Write(tx, 99); err != nil {
+		t.Fatal(err)
+	}
+	defer tx.Abort()
+
+	if err := b.Transfer(th, 0, 1, 1); err == nil {
+		t.Fatal("transfer against a held lock succeeded within 1 attempt")
+	}
+}

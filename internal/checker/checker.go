@@ -1,0 +1,439 @@
+// Package checker provides offline consistency checkers for committed
+// transaction histories: conflict-serializability, linearizability,
+// causal serializability, and the paper's z-linearizability. The fuzz
+// and conformance tests use them to validate each STM implementation
+// against its advertised criterion (DESIGN.md §6).
+//
+// A history lists committed transactions with the object versions they
+// read and the objects they wrote, plus per-object total version orders
+// (recovered from the version chains the STMs maintain). From these the
+// checker derives the classical conflict edges:
+//
+//	wr: writer of version s  → any reader of version s
+//	ww: writer of version s  → writer of version s+1
+//	rw: reader of version s  → writer of version s+1
+//
+// and combines them with real-time and program-order edges as each
+// criterion requires. All checks are precedence-graph acyclicity tests,
+// polynomial and exact for conflict-serializability (which soundly
+// upper-bounds the view-based criteria for these histories).
+package checker
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Read is one observed read: object o's version with sequence Seq.
+type Read struct {
+	Obj uint64
+	Seq uint64
+}
+
+// Write is one installed version: object o's version with sequence Seq.
+type Write struct {
+	Obj uint64
+	Seq uint64
+}
+
+// Tx is one committed transaction.
+type Tx struct {
+	// ID is the transaction's unique identifier.
+	ID uint64
+	// Thread is the worker-thread index, defining program order.
+	Thread int
+	// Long marks the paper's long transactions.
+	Long bool
+	// Zone is the z-linearizability zone label (shorts: the T.zc the
+	// transaction committed with; longs: their reserved zone number).
+	Zone uint64
+	// Start and End are real-time stamps: Start taken before the
+	// transaction began, End after its commit returned. T precedes U in
+	// real time iff T.End < U.Start.
+	Start, End int64
+	// SnapTS and CommitTS are the scalar time-base stamps of the
+	// transaction's snapshot and commit, when the STM exposes them
+	// (HasTS). SnapshotIsolated requires them; the graph-based checkers
+	// ignore them.
+	SnapTS, CommitTS uint64
+	// HasTS reports whether SnapTS/CommitTS are valid.
+	HasTS bool
+	// Reads and Writes are the committed observations.
+	Reads  []Read
+	Writes []Write
+}
+
+// History is a set of committed transactions over versioned objects.
+// Version sequence numbers start at 1 for the initial (pre-history)
+// version of every object; version s+1 directly supersedes s.
+type History struct {
+	Txs []Tx
+}
+
+// Result is a checker verdict. When Ok is false, Cycle holds the indices
+// (into History.Txs) of one offending precedence cycle and Reason a
+// human-readable explanation.
+type Result struct {
+	Ok     bool
+	Cycle  []int
+	Reason string
+}
+
+// graph is a precedence graph over transaction indices.
+type graph struct {
+	n   int
+	adj [][]int
+}
+
+func newGraph(n int) *graph {
+	return &graph{n: n, adj: make([][]int, n)}
+}
+
+func (g *graph) addEdge(from, to int) {
+	if from == to {
+		return
+	}
+	g.adj[from] = append(g.adj[from], to)
+}
+
+// cycle returns one cycle as a list of node indices, or nil if acyclic.
+func (g *graph) cycle() []int {
+	const (
+		white = 0
+		gray  = 1
+		black = 2
+	)
+	color := make([]int, g.n)
+	parent := make([]int, g.n)
+	for i := range parent {
+		parent[i] = -1
+	}
+	var stack []int
+	for start := 0; start < g.n; start++ {
+		if color[start] != white {
+			continue
+		}
+		stack = stack[:0]
+		stack = append(stack, start)
+		for len(stack) > 0 {
+			u := stack[len(stack)-1]
+			if color[u] == white {
+				color[u] = gray
+			}
+			advanced := false
+			for _, v := range g.adj[u] {
+				switch color[v] {
+				case white:
+					parent[v] = u
+					stack = append(stack, v)
+					advanced = true
+				case gray:
+					// Found a cycle v -> ... -> u -> v.
+					cyc := []int{v}
+					for w := u; w != v && w != -1; w = parent[w] {
+						cyc = append(cyc, w)
+					}
+					// Reverse into forward order.
+					for i, j := 0, len(cyc)-1; i < j; i, j = i+1, j-1 {
+						cyc[i], cyc[j] = cyc[j], cyc[i]
+					}
+					return cyc
+				}
+				if advanced {
+					break
+				}
+			}
+			if !advanced {
+				color[u] = black
+				stack = stack[:len(stack)-1]
+			}
+		}
+	}
+	return nil
+}
+
+// versionWriters maps (object, seq) to the writing transaction's index.
+// The initial version (seq 1) has no writer.
+type versionWriters map[uint64]map[uint64]int
+
+func buildVersionWriters(h *History) (versionWriters, error) {
+	vw := make(versionWriters)
+	for i := range h.Txs {
+		for _, w := range h.Txs[i].Writes {
+			m := vw[w.Obj]
+			if m == nil {
+				m = make(map[uint64]int)
+				vw[w.Obj] = m
+			}
+			if prev, dup := m[w.Seq]; dup {
+				return nil, fmt.Errorf("objects %d version %d written by both tx %d and tx %d",
+					w.Obj, w.Seq, h.Txs[prev].ID, h.Txs[i].ID)
+			}
+			if w.Seq <= 1 {
+				return nil, fmt.Errorf("tx %d claims to write initial version of object %d", h.Txs[i].ID, w.Obj)
+			}
+			m[w.Seq] = i
+		}
+	}
+	return vw, nil
+}
+
+// addConflictEdges adds wr, ww and rw edges to g.
+func addConflictEdges(g *graph, h *History, vw versionWriters) {
+	for i := range h.Txs {
+		for _, r := range h.Txs[i].Reads {
+			if wi, ok := vw[r.Obj][r.Seq]; ok && wi != i {
+				g.addEdge(wi, i) // wr: version writer before reader
+			}
+			if wi, ok := vw[r.Obj][r.Seq+1]; ok && wi != i {
+				g.addEdge(i, wi) // rw: reader before overwriter
+			}
+		}
+		for _, w := range h.Txs[i].Writes {
+			if wi, ok := vw[w.Obj][w.Seq-1]; ok && wi != i {
+				g.addEdge(wi, i) // ww: predecessor writer first
+			}
+			if wi, ok := vw[w.Obj][w.Seq+1]; ok && wi != i {
+				g.addEdge(i, wi) // ww: successor writer later
+			}
+		}
+	}
+}
+
+// addRealTimeEdges adds T→U whenever T.End < U.Start and include(T, U).
+// Transactions are sorted by start; for each T only the transactions that
+// start after T ends get an edge.
+func addRealTimeEdges(g *graph, h *History, include func(a, b *Tx) bool) {
+	idx := make([]int, len(h.Txs))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool { return h.Txs[idx[a]].Start < h.Txs[idx[b]].Start })
+	for i := range h.Txs {
+		t := &h.Txs[i]
+		// Binary search the first transaction starting after t.End.
+		lo := sort.Search(len(idx), func(k int) bool { return h.Txs[idx[k]].Start > t.End })
+		for _, j := range idx[lo:] {
+			if j == i {
+				continue
+			}
+			if include(t, &h.Txs[j]) {
+				g.addEdge(i, j)
+			}
+		}
+	}
+}
+
+// addProgramOrderEdges adds edges between consecutive transactions of the
+// same thread (by Start order).
+func addProgramOrderEdges(g *graph, h *History) {
+	byThread := make(map[int][]int)
+	for i := range h.Txs {
+		byThread[h.Txs[i].Thread] = append(byThread[h.Txs[i].Thread], i)
+	}
+	for _, txs := range byThread {
+		sort.Slice(txs, func(a, b int) bool { return h.Txs[txs[a]].Start < h.Txs[txs[b]].Start })
+		for k := 0; k+1 < len(txs); k++ {
+			g.addEdge(txs[k], txs[k+1])
+		}
+	}
+}
+
+func verdict(h *History, g *graph, what string) Result {
+	if cyc := g.cycle(); cyc != nil {
+		ids := make([]uint64, len(cyc))
+		for i, k := range cyc {
+			ids[i] = h.Txs[k].ID
+		}
+		return Result{Ok: false, Cycle: cyc, Reason: fmt.Sprintf("%s violated: precedence cycle through txs %v", what, ids)}
+	}
+	return Result{Ok: true}
+}
+
+// Serializable checks conflict-serializability: the conflict graph
+// derived from the per-object version orders must be acyclic.
+func Serializable(h *History) Result {
+	vw, err := buildVersionWriters(h)
+	if err != nil {
+		return Result{Ok: false, Reason: err.Error()}
+	}
+	g := newGraph(len(h.Txs))
+	addConflictEdges(g, h, vw)
+	return verdict(h, g, "serializability")
+}
+
+// Linearizable checks (transaction-level, conflict-based)
+// linearizability: the conflict graph plus all real-time precedence edges
+// must be acyclic, i.e. some serialization respects real-time order.
+func Linearizable(h *History) Result {
+	vw, err := buildVersionWriters(h)
+	if err != nil {
+		return Result{Ok: false, Reason: err.Error()}
+	}
+	g := newGraph(len(h.Txs))
+	addConflictEdges(g, h, vw)
+	addRealTimeEdges(g, h, func(_, _ *Tx) bool { return true })
+	return verdict(h, g, "linearizability")
+}
+
+// ZLinearizable checks the paper's criterion (§5): (1) long transactions
+// are linearizable among themselves; (2) short transactions sharing a
+// zone are linearizable among themselves; (3) the whole history is
+// serializable; (4) the serialization respects per-thread program order.
+// All four fold into one acyclicity test: conflict edges + real-time
+// edges among longs + real-time edges among same-zone shorts + program-
+// order edges.
+func ZLinearizable(h *History) Result {
+	vw, err := buildVersionWriters(h)
+	if err != nil {
+		return Result{Ok: false, Reason: err.Error()}
+	}
+	g := newGraph(len(h.Txs))
+	addConflictEdges(g, h, vw)
+	addRealTimeEdges(g, h, func(a, b *Tx) bool {
+		if a.Long && b.Long {
+			return true
+		}
+		return !a.Long && !b.Long && a.Zone == b.Zone
+	})
+	addProgramOrderEdges(g, h)
+	return verdict(h, g, "z-linearizability")
+}
+
+// SnapshotIsolated checks snapshot isolation exactly, using the scalar
+// snapshot and commit timestamps the SI-STM exposes (Tx.SnapTS,
+// Tx.CommitTS; every transaction must have HasTS). The three conditions
+// are the standard definition [1]:
+//
+//  1. Snapshot reads: every read of (o, s) observes the version current
+//     at the reader's snapshot time — the version's writer committed at
+//     or before SnapTS and the successor version (if any) committed
+//     strictly after SnapTS.
+//  2. First-committer-wins: a transaction writing version s of o must
+//     have version s-1 in its snapshot, i.e. the predecessor's writer
+//     committed at or before the overwriter's SnapTS. A predecessor that
+//     committed inside (SnapTS, CommitTS] is a concurrent committed
+//     writer of the same object, which SI forbids.
+//  3. Version order: per object, commit timestamps strictly increase
+//     with the version sequence.
+func SnapshotIsolated(h *History) Result {
+	vw, err := buildVersionWriters(h)
+	if err != nil {
+		return Result{Ok: false, Reason: err.Error()}
+	}
+	// writerCT returns the commit timestamp of (obj, seq)'s writer; the
+	// initial version has timestamp 0.
+	writerCT := func(obj, seq uint64) (uint64, bool) {
+		if seq <= 1 {
+			return 0, true
+		}
+		wi, ok := vw[obj][seq]
+		if !ok {
+			return 0, false
+		}
+		return h.Txs[wi].CommitTS, true
+	}
+	for i := range h.Txs {
+		t := &h.Txs[i]
+		if !t.HasTS {
+			return Result{Ok: false, Reason: fmt.Sprintf("snapshot isolation: tx %d lacks timestamps", t.ID)}
+		}
+		if t.CommitTS < t.SnapTS {
+			return Result{Ok: false, Reason: fmt.Sprintf("snapshot isolation: tx %d commit %d precedes snapshot %d",
+				t.ID, t.CommitTS, t.SnapTS)}
+		}
+		for _, r := range t.Reads {
+			ct, ok := writerCT(r.Obj, r.Seq)
+			if !ok {
+				return Result{Ok: false, Reason: fmt.Sprintf("snapshot isolation: tx %d read unwritten version (%d,%d)",
+					t.ID, r.Obj, r.Seq)}
+			}
+			if ct > t.SnapTS {
+				return Result{Ok: false, Cycle: []int{i}, Reason: fmt.Sprintf(
+					"snapshot isolation: tx %d read (%d,%d) committed at %d, after its snapshot %d",
+					t.ID, r.Obj, r.Seq, ct, t.SnapTS)}
+			}
+			if succCT, ok := writerCT(r.Obj, r.Seq+1); ok && succCT <= t.SnapTS {
+				return Result{Ok: false, Cycle: []int{i}, Reason: fmt.Sprintf(
+					"snapshot isolation: tx %d read stale (%d,%d): successor committed at %d <= snapshot %d",
+					t.ID, r.Obj, r.Seq, succCT, t.SnapTS)}
+			}
+		}
+		for _, w := range t.Writes {
+			prevCT, ok := writerCT(w.Obj, w.Seq-1)
+			if !ok {
+				return Result{Ok: false, Reason: fmt.Sprintf("snapshot isolation: tx %d wrote (%d,%d) with no predecessor",
+					t.ID, w.Obj, w.Seq)}
+			}
+			if prevCT > t.SnapTS {
+				return Result{Ok: false, Cycle: []int{i}, Reason: fmt.Sprintf(
+					"snapshot isolation: first-committer-wins violated: tx %d overwrote (%d,%d) committed at %d inside its (%d,%d] window",
+					t.ID, w.Obj, w.Seq-1, prevCT, t.SnapTS, t.CommitTS)}
+			}
+			if prevCT >= t.CommitTS {
+				return Result{Ok: false, Cycle: []int{i}, Reason: fmt.Sprintf(
+					"snapshot isolation: version order violated: tx %d committed (%d,%d) at %d, not after predecessor's %d",
+					t.ID, w.Obj, w.Seq, t.CommitTS, prevCT)}
+			}
+		}
+	}
+	return Result{Ok: true}
+}
+
+// CausallySerializable checks causal serializability (Raynal et al.,
+// paper §4.1): every processor must be able to build its own
+// serialization of all update transactions plus its own transactions
+// that (a) preserves the causality relation (program order plus
+// reads-from), and (b) orders writes to the same object identically
+// everywhere. Operationally: for each processor p, the graph of causal
+// edges + ww edges + the read-induced (wr, rw) edges incident to p's own
+// transactions must be acyclic.
+func CausallySerializable(h *History) Result {
+	vw, err := buildVersionWriters(h)
+	if err != nil {
+		return Result{Ok: false, Reason: err.Error()}
+	}
+	// Shared edges: causality (program order + reads-from) and ww.
+	shared := newGraph(len(h.Txs))
+	addProgramOrderEdges(shared, h)
+	for i := range h.Txs {
+		for _, r := range h.Txs[i].Reads {
+			if wi, ok := vw[r.Obj][r.Seq]; ok && wi != i {
+				shared.addEdge(wi, i)
+			}
+		}
+		for _, w := range h.Txs[i].Writes {
+			if wi, ok := vw[w.Obj][w.Seq-1]; ok && wi != i {
+				shared.addEdge(wi, i)
+			}
+		}
+	}
+
+	threads := make(map[int]bool)
+	for i := range h.Txs {
+		threads[h.Txs[i].Thread] = true
+	}
+	for p := range threads {
+		g := newGraph(len(h.Txs))
+		for u, vs := range shared.adj {
+			for _, v := range vs {
+				g.addEdge(u, v)
+			}
+		}
+		// p's own reads constrain p's view: rw edges from p's reads.
+		for i := range h.Txs {
+			if h.Txs[i].Thread != p {
+				continue
+			}
+			for _, r := range h.Txs[i].Reads {
+				if wi, ok := vw[r.Obj][r.Seq+1]; ok && wi != i {
+					g.addEdge(i, wi)
+				}
+			}
+		}
+		if res := verdict(h, g, fmt.Sprintf("causal serializability (view of thread %d)", p)); !res.Ok {
+			return res
+		}
+	}
+	return Result{Ok: true}
+}

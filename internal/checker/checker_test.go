@@ -1,0 +1,250 @@
+package checker
+
+import (
+	"testing"
+)
+
+// Shorthand builders.
+func r(obj, seq uint64) Read  { return Read{Obj: obj, Seq: seq} }
+func w(obj, seq uint64) Write { return Write{Obj: obj, Seq: seq} }
+func h(txs ...Tx) *History    { return &History{Txs: txs} }
+func ids(res Result) []int    { return res.Cycle }
+func mustOk(t *testing.T, res Result, what string) {
+	t.Helper()
+	if !res.Ok {
+		t.Fatalf("%s: unexpected violation: %s (cycle %v)", what, res.Reason, ids(res))
+	}
+}
+func mustFail(t *testing.T, res Result, what string) {
+	t.Helper()
+	if res.Ok {
+		t.Fatalf("%s: violation not detected", what)
+	}
+}
+
+func TestEmptyAndSingleton(t *testing.T) {
+	mustOk(t, Serializable(h()), "empty serializable")
+	mustOk(t, Linearizable(h()), "empty linearizable")
+	mustOk(t, ZLinearizable(h()), "empty z-linearizable")
+	mustOk(t, CausallySerializable(h()), "empty causal")
+	one := h(Tx{ID: 1, Start: 0, End: 1, Reads: []Read{r(1, 1)}, Writes: []Write{w(1, 2)}})
+	mustOk(t, Serializable(one), "singleton")
+	mustOk(t, Linearizable(one), "singleton")
+}
+
+func TestSimpleSerializableChain(t *testing.T) {
+	// T1 writes o1v2; T2 reads it and writes o1v3.
+	hist := h(
+		Tx{ID: 1, Thread: 0, Start: 0, End: 1, Writes: []Write{w(1, 2)}},
+		Tx{ID: 2, Thread: 1, Start: 2, End: 3, Reads: []Read{r(1, 2)}, Writes: []Write{w(1, 3)}},
+	)
+	mustOk(t, Serializable(hist), "chain")
+	mustOk(t, Linearizable(hist), "chain")
+}
+
+func TestWriteSkewNotSerializable(t *testing.T) {
+	// Classic write skew: T1 reads o2v1 writes o1v2; T2 reads o1v1 writes
+	// o2v2. rw edges both ways: cycle.
+	hist := h(
+		Tx{ID: 1, Thread: 0, Start: 0, End: 5, Reads: []Read{r(2, 1)}, Writes: []Write{w(1, 2)}},
+		Tx{ID: 2, Thread: 1, Start: 1, End: 6, Reads: []Read{r(1, 1)}, Writes: []Write{w(2, 2)}},
+	)
+	mustFail(t, Serializable(hist), "write skew")
+	mustFail(t, Linearizable(hist), "write skew")
+	mustFail(t, ZLinearizable(hist), "write skew")
+}
+
+func TestSerializableButNotLinearizable(t *testing.T) {
+	// The paper's Figure 1 essence: TL reads o1v1 (old) but T1 installed
+	// o1v2 and finished BEFORE TL started — impossible in real time for a
+	// linearizable TBTM, but serializable as TL → T1.
+	hist := h(
+		Tx{ID: 1, Thread: 0, Start: 0, End: 1, Writes: []Write{w(1, 2)}},
+		Tx{ID: 2, Thread: 1, Start: 5, End: 6, Reads: []Read{r(1, 1)}},
+	)
+	mustOk(t, Serializable(hist), "stale read")
+	mustFail(t, Linearizable(hist), "stale read after writer finished")
+}
+
+func TestFigure1History(t *testing.T) {
+	// Figure 1 as a history: T1 w(o1)w(o2); T2 w(o3); TL r(o1v1) r(o2v1)
+	// r(o3v2) w(o4v2), with T1 finishing before T2 starts and TL spanning
+	// both. Serialization T2 → TL → T1 exists, but linearizability
+	// requires T1 → T2 (real time), and TL reads o1's initial version
+	// while needing T2's o3: cycle under real-time edges.
+	hist := h(
+		Tx{ID: 1, Thread: 0, Start: 1, End: 2, Writes: []Write{w(1, 2), w(2, 2)}},
+		Tx{ID: 2, Thread: 1, Start: 3, End: 4, Writes: []Write{w(3, 2)}},
+		Tx{ID: 3, Thread: 2, Start: 0, End: 5, Reads: []Read{r(1, 1), r(2, 1), r(3, 2)}, Writes: []Write{w(4, 2)}},
+	)
+	mustOk(t, Serializable(hist), "figure 1")
+	mustFail(t, Linearizable(hist), "figure 1")
+}
+
+func TestFigure2History(t *testing.T) {
+	// Figure 2: causally serializable but not serializable (paper §4.1).
+	// T1 w(o1v2) w(o2v2); T2 w(o3v2); T3 r(o3v1) w(o2v3);
+	// TL r(o1v1) r(o2v1) r(o3v2) w(o4v2).
+	// Cycle: T1→T3 (ww o2), T3→T2 (rw o3), T2→TL (wr o3), TL→T1 (rw o1).
+	hist := h(
+		Tx{ID: 1, Thread: 0, Start: 2, End: 3, Writes: []Write{w(1, 2), w(2, 2)}},
+		Tx{ID: 2, Thread: 1, Start: 4, End: 5, Writes: []Write{w(3, 2)}},
+		Tx{ID: 3, Thread: 2, Start: 1, End: 7, Reads: []Read{r(3, 1)}, Writes: []Write{w(2, 3)}},
+		Tx{ID: 4, Thread: 3, Start: 0, End: 8, Reads: []Read{r(1, 1), r(2, 1), r(3, 2)}, Writes: []Write{w(4, 2)}},
+	)
+	mustFail(t, Serializable(hist), "figure 2 serializability")
+	mustOk(t, CausallySerializable(hist), "figure 2 causal serializability")
+}
+
+func TestCausalViolation(t *testing.T) {
+	// A transaction reads around a causal chain: T1 writes o1v2, o2v2.
+	// T2 reads o1v2 (follows T1) but also reads o2v1 (precedes T1): T2's
+	// own view has T1 both before and after it.
+	hist := h(
+		Tx{ID: 1, Thread: 0, Start: 0, End: 1, Writes: []Write{w(1, 2), w(2, 2)}},
+		Tx{ID: 2, Thread: 1, Start: 2, End: 3, Reads: []Read{r(1, 2), r(2, 1)}, Writes: []Write{w(3, 2)}},
+	)
+	mustFail(t, CausallySerializable(hist), "read around causal chain")
+	mustFail(t, Serializable(hist), "read around causal chain")
+}
+
+func TestCausalAllowsDivergentViews(t *testing.T) {
+	// Two read-only observers see two concurrent writers in opposite
+	// orders: not serializable, but causally serializable (each view is
+	// individually consistent and no object has two writers).
+	hist := h(
+		Tx{ID: 1, Thread: 0, Start: 0, End: 10, Writes: []Write{w(1, 2)}},
+		Tx{ID: 2, Thread: 1, Start: 0, End: 10, Writes: []Write{w(2, 2)}},
+		// Observer A: o1 new, o2 old → T1 before... T2 after A.
+		Tx{ID: 3, Thread: 2, Start: 11, End: 12, Reads: []Read{r(1, 2), r(2, 1)}},
+		// Observer B: o1 old, o2 new → opposite order.
+		Tx{ID: 4, Thread: 3, Start: 11, End: 12, Reads: []Read{r(1, 1), r(2, 2)}},
+	)
+	mustFail(t, Serializable(hist), "divergent observers")
+	mustOk(t, CausallySerializable(hist), "divergent observers")
+}
+
+func TestZLinearizableZones(t *testing.T) {
+	// The Figure 4 anomaly, realizable by Z-STM: long TL (zone 1) reads
+	// o2's initial version, then short A (in TL's zone, touching only
+	// objects TL already opened) overwrites o2 and commits; later short B
+	// (primordial zone, objects TL has not yet opened) writes o1 and
+	// commits; finally TL opens o1 and reads B's version. Serialization:
+	// TL → A (rw on o2), B → TL (wr on o1), but A finishes before B
+	// starts — so linearizability needs A → B, closing the cycle
+	// TL → A → B → TL. z-linearizability drops the real-time edge between
+	// the different-zone shorts and accepts the history.
+	hist := h(
+		Tx{ID: 1, Thread: 0, Long: true, Zone: 1, Start: 0, End: 10,
+			Reads: []Read{r(2, 1), r(1, 2)}, Writes: []Write{w(9, 2)}},
+		// A: short in TL's zone, overwrites o2 mid-flight.
+		Tx{ID: 2, Thread: 1, Zone: 1, Start: 1, End: 2, Reads: []Read{r(2, 1)}, Writes: []Write{w(2, 2)}},
+		// B: short in the primordial zone, writes o1 after A finished.
+		Tx{ID: 3, Thread: 2, Zone: 0, Start: 3, End: 4, Writes: []Write{w(1, 2)}},
+	)
+	mustFail(t, Linearizable(hist), "long vs short real time")
+	mustOk(t, ZLinearizable(hist), "zone semantics")
+	mustOk(t, Serializable(hist), "zone semantics serializable")
+}
+
+func TestZLinearizableLongsKeepRealTime(t *testing.T) {
+	// Two long transactions in real-time order must serialize in that
+	// order: L1 finishes before L2 starts, but L2's read is overwritten
+	// by L1 (L2 → L1): violation.
+	hist := h(
+		Tx{ID: 1, Thread: 0, Long: true, Zone: 1, Start: 0, End: 1, Writes: []Write{w(1, 2)}},
+		Tx{ID: 2, Thread: 1, Long: true, Zone: 2, Start: 2, End: 3, Reads: []Read{r(1, 1)}, Writes: []Write{w(2, 2)}},
+	)
+	mustFail(t, ZLinearizable(hist), "long real-time order")
+}
+
+func TestZLinearizableShortsSameZoneKeepRealTime(t *testing.T) {
+	// Two shorts in the same zone, S1 ends before S2 starts, but S2 reads
+	// the version S1 overwrote: forbidden within a zone.
+	hist := h(
+		Tx{ID: 1, Thread: 0, Zone: 3, Start: 0, End: 1, Writes: []Write{w(1, 2)}},
+		Tx{ID: 2, Thread: 1, Zone: 3, Start: 2, End: 3, Reads: []Read{r(1, 1)}},
+	)
+	mustFail(t, ZLinearizable(hist), "same-zone real time")
+	// In different zones the same pattern is allowed.
+	hist.Txs[1].Zone = 4
+	mustOk(t, ZLinearizable(hist), "cross-zone stale read")
+}
+
+func TestZLinearizableProgramOrder(t *testing.T) {
+	// §5 property 4: the serialization must observe per-thread order.
+	// Thread 0 runs S1 then S2 (different zones); S2 reads a version that
+	// S1's read's overwriter... construct: S1 reads o1v1; writer W
+	// installs o1v2; S2 (same thread, after S1) writes o2; W read o2v1.
+	// Edges: S1→W (rw), W→S2? no... make S2's write overwritten-read by
+	// W: W reads o2v1, S2 writes o2v2 ⇒ W→S2 (rw). Program order S1→S2.
+	// Cycle needs S2→S1-ish: give S2 a read of o3v1 overwritten by X and
+	// X→S1... keep it simple: W also writes o3v2 and S1 reads o3v2 ⇒
+	// W→S1 (wr). Then W→S1→(program)→S2 and W reads o2v1 overwritten by
+	// S2 ⇒ W→S2 consistent, no cycle. Instead: S2 writes o1v3 over W's
+	// o1v2 while S1 read o1v1: edges S1→W (rw o1), W→S2 (ww o1). Fine.
+	// True program-order violation: S2 BEFORE S1 required by conflicts:
+	// S2 reads o1v1 (pre-W), S1 reads o3v2 written by W, and W overwrote
+	// o1: S2→W (rw), W→S1 (wr) ⇒ S2 before S1, against program order.
+	hist := h(
+		Tx{ID: 1, Thread: 0, Zone: 1, Start: 0, End: 1, Reads: []Read{r(3, 2)}},
+		Tx{ID: 2, Thread: 0, Zone: 2, Start: 2, End: 3, Reads: []Read{r(1, 1)}},
+		Tx{ID: 3, Thread: 1, Zone: 1, Start: 0, End: 5, Writes: []Write{w(1, 2), w(3, 2)}},
+	)
+	// Program order: tx1 → tx2 (thread 0). Conflicts: tx3→tx1 (wr o3),
+	// tx2→tx3 (rw o1). Cycle tx1→tx2→tx3→tx1? tx1→tx2 (program),
+	// tx2→tx3 (rw), tx3→tx1 (wr): cycle.
+	mustFail(t, ZLinearizable(hist), "program order")
+	// Without program order (different threads) it is fine.
+	hist.Txs[1].Thread = 2
+	mustOk(t, ZLinearizable(hist), "no program-order constraint")
+}
+
+func TestDuplicateVersionWriterRejected(t *testing.T) {
+	hist := h(
+		Tx{ID: 1, Writes: []Write{w(1, 2)}},
+		Tx{ID: 2, Writes: []Write{w(1, 2)}},
+	)
+	mustFail(t, Serializable(hist), "duplicate version")
+	mustFail(t, Linearizable(hist), "duplicate version")
+	mustFail(t, ZLinearizable(hist), "duplicate version")
+	mustFail(t, CausallySerializable(hist), "duplicate version")
+}
+
+func TestInitialVersionWriteRejected(t *testing.T) {
+	hist := h(Tx{ID: 1, Writes: []Write{w(1, 1)}})
+	mustFail(t, Serializable(hist), "initial version write")
+}
+
+func TestCycleReported(t *testing.T) {
+	hist := h(
+		Tx{ID: 7, Thread: 0, Start: 0, End: 5, Reads: []Read{r(2, 1)}, Writes: []Write{w(1, 2)}},
+		Tx{ID: 9, Thread: 1, Start: 1, End: 6, Reads: []Read{r(1, 1)}, Writes: []Write{w(2, 2)}},
+	)
+	res := Serializable(hist)
+	mustFail(t, res, "write skew")
+	if len(res.Cycle) < 2 {
+		t.Fatalf("cycle too short: %v", res.Cycle)
+	}
+	if res.Reason == "" {
+		t.Fatal("no reason given")
+	}
+}
+
+func TestLongChainPerformance(t *testing.T) {
+	// 2000 sequential transactions: the real-time edge construction and
+	// cycle detection must handle it comfortably.
+	var txs []Tx
+	for i := 0; i < 2000; i++ {
+		txs = append(txs, Tx{
+			ID:     uint64(i + 1),
+			Thread: i % 4,
+			Start:  int64(2 * i),
+			End:    int64(2*i + 1),
+			Reads:  []Read{r(1, uint64(i+1))},
+			Writes: []Write{w(1, uint64(i+2))},
+		})
+	}
+	mustOk(t, Linearizable(&History{Txs: txs}), "long chain")
+	mustOk(t, Serializable(&History{Txs: txs}), "long chain")
+}

@@ -1,0 +1,122 @@
+package checker_test
+
+import (
+	"testing"
+
+	"tbtm/internal/conformance"
+)
+
+// Conformance fuzzing: random concurrent workloads against every STM,
+// validated against its advertised criterion (DESIGN.md §6). The harness
+// lives in internal/conformance so that cmd/stmcheck shares it.
+
+func TestConformanceLSALinearizable(t *testing.T) {
+	for seed := int64(1); seed <= 4; seed++ {
+		n, err := conformance.Check(conformance.Config{System: conformance.LSA, Seed: seed})
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if n == 0 {
+			t.Fatal("no transactions committed")
+		}
+	}
+}
+
+func TestConformanceLSANoReadSetsLinearizable(t *testing.T) {
+	for seed := int64(1); seed <= 4; seed++ {
+		if _, err := conformance.Check(conformance.Config{System: conformance.LSANoReadSets, Seed: seed}); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+	}
+}
+
+func TestConformanceLSAFastPathLinearizable(t *testing.T) {
+	for seed := int64(1); seed <= 4; seed++ {
+		if _, err := conformance.Check(conformance.Config{System: conformance.LSAFast, Seed: seed}); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+	}
+}
+
+func TestConformanceCSTMCausallySerializable(t *testing.T) {
+	for seed := int64(1); seed <= 4; seed++ {
+		if _, err := conformance.Check(conformance.Config{System: conformance.CSTM, Seed: seed}); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+	}
+}
+
+func TestConformanceCSTMPlausibleCausallySerializable(t *testing.T) {
+	for seed := int64(1); seed <= 4; seed++ {
+		if _, err := conformance.Check(conformance.Config{System: conformance.CSTMPlausible, Seed: seed}); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+	}
+}
+
+func TestConformanceCSTMBlockMappingCausallySerializable(t *testing.T) {
+	for seed := int64(1); seed <= 4; seed++ {
+		if _, err := conformance.Check(conformance.Config{System: conformance.CSTMPlausibleBlock, Seed: seed}); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+	}
+}
+
+func TestConformanceCSTMCombCausallySerializable(t *testing.T) {
+	for seed := int64(1); seed <= 4; seed++ {
+		if _, err := conformance.Check(conformance.Config{System: conformance.CSTMComb, Seed: seed}); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+	}
+}
+
+func TestConformanceCSTMMultiVersionCausallySerializable(t *testing.T) {
+	for seed := int64(1); seed <= 4; seed++ {
+		if _, err := conformance.Check(conformance.Config{System: conformance.CSTMMulti, Seed: seed}); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+	}
+}
+
+func TestConformanceSSTMSerializable(t *testing.T) {
+	for seed := int64(1); seed <= 4; seed++ {
+		if _, err := conformance.Check(conformance.Config{System: conformance.SSTM, Seed: seed}); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+	}
+}
+
+func TestConformanceZSTMZLinearizable(t *testing.T) {
+	for seed := int64(1); seed <= 4; seed++ {
+		n, err := conformance.Check(conformance.Config{System: conformance.ZSTM, Seed: seed})
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if n == 0 {
+			t.Fatal("no transactions committed")
+		}
+	}
+}
+
+func TestConformanceSISTMSnapshotIsolated(t *testing.T) {
+	for seed := int64(1); seed <= 4; seed++ {
+		n, err := conformance.Check(conformance.Config{System: conformance.SISTM, Seed: seed})
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if n == 0 {
+			t.Fatal("no transactions committed")
+		}
+	}
+}
+
+func TestConformanceHighContention(t *testing.T) {
+	// Two objects, many threads: maximum conflict pressure.
+	for _, sys := range []conformance.System{conformance.LSA, conformance.ZSTM, conformance.SSTM, conformance.SISTM} {
+		if _, err := conformance.Check(conformance.Config{
+			System: sys, Threads: 6, TxPerThread: 30, Objects: 2, Seed: 99,
+		}); err != nil {
+			t.Fatalf("%v: %v", sys, err)
+		}
+	}
+}

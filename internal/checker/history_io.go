@@ -1,0 +1,81 @@
+package checker
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// History serialization: failing fuzz histories can be dumped by
+// cmd/stmcheck and re-examined offline (re-run through the checkers,
+// minimized by hand, or attached to a bug report). The format is plain
+// JSON of the History structure.
+
+// historyJSON is the serialized form; it mirrors History with explicit
+// field names so the format is stable against internal renames.
+type historyJSON struct {
+	Txs []txJSON `json:"txs"`
+}
+
+type txJSON struct {
+	ID       uint64      `json:"id"`
+	Thread   int         `json:"thread"`
+	Long     bool        `json:"long,omitempty"`
+	Zone     uint64      `json:"zone,omitempty"`
+	Start    int64       `json:"start"`
+	End      int64       `json:"end"`
+	SnapTS   uint64      `json:"snapTs,omitempty"`
+	CommitTS uint64      `json:"commitTs,omitempty"`
+	HasTS    bool        `json:"hasTs,omitempty"`
+	Reads    [][2]uint64 `json:"reads,omitempty"`  // [obj, seq]
+	Writes   [][2]uint64 `json:"writes,omitempty"` // [obj, seq]
+}
+
+// SaveJSON writes h to w as JSON.
+func SaveJSON(w io.Writer, h *History) error {
+	out := historyJSON{Txs: make([]txJSON, 0, len(h.Txs))}
+	for _, t := range h.Txs {
+		tj := txJSON{
+			ID: t.ID, Thread: t.Thread, Long: t.Long, Zone: t.Zone,
+			Start: t.Start, End: t.End,
+			SnapTS: t.SnapTS, CommitTS: t.CommitTS, HasTS: t.HasTS,
+		}
+		for _, r := range t.Reads {
+			tj.Reads = append(tj.Reads, [2]uint64{r.Obj, r.Seq})
+		}
+		for _, wr := range t.Writes {
+			tj.Writes = append(tj.Writes, [2]uint64{wr.Obj, wr.Seq})
+		}
+		out.Txs = append(out.Txs, tj)
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(out); err != nil {
+		return fmt.Errorf("checker: encoding history: %w", err)
+	}
+	return nil
+}
+
+// LoadJSON reads a history written by SaveJSON.
+func LoadJSON(r io.Reader) (*History, error) {
+	var in historyJSON
+	if err := json.NewDecoder(r).Decode(&in); err != nil {
+		return nil, fmt.Errorf("checker: decoding history: %w", err)
+	}
+	h := &History{Txs: make([]Tx, 0, len(in.Txs))}
+	for _, tj := range in.Txs {
+		t := Tx{
+			ID: tj.ID, Thread: tj.Thread, Long: tj.Long, Zone: tj.Zone,
+			Start: tj.Start, End: tj.End,
+			SnapTS: tj.SnapTS, CommitTS: tj.CommitTS, HasTS: tj.HasTS,
+		}
+		for _, p := range tj.Reads {
+			t.Reads = append(t.Reads, Read{Obj: p[0], Seq: p[1]})
+		}
+		for _, p := range tj.Writes {
+			t.Writes = append(t.Writes, Write{Obj: p[0], Seq: p[1]})
+		}
+		h.Txs = append(h.Txs, t)
+	}
+	return h, nil
+}

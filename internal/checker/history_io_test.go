@@ -1,0 +1,98 @@
+package checker
+
+import (
+	"bytes"
+	"math/rand"
+	"reflect"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestHistoryJSONRoundTrip(t *testing.T) {
+	hist := h(
+		Tx{ID: 1, Thread: 0, Start: 1, End: 2,
+			Reads:  []Read{r(1, 1), r(2, 3)},
+			Writes: []Write{w(1, 2)}},
+		Tx{ID: 2, Thread: 1, Long: true, Zone: 7, Start: 3, End: 9,
+			SnapTS: 4, CommitTS: 8, HasTS: true},
+	)
+	var buf bytes.Buffer
+	if err := SaveJSON(&buf, hist); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(hist, got) {
+		t.Fatalf("round trip mismatch:\nin:  %+v\nout: %+v", hist, got)
+	}
+}
+
+func TestHistoryJSONEmpty(t *testing.T) {
+	var buf bytes.Buffer
+	if err := SaveJSON(&buf, &History{}); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Txs) != 0 {
+		t.Fatalf("empty history round trip produced %d txs", len(got.Txs))
+	}
+}
+
+func TestHistoryJSONGarbage(t *testing.T) {
+	if _, err := LoadJSON(strings.NewReader("not json")); err == nil {
+		t.Fatal("garbage accepted")
+	}
+}
+
+// Property: round trip preserves the checkers' verdicts on random
+// histories.
+func TestHistoryJSONPreservesVerdicts(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		hist := &History{}
+		cur := map[uint64]uint64{} // current version seq per object
+		at := func(obj uint64) uint64 {
+			if cur[obj] == 0 {
+				cur[obj] = 1
+			}
+			return cur[obj]
+		}
+		clock := int64(0)
+		for i := 0; i < 6; i++ {
+			clock++
+			tx := Tx{ID: uint64(i + 1), Thread: rng.Intn(3), Start: clock}
+			for k := 0; k < 1+rng.Intn(3); k++ {
+				obj := uint64(rng.Intn(3))
+				if rng.Intn(2) == 0 {
+					tx.Reads = append(tx.Reads, Read{Obj: obj, Seq: at(obj)})
+				} else {
+					cur[obj] = at(obj) + 1
+					tx.Writes = append(tx.Writes, Write{Obj: obj, Seq: cur[obj]})
+				}
+			}
+			clock++
+			tx.End = clock
+			hist.Txs = append(hist.Txs, tx)
+		}
+		var buf bytes.Buffer
+		if err := SaveJSON(&buf, hist); err != nil {
+			return false
+		}
+		got, err := LoadJSON(&buf)
+		if err != nil {
+			return false
+		}
+		return Serializable(hist).Ok == Serializable(got).Ok &&
+			Linearizable(hist).Ok == Linearizable(got).Ok &&
+			CausallySerializable(hist).Ok == CausallySerializable(got).Ok
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,100 @@
+package checker
+
+import "testing"
+
+// tsTx builds a committed transaction with snapshot/commit timestamps.
+func tsTx(id uint64, snap, commit uint64, reads []Read, writes []Write) Tx {
+	return Tx{ID: id, SnapTS: snap, CommitTS: commit, HasTS: true, Reads: reads, Writes: writes}
+}
+
+func TestSnapshotIsolatedAcceptsSerialHistory(t *testing.T) {
+	hist := h(
+		tsTx(1, 0, 1, []Read{r(1, 1)}, []Write{w(1, 2)}),
+		tsTx(2, 1, 2, []Read{r(1, 2)}, []Write{w(1, 3)}),
+	)
+	mustOk(t, SnapshotIsolated(hist), "serial history")
+}
+
+func TestSnapshotIsolatedAcceptsWriteSkew(t *testing.T) {
+	// The defining difference from serializability: both skew
+	// transactions pass the SI check.
+	hist := h(
+		tsTx(1, 0, 1, []Read{r(1, 1), r(2, 1)}, []Write{w(1, 2)}),
+		tsTx(2, 0, 2, []Read{r(1, 1), r(2, 1)}, []Write{w(2, 2)}),
+	)
+	mustOk(t, SnapshotIsolated(hist), "write skew under SI")
+	if res := Serializable(hist); res.Ok {
+		t.Fatal("write-skew history is serializable? checker disagreement")
+	}
+}
+
+func TestSnapshotIsolatedRejectsStaleRead(t *testing.T) {
+	// Tx 2's snapshot (ts 1) already includes version (1,2) committed at
+	// 1, but it read version (1,1): stale.
+	hist := h(
+		tsTx(1, 0, 1, nil, []Write{w(1, 2)}),
+		tsTx(2, 1, 1, []Read{r(1, 1)}, nil),
+	)
+	if res := SnapshotIsolated(hist); res.Ok {
+		t.Fatal("stale read accepted")
+	}
+}
+
+func TestSnapshotIsolatedRejectsFutureRead(t *testing.T) {
+	// Tx 2 read a version committed after its snapshot.
+	hist := h(
+		tsTx(1, 0, 5, nil, []Write{w(1, 2)}),
+		tsTx(2, 1, 1, []Read{r(1, 2)}, nil),
+	)
+	if res := SnapshotIsolated(hist); res.Ok {
+		t.Fatal("future read accepted")
+	}
+}
+
+func TestSnapshotIsolatedRejectsFirstCommitterViolation(t *testing.T) {
+	// Both transactions write object 1 with overlapping (snap, commit]
+	// windows: the second committer must have aborted.
+	hist := h(
+		tsTx(1, 0, 1, nil, []Write{w(1, 2)}),
+		tsTx(2, 0, 2, nil, []Write{w(1, 3)}),
+	)
+	if res := SnapshotIsolated(hist); res.Ok {
+		t.Fatal("first-committer-wins violation accepted")
+	}
+}
+
+func TestSnapshotIsolatedRejectsMissingTimestamps(t *testing.T) {
+	hist := h(Tx{ID: 1, Reads: []Read{r(1, 1)}})
+	if res := SnapshotIsolated(hist); res.Ok {
+		t.Fatal("history without timestamps accepted")
+	}
+}
+
+func TestSnapshotIsolatedRejectsCommitBeforeSnapshot(t *testing.T) {
+	hist := h(tsTx(1, 5, 3, nil, nil))
+	if res := SnapshotIsolated(hist); res.Ok {
+		t.Fatal("commit before snapshot accepted")
+	}
+}
+
+func TestSnapshotIsolatedLostUpdateRejected(t *testing.T) {
+	// Classic lost update: both read v1 of object 1 (snap 0) and both
+	// write it. Whatever sequence numbers they got, the second one's
+	// predecessor committed inside its window.
+	hist := h(
+		tsTx(1, 0, 1, []Read{r(1, 1)}, []Write{w(1, 2)}),
+		tsTx(2, 0, 2, []Read{r(1, 1)}, []Write{w(1, 3)}),
+	)
+	if res := SnapshotIsolated(hist); res.Ok {
+		t.Fatal("lost update accepted")
+	}
+}
+
+func TestSnapshotIsolatedReadOnlyAlwaysFits(t *testing.T) {
+	hist := h(
+		tsTx(1, 0, 1, nil, []Write{w(1, 2)}),
+		tsTx(2, 0, 0, []Read{r(1, 1)}, nil), // snapshot before tx 1's commit
+		tsTx(3, 1, 1, []Read{r(1, 2)}, nil), // snapshot after
+	)
+	mustOk(t, SnapshotIsolated(hist), "read-only snapshots")
+}

@@ -1,0 +1,52 @@
+package clock
+
+import (
+	"testing"
+	"time"
+)
+
+func BenchmarkCounterNow(b *testing.B) {
+	c := NewCounter()
+	for i := 0; i < b.N; i++ {
+		_ = c.Now(0)
+	}
+}
+
+func BenchmarkCounterCommitTime(b *testing.B) {
+	c := NewCounter()
+	for i := 0; i < b.N; i++ {
+		_ = c.CommitTime(0)
+	}
+}
+
+func BenchmarkCounterCommitTimeParallel(b *testing.B) {
+	c := NewCounter()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			_ = c.CommitTime(0)
+		}
+	})
+}
+
+func BenchmarkSharingCounterCommitTimeParallel(b *testing.B) {
+	c := NewSharingCounter()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			_ = c.CommitTime(0)
+		}
+	})
+}
+
+func BenchmarkSimRealTimeNow(b *testing.B) {
+	c := NewSimRealTime(8, 4, 100*time.Nanosecond)
+	for i := 0; i < b.N; i++ {
+		_ = c.Now(3)
+	}
+}
+
+func BenchmarkSimRealTimeCommitTime(b *testing.B) {
+	c := NewSimRealTime(8, 4, 100*time.Nanosecond)
+	for i := 0; i < b.N; i++ {
+		_ = c.CommitTime(3)
+	}
+}

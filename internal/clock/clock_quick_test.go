@@ -1,0 +1,102 @@
+package clock
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+// TestQuickSimRealTimeDeviationLaw checks the clock construction law for
+// arbitrary epsilon and thread counts: every thread's Now stays within
+// epsilon ticks of thread 0 (which carries zero deviation), and Now
+// never returns zero (initial versions must predate every reading).
+func TestQuickSimRealTimeDeviationLaw(t *testing.T) {
+	prop := func(eps uint8, threads uint8) bool {
+		n := int(threads%32) + 1
+		s := NewSimRealTime(n, uint64(eps), time.Hour) // frozen base
+		base := s.Now(0)
+		if base == 0 {
+			return false
+		}
+		for p := 0; p < n; p++ {
+			v := s.Now(p)
+			if v == 0 {
+				return false
+			}
+			diff := int64(v) - int64(base)
+			if diff < 0 {
+				diff = -diff
+			}
+			if diff > int64(eps) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickSimRealTimeCommitDominatesSnapshots checks the soundness
+// property CommitTime relies on: a commit time issued by any thread is
+// at least every snapshot any thread took before the commit (never in
+// any thread's past), for arbitrary epsilon, and successive commit
+// times are strictly increasing.
+func TestQuickSimRealTimeCommitDominatesSnapshots(t *testing.T) {
+	prop := func(eps uint8, threads uint8) bool {
+		n := int(threads%16) + 2
+		s := NewSimRealTime(n, uint64(eps), time.Hour)
+		snapshots := make([]uint64, n)
+		for p := 0; p < n; p++ {
+			snapshots[p] = s.Now(p)
+		}
+		ct := s.CommitTime(n - 1)
+		for _, snap := range snapshots {
+			if ct < snap {
+				return false
+			}
+		}
+		// And commit times keep strictly increasing across threads.
+		prev := ct
+		for p := 0; p < n; p++ {
+			next := s.CommitTime(p)
+			if next <= prev {
+				return false
+			}
+			prev = next
+		}
+		return true
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickCountersMonotone checks both counter time bases for arbitrary
+// interleavings of Now and CommitTime from one goroutine: Now never
+// exceeds the last commit time issued, and commit times never decrease.
+func TestQuickCountersMonotone(t *testing.T) {
+	prop := func(script []bool, shared bool) bool {
+		var tb TimeBase = NewCounter()
+		if shared {
+			tb = NewSharingCounter()
+		}
+		var lastCommit uint64
+		for _, doCommit := range script {
+			if doCommit {
+				ct := tb.CommitTime(0)
+				if ct < lastCommit {
+					return false
+				}
+				lastCommit = ct
+			} else if tb.Now(0) > lastCommit {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,187 @@
+package clock
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounterBasics(t *testing.T) {
+	c := NewCounter()
+	if got := c.Now(0); got != 0 {
+		t.Fatalf("initial Now = %d, want 0", got)
+	}
+	if got := c.CommitTime(0); got != 1 {
+		t.Fatalf("first CommitTime = %d, want 1", got)
+	}
+	if got := c.CommitTime(5); got != 2 {
+		t.Fatalf("second CommitTime = %d, want 2", got)
+	}
+	if got := c.Now(3); got != 2 {
+		t.Fatalf("Now after two commits = %d, want 2", got)
+	}
+}
+
+func TestCounterCommitTimesUniqueConcurrent(t *testing.T) {
+	c := NewCounter()
+	const workers, per = 8, 200
+	var mu sync.Mutex
+	seen := make(map[uint64]bool, workers*per)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			local := make([]uint64, 0, per)
+			for i := 0; i < per; i++ {
+				local = append(local, c.CommitTime(w))
+			}
+			mu.Lock()
+			defer mu.Unlock()
+			for _, ts := range local {
+				if seen[ts] {
+					t.Errorf("duplicate commit time %d", ts)
+				}
+				seen[ts] = true
+			}
+		}(w)
+	}
+	wg.Wait()
+	if got := c.Now(0); got != workers*per {
+		t.Fatalf("final Now = %d, want %d", got, workers*per)
+	}
+}
+
+func TestCounterCommitTimeMonotonicPerThread(t *testing.T) {
+	c := NewCounter()
+	prev := uint64(0)
+	for i := 0; i < 100; i++ {
+		ts := c.CommitTime(0)
+		if ts <= prev {
+			t.Fatalf("commit time %d not > previous %d", ts, prev)
+		}
+		prev = ts
+	}
+}
+
+func TestSharingCounterProgress(t *testing.T) {
+	s := NewSharingCounter()
+	if got := s.CommitTime(0); got != 1 {
+		t.Fatalf("first CommitTime = %d, want 1", got)
+	}
+	if got := s.Now(0); got != 1 {
+		t.Fatalf("Now = %d, want 1", got)
+	}
+	// Sequential commits never share.
+	if got := s.CommitTime(0); got != 2 {
+		t.Fatalf("second sequential CommitTime = %d, want 2", got)
+	}
+}
+
+func TestSharingCounterCommitTimeNeverZero(t *testing.T) {
+	s := NewSharingCounter()
+	var wg sync.WaitGroup
+	const workers, per = 8, 200
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			prev := uint64(0)
+			for i := 0; i < per; i++ {
+				ts := s.CommitTime(w)
+				if ts == 0 {
+					t.Error("commit time 0")
+					return
+				}
+				if ts < prev {
+					t.Errorf("commit time went backwards: %d after %d", ts, prev)
+					return
+				}
+				prev = ts
+			}
+		}(w)
+	}
+	wg.Wait()
+	// Shared ticks mean the final value is at most workers*per but the
+	// counter must have advanced at least once.
+	if now := s.Now(0); now == 0 || now > workers*per {
+		t.Fatalf("final Now = %d, want in [1, %d]", now, workers*per)
+	}
+}
+
+func TestSimRealTimeAdvances(t *testing.T) {
+	s := NewSimRealTime(4, 0, 10*time.Nanosecond)
+	t0 := s.Now(0)
+	time.Sleep(time.Millisecond)
+	t1 := s.Now(0)
+	if t1 <= t0 {
+		t.Fatalf("clock did not advance: %d -> %d", t0, t1)
+	}
+}
+
+func TestSimRealTimeDeviationBounded(t *testing.T) {
+	const eps = 5
+	s := NewSimRealTime(16, eps, time.Microsecond)
+	base := int64(s.Now(0)) // thread 0 has zero deviation
+	for p := 1; p < 16; p++ {
+		d := int64(s.Now(p)) - base
+		if d < -eps-1 || d > eps+1 { // ±1 slack for base advancing between reads
+			t.Errorf("thread %d deviation %d exceeds bound %d", p, d, eps)
+		}
+	}
+}
+
+func TestSimRealTimeCommitTimesUnique(t *testing.T) {
+	s := NewSimRealTime(8, 3, time.Microsecond)
+	var mu sync.Mutex
+	seen := make(map[uint64]bool)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			local := make([]uint64, 0, 100)
+			for i := 0; i < 100; i++ {
+				local = append(local, s.CommitTime(w))
+			}
+			mu.Lock()
+			defer mu.Unlock()
+			for _, ts := range local {
+				if seen[ts] {
+					t.Errorf("duplicate commit time %d", ts)
+				}
+				seen[ts] = true
+			}
+		}(w)
+	}
+	wg.Wait()
+}
+
+func TestSimRealTimeCommitAtLeastNow(t *testing.T) {
+	s := NewSimRealTime(4, 2, time.Microsecond)
+	for i := 0; i < 50; i++ {
+		now := s.Now(1)
+		ct := s.CommitTime(1)
+		if ct < now {
+			t.Fatalf("commit time %d < Now %d", ct, now)
+		}
+	}
+}
+
+func TestSimRealTimeThreadOutOfRange(t *testing.T) {
+	s := NewSimRealTime(2, 4, time.Microsecond)
+	// Threads beyond maxThreads fall back to zero deviation, not panic.
+	if got := s.Now(99); got == 0 {
+		t.Fatal("Now(out-of-range thread) = 0")
+	}
+	if got := s.Now(-1); got == 0 {
+		t.Fatal("Now(negative thread) = 0")
+	}
+}
+
+func TestSimRealTimeDefaults(t *testing.T) {
+	s := NewSimRealTime(0, 0, 0)
+	if got := s.Now(0); got == 0 {
+		t.Fatal("defaulted clock reads 0")
+	}
+}

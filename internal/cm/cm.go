@@ -1,0 +1,293 @@
+// Package cm provides pluggable contention managers in the DSTM style
+// referenced by the paper (§4.1: "conflict arbitration is performed by a
+// configurable module called contention manager, which is responsible for
+// the liveness of the system").
+//
+// A contention manager decides, for a transaction that found an object
+// held by an enemy transaction, whether to wait, abort itself, or abort
+// the enemy. The Resolve helper runs the standard arbitration loop shared
+// by all STM implementations in this repository.
+package cm
+
+import (
+	"runtime"
+	"sync/atomic"
+	"time"
+
+	"tbtm/internal/core"
+)
+
+// Decision is a contention manager's verdict for one arbitration attempt.
+type Decision int
+
+const (
+	// Wait backs off and re-examines the conflict.
+	Wait Decision = iota + 1
+	// AbortSelf gives up: the calling transaction aborts.
+	AbortSelf
+	// AbortOther kills the enemy transaction if it is still active.
+	AbortOther
+)
+
+// String returns the decision name.
+func (d Decision) String() string {
+	switch d {
+	case Wait:
+		return "wait"
+	case AbortSelf:
+		return "abort-self"
+	case AbortOther:
+		return "abort-other"
+	default:
+		return "invalid"
+	}
+}
+
+// Manager arbitrates conflicts between transactions. Implementations must
+// be safe for concurrent use. attempt counts arbitration rounds for this
+// particular conflict, starting at 0, letting policies escalate.
+type Manager interface {
+	Arbitrate(me, other *core.TxMeta, attempt int) Decision
+}
+
+// Aggressive always aborts the enemy (if it cannot be aborted because it
+// is already committing, Resolve waits for it to finish).
+type Aggressive struct{}
+
+var _ Manager = Aggressive{}
+
+// Arbitrate returns AbortOther unconditionally.
+func (Aggressive) Arbitrate(_, _ *core.TxMeta, _ int) Decision { return AbortOther }
+
+// Suicide always aborts the calling transaction. Useful as the most
+// conservative policy and for tests.
+type Suicide struct{}
+
+var _ Manager = Suicide{}
+
+// Arbitrate returns AbortSelf unconditionally.
+func (Suicide) Arbitrate(_, _ *core.TxMeta, _ int) Decision { return AbortSelf }
+
+// Polite backs off with exponentially increasing patience and, after
+// Attempts rounds, aborts the enemy.
+type Polite struct {
+	// Attempts before escalating to AbortOther. Zero means 8.
+	Attempts int
+}
+
+var _ Manager = (*Polite)(nil)
+
+// Arbitrate waits for the configured number of attempts, then kills.
+func (p *Polite) Arbitrate(_, _ *core.TxMeta, attempt int) Decision {
+	limit := p.Attempts
+	if limit == 0 {
+		limit = 8
+	}
+	if attempt < limit {
+		return Wait
+	}
+	return AbortOther
+}
+
+// Karma favours the transaction that has performed more work (tracked as
+// TxMeta.Prio, which the STMs increment on every open). The poorer
+// transaction waits for as many rounds as the karma difference, then
+// aborts the richer enemy anyway (the DSTM Karma escalation rule).
+type Karma struct{}
+
+var _ Manager = Karma{}
+
+// Arbitrate compares karma and escalates after attempt rounds exceed the
+// karma gap.
+func (Karma) Arbitrate(me, other *core.TxMeta, attempt int) Decision {
+	mine, theirs := me.Prio.Load(), other.Prio.Load()
+	if mine > theirs {
+		return AbortOther
+	}
+	if int64(attempt) > theirs-mine {
+		return AbortOther
+	}
+	return Wait
+}
+
+// Timestamp favours the older transaction (smaller start-ordered ID): the
+// younger transaction aborts itself when conflicting with an older one,
+// which guarantees freedom from livelock.
+type Timestamp struct{}
+
+var _ Manager = Timestamp{}
+
+// Arbitrate lets the older transaction win.
+func (Timestamp) Arbitrate(me, other *core.TxMeta, _ int) Decision {
+	if me.ID < other.ID {
+		return AbortOther
+	}
+	return AbortSelf
+}
+
+// Greedy implements the Guerraoui–Herlihy–Pochon policy with provable
+// O(s²) contention bounds: every transaction carries a start-ordered
+// priority (TxMeta.ID — smaller is older) and a conflict is always
+// resolved immediately, in favour of the older transaction, without
+// waiting. Unlike Timestamp it never waits at all, which is what yields
+// the bound: at any moment the oldest active transaction runs
+// unimpeded.
+type Greedy struct{}
+
+var _ Manager = Greedy{}
+
+// Arbitrate resolves instantly by age.
+func (Greedy) Arbitrate(me, other *core.TxMeta, _ int) Decision {
+	if me.ID < other.ID {
+		return AbortOther
+	}
+	return AbortSelf
+}
+
+// Randomized flips a per-descriptor coin: abort the enemy or back off,
+// escalating to a coin flip between self and enemy after Attempts
+// rounds. Randomized arbitration breaks symmetric livelock patterns that
+// deterministic policies can fall into when two transactions repeatedly
+// collide in the same order.
+type Randomized struct {
+	// Attempts before escalating (0 means 4).
+	Attempts int
+}
+
+var _ Manager = (*Randomized)(nil)
+
+// rngState drives a package-level splitmix64 sequence. Contention
+// arbitration only needs statistical asymmetry, not cryptographic or
+// even per-goroutine-independent randomness, so one shared atomic is
+// enough and keeps the policy allocation-free.
+var rngState atomic.Uint64
+
+func nextRand() uint64 {
+	x := rngState.Add(0x9e3779b97f4a7c15)
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// Arbitrate waits or kills at random, then escalates to a fair coin.
+func (r *Randomized) Arbitrate(_, _ *core.TxMeta, attempt int) Decision {
+	limit := r.Attempts
+	if limit == 0 {
+		limit = 4
+	}
+	x := nextRand()
+	if attempt < limit {
+		if x&1 == 0 {
+			return Wait
+		}
+		return AbortOther
+	}
+	if x&1 == 0 {
+		return AbortSelf
+	}
+	return AbortOther
+}
+
+// ZoneAware is the default policy for Z-STM: long transactions beat short
+// ones (the paper's design intent is that long transactions, being rare,
+// should commit; §5), long-vs-long falls back to zone order via IDs, and
+// short-vs-short behaves like Polite. Shorts blocked by a long wait a few
+// rounds (the long may be about to commit) and then abort themselves,
+// matching "the contention manager, which would typically abort T"
+// (§5.2).
+type ZoneAware struct {
+	// ShortPatience is how many rounds a short transaction waits on a
+	// long one before aborting itself. Zero means 16.
+	ShortPatience int
+}
+
+var _ Manager = (*ZoneAware)(nil)
+
+// Arbitrate implements the zone-aware policy.
+func (z *ZoneAware) Arbitrate(me, other *core.TxMeta, attempt int) Decision {
+	patience := z.ShortPatience
+	if patience == 0 {
+		patience = 16
+	}
+	switch {
+	case me.Kind == core.Long && other.Kind == core.Short:
+		if attempt < 2 {
+			return Wait // give the short a chance to finish its commit
+		}
+		return AbortOther
+	case me.Kind == core.Short && other.Kind == core.Long:
+		if attempt < patience {
+			return Wait
+		}
+		return AbortSelf
+	case me.Kind == core.Long && other.Kind == core.Long:
+		// Zone order == start order for long transactions.
+		if me.ID < other.ID {
+			return AbortOther
+		}
+		return AbortSelf
+	default:
+		if attempt < 4 {
+			return Wait
+		}
+		if me.ID < other.ID {
+			return AbortOther
+		}
+		return AbortSelf
+	}
+}
+
+// Backoff sleeps with truncated exponential backoff for the given round:
+// round 0 merely yields the processor; later rounds sleep 1µs << round,
+// capped at 256µs. All STMs use it between arbitration attempts.
+func Backoff(round int) {
+	if round <= 0 {
+		runtime.Gosched()
+		return
+	}
+	d := time.Microsecond << uint(min(round, 8))
+	time.Sleep(d)
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// Resolve runs the arbitration loop for me against the holder other.
+// It returns true when the conflict is gone: the enemy reached a terminal
+// state (committed or aborted) — the caller re-examines the object and
+// may steal the lock. It returns false when me must abort (and me's
+// status has already been moved to aborted).
+//
+// Resolve never aborts an enemy that has reached StatusCommitting; per
+// the paper's §4.2 liveness note the caller waits for (helps) committing
+// transactions instead of killing them.
+func Resolve(m Manager, me, other *core.TxMeta) bool {
+	for attempt := 0; ; attempt++ {
+		if me.Status() == core.StatusAborted {
+			return false
+		}
+		if other == nil || other.Status().Terminal() {
+			return true
+		}
+		switch m.Arbitrate(me, other, attempt) {
+		case AbortOther:
+			if other.TryAbortActive() {
+				return true
+			}
+			// Enemy is committing (or just committed): wait it out.
+			Backoff(attempt)
+		case AbortSelf:
+			me.TryAbort()
+			return false
+		default:
+			Backoff(attempt)
+		}
+	}
+}

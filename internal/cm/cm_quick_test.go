@@ -1,0 +1,163 @@
+package cm
+
+import (
+	"testing"
+	"testing/quick"
+
+	"tbtm/internal/core"
+)
+
+// metaWith builds an active descriptor with controlled arbitration
+// inputs. ID is overwritten after construction: descriptors here never
+// enter a shared structure, so start-order uniqueness is irrelevant.
+func metaWith(kind core.TxKind, id uint64, prio int64) *core.TxMeta {
+	m := core.NewTxMeta(kind, 0)
+	m.ID = id
+	m.Prio.Store(prio)
+	return m
+}
+
+func kindOf(b bool) core.TxKind {
+	if b {
+		return core.Long
+	}
+	return core.Short
+}
+
+// TestQuickPoliciesTotal checks that every deterministic policy is a
+// total function: any combination of kinds, IDs, priorities and attempt
+// counts yields a valid decision.
+func TestQuickPoliciesTotal(t *testing.T) {
+	policies := []struct {
+		name string
+		m    Manager
+	}{
+		{"aggressive", Aggressive{}},
+		{"suicide", Suicide{}},
+		{"polite", &Polite{}},
+		{"karma", Karma{}},
+		{"timestamp", Timestamp{}},
+		{"greedy", Greedy{}},
+		{"randomized", &Randomized{}},
+		{"zone-aware", &ZoneAware{}},
+	}
+	prop := func(meLong, otherLong bool, meID, otherID uint64, mePrio, otherPrio int64, attempt uint16) bool {
+		me := metaWith(kindOf(meLong), meID, mePrio)
+		other := metaWith(kindOf(otherLong), otherID, otherPrio)
+		for _, p := range policies {
+			switch p.m.Arbitrate(me, other, int(attempt)) {
+			case Wait, AbortSelf, AbortOther:
+			default:
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickAgeAntisymmetric checks the livelock-freedom core of the
+// age-based policies: for any two distinct IDs, Timestamp and Greedy
+// kill in exactly one direction — never both AbortOther (mutual kill)
+// nor both AbortSelf (mutual suicide).
+func TestQuickAgeAntisymmetric(t *testing.T) {
+	for _, p := range []struct {
+		name string
+		m    Manager
+	}{
+		{"timestamp", Timestamp{}},
+		{"greedy", Greedy{}},
+	} {
+		prop := func(idA, idB uint64, attempt uint8) bool {
+			if idA == idB {
+				return true
+			}
+			a := metaWith(core.Short, idA, 0)
+			b := metaWith(core.Short, idB, 0)
+			ab := p.m.Arbitrate(a, b, int(attempt))
+			ba := p.m.Arbitrate(b, a, int(attempt))
+			return (ab == AbortOther && ba == AbortSelf) ||
+				(ab == AbortSelf && ba == AbortOther)
+		}
+		if err := quick.Check(prop, nil); err != nil {
+			t.Fatalf("%s: %v", p.name, err)
+		}
+	}
+}
+
+// TestQuickKarmaEventualProgress checks Karma's escalation rule: for any
+// priorities, once the attempt count exceeds the karma gap the decision
+// is AbortOther, so a conflict can never wait forever.
+func TestQuickKarmaEventualProgress(t *testing.T) {
+	prop := func(mePrio, otherPrio int32) bool {
+		me := metaWith(core.Short, 1, int64(mePrio))
+		other := metaWith(core.Short, 2, int64(otherPrio))
+		gap := int64(otherPrio) - int64(mePrio)
+		if gap < 0 {
+			gap = 0
+		}
+		attempt := int(gap) + 1
+		return Karma{}.Arbitrate(me, other, attempt) == AbortOther
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickKarmaRicherWins checks that a strictly richer transaction
+// kills immediately regardless of attempt.
+func TestQuickKarmaRicherWins(t *testing.T) {
+	prop := func(base int32, extra uint16, attempt uint8) bool {
+		me := metaWith(core.Short, 1, int64(base)+int64(extra)+1)
+		other := metaWith(core.Short, 2, int64(base))
+		return Karma{}.Arbitrate(me, other, int(attempt)) == AbortOther
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickZoneAwareLongBeatsShort checks the Z-STM design intent for
+// arbitrary patience configurations: past the waiting window, a long
+// transaction kills a blocking short, and a short blocked by a long
+// aborts itself.
+func TestQuickZoneAwareLongBeatsShort(t *testing.T) {
+	prop := func(patience uint8, meID, otherID uint64, prio int64) bool {
+		z := &ZoneAware{ShortPatience: int(patience)}
+		effective := int(patience)
+		if effective == 0 {
+			effective = 16
+		}
+		long := metaWith(core.Long, meID, prio)
+		short := metaWith(core.Short, otherID, prio)
+		if z.Arbitrate(long, short, 2) != AbortOther {
+			return false
+		}
+		return z.Arbitrate(short, long, effective) == AbortSelf
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickZoneAwareLongDuelAntisymmetric checks long-vs-long conflicts
+// resolve by zone (start) order in exactly one direction.
+func TestQuickZoneAwareLongDuelAntisymmetric(t *testing.T) {
+	z := &ZoneAware{}
+	prop := func(idA, idB uint64, attempt uint8) bool {
+		if idA == idB {
+			return true
+		}
+		a := metaWith(core.Long, idA, 0)
+		b := metaWith(core.Long, idB, 0)
+		ab := z.Arbitrate(a, b, int(attempt))
+		ba := z.Arbitrate(b, a, int(attempt))
+		return (ab == AbortOther && ba == AbortSelf) ||
+			(ab == AbortSelf && ba == AbortOther)
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,298 @@
+package cm
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"tbtm/internal/core"
+)
+
+func active(kind core.TxKind) *core.TxMeta { return core.NewTxMeta(kind, 0) }
+
+func TestDecisionString(t *testing.T) {
+	tests := []struct {
+		d    Decision
+		want string
+	}{
+		{Wait, "wait"},
+		{AbortSelf, "abort-self"},
+		{AbortOther, "abort-other"},
+		{Decision(0), "invalid"},
+	}
+	for _, tt := range tests {
+		if got := tt.d.String(); got != tt.want {
+			t.Errorf("Decision(%d).String() = %q, want %q", tt.d, got, tt.want)
+		}
+	}
+}
+
+func TestAggressive(t *testing.T) {
+	if got := (Aggressive{}).Arbitrate(active(core.Short), active(core.Short), 0); got != AbortOther {
+		t.Fatalf("Aggressive = %v", got)
+	}
+}
+
+func TestSuicide(t *testing.T) {
+	if got := (Suicide{}).Arbitrate(active(core.Short), active(core.Short), 99); got != AbortSelf {
+		t.Fatalf("Suicide = %v", got)
+	}
+}
+
+func TestPoliteEscalates(t *testing.T) {
+	p := &Polite{Attempts: 3}
+	me, other := active(core.Short), active(core.Short)
+	for a := 0; a < 3; a++ {
+		if got := p.Arbitrate(me, other, a); got != Wait {
+			t.Fatalf("attempt %d = %v, want wait", a, got)
+		}
+	}
+	if got := p.Arbitrate(me, other, 3); got != AbortOther {
+		t.Fatalf("attempt 3 = %v, want abort-other", got)
+	}
+}
+
+func TestPoliteDefaultAttempts(t *testing.T) {
+	p := &Polite{}
+	if got := p.Arbitrate(nil, nil, 7); got != Wait {
+		t.Fatalf("attempt 7 = %v, want wait (default 8)", got)
+	}
+	if got := p.Arbitrate(nil, nil, 8); got != AbortOther {
+		t.Fatalf("attempt 8 = %v, want abort-other", got)
+	}
+}
+
+func TestKarma(t *testing.T) {
+	me, other := active(core.Short), active(core.Short)
+	me.Prio.Store(10)
+	other.Prio.Store(3)
+	if got := (Karma{}).Arbitrate(me, other, 0); got != AbortOther {
+		t.Fatalf("richer me = %v, want abort-other", got)
+	}
+	// Poorer me waits until attempts exceed the gap.
+	me.Prio.Store(1)
+	if got := (Karma{}).Arbitrate(me, other, 0); got != Wait {
+		t.Fatalf("poorer me attempt 0 = %v, want wait", got)
+	}
+	if got := (Karma{}).Arbitrate(me, other, 3); got != AbortOther {
+		t.Fatalf("poorer me attempt 3 = %v, want abort-other (gap 2)", got)
+	}
+}
+
+func TestTimestamp(t *testing.T) {
+	older := active(core.Short)
+	younger := active(core.Short) // created later → larger ID
+	if got := (Timestamp{}).Arbitrate(older, younger, 0); got != AbortOther {
+		t.Fatalf("older vs younger = %v, want abort-other", got)
+	}
+	if got := (Timestamp{}).Arbitrate(younger, older, 0); got != AbortSelf {
+		t.Fatalf("younger vs older = %v, want abort-self", got)
+	}
+}
+
+func TestZoneAware(t *testing.T) {
+	z := &ZoneAware{ShortPatience: 4}
+	long1 := active(core.Long)
+	long2 := active(core.Long)
+	short1 := active(core.Short)
+	short2 := active(core.Short)
+
+	t.Run("long beats short after grace", func(t *testing.T) {
+		if got := z.Arbitrate(long1, short1, 0); got != Wait {
+			t.Fatalf("grace round = %v", got)
+		}
+		if got := z.Arbitrate(long1, short1, 2); got != AbortOther {
+			t.Fatalf("post-grace = %v", got)
+		}
+	})
+	t.Run("short waits then yields to long", func(t *testing.T) {
+		if got := z.Arbitrate(short1, long1, 3); got != Wait {
+			t.Fatalf("within patience = %v", got)
+		}
+		if got := z.Arbitrate(short1, long1, 4); got != AbortSelf {
+			t.Fatalf("past patience = %v", got)
+		}
+	})
+	t.Run("long vs long by start order", func(t *testing.T) {
+		if got := z.Arbitrate(long1, long2, 0); got != AbortOther {
+			t.Fatalf("older long = %v", got)
+		}
+		if got := z.Arbitrate(long2, long1, 0); got != AbortSelf {
+			t.Fatalf("younger long = %v", got)
+		}
+	})
+	t.Run("short vs short politely", func(t *testing.T) {
+		if got := z.Arbitrate(short1, short2, 0); got != Wait {
+			t.Fatalf("early = %v", got)
+		}
+		if got := z.Arbitrate(short1, short2, 4); got != AbortOther {
+			t.Fatalf("older short late = %v", got)
+		}
+		if got := z.Arbitrate(short2, short1, 4); got != AbortSelf {
+			t.Fatalf("younger short late = %v", got)
+		}
+	})
+}
+
+func TestZoneAwareDefaultPatience(t *testing.T) {
+	z := &ZoneAware{}
+	s, l := active(core.Short), active(core.Long)
+	if got := z.Arbitrate(s, l, 15); got != Wait {
+		t.Fatalf("attempt 15 = %v, want wait (default 16)", got)
+	}
+	if got := z.Arbitrate(s, l, 16); got != AbortSelf {
+		t.Fatalf("attempt 16 = %v, want abort-self", got)
+	}
+}
+
+func TestResolveEnemyTerminal(t *testing.T) {
+	me, other := active(core.Short), active(core.Short)
+	other.TryAbort()
+	if !Resolve(Suicide{}, me, other) {
+		t.Fatal("Resolve against aborted enemy = false")
+	}
+	if me.Status() != core.StatusActive {
+		t.Fatal("me was aborted despite terminal enemy")
+	}
+}
+
+func TestResolveNilEnemy(t *testing.T) {
+	me := active(core.Short)
+	if !Resolve(Aggressive{}, me, nil) {
+		t.Fatal("Resolve(nil enemy) = false")
+	}
+}
+
+func TestResolveAbortSelf(t *testing.T) {
+	me, other := active(core.Short), active(core.Short)
+	if Resolve(Suicide{}, me, other) {
+		t.Fatal("Resolve with Suicide = true")
+	}
+	if me.Status() != core.StatusAborted {
+		t.Fatalf("me status = %v, want aborted", me.Status())
+	}
+	if other.Status() != core.StatusActive {
+		t.Fatalf("other status = %v, want active", other.Status())
+	}
+}
+
+func TestResolveAbortOther(t *testing.T) {
+	me, other := active(core.Short), active(core.Short)
+	if !Resolve(Aggressive{}, me, other) {
+		t.Fatal("Resolve with Aggressive = false")
+	}
+	if other.Status() != core.StatusAborted {
+		t.Fatalf("other status = %v, want aborted", other.Status())
+	}
+}
+
+func TestResolveDoesNotKillCommitting(t *testing.T) {
+	me, other := active(core.Short), active(core.Short)
+	other.CASStatus(core.StatusActive, core.StatusCommitting)
+	done := make(chan bool, 1)
+	go func() {
+		done <- Resolve(Aggressive{}, me, other)
+	}()
+	// Let Resolve spin a little against the committing enemy.
+	time.Sleep(2 * time.Millisecond)
+	select {
+	case <-done:
+		t.Fatal("Resolve returned while enemy was committing")
+	default:
+	}
+	other.CASStatus(core.StatusCommitting, core.StatusCommitted)
+	if ok := <-done; !ok {
+		t.Fatal("Resolve = false after enemy committed")
+	}
+	if other.Status() != core.StatusCommitted {
+		t.Fatalf("enemy status = %v, want committed (not killed)", other.Status())
+	}
+}
+
+func TestResolveMeAlreadyAborted(t *testing.T) {
+	me, other := active(core.Short), active(core.Short)
+	me.TryAbort()
+	if Resolve(Aggressive{}, me, other) {
+		t.Fatal("Resolve with aborted self = true")
+	}
+	if other.Status() != core.StatusActive {
+		t.Fatal("enemy was aborted by an already-dead transaction")
+	}
+}
+
+func TestResolveConcurrentDuel(t *testing.T) {
+	// Two transactions resolving against each other with Timestamp must
+	// end with exactly one survivor.
+	for i := 0; i < 100; i++ {
+		a, b := active(core.Short), active(core.Short)
+		var wg sync.WaitGroup
+		var aWon, bWon bool
+		wg.Add(2)
+		go func() { defer wg.Done(); aWon = Resolve(Timestamp{}, a, b) }()
+		go func() { defer wg.Done(); bWon = Resolve(Timestamp{}, b, a) }()
+		wg.Wait()
+		if !aWon || bWon {
+			// a is older, so a must win and b must abort itself.
+			t.Fatalf("iteration %d: aWon=%v bWon=%v", i, aWon, bWon)
+		}
+		if a.Status() == core.StatusAborted && b.Status() == core.StatusAborted {
+			t.Fatalf("iteration %d: both aborted", i)
+		}
+	}
+}
+
+func TestBackoffDoesNotPanic(t *testing.T) {
+	for _, round := range []int{-1, 0, 1, 5, 100} {
+		Backoff(round)
+	}
+}
+
+func TestGreedy(t *testing.T) {
+	older := core.NewTxMeta(core.Short, 0)
+	younger := core.NewTxMeta(core.Short, 1)
+	if got := (Greedy{}).Arbitrate(older, younger, 0); got != AbortOther {
+		t.Fatalf("older vs younger = %v, want AbortOther", got)
+	}
+	if got := (Greedy{}).Arbitrate(younger, older, 0); got != AbortSelf {
+		t.Fatalf("younger vs older = %v, want AbortSelf", got)
+	}
+	// Greedy never waits, at any attempt count.
+	for attempt := 0; attempt < 20; attempt++ {
+		if got := (Greedy{}).Arbitrate(younger, older, attempt); got == Wait {
+			t.Fatal("greedy waited")
+		}
+	}
+}
+
+func TestRandomizedTerminates(t *testing.T) {
+	a := core.NewTxMeta(core.Short, 0)
+	b := core.NewTxMeta(core.Short, 1)
+	r := &Randomized{Attempts: 2}
+	// Before escalation only Wait/AbortOther; after it only
+	// AbortSelf/AbortOther — so arbitration always terminates.
+	for i := 0; i < 200; i++ {
+		switch r.Arbitrate(a, b, 0) {
+		case Wait, AbortOther:
+		default:
+			t.Fatal("pre-escalation decision out of range")
+		}
+		switch r.Arbitrate(a, b, 5) {
+		case AbortSelf, AbortOther:
+		default:
+			t.Fatal("post-escalation decision waited")
+		}
+	}
+}
+
+func TestRandomizedBothOutcomesOccur(t *testing.T) {
+	a := core.NewTxMeta(core.Short, 0)
+	b := core.NewTxMeta(core.Short, 1)
+	r := &Randomized{}
+	seen := map[Decision]bool{}
+	for i := 0; i < 500; i++ {
+		seen[r.Arbitrate(a, b, 10)] = true
+	}
+	if !seen[AbortSelf] || !seen[AbortOther] {
+		t.Fatalf("coin is not fair enough: %v", seen)
+	}
+}

@@ -1,0 +1,667 @@
+// Package conformance drives randomized concurrent workloads against any
+// of the STM implementations, records the committed history, and hands it
+// to the offline checkers (DESIGN.md §6). It is used both by the test
+// suite and by the cmd/stmcheck fuzzing CLI.
+//
+// Recording works without instrumenting the STMs: every write installs a
+// globally unique value, so the committed history can be reconstructed
+// after the run by walking each object's version chain and mapping
+// observed read values back to version sequence numbers. A read value
+// that appears in no chain is a dirty read; a committed write value
+// missing from its chain is a lost update — both are reported as errors.
+package conformance
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+
+	"tbtm/internal/checker"
+	"tbtm/internal/core"
+	"tbtm/internal/cstm"
+	"tbtm/internal/lsa"
+	"tbtm/internal/sistm"
+	"tbtm/internal/sstm"
+	"tbtm/internal/vclock"
+	"tbtm/internal/zstm"
+)
+
+// System names an STM implementation under test.
+type System int
+
+// Systems.
+const (
+	// LSA is the linearizable baseline.
+	LSA System = iota + 1
+	// LSANoReadSets is LSA with the read-only fast path.
+	LSANoReadSets
+	// LSAFast is LSA with the RSTM-style commit validation fast path.
+	LSAFast
+	// CSTM is the causally serializable STM (exact vector clocks).
+	CSTM
+	// CSTMPlausible is CS-STM on a 2-entry plausible clock.
+	CSTMPlausible
+	// CSTMPlausibleBlock is CS-STM on a 2-entry plausible clock with the
+	// block processor→entry mapping.
+	CSTMPlausibleBlock
+	// CSTMMulti is CS-STM with eight retained versions per object — the
+	// multi-version variant of paper §4.1 footnote 1. Still causally
+	// serializable.
+	CSTMMulti
+	// CSTMComb is CS-STM on a 2-entry plausible clock with the comb
+	// second segment (§4.3's "other types of plausible clocks").
+	CSTMComb
+	// SSTM is the serializable STM.
+	SSTM
+	// ZSTM is the z-linearizable STM with mixed long/short transactions.
+	ZSTM
+	// SISTM is the snapshot-isolation comparator, checked against the
+	// timestamp-exact SI criterion.
+	SISTM
+)
+
+// String returns the system name.
+func (s System) String() string {
+	switch s {
+	case LSA:
+		return "lsa"
+	case LSANoReadSets:
+		return "lsa-noreadsets"
+	case LSAFast:
+		return "lsa-fastpath"
+	case CSTM:
+		return "cstm"
+	case CSTMPlausible:
+		return "cstm-plausible"
+	case CSTMPlausibleBlock:
+		return "cstm-plausible-block"
+	case CSTMMulti:
+		return "cstm-multiversion"
+	case CSTMComb:
+		return "cstm-comb"
+	case SSTM:
+		return "sstm"
+	case ZSTM:
+		return "zstm"
+	case SISTM:
+		return "sistm"
+	default:
+		return "invalid"
+	}
+}
+
+// ParseSystem maps a name to a System.
+func ParseSystem(name string) (System, error) {
+	for _, s := range []System{LSA, LSANoReadSets, LSAFast, CSTM, CSTMPlausible, CSTMPlausibleBlock, CSTMMulti, CSTMComb, SSTM, ZSTM, SISTM} {
+		if s.String() == name {
+			return s, nil
+		}
+	}
+	return 0, fmt.Errorf("conformance: unknown system %q", name)
+}
+
+// Config parameterizes one fuzz run.
+type Config struct {
+	System      System
+	Threads     int   // worker goroutines (default 4)
+	TxPerThread int   // transactions each worker commits (default 50)
+	Objects     int   // object universe size (default 6)
+	LongEvery   int   // every n-th transaction is long (0: never; ZSTM default 10)
+	Seed        int64 // randomness seed
+}
+
+func (c *Config) defaults() {
+	if c.Threads < 1 {
+		c.Threads = 4
+	}
+	if c.TxPerThread < 1 {
+		c.TxPerThread = 50
+	}
+	if c.Objects < 2 {
+		c.Objects = 6
+	}
+	if c.LongEvery == 0 && c.System == ZSTM {
+		c.LongEvery = 10
+	}
+}
+
+// Check runs the workload and verifies the system's advertised criterion.
+// It returns the history size checked and the first violation found.
+func Check(cfg Config) (int, error) {
+	hist, err := Run(cfg)
+	if err != nil {
+		return 0, err
+	}
+	if err := checkHistory(cfg.System, hist); err != nil {
+		return len(hist.Txs), err
+	}
+	return len(hist.Txs), nil
+}
+
+// CheckHistory verifies one committed history against the system's
+// advertised criterion. Exposed so cmd/stmcheck can dump failing
+// histories before reporting.
+func CheckHistory(sys System, hist *checker.History) error {
+	return checkHistory(sys, hist)
+}
+
+// checkHistory verifies one committed history against the system's
+// advertised criterion.
+func checkHistory(sys System, hist *checker.History) error {
+	var res checker.Result
+	switch sys {
+	case LSA, LSANoReadSets, LSAFast:
+		res = checker.Linearizable(hist)
+	case CSTM, CSTMPlausible, CSTMPlausibleBlock, CSTMMulti, CSTMComb:
+		res = checker.CausallySerializable(hist)
+	case SSTM:
+		res = checker.Serializable(hist)
+	case ZSTM:
+		if res = checker.Serializable(hist); res.Ok {
+			res = checker.ZLinearizable(hist)
+		}
+	case SISTM:
+		res = checker.SnapshotIsolated(hist)
+	default:
+		return fmt.Errorf("conformance: unknown system %d", sys)
+	}
+	if !res.Ok {
+		return fmt.Errorf("conformance: %s: %s", sys, res.Reason)
+	}
+	return nil
+}
+
+// Run executes the workload and returns the committed history.
+func Run(cfg Config) (*checker.History, error) {
+	cfg.defaults()
+	d, err := newDriver(cfg)
+	if err != nil {
+		return nil, err
+	}
+
+	var (
+		clockCtr atomic.Int64
+		idCtr    atomic.Uint64
+		valCtr   atomic.Uint64
+		mu       sync.Mutex
+		txs      []committedTx
+		firstErr atomic.Pointer[error]
+	)
+	fail := func(err error) {
+		firstErr.CompareAndSwap(nil, &err)
+	}
+
+	var wg sync.WaitGroup
+	for p := 0; p < cfg.Threads; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(cfg.Seed + int64(p)*7919))
+			for n := 0; n < cfg.TxPerThread; n++ {
+				long := cfg.LongEvery > 0 && n%cfg.LongEvery == cfg.LongEvery-1
+				nops := 2 + rng.Intn(4)
+				if long {
+					nops = cfg.Objects
+				}
+				perm := rng.Perm(cfg.Objects)
+				type opKind struct {
+					obj   int
+					write bool
+				}
+				ops := make([]opKind, 0, nops)
+				hasWrite := false
+				for i := 0; i < nops && i < len(perm); i++ {
+					wr := rng.Intn(3) == 0
+					if long && rng.Intn(4) != 0 {
+						wr = false
+					}
+					hasWrite = hasWrite || wr
+					ops = append(ops, opKind{obj: perm[i], write: wr})
+				}
+				ro := !hasWrite
+
+				for attempt := 0; attempt < 500; attempt++ {
+					start := clockCtr.Add(1)
+					tx := d.begin(p, long, ro)
+					rec := committedTx{thread: p, long: long, start: start,
+						writes: make(map[int]any)}
+					failed := false
+					for _, op := range ops {
+						if op.write {
+							v := fmt.Sprintf("v%d", valCtr.Add(1))
+							if err := tx.write(op.obj, v); err != nil {
+								failed = true
+								break
+							}
+							rec.writes[op.obj] = v
+						} else {
+							v, err := tx.read(op.obj)
+							if err != nil {
+								failed = true
+								break
+							}
+							if own, ok := rec.writes[op.obj]; !ok || own != v {
+								rec.reads = append(rec.reads, obsRead{obj: op.obj, val: v})
+							}
+						}
+					}
+					if failed {
+						tx.abort()
+						continue
+					}
+					if err := tx.commit(); err != nil {
+						if !core.IsRetryable(err) {
+							fail(fmt.Errorf("non-retryable commit error: %w", err))
+							return
+						}
+						continue
+					}
+					rec.end = clockCtr.Add(1)
+					rec.zone = tx.zone()
+					rec.id = idCtr.Add(1)
+					if tr, ok := tx.(tsReporter); ok {
+						rec.snapTS, rec.commitTS = tr.times()
+						rec.hasTS = true
+					}
+					mu.Lock()
+					txs = append(txs, rec)
+					mu.Unlock()
+					break
+				}
+			}
+		}(p)
+	}
+	wg.Wait()
+	if ep := firstErr.Load(); ep != nil {
+		return nil, *ep
+	}
+
+	return reconstruct(d.chains(), txs)
+}
+
+type obsRead struct {
+	obj int
+	val any
+}
+
+type committedTx struct {
+	id               uint64
+	thread           int
+	long             bool
+	zone             uint64
+	start, end       int64
+	snapTS, commitTS uint64
+	hasTS            bool
+	reads            []obsRead
+	writes           map[int]any
+}
+
+type chainVer struct {
+	seq uint64
+	val any
+}
+
+// reconstruct maps observed values back to version sequence numbers and
+// builds the checker history.
+func reconstruct(chains [][]chainVer, txs []committedTx) (*checker.History, error) {
+	type verKey struct {
+		obj int
+		seq uint64
+	}
+	valIndex := make(map[any]verKey)
+	initVal := make(map[int]any)
+	for obj, ch := range chains {
+		if len(ch) == 0 || ch[0].seq != 1 {
+			return nil, fmt.Errorf("conformance: object %d version chain truncated", obj)
+		}
+		for _, cv := range ch {
+			if cv.seq == 1 {
+				initVal[obj] = cv.val
+				continue
+			}
+			if _, dup := valIndex[cv.val]; dup {
+				return nil, fmt.Errorf("conformance: duplicate committed value %v", cv.val)
+			}
+			valIndex[cv.val] = verKey{obj: obj, seq: cv.seq}
+		}
+	}
+	hist := &checker.History{}
+	for _, rec := range txs {
+		tx := checker.Tx{ID: rec.id, Thread: rec.thread, Long: rec.long, Zone: rec.zone,
+			Start: rec.start, End: rec.end,
+			SnapTS: rec.snapTS, CommitTS: rec.commitTS, HasTS: rec.hasTS}
+		for _, rd := range rec.reads {
+			if initVal[rd.obj] == rd.val {
+				tx.Reads = append(tx.Reads, checker.Read{Obj: uint64(rd.obj), Seq: 1})
+				continue
+			}
+			vk, found := valIndex[rd.val]
+			if !found {
+				return nil, fmt.Errorf("conformance: tx %d read value %v never committed (dirty read)", rec.id, rd.val)
+			}
+			if vk.obj != rd.obj {
+				return nil, fmt.Errorf("conformance: tx %d read value %v from object %d, belongs to %d",
+					rec.id, rd.val, rd.obj, vk.obj)
+			}
+			tx.Reads = append(tx.Reads, checker.Read{Obj: uint64(rd.obj), Seq: vk.seq})
+		}
+		for obj, val := range rec.writes {
+			vk, found := valIndex[val]
+			if !found {
+				return nil, fmt.Errorf("conformance: tx %d write value %v missing from chain (lost update)", rec.id, val)
+			}
+			tx.Writes = append(tx.Writes, checker.Write{Obj: uint64(obj), Seq: vk.seq})
+		}
+		hist.Txs = append(hist.Txs, tx)
+	}
+	return hist, nil
+}
+
+// --- drivers ---
+
+type fuzzTx interface {
+	read(obj int) (any, error)
+	write(obj int, v any) error
+	commit() error
+	abort()
+	zone() uint64
+}
+
+// tsReporter is implemented by drivers whose STM exposes scalar snapshot
+// and commit timestamps (SI-STM); times is valid after a successful
+// commit.
+type tsReporter interface {
+	times() (snap, commit uint64)
+}
+
+type driver interface {
+	begin(thread int, long, ro bool) fuzzTx
+	chains() [][]chainVer
+}
+
+func newDriver(cfg Config) (driver, error) {
+	switch cfg.System {
+	case LSA:
+		return newLSADriver(cfg, false, false), nil
+	case LSANoReadSets:
+		return newLSADriver(cfg, true, false), nil
+	case LSAFast:
+		return newLSADriver(cfg, false, true), nil
+	case CSTM:
+		return newCSDriver(cfg, 0, vclock.Modulo, 1), nil
+	case CSTMPlausible:
+		return newCSDriver(cfg, 2, vclock.Modulo, 1), nil
+	case CSTMPlausibleBlock:
+		return newCSDriver(cfg, 2, vclock.Block, 1), nil
+	case CSTMMulti:
+		return newCSDriver(cfg, 0, vclock.Modulo, 8), nil
+	case CSTMComb:
+		return newCSCombDriver(cfg), nil
+	case SSTM:
+		return newSSDriver(cfg), nil
+	case ZSTM:
+		return newZDriver(cfg), nil
+	case SISTM:
+		return newSIDriver(cfg), nil
+	default:
+		return nil, fmt.Errorf("conformance: unknown system %d", cfg.System)
+	}
+}
+
+// retainAll keeps every version so chains can be reconstructed.
+const retainAll = 1 << 20
+
+type lsaDriver struct {
+	stm  *lsa.STM
+	objs []*core.Object
+	ths  []*lsa.Thread
+}
+
+func newLSADriver(cfg Config, noReadSets, fastPath bool) *lsaDriver {
+	s := lsa.New(lsa.Config{Versions: retainAll, NoReadSets: noReadSets, ValidationFastPath: fastPath})
+	d := &lsaDriver{stm: s}
+	for i := 0; i < cfg.Objects; i++ {
+		d.objs = append(d.objs, s.NewObject(fmt.Sprintf("init%d", i)))
+	}
+	for i := 0; i < cfg.Threads; i++ {
+		d.ths = append(d.ths, s.NewThread())
+	}
+	return d
+}
+
+func (d *lsaDriver) begin(thread int, long, ro bool) fuzzTx {
+	kind := core.Short
+	if long {
+		kind = core.Long
+	}
+	return &lsaFuzzTx{d: d, tx: d.ths[thread].Begin(kind, ro)}
+}
+
+func (d *lsaDriver) chains() [][]chainVer { return coreChains(d.objs) }
+
+func coreChains(objs []*core.Object) [][]chainVer {
+	out := make([][]chainVer, len(objs))
+	for i, o := range objs {
+		var ch []chainVer
+		for v := o.Current(); v != nil; v = v.Prev() {
+			ch = append(ch, chainVer{seq: v.Seq, val: v.Value})
+		}
+		for a, b := 0, len(ch)-1; a < b; a, b = a+1, b-1 {
+			ch[a], ch[b] = ch[b], ch[a]
+		}
+		out[i] = ch
+	}
+	return out
+}
+
+type lsaFuzzTx struct {
+	d  *lsaDriver
+	tx *lsa.Tx
+}
+
+func (f *lsaFuzzTx) read(obj int) (any, error)  { return f.tx.Read(f.d.objs[obj]) }
+func (f *lsaFuzzTx) write(obj int, v any) error { return f.tx.Write(f.d.objs[obj], v) }
+func (f *lsaFuzzTx) commit() error              { return f.tx.Commit() }
+func (f *lsaFuzzTx) abort()                     { f.tx.Abort() }
+func (f *lsaFuzzTx) zone() uint64               { return 0 }
+
+type csDriver struct {
+	stm  *cstm.STM
+	objs []*cstm.Object
+	ths  []*cstm.Thread
+	init []*cstm.Version
+}
+
+func newCSCombDriver(cfg Config) *csDriver {
+	return csDriverFor(cfg, cstm.New(cstm.Config{Threads: cfg.Threads, Entries: 2, Comb: true}))
+}
+
+func newCSDriver(cfg Config, entries int, mapping vclock.Mapping, versions int) *csDriver {
+	return csDriverFor(cfg, cstm.New(cstm.Config{Threads: cfg.Threads, Entries: entries, Mapping: mapping, Versions: versions}))
+}
+
+func csDriverFor(cfg Config, s *cstm.STM) *csDriver {
+	d := &csDriver{stm: s}
+	for i := 0; i < cfg.Objects; i++ {
+		o := s.NewObject(fmt.Sprintf("init%d", i))
+		d.objs = append(d.objs, o)
+		d.init = append(d.init, o.Current())
+	}
+	for i := 0; i < cfg.Threads; i++ {
+		d.ths = append(d.ths, s.NewThread())
+	}
+	return d
+}
+
+func (d *csDriver) begin(thread int, long, ro bool) fuzzTx {
+	kind := core.Short
+	if long {
+		kind = core.Long
+	}
+	return &csFuzzTx{d: d, tx: d.ths[thread].Begin(kind, ro)}
+}
+
+func (d *csDriver) chains() [][]chainVer {
+	out := make([][]chainVer, len(d.objs))
+	for i := range d.objs {
+		var ch []chainVer
+		for v := d.init[i]; v != nil; v = v.Next() {
+			ch = append(ch, chainVer{seq: v.Seq, val: v.Value})
+		}
+		out[i] = ch
+	}
+	return out
+}
+
+type csFuzzTx struct {
+	d  *csDriver
+	tx *cstm.Tx
+}
+
+func (f *csFuzzTx) read(obj int) (any, error)  { return f.tx.Read(f.d.objs[obj]) }
+func (f *csFuzzTx) write(obj int, v any) error { return f.tx.Write(f.d.objs[obj], v) }
+func (f *csFuzzTx) commit() error              { return f.tx.Commit() }
+func (f *csFuzzTx) abort()                     { f.tx.Abort() }
+func (f *csFuzzTx) zone() uint64               { return 0 }
+
+type ssDriver struct {
+	stm  *sstm.STM
+	objs []*sstm.Object
+	ths  []*sstm.Thread
+	init []*sstm.Version
+}
+
+func newSSDriver(cfg Config) *ssDriver {
+	s := sstm.New(sstm.Config{Threads: cfg.Threads})
+	d := &ssDriver{stm: s}
+	for i := 0; i < cfg.Objects; i++ {
+		o := s.NewObject(fmt.Sprintf("init%d", i))
+		d.objs = append(d.objs, o)
+		d.init = append(d.init, o.Current())
+	}
+	for i := 0; i < cfg.Threads; i++ {
+		d.ths = append(d.ths, s.NewThread())
+	}
+	return d
+}
+
+func (d *ssDriver) begin(thread int, long, ro bool) fuzzTx {
+	kind := core.Short
+	if long {
+		kind = core.Long
+	}
+	return &ssFuzzTx{d: d, tx: d.ths[thread].Begin(kind, ro)}
+}
+
+func (d *ssDriver) chains() [][]chainVer {
+	out := make([][]chainVer, len(d.objs))
+	for i := range d.objs {
+		var ch []chainVer
+		for v := d.init[i]; v != nil; v = v.Next() {
+			ch = append(ch, chainVer{seq: v.Seq, val: v.Value})
+		}
+		out[i] = ch
+	}
+	return out
+}
+
+type ssFuzzTx struct {
+	d  *ssDriver
+	tx *sstm.Tx
+}
+
+func (f *ssFuzzTx) read(obj int) (any, error)  { return f.tx.Read(f.d.objs[obj]) }
+func (f *ssFuzzTx) write(obj int, v any) error { return f.tx.Write(f.d.objs[obj], v) }
+func (f *ssFuzzTx) commit() error              { return f.tx.Commit() }
+func (f *ssFuzzTx) abort()                     { f.tx.Abort() }
+func (f *ssFuzzTx) zone() uint64               { return 0 }
+
+type siDriver struct {
+	stm  *sistm.STM
+	objs []*core.Object
+	ths  []*sistm.Thread
+}
+
+func newSIDriver(cfg Config) *siDriver {
+	s := sistm.New(sistm.Config{Versions: retainAll})
+	d := &siDriver{stm: s}
+	for i := 0; i < cfg.Objects; i++ {
+		d.objs = append(d.objs, s.NewObject(fmt.Sprintf("init%d", i)))
+	}
+	for i := 0; i < cfg.Threads; i++ {
+		d.ths = append(d.ths, s.NewThread())
+	}
+	return d
+}
+
+func (d *siDriver) begin(thread int, long, ro bool) fuzzTx {
+	kind := core.Short
+	if long {
+		kind = core.Long
+	}
+	return &siFuzzTx{d: d, tx: d.ths[thread].Begin(kind, ro)}
+}
+
+func (d *siDriver) chains() [][]chainVer { return coreChains(d.objs) }
+
+type siFuzzTx struct {
+	d  *siDriver
+	tx *sistm.Tx
+}
+
+func (f *siFuzzTx) read(obj int) (any, error)  { return f.tx.Read(f.d.objs[obj]) }
+func (f *siFuzzTx) write(obj int, v any) error { return f.tx.Write(f.d.objs[obj], v) }
+func (f *siFuzzTx) commit() error              { return f.tx.Commit() }
+func (f *siFuzzTx) abort()                     { f.tx.Abort() }
+func (f *siFuzzTx) zone() uint64               { return 0 }
+func (f *siFuzzTx) times() (uint64, uint64)    { return f.tx.SnapshotTime(), f.tx.CommitTime() }
+
+type zDriver struct {
+	stm  *zstm.STM
+	objs []*core.Object
+	ths  []*zstm.Thread
+}
+
+func newZDriver(cfg Config) *zDriver {
+	s := zstm.New(zstm.Config{Versions: retainAll, ZonePatience: 8})
+	d := &zDriver{stm: s}
+	for i := 0; i < cfg.Objects; i++ {
+		d.objs = append(d.objs, s.NewObject(fmt.Sprintf("init%d", i)))
+	}
+	for i := 0; i < cfg.Threads; i++ {
+		d.ths = append(d.ths, s.NewThread())
+	}
+	return d
+}
+
+func (d *zDriver) begin(thread int, long, ro bool) fuzzTx {
+	if long {
+		return &zLongFuzzTx{d: d, tx: d.ths[thread].BeginLong(ro)}
+	}
+	return &zShortFuzzTx{d: d, tx: d.ths[thread].BeginShort(ro)}
+}
+
+func (d *zDriver) chains() [][]chainVer { return coreChains(d.objs) }
+
+type zShortFuzzTx struct {
+	d  *zDriver
+	tx *zstm.ShortTx
+}
+
+func (f *zShortFuzzTx) read(obj int) (any, error)  { return f.tx.Read(f.d.objs[obj]) }
+func (f *zShortFuzzTx) write(obj int, v any) error { return f.tx.Write(f.d.objs[obj], v) }
+func (f *zShortFuzzTx) commit() error              { return f.tx.Commit() }
+func (f *zShortFuzzTx) abort()                     { f.tx.Abort() }
+func (f *zShortFuzzTx) zone() uint64               { return f.tx.ZC() }
+
+type zLongFuzzTx struct {
+	d  *zDriver
+	tx *zstm.LongTx
+}
+
+func (f *zLongFuzzTx) read(obj int) (any, error)  { return f.tx.Read(f.d.objs[obj]) }
+func (f *zLongFuzzTx) write(obj int, v any) error { return f.tx.Write(f.d.objs[obj], v) }
+func (f *zLongFuzzTx) commit() error              { return f.tx.Commit() }
+func (f *zLongFuzzTx) abort()                     { f.tx.Abort() }
+func (f *zLongFuzzTx) zone() uint64               { return f.tx.ZC() }

@@ -1,0 +1,205 @@
+package conformance
+
+import (
+	"fmt"
+
+	"tbtm/internal/core"
+)
+
+// Exhaustive small-scope exploration: run a scripted scenario under
+// EVERY interleaving of its threads' operations and check each committed
+// history against the system's criterion. The random fuzzer (Run/Check)
+// samples deep schedules; Explore covers shallow ones completely, which
+// is where ordering bugs like the Figure 2/3 anomalies live.
+//
+// Execution is sequential — one operation at a time in interleaving
+// order — which is sound because every blocking path in the
+// implementations is bounded (contention managers escalate after finitely
+// many rounds and zone patience is finite), so a conflicting operation
+// resolves to success or a retryable error without needing the enemy to
+// run concurrently.
+
+// ScriptOp is one scripted operation.
+type ScriptOp struct {
+	// Obj is the object index.
+	Obj int
+	// Write selects write (true) or read (false).
+	Write bool
+}
+
+// Script is one thread's transaction: its operations in program order,
+// followed by an implicit commit. Long marks the transaction long.
+type Script struct {
+	Long bool
+	Ops  []ScriptOp
+}
+
+// ExploreResult summarizes an exhaustive exploration.
+type ExploreResult struct {
+	// Interleavings is the number of schedules executed.
+	Interleavings int
+	// Committed is the total number of committed transactions across all
+	// schedules; Aborted counts transactions that failed an operation or
+	// commit.
+	Committed, Aborted int
+}
+
+// Explore runs every interleaving of the scripts against cfg.System and
+// verifies each committed history. It returns the first violation
+// encountered, identifying the offending schedule.
+func Explore(cfg Config, scripts []Script) (ExploreResult, error) {
+	cfg.defaults()
+	total := 0
+	for _, s := range scripts {
+		total += len(s.Ops) + 1 // ops + commit
+	}
+	var res ExploreResult
+
+	// An interleaving is a sequence over thread indices where thread i
+	// appears len(scripts[i].Ops)+1 times. Enumerate by DFS.
+	remaining := make([]int, len(scripts))
+	for i, s := range scripts {
+		remaining[i] = len(s.Ops) + 1
+	}
+	schedule := make([]int, 0, total)
+
+	var dfs func() error
+	dfs = func() error {
+		if len(schedule) == total {
+			res.Interleavings++
+			committed, aborted, err := runSchedule(cfg, scripts, schedule)
+			res.Committed += committed
+			res.Aborted += aborted
+			return err
+		}
+		for i := range scripts {
+			if remaining[i] == 0 {
+				continue
+			}
+			remaining[i]--
+			schedule = append(schedule, i)
+			if err := dfs(); err != nil {
+				return err
+			}
+			schedule = schedule[:len(schedule)-1]
+			remaining[i]++
+		}
+		return nil
+	}
+	if err := dfs(); err != nil {
+		return res, err
+	}
+	return res, nil
+}
+
+// runSchedule executes one interleaving and checks the history.
+func runSchedule(cfg Config, scripts []Script, schedule []int) (committed, aborted int, err error) {
+	d, err := newDriver(cfg)
+	if err != nil {
+		return 0, 0, err
+	}
+
+	type state struct {
+		tx     fuzzTx
+		rec    committedTx
+		next   int // next op index; len(ops) means commit is next
+		failed bool
+		done   bool
+	}
+	states := make([]*state, len(scripts))
+	valCtr := 0
+	step := 0
+	var clockCtr int64
+	nextClock := func() int64 { clockCtr++; return clockCtr }
+
+	var txs []committedTx
+	for _, ti := range schedule {
+		step++
+		st := states[ti]
+		if st == nil {
+			st = &state{
+				tx: d.begin(ti, scripts[ti].Long, false),
+				rec: committedTx{
+					thread: ti, long: scripts[ti].Long, start: nextClock(),
+					writes: make(map[int]any),
+				},
+			}
+			states[ti] = st
+		}
+		if st.done {
+			continue
+		}
+		script := scripts[ti]
+		if st.failed {
+			// Skip remaining steps; abort at the commit slot.
+			if st.next >= len(script.Ops) {
+				st.tx.abort()
+				st.done = true
+				aborted++
+			} else {
+				st.next++
+			}
+			continue
+		}
+		if st.next < len(script.Ops) {
+			op := script.Ops[st.next]
+			st.next++
+			if op.Write {
+				valCtr++
+				v := fmt.Sprintf("x%d-%d", ti, valCtr)
+				if werr := st.tx.write(op.Obj, v); werr != nil {
+					if !isRetryableForExplore(werr) {
+						return committed, aborted, fmt.Errorf("schedule %v step %d: non-retryable write error: %w", schedule, step, werr)
+					}
+					st.failed = true
+					continue
+				}
+				st.rec.writes[op.Obj] = v
+			} else {
+				v, rerr := st.tx.read(op.Obj)
+				if rerr != nil {
+					if !isRetryableForExplore(rerr) {
+						return committed, aborted, fmt.Errorf("schedule %v step %d: non-retryable read error: %w", schedule, step, rerr)
+					}
+					st.failed = true
+					continue
+				}
+				if own, ok := st.rec.writes[op.Obj]; !ok || own != v {
+					st.rec.reads = append(st.rec.reads, obsRead{obj: op.Obj, val: v})
+				}
+			}
+			continue
+		}
+		// Commit slot.
+		st.done = true
+		if cerr := st.tx.commit(); cerr != nil {
+			if !isRetryableForExplore(cerr) {
+				return committed, aborted, fmt.Errorf("schedule %v step %d: non-retryable commit error: %w", schedule, step, cerr)
+			}
+			aborted++
+			continue
+		}
+		committed++
+		st.rec.end = nextClock()
+		st.rec.zone = st.tx.zone()
+		st.rec.id = uint64(ti + 1)
+		if tr, ok := st.tx.(tsReporter); ok {
+			st.rec.snapTS, st.rec.commitTS = tr.times()
+			st.rec.hasTS = true
+		}
+		txs = append(txs, st.rec)
+	}
+
+	hist, err := reconstruct(d.chains(), txs)
+	if err != nil {
+		return committed, aborted, fmt.Errorf("schedule %v: %w", schedule, err)
+	}
+	if err := checkHistory(cfg.System, hist); err != nil {
+		return committed, aborted, fmt.Errorf("schedule %v: %w", schedule, err)
+	}
+	return committed, aborted, nil
+}
+
+func isRetryableForExplore(err error) bool {
+	return core.IsRetryable(err)
+}

@@ -1,0 +1,451 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func TestTxKindString(t *testing.T) {
+	tests := []struct {
+		kind TxKind
+		want string
+	}{
+		{Short, "short"},
+		{Long, "long"},
+		{TxKind(0), "unknown"},
+		{TxKind(99), "unknown"},
+	}
+	for _, tt := range tests {
+		if got := tt.kind.String(); got != tt.want {
+			t.Errorf("TxKind(%d).String() = %q, want %q", tt.kind, got, tt.want)
+		}
+	}
+}
+
+func TestStatusString(t *testing.T) {
+	tests := []struct {
+		status Status
+		want   string
+	}{
+		{StatusActive, "active"},
+		{StatusCommitting, "committing"},
+		{StatusCommitted, "committed"},
+		{StatusAborted, "aborted"},
+		{Status(0), "invalid"},
+	}
+	for _, tt := range tests {
+		if got := tt.status.String(); got != tt.want {
+			t.Errorf("Status(%d).String() = %q, want %q", tt.status, got, tt.want)
+		}
+	}
+}
+
+func TestStatusTerminal(t *testing.T) {
+	tests := []struct {
+		status Status
+		want   bool
+	}{
+		{StatusActive, false},
+		{StatusCommitting, false},
+		{StatusCommitted, true},
+		{StatusAborted, true},
+	}
+	for _, tt := range tests {
+		if got := tt.status.Terminal(); got != tt.want {
+			t.Errorf("%v.Terminal() = %v, want %v", tt.status, got, tt.want)
+		}
+	}
+}
+
+func TestNextTxIDUnique(t *testing.T) {
+	const n = 1000
+	seen := make(map[uint64]bool, n)
+	for i := 0; i < n; i++ {
+		id := NextTxID()
+		if seen[id] {
+			t.Fatalf("duplicate tx id %d", id)
+		}
+		seen[id] = true
+	}
+}
+
+func TestNextTxIDConcurrent(t *testing.T) {
+	const workers, perWorker = 8, 500
+	var mu sync.Mutex
+	seen := make(map[uint64]bool, workers*perWorker)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			ids := make([]uint64, 0, perWorker)
+			for i := 0; i < perWorker; i++ {
+				ids = append(ids, NextTxID())
+			}
+			mu.Lock()
+			defer mu.Unlock()
+			for _, id := range ids {
+				if seen[id] {
+					t.Errorf("duplicate tx id %d", id)
+				}
+				seen[id] = true
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+func TestTxMetaLifecycle(t *testing.T) {
+	m := NewTxMeta(Short, 3)
+	if m.Status() != StatusActive {
+		t.Fatalf("new TxMeta status = %v, want active", m.Status())
+	}
+	if m.Kind != Short || m.ThreadID != 3 {
+		t.Fatalf("TxMeta fields = kind %v thread %d", m.Kind, m.ThreadID)
+	}
+	if !m.CASStatus(StatusActive, StatusCommitting) {
+		t.Fatal("CAS active->committing failed")
+	}
+	if m.CASStatus(StatusActive, StatusAborted) {
+		t.Fatal("CAS from stale state succeeded")
+	}
+	if !m.CASStatus(StatusCommitting, StatusCommitted) {
+		t.Fatal("CAS committing->committed failed")
+	}
+	if m.Status() != StatusCommitted {
+		t.Fatalf("status = %v, want committed", m.Status())
+	}
+}
+
+func TestTryAbort(t *testing.T) {
+	t.Run("active", func(t *testing.T) {
+		m := NewTxMeta(Short, 0)
+		if !m.TryAbort() {
+			t.Fatal("TryAbort on active = false")
+		}
+		if m.Status() != StatusAborted {
+			t.Fatalf("status = %v", m.Status())
+		}
+	})
+	t.Run("committed", func(t *testing.T) {
+		m := NewTxMeta(Short, 0)
+		m.CASStatus(StatusActive, StatusCommitted)
+		if m.TryAbort() {
+			t.Fatal("TryAbort on committed = true")
+		}
+		if m.Status() != StatusCommitted {
+			t.Fatalf("status = %v", m.Status())
+		}
+	})
+	t.Run("already aborted", func(t *testing.T) {
+		m := NewTxMeta(Short, 0)
+		m.TryAbort()
+		if !m.TryAbort() {
+			t.Fatal("TryAbort on aborted = false")
+		}
+	})
+}
+
+func TestTryAbortActive(t *testing.T) {
+	m := NewTxMeta(Short, 0)
+	if !m.TryAbortActive() {
+		t.Fatal("TryAbortActive on active = false")
+	}
+	m2 := NewTxMeta(Short, 0)
+	m2.CASStatus(StatusActive, StatusCommitting)
+	if m2.TryAbortActive() {
+		t.Fatal("TryAbortActive aborted a committing transaction")
+	}
+	if m2.Status() != StatusCommitting {
+		t.Fatalf("status = %v, want committing", m2.Status())
+	}
+}
+
+func TestTryAbortConcurrentWithCommit(t *testing.T) {
+	// Exactly one of commit / abort must win.
+	for i := 0; i < 200; i++ {
+		m := NewTxMeta(Short, 0)
+		var wg sync.WaitGroup
+		var committed, aborted bool
+		wg.Add(2)
+		go func() {
+			defer wg.Done()
+			committed = m.CASStatus(StatusActive, StatusCommitted)
+		}()
+		go func() {
+			defer wg.Done()
+			aborted = m.TryAbortActive()
+		}()
+		wg.Wait()
+		if committed == aborted {
+			t.Fatalf("iteration %d: committed=%v aborted=%v (want exactly one)", i, committed, aborted)
+		}
+		final := m.Status()
+		if committed && final != StatusCommitted {
+			t.Fatalf("committed but status %v", final)
+		}
+		if aborted && final != StatusAborted {
+			t.Fatalf("aborted but status %v", final)
+		}
+	}
+}
+
+func TestNewObjectInitialVersion(t *testing.T) {
+	o := NewObject("init", 4)
+	v := o.Current()
+	if v == nil || v.Value != "init" || v.Seq != 1 || v.TS != 0 {
+		t.Fatalf("initial version = %+v", v)
+	}
+	if o.Retain() != 4 {
+		t.Fatalf("Retain() = %d, want 4", o.Retain())
+	}
+}
+
+func TestNewObjectClampsKeep(t *testing.T) {
+	for _, keep := range []int{0, -5} {
+		o := NewObject(nil, keep)
+		if o.Retain() != 1 {
+			t.Errorf("NewObject(keep=%d).Retain() = %d, want 1", keep, o.Retain())
+		}
+	}
+}
+
+func TestObjectIDsUnique(t *testing.T) {
+	a, b := NewObject(nil, 1), NewObject(nil, 1)
+	if a.ID() == b.ID() {
+		t.Fatalf("two objects share id %d", a.ID())
+	}
+}
+
+func TestInstallAndChain(t *testing.T) {
+	o := NewObject(0, 3)
+	o.Install(1, 10, 101, 0)
+	o.Install(2, 20, 102, 0)
+	v := o.Current()
+	if v.Value != 2 || v.TS != 20 || v.Seq != 3 || v.WriterID != 102 {
+		t.Fatalf("current = %+v", v)
+	}
+	if v.Prev() == nil || v.Prev().Value != 1 || v.Prev().Prev() == nil || v.Prev().Prev().Value != 0 {
+		t.Fatalf("chain broken: %+v", v)
+	}
+}
+
+// TestInstallAmortizedTruncation pins the retention contract: after any
+// number of installs the chain holds at least keep and fewer than
+// 2*keep versions (truncation is amortized — one O(keep) cut every keep
+// installs), and the retained suffix is always the newest versions.
+func TestInstallAmortizedTruncation(t *testing.T) {
+	const keep = 3
+	o := NewObject(0, keep)
+	for i := 1; i <= 20; i++ {
+		o.Install(i, uint64(i*10), uint64(100+i), 0)
+		depth := 0
+		for p := o.Current(); p != nil; p = p.Prev() {
+			depth++
+			if depth > i+1 {
+				t.Fatal("cycle in version chain")
+			}
+		}
+		want := i + 1 // nothing truncated yet
+		if want > 2*keep-1 {
+			if depth < keep || depth > 2*keep-1 {
+				t.Fatalf("after %d installs: depth = %d, want in [%d, %d]", i, depth, keep, 2*keep-1)
+			}
+		} else if depth != want {
+			t.Fatalf("after %d installs: depth = %d, want %d", i, depth, want)
+		}
+		if cur := o.Current(); cur.Value != i {
+			t.Fatalf("current = %v, want %d", cur.Value, i)
+		}
+	}
+	// The retained versions are the newest ones, contiguous by Seq.
+	prev := o.Current()
+	for p := prev.Prev(); p != nil; prev, p = p, p.Prev() {
+		if p.Seq != prev.Seq-1 {
+			t.Fatalf("non-contiguous chain: %d after %d", p.Seq, prev.Seq)
+		}
+	}
+}
+
+func TestSingleVersionTruncation(t *testing.T) {
+	o := NewObject(0, 1)
+	o.Install(1, 10, 1, 0)
+	if o.Current().Prev() != nil {
+		t.Fatal("single-version object retained an old version")
+	}
+}
+
+func TestFindAt(t *testing.T) {
+	o := NewObject("v0", 8)
+	o.Install("v1", 10, 1, 0)
+	o.Install("v2", 20, 2, 0)
+	tests := []struct {
+		t    uint64
+		want any
+	}{
+		{0, "v0"},
+		{9, "v0"},
+		{10, "v1"},
+		{19, "v1"},
+		{20, "v2"},
+		{1000, "v2"},
+	}
+	for _, tt := range tests {
+		v := o.FindAt(tt.t)
+		if v == nil || v.Value != tt.want {
+			t.Errorf("FindAt(%d) = %+v, want value %v", tt.t, v, tt.want)
+		}
+	}
+}
+
+func TestFindAtTooOld(t *testing.T) {
+	o := NewObject("v0", 1)
+	o.Install("v1", 10, 1, 0)
+	if v := o.FindAt(5); v != nil {
+		t.Fatalf("FindAt(5) on truncated chain = %+v, want nil", v)
+	}
+}
+
+func TestWriterCAS(t *testing.T) {
+	o := NewObject(nil, 1)
+	a, b := NewTxMeta(Short, 0), NewTxMeta(Short, 1)
+	if !o.CASWriter(nil, a) {
+		t.Fatal("CASWriter(nil, a) failed on free object")
+	}
+	if o.CASWriter(nil, b) {
+		t.Fatal("CASWriter(nil, b) succeeded while owned")
+	}
+	if o.Writer() != a {
+		t.Fatal("Writer() != a")
+	}
+	o.ReleaseWriter(b) // not the owner: no-op
+	if o.Writer() != a {
+		t.Fatal("ReleaseWriter by non-owner released the lock")
+	}
+	o.ReleaseWriter(a)
+	if o.Writer() != nil {
+		t.Fatal("ReleaseWriter by owner did not release")
+	}
+}
+
+func TestWriterCASConcurrent(t *testing.T) {
+	o := NewObject(nil, 1)
+	const n = 16
+	winners := make(chan int, n)
+	var wg sync.WaitGroup
+	metas := make([]*TxMeta, n)
+	for i := range metas {
+		metas[i] = NewTxMeta(Short, i)
+	}
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			if o.CASWriter(nil, metas[i]) {
+				winners <- i
+			}
+		}(i)
+	}
+	wg.Wait()
+	close(winners)
+	count := 0
+	for range winners {
+		count++
+	}
+	if count != 1 {
+		t.Fatalf("%d goroutines acquired the writer lock, want 1", count)
+	}
+}
+
+func TestRaiseZC(t *testing.T) {
+	o := NewObject(nil, 1)
+	if !o.RaiseZC(5) {
+		t.Fatal("RaiseZC(5) from 0 = false")
+	}
+	if o.ZC() != 5 {
+		t.Fatalf("ZC = %d, want 5", o.ZC())
+	}
+	if !o.RaiseZC(5) {
+		t.Fatal("RaiseZC(5) at 5 = false (equal zone must succeed)")
+	}
+	if o.RaiseZC(3) {
+		t.Fatal("RaiseZC(3) at 5 = true (passed transaction must fail)")
+	}
+	if o.ZC() != 5 {
+		t.Fatalf("ZC changed to %d after failed raise", o.ZC())
+	}
+	if !o.RaiseZC(9) {
+		t.Fatal("RaiseZC(9) at 5 = false")
+	}
+}
+
+func TestRaiseZCMonotonicProperty(t *testing.T) {
+	// Property: after any sequence of RaiseZC calls, ZC equals the maximum
+	// argument among successful calls and never decreases.
+	f := func(raises []uint64) bool {
+		o := NewObject(nil, 1)
+		var max uint64
+		for _, z := range raises {
+			prev := o.ZC()
+			ok := o.RaiseZC(z)
+			if z >= prev && !ok {
+				return false
+			}
+			if z < prev && ok && z != prev {
+				return false
+			}
+			if o.ZC() < prev {
+				return false
+			}
+			if z > max {
+				max = z
+			}
+		}
+		return o.ZC() == max
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRaiseZCConcurrent(t *testing.T) {
+	o := NewObject(nil, 1)
+	const n = 32
+	var wg sync.WaitGroup
+	for i := 1; i <= n; i++ {
+		wg.Add(1)
+		go func(z uint64) {
+			defer wg.Done()
+			o.RaiseZC(z)
+		}(uint64(i))
+	}
+	wg.Wait()
+	if o.ZC() != n {
+		t.Fatalf("ZC = %d after concurrent raises, want %d", o.ZC(), n)
+	}
+}
+
+func TestIsRetryable(t *testing.T) {
+	tests := []struct {
+		err  error
+		want bool
+	}{
+		{ErrConflict, true},
+		{ErrAborted, true},
+		{ErrSnapshotUnavailable, true},
+		{fmt.Errorf("validate: %w", ErrConflict), true},
+		{ErrTxDone, false},
+		{ErrWrongObject, false},
+		{ErrReadOnly, false},
+		{errors.New("other"), false},
+		{nil, false},
+	}
+	for _, tt := range tests {
+		if got := IsRetryable(tt.err); got != tt.want {
+			t.Errorf("IsRetryable(%v) = %v, want %v", tt.err, got, tt.want)
+		}
+	}
+}

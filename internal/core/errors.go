@@ -1,0 +1,49 @@
+// Package core provides the shared kernel used by every STM implementation
+// in this repository: transaction descriptors with atomic status, the fat
+// object header (version chain, writer lock, zone stamp, reader list), and
+// the sentinel errors of the transactional API.
+//
+// The kernel follows the DSTM object model referenced by the paper
+// (Herlihy et al., PODC 2003): objects are accessed indirectly, tentative
+// versions stay private to the writer until commit, and write ownership is
+// acquired with compare-and-swap so that conflicts can be arbitrated by a
+// pluggable contention manager.
+package core
+
+import "errors"
+
+var (
+	// ErrConflict reports that the transaction lost a conflict (validation
+	// failure, write/write arbitration, or zone crossing) and was aborted.
+	// Transactions that fail with ErrConflict may be retried.
+	ErrConflict = errors.New("tbtm: transaction conflict")
+
+	// ErrAborted reports that the transaction was aborted, either
+	// explicitly by the caller or by a contention manager acting on behalf
+	// of another transaction.
+	ErrAborted = errors.New("tbtm: transaction aborted")
+
+	// ErrTxDone reports an operation on a transaction that has already
+	// committed or aborted.
+	ErrTxDone = errors.New("tbtm: transaction already finished")
+
+	// ErrWrongObject reports an object that belongs to a different STM
+	// instance or implementation than the transaction using it.
+	ErrWrongObject = errors.New("tbtm: object belongs to a different STM")
+
+	// ErrSnapshotUnavailable reports that no object version old enough for
+	// the transaction's snapshot time is retained. It wraps ErrConflict
+	// semantics: retrying may succeed with a fresh snapshot.
+	ErrSnapshotUnavailable = errors.New("tbtm: no version available for snapshot time")
+
+	// ErrReadOnly reports a write attempted by a transaction declared
+	// read-only.
+	ErrReadOnly = errors.New("tbtm: write in read-only transaction")
+)
+
+// IsRetryable reports whether err represents a transient transactional
+// failure that a retry loop should re-execute.
+func IsRetryable(err error) bool {
+	return errors.Is(err, ErrConflict) || errors.Is(err, ErrAborted) ||
+		errors.Is(err, ErrSnapshotUnavailable)
+}

@@ -1,0 +1,175 @@
+package core
+
+import (
+	"sync/atomic"
+)
+
+// objIDs issues process-unique object identifiers.
+var objIDs atomic.Uint64
+
+// NextObjectID returns a fresh process-unique object ID, used to key
+// read/write sets and to identify objects in recorded histories.
+func NextObjectID() uint64 { return objIDs.Add(1) }
+
+// Version is one committed state of an Object under a scalar time base.
+// Versions form a singly-linked chain from newest to oldest via Prev; the
+// chain is truncated to the object's retention depth on install.
+//
+// The validity interval of a version (paper §4.1) is [TS, next.TS): it
+// begins at its writer's commit time and ends when the next version is
+// installed.
+type Version struct {
+	// Value is the committed payload. Values are treated as immutable:
+	// writers install new versions instead of mutating in place, which is
+	// what lets long transactions hold references without copying
+	// (paper §5.1: "This object will not change...").
+	Value any
+	// TS is the scalar commit time of the writing transaction.
+	TS uint64
+	// Seq is the per-object version sequence number, starting at 1 for
+	// the initial version. It defines the per-object version order used
+	// by the offline consistency checkers.
+	Seq uint64
+	// WriterID is the transaction ID that installed this version (0 for
+	// the initial version); recorded for history checking and debugging.
+	WriterID uint64
+	// Zone is the z-linearizability zone the writer committed in (0 when
+	// the STM does not use zones). A long transaction with zone number z
+	// must not observe versions tagged z: they were installed by
+	// same-zone short transactions that serialize after it, possibly in
+	// the window between the long's zone stamp and its read (see
+	// zstm.LongTx.Read).
+	Zone uint64
+
+	// depth is the number of versions reachable through prev including
+	// this one, maintained by Install to amortize chain truncation. It
+	// is written before the version is published and never changes.
+	depth uint32
+	// prev is the next-older version, or nil if truncated or initial.
+	// It is atomic because truncation severs the chain on a node that
+	// is already published to concurrent (invisible) readers.
+	prev atomic.Pointer[Version]
+}
+
+// Prev returns the next-older retained version, or nil if truncated or
+// initial.
+func (v *Version) Prev() *Version { return v.prev.Load() }
+
+// Object is the fat object header shared by the scalar-clock STMs
+// (LSA-STM and Z-STM). It provides a committed version chain, a writer
+// ownership word for visible write/write conflict detection, and the
+// per-object zone stamp o.zc used by Z-STM (Algorithms 2 and 3).
+//
+// The zero value is not usable; construct objects with NewObject.
+type Object struct {
+	id   uint64
+	cur  atomic.Pointer[Version]
+	wr   atomic.Pointer[TxMeta]
+	zc   atomic.Uint64
+	keep int
+}
+
+// NewObject returns an object whose initial committed version holds value
+// at time 0, retaining at least keep committed versions (keep < 1 is
+// treated as 1, i.e. a single-version object as in TL2). Truncation is
+// amortized: the chain may transiently grow to 2*keep-1 versions before
+// it is cut back to keep, so installs cost O(1) amortized instead of
+// O(keep) each.
+func NewObject(value any, keep int) *Object {
+	if keep < 1 {
+		keep = 1
+	}
+	o := &Object{id: NextObjectID(), keep: keep}
+	o.cur.Store(&Version{Value: value, Seq: 1, depth: 1})
+	return o
+}
+
+// ID returns the object's process-unique identifier.
+func (o *Object) ID() uint64 { return o.id }
+
+// Retain returns the configured version retention depth.
+func (o *Object) Retain() int { return o.keep }
+
+// Current returns the newest committed version. It never returns nil.
+func (o *Object) Current() *Version { return o.cur.Load() }
+
+// FindAt returns the newest version with TS <= t, or nil if every
+// retained version is newer than t (the snapshot is too old to serve,
+// ErrSnapshotUnavailable at the caller).
+func (o *Object) FindAt(t uint64) *Version {
+	for v := o.cur.Load(); v != nil; v = v.Prev() {
+		if v.TS <= t {
+			return v
+		}
+	}
+	return nil
+}
+
+// Install publishes a new committed version with the given value, commit
+// time and writer zone. The caller must be the current writer owner
+// (single-writer protocol), so the store does not race with other
+// installs.
+//
+// Truncation is amortized: the chain is cut back to the retention depth
+// only when it reaches twice that depth, so a saturated object pays one
+// O(keep) walk every keep installs instead of on every install.
+// Concurrent readers walking the chain may observe the cut mid-walk and
+// simply see fewer old versions, which is always safe.
+func (o *Object) Install(value any, ts, writerID, zone uint64) *Version {
+	cur := o.cur.Load()
+	v := &Version{Value: value, TS: ts, Seq: cur.Seq + 1, WriterID: writerID, Zone: zone}
+	switch {
+	case o.keep == 1:
+		v.depth = 1 // single-version: never link the predecessor
+	case int(cur.depth) >= 2*o.keep-1:
+		v.prev.Store(cur)
+		p := v
+		for i := 1; i < o.keep; i++ {
+			p = p.Prev()
+		}
+		p.prev.Store(nil)
+		v.depth = uint32(o.keep)
+	default:
+		v.prev.Store(cur)
+		v.depth = cur.depth + 1
+	}
+	o.cur.Store(v)
+	return v
+}
+
+// Writer returns the transaction currently holding write ownership, or
+// nil. A non-nil owner whose status is terminal is a stale lock that the
+// next acquirer may steal.
+func (o *Object) Writer() *TxMeta { return o.wr.Load() }
+
+// CASWriter attempts to swing write ownership from old to new (either may
+// be nil) and reports success.
+func (o *Object) CASWriter(old, new *TxMeta) bool {
+	return o.wr.CompareAndSwap(old, new)
+}
+
+// ReleaseWriter clears write ownership if owned by m.
+func (o *Object) ReleaseWriter(m *TxMeta) { o.wr.CompareAndSwap(m, nil) }
+
+// ZC returns the object's zone stamp o.zc (paper, Algorithms 2 and 3).
+func (o *Object) ZC() uint64 { return o.zc.Load() }
+
+// RaiseZC atomically raises o.zc to z if z is greater (the CAS-max used
+// when a long transaction opens the object, Algorithm 2 line 7). It
+// reports whether o.zc == z after the call, i.e. whether the caller's
+// zone now owns the object; false means a transaction with a higher zone
+// number already passed us (Algorithm 2 line 19).
+func (o *Object) RaiseZC(z uint64) bool {
+	for {
+		cur := o.zc.Load()
+		if cur == z {
+			return true
+		}
+		if cur > z {
+			return false
+		}
+		if o.zc.CompareAndSwap(cur, z) {
+			return true
+		}
+	}
+}

@@ -1,0 +1,489 @@
+// Package cstm implements CS-STM, the causally serializable STM of paper
+// §4.1 (Algorithm 1), using a vector time base — either exact vector
+// clocks or plausible r-entry REV clocks (§4.3), which trade extra
+// (false-conflict) aborts for constant timestamp size but never miss a
+// true causal conflict.
+//
+// Shared objects traverse a sequence of versions; each version carries
+// the vector commit timestamp of the transaction that installed it. A
+// transaction T accumulates its tentative commit timestamp T.ct as the
+// element-wise maximum of every version it opens. Reads are invisible; a
+// single writer per object is enforced with contention-managed
+// arbitration. At commit, T validates that no version it read has a
+// successor whose timestamp strictly precedes T.ct — such a successor
+// would have to be ordered both before and after T, so no causally
+// consistent view could exist (paper §4.1, correctness argument).
+package cstm
+
+import (
+	"sync/atomic"
+
+	"tbtm/internal/cm"
+	"tbtm/internal/core"
+	"tbtm/internal/vclock"
+)
+
+// Config parameterizes a CS-STM instance.
+type Config struct {
+	// Threads is the number of worker threads the vector clock is sized
+	// for (default 16). Creating more threads than this is safe — they
+	// share entries like a plausible clock.
+	Threads int
+	// Entries is the timestamp width r. Zero means Threads (exact vector
+	// clocks); 1 gives a single shared counter; intermediate values give
+	// plausible REV clocks.
+	Entries int
+	// Mapping selects the processor→entry mapping for plausible widths
+	// (default: the paper's modulo mapping).
+	Mapping vclock.Mapping
+	// Comb appends a second REV segment of r+1 modulo-mapped entries to
+	// the plausible timestamps (§4.3's "other types of plausible
+	// clocks"; see vclock.NewComb). A false ordering must survive both
+	// processor→entry sharings, reducing spurious aborts at the price of
+	// wider timestamps.
+	Comb bool
+	// CM arbitrates write/write conflicts. Nil means Polite.
+	CM cm.Manager
+	// Versions is the number of committed versions retained per object
+	// (default 1, the paper's base algorithm, where "old versions do not
+	// need to be kept"). Values > 1 enable the multi-version variant of
+	// §4.1 footnote 1: a read may return an older retained version,
+	// chosen to maximize the chances of successful validation, trading
+	// space for long-reader concurrency.
+	Versions int
+}
+
+// Stats is a snapshot of an instance's cumulative counters.
+type Stats struct {
+	Commits   uint64 // transactions committed
+	Aborts    uint64 // transactions aborted
+	Conflicts uint64 // validation failures
+}
+
+// STM is a CS-STM instance.
+type STM struct {
+	cfg   Config
+	clock *vclock.Clock
+
+	nextThread atomic.Int64
+
+	commits   atomic.Uint64
+	aborts    atomic.Uint64
+	conflicts atomic.Uint64
+}
+
+// New returns a CS-STM instance, applying defaults for zero fields.
+func New(cfg Config) *STM {
+	if cfg.Threads < 1 {
+		cfg.Threads = 16
+	}
+	if cfg.Entries < 1 || cfg.Entries > cfg.Threads {
+		cfg.Entries = cfg.Threads
+	}
+	if cfg.CM == nil {
+		cfg.CM = &cm.Polite{}
+	}
+	if cfg.Versions < 1 {
+		cfg.Versions = 1
+	}
+	mk := vclock.NewMapped
+	if cfg.Comb {
+		mk = vclock.NewComb
+	}
+	return &STM{cfg: cfg, clock: mk(cfg.Threads, cfg.Entries, cfg.Mapping)}
+}
+
+// Config returns the effective configuration.
+func (s *STM) Config() Config { return s.cfg }
+
+// Clock exposes the vector time base (tests, S-STM reuse).
+func (s *STM) Clock() *vclock.Clock { return s.clock }
+
+// Stats returns a snapshot of the cumulative counters.
+func (s *STM) Stats() Stats {
+	return Stats{
+		Commits:   s.commits.Load(),
+		Aborts:    s.aborts.Load(),
+		Conflicts: s.conflicts.Load(),
+	}
+}
+
+// Version is one committed state of an Object. CT is the vector commit
+// timestamp of the installing transaction; Next is set when the version
+// is superseded, giving validation the v_{i+1} of Algorithm 1 line 22.
+type Version struct {
+	Value    any
+	CT       vclock.TS
+	Seq      uint64
+	WriterID uint64
+
+	next atomic.Pointer[Version]
+	prev atomic.Pointer[Version]
+}
+
+// Next returns the successor version, or nil while this version is
+// current.
+func (v *Version) Next() *Version { return v.next.Load() }
+
+// Prev returns the retained predecessor version, or nil when this is the
+// oldest retained version (always nil with Config.Versions == 1).
+func (v *Version) Prev() *Version { return v.prev.Load() }
+
+// Object is a CS-STM shared object: the current version plus a writer
+// ownership word (single writer per object, Algorithm 1 lines 9-13).
+type Object struct {
+	id  uint64
+	cur atomic.Pointer[Version]
+	wr  atomic.Pointer[core.TxMeta]
+}
+
+// NewObject allocates an object whose initial version has a zero
+// timestamp.
+func (s *STM) NewObject(initial any) *Object {
+	o := &Object{id: core.NextObjectID()}
+	o.cur.Store(&Version{Value: initial, CT: s.clock.Zero(), Seq: 1})
+	return o
+}
+
+// ID returns the object's process-unique identifier.
+func (o *Object) ID() uint64 { return o.id }
+
+// Current returns the newest committed version.
+func (o *Object) Current() *Version { return o.cur.Load() }
+
+// Writer returns the transaction holding write ownership, or nil.
+func (o *Object) Writer() *core.TxMeta { return o.wr.Load() }
+
+// Thread is a per-goroutine handle carrying VC_p, the commit timestamp of
+// the thread's last committed transaction (Algorithm 1 line 3).
+type Thread struct {
+	stm *STM
+	id  int
+	vc  vclock.TS
+}
+
+// NewThread returns a handle for one worker goroutine.
+func (s *STM) NewThread() *Thread {
+	return &Thread{stm: s, id: int(s.nextThread.Add(1) - 1), vc: s.clock.Zero()}
+}
+
+// ID returns the thread's index (its vector-clock entry is ID mod r).
+func (th *Thread) ID() int { return th.id }
+
+// STM returns the owning instance.
+func (th *Thread) STM() *STM { return th.stm }
+
+// VC returns a copy of the thread's last committed timestamp (tests).
+func (th *Thread) VC() vclock.TS { return th.vc.Clone() }
+
+// Begin starts a transaction (Algorithm 1 lines 1-5). kind feeds the
+// contention manager; readOnly transactions skip the commit-time tick.
+func (th *Thread) Begin(kind core.TxKind, readOnly bool) *Tx {
+	return &Tx{
+		stm:  th.stm,
+		th:   th,
+		meta: core.NewTxMeta(kind, th.id),
+		ro:   readOnly,
+		ct:   th.vc.Clone(),
+	}
+}
+
+type readEntry struct {
+	obj *Object
+	ver *Version
+}
+
+type writeEntry struct {
+	obj  *Object
+	base *Version // version current at open time; its Next is set on install
+	val  any
+}
+
+// Tx is a CS-STM transaction.
+type Tx struct {
+	stm  *STM
+	th   *Thread
+	meta *core.TxMeta
+	ro   bool
+
+	// ct is the tentative commit timestamp T.ct.
+	ct vclock.TS
+
+	reads  []readEntry
+	writes []writeEntry
+	windex map[uint64]int
+	// rindex deduplicates reads per object in multi-version mode, so a
+	// re-read returns the version chosen first rather than re-picking.
+	rindex map[uint64]int
+	// scratch is pick's reusable fold buffer (multi-version mode only).
+	scratch vclock.TS
+	done    bool
+}
+
+// Meta exposes the shared descriptor.
+func (tx *Tx) Meta() *core.TxMeta { return tx.meta }
+
+// CT returns a copy of the tentative commit timestamp (tests).
+func (tx *Tx) CT() vclock.TS { return tx.ct.Clone() }
+
+// stabilize waits until o has no committing writer, so that versions from
+// in-flight multi-object installs are never observed partially.
+func (tx *Tx) stabilize(o *Object) {
+	for round := 0; ; round++ {
+		w := o.wr.Load()
+		if w == nil || w == tx.meta || w.Status() != core.StatusCommitting {
+			return
+		}
+		cm.Backoff(round)
+	}
+}
+
+func (tx *Tx) fail(err error) error {
+	tx.meta.TryAbort()
+	tx.releaseLocks()
+	tx.done = true
+	tx.stm.aborts.Add(1)
+	return err
+}
+
+// Read opens o in read mode (Algorithm 1 lines 6-8, 16-17): the last
+// committed version is returned, T.ct is raised to dominate its
+// timestamp, and the read is recorded for commit-time validation.
+func (tx *Tx) Read(o *Object) (any, error) {
+	if tx.done {
+		return nil, core.ErrTxDone
+	}
+	if tx.meta.Status() == core.StatusAborted {
+		return nil, tx.fail(core.ErrAborted)
+	}
+	if i, ok := tx.windex[o.ID()]; ok {
+		return tx.writes[i].val, nil
+	}
+	if tx.rindex != nil {
+		if i, ok := tx.rindex[o.ID()]; ok {
+			return tx.reads[i].ver.Value, nil
+		}
+	}
+	tx.meta.Prio.Add(1)
+	tx.stabilize(o)
+	v := tx.pick(o)
+	tx.ct.MaxInto(v.CT)
+	if tx.stm.cfg.Versions > 1 {
+		if tx.rindex == nil {
+			tx.rindex = make(map[uint64]int, 8)
+		}
+		tx.rindex[o.ID()] = len(tx.reads)
+	}
+	tx.reads = append(tx.reads, readEntry{obj: o, ver: v})
+	return v.Value, nil
+}
+
+// pick returns the version of o the transaction reads. With a single
+// retained version this is the current version (Algorithm 1 line 7).
+// With Config.Versions > 1 it implements §4.1 footnote 1: walk the
+// retained chain from newest to oldest and take the first version whose
+// adoption keeps the transaction validatable — folding the candidate's
+// timestamp into T.ct must not make the successor of the candidate, or
+// of any version already read, precede the raised T.ct. The current
+// version has no successor yet, so when every candidate fails the fold
+// check the current version is still returned and the conflict is left
+// to commit-time validation (it may resolve if the blocking reads are
+// upgraded to writes of the same objects).
+func (tx *Tx) pick(o *Object) *Version {
+	cur := o.cur.Load()
+	if tx.stm.cfg.Versions <= 1 {
+		return cur
+	}
+	if tx.scratch == nil {
+		tx.scratch = make(vclock.TS, len(tx.ct))
+	}
+	for v := cur; v != nil; v = v.prev.Load() {
+		copy(tx.scratch, tx.ct)
+		tx.scratch.MaxInto(v.CT)
+		if tx.admissible(v, tx.scratch, !tx.scratch.Equal(tx.ct)) {
+			return v
+		}
+	}
+	return cur
+}
+
+// admissible reports whether reading v — raising T.ct to ct — leaves
+// every read (v itself and all previous reads) passing the Algorithm 1
+// line 22 validation test at the raised timestamp. When the fold did not
+// raise T.ct (raised == false) previous reads were already checked at
+// this timestamp, so only v's own successor needs inspection — the
+// common case on quiescent objects, keeping long scans near-linear.
+func (tx *Tx) admissible(v *Version, ct vclock.TS, raised bool) bool {
+	if s := v.next.Load(); s != nil && s.CT.LessEq(ct) {
+		return false
+	}
+	if !raised {
+		return true
+	}
+	for _, r := range tx.reads {
+		if s := r.ver.next.Load(); s != nil && s.CT.LessEq(ct) {
+			return false
+		}
+	}
+	return true
+}
+
+// Write opens o in write mode (Algorithm 1 lines 9-15): a single writer
+// is enforced, conflicts are arbitrated by the contention manager, and
+// the tentative value is buffered until commit.
+func (tx *Tx) Write(o *Object, val any) error {
+	if tx.done {
+		return core.ErrTxDone
+	}
+	if tx.ro {
+		return core.ErrReadOnly
+	}
+	if tx.meta.Status() == core.StatusAborted {
+		return tx.fail(core.ErrAborted)
+	}
+	if i, ok := tx.windex[o.ID()]; ok {
+		tx.writes[i].val = val
+		return nil
+	}
+	tx.meta.Prio.Add(1)
+
+	for round := 0; ; round++ {
+		if tx.meta.Status() == core.StatusAborted {
+			return tx.fail(core.ErrAborted)
+		}
+		w := o.wr.Load()
+		switch {
+		case w == nil:
+			if o.wr.CompareAndSwap(nil, tx.meta) {
+				tx.recordWrite(o, val)
+				return nil
+			}
+		case w == tx.meta:
+			tx.recordWrite(o, val)
+			return nil
+		case w.Status().Terminal():
+			if o.wr.CompareAndSwap(w, tx.meta) {
+				tx.recordWrite(o, val)
+				return nil
+			}
+		default:
+			if !cm.Resolve(tx.stm.cfg.CM, tx.meta, w) {
+				tx.stm.conflicts.Add(1)
+				return tx.fail(core.ErrAborted)
+			}
+		}
+		cm.Backoff(round / 4)
+	}
+}
+
+func (tx *Tx) recordWrite(o *Object, val any) {
+	v := o.cur.Load()
+	tx.ct.MaxInto(v.CT)
+	if tx.windex == nil {
+		tx.windex = make(map[uint64]int, 8)
+	}
+	tx.windex[o.ID()] = len(tx.writes)
+	tx.writes = append(tx.writes, writeEntry{obj: o, base: v, val: val})
+}
+
+// validate implements Algorithm 1 lines 20-26: the transaction aborts if
+// any version it read has a successor whose timestamp precedes (or
+// equals) T.ct — the transaction would causally both precede and follow
+// the successor's writer. Checking the immediate successor suffices:
+// later successors dominate earlier ones, so any v_{i+k} ≼ T.ct implies
+// v_{i+1} ≼ T.ct.
+//
+// The paper's test is strictly ≺; it assumes each object is opened
+// exactly once, so a transaction never observes the successor of one of
+// its own reads. Our API separates Read and Write, and a read-then-write
+// upgrade that re-acquires the lock after an enemy commit folds the
+// successor's timestamp into T.ct (making them equal). Committed
+// timestamps are unique — each contains a fresh clock tick — so equality
+// means T.ct absorbed the successor itself: a true conflict, hence ≼.
+func (tx *Tx) validate() bool {
+	for _, r := range tx.reads {
+		tx.stabilize(r.obj)
+		if succ := r.ver.next.Load(); succ != nil && succ.CT.LessEq(tx.ct) {
+			return false
+		}
+	}
+	return true
+}
+
+// Commit implements Algorithm 1 lines 27-32: validate, tick the thread's
+// vector-clock entry, install tentative versions, and remember the commit
+// timestamp in VC_p.
+func (tx *Tx) Commit() error {
+	if tx.done {
+		return core.ErrTxDone
+	}
+	if tx.meta.Status() == core.StatusAborted {
+		return tx.fail(core.ErrAborted)
+	}
+	if !tx.meta.CASStatus(core.StatusActive, core.StatusCommitting) {
+		return tx.fail(core.ErrAborted)
+	}
+	if !tx.validate() {
+		tx.meta.CASStatus(core.StatusCommitting, core.StatusAborted)
+		tx.releaseLocks()
+		tx.done = true
+		tx.stm.aborts.Add(1)
+		tx.stm.conflicts.Add(1)
+		return core.ErrConflict
+	}
+	if len(tx.writes) > 0 {
+		// Increment p's component with a global get-and-increment so that
+		// threads sharing a plausible-clock entry never generate the same
+		// timestamp (§4.3). Stamp also advances the Lamport entry of a
+		// comb clock.
+		tx.stm.clock.Stamp(tx.th.id, tx.ct)
+		for _, w := range tx.writes {
+			nv := &Version{Value: w.val, CT: tx.ct, Seq: w.base.Seq + 1, WriterID: tx.meta.ID}
+			if tx.stm.cfg.Versions > 1 {
+				nv.prev.Store(w.base)
+			}
+			w.base.next.Store(nv)
+			w.obj.cur.Store(nv)
+			trim(nv, tx.stm.cfg.Versions)
+		}
+	}
+	tx.meta.CASStatus(core.StatusCommitting, core.StatusCommitted)
+	tx.releaseLocks()
+	tx.done = true
+	tx.th.vc = tx.ct // VC_p ← T.ct (line 31)
+	tx.stm.commits.Add(1)
+	return nil
+}
+
+// Abort aborts the transaction explicitly; no-op when already finished.
+func (tx *Tx) Abort() {
+	if tx.done {
+		return
+	}
+	tx.meta.TryAbort()
+	tx.releaseLocks()
+	tx.done = true
+	tx.stm.aborts.Add(1)
+}
+
+// trim severs the retained version chain keep versions behind nv, so at
+// most keep versions stay reachable through Prev. Concurrent pickers may
+// observe the chain shortening mid-walk; they simply see fewer
+// candidates, which is always safe.
+func trim(nv *Version, keep int) {
+	node := nv
+	for i := 1; i < keep; i++ {
+		p := node.prev.Load()
+		if p == nil {
+			return
+		}
+		node = p
+	}
+	node.prev.Store(nil)
+}
+
+func (tx *Tx) releaseLocks() {
+	for _, w := range tx.writes {
+		w.obj.wr.CompareAndSwap(tx.meta, nil)
+	}
+}

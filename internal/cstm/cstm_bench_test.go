@@ -1,0 +1,57 @@
+package cstm
+
+import (
+	"fmt"
+	"testing"
+
+	"tbtm/internal/core"
+)
+
+func BenchmarkTransferByWidth(b *testing.B) {
+	// Vector width r is the §4.3 size/accuracy knob; this measures its
+	// pure bookkeeping cost (timestamp merge + validation) per update
+	// transaction.
+	for _, r := range []int{1, 2, 8, 16, 64} {
+		b.Run(fmt.Sprintf("r=%d", r), func(b *testing.B) {
+			s := New(Config{Threads: 64, Entries: r})
+			oa, ob := s.NewObject(int64(0)), s.NewObject(int64(0))
+			th := s.NewThread()
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				tx := th.Begin(core.Short, false)
+				if _, err := tx.Read(oa); err != nil {
+					b.Fatal(err)
+				}
+				if err := tx.Write(ob, int64(i)); err != nil {
+					b.Fatal(err)
+				}
+				if err := tx.Commit(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkReadOnlyScan(b *testing.B) {
+	s := New(Config{Threads: 16})
+	const n = 100
+	objs := make([]*Object, n)
+	for i := range objs {
+		objs[i] = s.NewObject(int64(i))
+	}
+	th := s.NewThread()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tx := th.Begin(core.Long, true)
+		for _, o := range objs {
+			if _, err := tx.Read(o); err != nil {
+				b.Fatal(err)
+			}
+		}
+		if err := tx.Commit(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,447 @@
+package cstm
+
+import (
+	"errors"
+	"sync"
+	"testing"
+
+	"tbtm/internal/cm"
+	"tbtm/internal/core"
+)
+
+func atomically(t *testing.T, th *Thread, ro bool, fn func(tx *Tx) error) {
+	t.Helper()
+	for i := 0; ; i++ {
+		tx := th.Begin(core.Short, ro)
+		err := fn(tx)
+		if err == nil {
+			err = tx.Commit()
+		} else {
+			tx.Abort()
+		}
+		if err == nil {
+			return
+		}
+		if !core.IsRetryable(err) {
+			t.Errorf("non-retryable error: %v", err)
+			return
+		}
+		if i > 20000 {
+			t.Error("transaction did not commit after 20000 retries")
+			return
+		}
+	}
+}
+
+func TestBasicReadWrite(t *testing.T) {
+	s := New(Config{Threads: 4})
+	o := s.NewObject(int64(1))
+	th := s.NewThread()
+	atomically(t, th, false, func(tx *Tx) error {
+		v, err := tx.Read(o)
+		if err != nil {
+			return err
+		}
+		return tx.Write(o, v.(int64)+1)
+	})
+	tx := th.Begin(core.Short, true)
+	v, err := tx.Read(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != int64(2) {
+		t.Fatalf("value = %v, want 2", v)
+	}
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReadOwnWrite(t *testing.T) {
+	s := New(Config{Threads: 4})
+	o := s.NewObject(1)
+	tx := s.NewThread().Begin(core.Short, false)
+	if err := tx.Write(o, 2); err != nil {
+		t.Fatal(err)
+	}
+	v, err := tx.Read(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != 2 {
+		t.Fatalf("read-own-write = %v", v)
+	}
+	tx.Abort()
+}
+
+func TestReadOnlyRejectsWrites(t *testing.T) {
+	s := New(Config{Threads: 4})
+	o := s.NewObject(0)
+	tx := s.NewThread().Begin(core.Short, true)
+	if err := tx.Write(o, 1); !errors.Is(err, core.ErrReadOnly) {
+		t.Fatalf("err = %v, want ErrReadOnly", err)
+	}
+	tx.Abort()
+}
+
+func TestUseAfterDone(t *testing.T) {
+	s := New(Config{Threads: 4})
+	o := s.NewObject(0)
+	tx := s.NewThread().Begin(core.Short, false)
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tx.Read(o); !errors.Is(err, core.ErrTxDone) {
+		t.Fatalf("Read after done = %v", err)
+	}
+	if err := tx.Write(o, 1); !errors.Is(err, core.ErrTxDone) {
+		t.Fatalf("Write after done = %v", err)
+	}
+	tx.Abort() // no-op
+}
+
+// TestFigure1AllCommit replays the paper's Figure 1 under CS-STM: T1 and
+// T2 update disjoint objects while the long transaction TL reads across
+// them. Linearizable TBTMs abort TL; CS-STM commits all three because T1
+// and T2 are not causally ordered (paper §4, discussion around Figure 1).
+func TestFigure1AllCommit(t *testing.T) {
+	s := New(Config{Threads: 3})
+	o1, o2 := s.NewObject("o1v0"), s.NewObject("o2v0")
+	o3, o4 := s.NewObject("o3v0"), s.NewObject("o4v0")
+	p1, p2, p3 := s.NewThread(), s.NewThread(), s.NewThread()
+
+	// TL reads o1 and o2 first (their initial versions).
+	tl := p3.Begin(core.Long, false)
+	if _, err := tl.Read(o1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tl.Read(o2); err != nil {
+		t.Fatal(err)
+	}
+
+	// T1 : w(o1) w(o2), commits.
+	t1 := p1.Begin(core.Short, false)
+	if err := t1.Write(o1, "o1v1"); err != nil {
+		t.Fatal(err)
+	}
+	if err := t1.Write(o2, "o2v1"); err != nil {
+		t.Fatal(err)
+	}
+	if err := t1.Commit(); err != nil {
+		t.Fatalf("T1 commit: %v", err)
+	}
+
+	// T2 : w(o3) w(o3), commits after T1 in real time.
+	t2 := p2.Begin(core.Short, false)
+	if err := t2.Write(o3, "o3v1a"); err != nil {
+		t.Fatal(err)
+	}
+	if err := t2.Write(o3, "o3v1b"); err != nil {
+		t.Fatal(err)
+	}
+	if err := t2.Commit(); err != nil {
+		t.Fatalf("T2 commit: %v", err)
+	}
+
+	// T1.ct and T2.ct are concurrent: disjoint object sets.
+	if !t1.CT().Concurrent(t2.CT()) {
+		t.Fatalf("T1.ct %v and T2.ct %v not concurrent", t1.CT(), t2.CT())
+	}
+
+	// TL reads o3 (T2's version) and writes o4. The valid serialization
+	// is T2 → TL → T1, so TL must commit.
+	v, err := tl.Read(o3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != "o3v1b" {
+		t.Fatalf("TL read o3 = %v", v)
+	}
+	if err := tl.Write(o4, "o4v1"); err != nil {
+		t.Fatal(err)
+	}
+	if err := tl.Commit(); err != nil {
+		t.Fatalf("TL commit: %v (CS-STM must allow the serialization T2→TL→T1)", err)
+	}
+	if got := s.Stats().Commits; got != 3 {
+		t.Fatalf("commits = %d, want 3", got)
+	}
+}
+
+// TestFigure3StyleAbort builds the conflict pattern of the paper's
+// Figure 3 discussion: a transaction that reads a version overwritten by
+// a transaction it causally follows cannot construct a consistent view
+// and must abort.
+func TestFigure3StyleAbort(t *testing.T) {
+	s := New(Config{Threads: 3})
+	o1, o3 := s.NewObject("o1v0"), s.NewObject("o3v0")
+	p1, p2 := s.NewThread(), s.NewThread()
+
+	// T1 reads o3's initial version.
+	t1 := p1.Begin(core.Short, false)
+	if _, err := t1.Read(o3); err != nil {
+		t.Fatal(err)
+	}
+
+	// T2 overwrites both o1 and o3 and commits.
+	t2 := p2.Begin(core.Short, false)
+	if err := t2.Write(o1, "o1v1"); err != nil {
+		t.Fatal(err)
+	}
+	if err := t2.Write(o3, "o3v1"); err != nil {
+		t.Fatal(err)
+	}
+	if err := t2.Commit(); err != nil {
+		t.Fatal(err)
+	}
+
+	// T1 now reads o1 — T2's version — so T1 causally follows T2, yet the
+	// version of o3 it read was overwritten by T2: both before and after.
+	if _, err := t1.Read(o1); err != nil {
+		t.Fatal(err)
+	}
+	if err := t1.Write(o1, "o1v2"); err != nil {
+		t.Fatal(err)
+	}
+	if err := t1.Commit(); !errors.Is(err, core.ErrConflict) {
+		t.Fatalf("T1 commit = %v, want ErrConflict", err)
+	}
+	if s.Stats().Conflicts == 0 {
+		t.Fatal("conflict not counted")
+	}
+}
+
+func TestConcurrentUnrelatedUpdatesBothCommit(t *testing.T) {
+	// Two transactions on different threads updating disjoint objects are
+	// never ordered: both commit regardless of interleaving.
+	s := New(Config{Threads: 2})
+	a, b := s.NewObject(0), s.NewObject(0)
+	p1, p2 := s.NewThread(), s.NewThread()
+
+	t1 := p1.Begin(core.Short, false)
+	t2 := p2.Begin(core.Short, false)
+	if err := t1.Write(a, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := t2.Write(b, 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := t1.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if err := t2.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if !t1.CT().Concurrent(t2.CT()) {
+		t.Fatalf("timestamps ordered: %v vs %v", t1.CT(), t2.CT())
+	}
+}
+
+func TestLostUpdatePrevented(t *testing.T) {
+	// Read-then-write upgrade whose lock is re-acquired after an enemy
+	// commit must abort (the ≼ validation case documented on validate).
+	s := New(Config{Threads: 2, CM: cm.Timestamp{}})
+	o := s.NewObject(int64(100))
+	p1, p2 := s.NewThread(), s.NewThread()
+
+	t1 := p1.Begin(core.Short, false)
+	if _, err := t1.Read(o); err != nil {
+		t.Fatal(err)
+	}
+	// Enemy commits a new version.
+	atomically(t, p2, false, func(tx *Tx) error {
+		v, err := tx.Read(o)
+		if err != nil {
+			return err
+		}
+		return tx.Write(o, v.(int64)-10)
+	})
+	// t1 writes based on its stale read; it must not commit.
+	if err := t1.Write(o, int64(100-10)); err != nil {
+		if !core.IsRetryable(err) {
+			t.Fatalf("Write = %v", err)
+		}
+		return // aborted at open: also fine
+	}
+	if err := t1.Commit(); !errors.Is(err, core.ErrConflict) {
+		t.Fatalf("stale committer = %v, want ErrConflict", err)
+	}
+}
+
+func TestWriteWriteSingleWriter(t *testing.T) {
+	s := New(Config{Threads: 2, CM: cm.Timestamp{}})
+	o := s.NewObject(0)
+	p1, p2 := s.NewThread(), s.NewThread()
+
+	older := p1.Begin(core.Short, false)
+	if err := older.Write(o, 1); err != nil {
+		t.Fatal(err)
+	}
+	younger := p2.Begin(core.Short, false)
+	if err := younger.Write(o, 2); !errors.Is(err, core.ErrAborted) {
+		t.Fatalf("younger = %v, want ErrAborted", err)
+	}
+	if err := older.Commit(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCausalityThroughThreads(t *testing.T) {
+	// A thread's next transaction starts from VC_p, so same-thread
+	// transactions are always causally ordered.
+	s := New(Config{Threads: 2})
+	a := s.NewObject(0)
+	p := s.NewThread()
+	tx1 := p.Begin(core.Short, false)
+	if err := tx1.Write(a, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx1.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	ct1 := tx1.CT()
+	tx2 := p.Begin(core.Short, false)
+	if err := tx2.Write(a, 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx2.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if !ct1.Less(tx2.CT()) {
+		t.Fatalf("same-thread commits not ordered: %v vs %v", ct1, tx2.CT())
+	}
+}
+
+func TestMoneyConservation(t *testing.T) {
+	// Write/write conflicts are single-writer and stale read-then-write
+	// upgrades abort, so transfers conserve the total even under the
+	// weaker causal-serializability criterion.
+	for _, entries := range []int{0, 1, 2} { // full VC, scalar, plausible r=2
+		entries := entries
+		t.Run(map[int]string{0: "vector", 1: "scalar", 2: "plausible2"}[entries], func(t *testing.T) {
+			s := New(Config{Threads: 4, Entries: entries})
+			const accounts, transfers, workers = 8, 60, 4
+			objs := make([]*Object, accounts)
+			for i := range objs {
+				objs[i] = s.NewObject(int64(100))
+			}
+			var wg sync.WaitGroup
+			for w := 0; w < workers; w++ {
+				wg.Add(1)
+				go func(seed int) {
+					defer wg.Done()
+					th := s.NewThread()
+					for i := 0; i < transfers; i++ {
+						from := (seed + i) % accounts
+						to := (seed + i*5 + 1) % accounts
+						if from == to {
+							continue
+						}
+						atomically(t, th, false, func(tx *Tx) error {
+							fv, err := tx.Read(objs[from])
+							if err != nil {
+								return err
+							}
+							tv, err := tx.Read(objs[to])
+							if err != nil {
+								return err
+							}
+							if err := tx.Write(objs[from], fv.(int64)-1); err != nil {
+								return err
+							}
+							return tx.Write(objs[to], tv.(int64)+1)
+						})
+					}
+				}(w)
+			}
+			wg.Wait()
+			var total int64
+			th := s.NewThread()
+			atomically(t, th, true, func(tx *Tx) error {
+				total = 0
+				for _, o := range objs {
+					v, err := tx.Read(o)
+					if err != nil {
+						return err
+					}
+					total += v.(int64)
+				}
+				return nil
+			})
+			if total != accounts*100 {
+				t.Fatalf("total = %d, want %d", total, accounts*100)
+			}
+		})
+	}
+}
+
+func TestPlausibleClockMoreAborts(t *testing.T) {
+	// §4.3: plausible clocks may order concurrent events, causing
+	// unnecessary aborts — but never missed conflicts. Compare conflict
+	// counts between r=1 (total order) and full vector clocks on a
+	// Figure-1-like pattern where false ordering matters.
+	run := func(entries int) uint64 {
+		s := New(Config{Threads: 3, Entries: entries})
+		o1, o3 := s.NewObject(0), s.NewObject(0)
+		p1, p2, p3 := s.NewThread(), s.NewThread(), s.NewThread()
+		var conflicts uint64
+		for i := 0; i < 50; i++ {
+			tl := p3.Begin(core.Long, false)
+			if _, err := tl.Read(o1); err != nil {
+				t.Fatal(err)
+			}
+			// Two causally unrelated updates on different threads.
+			atomically(t, p1, false, func(tx *Tx) error { return tx.Write(o1, i) })
+			atomically(t, p2, false, func(tx *Tx) error { return tx.Write(o3, i) })
+			if _, err := tl.Read(o3); err != nil {
+				t.Fatal(err)
+			}
+			if err := tl.Commit(); err != nil {
+				conflicts++
+			}
+		}
+		return conflicts
+	}
+	full := run(0)   // exact vector clocks
+	scalar := run(1) // single shared counter (r=1)
+	if full > scalar {
+		t.Fatalf("vector clocks aborted more (%d) than scalar (%d)", full, scalar)
+	}
+	if scalar == 0 {
+		t.Fatal("scalar clock produced no false conflicts in a pattern designed to trigger them")
+	}
+	if full != 0 {
+		t.Fatalf("vector clocks produced %d conflicts on causally unrelated updates", full)
+	}
+}
+
+func TestStatsAndAccessors(t *testing.T) {
+	s := New(Config{})
+	cfg := s.Config()
+	if cfg.Threads != 16 || cfg.Entries != 16 {
+		t.Fatalf("defaults = %+v", cfg)
+	}
+	if !s.Clock().Exact() {
+		t.Fatal("default clock not exact")
+	}
+	th := s.NewThread()
+	if th.STM() != s {
+		t.Fatal("backlink wrong")
+	}
+	if len(th.VC()) != 16 {
+		t.Fatalf("VC width = %d", len(th.VC()))
+	}
+	o := s.NewObject("x")
+	if o.ID() == 0 {
+		t.Fatal("object ID zero")
+	}
+	if o.Current().Value != "x" || o.Current().Seq != 1 {
+		t.Fatalf("initial version = %+v", o.Current())
+	}
+	if o.Writer() != nil {
+		t.Fatal("fresh object has writer")
+	}
+	if o.Current().Next() != nil {
+		t.Fatal("fresh version has successor")
+	}
+}

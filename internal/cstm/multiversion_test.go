@@ -1,0 +1,250 @@
+package cstm
+
+import (
+	"errors"
+	"sync"
+	"testing"
+
+	"tbtm/internal/core"
+)
+
+// TestMultiVersionDefaultsToSingle pins the default: Versions < 1 is
+// normalized to 1 and no predecessor chain is retained.
+func TestMultiVersionDefaultsToSingle(t *testing.T) {
+	s := New(Config{Threads: 4})
+	if got := s.Config().Versions; got != 1 {
+		t.Fatalf("default Versions = %d, want 1", got)
+	}
+	o := s.NewObject(0)
+	th := s.NewThread()
+	for i := 1; i <= 3; i++ {
+		atomically(t, th, false, func(tx *Tx) error { return tx.Write(o, i) })
+	}
+	if p := o.Current().Prev(); p != nil {
+		t.Fatalf("single-version object retained a predecessor: %+v", p)
+	}
+}
+
+// TestMultiVersionFootnoteScenario exercises §4.1 footnote 1: a reader
+// that opened an object before a causally-later chain of updates can
+// only commit if reads may return older retained versions.
+//
+//	T_L: reads o1 (initial version)
+//	p1:  commits a write to o1, then a (causally later) write to o2
+//	T_L: reads o2
+//
+// With the base algorithm T_L must read o2's current version, raising
+// T.ct above the successor of its o1 read — validation fails. With
+// Versions > 1 T_L picks o2's initial version and commits.
+func TestMultiVersionFootnoteScenario(t *testing.T) {
+	for _, versions := range []int{1, 4} {
+		s := New(Config{Threads: 4, Versions: versions})
+		o1 := s.NewObject("o1v0")
+		o2 := s.NewObject("o2v0")
+		thL := s.NewThread()
+		th1 := s.NewThread()
+
+		txL := thL.Begin(core.Long, true)
+		if _, err := txL.Read(o1); err != nil {
+			t.Fatal(err)
+		}
+
+		atomically(t, th1, false, func(tx *Tx) error { return tx.Write(o1, "o1v1") })
+		atomically(t, th1, false, func(tx *Tx) error { return tx.Write(o2, "o2v1") })
+
+		got, err := txL.Read(o2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		commitErr := txL.Commit()
+
+		if versions == 1 {
+			if got != "o2v1" {
+				t.Fatalf("versions=1: read %v, want current o2v1", got)
+			}
+			if !errors.Is(commitErr, core.ErrConflict) {
+				t.Fatalf("versions=1: commit err = %v, want ErrConflict", commitErr)
+			}
+			continue
+		}
+		if got != "o2v0" {
+			t.Fatalf("versions=%d: read %v, want retained o2v0", versions, got)
+		}
+		if commitErr != nil {
+			t.Fatalf("versions=%d: commit err = %v, want nil", versions, commitErr)
+		}
+	}
+}
+
+// TestMultiVersionRereadStable verifies that re-reading an object inside
+// one transaction returns the version picked first, even after a
+// concurrent update made a newer version current.
+func TestMultiVersionRereadStable(t *testing.T) {
+	s := New(Config{Threads: 4, Versions: 4})
+	o := s.NewObject("v0")
+	thR := s.NewThread()
+	thW := s.NewThread()
+
+	tx := thR.Begin(core.Short, true)
+	first, err := tx.Read(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	atomically(t, thW, false, func(tx *Tx) error { return tx.Write(o, "v1") })
+	second, err := tx.Read(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first != second {
+		t.Fatalf("re-read changed value: %v then %v", first, second)
+	}
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestMultiVersionTrim verifies the retained chain is bounded by
+// Config.Versions.
+func TestMultiVersionTrim(t *testing.T) {
+	const keep = 3
+	s := New(Config{Threads: 2, Versions: keep})
+	o := s.NewObject(0)
+	th := s.NewThread()
+	for i := 1; i <= 10; i++ {
+		atomically(t, th, false, func(tx *Tx) error { return tx.Write(o, i) })
+	}
+	depth := 0
+	for v := o.Current(); v != nil; v = v.Prev() {
+		depth++
+		if depth > keep {
+			t.Fatalf("retained chain deeper than %d versions", keep)
+		}
+	}
+	if depth != keep {
+		t.Fatalf("retained depth = %d, want %d", depth, keep)
+	}
+}
+
+// TestMultiVersionWriteUsesCurrent verifies that writes always install
+// over the current version: a transaction that read an old retained
+// version of an object and then writes that same object folds the
+// current version's timestamp and is validated against it.
+func TestMultiVersionWriteUsesCurrent(t *testing.T) {
+	s := New(Config{Threads: 4, Versions: 4})
+	o1 := s.NewObject("o1v0")
+	o2 := s.NewObject("o2v0")
+	thL := s.NewThread()
+	th1 := s.NewThread()
+
+	txL := thL.Begin(core.Short, false)
+	if _, err := txL.Read(o1); err != nil {
+		t.Fatal(err)
+	}
+	atomically(t, th1, false, func(tx *Tx) error { return tx.Write(o1, "o1v1") })
+	atomically(t, th1, false, func(tx *Tx) error { return tx.Write(o2, "o2v1") })
+
+	// Old-version read of o2 keeps T_L alive...
+	if got, err := txL.Read(o2); err != nil || got != "o2v0" {
+		t.Fatalf("read = %v, %v; want o2v0, nil", got, err)
+	}
+	// ...but upgrading o2 to a write folds the current version's
+	// timestamp, dooming the o1 read: commit must fail.
+	if err := txL.Write(o2, "o2v2"); err != nil {
+		t.Fatal(err)
+	}
+	if err := txL.Commit(); !errors.Is(err, core.ErrConflict) {
+		t.Fatalf("commit err = %v, want ErrConflict", err)
+	}
+	if cur := o2.Current().Value; cur != "o2v1" {
+		t.Fatalf("aborted writer mutated object: %v", cur)
+	}
+}
+
+// TestMultiVersionConcurrentSnapshotSum stress-tests snapshot
+// consistency: concurrent transfers preserve a zero sum, and multi-
+// version readers must never observe a torn (non-zero) sum.
+func TestMultiVersionConcurrentSnapshotSum(t *testing.T) {
+	const (
+		objects   = 8
+		transfers = 300
+	)
+	s := New(Config{Threads: 4, Versions: 8})
+	objs := make([]*Object, objects)
+	for i := range objs {
+		objs[i] = s.NewObject(int64(0))
+	}
+
+	var wg sync.WaitGroup
+	for w := 0; w < 2; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			th := s.NewThread()
+			for i := 0; i < transfers; i++ {
+				from, to := objs[(i+w)%objects], objs[(i*3+w+1)%objects]
+				if from == to {
+					continue
+				}
+				for {
+					tx := th.Begin(core.Short, false)
+					err := func() error {
+						fv, err := tx.Read(from)
+						if err != nil {
+							return err
+						}
+						tv, err := tx.Read(to)
+						if err != nil {
+							return err
+						}
+						if err := tx.Write(from, fv.(int64)-1); err != nil {
+							return err
+						}
+						return tx.Write(to, tv.(int64)+1)
+					}()
+					if err == nil {
+						err = tx.Commit()
+					} else {
+						tx.Abort()
+					}
+					if err == nil {
+						break
+					}
+					if !core.IsRetryable(err) {
+						t.Errorf("worker %d: %v", w, err)
+						return
+					}
+				}
+			}
+		}(w)
+	}
+
+	readerDone := make(chan struct{})
+	go func() {
+		defer close(readerDone)
+		th := s.NewThread()
+		for i := 0; i < 200; i++ {
+			tx := th.Begin(core.Long, true)
+			var sum int64
+			ok := true
+			for _, o := range objs {
+				v, err := tx.Read(o)
+				if err != nil {
+					ok = false
+					break
+				}
+				sum += v.(int64)
+			}
+			if !ok {
+				tx.Abort()
+				continue
+			}
+			if err := tx.Commit(); err == nil && sum != 0 {
+				t.Errorf("committed scan saw torn sum %d", sum)
+				return
+			}
+		}
+	}()
+
+	wg.Wait()
+	<-readerDone
+}

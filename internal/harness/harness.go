@@ -1,0 +1,267 @@
+// Package harness runs the paper's evaluation (§5.5) and the ablation
+// experiments: duration-based throughput measurements of the bank
+// benchmark over configurable STM variants and thread counts, with
+// formatted output matching the figures' series.
+//
+// The workload reproduces the paper's setup: one thread executes
+// transfers with 80% probability and Compute-Total transactions with 20%
+// probability; every other thread executes only transfers; 1,000
+// accounts by default.
+package harness
+
+import (
+	"fmt"
+	"runtime"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"tbtm"
+	"tbtm/internal/bank"
+	"tbtm/internal/metrics"
+	"tbtm/internal/workload"
+)
+
+// BankConfig parameterizes one bank-benchmark run.
+type BankConfig struct {
+	// Name labels the series (e.g. "Z-STM").
+	Name string
+	// Options configure the TM under test.
+	Options []tbtm.Option
+	// Threads is the worker count.
+	Threads int
+	// Accounts is the account count (default 1,000).
+	Accounts int
+	// Duration is the measurement window (default 200ms).
+	Duration time.Duration
+	// TotalPct is the probability (percent) that the mixed thread runs a
+	// Compute-Total instead of a transfer (default 20, per the paper).
+	TotalPct int
+	// UpdateTotals makes Compute-Total an update transaction writing to
+	// private transactional state (the Figure 7 variant).
+	UpdateTotals bool
+	// YieldEvery makes Compute-Total scans yield every N accounts,
+	// simulating hardware parallelism on few-core hosts (see
+	// bank.Bank.YieldEvery). Zero disables yielding.
+	YieldEvery int
+	// Seed makes runs repeatable.
+	Seed int64
+}
+
+func (c *BankConfig) defaults() {
+	if c.Accounts == 0 {
+		c.Accounts = 1000
+	}
+	if c.Duration == 0 {
+		c.Duration = 200 * time.Millisecond
+	}
+	if c.TotalPct == 0 {
+		c.TotalPct = 20
+	}
+	if c.Threads < 1 {
+		c.Threads = 1
+	}
+}
+
+// BankResult is one measurement point.
+type BankResult struct {
+	Name      string
+	Threads   int
+	Transfers uint64 // committed transfer transactions
+	Totals    uint64 // committed Compute-Total transactions
+	Elapsed   time.Duration
+	Stats     tbtm.Stats
+	// TransferLat and TotalLat are end-to-end (including internal
+	// retries) latency histograms of the committed operations.
+	TransferLat, TotalLat *metrics.Histogram
+	// InvariantOK records the post-run conservation check.
+	InvariantOK bool
+}
+
+// TransfersPerSec returns the committed transfer throughput.
+func (r BankResult) TransfersPerSec() float64 {
+	return float64(r.Transfers) / r.Elapsed.Seconds()
+}
+
+// TotalsPerSec returns the committed Compute-Total throughput.
+func (r BankResult) TotalsPerSec() float64 {
+	return float64(r.Totals) / r.Elapsed.Seconds()
+}
+
+// RunBank executes one bank-benchmark measurement.
+func RunBank(cfg BankConfig) (BankResult, error) {
+	cfg.defaults()
+	tm, err := tbtm.New(cfg.Options...)
+	if err != nil {
+		return BankResult{}, fmt.Errorf("harness: building TM: %w", err)
+	}
+	b := bank.New(tm, cfg.Accounts, 1000)
+	b.YieldEvery = cfg.YieldEvery
+
+	var (
+		transfers   atomic.Uint64
+		totals      atomic.Uint64
+		stop        atomic.Bool
+		wg          sync.WaitGroup
+		transferLat metrics.Histogram
+		totalLat    metrics.Histogram
+	)
+
+	start := time.Now()
+	for w := 0; w < cfg.Threads; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			th := tm.NewThread()
+			pick := workload.NewPicker(cfg.Accounts, workload.Uniform, cfg.Seed+int64(w)*104729)
+			mix := workload.NewMix(cfg.TotalPct, cfg.Seed+int64(w)*94261+1)
+			// Private destination for update totals (paper: "private but
+			// transactional state").
+			private := tbtm.NewVar(tm, int64(0))
+			mixed := w == 0
+			for !stop.Load() {
+				// With scan yielding enabled, workers yield after every
+				// transaction too, so the single-CPU scheduler
+				// round-robins at transaction granularity instead of
+				// handing each runnable goroutine a full quantum — the
+				// closest simulation of the paper's hardware parallelism
+				// (DESIGN.md §7).
+				if cfg.YieldEvery > 0 {
+					runtime.Gosched()
+				}
+				if mixed && mix.Special() {
+					var err error
+					begin := time.Now()
+					if cfg.UpdateTotals {
+						_, err = b.ComputeTotalUpdate(th, private)
+					} else {
+						_, err = b.ComputeTotal(th)
+					}
+					if err == nil {
+						totals.Add(1)
+						totalLat.Observe(time.Since(begin))
+					}
+					continue
+				}
+				from, to := pick.NextPair()
+				if from == to {
+					continue
+				}
+				begin := time.Now()
+				if err := b.Transfer(th, from, to, 1); err == nil {
+					transfers.Add(1)
+					transferLat.Observe(time.Since(begin))
+				}
+			}
+		}(w)
+	}
+	time.Sleep(cfg.Duration)
+	stop.Store(true)
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	res := BankResult{
+		Name:        cfg.Name,
+		Threads:     cfg.Threads,
+		Transfers:   transfers.Load(),
+		Totals:      totals.Load(),
+		Elapsed:     elapsed,
+		Stats:       tm.Stats(),
+		TransferLat: &transferLat,
+		TotalLat:    &totalLat,
+	}
+	res.InvariantOK = b.CheckInvariant(tm.NewThread()) == nil
+	return res, nil
+}
+
+// Series is one figure line: a name plus one result per thread count.
+type Series struct {
+	Name    string
+	Results []BankResult
+}
+
+// RunSeries measures cfg at every thread count.
+func RunSeries(base BankConfig, threads []int) (Series, error) {
+	s := Series{Name: base.Name}
+	for _, n := range threads {
+		cfg := base
+		cfg.Threads = n
+		r, err := RunBank(cfg)
+		if err != nil {
+			return Series{}, err
+		}
+		if !r.InvariantOK {
+			return Series{}, fmt.Errorf("harness: %s at %d threads: bank invariant violated", base.Name, n)
+		}
+		s.Results = append(s.Results, r)
+	}
+	return s, nil
+}
+
+// Metric selects which throughput a table shows.
+type Metric int
+
+// Metrics.
+const (
+	// MetricTotals reports Compute-Total transactions per second.
+	MetricTotals Metric = iota + 1
+	// MetricTransfers reports transfer transactions per second.
+	MetricTransfers
+)
+
+// FormatTable renders series as an aligned text table with one row per
+// thread count and one column per series, matching the layout of the
+// paper's figures.
+func FormatTable(title string, metric Metric, threads []int, series []Series) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%s\n", title)
+	fmt.Fprintf(&sb, "%-8s", "Threads")
+	for _, s := range series {
+		fmt.Fprintf(&sb, " %20s", s.Name)
+	}
+	sb.WriteByte('\n')
+	for i, n := range threads {
+		fmt.Fprintf(&sb, "%-8d", n)
+		for _, s := range series {
+			if i >= len(s.Results) {
+				fmt.Fprintf(&sb, " %20s", "-")
+				continue
+			}
+			var v float64
+			switch metric {
+			case MetricTransfers:
+				v = s.Results[i].TransfersPerSec()
+			default:
+				v = s.Results[i].TotalsPerSec()
+			}
+			fmt.Fprintf(&sb, " %20.1f", v)
+		}
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}
+
+// FormatLatencyTable renders per-series latency summaries (committed
+// operations, end-to-end including retries) for one thread count — the
+// distributional companion to the figures' throughput numbers.
+func FormatLatencyTable(title string, metric Metric, series []Series) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%s\n", title)
+	for _, s := range series {
+		for _, r := range s.Results {
+			h := r.TotalLat
+			if metric == MetricTransfers {
+				h = r.TransferLat
+			}
+			if h == nil {
+				continue
+			}
+			fmt.Fprintf(&sb, "%-20s threads=%-3d %s\n", s.Name, r.Threads, h.Summary())
+		}
+	}
+	return sb.String()
+}
+
+// PaperThreads is the thread axis of Figures 6 and 7.
+var PaperThreads = []int{1, 2, 8, 16, 32}

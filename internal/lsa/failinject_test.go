@@ -1,0 +1,211 @@
+package lsa
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"tbtm/internal/cm"
+	"tbtm/internal/core"
+)
+
+// Failure injection: transactions that stall, get abandoned, or are
+// killed mid-flight must never wedge the system or corrupt isolation.
+// The paper's liveness story delegates to the contention manager (§4.1)
+// and to waiting out committing transactions (§4.2); these tests pin the
+// corresponding behaviours in LSA.
+
+// TestAbandonedWriterLockIsStolen abandons a transaction that holds a
+// write lock (its goroutine "crashes" without calling Abort). Another
+// writer must arbitrate, kill it, and steal the lock.
+func TestAbandonedWriterLockIsStolen(t *testing.T) {
+	s := New(Config{CM: &cm.Polite{Attempts: 2}})
+	o := s.NewObject(int64(0))
+
+	zombie := s.NewThread().Begin(core.Short, false)
+	if err := zombie.Write(o, int64(1)); err != nil {
+		t.Fatalf("zombie Write: %v", err)
+	}
+	// The zombie never commits and never aborts.
+
+	tx := s.NewThread().Begin(core.Short, false)
+	if err := tx.Write(o, int64(2)); err != nil {
+		t.Fatalf("Write against zombie: %v", err)
+	}
+	if err := tx.Commit(); err != nil {
+		t.Fatalf("Commit: %v", err)
+	}
+	// The zombie descriptor was force-aborted by the contention manager.
+	if got := zombie.Meta().Status(); got != core.StatusAborted {
+		t.Fatalf("zombie status = %v, want aborted", got)
+	}
+	// Its own later operations observe the kill.
+	if err := zombie.Commit(); err == nil {
+		t.Fatal("zombie committed after being killed")
+	}
+}
+
+// TestKilledTransactionWritesNeverVisible kills a transaction that
+// buffered writes; none of them may become visible.
+func TestKilledTransactionWritesNeverVisible(t *testing.T) {
+	s := New(Config{CM: cm.Aggressive{}})
+	a := s.NewObject(int64(0))
+	b := s.NewObject(int64(0))
+
+	victim := s.NewThread().Begin(core.Short, false)
+	if err := victim.Write(a, int64(7)); err != nil {
+		t.Fatalf("victim Write a: %v", err)
+	}
+	if err := victim.Write(b, int64(7)); err != nil {
+		t.Fatalf("victim Write b: %v", err)
+	}
+
+	killer := s.NewThread().Begin(core.Short, false)
+	if err := killer.Write(a, int64(1)); err != nil {
+		t.Fatalf("killer Write: %v", err)
+	}
+	if err := killer.Commit(); err != nil {
+		t.Fatalf("killer Commit: %v", err)
+	}
+
+	if err := victim.Commit(); err == nil {
+		t.Fatal("victim survived an aggressive kill")
+	}
+
+	rd := s.NewThread().Begin(core.Short, true)
+	va, err := rd.Read(a)
+	if err != nil {
+		t.Fatalf("Read a: %v", err)
+	}
+	vb, err := rd.Read(b)
+	if err != nil {
+		t.Fatalf("Read b: %v", err)
+	}
+	if va != int64(1) || vb != int64(0) {
+		t.Fatalf("a=%v b=%v; victim writes leaked", va, vb)
+	}
+}
+
+// TestDelayedCommitterIsWaitedOut injects a long pause between a
+// committer acquiring its commit time and installing its versions, by
+// holding it in the committing state via a commit check. Readers must
+// wait (stabilize) rather than observe a half-installed commit.
+func TestDelayedCommitterIsWaitedOut(t *testing.T) {
+	s := New(Config{})
+	a := s.NewObject(int64(0))
+	b := s.NewObject(int64(0))
+
+	slow := s.NewThread().Begin(core.Short, false)
+	if err := slow.Write(a, int64(5)); err != nil {
+		t.Fatalf("slow Write a: %v", err)
+	}
+	if err := slow.Write(b, int64(-5)); err != nil {
+		t.Fatalf("slow Write b: %v", err)
+	}
+	release := make(chan struct{})
+	entered := make(chan struct{})
+	slow.SetCommitCheck(func() error {
+		close(entered)
+		<-release // stall in StatusCommitting, locks held
+		return nil
+	})
+
+	done := make(chan error, 1)
+	go func() { done <- slow.Commit() }()
+	<-entered
+
+	// A reader starting now must either see both writes or neither.
+	readerDone := make(chan error, 1)
+	go func() {
+		th := s.NewThread()
+		for i := 0; i < 50; i++ {
+			tx := th.Begin(core.Short, true)
+			va, err := tx.Read(a)
+			if err != nil {
+				readerDone <- err
+				return
+			}
+			vb, err := tx.Read(b)
+			if err != nil {
+				readerDone <- err
+				return
+			}
+			if va.(int64)+vb.(int64) != 0 {
+				readerDone <- errors.New("torn commit observed")
+				return
+			}
+			tx.Abort()
+		}
+		readerDone <- nil
+	}()
+
+	time.Sleep(5 * time.Millisecond) // give the reader time to collide
+	close(release)
+	if err := <-done; err != nil {
+		t.Fatalf("slow Commit: %v", err)
+	}
+	if err := <-readerDone; err != nil {
+		t.Fatalf("reader: %v", err)
+	}
+}
+
+// TestManyAbandonedTransactionsNoLeakOfProgress abandons a batch of
+// lock holders; the system must still make progress afterwards for every
+// object.
+func TestManyAbandonedTransactionsNoLeakOfProgress(t *testing.T) {
+	s := New(Config{CM: &cm.Polite{Attempts: 1}})
+	const n = 16
+	objs := make([]*core.Object, n)
+	for i := range objs {
+		objs[i] = s.NewObject(int64(0))
+	}
+	// Abandon a writer on every object.
+	for i := range objs {
+		z := s.NewThread().Begin(core.Short, false)
+		if err := z.Write(objs[i], int64(-1)); err != nil {
+			t.Fatalf("zombie %d: %v", i, err)
+		}
+	}
+
+	var wg sync.WaitGroup
+	errs := make(chan error, n)
+	for i := range objs {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			th := s.NewThread()
+			for {
+				tx := th.Begin(core.Short, false)
+				err := tx.Write(objs[i], int64(i))
+				if err == nil {
+					err = tx.Commit()
+				}
+				if err == nil {
+					return
+				}
+				if !core.IsRetryable(err) {
+					errs <- err
+					return
+				}
+				tx.Abort()
+			}
+		}(i)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+
+	rd := s.NewThread().Begin(core.Short, true)
+	for i, o := range objs {
+		v, err := rd.Read(o)
+		if err != nil {
+			t.Fatalf("Read %d: %v", i, err)
+		}
+		if v != int64(i) {
+			t.Fatalf("obj %d = %v, want %d", i, v, i)
+		}
+	}
+}

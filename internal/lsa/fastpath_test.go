@@ -1,0 +1,179 @@
+package lsa
+
+import (
+	"errors"
+	"sync"
+	"testing"
+
+	"tbtm/internal/clock"
+	"tbtm/internal/core"
+)
+
+func TestFastPathTakenWhenNoProgress(t *testing.T) {
+	s := New(Config{ValidationFastPath: true})
+	objs := make([]*core.Object, 16)
+	for i := range objs {
+		objs[i] = s.NewObject(int64(i))
+	}
+	th := s.NewThread()
+
+	tx := th.Begin(core.Short, false)
+	for _, o := range objs {
+		if _, err := tx.Read(o); err != nil {
+			t.Fatalf("Read: %v", err)
+		}
+	}
+	if err := tx.Write(objs[0], int64(100)); err != nil {
+		t.Fatalf("Write: %v", err)
+	}
+	if err := tx.Commit(); err != nil {
+		t.Fatalf("Commit: %v", err)
+	}
+	if got := s.Stats().FastValidations; got != 1 {
+		t.Fatalf("FastValidations = %d, want 1 (uncontended commit)", got)
+	}
+}
+
+func TestFastPathSkippedAfterInterleavedCommit(t *testing.T) {
+	s := New(Config{ValidationFastPath: true})
+	a := s.NewObject(int64(0))
+	b := s.NewObject(int64(0))
+
+	tx := s.NewThread().Begin(core.Short, false)
+	if _, err := tx.Read(a); err != nil {
+		t.Fatalf("Read: %v", err)
+	}
+	if err := tx.Write(a, int64(1)); err != nil {
+		t.Fatalf("Write: %v", err)
+	}
+
+	// A disjoint transaction commits in between: progress happened, the
+	// fast path must not fire, and slow validation must still pass.
+	other := s.NewThread().Begin(core.Short, false)
+	if err := other.Write(b, int64(9)); err != nil {
+		t.Fatalf("other Write: %v", err)
+	}
+	if err := other.Commit(); err != nil {
+		t.Fatalf("other Commit: %v", err)
+	}
+
+	if err := tx.Commit(); err != nil {
+		t.Fatalf("Commit: %v", err)
+	}
+	st := s.Stats()
+	// The disjoint commit may itself have used the fast path; ours must
+	// not have (2 commits, at most 1 fast).
+	if st.FastValidations > 1 {
+		t.Fatalf("FastValidations = %d, want <= 1", st.FastValidations)
+	}
+	if st.Commits != 2 {
+		t.Fatalf("Commits = %d, want 2", st.Commits)
+	}
+}
+
+func TestFastPathStillDetectsRealConflict(t *testing.T) {
+	s := New(Config{ValidationFastPath: true})
+	o := s.NewObject(int64(0))
+
+	tx := s.NewThread().Begin(core.Short, false)
+	if _, err := tx.Read(o); err != nil {
+		t.Fatalf("Read: %v", err)
+	}
+
+	// Enemy overwrites what tx read and commits.
+	enemy := s.NewThread().Begin(core.Short, false)
+	if err := enemy.Write(o, int64(1)); err != nil {
+		t.Fatalf("enemy Write: %v", err)
+	}
+	if err := enemy.Commit(); err != nil {
+		t.Fatalf("enemy Commit: %v", err)
+	}
+
+	// tx writes another object; its commit time is enemy's + 1, but the
+	// snapshot is stale: ct != ub+1, so the slow path runs and aborts.
+	o2 := s.NewObject(int64(0))
+	if err := tx.Write(o2, int64(2)); err != nil {
+		t.Fatalf("Write: %v", err)
+	}
+	if err := tx.Commit(); !errors.Is(err, core.ErrConflict) {
+		t.Fatalf("Commit err = %v, want ErrConflict", err)
+	}
+}
+
+func TestFastPathIgnoredOnNonCountingClock(t *testing.T) {
+	// SharingCounter can hand two committers the same tick; the fast
+	// path must stay off even when requested.
+	s := New(Config{ValidationFastPath: true, Clock: clock.NewSharingCounter()})
+	o := s.NewObject(int64(0))
+	th := s.NewThread()
+	tx := th.Begin(core.Short, false)
+	if err := tx.Write(o, int64(1)); err != nil {
+		t.Fatalf("Write: %v", err)
+	}
+	if err := tx.Commit(); err != nil {
+		t.Fatalf("Commit: %v", err)
+	}
+	if got := s.Stats().FastValidations; got != 0 {
+		t.Fatalf("FastValidations = %d, want 0 on sharing counter", got)
+	}
+}
+
+func TestFastPathInvariantUnderContention(t *testing.T) {
+	// The bank invariant must hold with the fast path on: concurrent
+	// transfers conserve the total.
+	s := New(Config{ValidationFastPath: true})
+	const accounts = 8
+	objs := make([]*core.Object, accounts)
+	for i := range objs {
+		objs[i] = s.NewObject(int64(100))
+	}
+
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(seed int) {
+			defer wg.Done()
+			th := s.NewThread()
+			for i := 0; i < 200; i++ {
+				from := (seed + i) % accounts
+				to := (seed + 3*i + 1) % accounts
+				if from == to {
+					continue
+				}
+				for {
+					tx := th.Begin(core.Short, false)
+					f, err := tx.Read(objs[from])
+					if err == nil {
+						var g any
+						g, err = tx.Read(objs[to])
+						if err == nil {
+							if err = tx.Write(objs[from], f.(int64)-1); err == nil {
+								if err = tx.Write(objs[to], g.(int64)+1); err == nil {
+									err = tx.Commit()
+								}
+							}
+						}
+					}
+					if err == nil {
+						break
+					}
+					tx.Abort()
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	var total int64
+	tx := s.NewThread().Begin(core.Short, true)
+	for _, o := range objs {
+		v, err := tx.Read(o)
+		if err != nil {
+			t.Fatalf("Read: %v", err)
+		}
+		total += v.(int64)
+	}
+	if total != accounts*100 {
+		t.Fatalf("total = %d, want %d (fast path broke isolation)", total, accounts*100)
+	}
+}

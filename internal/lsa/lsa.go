@@ -1,0 +1,496 @@
+// Package lsa implements LSA-STM, the multi-version time-based STM of
+// Riegel, Felber and Fetzer (DISC 2006 [8]) that the paper uses both as
+// its linearizable baseline and as the engine for Z-STM's short
+// transactions (§5.1).
+//
+// The algorithm follows the TBTM template of paper §2: transactions build
+// a consistent snapshot at a scalar snapshot time, extend the snapshot's
+// validity on demand by revalidating the read set, buffer updates locally
+// under eagerly-acquired write ownership, and validate the read set at an
+// atomically acquired commit time. Multi-version objects let read-only
+// transactions fall back to old versions instead of aborting.
+//
+// Two configuration points reproduce the paper's variants:
+//
+//   - Versions=1 and NoExtension=true yield the lean single-version TBTM
+//     of TL2 (paper §3).
+//   - NoReadSets=true makes declared read-only transactions skip read-set
+//     maintenance entirely and read at a fixed snapshot time, the
+//     "LSA-STM (no readsets)" series of Figure 6.
+package lsa
+
+import (
+	"sync/atomic"
+
+	"tbtm/internal/clock"
+	"tbtm/internal/cm"
+	"tbtm/internal/core"
+)
+
+// Config parameterizes an STM instance.
+type Config struct {
+	// Clock is the scalar time base. Nil means a fresh shared counter.
+	Clock clock.TimeBase
+	// CM arbitrates write/write conflicts. Nil means Polite.
+	CM cm.Manager
+	// Versions is the per-object retention depth. Values below 1 mean the
+	// default of 8; exactly 1 gives single-version (TL2-like) objects.
+	Versions int
+	// NoExtension disables snapshot extension (TL2-like).
+	NoExtension bool
+	// NoReadSets makes read-only transactions skip read-set maintenance
+	// and read at their fixed start-time snapshot (Figure 6's optimized
+	// LSA-STM variant).
+	NoReadSets bool
+	// GuardLongWriters makes reads arbitrate with active writers whose
+	// kind is Long. Z-STM sets this: long transactions skip commit-time
+	// validation, so a short transaction must not read around an active
+	// long writer (see DESIGN.md §5). Plain LSA-STM leaves it off —
+	// invisible reads plus commit validation already give
+	// linearizability.
+	GuardLongWriters bool
+	// ValidationFastPath enables the RSTM-style commit fast path
+	// (paper §3): when the time base is strictly commit-counting and the
+	// acquired commit time is exactly the snapshot time plus one, no
+	// other transaction committed in between and per-object read-set
+	// validation is skipped. Ignored (with no loss of correctness) on
+	// time bases that do not implement clock.StrictCommitCounting.
+	ValidationFastPath bool
+}
+
+// Stats is a snapshot of an STM instance's cumulative counters.
+type Stats struct {
+	Commits         uint64 // transactions committed
+	Aborts          uint64 // transactions aborted, any reason
+	Conflicts       uint64 // aborts due to validation failure or lost arbitration
+	Extensions      uint64 // successful snapshot extensions
+	OldVersions     uint64 // reads served by a non-current version
+	SnapshotMiss    uint64 // aborts because no retained version was old enough
+	FastValidations uint64 // commits that skipped read-set validation (fast path)
+}
+
+// STM is an LSA-STM instance. Create one with New; objects and threads
+// are bound to the instance that created them.
+type STM struct {
+	cfg Config
+	// fastOK caches whether the fast path is usable: configured on and
+	// running on a strictly commit-counting time base.
+	fastOK bool
+
+	nextThread atomic.Int64
+
+	commits         atomic.Uint64
+	aborts          atomic.Uint64
+	conflicts       atomic.Uint64
+	extensions      atomic.Uint64
+	oldVersions     atomic.Uint64
+	snapshotMiss    atomic.Uint64
+	fastValidations atomic.Uint64
+}
+
+// New returns an STM instance with the given configuration, applying
+// defaults for zero fields.
+func New(cfg Config) *STM {
+	if cfg.Clock == nil {
+		cfg.Clock = clock.NewCounter()
+	}
+	if cfg.CM == nil {
+		cfg.CM = &cm.Polite{}
+	}
+	if cfg.Versions < 1 {
+		cfg.Versions = 8
+	}
+	_, strict := cfg.Clock.(clock.StrictCommitCounting)
+	return &STM{cfg: cfg, fastOK: cfg.ValidationFastPath && strict}
+}
+
+// Config returns the effective configuration.
+func (s *STM) Config() Config { return s.cfg }
+
+// Clock returns the instance's time base (shared with Z-STM wrappers).
+func (s *STM) Clock() clock.TimeBase { return s.cfg.Clock }
+
+// NewObject allocates a transactional object with the given initial value
+// and the instance's retention depth.
+func (s *STM) NewObject(initial any) *core.Object {
+	return core.NewObject(initial, s.cfg.Versions)
+}
+
+// NewThread returns a handle for one worker goroutine. Handles carry the
+// per-thread state of the paper's algorithms and must not be shared.
+func (s *STM) NewThread() *Thread {
+	return &Thread{stm: s, id: int(s.nextThread.Add(1) - 1)}
+}
+
+// Stats returns a snapshot of the cumulative counters.
+func (s *STM) Stats() Stats {
+	return Stats{
+		Commits:         s.commits.Load(),
+		Aborts:          s.aborts.Load(),
+		Conflicts:       s.conflicts.Load(),
+		Extensions:      s.extensions.Load(),
+		OldVersions:     s.oldVersions.Load(),
+		SnapshotMiss:    s.snapshotMiss.Load(),
+		FastValidations: s.fastValidations.Load(),
+	}
+}
+
+// Thread is a per-goroutine handle.
+type Thread struct {
+	stm *STM
+	id  int
+}
+
+// ID returns the thread's index in the time base.
+func (th *Thread) ID() int { return th.id }
+
+// STM returns the owning instance.
+func (th *Thread) STM() *STM { return th.stm }
+
+// Begin starts a transaction. kind is the short/long classification used
+// by contention managers; readOnly declares that the transaction will not
+// write, enabling the no-readset fast path and old-version fallbacks.
+func (th *Thread) Begin(kind core.TxKind, readOnly bool) *Tx {
+	tx := &Tx{
+		stm:  th.stm,
+		th:   th,
+		meta: core.NewTxMeta(kind, th.id),
+		ro:   readOnly,
+	}
+	tx.ub = th.stm.cfg.Clock.Now(th.id)
+	return tx
+}
+
+// readEntry records one read: the version observed and its object.
+type readEntry struct {
+	obj *core.Object
+	ver *core.Version
+}
+
+// writeEntry buffers one tentative update.
+type writeEntry struct {
+	obj *core.Object
+	val any
+}
+
+// Tx is an LSA transaction. A Tx is used by a single goroutine; after
+// Commit or Abort it must not be reused.
+type Tx struct {
+	stm  *STM
+	th   *Thread
+	meta *core.TxMeta
+	ro   bool
+
+	// ub is the snapshot time: every read is consistent at time ub.
+	ub uint64
+
+	reads       []readEntry
+	writes      []writeEntry
+	windex      map[uint64]int // object ID → index into writes
+	zone        uint64         // z-linearizability zone tag for installs
+	commitCheck func() error   // extra validation while committing
+	done        bool
+	retries     int
+}
+
+// SetZone tags the transaction's future installs with the given
+// z-linearizability zone (used by Z-STM's short transactions so that an
+// active long transaction can distinguish same-zone writes; plain LSA
+// leaves it zero).
+func (tx *Tx) SetZone(z uint64) { tx.zone = z }
+
+// SetCommitCheck installs an additional validation hook, invoked during
+// Commit after the transaction has entered the committing state (write
+// locks held) and before its updates install. A non-nil error aborts the
+// commit with that error. Z-STM uses it to re-validate zone membership of
+// the write set: a long transaction may have stamped an object between
+// the zone check at open and the lock acquisition, and once we are
+// committing, the long's open-time arbitration serializes against us.
+func (tx *Tx) SetCommitCheck(fn func() error) { tx.commitCheck = fn }
+
+// Meta exposes the shared descriptor (used by Z-STM and tests).
+func (tx *Tx) Meta() *core.TxMeta { return tx.meta }
+
+// ReadOnly reports whether the transaction was declared read-only.
+func (tx *Tx) ReadOnly() bool { return tx.ro }
+
+// SnapshotTime returns the current snapshot time ub.
+func (tx *Tx) SnapshotTime() uint64 { return tx.ub }
+
+// ReadSetSize returns the number of tracked read entries (zero on the
+// no-readset fast path), exposed for tests and the ablation benches.
+func (tx *Tx) ReadSetSize() int { return len(tx.reads) }
+
+// noReadSetFastPath reports whether this transaction skips read tracking.
+func (tx *Tx) noReadSetFastPath() bool { return tx.ro && tx.stm.cfg.NoReadSets }
+
+// stabilize waits until o has no committing writer (its install is in
+// flight) and returns the current writer, which is nil, tx's own meta, a
+// still-active enemy, or a terminal leftover.
+func (tx *Tx) stabilize(o *core.Object) *core.TxMeta {
+	for round := 0; ; round++ {
+		w := o.Writer()
+		if w == nil || w == tx.meta {
+			return w
+		}
+		if w.Status() == core.StatusCommitting {
+			cm.Backoff(round)
+			continue
+		}
+		return w
+	}
+}
+
+// newestAt returns the newest version of o with TS <= t, or nil.
+func newestAt(o *core.Object, t uint64) *core.Version {
+	for v := o.Current(); v != nil; v = v.Prev() {
+		if v.TS <= t {
+			return v
+		}
+	}
+	return nil
+}
+
+// fail aborts the transaction and returns err.
+func (tx *Tx) fail(err error) error {
+	tx.abortInternal(true)
+	return err
+}
+
+// Read returns the transaction's view of o.
+func (tx *Tx) Read(o *core.Object) (any, error) {
+	if tx.done {
+		return nil, core.ErrTxDone
+	}
+	if tx.meta.Status() == core.StatusAborted {
+		return nil, tx.fail(core.ErrAborted)
+	}
+	if i, ok := tx.windex[o.ID()]; ok {
+		return tx.writes[i].val, nil // read-own-writes
+	}
+	tx.meta.Prio.Add(1)
+
+	for {
+		w := tx.stabilize(o)
+		if w != nil && w != tx.meta && w.Status() == core.StatusActive &&
+			w.Kind == core.Long && tx.stm.cfg.GuardLongWriters {
+			// Under Z-STM, reading around an active long writer would let
+			// this transaction both precede and follow it; arbitrate.
+			if !cm.Resolve(tx.stm.cfg.CM, tx.meta, w) {
+				return nil, tx.fail(core.ErrAborted)
+			}
+			continue // enemy terminal; re-examine
+		}
+
+		if tx.noReadSetFastPath() {
+			v := newestAt(o, tx.ub)
+			if v == nil {
+				tx.stm.snapshotMiss.Add(1)
+				return nil, tx.fail(core.ErrSnapshotUnavailable)
+			}
+			if v != o.Current() {
+				tx.stm.oldVersions.Add(1)
+			}
+			return v.Value, nil
+		}
+
+		v := o.Current()
+		if v.TS > tx.ub {
+			// The current version is newer than our snapshot: try to
+			// extend the snapshot's validity to now.
+			if tx.tryExtend() {
+				continue // re-examine with the larger ub
+			}
+			if tx.ro {
+				// Multi-version fallback: serve an old version valid at ub.
+				v = newestAt(o, tx.ub)
+				if v == nil {
+					tx.stm.snapshotMiss.Add(1)
+					return nil, tx.fail(core.ErrSnapshotUnavailable)
+				}
+				tx.stm.oldVersions.Add(1)
+			} else {
+				tx.stm.conflicts.Add(1)
+				return nil, tx.fail(core.ErrConflict)
+			}
+		}
+		tx.reads = append(tx.reads, readEntry{obj: o, ver: v})
+		return v.Value, nil
+	}
+}
+
+// tryExtend attempts to move the snapshot time forward to the time base's
+// current value, revalidating every read. It returns false without side
+// effects if any read version is no longer current (or extension is
+// disabled).
+func (tx *Tx) tryExtend() bool {
+	if tx.stm.cfg.NoExtension {
+		return false
+	}
+	now := tx.stm.cfg.Clock.Now(tx.th.id)
+	if now <= tx.ub {
+		return false
+	}
+	if !tx.validateAt(now) {
+		return false
+	}
+	tx.ub = now
+	tx.stm.extensions.Add(1)
+	return true
+}
+
+// validateAt reports whether every read version is still the newest
+// version at time t. Committing writers are waited out first so that
+// in-flight installs (whose commit time may be <= t) are observed.
+func (tx *Tx) validateAt(t uint64) bool {
+	for _, r := range tx.reads {
+		tx.stabilize(r.obj)
+		if newestAt(r.obj, t) != r.ver {
+			return false
+		}
+	}
+	return true
+}
+
+// Write buffers an update of o to val, acquiring write ownership eagerly
+// so write/write conflicts are detected at open time (paper §2).
+func (tx *Tx) Write(o *core.Object, val any) error {
+	if tx.done {
+		return core.ErrTxDone
+	}
+	if tx.ro {
+		return core.ErrReadOnly
+	}
+	if tx.meta.Status() == core.StatusAborted {
+		return tx.fail(core.ErrAborted)
+	}
+	if i, ok := tx.windex[o.ID()]; ok {
+		tx.writes[i].val = val
+		return nil
+	}
+	tx.meta.Prio.Add(1)
+
+	for round := 0; ; round++ {
+		if tx.meta.Status() == core.StatusAborted {
+			return tx.fail(core.ErrAborted)
+		}
+		w := o.Writer()
+		switch {
+		case w == nil:
+			if o.CASWriter(nil, tx.meta) {
+				tx.recordWrite(o, val)
+				return nil
+			}
+		case w == tx.meta:
+			tx.recordWrite(o, val)
+			return nil
+		case w.Status().Terminal():
+			if o.CASWriter(w, tx.meta) {
+				tx.recordWrite(o, val)
+				return nil
+			}
+		default:
+			if !cm.Resolve(tx.stm.cfg.CM, tx.meta, w) {
+				tx.stm.conflicts.Add(1)
+				return tx.fail(core.ErrAborted)
+			}
+		}
+		cm.Backoff(round / 4)
+	}
+}
+
+func (tx *Tx) recordWrite(o *core.Object, val any) {
+	if tx.windex == nil {
+		tx.windex = make(map[uint64]int, 8)
+	}
+	tx.windex[o.ID()] = len(tx.writes)
+	tx.writes = append(tx.writes, writeEntry{obj: o, val: val})
+}
+
+// Commit attempts to commit the transaction. On success the buffered
+// writes are installed atomically at a fresh commit time. On failure the
+// transaction is aborted and a retryable error returned.
+func (tx *Tx) Commit() error {
+	if tx.done {
+		return core.ErrTxDone
+	}
+	if tx.meta.Status() == core.StatusAborted {
+		return tx.fail(core.ErrAborted)
+	}
+
+	// Read-only (or write-free) transactions commit directly after the
+	// snapshot phase (paper §2): the snapshot is consistent at ub.
+	if len(tx.writes) == 0 {
+		if !tx.meta.CASStatus(core.StatusActive, core.StatusCommitted) {
+			return tx.fail(core.ErrAborted)
+		}
+		tx.finish()
+		tx.stm.commits.Add(1)
+		return nil
+	}
+
+	if !tx.meta.CASStatus(core.StatusActive, core.StatusCommitting) {
+		return tx.fail(core.ErrAborted)
+	}
+	if tx.commitCheck != nil {
+		if err := tx.commitCheck(); err != nil {
+			tx.meta.CASStatus(core.StatusCommitting, core.StatusAborted)
+			tx.releaseLocks()
+			tx.finish()
+			tx.stm.aborts.Add(1)
+			tx.stm.conflicts.Add(1)
+			return err
+		}
+	}
+	ct := tx.stm.cfg.Clock.CommitTime(tx.th.id)
+	// RSTM fast path: on a strictly commit-counting time base,
+	// ct == ub+1 means no transaction committed between the (validated)
+	// snapshot at ub and our commit — versions with TS <= ub were all
+	// installed or lock-protected when read (stabilize), so the read set
+	// is trivially still valid at ct.
+	if tx.stm.fastOK && ct == tx.ub+1 {
+		tx.stm.fastValidations.Add(1)
+	} else if !tx.validateAt(ct) {
+		tx.meta.CASStatus(core.StatusCommitting, core.StatusAborted)
+		tx.releaseLocks()
+		tx.finish()
+		tx.stm.aborts.Add(1)
+		tx.stm.conflicts.Add(1)
+		return core.ErrConflict
+	}
+	for _, w := range tx.writes {
+		w.obj.Install(w.val, ct, tx.meta.ID, tx.zone)
+	}
+	tx.meta.CASStatus(core.StatusCommitting, core.StatusCommitted)
+	tx.releaseLocks()
+	tx.finish()
+	tx.stm.commits.Add(1)
+	return nil
+}
+
+// Abort aborts the transaction explicitly. Aborting a finished
+// transaction is a no-op.
+func (tx *Tx) Abort() {
+	if tx.done {
+		return
+	}
+	tx.abortInternal(false)
+}
+
+func (tx *Tx) abortInternal(countConflict bool) {
+	_ = countConflict
+	tx.meta.TryAbort()
+	tx.releaseLocks()
+	tx.finish()
+	tx.stm.aborts.Add(1)
+}
+
+func (tx *Tx) releaseLocks() {
+	for _, w := range tx.writes {
+		w.obj.ReleaseWriter(tx.meta)
+	}
+}
+
+func (tx *Tx) finish() {
+	tx.done = true
+}

@@ -1,0 +1,98 @@
+package lsa
+
+import (
+	"fmt"
+	"testing"
+
+	"tbtm/internal/core"
+)
+
+func BenchmarkReadUncontended(b *testing.B) {
+	s := New(Config{})
+	o := s.NewObject(int64(1))
+	th := s.NewThread()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tx := th.Begin(core.Short, true)
+		if _, err := tx.Read(o); err != nil {
+			b.Fatal(err)
+		}
+		if err := tx.Commit(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkWriteCommitUncontended(b *testing.B) {
+	s := New(Config{})
+	o := s.NewObject(int64(1))
+	th := s.NewThread()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tx := th.Begin(core.Short, false)
+		if err := tx.Write(o, int64(i)); err != nil {
+			b.Fatal(err)
+		}
+		if err := tx.Commit(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkScanN(b *testing.B) {
+	for _, n := range []int{10, 100, 1000} {
+		for _, noReadSets := range []bool{false, true} {
+			name := fmt.Sprintf("objects=%d/readsets=%v", n, !noReadSets)
+			b.Run(name, func(b *testing.B) {
+				s := New(Config{NoReadSets: noReadSets})
+				objs := make([]*core.Object, n)
+				for i := range objs {
+					objs[i] = s.NewObject(int64(i))
+				}
+				th := s.NewThread()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					tx := th.Begin(core.Long, true)
+					for _, o := range objs {
+						if _, err := tx.Read(o); err != nil {
+							b.Fatal(err)
+						}
+					}
+					if err := tx.Commit(); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}
+
+func BenchmarkSnapshotExtension(b *testing.B) {
+	// Each iteration forces one extension: read a, bump b's version from
+	// another thread handle, then read b.
+	s := New(Config{})
+	oa, ob := s.NewObject(int64(0)), s.NewObject(int64(0))
+	th1, th2 := s.NewThread(), s.NewThread()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tx := th1.Begin(core.Short, false)
+		if _, err := tx.Read(oa); err != nil {
+			b.Fatal(err)
+		}
+		w := th2.Begin(core.Short, false)
+		if err := w.Write(ob, int64(i)); err != nil {
+			b.Fatal(err)
+		}
+		if err := w.Commit(); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := tx.Read(ob); err != nil {
+			b.Fatal(err)
+		}
+		if err := tx.Commit(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,570 @@
+package lsa
+
+import (
+	"errors"
+	"sync"
+	"testing"
+
+	"tbtm/internal/clock"
+	"tbtm/internal/cm"
+	"tbtm/internal/core"
+)
+
+func newSTM(t *testing.T, cfg Config) *STM {
+	t.Helper()
+	return New(cfg)
+}
+
+// atomically retries fn until the transaction commits.
+func atomically(t *testing.T, th *Thread, ro bool, fn func(tx *Tx) error) {
+	t.Helper()
+	for i := 0; ; i++ {
+		tx := th.Begin(core.Short, ro)
+		err := fn(tx)
+		if err == nil {
+			err = tx.Commit()
+		} else {
+			tx.Abort()
+		}
+		if err == nil {
+			return
+		}
+		if !core.IsRetryable(err) {
+			t.Fatalf("non-retryable error: %v", err)
+		}
+		if i > 10000 {
+			t.Fatal("transaction did not commit after 10000 retries")
+		}
+	}
+}
+
+func TestReadInitialValue(t *testing.T) {
+	s := newSTM(t, Config{})
+	o := s.NewObject(42)
+	th := s.NewThread()
+	tx := th.Begin(core.Short, true)
+	v, err := tx.Read(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != 42 {
+		t.Fatalf("Read = %v, want 42", v)
+	}
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWriteThenReadOwnWrite(t *testing.T) {
+	s := newSTM(t, Config{})
+	o := s.NewObject(1)
+	th := s.NewThread()
+	tx := th.Begin(core.Short, false)
+	if err := tx.Write(o, 2); err != nil {
+		t.Fatal(err)
+	}
+	v, err := tx.Read(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != 2 {
+		t.Fatalf("read-own-write = %v, want 2", v)
+	}
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	// Committed value visible to a fresh transaction.
+	tx2 := th.Begin(core.Short, true)
+	v, err = tx2.Read(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != 2 {
+		t.Fatalf("after commit = %v, want 2", v)
+	}
+	tx2.Abort()
+}
+
+func TestAbortDiscardsWrites(t *testing.T) {
+	s := newSTM(t, Config{})
+	o := s.NewObject("old")
+	th := s.NewThread()
+	tx := th.Begin(core.Short, false)
+	if err := tx.Write(o, "new"); err != nil {
+		t.Fatal(err)
+	}
+	tx.Abort()
+	if o.Writer() != nil {
+		t.Fatal("write lock not released on abort")
+	}
+	tx2 := th.Begin(core.Short, true)
+	v, _ := tx2.Read(o)
+	if v != "old" {
+		t.Fatalf("aborted write visible: %v", v)
+	}
+	tx2.Abort()
+}
+
+func TestReadOnlyRejectsWrites(t *testing.T) {
+	s := newSTM(t, Config{})
+	o := s.NewObject(0)
+	tx := s.NewThread().Begin(core.Short, true)
+	if err := tx.Write(o, 1); !errors.Is(err, core.ErrReadOnly) {
+		t.Fatalf("Write in RO tx = %v, want ErrReadOnly", err)
+	}
+}
+
+func TestUseAfterCommit(t *testing.T) {
+	s := newSTM(t, Config{})
+	o := s.NewObject(0)
+	tx := s.NewThread().Begin(core.Short, false)
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tx.Read(o); !errors.Is(err, core.ErrTxDone) {
+		t.Fatalf("Read after commit = %v, want ErrTxDone", err)
+	}
+	if err := tx.Write(o, 1); !errors.Is(err, core.ErrTxDone) {
+		t.Fatalf("Write after commit = %v, want ErrTxDone", err)
+	}
+	if err := tx.Commit(); !errors.Is(err, core.ErrTxDone) {
+		t.Fatalf("Commit after commit = %v, want ErrTxDone", err)
+	}
+	tx.Abort() // no-op, no panic
+}
+
+func TestFirstCommitterWins(t *testing.T) {
+	// Two transactions read the same object; one updates it and commits.
+	// The other, validating later, must abort (the "first committer wins"
+	// rule the paper's §1 problem statement builds on).
+	s := newSTM(t, Config{})
+	o := s.NewObject(10)
+	th1, th2 := s.NewThread(), s.NewThread()
+
+	tx1 := th1.Begin(core.Short, false)
+	if _, err := tx1.Read(o); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx1.Write(o, 11); err != nil {
+		t.Fatal(err)
+	}
+
+	tx2 := th2.Begin(core.Short, false)
+	if _, err := tx2.Read(o); err != nil {
+		t.Fatal(err)
+	}
+
+	if err := tx1.Commit(); err != nil {
+		t.Fatalf("first committer failed: %v", err)
+	}
+	// tx2 read the old version, which is no longer current at commit time.
+	tx3 := th2.Begin(core.Short, false) // unrelated tx to bump nothing
+	tx3.Abort()
+	// tx2 writes something else so it is an update transaction.
+	o2 := s.NewObject(0)
+	if err := tx2.Write(o2, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx2.Commit(); !errors.Is(err, core.ErrConflict) {
+		t.Fatalf("second committer = %v, want ErrConflict", err)
+	}
+}
+
+func TestSnapshotExtension(t *testing.T) {
+	s := newSTM(t, Config{})
+	a, b := s.NewObject(1), s.NewObject(2)
+	th1, th2 := s.NewThread(), s.NewThread()
+
+	// tx reads a at snapshot time 0.
+	tx := th1.Begin(core.Short, false)
+	if _, err := tx.Read(a); err != nil {
+		t.Fatal(err)
+	}
+	// Another transaction bumps b's version (advancing the clock).
+	atomically(t, th2, false, func(tx2 *Tx) error { return tx2.Write(b, 20) })
+	// tx can still read b: extension succeeds because a is unchanged.
+	v, err := tx.Read(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != 20 {
+		t.Fatalf("Read(b) = %v, want 20", v)
+	}
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if s.Stats().Extensions == 0 {
+		t.Fatal("no extension recorded")
+	}
+}
+
+func TestExtensionFailsOnInvalidatedRead(t *testing.T) {
+	s := newSTM(t, Config{})
+	a, b := s.NewObject(1), s.NewObject(2)
+	th1, th2 := s.NewThread(), s.NewThread()
+
+	tx := th1.Begin(core.Short, false) // update tx: no old-version fallback
+	if _, err := tx.Read(a); err != nil {
+		t.Fatal(err)
+	}
+	// Both a and b move forward: reading b requires extending the
+	// snapshot, which fails because a (already read) was overwritten.
+	atomically(t, th2, false, func(tx2 *Tx) error {
+		if err := tx2.Write(a, 10); err != nil {
+			return err
+		}
+		return tx2.Write(b, 20)
+	})
+	if _, err := tx.Read(b); !errors.Is(err, core.ErrConflict) {
+		t.Fatalf("Read(b) after invalidation = %v, want ErrConflict", err)
+	}
+}
+
+func TestReadOnlyFallsBackToOldVersion(t *testing.T) {
+	s := newSTM(t, Config{Versions: 8})
+	a, b := s.NewObject(1), s.NewObject(2)
+	th1, th2 := s.NewThread(), s.NewThread()
+
+	ro := th1.Begin(core.Short, true)
+	if _, err := ro.Read(a); err != nil {
+		t.Fatal(err)
+	}
+	// Both objects move forward; extension fails (a changed), so the read
+	// of b must be served by the old version consistent with the snapshot.
+	atomically(t, th2, false, func(tx *Tx) error {
+		if err := tx.Write(a, 100); err != nil {
+			return err
+		}
+		return tx.Write(b, 200)
+	})
+	v, err := ro.Read(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != 2 {
+		t.Fatalf("RO read of b = %v, want old version 2", v)
+	}
+	if err := ro.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if s.Stats().OldVersions == 0 {
+		t.Fatal("old-version read not recorded")
+	}
+}
+
+func TestSingleVersionReadOnlyAborts(t *testing.T) {
+	// With Versions=1 the old-version fallback is impossible: the paper's
+	// §4.4 observation that single-version objects hurt long read-only
+	// transactions.
+	s := newSTM(t, Config{Versions: 1, NoExtension: true})
+	a, b := s.NewObject(1), s.NewObject(2)
+	th1, th2 := s.NewThread(), s.NewThread()
+
+	ro := th1.Begin(core.Short, true)
+	if _, err := ro.Read(a); err != nil {
+		t.Fatal(err)
+	}
+	atomically(t, th2, false, func(tx *Tx) error {
+		if err := tx.Write(a, 100); err != nil {
+			return err
+		}
+		return tx.Write(b, 200)
+	})
+	if _, err := ro.Read(b); !errors.Is(err, core.ErrSnapshotUnavailable) {
+		t.Fatalf("single-version RO read = %v, want ErrSnapshotUnavailable", err)
+	}
+	if s.Stats().SnapshotMiss == 0 {
+		t.Fatal("snapshot miss not recorded")
+	}
+}
+
+func TestNoReadSetsFastPath(t *testing.T) {
+	s := newSTM(t, Config{NoReadSets: true})
+	a, b := s.NewObject(1), s.NewObject(2)
+	th1, th2 := s.NewThread(), s.NewThread()
+
+	ro := th1.Begin(core.Short, true)
+	if _, err := ro.Read(a); err != nil {
+		t.Fatal(err)
+	}
+	if ro.ReadSetSize() != 0 {
+		t.Fatalf("read set size = %d on no-readset path", ro.ReadSetSize())
+	}
+	// Snapshot is fixed at start: concurrent updates are invisible.
+	atomically(t, th2, false, func(tx *Tx) error { return tx.Write(b, 99) })
+	v, err := ro.Read(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != 2 {
+		t.Fatalf("fixed-snapshot read = %v, want 2", v)
+	}
+	if err := ro.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	// Update transactions still track reads.
+	up := th1.Begin(core.Short, false)
+	if _, err := up.Read(a); err != nil {
+		t.Fatal(err)
+	}
+	if up.ReadSetSize() != 1 {
+		t.Fatalf("update tx read set = %d, want 1", up.ReadSetSize())
+	}
+	up.Abort()
+}
+
+func TestWriteWriteConflictArbitration(t *testing.T) {
+	// With the Timestamp manager the younger transaction aborts itself.
+	s := newSTM(t, Config{CM: cm.Timestamp{}})
+	o := s.NewObject(0)
+	th1, th2 := s.NewThread(), s.NewThread()
+
+	older := th1.Begin(core.Short, false)
+	if err := older.Write(o, 1); err != nil {
+		t.Fatal(err)
+	}
+	younger := th2.Begin(core.Short, false)
+	if err := younger.Write(o, 2); !errors.Is(err, core.ErrAborted) {
+		t.Fatalf("younger Write = %v, want ErrAborted", err)
+	}
+	if err := older.Commit(); err != nil {
+		t.Fatalf("older commit = %v", err)
+	}
+}
+
+func TestAggressiveStealsLock(t *testing.T) {
+	s := newSTM(t, Config{CM: cm.Aggressive{}})
+	o := s.NewObject(0)
+	th1, th2 := s.NewThread(), s.NewThread()
+
+	victim := th1.Begin(core.Short, false)
+	if err := victim.Write(o, 1); err != nil {
+		t.Fatal(err)
+	}
+	attacker := th2.Begin(core.Short, false)
+	if err := attacker.Write(o, 2); err != nil {
+		t.Fatalf("attacker Write = %v", err)
+	}
+	if victim.Meta().Status() != core.StatusAborted {
+		t.Fatal("victim not aborted by aggressive CM")
+	}
+	if err := attacker.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	// Victim's commit must fail.
+	if err := victim.Commit(); err == nil {
+		t.Fatal("aborted victim committed")
+	}
+}
+
+func TestStaleLockSteal(t *testing.T) {
+	// A writer that aborts without releasing (simulated via meta) leaves a
+	// stale lock; the next writer steals it.
+	s := newSTM(t, Config{})
+	o := s.NewObject(0)
+	dead := core.NewTxMeta(core.Short, 9)
+	dead.TryAbort()
+	if !o.CASWriter(nil, dead) {
+		t.Fatal("setup failed")
+	}
+	tx := s.NewThread().Begin(core.Short, false)
+	if err := tx.Write(o, 5); err != nil {
+		t.Fatalf("Write over stale lock = %v", err)
+	}
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCounterStats(t *testing.T) {
+	s := newSTM(t, Config{})
+	o := s.NewObject(0)
+	th := s.NewThread()
+	atomically(t, th, false, func(tx *Tx) error { return tx.Write(o, 1) })
+	tx := th.Begin(core.Short, false)
+	tx.Abort()
+	st := s.Stats()
+	if st.Commits != 1 || st.Aborts != 1 {
+		t.Fatalf("stats = %+v, want 1 commit / 1 abort", st)
+	}
+}
+
+func TestConcurrentCountersConsistent(t *testing.T) {
+	// N workers increment a shared counter M times each; the final value
+	// must be exactly N*M (atomicity + isolation under contention).
+	s := newSTM(t, Config{})
+	o := s.NewObject(int64(0))
+	const workers, increments = 8, 50
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			th := s.NewThread()
+			for i := 0; i < increments; i++ {
+				atomically(t, th, false, func(tx *Tx) error {
+					v, err := tx.Read(o)
+					if err != nil {
+						return err
+					}
+					return tx.Write(o, v.(int64)+1)
+				})
+			}
+		}()
+	}
+	wg.Wait()
+	tx := s.NewThread().Begin(core.Short, true)
+	v, err := tx.Read(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != int64(workers*increments) {
+		t.Fatalf("counter = %v, want %d", v, workers*increments)
+	}
+}
+
+func TestConcurrentDisjointWritesAllCommit(t *testing.T) {
+	s := newSTM(t, Config{})
+	const n = 16
+	objs := make([]*core.Object, n)
+	for i := range objs {
+		objs[i] = s.NewObject(0)
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			th := s.NewThread()
+			atomically(t, th, false, func(tx *Tx) error { return tx.Write(objs[i], i) })
+		}(i)
+	}
+	wg.Wait()
+	if got := s.Stats().Commits; got != n {
+		t.Fatalf("commits = %d, want %d", got, n)
+	}
+}
+
+func TestMoneyConservation(t *testing.T) {
+	// Transfers between accounts must conserve the total.
+	s := newSTM(t, Config{})
+	const accounts, transfers, workers = 10, 100, 4
+	objs := make([]*core.Object, accounts)
+	for i := range objs {
+		objs[i] = s.NewObject(int64(100))
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(seed int) {
+			defer wg.Done()
+			th := s.NewThread()
+			for i := 0; i < transfers; i++ {
+				from := (seed + i) % accounts
+				to := (seed + i*7 + 1) % accounts
+				if from == to {
+					continue
+				}
+				atomically(t, th, false, func(tx *Tx) error {
+					fv, err := tx.Read(objs[from])
+					if err != nil {
+						return err
+					}
+					tv, err := tx.Read(objs[to])
+					if err != nil {
+						return err
+					}
+					if err := tx.Write(objs[from], fv.(int64)-1); err != nil {
+						return err
+					}
+					return tx.Write(objs[to], tv.(int64)+1)
+				})
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	var total int64
+	th := s.NewThread()
+	atomically(t, th, true, func(tx *Tx) error {
+		total = 0
+		for _, o := range objs {
+			v, err := tx.Read(o)
+			if err != nil {
+				return err
+			}
+			total += v.(int64)
+		}
+		return nil
+	})
+	if total != accounts*100 {
+		t.Fatalf("total = %d, want %d", total, accounts*100)
+	}
+}
+
+func TestSimRealTimeBase(t *testing.T) {
+	// The STM stays correct on the simulated real-time base with clock
+	// deviation (paper §2 / [9]).
+	s := newSTM(t, Config{Clock: clock.NewSimRealTime(8, 4, 0)})
+	o := s.NewObject(int64(0))
+	const workers, increments = 4, 25
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			th := s.NewThread()
+			for i := 0; i < increments; i++ {
+				atomically(t, th, false, func(tx *Tx) error {
+					v, err := tx.Read(o)
+					if err != nil {
+						return err
+					}
+					return tx.Write(o, v.(int64)+1)
+				})
+			}
+		}()
+	}
+	wg.Wait()
+	// A read-only transaction on a deviated clock may observe a slightly
+	// stale (but consistent) snapshot — the paper's "snapshot in the
+	// past". An update transaction must extend to the present, so it sees
+	// the final value.
+	var v any
+	atomically(t, s.NewThread(), false, func(tx *Tx) error {
+		var err error
+		v, err = tx.Read(o)
+		if err != nil {
+			return err
+		}
+		return tx.Write(o, v)
+	})
+	if v != int64(workers*increments) {
+		t.Fatalf("counter = %v, want %d", v, workers*increments)
+	}
+}
+
+func TestDefaultsApplied(t *testing.T) {
+	s := New(Config{})
+	cfg := s.Config()
+	if cfg.Clock == nil || cfg.CM == nil {
+		t.Fatal("defaults not applied")
+	}
+	if cfg.Versions != 8 {
+		t.Fatalf("default Versions = %d, want 8", cfg.Versions)
+	}
+	if s.NewObject(nil).Retain() != 8 {
+		t.Fatal("object retention does not match config")
+	}
+}
+
+func TestThreadIDsDistinct(t *testing.T) {
+	s := New(Config{})
+	a, b := s.NewThread(), s.NewThread()
+	if a.ID() == b.ID() {
+		t.Fatal("thread IDs collide")
+	}
+	if a.STM() != s {
+		t.Fatal("thread STM backlink wrong")
+	}
+}

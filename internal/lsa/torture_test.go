@@ -1,0 +1,199 @@
+package lsa
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"tbtm/internal/cm"
+	"tbtm/internal/core"
+)
+
+// Torture tests: hostile contention management and external aborts must
+// never break atomicity or leak locks.
+
+func TestTortureAggressiveCM(t *testing.T) {
+	// Every write conflict kills the lock holder: lots of mid-flight
+	// aborts, but committed state must stay consistent.
+	s := New(Config{CM: cm.Aggressive{}})
+	const accounts, workers, iters = 6, 6, 120
+	objs := make([]*core.Object, accounts)
+	for i := range objs {
+		objs[i] = s.NewObject(int64(100))
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(seed int) {
+			defer wg.Done()
+			th := s.NewThread()
+			for i := 0; i < iters; i++ {
+				from := (seed + i) % accounts
+				to := (seed + 3*i + 1) % accounts
+				if from == to {
+					continue
+				}
+				for attempt := 0; attempt < 50000; attempt++ {
+					tx := th.Begin(core.Short, false)
+					fv, err := tx.Read(objs[from])
+					if err != nil {
+						tx.Abort()
+						continue
+					}
+					runtime.Gosched() // force interleaving on one CPU
+					tv, err := tx.Read(objs[to])
+					if err != nil {
+						tx.Abort()
+						continue
+					}
+					if err := tx.Write(objs[from], fv.(int64)-1); err != nil {
+						tx.Abort()
+						continue
+					}
+					if err := tx.Write(objs[to], tv.(int64)+1); err != nil {
+						tx.Abort()
+						continue
+					}
+					if tx.Commit() == nil {
+						break
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	// No leaked locks.
+	for i, o := range objs {
+		if w := o.Writer(); w != nil && !w.Status().Terminal() {
+			t.Fatalf("object %d still locked by live tx after quiesce", i)
+		}
+	}
+	// Conservation.
+	var total int64
+	tx := s.NewThread().Begin(core.Short, true)
+	for _, o := range objs {
+		v, err := tx.Read(o)
+		if err != nil {
+			t.Fatal(err)
+		}
+		total += v.(int64)
+	}
+	if total != accounts*100 {
+		t.Fatalf("total = %d, want %d", total, accounts*100)
+	}
+	if s.Stats().Aborts == 0 {
+		t.Fatal("torture produced no aborts; test is vacuous")
+	}
+}
+
+func TestTortureExternalKiller(t *testing.T) {
+	// A killer goroutine aborts random active transactions from outside
+	// (as a contention manager on another thread would). Victims must
+	// fail cleanly with retryable errors and state must stay consistent.
+	s := New(Config{})
+	o1, o2 := s.NewObject(int64(0)), s.NewObject(int64(0))
+
+	var cur atomic.Pointer[core.TxMeta]
+	stop := make(chan struct{})
+	var killerWg sync.WaitGroup
+	killerWg.Add(1)
+	go func() {
+		defer killerWg.Done()
+		kills := 0
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			if m := cur.Load(); m != nil && m.TryAbortActive() {
+				kills++
+			}
+		}
+	}()
+
+	th := s.NewThread()
+	committed := 0
+	for i := 0; i < 400; i++ {
+		tx := th.Begin(core.Short, false)
+		cur.Store(tx.Meta())
+		err := func() error {
+			v, err := tx.Read(o1)
+			if err != nil {
+				return err
+			}
+			if err := tx.Write(o1, v.(int64)+1); err != nil {
+				return err
+			}
+			w, err := tx.Read(o2)
+			if err != nil {
+				return err
+			}
+			return tx.Write(o2, w.(int64)+1)
+		}()
+		cur.Store(nil)
+		if err == nil {
+			err = tx.Commit()
+		} else {
+			tx.Abort()
+		}
+		if err == nil {
+			committed++
+		} else if !core.IsRetryable(err) {
+			t.Fatalf("non-retryable error from killed tx: %v", err)
+		}
+	}
+	close(stop)
+	killerWg.Wait()
+
+	// Both counters must be equal (each committed tx bumped both).
+	tx := th.Begin(core.Short, true)
+	v1, err := tx.Read(o1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v2, err := tx.Read(o2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v1 != v2 {
+		t.Fatalf("torn state after kills: o1=%v o2=%v", v1, v2)
+	}
+	if v1 != int64(committed) {
+		t.Fatalf("o1 = %v, committed = %d", v1, committed)
+	}
+}
+
+func TestTortureStaleLockStorm(t *testing.T) {
+	// Repeatedly abandon aborted transactions holding locks; later
+	// writers must steal them and proceed.
+	s := New(Config{})
+	o := s.NewObject(int64(0))
+	th := s.NewThread()
+	for i := 0; i < 100; i++ {
+		tx := th.Begin(core.Short, false)
+		if err := tx.Write(o, int64(i)); err != nil {
+			t.Fatal(err)
+		}
+		// Kill it without releasing (simulates a crashed thread): Abort
+		// releases, so emulate via meta directly.
+		tx.Meta().TryAbort()
+		// Next writer steals the stale lock.
+		tx2 := th.Begin(core.Short, false)
+		if err := tx2.Write(o, int64(i)); err != nil {
+			t.Fatalf("iteration %d: steal failed: %v", i, err)
+		}
+		if err := tx2.Commit(); err != nil {
+			t.Fatalf("iteration %d: commit after steal: %v", i, err)
+		}
+	}
+	v, err := th.Begin(core.Short, true).Read(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != int64(99) {
+		t.Fatalf("final value = %v", v)
+	}
+}

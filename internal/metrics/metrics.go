@@ -1,0 +1,230 @@
+// Package metrics provides lightweight concurrent instrumentation for
+// the benchmark harness and the CLIs: log-bucketed latency histograms
+// with percentile estimation, and abort-reason accounting driven by the
+// library's sentinel errors. The paper's evaluation reports throughput
+// only; the histograms let the harness additionally report the latency
+// distributions behind it, and the abort breakdown makes the paper's
+// motivating claim — long transactions have a much lower likelihood of
+// committing — directly measurable (see harness.RunCommitProbability).
+package metrics
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/bits"
+	"strings"
+	"sync/atomic"
+	"time"
+
+	"tbtm/internal/core"
+)
+
+// histBuckets is one bucket per power of two of nanoseconds: bucket i
+// holds observations with Len64(ns) == i, i.e. [2^(i-1), 2^i). Bucket 0
+// holds zero-duration observations; 63 covers everything up to ~292
+// years, comfortably past any transaction latency.
+const histBuckets = 64
+
+// Histogram is a fixed-size log₂-bucketed duration histogram, safe for
+// concurrent use. The zero value is ready to use.
+type Histogram struct {
+	buckets [histBuckets]atomic.Uint64
+	count   atomic.Uint64
+	sum     atomic.Uint64 // total nanoseconds
+}
+
+// Observe records one duration (negative durations count as zero).
+func (h *Histogram) Observe(d time.Duration) {
+	ns := uint64(0)
+	if d > 0 {
+		ns = uint64(d)
+	}
+	h.buckets[bits.Len64(ns)].Add(1)
+	h.count.Add(1)
+	h.sum.Add(ns)
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() uint64 { return h.count.Load() }
+
+// Mean returns the mean observed duration (0 with no observations).
+func (h *Histogram) Mean() time.Duration {
+	n := h.count.Load()
+	if n == 0 {
+		return 0
+	}
+	return time.Duration(h.sum.Load() / n)
+}
+
+// Quantile returns an upper-bound estimate of the q-quantile (0 < q <= 1):
+// the upper edge of the bucket containing the q·count-th observation.
+// With power-of-two buckets the estimate is within 2x of the true value.
+func (h *Histogram) Quantile(q float64) time.Duration {
+	n := h.count.Load()
+	if n == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := uint64(math.Ceil(q * float64(n)))
+	if rank == 0 {
+		rank = 1
+	}
+	var seen uint64
+	for i := 0; i < histBuckets; i++ {
+		seen += h.buckets[i].Load()
+		if seen >= rank {
+			if i == 0 {
+				return 0
+			}
+			return time.Duration(uint64(1) << uint(i)) // upper edge 2^i ns
+		}
+	}
+	return time.Duration(math.MaxInt64)
+}
+
+// Merge adds other's observations into h (h and other may be observed
+// concurrently; the merge itself is a racy-but-monotonic snapshot, fine
+// for reporting).
+func (h *Histogram) Merge(other *Histogram) {
+	for i := 0; i < histBuckets; i++ {
+		if v := other.buckets[i].Load(); v > 0 {
+			h.buckets[i].Add(v)
+		}
+	}
+	h.count.Add(other.count.Load())
+	h.sum.Add(other.sum.Load())
+}
+
+// Summary renders count, mean and the standard percentiles.
+func (h *Histogram) Summary() string {
+	return fmt.Sprintf("n=%d mean=%v p50≤%v p95≤%v p99≤%v",
+		h.Count(), h.Mean().Round(time.Nanosecond),
+		h.Quantile(0.50), h.Quantile(0.95), h.Quantile(0.99))
+}
+
+// Reason classifies why a transaction attempt failed.
+type Reason int
+
+// Abort reasons, classified from the library's sentinel errors.
+const (
+	// ReasonNone marks a successful attempt.
+	ReasonNone Reason = iota
+	// ReasonConflict is a validation failure (read set invalidated).
+	ReasonConflict
+	// ReasonAborted is a contention-manager (or explicit) abort.
+	ReasonAborted
+	// ReasonSnapshotMiss means no retained version was old enough.
+	ReasonSnapshotMiss
+	// ReasonOther is any other error.
+	ReasonOther
+	numReasons
+)
+
+// String returns the reason name.
+func (r Reason) String() string {
+	switch r {
+	case ReasonNone:
+		return "ok"
+	case ReasonConflict:
+		return "conflict"
+	case ReasonAborted:
+		return "aborted"
+	case ReasonSnapshotMiss:
+		return "snapshot-miss"
+	case ReasonOther:
+		return "other"
+	default:
+		return "invalid"
+	}
+}
+
+// Classify maps an error from a transaction attempt to a Reason.
+func Classify(err error) Reason {
+	switch {
+	case err == nil:
+		return ReasonNone
+	case errors.Is(err, core.ErrConflict):
+		return ReasonConflict
+	case errors.Is(err, core.ErrSnapshotUnavailable):
+		return ReasonSnapshotMiss
+	case errors.Is(err, core.ErrAborted):
+		return ReasonAborted
+	default:
+		return ReasonOther
+	}
+}
+
+// Recorder accumulates per-attempt outcomes: latency histograms for
+// successful and failed attempts and an abort-reason breakdown. The zero
+// value is ready to use and safe for concurrent recording.
+type Recorder struct {
+	// Success and Failure are attempt latency histograms by outcome.
+	Success Histogram
+	Failure Histogram
+
+	reasons [numReasons]atomic.Uint64
+}
+
+// Record classifies err and books the attempt's latency under the
+// appropriate histogram. It returns the classification.
+func (r *Recorder) Record(d time.Duration, err error) Reason {
+	reason := Classify(err)
+	r.reasons[reason].Add(1)
+	if reason == ReasonNone {
+		r.Success.Observe(d)
+	} else {
+		r.Failure.Observe(d)
+	}
+	return reason
+}
+
+// Attempts returns the total number of recorded attempts.
+func (r *Recorder) Attempts() uint64 {
+	var n uint64
+	for i := range r.reasons {
+		n += r.reasons[i].Load()
+	}
+	return n
+}
+
+// Successes returns the number of successful attempts.
+func (r *Recorder) Successes() uint64 { return r.reasons[ReasonNone].Load() }
+
+// CommitProbability returns the fraction of attempts that succeeded
+// (the paper's "likelihood of committing"); 0 with no attempts.
+func (r *Recorder) CommitProbability() float64 {
+	n := r.Attempts()
+	if n == 0 {
+		return 0
+	}
+	return float64(r.Successes()) / float64(n)
+}
+
+// ReasonCount returns how many attempts failed with the given reason
+// (or succeeded, for ReasonNone).
+func (r *Recorder) ReasonCount(reason Reason) uint64 {
+	if reason < 0 || reason >= numReasons {
+		return 0
+	}
+	return r.reasons[reason].Load()
+}
+
+// Breakdown renders the non-zero abort reasons.
+func (r *Recorder) Breakdown() string {
+	var parts []string
+	for reason := ReasonConflict; reason < numReasons; reason++ {
+		if n := r.reasons[reason].Load(); n > 0 {
+			parts = append(parts, fmt.Sprintf("%s=%d", reason, n))
+		}
+	}
+	if len(parts) == 0 {
+		return "none"
+	}
+	return strings.Join(parts, " ")
+}

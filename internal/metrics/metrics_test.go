@@ -1,0 +1,237 @@
+package metrics
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"tbtm/internal/core"
+)
+
+func TestHistogramEmpty(t *testing.T) {
+	var h Histogram
+	if h.Count() != 0 || h.Mean() != 0 || h.Quantile(0.5) != 0 {
+		t.Fatalf("empty histogram: count=%d mean=%v p50=%v", h.Count(), h.Mean(), h.Quantile(0.5))
+	}
+}
+
+func TestHistogramSingleObservation(t *testing.T) {
+	var h Histogram
+	h.Observe(100 * time.Nanosecond)
+	if h.Count() != 1 {
+		t.Fatalf("Count = %d", h.Count())
+	}
+	if h.Mean() != 100*time.Nanosecond {
+		t.Fatalf("Mean = %v", h.Mean())
+	}
+	// 100ns falls in bucket [64, 128): every quantile reports <= 128ns.
+	if q := h.Quantile(0.5); q < 100*time.Nanosecond || q > 128*time.Nanosecond {
+		t.Fatalf("p50 = %v, want (100ns, 128ns]", q)
+	}
+}
+
+func TestHistogramQuantileBounds(t *testing.T) {
+	var h Histogram
+	for i := 1; i <= 1000; i++ {
+		h.Observe(time.Duration(i) * time.Microsecond)
+	}
+	p50 := h.Quantile(0.50)
+	p95 := h.Quantile(0.95)
+	p99 := h.Quantile(0.99)
+	// True values: 500µs, 950µs, 990µs. Bucket upper bounds are within
+	// 2x above the true quantile and never below it.
+	checks := []struct {
+		name      string
+		got, want time.Duration
+	}{
+		{"p50", p50, 500 * time.Microsecond},
+		{"p95", p95, 950 * time.Microsecond},
+		{"p99", p99, 990 * time.Microsecond},
+	}
+	for _, c := range checks {
+		if c.got < c.want || c.got > 2*c.want {
+			t.Fatalf("%s = %v, want in [%v, %v]", c.name, c.got, c.want, 2*c.want)
+		}
+	}
+	if p50 > p95 || p95 > p99 {
+		t.Fatalf("quantiles not monotonic: %v %v %v", p50, p95, p99)
+	}
+}
+
+func TestHistogramZeroAndNegative(t *testing.T) {
+	var h Histogram
+	h.Observe(0)
+	h.Observe(-5 * time.Second)
+	if h.Count() != 2 {
+		t.Fatalf("Count = %d", h.Count())
+	}
+	if q := h.Quantile(1.0); q != 0 {
+		t.Fatalf("p100 of zeros = %v, want 0", q)
+	}
+}
+
+func TestHistogramMerge(t *testing.T) {
+	var a, b Histogram
+	for i := 0; i < 10; i++ {
+		a.Observe(time.Millisecond)
+		b.Observe(time.Second)
+	}
+	a.Merge(&b)
+	if a.Count() != 20 {
+		t.Fatalf("merged Count = %d, want 20", a.Count())
+	}
+	if q := a.Quantile(0.25); q > 2*time.Millisecond {
+		t.Fatalf("p25 = %v, want about 1ms", q)
+	}
+	if q := a.Quantile(0.99); q < time.Second {
+		t.Fatalf("p99 = %v, want >= 1s", q)
+	}
+}
+
+func TestHistogramConcurrent(t *testing.T) {
+	var h Histogram
+	var wg sync.WaitGroup
+	const (
+		goroutines = 8
+		each       = 1000
+	)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < each; i++ {
+				h.Observe(time.Duration(i) * time.Nanosecond)
+			}
+		}()
+	}
+	wg.Wait()
+	if h.Count() != goroutines*each {
+		t.Fatalf("Count = %d, want %d", h.Count(), goroutines*each)
+	}
+}
+
+// Property: quantiles are monotone in q and bounded by [min/2, 2*max].
+func TestHistogramQuantileMonotoneProperty(t *testing.T) {
+	prop := func(raw []uint32) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		var h Histogram
+		for _, v := range raw {
+			h.Observe(time.Duration(v))
+		}
+		last := time.Duration(-1)
+		for _, q := range []float64{0.01, 0.25, 0.5, 0.75, 0.9, 0.99, 1.0} {
+			cur := h.Quantile(q)
+			if cur < last {
+				return false
+			}
+			last = cur
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: merge is count-additive.
+func TestHistogramMergeAdditiveProperty(t *testing.T) {
+	prop := func(xs, ys []uint16) bool {
+		var a, b Histogram
+		for _, x := range xs {
+			a.Observe(time.Duration(x))
+		}
+		for _, y := range ys {
+			b.Observe(time.Duration(y))
+		}
+		a.Merge(&b)
+		return a.Count() == uint64(len(xs)+len(ys))
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestClassify(t *testing.T) {
+	tests := []struct {
+		err  error
+		want Reason
+	}{
+		{nil, ReasonNone},
+		{core.ErrConflict, ReasonConflict},
+		{core.ErrAborted, ReasonAborted},
+		{core.ErrSnapshotUnavailable, ReasonSnapshotMiss},
+		{fmt.Errorf("wrapped: %w", core.ErrConflict), ReasonConflict},
+		{fmt.Errorf("wrapped: %w", core.ErrSnapshotUnavailable), ReasonSnapshotMiss},
+		{errors.New("unrelated"), ReasonOther},
+	}
+	for _, tt := range tests {
+		if got := Classify(tt.err); got != tt.want {
+			t.Fatalf("Classify(%v) = %v, want %v", tt.err, got, tt.want)
+		}
+	}
+}
+
+func TestReasonString(t *testing.T) {
+	for r := ReasonNone; r < numReasons; r++ {
+		if r.String() == "invalid" {
+			t.Fatalf("reason %d has no name", r)
+		}
+	}
+	if Reason(99).String() != "invalid" {
+		t.Fatal("out-of-range reason not invalid")
+	}
+}
+
+func TestRecorder(t *testing.T) {
+	var r Recorder
+	r.Record(time.Millisecond, nil)
+	r.Record(2*time.Millisecond, nil)
+	r.Record(time.Millisecond, core.ErrConflict)
+	r.Record(time.Millisecond, core.ErrAborted)
+
+	if r.Attempts() != 4 {
+		t.Fatalf("Attempts = %d", r.Attempts())
+	}
+	if r.Successes() != 2 {
+		t.Fatalf("Successes = %d", r.Successes())
+	}
+	if p := r.CommitProbability(); p != 0.5 {
+		t.Fatalf("CommitProbability = %v, want 0.5", p)
+	}
+	if r.ReasonCount(ReasonConflict) != 1 || r.ReasonCount(ReasonAborted) != 1 {
+		t.Fatalf("reason counts wrong: %s", r.Breakdown())
+	}
+	if r.Success.Count() != 2 || r.Failure.Count() != 2 {
+		t.Fatalf("histogram routing wrong: ok=%d fail=%d", r.Success.Count(), r.Failure.Count())
+	}
+	if r.Breakdown() == "none" {
+		t.Fatal("Breakdown empty with recorded failures")
+	}
+}
+
+func TestRecorderEmpty(t *testing.T) {
+	var r Recorder
+	if r.CommitProbability() != 0 {
+		t.Fatal("empty recorder probability != 0")
+	}
+	if r.Breakdown() != "none" {
+		t.Fatalf("Breakdown = %q", r.Breakdown())
+	}
+	if r.ReasonCount(Reason(-1)) != 0 || r.ReasonCount(Reason(99)) != 0 {
+		t.Fatal("out-of-range ReasonCount != 0")
+	}
+}
+
+func TestSummaryFormat(t *testing.T) {
+	var h Histogram
+	h.Observe(time.Millisecond)
+	s := h.Summary()
+	if s == "" || h.Count() != 1 {
+		t.Fatalf("Summary = %q", s)
+	}
+}

@@ -1,0 +1,81 @@
+package sistm
+
+import (
+	"testing"
+
+	"tbtm/internal/core"
+)
+
+// TestAccessorsAndWriteEdges pins the accessor surface and the Write
+// edge cases not covered by the behavioural tests.
+func TestAccessorsAndWriteEdges(t *testing.T) {
+	s := New(Config{})
+	if s.Clock() == nil {
+		t.Fatal("Clock() = nil")
+	}
+	th := s.NewThread()
+	if th.STM() != s {
+		t.Fatal("Thread.STM mismatch")
+	}
+	if th2 := s.NewThread(); th2.ID() == th.ID() {
+		t.Fatalf("thread IDs collide: %d", th.ID())
+	}
+
+	o := s.NewObject(int64(1))
+	tx := th.Begin(core.Short, false)
+	if tx.Meta() == nil {
+		t.Fatal("Meta() = nil")
+	}
+
+	// Re-writing the same object replaces the buffered value, not the
+	// write-set entry.
+	if err := tx.Write(o, int64(2)); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Write(o, int64(3)); err != nil {
+		t.Fatal(err)
+	}
+	v, err := tx.Read(o)
+	if err != nil || v != int64(3) {
+		t.Fatalf("read-own-write = %v, %v; want 3", v, err)
+	}
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if tx.CommitTime() <= tx.SnapshotTime() {
+		t.Fatalf("update commit time %d not after snapshot %d", tx.CommitTime(), tx.SnapshotTime())
+	}
+
+	// Writes after completion and on read-only transactions fail fast.
+	if err := tx.Write(o, int64(4)); err != core.ErrTxDone {
+		t.Fatalf("write after done = %v, want ErrTxDone", err)
+	}
+	ro := th.Begin(core.Short, true)
+	if err := ro.Write(o, int64(5)); err != core.ErrReadOnly {
+		t.Fatalf("read-only write = %v, want ErrReadOnly", err)
+	}
+	if err := ro.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	// A read-only transaction's commit time equals its snapshot time.
+	if ro.CommitTime() != ro.SnapshotTime() {
+		t.Fatalf("read-only commit time %d != snapshot %d", ro.CommitTime(), ro.SnapshotTime())
+	}
+}
+
+// TestWriteOnAbortedTx verifies a transaction killed by an enemy
+// contention manager fails its next write with a retryable error.
+func TestWriteOnAbortedTx(t *testing.T) {
+	s := New(Config{})
+	o := s.NewObject(0)
+	th := s.NewThread()
+	tx := th.Begin(core.Short, false)
+	if err := tx.Write(o, 1); err != nil {
+		t.Fatal(err)
+	}
+	tx.Meta().TryAbort() // enemy kill
+	err := tx.Write(o, 2)
+	if err == nil || !core.IsRetryable(err) {
+		t.Fatalf("write on killed tx = %v, want retryable error", err)
+	}
+}

@@ -1,0 +1,340 @@
+// Package sistm implements SI-STM, a multi-version snapshot-isolation
+// STM on a scalar time base. The paper positions snapshot isolation [1]
+// as the closest database criterion to causal serializability (§4.1:
+// "causal serializability provides semantics comparable to snapshot
+// isolation"); SI-STM makes that comparison concrete. It is a comparator
+// substrate, not one of the paper's contributions.
+//
+// Under snapshot isolation a transaction reads from a fixed snapshot
+// taken at its start and writes are governed by first-committer-wins:
+// a transaction aborts iff another transaction that committed between
+// its snapshot and its commit wrote an object it also writes. Reads are
+// never validated — read/write conflicts (and hence write skew) are
+// invisible, which is exactly what distinguishes SI from serializability
+// and linearizability.
+//
+// The implementation reuses the scalar-clock object header of
+// internal/core (version chains + writer ownership) and enforces
+// first-committer-wins eagerly: write ownership is acquired at open and
+// the object's current version is checked against the snapshot time once
+// the lock is held; holding the lock until commit then guarantees no
+// concurrent version can be installed, so commit needs no validation at
+// all. This mirrors the first-updater-wins realization of SI used by
+// production MVCC systems.
+package sistm
+
+import (
+	"sync/atomic"
+
+	"tbtm/internal/clock"
+	"tbtm/internal/cm"
+	"tbtm/internal/core"
+)
+
+// Config parameterizes an SI-STM instance.
+type Config struct {
+	// Clock is the scalar time base. Nil means a fresh shared counter.
+	Clock clock.TimeBase
+	// CM arbitrates write/write conflicts between two active
+	// transactions. Nil means Polite.
+	CM cm.Manager
+	// Versions is the per-object retention depth (default 8). Snapshot
+	// reads need history: a depth of 1 makes any overwritten read fail
+	// with ErrSnapshotUnavailable.
+	Versions int
+}
+
+// Stats is a snapshot of an instance's cumulative counters.
+type Stats struct {
+	Commits      uint64 // transactions committed
+	Aborts       uint64 // transactions aborted, any reason
+	Conflicts    uint64 // first-committer-wins losses and lost arbitrations
+	OldVersions  uint64 // reads served by a non-current version
+	SnapshotMiss uint64 // aborts because no retained version was old enough
+}
+
+// STM is an SI-STM instance. Objects and threads are bound to the
+// instance that created them.
+type STM struct {
+	cfg Config
+
+	nextThread atomic.Int64
+
+	commits      atomic.Uint64
+	aborts       atomic.Uint64
+	conflicts    atomic.Uint64
+	oldVersions  atomic.Uint64
+	snapshotMiss atomic.Uint64
+}
+
+// New returns an SI-STM instance, applying defaults for zero fields.
+func New(cfg Config) *STM {
+	if cfg.Clock == nil {
+		cfg.Clock = clock.NewCounter()
+	}
+	if cfg.CM == nil {
+		cfg.CM = &cm.Polite{}
+	}
+	if cfg.Versions < 1 {
+		cfg.Versions = 8
+	}
+	return &STM{cfg: cfg}
+}
+
+// Config returns the effective configuration.
+func (s *STM) Config() Config { return s.cfg }
+
+// Clock returns the instance's time base.
+func (s *STM) Clock() clock.TimeBase { return s.cfg.Clock }
+
+// NewObject allocates a transactional object with the given initial
+// value and the instance's retention depth.
+func (s *STM) NewObject(initial any) *core.Object {
+	return core.NewObject(initial, s.cfg.Versions)
+}
+
+// NewThread returns a handle for one worker goroutine.
+func (s *STM) NewThread() *Thread {
+	return &Thread{stm: s, id: int(s.nextThread.Add(1) - 1)}
+}
+
+// Stats returns a snapshot of the cumulative counters.
+func (s *STM) Stats() Stats {
+	return Stats{
+		Commits:      s.commits.Load(),
+		Aborts:       s.aborts.Load(),
+		Conflicts:    s.conflicts.Load(),
+		OldVersions:  s.oldVersions.Load(),
+		SnapshotMiss: s.snapshotMiss.Load(),
+	}
+}
+
+// Thread is a per-goroutine handle.
+type Thread struct {
+	stm *STM
+	id  int
+}
+
+// ID returns the thread's index in the time base.
+func (th *Thread) ID() int { return th.id }
+
+// STM returns the owning instance.
+func (th *Thread) STM() *STM { return th.stm }
+
+// Begin starts a transaction whose snapshot is the time base's current
+// value. kind feeds the contention manager; readOnly rejects writes.
+func (th *Thread) Begin(kind core.TxKind, readOnly bool) *Tx {
+	return &Tx{
+		stm:  th.stm,
+		th:   th,
+		meta: core.NewTxMeta(kind, th.id),
+		ro:   readOnly,
+		st:   th.stm.cfg.Clock.Now(th.id),
+	}
+}
+
+// writeEntry buffers one tentative update.
+type writeEntry struct {
+	obj *core.Object
+	val any
+}
+
+// Tx is an SI-STM transaction. A Tx is used by a single goroutine; after
+// Commit or Abort it must not be reused.
+type Tx struct {
+	stm  *STM
+	th   *Thread
+	meta *core.TxMeta
+	ro   bool
+
+	// st is the snapshot time: every read observes the version current
+	// at st. Unlike LSA there is no extension — the snapshot is fixed.
+	st uint64
+	// ct is the commit time, set by Commit for update transactions.
+	ct uint64
+
+	writes []writeEntry
+	windex map[uint64]int
+	done   bool
+}
+
+// Meta exposes the shared descriptor.
+func (tx *Tx) Meta() *core.TxMeta { return tx.meta }
+
+// SnapshotTime returns the fixed snapshot time.
+func (tx *Tx) SnapshotTime() uint64 { return tx.st }
+
+// CommitTime returns the commit time, or the snapshot time for
+// transactions that committed without writes. Valid after Commit.
+func (tx *Tx) CommitTime() uint64 {
+	if tx.ct != 0 {
+		return tx.ct
+	}
+	return tx.st
+}
+
+// stabilize waits until o has no committing writer, so in-flight
+// multi-object installs (whose commit time may precede our snapshot) are
+// never observed partially. It returns the current writer.
+func (tx *Tx) stabilize(o *core.Object) *core.TxMeta {
+	for round := 0; ; round++ {
+		w := o.Writer()
+		if w == nil || w == tx.meta {
+			return w
+		}
+		if w.Status() == core.StatusCommitting {
+			cm.Backoff(round)
+			continue
+		}
+		return w
+	}
+}
+
+func (tx *Tx) fail(err error) error {
+	tx.meta.TryAbort()
+	tx.releaseLocks()
+	tx.done = true
+	tx.stm.aborts.Add(1)
+	return err
+}
+
+// Read returns the version of o current at the snapshot time. Reads are
+// invisible and never validated; they can only fail when the chain no
+// longer retains a version old enough.
+func (tx *Tx) Read(o *core.Object) (any, error) {
+	if tx.done {
+		return nil, core.ErrTxDone
+	}
+	if tx.meta.Status() == core.StatusAborted {
+		return nil, tx.fail(core.ErrAborted)
+	}
+	if i, ok := tx.windex[o.ID()]; ok {
+		return tx.writes[i].val, nil // read-own-writes
+	}
+	tx.meta.Prio.Add(1)
+	tx.stabilize(o)
+	v := o.FindAt(tx.st)
+	if v == nil {
+		tx.stm.snapshotMiss.Add(1)
+		return nil, tx.fail(core.ErrSnapshotUnavailable)
+	}
+	if v != o.Current() {
+		tx.stm.oldVersions.Add(1)
+	}
+	return v.Value, nil
+}
+
+// Write buffers an update of o to val. Ownership is acquired eagerly and
+// first-committer-wins is enforced once the lock is held: if a version
+// newer than the snapshot has been installed, a concurrent transaction
+// committed first and we abort.
+func (tx *Tx) Write(o *core.Object, val any) error {
+	if tx.done {
+		return core.ErrTxDone
+	}
+	if tx.ro {
+		return core.ErrReadOnly
+	}
+	if tx.meta.Status() == core.StatusAborted {
+		return tx.fail(core.ErrAborted)
+	}
+	if i, ok := tx.windex[o.ID()]; ok {
+		tx.writes[i].val = val
+		return nil
+	}
+	tx.meta.Prio.Add(1)
+
+	for round := 0; ; round++ {
+		if tx.meta.Status() == core.StatusAborted {
+			return tx.fail(core.ErrAborted)
+		}
+		w := o.Writer()
+		switch {
+		case w == nil:
+			if o.CASWriter(nil, tx.meta) {
+				return tx.checkFirstCommitter(o, val)
+			}
+		case w == tx.meta:
+			return tx.checkFirstCommitter(o, val)
+		case w.Status().Terminal():
+			if o.CASWriter(w, tx.meta) {
+				return tx.checkFirstCommitter(o, val)
+			}
+		default:
+			if !cm.Resolve(tx.stm.cfg.CM, tx.meta, w) {
+				tx.stm.conflicts.Add(1)
+				return tx.fail(core.ErrAborted)
+			}
+		}
+		cm.Backoff(round / 4)
+	}
+}
+
+// checkFirstCommitter runs with write ownership of o held. A current
+// version newer than the snapshot means a concurrent transaction
+// committed an update to o after we took our snapshot: under
+// first-committer-wins we lose. Ownership is held from here to commit,
+// so no later version can appear and commit needs no re-check.
+func (tx *Tx) checkFirstCommitter(o *core.Object, val any) error {
+	if o.Current().TS > tx.st {
+		tx.stm.conflicts.Add(1)
+		return tx.fail(core.ErrConflict)
+	}
+	if tx.windex == nil {
+		tx.windex = make(map[uint64]int, 8)
+	}
+	tx.windex[o.ID()] = len(tx.writes)
+	tx.writes = append(tx.writes, writeEntry{obj: o, val: val})
+	return nil
+}
+
+// Commit attempts to commit. Read-only (or write-free) transactions
+// commit immediately: their snapshot is consistent by construction.
+// Update transactions draw a commit time and install their writes; no
+// validation is needed because first-committer-wins was enforced at
+// open and ownership has been held since.
+func (tx *Tx) Commit() error {
+	if tx.done {
+		return core.ErrTxDone
+	}
+	if tx.meta.Status() == core.StatusAborted {
+		return tx.fail(core.ErrAborted)
+	}
+	if len(tx.writes) == 0 {
+		if !tx.meta.CASStatus(core.StatusActive, core.StatusCommitted) {
+			return tx.fail(core.ErrAborted)
+		}
+		tx.done = true
+		tx.stm.commits.Add(1)
+		return nil
+	}
+	if !tx.meta.CASStatus(core.StatusActive, core.StatusCommitting) {
+		return tx.fail(core.ErrAborted)
+	}
+	tx.ct = tx.stm.cfg.Clock.CommitTime(tx.th.id)
+	for _, w := range tx.writes {
+		w.obj.Install(w.val, tx.ct, tx.meta.ID, 0)
+	}
+	tx.meta.CASStatus(core.StatusCommitting, core.StatusCommitted)
+	tx.releaseLocks()
+	tx.done = true
+	tx.stm.commits.Add(1)
+	return nil
+}
+
+// Abort aborts the transaction explicitly; no-op when already finished.
+func (tx *Tx) Abort() {
+	if tx.done {
+		return
+	}
+	tx.meta.TryAbort()
+	tx.releaseLocks()
+	tx.done = true
+	tx.stm.aborts.Add(1)
+}
+
+func (tx *Tx) releaseLocks() {
+	for _, w := range tx.writes {
+		w.obj.ReleaseWriter(tx.meta)
+	}
+}

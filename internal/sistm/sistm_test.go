@@ -1,0 +1,550 @@
+package sistm
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+
+	"tbtm/internal/clock"
+	"tbtm/internal/cm"
+	"tbtm/internal/core"
+)
+
+func newSTM(t *testing.T, opts ...func(*Config)) *STM {
+	t.Helper()
+	cfg := Config{}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	return New(cfg)
+}
+
+func TestDefaults(t *testing.T) {
+	s := New(Config{})
+	cfg := s.Config()
+	if cfg.Clock == nil {
+		t.Fatal("default clock not applied")
+	}
+	if cfg.CM == nil {
+		t.Fatal("default contention manager not applied")
+	}
+	if cfg.Versions != 8 {
+		t.Fatalf("default versions = %d, want 8", cfg.Versions)
+	}
+}
+
+func TestReadInitialValue(t *testing.T) {
+	s := newSTM(t)
+	o := s.NewObject("init")
+	tx := s.NewThread().Begin(core.Short, false)
+	v, err := tx.Read(o)
+	if err != nil {
+		t.Fatalf("Read: %v", err)
+	}
+	if v != "init" {
+		t.Fatalf("Read = %v, want init", v)
+	}
+	if err := tx.Commit(); err != nil {
+		t.Fatalf("Commit: %v", err)
+	}
+}
+
+func TestWriteCommitRead(t *testing.T) {
+	s := newSTM(t)
+	o := s.NewObject(int64(1))
+	th := s.NewThread()
+
+	tx := th.Begin(core.Short, false)
+	if err := tx.Write(o, int64(2)); err != nil {
+		t.Fatalf("Write: %v", err)
+	}
+	if err := tx.Commit(); err != nil {
+		t.Fatalf("Commit: %v", err)
+	}
+
+	tx2 := th.Begin(core.Short, false)
+	v, err := tx2.Read(o)
+	if err != nil {
+		t.Fatalf("Read: %v", err)
+	}
+	if v != int64(2) {
+		t.Fatalf("Read = %v, want 2", v)
+	}
+	if err := tx2.Commit(); err != nil {
+		t.Fatalf("Commit: %v", err)
+	}
+}
+
+func TestReadOwnWrites(t *testing.T) {
+	s := newSTM(t)
+	o := s.NewObject("a")
+	tx := s.NewThread().Begin(core.Short, false)
+	if err := tx.Write(o, "b"); err != nil {
+		t.Fatalf("Write: %v", err)
+	}
+	v, err := tx.Read(o)
+	if err != nil {
+		t.Fatalf("Read: %v", err)
+	}
+	if v != "b" {
+		t.Fatalf("Read = %v, want own write b", v)
+	}
+	tx.Abort()
+	// The aborted write must not be visible.
+	tx2 := s.NewThread().Begin(core.Short, false)
+	v, err = tx2.Read(o)
+	if err != nil {
+		t.Fatalf("Read after abort: %v", err)
+	}
+	if v != "a" {
+		t.Fatalf("Read after abort = %v, want a", v)
+	}
+}
+
+func TestSnapshotReadsIgnoreLaterCommits(t *testing.T) {
+	s := newSTM(t)
+	o := s.NewObject(int64(10))
+	reader := s.NewThread()
+	writer := s.NewThread()
+
+	rd := reader.Begin(core.Short, true)
+
+	// A concurrent writer commits a new version after rd's snapshot.
+	wr := writer.Begin(core.Short, false)
+	if err := wr.Write(o, int64(20)); err != nil {
+		t.Fatalf("Write: %v", err)
+	}
+	if err := wr.Commit(); err != nil {
+		t.Fatalf("writer Commit: %v", err)
+	}
+
+	// rd still sees the snapshot value, and commits (reads are never
+	// validated under SI).
+	v, err := rd.Read(o)
+	if err != nil {
+		t.Fatalf("Read: %v", err)
+	}
+	if v != int64(10) {
+		t.Fatalf("snapshot read = %v, want 10", v)
+	}
+	if err := rd.Commit(); err != nil {
+		t.Fatalf("reader Commit: %v", err)
+	}
+	if got := s.Stats().OldVersions; got != 1 {
+		t.Fatalf("OldVersions = %d, want 1", got)
+	}
+}
+
+func TestFirstCommitterWins(t *testing.T) {
+	s := newSTM(t)
+	o := s.NewObject(int64(0))
+	t1 := s.NewThread().Begin(core.Short, false)
+	t2 := s.NewThread().Begin(core.Short, false)
+
+	// t1 writes and commits first.
+	if err := t1.Write(o, int64(1)); err != nil {
+		t.Fatalf("t1 Write: %v", err)
+	}
+	if err := t1.Commit(); err != nil {
+		t.Fatalf("t1 Commit: %v", err)
+	}
+
+	// t2, whose snapshot predates t1's commit, must lose on open.
+	err := t2.Write(o, int64(2))
+	if !errors.Is(err, core.ErrConflict) {
+		t.Fatalf("t2 Write err = %v, want ErrConflict", err)
+	}
+	if got := s.Stats().Conflicts; got != 1 {
+		t.Fatalf("Conflicts = %d, want 1", got)
+	}
+}
+
+func TestFirstCommitterWinsAfterRelock(t *testing.T) {
+	// Even when the earlier committer has already released its lock, the
+	// version timestamp betrays it.
+	s := newSTM(t)
+	o := s.NewObject(int64(0))
+
+	t2 := s.NewThread().Begin(core.Short, false)
+
+	t1 := s.NewThread().Begin(core.Short, false)
+	if err := t1.Write(o, int64(1)); err != nil {
+		t.Fatalf("t1 Write: %v", err)
+	}
+	if err := t1.Commit(); err != nil {
+		t.Fatalf("t1 Commit: %v", err)
+	}
+
+	if err := t2.Write(o, int64(2)); !errors.Is(err, core.ErrConflict) {
+		t.Fatalf("t2 Write err = %v, want ErrConflict", err)
+	}
+}
+
+func TestWriteSkewAdmitted(t *testing.T) {
+	// The classic SI anomaly: two transactions each read {x, y} and write
+	// the other object. Serializable systems abort one; SI commits both.
+	s := newSTM(t)
+	x := s.NewObject(int64(50))
+	y := s.NewObject(int64(50))
+
+	t1 := s.NewThread().Begin(core.Short, false)
+	t2 := s.NewThread().Begin(core.Short, false)
+
+	for _, o := range []*core.Object{x, y} {
+		if _, err := t1.Read(o); err != nil {
+			t.Fatalf("t1 Read: %v", err)
+		}
+		if _, err := t2.Read(o); err != nil {
+			t.Fatalf("t2 Read: %v", err)
+		}
+	}
+	// Each withdraws 60 believing the combined balance (100) covers it.
+	if err := t1.Write(x, int64(-10)); err != nil {
+		t.Fatalf("t1 Write: %v", err)
+	}
+	if err := t2.Write(y, int64(-10)); err != nil {
+		t.Fatalf("t2 Write: %v", err)
+	}
+	if err := t1.Commit(); err != nil {
+		t.Fatalf("t1 Commit: %v (SI must admit write skew)", err)
+	}
+	if err := t2.Commit(); err != nil {
+		t.Fatalf("t2 Commit: %v (SI must admit write skew)", err)
+	}
+
+	// Both committed: the invariant x+y >= 0 is broken, which is exactly
+	// the anomaly.
+	tx := s.NewThread().Begin(core.Short, true)
+	vx, _ := tx.Read(x)
+	vy, _ := tx.Read(y)
+	if sum := vx.(int64) + vy.(int64); sum != -20 {
+		t.Fatalf("x+y = %d, want -20 (write skew outcome)", sum)
+	}
+}
+
+func TestLostUpdatePrevented(t *testing.T) {
+	// SI forbids lost updates: two read-modify-writes of the same object
+	// cannot both commit.
+	s := newSTM(t)
+	o := s.NewObject(int64(0))
+
+	t1 := s.NewThread().Begin(core.Short, false)
+	t2 := s.NewThread().Begin(core.Short, false)
+	v1, _ := t1.Read(o)
+	v2, _ := t2.Read(o)
+
+	if err := t1.Write(o, v1.(int64)+1); err != nil {
+		t.Fatalf("t1 Write: %v", err)
+	}
+	if err := t1.Commit(); err != nil {
+		t.Fatalf("t1 Commit: %v", err)
+	}
+
+	err := t2.Write(o, v2.(int64)+1)
+	if err == nil {
+		err = t2.Commit()
+	}
+	if !core.IsRetryable(err) || err == nil {
+		t.Fatalf("t2 outcome = %v, want retryable conflict (lost update)", err)
+	}
+}
+
+func TestReadOnlyRejectsWrites(t *testing.T) {
+	s := newSTM(t)
+	o := s.NewObject(1)
+	tx := s.NewThread().Begin(core.Short, true)
+	if err := tx.Write(o, 2); !errors.Is(err, core.ErrReadOnly) {
+		t.Fatalf("Write err = %v, want ErrReadOnly", err)
+	}
+}
+
+func TestTxDoneAfterCommit(t *testing.T) {
+	s := newSTM(t)
+	o := s.NewObject(1)
+	tx := s.NewThread().Begin(core.Short, false)
+	if err := tx.Commit(); err != nil {
+		t.Fatalf("Commit: %v", err)
+	}
+	if _, err := tx.Read(o); !errors.Is(err, core.ErrTxDone) {
+		t.Fatalf("Read err = %v, want ErrTxDone", err)
+	}
+	if err := tx.Write(o, 2); !errors.Is(err, core.ErrTxDone) {
+		t.Fatalf("Write err = %v, want ErrTxDone", err)
+	}
+	if err := tx.Commit(); !errors.Is(err, core.ErrTxDone) {
+		t.Fatalf("second Commit err = %v, want ErrTxDone", err)
+	}
+	tx.Abort() // must be a no-op
+}
+
+func TestAbortReleasesOwnership(t *testing.T) {
+	s := newSTM(t)
+	o := s.NewObject(1)
+	t1 := s.NewThread().Begin(core.Short, false)
+	if err := t1.Write(o, 2); err != nil {
+		t.Fatalf("Write: %v", err)
+	}
+	t1.Abort()
+
+	t2 := s.NewThread().Begin(core.Short, false)
+	if err := t2.Write(o, 3); err != nil {
+		t.Fatalf("Write after enemy abort: %v", err)
+	}
+	if err := t2.Commit(); err != nil {
+		t.Fatalf("Commit: %v", err)
+	}
+}
+
+func TestSnapshotMissOnTruncatedChain(t *testing.T) {
+	s := newSTM(t, func(c *Config) { c.Versions = 1 })
+	o := s.NewObject(int64(0))
+	th := s.NewThread()
+
+	rd := th.Begin(core.Short, true)
+	// Overwrite with a single-version object: the old version is gone.
+	wr := s.NewThread().Begin(core.Short, false)
+	if err := wr.Write(o, int64(1)); err != nil {
+		t.Fatalf("Write: %v", err)
+	}
+	if err := wr.Commit(); err != nil {
+		t.Fatalf("Commit: %v", err)
+	}
+
+	if _, err := rd.Read(o); !errors.Is(err, core.ErrSnapshotUnavailable) {
+		t.Fatalf("Read err = %v, want ErrSnapshotUnavailable", err)
+	}
+	if got := s.Stats().SnapshotMiss; got != 1 {
+		t.Fatalf("SnapshotMiss = %d, want 1", got)
+	}
+}
+
+func TestCommitTimesMonotonicPerObject(t *testing.T) {
+	s := newSTM(t)
+	o := s.NewObject(int64(0))
+	th := s.NewThread()
+	var last uint64
+	for i := 0; i < 20; i++ {
+		tx := th.Begin(core.Short, false)
+		if err := tx.Write(o, int64(i)); err != nil {
+			t.Fatalf("Write: %v", err)
+		}
+		if err := tx.Commit(); err != nil {
+			t.Fatalf("Commit: %v", err)
+		}
+		if ct := tx.CommitTime(); ct <= last {
+			t.Fatalf("commit time %d not greater than predecessor %d", ct, last)
+		} else {
+			last = ct
+		}
+	}
+}
+
+func TestCommitTimeOfReadOnly(t *testing.T) {
+	s := newSTM(t)
+	o := s.NewObject(1)
+	tx := s.NewThread().Begin(core.Short, true)
+	if _, err := tx.Read(o); err != nil {
+		t.Fatalf("Read: %v", err)
+	}
+	if err := tx.Commit(); err != nil {
+		t.Fatalf("Commit: %v", err)
+	}
+	if tx.CommitTime() != tx.SnapshotTime() {
+		t.Fatalf("read-only CommitTime = %d, want snapshot time %d", tx.CommitTime(), tx.SnapshotTime())
+	}
+}
+
+func TestStatsCounters(t *testing.T) {
+	s := newSTM(t)
+	o := s.NewObject(int64(0))
+	th := s.NewThread()
+
+	tx := th.Begin(core.Short, false)
+	if err := tx.Write(o, int64(1)); err != nil {
+		t.Fatalf("Write: %v", err)
+	}
+	if err := tx.Commit(); err != nil {
+		t.Fatalf("Commit: %v", err)
+	}
+	tx2 := th.Begin(core.Short, false)
+	tx2.Abort()
+
+	st := s.Stats()
+	if st.Commits != 1 || st.Aborts != 1 {
+		t.Fatalf("Stats = %+v, want 1 commit, 1 abort", st)
+	}
+}
+
+func TestContentionManagerArbitration(t *testing.T) {
+	// With an Aggressive manager, the second writer kills the first
+	// (still-active) writer and proceeds.
+	s := newSTM(t, func(c *Config) { c.CM = cm.Aggressive{} })
+	o := s.NewObject(int64(0))
+
+	t1 := s.NewThread().Begin(core.Short, false)
+	if err := t1.Write(o, int64(1)); err != nil {
+		t.Fatalf("t1 Write: %v", err)
+	}
+	t2 := s.NewThread().Begin(core.Short, false)
+	if err := t2.Write(o, int64(2)); err != nil {
+		t.Fatalf("t2 Write: %v", err)
+	}
+	if err := t2.Commit(); err != nil {
+		t.Fatalf("t2 Commit: %v", err)
+	}
+	if err := t1.Commit(); err == nil {
+		t.Fatal("t1 Commit succeeded, want abort (killed by aggressive enemy)")
+	}
+}
+
+func TestSharedClockAcrossInstances(t *testing.T) {
+	// Two STMs sharing one time base see each other's progress.
+	c := clock.NewCounter()
+	s1 := New(Config{Clock: c})
+	s2 := New(Config{Clock: c})
+	o1 := s1.NewObject(int64(0))
+
+	tx := s1.NewThread().Begin(core.Short, false)
+	if err := tx.Write(o1, int64(1)); err != nil {
+		t.Fatalf("Write: %v", err)
+	}
+	if err := tx.Commit(); err != nil {
+		t.Fatalf("Commit: %v", err)
+	}
+	tx2 := s2.NewThread().Begin(core.Short, false)
+	if tx2.SnapshotTime() == 0 {
+		t.Fatal("s2 snapshot time did not observe s1 progress through the shared clock")
+	}
+}
+
+// TestSnapshotNeverTorn is the SI analogue of the bank invariant: a pair
+// of objects is updated atomically (always summing to zero) by many
+// writers while readers take snapshots; every snapshot must sum to zero
+// even though reads are never validated.
+func TestSnapshotNeverTorn(t *testing.T) {
+	s := newSTM(t, func(c *Config) { c.Versions = 64 })
+	a := s.NewObject(int64(0))
+	b := s.NewObject(int64(0))
+
+	const (
+		writers = 4
+		readers = 4
+		rounds  = 200
+	)
+	var wg sync.WaitGroup
+	errs := make(chan error, writers+readers)
+
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			th := s.NewThread()
+			for i := 0; i < rounds; i++ {
+				delta := int64(w*rounds + i + 1)
+				for {
+					tx := th.Begin(core.Short, false)
+					va, err := tx.Read(a)
+					if err == nil {
+						var vb any
+						vb, err = tx.Read(b)
+						if err == nil {
+							if err = tx.Write(a, va.(int64)+delta); err == nil {
+								if err = tx.Write(b, vb.(int64)-delta); err == nil {
+									err = tx.Commit()
+								}
+							}
+						}
+					}
+					if err == nil {
+						break
+					}
+					if !core.IsRetryable(err) {
+						errs <- fmt.Errorf("writer: non-retryable: %w", err)
+						return
+					}
+					tx.Abort()
+				}
+			}
+		}(w)
+	}
+	for r := 0; r < readers; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			th := s.NewThread()
+			for i := 0; i < rounds; i++ {
+				tx := th.Begin(core.Short, true)
+				va, err := tx.Read(a)
+				if err != nil {
+					tx.Abort()
+					continue // snapshot miss is legal under truncation
+				}
+				vb, err := tx.Read(b)
+				if err != nil {
+					tx.Abort()
+					continue
+				}
+				if sum := va.(int64) + vb.(int64); sum != 0 {
+					errs <- fmt.Errorf("torn snapshot: a+b = %d", sum)
+					return
+				}
+				if err := tx.Commit(); err != nil {
+					errs <- fmt.Errorf("read-only commit failed: %w", err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}
+
+// TestWriteWriteConcurrencyOneWinner checks that of n concurrent
+// increments of a single counter, every committed one is preserved (no
+// lost updates) under heavy contention.
+func TestWriteWriteConcurrencyOneWinner(t *testing.T) {
+	s := newSTM(t)
+	o := s.NewObject(int64(0))
+
+	const (
+		goroutines = 8
+		increments = 50
+	)
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			th := s.NewThread()
+			for i := 0; i < increments; i++ {
+				for {
+					tx := th.Begin(core.Short, false)
+					v, err := tx.Read(o)
+					if err == nil {
+						if err = tx.Write(o, v.(int64)+1); err == nil {
+							err = tx.Commit()
+						}
+					}
+					if err == nil {
+						break
+					}
+					tx.Abort()
+				}
+			}
+		}()
+	}
+	wg.Wait()
+
+	tx := s.NewThread().Begin(core.Short, true)
+	v, err := tx.Read(o)
+	if err != nil {
+		t.Fatalf("Read: %v", err)
+	}
+	if v != int64(goroutines*increments) {
+		t.Fatalf("counter = %v, want %d (lost update)", v, goroutines*increments)
+	}
+}

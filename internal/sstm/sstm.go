@@ -1,0 +1,493 @@
+// Package sstm implements S-STM, the serializable STM of paper §4.2.
+//
+// S-STM extends CS-STM: causal serializability additionally requires all
+// update transactions to be perceived in the same order by all
+// processors. The paper's mechanism keeps transactions unordered as long
+// as possible and, once a committing transaction imposes an order between
+// previously concurrent transactions, prevents any other transaction from
+// contradicting it: "a solution is to force any transaction accessing
+// objects updated by T2 after T2 has committed ... to have a commit
+// timestamp greater than that of T3" (§4.2).
+//
+// We realize that rule with two mechanisms on top of CS-STM:
+//
+// Reader lists (the paper's visible reads): every read registers the
+// transaction's record on the version it observed. When a writer W
+// commits, it absorbs — for every version it overwrites — the timestamp
+// and floor of each committed reader R of that version: the rw
+// anti-dependency R → W is then reflected as R.ct ≼ W.ct, and W's
+// successor validation detects any cycle (W would have to both precede
+// and follow R). Readers that are still active when W commits are
+// handled symmetrically by their own commit-time validation against W's
+// installed successor version.
+//
+// Floor timestamps: when a transaction R commits having read a version
+// that was overwritten by writer W, the serialization order R → W is
+// fixed; R raises W's floor to R's timestamp. Every transaction that
+// accesses any of W's versions — and, transitively, anything causally
+// after them — absorbs the floor into its own commit timestamp, so the
+// CS-STM successor validation detects any attempt to order itself before
+// R: information about past readers is carried along causal chains,
+// exactly as §4.2 describes.
+//
+// The paper implements this without locks using compare-and-swap, an
+// extra "committing" state, and helping, omitting the details as "quite
+// intricate". We keep the committing state but serialize the commit
+// decision under a global mutex: the same aborts and the same orders are
+// produced, with coarser synchronization (see DESIGN.md §5). Helping is
+// unnecessary in-process because a mutex holder cannot crash.
+package sstm
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"tbtm/internal/cm"
+	"tbtm/internal/core"
+	"tbtm/internal/vclock"
+)
+
+// Config parameterizes an S-STM instance.
+type Config struct {
+	// Threads sizes the vector clock (default 16).
+	Threads int
+	// Entries is the timestamp width r (0 → Threads, exact vector clock).
+	Entries int
+	// Mapping selects the processor→entry mapping for plausible widths
+	// (default: the paper's modulo mapping).
+	Mapping vclock.Mapping
+	// Comb appends a second REV segment to the plausible timestamps
+	// (see cstm.Config.Comb and vclock.NewComb).
+	Comb bool
+	// CM arbitrates write/write conflicts. Nil means Polite.
+	CM cm.Manager
+}
+
+// Stats is a snapshot of an instance's cumulative counters.
+type Stats struct {
+	Commits   uint64
+	Aborts    uint64
+	Conflicts uint64 // serializability validation failures
+}
+
+// STM is an S-STM instance.
+type STM struct {
+	cfg   Config
+	clock *vclock.Clock
+
+	// commitMu serializes commit decisions (floor absorption, successor
+	// validation, floor attachment, version install).
+	commitMu sync.Mutex
+
+	nextThread atomic.Int64
+	commits    atomic.Uint64
+	aborts     atomic.Uint64
+	conflicts  atomic.Uint64
+}
+
+// New returns an S-STM instance, applying defaults for zero fields.
+func New(cfg Config) *STM {
+	if cfg.Threads < 1 {
+		cfg.Threads = 16
+	}
+	if cfg.Entries < 1 || cfg.Entries > cfg.Threads {
+		cfg.Entries = cfg.Threads
+	}
+	if cfg.CM == nil {
+		cfg.CM = &cm.Polite{}
+	}
+	mk := vclock.NewMapped
+	if cfg.Comb {
+		mk = vclock.NewComb
+	}
+	return &STM{cfg: cfg, clock: mk(cfg.Threads, cfg.Entries, cfg.Mapping)}
+}
+
+// Config returns the effective configuration.
+func (s *STM) Config() Config { return s.cfg }
+
+// Clock exposes the vector time base.
+func (s *STM) Clock() *vclock.Clock { return s.clock }
+
+// Stats returns a snapshot of the cumulative counters.
+func (s *STM) Stats() Stats {
+	return Stats{Commits: s.commits.Load(), Aborts: s.aborts.Load(), Conflicts: s.conflicts.Load()}
+}
+
+// Record is the persistent footprint of a transaction: its commit
+// timestamp (assigned under the commit mutex when the transaction
+// commits), the transaction descriptor (so readers of the record can
+// tell whether it committed), and the floor — the join of the timestamps
+// of all committed transactions that must precede any transaction
+// ordered after this one. TS and floor are only accessed under the
+// STM's commit mutex.
+type Record struct {
+	TS    vclock.TS
+	floor vclock.TS
+	meta  *core.TxMeta
+}
+
+// Floor returns a copy of the record's current floor. Floors are mutated
+// under the STM's commit mutex; callers must only use Floor when no
+// commits are in flight (it exists for tests and diagnostics).
+func (r *Record) Floor() vclock.TS { return r.floor.Clone() }
+
+// Version is one committed state of an Object.
+type Version struct {
+	Value    any
+	CT       vclock.TS
+	Seq      uint64
+	WriterID uint64
+	// Writer is the committing transaction's record, nil for initial
+	// versions. It carries the floor that readers must absorb.
+	Writer *Record
+
+	next atomic.Pointer[Version]
+
+	// readersMu guards readers, the paper's per-version reader list
+	// (§4.2: "a reading transaction atomically inserts itself in a
+	// 'reader list' associated with the read version"). The list is
+	// consulted once, by the transaction that overwrites this version,
+	// and cleared afterwards; late registrations by transactions that
+	// loaded the version just before it was overwritten are caught by
+	// their own successor validation instead.
+	readersMu sync.Mutex
+	readers   []*Record
+}
+
+// Next returns the successor version, or nil while current.
+func (v *Version) Next() *Version { return v.next.Load() }
+
+// addReader registers r in the version's reader list.
+func (v *Version) addReader(r *Record) {
+	v.readersMu.Lock()
+	v.readers = append(v.readers, r)
+	v.readersMu.Unlock()
+}
+
+// takeReaders returns the reader list and clears it.
+func (v *Version) takeReaders() []*Record {
+	v.readersMu.Lock()
+	rs := v.readers
+	v.readers = nil
+	v.readersMu.Unlock()
+	return rs
+}
+
+// Readers returns a snapshot of the reader list (tests).
+func (v *Version) Readers() []*Record {
+	v.readersMu.Lock()
+	defer v.readersMu.Unlock()
+	return append([]*Record(nil), v.readers...)
+}
+
+// Object is an S-STM shared object.
+type Object struct {
+	id  uint64
+	cur atomic.Pointer[Version]
+	wr  atomic.Pointer[core.TxMeta]
+}
+
+// NewObject allocates an object whose initial version has a zero
+// timestamp and no writer record.
+func (s *STM) NewObject(initial any) *Object {
+	o := &Object{id: core.NextObjectID()}
+	o.cur.Store(&Version{Value: initial, CT: s.clock.Zero(), Seq: 1})
+	return o
+}
+
+// ID returns the object's process-unique identifier.
+func (o *Object) ID() uint64 { return o.id }
+
+// Current returns the newest committed version.
+func (o *Object) Current() *Version { return o.cur.Load() }
+
+// Thread is a per-goroutine handle carrying VC_p.
+type Thread struct {
+	stm *STM
+	id  int
+	vc  vclock.TS
+}
+
+// NewThread returns a handle for one worker goroutine.
+func (s *STM) NewThread() *Thread {
+	return &Thread{stm: s, id: int(s.nextThread.Add(1) - 1), vc: s.clock.Zero()}
+}
+
+// ID returns the thread's index.
+func (th *Thread) ID() int { return th.id }
+
+// STM returns the owning instance.
+func (th *Thread) STM() *STM { return th.stm }
+
+// Begin starts a transaction.
+func (th *Thread) Begin(kind core.TxKind, readOnly bool) *Tx {
+	meta := core.NewTxMeta(kind, th.id)
+	return &Tx{
+		stm:  th.stm,
+		th:   th,
+		meta: meta,
+		rec:  &Record{TS: th.stm.clock.Zero(), floor: th.stm.clock.Zero(), meta: meta},
+		ro:   readOnly,
+		ct:   th.vc.Clone(),
+	}
+}
+
+type readEntry struct {
+	obj *Object
+	ver *Version
+}
+
+type writeEntry struct {
+	obj  *Object
+	base *Version
+	val  any
+}
+
+// Tx is an S-STM transaction.
+type Tx struct {
+	stm  *STM
+	th   *Thread
+	meta *core.TxMeta
+	rec  *Record
+	ro   bool
+
+	ct vclock.TS
+
+	reads  []readEntry
+	writes []writeEntry
+	windex map[uint64]int
+	done   bool
+}
+
+// Meta exposes the shared descriptor.
+func (tx *Tx) Meta() *core.TxMeta { return tx.meta }
+
+// CT returns a copy of the tentative commit timestamp (tests).
+func (tx *Tx) CT() vclock.TS { return tx.ct.Clone() }
+
+func (tx *Tx) stabilize(o *Object) {
+	for round := 0; ; round++ {
+		w := o.wr.Load()
+		if w == nil || w == tx.meta || w.Status() != core.StatusCommitting {
+			return
+		}
+		cm.Backoff(round)
+	}
+}
+
+func (tx *Tx) fail(err error) error {
+	tx.meta.TryAbort()
+	tx.releaseLocks()
+	tx.done = true
+	tx.stm.aborts.Add(1)
+	return err
+}
+
+// Read opens o in read mode: the read is visible in the sense required
+// for serializability — its ordering consequences are published at commit
+// through the floor mechanism — and recorded for validation.
+func (tx *Tx) Read(o *Object) (any, error) {
+	if tx.done {
+		return nil, core.ErrTxDone
+	}
+	if tx.meta.Status() == core.StatusAborted {
+		return nil, tx.fail(core.ErrAborted)
+	}
+	if i, ok := tx.windex[o.ID()]; ok {
+		return tx.writes[i].val, nil
+	}
+	tx.meta.Prio.Add(1)
+	tx.stabilize(o)
+	v := o.cur.Load()
+	tx.absorb(v)
+	v.addReader(tx.rec) // visible read (§4.2)
+	tx.reads = append(tx.reads, readEntry{obj: o, ver: v})
+	return v.Value, nil
+}
+
+// absorb folds a version's timestamp into T.ct. The writer's floor is
+// deliberately not read here: floors are only accessed under the commit
+// mutex, where Commit re-absorbs them before validating, which is the
+// absorption that soundness relies on.
+func (tx *Tx) absorb(v *Version) {
+	tx.ct.MaxInto(v.CT)
+}
+
+// Write opens o in write mode with single-writer arbitration and buffers
+// the update.
+func (tx *Tx) Write(o *Object, val any) error {
+	if tx.done {
+		return core.ErrTxDone
+	}
+	if tx.ro {
+		return core.ErrReadOnly
+	}
+	if tx.meta.Status() == core.StatusAborted {
+		return tx.fail(core.ErrAborted)
+	}
+	if i, ok := tx.windex[o.ID()]; ok {
+		tx.writes[i].val = val
+		return nil
+	}
+	tx.meta.Prio.Add(1)
+
+	for round := 0; ; round++ {
+		if tx.meta.Status() == core.StatusAborted {
+			return tx.fail(core.ErrAborted)
+		}
+		w := o.wr.Load()
+		switch {
+		case w == nil:
+			if o.wr.CompareAndSwap(nil, tx.meta) {
+				tx.recordWrite(o, val)
+				return nil
+			}
+		case w == tx.meta:
+			tx.recordWrite(o, val)
+			return nil
+		case w.Status().Terminal():
+			if o.wr.CompareAndSwap(w, tx.meta) {
+				tx.recordWrite(o, val)
+				return nil
+			}
+		default:
+			if !cm.Resolve(tx.stm.cfg.CM, tx.meta, w) {
+				tx.stm.conflicts.Add(1)
+				return tx.fail(core.ErrAborted)
+			}
+		}
+		cm.Backoff(round / 4)
+	}
+}
+
+func (tx *Tx) recordWrite(o *Object, val any) {
+	v := o.cur.Load()
+	tx.absorb(v)
+	if tx.windex == nil {
+		tx.windex = make(map[uint64]int, 8)
+	}
+	tx.windex[o.ID()] = len(tx.writes)
+	tx.writes = append(tx.writes, writeEntry{obj: o, base: v, val: val})
+}
+
+// Commit decides the transaction under the commit mutex:
+//
+//  1. Re-absorb the floors of every accessed version (orders imposed by
+//     transactions that committed since we opened them), and — the
+//     reader-list rule — the timestamps and floors of every committed
+//     reader of every version this transaction overwrites: each such
+//     reader R fixed the order R → T when it read the version T's write
+//     replaces, so T's timestamp must dominate R's.
+//  2. Validate: a successor of a read version whose timestamp is ≼ T.ct
+//     closes a precedence cycle — abort (as in CS-STM, but reader lists
+//     and floors have folded rw-antidependency orderings into the
+//     timestamps, upgrading the guarantee from causal serializability to
+//     serializability).
+//  3. Fix the final timestamp (clock tick for update transactions) and
+//     publish it on the transaction's record; flip the status to
+//     committed while still holding the mutex, so a later committer
+//     never misses this transaction in a reader list.
+//  4. Attach: for every read version, raise the floor of every successor
+//     version's writer to T.ct, fixing T → successor-writer for all
+//     future transactions.
+//  5. Install the buffered writes, carrying the transaction's record.
+func (tx *Tx) Commit() error {
+	if tx.done {
+		return core.ErrTxDone
+	}
+	if tx.meta.Status() == core.StatusAborted {
+		return tx.fail(core.ErrAborted)
+	}
+	if !tx.meta.CASStatus(core.StatusActive, core.StatusCommitting) {
+		return tx.fail(core.ErrAborted)
+	}
+
+	s := tx.stm
+	s.commitMu.Lock()
+	// Step 1: re-absorb floors and committed readers of overwritten
+	// versions.
+	for _, r := range tx.reads {
+		if r.ver.Writer != nil {
+			tx.ct.MaxInto(r.ver.Writer.floor)
+		}
+	}
+	for _, w := range tx.writes {
+		if w.base.Writer != nil {
+			tx.ct.MaxInto(w.base.Writer.floor)
+		}
+		for _, rd := range w.base.Readers() {
+			if rd == tx.rec || rd.meta.Status() != core.StatusCommitted {
+				continue
+			}
+			tx.ct.MaxInto(rd.TS)
+			tx.ct.MaxInto(rd.floor)
+		}
+	}
+	// Step 2: validate.
+	for _, r := range tx.reads {
+		for succ := r.ver.next.Load(); succ != nil; succ = succ.next.Load() {
+			if succ.CT.LessEq(tx.ct) {
+				tx.meta.CASStatus(core.StatusCommitting, core.StatusAborted)
+				s.commitMu.Unlock()
+				tx.releaseLocks()
+				tx.done = true
+				s.aborts.Add(1)
+				s.conflicts.Add(1)
+				return core.ErrConflict
+			}
+		}
+	}
+	// Step 3: final timestamp, published on the record, status flipped
+	// under the mutex.
+	if len(tx.writes) > 0 {
+		s.clock.Stamp(tx.th.id, tx.ct)
+	}
+	tx.rec.TS = tx.ct
+	// Step 4: attach our order to every successor writer, along the whole
+	// successor chain (each overwrote a version we read, so we precede
+	// each of them).
+	for _, r := range tx.reads {
+		for succ := r.ver.next.Load(); succ != nil; succ = succ.next.Load() {
+			if succ.Writer != nil {
+				succ.Writer.floor.MaxInto(tx.ct)
+			}
+		}
+	}
+	// Step 5: install. The overwritten versions' reader lists have been
+	// absorbed; clear them (late readers validate against the successor
+	// instead).
+	if len(tx.writes) > 0 {
+		for _, w := range tx.writes {
+			w.base.takeReaders()
+			nv := &Version{Value: w.val, CT: tx.ct, Seq: w.base.Seq + 1, WriterID: tx.meta.ID, Writer: tx.rec}
+			w.base.next.Store(nv)
+			w.obj.cur.Store(nv)
+		}
+	}
+	tx.meta.CASStatus(core.StatusCommitting, core.StatusCommitted)
+	s.commitMu.Unlock()
+
+	tx.releaseLocks()
+	tx.done = true
+	tx.th.vc = tx.ct
+	s.commits.Add(1)
+	return nil
+}
+
+// Abort aborts the transaction explicitly; no-op when already finished.
+func (tx *Tx) Abort() {
+	if tx.done {
+		return
+	}
+	tx.meta.TryAbort()
+	tx.releaseLocks()
+	tx.done = true
+	tx.stm.aborts.Add(1)
+}
+
+func (tx *Tx) releaseLocks() {
+	for _, w := range tx.writes {
+		w.obj.wr.CompareAndSwap(tx.meta, nil)
+	}
+}

@@ -1,0 +1,54 @@
+package sstm
+
+import (
+	"testing"
+
+	"tbtm/internal/core"
+)
+
+func BenchmarkTransfer(b *testing.B) {
+	// S-STM's per-update cost includes the commit-mutex critical section
+	// with floor re-absorption and successor-chain attachment (§4.2's
+	// "prohibitive, especially for short transactions" overhead claim).
+	s := New(Config{Threads: 16})
+	oa, ob := s.NewObject(int64(0)), s.NewObject(int64(0))
+	th := s.NewThread()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tx := th.Begin(core.Short, false)
+		if _, err := tx.Read(oa); err != nil {
+			b.Fatal(err)
+		}
+		if err := tx.Write(ob, int64(i)); err != nil {
+			b.Fatal(err)
+		}
+		if err := tx.Commit(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkCommitContention(b *testing.B) {
+	// Parallel committers all serialize on the commit mutex.
+	s := New(Config{Threads: 16})
+	const n = 8
+	objs := make([]*Object, n)
+	for i := range objs {
+		objs[i] = s.NewObject(int64(0))
+	}
+	var idx int64
+	b.RunParallel(func(pb *testing.PB) {
+		th := s.NewThread()
+		i := int(idx) % n
+		idx++
+		for pb.Next() {
+			tx := th.Begin(core.Short, false)
+			if err := tx.Write(objs[i], int64(i)); err != nil {
+				tx.Abort()
+				continue
+			}
+			_ = tx.Commit()
+		}
+	})
+}

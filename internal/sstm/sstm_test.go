@@ -1,0 +1,369 @@
+package sstm
+
+import (
+	"errors"
+	"sync"
+	"testing"
+
+	"tbtm/internal/core"
+)
+
+func atomically(t *testing.T, th *Thread, ro bool, fn func(tx *Tx) error) {
+	t.Helper()
+	for i := 0; ; i++ {
+		tx := th.Begin(core.Short, ro)
+		err := fn(tx)
+		if err == nil {
+			err = tx.Commit()
+		} else {
+			tx.Abort()
+		}
+		if err == nil {
+			return
+		}
+		if !core.IsRetryable(err) {
+			t.Errorf("non-retryable error: %v", err)
+			return
+		}
+		if i > 20000 {
+			t.Error("transaction did not commit after 20000 retries")
+			return
+		}
+	}
+}
+
+func TestBasicReadWrite(t *testing.T) {
+	s := New(Config{Threads: 4})
+	o := s.NewObject(int64(1))
+	th := s.NewThread()
+	atomically(t, th, false, func(tx *Tx) error {
+		v, err := tx.Read(o)
+		if err != nil {
+			return err
+		}
+		return tx.Write(o, v.(int64)+1)
+	})
+	tx := th.Begin(core.Short, true)
+	v, err := tx.Read(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != int64(2) {
+		t.Fatalf("value = %v, want 2", v)
+	}
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReadOnlyRejectsWritesAndDoneSemantics(t *testing.T) {
+	s := New(Config{Threads: 4})
+	o := s.NewObject(0)
+	ro := s.NewThread().Begin(core.Short, true)
+	if err := ro.Write(o, 1); !errors.Is(err, core.ErrReadOnly) {
+		t.Fatalf("RO write = %v", err)
+	}
+	ro.Abort()
+	if _, err := ro.Read(o); !errors.Is(err, core.ErrTxDone) {
+		t.Fatalf("Read after abort = %v", err)
+	}
+	if err := ro.Commit(); !errors.Is(err, core.ErrTxDone) {
+		t.Fatalf("Commit after abort = %v", err)
+	}
+}
+
+// figure2 sets up the paper's Figure 2 execution up to the point where TL
+// and T3 have both built their (incompatible) views, then commits them in
+// the given order. Exactly the first must succeed: the execution is
+// causally serializable but not serializable, so S-STM must abort the
+// second (§4.2: "only one of TL or T3 can commit ... the first
+// transaction of TL or T3 that commits will order T1 and T2; the other
+// one will abort").
+func figure2(t *testing.T, s *STM, commitTLFirst bool) (errTL, errT3 error) {
+	t.Helper()
+	o1, o2 := s.NewObject("o1v0"), s.NewObject("o2v0")
+	o3, o4 := s.NewObject("o3v0"), s.NewObject("o4v0")
+	p1, p2, p3, pL := s.NewThread(), s.NewThread(), s.NewThread(), s.NewThread()
+
+	// TL reads o1 and o2 before T1 commits, o3 after T2 commits:
+	// TL's view is T2 → TL → T1.
+	tl := pL.Begin(core.Long, false)
+	if _, err := tl.Read(o1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tl.Read(o2); err != nil {
+		t.Fatal(err)
+	}
+
+	// T3 reads o3 before T2 commits and writes o2 after T1 commits:
+	// T3's view is T1 → T3 → T2.
+	t3 := p3.Begin(core.Short, false)
+	if _, err := t3.Read(o3); err != nil {
+		t.Fatal(err)
+	}
+
+	// T1 : w(o1) w(o2).
+	t1 := p1.Begin(core.Short, false)
+	if err := t1.Write(o1, "o1v1"); err != nil {
+		t.Fatal(err)
+	}
+	if err := t1.Write(o2, "o2v1"); err != nil {
+		t.Fatal(err)
+	}
+	if err := t1.Commit(); err != nil {
+		t.Fatalf("T1: %v", err)
+	}
+
+	// T2 : w(o3) w(o3).
+	t2 := p2.Begin(core.Short, false)
+	if err := t2.Write(o3, "o3v1"); err != nil {
+		t.Fatal(err)
+	}
+	if err := t2.Write(o3, "o3v2"); err != nil {
+		t.Fatal(err)
+	}
+	if err := t2.Commit(); err != nil {
+		t.Fatalf("T2: %v", err)
+	}
+
+	// T3 writes o2 over T1's version (T1 → T3).
+	if err := t3.Write(o2, "o2v2"); err != nil {
+		t.Fatal(err)
+	}
+	// TL reads o3 — T2's version (T2 → TL) — and writes o4.
+	if _, err := tl.Read(o3); err != nil {
+		t.Fatal(err)
+	}
+	if err := tl.Write(o4, "o4v1"); err != nil {
+		t.Fatal(err)
+	}
+
+	if commitTLFirst {
+		errTL = tl.Commit()
+		errT3 = t3.Commit()
+	} else {
+		errT3 = t3.Commit()
+		errTL = tl.Commit()
+	}
+	return errTL, errT3
+}
+
+func TestFigure2ExactlyOneCommits(t *testing.T) {
+	t.Run("T3 first", func(t *testing.T) {
+		s := New(Config{Threads: 4})
+		errTL, errT3 := figure2(t, s, false)
+		if errT3 != nil {
+			t.Fatalf("first committer T3 aborted: %v", errT3)
+		}
+		if !errors.Is(errTL, core.ErrConflict) {
+			t.Fatalf("TL = %v, want ErrConflict", errTL)
+		}
+	})
+	t.Run("TL first", func(t *testing.T) {
+		s := New(Config{Threads: 4})
+		errTL, errT3 := figure2(t, s, true)
+		if errTL != nil {
+			t.Fatalf("first committer TL aborted: %v", errTL)
+		}
+		if !errors.Is(errT3, core.ErrConflict) {
+			t.Fatalf("T3 = %v, want ErrConflict", errT3)
+		}
+	})
+}
+
+// TestFigure1StillCommits checks that S-STM keeps the concurrency CS-STM
+// offers on Figure 1: with no order-contradicting reader, all three
+// transactions commit.
+func TestFigure1StillCommits(t *testing.T) {
+	s := New(Config{Threads: 3})
+	o1, o2 := s.NewObject("o1v0"), s.NewObject("o2v0")
+	o3, o4 := s.NewObject("o3v0"), s.NewObject("o4v0")
+	p1, p2, p3 := s.NewThread(), s.NewThread(), s.NewThread()
+
+	tl := p3.Begin(core.Long, false)
+	if _, err := tl.Read(o1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tl.Read(o2); err != nil {
+		t.Fatal(err)
+	}
+	t1 := p1.Begin(core.Short, false)
+	if err := t1.Write(o1, "o1v1"); err != nil {
+		t.Fatal(err)
+	}
+	if err := t1.Write(o2, "o2v1"); err != nil {
+		t.Fatal(err)
+	}
+	if err := t1.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	t2 := p2.Begin(core.Short, false)
+	if err := t2.Write(o3, "o3v1"); err != nil {
+		t.Fatal(err)
+	}
+	if err := t2.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tl.Read(o3); err != nil {
+		t.Fatal(err)
+	}
+	if err := tl.Write(o4, "o4v1"); err != nil {
+		t.Fatal(err)
+	}
+	if err := tl.Commit(); err != nil {
+		t.Fatalf("TL must commit on Figure 1: %v", err)
+	}
+}
+
+// TestFloorPropagatesTransitively checks the "carried along causal
+// chains" property: after TL commits ordering TL → T1, a transaction that
+// reads T1's versions absorbs TL's timestamp transitively and cannot
+// order itself before TL.
+func TestFloorPropagatesTransitively(t *testing.T) {
+	s := New(Config{Threads: 4})
+	o1 := s.NewObject("o1v0")
+	o5 := s.NewObject("o5v0")
+	p1, p2, p3 := s.NewThread(), s.NewThread(), s.NewThread()
+
+	// TL reads o1@v0 and o5@v0... first, fix TL's reads.
+	tl := p3.Begin(core.Long, false)
+	if _, err := tl.Read(o1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tl.Read(o5); err != nil {
+		t.Fatal(err)
+	}
+
+	// T1 overwrites o1 and commits: TL (when it commits) precedes T1.
+	atomically(t, p1, false, func(tx *Tx) error { return tx.Write(o1, "o1v1") })
+
+	// TL commits (writes nothing — read-only behaviour is enough to
+	// impose TL → T1).
+	if err := tl.Commit(); err != nil {
+		t.Fatalf("TL: %v", err)
+	}
+
+	// T4 reads T1's o1 version (so T1 → T4, transitively TL → T4), then
+	// tries to overwrite o5, whose v0 TL read. If T4 could commit a
+	// version of o5 with a timestamp not dominating TL's, a later reader
+	// could order T4 before TL. The floor forces T4's timestamp to
+	// dominate TL's, keeping the order consistent; T4 itself read o5@v0
+	// which TL also read — no conflict, T4 commits after TL.
+	t4 := p2.Begin(core.Short, false)
+	v, err := t4.Read(o1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != "o1v1" {
+		t.Fatalf("T4 read o1 = %v", v)
+	}
+	if err := t4.Write(o5, "o5v1"); err != nil {
+		t.Fatal(err)
+	}
+	if err := t4.Commit(); err != nil {
+		t.Fatalf("T4: %v", err)
+	}
+	// T4's installed version must dominate TL's commit timestamp.
+	if !tl.CT().LessEq(o5.Current().CT) {
+		t.Fatalf("T4's version CT %v does not dominate TL's %v", o5.Current().CT, tl.CT())
+	}
+}
+
+func TestMoneyConservationSerializable(t *testing.T) {
+	for _, entries := range []int{0, 2} {
+		entries := entries
+		name := "vector"
+		if entries == 2 {
+			name = "plausible2"
+		}
+		t.Run(name, func(t *testing.T) {
+			s := New(Config{Threads: 4, Entries: entries})
+			const accounts, transfers, workers = 8, 50, 4
+			objs := make([]*Object, accounts)
+			for i := range objs {
+				objs[i] = s.NewObject(int64(100))
+			}
+			var wg sync.WaitGroup
+			for w := 0; w < workers; w++ {
+				wg.Add(1)
+				go func(seed int) {
+					defer wg.Done()
+					th := s.NewThread()
+					for i := 0; i < transfers; i++ {
+						from := (seed + i) % accounts
+						to := (seed + i*5 + 1) % accounts
+						if from == to {
+							continue
+						}
+						atomically(t, th, false, func(tx *Tx) error {
+							fv, err := tx.Read(objs[from])
+							if err != nil {
+								return err
+							}
+							tv, err := tx.Read(objs[to])
+							if err != nil {
+								return err
+							}
+							if err := tx.Write(objs[from], fv.(int64)-1); err != nil {
+								return err
+							}
+							return tx.Write(objs[to], tv.(int64)+1)
+						})
+					}
+				}(w)
+			}
+			wg.Wait()
+			var total int64
+			atomically(t, s.NewThread(), true, func(tx *Tx) error {
+				total = 0
+				for _, o := range objs {
+					v, err := tx.Read(o)
+					if err != nil {
+						return err
+					}
+					total += v.(int64)
+				}
+				return nil
+			})
+			if total != accounts*100 {
+				t.Fatalf("total = %d, want %d", total, accounts*100)
+			}
+		})
+	}
+}
+
+func TestStatsAndAccessors(t *testing.T) {
+	s := New(Config{})
+	if s.Config().Threads != 16 || s.Config().Entries != 16 {
+		t.Fatalf("defaults = %+v", s.Config())
+	}
+	if s.Clock() == nil {
+		t.Fatal("Clock nil")
+	}
+	th := s.NewThread()
+	if th.STM() != s || th.ID() != 0 {
+		t.Fatal("thread accessors wrong")
+	}
+	o := s.NewObject(1)
+	if o.ID() == 0 || o.Current().Value != 1 || o.Current().Next() != nil {
+		t.Fatal("object accessors wrong")
+	}
+	tx := th.Begin(core.Short, false)
+	if err := tx.Write(o, 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	rec := o.Current().Writer
+	if rec == nil || !rec.TS.Equal(o.Current().CT) {
+		t.Fatal("writer record missing or inconsistent")
+	}
+	if len(rec.Floor()) != 16 {
+		t.Fatalf("floor width = %d", len(rec.Floor()))
+	}
+	st := s.Stats()
+	if st.Commits != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+}

@@ -1,0 +1,181 @@
+package sstm
+
+import (
+	"testing"
+
+	"tbtm/internal/core"
+)
+
+// Write skew is the canonical serializability violation that causal
+// serializability (and snapshot isolation) admit: T1 reads {x,y} and
+// writes x, T2 reads {x,y} and writes y. The rw anti-dependencies
+// T1 → T2 (on y) and T2 → T1 (on x) form a cycle, so a serializable STM
+// must abort one of them — in either commit order. These are the
+// regression tests for the reader-list mechanism (§4.2's visible reads):
+// without it, neither transaction sees the other's reads and both
+// commit.
+
+func writeSkewPair(s *STM) (x, y *Object, t1, t2 *Tx) {
+	x = s.NewObject(int64(50))
+	y = s.NewObject(int64(50))
+	t1 = s.NewThread().Begin(core.Short, false)
+	t2 = s.NewThread().Begin(core.Short, false)
+	for _, tx := range []*Tx{t1, t2} {
+		if _, err := tx.Read(x); err != nil {
+			panic(err)
+		}
+		if _, err := tx.Read(y); err != nil {
+			panic(err)
+		}
+	}
+	return x, y, t1, t2
+}
+
+func TestWriteSkewRejectedT1First(t *testing.T) {
+	s := New(Config{})
+	x, y, t1, t2 := writeSkewPair(s)
+	_, _ = x, y
+	if err := t1.Write(x, int64(-10)); err != nil {
+		t.Fatalf("t1 Write: %v", err)
+	}
+	if err := t2.Write(y, int64(-10)); err != nil {
+		t.Fatalf("t2 Write: %v", err)
+	}
+	err1 := t1.Commit()
+	err2 := t2.Commit()
+	if err1 == nil && err2 == nil {
+		t.Fatal("both skew transactions committed (t1 first); serializability violated")
+	}
+	if err1 != nil && err2 != nil {
+		t.Fatal("both skew transactions aborted; one must commit")
+	}
+}
+
+func TestWriteSkewRejectedT2First(t *testing.T) {
+	s := New(Config{})
+	x, y, t1, t2 := writeSkewPair(s)
+	if err := t2.Write(y, int64(-10)); err != nil {
+		t.Fatalf("t2 Write: %v", err)
+	}
+	if err := t1.Write(x, int64(-10)); err != nil {
+		t.Fatalf("t1 Write: %v", err)
+	}
+	err2 := t2.Commit()
+	err1 := t1.Commit()
+	if err1 == nil && err2 == nil {
+		t.Fatal("both skew transactions committed (t2 first); serializability violated")
+	}
+	if err1 != nil && err2 != nil {
+		t.Fatal("both skew transactions aborted; one must commit")
+	}
+}
+
+// TestReadOnlyPivotRejected is the three-transaction G2 pattern: a
+// read-only transaction R observes x before W1 updates it and y after W2
+// updated it, forcing R before W1 and after W2 — plus a dependency
+// W1 → W2 — so the trio has no serialization. One of the three must
+// abort.
+func TestReadOnlyPivotRejected(t *testing.T) {
+	s := New(Config{})
+	x := s.NewObject(int64(0))
+	y := s.NewObject(int64(0))
+
+	r := s.NewThread().Begin(core.Short, true)
+	w1 := s.NewThread().Begin(core.Short, false)
+	w2 := s.NewThread().Begin(core.Short, false)
+
+	// w2 updates y and commits.
+	if _, err := w2.Read(y); err != nil {
+		t.Fatalf("w2 Read y: %v", err)
+	}
+	if err := w2.Write(y, int64(2)); err != nil {
+		t.Fatalf("w2 Write y: %v", err)
+	}
+	errW2 := w2.Commit()
+
+	// r reads x (old) and y (new): r is after w2.
+	if _, err := r.Read(x); err != nil {
+		t.Fatalf("r Read x: %v", err)
+	}
+	if _, err := r.Read(y); err != nil {
+		t.Fatalf("r Read y: %v", err)
+	}
+
+	// w1 reads y's new version (w2 → w1) and updates x, which r read:
+	// r → w1. If r commits it must be before w1 but after w2, while
+	// w2 → w1 — consistent only if r is between them... and it is!
+	// The cycle closes only when w1 also precedes w2; keep this trio
+	// acyclic-but-tight and assert everyone commits, then run the true
+	// cyclic variant below.
+	if _, err := w1.Read(y); err != nil {
+		t.Fatalf("w1 Read y: %v", err)
+	}
+	if err := w1.Write(x, int64(1)); err != nil {
+		t.Fatalf("w1 Write x: %v", err)
+	}
+	errR := r.Commit()
+	errW1 := w1.Commit()
+	if errW2 != nil || errR != nil || errW1 != nil {
+		t.Fatalf("acyclic trio aborted: w2=%v r=%v w1=%v", errW2, errR, errW1)
+	}
+}
+
+// TestThreeTxCycleRejected closes a genuine three-transaction cycle:
+//
+//	r:  reads x(old), reads z(new from w2)   ⇒ w2 → r, r → w1 (rw on x)
+//	w1: writes x, reads y(old)               ⇒ w1 → w2 (rw on y)
+//	w2: writes y, writes z
+//
+// r → w1 → w2 → r. At most two of the three may commit.
+func TestThreeTxCycleRejected(t *testing.T) {
+	s := New(Config{})
+	x := s.NewObject(int64(0))
+	y := s.NewObject(int64(0))
+	z := s.NewObject(int64(0))
+
+	r := s.NewThread().Begin(core.Short, true)
+	w1 := s.NewThread().Begin(core.Short, false)
+	w2 := s.NewThread().Begin(core.Short, false)
+
+	// r reads x first (will be overwritten by w1: r → w1).
+	if _, err := r.Read(x); err != nil {
+		t.Fatalf("r Read x: %v", err)
+	}
+	// w1 reads y (will be overwritten by w2: w1 → w2) and writes x.
+	if _, err := w1.Read(y); err != nil {
+		t.Fatalf("w1 Read y: %v", err)
+	}
+	if err := w1.Write(x, int64(1)); err != nil {
+		t.Fatalf("w1 Write x: %v", err)
+	}
+	// w2 writes y and z, then commits.
+	if err := w2.Write(y, int64(2)); err != nil {
+		t.Fatalf("w2 Write y: %v", err)
+	}
+	if err := w2.Write(z, int64(2)); err != nil {
+		t.Fatalf("w2 Write z: %v", err)
+	}
+	errW2 := w2.Commit()
+
+	// r reads z after w2 committed: w2 → r.
+	var errR error
+	if _, err := r.Read(z); err != nil {
+		errR = err
+	} else {
+		errR = r.Commit()
+	}
+	errW1 := w1.Commit()
+
+	committed := 0
+	for _, err := range []error{errW2, errR, errW1} {
+		if err == nil {
+			committed++
+		}
+	}
+	if committed == 3 {
+		t.Fatal("all three transactions of an rw-cycle committed; serializability violated")
+	}
+	if committed == 0 {
+		t.Fatal("no transaction committed; at least one must")
+	}
+}

@@ -1,0 +1,234 @@
+// Package trace records transaction schedules and renders them as ASCII
+// timelines in the style of the paper's Figures 1-5: one row per thread,
+// transactions as bracketed spans, read/write operations at their global
+// order positions, and commit/abort outcomes. cmd/schedviz uses it to
+// replay the paper's scenario figures against the real STM
+// implementations and show who commits and who aborts under each
+// criterion.
+//
+// The recorder is purely observational: scenario code logs each
+// operation as it performs it on a real transaction. A global sequence
+// counter totally orders events, which is exactly the "real time" axis
+// the figures draw.
+package trace
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Op is the kind of one recorded event.
+type Op int
+
+// Event kinds.
+const (
+	// OpBegin opens a transaction span.
+	OpBegin Op = iota + 1
+	// OpRead is a read of an object.
+	OpRead
+	// OpWrite is a write of an object.
+	OpWrite
+	// OpCommit closes the span with a commit.
+	OpCommit
+	// OpAbort closes the span with an abort.
+	OpAbort
+	// OpNote is free-form annotation inside the span (e.g. "zone=2").
+	OpNote
+)
+
+// Event is one recorded schedule point.
+type Event struct {
+	Seq    int    // global total order
+	Thread string // row label
+	Tx     string // transaction label, e.g. "T1", "TL"
+	Long   bool
+	Op     Op
+	Obj    string // object label for reads/writes, text for notes
+}
+
+// Recorder collects events. Safe for concurrent use.
+type Recorder struct {
+	mu     sync.Mutex
+	seq    int
+	events []Event
+}
+
+// New returns an empty recorder.
+func New() *Recorder { return &Recorder{} }
+
+func (r *Recorder) record(e Event) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	e.Seq = r.seq
+	r.seq++
+	r.events = append(r.events, e)
+}
+
+// Events returns a copy of the recorded events in global order.
+func (r *Recorder) Events() []Event {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]Event, len(r.events))
+	copy(out, r.events)
+	return out
+}
+
+// Tx is the logging handle for one transaction.
+type Tx struct {
+	r      *Recorder
+	thread string
+	label  string
+	long   bool
+}
+
+// Begin records a transaction start on the given thread row and returns
+// its logging handle.
+func (r *Recorder) Begin(thread, label string, long bool) *Tx {
+	t := &Tx{r: r, thread: thread, label: label, long: long}
+	r.record(Event{Thread: thread, Tx: label, Long: long, Op: OpBegin})
+	return t
+}
+
+func (t *Tx) record(op Op, obj string) {
+	t.r.record(Event{Thread: t.thread, Tx: t.label, Long: t.long, Op: op, Obj: obj})
+}
+
+// Read records a read of obj.
+func (t *Tx) Read(obj string) { t.record(OpRead, obj) }
+
+// Write records a write of obj.
+func (t *Tx) Write(obj string) { t.record(OpWrite, obj) }
+
+// Note records a free-form annotation.
+func (t *Tx) Note(text string) { t.record(OpNote, text) }
+
+// Commit records a commit outcome.
+func (t *Tx) Commit() { t.record(OpCommit, "") }
+
+// Abort records an abort outcome.
+func (t *Tx) Abort() { t.record(OpAbort, "") }
+
+// token renders one event's cell text.
+func token(e Event) string {
+	switch e.Op {
+	case OpBegin:
+		open := "["
+		if e.Long {
+			open = "[["
+		}
+		return open + e.Tx
+	case OpRead:
+		return "r(" + e.Obj + ")"
+	case OpWrite:
+		return "w(" + e.Obj + ")"
+	case OpCommit:
+		if e.Long {
+			return "C]]"
+		}
+		return "C]"
+	case OpAbort:
+		if e.Long {
+			return "A]]"
+		}
+		return "A]"
+	case OpNote:
+		return "{" + e.Obj + "}"
+	default:
+		return "?"
+	}
+}
+
+// Render lays the recorded schedule out as one ASCII row per thread.
+// Each event occupies its own column on the shared real-time axis;
+// within an open transaction the row is drawn with '-', outside with
+// spaces. Long transactions open with "[[" and close with "C]]"/"A]]".
+func (r *Recorder) Render() string {
+	events := r.Events()
+	if len(events) == 0 {
+		return "(empty schedule)\n"
+	}
+
+	// Column widths: one column per event.
+	widths := make([]int, len(events))
+	for i, e := range events {
+		widths[i] = len(token(e)) + 1
+	}
+
+	// Stable thread order: by first appearance.
+	var threads []string
+	seen := map[string]bool{}
+	for _, e := range events {
+		if !seen[e.Thread] {
+			seen[e.Thread] = true
+			threads = append(threads, e.Thread)
+		}
+	}
+	sort.SliceStable(threads, func(a, b int) bool {
+		return firstSeq(events, threads[a]) < firstSeq(events, threads[b])
+	})
+
+	labelW := 0
+	for _, th := range threads {
+		if len(th) > labelW {
+			labelW = len(th)
+		}
+	}
+
+	var sb strings.Builder
+	for _, th := range threads {
+		fmt.Fprintf(&sb, "%-*s ", labelW, th)
+		open := false
+		for i, e := range events {
+			cell := strings.Repeat(" ", widths[i])
+			if e.Thread == th {
+				tok := token(e)
+				switch e.Op {
+				case OpBegin:
+					open = true
+				case OpCommit, OpAbort:
+					open = false
+					cell = tok + strings.Repeat(" ", widths[i]-len(tok))
+					sb.WriteString(cell)
+					continue
+				}
+				pad := widths[i] - len(tok)
+				fill := " "
+				if open {
+					fill = "-"
+				}
+				cell = tok + strings.Repeat(fill, pad)
+			} else if open {
+				cell = strings.Repeat("-", widths[i])
+			}
+			sb.WriteString(cell)
+		}
+		sb.WriteString("\n")
+	}
+	return sb.String()
+}
+
+func firstSeq(events []Event, thread string) int {
+	for _, e := range events {
+		if e.Thread == thread {
+			return e.Seq
+		}
+	}
+	return len(events)
+}
+
+// Outcomes returns a map from transaction label to "committed" or
+// "aborted" (transactions without a recorded outcome are absent).
+func (r *Recorder) Outcomes() map[string]string {
+	out := map[string]string{}
+	for _, e := range r.Events() {
+		switch e.Op {
+		case OpCommit:
+			out[e.Tx] = "committed"
+		case OpAbort:
+			out[e.Tx] = "aborted"
+		}
+	}
+	return out
+}

@@ -1,0 +1,119 @@
+package trace
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestEventsTotallyOrdered(t *testing.T) {
+	r := New()
+	t1 := r.Begin("p1", "T1", false)
+	t2 := r.Begin("p2", "T2", false)
+	t1.Read("o1")
+	t2.Write("o2")
+	t1.Commit()
+	t2.Abort()
+
+	events := r.Events()
+	if len(events) != 6 {
+		t.Fatalf("events = %d, want 6", len(events))
+	}
+	for i, e := range events {
+		if e.Seq != i {
+			t.Fatalf("event %d has seq %d", i, e.Seq)
+		}
+	}
+}
+
+func TestOutcomes(t *testing.T) {
+	r := New()
+	t1 := r.Begin("p1", "T1", false)
+	t2 := r.Begin("p2", "TL", true)
+	t1.Commit()
+	t2.Abort()
+	out := r.Outcomes()
+	if out["T1"] != "committed" || out["TL"] != "aborted" {
+		t.Fatalf("outcomes = %v", out)
+	}
+	if _, ok := out["T3"]; ok {
+		t.Fatal("phantom outcome")
+	}
+}
+
+func TestRenderShape(t *testing.T) {
+	r := New()
+	t1 := r.Begin("p1", "T1", false)
+	t1.Read("o1")
+	tl := r.Begin("p2", "TL", true)
+	tl.Read("o2")
+	t1.Write("o1")
+	t1.Commit()
+	tl.Commit()
+
+	s := r.Render()
+	lines := strings.Split(strings.TrimRight(s, "\n"), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("rendered %d rows, want 2:\n%s", len(lines), s)
+	}
+	if !strings.HasPrefix(lines[0], "p1") || !strings.HasPrefix(lines[1], "p2") {
+		t.Fatalf("row labels wrong:\n%s", s)
+	}
+	// Short transaction spans with [T1 ... C]; long with [[TL ... C]].
+	if !strings.Contains(lines[0], "[T1") || !strings.Contains(lines[0], "C]") {
+		t.Fatalf("short span missing:\n%s", s)
+	}
+	if !strings.Contains(lines[1], "[[TL") || !strings.Contains(lines[1], "C]]") {
+		t.Fatalf("long span missing:\n%s", s)
+	}
+	// Both rows share the global axis: same rendered width.
+	if len(lines[0]) != len(lines[1]) {
+		t.Fatalf("row widths differ: %d vs %d\n%s", len(lines[0]), len(lines[1]), s)
+	}
+	// Open spans are drawn with dashes while other threads act.
+	if !strings.Contains(lines[0], "-") {
+		t.Fatalf("active span not dashed:\n%s", s)
+	}
+}
+
+func TestRenderEmpty(t *testing.T) {
+	if s := New().Render(); !strings.Contains(s, "empty") {
+		t.Fatalf("empty render = %q", s)
+	}
+}
+
+func TestRenderNote(t *testing.T) {
+	r := New()
+	tx := r.Begin("p1", "T1", false)
+	tx.Note("zone=2")
+	tx.Commit()
+	if s := r.Render(); !strings.Contains(s, "{zone=2}") {
+		t.Fatalf("note missing:\n%s", s)
+	}
+}
+
+func TestConcurrentRecording(t *testing.T) {
+	r := New()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			tx := r.Begin("p", "T", false)
+			for i := 0; i < 100; i++ {
+				tx.Read("o")
+			}
+			tx.Commit()
+		}(g)
+	}
+	wg.Wait()
+	events := r.Events()
+	if len(events) != 8*102 {
+		t.Fatalf("events = %d, want %d", len(events), 8*102)
+	}
+	for i, e := range events {
+		if e.Seq != i {
+			t.Fatalf("seq gap at %d", i)
+		}
+	}
+}

@@ -1,0 +1,171 @@
+package vclock
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// Comb-clock laws (§4.3's "other types of plausible clocks"): the same
+// simulated message-passing regime as plausible_test.go, with three
+// clocks driven in lockstep — exact vector (truth), plain REV, and comb
+// (REV + shared Lamport entry). The comb clock must satisfy the
+// plausibility laws, order no pair the plain REV clock leaves unordered,
+// and falsely order at most as many truly-concurrent pairs.
+
+type combEvent struct {
+	truth TS
+	rev   TS
+	comb  TS
+}
+
+func simulateComb(n, r int, mapping Mapping, steps int, seed int64) []combEvent {
+	rng := rand.New(rand.NewSource(seed))
+	truthClock := New(n, n)
+	revClock := NewMapped(n, r, mapping)
+	combClock := NewComb(n, r, mapping)
+
+	truths := make([]TS, n)
+	revs := make([]TS, n)
+	combs := make([]TS, n)
+	for p := 0; p < n; p++ {
+		truths[p] = truthClock.Zero()
+		revs[p] = revClock.Zero()
+		combs[p] = combClock.Zero()
+	}
+
+	var events []combEvent
+	for s := 0; s < steps; s++ {
+		p := rng.Intn(n)
+		if rng.Intn(3) == 0 && n > 1 {
+			q := rng.Intn(n)
+			for q == p {
+				q = rng.Intn(n)
+			}
+			truths[p].MaxInto(truths[q])
+			revs[p].MaxInto(revs[q])
+			combs[p].MaxInto(combs[q])
+		}
+		truthClock.Stamp(p, truths[p])
+		revClock.Stamp(p, revs[p])
+		combClock.Stamp(p, combs[p])
+		events = append(events, combEvent{
+			truth: truths[p].Clone(),
+			rev:   revs[p].Clone(),
+			comb:  combs[p].Clone(),
+		})
+	}
+	return events
+}
+
+func TestCombPlausibilityLaws(t *testing.T) {
+	for _, n := range []int{4, 6} {
+		for _, r := range []int{1, 2, 3} {
+			for seed := int64(1); seed <= 3; seed++ {
+				events := simulateComb(n, r, Modulo, 100, seed)
+				for i := range events {
+					for j := range events {
+						if i == j {
+							continue
+						}
+						e, f := events[i], events[j]
+						if e.truth.Less(f.truth) {
+							if !e.comb.Less(f.comb) {
+								t.Fatalf("n=%d r=%d seed=%d: e→f not captured by comb: %v %v",
+									n, r, seed, e.comb, f.comb)
+							}
+						}
+						if e.comb.Concurrent(f.comb) && !e.truth.Concurrent(f.truth) {
+							t.Fatalf("n=%d r=%d seed=%d: comb claims concurrency for ordered events",
+								n, r, seed)
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestCombOrdersSubsetOfREV checks the filter law: every pair the comb
+// clock orders, the plain REV clock orders the same way (the Lamport
+// entry only removes orderings, never adds or flips them).
+func TestCombOrdersSubsetOfREV(t *testing.T) {
+	events := simulateComb(6, 2, Modulo, 120, 7)
+	for i := range events {
+		for j := range events {
+			if i == j {
+				continue
+			}
+			e, f := events[i], events[j]
+			if e.comb.Less(f.comb) && !e.rev.Less(f.rev) {
+				t.Fatalf("comb orders a pair REV leaves unordered: comb %v %v rev %v %v",
+					e.comb, f.comb, e.rev, f.rev)
+			}
+		}
+	}
+}
+
+// TestCombReducesFalseOrderings counts truly-concurrent pairs each clock
+// falsely orders: the comb count must never exceed the REV count, and
+// across several seeds it must be strictly smaller at least once
+// (otherwise the extra entry would be dead weight).
+func TestCombReducesFalseOrderings(t *testing.T) {
+	strictlyBetter := false
+	for seed := int64(1); seed <= 5; seed++ {
+		events := simulateComb(6, 2, Modulo, 120, seed)
+		falseREV, falseComb := 0, 0
+		for i := range events {
+			for j := range events {
+				if i == j {
+					continue
+				}
+				e, f := events[i], events[j]
+				if !e.truth.Concurrent(f.truth) {
+					continue
+				}
+				if e.rev.Less(f.rev) {
+					falseREV++
+				}
+				if e.comb.Less(f.comb) {
+					falseComb++
+				}
+			}
+		}
+		if falseComb > falseREV {
+			t.Fatalf("seed %d: comb falsely orders more pairs (%d) than REV (%d)",
+				seed, falseComb, falseREV)
+		}
+		if falseComb < falseREV {
+			strictlyBetter = true
+		}
+	}
+	if !strictlyBetter {
+		t.Fatal("comb never beat REV across all seeds; the Lamport entry filters nothing")
+	}
+}
+
+// TestCombAccessors pins the width bookkeeping: r first-segment entries
+// plus min(r+1, threads) second-segment entries.
+func TestCombAccessors(t *testing.T) {
+	c := NewComb(8, 3, Block)
+	if !c.Comb() {
+		t.Fatal("Comb() = false")
+	}
+	if c.Entries() != 3 {
+		t.Fatalf("Entries() = %d, want 3", c.Entries())
+	}
+	if c.Width() != 7 {
+		t.Fatalf("Width() = %d, want 7", c.Width())
+	}
+	if len(c.Zero()) != 7 {
+		t.Fatalf("Zero() width = %d, want 7", len(c.Zero()))
+	}
+	// The second segment is clamped to the processor count.
+	tight := NewComb(3, 3, Modulo)
+	if tight.Width() != 6 {
+		t.Fatalf("clamped Width() = %d, want 6", tight.Width())
+	}
+	plain := NewMapped(8, 3, Block)
+	if plain.Comb() || plain.Width() != 3 {
+		t.Fatalf("plain clock reports comb=%v width=%d", plain.Comb(), plain.Width())
+	}
+}

@@ -1,0 +1,266 @@
+package vclock
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// These tests verify the plausible-clock laws of paper §4.3 against a
+// simulated message-passing execution. Each process keeps two clocks: an
+// exact vector clock (ground truth for causality) and an r-entry REV
+// clock under the mapping being tested. Random local events and
+// max-merge "message" exchanges drive both in lockstep; the REV clock
+// must then satisfy, for all pairs of events:
+//
+//	(2,3) e → f (truth)  ⇒  REV(e) ≺ REV(f) or the REV timestamps tie —
+//	      never the reverse order
+//	(4)   REV(e) ∥ REV(f) ⇒ e ∥ f (truth)
+//
+// which together are exactly "plausible clocks can always determine the
+// order of causally related events correctly but may order events that
+// are actually concurrent".
+
+type simEvent struct {
+	truth TS // exact vector timestamp (width n)
+	rev   TS // plausible timestamp (width r)
+}
+
+// simulate runs a random execution of n processes for steps steps and
+// returns every event's pair of timestamps.
+func simulate(n, r int, mapping Mapping, steps int, seed int64) []simEvent {
+	rng := rand.New(rand.NewSource(seed))
+	truthClock := New(n, n)
+	revClock := NewMapped(n, r, mapping)
+
+	truths := make([]TS, n)
+	revs := make([]TS, n)
+	for p := 0; p < n; p++ {
+		truths[p] = truthClock.Zero()
+		revs[p] = revClock.Zero()
+	}
+
+	var events []simEvent
+	for s := 0; s < steps; s++ {
+		p := rng.Intn(n)
+		if rng.Intn(3) == 0 && n > 1 {
+			// Receive: merge another process's clocks into p's.
+			q := rng.Intn(n)
+			for q == p {
+				q = rng.Intn(n)
+			}
+			truths[p].MaxInto(truths[q])
+			revs[p].MaxInto(revs[q])
+		}
+		// Local event: tick both clocks.
+		e, v := truthClock.Tick(p)
+		Apply(truths[p], e, v)
+		e, v = revClock.Tick(p)
+		Apply(revs[p], e, v)
+		events = append(events, simEvent{truth: truths[p].Clone(), rev: revs[p].Clone()})
+	}
+	return events
+}
+
+func checkPlausibility(t *testing.T, n, r int, mapping Mapping, seed int64) {
+	t.Helper()
+	events := simulate(n, r, mapping, 120, seed)
+	for i := range events {
+		for j := range events {
+			if i == j {
+				continue
+			}
+			e, f := events[i], events[j]
+			switch {
+			case e.truth.Less(f.truth):
+				// Causally ordered: REV must not report the reverse.
+				if f.rev.Less(e.rev) {
+					t.Fatalf("n=%d r=%d %v seed=%d: e→f but REV(f)≺REV(e): %v %v / %v %v",
+						n, r, mapping, seed, e.truth, f.truth, e.rev, f.rev)
+				}
+				// With a get-and-increment shared entry, ties cannot hide
+				// a causal order either: e → f implies REV(e) ≺ REV(f).
+				if !e.rev.Less(f.rev) {
+					t.Fatalf("n=%d r=%d %v seed=%d: e→f not reflected: REV(e)=%v REV(f)=%v",
+						n, r, mapping, seed, e.rev, f.rev)
+				}
+			case e.truth.Concurrent(f.truth):
+				// Concurrent in truth: REV may order them (false
+				// ordering is the plausibility trade-off) — no check.
+			}
+			// Law (4): REV-concurrent implies truly concurrent.
+			if e.rev.Concurrent(f.rev) && !e.truth.Concurrent(f.truth) {
+				t.Fatalf("n=%d r=%d %v seed=%d: REV claims concurrency for ordered events %v %v",
+					n, r, mapping, seed, e.truth, f.truth)
+			}
+		}
+	}
+}
+
+func TestPlausibilityLawsModulo(t *testing.T) {
+	for _, cfg := range []struct{ n, r int }{{4, 1}, {4, 2}, {6, 3}, {6, 6}, {8, 5}} {
+		for seed := int64(1); seed <= 3; seed++ {
+			checkPlausibility(t, cfg.n, cfg.r, Modulo, seed)
+		}
+	}
+}
+
+func TestPlausibilityLawsBlock(t *testing.T) {
+	for _, cfg := range []struct{ n, r int }{{4, 2}, {6, 3}, {8, 5}, {9, 4}} {
+		for seed := int64(1); seed <= 3; seed++ {
+			checkPlausibility(t, cfg.n, cfg.r, Block, seed)
+		}
+	}
+}
+
+func TestMappingEntryRanges(t *testing.T) {
+	for _, mapping := range []Mapping{Modulo, Block} {
+		for _, cfg := range []struct{ n, r int }{{1, 1}, {4, 2}, {7, 3}, {16, 5}} {
+			c := NewMapped(cfg.n, cfg.r, mapping)
+			used := map[int]bool{}
+			for p := 0; p < cfg.n; p++ {
+				e := c.EntryOf(p)
+				if e < 0 || e >= cfg.r {
+					t.Fatalf("%v n=%d r=%d: EntryOf(%d) = %d out of range", mapping, cfg.n, cfg.r, p, e)
+				}
+				used[e] = true
+			}
+			if len(used) != cfg.r {
+				t.Fatalf("%v n=%d r=%d: only %d of %d entries used", mapping, cfg.n, cfg.r, len(used), cfg.r)
+			}
+		}
+	}
+}
+
+func TestBlockMappingGroupsNeighbours(t *testing.T) {
+	c := NewMapped(8, 2, Block)
+	for p := 0; p < 4; p++ {
+		if c.EntryOf(p) != 0 {
+			t.Fatalf("block: EntryOf(%d) = %d, want 0", p, c.EntryOf(p))
+		}
+	}
+	for p := 4; p < 8; p++ {
+		if c.EntryOf(p) != 1 {
+			t.Fatalf("block: EntryOf(%d) = %d, want 1", p, c.EntryOf(p))
+		}
+	}
+	m := NewMapped(8, 2, Modulo)
+	if m.EntryOf(0) != 0 || m.EntryOf(1) != 1 || m.EntryOf(2) != 0 {
+		t.Fatal("modulo mapping changed")
+	}
+}
+
+func TestMappingString(t *testing.T) {
+	if Modulo.String() != "modulo" || Block.String() != "block" || Mapping(9).String() != "invalid" {
+		t.Fatal("mapping names wrong")
+	}
+}
+
+// Algebraic laws of the timestamp lattice, via testing/quick. Timestamps
+// are generated as small fixed-width vectors.
+
+func tsFrom(raw []uint8, width int) TS {
+	t := NewTS(width)
+	for i := 0; i < width && i < len(raw); i++ {
+		t[i] = uint64(raw[i])
+	}
+	return t
+}
+
+func TestTSPartialOrderLaws(t *testing.T) {
+	const w = 4
+	reflexive := func(a []uint8) bool {
+		x := tsFrom(a, w)
+		return x.LessEq(x) && x.Equal(x) && !x.Less(x) && !x.Concurrent(x)
+	}
+	antisymmetric := func(a, b []uint8) bool {
+		x, y := tsFrom(a, w), tsFrom(b, w)
+		if x.LessEq(y) && y.LessEq(x) {
+			return x.Equal(y)
+		}
+		return true
+	}
+	transitive := func(a, b, c []uint8) bool {
+		x, y, z := tsFrom(a, w), tsFrom(b, w), tsFrom(c, w)
+		if x.LessEq(y) && y.LessEq(z) {
+			return x.LessEq(z)
+		}
+		return true
+	}
+	concurrentSymmetric := func(a, b []uint8) bool {
+		x, y := tsFrom(a, w), tsFrom(b, w)
+		return x.Concurrent(y) == y.Concurrent(x)
+	}
+	trichotomyExhaustive := func(a, b []uint8) bool {
+		x, y := tsFrom(a, w), tsFrom(b, w)
+		n := 0
+		if x.Equal(y) {
+			n++
+		}
+		if x.Less(y) {
+			n++
+		}
+		if y.Less(x) {
+			n++
+		}
+		if x.Concurrent(y) {
+			n++
+		}
+		return n == 1
+	}
+	for name, prop := range map[string]any{
+		"reflexive":     reflexive,
+		"antisymmetric": antisymmetric,
+		"transitive":    transitive,
+		"symmetric":     concurrentSymmetric,
+		"trichotomy":    trichotomyExhaustive,
+	} {
+		if err := quick.Check(prop, &quick.Config{MaxCount: 500}); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+	}
+}
+
+func TestTSJoinSemilatticeLaws(t *testing.T) {
+	const w = 4
+	join := func(x, y TS) TS {
+		z := x.Clone()
+		z.MaxInto(y)
+		return z
+	}
+	idempotent := func(a []uint8) bool {
+		x := tsFrom(a, w)
+		return join(x, x).Equal(x)
+	}
+	commutative := func(a, b []uint8) bool {
+		x, y := tsFrom(a, w), tsFrom(b, w)
+		return join(x, y).Equal(join(y, x))
+	}
+	associative := func(a, b, c []uint8) bool {
+		x, y, z := tsFrom(a, w), tsFrom(b, w), tsFrom(c, w)
+		return join(join(x, y), z).Equal(join(x, join(y, z)))
+	}
+	upperBound := func(a, b []uint8) bool {
+		x, y := tsFrom(a, w), tsFrom(b, w)
+		j := join(x, y)
+		return x.LessEq(j) && y.LessEq(j)
+	}
+	leastUpper := func(a, b, c []uint8) bool {
+		x, y, z := tsFrom(a, w), tsFrom(b, w), tsFrom(c, w)
+		if x.LessEq(z) && y.LessEq(z) {
+			return join(x, y).LessEq(z)
+		}
+		return true
+	}
+	for name, prop := range map[string]any{
+		"idempotent":  idempotent,
+		"commutative": commutative,
+		"associative": associative,
+		"upperBound":  upperBound,
+		"leastUpper":  leastUpper,
+	} {
+		if err := quick.Check(prop, &quick.Config{MaxCount: 500}); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+	}
+}

@@ -1,0 +1,265 @@
+// Package vclock implements the vector time bases of paper §4: full
+// vector clocks (Fidge/Mattern) and plausible clocks based on r-entry
+// vectors (REV, Torres-Rojas/Ahamad) with the modulo-r processor→entry
+// mapping. With r = 1 the timestamps degenerate to a single shared
+// counter (a scalar-clock TBTM); with r = n they are classical vector
+// clocks (paper §4.3).
+package vclock
+
+import (
+	"strconv"
+	"strings"
+	"sync/atomic"
+)
+
+// TS is a vector timestamp: entry k holds the perceived local time of the
+// processors mapped to entry k. Timestamps are compared with the partial
+// order of paper §4:
+//
+//	t == u  ⇔ ∀k, t[k] == u[k]
+//	t ≼ u   ⇔ ∀k, t[k] <= u[k]
+//	t ≺ u   ⇔ t ≼ u ∧ t != u
+//	t ∥ u   ⇔ t ⊀ u ∧ u ⊀ t
+type TS []uint64
+
+// NewTS returns a zero timestamp with r entries.
+func NewTS(r int) TS {
+	if r < 1 {
+		r = 1
+	}
+	return make(TS, r)
+}
+
+// Clone returns an independent copy of t.
+func (t TS) Clone() TS {
+	u := make(TS, len(t))
+	copy(u, t)
+	return u
+}
+
+// Equal reports t == u. Timestamps of different widths are never equal.
+func (t TS) Equal(u TS) bool {
+	if len(t) != len(u) {
+		return false
+	}
+	for k := range t {
+		if t[k] != u[k] {
+			return false
+		}
+	}
+	return true
+}
+
+// LessEq reports t ≼ u (element-wise <=).
+func (t TS) LessEq(u TS) bool {
+	if len(t) != len(u) {
+		return false
+	}
+	for k := range t {
+		if t[k] > u[k] {
+			return false
+		}
+	}
+	return true
+}
+
+// Less reports t ≺ u (t ≼ u and t != u), the causal-precedence test.
+func (t TS) Less(u TS) bool {
+	return t.LessEq(u) && !t.Equal(u)
+}
+
+// Concurrent reports t ∥ u: neither strictly precedes the other and the
+// timestamps differ. Equal timestamps are not concurrent.
+func (t TS) Concurrent(u TS) bool {
+	return !t.Equal(u) && !t.Less(u) && !u.Less(t)
+}
+
+// MaxInto sets t to the element-wise maximum of t and u (the "dmax" of
+// Algorithm 1 line 8). Widths must match; extra entries in u are ignored
+// and missing ones treated as zero, so a mismatched merge is safe but
+// lossy.
+func (t TS) MaxInto(u TS) {
+	n := len(t)
+	if len(u) < n {
+		n = len(u)
+	}
+	for k := 0; k < n; k++ {
+		if u[k] > t[k] {
+			t[k] = u[k]
+		}
+	}
+}
+
+// String formats the timestamp as "[a b c]".
+func (t TS) String() string {
+	var b strings.Builder
+	b.WriteByte('[')
+	for k, v := range t {
+		if k > 0 {
+			b.WriteByte(' ')
+		}
+		b.WriteString(strconv.FormatUint(v, 10))
+	}
+	b.WriteByte(']')
+	return b.String()
+}
+
+// Mapping selects how processors share the r clock entries of a
+// plausible clock. The paper studies only the modulo mapping ("there are
+// many possible mappings between processors and entries but, in our
+// study, we only consider the modulo r mapping", §4.3); Block is the
+// natural alternative, and which one produces fewer false conflicts
+// depends on which processors actually contend (see the accuracy tests).
+type Mapping int
+
+// Mappings.
+const (
+	// Modulo maps processor p to entry p mod r: neighbouring processors
+	// spread across entries.
+	Modulo Mapping = iota
+	// Block maps processor p to entry p*r/n: contiguous processor blocks
+	// share an entry.
+	Block
+)
+
+// String returns the mapping name.
+func (m Mapping) String() string {
+	switch m {
+	case Modulo:
+		return "modulo"
+	case Block:
+		return "block"
+	default:
+		return "invalid"
+	}
+}
+
+// Clock is a (possibly plausible) vector time source for n processors
+// using r <= n shared entries under a configurable processor→entry
+// mapping. Shared entries are advanced with an atomic get-and-increment
+// so two processors mapped to the same entry never generate the same
+// timestamp (paper §4.3).
+//
+// r == n yields exact vector clocks; r == 1 a single shared counter.
+//
+// A comb clock (§4.3's "there exist other types of plausible clocks
+// [12]"; Torres-Rojas & Ahamad's "comb" vectors) concatenates a second
+// REV segment of r+1 entries under the plain modulo mapping. The
+// comparison stays the element-wise partial order over all entries, so
+// a false ordering must survive *both* processor→entry sharings: two
+// processors conflated by the first segment (p ≡ q mod r) are almost
+// always separated by the second (p ≡ q mod r+1 too only when p ≡ q
+// mod r(r+1)). Comb ordering is therefore a subset of the same-r REV
+// ordering while still capturing all true causal order — strictly
+// better accuracy for r+1 extra timestamp words.
+type Clock struct {
+	entries []atomic.Uint64
+	// entries2 is the second comb segment (nil for plain clocks). Its
+	// width is min(r+1, threads) and it always uses the modulo mapping.
+	entries2 []atomic.Uint64
+	threads  int
+	mapping  Mapping
+}
+
+// New returns a clock for threads processors with r entries under the
+// paper's modulo mapping. r is clamped to [1, threads].
+func New(threads, r int) *Clock {
+	return NewMapped(threads, r, Modulo)
+}
+
+// NewMapped returns a clock with an explicit processor→entry mapping.
+func NewMapped(threads, r int, m Mapping) *Clock {
+	if threads < 1 {
+		threads = 1
+	}
+	if r < 1 {
+		r = 1
+	}
+	if r > threads {
+		r = threads
+	}
+	return &Clock{entries: make([]atomic.Uint64, r), threads: threads, mapping: m}
+}
+
+// NewComb returns a comb clock: r REV entries under the given mapping
+// plus a second segment of min(r+1, threads) modulo-mapped entries.
+// Timestamps are r + min(r+1, threads) wide.
+func NewComb(threads, r int, m Mapping) *Clock {
+	c := NewMapped(threads, r, m)
+	r2 := len(c.entries) + 1
+	if r2 > c.threads {
+		r2 = c.threads
+	}
+	c.entries2 = make([]atomic.Uint64, r2)
+	return c
+}
+
+// Comb reports whether the clock carries the second comb segment.
+func (c *Clock) Comb() bool { return c.entries2 != nil }
+
+// Width returns the timestamp width across all segments.
+func (c *Clock) Width() int { return len(c.entries) + len(c.entries2) }
+
+// Mapping returns the processor→entry mapping in use.
+func (c *Clock) Mapping() Mapping { return c.mapping }
+
+// Entries returns r, the timestamp width.
+func (c *Clock) Entries() int { return len(c.entries) }
+
+// Threads returns the number of processors the clock was sized for.
+func (c *Clock) Threads() int { return c.threads }
+
+// EntryOf returns the entry processor p maps to under the clock's
+// mapping. Processors beyond the sized thread count wrap around.
+func (c *Clock) EntryOf(p int) int {
+	if p < 0 {
+		p = -p
+	}
+	r := len(c.entries)
+	switch c.mapping {
+	case Block:
+		return (p % c.threads) * r / c.threads
+	default:
+		return p % r
+	}
+}
+
+// Zero returns a zero timestamp of the clock's width.
+func (c *Clock) Zero() TS { return NewTS(c.Width()) }
+
+// Tick atomically advances processor p's entry and returns the entry
+// index and its new value. The caller folds the result into a timestamp
+// with Apply, typically at commit (Algorithm 1 line 29).
+func (c *Clock) Tick(p int) (entry int, val uint64) {
+	e := c.EntryOf(p)
+	return e, c.entries[e].Add(1)
+}
+
+// Apply sets ts[entry] = val if val is greater. Tick values come from a
+// global get-and-increment, so Apply never moves a timestamp backwards.
+func Apply(ts TS, entry int, val uint64) {
+	if entry >= 0 && entry < len(ts) && val > ts[entry] {
+		ts[entry] = val
+	}
+}
+
+// Stamp folds one fresh tick of processor p into ts: the processor's
+// entry advances in every segment. Stamp is what committing
+// transactions call; Tick/Apply remain for callers that need the raw
+// first-segment entry.
+func (c *Clock) Stamp(p int, ts TS) {
+	e, v := c.Tick(p)
+	Apply(ts, e, v)
+	if c.entries2 != nil {
+		if p < 0 {
+			p = -p
+		}
+		e2 := p % len(c.entries2)
+		Apply(ts, len(c.entries)+e2, c.entries2[e2].Add(1))
+	}
+}
+
+// Exact reports whether the clock is an exact vector clock (r == n), in
+// which case Less is precisely the causality relation rather than a
+// plausible approximation.
+func (c *Clock) Exact() bool { return len(c.entries) == c.threads }

@@ -1,0 +1,77 @@
+package vclock
+
+import (
+	"fmt"
+	"testing"
+)
+
+func benchTS(width int, stagger bool) (TS, TS) {
+	a, b := NewTS(width), NewTS(width)
+	for k := 0; k < width; k++ {
+		a[k] = uint64(k)
+		b[k] = uint64(k)
+		if stagger && k%2 == 0 {
+			b[k]++
+		}
+	}
+	return a, b
+}
+
+func BenchmarkLess(b *testing.B) {
+	for _, width := range []int{1, 4, 16, 64} {
+		a, c := benchTS(width, true)
+		b.Run(fmt.Sprintf("width=%d", width), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				_ = a.Less(c)
+			}
+		})
+	}
+}
+
+func BenchmarkConcurrentCheck(b *testing.B) {
+	for _, width := range []int{4, 16, 64} {
+		a, c := benchTS(width, true)
+		c[1] = 0 // make them concurrent
+		b.Run(fmt.Sprintf("width=%d", width), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				_ = a.Concurrent(c)
+			}
+		})
+	}
+}
+
+func BenchmarkMaxInto(b *testing.B) {
+	for _, width := range []int{1, 4, 16, 64} {
+		a, c := benchTS(width, true)
+		b.Run(fmt.Sprintf("width=%d", width), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				a.MaxInto(c)
+			}
+		})
+	}
+}
+
+func BenchmarkClone(b *testing.B) {
+	for _, width := range []int{4, 16, 64} {
+		a, _ := benchTS(width, false)
+		b.Run(fmt.Sprintf("width=%d", width), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				_ = a.Clone()
+			}
+		})
+	}
+}
+
+func BenchmarkTick(b *testing.B) {
+	for _, r := range []int{1, 4, 16} {
+		c := New(16, r)
+		b.Run(fmt.Sprintf("r=%d", r), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				_, _ = c.Tick(i)
+			}
+		})
+	}
+}

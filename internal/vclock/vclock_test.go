@@ -1,0 +1,296 @@
+package vclock
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestComparisons(t *testing.T) {
+	tests := []struct {
+		name                string
+		a, b                TS
+		equal, lessEq, less bool
+		concurrent          bool
+	}{
+		{"equal", TS{1, 2, 3}, TS{1, 2, 3}, true, true, false, false},
+		{"strictly less", TS{1, 2, 3}, TS{2, 2, 3}, false, true, true, false},
+		{"all less", TS{0, 0, 0}, TS{1, 1, 1}, false, true, true, false},
+		{"concurrent", TS{2, 0, 0}, TS{0, 2, 0}, false, false, false, true},
+		{"mixed concurrent", TS{3, 1, 2}, TS{1, 3, 2}, false, false, false, true},
+		{"zero vs zero", TS{0, 0}, TS{0, 0}, true, true, false, false},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := tt.a.Equal(tt.b); got != tt.equal {
+				t.Errorf("Equal = %v, want %v", got, tt.equal)
+			}
+			if got := tt.a.LessEq(tt.b); got != tt.lessEq {
+				t.Errorf("LessEq = %v, want %v", got, tt.lessEq)
+			}
+			if got := tt.a.Less(tt.b); got != tt.less {
+				t.Errorf("Less = %v, want %v", got, tt.less)
+			}
+			if got := tt.a.Concurrent(tt.b); got != tt.concurrent {
+				t.Errorf("Concurrent = %v, want %v", got, tt.concurrent)
+			}
+		})
+	}
+}
+
+func TestWidthMismatch(t *testing.T) {
+	a, b := TS{1, 2}, TS{1, 2, 3}
+	if a.Equal(b) || a.LessEq(b) || a.Less(b) {
+		t.Fatal("mismatched widths compared as related")
+	}
+}
+
+func TestMaxInto(t *testing.T) {
+	a := TS{1, 5, 2}
+	a.MaxInto(TS{3, 1, 2})
+	if !a.Equal(TS{3, 5, 2}) {
+		t.Fatalf("MaxInto = %v, want [3 5 2]", a)
+	}
+	// Shorter operand: missing entries treated as zero.
+	a.MaxInto(TS{9})
+	if !a.Equal(TS{9, 5, 2}) {
+		t.Fatalf("MaxInto short = %v, want [9 5 2]", a)
+	}
+}
+
+func TestCloneIndependent(t *testing.T) {
+	a := TS{1, 2}
+	b := a.Clone()
+	b[0] = 99
+	if a[0] != 1 {
+		t.Fatal("Clone shares backing array")
+	}
+}
+
+func TestString(t *testing.T) {
+	if got := (TS{1, 0, 7}).String(); got != "[1 0 7]" {
+		t.Fatalf("String = %q", got)
+	}
+}
+
+// Partial-order laws, checked with testing/quick.
+
+func genTS(rng *rand.Rand, width int) TS {
+	ts := NewTS(width)
+	for k := range ts {
+		ts[k] = uint64(rng.Intn(4))
+	}
+	return ts
+}
+
+func TestPartialOrderLaws(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for i := 0; i < 3000; i++ {
+		a, b, c := genTS(rng, 3), genTS(rng, 3), genTS(rng, 3)
+		// Reflexivity of ≼, irreflexivity of ≺.
+		if !a.LessEq(a) {
+			t.Fatalf("a ⋠ a for %v", a)
+		}
+		if a.Less(a) {
+			t.Fatalf("a ≺ a for %v", a)
+		}
+		// Antisymmetry.
+		if a.Less(b) && b.Less(a) {
+			t.Fatalf("≺ not antisymmetric: %v %v", a, b)
+		}
+		// Transitivity.
+		if a.Less(b) && b.Less(c) && !a.Less(c) {
+			t.Fatalf("≺ not transitive: %v %v %v", a, b, c)
+		}
+		// Trichotomy-ish partition: exactly one of =, ≺, ≻, ∥.
+		count := 0
+		if a.Equal(b) {
+			count++
+		}
+		if a.Less(b) {
+			count++
+		}
+		if b.Less(a) {
+			count++
+		}
+		if a.Concurrent(b) {
+			count++
+		}
+		if count != 1 {
+			t.Fatalf("partition violated for %v vs %v (count %d)", a, b, count)
+		}
+	}
+}
+
+func TestMaxIsLeastUpperBound(t *testing.T) {
+	f := func(av, bv [4]uint8) bool {
+		a, b := NewTS(4), NewTS(4)
+		for k := 0; k < 4; k++ {
+			a[k], b[k] = uint64(av[k]), uint64(bv[k])
+		}
+		m := a.Clone()
+		m.MaxInto(b)
+		return a.LessEq(m) && b.LessEq(m)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestClockMapping(t *testing.T) {
+	c := New(8, 3)
+	if c.Entries() != 3 || c.Threads() != 8 {
+		t.Fatalf("Entries/Threads = %d/%d", c.Entries(), c.Threads())
+	}
+	if c.EntryOf(0) != 0 || c.EntryOf(3) != 0 || c.EntryOf(5) != 2 {
+		t.Fatal("modulo mapping wrong")
+	}
+	if c.EntryOf(-4) != 1 {
+		t.Fatalf("EntryOf(-4) = %d, want 1", c.EntryOf(-4))
+	}
+	if c.Exact() {
+		t.Fatal("Exact() true for r=3, n=8")
+	}
+	if !New(4, 4).Exact() {
+		t.Fatal("Exact() false for r=n")
+	}
+}
+
+func TestClockClamping(t *testing.T) {
+	c := New(4, 100)
+	if c.Entries() != 4 {
+		t.Fatalf("r clamped to %d, want 4", c.Entries())
+	}
+	c = New(0, 0)
+	if c.Entries() != 1 || c.Threads() != 1 {
+		t.Fatalf("degenerate clock = %d entries, %d threads", c.Entries(), c.Threads())
+	}
+}
+
+func TestTickUniqueAcrossSharedEntry(t *testing.T) {
+	c := New(4, 2)
+	// Threads 0 and 2 share entry 0.
+	seen := make(map[uint64]bool)
+	for i := 0; i < 100; i++ {
+		p := (i % 2) * 2 // 0, 2, 0, 2...
+		e, v := c.Tick(p)
+		if e != 0 {
+			t.Fatalf("Tick(%d) entry = %d, want 0", p, e)
+		}
+		if seen[v] {
+			t.Fatalf("duplicate tick value %d", v)
+		}
+		seen[v] = true
+	}
+}
+
+func TestApply(t *testing.T) {
+	ts := TS{5, 5}
+	Apply(ts, 0, 3) // smaller: no-op
+	if ts[0] != 5 {
+		t.Fatal("Apply moved timestamp backwards")
+	}
+	Apply(ts, 1, 9)
+	if ts[1] != 9 {
+		t.Fatal("Apply did not raise entry")
+	}
+	Apply(ts, 7, 1) // out of range: no-op, no panic
+}
+
+// TestPlausibleClockGuarantees validates the four plausible-clock
+// guarantees of paper §4.3 by simulating a random shared-object history
+// twice: once with exact vector clocks (ground truth causality) and once
+// with an r-entry REV clock. The REV relations must never contradict the
+// true causality: true causal order must be reported as causal order, and
+// a REV-concurrent verdict implies true concurrency.
+func TestPlausibleClockGuarantees(t *testing.T) {
+	const threads, events = 6, 400
+	for _, r := range []int{1, 2, 3, 6} {
+		r := r
+		t.Run("r="+string(rune('0'+r)), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(int64(100 + r)))
+			exact := New(threads, threads)
+			plaus := New(threads, r)
+
+			// Per-thread current timestamps in both systems.
+			exTS := make([]TS, threads)
+			plTS := make([]TS, threads)
+			for p := range exTS {
+				exTS[p] = exact.Zero()
+				plTS[p] = plaus.Zero()
+			}
+			// "Objects" carry the timestamp of their last writer event.
+			const objects = 5
+			exObj := make([]TS, objects)
+			plObj := make([]TS, objects)
+			for o := range exObj {
+				exObj[o] = exact.Zero()
+				plObj[o] = plaus.Zero()
+			}
+
+			type event struct{ ex, pl TS }
+			var history []event
+
+			for i := 0; i < events; i++ {
+				p := rng.Intn(threads)
+				o := rng.Intn(objects)
+				// Read the object's time (merge), then write a new event.
+				exTS[p].MaxInto(exObj[o])
+				plTS[p].MaxInto(plObj[o])
+				e, v := exact.Tick(p)
+				Apply(exTS[p], e, v)
+				e, v = plaus.Tick(p)
+				Apply(plTS[p], e, v)
+				exObj[o] = exTS[p].Clone()
+				plObj[o] = plTS[p].Clone()
+				history = append(history, event{exTS[p].Clone(), plTS[p].Clone()})
+			}
+
+			checked := 0
+			for i := 0; i < len(history); i += 3 {
+				for j := i + 1; j < len(history); j += 2 {
+					ei, ej := history[i], history[j]
+					trueLess := ei.ex.Less(ej.ex)
+					trueGreater := ej.ex.Less(ei.ex)
+					plLess := ei.pl.Less(ej.pl)
+					plGreater := ej.pl.Less(ei.pl)
+					plConc := ei.pl.Concurrent(ej.pl)
+					// (2)/(3): plausible order implies true order or concurrency,
+					// equivalently true order must be preserved.
+					if trueLess && !plLess {
+						t.Fatalf("r=%d: true e%d→e%d not reported (ex %v %v, pl %v %v)",
+							r, i, j, ei.ex, ej.ex, ei.pl, ej.pl)
+					}
+					if trueGreater && !plGreater {
+						t.Fatalf("r=%d: true e%d→e%d not reported", r, j, i)
+					}
+					// (4): plausible-concurrent implies truly concurrent.
+					if plConc && (trueLess || trueGreater) {
+						t.Fatalf("r=%d: plausible ∥ but truly ordered (e%d, e%d)", r, i, j)
+					}
+					checked++
+				}
+			}
+			if checked == 0 {
+				t.Fatal("no pairs checked")
+			}
+		})
+	}
+}
+
+// TestPlausibleR1TotalOrder checks the r=1 degenerate case: all events are
+// totally ordered, i.e. no two distinct timestamps are concurrent.
+func TestPlausibleR1TotalOrder(t *testing.T) {
+	c := New(4, 1)
+	a, b := c.Zero(), c.Zero()
+	e, v := c.Tick(0)
+	Apply(a, e, v)
+	e, v = c.Tick(3)
+	Apply(b, e, v)
+	if a.Concurrent(b) {
+		t.Fatal("r=1 timestamps reported concurrent")
+	}
+	if !a.Less(b) {
+		t.Fatalf("expected %v ≺ %v under r=1", a, b)
+	}
+}

@@ -1,0 +1,83 @@
+// Package workload provides deterministic random generators for the
+// benchmark harness: account-pair pickers with uniform or zipfian skew
+// and a transaction-mix switch.
+package workload
+
+import (
+	"math/rand"
+)
+
+// Distribution selects how objects are picked.
+type Distribution int
+
+const (
+	// Uniform picks objects uniformly at random.
+	Uniform Distribution = iota + 1
+	// Zipf picks objects with zipfian skew (s=1.07, matching common STM
+	// benchmark practice), concentrating traffic on a few hot objects.
+	Zipf
+)
+
+// Picker generates object indices for one worker. Not safe for
+// concurrent use: create one per worker goroutine.
+type Picker struct {
+	n    int
+	rng  *rand.Rand
+	zipf *rand.Zipf
+}
+
+// NewPicker returns a picker over n objects with the given distribution
+// and seed.
+func NewPicker(n int, d Distribution, seed int64) *Picker {
+	if n < 1 {
+		n = 1
+	}
+	rng := rand.New(rand.NewSource(seed))
+	p := &Picker{n: n, rng: rng}
+	if d == Zipf {
+		p.zipf = rand.NewZipf(rng, 1.07, 1, uint64(n-1))
+	}
+	return p
+}
+
+// Next returns one object index.
+func (p *Picker) Next() int {
+	if p.zipf != nil {
+		return int(p.zipf.Uint64())
+	}
+	return p.rng.Intn(p.n)
+}
+
+// NextPair returns two distinct object indices (for transfers). With a
+// single object it returns (0, 0).
+func (p *Picker) NextPair() (int, int) {
+	if p.n < 2 {
+		return 0, 0
+	}
+	a := p.Next()
+	b := p.Next()
+	for b == a {
+		b = p.rng.Intn(p.n) // fall back to uniform to guarantee progress
+	}
+	return a, b
+}
+
+// Mix decides between two transaction classes with a fixed percentage.
+type Mix struct {
+	rng *rand.Rand
+	pct int // probability (0-100) of the "special" class
+}
+
+// NewMix returns a mix choosing the special class pct% of the time.
+func NewMix(pct int, seed int64) *Mix {
+	if pct < 0 {
+		pct = 0
+	}
+	if pct > 100 {
+		pct = 100
+	}
+	return &Mix{rng: rand.New(rand.NewSource(seed)), pct: pct}
+}
+
+// Special reports whether the next transaction is of the special class.
+func (m *Mix) Special() bool { return m.rng.Intn(100) < m.pct }

@@ -1,0 +1,83 @@
+package workload
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// TestQuickPickerInRange generalizes the range invariant over arbitrary
+// universe sizes, seeds and both distributions.
+func TestQuickPickerInRange(t *testing.T) {
+	prop := func(n uint8, seed int64, zipf bool) bool {
+		size := int(n%64) + 1
+		d := Uniform
+		if zipf {
+			d = Zipf
+		}
+		p := NewPicker(size, d, seed)
+		for i := 0; i < 200; i++ {
+			if v := p.Next(); v < 0 || v >= size {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickPickerDeterministic checks that equal seeds give equal
+// sequences and the pair invariant (distinct indices for any universe
+// of at least two) holds for arbitrary seeds.
+func TestQuickPickerDeterministic(t *testing.T) {
+	prop := func(n uint8, seed int64, zipf bool) bool {
+		size := int(n%64) + 2
+		d := Uniform
+		if zipf {
+			d = Zipf
+		}
+		a := NewPicker(size, d, seed)
+		b := NewPicker(size, d, seed)
+		for i := 0; i < 100; i++ {
+			af, at := a.NextPair()
+			bf, bt := b.NextPair()
+			if af != bf || at != bt {
+				return false
+			}
+			if af == at {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickMixBounds checks Special's long-run frequency stays within a
+// loose tolerance of the requested percentage for arbitrary percentages
+// and seeds.
+func TestQuickMixBounds(t *testing.T) {
+	prop := func(pct uint8, seed int64) bool {
+		p := int(pct % 101)
+		m := NewMix(p, seed)
+		const trials = 4000
+		hits := 0
+		for i := 0; i < trials; i++ {
+			if m.Special() {
+				hits++
+			}
+		}
+		got := float64(hits) / trials * 100
+		diff := got - float64(p)
+		if diff < 0 {
+			diff = -diff
+		}
+		return diff <= 5
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

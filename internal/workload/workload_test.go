@@ -1,0 +1,85 @@
+package workload
+
+import (
+	"testing"
+)
+
+func TestPickerUniformInRange(t *testing.T) {
+	p := NewPicker(10, Uniform, 1)
+	for i := 0; i < 1000; i++ {
+		v := p.Next()
+		if v < 0 || v >= 10 {
+			t.Fatalf("Next() = %d out of range", v)
+		}
+	}
+}
+
+func TestPickerZipfSkewed(t *testing.T) {
+	p := NewPicker(100, Zipf, 2)
+	counts := make([]int, 100)
+	for i := 0; i < 10000; i++ {
+		counts[p.Next()]++
+	}
+	// Zipf: object 0 must be far hotter than object 50.
+	if counts[0] <= counts[50]*2 {
+		t.Fatalf("zipf not skewed: counts[0]=%d counts[50]=%d", counts[0], counts[50])
+	}
+}
+
+func TestPickerDeterministic(t *testing.T) {
+	a := NewPicker(50, Uniform, 7)
+	b := NewPicker(50, Uniform, 7)
+	for i := 0; i < 100; i++ {
+		if a.Next() != b.Next() {
+			t.Fatal("same seed diverged")
+		}
+	}
+}
+
+func TestNextPairDistinct(t *testing.T) {
+	p := NewPicker(5, Zipf, 3)
+	for i := 0; i < 1000; i++ {
+		a, b := p.NextPair()
+		if a == b {
+			t.Fatalf("NextPair returned equal indices %d", a)
+		}
+	}
+}
+
+func TestNextPairDegenerate(t *testing.T) {
+	p := NewPicker(1, Uniform, 4)
+	a, b := p.NextPair()
+	if a != 0 || b != 0 {
+		t.Fatalf("NextPair on 1 object = %d, %d", a, b)
+	}
+	if NewPicker(0, Uniform, 5).Next() != 0 {
+		t.Fatal("zero-object picker broken")
+	}
+}
+
+func TestMixPercentage(t *testing.T) {
+	m := NewMix(20, 6)
+	hits := 0
+	const n = 10000
+	for i := 0; i < n; i++ {
+		if m.Special() {
+			hits++
+		}
+	}
+	if hits < n*15/100 || hits > n*25/100 {
+		t.Fatalf("20%% mix produced %d/%d specials", hits, n)
+	}
+}
+
+func TestMixClamping(t *testing.T) {
+	always := NewMix(150, 1)
+	never := NewMix(-5, 1)
+	for i := 0; i < 100; i++ {
+		if !always.Special() {
+			t.Fatal("clamped-100 mix returned false")
+		}
+		if never.Special() {
+			t.Fatal("clamped-0 mix returned true")
+		}
+	}
+}

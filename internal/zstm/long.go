@@ -1,0 +1,255 @@
+package zstm
+
+import (
+	"tbtm/internal/cm"
+	"tbtm/internal/core"
+)
+
+// LongTx is a long transaction (Algorithm 2). Long transactions maintain
+// no validated read set and no commit-time validation (§6): consistency
+// follows from the strictly monotonic per-object zone stamps raised at
+// open, the arbitration with any active writer at open, and the
+// commit-order check against CT.
+//
+// The paper assumes each object is opened exactly once (§5.1); Algorithm
+// 2 would abort on re-open (o.zc is no longer < T.zc). We tolerate
+// re-opens instead: the first-open values are recorded in an append-only
+// log, and a re-open — detected for free because o.zc == T.zc happens
+// only for objects this transaction opened (zone numbers are unique) —
+// is served from the log with a linear scan. The common path therefore
+// stays a plain append, preserving the paper's "no read set" performance
+// claim, while re-reads remain snapshot-consistent.
+type LongTx struct {
+	th   *Thread
+	meta *core.TxMeta
+	ro   bool
+	zc   uint64
+
+	reads  []longRead
+	writes []longWrite
+	windex map[uint64]int
+	done   bool
+}
+
+type longRead struct {
+	id  uint64
+	val any
+}
+
+type longWrite struct {
+	obj *core.Object
+	val any
+}
+
+// ZC returns the transaction's reserved zone number T.zc.
+func (tx *LongTx) ZC() uint64 { return tx.zc }
+
+// Meta exposes the shared descriptor.
+func (tx *LongTx) Meta() *core.TxMeta { return tx.meta }
+
+// ReadOnly reports whether the transaction was declared read-only.
+func (tx *LongTx) ReadOnly() bool { return tx.ro }
+
+// fail aborts the transaction and returns err.
+func (tx *LongTx) fail(err error) error {
+	tx.meta.TryAbort()
+	tx.releaseLocks()
+	tx.th.stm.unregisterZone(tx.zc)
+	tx.done = true
+	tx.th.stm.longAborts.Add(1)
+	return err
+}
+
+// open implements Algorithm 2 lines 5-22: raise the object's zone stamp
+// (abort if a higher zone already passed us), arbitrate with any active
+// writer, and for writes acquire ownership. reopened reports that this
+// transaction had already opened o (o.zc equals our unique zone number).
+func (tx *LongTx) open(o *core.Object, write bool) (reopened bool, err error) {
+	if tx.done {
+		return false, core.ErrTxDone
+	}
+	if tx.meta.Status() == core.StatusAborted {
+		return false, tx.fail(core.ErrAborted)
+	}
+	tx.meta.Prio.Add(1)
+	if o.ZC() == tx.zc {
+		reopened = true
+	} else if !o.RaiseZC(tx.zc) {
+		// A long transaction with a higher zone number beat us to this
+		// object (Algorithm 2 lines 19-20).
+		tx.th.stm.longPassed.Add(1)
+		return false, tx.fail(core.ErrConflict)
+	}
+	for round := 0; ; round++ {
+		if tx.meta.Status() == core.StatusAborted {
+			return reopened, tx.fail(core.ErrAborted)
+		}
+		w := o.Writer()
+		switch {
+		case w == nil:
+			if !write {
+				return reopened, nil
+			}
+			if o.CASWriter(nil, tx.meta) {
+				return reopened, nil
+			}
+		case w == tx.meta:
+			return reopened, nil
+		case w.Status().Terminal():
+			if !write {
+				// Terminal leftover lock: a committed writer has already
+				// installed its versions; an aborted one never will.
+				return reopened, nil
+			}
+			if o.CASWriter(w, tx.meta) {
+				return reopened, nil
+			}
+		default:
+			// Active or committing writer: arbitrate (Algorithm 2 lines
+			// 8-11). Resolve returns once the enemy is terminal, or
+			// aborts us.
+			if !cm.Resolve(tx.th.stm.cfg.CM, tx.meta, w) {
+				return reopened, tx.fail(core.ErrAborted)
+			}
+		}
+		cm.Backoff(round / 4)
+	}
+}
+
+// Read opens o in read mode and returns its current committed value. The
+// returned version cannot change under us: updates create new versions,
+// and concurrent writers were arbitrated with at open (§5.1). A re-read
+// is served from the first-open log so the transaction's snapshot stays
+// consistent even if a same-zone short transaction updated the object in
+// the meantime.
+func (tx *LongTx) Read(o *core.Object) (any, error) {
+	if tx.done {
+		return nil, core.ErrTxDone
+	}
+	if i, ok := tx.windex[o.ID()]; ok {
+		return tx.writes[i].val, nil
+	}
+	reopened, err := tx.open(o, false)
+	if err != nil {
+		return nil, err
+	}
+	if reopened {
+		for _, r := range tx.reads {
+			if r.id == o.ID() {
+				return r.val, nil
+			}
+		}
+		// Opened before but never read (write-opened objects are caught
+		// by windex above; this covers a read after an arbitration-only
+		// open): fall through to the current version.
+	}
+	// Skip versions installed by short transactions of our own zone: a
+	// same-zone short may legally commit between our zone stamp and this
+	// read (it saw o.zc == T.zc and passed its zone check), but it
+	// serializes after us, so observing its write here would tear our
+	// snapshot against objects read earlier. The pre-stamp version is the
+	// newest version not tagged with our zone.
+	v := o.Current()
+	for v != nil && v.Zone == tx.zc {
+		v = v.Prev()
+	}
+	if v == nil {
+		// The retained chain holds only same-zone versions: the pre-stamp
+		// version was truncated. Abort and retry with a fresh zone.
+		return nil, tx.fail(core.ErrSnapshotUnavailable)
+	}
+	tx.reads = append(tx.reads, longRead{id: o.ID(), val: v.Value})
+	return v.Value, nil
+}
+
+// Write opens o in write mode and buffers the update (the "private copy"
+// of Algorithm 2 line 14; values are immutable so buffering the new value
+// is equivalent to duplicating the object).
+func (tx *LongTx) Write(o *core.Object, val any) error {
+	if tx.done {
+		return core.ErrTxDone
+	}
+	if tx.ro {
+		return core.ErrReadOnly
+	}
+	if i, ok := tx.windex[o.ID()]; ok {
+		tx.writes[i].val = val
+		return nil
+	}
+	if _, err := tx.open(o, true); err != nil {
+		return err
+	}
+	if tx.windex == nil {
+		tx.windex = make(map[uint64]int, 8)
+	}
+	tx.windex[o.ID()] = len(tx.writes)
+	tx.writes = append(tx.writes, longWrite{obj: o, val: val})
+	return nil
+}
+
+// Commit implements Algorithm 2 lines 23-31: the transaction commits iff
+// its zone number is greater than the commit counter, which it then
+// raises to its own zone. No validation is needed — any conflict with
+// another long transaction was detected through the zone stamps, and
+// short transactions cannot have crossed us (§5.4). After the commit
+// counter is raised the commit is irrevocable; buffered writes are then
+// installed at a fresh scalar commit time so that short transactions
+// validate against them as usual.
+func (tx *LongTx) Commit() error {
+	if tx.done {
+		return core.ErrTxDone
+	}
+	s := tx.th.stm
+	if !tx.meta.CASStatus(core.StatusActive, core.StatusCommitting) {
+		return tx.fail(core.ErrAborted)
+	}
+	for {
+		cur := s.ct.Load()
+		if tx.zc <= cur {
+			// A long transaction with a higher zone number committed
+			// first: we were passed (Algorithm 2 lines 28-29).
+			tx.meta.CASStatus(core.StatusCommitting, core.StatusAborted)
+			tx.releaseLocks()
+			s.unregisterZone(tx.zc)
+			tx.done = true
+			s.longAborts.Add(1)
+			s.longPassed.Add(1)
+			return core.ErrConflict
+		}
+		if s.ct.CompareAndSwap(cur, tx.zc) {
+			break
+		}
+	}
+	if len(tx.writes) > 0 {
+		ct := s.inner.Clock().CommitTime(tx.th.inner.ID())
+		for _, w := range tx.writes {
+			w.obj.Install(w.val, ct, tx.meta.ID, tx.zc)
+		}
+	}
+	tx.meta.CASStatus(core.StatusCommitting, core.StatusCommitted)
+	tx.releaseLocks()
+	s.unregisterZone(tx.zc)
+	tx.done = true
+	tx.th.commitZone(tx.zc) // LZC_p ← T.zc (Algorithm 2 line 27)
+	s.longCommits.Add(1)
+	return nil
+}
+
+// Abort aborts the transaction explicitly; it is a no-op on a finished
+// transaction.
+func (tx *LongTx) Abort() {
+	if tx.done {
+		return
+	}
+	tx.meta.TryAbort()
+	tx.releaseLocks()
+	tx.th.stm.unregisterZone(tx.zc)
+	tx.done = true
+	tx.th.stm.longAborts.Add(1)
+}
+
+func (tx *LongTx) releaseLocks() {
+	for _, w := range tx.writes {
+		w.obj.ReleaseWriter(tx.meta)
+	}
+}

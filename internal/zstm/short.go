@@ -1,0 +1,144 @@
+package zstm
+
+import (
+	"tbtm/internal/cm"
+	"tbtm/internal/core"
+	"tbtm/internal/lsa"
+)
+
+// ShortTx is a short transaction: the LSA protocol plus the zone-crossing
+// detection of Algorithm 3, performed entirely at open time (§5.2: "the
+// decision of whether a transaction can commit is performed by the
+// underlying LSA algorithm").
+type ShortTx struct {
+	th      *Thread
+	inner   *lsa.Tx
+	zc      uint64
+	zoneSet bool
+	wobjs   []*core.Object // write-opened objects, re-validated at commit
+}
+
+// ZC returns the transaction's zone label (0 until the first open).
+func (tx *ShortTx) ZC() uint64 { return tx.zc }
+
+// Meta exposes the shared descriptor.
+func (tx *ShortTx) Meta() *core.TxMeta { return tx.inner.Meta() }
+
+// Read opens o in read mode and returns the transaction's view of it.
+func (tx *ShortTx) Read(o *core.Object) (any, error) {
+	if err := tx.zoneCheck(o); err != nil {
+		return nil, err
+	}
+	tx.inner.SetZone(tx.zc)
+	return tx.inner.Read(o)
+}
+
+// Write opens o in write mode and buffers the update.
+func (tx *ShortTx) Write(o *core.Object, val any) error {
+	if err := tx.zoneCheck(o); err != nil {
+		return err
+	}
+	tx.inner.SetZone(tx.zc)
+	if err := tx.inner.Write(o, val); err != nil {
+		return err
+	}
+	if len(tx.wobjs) == 0 {
+		tx.inner.SetCommitCheck(tx.revalidateZones)
+	}
+	tx.wobjs = append(tx.wobjs, o)
+	return nil
+}
+
+// revalidateZones runs while the transaction is committing (write locks
+// held): if a long transaction stamped one of our written objects after
+// our open-time zone check — the check and the lock acquisition are not
+// atomic — and that zone is still active, the long may have read the
+// object's pre-write value without arbitrating with us, so committing our
+// write would tear its snapshot. Abort instead; once we are committing,
+// any later stamp arbitrates against our lock and observes our installs
+// atomically.
+func (tx *ShortTx) revalidateZones() error {
+	s := tx.th.stm
+	for _, o := range tx.wobjs {
+		if z := o.ZC(); z != tx.zc && s.zoneActive(z) {
+			s.zoneCrosses.Add(1)
+			return core.ErrConflict
+		}
+	}
+	return nil
+}
+
+// Commit delegates to LSA and, on success, records the transaction's zone
+// in the thread's LZC (Algorithm 3 lines 27-29).
+func (tx *ShortTx) Commit() error {
+	if err := tx.inner.Commit(); err != nil {
+		return err
+	}
+	if tx.zoneSet {
+		tx.th.commitZone(tx.zc)
+	}
+	return nil
+}
+
+// Abort aborts the transaction.
+func (tx *ShortTx) Abort() { tx.inner.Abort() }
+
+// zoneCheck implements Algorithm 3 lines 6-22 before each open.
+func (tx *ShortTx) zoneCheck(o *core.Object) error {
+	s := tx.th.stm
+	if !tx.zoneSet {
+		// First open determines the zone (§5.2).
+		ozc := o.ZC()
+		if ozc < tx.th.lzc {
+			if s.zoneActive(tx.th.lzc) {
+				// Cannot move to a zone in the past of the thread's last
+				// commit while that zone's long transaction is active
+				// (Algorithm 3 line 9): the serialization order must
+				// observe the thread's program order.
+				s.zoneCrosses.Add(1)
+				tx.inner.Abort()
+				return core.ErrConflict
+			}
+			tx.zc = s.ct.Load()
+		} else {
+			tx.zc = ozc
+		}
+		tx.zoneSet = true
+		return nil
+	}
+
+	if tx.zc == o.ZC() {
+		return nil
+	}
+	// Crossing zones (Algorithm 3 lines 16-22): permitted only once both
+	// zones are in the past. The contention manager's role here is played
+	// by a bounded delay — the blocking long transaction is given time to
+	// commit — followed by an abort.
+	waited := false
+	for round := 0; ; round++ {
+		ozc := o.ZC()
+		if tx.zc == ozc {
+			// The object joined our zone meanwhile (our zone's long
+			// transaction opened it).
+			return nil
+		}
+		if !s.zoneActive(tx.zc) && !s.zoneActive(ozc) {
+			tx.zc = s.ct.Load()
+			if waited {
+				s.zoneWaits.Add(1)
+			}
+			return nil
+		}
+		if round >= s.cfg.ZonePatience {
+			s.zoneCrosses.Add(1)
+			tx.inner.Abort()
+			return core.ErrConflict
+		}
+		waited = true
+		// Cap the wait per round: the blocking long transaction usually
+		// commits soon, and a long stale sleep would idle the processor
+		// past that commit (unlike write conflicts, crossings resolve
+		// globally via CT, so frequent re-checks are cheap).
+		cm.Backoff(min(round, 5))
+	}
+}

@@ -1,0 +1,287 @@
+package zstm
+
+import (
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"tbtm/internal/cm"
+	"tbtm/internal/core"
+)
+
+// TestTortureMixedKindsAggressive floods a small object set with short
+// transfers and long scans/updates under the Aggressive contention
+// manager (every conflict kills the holder), with random explicit aborts
+// sprinkled in. Invariants: conservation of the transfer sum, consistent
+// long snapshots, no leaked locks, no orphaned zones.
+func TestTortureMixedKindsAggressive(t *testing.T) {
+	s := New(Config{CM: cm.Aggressive{}, ZonePatience: 8})
+	const accounts, workers = 5, 5
+	objs := make([]*core.Object, accounts)
+	for i := range objs {
+		objs[i] = s.NewObject(int64(100))
+	}
+	want := int64(accounts) * 100
+	auditSink := s.NewObject(int64(0))
+
+	var inconsistent atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(seed int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(seed)))
+			th := s.NewThread()
+			for i := 0; i < 80; i++ {
+				if rng.Intn(5) == 0 {
+					// Long transaction: scan all accounts; half the time
+					// also write the sum.
+					for attempt := 0; attempt < 50000; attempt++ {
+						tx := th.BeginLong(rng.Intn(2) == 0)
+						var sum int64
+						bad := false
+						for _, o := range objs {
+							v, err := tx.Read(o)
+							if err != nil {
+								bad = true
+								break
+							}
+							sum += v.(int64)
+						}
+						if bad {
+							continue // tx already aborted
+						}
+						if rng.Intn(4) == 0 {
+							tx.Abort() // random explicit abort
+							continue
+						}
+						if !tx.ReadOnly() {
+							if err := tx.Write(auditSink, sum); err != nil {
+								continue
+							}
+						}
+						if tx.Commit() != nil {
+							continue
+						}
+						if sum != want {
+							inconsistent.Add(1)
+						}
+						break
+					}
+					continue
+				}
+				from := rng.Intn(accounts)
+				to := rng.Intn(accounts)
+				if from == to {
+					continue
+				}
+				for attempt := 0; attempt < 50000; attempt++ {
+					tx := th.BeginShort(false)
+					fv, err := tx.Read(objs[from])
+					if err != nil {
+						tx.Abort()
+						continue
+					}
+					tv, err := tx.Read(objs[to])
+					if err != nil {
+						tx.Abort()
+						continue
+					}
+					if rng.Intn(10) == 0 {
+						tx.Abort() // random explicit abort
+						continue
+					}
+					if err := tx.Write(objs[from], fv.(int64)-1); err != nil {
+						tx.Abort()
+						continue
+					}
+					if err := tx.Write(objs[to], tv.(int64)+1); err != nil {
+						tx.Abort()
+						continue
+					}
+					if tx.Commit() == nil {
+						break
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	if n := inconsistent.Load(); n != 0 {
+		t.Fatalf("%d long transactions observed inconsistent totals", n)
+	}
+	// No leaked locks, no orphaned zone registrations.
+	for i, o := range objs {
+		if w := o.Writer(); w != nil && !w.Status().Terminal() {
+			t.Fatalf("object %d locked by live tx after quiesce", i)
+		}
+	}
+	s.mu.Lock()
+	zones := len(s.zones)
+	s.mu.Unlock()
+	if zones != 0 {
+		t.Fatalf("%d zones still registered after quiesce", zones)
+	}
+	// Conservation.
+	th := s.NewThread()
+	for attempt := 0; ; attempt++ {
+		tx := th.BeginLong(true)
+		var sum int64
+		bad := false
+		for _, o := range objs {
+			v, err := tx.Read(o)
+			if err != nil {
+				bad = true
+				break
+			}
+			sum += v.(int64)
+		}
+		if bad {
+			continue
+		}
+		if err := tx.Commit(); err != nil {
+			continue
+		}
+		if sum != want {
+			t.Fatalf("final total = %d, want %d", sum, want)
+		}
+		break
+	}
+	st := s.Stats()
+	if st.LongAborts == 0 && st.Short.Aborts == 0 {
+		t.Fatal("torture produced no aborts; test is vacuous")
+	}
+}
+
+// TestTortureLongKilledMidScan kills long transactions from outside mid
+// scan; shorts must keep making progress (the zone registry reports dead
+// zones inactive) and state stays conserved.
+func TestTortureLongKilledMidScan(t *testing.T) {
+	s := New(Config{ZonePatience: 8})
+	const accounts = 8
+	objs := make([]*core.Object, accounts)
+	for i := range objs {
+		objs[i] = s.NewObject(int64(10))
+	}
+
+	var cur atomic.Pointer[core.TxMeta]
+	stop := make(chan struct{})
+	var killerWg sync.WaitGroup
+	killerWg.Add(1)
+	go func() {
+		defer killerWg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			if m := cur.Load(); m != nil {
+				m.TryAbortActive()
+			}
+		}
+	}()
+
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		th := s.NewThread()
+		for i := 0; i < 150; i++ {
+			tx := th.BeginLong(true)
+			cur.Store(tx.Meta())
+			var sum int64
+			ok := true
+			for _, o := range objs {
+				v, err := tx.Read(o)
+				if err != nil {
+					ok = false
+					break
+				}
+				sum += v.(int64)
+			}
+			cur.Store(nil)
+			if !ok {
+				tx.Abort()
+				continue
+			}
+			if tx.Commit() != nil {
+				continue
+			}
+			if sum != accounts*10 {
+				t.Errorf("iteration %d: killed-scan run saw sum %d", i, sum)
+			}
+		}
+	}()
+
+	// Concurrent transfers throughout.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		th := s.NewThread()
+		for i := 0; i < 300; i++ {
+			from, to := i%accounts, (i*3+1)%accounts
+			if from == to {
+				continue
+			}
+			for attempt := 0; attempt < 50000; attempt++ {
+				tx := th.BeginShort(false)
+				fv, err := tx.Read(objs[from])
+				if err != nil {
+					tx.Abort()
+					continue
+				}
+				tv, err := tx.Read(objs[to])
+				if err != nil {
+					tx.Abort()
+					continue
+				}
+				if tx.Write(objs[from], fv.(int64)-1) != nil {
+					tx.Abort()
+					continue
+				}
+				if tx.Write(objs[to], tv.(int64)+1) != nil {
+					tx.Abort()
+					continue
+				}
+				if tx.Commit() == nil {
+					break
+				}
+			}
+		}
+	}()
+	wg.Wait()
+	close(stop)
+	killerWg.Wait()
+
+	s.mu.Lock()
+	zones := len(s.zones)
+	s.mu.Unlock()
+	if zones != 0 {
+		t.Fatalf("%d zones leaked", zones)
+	}
+	// Conservation after the storm.
+	th := s.NewThread()
+	var sum int64
+	for attempt := 0; ; attempt++ {
+		tx := th.BeginLong(true)
+		sum = 0
+		ok := true
+		for _, o := range objs {
+			v, err := tx.Read(o)
+			if err != nil {
+				ok = false
+				break
+			}
+			sum += v.(int64)
+		}
+		if ok && tx.Commit() == nil {
+			break
+		}
+	}
+	if sum != accounts*10 {
+		t.Fatalf("total = %d, want %d", sum, accounts*10)
+	}
+}

@@ -1,0 +1,107 @@
+package zstm
+
+import (
+	"testing"
+	"testing/quick"
+
+	"tbtm/internal/core"
+)
+
+// TestQuickZoneAlgebra drives random single-threaded scripts of long
+// transactions (begin / touch objects / commit-or-abort) and checks the
+// zone-counter invariants of §5.1 after every step:
+//
+//   - CT <= ZC always (the active interval (CT, ZC] is well-formed)
+//   - committed long transactions carry strictly increasing zone numbers
+//   - a committed or aborted zone is no longer reported active
+//   - the thread's LZC equals the zone of its last committed transaction
+func TestQuickZoneAlgebra(t *testing.T) {
+	prop := func(script []uint8) bool {
+		s := New(Config{})
+		th := s.NewThread()
+		objs := []*core.Object{s.NewObject(0), s.NewObject(1), s.NewObject(2)}
+		var lastCommitted uint64
+		for _, b := range script {
+			tx := th.BeginLong(false)
+			zone := tx.ZC()
+			if zone <= s.CT() {
+				return false // fresh zone must lie inside (CT, ZC]
+			}
+			if zone > s.ZC() {
+				return false
+			}
+			for i := 0; i < int(b%4); i++ {
+				if _, err := tx.Read(objs[i%len(objs)]); err != nil {
+					return false // single-threaded longs never conflict
+				}
+			}
+			if b%2 == 0 {
+				if err := tx.Commit(); err != nil {
+					return false
+				}
+				if zone <= lastCommitted {
+					return false // commit order must follow zone order
+				}
+				lastCommitted = zone
+				if th.LZC() != zone {
+					return false
+				}
+				if s.CT() != zone {
+					return false
+				}
+			} else {
+				tx.Abort()
+			}
+			if s.zoneActive(zone) {
+				return false // finished zones must be pruned
+			}
+			if s.CT() > s.ZC() {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickShortZoneStamp checks Algorithm 3's stamping rule for random
+// short scripts in a quiescent system (no active longs): a short
+// transaction adopts the zone of the first object it opens, which in a
+// quiescent system is at most CT, and committing never moves CT.
+func TestQuickShortZoneStamp(t *testing.T) {
+	prop := func(script []uint8, commits []bool) bool {
+		s := New(Config{})
+		th := s.NewThread()
+		objs := []*core.Object{s.NewObject(0), s.NewObject(1), s.NewObject(2), s.NewObject(3)}
+		for i, b := range script {
+			tx := th.BeginShort(false)
+			first := objs[int(b)%len(objs)]
+			if _, err := tx.Read(first); err != nil {
+				return false
+			}
+			if tx.ZC() > s.CT() {
+				return false // quiescent system: every zone is past
+			}
+			if _, err := tx.Read(objs[int(b/4)%len(objs)]); err != nil {
+				return false // no active zones, crossing impossible
+			}
+			ctBefore := s.CT()
+			if i < len(commits) && commits[i] {
+				if err := tx.Commit(); err != nil {
+					return false
+				}
+			} else {
+				tx.Abort()
+			}
+			if s.CT() != ctBefore {
+				return false // shorts never advance the long commit counter
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

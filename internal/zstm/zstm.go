@@ -1,0 +1,209 @@
+// Package zstm implements Z-STM, the z-linearizable transactional memory
+// of paper §5 (Algorithms 2 and 3).
+//
+// Long transactions reserve a unique logical time T.zc from a global zone
+// counter ZC and must commit in zc order, checked against a global commit
+// counter CT; conflicts between long transactions are resolved through a
+// per-object zone stamp o.zc raised on open (optimistic timestamp
+// ordering à la Thomas [11]). Short transactions run on LSA [8] and carry
+// a zone label: the first object opened determines the zone, and opening
+// an object from a different zone while either zone is still active is a
+// crossing, resolved by delaying and finally aborting the short
+// transaction. A per-thread LZC value prevents a thread from crossing an
+// active long transaction backwards, which makes the serialization order
+// observe per-thread program order (§5.4 property 4).
+//
+// The resulting guarantees are: the set of long transactions is
+// linearizable; the short transactions between two long transactions are
+// linearizable; the set of all transactions is serializable; and the
+// serialization order observes per-thread order — z-linearizability.
+package zstm
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"tbtm/internal/clock"
+	"tbtm/internal/cm"
+	"tbtm/internal/core"
+	"tbtm/internal/lsa"
+)
+
+// Config parameterizes a Z-STM instance.
+type Config struct {
+	// Clock is the scalar time base for the short-transaction LSA. Nil
+	// means a fresh shared counter.
+	Clock clock.TimeBase
+	// CM arbitrates conflicts. Nil means the zone-aware default policy.
+	CM cm.Manager
+	// Versions is the per-object retention depth for LSA (default 8).
+	Versions int
+	// NoReadSets enables the read-only fast path for short transactions.
+	NoReadSets bool
+	// ZonePatience bounds how many backoff rounds a short transaction
+	// waits on a zone crossing before aborting (default 64). The wait
+	// gives the blocking long transaction time to commit, after which the
+	// short proceeds in the new zone (Algorithm 3 line 20).
+	ZonePatience int
+	// ValidationFastPath enables the RSTM-style commit fast path for
+	// short transactions (see lsa.Config.ValidationFastPath).
+	ValidationFastPath bool
+}
+
+// Stats is a snapshot of a Z-STM instance's cumulative counters. Short
+// transaction commit/abort counts are those of the underlying LSA.
+type Stats struct {
+	Short       lsa.Stats
+	LongCommits uint64 // long transactions committed
+	LongAborts  uint64 // long transactions aborted
+	LongPassed  uint64 // long aborts because a higher zone passed them
+	ZoneCrosses uint64 // short aborts due to zone crossing
+	ZoneWaits   uint64 // zone crossings resolved by waiting
+}
+
+// STM is a Z-STM instance.
+type STM struct {
+	cfg   Config
+	inner *lsa.STM
+
+	// zc is the zone counter ZC; ct is the commit counter CT. All active
+	// long transactions have zone numbers in (CT, ZC].
+	zc atomic.Uint64
+	ct atomic.Uint64
+
+	// zones maps an active long transaction's zone number to its
+	// descriptor so that zones whose owner aborted are not treated as
+	// active forever (liveness; see DESIGN.md §5). Entries are removed
+	// when the owner finishes.
+	mu    sync.Mutex
+	zones map[uint64]*core.TxMeta
+
+	longCommits atomic.Uint64
+	longAborts  atomic.Uint64
+	longPassed  atomic.Uint64
+	zoneCrosses atomic.Uint64
+	zoneWaits   atomic.Uint64
+}
+
+// New returns a Z-STM instance, applying defaults for zero fields.
+func New(cfg Config) *STM {
+	if cfg.CM == nil {
+		cfg.CM = &cm.ZoneAware{}
+	}
+	if cfg.ZonePatience <= 0 {
+		cfg.ZonePatience = 64
+	}
+	inner := lsa.New(lsa.Config{
+		Clock:              cfg.Clock,
+		CM:                 cfg.CM,
+		Versions:           cfg.Versions,
+		NoReadSets:         cfg.NoReadSets,
+		GuardLongWriters:   true,
+		ValidationFastPath: cfg.ValidationFastPath,
+	})
+	return &STM{cfg: cfg, inner: inner, zones: make(map[uint64]*core.TxMeta)}
+}
+
+// Config returns the effective configuration.
+func (s *STM) Config() Config { return s.cfg }
+
+// LSA exposes the short-transaction engine (tests, harness).
+func (s *STM) LSA() *lsa.STM { return s.inner }
+
+// CT returns the current commit counter value.
+func (s *STM) CT() uint64 { return s.ct.Load() }
+
+// ZC returns the current zone counter value.
+func (s *STM) ZC() uint64 { return s.zc.Load() }
+
+// NewObject allocates a transactional object.
+func (s *STM) NewObject(initial any) *core.Object { return s.inner.NewObject(initial) }
+
+// NewThread returns a per-goroutine handle carrying LZC_p.
+func (s *STM) NewThread() *Thread {
+	return &Thread{stm: s, inner: s.inner.NewThread()}
+}
+
+// Stats returns a snapshot of the cumulative counters.
+func (s *STM) Stats() Stats {
+	return Stats{
+		Short:       s.inner.Stats(),
+		LongCommits: s.longCommits.Load(),
+		LongAborts:  s.longAborts.Load(),
+		LongPassed:  s.longPassed.Load(),
+		ZoneCrosses: s.zoneCrosses.Load(),
+		ZoneWaits:   s.zoneWaits.Load(),
+	}
+}
+
+func (s *STM) registerZone(z uint64, m *core.TxMeta) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.zones[z] = m
+}
+
+func (s *STM) unregisterZone(z uint64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	delete(s.zones, z)
+}
+
+// zoneActive reports whether zone z might still be defined by a running
+// long transaction. Zone 0 is the primordial zone and never active. A
+// zone at or below CT has committed; a zone above CT whose owner is gone
+// or terminal has aborted (owners unregister only after CT is updated on
+// commit, so a missing entry above CT means an abort).
+func (s *STM) zoneActive(z uint64) bool {
+	if z == 0 || z <= s.ct.Load() {
+		return false
+	}
+	s.mu.Lock()
+	m := s.zones[z]
+	s.mu.Unlock()
+	if m == nil {
+		return false
+	}
+	st := m.Status()
+	return st == core.StatusActive || st == core.StatusCommitting
+}
+
+// Thread is a per-goroutine handle. It carries LZC_p, the zone of the
+// thread's most recently committed transaction (Algorithms 2 and 3).
+type Thread struct {
+	stm   *STM
+	inner *lsa.Thread
+	lzc   uint64
+}
+
+// ID returns the thread's index in the time base.
+func (th *Thread) ID() int { return th.inner.ID() }
+
+// STM returns the owning instance.
+func (th *Thread) STM() *STM { return th.stm }
+
+// LZC returns the thread's last-committed-zone value (tests).
+func (th *Thread) LZC() uint64 { return th.lzc }
+
+func (th *Thread) commitZone(z uint64) {
+	if z > th.lzc {
+		th.lzc = z
+	}
+}
+
+// BeginShort starts a short transaction (Algorithm 3) on the LSA engine.
+func (th *Thread) BeginShort(readOnly bool) *ShortTx {
+	return &ShortTx{th: th, inner: th.inner.Begin(core.Short, readOnly)}
+}
+
+// BeginLong starts a long transaction (Algorithm 2), reserving the next
+// zone number.
+func (th *Thread) BeginLong(readOnly bool) *LongTx {
+	tx := &LongTx{
+		th:   th,
+		meta: core.NewTxMeta(core.Long, th.inner.ID()),
+		ro:   readOnly,
+		zc:   th.stm.zc.Add(1),
+	}
+	th.stm.registerZone(tx.zc, tx.meta)
+	return tx
+}

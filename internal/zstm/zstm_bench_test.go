@@ -1,0 +1,95 @@
+package zstm
+
+import (
+	"fmt"
+	"testing"
+
+	"tbtm/internal/core"
+)
+
+func BenchmarkShortTransfer(b *testing.B) {
+	s := New(Config{})
+	oa, ob := s.NewObject(int64(100)), s.NewObject(int64(100))
+	th := s.NewThread()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tx := th.BeginShort(false)
+		av, err := tx.Read(oa)
+		if err != nil {
+			b.Fatal(err)
+		}
+		bv, err := tx.Read(ob)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := tx.Write(oa, av.(int64)-1); err != nil {
+			b.Fatal(err)
+		}
+		if err := tx.Write(ob, bv.(int64)+1); err != nil {
+			b.Fatal(err)
+		}
+		if err := tx.Commit(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkLongScanN(b *testing.B) {
+	for _, n := range []int{10, 100, 1000} {
+		b.Run(fmt.Sprintf("objects=%d", n), func(b *testing.B) {
+			s := New(Config{})
+			objs := make([]*core.Object, n)
+			for i := range objs {
+				objs[i] = s.NewObject(int64(i))
+			}
+			th := s.NewThread()
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				tx := th.BeginLong(true)
+				for _, o := range objs {
+					if _, err := tx.Read(o); err != nil {
+						b.Fatal(err)
+					}
+				}
+				if err := tx.Commit(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkLongCommitOnly(b *testing.B) {
+	// The O(1) commit check of Algorithm 2 (§6 factor 2): a long
+	// transaction with no accesses.
+	s := New(Config{})
+	th := s.NewThread()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tx := th.BeginLong(true)
+		if err := tx.Commit(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkZoneCheckOverhead(b *testing.B) {
+	// Pure-short workload: the zone machinery's overhead over plain LSA
+	// is the per-open zc comparison (Figure 6's "negligible" claim).
+	s := New(Config{})
+	o := s.NewObject(int64(0))
+	th := s.NewThread()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tx := th.BeginShort(true)
+		if _, err := tx.Read(o); err != nil {
+			b.Fatal(err)
+		}
+		if err := tx.Commit(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,590 @@
+package zstm
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"tbtm/internal/cm"
+	"tbtm/internal/core"
+)
+
+// shortAtomically retries a short transaction until it commits.
+func shortAtomically(t *testing.T, th *Thread, ro bool, fn func(tx *ShortTx) error) {
+	t.Helper()
+	for i := 0; ; i++ {
+		tx := th.BeginShort(ro)
+		err := fn(tx)
+		if err == nil {
+			err = tx.Commit()
+		} else {
+			tx.Abort()
+		}
+		if err == nil {
+			return
+		}
+		if !core.IsRetryable(err) {
+			t.Errorf("non-retryable error: %v", err)
+			return
+		}
+		if i > 20000 {
+			t.Error("short transaction did not commit after 20000 retries")
+			return
+		}
+	}
+}
+
+// longAtomically retries a long transaction until it commits.
+func longAtomically(t *testing.T, th *Thread, ro bool, fn func(tx *LongTx) error) {
+	t.Helper()
+	for i := 0; ; i++ {
+		tx := th.BeginLong(ro)
+		err := fn(tx)
+		if err == nil {
+			err = tx.Commit()
+		} else {
+			tx.Abort()
+		}
+		if err == nil {
+			return
+		}
+		if !core.IsRetryable(err) {
+			t.Errorf("non-retryable error: %v", err)
+			return
+		}
+		if i > 20000 {
+			t.Error("long transaction did not commit after 20000 retries")
+			return
+		}
+	}
+}
+
+func TestShortBasicReadWrite(t *testing.T) {
+	s := New(Config{})
+	o := s.NewObject(int64(7))
+	th := s.NewThread()
+	shortAtomically(t, th, false, func(tx *ShortTx) error {
+		v, err := tx.Read(o)
+		if err != nil {
+			return err
+		}
+		return tx.Write(o, v.(int64)+1)
+	})
+	tx := th.BeginShort(true)
+	v, err := tx.Read(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != int64(8) {
+		t.Fatalf("value = %v, want 8", v)
+	}
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if s.Stats().Short.Commits != 2 {
+		t.Fatalf("short commits = %d, want 2", s.Stats().Short.Commits)
+	}
+}
+
+func TestLongBasicReadWrite(t *testing.T) {
+	s := New(Config{})
+	a, b := s.NewObject(int64(1)), s.NewObject(int64(0))
+	th := s.NewThread()
+	longAtomically(t, th, false, func(tx *LongTx) error {
+		v, err := tx.Read(a)
+		if err != nil {
+			return err
+		}
+		return tx.Write(b, v.(int64)*10)
+	})
+	if s.Stats().LongCommits != 1 {
+		t.Fatalf("long commits = %d", s.Stats().LongCommits)
+	}
+	if s.CT() == 0 {
+		t.Fatal("CT not advanced by long commit")
+	}
+	tx := th.BeginShort(true)
+	v, err := tx.Read(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != int64(10) {
+		t.Fatalf("b = %v, want 10", v)
+	}
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLongReadOwnWriteAndCache(t *testing.T) {
+	s := New(Config{})
+	a := s.NewObject(int64(5))
+	tx := s.NewThread().BeginLong(false)
+	v, err := tx.Read(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != int64(5) {
+		t.Fatalf("Read = %v", v)
+	}
+	if err := tx.Write(a, int64(6)); err != nil {
+		t.Fatal(err)
+	}
+	v, err = tx.Read(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != int64(6) {
+		t.Fatalf("read-own-write = %v, want 6", v)
+	}
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLongReadOnlyRejectsWrites(t *testing.T) {
+	s := New(Config{})
+	o := s.NewObject(0)
+	tx := s.NewThread().BeginLong(true)
+	if err := tx.Write(o, 1); !errors.Is(err, core.ErrReadOnly) {
+		t.Fatalf("Write in RO long = %v, want ErrReadOnly", err)
+	}
+	tx.Abort()
+}
+
+func TestLongUseAfterDone(t *testing.T) {
+	s := New(Config{})
+	o := s.NewObject(0)
+	tx := s.NewThread().BeginLong(false)
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tx.Read(o); !errors.Is(err, core.ErrTxDone) {
+		t.Fatalf("Read after commit = %v", err)
+	}
+	if err := tx.Commit(); !errors.Is(err, core.ErrTxDone) {
+		t.Fatalf("Commit after commit = %v", err)
+	}
+	tx.Abort() // no-op
+}
+
+func TestLongPassedByHigherZoneAborts(t *testing.T) {
+	s := New(Config{})
+	o := s.NewObject(0)
+	th1, th2 := s.NewThread(), s.NewThread()
+
+	older := th1.BeginLong(true) // zc = 1
+	newer := th2.BeginLong(true) // zc = 2
+	if _, err := newer.Read(o); err != nil {
+		t.Fatal(err)
+	}
+	// The older long transaction opens an object already stamped by a
+	// higher zone: it was passed and must abort (Algorithm 2 line 19).
+	if _, err := older.Read(o); !errors.Is(err, core.ErrConflict) {
+		t.Fatalf("passed long Read = %v, want ErrConflict", err)
+	}
+	if s.Stats().LongPassed == 0 {
+		t.Fatal("LongPassed not counted")
+	}
+	if err := newer.Commit(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLongCommitOrderEnforced(t *testing.T) {
+	s := New(Config{})
+	th1, th2 := s.NewThread(), s.NewThread()
+	older := th1.BeginLong(true) // zc = 1
+	newer := th2.BeginLong(true) // zc = 2
+	// Disjoint objects, so no zone-stamp conflict; but the newer long
+	// commits first, setting CT = 2, so the older can no longer commit.
+	if err := newer.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if err := older.Commit(); !errors.Is(err, core.ErrConflict) {
+		t.Fatalf("older commit after being passed = %v, want ErrConflict", err)
+	}
+	if got := s.CT(); got != 2 {
+		t.Fatalf("CT = %d, want 2", got)
+	}
+}
+
+func TestShortAdoptsZoneOfFirstObject(t *testing.T) {
+	s := New(Config{})
+	a, b := s.NewObject(0), s.NewObject(0)
+	thL, thS := s.NewThread(), s.NewThread()
+
+	long := thL.BeginLong(true)
+	if _, err := long.Read(a); err != nil {
+		t.Fatal(err)
+	}
+	// a is stamped with the long's zone; a short opening a first joins it.
+	short := thS.BeginShort(false)
+	if _, err := short.Read(a); err != nil {
+		t.Fatal(err)
+	}
+	if short.ZC() != long.ZC() {
+		t.Fatalf("short zone = %d, want %d", short.ZC(), long.ZC())
+	}
+	short.Abort()
+	// A short opening only b (unstamped) stays in the primordial zone.
+	short2 := thS.BeginShort(false)
+	if _, err := short2.Read(b); err != nil {
+		t.Fatal(err)
+	}
+	if short2.ZC() != 0 {
+		t.Fatalf("short2 zone = %d, want 0", short2.ZC())
+	}
+	short2.Abort()
+	long.Abort()
+}
+
+func TestShortCrossingActiveZoneAborts(t *testing.T) {
+	s := New(Config{ZonePatience: 2})
+	a, b := s.NewObject(0), s.NewObject(0)
+	thL, thS := s.NewThread(), s.NewThread()
+
+	long := thL.BeginLong(true)
+	if _, err := long.Read(a); err != nil {
+		t.Fatal(err)
+	}
+	// Short joins the long's zone via a, then tries to open b, which is
+	// in the primordial zone while the long is still active: crossing.
+	short := thS.BeginShort(false)
+	if _, err := short.Read(a); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := short.Read(b); !errors.Is(err, core.ErrConflict) {
+		t.Fatalf("crossing Read = %v, want ErrConflict", err)
+	}
+	if s.Stats().ZoneCrosses == 0 {
+		t.Fatal("ZoneCrosses not counted")
+	}
+	long.Abort()
+}
+
+func TestShortCrossingResolvedAfterLongCommits(t *testing.T) {
+	s := New(Config{ZonePatience: 5000})
+	a, b := s.NewObject(0), s.NewObject(0)
+	thL, thS := s.NewThread(), s.NewThread()
+
+	long := thL.BeginLong(true)
+	if _, err := long.Read(a); err != nil {
+		t.Fatal(err)
+	}
+	short := thS.BeginShort(false)
+	if _, err := short.Read(a); err != nil {
+		t.Fatal(err)
+	}
+	// Commit the long in the background while the short waits on the
+	// crossing; with enough patience the short proceeds at CT.
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		_ = long.Commit()
+	}()
+	if _, err := short.Read(b); err != nil {
+		t.Fatalf("crossing after long commit = %v", err)
+	}
+	wg.Wait()
+	if short.ZC() != s.CT() {
+		t.Fatalf("short zone = %d, want CT %d", short.ZC(), s.CT())
+	}
+	if err := short.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if s.Stats().ZoneWaits == 0 {
+		t.Fatal("ZoneWaits not counted")
+	}
+}
+
+func TestThreadCannotCrossBackwards(t *testing.T) {
+	// §5.4 property 4 / Algorithm 3 line 9: a thread that committed in an
+	// active long transaction's zone cannot start a transaction in an
+	// older zone while the long transaction is still running.
+	s := New(Config{ZonePatience: 2})
+	a, b := s.NewObject(0), s.NewObject(0)
+	thL, thS := s.NewThread(), s.NewThread()
+
+	long := thL.BeginLong(true)
+	if _, err := long.Read(a); err != nil {
+		t.Fatal(err)
+	}
+	// Short 1 commits inside the long's zone.
+	shortAtomically(t, thS, false, func(tx *ShortTx) error { return tx.Write(a, 1) })
+	if thS.LZC() != long.ZC() {
+		t.Fatalf("LZC = %d, want %d", thS.LZC(), long.ZC())
+	}
+	// Short 2 on the same thread first-opens b from the primordial zone:
+	// moving to the past while the zone is active must abort.
+	short2 := thS.BeginShort(false)
+	if _, err := short2.Read(b); !errors.Is(err, core.ErrConflict) {
+		t.Fatalf("backwards crossing = %v, want ErrConflict", err)
+	}
+	// After the long commits, the same access succeeds.
+	if err := long.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	shortAtomically(t, thS, false, func(tx *ShortTx) error { return tx.Write(b, 2) })
+}
+
+func TestAbortedLongDoesNotBlockZoneForever(t *testing.T) {
+	// A long transaction that aborts leaves its zone stamps behind; the
+	// zone registry must report the zone inactive so shorts proceed.
+	s := New(Config{ZonePatience: 4})
+	a, b := s.NewObject(0), s.NewObject(0)
+	thL, thS := s.NewThread(), s.NewThread()
+
+	long := thL.BeginLong(false)
+	if _, err := long.Read(a); err != nil {
+		t.Fatal(err)
+	}
+	long.Abort()
+
+	// A short spanning the stamped object and a fresh one must succeed:
+	// the stamping zone is dead.
+	shortAtomically(t, thS, false, func(tx *ShortTx) error {
+		if _, err := tx.Read(a); err != nil {
+			return err
+		}
+		return tx.Write(b, 1)
+	})
+}
+
+func TestShortUpdatesObjectAfterLongReadIt(t *testing.T) {
+	// §5.5: "transfers can update an object right after the long
+	// transaction has completed its read access" — the Figure 7 win.
+	s := New(Config{})
+	a, b := s.NewObject(int64(10)), s.NewObject(int64(20))
+	thL, thS := s.NewThread(), s.NewThread()
+
+	long := thL.BeginLong(true)
+	va, err := long.Read(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vb, err := long.Read(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Both objects are now in the long's zone; a short transfer touching
+	// only them can commit while the long is still active.
+	shortAtomically(t, thS, false, func(tx *ShortTx) error {
+		if err := tx.Write(a, int64(5)); err != nil {
+			return err
+		}
+		return tx.Write(b, int64(25))
+	})
+	// The long's snapshot is unaffected (it serializes before the short).
+	if va.(int64)+vb.(int64) != 30 {
+		t.Fatalf("long snapshot sum = %d, want 30", va.(int64)+vb.(int64))
+	}
+	if err := long.Commit(); err != nil {
+		t.Fatalf("long commit after in-zone update = %v", err)
+	}
+}
+
+func TestLongArbitratesWithActiveShortWriter(t *testing.T) {
+	s := New(Config{CM: &cm.ZoneAware{ShortPatience: 4}})
+	o := s.NewObject(0)
+	thL, thS := s.NewThread(), s.NewThread()
+
+	short := thS.BeginShort(false)
+	if err := short.Write(o, 1); err != nil {
+		t.Fatal(err)
+	}
+	long := thL.BeginLong(true)
+	// The long opens the short-locked object: ZoneAware aborts the short
+	// after a brief grace period.
+	if _, err := long.Read(o); err != nil {
+		t.Fatalf("long Read vs short writer = %v", err)
+	}
+	if short.Meta().Status() != core.StatusAborted {
+		t.Fatal("short writer not aborted by long's arbitration")
+	}
+	if err := long.Commit(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestShortReadBlockedByActiveLongWriter(t *testing.T) {
+	// GuardLongWriters: a short must not read around an active long
+	// writer (DESIGN.md §5). With a short-patience CM the short aborts.
+	s := New(Config{CM: &cm.ZoneAware{ShortPatience: 2}})
+	o := s.NewObject(int64(1))
+	thL, thS := s.NewThread(), s.NewThread()
+
+	long := thL.BeginLong(false)
+	if err := long.Write(o, int64(2)); err != nil {
+		t.Fatal(err)
+	}
+	short := thS.BeginShort(true)
+	if _, err := short.Read(o); !errors.Is(err, core.ErrAborted) {
+		t.Fatalf("short read vs long writer = %v, want ErrAborted", err)
+	}
+	if err := long.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	// After the long commits the short sees its value.
+	var got any
+	shortAtomically(t, thS, true, func(tx *ShortTx) error {
+		var err error
+		got, err = tx.Read(o)
+		return err
+	})
+	if got != int64(2) {
+		t.Fatalf("value after long commit = %v, want 2", got)
+	}
+}
+
+func TestConcurrentTransfersWithLongTotals(t *testing.T) {
+	// The core z-linearizability property exercised end to end: transfer
+	// shorts conserve the total; concurrent long Compute-Total
+	// transactions (both read-only and update flavour) must always
+	// observe the exact invariant sum.
+	s := New(Config{})
+	const accounts = 20
+	const initial = int64(100)
+	objs := make([]*core.Object, accounts)
+	for i := range objs {
+		objs[i] = s.NewObject(initial)
+	}
+	totalObj := s.NewObject(int64(0))
+	want := int64(accounts) * initial
+
+	var stop atomic.Bool
+	var wg sync.WaitGroup
+	// 3 transfer workers.
+	for w := 0; w < 3; w++ {
+		wg.Add(1)
+		go func(seed int) {
+			defer wg.Done()
+			th := s.NewThread()
+			i := 0
+			for !stop.Load() {
+				i++
+				from := (seed*7 + i) % accounts
+				to := (seed*13 + i*3 + 1) % accounts
+				if from == to {
+					continue
+				}
+				shortAtomically(t, th, false, func(tx *ShortTx) error {
+					fv, err := tx.Read(objs[from])
+					if err != nil {
+						return err
+					}
+					tv, err := tx.Read(objs[to])
+					if err != nil {
+						return err
+					}
+					if err := tx.Write(objs[from], fv.(int64)-1); err != nil {
+						return err
+					}
+					return tx.Write(objs[to], tv.(int64)+1)
+				})
+			}
+		}(w)
+	}
+	// 1 long-total worker, alternating read-only and update flavour.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		th := s.NewThread()
+		for round := 0; round < 30; round++ {
+			update := round%2 == 1
+			longAtomically(t, th, !update, func(tx *LongTx) error {
+				var sum int64
+				for _, o := range objs {
+					v, err := tx.Read(o)
+					if err != nil {
+						return err
+					}
+					sum += v.(int64)
+				}
+				if sum != want {
+					t.Errorf("long observed inconsistent total %d, want %d", sum, want)
+				}
+				if update {
+					return tx.Write(totalObj, sum)
+				}
+				return nil
+			})
+		}
+		stop.Store(true)
+	}()
+	wg.Wait()
+
+	if got := s.Stats().LongCommits; got != 30 {
+		t.Fatalf("long commits = %d, want 30", got)
+	}
+	// Final total still conserved.
+	th := s.NewThread()
+	var sum int64
+	shortAtomically(t, th, false, func(tx *ShortTx) error {
+		sum = 0
+		for _, o := range objs {
+			v, err := tx.Read(o)
+			if err != nil {
+				return err
+			}
+			sum += v.(int64)
+		}
+		return tx.Write(totalObj, sum)
+	})
+	if sum != want {
+		t.Fatalf("final total = %d, want %d", sum, want)
+	}
+}
+
+func TestStatsAndAccessors(t *testing.T) {
+	s := New(Config{})
+	if s.Config().ZonePatience != 64 {
+		t.Fatalf("default ZonePatience = %d, want 64", s.Config().ZonePatience)
+	}
+	if s.LSA() == nil {
+		t.Fatal("LSA() nil")
+	}
+	th := s.NewThread()
+	if th.STM() != s {
+		t.Fatal("thread backlink wrong")
+	}
+	long := th.BeginLong(true)
+	if long.ZC() != 1 || s.ZC() != 1 {
+		t.Fatalf("zone numbers: tx %d stm %d", long.ZC(), s.ZC())
+	}
+	if !long.ReadOnly() {
+		t.Fatal("ReadOnly lost")
+	}
+	long.Abort()
+	if s.Stats().LongAborts != 1 {
+		t.Fatalf("LongAborts = %d", s.Stats().LongAborts)
+	}
+	// Aborting twice is a no-op.
+	long.Abort()
+	if s.Stats().LongAborts != 1 {
+		t.Fatalf("double abort counted: %d", s.Stats().LongAborts)
+	}
+}
+
+func TestZoneRegistryPruned(t *testing.T) {
+	s := New(Config{})
+	th := s.NewThread()
+	for i := 0; i < 10; i++ {
+		long := th.BeginLong(true)
+		if i%2 == 0 {
+			if err := long.Commit(); err != nil {
+				t.Fatal(err)
+			}
+		} else {
+			long.Abort()
+		}
+	}
+	s.mu.Lock()
+	n := len(s.zones)
+	s.mu.Unlock()
+	if n != 0 {
+		t.Fatalf("zone registry holds %d stale entries", n)
+	}
+}

@@ -1,0 +1,105 @@
+package tbtm
+
+import (
+	"sort"
+	"sync"
+	"testing"
+)
+
+func TestPlausibleMappingOptions(t *testing.T) {
+	for _, m := range []ClockMapping{MappingModulo, MappingBlock} {
+		tm, err := New(
+			WithConsistency(CausallySerializable),
+			WithThreads(8), WithPlausibleEntries(2), WithPlausibleMapping(m))
+		if err != nil {
+			t.Fatalf("mapping %d: %v", m, err)
+		}
+		v := NewVar(tm, 1)
+		th := tm.NewThread()
+		if err := th.Atomic(Short, func(tx Tx) error { return v.Write(tx, 2) }); err != nil {
+			t.Fatalf("mapping %d: %v", m, err)
+		}
+	}
+}
+
+func TestInvalidMappingRejected(t *testing.T) {
+	if _, err := New(WithPlausibleMapping(ClockMapping(7))); err == nil {
+		t.Fatal("invalid mapping accepted")
+	}
+}
+
+// TestMappingIsolationUnderContention runs the bank-style conservation
+// check on both mappings: plausible clocks may cause extra aborts but
+// never wrong results, whatever the mapping.
+func TestMappingIsolationUnderContention(t *testing.T) {
+	for _, m := range []ClockMapping{MappingModulo, MappingBlock} {
+		m := m
+		name := "modulo"
+		if m == MappingBlock {
+			name = "block"
+		}
+		t.Run(name, func(t *testing.T) {
+			tm := MustNew(
+				WithConsistency(CausallySerializable),
+				WithThreads(4), WithPlausibleEntries(2), WithPlausibleMapping(m))
+			const objects = 6
+			vars := make([]*Var[int64], objects)
+			for i := range vars {
+				vars[i] = NewVar(tm, int64(10))
+			}
+			var wg sync.WaitGroup
+			for w := 0; w < 4; w++ {
+				wg.Add(1)
+				go func(w int) {
+					defer wg.Done()
+					th := tm.NewThread()
+					for i := 0; i < 100; i++ {
+						from, to := (w+i)%objects, (w+3*i+1)%objects
+						if from == to {
+							continue
+						}
+						_ = th.Atomic(Short, func(tx Tx) error {
+							f, err := vars[from].Read(tx)
+							if err != nil {
+								return err
+							}
+							g, err := vars[to].Read(tx)
+							if err != nil {
+								return err
+							}
+							if err := vars[from].Write(tx, f-1); err != nil {
+								return err
+							}
+							return vars[to].Write(tx, g+1)
+						})
+					}
+				}(w)
+			}
+			wg.Wait()
+
+			var vals []int64
+			th := tm.NewThread()
+			if err := th.AtomicReadOnly(Long, func(tx Tx) error {
+				vals = vals[:0]
+				for _, v := range vars {
+					x, err := v.Read(tx)
+					if err != nil {
+						return err
+					}
+					vals = append(vals, x)
+				}
+				return nil
+			}); err != nil {
+				t.Fatal(err)
+			}
+			var total int64
+			for _, v := range vals {
+				total += v
+			}
+			if total != objects*10 {
+				sort.Slice(vals, func(a, b int) bool { return vals[a] < vals[b] })
+				t.Fatalf("total = %d (balances %v), want %d", total, vals, objects*10)
+			}
+		})
+	}
+}

@@ -1,0 +1,278 @@
+package tbtm
+
+import (
+	"fmt"
+	"time"
+)
+
+// Consistency selects the STM algorithm and the criterion it guarantees.
+type Consistency int
+
+// Consistency levels, from strongest real-time guarantees to the paper's
+// pragmatic middle ground.
+const (
+	// Linearizable selects LSA-STM: multi-version objects, lazy snapshot
+	// extension, shared-counter (or simulated real-time) time base.
+	Linearizable Consistency = iota + 1
+	// SingleVersion selects a lean single-version TBTM without snapshot
+	// extension, in the style of TL2 (paper §3). Also linearizable.
+	SingleVersion
+	// CausallySerializable selects CS-STM on a vector (or plausible REV)
+	// time base (paper §4.1).
+	CausallySerializable
+	// Serializable selects S-STM (paper §4.2).
+	Serializable
+	// ZLinearizable selects Z-STM (paper §5): LSA for short transactions,
+	// zone ordering for long transactions.
+	ZLinearizable
+	// SnapshotIsolation selects SI-STM, a multi-version snapshot-isolation
+	// comparator (paper §4.1 notes causal serializability "provides
+	// semantics comparable to snapshot isolation"). Reads observe a fixed
+	// start-time snapshot and are never validated; writes follow
+	// first-committer-wins. SI admits write skew — see examples/writeskew.
+	SnapshotIsolation
+)
+
+// String returns the level's name.
+func (c Consistency) String() string {
+	switch c {
+	case Linearizable:
+		return "linearizable"
+	case SingleVersion:
+		return "single-version"
+	case CausallySerializable:
+		return "causally-serializable"
+	case Serializable:
+		return "serializable"
+	case ZLinearizable:
+		return "z-linearizable"
+	case SnapshotIsolation:
+		return "snapshot-isolation"
+	default:
+		return "invalid"
+	}
+}
+
+// Contention names a contention-management policy.
+type Contention int
+
+// Contention policies (see internal/cm for semantics).
+const (
+	// ContentionDefault picks ZoneAware for ZLinearizable and Polite
+	// elsewhere.
+	ContentionDefault Contention = iota
+	// ContentionPolite backs off then aborts the enemy.
+	ContentionPolite
+	// ContentionAggressive always aborts the enemy.
+	ContentionAggressive
+	// ContentionSuicide always aborts itself.
+	ContentionSuicide
+	// ContentionKarma favours the transaction that did more work.
+	ContentionKarma
+	// ContentionTimestamp favours the older transaction.
+	ContentionTimestamp
+	// ContentionGreedy resolves instantly in favour of the older
+	// transaction, never waiting (Guerraoui et al.'s Greedy manager with
+	// provable contention bounds).
+	ContentionGreedy
+	// ContentionRandomized arbitrates by coin flip, breaking symmetric
+	// livelock patterns.
+	ContentionRandomized
+	// ContentionZoneAware favours long transactions over short ones.
+	ContentionZoneAware
+)
+
+type config struct {
+	consistency  Consistency
+	contention   Contention
+	versions     int
+	versionsSet  bool
+	noReadSets   bool
+	threads      int
+	entries      int
+	mapping      ClockMapping
+	comb         bool
+	zonePatience int
+	maxRetries   int
+
+	validationFastPath bool
+
+	realTime     bool
+	rtEpsilon    uint64
+	rtTick       time.Duration
+	rtMaxThreads int
+
+	autoClassify  bool
+	classifyOpens float64
+}
+
+func defaultConfig() config {
+	return config{
+		consistency: ZLinearizable,
+		versions:    8,
+		threads:     16,
+	}
+}
+
+func (c *config) validate() error {
+	switch c.consistency {
+	case Linearizable, SingleVersion, CausallySerializable, Serializable, ZLinearizable, SnapshotIsolation:
+	default:
+		return fmt.Errorf("tbtm: invalid consistency level %d", c.consistency)
+	}
+	if c.versions < 1 {
+		return fmt.Errorf("tbtm: versions must be >= 1, got %d", c.versions)
+	}
+	if c.threads < 1 {
+		return fmt.Errorf("tbtm: threads must be >= 1, got %d", c.threads)
+	}
+	if c.entries < 0 || c.entries > c.threads {
+		return fmt.Errorf("tbtm: entries must be in [0, threads], got %d", c.entries)
+	}
+	if c.mapping != MappingModulo && c.mapping != MappingBlock {
+		return fmt.Errorf("tbtm: invalid clock mapping %d", c.mapping)
+	}
+	if c.realTime && (c.consistency == CausallySerializable || c.consistency == Serializable) {
+		return fmt.Errorf("tbtm: real-time clocks apply to scalar time bases, not %v", c.consistency)
+	}
+	if c.comb && c.consistency != CausallySerializable && c.consistency != Serializable {
+		return fmt.Errorf("tbtm: comb clocks apply to vector time bases, not %v", c.consistency)
+	}
+	return nil
+}
+
+// Option configures New.
+type Option func(*config)
+
+// WithConsistency selects the consistency criterion (default
+// ZLinearizable).
+func WithConsistency(c Consistency) Option {
+	return func(cfg *config) { cfg.consistency = c }
+}
+
+// WithContention selects the contention-management policy.
+func WithContention(p Contention) Option {
+	return func(cfg *config) { cfg.contention = p }
+}
+
+// WithVersions sets the per-object retained version count for the
+// multi-version STMs (default 8; SingleVersion forces 1). For
+// CausallySerializable the default is 1 — the paper's base CS-STM keeps
+// no old versions — and an explicit n > 1 enables the multi-version
+// variant of §4.1 footnote 1, where a read may return an older retained
+// version chosen to maximize the chances of successful validation.
+// Serializable is always single-version: its visible-read machinery
+// registers readers on the current version only.
+func WithVersions(n int) Option {
+	return func(cfg *config) {
+		cfg.versions = n
+		cfg.versionsSet = true
+	}
+}
+
+// WithNoReadSets enables the read-only fast path: declared read-only
+// transactions skip read-set maintenance and read at a fixed snapshot
+// time (the "LSA-STM (no readsets)" series of the paper's Figure 6).
+func WithNoReadSets() Option {
+	return func(cfg *config) { cfg.noReadSets = true }
+}
+
+// WithThreads sizes the vector time base for CausallySerializable and
+// Serializable (default 16). Creating more threads than this is safe;
+// extras share clock entries.
+func WithThreads(n int) Option {
+	return func(cfg *config) { cfg.threads = n }
+}
+
+// WithPlausibleEntries sets the plausible-clock width r for the vector
+// time bases (paper §4.3): 0 means exact vector clocks (r = threads), 1
+// a single shared counter.
+func WithPlausibleEntries(r int) Option {
+	return func(cfg *config) { cfg.entries = r }
+}
+
+// ClockMapping selects how threads share the entries of a plausible
+// clock. The paper studies only MappingModulo ("we only consider the
+// modulo r mapping", §4.3); MappingBlock groups contiguous thread IDs on
+// one entry. Correctness is identical (plausibility holds for any
+// mapping); which one produces fewer false conflicts depends on which
+// threads actually exchange timestamps — threads sharing an entry have
+// their mutual events totally ordered.
+type ClockMapping int
+
+// Clock mappings.
+const (
+	// MappingModulo maps thread p to entry p mod r (the paper's choice).
+	MappingModulo ClockMapping = iota
+	// MappingBlock maps thread p to entry p*r/threads.
+	MappingBlock
+)
+
+// WithPlausibleMapping selects the thread→entry mapping used with
+// WithPlausibleEntries (default MappingModulo).
+func WithPlausibleMapping(m ClockMapping) Option {
+	return func(cfg *config) { cfg.mapping = m }
+}
+
+// WithPlausibleComb appends a second plausible segment of r+1
+// modulo-mapped entries to the vector timestamps of
+// CausallySerializable and Serializable — Torres-Rojas & Ahamad's
+// "comb" construction, one of the "other types of plausible clocks"
+// §4.3 points to [12]. A false ordering must now survive two different
+// processor→entry sharings (p ≡ q both mod r and mod r+1), so spurious
+// aborts drop markedly for roughly double the timestamp width. All true
+// causal order is still captured.
+func WithPlausibleComb() Option {
+	return func(cfg *config) { cfg.comb = true }
+}
+
+// WithValidationFastPath enables the RSTM-style commit fast path
+// (paper §3): on the shared-counter time base, a committing transaction
+// whose commit time directly follows its snapshot time skips per-object
+// read-set validation — no other transaction has committed in between.
+// Applies to Linearizable, SingleVersion and (short transactions of)
+// ZLinearizable; it is ignored on simulated real-time clocks, which do
+// not count commits.
+func WithValidationFastPath() Option {
+	return func(cfg *config) { cfg.validationFastPath = true }
+}
+
+// WithZonePatience bounds the backoff rounds a short transaction waits on
+// a zone crossing under ZLinearizable before aborting (default 64).
+func WithZonePatience(n int) Option {
+	return func(cfg *config) { cfg.zonePatience = n }
+}
+
+// WithMaxRetries bounds Atomic's retry loop; 0 (default) retries forever.
+func WithMaxRetries(n int) Option {
+	return func(cfg *config) { cfg.maxRetries = n }
+}
+
+// WithAutoClassify enables automatic long/short classification for
+// transactions run through Thread.AtomicSite, the alternative the paper
+// sketches in §5.3 ("an automatic marking based on past behaviors of
+// transactions would be a viable alternative"). Sites whose average
+// footprint reaches longOpens opened objects — or that repeatedly abort
+// as short transactions with a sizeable footprint — are promoted to
+// Long. longOpens <= 0 selects the default of 64.
+func WithAutoClassify(longOpens float64) Option {
+	return func(cfg *config) {
+		cfg.autoClassify = true
+		cfg.classifyOpens = longOpens
+	}
+}
+
+// WithSimRealTimeClock replaces the shared-counter time base with
+// simulated internally-synchronized real-time clocks: maxThreads
+// per-thread clocks deviating at most epsilon ticks from a common base
+// advancing every tick (paper §2 / [9]; see DESIGN.md §7 for the
+// substitution). Applies to Linearizable, SingleVersion and
+// ZLinearizable.
+func WithSimRealTimeClock(maxThreads int, epsilon uint64, tick time.Duration) Option {
+	return func(cfg *config) {
+		cfg.realTime = true
+		cfg.rtMaxThreads = maxThreads
+		cfg.rtEpsilon = epsilon
+		cfg.rtTick = tick
+	}
+}

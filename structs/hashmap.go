@@ -1,0 +1,199 @@
+package structs
+
+import (
+	"tbtm"
+)
+
+// mapEntry is one key/value pair in a bucket's immutable slice.
+type mapEntry[K comparable, V any] struct {
+	key K
+	val V
+}
+
+// Map is a transactional hash map with a fixed bucket count. Each bucket
+// holds an immutable entry slice replaced copy-on-write, so operations
+// on different buckets never conflict and a Range is a long consistent
+// scan over all buckets.
+type Map[K comparable, V any] struct {
+	tm      *tbtm.TM
+	hash    func(K) uint64
+	buckets []*tbtm.Var[[]mapEntry[K, V]]
+	size    *tbtm.Var[int]
+}
+
+// NewMap creates a map with the given bucket count (minimum 1) and hash
+// function.
+func NewMap[K comparable, V any](tm *tbtm.TM, buckets int, hash func(K) uint64) *Map[K, V] {
+	if buckets < 1 {
+		buckets = 1
+	}
+	m := &Map[K, V]{tm: tm, hash: hash, size: tbtm.NewVar(tm, 0)}
+	m.buckets = make([]*tbtm.Var[[]mapEntry[K, V]], buckets)
+	for i := range m.buckets {
+		m.buckets[i] = tbtm.NewVar(tm, []mapEntry[K, V](nil))
+	}
+	return m
+}
+
+// StringHash is an FNV-1a hash for string keys.
+func StringHash(s string) uint64 {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(s); i++ {
+		h = (h ^ uint64(s[i])) * 1099511628211
+	}
+	return h
+}
+
+// IntHash is a Fibonacci hash for integer keys.
+func IntHash(k int) uint64 {
+	return uint64(k) * 11400714819323198485
+}
+
+func (m *Map[K, V]) bucket(k K) *tbtm.Var[[]mapEntry[K, V]] {
+	return m.buckets[m.hash(k)%uint64(len(m.buckets))]
+}
+
+// Get returns the value for k inside tx.
+func (m *Map[K, V]) Get(tx tbtm.Tx, k K) (V, bool, error) {
+	var zero V
+	es, err := m.bucket(k).Read(tx)
+	if err != nil {
+		return zero, false, err
+	}
+	for _, e := range es {
+		if e.key == k {
+			return e.val, true, nil
+		}
+	}
+	return zero, false, nil
+}
+
+// Put inserts or updates k inside tx; it reports whether the key was
+// newly inserted.
+func (m *Map[K, V]) Put(tx tbtm.Tx, k K, v V) (bool, error) {
+	b := m.bucket(k)
+	es, err := b.Read(tx)
+	if err != nil {
+		return false, err
+	}
+	next := make([]mapEntry[K, V], 0, len(es)+1)
+	replaced := false
+	for _, e := range es {
+		if e.key == k {
+			next = append(next, mapEntry[K, V]{key: k, val: v})
+			replaced = true
+		} else {
+			next = append(next, e)
+		}
+	}
+	if !replaced {
+		next = append(next, mapEntry[K, V]{key: k, val: v})
+	}
+	if err := b.Write(tx, next); err != nil {
+		return false, err
+	}
+	if replaced {
+		return false, nil
+	}
+	n, err := m.size.Read(tx)
+	if err != nil {
+		return false, err
+	}
+	return true, m.size.Write(tx, n+1)
+}
+
+// Delete removes k inside tx; it reports whether the key was present.
+func (m *Map[K, V]) Delete(tx tbtm.Tx, k K) (bool, error) {
+	b := m.bucket(k)
+	es, err := b.Read(tx)
+	if err != nil {
+		return false, err
+	}
+	next := make([]mapEntry[K, V], 0, len(es))
+	found := false
+	for _, e := range es {
+		if e.key == k {
+			found = true
+			continue
+		}
+		next = append(next, e)
+	}
+	if !found {
+		return false, nil
+	}
+	if err := b.Write(tx, next); err != nil {
+		return false, err
+	}
+	n, err := m.size.Read(tx)
+	if err != nil {
+		return false, err
+	}
+	return true, m.size.Write(tx, n-1)
+}
+
+// Len returns the entry count inside tx.
+func (m *Map[K, V]) Len(tx tbtm.Tx) (int, error) {
+	return m.size.Read(tx)
+}
+
+// Range calls fn for every entry inside tx (bucket order, insertion
+// order within buckets) until fn returns false. Reading every bucket
+// makes a Range a consistent whole-map snapshot.
+func (m *Map[K, V]) Range(tx tbtm.Tx, fn func(K, V) bool) error {
+	for _, b := range m.buckets {
+		es, err := b.Read(tx)
+		if err != nil {
+			return err
+		}
+		for _, e := range es {
+			if !fn(e.key, e.val) {
+				return nil
+			}
+		}
+	}
+	return nil
+}
+
+// GetAtomic runs Get in its own short read-only transaction.
+func (m *Map[K, V]) GetAtomic(th *tbtm.Thread, k K) (val V, ok bool, err error) {
+	err = th.AtomicReadOnly(tbtm.Short, func(tx tbtm.Tx) error {
+		var e error
+		val, ok, e = m.Get(tx, k)
+		return e
+	})
+	return
+}
+
+// PutAtomic runs Put in its own short transaction.
+func (m *Map[K, V]) PutAtomic(th *tbtm.Thread, k K, v V) (inserted bool, err error) {
+	err = th.Atomic(tbtm.Short, func(tx tbtm.Tx) error {
+		var e error
+		inserted, e = m.Put(tx, k, v)
+		return e
+	})
+	return
+}
+
+// DeleteAtomic runs Delete in its own short transaction.
+func (m *Map[K, V]) DeleteAtomic(th *tbtm.Thread, k K) (deleted bool, err error) {
+	err = th.Atomic(tbtm.Short, func(tx tbtm.Tx) error {
+		var e error
+		deleted, e = m.Delete(tx, k)
+		return e
+	})
+	return
+}
+
+// SnapshotAtomic collects the whole map in one long read-only
+// transaction.
+func (m *Map[K, V]) SnapshotAtomic(th *tbtm.Thread) (map[K]V, error) {
+	var snap map[K]V
+	err := th.AtomicReadOnly(tbtm.Long, func(tx tbtm.Tx) error {
+		snap = make(map[K]V)
+		return m.Range(tx, func(k K, v V) bool {
+			snap[k] = v
+			return true
+		})
+	})
+	return snap, err
+}

@@ -1,0 +1,175 @@
+package structs
+
+import (
+	"tbtm"
+)
+
+// listNode is the immutable payload of one list cell. Updating a cell
+// installs a new payload value.
+type listNode[K any] struct {
+	key  K
+	next *listCell[K]
+	// sentinel marks the head cell, which holds no key.
+	sentinel bool
+}
+
+// listCell wraps one transactional variable holding a listNode.
+type listCell[K any] struct {
+	v *tbtm.Var[listNode[K]]
+}
+
+// List is a transactional sorted linked-list set: ascending unique keys
+// ordered by the comparison function. Concurrent transactions traverse
+// and edit it with the STM's usual conflict rules — an insert near the
+// tail does not conflict with one near the head.
+type List[K any] struct {
+	tm   *tbtm.TM
+	less func(a, b K) bool
+	head *listCell[K]
+	size *tbtm.Var[int]
+}
+
+// NewList creates an empty sorted list over the given strict ordering.
+func NewList[K any](tm *tbtm.TM, less func(a, b K) bool) *List[K] {
+	head := &listCell[K]{v: tbtm.NewVar(tm, listNode[K]{sentinel: true})}
+	return &List[K]{tm: tm, less: less, head: head, size: tbtm.NewVar(tm, 0)}
+}
+
+// find returns the cell whose successor is the first cell with key >= k
+// (prev), that successor (or nil), and the successor's payload.
+func (l *List[K]) find(tx tbtm.Tx, k K) (prev *listCell[K], prevNode listNode[K], cur *listCell[K], curNode listNode[K], err error) {
+	prev = l.head
+	prevNode, err = prev.v.Read(tx)
+	if err != nil {
+		return
+	}
+	cur = prevNode.next
+	for cur != nil {
+		curNode, err = cur.v.Read(tx)
+		if err != nil {
+			return
+		}
+		if !l.less(curNode.key, k) {
+			return // curNode.key >= k
+		}
+		prev, prevNode = cur, curNode
+		cur = curNode.next
+	}
+	return
+}
+
+// Insert adds k to the set inside tx; it reports whether the key was
+// absent (and therefore inserted).
+func (l *List[K]) Insert(tx tbtm.Tx, k K) (bool, error) {
+	prev, prevNode, cur, curNode, err := l.find(tx, k)
+	if err != nil {
+		return false, err
+	}
+	if cur != nil && !l.less(k, curNode.key) {
+		return false, nil // equal key already present
+	}
+	cell := &listCell[K]{v: tbtm.NewVar(l.tm, listNode[K]{key: k, next: cur})}
+	prevNode.next = cell
+	if err := prev.v.Write(tx, prevNode); err != nil {
+		return false, err
+	}
+	n, err := l.size.Read(tx)
+	if err != nil {
+		return false, err
+	}
+	return true, l.size.Write(tx, n+1)
+}
+
+// Remove deletes k from the set inside tx; it reports whether the key
+// was present.
+func (l *List[K]) Remove(tx tbtm.Tx, k K) (bool, error) {
+	prev, prevNode, cur, curNode, err := l.find(tx, k)
+	if err != nil {
+		return false, err
+	}
+	if cur == nil || l.less(k, curNode.key) {
+		return false, nil
+	}
+	prevNode.next = curNode.next
+	if err := prev.v.Write(tx, prevNode); err != nil {
+		return false, err
+	}
+	n, err := l.size.Read(tx)
+	if err != nil {
+		return false, err
+	}
+	return true, l.size.Write(tx, n-1)
+}
+
+// Contains reports whether k is in the set inside tx.
+func (l *List[K]) Contains(tx tbtm.Tx, k K) (bool, error) {
+	_, _, cur, curNode, err := l.find(tx, k)
+	if err != nil {
+		return false, err
+	}
+	return cur != nil && !l.less(k, curNode.key), nil
+}
+
+// Len returns the set size inside tx.
+func (l *List[K]) Len(tx tbtm.Tx) (int, error) {
+	return l.size.Read(tx)
+}
+
+// Keys returns all keys in ascending order inside tx — a whole-structure
+// scan, the paper's archetypal long access pattern.
+func (l *List[K]) Keys(tx tbtm.Tx) ([]K, error) {
+	var out []K
+	node, err := l.head.v.Read(tx)
+	if err != nil {
+		return nil, err
+	}
+	for cell := node.next; cell != nil; {
+		n, err := cell.v.Read(tx)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, n.key)
+		cell = n.next
+	}
+	return out, nil
+}
+
+// InsertAtomic runs Insert in its own short transaction.
+func (l *List[K]) InsertAtomic(th *tbtm.Thread, k K) (inserted bool, err error) {
+	err = th.Atomic(tbtm.Short, func(tx tbtm.Tx) error {
+		var e error
+		inserted, e = l.Insert(tx, k)
+		return e
+	})
+	return
+}
+
+// RemoveAtomic runs Remove in its own short transaction.
+func (l *List[K]) RemoveAtomic(th *tbtm.Thread, k K) (removed bool, err error) {
+	err = th.Atomic(tbtm.Short, func(tx tbtm.Tx) error {
+		var e error
+		removed, e = l.Remove(tx, k)
+		return e
+	})
+	return
+}
+
+// ContainsAtomic runs Contains in its own short read-only transaction.
+func (l *List[K]) ContainsAtomic(th *tbtm.Thread, k K) (found bool, err error) {
+	err = th.AtomicReadOnly(tbtm.Short, func(tx tbtm.Tx) error {
+		var e error
+		found, e = l.Contains(tx, k)
+		return e
+	})
+	return
+}
+
+// KeysAtomic runs Keys in its own long read-only transaction.
+func (l *List[K]) KeysAtomic(th *tbtm.Thread) (keys []K, err error) {
+	err = th.AtomicReadOnly(tbtm.Long, func(tx tbtm.Tx) error {
+		var e error
+		keys, e = l.Keys(tx)
+		return e
+	})
+	return
+}

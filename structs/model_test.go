@@ -1,0 +1,176 @@
+package structs
+
+import (
+	"math/rand"
+	"testing"
+
+	"tbtm"
+)
+
+// Model-based testing: random operation sequences are applied both to
+// the transactional structures and to plain Go reference models; every
+// observable result and every snapshot must match.
+
+func TestListMatchesModel(t *testing.T) {
+	for _, level := range []tbtm.Consistency{tbtm.Linearizable, tbtm.ZLinearizable} {
+		level := level
+		t.Run(level.String(), func(t *testing.T) {
+			tm := tbtm.MustNew(tbtm.WithConsistency(level))
+			l := NewList(tm, intLess)
+			th := tm.NewThread()
+			model := make(map[int]bool)
+			rng := rand.New(rand.NewSource(21))
+
+			for op := 0; op < 2000; op++ {
+				k := rng.Intn(30)
+				switch rng.Intn(4) {
+				case 0:
+					ins, err := l.InsertAtomic(th, k)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if ins == model[k] {
+						t.Fatalf("op %d: Insert(%d) = %v, model has %v", op, k, ins, model[k])
+					}
+					model[k] = true
+				case 1:
+					rem, err := l.RemoveAtomic(th, k)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if rem != model[k] {
+						t.Fatalf("op %d: Remove(%d) = %v, model has %v", op, k, rem, model[k])
+					}
+					delete(model, k)
+				case 2:
+					found, err := l.ContainsAtomic(th, k)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if found != model[k] {
+						t.Fatalf("op %d: Contains(%d) = %v, model %v", op, k, found, model[k])
+					}
+				default:
+					keys, err := l.KeysAtomic(th)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if len(keys) != len(model) {
+						t.Fatalf("op %d: Keys len %d, model %d", op, len(keys), len(model))
+					}
+					for i, key := range keys {
+						if !model[key] {
+							t.Fatalf("op %d: stray key %d", op, key)
+						}
+						if i > 0 && keys[i-1] >= key {
+							t.Fatalf("op %d: unsorted %v", op, keys)
+						}
+					}
+				}
+			}
+		})
+	}
+}
+
+func TestMapMatchesModel(t *testing.T) {
+	tm := tbtm.MustNew(tbtm.WithConsistency(tbtm.ZLinearizable))
+	m := NewMap[int, int](tm, 8, IntHash)
+	th := tm.NewThread()
+	model := make(map[int]int)
+	rng := rand.New(rand.NewSource(23))
+
+	for op := 0; op < 2000; op++ {
+		k := rng.Intn(40)
+		switch rng.Intn(4) {
+		case 0:
+			v := rng.Intn(1000)
+			_, existed := model[k]
+			ins, err := m.PutAtomic(th, k, v)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if ins == existed {
+				t.Fatalf("op %d: Put(%d) inserted=%v, model existed=%v", op, k, ins, existed)
+			}
+			model[k] = v
+		case 1:
+			_, existed := model[k]
+			del, err := m.DeleteAtomic(th, k)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if del != existed {
+				t.Fatalf("op %d: Delete(%d) = %v, model %v", op, k, del, existed)
+			}
+			delete(model, k)
+		case 2:
+			want, existed := model[k]
+			got, ok, err := m.GetAtomic(th, k)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if ok != existed || (ok && got != want) {
+				t.Fatalf("op %d: Get(%d) = %d,%v; model %d,%v", op, k, got, ok, want, existed)
+			}
+		default:
+			snap, err := m.SnapshotAtomic(th)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(snap) != len(model) {
+				t.Fatalf("op %d: snapshot size %d, model %d", op, len(snap), len(model))
+			}
+			for k, v := range model {
+				if snap[k] != v {
+					t.Fatalf("op %d: snapshot[%d] = %d, model %d", op, k, snap[k], v)
+				}
+			}
+		}
+	}
+}
+
+func TestQueueMatchesModel(t *testing.T) {
+	tm := tbtm.MustNew(tbtm.WithConsistency(tbtm.Linearizable))
+	q := NewQueue[int](tm)
+	th := tm.NewThread()
+	var model []int
+	rng := rand.New(rand.NewSource(29))
+
+	for op := 0; op < 2000; op++ {
+		switch rng.Intn(3) {
+		case 0, 1: // bias toward enqueue so the queue grows
+			v := rng.Int()
+			if err := q.EnqueueAtomic(th, v); err != nil {
+				t.Fatal(err)
+			}
+			model = append(model, v)
+		default:
+			got, err := q.DequeueAtomic(th)
+			if len(model) == 0 {
+				if err == nil {
+					t.Fatalf("op %d: Dequeue on empty succeeded", op)
+				}
+				continue
+			}
+			if err != nil {
+				t.Fatalf("op %d: Dequeue: %v", op, err)
+			}
+			if got != model[0] {
+				t.Fatalf("op %d: Dequeue = %d, model %d", op, got, model[0])
+			}
+			model = model[1:]
+		}
+		// Length must always match.
+		var n int
+		if err := th.AtomicReadOnly(tbtm.Short, func(tx tbtm.Tx) error {
+			var e error
+			n, e = q.Len(tx)
+			return e
+		}); err != nil {
+			t.Fatal(err)
+		}
+		if n != len(model) {
+			t.Fatalf("op %d: Len = %d, model %d", op, n, len(model))
+		}
+	}
+}

@@ -1,0 +1,147 @@
+package structs
+
+import (
+	"errors"
+
+	"tbtm"
+)
+
+// ErrEmpty reports a Dequeue on an empty queue.
+var ErrEmpty = errors.New("structs: queue is empty")
+
+// qNode is the immutable payload of one queue cell.
+type qNode[T any] struct {
+	val  T
+	next *qCell[T]
+	// sentinel marks the dummy cell.
+	sentinel bool
+}
+
+type qCell[T any] struct {
+	v *tbtm.Var[qNode[T]]
+}
+
+// Queue is a transactional FIFO queue (linked cells with a dummy head,
+// in the Michael–Scott layout adapted to STM: head and tail pointers are
+// transactional variables, so an enqueue conflicts only with other
+// enqueues and a dequeue only with other dequeues, except on the
+// empty/one-element boundary).
+type Queue[T any] struct {
+	tm   *tbtm.TM
+	head *tbtm.Var[*qCell[T]] // dummy cell; its next is the front
+	tail *tbtm.Var[*qCell[T]] // last cell
+	size *tbtm.Var[int]
+}
+
+// NewQueue creates an empty queue.
+func NewQueue[T any](tm *tbtm.TM) *Queue[T] {
+	dummy := &qCell[T]{v: tbtm.NewVar(tm, qNode[T]{sentinel: true})}
+	return &Queue[T]{
+		tm:   tm,
+		head: tbtm.NewVar(tm, dummy),
+		tail: tbtm.NewVar(tm, dummy),
+		size: tbtm.NewVar(tm, 0),
+	}
+}
+
+// Enqueue appends val inside tx.
+func (q *Queue[T]) Enqueue(tx tbtm.Tx, val T) error {
+	cell := &qCell[T]{v: tbtm.NewVar(q.tm, qNode[T]{val: val})}
+	tail, err := q.tail.Read(tx)
+	if err != nil {
+		return err
+	}
+	tn, err := tail.v.Read(tx)
+	if err != nil {
+		return err
+	}
+	tn.next = cell
+	if err := tail.v.Write(tx, tn); err != nil {
+		return err
+	}
+	if err := q.tail.Write(tx, cell); err != nil {
+		return err
+	}
+	n, err := q.size.Read(tx)
+	if err != nil {
+		return err
+	}
+	return q.size.Write(tx, n+1)
+}
+
+// Dequeue removes and returns the front element inside tx; ErrEmpty if
+// the queue is empty (ErrEmpty is not retryable — callers that want
+// blocking semantics retry around it).
+func (q *Queue[T]) Dequeue(tx tbtm.Tx) (T, error) {
+	var zero T
+	head, err := q.head.Read(tx)
+	if err != nil {
+		return zero, err
+	}
+	hn, err := head.v.Read(tx)
+	if err != nil {
+		return zero, err
+	}
+	front := hn.next
+	if front == nil {
+		return zero, ErrEmpty
+	}
+	fn, err := front.v.Read(tx)
+	if err != nil {
+		return zero, err
+	}
+	// The front cell becomes the new dummy; its value is cleared so the
+	// queue does not retain a reference to the dequeued element.
+	fn2 := fn
+	fn2.val = zero
+	fn2.sentinel = true
+	if err := front.v.Write(tx, fn2); err != nil {
+		return zero, err
+	}
+	if err := q.head.Write(tx, front); err != nil {
+		return zero, err
+	}
+	n, err := q.size.Read(tx)
+	if err != nil {
+		return zero, err
+	}
+	return fn.val, q.size.Write(tx, n-1)
+}
+
+// Len returns the queue length inside tx.
+func (q *Queue[T]) Len(tx tbtm.Tx) (int, error) {
+	return q.size.Read(tx)
+}
+
+// Drain returns and removes all elements inside tx, front to back.
+func (q *Queue[T]) Drain(tx tbtm.Tx) ([]T, error) {
+	var out []T
+	for {
+		v, err := q.Dequeue(tx)
+		if errors.Is(err, ErrEmpty) {
+			return out, nil
+		}
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, v)
+	}
+}
+
+// EnqueueAtomic runs Enqueue in its own short transaction.
+func (q *Queue[T]) EnqueueAtomic(th *tbtm.Thread, val T) error {
+	return th.Atomic(tbtm.Short, func(tx tbtm.Tx) error {
+		return q.Enqueue(tx, val)
+	})
+}
+
+// DequeueAtomic runs Dequeue in its own short transaction. It returns
+// ErrEmpty without retrying when the queue is empty.
+func (q *Queue[T]) DequeueAtomic(th *tbtm.Thread) (val T, err error) {
+	err = th.Atomic(tbtm.Short, func(tx tbtm.Tx) error {
+		var e error
+		val, e = q.Dequeue(tx)
+		return e
+	})
+	return
+}

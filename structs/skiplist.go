@@ -1,0 +1,313 @@
+package structs
+
+import (
+	"sync/atomic"
+
+	"tbtm"
+)
+
+// skipMaxLevel bounds tower height; 16 levels with p = 1/4 cover sets far
+// beyond what an in-memory benchmark holds.
+const skipMaxLevel = 16
+
+// skipNode is the immutable payload of one skip-list cell. next has one
+// entry per level of the node's tower; updating any link installs a new
+// payload with a fresh slice (payload values are snapshots and must not
+// be mutated in place).
+type skipNode[K any] struct {
+	key  K
+	next []*skipCell[K]
+	// sentinel marks the head cell, which holds no key and spans every
+	// level.
+	sentinel bool
+}
+
+// clone returns a copy of n with its own next slice, ready to mutate.
+func (n skipNode[K]) clone() skipNode[K] {
+	next := make([]*skipCell[K], len(n.next))
+	copy(next, n.next)
+	n.next = next
+	return n
+}
+
+// skipCell wraps one transactional variable holding a skipNode.
+type skipCell[K any] struct {
+	v *tbtm.Var[skipNode[K]]
+}
+
+// SkipList is a transactional sorted set implemented as a skip list:
+// expected O(log n) search, insert and remove, plus ordered iteration
+// and range scans. Compared to List, towers let searches skip ahead, so
+// transactions touch O(log n) cells instead of O(n) — short index
+// operations stay short in the paper's sense even on large sets, while
+// Range and Keys remain the archetypal long transactions.
+type SkipList[K any] struct {
+	tm   *tbtm.TM
+	less func(a, b K) bool
+	head *skipCell[K]
+	size *tbtm.Var[int]
+	// rngState seeds the per-insert level choice; a shared atomic counter
+	// keeps level choices independent of transaction retries and of how
+	// callers schedule goroutines.
+	rngState atomic.Uint64
+}
+
+// NewSkipList creates an empty sorted set over the given strict ordering.
+func NewSkipList[K any](tm *tbtm.TM, less func(a, b K) bool) *SkipList[K] {
+	head := &skipCell[K]{v: tbtm.NewVar(tm, skipNode[K]{
+		sentinel: true,
+		next:     make([]*skipCell[K], skipMaxLevel),
+	})}
+	s := &SkipList[K]{tm: tm, less: less, head: head, size: tbtm.NewVar(tm, 0)}
+	s.rngState.Store(0x9e3779b97f4a7c15)
+	return s
+}
+
+// randLevel draws a tower height with geometric distribution (p = 1/4)
+// from a splitmix64 step of the shared state.
+func (s *SkipList[K]) randLevel() int {
+	x := s.rngState.Add(0x9e3779b97f4a7c15)
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	lvl := 1
+	for lvl < skipMaxLevel && x&3 == 3 {
+		lvl++
+		x >>= 2
+	}
+	return lvl
+}
+
+// findPreds returns, for every level, the last cell whose key is < k
+// (preds) together with its payload (predNodes), plus the bottom-level
+// successor cell and payload (the candidate match).
+func (s *SkipList[K]) findPreds(tx tbtm.Tx, k K) (
+	preds [skipMaxLevel]*skipCell[K],
+	predNodes [skipMaxLevel]skipNode[K],
+	cur *skipCell[K],
+	curNode skipNode[K],
+	err error,
+) {
+	cell := s.head
+	node, err := cell.v.Read(tx)
+	if err != nil {
+		return
+	}
+	for lvl := skipMaxLevel - 1; lvl >= 0; lvl-- {
+		for node.next[lvl] != nil {
+			var nextNode skipNode[K]
+			nextNode, err = node.next[lvl].v.Read(tx)
+			if err != nil {
+				return
+			}
+			if !s.less(nextNode.key, k) {
+				break // next key >= k: drop a level
+			}
+			cell, node = node.next[lvl], nextNode
+		}
+		preds[lvl], predNodes[lvl] = cell, node
+	}
+	cur = node.next[0]
+	if cur != nil {
+		curNode, err = cur.v.Read(tx)
+	}
+	return
+}
+
+// Insert adds k to the set inside tx; it reports whether the key was
+// absent (and therefore inserted).
+func (s *SkipList[K]) Insert(tx tbtm.Tx, k K) (bool, error) {
+	preds, predNodes, cur, curNode, err := s.findPreds(tx, k)
+	if err != nil {
+		return false, err
+	}
+	if cur != nil && !s.less(k, curNode.key) {
+		return false, nil // equal key already present
+	}
+	lvl := s.randLevel()
+	next := make([]*skipCell[K], lvl)
+	for i := 0; i < lvl; i++ {
+		next[i] = predNodes[i].next[i]
+	}
+	cell := &skipCell[K]{v: tbtm.NewVar(s.tm, skipNode[K]{key: k, next: next})}
+
+	// Splice the tower in. Several levels may share one predecessor
+	// cell; group the link updates so each cell is written once.
+	updated := make(map[*skipCell[K]]skipNode[K], lvl)
+	for i := 0; i < lvl; i++ {
+		n, ok := updated[preds[i]]
+		if !ok {
+			n = predNodes[i].clone()
+		}
+		n.next[i] = cell
+		updated[preds[i]] = n
+	}
+	for c, n := range updated {
+		if err := c.v.Write(tx, n); err != nil {
+			return false, err
+		}
+	}
+	n, err := s.size.Read(tx)
+	if err != nil {
+		return false, err
+	}
+	return true, s.size.Write(tx, n+1)
+}
+
+// Remove deletes k from the set inside tx; it reports whether the key
+// was present.
+func (s *SkipList[K]) Remove(tx tbtm.Tx, k K) (bool, error) {
+	preds, predNodes, cur, curNode, err := s.findPreds(tx, k)
+	if err != nil {
+		return false, err
+	}
+	if cur == nil || s.less(k, curNode.key) {
+		return false, nil
+	}
+	updated := make(map[*skipCell[K]]skipNode[K], len(curNode.next))
+	for i := 0; i < len(curNode.next); i++ {
+		if predNodes[i].next[i] != cur {
+			continue // tower taller than predecessor path (impossible by construction, but cheap to guard)
+		}
+		n, ok := updated[preds[i]]
+		if !ok {
+			n = predNodes[i].clone()
+		}
+		n.next[i] = curNode.next[i]
+		updated[preds[i]] = n
+	}
+	for c, n := range updated {
+		if err := c.v.Write(tx, n); err != nil {
+			return false, err
+		}
+	}
+	n, err := s.size.Read(tx)
+	if err != nil {
+		return false, err
+	}
+	return true, s.size.Write(tx, n-1)
+}
+
+// Contains reports whether k is in the set inside tx.
+func (s *SkipList[K]) Contains(tx tbtm.Tx, k K) (bool, error) {
+	_, _, cur, curNode, err := s.findPreds(tx, k)
+	if err != nil {
+		return false, err
+	}
+	return cur != nil && !s.less(k, curNode.key), nil
+}
+
+// Len returns the set size inside tx.
+func (s *SkipList[K]) Len(tx tbtm.Tx) (int, error) {
+	return s.size.Read(tx)
+}
+
+// Min returns the smallest key inside tx; ok is false on an empty set.
+func (s *SkipList[K]) Min(tx tbtm.Tx) (k K, ok bool, err error) {
+	node, err := s.head.v.Read(tx)
+	if err != nil {
+		return k, false, err
+	}
+	if node.next[0] == nil {
+		return k, false, nil
+	}
+	first, err := node.next[0].v.Read(tx)
+	if err != nil {
+		return k, false, err
+	}
+	return first.key, true, nil
+}
+
+// Range returns, in ascending order, every key k with from <= k < to
+// inside tx. Like Keys it walks the bottom level, so it is a long access
+// pattern when the range is wide.
+func (s *SkipList[K]) Range(tx tbtm.Tx, from, to K) ([]K, error) {
+	_, predNodes, _, _, err := s.findPreds(tx, from)
+	if err != nil {
+		return nil, err
+	}
+	var out []K
+	for cell := predNodes[0].next[0]; cell != nil; {
+		node, err := cell.v.Read(tx)
+		if err != nil {
+			return nil, err
+		}
+		if !s.less(node.key, to) {
+			break
+		}
+		out = append(out, node.key)
+		cell = node.next[0]
+	}
+	return out, nil
+}
+
+// Keys returns all keys in ascending order inside tx — a whole-structure
+// scan, the paper's archetypal long access pattern.
+func (s *SkipList[K]) Keys(tx tbtm.Tx) ([]K, error) {
+	var out []K
+	node, err := s.head.v.Read(tx)
+	if err != nil {
+		return nil, err
+	}
+	for cell := node.next[0]; cell != nil; {
+		n, err := cell.v.Read(tx)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, n.key)
+		cell = n.next[0]
+	}
+	return out, nil
+}
+
+// InsertAtomic runs Insert in its own short transaction.
+func (s *SkipList[K]) InsertAtomic(th *tbtm.Thread, k K) (inserted bool, err error) {
+	err = th.Atomic(tbtm.Short, func(tx tbtm.Tx) error {
+		var e error
+		inserted, e = s.Insert(tx, k)
+		return e
+	})
+	return
+}
+
+// RemoveAtomic runs Remove in its own short transaction.
+func (s *SkipList[K]) RemoveAtomic(th *tbtm.Thread, k K) (removed bool, err error) {
+	err = th.Atomic(tbtm.Short, func(tx tbtm.Tx) error {
+		var e error
+		removed, e = s.Remove(tx, k)
+		return e
+	})
+	return
+}
+
+// ContainsAtomic runs Contains in its own short read-only transaction.
+func (s *SkipList[K]) ContainsAtomic(th *tbtm.Thread, k K) (found bool, err error) {
+	err = th.AtomicReadOnly(tbtm.Short, func(tx tbtm.Tx) error {
+		var e error
+		found, e = s.Contains(tx, k)
+		return e
+	})
+	return
+}
+
+// RangeAtomic runs Range in its own long read-only transaction.
+func (s *SkipList[K]) RangeAtomic(th *tbtm.Thread, from, to K) (keys []K, err error) {
+	err = th.AtomicReadOnly(tbtm.Long, func(tx tbtm.Tx) error {
+		var e error
+		keys, e = s.Range(tx, from, to)
+		return e
+	})
+	return
+}
+
+// KeysAtomic runs Keys in its own long read-only transaction.
+func (s *SkipList[K]) KeysAtomic(th *tbtm.Thread) (keys []K, err error) {
+	err = th.AtomicReadOnly(tbtm.Long, func(tx tbtm.Tx) error {
+		var e error
+		keys, e = s.Keys(tx)
+		return e
+	})
+	return
+}

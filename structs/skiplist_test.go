@@ -1,0 +1,418 @@
+package structs
+
+import (
+	"math/rand"
+	"sort"
+	"sync"
+	"testing"
+	"testing/quick"
+
+	"tbtm"
+)
+
+func newIntSkipList(t *testing.T, opts ...tbtm.Option) (*tbtm.TM, *SkipList[int], *tbtm.Thread) {
+	t.Helper()
+	if len(opts) == 0 {
+		opts = []tbtm.Option{tbtm.WithConsistency(tbtm.ZLinearizable)}
+	}
+	tm := tbtm.MustNew(opts...)
+	return tm, NewSkipList[int](tm, intLess), tm.NewThread()
+}
+
+func TestSkipListInsertContainsRemove(t *testing.T) {
+	_, s, th := newIntSkipList(t)
+
+	for _, k := range []int{5, 1, 9, 3, 7} {
+		ins, err := s.InsertAtomic(th, k)
+		if err != nil || !ins {
+			t.Fatalf("Insert(%d) = %v, %v", k, ins, err)
+		}
+	}
+	if ins, err := s.InsertAtomic(th, 5); err != nil || ins {
+		t.Fatalf("duplicate Insert(5) = %v, %v; want false", ins, err)
+	}
+	for _, k := range []int{1, 3, 5, 7, 9} {
+		found, err := s.ContainsAtomic(th, k)
+		if err != nil || !found {
+			t.Fatalf("Contains(%d) = %v, %v", k, found, err)
+		}
+	}
+	for _, k := range []int{0, 2, 4, 6, 8, 10} {
+		found, err := s.ContainsAtomic(th, k)
+		if err != nil || found {
+			t.Fatalf("Contains(%d) = %v, %v; want absent", k, found, err)
+		}
+	}
+	if rm, err := s.RemoveAtomic(th, 5); err != nil || !rm {
+		t.Fatalf("Remove(5) = %v, %v", rm, err)
+	}
+	if rm, err := s.RemoveAtomic(th, 5); err != nil || rm {
+		t.Fatalf("second Remove(5) = %v, %v; want false", rm, err)
+	}
+	keys, err := s.KeysAtomic(th)
+	if err != nil {
+		t.Fatalf("Keys: %v", err)
+	}
+	want := []int{1, 3, 7, 9}
+	if len(keys) != len(want) {
+		t.Fatalf("Keys = %v, want %v", keys, want)
+	}
+	for i := range want {
+		if keys[i] != want[i] {
+			t.Fatalf("Keys = %v, want %v", keys, want)
+		}
+	}
+}
+
+func TestSkipListLenTracksSize(t *testing.T) {
+	tm, s, th := newIntSkipList(t)
+	for i := 0; i < 50; i++ {
+		if _, err := s.InsertAtomic(th, i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 50; i += 2 {
+		if _, err := s.RemoveAtomic(th, i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var n int
+	if err := th.AtomicReadOnly(tbtm.Short, func(tx tbtm.Tx) error {
+		var e error
+		n, e = s.Len(tx)
+		return e
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if n != 25 {
+		t.Fatalf("Len = %d, want 25", n)
+	}
+	_ = tm
+}
+
+func TestSkipListMin(t *testing.T) {
+	_, s, th := newIntSkipList(t)
+	err := th.AtomicReadOnly(tbtm.Short, func(tx tbtm.Tx) error {
+		if _, ok, err := s.Min(tx); err != nil || ok {
+			t.Fatalf("Min on empty = ok=%v, err=%v", ok, err)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range []int{42, 17, 99} {
+		if _, err := s.InsertAtomic(th, k); err != nil {
+			t.Fatal(err)
+		}
+	}
+	err = th.AtomicReadOnly(tbtm.Short, func(tx tbtm.Tx) error {
+		k, ok, err := s.Min(tx)
+		if err != nil || !ok || k != 17 {
+			t.Fatalf("Min = %d, ok=%v, err=%v; want 17", k, ok, err)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSkipListRange(t *testing.T) {
+	_, s, th := newIntSkipList(t)
+	for i := 0; i < 100; i += 10 {
+		if _, err := s.InsertAtomic(th, i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	keys, err := s.RangeAtomic(th, 25, 75)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []int{30, 40, 50, 60, 70}
+	if len(keys) != len(want) {
+		t.Fatalf("Range = %v, want %v", keys, want)
+	}
+	for i := range want {
+		if keys[i] != want[i] {
+			t.Fatalf("Range = %v, want %v", keys, want)
+		}
+	}
+	// Empty and inverted ranges.
+	if keys, err := s.RangeAtomic(th, 31, 39); err != nil || len(keys) != 0 {
+		t.Fatalf("empty Range = %v, %v", keys, err)
+	}
+	if keys, err := s.RangeAtomic(th, 80, 20); err != nil || len(keys) != 0 {
+		t.Fatalf("inverted Range = %v, %v", keys, err)
+	}
+}
+
+// TestSkipListModelProperty drives a random operation sequence against
+// both the skip list and a reference map, checking observable agreement
+// after every operation (single-threaded model test via testing/quick).
+func TestSkipListModelProperty(t *testing.T) {
+	prop := func(ops []uint16, seed int64) bool {
+		_, s, th := newIntSkipList(t)
+		model := map[int]bool{}
+		rng := rand.New(rand.NewSource(seed))
+		for _, op := range ops {
+			k := int(op % 64)
+			switch rng.Intn(3) {
+			case 0:
+				ins, err := s.InsertAtomic(th, k)
+				if err != nil || ins == model[k] {
+					return false // inserted must equal "was absent"
+				}
+				model[k] = true
+			case 1:
+				rm, err := s.RemoveAtomic(th, k)
+				if err != nil || rm != model[k] {
+					return false
+				}
+				delete(model, k)
+			default:
+				found, err := s.ContainsAtomic(th, k)
+				if err != nil || found != model[k] {
+					return false
+				}
+			}
+		}
+		// Final full agreement: keys sorted and exactly the model.
+		keys, err := s.KeysAtomic(th)
+		if err != nil {
+			return false
+		}
+		if !sort.IntsAreSorted(keys) || len(keys) != len(model) {
+			return false
+		}
+		for _, k := range keys {
+			if !model[k] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSkipListConcurrentDisjoint has each worker own a key range; after
+// the storm each range holds exactly what its owner left there.
+func TestSkipListConcurrentDisjoint(t *testing.T) {
+	tm, s, _ := newIntSkipList(t)
+	const (
+		workers = 4
+		span    = 100
+	)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			th := tm.NewThread()
+			base := w * span
+			for i := 0; i < span; i++ {
+				if _, err := s.InsertAtomic(th, base+i); err != nil {
+					t.Errorf("Insert: %v", err)
+					return
+				}
+			}
+			for i := 1; i < span; i += 2 {
+				if _, err := s.RemoveAtomic(th, base+i); err != nil {
+					t.Errorf("Remove: %v", err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	th := tm.NewThread()
+	keys, err := s.KeysAtomic(th)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sort.IntsAreSorted(keys) {
+		t.Fatalf("keys not sorted: %v", keys)
+	}
+	if len(keys) != workers*span/2 {
+		t.Fatalf("len(keys) = %d, want %d", len(keys), workers*span/2)
+	}
+	for _, k := range keys {
+		if k%2 != 0 {
+			t.Fatalf("odd key %d survived", k)
+		}
+	}
+}
+
+// TestSkipListScanDuringChurn runs long Keys scans concurrently with
+// short inserts that preserve a parity invariant: every insert adds a
+// pair (k, k+1000) atomically, so every snapshot must contain matched
+// pairs.
+func TestSkipListScanDuringChurn(t *testing.T) {
+	tm, s, _ := newIntSkipList(t)
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		th := tm.NewThread()
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			k := i % 500
+			err := th.Atomic(tbtm.Short, func(tx tbtm.Tx) error {
+				if _, err := s.Insert(tx, k); err != nil {
+					return err
+				}
+				_, err := s.Insert(tx, k+1000)
+				return err
+			})
+			if err != nil {
+				t.Errorf("paired insert: %v", err)
+				return
+			}
+		}
+	}()
+
+	th := tm.NewThread()
+	for i := 0; i < 30; i++ {
+		keys, err := s.KeysAtomic(th)
+		if err != nil {
+			t.Fatalf("scan: %v", err)
+		}
+		in := map[int]bool{}
+		for _, k := range keys {
+			in[k] = true
+		}
+		for _, k := range keys {
+			if k < 1000 && !in[k+1000] {
+				t.Fatalf("torn snapshot: %d present without %d", k, k+1000)
+			}
+			if k >= 1000 && !in[k-1000] {
+				t.Fatalf("torn snapshot: %d present without %d", k, k-1000)
+			}
+		}
+	}
+	close(stop)
+	wg.Wait()
+}
+
+// TestSkipListComposesAcrossStructures moves a key from a skip list to a
+// second one in one transaction; no snapshot may observe it in both or
+// neither.
+func TestSkipListComposesAcrossStructures(t *testing.T) {
+	tm := tbtm.MustNew(tbtm.WithConsistency(tbtm.ZLinearizable))
+	a := NewSkipList[int](tm, intLess)
+	b := NewSkipList[int](tm, intLess)
+	th := tm.NewThread()
+	if _, err := a.InsertAtomic(th, 7); err != nil {
+		t.Fatal(err)
+	}
+
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		th := tm.NewThread()
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			dir := i%2 == 0
+			err := th.Atomic(tbtm.Short, func(tx tbtm.Tx) error {
+				src, dst := a, b
+				if !dir {
+					src, dst = b, a
+				}
+				moved, err := src.Remove(tx, 7)
+				if err != nil {
+					return err
+				}
+				if moved {
+					_, err = dst.Insert(tx, 7)
+				}
+				return err
+			})
+			if err != nil {
+				t.Errorf("move: %v", err)
+				return
+			}
+		}
+	}()
+
+	thR := tm.NewThread()
+	for i := 0; i < 200; i++ {
+		var inA, inB bool
+		err := thR.AtomicReadOnly(tbtm.Short, func(tx tbtm.Tx) error {
+			var e error
+			if inA, e = a.Contains(tx, 7); e != nil {
+				return e
+			}
+			inB, e = b.Contains(tx, 7)
+			return e
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if inA == inB {
+			t.Fatalf("key 7 observed in %v/%v (both or neither)", inA, inB)
+		}
+	}
+	close(stop)
+	wg.Wait()
+}
+
+func TestSkipListRandLevelDistribution(t *testing.T) {
+	tm := tbtm.MustNew()
+	s := NewSkipList[int](tm, intLess)
+	counts := make([]int, skipMaxLevel+1)
+	const draws = 100000
+	for i := 0; i < draws; i++ {
+		lvl := s.randLevel()
+		if lvl < 1 || lvl > skipMaxLevel {
+			t.Fatalf("level %d out of range", lvl)
+		}
+		counts[lvl]++
+	}
+	// Roughly geometric with p = 1/4: level 1 should dominate and each
+	// next level should shrink substantially.
+	if counts[1] < draws/2 {
+		t.Fatalf("level 1 count %d, want > %d", counts[1], draws/2)
+	}
+	if counts[2] > counts[1] || counts[3] > counts[2] {
+		t.Fatalf("level counts not decreasing: %v", counts[:5])
+	}
+}
+
+func TestSkipListOnAllLevels(t *testing.T) {
+	for _, level := range []tbtm.Consistency{
+		tbtm.Linearizable, tbtm.SingleVersion, tbtm.Serializable,
+		tbtm.CausallySerializable, tbtm.ZLinearizable, tbtm.SnapshotIsolation,
+	} {
+		level := level
+		t.Run(level.String(), func(t *testing.T) {
+			_, s, th := newIntSkipList(t, tbtm.WithConsistency(level))
+			for i := 9; i >= 0; i-- {
+				if _, err := s.InsertAtomic(th, i); err != nil {
+					t.Fatal(err)
+				}
+			}
+			keys, err := s.KeysAtomic(th)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(keys) != 10 || !sort.IntsAreSorted(keys) {
+				t.Fatalf("keys = %v", keys)
+			}
+		})
+	}
+}

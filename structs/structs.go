@@ -1,0 +1,18 @@
+// Package structs provides transactional data structures built on the
+// tbtm public API: a sorted linked-list set, a FIFO queue, and a hash
+// map. They are both useful building blocks and executable documentation
+// for composing multi-object transactions; dynamic-sized data structures
+// are the original workload of the DSTM line of systems the paper builds
+// on (Herlihy et al., PODC 2003).
+//
+// All operations run inside the caller's transaction, so they compose:
+// moving an element between two structures in one atomic step is just
+// calling Remove and Insert under the same Tx. Convenience wrappers that
+// run a whole operation in its own short transaction are provided as
+// *Atomic methods taking a Thread; whole-structure scans (List.Keys,
+// Map.Range, Queue.Drain) run as long transactions in their *Atomic
+// forms, matching the paper's short/long split.
+//
+// Values stored in the structures follow the library's rule: they are
+// snapshots and must not be mutated after insertion.
+package structs

@@ -1,0 +1,289 @@
+// Package tbtm is a time-based software transactional memory (TBTM)
+// library implementing the consistency-criteria spectrum of Riegel,
+// Sturzrehm, Felber and Fetzer, "From Causal to z-Linearizable
+// Transactional Memory" (PODC 2007):
+//
+//   - Linearizable — LSA-STM, a multi-version lazy-snapshot STM [8]
+//   - SingleVersion — a lean single-version TBTM in the style of TL2 [2]
+//   - CausallySerializable — CS-STM on a vector (or plausible) time base
+//   - Serializable — S-STM with precedence tracking over vector time
+//   - ZLinearizable — Z-STM, the paper's contribution: long transactions
+//     partition short transactions into zones; longs are linearizable,
+//     shorts within a zone are linearizable, the union is serializable,
+//     and the serialization respects per-thread program order
+//
+// Usage:
+//
+//	tm, err := tbtm.New(tbtm.WithConsistency(tbtm.ZLinearizable))
+//	acct := tbtm.NewVar(tm, int64(100))
+//	th := tm.NewThread() // one handle per goroutine
+//	err = th.Atomic(tbtm.Short, func(tx tbtm.Tx) error {
+//	    v, err := acct.Read(tx)
+//	    if err != nil {
+//	        return err
+//	    }
+//	    return acct.Write(tx, v-10)
+//	})
+//
+// Threads: the paper's algorithms carry per-thread state (the vector
+// clock component VC_p, the last-zone value LZC_p). Go has no thread
+// locals, so each worker goroutine obtains a Thread handle; handles must
+// not be shared between goroutines.
+package tbtm
+
+import (
+	"errors"
+	"fmt"
+
+	"tbtm/internal/adaptive"
+	"tbtm/internal/core"
+)
+
+// Sentinel errors. They alias the kernel's values so errors.Is works on
+// errors returned from any layer.
+var (
+	// ErrConflict reports a transaction aborted by a conflict; retrying
+	// may succeed. Atomic retries these automatically.
+	ErrConflict = core.ErrConflict
+	// ErrAborted reports a transaction aborted explicitly or by a
+	// contention manager. Retryable.
+	ErrAborted = core.ErrAborted
+	// ErrTxDone reports use of a finished transaction.
+	ErrTxDone = core.ErrTxDone
+	// ErrSnapshotUnavailable reports that no retained object version was
+	// old enough for the transaction's snapshot. Retryable.
+	ErrSnapshotUnavailable = core.ErrSnapshotUnavailable
+	// ErrReadOnly reports a write inside a read-only transaction.
+	ErrReadOnly = core.ErrReadOnly
+	// ErrRetriesExhausted reports that Atomic gave up after the
+	// configured maximum number of attempts.
+	ErrRetriesExhausted = errors.New("tbtm: retry limit exhausted")
+)
+
+// IsRetryable reports whether err is a transient transactional failure.
+func IsRetryable(err error) bool { return core.IsRetryable(err) }
+
+// TxKind classifies transactions as short or long (paper §5.3). The
+// classification must be known at start; under ZLinearizable it selects
+// the algorithm (LSA for Short, zone ordering for Long), elsewhere it
+// only informs the contention manager.
+type TxKind = core.TxKind
+
+// Transaction kinds.
+const (
+	// Short marks a transaction expected to touch few objects.
+	Short = core.Short
+	// Long marks a transaction expected to touch many objects (e.g. the
+	// paper's Compute-Total bank transaction).
+	Long = core.Long
+)
+
+// Tx is a transaction in progress. A Tx is owned by one goroutine and
+// must not be used after Commit or Abort.
+type Tx interface {
+	// Read returns the transaction's view of obj.
+	Read(obj Object) (any, error)
+	// Write buffers an update of obj to val.
+	Write(obj Object, val any) error
+	// Commit attempts to commit; on failure the transaction is aborted
+	// and a retryable error returned.
+	Commit() error
+	// Abort aborts the transaction (no-op when already finished).
+	Abort()
+	// Kind returns the transaction's classification.
+	Kind() TxKind
+	// meta exposes the kernel descriptor for internal instrumentation.
+	meta() *core.TxMeta
+}
+
+// Object is an opaque handle to a transactional object, bound to the TM
+// that created it.
+type Object struct {
+	tm *TM
+	h  any
+}
+
+// backend is the seam between the facade and an STM implementation.
+type backend interface {
+	newObject(initial any) any
+	newThread() backendThread
+	stats() Stats
+}
+
+type backendThread interface {
+	begin(kind TxKind, readOnly bool) Tx
+	id() int
+}
+
+// TM is a transactional memory instance. All objects and threads are
+// bound to the instance that created them.
+type TM struct {
+	cfg        config
+	b          backend
+	classifier *adaptive.Classifier // nil unless WithAutoClassify
+}
+
+// New creates a TM with the given options. The default configuration is
+// ZLinearizable with a shared-counter time base, eight retained versions
+// per object, and the zone-aware contention manager.
+func New(opts ...Option) (*TM, error) {
+	cfg := defaultConfig()
+	for _, o := range opts {
+		o(&cfg)
+	}
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	tm := &TM{cfg: cfg}
+	tm.b = buildBackend(cfg, tm)
+	if cfg.autoClassify {
+		tm.classifier = adaptive.NewClassifier(adaptive.Config{LongOpens: cfg.classifyOpens})
+	}
+	return tm, nil
+}
+
+// MustNew is New, panicking on configuration errors. Intended for
+// examples and tests with static options.
+func MustNew(opts ...Option) *TM {
+	tm, err := New(opts...)
+	if err != nil {
+		panic(err)
+	}
+	return tm
+}
+
+// Consistency returns the instance's consistency criterion.
+func (tm *TM) Consistency() Consistency { return tm.cfg.consistency }
+
+// NewObject allocates a transactional object holding initial. Values are
+// treated as immutable snapshots: writers install new values rather than
+// mutating in place, so share only values you will not mutate.
+func (tm *TM) NewObject(initial any) Object {
+	return Object{tm: tm, h: tm.b.newObject(initial)}
+}
+
+// NewThread returns a handle for one worker goroutine.
+func (tm *TM) NewThread() *Thread {
+	return &Thread{tm: tm, b: tm.b.newThread()}
+}
+
+// Stats returns a snapshot of the instance's cumulative counters.
+func (tm *TM) Stats() Stats { return tm.b.stats() }
+
+// Stats aggregates commit/abort counters across backends. Fields that a
+// backend does not track are zero.
+type Stats struct {
+	// Commits and Aborts count short (or only-kind) transactions.
+	Commits, Aborts uint64
+	// Conflicts counts validation failures and lost arbitrations.
+	Conflicts uint64
+	// Extensions counts successful LSA snapshot extensions.
+	Extensions uint64
+	// LongCommits and LongAborts count Z-STM long transactions.
+	LongCommits, LongAborts uint64
+	// ZoneCrosses counts short aborts due to zone crossings (Z-STM).
+	ZoneCrosses uint64
+	// ZoneWaits counts zone crossings resolved by waiting for the long
+	// transaction to finish (Z-STM).
+	ZoneWaits uint64
+	// FastValidations counts commits that skipped read-set validation
+	// via the RSTM fast path (LSA-family backends with
+	// WithValidationFastPath).
+	FastValidations uint64
+}
+
+// Thread is a per-goroutine handle. It carries the per-thread state of
+// the underlying algorithm and a reference to the TM.
+type Thread struct {
+	tm *TM
+	b  backendThread
+}
+
+// TM returns the owning instance.
+func (th *Thread) TM() *TM { return th.tm }
+
+// ID returns the thread's index within the TM's time base.
+func (th *Thread) ID() int { return th.b.id() }
+
+// Begin starts a transaction of the given kind.
+func (th *Thread) Begin(kind TxKind) Tx { return th.b.begin(kind, false) }
+
+// BeginReadOnly starts a transaction that declares it will not write.
+// Read-only transactions enable old-version fallbacks and, with
+// WithNoReadSets, skip read-set maintenance entirely.
+func (th *Thread) BeginReadOnly(kind TxKind) Tx { return th.b.begin(kind, true) }
+
+// Atomic runs fn inside a transaction of the given kind, retrying on
+// transient conflicts with exponential backoff. fn may be re-executed
+// any number of times and must not have side effects beyond the
+// transaction. A non-retryable error from fn (or from commit) aborts the
+// transaction and is returned unchanged.
+func (th *Thread) Atomic(kind TxKind, fn func(Tx) error) error {
+	return th.atomic(kind, false, fn)
+}
+
+// AtomicReadOnly is Atomic for transactions that declare they will not
+// write.
+func (th *Thread) AtomicReadOnly(kind TxKind, fn func(Tx) error) error {
+	return th.atomic(kind, true, fn)
+}
+
+// AtomicSite runs fn like Atomic but classifies the transaction as short
+// or long automatically from the named site's past behaviour (its
+// average footprint and abort history), implementing §5.3's "automatic
+// marking based on past behaviors". New sites start as Short. The TM
+// must be built with WithAutoClassify; otherwise AtomicSite behaves like
+// Atomic(Short, fn).
+func (th *Thread) AtomicSite(site string, fn func(Tx) error) error {
+	cls := th.tm.classifier
+	if cls == nil {
+		return th.Atomic(Short, fn)
+	}
+	kind := cls.Classify(site)
+	max := th.tm.cfg.maxRetries
+	for attempt := 0; ; attempt++ {
+		tx := th.b.begin(kind, false)
+		err := fn(tx)
+		if err == nil {
+			err = tx.Commit()
+		} else {
+			tx.Abort()
+		}
+		// Prio counts opened objects across all implementations.
+		opens := int(tx.meta().Prio.Load())
+		kind = cls.Observe(site, opens, err == nil)
+		if err == nil {
+			return nil
+		}
+		if !core.IsRetryable(err) {
+			return err
+		}
+		if max > 0 && attempt+1 >= max {
+			return fmt.Errorf("%w after %d attempts: %w", ErrRetriesExhausted, attempt+1, err)
+		}
+		backoff(attempt)
+	}
+}
+
+func (th *Thread) atomic(kind TxKind, ro bool, fn func(Tx) error) error {
+	max := th.tm.cfg.maxRetries
+	for attempt := 0; ; attempt++ {
+		tx := th.b.begin(kind, ro)
+		err := fn(tx)
+		if err == nil {
+			err = tx.Commit()
+		} else {
+			tx.Abort()
+		}
+		if err == nil {
+			return nil
+		}
+		if !core.IsRetryable(err) {
+			return err
+		}
+		if max > 0 && attempt+1 >= max {
+			return fmt.Errorf("%w after %d attempts: %w", ErrRetriesExhausted, attempt+1, err)
+		}
+		backoff(attempt)
+	}
+}

@@ -1,0 +1,478 @@
+package tbtm
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+var allLevels = []Consistency{
+	Linearizable, SingleVersion, CausallySerializable, Serializable, ZLinearizable,
+	SnapshotIsolation,
+}
+
+func TestConsistencyString(t *testing.T) {
+	tests := []struct {
+		c    Consistency
+		want string
+	}{
+		{Linearizable, "linearizable"},
+		{SingleVersion, "single-version"},
+		{CausallySerializable, "causally-serializable"},
+		{Serializable, "serializable"},
+		{ZLinearizable, "z-linearizable"},
+		{Consistency(0), "invalid"},
+	}
+	for _, tt := range tests {
+		if got := tt.c.String(); got != tt.want {
+			t.Errorf("String() = %q, want %q", got, tt.want)
+		}
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(WithConsistency(Consistency(42))); err == nil {
+		t.Fatal("invalid consistency accepted")
+	}
+	if _, err := New(WithVersions(0)); err == nil {
+		t.Fatal("zero versions accepted")
+	}
+	if _, err := New(WithThreads(0)); err == nil {
+		t.Fatal("zero threads accepted")
+	}
+	if _, err := New(WithPlausibleEntries(99), WithThreads(4)); err == nil {
+		t.Fatal("entries > threads accepted")
+	}
+	if _, err := New(WithConsistency(Serializable), WithSimRealTimeClock(4, 2, 0)); err == nil {
+		t.Fatal("real-time clock with vector STM accepted")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustNew did not panic on invalid config")
+		}
+	}()
+	MustNew(WithVersions(-1))
+}
+
+func TestBasicRoundTripAllLevels(t *testing.T) {
+	for _, level := range allLevels {
+		level := level
+		t.Run(level.String(), func(t *testing.T) {
+			tm := MustNew(WithConsistency(level))
+			if tm.Consistency() != level {
+				t.Fatalf("Consistency() = %v", tm.Consistency())
+			}
+			v := NewVar(tm, int64(10))
+			th := tm.NewThread()
+			if err := th.Atomic(Short, func(tx Tx) error {
+				return v.Modify(tx, func(x int64) int64 { return x + 5 })
+			}); err != nil {
+				t.Fatal(err)
+			}
+			var got int64
+			if err := th.AtomicReadOnly(Short, func(tx Tx) error {
+				var err error
+				got, err = v.Read(tx)
+				return err
+			}); err != nil {
+				t.Fatal(err)
+			}
+			if got != 15 {
+				t.Fatalf("value = %d, want 15", got)
+			}
+			st := tm.Stats()
+			if st.Commits < 2 {
+				t.Fatalf("stats commits = %d, want >= 2", st.Commits)
+			}
+		})
+	}
+}
+
+func TestLongTransactionsAllLevels(t *testing.T) {
+	for _, level := range allLevels {
+		level := level
+		t.Run(level.String(), func(t *testing.T) {
+			tm := MustNew(WithConsistency(level))
+			vars := make([]*Var[int64], 10)
+			for i := range vars {
+				vars[i] = NewVar(tm, int64(i))
+			}
+			th := tm.NewThread()
+			var sum int64
+			if err := th.AtomicReadOnly(Long, func(tx Tx) error {
+				sum = 0
+				for _, v := range vars {
+					x, err := v.Read(tx)
+					if err != nil {
+						return err
+					}
+					sum += x
+				}
+				return nil
+			}); err != nil {
+				t.Fatal(err)
+			}
+			if sum != 45 {
+				t.Fatalf("sum = %d, want 45", sum)
+			}
+		})
+	}
+}
+
+func TestWrongObjectRejected(t *testing.T) {
+	tm1 := MustNew(WithConsistency(Linearizable))
+	tm2 := MustNew(WithConsistency(Linearizable))
+	o2 := tm2.NewObject(1)
+	th := tm1.NewThread()
+	tx := th.Begin(Short)
+	defer tx.Abort()
+	if _, err := tx.Read(o2); err == nil {
+		t.Fatal("cross-TM object read accepted")
+	}
+	if err := tx.Write(o2, 2); err == nil {
+		t.Fatal("cross-TM object write accepted")
+	}
+	// Cross-implementation: object from a CS-STM instance in an LSA tx.
+	tm3 := MustNew(WithConsistency(CausallySerializable))
+	o3 := tm3.NewObject(1)
+	if _, err := tx.Read(o3); err == nil {
+		t.Fatal("cross-implementation object accepted")
+	}
+}
+
+func TestVarTypeMismatch(t *testing.T) {
+	tm := MustNew()
+	obj := tm.NewObject("a string")
+	v := &Var[int64]{obj: obj}
+	th := tm.NewThread()
+	err := th.Atomic(Short, func(tx Tx) error {
+		_, err := v.Read(tx)
+		return err
+	})
+	if err == nil {
+		t.Fatal("type mismatch not reported")
+	}
+	if IsRetryable(err) {
+		t.Fatal("type mismatch reported as retryable")
+	}
+}
+
+func TestAtomicRetriesConflicts(t *testing.T) {
+	tm := MustNew(WithConsistency(Linearizable))
+	v := NewVar(tm, int64(0))
+	const workers, increments = 8, 40
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			th := tm.NewThread()
+			for i := 0; i < increments; i++ {
+				if err := th.Atomic(Short, func(tx Tx) error {
+					return v.Modify(tx, func(x int64) int64 { return x + 1 })
+				}); err != nil {
+					t.Errorf("Atomic: %v", err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	th := tm.NewThread()
+	var got int64
+	if err := th.Atomic(Short, func(tx Tx) error {
+		var err error
+		got, err = v.Read(tx)
+		return err
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if got != workers*increments {
+		t.Fatalf("counter = %d, want %d", got, workers*increments)
+	}
+}
+
+func TestAtomicPassesThroughUserErrors(t *testing.T) {
+	tm := MustNew()
+	th := tm.NewThread()
+	sentinel := errors.New("application failure")
+	calls := 0
+	err := th.Atomic(Short, func(Tx) error {
+		calls++
+		return sentinel
+	})
+	if !errors.Is(err, sentinel) {
+		t.Fatalf("err = %v, want sentinel", err)
+	}
+	if calls != 1 {
+		t.Fatalf("fn called %d times, want 1 (no retry on user errors)", calls)
+	}
+}
+
+func TestAtomicMaxRetries(t *testing.T) {
+	tm := MustNew(WithMaxRetries(3))
+	th := tm.NewThread()
+	calls := 0
+	err := th.Atomic(Short, func(Tx) error {
+		calls++
+		return ErrConflict // always conflict
+	})
+	if !errors.Is(err, ErrRetriesExhausted) {
+		t.Fatalf("err = %v, want ErrRetriesExhausted", err)
+	}
+	if calls != 3 {
+		t.Fatalf("fn called %d times, want 3", calls)
+	}
+}
+
+func TestReadOnlyEnforced(t *testing.T) {
+	for _, level := range allLevels {
+		tm := MustNew(WithConsistency(level))
+		v := NewVar(tm, 1)
+		th := tm.NewThread()
+		err := th.AtomicReadOnly(Short, func(tx Tx) error {
+			return v.Write(tx, 2)
+		})
+		if !errors.Is(err, ErrReadOnly) {
+			t.Fatalf("%v: err = %v, want ErrReadOnly", level, err)
+		}
+	}
+}
+
+func TestBankInvariantAcrossLevels(t *testing.T) {
+	// Transfers conserve the total under every consistency level; the
+	// long Compute-Total observes the invariant (all levels here provide
+	// at least serializability for this workload shape; CS-STM conserves
+	// totals because single-writer plus validation kills stale updates).
+	for _, level := range allLevels {
+		level := level
+		t.Run(level.String(), func(t *testing.T) {
+			tm := MustNew(WithConsistency(level), WithThreads(8))
+			const accounts = 12
+			vars := make([]*Var[int64], accounts)
+			for i := range vars {
+				vars[i] = NewVar(tm, int64(100))
+			}
+			var wg sync.WaitGroup
+			for w := 0; w < 4; w++ {
+				wg.Add(1)
+				go func(seed int) {
+					defer wg.Done()
+					th := tm.NewThread()
+					for i := 0; i < 50; i++ {
+						from := (seed + i) % accounts
+						to := (seed + 3*i + 1) % accounts
+						if from == to {
+							continue
+						}
+						if err := th.Atomic(Short, func(tx Tx) error {
+							f, err := vars[from].Read(tx)
+							if err != nil {
+								return err
+							}
+							g, err := vars[to].Read(tx)
+							if err != nil {
+								return err
+							}
+							if err := vars[from].Write(tx, f-1); err != nil {
+								return err
+							}
+							return vars[to].Write(tx, g+1)
+						}); err != nil {
+							t.Errorf("transfer: %v", err)
+							return
+						}
+					}
+				}(w)
+			}
+			wg.Wait()
+			th := tm.NewThread()
+			var total int64
+			if err := th.Atomic(Long, func(tx Tx) error {
+				total = 0
+				for _, v := range vars {
+					x, err := v.Read(tx)
+					if err != nil {
+						return err
+					}
+					total += x
+				}
+				return nil
+			}); err != nil {
+				t.Fatal(err)
+			}
+			if total != accounts*100 {
+				t.Fatalf("total = %d, want %d", total, accounts*100)
+			}
+		})
+	}
+}
+
+func TestZLinearizableLongUpdateUnderContention(t *testing.T) {
+	// The Figure 7 mechanism through the public API: a long update
+	// transaction commits while transfers run.
+	tm := MustNew(WithConsistency(ZLinearizable))
+	const accounts = 16
+	vars := make([]*Var[int64], accounts)
+	for i := range vars {
+		vars[i] = NewVar(tm, int64(100))
+	}
+	totalVar := NewVar(tm, int64(0))
+
+	done := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		th := tm.NewThread()
+		i := 0
+		for {
+			select {
+			case <-done:
+				return
+			default:
+			}
+			i++
+			from, to := i%accounts, (i*5+1)%accounts
+			if from == to {
+				continue
+			}
+			_ = th.Atomic(Short, func(tx Tx) error {
+				f, err := vars[from].Read(tx)
+				if err != nil {
+					return err
+				}
+				g, err := vars[to].Read(tx)
+				if err != nil {
+					return err
+				}
+				if err := vars[from].Write(tx, f-1); err != nil {
+					return err
+				}
+				return vars[to].Write(tx, g+1)
+			})
+		}
+	}()
+
+	th := tm.NewThread()
+	for round := 0; round < 10; round++ {
+		if err := th.Atomic(Long, func(tx Tx) error {
+			var sum int64
+			for _, v := range vars {
+				x, err := v.Read(tx)
+				if err != nil {
+					return err
+				}
+				sum += x
+			}
+			if sum != accounts*100 {
+				return fmt.Errorf("inconsistent snapshot: %d", sum)
+			}
+			return totalVar.Write(tx, sum)
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	close(done)
+	wg.Wait()
+	if got := tm.Stats().LongCommits; got != 10 {
+		t.Fatalf("long commits = %d, want 10", got)
+	}
+}
+
+func TestSimRealTimeOption(t *testing.T) {
+	tm := MustNew(WithConsistency(Linearizable), WithSimRealTimeClock(8, 3, time.Microsecond))
+	v := NewVar(tm, int64(0))
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			th := tm.NewThread()
+			for i := 0; i < 20; i++ {
+				if err := th.Atomic(Short, func(tx Tx) error {
+					return v.Modify(tx, func(x int64) int64 { return x + 1 })
+				}); err != nil {
+					t.Errorf("Atomic: %v", err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	th := tm.NewThread()
+	var got int64
+	if err := th.Atomic(Short, func(tx Tx) error {
+		var err error
+		got, err = v.Read(tx)
+		if err != nil {
+			return err
+		}
+		return v.Write(tx, got)
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if got != 80 {
+		t.Fatalf("counter = %d, want 80", got)
+	}
+}
+
+func TestContentionOptions(t *testing.T) {
+	policies := []Contention{
+		ContentionDefault, ContentionPolite, ContentionAggressive,
+		ContentionSuicide, ContentionKarma, ContentionTimestamp, ContentionZoneAware,
+	}
+	for _, p := range policies {
+		tm := MustNew(WithContention(p))
+		v := NewVar(tm, 0)
+		th := tm.NewThread()
+		if err := th.Atomic(Short, func(tx Tx) error { return v.Write(tx, 1) }); err != nil {
+			t.Fatalf("policy %d: %v", p, err)
+		}
+	}
+}
+
+func TestTxKindAccessor(t *testing.T) {
+	tm := MustNew()
+	th := tm.NewThread()
+	short := th.Begin(Short)
+	if short.Kind() != Short {
+		t.Fatalf("Kind = %v", short.Kind())
+	}
+	short.Abort()
+	long := th.Begin(Long)
+	if long.Kind() != Long {
+		t.Fatalf("Kind = %v", long.Kind())
+	}
+	long.Abort()
+}
+
+func TestNoReadSetsOption(t *testing.T) {
+	tm := MustNew(WithConsistency(Linearizable), WithNoReadSets())
+	v := NewVar(tm, int64(5))
+	th := tm.NewThread()
+	var got int64
+	if err := th.AtomicReadOnly(Long, func(tx Tx) error {
+		var err error
+		got, err = v.Read(tx)
+		return err
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if got != 5 {
+		t.Fatalf("value = %d", got)
+	}
+}
+
+func TestThreadAccessors(t *testing.T) {
+	tm := MustNew()
+	a, b := tm.NewThread(), tm.NewThread()
+	if a.TM() != tm {
+		t.Fatal("TM backlink wrong")
+	}
+	if a.ID() == b.ID() {
+		t.Fatal("thread IDs collide")
+	}
+}

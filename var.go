@@ -1,0 +1,49 @@
+package tbtm
+
+import "fmt"
+
+// Var is a typed wrapper over a transactional Object. It removes the
+// type assertions from application code:
+//
+//	balance := tbtm.NewVar(tm, int64(100))
+//	v, err := balance.Read(tx)   // v is int64
+//	err = balance.Write(tx, v+1)
+type Var[T any] struct {
+	obj Object
+}
+
+// NewVar allocates a transactional variable holding initial.
+func NewVar[T any](tm *TM, initial T) *Var[T] {
+	return &Var[T]{obj: tm.NewObject(initial)}
+}
+
+// Object returns the underlying untyped handle.
+func (v *Var[T]) Object() Object { return v.obj }
+
+// Read returns the transaction's view of the variable.
+func (v *Var[T]) Read(tx Tx) (T, error) {
+	var zero T
+	raw, err := tx.Read(v.obj)
+	if err != nil {
+		return zero, err
+	}
+	val, ok := raw.(T)
+	if !ok {
+		return zero, fmt.Errorf("tbtm: Var holds %T, not %T", raw, zero)
+	}
+	return val, nil
+}
+
+// Write buffers an update of the variable to val.
+func (v *Var[T]) Write(tx Tx, val T) error {
+	return tx.Write(v.obj, val)
+}
+
+// Modify reads the variable, applies f, and writes the result back.
+func (v *Var[T]) Modify(tx Tx, f func(T) T) error {
+	val, err := v.Read(tx)
+	if err != nil {
+		return err
+	}
+	return v.Write(tx, f(val))
+}

@@ -1,0 +1,153 @@
+package tbtm
+
+import (
+	"errors"
+	"sync"
+	"testing"
+)
+
+// Facade wiring for the §4.1 footnote 1 and §4.3 [12] variants:
+// multi-version CS-STM (WithVersions under CausallySerializable) and
+// comb clocks (WithPlausibleComb).
+
+func TestCombOptionValidation(t *testing.T) {
+	for _, c := range []Consistency{CausallySerializable, Serializable} {
+		if _, err := New(WithConsistency(c), WithPlausibleComb()); err != nil {
+			t.Fatalf("%v: comb rejected: %v", c, err)
+		}
+	}
+	for _, c := range []Consistency{Linearizable, SingleVersion, ZLinearizable, SnapshotIsolation} {
+		if _, err := New(WithConsistency(c), WithPlausibleComb()); err == nil {
+			t.Fatalf("%v: comb accepted on a scalar time base", c)
+		}
+	}
+}
+
+func TestCombRoundTrip(t *testing.T) {
+	for _, c := range []Consistency{CausallySerializable, Serializable} {
+		tm := MustNew(WithConsistency(c), WithThreads(8),
+			WithPlausibleEntries(2), WithPlausibleComb())
+		v := NewVar(tm, int64(1))
+		th := tm.NewThread()
+		if err := th.Atomic(Short, func(tx Tx) error {
+			return v.Modify(tx, func(x int64) int64 { return x + 1 })
+		}); err != nil {
+			t.Fatalf("%v: %v", c, err)
+		}
+		var got int64
+		err := th.AtomicReadOnly(Short, func(tx Tx) error {
+			x, err := v.Read(tx)
+			got = x
+			return err
+		})
+		if err != nil || got != 2 {
+			t.Fatalf("%v: value = %v, %v; want 2, nil", c, got, err)
+		}
+	}
+}
+
+// TestCombConservationUnderContention runs concurrent transfers on comb
+// timestamps: extra or fewer aborts are fine, wrong sums are not.
+func TestCombConservationUnderContention(t *testing.T) {
+	const (
+		workers   = 4
+		transfers = 200
+		accounts  = 10
+	)
+	tm := MustNew(WithConsistency(CausallySerializable),
+		WithThreads(workers), WithPlausibleEntries(2), WithPlausibleComb())
+	vars := make([]*Var[int64], accounts)
+	for i := range vars {
+		vars[i] = NewVar(tm, int64(100))
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			th := tm.NewThread()
+			for i := 0; i < transfers; i++ {
+				from, to := vars[(i+w)%accounts], vars[(i*3+w+1)%accounts]
+				if from == to {
+					continue
+				}
+				if err := th.Atomic(Short, func(tx Tx) error {
+					fv, err := from.Read(tx)
+					if err != nil {
+						return err
+					}
+					tv, err := to.Read(tx)
+					if err != nil {
+						return err
+					}
+					if err := from.Write(tx, fv-1); err != nil {
+						return err
+					}
+					return to.Write(tx, tv+1)
+				}); err != nil {
+					t.Errorf("worker %d: %v", w, err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	th := tm.NewThread()
+	var sum int64
+	if err := th.AtomicReadOnly(Long, func(tx Tx) error {
+		sum = 0
+		for _, v := range vars {
+			x, err := v.Read(tx)
+			if err != nil {
+				return err
+			}
+			sum += x
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if sum != accounts*100 {
+		t.Fatalf("sum = %d, want %d", sum, accounts*100)
+	}
+}
+
+// TestMultiVersionCSFacade exercises the WithVersions(>1) wiring for
+// CausallySerializable through the public API: a long reader that
+// straddles a causal update chain commits only in multi-version mode.
+func TestMultiVersionCSFacade(t *testing.T) {
+	for _, versions := range []int{0, 8} { // 0: option not set (default 1)
+		opts := []Option{WithConsistency(CausallySerializable), WithThreads(4)}
+		if versions > 0 {
+			opts = append(opts, WithVersions(versions))
+		}
+		tm := MustNew(opts...)
+		o1 := NewVar(tm, "o1v0")
+		o2 := NewVar(tm, "o2v0")
+		thL := tm.NewThread()
+		th1 := tm.NewThread()
+
+		txL := thL.BeginReadOnly(Long)
+		if _, err := o1.Read(txL); err != nil {
+			t.Fatal(err)
+		}
+		if err := th1.Atomic(Short, func(tx Tx) error { return o1.Write(tx, "o1v1") }); err != nil {
+			t.Fatal(err)
+		}
+		if err := th1.Atomic(Short, func(tx Tx) error { return o2.Write(tx, "o2v1") }); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := o2.Read(txL); err != nil {
+			t.Fatal(err)
+		}
+		err := txL.Commit()
+		if versions > 0 {
+			if err != nil {
+				t.Fatalf("versions=%d: commit err = %v, want nil", versions, err)
+			}
+		} else if !errors.Is(err, ErrConflict) {
+			t.Fatalf("default: commit err = %v, want ErrConflict", err)
+		}
+	}
+}
