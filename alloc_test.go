@@ -1,0 +1,159 @@
+package tbtm_test
+
+import (
+	"errors"
+	"testing"
+
+	"tbtm"
+)
+
+// The zero-alloc hot-path contract: with recycled descriptors a warm
+// Atomic attempt allocates only what must outlive the transaction — the
+// TxMeta (published to other threads through writer words, so it cannot
+// be recycled without ABA races) and, for updates, the installed
+// Version. These tests pin the bounds so a regression cannot land
+// silently.
+const (
+	maxAllocsReadOnly  = 1 // TxMeta
+	maxAllocsReadWrite = 2 // TxMeta + installed Version
+)
+
+// warmValue is pre-boxed so Write does not box a fresh interface value
+// inside the measured loop (int64 values < 256 would not allocate
+// anyway, but being explicit keeps the test honest about what it pins).
+var warmValue any = int64(7)
+
+func measureAtomic(t *testing.T, tm *tbtm.TM, kind tbtm.TxKind, readOnly bool) float64 {
+	t.Helper()
+	th := tm.NewThread()
+	obj := tm.NewObject(int64(0))
+	write := func(tx tbtm.Tx) error {
+		if _, err := tx.Read(obj); err != nil {
+			return err
+		}
+		return tx.Write(obj, warmValue)
+	}
+	read := func(tx tbtm.Tx) error {
+		_, err := tx.Read(obj)
+		return err
+	}
+	run := func() {
+		var err error
+		if readOnly {
+			err = th.AtomicReadOnly(kind, read)
+		} else {
+			err = th.Atomic(kind, write)
+		}
+		if err != nil {
+			t.Fatalf("Atomic: %v", err)
+		}
+	}
+	for i := 0; i < 64; i++ {
+		run() // warm up: grow the recycled logs and spill structures
+	}
+	return testing.AllocsPerRun(200, run)
+}
+
+func TestAtomicAllocsLSA(t *testing.T) {
+	tm := tbtm.MustNew(tbtm.WithConsistency(tbtm.Linearizable))
+	if n := measureAtomic(t, tm, tbtm.Short, true); n > maxAllocsReadOnly {
+		t.Errorf("warm read-only Atomic on LSA: %.1f allocs/op, want <= %d", n, maxAllocsReadOnly)
+	}
+	if n := measureAtomic(t, tm, tbtm.Short, false); n > maxAllocsReadWrite {
+		t.Errorf("warm read-write Atomic on LSA: %.1f allocs/op, want <= %d", n, maxAllocsReadWrite)
+	}
+}
+
+func TestAtomicAllocsZSTM(t *testing.T) {
+	tm := tbtm.MustNew(tbtm.WithConsistency(tbtm.ZLinearizable))
+	if n := measureAtomic(t, tm, tbtm.Short, true); n > maxAllocsReadOnly {
+		t.Errorf("warm read-only short Atomic on Z-STM: %.1f allocs/op, want <= %d", n, maxAllocsReadOnly)
+	}
+	if n := measureAtomic(t, tm, tbtm.Short, false); n > maxAllocsReadWrite {
+		t.Errorf("warm read-write short Atomic on Z-STM: %.1f allocs/op, want <= %d", n, maxAllocsReadWrite)
+	}
+	if n := measureAtomic(t, tm, tbtm.Long, false); n > maxAllocsReadWrite {
+		t.Errorf("warm read-write long Atomic on Z-STM: %.1f allocs/op, want <= %d", n, maxAllocsReadWrite)
+	}
+}
+
+// TestRecycledDescriptorIsolation verifies the recycling contract's
+// visible semantics: a finished transaction still answers ErrTxDone
+// before the next Begin, and recycled descriptors do not leak state
+// (read-own-writes, zones, commit hooks) between transactions.
+func TestRecycledDescriptorIsolation(t *testing.T) {
+	for _, c := range []tbtm.Consistency{
+		tbtm.Linearizable, tbtm.SingleVersion, tbtm.CausallySerializable,
+		tbtm.Serializable, tbtm.ZLinearizable, tbtm.SnapshotIsolation,
+	} {
+		tm := tbtm.MustNew(tbtm.WithConsistency(c))
+		th := tm.NewThread()
+		a := tbtm.NewVar(tm, int64(1))
+		b := tbtm.NewVar(tm, int64(2))
+
+		tx := th.Begin(tbtm.Short)
+		if err := a.Write(tx, int64(10)); err != nil {
+			t.Fatalf("%v: Write: %v", c, err)
+		}
+		if err := tx.Commit(); err != nil {
+			t.Fatalf("%v: Commit: %v", c, err)
+		}
+		if _, err := a.Read(tx); !errors.Is(err, tbtm.ErrTxDone) {
+			t.Errorf("%v: Read on finished tx = %v, want ErrTxDone", c, err)
+		}
+
+		// The next transaction may reuse the same descriptor; it must
+		// not see the previous write set as its own.
+		tx2 := th.Begin(tbtm.Short)
+		if v, err := b.Read(tx2); err != nil || v != 2 {
+			t.Errorf("%v: fresh read = %v, %v; want 2, nil", c, v, err)
+		}
+		if v, err := a.Read(tx2); err != nil || v != 10 {
+			t.Errorf("%v: committed value = %v, %v; want 10, nil", c, v, err)
+		}
+		if err := tx2.Commit(); err != nil {
+			t.Fatalf("%v: second Commit: %v", c, err)
+		}
+	}
+}
+
+func BenchmarkFacadeAtomicLSAReadWrite(b *testing.B) {
+	benchFacadeAtomic(b, tbtm.Linearizable, false)
+}
+
+func BenchmarkFacadeAtomicLSAReadOnly(b *testing.B) {
+	benchFacadeAtomic(b, tbtm.Linearizable, true)
+}
+
+func BenchmarkFacadeAtomicZShortReadWrite(b *testing.B) {
+	benchFacadeAtomic(b, tbtm.ZLinearizable, false)
+}
+
+func benchFacadeAtomic(b *testing.B, c tbtm.Consistency, readOnly bool) {
+	tm := tbtm.MustNew(tbtm.WithConsistency(c))
+	th := tm.NewThread()
+	obj := tm.NewObject(int64(0))
+	fn := func(tx tbtm.Tx) error {
+		v, err := tx.Read(obj)
+		if err != nil {
+			return err
+		}
+		if readOnly {
+			return nil
+		}
+		return tx.Write(obj, v)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var err error
+		if readOnly {
+			err = th.AtomicReadOnly(tbtm.Short, fn)
+		} else {
+			err = th.Atomic(tbtm.Short, fn)
+		}
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -45,6 +45,9 @@ func buildClock(cfg config) clock.TimeBase {
 	if cfg.realTime {
 		return clock.NewSimRealTime(cfg.rtMaxThreads, cfg.rtEpsilon, cfg.rtTick)
 	}
+	if cfg.sharedCommitTimes {
+		return clock.NewSharingCounter()
+	}
 	return clock.NewCounter()
 }
 
@@ -107,21 +110,42 @@ func buildBackend(cfg config, tm *TM) backend {
 }
 
 // innerTx is the shape every STM implementation's transaction type
-// shares, parameterized by its object type.
+// shares, parameterized by its object type. Done reports that the
+// transaction finished (committed or aborted) and must tolerate a nil
+// receiver, so a never-used wrapper slot recycles uniformly.
 type innerTx[O any] interface {
 	Read(O) (any, error)
 	Write(O, any) error
 	Commit() error
 	Abort()
 	Meta() *core.TxMeta
+	Done() bool
 }
 
 // adaptedTx lifts an implementation transaction to the facade Tx,
-// checking object affinity on every access.
+// checking object affinity on every access. Wrappers are embedded in
+// their backend thread and recycled by begin — allocating one per
+// attempt would put a facade allocation back on the hot path that the
+// backends' descriptor reuse just removed.
 type adaptedTx[O any, T innerTx[O]] struct {
 	tm   *TM
 	kind TxKind
 	tx   T
+}
+
+// beginAdapted recycles slot for a fresh backend transaction, falling
+// back to a new wrapper while the previous facade transaction is still
+// in flight (a contract violation, but tolerated — see Thread.Begin).
+// reuse must be sampled from slot.tx.Done() BEFORE beginning the
+// backend transaction: the backend recycles its descriptor in place, so
+// after its Begin the slot's old pointer already looks live again.
+func beginAdapted[O any, T innerTx[O]](slot *adaptedTx[O, T], reuse bool, tm *TM, kind TxKind, tx T) Tx {
+	a := slot
+	if !reuse {
+		a = &adaptedTx[O, T]{}
+	}
+	a.tm, a.kind, a.tx = tm, kind, tx
+	return a
 }
 
 var _ Tx = (*adaptedTx[*core.Object, *lsa.Tx])(nil)
@@ -175,17 +199,20 @@ func (b *lsaBackend) stats() Stats {
 	return Stats{
 		Commits: s.Commits, Aborts: s.Aborts, Conflicts: s.Conflicts,
 		Extensions: s.Extensions, FastValidations: s.FastValidations,
+		OldVersions: s.OldVersions, SnapshotMisses: s.SnapshotMiss,
 	}
 }
 
 type lsaThread struct {
-	b  *lsaBackend
-	th *lsa.Thread
+	b   *lsaBackend
+	th  *lsa.Thread
+	atx adaptedTx[*core.Object, *lsa.Tx]
 }
 
 func (t *lsaThread) id() int { return t.th.ID() }
 func (t *lsaThread) begin(kind TxKind, ro bool) Tx {
-	return &adaptedTx[*core.Object, *lsa.Tx]{tm: t.b.tm, kind: kind, tx: t.th.Begin(kind, ro)}
+	reuse := t.atx.tx.Done()
+	return beginAdapted(&t.atx, reuse, t.b.tm, kind, t.th.Begin(kind, ro))
 }
 
 // --- CS-STM backend ---
@@ -203,13 +230,15 @@ func (b *csBackend) stats() Stats {
 }
 
 type csThread struct {
-	b  *csBackend
-	th *cstm.Thread
+	b   *csBackend
+	th  *cstm.Thread
+	atx adaptedTx[*cstm.Object, *cstm.Tx]
 }
 
 func (t *csThread) id() int { return t.th.ID() }
 func (t *csThread) begin(kind TxKind, ro bool) Tx {
-	return &adaptedTx[*cstm.Object, *cstm.Tx]{tm: t.b.tm, kind: kind, tx: t.th.Begin(kind, ro)}
+	reuse := t.atx.tx.Done()
+	return beginAdapted(&t.atx, reuse, t.b.tm, kind, t.th.Begin(kind, ro))
 }
 
 // --- S-STM backend ---
@@ -227,13 +256,15 @@ func (b *ssBackend) stats() Stats {
 }
 
 type ssThread struct {
-	b  *ssBackend
-	th *sstm.Thread
+	b   *ssBackend
+	th  *sstm.Thread
+	atx adaptedTx[*sstm.Object, *sstm.Tx]
 }
 
 func (t *ssThread) id() int { return t.th.ID() }
 func (t *ssThread) begin(kind TxKind, ro bool) Tx {
-	return &adaptedTx[*sstm.Object, *sstm.Tx]{tm: t.b.tm, kind: kind, tx: t.th.Begin(kind, ro)}
+	reuse := t.atx.tx.Done()
+	return beginAdapted(&t.atx, reuse, t.b.tm, kind, t.th.Begin(kind, ro))
 }
 
 // --- SI-STM backend ---
@@ -247,17 +278,22 @@ func (b *siBackend) newObject(initial any) any { return b.stm.NewObject(initial)
 func (b *siBackend) newThread() backendThread  { return &siThread{b: b, th: b.stm.NewThread()} }
 func (b *siBackend) stats() Stats {
 	s := b.stm.Stats()
-	return Stats{Commits: s.Commits, Aborts: s.Aborts, Conflicts: s.Conflicts}
+	return Stats{
+		Commits: s.Commits, Aborts: s.Aborts, Conflicts: s.Conflicts,
+		OldVersions: s.OldVersions, SnapshotMisses: s.SnapshotMiss,
+	}
 }
 
 type siThread struct {
-	b  *siBackend
-	th *sistm.Thread
+	b   *siBackend
+	th  *sistm.Thread
+	atx adaptedTx[*core.Object, *sistm.Tx]
 }
 
 func (t *siThread) id() int { return t.th.ID() }
 func (t *siThread) begin(kind TxKind, ro bool) Tx {
-	return &adaptedTx[*core.Object, *sistm.Tx]{tm: t.b.tm, kind: kind, tx: t.th.Begin(kind, ro)}
+	reuse := t.atx.tx.Done()
+	return beginAdapted(&t.atx, reuse, t.b.tm, kind, t.th.Begin(kind, ro))
 }
 
 // --- Z-STM backend ---
@@ -277,6 +313,8 @@ func (b *zBackend) stats() Stats {
 		Conflicts:       s.Short.Conflicts,
 		Extensions:      s.Short.Extensions,
 		FastValidations: s.Short.FastValidations,
+		OldVersions:     s.Short.OldVersions,
+		SnapshotMisses:  s.Short.SnapshotMiss,
 		LongCommits:     s.LongCommits,
 		LongAborts:      s.LongAborts,
 		ZoneCrosses:     s.ZoneCrosses,
@@ -285,14 +323,18 @@ func (b *zBackend) stats() Stats {
 }
 
 type zThread struct {
-	b  *zBackend
-	th *zstm.Thread
+	b    *zBackend
+	th   *zstm.Thread
+	satx adaptedTx[*core.Object, *zstm.ShortTx]
+	latx adaptedTx[*core.Object, *zstm.LongTx]
 }
 
 func (t *zThread) id() int { return t.th.ID() }
 func (t *zThread) begin(kind TxKind, ro bool) Tx {
 	if kind == Long {
-		return &adaptedTx[*core.Object, *zstm.LongTx]{tm: t.b.tm, kind: Long, tx: t.th.BeginLong(ro)}
+		reuse := t.latx.tx.Done()
+		return beginAdapted(&t.latx, reuse, t.b.tm, Long, t.th.BeginLong(ro))
 	}
-	return &adaptedTx[*core.Object, *zstm.ShortTx]{tm: t.b.tm, kind: Short, tx: t.th.BeginShort(ro)}
+	reuse := t.satx.tx.Done()
+	return beginAdapted(&t.satx, reuse, t.b.tm, Short, t.th.BeginShort(ro))
 }

@@ -1,0 +1,113 @@
+package tbtm_test
+
+import (
+	"errors"
+	"testing"
+
+	"tbtm"
+)
+
+// TestStatsOldVersions verifies that multi-version read fallbacks are
+// surfaced through the facade Stats (they used to be tracked internally
+// and silently dropped by the backend adapters).
+func TestStatsOldVersions(t *testing.T) {
+	tm := tbtm.MustNew(tbtm.WithConsistency(tbtm.SnapshotIsolation))
+	reader, writer := tm.NewThread(), tm.NewThread()
+	o := tm.NewObject(int64(0))
+
+	rtx := reader.Begin(tbtm.Short) // snapshot predates the update below
+	if err := writer.Atomic(tbtm.Short, func(tx tbtm.Tx) error {
+		return tx.Write(o, int64(1))
+	}); err != nil {
+		t.Fatalf("writer: %v", err)
+	}
+	v, err := rtx.Read(o)
+	if err != nil {
+		t.Fatalf("snapshot read: %v", err)
+	}
+	if v != int64(0) {
+		t.Fatalf("snapshot read = %v, want 0", v)
+	}
+	if err := rtx.Commit(); err != nil {
+		t.Fatalf("reader commit: %v", err)
+	}
+	if s := tm.Stats(); s.OldVersions == 0 {
+		t.Errorf("Stats().OldVersions = 0, want > 0 (got %+v)", s)
+	}
+}
+
+// TestStatsSnapshotMisses drives a single-version snapshot miss and
+// checks it shows up in the facade Stats.
+func TestStatsSnapshotMisses(t *testing.T) {
+	tm := tbtm.MustNew(tbtm.WithConsistency(tbtm.SnapshotIsolation), tbtm.WithVersions(1))
+	reader, writer := tm.NewThread(), tm.NewThread()
+	o := tm.NewObject(int64(0))
+
+	rtx := reader.Begin(tbtm.Short)
+	if err := writer.Atomic(tbtm.Short, func(tx tbtm.Tx) error {
+		return tx.Write(o, int64(1))
+	}); err != nil {
+		t.Fatalf("writer: %v", err)
+	}
+	if _, err := rtx.Read(o); !errors.Is(err, tbtm.ErrSnapshotUnavailable) {
+		t.Fatalf("stale read = %v, want ErrSnapshotUnavailable", err)
+	}
+	if s := tm.Stats(); s.SnapshotMisses == 0 {
+		t.Errorf("Stats().SnapshotMisses = 0, want > 0 (got %+v)", s)
+	}
+}
+
+// TestWithSharedCommitTimes exercises the TL2-style sharing counter
+// through the facade on every scalar-clock backend.
+func TestWithSharedCommitTimes(t *testing.T) {
+	for _, c := range []tbtm.Consistency{
+		tbtm.Linearizable, tbtm.SingleVersion, tbtm.ZLinearizable, tbtm.SnapshotIsolation,
+	} {
+		tm, err := tbtm.New(tbtm.WithConsistency(c), tbtm.WithSharedCommitTimes())
+		if err != nil {
+			t.Fatalf("%v: New: %v", c, err)
+		}
+		th := tm.NewThread()
+		o := tm.NewObject(int64(0))
+		for i := 0; i < 3; i++ {
+			if err := th.Atomic(tbtm.Short, func(tx tbtm.Tx) error {
+				v, err := tx.Read(o)
+				if err != nil {
+					return err
+				}
+				return tx.Write(o, v.(int64)+1)
+			}); err != nil {
+				t.Fatalf("%v: Atomic: %v", c, err)
+			}
+		}
+		if err := th.AtomicReadOnly(tbtm.Short, func(tx tbtm.Tx) error {
+			v, err := tx.Read(o)
+			if err != nil {
+				return err
+			}
+			if v != int64(3) {
+				t.Errorf("%v: value = %v, want 3", c, v)
+			}
+			return nil
+		}); err != nil {
+			t.Fatalf("%v: read back: %v", c, err)
+		}
+		if s := tm.Stats(); s.Commits != 4 {
+			t.Errorf("%v: Commits = %d, want 4", c, s.Commits)
+		}
+	}
+}
+
+// TestWithSharedCommitTimesValidation pins the option's interaction
+// rules: vector time bases and real-time clocks reject it.
+func TestWithSharedCommitTimesValidation(t *testing.T) {
+	if _, err := tbtm.New(tbtm.WithConsistency(tbtm.CausallySerializable), tbtm.WithSharedCommitTimes()); err == nil {
+		t.Error("CausallySerializable + WithSharedCommitTimes: no error")
+	}
+	if _, err := tbtm.New(tbtm.WithConsistency(tbtm.Serializable), tbtm.WithSharedCommitTimes()); err == nil {
+		t.Error("Serializable + WithSharedCommitTimes: no error")
+	}
+	if _, err := tbtm.New(tbtm.WithSharedCommitTimes(), tbtm.WithSimRealTimeClock(4, 2, 0)); err == nil {
+		t.Error("WithSharedCommitTimes + WithSimRealTimeClock: no error")
+	}
+}

@@ -1,0 +1,3 @@
+module tbtm
+
+go 1.24

@@ -1,0 +1,64 @@
+package core
+
+// smallIndexCap is the inline capacity of a SmallIndex. Typical short
+// transactions touch a handful of objects; eight covers them with a
+// linear scan over one cache line of keys before falling back to a map.
+const smallIndexCap = 8
+
+// SmallIndex maps object IDs to small integer positions (an index into a
+// transaction's write or read log). The first few entries live in an
+// inline array probed linearly; larger footprints spill into a map. A
+// SmallIndex is reset in place between transactions so the warm path
+// performs no allocation at all, replacing the per-transaction
+// make(map[uint64]int) the write sets used to pay on first write.
+//
+// The zero value is empty and ready to use. Not safe for concurrent use;
+// an index belongs to a single transaction at a time.
+type SmallIndex struct {
+	keys [smallIndexCap]uint64
+	vals [smallIndexCap]int
+	n    int
+	m    map[uint64]int
+}
+
+// Get returns the position stored for key.
+func (ix *SmallIndex) Get(key uint64) (int, bool) {
+	for i := 0; i < ix.n; i++ {
+		if ix.keys[i] == key {
+			return ix.vals[i], true
+		}
+	}
+	if ix.m != nil {
+		v, ok := ix.m[key]
+		return v, ok
+	}
+	return 0, false
+}
+
+// Put stores key → val. The caller ensures key is not already present
+// (transactions check with Get before logging a new entry); storing a
+// duplicate key leaves the first mapping visible.
+func (ix *SmallIndex) Put(key uint64, val int) {
+	if ix.n < smallIndexCap {
+		ix.keys[ix.n] = key
+		ix.vals[ix.n] = val
+		ix.n++
+		return
+	}
+	if ix.m == nil {
+		ix.m = make(map[uint64]int, 2*smallIndexCap)
+	}
+	ix.m[key] = val
+}
+
+// Len returns the number of stored entries.
+func (ix *SmallIndex) Len() int { return ix.n + len(ix.m) }
+
+// Reset empties the index in place, retaining the inline array and any
+// spill map for reuse.
+func (ix *SmallIndex) Reset() {
+	ix.n = 0
+	if ix.m != nil {
+		clear(ix.m)
+	}
+}

@@ -1,0 +1,44 @@
+package core
+
+import "testing"
+
+func TestSmallIndexInlineAndSpill(t *testing.T) {
+	var ix SmallIndex
+	const n = 3 * smallIndexCap
+	for i := 0; i < n; i++ {
+		if _, ok := ix.Get(uint64(i + 100)); ok {
+			t.Fatalf("key %d present before Put", i+100)
+		}
+		ix.Put(uint64(i+100), i)
+	}
+	if ix.Len() != n {
+		t.Fatalf("Len = %d, want %d", ix.Len(), n)
+	}
+	for i := 0; i < n; i++ {
+		v, ok := ix.Get(uint64(i + 100))
+		if !ok || v != i {
+			t.Fatalf("Get(%d) = %d,%v, want %d,true", i+100, v, ok, i)
+		}
+	}
+}
+
+func TestSmallIndexReset(t *testing.T) {
+	var ix SmallIndex
+	for i := 0; i < 2*smallIndexCap; i++ {
+		ix.Put(uint64(i), i)
+	}
+	ix.Reset()
+	if ix.Len() != 0 {
+		t.Fatalf("Len after Reset = %d, want 0", ix.Len())
+	}
+	for i := 0; i < 2*smallIndexCap; i++ {
+		if _, ok := ix.Get(uint64(i)); ok {
+			t.Fatalf("key %d survived Reset", i)
+		}
+	}
+	// The index must be fully reusable after Reset.
+	ix.Put(7, 42)
+	if v, ok := ix.Get(7); !ok || v != 42 {
+		t.Fatalf("Get(7) after Reset+Put = %d,%v, want 42,true", v, ok)
+	}
+}

@@ -20,6 +20,7 @@ import (
 
 	"tbtm/internal/cm"
 	"tbtm/internal/core"
+	"tbtm/internal/stats"
 	"tbtm/internal/vclock"
 )
 
@@ -60,6 +61,13 @@ type Stats struct {
 	Conflicts uint64 // validation failures
 }
 
+// Counter slots within a thread's stats shard.
+const (
+	cntCommits = iota
+	cntAborts
+	cntConflicts
+)
+
 // STM is a CS-STM instance.
 type STM struct {
 	cfg   Config
@@ -67,9 +75,8 @@ type STM struct {
 
 	nextThread atomic.Int64
 
-	commits   atomic.Uint64
-	aborts    atomic.Uint64
-	conflicts atomic.Uint64
+	// shards holds the per-thread counter shards; see internal/stats.
+	shards stats.Set
 }
 
 // New returns a CS-STM instance, applying defaults for zero fields.
@@ -99,12 +106,14 @@ func (s *STM) Config() Config { return s.cfg }
 // Clock exposes the vector time base (tests, S-STM reuse).
 func (s *STM) Clock() *vclock.Clock { return s.clock }
 
-// Stats returns a snapshot of the cumulative counters.
+// Stats returns a snapshot of the cumulative counters, aggregated across
+// the per-thread shards.
 func (s *STM) Stats() Stats {
+	c := s.shards.Snapshot()
 	return Stats{
-		Commits:   s.commits.Load(),
-		Aborts:    s.aborts.Load(),
-		Conflicts: s.conflicts.Load(),
+		Commits:   c[cntCommits],
+		Aborts:    c[cntAborts],
+		Conflicts: c[cntConflicts],
 	}
 }
 
@@ -155,16 +164,21 @@ func (o *Object) Current() *Version { return o.cur.Load() }
 func (o *Object) Writer() *core.TxMeta { return o.wr.Load() }
 
 // Thread is a per-goroutine handle carrying VC_p, the commit timestamp of
-// the thread's last committed transaction (Algorithm 1 line 3).
+// the thread's last committed transaction (Algorithm 1 line 3). It also
+// owns a stats shard and a reusable transaction descriptor, so the
+// begin→commit hot path performs no descriptor allocation.
 type Thread struct {
-	stm *STM
-	id  int
-	vc  vclock.TS
+	stm   *STM
+	id    int
+	vc    vclock.TS
+	shard *stats.Shard
+	tx    Tx        // reusable descriptor, recycled by Begin once finished
+	ctbuf vclock.TS // spare timestamp buffer recovered from aborted transactions
 }
 
 // NewThread returns a handle for one worker goroutine.
 func (s *STM) NewThread() *Thread {
-	return &Thread{stm: s, id: int(s.nextThread.Add(1) - 1), vc: s.clock.Zero()}
+	return &Thread{stm: s, id: int(s.nextThread.Add(1) - 1), vc: s.clock.Zero(), shard: s.shards.NewShard()}
 }
 
 // ID returns the thread's index (its vector-clock entry is ID mod r).
@@ -178,14 +192,41 @@ func (th *Thread) VC() vclock.TS { return th.vc.Clone() }
 
 // Begin starts a transaction (Algorithm 1 lines 1-5). kind feeds the
 // contention manager; readOnly transactions skip the commit-time tick.
+//
+// Begin may recycle the thread's previous transaction descriptor: a *Tx
+// is invalid after Commit or Abort and must not be retained across the
+// next Begin on the same thread.
 func (th *Thread) Begin(kind core.TxKind, readOnly bool) *Tx {
-	return &Tx{
-		stm:  th.stm,
-		th:   th,
-		meta: core.NewTxMeta(kind, th.id),
-		ro:   readOnly,
-		ct:   th.vc.Clone(),
+	tx := &th.tx
+	if tx.stm != nil && !tx.done {
+		tx = new(Tx)
 	}
+	tx.stm = th.stm
+	tx.th = th
+	tx.meta = core.NewTxMeta(kind, th.id)
+	tx.ro = readOnly
+	tx.ct = th.takeCT()
+	clear(tx.reads) // release the previous transaction's objects/values
+	clear(tx.writes)
+	tx.reads = tx.reads[:0]
+	tx.writes = tx.writes[:0]
+	tx.windex.Reset()
+	tx.rindex.Reset()
+	tx.done = false
+	return tx
+}
+
+// takeCT returns a tentative commit timestamp initialized from VC_p. It
+// reuses a buffer recovered from an aborted predecessor when one is
+// available; committed timestamps escape into installed versions and
+// VC_p and are never reused.
+func (th *Thread) takeCT() vclock.TS {
+	if buf := th.ctbuf; len(buf) == len(th.vc) {
+		th.ctbuf = nil
+		copy(buf, th.vc)
+		return buf
+	}
+	return th.vc.Clone()
 }
 
 type readEntry struct {
@@ -211,10 +252,10 @@ type Tx struct {
 
 	reads  []readEntry
 	writes []writeEntry
-	windex map[uint64]int
+	windex core.SmallIndex
 	// rindex deduplicates reads per object in multi-version mode, so a
 	// re-read returns the version chosen first rather than re-picking.
-	rindex map[uint64]int
+	rindex core.SmallIndex
 	// scratch is pick's reusable fold buffer (multi-version mode only).
 	scratch vclock.TS
 	done    bool
@@ -222,6 +263,10 @@ type Tx struct {
 
 // Meta exposes the shared descriptor.
 func (tx *Tx) Meta() *core.TxMeta { return tx.meta }
+
+// Done reports whether the transaction has finished and its descriptor
+// may be recycled. A nil receiver counts as done.
+func (tx *Tx) Done() bool { return tx == nil || tx.done }
 
 // CT returns a copy of the tentative commit timestamp (tests).
 func (tx *Tx) CT() vclock.TS { return tx.ct.Clone() }
@@ -242,7 +287,9 @@ func (tx *Tx) fail(err error) error {
 	tx.meta.TryAbort()
 	tx.releaseLocks()
 	tx.done = true
-	tx.stm.aborts.Add(1)
+	tx.th.ctbuf = tx.ct // never published: recover the buffer
+	tx.ct = nil
+	tx.th.shard.Inc(cntAborts)
 	return err
 }
 
@@ -256,23 +303,18 @@ func (tx *Tx) Read(o *Object) (any, error) {
 	if tx.meta.Status() == core.StatusAborted {
 		return nil, tx.fail(core.ErrAborted)
 	}
-	if i, ok := tx.windex[o.ID()]; ok {
+	if i, ok := tx.windex.Get(o.ID()); ok {
 		return tx.writes[i].val, nil
 	}
-	if tx.rindex != nil {
-		if i, ok := tx.rindex[o.ID()]; ok {
-			return tx.reads[i].ver.Value, nil
-		}
+	if i, ok := tx.rindex.Get(o.ID()); ok {
+		return tx.reads[i].ver.Value, nil
 	}
 	tx.meta.Prio.Add(1)
 	tx.stabilize(o)
 	v := tx.pick(o)
 	tx.ct.MaxInto(v.CT)
 	if tx.stm.cfg.Versions > 1 {
-		if tx.rindex == nil {
-			tx.rindex = make(map[uint64]int, 8)
-		}
-		tx.rindex[o.ID()] = len(tx.reads)
+		tx.rindex.Put(o.ID(), len(tx.reads))
 	}
 	tx.reads = append(tx.reads, readEntry{obj: o, ver: v})
 	return v.Value, nil
@@ -341,7 +383,7 @@ func (tx *Tx) Write(o *Object, val any) error {
 	if tx.meta.Status() == core.StatusAborted {
 		return tx.fail(core.ErrAborted)
 	}
-	if i, ok := tx.windex[o.ID()]; ok {
+	if i, ok := tx.windex.Get(o.ID()); ok {
 		tx.writes[i].val = val
 		return nil
 	}
@@ -368,7 +410,7 @@ func (tx *Tx) Write(o *Object, val any) error {
 			}
 		default:
 			if !cm.Resolve(tx.stm.cfg.CM, tx.meta, w) {
-				tx.stm.conflicts.Add(1)
+				tx.th.shard.Inc(cntConflicts)
 				return tx.fail(core.ErrAborted)
 			}
 		}
@@ -379,10 +421,7 @@ func (tx *Tx) Write(o *Object, val any) error {
 func (tx *Tx) recordWrite(o *Object, val any) {
 	v := o.cur.Load()
 	tx.ct.MaxInto(v.CT)
-	if tx.windex == nil {
-		tx.windex = make(map[uint64]int, 8)
-	}
-	tx.windex[o.ID()] = len(tx.writes)
+	tx.windex.Put(o.ID(), len(tx.writes))
 	tx.writes = append(tx.writes, writeEntry{obj: o, base: v, val: val})
 }
 
@@ -427,8 +466,10 @@ func (tx *Tx) Commit() error {
 		tx.meta.CASStatus(core.StatusCommitting, core.StatusAborted)
 		tx.releaseLocks()
 		tx.done = true
-		tx.stm.aborts.Add(1)
-		tx.stm.conflicts.Add(1)
+		tx.th.ctbuf = tx.ct
+		tx.ct = nil
+		tx.th.shard.Inc(cntAborts)
+		tx.th.shard.Inc(cntConflicts)
 		return core.ErrConflict
 	}
 	if len(tx.writes) > 0 {
@@ -450,8 +491,8 @@ func (tx *Tx) Commit() error {
 	tx.meta.CASStatus(core.StatusCommitting, core.StatusCommitted)
 	tx.releaseLocks()
 	tx.done = true
-	tx.th.vc = tx.ct // VC_p ← T.ct (line 31)
-	tx.stm.commits.Add(1)
+	tx.th.vc = tx.ct // VC_p ← T.ct (line 31); the buffer escapes here
+	tx.th.shard.Inc(cntCommits)
 	return nil
 }
 
@@ -463,7 +504,9 @@ func (tx *Tx) Abort() {
 	tx.meta.TryAbort()
 	tx.releaseLocks()
 	tx.done = true
-	tx.stm.aborts.Add(1)
+	tx.th.ctbuf = tx.ct
+	tx.ct = nil
+	tx.th.shard.Inc(cntAborts)
 }
 
 // trim severs the retained version chain keep versions behind nv, so at

@@ -25,6 +25,7 @@ import (
 	"tbtm/internal/clock"
 	"tbtm/internal/cm"
 	"tbtm/internal/core"
+	"tbtm/internal/stats"
 )
 
 // Config parameterizes an STM instance.
@@ -69,6 +70,17 @@ type Stats struct {
 	FastValidations uint64 // commits that skipped read-set validation (fast path)
 }
 
+// Counter slots within a thread's stats shard.
+const (
+	cntCommits = iota
+	cntAborts
+	cntConflicts
+	cntExtensions
+	cntOldVersions
+	cntSnapshotMiss
+	cntFastValidations
+)
+
 // STM is an LSA-STM instance. Create one with New; objects and threads
 // are bound to the instance that created them.
 type STM struct {
@@ -79,13 +91,8 @@ type STM struct {
 
 	nextThread atomic.Int64
 
-	commits         atomic.Uint64
-	aborts          atomic.Uint64
-	conflicts       atomic.Uint64
-	extensions      atomic.Uint64
-	oldVersions     atomic.Uint64
-	snapshotMiss    atomic.Uint64
-	fastValidations atomic.Uint64
+	// shards holds the per-thread counter shards; see internal/stats.
+	shards stats.Set
 }
 
 // New returns an STM instance with the given configuration, applying
@@ -119,26 +126,32 @@ func (s *STM) NewObject(initial any) *core.Object {
 // NewThread returns a handle for one worker goroutine. Handles carry the
 // per-thread state of the paper's algorithms and must not be shared.
 func (s *STM) NewThread() *Thread {
-	return &Thread{stm: s, id: int(s.nextThread.Add(1) - 1)}
+	return &Thread{stm: s, id: int(s.nextThread.Add(1) - 1), shard: s.shards.NewShard()}
 }
 
-// Stats returns a snapshot of the cumulative counters.
+// Stats returns a snapshot of the cumulative counters, aggregated across
+// the per-thread shards.
 func (s *STM) Stats() Stats {
+	c := s.shards.Snapshot()
 	return Stats{
-		Commits:         s.commits.Load(),
-		Aborts:          s.aborts.Load(),
-		Conflicts:       s.conflicts.Load(),
-		Extensions:      s.extensions.Load(),
-		OldVersions:     s.oldVersions.Load(),
-		SnapshotMiss:    s.snapshotMiss.Load(),
-		FastValidations: s.fastValidations.Load(),
+		Commits:         c[cntCommits],
+		Aborts:          c[cntAborts],
+		Conflicts:       c[cntConflicts],
+		Extensions:      c[cntExtensions],
+		OldVersions:     c[cntOldVersions],
+		SnapshotMiss:    c[cntSnapshotMiss],
+		FastValidations: c[cntFastValidations],
 	}
 }
 
-// Thread is a per-goroutine handle.
+// Thread is a per-goroutine handle. Besides the algorithm's per-thread
+// state it owns a stats shard and a reusable transaction descriptor, so
+// the begin→commit hot path performs no descriptor allocation.
 type Thread struct {
-	stm *STM
-	id  int
+	stm   *STM
+	id    int
+	shard *stats.Shard
+	tx    Tx // reusable descriptor, recycled by Begin once finished
 }
 
 // ID returns the thread's index in the time base.
@@ -150,15 +163,41 @@ func (th *Thread) STM() *STM { return th.stm }
 // Begin starts a transaction. kind is the short/long classification used
 // by contention managers; readOnly declares that the transaction will not
 // write, enabling the no-readset fast path and old-version fallbacks.
+//
+// Begin may recycle the thread's previous transaction descriptor: a *Tx
+// is invalid after Commit or Abort and must not be retained across the
+// next Begin on the same thread.
 func (th *Thread) Begin(kind core.TxKind, readOnly bool) *Tx {
-	tx := &Tx{
-		stm:  th.stm,
-		th:   th,
-		meta: core.NewTxMeta(kind, th.id),
-		ro:   readOnly,
+	tx := &th.tx
+	if tx.stm != nil && !tx.done {
+		// The previous transaction is still in flight (a contract
+		// violation, but tolerated): leave its descriptor alone.
+		tx = new(Tx)
 	}
-	tx.ub = th.stm.cfg.Clock.Now(th.id)
+	tx.reset(th, kind, readOnly)
 	return tx
+}
+
+// reset re-initializes a descriptor in place, retaining the read/write
+// logs' backing arrays and the write index's storage from the previous
+// transaction. The descriptor metadata is allocated fresh: TxMeta is
+// published to other threads through object writer words and contention
+// managers, so recycling it would invite ABA races on lock stealing.
+func (tx *Tx) reset(th *Thread, kind core.TxKind, readOnly bool) {
+	tx.stm = th.stm
+	tx.th = th
+	tx.meta = core.NewTxMeta(kind, th.id)
+	tx.ro = readOnly
+	tx.ub = th.stm.cfg.Clock.Now(th.id)
+	clear(tx.reads) // release the previous transaction's objects/values
+	clear(tx.writes)
+	tx.reads = tx.reads[:0]
+	tx.writes = tx.writes[:0]
+	tx.windex.Reset()
+	tx.zone = 0
+	tx.commitCheck = nil
+	tx.done = false
+	tx.retries = 0
 }
 
 // readEntry records one read: the version observed and its object.
@@ -174,7 +213,8 @@ type writeEntry struct {
 }
 
 // Tx is an LSA transaction. A Tx is used by a single goroutine; after
-// Commit or Abort it must not be reused.
+// Commit or Abort it is invalid — the next Begin on the owning thread
+// recycles the descriptor in place.
 type Tx struct {
 	stm  *STM
 	th   *Thread
@@ -186,9 +226,9 @@ type Tx struct {
 
 	reads       []readEntry
 	writes      []writeEntry
-	windex      map[uint64]int // object ID → index into writes
-	zone        uint64         // z-linearizability zone tag for installs
-	commitCheck func() error   // extra validation while committing
+	windex      core.SmallIndex // object ID → index into writes
+	zone        uint64          // z-linearizability zone tag for installs
+	commitCheck func() error    // extra validation while committing
 	done        bool
 	retries     int
 }
@@ -210,6 +250,11 @@ func (tx *Tx) SetCommitCheck(fn func() error) { tx.commitCheck = fn }
 
 // Meta exposes the shared descriptor (used by Z-STM and tests).
 func (tx *Tx) Meta() *core.TxMeta { return tx.meta }
+
+// Done reports whether the transaction has finished (committed or
+// aborted) and its descriptor may be recycled. A nil receiver counts as
+// done, so a never-used handle slot can be recycled uniformly.
+func (tx *Tx) Done() bool { return tx == nil || tx.done }
 
 // ReadOnly reports whether the transaction was declared read-only.
 func (tx *Tx) ReadOnly() bool { return tx.ro }
@@ -265,7 +310,7 @@ func (tx *Tx) Read(o *core.Object) (any, error) {
 	if tx.meta.Status() == core.StatusAborted {
 		return nil, tx.fail(core.ErrAborted)
 	}
-	if i, ok := tx.windex[o.ID()]; ok {
+	if i, ok := tx.windex.Get(o.ID()); ok {
 		return tx.writes[i].val, nil // read-own-writes
 	}
 	tx.meta.Prio.Add(1)
@@ -285,11 +330,11 @@ func (tx *Tx) Read(o *core.Object) (any, error) {
 		if tx.noReadSetFastPath() {
 			v := newestAt(o, tx.ub)
 			if v == nil {
-				tx.stm.snapshotMiss.Add(1)
+				tx.th.shard.Inc(cntSnapshotMiss)
 				return nil, tx.fail(core.ErrSnapshotUnavailable)
 			}
 			if v != o.Current() {
-				tx.stm.oldVersions.Add(1)
+				tx.th.shard.Inc(cntOldVersions)
 			}
 			return v.Value, nil
 		}
@@ -305,12 +350,12 @@ func (tx *Tx) Read(o *core.Object) (any, error) {
 				// Multi-version fallback: serve an old version valid at ub.
 				v = newestAt(o, tx.ub)
 				if v == nil {
-					tx.stm.snapshotMiss.Add(1)
+					tx.th.shard.Inc(cntSnapshotMiss)
 					return nil, tx.fail(core.ErrSnapshotUnavailable)
 				}
-				tx.stm.oldVersions.Add(1)
+				tx.th.shard.Inc(cntOldVersions)
 			} else {
-				tx.stm.conflicts.Add(1)
+				tx.th.shard.Inc(cntConflicts)
 				return nil, tx.fail(core.ErrConflict)
 			}
 		}
@@ -335,7 +380,7 @@ func (tx *Tx) tryExtend() bool {
 		return false
 	}
 	tx.ub = now
-	tx.stm.extensions.Add(1)
+	tx.th.shard.Inc(cntExtensions)
 	return true
 }
 
@@ -364,7 +409,7 @@ func (tx *Tx) Write(o *core.Object, val any) error {
 	if tx.meta.Status() == core.StatusAborted {
 		return tx.fail(core.ErrAborted)
 	}
-	if i, ok := tx.windex[o.ID()]; ok {
+	if i, ok := tx.windex.Get(o.ID()); ok {
 		tx.writes[i].val = val
 		return nil
 	}
@@ -391,7 +436,7 @@ func (tx *Tx) Write(o *core.Object, val any) error {
 			}
 		default:
 			if !cm.Resolve(tx.stm.cfg.CM, tx.meta, w) {
-				tx.stm.conflicts.Add(1)
+				tx.th.shard.Inc(cntConflicts)
 				return tx.fail(core.ErrAborted)
 			}
 		}
@@ -400,10 +445,7 @@ func (tx *Tx) Write(o *core.Object, val any) error {
 }
 
 func (tx *Tx) recordWrite(o *core.Object, val any) {
-	if tx.windex == nil {
-		tx.windex = make(map[uint64]int, 8)
-	}
-	tx.windex[o.ID()] = len(tx.writes)
+	tx.windex.Put(o.ID(), len(tx.writes))
 	tx.writes = append(tx.writes, writeEntry{obj: o, val: val})
 }
 
@@ -425,7 +467,7 @@ func (tx *Tx) Commit() error {
 			return tx.fail(core.ErrAborted)
 		}
 		tx.finish()
-		tx.stm.commits.Add(1)
+		tx.th.shard.Inc(cntCommits)
 		return nil
 	}
 
@@ -437,8 +479,8 @@ func (tx *Tx) Commit() error {
 			tx.meta.CASStatus(core.StatusCommitting, core.StatusAborted)
 			tx.releaseLocks()
 			tx.finish()
-			tx.stm.aborts.Add(1)
-			tx.stm.conflicts.Add(1)
+			tx.th.shard.Inc(cntAborts)
+			tx.th.shard.Inc(cntConflicts)
 			return err
 		}
 	}
@@ -449,13 +491,13 @@ func (tx *Tx) Commit() error {
 	// installed or lock-protected when read (stabilize), so the read set
 	// is trivially still valid at ct.
 	if tx.stm.fastOK && ct == tx.ub+1 {
-		tx.stm.fastValidations.Add(1)
+		tx.th.shard.Inc(cntFastValidations)
 	} else if !tx.validateAt(ct) {
 		tx.meta.CASStatus(core.StatusCommitting, core.StatusAborted)
 		tx.releaseLocks()
 		tx.finish()
-		tx.stm.aborts.Add(1)
-		tx.stm.conflicts.Add(1)
+		tx.th.shard.Inc(cntAborts)
+		tx.th.shard.Inc(cntConflicts)
 		return core.ErrConflict
 	}
 	for _, w := range tx.writes {
@@ -464,7 +506,7 @@ func (tx *Tx) Commit() error {
 	tx.meta.CASStatus(core.StatusCommitting, core.StatusCommitted)
 	tx.releaseLocks()
 	tx.finish()
-	tx.stm.commits.Add(1)
+	tx.th.shard.Inc(cntCommits)
 	return nil
 }
 
@@ -482,7 +524,7 @@ func (tx *Tx) abortInternal(countConflict bool) {
 	tx.meta.TryAbort()
 	tx.releaseLocks()
 	tx.finish()
-	tx.stm.aborts.Add(1)
+	tx.th.shard.Inc(cntAborts)
 }
 
 func (tx *Tx) releaseLocks() {

@@ -29,6 +29,7 @@ import (
 	"tbtm/internal/clock"
 	"tbtm/internal/cm"
 	"tbtm/internal/core"
+	"tbtm/internal/stats"
 )
 
 // Config parameterizes an SI-STM instance.
@@ -53,6 +54,15 @@ type Stats struct {
 	SnapshotMiss uint64 // aborts because no retained version was old enough
 }
 
+// Counter slots within a thread's stats shard.
+const (
+	cntCommits = iota
+	cntAborts
+	cntConflicts
+	cntOldVersions
+	cntSnapshotMiss
+)
+
 // STM is an SI-STM instance. Objects and threads are bound to the
 // instance that created them.
 type STM struct {
@@ -60,11 +70,8 @@ type STM struct {
 
 	nextThread atomic.Int64
 
-	commits      atomic.Uint64
-	aborts       atomic.Uint64
-	conflicts    atomic.Uint64
-	oldVersions  atomic.Uint64
-	snapshotMiss atomic.Uint64
+	// shards holds the per-thread counter shards; see internal/stats.
+	shards stats.Set
 }
 
 // New returns an SI-STM instance, applying defaults for zero fields.
@@ -95,24 +102,30 @@ func (s *STM) NewObject(initial any) *core.Object {
 
 // NewThread returns a handle for one worker goroutine.
 func (s *STM) NewThread() *Thread {
-	return &Thread{stm: s, id: int(s.nextThread.Add(1) - 1)}
+	return &Thread{stm: s, id: int(s.nextThread.Add(1) - 1), shard: s.shards.NewShard()}
 }
 
-// Stats returns a snapshot of the cumulative counters.
+// Stats returns a snapshot of the cumulative counters, aggregated across
+// the per-thread shards.
 func (s *STM) Stats() Stats {
+	c := s.shards.Snapshot()
 	return Stats{
-		Commits:      s.commits.Load(),
-		Aborts:       s.aborts.Load(),
-		Conflicts:    s.conflicts.Load(),
-		OldVersions:  s.oldVersions.Load(),
-		SnapshotMiss: s.snapshotMiss.Load(),
+		Commits:      c[cntCommits],
+		Aborts:       c[cntAborts],
+		Conflicts:    c[cntConflicts],
+		OldVersions:  c[cntOldVersions],
+		SnapshotMiss: c[cntSnapshotMiss],
 	}
 }
 
-// Thread is a per-goroutine handle.
+// Thread is a per-goroutine handle. It owns a stats shard and a reusable
+// transaction descriptor, so the begin→commit hot path performs no
+// descriptor allocation.
 type Thread struct {
-	stm *STM
-	id  int
+	stm   *STM
+	id    int
+	shard *stats.Shard
+	tx    Tx // reusable descriptor, recycled by Begin once finished
 }
 
 // ID returns the thread's index in the time base.
@@ -123,14 +136,26 @@ func (th *Thread) STM() *STM { return th.stm }
 
 // Begin starts a transaction whose snapshot is the time base's current
 // value. kind feeds the contention manager; readOnly rejects writes.
+//
+// Begin may recycle the thread's previous transaction descriptor: a *Tx
+// is invalid after Commit or Abort and must not be retained across the
+// next Begin on the same thread.
 func (th *Thread) Begin(kind core.TxKind, readOnly bool) *Tx {
-	return &Tx{
-		stm:  th.stm,
-		th:   th,
-		meta: core.NewTxMeta(kind, th.id),
-		ro:   readOnly,
-		st:   th.stm.cfg.Clock.Now(th.id),
+	tx := &th.tx
+	if tx.stm != nil && !tx.done {
+		tx = new(Tx)
 	}
+	tx.stm = th.stm
+	tx.th = th
+	tx.meta = core.NewTxMeta(kind, th.id)
+	tx.ro = readOnly
+	tx.st = th.stm.cfg.Clock.Now(th.id)
+	tx.ct = 0
+	clear(tx.writes) // release the previous transaction's objects/values
+	tx.writes = tx.writes[:0]
+	tx.windex.Reset()
+	tx.done = false
+	return tx
 }
 
 // writeEntry buffers one tentative update.
@@ -154,12 +179,16 @@ type Tx struct {
 	ct uint64
 
 	writes []writeEntry
-	windex map[uint64]int
+	windex core.SmallIndex
 	done   bool
 }
 
 // Meta exposes the shared descriptor.
 func (tx *Tx) Meta() *core.TxMeta { return tx.meta }
+
+// Done reports whether the transaction has finished and its descriptor
+// may be recycled. A nil receiver counts as done.
+func (tx *Tx) Done() bool { return tx == nil || tx.done }
 
 // SnapshotTime returns the fixed snapshot time.
 func (tx *Tx) SnapshotTime() uint64 { return tx.st }
@@ -194,7 +223,7 @@ func (tx *Tx) fail(err error) error {
 	tx.meta.TryAbort()
 	tx.releaseLocks()
 	tx.done = true
-	tx.stm.aborts.Add(1)
+	tx.th.shard.Inc(cntAborts)
 	return err
 }
 
@@ -208,18 +237,18 @@ func (tx *Tx) Read(o *core.Object) (any, error) {
 	if tx.meta.Status() == core.StatusAborted {
 		return nil, tx.fail(core.ErrAborted)
 	}
-	if i, ok := tx.windex[o.ID()]; ok {
+	if i, ok := tx.windex.Get(o.ID()); ok {
 		return tx.writes[i].val, nil // read-own-writes
 	}
 	tx.meta.Prio.Add(1)
 	tx.stabilize(o)
 	v := o.FindAt(tx.st)
 	if v == nil {
-		tx.stm.snapshotMiss.Add(1)
+		tx.th.shard.Inc(cntSnapshotMiss)
 		return nil, tx.fail(core.ErrSnapshotUnavailable)
 	}
 	if v != o.Current() {
-		tx.stm.oldVersions.Add(1)
+		tx.th.shard.Inc(cntOldVersions)
 	}
 	return v.Value, nil
 }
@@ -238,7 +267,7 @@ func (tx *Tx) Write(o *core.Object, val any) error {
 	if tx.meta.Status() == core.StatusAborted {
 		return tx.fail(core.ErrAborted)
 	}
-	if i, ok := tx.windex[o.ID()]; ok {
+	if i, ok := tx.windex.Get(o.ID()); ok {
 		tx.writes[i].val = val
 		return nil
 	}
@@ -262,7 +291,7 @@ func (tx *Tx) Write(o *core.Object, val any) error {
 			}
 		default:
 			if !cm.Resolve(tx.stm.cfg.CM, tx.meta, w) {
-				tx.stm.conflicts.Add(1)
+				tx.th.shard.Inc(cntConflicts)
 				return tx.fail(core.ErrAborted)
 			}
 		}
@@ -277,13 +306,10 @@ func (tx *Tx) Write(o *core.Object, val any) error {
 // so no later version can appear and commit needs no re-check.
 func (tx *Tx) checkFirstCommitter(o *core.Object, val any) error {
 	if o.Current().TS > tx.st {
-		tx.stm.conflicts.Add(1)
+		tx.th.shard.Inc(cntConflicts)
 		return tx.fail(core.ErrConflict)
 	}
-	if tx.windex == nil {
-		tx.windex = make(map[uint64]int, 8)
-	}
-	tx.windex[o.ID()] = len(tx.writes)
+	tx.windex.Put(o.ID(), len(tx.writes))
 	tx.writes = append(tx.writes, writeEntry{obj: o, val: val})
 	return nil
 }
@@ -305,7 +331,7 @@ func (tx *Tx) Commit() error {
 			return tx.fail(core.ErrAborted)
 		}
 		tx.done = true
-		tx.stm.commits.Add(1)
+		tx.th.shard.Inc(cntCommits)
 		return nil
 	}
 	if !tx.meta.CASStatus(core.StatusActive, core.StatusCommitting) {
@@ -318,7 +344,7 @@ func (tx *Tx) Commit() error {
 	tx.meta.CASStatus(core.StatusCommitting, core.StatusCommitted)
 	tx.releaseLocks()
 	tx.done = true
-	tx.stm.commits.Add(1)
+	tx.th.shard.Inc(cntCommits)
 	return nil
 }
 
@@ -330,7 +356,7 @@ func (tx *Tx) Abort() {
 	tx.meta.TryAbort()
 	tx.releaseLocks()
 	tx.done = true
-	tx.stm.aborts.Add(1)
+	tx.th.shard.Inc(cntAborts)
 }
 
 func (tx *Tx) releaseLocks() {

@@ -44,6 +44,7 @@ import (
 
 	"tbtm/internal/cm"
 	"tbtm/internal/core"
+	"tbtm/internal/stats"
 	"tbtm/internal/vclock"
 )
 
@@ -70,6 +71,13 @@ type Stats struct {
 	Conflicts uint64 // serializability validation failures
 }
 
+// Counter slots within a thread's stats shard.
+const (
+	cntCommits = iota
+	cntAborts
+	cntConflicts
+)
+
 // STM is an S-STM instance.
 type STM struct {
 	cfg   Config
@@ -80,9 +88,9 @@ type STM struct {
 	commitMu sync.Mutex
 
 	nextThread atomic.Int64
-	commits    atomic.Uint64
-	aborts     atomic.Uint64
-	conflicts  atomic.Uint64
+
+	// shards holds the per-thread counter shards; see internal/stats.
+	shards stats.Set
 }
 
 // New returns an S-STM instance, applying defaults for zero fields.
@@ -109,9 +117,11 @@ func (s *STM) Config() Config { return s.cfg }
 // Clock exposes the vector time base.
 func (s *STM) Clock() *vclock.Clock { return s.clock }
 
-// Stats returns a snapshot of the cumulative counters.
+// Stats returns a snapshot of the cumulative counters, aggregated across
+// the per-thread shards.
 func (s *STM) Stats() Stats {
-	return Stats{Commits: s.commits.Load(), Aborts: s.aborts.Load(), Conflicts: s.conflicts.Load()}
+	c := s.shards.Snapshot()
+	return Stats{Commits: c[cntCommits], Aborts: c[cntAborts], Conflicts: c[cntConflicts]}
 }
 
 // Record is the persistent footprint of a transaction: its commit
@@ -120,7 +130,8 @@ func (s *STM) Stats() Stats {
 // tell whether it committed), and the floor — the join of the timestamps
 // of all committed transactions that must precede any transaction
 // ordered after this one. TS and floor are only accessed under the
-// STM's commit mutex.
+// STM's commit mutex, and only for committed records; both are nil
+// until the owning transaction commits.
 type Record struct {
 	TS    vclock.TS
 	floor vclock.TS
@@ -202,16 +213,22 @@ func (o *Object) ID() uint64 { return o.id }
 // Current returns the newest committed version.
 func (o *Object) Current() *Version { return o.cur.Load() }
 
-// Thread is a per-goroutine handle carrying VC_p.
+// Thread is a per-goroutine handle carrying VC_p. It also owns a stats
+// shard and a reusable transaction descriptor, so the begin→commit hot
+// path allocates only what outlives the transaction (its meta and
+// record).
 type Thread struct {
-	stm *STM
-	id  int
-	vc  vclock.TS
+	stm   *STM
+	id    int
+	vc    vclock.TS
+	shard *stats.Shard
+	tx    Tx        // reusable descriptor, recycled by Begin once finished
+	ctbuf vclock.TS // spare timestamp buffer recovered from aborted transactions
 }
 
 // NewThread returns a handle for one worker goroutine.
 func (s *STM) NewThread() *Thread {
-	return &Thread{stm: s, id: int(s.nextThread.Add(1) - 1), vc: s.clock.Zero()}
+	return &Thread{stm: s, id: int(s.nextThread.Add(1) - 1), vc: s.clock.Zero(), shard: s.shards.NewShard()}
 }
 
 // ID returns the thread's index.
@@ -221,16 +238,44 @@ func (th *Thread) ID() int { return th.id }
 func (th *Thread) STM() *STM { return th.stm }
 
 // Begin starts a transaction.
+//
+// Begin may recycle the thread's previous transaction descriptor: a *Tx
+// is invalid after Commit or Abort and must not be retained across the
+// next Begin on the same thread. The transaction's meta and record are
+// always allocated fresh — both outlive the transaction (records stay
+// reachable from reader lists and installed versions).
 func (th *Thread) Begin(kind core.TxKind, readOnly bool) *Tx {
-	meta := core.NewTxMeta(kind, th.id)
-	return &Tx{
-		stm:  th.stm,
-		th:   th,
-		meta: meta,
-		rec:  &Record{TS: th.stm.clock.Zero(), floor: th.stm.clock.Zero(), meta: meta},
-		ro:   readOnly,
-		ct:   th.vc.Clone(),
+	tx := &th.tx
+	if tx.stm != nil && !tx.done {
+		tx = new(Tx)
 	}
+	meta := core.NewTxMeta(kind, th.id)
+	tx.stm = th.stm
+	tx.th = th
+	tx.meta = meta
+	tx.rec = &Record{meta: meta}
+	tx.ro = readOnly
+	tx.ct = th.takeCT()
+	clear(tx.reads) // release the previous transaction's objects/values
+	clear(tx.writes)
+	tx.reads = tx.reads[:0]
+	tx.writes = tx.writes[:0]
+	tx.windex.Reset()
+	tx.done = false
+	return tx
+}
+
+// takeCT returns a tentative commit timestamp initialized from VC_p,
+// reusing a buffer recovered from an aborted predecessor when one is
+// available (committed timestamps escape into records and VC_p and are
+// never reused).
+func (th *Thread) takeCT() vclock.TS {
+	if buf := th.ctbuf; len(buf) == len(th.vc) {
+		th.ctbuf = nil
+		copy(buf, th.vc)
+		return buf
+	}
+	return th.vc.Clone()
 }
 
 type readEntry struct {
@@ -256,12 +301,16 @@ type Tx struct {
 
 	reads  []readEntry
 	writes []writeEntry
-	windex map[uint64]int
+	windex core.SmallIndex
 	done   bool
 }
 
 // Meta exposes the shared descriptor.
 func (tx *Tx) Meta() *core.TxMeta { return tx.meta }
+
+// Done reports whether the transaction has finished and its descriptor
+// may be recycled. A nil receiver counts as done.
+func (tx *Tx) Done() bool { return tx == nil || tx.done }
 
 // CT returns a copy of the tentative commit timestamp (tests).
 func (tx *Tx) CT() vclock.TS { return tx.ct.Clone() }
@@ -280,7 +329,9 @@ func (tx *Tx) fail(err error) error {
 	tx.meta.TryAbort()
 	tx.releaseLocks()
 	tx.done = true
-	tx.stm.aborts.Add(1)
+	tx.th.ctbuf = tx.ct // never published: recover the buffer
+	tx.ct = nil
+	tx.th.shard.Inc(cntAborts)
 	return err
 }
 
@@ -294,7 +345,7 @@ func (tx *Tx) Read(o *Object) (any, error) {
 	if tx.meta.Status() == core.StatusAborted {
 		return nil, tx.fail(core.ErrAborted)
 	}
-	if i, ok := tx.windex[o.ID()]; ok {
+	if i, ok := tx.windex.Get(o.ID()); ok {
 		return tx.writes[i].val, nil
 	}
 	tx.meta.Prio.Add(1)
@@ -326,7 +377,7 @@ func (tx *Tx) Write(o *Object, val any) error {
 	if tx.meta.Status() == core.StatusAborted {
 		return tx.fail(core.ErrAborted)
 	}
-	if i, ok := tx.windex[o.ID()]; ok {
+	if i, ok := tx.windex.Get(o.ID()); ok {
 		tx.writes[i].val = val
 		return nil
 	}
@@ -353,7 +404,7 @@ func (tx *Tx) Write(o *Object, val any) error {
 			}
 		default:
 			if !cm.Resolve(tx.stm.cfg.CM, tx.meta, w) {
-				tx.stm.conflicts.Add(1)
+				tx.th.shard.Inc(cntConflicts)
 				return tx.fail(core.ErrAborted)
 			}
 		}
@@ -364,10 +415,7 @@ func (tx *Tx) Write(o *Object, val any) error {
 func (tx *Tx) recordWrite(o *Object, val any) {
 	v := o.cur.Load()
 	tx.absorb(v)
-	if tx.windex == nil {
-		tx.windex = make(map[uint64]int, 8)
-	}
-	tx.windex[o.ID()] = len(tx.writes)
+	tx.windex.Put(o.ID(), len(tx.writes))
 	tx.writes = append(tx.writes, writeEntry{obj: o, base: v, val: val})
 }
 
@@ -432,8 +480,10 @@ func (tx *Tx) Commit() error {
 				s.commitMu.Unlock()
 				tx.releaseLocks()
 				tx.done = true
-				s.aborts.Add(1)
-				s.conflicts.Add(1)
+				tx.th.ctbuf = tx.ct
+				tx.ct = nil
+				tx.th.shard.Inc(cntAborts)
+				tx.th.shard.Inc(cntConflicts)
 				return core.ErrConflict
 			}
 		}
@@ -443,7 +493,8 @@ func (tx *Tx) Commit() error {
 	if len(tx.writes) > 0 {
 		s.clock.Stamp(tx.th.id, tx.ct)
 	}
-	tx.rec.TS = tx.ct
+	tx.rec.TS = tx.ct // the ct buffer escapes into the record here
+	tx.rec.floor = s.clock.Zero()
 	// Step 4: attach our order to every successor writer, along the whole
 	// successor chain (each overwrote a version we read, so we precede
 	// each of them).
@@ -471,7 +522,7 @@ func (tx *Tx) Commit() error {
 	tx.releaseLocks()
 	tx.done = true
 	tx.th.vc = tx.ct
-	s.commits.Add(1)
+	tx.th.shard.Inc(cntCommits)
 	return nil
 }
 
@@ -483,7 +534,9 @@ func (tx *Tx) Abort() {
 	tx.meta.TryAbort()
 	tx.releaseLocks()
 	tx.done = true
-	tx.stm.aborts.Add(1)
+	tx.th.ctbuf = tx.ct
+	tx.ct = nil
+	tx.th.shard.Inc(cntAborts)
 }
 
 func (tx *Tx) releaseLocks() {

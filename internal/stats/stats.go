@@ -1,0 +1,81 @@
+// Package stats provides cache-line-padded, per-thread sharded counters
+// for the STM hot paths. Every backend used to funnel its commit/abort
+// accounting through one block of global atomic.Uint64 fields, which
+// serialized otherwise-parallel commits on a single contended cache
+// line. Here each Thread owns a Shard — a private, padded block of
+// slots — so the hot-path increment is an uncontended atomic add on a
+// line no other thread writes, and a Stats() snapshot sums across the
+// registered shards.
+//
+// Slots are plain small integers; each backend declares its own slot
+// constants (commits, aborts, ...) in the [0, NumSlots) range. Counters
+// are cumulative and monotonic; Snapshot may run concurrently with
+// increments and observes each slot atomically (the cross-slot view is
+// a racy-but-monotonic snapshot, exactly as the previous global
+// counters provided).
+package stats
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// NumSlots is the number of counters per shard. Eight 8-byte slots fill
+// exactly one 64-byte cache line; every backend's counter block fits.
+const NumSlots = 8
+
+// Shard is one thread's private counter block. The slot array fills one
+// cache line and the trailing pad keeps the next heap object off it, so
+// increments by the owning thread never contend with other shards.
+type Shard struct {
+	slots [NumSlots]atomic.Uint64
+	_     [64]byte
+}
+
+// Inc adds 1 to the given slot.
+func (sh *Shard) Inc(slot int) { sh.slots[slot].Add(1) }
+
+// Add adds n to the given slot.
+func (sh *Shard) Add(slot int, n uint64) { sh.slots[slot].Add(n) }
+
+// Load returns the shard's own value of the given slot.
+func (sh *Shard) Load(slot int) uint64 { return sh.slots[slot].Load() }
+
+// Set is a registry of shards belonging to one STM instance. The zero
+// value is ready to use.
+type Set struct {
+	mu     sync.Mutex
+	shards []*Shard
+}
+
+// NewShard allocates a shard, registers it, and returns it. Each Thread
+// calls this once; the shard lives as long as the Set (threads are
+// never unregistered — counters are cumulative).
+func (s *Set) NewShard() *Shard {
+	sh := new(Shard)
+	s.mu.Lock()
+	s.shards = append(s.shards, sh)
+	s.mu.Unlock()
+	return sh
+}
+
+// Snapshot returns the per-slot sums across all registered shards.
+func (s *Set) Snapshot() [NumSlots]uint64 {
+	s.mu.Lock()
+	shards := s.shards
+	s.mu.Unlock()
+	var out [NumSlots]uint64
+	for _, sh := range shards {
+		for i := range sh.slots {
+			out[i] += sh.slots[i].Load()
+		}
+	}
+	return out
+}
+
+// Shards returns the number of registered shards (tests, diagnostics).
+func (s *Set) Shards() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.shards)
+}

@@ -1,0 +1,59 @@
+package stats
+
+import (
+	"sync"
+	"testing"
+	"unsafe"
+)
+
+func TestShardFillsCacheLine(t *testing.T) {
+	if got := unsafe.Sizeof(Shard{}.slots); got != 64 {
+		t.Fatalf("slot block is %d bytes, want 64 (one cache line)", got)
+	}
+	if got := unsafe.Sizeof(Shard{}); got < 128 {
+		t.Fatalf("Shard is %d bytes, want >= 128 (padded)", got)
+	}
+}
+
+func TestSnapshotSumsAcrossShards(t *testing.T) {
+	var set Set
+	a, b := set.NewShard(), set.NewShard()
+	a.Inc(0)
+	a.Add(0, 2)
+	b.Inc(0)
+	a.Inc(3)
+	b.Add(7, 5)
+	snap := set.Snapshot()
+	want := [NumSlots]uint64{0: 4, 3: 1, 7: 5}
+	if snap != want {
+		t.Fatalf("Snapshot = %v, want %v", snap, want)
+	}
+	if set.Shards() != 2 {
+		t.Fatalf("Shards = %d, want 2", set.Shards())
+	}
+}
+
+func TestConcurrentIncrements(t *testing.T) {
+	var set Set
+	const workers, per = 8, 10000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		sh := set.NewShard()
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				sh.Inc(i % NumSlots)
+			}
+		}()
+	}
+	wg.Wait()
+	snap := set.Snapshot()
+	var total uint64
+	for _, v := range snap {
+		total += v
+	}
+	if total != workers*per {
+		t.Fatalf("total = %d, want %d", total, workers*per)
+	}
+}

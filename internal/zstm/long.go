@@ -27,7 +27,7 @@ type LongTx struct {
 
 	reads  []longRead
 	writes []longWrite
-	windex map[uint64]int
+	windex core.SmallIndex
 	done   bool
 }
 
@@ -47,6 +47,10 @@ func (tx *LongTx) ZC() uint64 { return tx.zc }
 // Meta exposes the shared descriptor.
 func (tx *LongTx) Meta() *core.TxMeta { return tx.meta }
 
+// Done reports whether the transaction has finished and its descriptor
+// may be recycled. A nil receiver counts as done.
+func (tx *LongTx) Done() bool { return tx == nil || tx.done }
+
 // ReadOnly reports whether the transaction was declared read-only.
 func (tx *LongTx) ReadOnly() bool { return tx.ro }
 
@@ -56,7 +60,7 @@ func (tx *LongTx) fail(err error) error {
 	tx.releaseLocks()
 	tx.th.stm.unregisterZone(tx.zc)
 	tx.done = true
-	tx.th.stm.longAborts.Add(1)
+	tx.th.shard.Inc(cntLongAborts)
 	return err
 }
 
@@ -77,7 +81,7 @@ func (tx *LongTx) open(o *core.Object, write bool) (reopened bool, err error) {
 	} else if !o.RaiseZC(tx.zc) {
 		// A long transaction with a higher zone number beat us to this
 		// object (Algorithm 2 lines 19-20).
-		tx.th.stm.longPassed.Add(1)
+		tx.th.shard.Inc(cntLongPassed)
 		return false, tx.fail(core.ErrConflict)
 	}
 	for round := 0; ; round++ {
@@ -126,7 +130,7 @@ func (tx *LongTx) Read(o *core.Object) (any, error) {
 	if tx.done {
 		return nil, core.ErrTxDone
 	}
-	if i, ok := tx.windex[o.ID()]; ok {
+	if i, ok := tx.windex.Get(o.ID()); ok {
 		return tx.writes[i].val, nil
 	}
 	reopened, err := tx.open(o, false)
@@ -172,17 +176,14 @@ func (tx *LongTx) Write(o *core.Object, val any) error {
 	if tx.ro {
 		return core.ErrReadOnly
 	}
-	if i, ok := tx.windex[o.ID()]; ok {
+	if i, ok := tx.windex.Get(o.ID()); ok {
 		tx.writes[i].val = val
 		return nil
 	}
 	if _, err := tx.open(o, true); err != nil {
 		return err
 	}
-	if tx.windex == nil {
-		tx.windex = make(map[uint64]int, 8)
-	}
-	tx.windex[o.ID()] = len(tx.writes)
+	tx.windex.Put(o.ID(), len(tx.writes))
 	tx.writes = append(tx.writes, longWrite{obj: o, val: val})
 	return nil
 }
@@ -212,8 +213,8 @@ func (tx *LongTx) Commit() error {
 			tx.releaseLocks()
 			s.unregisterZone(tx.zc)
 			tx.done = true
-			s.longAborts.Add(1)
-			s.longPassed.Add(1)
+			tx.th.shard.Inc(cntLongAborts)
+			tx.th.shard.Inc(cntLongPassed)
 			return core.ErrConflict
 		}
 		if s.ct.CompareAndSwap(cur, tx.zc) {
@@ -231,7 +232,7 @@ func (tx *LongTx) Commit() error {
 	s.unregisterZone(tx.zc)
 	tx.done = true
 	tx.th.commitZone(tx.zc) // LZC_p ← T.zc (Algorithm 2 line 27)
-	s.longCommits.Add(1)
+	tx.th.shard.Inc(cntLongCommits)
 	return nil
 }
 
@@ -245,7 +246,7 @@ func (tx *LongTx) Abort() {
 	tx.releaseLocks()
 	tx.th.stm.unregisterZone(tx.zc)
 	tx.done = true
-	tx.th.stm.longAborts.Add(1)
+	tx.th.shard.Inc(cntLongAborts)
 }
 
 func (tx *LongTx) releaseLocks() {

@@ -16,6 +16,10 @@ type ShortTx struct {
 	zc      uint64
 	zoneSet bool
 	wobjs   []*core.Object // write-opened objects, re-validated at commit
+	// check caches the revalidateZones method value so installing the
+	// commit hook does not allocate a closure on every first write; the
+	// bound receiver is this (recycled, hence stable) descriptor.
+	check func() error
 }
 
 // ZC returns the transaction's zone label (0 until the first open).
@@ -23,6 +27,10 @@ func (tx *ShortTx) ZC() uint64 { return tx.zc }
 
 // Meta exposes the shared descriptor.
 func (tx *ShortTx) Meta() *core.TxMeta { return tx.inner.Meta() }
+
+// Done reports whether the transaction has finished and its descriptor
+// may be recycled. A nil receiver counts as done.
+func (tx *ShortTx) Done() bool { return tx == nil || tx.inner.Done() }
 
 // Read opens o in read mode and returns the transaction's view of it.
 func (tx *ShortTx) Read(o *core.Object) (any, error) {
@@ -43,7 +51,10 @@ func (tx *ShortTx) Write(o *core.Object, val any) error {
 		return err
 	}
 	if len(tx.wobjs) == 0 {
-		tx.inner.SetCommitCheck(tx.revalidateZones)
+		if tx.check == nil {
+			tx.check = tx.revalidateZones
+		}
+		tx.inner.SetCommitCheck(tx.check)
 	}
 	tx.wobjs = append(tx.wobjs, o)
 	return nil
@@ -61,7 +72,7 @@ func (tx *ShortTx) revalidateZones() error {
 	s := tx.th.stm
 	for _, o := range tx.wobjs {
 		if z := o.ZC(); z != tx.zc && s.zoneActive(z) {
-			s.zoneCrosses.Add(1)
+			tx.th.shard.Inc(cntZoneCrosses)
 			return core.ErrConflict
 		}
 	}
@@ -95,7 +106,7 @@ func (tx *ShortTx) zoneCheck(o *core.Object) error {
 				// commit while that zone's long transaction is active
 				// (Algorithm 3 line 9): the serialization order must
 				// observe the thread's program order.
-				s.zoneCrosses.Add(1)
+				tx.th.shard.Inc(cntZoneCrosses)
 				tx.inner.Abort()
 				return core.ErrConflict
 			}
@@ -125,12 +136,12 @@ func (tx *ShortTx) zoneCheck(o *core.Object) error {
 		if !s.zoneActive(tx.zc) && !s.zoneActive(ozc) {
 			tx.zc = s.ct.Load()
 			if waited {
-				s.zoneWaits.Add(1)
+				tx.th.shard.Inc(cntZoneWaits)
 			}
 			return nil
 		}
 		if round >= s.cfg.ZonePatience {
-			s.zoneCrosses.Add(1)
+			tx.th.shard.Inc(cntZoneCrosses)
 			tx.inner.Abort()
 			return core.ErrConflict
 		}

@@ -27,6 +27,7 @@ import (
 	"tbtm/internal/cm"
 	"tbtm/internal/core"
 	"tbtm/internal/lsa"
+	"tbtm/internal/stats"
 )
 
 // Config parameterizes a Z-STM instance.
@@ -78,12 +79,19 @@ type STM struct {
 	mu    sync.Mutex
 	zones map[uint64]*core.TxMeta
 
-	longCommits atomic.Uint64
-	longAborts  atomic.Uint64
-	longPassed  atomic.Uint64
-	zoneCrosses atomic.Uint64
-	zoneWaits   atomic.Uint64
+	// shards holds the per-thread counter shards for the zone-layer
+	// counters; the short-transaction counters live in the inner LSA.
+	shards stats.Set
 }
+
+// Counter slots within a thread's stats shard (zone layer only).
+const (
+	cntLongCommits = iota
+	cntLongAborts
+	cntLongPassed
+	cntZoneCrosses
+	cntZoneWaits
+)
 
 // New returns a Z-STM instance, applying defaults for zero fields.
 func New(cfg Config) *STM {
@@ -121,18 +129,20 @@ func (s *STM) NewObject(initial any) *core.Object { return s.inner.NewObject(ini
 
 // NewThread returns a per-goroutine handle carrying LZC_p.
 func (s *STM) NewThread() *Thread {
-	return &Thread{stm: s, inner: s.inner.NewThread()}
+	return &Thread{stm: s, inner: s.inner.NewThread(), shard: s.shards.NewShard()}
 }
 
-// Stats returns a snapshot of the cumulative counters.
+// Stats returns a snapshot of the cumulative counters, aggregated across
+// the per-thread shards.
 func (s *STM) Stats() Stats {
+	c := s.shards.Snapshot()
 	return Stats{
 		Short:       s.inner.Stats(),
-		LongCommits: s.longCommits.Load(),
-		LongAborts:  s.longAborts.Load(),
-		LongPassed:  s.longPassed.Load(),
-		ZoneCrosses: s.zoneCrosses.Load(),
-		ZoneWaits:   s.zoneWaits.Load(),
+		LongCommits: c[cntLongCommits],
+		LongAborts:  c[cntLongAborts],
+		LongPassed:  c[cntLongPassed],
+		ZoneCrosses: c[cntZoneCrosses],
+		ZoneWaits:   c[cntZoneWaits],
 	}
 }
 
@@ -168,11 +178,16 @@ func (s *STM) zoneActive(z uint64) bool {
 }
 
 // Thread is a per-goroutine handle. It carries LZC_p, the zone of the
-// thread's most recently committed transaction (Algorithms 2 and 3).
+// thread's most recently committed transaction (Algorithms 2 and 3),
+// plus a stats shard and reusable short/long transaction descriptors so
+// the begin→commit hot paths perform no descriptor allocation.
 type Thread struct {
 	stm   *STM
 	inner *lsa.Thread
 	lzc   uint64
+	shard *stats.Shard
+	stx   ShortTx // reusable short descriptor, recycled by BeginShort
+	ltx   LongTx  // reusable long descriptor, recycled by BeginLong
 }
 
 // ID returns the thread's index in the time base.
@@ -191,19 +206,46 @@ func (th *Thread) commitZone(z uint64) {
 }
 
 // BeginShort starts a short transaction (Algorithm 3) on the LSA engine.
+//
+// BeginShort may recycle the thread's previous short descriptor: a
+// *ShortTx is invalid after Commit or Abort and must not be retained
+// across the next BeginShort on the same thread.
 func (th *Thread) BeginShort(readOnly bool) *ShortTx {
-	return &ShortTx{th: th, inner: th.inner.Begin(core.Short, readOnly)}
+	tx := &th.stx
+	if !tx.inner.Done() {
+		tx = new(ShortTx)
+	}
+	tx.th = th
+	tx.inner = th.inner.Begin(core.Short, readOnly)
+	tx.zc = 0
+	tx.zoneSet = false
+	clear(tx.wobjs) // release the previous transaction's objects
+	tx.wobjs = tx.wobjs[:0]
+	return tx
 }
 
 // BeginLong starts a long transaction (Algorithm 2), reserving the next
 // zone number.
+//
+// BeginLong may recycle the thread's previous long descriptor: a *LongTx
+// is invalid after Commit or Abort and must not be retained across the
+// next BeginLong on the same thread. The meta is always allocated fresh
+// — it is published through the zone registry and object writer words.
 func (th *Thread) BeginLong(readOnly bool) *LongTx {
-	tx := &LongTx{
-		th:   th,
-		meta: core.NewTxMeta(core.Long, th.inner.ID()),
-		ro:   readOnly,
-		zc:   th.stm.zc.Add(1),
+	tx := &th.ltx
+	if tx.meta != nil && !tx.done {
+		tx = new(LongTx)
 	}
+	tx.th = th
+	tx.meta = core.NewTxMeta(core.Long, th.inner.ID())
+	tx.ro = readOnly
+	tx.zc = th.stm.zc.Add(1)
+	clear(tx.reads) // release the previous transaction's objects/values
+	clear(tx.writes)
+	tx.reads = tx.reads[:0]
+	tx.writes = tx.writes[:0]
+	tx.windex.Reset()
+	tx.done = false
 	th.stm.registerZone(tx.zc, tx.meta)
 	return tx
 }

@@ -96,6 +96,7 @@ type config struct {
 	maxRetries   int
 
 	validationFastPath bool
+	sharedCommitTimes  bool
 
 	realTime     bool
 	rtEpsilon    uint64
@@ -134,6 +135,12 @@ func (c *config) validate() error {
 	}
 	if c.realTime && (c.consistency == CausallySerializable || c.consistency == Serializable) {
 		return fmt.Errorf("tbtm: real-time clocks apply to scalar time bases, not %v", c.consistency)
+	}
+	if c.sharedCommitTimes && (c.consistency == CausallySerializable || c.consistency == Serializable) {
+		return fmt.Errorf("tbtm: shared commit times apply to scalar time bases, not %v", c.consistency)
+	}
+	if c.sharedCommitTimes && c.realTime {
+		return fmt.Errorf("tbtm: shared commit times and real-time clocks are mutually exclusive")
 	}
 	if c.comb && c.consistency != CausallySerializable && c.consistency != Serializable {
 		return fmt.Errorf("tbtm: comb clocks apply to vector time bases, not %v", c.consistency)
@@ -235,6 +242,20 @@ func WithPlausibleComb() Option {
 // not count commits.
 func WithValidationFastPath() Option {
 	return func(cfg *config) { cfg.validationFastPath = true }
+}
+
+// WithSharedCommitTimes replaces the shared-counter time base with a
+// TL2-style sharing counter (paper §3: "at least parts of the overhead
+// of the shared integer counter are avoided in TL2 by letting
+// transactions share commit times"): a committer whose increment CAS
+// fails adopts the concurrent winner's value instead of retrying, so
+// heavily contended commits share a tick. Applies to Linearizable,
+// SingleVersion, SnapshotIsolation and ZLinearizable; it is mutually
+// exclusive with WithSimRealTimeClock. Sharing commit times forfeits
+// strict commit counting, so WithValidationFastPath is ignored on this
+// time base.
+func WithSharedCommitTimes() Option {
+	return func(cfg *config) { cfg.sharedCommitTimes = true }
 }
 
 // WithZonePatience bounds the backoff rounds a short transaction waits on

@@ -79,7 +79,10 @@ const (
 )
 
 // Tx is a transaction in progress. A Tx is owned by one goroutine and
-// must not be used after Commit or Abort.
+// is invalid after Commit or Abort: the next Begin (or Atomic attempt)
+// on the same Thread may recycle the descriptor in place, so a finished
+// Tx must not be retained, inspected, or used again. Operations on a
+// finished Tx before the next Begin return ErrTxDone.
 type Tx interface {
 	// Read returns the transaction's view of obj.
 	Read(obj Object) (any, error)
@@ -162,7 +165,11 @@ func (tm *TM) NewObject(initial any) Object {
 	return Object{tm: tm, h: tm.b.newObject(initial)}
 }
 
-// NewThread returns a handle for one worker goroutine.
+// NewThread returns a handle for one worker goroutine. Threads are
+// designed to be long-lived: each handle registers a stats shard that
+// stays reachable from the TM for the TM's lifetime (counters are
+// cumulative), so create one handle per worker and reuse it rather
+// than allocating a handle per request.
 func (tm *TM) NewThread() *Thread {
 	return &Thread{tm: tm, b: tm.b.newThread()}
 }
@@ -190,6 +197,12 @@ type Stats struct {
 	// via the RSTM fast path (LSA-family backends with
 	// WithValidationFastPath).
 	FastValidations uint64
+	// OldVersions counts reads served by a non-current retained version
+	// (multi-version backends: LSA, SI-STM, Z-STM shorts).
+	OldVersions uint64
+	// SnapshotMisses counts aborts because no retained version was old
+	// enough for the transaction's snapshot (multi-version backends).
+	SnapshotMisses uint64
 }
 
 // Thread is a per-goroutine handle. It carries the per-thread state of
@@ -206,6 +219,12 @@ func (th *Thread) TM() *TM { return th.tm }
 func (th *Thread) ID() int { return th.b.id() }
 
 // Begin starts a transaction of the given kind.
+//
+// Begin may recycle the thread's previous transaction descriptor: a Tx
+// is invalid after Commit or Abort, and a handle to a finished
+// transaction must not be retained across the next Begin on the same
+// thread. This keeps the warm begin→commit path free of descriptor
+// allocations.
 func (th *Thread) Begin(kind TxKind) Tx { return th.b.begin(kind, false) }
 
 // BeginReadOnly starts a transaction that declares it will not write.
