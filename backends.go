@@ -42,8 +42,16 @@ func buildCM(cfg config) cm.Manager {
 }
 
 func buildClock(cfg config) clock.TimeBase {
+	if cfg.timeBase != nil {
+		// The facade TimeBase has the identical method set, so the value
+		// satisfies the kernel interface directly.
+		return cfg.timeBase
+	}
 	if cfg.realTime {
 		return clock.NewSimRealTime(cfg.rtMaxThreads, cfg.rtEpsilon, cfg.rtTick)
+	}
+	if cfg.stripedClock {
+		return clock.NewStripedCounter(cfg.stripedSlots)
 	}
 	if cfg.sharedCommitTimes {
 		return clock.NewSharingCounter()
@@ -85,11 +93,12 @@ func buildBackend(cfg config, tm *TM) backend {
 		})}
 	case Serializable:
 		return &ssBackend{tm: tm, stm: sstm.New(sstm.Config{
-			Threads: cfg.threads,
-			Entries: cfg.entries,
-			Mapping: vclock.Mapping(cfg.mapping),
-			Comb:    cfg.comb,
-			CM:      buildCM(cfg),
+			Threads:       cfg.threads,
+			Entries:       cfg.entries,
+			Mapping:       vclock.Mapping(cfg.mapping),
+			Comb:          cfg.comb,
+			CM:            buildCM(cfg),
+			CommitStripes: cfg.commitStripes,
 		})}
 	case SnapshotIsolation:
 		return &siBackend{tm: tm, stm: sistm.New(sistm.Config{

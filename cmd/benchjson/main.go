@@ -1,0 +1,263 @@
+// Command benchjson runs the commit-path scaling benchmarks across
+// goroutine counts and emits a machine-readable JSON snapshot — the
+// repo's benchmark trajectory (BENCH_PR2.json is the first committed
+// snapshot). Each series measures warm update transactions with
+// per-goroutine disjoint footprints, so the remaining cost is the
+// commit path itself: the time base, the commit ordering machinery and
+// the allocator.
+//
+// Series:
+//
+//	lsa/counter         LSA on the shared-counter time base
+//	lsa/striped-clock   LSA on the striped commit counter (WithStripedClock)
+//	zstm/short          Z-STM short transactions (default clock)
+//	sstm/serialized     S-STM with one commit stripe (the global-lock baseline)
+//	sstm/striped        S-STM with the default 64 commit stripes
+//	sistm/counter       SI-STM on the shared counter
+//
+// Usage:
+//
+//	benchjson                         # all series, goroutines 1,2,4,8, stdout+file
+//	benchjson -out BENCH_PR2.json     # write the snapshot
+//	benchjson -goroutines 1,2,4,8,16 -benchtime 200ms
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"tbtm"
+)
+
+// Point is one measured configuration.
+type Point struct {
+	Series        string  `json:"series"`
+	Goroutines    int     `json:"goroutines"`
+	NsPerOp       float64 `json:"ns_per_op"`
+	AllocsPerOp   float64 `json:"allocs_per_op"`
+	BytesPerOp    float64 `json:"bytes_per_op"`
+	CommitsPerSec float64 `json:"commits_per_sec"`
+}
+
+// Snapshot is the emitted document.
+type Snapshot struct {
+	PR        int     `json:"pr"`
+	GoVersion string  `json:"go_version"`
+	NumCPU    int     `json:"num_cpu"`
+	GOARCH    string  `json:"goarch"`
+	Note      string  `json:"note,omitempty"`
+	Benchtime string  `json:"benchtime"`
+	Points    []Point `json:"points"`
+}
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}
+
+type series struct {
+	name string
+	mk   func() (*tbtm.TM, error)
+}
+
+func allSeries() []series {
+	return []series{
+		{"lsa/counter", func() (*tbtm.TM, error) {
+			return tbtm.New(tbtm.WithConsistency(tbtm.Linearizable))
+		}},
+		{"lsa/striped-clock", func() (*tbtm.TM, error) {
+			return tbtm.New(tbtm.WithConsistency(tbtm.Linearizable), tbtm.WithStripedClock(16))
+		}},
+		{"zstm/short", func() (*tbtm.TM, error) {
+			return tbtm.New(tbtm.WithConsistency(tbtm.ZLinearizable))
+		}},
+		{"sstm/serialized", func() (*tbtm.TM, error) {
+			return tbtm.New(tbtm.WithConsistency(tbtm.Serializable), tbtm.WithThreads(64), tbtm.WithCommitStripes(1))
+		}},
+		{"sstm/striped", func() (*tbtm.TM, error) {
+			return tbtm.New(tbtm.WithConsistency(tbtm.Serializable), tbtm.WithThreads(64))
+		}},
+		{"sistm/counter", func() (*tbtm.TM, error) {
+			return tbtm.New(tbtm.WithConsistency(tbtm.SnapshotIsolation))
+		}},
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("benchjson", flag.ContinueOnError)
+	out := fs.String("out", "", "write the JSON snapshot to this file (default stdout only)")
+	goroutines := fs.String("goroutines", "1,2,4,8", "comma-separated goroutine counts")
+	benchtime := fs.Duration("benchtime", 100*time.Millisecond, "minimum measurement time per point")
+	runList := fs.String("run", "", "comma-separated series substrings to keep (default all)")
+	pr := fs.Int("pr", 2, "PR number recorded in the snapshot")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	var gs []int
+	for _, part := range strings.Split(*goroutines, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil || n < 1 {
+			return fmt.Errorf("bad goroutine count %q", part)
+		}
+		gs = append(gs, n)
+	}
+
+	keep := func(name string) bool {
+		if *runList == "" {
+			return true
+		}
+		for _, part := range strings.Split(*runList, ",") {
+			if strings.Contains(name, strings.TrimSpace(part)) {
+				return true
+			}
+		}
+		return false
+	}
+
+	snap := Snapshot{
+		PR:        *pr,
+		GoVersion: runtime.Version(),
+		NumCPU:    runtime.NumCPU(),
+		GOARCH:    runtime.GOARCH,
+		Benchtime: benchtime.String(),
+	}
+	if runtime.NumCPU() == 1 {
+		snap.Note = "single-CPU host: goroutines timeshare one core, so parallel speedups are not visible in wall-clock"
+	}
+
+	for _, s := range allSeries() {
+		if !keep(s.name) {
+			continue
+		}
+		for _, g := range gs {
+			p, err := measure(s, g, *benchtime)
+			if err != nil {
+				return err
+			}
+			snap.Points = append(snap.Points, p)
+			fmt.Fprintf(os.Stderr, "%-20s g=%-3d %10.1f ns/op %6.1f allocs/op %12.0f commits/s\n",
+				s.name, g, p.NsPerOp, p.AllocsPerOp, p.CommitsPerSec)
+		}
+	}
+
+	enc, err := json.MarshalIndent(snap, "", "  ")
+	if err != nil {
+		return err
+	}
+	enc = append(enc, '\n')
+	if *out != "" {
+		if err := os.WriteFile(*out, enc, 0o644); err != nil {
+			return err
+		}
+	} else {
+		os.Stdout.Write(enc)
+	}
+	return nil
+}
+
+// measure runs one series at one goroutine count: every goroutine owns a
+// private object and thread and commits warm update transactions, so
+// footprints are disjoint and the commit path is the contended resource.
+// Each worker warms its descriptor logs and reclamation pools first, so
+// the measured window sees steady state.
+func measure(s series, goroutines int, benchtime time.Duration) (Point, error) {
+	tm, err := s.mk()
+	if err != nil {
+		return Point{}, err
+	}
+	prev := runtime.GOMAXPROCS(0)
+	defer runtime.GOMAXPROCS(prev)
+	if goroutines > prev {
+		runtime.GOMAXPROCS(goroutines)
+	}
+
+	const warmupOps = 512
+	var (
+		stop    atomic.Bool
+		workErr atomic.Value
+		warmed  sync.WaitGroup
+		done    sync.WaitGroup
+		begin   = make(chan struct{})
+		counts  = make([]int64, goroutines)
+	)
+	for g := 0; g < goroutines; g++ {
+		warmed.Add(1)
+		done.Add(1)
+		go func(g int) {
+			defer done.Done()
+			th := tm.NewThread()
+			obj := tm.NewObject(int64(0))
+			// Pre-boxed so Write does not box a fresh interface value per
+			// op: the series measures the STM's allocations, not the
+			// harness's.
+			var val any = int64(g)
+			op := func() error {
+				return th.Atomic(tbtm.Short, func(tx tbtm.Tx) error {
+					if _, err := tx.Read(obj); err != nil {
+						return err
+					}
+					return tx.Write(obj, val)
+				})
+			}
+			for w := 0; w < warmupOps; w++ {
+				if err := op(); err != nil {
+					workErr.Store(err)
+					break
+				}
+			}
+			warmed.Done()
+			<-begin
+			var n int64
+			for !stop.Load() {
+				if err := op(); err != nil {
+					workErr.Store(err)
+					break
+				}
+				n++
+			}
+			counts[g] = n
+		}(g)
+	}
+	warmed.Wait()
+
+	runtime.GC()
+	var m0, m1 runtime.MemStats
+	runtime.ReadMemStats(&m0)
+	t0 := time.Now()
+	close(begin)
+	time.Sleep(benchtime)
+	stop.Store(true)
+	done.Wait()
+	elapsed := time.Since(t0)
+	runtime.ReadMemStats(&m1)
+
+	if e := workErr.Load(); e != nil {
+		return Point{}, e.(error)
+	}
+	var ops int64
+	for _, n := range counts {
+		ops += n
+	}
+	if ops == 0 {
+		return Point{}, fmt.Errorf("%s at %d goroutines: no operations completed", s.name, goroutines)
+	}
+	return Point{
+		Series:        s.name,
+		Goroutines:    goroutines,
+		NsPerOp:       float64(elapsed.Nanoseconds()) / float64(ops),
+		AllocsPerOp:   float64(m1.Mallocs-m0.Mallocs) / float64(ops),
+		BytesPerOp:    float64(m1.TotalAlloc-m0.TotalAlloc) / float64(ops),
+		CommitsPerSec: float64(ops) / elapsed.Seconds(),
+	}, nil
+}

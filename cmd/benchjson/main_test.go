@@ -1,0 +1,45 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestRunTinySnapshot(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "bench.json")
+	err := run([]string{"-out", out, "-benchtime", "5ms", "-goroutines", "1,2", "-run", "lsa/counter,sstm"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var snap Snapshot
+	if err := json.Unmarshal(raw, &snap); err != nil {
+		t.Fatalf("snapshot is not valid JSON: %v", err)
+	}
+	// 3 kept series × 2 goroutine counts.
+	if len(snap.Points) != 6 {
+		t.Fatalf("got %d points, want 6", len(snap.Points))
+	}
+	for _, p := range snap.Points {
+		if p.CommitsPerSec <= 0 || p.NsPerOp <= 0 {
+			t.Fatalf("degenerate point: %+v", p)
+		}
+	}
+}
+
+func TestRunRejectsBadGoroutines(t *testing.T) {
+	if err := run([]string{"-goroutines", "1,zero"}); err == nil {
+		t.Fatal("bad goroutine list accepted")
+	}
+}
+
+func TestRunRejectsBadFlag(t *testing.T) {
+	if err := run([]string{"-definitely-not-a-flag"}); err == nil {
+		t.Fatal("unknown flag accepted")
+	}
+}

@@ -149,7 +149,11 @@ func genHistory(rng *rand.Rand) *History {
 func TestSerializableMatchesBruteForce(t *testing.T) {
 	rng := rand.New(rand.NewSource(7))
 	agree, violations := 0, 0
-	for trial := 0; trial < 3000; trial++ {
+	trials := 3000
+	if testing.Short() {
+		trials = 800
+	}
+	for trial := 0; trial < trials; trial++ {
 		h := genHistory(rng)
 		want := bruteSerializable(h)
 		got := Serializable(h).Ok
@@ -171,7 +175,11 @@ func TestSerializableMatchesBruteForce(t *testing.T) {
 func TestLinearizableMatchesBruteForce(t *testing.T) {
 	rng := rand.New(rand.NewSource(11))
 	violations, serializableButNot := 0, 0
-	for trial := 0; trial < 3000; trial++ {
+	trials := 3000
+	if testing.Short() {
+		trials = 800
+	}
+	for trial := 0; trial < trials; trial++ {
 		h := genHistory(rng)
 		want := bruteLinearizable(h)
 		got := Linearizable(h).Ok
@@ -195,7 +203,11 @@ func TestLinearizableMatchesBruteForce(t *testing.T) {
 
 func TestLinearizableImpliesSerializable(t *testing.T) {
 	rng := rand.New(rand.NewSource(13))
-	for trial := 0; trial < 2000; trial++ {
+	trials := 2000
+	if testing.Short() {
+		trials = 600
+	}
+	for trial := 0; trial < trials; trial++ {
 		h := genHistory(rng)
 		if Linearizable(h).Ok && !Serializable(h).Ok {
 			t.Fatalf("trial %d: linearizable but not serializable", trial)
@@ -211,7 +223,11 @@ func TestZLinearizableBetweenSerializableAndLinearizable(t *testing.T) {
 	// here means z == linearizable + program order ⊆ real time) and
 	// z-linearizable ⇒ serializable.
 	rng := rand.New(rand.NewSource(17))
-	for trial := 0; trial < 2000; trial++ {
+	trials := 2000
+	if testing.Short() {
+		trials = 600
+	}
+	for trial := 0; trial < trials; trial++ {
 		h := genHistory(rng)
 		z := ZLinearizable(h).Ok
 		if z && !Serializable(h).Ok {

@@ -83,9 +83,17 @@ func TestExploreFigure1Shape(t *testing.T) {
 		{Ops: []conformance.ScriptOp{wr(0), wr(1)}},
 		{Ops: []conformance.ScriptOp{wr(2)}},
 	}
-	for _, sys := range []conformance.System{
+	systems := []conformance.System{
 		conformance.LSA, conformance.SSTM, conformance.ZSTM,
-	} {
+	}
+	if testing.Short() {
+		// Z-STM pays real backoff waits on zone crossings in every one of
+		// the 2520 interleavings, dominating the race lane (~7s of the
+		// package's runtime); the full sweep keeps it, the short lane
+		// covers the LSA and S-STM engines.
+		systems = systems[:2]
+	}
+	for _, sys := range systems {
 		sys := sys
 		t.Run(sys.String(), func(t *testing.T) {
 			res, err := conformance.Explore(conformance.Config{System: sys, Objects: 4}, scripts)

@@ -100,6 +100,101 @@ func (s *SharingCounter) CommitTime(int) uint64 {
 	return s.c.Load()
 }
 
+// StripedCounter is a scalable commit-counting time base: K cache-line-
+// padded slots, each owning the congruence class {t : t ≡ slot (mod K)}
+// of commit times. A committing thread writes only its own slot — the
+// single shared hot line of Counter (the very contention §4's "scalable
+// time bases" discussion warns about) is replaced by K independent
+// lines — and reads all K to jump past the global maximum, so slots
+// deviate from each other only transiently (a TL2-GV5-style tolerance:
+// the time a thread perceives may lag the true maximum by in-flight
+// commits, which costs at most spurious extensions/aborts, never
+// correctness).
+//
+// The properties the TBTM template needs survive striping:
+//
+//   - Uniqueness: slot e only ever returns times ≡ e (mod K), and each
+//     slot's values strictly increase.
+//   - Commit ordering: CommitTime reads every slot and returns a value
+//     greater than the maximum it saw, so a commit time acquired after
+//     another CommitTime or Now completed is strictly greater than it.
+//     Two overlapping acquisitions may be numerically inverted relative
+//     to real time, which is indistinguishable from scheduling: LSA's
+//     commit-time validation stabilizes on writer locks that are held
+//     from open to release, so an install with a smaller commit time is
+//     always observed (or waited out) by the validation at the larger
+//     one.
+//
+// StripedCounter deliberately does not implement StrictCommitCounting:
+// ticks are spread across slots, so "commit time = snapshot + 1" does
+// not imply quiescence.
+type StripedCounter struct {
+	slots []paddedCounter
+}
+
+// paddedCounter keeps each slot on its own cache line.
+type paddedCounter struct {
+	v atomic.Uint64
+	_ [56]byte
+}
+
+var _ TimeBase = (*StripedCounter)(nil)
+
+// NewStripedCounter returns a striped time base with k slots (values
+// below 1 mean the default of 8). Threads map to slots by thread ID
+// modulo k, so with k at or above the worker count every committer owns
+// its slot exclusively.
+func NewStripedCounter(k int) *StripedCounter {
+	if k < 1 {
+		k = 8
+	}
+	return &StripedCounter{slots: make([]paddedCounter, k)}
+}
+
+// Slots returns the slot count K.
+func (s *StripedCounter) Slots() int { return len(s.slots) }
+
+// max returns the maximum time any slot has issued.
+func (s *StripedCounter) max() uint64 {
+	var m uint64
+	for i := range s.slots {
+		if v := s.slots[i].v.Load(); v > m {
+			m = v
+		}
+	}
+	return m
+}
+
+// Now returns the newest commit time issued anywhere: K uncontended
+// loads, no stores.
+func (s *StripedCounter) Now(int) uint64 { return s.max() }
+
+// CommitTime returns a fresh commit time from thread's slot: the
+// smallest value in the slot's congruence class that exceeds every time
+// issued so far. Only threads sharing a slot contend on the CAS.
+func (s *StripedCounter) CommitTime(thread int) uint64 {
+	k := uint64(len(s.slots))
+	if thread < 0 {
+		thread = -thread
+	}
+	e := uint64(thread) % k
+	slot := &s.slots[e].v
+	for {
+		m := s.max()
+		// Smallest t > m with t ≡ e (mod K).
+		t := m + 1 + (e+k-(m+1)%k)%k
+		cur := slot.Load()
+		if cur >= t {
+			// A slot-mate raced past the maximum we saw; retry from its
+			// newer value.
+			continue
+		}
+		if slot.CompareAndSwap(cur, t) {
+			return t
+		}
+	}
+}
+
 // SimRealTime simulates a set of per-thread internally-synchronized
 // real-time clocks with bounded deviation, the scalable time base of [9].
 // Thread p's clock reads base(t) + dev[p] ticks, where base advances with

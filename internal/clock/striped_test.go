@@ -1,0 +1,106 @@
+package clock
+
+import (
+	"sort"
+	"sync"
+	"testing"
+)
+
+func TestStripedCounterCongruence(t *testing.T) {
+	const k = 8
+	s := NewStripedCounter(k)
+	for thread := 0; thread < 2*k; thread++ {
+		ct := s.CommitTime(thread)
+		if ct%k != uint64(thread%k) {
+			t.Fatalf("thread %d got commit time %d, want ≡ %d (mod %d)", thread, ct, thread%k, k)
+		}
+	}
+}
+
+func TestStripedCounterCommitExceedsCompletedNow(t *testing.T) {
+	s := NewStripedCounter(4)
+	for i := 0; i < 100; i++ {
+		now := s.Now(i % 4)
+		ct := s.CommitTime(i % 3)
+		if ct <= now {
+			t.Fatalf("CommitTime %d not greater than completed Now %d", ct, now)
+		}
+		if s.Now(0) < ct {
+			t.Fatalf("Now %d below issued commit time %d", s.Now(0), ct)
+		}
+	}
+}
+
+func TestStripedCounterUniqueUnderConcurrency(t *testing.T) {
+	s := NewStripedCounter(4)
+	const (
+		workers = 8
+		perW    = 2000
+	)
+	out := make([][]uint64, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			ts := make([]uint64, 0, perW)
+			for i := 0; i < perW; i++ {
+				ts = append(ts, s.CommitTime(w))
+			}
+			out[w] = ts
+		}(w)
+	}
+	wg.Wait()
+	var all []uint64
+	for w, ts := range out {
+		for i := 1; i < len(ts); i++ {
+			if ts[i] <= ts[i-1] {
+				t.Fatalf("worker %d: commit times not increasing: %d then %d", w, ts[i-1], ts[i])
+			}
+		}
+		all = append(all, ts...)
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+	for i := 1; i < len(all); i++ {
+		if all[i] == all[i-1] {
+			t.Fatalf("duplicate commit time %d", all[i])
+		}
+	}
+}
+
+func TestStripedCounterNotStrict(t *testing.T) {
+	var tb TimeBase = NewStripedCounter(4)
+	if _, ok := tb.(StrictCommitCounting); ok {
+		t.Fatal("StripedCounter must not advertise strict commit counting")
+	}
+}
+
+func TestStripedCounterDefaultSlots(t *testing.T) {
+	if got := NewStripedCounter(0).Slots(); got != 8 {
+		t.Fatalf("default slots = %d, want 8", got)
+	}
+}
+
+func BenchmarkCommitTimeShared(b *testing.B) {
+	c := NewCounter()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			c.CommitTime(0)
+		}
+	})
+}
+
+func BenchmarkCommitTimeStriped(b *testing.B) {
+	s := NewStripedCounter(16)
+	var id int64
+	var mu sync.Mutex
+	b.RunParallel(func(pb *testing.PB) {
+		mu.Lock()
+		me := int(id)
+		id++
+		mu.Unlock()
+		for pb.Next() {
+			s.CommitTime(me)
+		}
+	})
+}

@@ -137,6 +137,53 @@ func (o *Object) Install(value any, ts, writerID, zone uint64) *Version {
 	return v
 }
 
+// InstallRecycled is Install with epoch-gated version recycling: the new
+// version is drawn from rec's pool when one is available, and every
+// version this install unlinks from the chain — the displaced current
+// version of a single-version object, or the tail cut off by amortized
+// truncation — is retired to rec for reuse after its grace period.
+// Steady-state update commits on a warm pool therefore allocate no
+// version at all.
+//
+// The caller must be the current writer owner and must be pinned on rec's
+// epoch slot (concurrent readers holding retired versions are protected
+// by their own pins).
+func (o *Object) InstallRecycled(rec *Recycler, value any, ts, writerID, zone uint64) *Version {
+	cur := o.cur.Load()
+	v := rec.version()
+	if v == nil {
+		v = new(Version)
+	}
+	v.Value, v.TS, v.Seq, v.WriterID, v.Zone = value, ts, cur.Seq+1, writerID, zone
+	switch {
+	case o.keep == 1:
+		v.depth = 1
+		v.prev.Store(nil)
+		o.cur.Store(v) // unlinks cur from the object...
+		rec.RetireVersion(cur)
+		return v
+	case int(cur.depth) >= 2*o.keep-1:
+		v.prev.Store(cur)
+		p := v
+		for i := 1; i < o.keep; i++ {
+			p = p.Prev()
+		}
+		tail := p.Prev()
+		p.prev.Store(nil) // ...here the truncated tail is unlinked
+		v.depth = uint32(o.keep)
+		o.cur.Store(v)
+		for t := tail; t != nil; t = t.Prev() {
+			rec.RetireVersion(t)
+		}
+		return v
+	default:
+		v.prev.Store(cur)
+		v.depth = cur.depth + 1
+		o.cur.Store(v)
+		return v
+	}
+}
+
 // Writer returns the transaction currently holding write ownership, or
 // nil. A non-nil owner whose status is terminal is a stale lock that the
 // next acquirer may steal.

@@ -1,0 +1,196 @@
+package core
+
+import (
+	"tbtm/internal/epoch"
+)
+
+// Recycling limits. Free lists and limbo buckets are capped: dropping a
+// retired node instead of pooling it is always safe (the garbage
+// collector owns liveness; epochs only gate reuse), so the caps bound
+// per-thread memory without any correctness consequence.
+const (
+	maxFree  = 256 // reclaimed nodes ready for reuse, per thread per type
+	maxLimbo = 512 // nodes awaiting grace in one epoch bucket
+	// advanceEvery amortizes the O(threads) epoch-advance scan across
+	// retirements.
+	advanceEvery = 32
+)
+
+// bucket holds nodes retired during one epoch.
+type bucket[T any] struct {
+	epoch uint64
+	items []T
+}
+
+// limbo is a per-thread deferred-free list: retired nodes bucketed by
+// retirement epoch, plus a free list of nodes whose grace period has
+// passed. A four-slot ring suffices: the bucket for epoch e is reused
+// for epoch e+4, and a thread retiring at epoch e+4 observes a global
+// epoch of at least e+4, which makes epoch e ≤ Safe — always past
+// grace, so the bucket drains first.
+//
+// scrub, when set, is applied to every node whose grace period has
+// passed as it drains (whether it enters the free list or is dropped to
+// the GC): it severs the node's references so a pooled node cannot pin
+// payloads or chains of already-dropped nodes. Mutating there is safe
+// precisely because drain only runs past the grace period; nodes
+// dropped *before* grace (the retire-time cap) are left untouched —
+// stale readers may still be walking them, and the GC keeps them alive
+// exactly as long as needed.
+type limbo[T any] struct {
+	ring  [4]bucket[T]
+	free  []T
+	scrub func(T)
+}
+
+// retire adds x to the bucket for epoch e, draining the bucket's previous
+// (by construction grace-expired) contents first if the ring wrapped.
+func (l *limbo[T]) retire(e uint64, x T) {
+	b := &l.ring[e&3]
+	if b.epoch != e {
+		l.drain(b)
+		b.epoch = e
+	}
+	if len(b.items) < maxLimbo {
+		b.items = append(b.items, x)
+	}
+	// else: drop on the floor; the GC reclaims it.
+}
+
+// drain moves a grace-expired bucket's nodes to the free list (up to the
+// cap) and empties it.
+func (l *limbo[T]) drain(b *bucket[T]) {
+	for _, x := range b.items {
+		if l.scrub != nil {
+			l.scrub(x)
+		}
+		if len(l.free) < maxFree {
+			l.free = append(l.free, x)
+		}
+	}
+	clear(b.items) // release dropped nodes to the GC
+	b.items = b.items[:0]
+}
+
+// get returns a reusable node if one is available, draining any buckets
+// whose retirement epoch is at or before safe.
+func (l *limbo[T]) get(safe uint64) (T, bool) {
+	if len(l.free) == 0 {
+		for i := range l.ring {
+			b := &l.ring[i]
+			if b.epoch != 0 && b.epoch <= safe && len(b.items) > 0 {
+				l.drain(b)
+				b.epoch = 0
+			}
+		}
+	}
+	var zero T
+	if n := len(l.free); n > 0 {
+		x := l.free[n-1]
+		l.free[n-1] = zero
+		l.free = l.free[:n-1]
+		return x, true
+	}
+	return zero, false
+}
+
+// Recycler is a per-thread cache of retired Versions and TxMetas gated by
+// epoch-based reclamation (see internal/epoch). All methods must be
+// called by the owning thread.
+//
+// The contract mirrors EBR: the thread pins around every transaction
+// (Pin in Begin, Unpin when the transaction finishes); nodes are retired
+// only after they are unlinked from shared structures; a retired node is
+// reused only once every pin concurrent with the retirement has been
+// released. Reuse — not freeing — is what needs the grace period: a
+// too-early reuse invites ABA on pointer-identity validation (a read-set
+// entry compared against an object's chain) and on writer-word CAS, and
+// mutates a node a stale reader may still be walking.
+type Recycler struct {
+	slot     *epoch.Slot
+	versions limbo[*Version]
+	metas    limbo[*TxMeta]
+	retires  int
+}
+
+// Init registers the recycler with a reclamation domain. It must be
+// called once before any other method.
+func (r *Recycler) Init(d *epoch.Domain) {
+	r.slot = d.Register()
+	r.versions.scrub = func(v *Version) {
+		// Grace has passed: no reader can hold this node. Drop the
+		// payload and sever the chain so a pooled node pins neither user
+		// data nor already-dropped tail nodes.
+		v.Value = nil
+		v.prev.Store(nil)
+	}
+}
+
+// Ready reports whether Init has been called.
+func (r *Recycler) Ready() bool { return r.slot != nil }
+
+// Pin enters the owning thread's read-side critical section; nests.
+func (r *Recycler) Pin() { r.slot.Pin() }
+
+// Unpin leaves the critical section entered by the matching Pin.
+func (r *Recycler) Unpin() { r.slot.Unpin() }
+
+// tick amortizes epoch advancement across retirements.
+func (r *Recycler) tick() {
+	r.retires++
+	if r.retires%advanceEvery == 0 {
+		r.slot.Domain().TryAdvance()
+	}
+}
+
+// RetireVersion hands a version that has been unlinked from its object's
+// chain to the recycler. The caller must have removed every shared path
+// to v before calling (concurrent readers that found v earlier are
+// protected by their pins).
+func (r *Recycler) RetireVersion(v *Version) {
+	r.versions.retire(r.slot.Domain().Epoch(), v)
+	r.tick()
+}
+
+// version returns a reusable Version whose grace period has passed, or
+// nil. Pooled versions are already scrubbed; the caller overwrites
+// every field before publishing.
+func (r *Recycler) version() *Version {
+	d := r.slot.Domain()
+	if v, ok := r.versions.get(d.Safe()); ok {
+		return v
+	}
+	// One advance attempt on a miss keeps a single-threaded loop (retire,
+	// retire, get) from starving: with no other pinned slots the epoch
+	// moves freely.
+	d.TryAdvance()
+	if v, ok := r.versions.get(d.Safe()); ok {
+		return v
+	}
+	return nil
+}
+
+// RetireMeta hands a transaction descriptor to the recycler. The caller
+// must guarantee the descriptor is unreachable for new readers: its
+// transaction finished and released every writer word (existing holders
+// are protected by their pins).
+func (r *Recycler) RetireMeta(m *TxMeta) {
+	r.metas.retire(r.slot.Domain().Epoch(), m)
+	r.tick()
+}
+
+// NewMeta returns a descriptor in StatusActive with a fresh ID, reusing a
+// retired descriptor whose grace period has passed when one is available.
+func (r *Recycler) NewMeta(kind TxKind, threadID int) *TxMeta {
+	d := r.slot.Domain()
+	if m, ok := r.metas.get(d.Safe()); ok {
+		m.Reset(kind, threadID)
+		return m
+	}
+	d.TryAdvance()
+	if m, ok := r.metas.get(d.Safe()); ok {
+		m.Reset(kind, threadID)
+		return m
+	}
+	return NewTxMeta(kind, threadID)
+}

@@ -1,0 +1,139 @@
+package core
+
+import (
+	"testing"
+
+	"tbtm/internal/epoch"
+)
+
+func newRecycler() (*Recycler, *epoch.Domain) {
+	d := new(epoch.Domain)
+	r := new(Recycler)
+	r.Init(d)
+	return r, d
+}
+
+func TestInstallRecycledSingleVersionReuse(t *testing.T) {
+	r, _ := newRecycler()
+	o := NewObject(int64(0), 1)
+
+	r.Pin()
+	first := o.Current()
+	v1 := o.InstallRecycled(r, int64(1), 10, 1, 0)
+	if o.Current() != v1 || v1.Prev() != nil || v1.Seq != 2 {
+		t.Fatalf("install: cur=%v prev=%v seq=%d", o.Current(), v1.Prev(), v1.Seq)
+	}
+	r.Unpin()
+
+	// After enough installs (each unpinned gap lets the epoch advance),
+	// the displaced versions must start coming back from the pool.
+	seen := map[*Version]bool{first: true, v1: true}
+	reused := false
+	for i := 0; i < 64; i++ {
+		r.Pin()
+		v := o.InstallRecycled(r, int64(i), uint64(20+i), 1, 0)
+		if seen[v] {
+			reused = true
+		}
+		seen[v] = true
+		r.Unpin()
+	}
+	if !reused {
+		t.Fatal("no version reuse after 64 single-version installs")
+	}
+}
+
+func TestInstallRecycledNeverReusesWhilePinned(t *testing.T) {
+	r, d := newRecycler()
+	reader := d.Register()
+	o := NewObject(int64(0), 1)
+
+	reader.Pin()
+	held := o.Current()
+	heldVal := held.Value
+
+	for i := 0; i < 200; i++ {
+		r.Pin()
+		o.InstallRecycled(r, int64(i+1), uint64(i+1), 1, 0)
+		r.Unpin()
+		d.TryAdvance()
+	}
+	if held.Value != heldVal {
+		t.Fatalf("version held under pin was reused: Value=%v, want %v", held.Value, heldVal)
+	}
+	reader.Unpin()
+}
+
+func TestInstallRecycledTruncationRetiresTail(t *testing.T) {
+	r, _ := newRecycler()
+	const keep = 3
+	o := NewObject(int64(0), keep)
+
+	seen := map[*Version]bool{}
+	reused := false
+	for i := 0; i < 20*keep; i++ {
+		r.Pin()
+		v := o.InstallRecycled(r, int64(i), uint64(i+1), 1, 0)
+		if seen[v] {
+			reused = true
+		}
+		seen[v] = true
+		r.Unpin()
+	}
+	if !reused {
+		t.Fatal("no version reuse from truncated tails")
+	}
+	// Chain shape must match plain Install's amortized truncation bounds.
+	n := 0
+	for v := o.Current(); v != nil; v = v.Prev() {
+		n++
+	}
+	if n < 1 || n > 2*keep-1 {
+		t.Fatalf("chain length %d outside [1, %d]", n, 2*keep-1)
+	}
+}
+
+func TestRecyclerMetaReuse(t *testing.T) {
+	r, _ := newRecycler()
+	seen := map[*TxMeta]bool{}
+	ids := map[uint64]bool{}
+	reused := false
+	for i := 0; i < 64; i++ {
+		r.Pin()
+		m := r.NewMeta(Short, 7)
+		if m.Status() != StatusActive || m.ThreadID != 7 || m.Prio.Load() != 0 {
+			t.Fatalf("meta not reset: status=%v thread=%d prio=%d", m.Status(), m.ThreadID, m.Prio.Load())
+		}
+		if ids[m.ID] {
+			t.Fatalf("recycled meta kept a stale ID %d", m.ID)
+		}
+		ids[m.ID] = true
+		if seen[m] {
+			reused = true
+		}
+		seen[m] = true
+		m.TryAbort()
+		r.Unpin()
+		r.RetireMeta(m)
+	}
+	if !reused {
+		t.Fatal("no meta reuse after 64 retire/new cycles")
+	}
+}
+
+func TestLimboCapsDropExcess(t *testing.T) {
+	r, _ := newRecycler()
+	// Retire far more than the caps within pins that never let the epoch
+	// advance enough to matter; nothing should panic or grow unbounded.
+	for i := 0; i < maxLimbo+maxFree+100; i++ {
+		r.RetireVersion(new(Version))
+	}
+	for i := range r.versions.ring {
+		if n := len(r.versions.ring[i].items); n > maxLimbo {
+			t.Fatalf("bucket %d grew to %d > maxLimbo", i, n)
+		}
+	}
+	if len(r.versions.free) > maxFree {
+		t.Fatalf("free list grew to %d > maxFree", len(r.versions.free))
+	}
+}

@@ -108,6 +108,21 @@ func NewTxMeta(kind TxKind, threadID int) *TxMeta {
 	return m
 }
 
+// Reset re-initializes a recycled descriptor in place with a fresh ID and
+// StatusActive. Only a Recycler may call it, and only on a descriptor
+// whose reclamation grace period has passed: a descriptor is published to
+// other threads through object writer words and contention managers, so
+// resetting one that a stale reader could still hold would hand that
+// reader a live transaction it has no claim on.
+func (m *TxMeta) Reset(kind TxKind, threadID int) {
+	m.ID = NextTxID()
+	m.Kind = kind
+	m.ThreadID = threadID
+	m.Prio.Store(0)
+	m.Retries = 0
+	m.status.Store(int32(StatusActive))
+}
+
 // Status returns the current lifecycle state.
 func (m *TxMeta) Status() Status { return Status(m.status.Load()) }
 

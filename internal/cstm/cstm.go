@@ -20,6 +20,7 @@ import (
 
 	"tbtm/internal/cm"
 	"tbtm/internal/core"
+	"tbtm/internal/epoch"
 	"tbtm/internal/stats"
 	"tbtm/internal/vclock"
 )
@@ -77,6 +78,11 @@ type STM struct {
 
 	// shards holds the per-thread counter shards; see internal/stats.
 	shards stats.Set
+
+	// domain is the epoch-based reclamation domain gating descriptor
+	// reuse (versions are not recycled here: their CT timestamps escape
+	// into VC_p and thread-owned buffers, see internal/epoch).
+	domain epoch.Domain
 }
 
 // New returns a CS-STM instance, applying defaults for zero fields.
@@ -172,13 +178,22 @@ type Thread struct {
 	id    int
 	vc    vclock.TS
 	shard *stats.Shard
-	tx    Tx        // reusable descriptor, recycled by Begin once finished
-	ctbuf vclock.TS // spare timestamp buffer recovered from aborted transactions
+	tx    Tx            // reusable descriptor, recycled by Begin once finished
+	ctbuf vclock.TS     // spare timestamp buffer recovered from finished transactions
+	rec   core.Recycler // epoch-gated descriptor pool
+	// vcEscaped records whether the buffer behind vc was published into
+	// installed versions (an update commit's ct). A read-only commit's ct
+	// buffer stays thread-private, so when it replaces vc the old vc
+	// buffer can be recovered for reuse — read-only commit loops then
+	// ping-pong two buffers instead of cloning per transaction.
+	vcEscaped bool
 }
 
 // NewThread returns a handle for one worker goroutine.
 func (s *STM) NewThread() *Thread {
-	return &Thread{stm: s, id: int(s.nextThread.Add(1) - 1), vc: s.clock.Zero(), shard: s.shards.NewShard()}
+	th := &Thread{stm: s, id: int(s.nextThread.Add(1) - 1), vc: s.clock.Zero(), shard: s.shards.NewShard()}
+	th.rec.Init(&s.domain)
+	return th
 }
 
 // ID returns the thread's index (its vector-clock entry is ID mod r).
@@ -189,6 +204,12 @@ func (th *Thread) STM() *STM { return th.stm }
 
 // VC returns a copy of the thread's last committed timestamp (tests).
 func (th *Thread) VC() vclock.TS { return th.vc.Clone() }
+
+// VCInto copies the thread's last committed timestamp into dst, reusing
+// dst's storage when it is wide enough, and returns the result. The
+// zero-alloc sibling of VC for hot-path callers that keep a scratch
+// buffer.
+func (th *Thread) VCInto(dst vclock.TS) vclock.TS { return th.vc.CopyInto(dst) }
 
 // Begin starts a transaction (Algorithm 1 lines 1-5). kind feeds the
 // contention manager; readOnly transactions skip the commit-time tick.
@@ -201,9 +222,13 @@ func (th *Thread) Begin(kind core.TxKind, readOnly bool) *Tx {
 	if tx.stm != nil && !tx.done {
 		tx = new(Tx)
 	}
+	th.rec.Pin() // read-side critical section: Begin → finish
+	if tx.meta != nil {
+		th.rec.RetireMeta(tx.meta) // previous transaction finished
+	}
 	tx.stm = th.stm
 	tx.th = th
-	tx.meta = core.NewTxMeta(kind, th.id)
+	tx.meta = th.rec.NewMeta(kind, th.id)
 	tx.ro = readOnly
 	tx.ct = th.takeCT()
 	clear(tx.reads) // release the previous transaction's objects/values
@@ -271,6 +296,11 @@ func (tx *Tx) Done() bool { return tx == nil || tx.done }
 // CT returns a copy of the tentative commit timestamp (tests).
 func (tx *Tx) CT() vclock.TS { return tx.ct.Clone() }
 
+// CTInto copies the tentative commit timestamp into dst, reusing dst's
+// storage when it is wide enough, and returns the result (the zero-alloc
+// sibling of CT).
+func (tx *Tx) CTInto(dst vclock.TS) vclock.TS { return tx.ct.CopyInto(dst) }
+
 // stabilize waits until o has no committing writer, so that versions from
 // in-flight multi-object installs are never observed partially.
 func (tx *Tx) stabilize(o *Object) {
@@ -283,10 +313,17 @@ func (tx *Tx) stabilize(o *Object) {
 	}
 }
 
+// finish marks the transaction done and leaves the epoch critical
+// section entered by Begin.
+func (tx *Tx) finish() {
+	tx.done = true
+	tx.th.rec.Unpin()
+}
+
 func (tx *Tx) fail(err error) error {
 	tx.meta.TryAbort()
 	tx.releaseLocks()
-	tx.done = true
+	tx.finish()
 	tx.th.ctbuf = tx.ct // never published: recover the buffer
 	tx.ct = nil
 	tx.th.shard.Inc(cntAborts)
@@ -465,7 +502,7 @@ func (tx *Tx) Commit() error {
 	if !tx.validate() {
 		tx.meta.CASStatus(core.StatusCommitting, core.StatusAborted)
 		tx.releaseLocks()
-		tx.done = true
+		tx.finish()
 		tx.th.ctbuf = tx.ct
 		tx.ct = nil
 		tx.th.shard.Inc(cntAborts)
@@ -490,8 +527,15 @@ func (tx *Tx) Commit() error {
 	}
 	tx.meta.CASStatus(core.StatusCommitting, core.StatusCommitted)
 	tx.releaseLocks()
-	tx.done = true
-	tx.th.vc = tx.ct // VC_p ← T.ct (line 31); the buffer escapes here
+	tx.finish()
+	if !tx.th.vcEscaped {
+		// The displaced vc buffer was never published; recover it.
+		tx.th.ctbuf = tx.th.vc
+	}
+	tx.th.vc = tx.ct // VC_p ← T.ct (line 31)
+	// An update commit's ct escaped into the installed versions above; a
+	// write-free commit's ct stayed thread-private.
+	tx.th.vcEscaped = len(tx.writes) > 0
 	tx.th.shard.Inc(cntCommits)
 	return nil
 }
@@ -503,7 +547,7 @@ func (tx *Tx) Abort() {
 	}
 	tx.meta.TryAbort()
 	tx.releaseLocks()
-	tx.done = true
+	tx.finish()
 	tx.th.ctbuf = tx.ct
 	tx.ct = nil
 	tx.th.shard.Inc(cntAborts)

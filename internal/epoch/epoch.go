@@ -1,0 +1,154 @@
+// Package epoch provides epoch-based reclamation (EBR) for the STM hot
+// paths. The scalar-clock backends retire a committed version on every
+// update of a single-version object, and every backend retires a
+// transaction descriptor per transaction; neither can be recycled naively
+// because invisible readers may still hold references — a version sits in
+// a concurrent transaction's read set for pointer-identity validation,
+// and a descriptor sits in an object's writer word where an acquirer may
+// CAS against it. Go's garbage collector makes dangling pointers
+// memory-safe, but *reuse* is only safe once no reader obtained before
+// the retirement can still be holding the pointer: recycling earlier
+// invites ABA on pointer-identity comparisons and visible mutation of a
+// node mid-walk.
+//
+// The classic EBR discipline (Fraser; as used by crossbeam-epoch and the
+// Linux kernel's RCU relatives) provides exactly that guarantee with a
+// per-thread cost of two uncontended atomics per critical section:
+//
+//   - A Domain holds a global epoch counter E.
+//   - Each thread owns a Slot. It pins the slot (publishing E) before
+//     touching any shared node and unpins it when its transaction ends.
+//   - The epoch advances from e to e+1 only when every pinned slot has
+//     observed e. Hence once E reaches e+2, no thread can still hold a
+//     reference obtained before a retirement that happened at epoch e:
+//     such a thread would have been pinned at an epoch < e+1 and blocked
+//     the advance.
+//
+// Reclaimers therefore bucket retired nodes by retirement epoch and
+// recycle a bucket once Domain.Epoch() ≥ retireEpoch+2 (Safe). Dropping a
+// bucket on the floor instead of recycling it is always safe — the
+// garbage collector handles liveness — so pools may cap their size
+// freely; epochs only gate reuse.
+package epoch
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// pad keeps neighbouring per-thread state off one cache line.
+type pad [64]byte
+
+// Domain is one reclamation domain: a global epoch plus the registry of
+// participating slots. Each STM instance owns a Domain; its threads
+// register one Slot each. The zero value is ready to use.
+type Domain struct {
+	global atomic.Uint64 // current epoch; initialized lazily to firstEpoch
+
+	// slots is the registry, published as an immutable snapshot so
+	// TryAdvance scans without taking mu. Slots are never unregistered —
+	// they live as long as the Domain, like the stats shards.
+	mu    sync.Mutex
+	slots atomic.Pointer[[]*Slot]
+}
+
+// firstEpoch is the initial epoch. Starting at 2 keeps Safe() from
+// underflowing and makes epoch 0 "the distant past".
+const firstEpoch = 2
+
+// Slot is one thread's participation handle. All methods except the
+// Domain's scan of the pinned epoch must be called by the owning thread.
+type Slot struct {
+	_ pad
+	// pinned holds the epoch the owner observed when it entered its
+	// current critical section, or 0 when quiescent.
+	pinned atomic.Uint64
+	// depth counts nested Pin calls (owner-only; no atomicity needed).
+	depth int
+	d     *Domain
+	_     pad
+}
+
+// Register allocates and registers a new slot. Each worker thread calls
+// this once and keeps the slot for its lifetime.
+func (d *Domain) Register() *Slot {
+	s := &Slot{d: d}
+	d.mu.Lock()
+	old := d.slots.Load()
+	var next []*Slot
+	if old != nil {
+		next = append(next, *old...)
+	}
+	next = append(next, s)
+	d.slots.Store(&next)
+	d.mu.Unlock()
+	return s
+}
+
+// Epoch returns the current global epoch.
+func (d *Domain) Epoch() uint64 {
+	if e := d.global.Load(); e != 0 {
+		return e
+	}
+	d.global.CompareAndSwap(0, firstEpoch)
+	return d.global.Load()
+}
+
+// Safe returns the newest epoch whose retirements are reclaimable: nodes
+// retired at an epoch ≤ Safe() can no longer be referenced by any reader
+// and may be reused.
+func (d *Domain) Safe() uint64 { return d.Epoch() - 2 }
+
+// TryAdvance attempts to move the global epoch forward by one. It fails
+// (harmlessly) if some pinned slot has not yet observed the current
+// epoch, or if it loses the CAS to a concurrent advancer. It reports
+// whether the epoch moved.
+func (d *Domain) TryAdvance() bool {
+	e := d.Epoch()
+	slots := d.slots.Load()
+	if slots != nil {
+		for _, s := range *slots {
+			if p := s.pinned.Load(); p != 0 && p != e {
+				return false
+			}
+		}
+	}
+	return d.global.CompareAndSwap(e, e+1)
+}
+
+// Pin enters a critical section: until the matching Unpin, any node
+// reachable now, or retired after this point, will not be reused. Pin
+// nests; only the outermost publishes.
+func (s *Slot) Pin() {
+	s.depth++
+	if s.depth != 1 {
+		return
+	}
+	d := s.d
+	for {
+		e := d.Epoch()
+		s.pinned.Store(e)
+		// Re-check: if the epoch advanced between the load and the store
+		// we may have published a stale epoch. Publishing stale is safe
+		// for readers (it only blocks advances conservatively), but
+		// converging on the current epoch keeps the domain moving.
+		if d.global.Load() == e {
+			return
+		}
+	}
+}
+
+// Unpin leaves the critical section entered by the matching Pin.
+func (s *Slot) Unpin() {
+	s.depth--
+	if s.depth == 0 {
+		s.pinned.Store(0)
+	}
+}
+
+// Pinned reports whether the slot is currently inside a critical section
+// (owner thread's view; for assertions and tests).
+func (s *Slot) Pinned() bool { return s.depth > 0 }
+
+// Domain returns the owning domain.
+func (s *Slot) Domain() *Domain { return s.d }

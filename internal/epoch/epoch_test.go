@@ -1,0 +1,192 @@
+package epoch
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func TestAdvanceNoSlots(t *testing.T) {
+	var d Domain
+	e := d.Epoch()
+	if !d.TryAdvance() {
+		t.Fatal("TryAdvance with no slots should succeed")
+	}
+	if got := d.Epoch(); got != e+1 {
+		t.Fatalf("Epoch = %d, want %d", got, e+1)
+	}
+}
+
+func TestPinBlocksAdvanceBeyondOne(t *testing.T) {
+	var d Domain
+	s := d.Register()
+	s.Pin()
+	e := d.Epoch()
+	// The pinned slot observed e, so e → e+1 may proceed...
+	if !d.TryAdvance() {
+		t.Fatal("advance with all pinned slots at current epoch should succeed")
+	}
+	// ...but e+1 → e+2 must not: the slot still shows e.
+	if d.TryAdvance() {
+		t.Fatal("advance past a pinned slot's epoch must fail")
+	}
+	if got := d.Epoch(); got != e+1 {
+		t.Fatalf("Epoch = %d, want %d", got, e+1)
+	}
+	s.Unpin()
+	if d.TryAdvance() && d.Epoch() != e+2 {
+		t.Fatalf("Epoch = %d after unpin+advance, want %d", d.Epoch(), e+2)
+	}
+}
+
+func TestSafeLagsPinnedReader(t *testing.T) {
+	var d Domain
+	s := d.Register()
+	s.Pin()
+	retireEpoch := d.Epoch()
+	// No matter how often we try, Safe must stay below retireEpoch while
+	// the reader stays pinned (reuse of a node retired now would race it).
+	for i := 0; i < 10; i++ {
+		d.TryAdvance()
+	}
+	if d.Safe() >= retireEpoch {
+		t.Fatalf("Safe = %d with reader pinned at %d", d.Safe(), retireEpoch)
+	}
+	s.Unpin()
+	for i := 0; i < 3; i++ {
+		d.TryAdvance()
+	}
+	if d.Safe() < retireEpoch {
+		t.Fatalf("Safe = %d after unpin, want >= %d", d.Safe(), retireEpoch)
+	}
+}
+
+func TestPinNesting(t *testing.T) {
+	var d Domain
+	s := d.Register()
+	s.Pin()
+	s.Pin()
+	s.Unpin()
+	if !s.Pinned() {
+		t.Fatal("slot unpinned after inner Unpin of a nested pair")
+	}
+	if s.pinned.Load() == 0 {
+		t.Fatal("published epoch cleared by inner Unpin")
+	}
+	s.Unpin()
+	if s.Pinned() || s.pinned.Load() != 0 {
+		t.Fatal("slot still pinned after outermost Unpin")
+	}
+}
+
+func TestQuiescentSlotsDoNotBlock(t *testing.T) {
+	var d Domain
+	for i := 0; i < 8; i++ {
+		d.Register() // registered but never pinned
+	}
+	e := d.Epoch()
+	for i := 0; i < 5; i++ {
+		if !d.TryAdvance() {
+			t.Fatalf("advance %d blocked by quiescent slots", i)
+		}
+	}
+	if got := d.Epoch(); got != e+5 {
+		t.Fatalf("Epoch = %d, want %d", got, e+5)
+	}
+}
+
+// TestConcurrentGraceProtocol hammers the full retire/reuse protocol: a
+// writer retires nodes and reuses them only once Safe allows, readers
+// pin, capture the current node, and verify it is not mutated-for-reuse
+// while they hold it.
+func TestConcurrentGraceProtocol(t *testing.T) {
+	type node struct {
+		val atomic.Uint64 // even = live value; odd = poisoned (reused)
+	}
+	var d Domain
+
+	var cur atomic.Pointer[node]
+	cur.Store(new(node))
+
+	const (
+		readers = 4
+		rounds  = 20000
+	)
+	var stop atomic.Bool
+	var wg sync.WaitGroup
+
+	var bad atomic.Uint64
+	for r := 0; r < readers; r++ {
+		s := d.Register()
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for !stop.Load() {
+				s.Pin()
+				n := cur.Load()
+				v := n.val.Load()
+				if v%2 == 1 {
+					bad.Add(1)
+				}
+				// Re-read while still pinned: reuse must be impossible.
+				if v2 := n.val.Load(); v2%2 == 1 {
+					bad.Add(1)
+				}
+				s.Unpin()
+			}
+		}()
+	}
+
+	// Writer: displace, retire, reuse after grace (poisoning at reuse).
+	type retired struct {
+		epoch uint64
+		n     *node
+	}
+	var limbo []retired
+	ws := d.Register()
+	for i := 0; i < rounds; i++ {
+		ws.Pin()
+		var n *node
+		for len(limbo) > 0 && limbo[0].epoch <= d.Safe() {
+			n = limbo[0].n
+			limbo = limbo[1:]
+			n.val.Store(1) // poison: visible iff reused too early
+		}
+		if n == nil {
+			n = new(node)
+		}
+		n.val.Store(uint64(i+1) * 2)
+		old := cur.Swap(n)
+		limbo = append(limbo, retired{epoch: d.Epoch(), n: old})
+		ws.Unpin()
+		d.TryAdvance()
+	}
+	stop.Store(true)
+	wg.Wait()
+	if bad.Load() != 0 {
+		t.Fatalf("%d reads observed a node reused during their pin", bad.Load())
+	}
+}
+
+func BenchmarkPinUnpin(b *testing.B) {
+	var d Domain
+	s := d.Register()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		s.Pin()
+		s.Unpin()
+	}
+}
+
+func BenchmarkPinUnpinParallel(b *testing.B) {
+	var d Domain
+	b.ReportAllocs()
+	b.RunParallel(func(pb *testing.PB) {
+		s := d.Register()
+		for pb.Next() {
+			s.Pin()
+			s.Unpin()
+			d.TryAdvance()
+		}
+	})
+}

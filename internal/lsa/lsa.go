@@ -25,6 +25,7 @@ import (
 	"tbtm/internal/clock"
 	"tbtm/internal/cm"
 	"tbtm/internal/core"
+	"tbtm/internal/epoch"
 	"tbtm/internal/stats"
 )
 
@@ -93,6 +94,11 @@ type STM struct {
 
 	// shards holds the per-thread counter shards; see internal/stats.
 	shards stats.Set
+
+	// domain is the epoch-based reclamation domain: threads pin around
+	// every transaction so retired versions and descriptors are reused
+	// only after their grace period (see internal/epoch).
+	domain epoch.Domain
 }
 
 // New returns an STM instance with the given configuration, applying
@@ -126,7 +132,9 @@ func (s *STM) NewObject(initial any) *core.Object {
 // NewThread returns a handle for one worker goroutine. Handles carry the
 // per-thread state of the paper's algorithms and must not be shared.
 func (s *STM) NewThread() *Thread {
-	return &Thread{stm: s, id: int(s.nextThread.Add(1) - 1), shard: s.shards.NewShard()}
+	th := &Thread{stm: s, id: int(s.nextThread.Add(1) - 1), shard: s.shards.NewShard()}
+	th.rec.Init(&s.domain)
+	return th
 }
 
 // Stats returns a snapshot of the cumulative counters, aggregated across
@@ -151,11 +159,16 @@ type Thread struct {
 	stm   *STM
 	id    int
 	shard *stats.Shard
-	tx    Tx // reusable descriptor, recycled by Begin once finished
+	tx    Tx            // reusable descriptor, recycled by Begin once finished
+	rec   core.Recycler // epoch-gated version/descriptor pools
 }
 
 // ID returns the thread's index in the time base.
 func (th *Thread) ID() int { return th.id }
+
+// Recycler exposes the thread's reclamation handle (Z-STM's long
+// transactions share it).
+func (th *Thread) Recycler() *core.Recycler { return &th.rec }
 
 // STM returns the owning instance.
 func (th *Thread) STM() *STM { return th.stm }
@@ -171,7 +184,12 @@ func (th *Thread) Begin(kind core.TxKind, readOnly bool) *Tx {
 	tx := &th.tx
 	if tx.stm != nil && !tx.done {
 		// The previous transaction is still in flight (a contract
-		// violation, but tolerated): leave its descriptor alone.
+		// violation, but tolerated): leave its descriptor alone. Note
+		// that the abandoned transaction keeps the thread's epoch slot
+		// pinned (nested) until it finishes; if it never does, the
+		// domain stops advancing and every pool in the instance falls
+		// back to plain GC allocation — a graceful performance
+		// degradation, never a safety issue.
 		tx = new(Tx)
 	}
 	tx.reset(th, kind, readOnly)
@@ -180,13 +198,23 @@ func (th *Thread) Begin(kind core.TxKind, readOnly bool) *Tx {
 
 // reset re-initializes a descriptor in place, retaining the read/write
 // logs' backing arrays and the write index's storage from the previous
-// transaction. The descriptor metadata is allocated fresh: TxMeta is
-// published to other threads through object writer words and contention
-// managers, so recycling it would invite ABA races on lock stealing.
+// transaction. The descriptor metadata comes from the thread's
+// epoch-gated pool: TxMeta is published to other threads through object
+// writer words and contention managers, so naive recycling would invite
+// ABA races on lock stealing — the previous transaction's meta is
+// therefore retired here and reused only after every pin concurrent
+// with the retirement has been released (see core.Recycler).
 func (tx *Tx) reset(th *Thread, kind core.TxKind, readOnly bool) {
+	th.rec.Pin() // read-side critical section: Begin → finish
+	if tx.meta != nil {
+		// The previous transaction on this descriptor has finished and
+		// released its writer words; its meta is unreachable for new
+		// readers and may enter the reclamation pipeline.
+		th.rec.RetireMeta(tx.meta)
+	}
 	tx.stm = th.stm
 	tx.th = th
-	tx.meta = core.NewTxMeta(kind, th.id)
+	tx.meta = th.rec.NewMeta(kind, th.id)
 	tx.ro = readOnly
 	tx.ub = th.stm.cfg.Clock.Now(th.id)
 	clear(tx.reads) // release the previous transaction's objects/values
@@ -501,7 +529,7 @@ func (tx *Tx) Commit() error {
 		return core.ErrConflict
 	}
 	for _, w := range tx.writes {
-		w.obj.Install(w.val, ct, tx.meta.ID, tx.zone)
+		w.obj.InstallRecycled(&tx.th.rec, w.val, ct, tx.meta.ID, tx.zone)
 	}
 	tx.meta.CASStatus(core.StatusCommitting, core.StatusCommitted)
 	tx.releaseLocks()
@@ -535,4 +563,5 @@ func (tx *Tx) releaseLocks() {
 
 func (tx *Tx) finish() {
 	tx.done = true
+	tx.th.rec.Unpin()
 }

@@ -17,7 +17,11 @@ func TestTortureAggressiveCM(t *testing.T) {
 	// Every write conflict kills the lock holder: lots of mid-flight
 	// aborts, but committed state must stay consistent.
 	s := New(Config{CM: cm.Aggressive{}})
-	const accounts, workers, iters = 6, 6, 120
+	const accounts, workers = 6, 6
+	iters := 120
+	if testing.Short() {
+		iters = 40
+	}
 	objs := make([]*core.Object, accounts)
 	for i := range objs {
 		objs[i] = s.NewObject(int64(100))

@@ -29,6 +29,7 @@ import (
 	"tbtm/internal/clock"
 	"tbtm/internal/cm"
 	"tbtm/internal/core"
+	"tbtm/internal/epoch"
 	"tbtm/internal/stats"
 )
 
@@ -72,6 +73,10 @@ type STM struct {
 
 	// shards holds the per-thread counter shards; see internal/stats.
 	shards stats.Set
+
+	// domain is the epoch-based reclamation domain gating version and
+	// descriptor reuse (see internal/epoch).
+	domain epoch.Domain
 }
 
 // New returns an SI-STM instance, applying defaults for zero fields.
@@ -102,7 +107,9 @@ func (s *STM) NewObject(initial any) *core.Object {
 
 // NewThread returns a handle for one worker goroutine.
 func (s *STM) NewThread() *Thread {
-	return &Thread{stm: s, id: int(s.nextThread.Add(1) - 1), shard: s.shards.NewShard()}
+	th := &Thread{stm: s, id: int(s.nextThread.Add(1) - 1), shard: s.shards.NewShard()}
+	th.rec.Init(&s.domain)
+	return th
 }
 
 // Stats returns a snapshot of the cumulative counters, aggregated across
@@ -125,7 +132,8 @@ type Thread struct {
 	stm   *STM
 	id    int
 	shard *stats.Shard
-	tx    Tx // reusable descriptor, recycled by Begin once finished
+	tx    Tx            // reusable descriptor, recycled by Begin once finished
+	rec   core.Recycler // epoch-gated version/descriptor pools
 }
 
 // ID returns the thread's index in the time base.
@@ -145,9 +153,13 @@ func (th *Thread) Begin(kind core.TxKind, readOnly bool) *Tx {
 	if tx.stm != nil && !tx.done {
 		tx = new(Tx)
 	}
+	th.rec.Pin() // read-side critical section: Begin → finish
+	if tx.meta != nil {
+		th.rec.RetireMeta(tx.meta) // previous transaction finished
+	}
 	tx.stm = th.stm
 	tx.th = th
-	tx.meta = core.NewTxMeta(kind, th.id)
+	tx.meta = th.rec.NewMeta(kind, th.id)
 	tx.ro = readOnly
 	tx.st = th.stm.cfg.Clock.Now(th.id)
 	tx.ct = 0
@@ -219,10 +231,17 @@ func (tx *Tx) stabilize(o *core.Object) *core.TxMeta {
 	}
 }
 
+// finish marks the transaction done and leaves the epoch critical
+// section entered by Begin.
+func (tx *Tx) finish() {
+	tx.done = true
+	tx.th.rec.Unpin()
+}
+
 func (tx *Tx) fail(err error) error {
 	tx.meta.TryAbort()
 	tx.releaseLocks()
-	tx.done = true
+	tx.finish()
 	tx.th.shard.Inc(cntAborts)
 	return err
 }
@@ -330,7 +349,7 @@ func (tx *Tx) Commit() error {
 		if !tx.meta.CASStatus(core.StatusActive, core.StatusCommitted) {
 			return tx.fail(core.ErrAborted)
 		}
-		tx.done = true
+		tx.finish()
 		tx.th.shard.Inc(cntCommits)
 		return nil
 	}
@@ -339,11 +358,11 @@ func (tx *Tx) Commit() error {
 	}
 	tx.ct = tx.stm.cfg.Clock.CommitTime(tx.th.id)
 	for _, w := range tx.writes {
-		w.obj.Install(w.val, tx.ct, tx.meta.ID, 0)
+		w.obj.InstallRecycled(&tx.th.rec, w.val, tx.ct, tx.meta.ID, 0)
 	}
 	tx.meta.CASStatus(core.StatusCommitting, core.StatusCommitted)
 	tx.releaseLocks()
-	tx.done = true
+	tx.finish()
 	tx.th.shard.Inc(cntCommits)
 	return nil
 }
@@ -355,7 +374,7 @@ func (tx *Tx) Abort() {
 	}
 	tx.meta.TryAbort()
 	tx.releaseLocks()
-	tx.done = true
+	tx.finish()
 	tx.th.shard.Inc(cntAborts)
 }
 

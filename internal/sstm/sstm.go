@@ -32,10 +32,37 @@
 //
 // The paper implements this without locks using compare-and-swap, an
 // extra "committing" state, and helping, omitting the details as "quite
-// intricate". We keep the committing state but serialize the commit
-// decision under a global mutex: the same aborts and the same orders are
-// produced, with coarser synchronization (see DESIGN.md §5). Helping is
-// unnecessary in-process because a mutex holder cannot crash.
+// intricate". Earlier revisions of this package serialized every commit
+// decision under one process-global mutex; commits from disjoint
+// footprints now proceed in parallel under striped two-phase locking:
+//
+//   - Object stripes. A committing transaction locks the commit stripes
+//     of every object in its footprint (reads and writes), in ascending
+//     stripe order, and holds them across the whole decision. Two commits
+//     that share any object therefore serialize exactly as under the
+//     global mutex, and while the stripes are held the successor chains
+//     and reader lists of the footprint are frozen: every version
+//     install and every committed-reader status flip happens under the
+//     stripe of the object involved, because that object is by
+//     definition in the installing/reading transaction's own footprint.
+//
+//   - Record locks. Floors live on per-transaction records that are
+//     reachable from many objects, so two disjoint-footprint commits can
+//     still touch the same third party's record concurrently. Each
+//     record carries a small mutex making individual floor absorptions
+//     and raises atomic. Missing a concurrent raise is equivalent to the
+//     global-mutex schedule in which the absorber committed first (the
+//     raiser's decision fixes the order only at its own commit, which
+//     then re-validates with everything it absorbed — whichever decision
+//     is later in the induced order has absorbed the other's timestamps
+//     through its frozen footprint); observing a raise early only makes
+//     the absorber's timestamp larger, which is conservative: it can
+//     cause a spurious abort, never a missed cycle.
+//
+// Config.CommitStripes = 1 restores the fully serialized commit (all
+// footprints share the single stripe), which doubles as the contention
+// baseline for the scaling benchmarks. Helping is unnecessary in-process
+// because a lock holder cannot crash.
 package sstm
 
 import (
@@ -62,6 +89,13 @@ type Config struct {
 	Comb bool
 	// CM arbitrates write/write conflicts. Nil means Polite.
 	CM cm.Manager
+	// CommitStripes is the number of commit lock stripes (rounded up to a
+	// power of two, clamped to [1, 64]; 0 means the default of 64). A
+	// committing transaction locks the stripes of its whole footprint, so
+	// disjoint-footprint commits proceed in parallel. 1 serializes every
+	// commit decision — the pre-striping behaviour, kept as the scaling
+	// baseline.
+	CommitStripes int
 }
 
 // Stats is a snapshot of an instance's cumulative counters.
@@ -78,14 +112,24 @@ const (
 	cntConflicts
 )
 
+// commitStripe is one commit lock, padded so neighbouring stripes do not
+// share a cache line under contention.
+type commitStripe struct {
+	sync.Mutex
+	_ [56]byte
+}
+
 // STM is an S-STM instance.
 type STM struct {
 	cfg   Config
 	clock *vclock.Clock
 
-	// commitMu serializes commit decisions (floor absorption, successor
-	// validation, floor attachment, version install).
-	commitMu sync.Mutex
+	// stripes are the commit locks: a committing transaction holds the
+	// stripes of every object in its footprint across its whole decision
+	// (floor absorption, successor validation, floor attachment, version
+	// install). stripeMask is len(stripes)-1 (a power of two).
+	stripes    []commitStripe
+	stripeMask uint64
 
 	nextThread atomic.Int64
 
@@ -104,11 +148,48 @@ func New(cfg Config) *STM {
 	if cfg.CM == nil {
 		cfg.CM = &cm.Polite{}
 	}
+	n := cfg.CommitStripes
+	if n < 1 {
+		n = 64
+	}
+	if n > 64 {
+		n = 64 // footprint stripe sets are tracked in one uint64
+	}
+	for n&(n-1) != 0 {
+		n++ // round up to a power of two for mask indexing
+	}
+	cfg.CommitStripes = n
 	mk := vclock.NewMapped
 	if cfg.Comb {
 		mk = vclock.NewComb
 	}
-	return &STM{cfg: cfg, clock: mk(cfg.Threads, cfg.Entries, cfg.Mapping)}
+	return &STM{
+		cfg:        cfg,
+		clock:      mk(cfg.Threads, cfg.Entries, cfg.Mapping),
+		stripes:    make([]commitStripe, n),
+		stripeMask: uint64(n - 1),
+	}
+}
+
+// lockFootprint locks every stripe in mask in ascending index order (the
+// fixed order makes footprint acquisition deadlock-free).
+func (s *STM) lockFootprint(mask uint64) {
+	for i := 0; mask != 0; i++ {
+		if mask&1 != 0 {
+			s.stripes[i].Lock()
+		}
+		mask >>= 1
+	}
+}
+
+// unlockFootprint releases every stripe in mask.
+func (s *STM) unlockFootprint(mask uint64) {
+	for i := 0; mask != 0; i++ {
+		if mask&1 != 0 {
+			s.stripes[i].Unlock()
+		}
+		mask >>= 1
+	}
 }
 
 // Config returns the effective configuration.
@@ -125,23 +206,60 @@ func (s *STM) Stats() Stats {
 }
 
 // Record is the persistent footprint of a transaction: its commit
-// timestamp (assigned under the commit mutex when the transaction
-// commits), the transaction descriptor (so readers of the record can
-// tell whether it committed), and the floor — the join of the timestamps
-// of all committed transactions that must precede any transaction
-// ordered after this one. TS and floor are only accessed under the
-// STM's commit mutex, and only for committed records; both are nil
-// until the owning transaction commits.
+// timestamp (assigned when the transaction's commit decision fixes it),
+// the transaction descriptor (so readers of the record can tell whether
+// it committed), and the floor — the join of the timestamps of all
+// committed transactions that must precede any transaction ordered after
+// this one. TS is written once, before the owning transaction's status
+// flips to committed, and is immutable afterwards; the floor keeps
+// growing for as long as the record is reachable from installed
+// versions, so every floor access goes through mu.
 type Record struct {
 	TS    vclock.TS
-	floor vclock.TS
 	meta  *core.TxMeta
+	mu    sync.Mutex // guards floor
+	floor vclock.TS
 }
 
-// Floor returns a copy of the record's current floor. Floors are mutated
-// under the STM's commit mutex; callers must only use Floor when no
-// commits are in flight (it exists for tests and diagnostics).
-func (r *Record) Floor() vclock.TS { return r.floor.Clone() }
+// absorbFloorInto folds the record's current floor into ct.
+func (r *Record) absorbFloorInto(ct vclock.TS) {
+	r.mu.Lock()
+	ct.MaxInto(r.floor)
+	r.mu.Unlock()
+}
+
+// raiseFloor raises the record's floor to dominate ts.
+func (r *Record) raiseFloor(ts vclock.TS) {
+	r.mu.Lock()
+	r.floor.MaxInto(ts)
+	r.mu.Unlock()
+}
+
+// setFloor installs the record's initial floor buffer (once, by the
+// owning transaction's commit decision, before the record becomes
+// reachable from any installed version).
+func (r *Record) setFloor(f vclock.TS) {
+	r.mu.Lock()
+	r.floor = f
+	r.mu.Unlock()
+}
+
+// Floor returns a copy of the record's current floor (tests and
+// diagnostics).
+func (r *Record) Floor() vclock.TS {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.floor.Clone()
+}
+
+// FloorInto copies the record's current floor into dst, reusing dst's
+// storage when it is wide enough, and returns the result. The zero-alloc
+// sibling of Floor for callers that poll floors on a hot path.
+func (r *Record) FloorInto(dst vclock.TS) vclock.TS {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.floor.CopyInto(dst)
+}
 
 // Version is one committed state of an Object.
 type Version struct {
@@ -192,6 +310,22 @@ func (v *Version) Readers() []*Record {
 	return append([]*Record(nil), v.readers...)
 }
 
+// absorbReaders folds the timestamp and floor of every committed reader
+// other than self into ct, holding the reader-list lock across the walk
+// (the commit path's snapshot-free sibling of Readers; the record lock
+// nests inside the list lock and nowhere else, so the order is fixed).
+func (v *Version) absorbReaders(self *Record, ct vclock.TS) {
+	v.readersMu.Lock()
+	for _, rd := range v.readers {
+		if rd == self || rd.meta.Status() != core.StatusCommitted {
+			continue
+		}
+		ct.MaxInto(rd.TS)
+		rd.absorbFloorInto(ct)
+	}
+	v.readersMu.Unlock()
+}
+
 // Object is an S-STM shared object.
 type Object struct {
 	id  uint64
@@ -233,6 +367,14 @@ func (s *STM) NewThread() *Thread {
 
 // ID returns the thread's index.
 func (th *Thread) ID() int { return th.id }
+
+// VC returns a copy of the thread's last committed timestamp (tests).
+func (th *Thread) VC() vclock.TS { return th.vc.Clone() }
+
+// VCInto copies the thread's last committed timestamp into dst, reusing
+// dst's storage when it is wide enough, and returns the result (the
+// zero-alloc sibling of VC).
+func (th *Thread) VCInto(dst vclock.TS) vclock.TS { return th.vc.CopyInto(dst) }
 
 // STM returns the owning instance.
 func (th *Thread) STM() *STM { return th.stm }
@@ -314,6 +456,11 @@ func (tx *Tx) Done() bool { return tx == nil || tx.done }
 
 // CT returns a copy of the tentative commit timestamp (tests).
 func (tx *Tx) CT() vclock.TS { return tx.ct.Clone() }
+
+// CTInto copies the tentative commit timestamp into dst, reusing dst's
+// storage when it is wide enough, and returns the result (the zero-alloc
+// sibling of CT).
+func (tx *Tx) CTInto(dst vclock.TS) vclock.TS { return tx.ct.CopyInto(dst) }
 
 func (tx *Tx) stabilize(o *Object) {
 	for round := 0; ; round++ {
@@ -419,23 +566,44 @@ func (tx *Tx) recordWrite(o *Object, val any) {
 	tx.writes = append(tx.writes, writeEntry{obj: o, base: v, val: val})
 }
 
-// Commit decides the transaction under the commit mutex:
+// footprint returns the stripe set of every object the transaction
+// accessed, as a bitmask over the STM's commit stripes.
+func (tx *Tx) footprint() uint64 {
+	m := tx.stm.stripeMask
+	var mask uint64
+	for i := range tx.reads {
+		mask |= 1 << (tx.reads[i].obj.id & m)
+	}
+	for i := range tx.writes {
+		mask |= 1 << (tx.writes[i].obj.id & m)
+	}
+	return mask
+}
+
+// Commit decides the transaction while holding the commit stripes of its
+// whole footprint (see the package comment for why striped two-phase
+// locking preserves the global-mutex semantics):
 //
 //  1. Re-absorb the floors of every accessed version (orders imposed by
 //     transactions that committed since we opened them), and — the
 //     reader-list rule — the timestamps and floors of every committed
 //     reader of every version this transaction overwrites: each such
 //     reader R fixed the order R → T when it read the version T's write
-//     replaces, so T's timestamp must dominate R's.
+//     replaces, so T's timestamp must dominate R's. Readers of our
+//     overwritten versions decide under our stripes (the version's
+//     object is in their footprint too), so their committed status and
+//     timestamp are stable while we hold them.
 //  2. Validate: a successor of a read version whose timestamp is ≼ T.ct
 //     closes a precedence cycle — abort (as in CS-STM, but reader lists
 //     and floors have folded rw-antidependency orderings into the
 //     timestamps, upgrading the guarantee from causal serializability to
-//     serializability).
+//     serializability). Successor chains of the footprint are frozen
+//     while the stripes are held.
 //  3. Fix the final timestamp (clock tick for update transactions) and
 //     publish it on the transaction's record; flip the status to
-//     committed while still holding the mutex, so a later committer
-//     never misses this transaction in a reader list.
+//     committed while still holding the stripes, so a later committer of
+//     an overlapping footprint never misses this transaction in a reader
+//     list.
 //  4. Attach: for every read version, raise the floor of every successor
 //     version's writer to T.ct, fixing T → successor-writer for all
 //     future transactions.
@@ -452,32 +620,27 @@ func (tx *Tx) Commit() error {
 	}
 
 	s := tx.stm
-	s.commitMu.Lock()
+	mask := tx.footprint()
+	s.lockFootprint(mask)
 	// Step 1: re-absorb floors and committed readers of overwritten
 	// versions.
 	for _, r := range tx.reads {
 		if r.ver.Writer != nil {
-			tx.ct.MaxInto(r.ver.Writer.floor)
+			r.ver.Writer.absorbFloorInto(tx.ct)
 		}
 	}
 	for _, w := range tx.writes {
 		if w.base.Writer != nil {
-			tx.ct.MaxInto(w.base.Writer.floor)
+			w.base.Writer.absorbFloorInto(tx.ct)
 		}
-		for _, rd := range w.base.Readers() {
-			if rd == tx.rec || rd.meta.Status() != core.StatusCommitted {
-				continue
-			}
-			tx.ct.MaxInto(rd.TS)
-			tx.ct.MaxInto(rd.floor)
-		}
+		w.base.absorbReaders(tx.rec, tx.ct)
 	}
 	// Step 2: validate.
 	for _, r := range tx.reads {
 		for succ := r.ver.next.Load(); succ != nil; succ = succ.next.Load() {
 			if succ.CT.LessEq(tx.ct) {
 				tx.meta.CASStatus(core.StatusCommitting, core.StatusAborted)
-				s.commitMu.Unlock()
+				s.unlockFootprint(mask)
 				tx.releaseLocks()
 				tx.done = true
 				tx.th.ctbuf = tx.ct
@@ -489,19 +652,24 @@ func (tx *Tx) Commit() error {
 		}
 	}
 	// Step 3: final timestamp, published on the record, status flipped
-	// under the mutex.
+	// under the stripes.
 	if len(tx.writes) > 0 {
 		s.clock.Stamp(tx.th.id, tx.ct)
 	}
 	tx.rec.TS = tx.ct // the ct buffer escapes into the record here
-	tx.rec.floor = s.clock.Zero()
+	if len(tx.writes) > 0 {
+		// Only a writer's record can become a version's Writer, so only
+		// writers need a floor buffer for future raises; a write-free
+		// record's floor is never raised and absorbs as empty.
+		tx.rec.setFloor(s.clock.Zero())
+	}
 	// Step 4: attach our order to every successor writer, along the whole
 	// successor chain (each overwrote a version we read, so we precede
 	// each of them).
 	for _, r := range tx.reads {
 		for succ := r.ver.next.Load(); succ != nil; succ = succ.next.Load() {
 			if succ.Writer != nil {
-				succ.Writer.floor.MaxInto(tx.ct)
+				succ.Writer.raiseFloor(tx.ct)
 			}
 		}
 	}
@@ -517,7 +685,7 @@ func (tx *Tx) Commit() error {
 		}
 	}
 	tx.meta.CASStatus(core.StatusCommitting, core.StatusCommitted)
-	s.commitMu.Unlock()
+	s.unlockFootprint(mask)
 
 	tx.releaseLocks()
 	tx.done = true

@@ -37,6 +37,18 @@ func (t TS) Clone() TS {
 	return u
 }
 
+// CopyInto copies t into dst, reusing dst's backing storage when it has
+// the right width, and returns the destination. With a mismatched (or
+// nil) dst a fresh timestamp is allocated, so CopyInto degrades to Clone;
+// hot paths keep a thread-owned scratch buffer and pass it back in.
+func (t TS) CopyInto(dst TS) TS {
+	if len(dst) != len(t) {
+		dst = make(TS, len(t))
+	}
+	copy(dst, t)
+	return dst
+}
+
 // Equal reports t == u. Timestamps of different widths are never equal.
 func (t TS) Equal(u TS) bool {
 	if len(t) != len(u) {

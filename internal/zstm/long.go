@@ -54,12 +54,19 @@ func (tx *LongTx) Done() bool { return tx == nil || tx.done }
 // ReadOnly reports whether the transaction was declared read-only.
 func (tx *LongTx) ReadOnly() bool { return tx.ro }
 
+// finish marks the transaction done and leaves the epoch critical
+// section entered by BeginLong.
+func (tx *LongTx) finish() {
+	tx.done = true
+	tx.th.inner.Recycler().Unpin()
+}
+
 // fail aborts the transaction and returns err.
 func (tx *LongTx) fail(err error) error {
 	tx.meta.TryAbort()
 	tx.releaseLocks()
 	tx.th.stm.unregisterZone(tx.zc)
-	tx.done = true
+	tx.finish()
 	tx.th.shard.Inc(cntLongAborts)
 	return err
 }
@@ -212,7 +219,7 @@ func (tx *LongTx) Commit() error {
 			tx.meta.CASStatus(core.StatusCommitting, core.StatusAborted)
 			tx.releaseLocks()
 			s.unregisterZone(tx.zc)
-			tx.done = true
+			tx.finish()
 			tx.th.shard.Inc(cntLongAborts)
 			tx.th.shard.Inc(cntLongPassed)
 			return core.ErrConflict
@@ -223,14 +230,15 @@ func (tx *LongTx) Commit() error {
 	}
 	if len(tx.writes) > 0 {
 		ct := s.inner.Clock().CommitTime(tx.th.inner.ID())
+		rec := tx.th.inner.Recycler()
 		for _, w := range tx.writes {
-			w.obj.Install(w.val, ct, tx.meta.ID, tx.zc)
+			w.obj.InstallRecycled(rec, w.val, ct, tx.meta.ID, tx.zc)
 		}
 	}
 	tx.meta.CASStatus(core.StatusCommitting, core.StatusCommitted)
 	tx.releaseLocks()
 	s.unregisterZone(tx.zc)
-	tx.done = true
+	tx.finish()
 	tx.th.commitZone(tx.zc) // LZC_p ← T.zc (Algorithm 2 line 27)
 	tx.th.shard.Inc(cntLongCommits)
 	return nil
@@ -245,7 +253,7 @@ func (tx *LongTx) Abort() {
 	tx.meta.TryAbort()
 	tx.releaseLocks()
 	tx.th.stm.unregisterZone(tx.zc)
-	tx.done = true
+	tx.finish()
 	tx.th.shard.Inc(cntLongAborts)
 }
 

@@ -18,6 +18,10 @@ import (
 func TestTortureMixedKindsAggressive(t *testing.T) {
 	s := New(Config{CM: cm.Aggressive{}, ZonePatience: 8})
 	const accounts, workers = 5, 5
+	iters := 80
+	if testing.Short() {
+		iters = 24
+	}
 	objs := make([]*core.Object, accounts)
 	for i := range objs {
 		objs[i] = s.NewObject(int64(100))
@@ -33,7 +37,7 @@ func TestTortureMixedKindsAggressive(t *testing.T) {
 			defer wg.Done()
 			rng := rand.New(rand.NewSource(int64(seed)))
 			th := s.NewThread()
-			for i := 0; i < 80; i++ {
+			for i := 0; i < iters; i++ {
 				if rng.Intn(5) == 0 {
 					// Long transaction: scan all accounts; half the time
 					// also write the sum.
@@ -161,6 +165,10 @@ func TestTortureMixedKindsAggressive(t *testing.T) {
 func TestTortureLongKilledMidScan(t *testing.T) {
 	s := New(Config{ZonePatience: 8})
 	const accounts = 8
+	scans, transfers := 150, 300
+	if testing.Short() {
+		scans, transfers = 50, 100
+	}
 	objs := make([]*core.Object, accounts)
 	for i := range objs {
 		objs[i] = s.NewObject(int64(10))
@@ -189,7 +197,7 @@ func TestTortureLongKilledMidScan(t *testing.T) {
 	go func() {
 		defer wg.Done()
 		th := s.NewThread()
-		for i := 0; i < 150; i++ {
+		for i := 0; i < scans; i++ {
 			tx := th.BeginLong(true)
 			cur.Store(tx.Meta())
 			var sum int64
@@ -221,7 +229,7 @@ func TestTortureLongKilledMidScan(t *testing.T) {
 	go func() {
 		defer wg.Done()
 		th := s.NewThread()
-		for i := 0; i < 300; i++ {
+		for i := 0; i < transfers; i++ {
 			from, to := i%accounts, (i*3+1)%accounts
 			if from == to {
 				continue

@@ -229,15 +229,22 @@ func (th *Thread) BeginShort(readOnly bool) *ShortTx {
 //
 // BeginLong may recycle the thread's previous long descriptor: a *LongTx
 // is invalid after Commit or Abort and must not be retained across the
-// next BeginLong on the same thread. The meta is always allocated fresh
-// — it is published through the zone registry and object writer words.
+// next BeginLong on the same thread. The meta comes from the thread's
+// epoch-gated pool — it is published through the zone registry and
+// object writer words, so the previous transaction's meta is retired
+// here and reused only after its reclamation grace period.
 func (th *Thread) BeginLong(readOnly bool) *LongTx {
 	tx := &th.ltx
 	if tx.meta != nil && !tx.done {
 		tx = new(LongTx)
 	}
+	rec := th.inner.Recycler()
+	rec.Pin() // read-side critical section: BeginLong → finish
+	if tx.meta != nil {
+		rec.RetireMeta(tx.meta) // previous long finished and unregistered
+	}
 	tx.th = th
-	tx.meta = core.NewTxMeta(core.Long, th.inner.ID())
+	tx.meta = rec.NewMeta(core.Long, th.inner.ID())
 	tx.ro = readOnly
 	tx.zc = th.stm.zc.Add(1)
 	clear(tx.reads) // release the previous transaction's objects/values

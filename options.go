@@ -98,6 +98,12 @@ type config struct {
 	validationFastPath bool
 	sharedCommitTimes  bool
 
+	stripedClock     bool
+	stripedSlots     int
+	timeBase         TimeBase
+	commitStripes    int
+	commitStripesSet bool
+
 	realTime     bool
 	rtEpsilon    uint64
 	rtTick       time.Duration
@@ -141,6 +147,28 @@ func (c *config) validate() error {
 	}
 	if c.sharedCommitTimes && c.realTime {
 		return fmt.Errorf("tbtm: shared commit times and real-time clocks are mutually exclusive")
+	}
+	if c.stripedClock && (c.consistency == CausallySerializable || c.consistency == Serializable) {
+		return fmt.Errorf("tbtm: striped clocks apply to scalar time bases, not %v", c.consistency)
+	}
+	if c.stripedClock && (c.realTime || c.sharedCommitTimes) {
+		return fmt.Errorf("tbtm: striped clocks are mutually exclusive with real-time and shared-commit-time clocks")
+	}
+	if c.timeBase != nil {
+		if c.consistency == CausallySerializable || c.consistency == Serializable {
+			return fmt.Errorf("tbtm: custom time bases apply to scalar time bases, not %v", c.consistency)
+		}
+		if c.realTime || c.sharedCommitTimes || c.stripedClock {
+			return fmt.Errorf("tbtm: a custom time base is mutually exclusive with the built-in clock options")
+		}
+	}
+	if c.commitStripesSet {
+		if c.consistency != Serializable {
+			return fmt.Errorf("tbtm: commit stripes apply to Serializable, not %v", c.consistency)
+		}
+		if c.commitStripes < 1 {
+			return fmt.Errorf("tbtm: commit stripes must be >= 1, got %d", c.commitStripes)
+		}
 	}
 	if c.comb && c.consistency != CausallySerializable && c.consistency != Serializable {
 		return fmt.Errorf("tbtm: comb clocks apply to vector time bases, not %v", c.consistency)
@@ -242,6 +270,60 @@ func WithPlausibleComb() Option {
 // not count commits.
 func WithValidationFastPath() Option {
 	return func(cfg *config) { cfg.validationFastPath = true }
+}
+
+// TimeBase is a pluggable scalar time base for the scalar-clock
+// backends (Linearizable, SingleVersion, ZLinearizable and
+// SnapshotIsolation). Implementations must be safe for concurrent use.
+//
+// Now returns the current time as perceived by the calling thread
+// (identified by its Thread.ID). CommitTime acquires a fresh commit
+// time for that thread: every value must be process-unique, and a value
+// acquired after another CommitTime or Now call completed must be
+// strictly greater than it.
+type TimeBase interface {
+	Now(thread int) uint64
+	CommitTime(thread int) uint64
+}
+
+// WithTimeBase installs a custom scalar time base (see TimeBase). It is
+// mutually exclusive with the built-in clock options
+// (WithSharedCommitTimes, WithStripedClock, WithSimRealTimeClock).
+// WithValidationFastPath is ignored on custom time bases — the fast path
+// requires the built-in strictly commit-counting shared counter.
+func WithTimeBase(tb TimeBase) Option {
+	return func(cfg *config) { cfg.timeBase = tb }
+}
+
+// WithStripedClock replaces the shared-counter time base with a striped
+// commit counter: slots cache-line-padded counters with thread affinity,
+// each owning one congruence class of commit times (paper §4's
+// "scalable time bases" direction; see clock.StripedCounter). Committers
+// write only their own slot, so the single contended counter line
+// disappears; reading the time costs slots uncontended loads. slots <= 0
+// selects the default of 8. Applies to Linearizable, SingleVersion,
+// ZLinearizable and SnapshotIsolation; mutually exclusive with
+// WithSharedCommitTimes and WithSimRealTimeClock. Striping forfeits
+// strict commit counting, so WithValidationFastPath is ignored on this
+// time base.
+func WithStripedClock(slots int) Option {
+	return func(cfg *config) {
+		cfg.stripedClock = true
+		cfg.stripedSlots = slots
+	}
+}
+
+// WithCommitStripes sets the number of commit lock stripes for the
+// Serializable backend (default 64, rounded up to a power of two,
+// clamped to [1, 64]). A committing transaction locks the stripes of its
+// whole footprint, so commits with disjoint footprints proceed in
+// parallel; 1 serializes every commit decision (the pre-striping
+// behaviour, useful as a contention baseline).
+func WithCommitStripes(n int) Option {
+	return func(cfg *config) {
+		cfg.commitStripes = n
+		cfg.commitStripesSet = true
+	}
 }
 
 // WithSharedCommitTimes replaces the shared-counter time base with a

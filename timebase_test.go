@@ -1,0 +1,216 @@
+package tbtm
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// Facade wiring for the scalable commit-path options: striped commit
+// counters (WithStripedClock), pluggable time bases (WithTimeBase) and
+// S-STM commit lock striping (WithCommitStripes).
+
+func TestStripedClockOptionValidation(t *testing.T) {
+	for _, c := range []Consistency{Linearizable, SingleVersion, ZLinearizable, SnapshotIsolation} {
+		if _, err := New(WithConsistency(c), WithStripedClock(8)); err != nil {
+			t.Fatalf("%v: striped clock rejected: %v", c, err)
+		}
+	}
+	for _, c := range []Consistency{CausallySerializable, Serializable} {
+		if _, err := New(WithConsistency(c), WithStripedClock(8)); err == nil {
+			t.Fatalf("%v: striped clock accepted on a vector time base", c)
+		}
+	}
+	if _, err := New(WithConsistency(Linearizable), WithStripedClock(8), WithSharedCommitTimes()); err == nil {
+		t.Fatal("striped clock + shared commit times accepted")
+	}
+	if _, err := New(WithConsistency(Linearizable), WithStripedClock(8),
+		WithSimRealTimeClock(4, 2, 0)); err == nil {
+		t.Fatal("striped clock + real-time clock accepted")
+	}
+}
+
+func TestCommitStripesOptionValidation(t *testing.T) {
+	if _, err := New(WithConsistency(Serializable), WithCommitStripes(8)); err != nil {
+		t.Fatalf("commit stripes rejected on Serializable: %v", err)
+	}
+	if _, err := New(WithConsistency(Linearizable), WithCommitStripes(8)); err == nil {
+		t.Fatal("commit stripes accepted on Linearizable")
+	}
+	if _, err := New(WithConsistency(Serializable), WithCommitStripes(-1)); err == nil {
+		t.Fatal("negative commit stripes accepted")
+	}
+	if _, err := New(WithConsistency(Serializable), WithCommitStripes(0)); err == nil {
+		t.Fatal("explicit zero commit stripes accepted")
+	}
+	if _, err := New(WithConsistency(Linearizable), WithCommitStripes(0)); err == nil {
+		t.Fatal("explicit zero commit stripes accepted on Linearizable")
+	}
+}
+
+// TestStripedClockConservation runs concurrent transfers on a striped
+// time base: commit times come from per-thread congruence classes, and
+// the money conservation invariant must survive.
+func TestStripedClockConservation(t *testing.T) {
+	for _, c := range []Consistency{Linearizable, SingleVersion, ZLinearizable, SnapshotIsolation} {
+		const (
+			workers   = 4
+			transfers = 150
+			accounts  = 8
+			initial   = int64(100)
+		)
+		tm := MustNew(WithConsistency(c), WithStripedClock(workers))
+		vars := make([]*Var[int64], accounts)
+		for i := range vars {
+			vars[i] = NewVar(tm, initial)
+		}
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			th := tm.NewThread()
+			seed := uint64(w + 1)
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := 0; i < transfers; i++ {
+					seed = seed*6364136223846793005 + 1442695040888963407
+					a := int((seed >> 33) % accounts)
+					b := (a + 1 + int((seed>>13)%(accounts-1))) % accounts
+					if err := th.Atomic(Short, func(tx Tx) error {
+						va, err := vars[a].Read(tx)
+						if err != nil {
+							return err
+						}
+						vb, err := vars[b].Read(tx)
+						if err != nil {
+							return err
+						}
+						if err := vars[a].Write(tx, va-1); err != nil {
+							return err
+						}
+						return vars[b].Write(tx, vb+1)
+					}); err != nil {
+						t.Error(err)
+						return
+					}
+				}
+			}()
+		}
+		wg.Wait()
+		th := tm.NewThread()
+		var sum int64
+		if err := th.AtomicReadOnly(Short, func(tx Tx) error {
+			sum = 0
+			for _, v := range vars {
+				x, err := v.Read(tx)
+				if err != nil {
+					return err
+				}
+				sum += x
+			}
+			return nil
+		}); err != nil {
+			t.Fatalf("%v: audit: %v", c, err)
+		}
+		if sum != initial*accounts {
+			t.Fatalf("%v: total = %d, want %d", c, sum, initial*accounts)
+		}
+	}
+}
+
+// countingTimeBase wraps the default shared counter to verify
+// WithTimeBase is actually threaded through to the backend.
+type countingTimeBase struct {
+	c       atomic.Uint64
+	commits atomic.Int64
+}
+
+func (t *countingTimeBase) Now(int) uint64 { return t.c.Load() }
+func (t *countingTimeBase) CommitTime(int) uint64 {
+	t.commits.Add(1)
+	return t.c.Add(1)
+}
+
+func TestWithTimeBaseInjected(t *testing.T) {
+	tb := &countingTimeBase{}
+	tm := MustNew(WithConsistency(Linearizable), WithTimeBase(tb))
+	v := NewVar(tm, int64(0))
+	th := tm.NewThread()
+	for i := 0; i < 5; i++ {
+		if err := th.Atomic(Short, func(tx Tx) error {
+			return v.Modify(tx, func(x int64) int64 { return x + 1 })
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if n := tb.commits.Load(); n != 5 {
+		t.Fatalf("custom time base saw %d commit-time acquisitions, want 5", n)
+	}
+	if _, err := New(WithConsistency(Serializable), WithTimeBase(tb)); err == nil {
+		t.Fatal("custom time base accepted on a vector-clock backend")
+	}
+	if _, err := New(WithConsistency(Linearizable), WithTimeBase(tb), WithStripedClock(4)); err == nil {
+		t.Fatal("custom time base + striped clock accepted")
+	}
+}
+
+// TestSerializableStripedFacade exercises the Serializable backend's
+// striped commit through the facade under concurrency, including the
+// serialized baseline.
+func TestSerializableStripedFacade(t *testing.T) {
+	for _, stripes := range []int{1, 64} {
+		tm := MustNew(WithConsistency(Serializable), WithThreads(4), WithCommitStripes(stripes))
+		const accounts = 8
+		const initial = int64(50)
+		vars := make([]*Var[int64], accounts)
+		for i := range vars {
+			vars[i] = NewVar(tm, initial)
+		}
+		var wg sync.WaitGroup
+		for w := 0; w < 4; w++ {
+			th := tm.NewThread()
+			a, b := w%accounts, (w+3)%accounts
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := 0; i < 100; i++ {
+					if err := th.Atomic(Short, func(tx Tx) error {
+						va, err := vars[a].Read(tx)
+						if err != nil {
+							return err
+						}
+						vb, err := vars[b].Read(tx)
+						if err != nil {
+							return err
+						}
+						if err := vars[a].Write(tx, va-1); err != nil {
+							return err
+						}
+						return vars[b].Write(tx, vb+1)
+					}); err != nil {
+						t.Error(err)
+						return
+					}
+				}
+			}()
+		}
+		wg.Wait()
+		th := tm.NewThread()
+		var sum int64
+		if err := th.AtomicReadOnly(Short, func(tx Tx) error {
+			sum = 0
+			for _, v := range vars {
+				x, err := v.Read(tx)
+				if err != nil {
+					return err
+				}
+				sum += x
+			}
+			return nil
+		}); err != nil {
+			t.Fatalf("stripes=%d: audit: %v", stripes, err)
+		}
+		if sum != initial*accounts {
+			t.Fatalf("stripes=%d: total = %d, want %d", stripes, sum, initial*accounts)
+		}
+	}
+}
