@@ -68,6 +68,7 @@ func buildBackend(cfg config, tm *TM) backend {
 			Versions:           cfg.versions,
 			NoReadSets:         cfg.noReadSets,
 			ValidationFastPath: cfg.validationFastPath,
+			Lot:                tm.lot,
 		})}
 	case SingleVersion:
 		return &lsaBackend{tm: tm, stm: lsa.New(lsa.Config{
@@ -77,6 +78,7 @@ func buildBackend(cfg config, tm *TM) backend {
 			NoExtension:        true,
 			NoReadSets:         cfg.noReadSets,
 			ValidationFastPath: cfg.validationFastPath,
+			Lot:                tm.lot,
 		})}
 	case CausallySerializable:
 		csVersions := 1 // the paper's base CS-STM keeps no old versions
@@ -90,6 +92,7 @@ func buildBackend(cfg config, tm *TM) backend {
 			Comb:     cfg.comb,
 			CM:       buildCM(cfg),
 			Versions: csVersions,
+			Lot:      tm.lot,
 		})}
 	case Serializable:
 		return &ssBackend{tm: tm, stm: sstm.New(sstm.Config{
@@ -99,12 +102,14 @@ func buildBackend(cfg config, tm *TM) backend {
 			Comb:          cfg.comb,
 			CM:            buildCM(cfg),
 			CommitStripes: cfg.commitStripes,
+			Lot:           tm.lot,
 		})}
 	case SnapshotIsolation:
 		return &siBackend{tm: tm, stm: sistm.New(sistm.Config{
 			Clock:    buildClock(cfg),
 			CM:       buildCM(cfg),
 			Versions: cfg.versions,
+			Lot:      tm.lot,
 		})}
 	default: // ZLinearizable (validated in New)
 		return &zBackend{tm: tm, stm: zstm.New(zstm.Config{
@@ -114,6 +119,7 @@ func buildBackend(cfg config, tm *TM) backend {
 			NoReadSets:         cfg.noReadSets,
 			ZonePatience:       cfg.zonePatience,
 			ValidationFastPath: cfg.validationFastPath,
+			Lot:                tm.lot,
 		})}
 	}
 }
@@ -121,7 +127,12 @@ func buildBackend(cfg config, tm *TM) backend {
 // innerTx is the shape every STM implementation's transaction type
 // shares, parameterized by its object type. Done reports that the
 // transaction finished (committed or aborted) and must tolerate a nil
-// receiver, so a never-used wrapper slot recycles uniformly.
+// receiver, so a never-used wrapper slot recycles uniformly. Watches and
+// WatchesStale expose the read footprint to the blocking layer: Watches
+// appends (object ID, read-version Seq, object handle) triples, and
+// WatchesStale re-checks whether any watched object has advanced,
+// re-entering the thread's epoch critical section when the backend
+// recycles versions.
 type innerTx[O any] interface {
 	Read(O) (any, error)
 	Write(O, any) error
@@ -129,6 +140,8 @@ type innerTx[O any] interface {
 	Abort()
 	Meta() *core.TxMeta
 	Done() bool
+	Watches(buf []core.Watch) []core.Watch
+	WatchesStale(ws []core.Watch) bool
 }
 
 // adaptedTx lifts an implementation transaction to the facade Tx,
@@ -163,6 +176,9 @@ func (a *adaptedTx[O, T]) Kind() TxKind       { return a.kind }
 func (a *adaptedTx[O, T]) meta() *core.TxMeta { return a.tx.Meta() }
 func (a *adaptedTx[O, T]) Commit() error      { return a.tx.Commit() }
 func (a *adaptedTx[O, T]) Abort()             { a.tx.Abort() }
+
+func (a *adaptedTx[O, T]) watches(buf []core.Watch) []core.Watch { return a.tx.Watches(buf) }
+func (a *adaptedTx[O, T]) watchesStale(ws []core.Watch) bool     { return a.tx.WatchesStale(ws) }
 
 func (a *adaptedTx[O, T]) Read(obj Object) (any, error) {
 	o, err := unwrap[O](a.tm, obj)

@@ -1,0 +1,447 @@
+package tbtm
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"tbtm/internal/adaptive"
+	"tbtm/internal/core"
+)
+
+// waitFor polls cond until it holds or the deadline passes.
+func waitFor(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for %s", what)
+		}
+		time.Sleep(100 * time.Microsecond)
+	}
+}
+
+// TestRetryParksInsteadOfPolling is the acceptance test for the
+// event-driven blocking layer, run against every consistency criterion:
+// a consumer blocked on an empty condition must park (no retry-loop
+// iterations while blocked — the abort counter stays frozen) and wake
+// within one committed producer update.
+func TestRetryParksInsteadOfPolling(t *testing.T) {
+	for _, level := range allLevels {
+		t.Run(level.String(), func(t *testing.T) {
+			tm := MustNew(WithConsistency(level), WithBlockingRetry())
+			flag := NewVar(tm, 0)
+
+			got := make(chan int, 1)
+			go func() {
+				th := tm.NewThread()
+				var v int
+				err := th.Atomic(Short, func(tx Tx) error {
+					var err error
+					if v, err = flag.Read(tx); err != nil {
+						return err
+					}
+					if v == 0 {
+						return Retry(tx)
+					}
+					return flag.Write(tx, 0)
+				})
+				if err != nil {
+					t.Errorf("consumer: %v", err)
+				}
+				got <- v
+			}()
+
+			waitFor(t, "consumer to park", func() bool { return tm.Stats().Parks >= 1 })
+			// Parked means parked: no transaction attempts accrue while
+			// the condition is unchanged.
+			frozen := tm.Stats().Aborts
+			time.Sleep(20 * time.Millisecond)
+			if now := tm.Stats().Aborts; now != frozen {
+				t.Fatalf("parked consumer kept polling: aborts %d -> %d", frozen, now)
+			}
+
+			th := tm.NewThread()
+			if err := th.Atomic(Short, func(tx Tx) error { return flag.Write(tx, 7) }); err != nil {
+				t.Fatalf("producer: %v", err)
+			}
+			select {
+			case v := <-got:
+				if v != 7 {
+					t.Fatalf("consumer read %d, want 7", v)
+				}
+			case <-time.After(10 * time.Second):
+				t.Fatal("consumer did not wake after the producer's commit")
+			}
+			st := tm.Stats()
+			if st.Parks < 1 || st.Wakeups < 1 {
+				t.Fatalf("stats parks=%d wakeups=%d, want >= 1 each", st.Parks, st.Wakeups)
+			}
+		})
+	}
+}
+
+// TestRetryWithoutBlockingOptionPolls pins the degraded mode: without
+// WithBlockingRetry, Retry is an ordinary backoff retry and still
+// completes once the condition flips.
+func TestRetryWithoutBlockingOptionPolls(t *testing.T) {
+	tm := MustNew()
+	flag := NewVar(tm, 0)
+	done := make(chan error, 1)
+	go func() {
+		th := tm.NewThread()
+		done <- th.Atomic(Short, func(tx Tx) error {
+			v, err := flag.Read(tx)
+			if err != nil {
+				return err
+			}
+			if v == 0 {
+				return Retry(tx)
+			}
+			return nil
+		})
+	}()
+	time.Sleep(5 * time.Millisecond)
+	th := tm.NewThread()
+	if err := th.Atomic(Short, func(tx Tx) error { return flag.Write(tx, 1) }); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("polling Retry never completed")
+	}
+	if p := tm.Stats().Parks; p != 0 {
+		t.Fatalf("parks = %d on a non-blocking TM", p)
+	}
+}
+
+// TestRetryEmptyFootprintFallsBack: a body that retries before reading
+// anything has nothing to park on; with a retry budget the loop must
+// terminate in ErrRetriesExhausted wrapping ErrRetryWait rather than
+// hang.
+func TestRetryEmptyFootprintFallsBack(t *testing.T) {
+	tm := MustNew(WithBlockingRetry(), WithMaxRetries(4))
+	th := tm.NewThread()
+	err := th.Atomic(Short, func(tx Tx) error { return Retry(tx) })
+	if !errors.Is(err, ErrRetriesExhausted) || !errors.Is(err, ErrRetryWait) {
+		t.Fatalf("err = %v, want ErrRetriesExhausted wrapping ErrRetryWait", err)
+	}
+	if p := tm.Stats().Parks; p != 0 {
+		t.Fatalf("parked %d times on an empty footprint", p)
+	}
+}
+
+func TestAtomicOrElseTakesAlternative(t *testing.T) {
+	tm := MustNew(WithBlockingRetry())
+	a, b := NewVar(tm, 0), NewVar(tm, 5)
+	th := tm.NewThread()
+	var from string
+	err := th.AtomicOrElse(Short,
+		func(tx Tx) error {
+			v, err := a.Read(tx)
+			if err != nil {
+				return err
+			}
+			if v == 0 {
+				return Retry(tx)
+			}
+			from = "a"
+			return a.Write(tx, v-1)
+		},
+		func(tx Tx) error {
+			v, err := b.Read(tx)
+			if err != nil {
+				return err
+			}
+			if v == 0 {
+				return Retry(tx)
+			}
+			from = "b"
+			return b.Write(tx, v-1)
+		})
+	if err != nil || from != "b" {
+		t.Fatalf("err=%v from=%q, want nil/b", err, from)
+	}
+	if p := tm.Stats().Parks; p != 0 {
+		t.Fatalf("parked %d times though the alternative could run", p)
+	}
+}
+
+// TestAtomicOrElseParksOnUnion: when both alternatives retry, the
+// thread must wake on a change to either footprint — here the second
+// alternative's variable is the one the producer eventually bumps.
+func TestAtomicOrElseParksOnUnion(t *testing.T) {
+	tm := MustNew(WithBlockingRetry())
+	a, b := NewVar(tm, 0), NewVar(tm, 0)
+	done := make(chan string, 1)
+	go func() {
+		th := tm.NewThread()
+		var from string
+		err := th.AtomicOrElse(Short,
+			func(tx Tx) error {
+				v, err := a.Read(tx)
+				if err != nil {
+					return err
+				}
+				if v == 0 {
+					return Retry(tx)
+				}
+				from = "a"
+				return nil
+			},
+			func(tx Tx) error {
+				v, err := b.Read(tx)
+				if err != nil {
+					return err
+				}
+				if v == 0 {
+					return Retry(tx)
+				}
+				from = "b"
+				return nil
+			})
+		if err != nil {
+			t.Errorf("orElse: %v", err)
+		}
+		done <- from
+	}()
+	waitFor(t, "orElse to park", func() bool { return tm.Stats().Parks >= 1 })
+	th := tm.NewThread()
+	if err := th.Atomic(Short, func(tx Tx) error { return b.Write(tx, 1) }); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case from := <-done:
+		if from != "b" {
+			t.Fatalf("woke from %q, want b", from)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("union park missed the second alternative's footprint")
+	}
+}
+
+// TestSpuriousWakeupCounted: two consumers park on one variable; a
+// single produced token wakes both, one consumes it, and the other must
+// re-park — counted as a spurious wakeup.
+func TestSpuriousWakeupCounted(t *testing.T) {
+	tm := MustNew(WithBlockingRetry())
+	tokens := NewVar(tm, 0)
+	consume := func(th *Thread) error {
+		return th.Atomic(Short, func(tx Tx) error {
+			v, err := tokens.Read(tx)
+			if err != nil {
+				return err
+			}
+			if v == 0 {
+				return Retry(tx)
+			}
+			return tokens.Write(tx, v-1)
+		})
+	}
+	var done sync.WaitGroup
+	for i := 0; i < 2; i++ {
+		done.Add(1)
+		go func() {
+			defer done.Done()
+			if err := consume(tm.NewThread()); err != nil {
+				t.Errorf("consumer: %v", err)
+			}
+		}()
+	}
+	waitFor(t, "both consumers to park", func() bool { return tm.Stats().Parks >= 2 })
+	th := tm.NewThread()
+	produce := func() {
+		if err := th.Atomic(Short, func(tx Tx) error {
+			return tokens.Modify(tx, func(v int) int { return v + 1 })
+		}); err != nil {
+			t.Errorf("producer: %v", err)
+		}
+	}
+	produce()
+	// The loser re-parks; its wakeup was spurious.
+	waitFor(t, "spurious wakeup", func() bool { return tm.Stats().SpuriousWakeups >= 1 })
+	produce()
+	done.Wait()
+}
+
+// TestBlockingSemaphoreHammer is the facade-level lost-wakeup torture:
+// producers and consumers exchange tokens through one variable; any
+// wakeup lost between a consumer's read and its park deadlocks the run
+// (caught by the timeout). Exercised on a scalar-clock, a vector-clock
+// and the footprint-tracking SI backend.
+func TestBlockingSemaphoreHammer(t *testing.T) {
+	levels := []Consistency{ZLinearizable, Serializable, SnapshotIsolation}
+	producers, consumers, per := 3, 3, 200
+	if testing.Short() {
+		producers, consumers, per = 2, 2, 50
+	}
+	// Supply equals demand: every consumer takes a fixed quota, so the
+	// run terminates iff no wakeup is ever lost.
+	quota := producers * per / consumers
+	for _, level := range levels {
+		t.Run(level.String(), func(t *testing.T) {
+			tm := MustNew(WithConsistency(level), WithBlockingRetry())
+			tokens := NewVar(tm, 0)
+			var consumed atomic.Int64
+			var wg sync.WaitGroup
+			for p := 0; p < producers; p++ {
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					th := tm.NewThread()
+					for i := 0; i < per; i++ {
+						if err := th.Atomic(Short, func(tx Tx) error {
+							return tokens.Modify(tx, func(v int) int { return v + 1 })
+						}); err != nil {
+							t.Errorf("produce: %v", err)
+							return
+						}
+					}
+				}()
+			}
+			for c := 0; c < consumers; c++ {
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					th := tm.NewThread()
+					for i := 0; i < quota; i++ {
+						err := th.Atomic(Short, func(tx Tx) error {
+							v, err := tokens.Read(tx)
+							if err != nil {
+								return err
+							}
+							if v == 0 {
+								return Retry(tx)
+							}
+							return tokens.Write(tx, v-1)
+						})
+						if err != nil {
+							t.Errorf("consume: %v", err)
+							return
+						}
+						consumed.Add(1)
+					}
+				}()
+			}
+			done := make(chan struct{})
+			go func() { wg.Wait(); close(done) }()
+			select {
+			case <-done:
+			case <-time.After(120 * time.Second):
+				t.Fatal("hammer deadlocked: lost wakeup")
+			}
+			if got := consumed.Load(); got != int64(producers*per) {
+				t.Fatalf("consumed %d tokens, want %d", got, producers*per)
+			}
+		})
+	}
+}
+
+// --- AtomicSite use-after-recycle regression ---
+
+// recycleBackend simulates the descriptor recycler at its most hostile:
+// finishing a transaction immediately Resets the descriptor (as the
+// real core.Recycler does once the grace period passes), so anything
+// read from tx.meta() after Commit/Abort observes the zeroed state.
+type recycleBackend struct {
+	kinds []TxKind // kind of each begun transaction, in order
+}
+
+func (b *recycleBackend) newObject(initial any) any { return nil }
+func (b *recycleBackend) stats() Stats              { return Stats{} }
+func (b *recycleBackend) newThread() backendThread  { return &recycleThread{b: b} }
+
+type recycleThread struct{ b *recycleBackend }
+
+func (t *recycleThread) id() int { return 0 }
+func (t *recycleThread) begin(kind TxKind, ro bool) Tx {
+	t.b.kinds = append(t.b.kinds, kind)
+	return &recycleTx{m: core.NewTxMeta(kind, 0), kind: kind}
+}
+
+type recycleTx struct {
+	m    *core.TxMeta
+	kind TxKind
+}
+
+func (tx *recycleTx) Read(Object) (any, error)              { return nil, nil }
+func (tx *recycleTx) Write(Object, any) error               { return nil }
+func (tx *recycleTx) Kind() TxKind                          { return tx.kind }
+func (tx *recycleTx) meta() *core.TxMeta                    { return tx.m }
+func (tx *recycleTx) Commit() error                         { tx.release(); return nil }
+func (tx *recycleTx) Abort()                                { tx.release() }
+func (tx *recycleTx) release()                              { tx.m.Reset(tx.kind, 0) } // recycled: Prio zeroed
+func (tx *recycleTx) watches(buf []core.Watch) []core.Watch { return buf }
+func (tx *recycleTx) watchesStale([]core.Watch) bool        { return false }
+
+// TestAtomicSiteObservesOpensBeforeRelease is the regression test for
+// the AtomicSite use-after-recycle: the open count fed to the adaptive
+// classifier must be captured before Commit/Abort release the
+// descriptor. Against a backend that recycles on finish (zeroing Prio,
+// as the epoch-gated pools may), the stale read reports 0 opens and the
+// classifier can never promote the site.
+func TestAtomicSiteObservesOpensBeforeRelease(t *testing.T) {
+	b := &recycleBackend{}
+	tm := &TM{
+		cfg:        config{consistency: ZLinearizable},
+		classifier: adaptive.NewClassifier(adaptive.Config{LongOpens: 8}),
+	}
+	tm.b = b
+	th := tm.NewThread()
+
+	for i := 0; i < 3; i++ {
+		if err := th.AtomicSite("hot", func(tx Tx) error {
+			tx.meta().Prio.Add(16) // 16 opens, twice the promotion threshold
+			return nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := th.AtomicSite("hot", func(tx Tx) error { return nil }); err != nil {
+		t.Fatal(err)
+	}
+	last := b.kinds[len(b.kinds)-1]
+	if last != Long {
+		t.Fatalf("site not promoted (last kind %v): classifier observed the recycled descriptor's zeroed open count", last)
+	}
+}
+
+// TestAtomicSiteRetryDoesNotFeedClassifier: blocked attempts are not
+// contention aborts — a site that merely waits (Retry) many times in a
+// row must not accrue an abort streak and get promoted to Long for
+// being idle.
+func TestAtomicSiteRetryDoesNotFeedClassifier(t *testing.T) {
+	b := &recycleBackend{}
+	tm := &TM{
+		cfg: config{consistency: ZLinearizable},
+		// Promotion by footprint is out of reach; only the abort-streak
+		// rule (default streak 8, min 8 opens) could misfire.
+		classifier: adaptive.NewClassifier(adaptive.Config{LongOpens: 1000}),
+	}
+	tm.b = b
+	th := tm.NewThread()
+
+	waits := 0
+	if err := th.AtomicSite("idle", func(tx Tx) error {
+		tx.meta().Prio.Add(10)
+		if waits < 10 {
+			waits++
+			return Retry(tx) // no lot, empty footprint: polls and re-runs
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := th.AtomicSite("idle", func(tx Tx) error { return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if last := b.kinds[len(b.kinds)-1]; last != Short {
+		t.Fatalf("idle site promoted to %v: Retry attempts fed the classifier's abort streak", last)
+	}
+}

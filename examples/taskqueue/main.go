@@ -7,6 +7,13 @@
 // invariant pending + inflight + done == produced, which only holds on a
 // consistent cut: this is the composition story STM exists for, and the
 // long/short split is the paper's.
+//
+// The claim path is event-driven: the TM is built WithBlockingRetry and
+// an idle worker returns tbtm.Retry from its claim transaction, parking
+// until a producer's commit overwrites something in its read footprint
+// (the queue head, or the shutdown flag read on the empty path). No
+// worker ever spins on an empty queue — compare the park/wakeup counts
+// against the zero spin-loop sleeps in the output.
 package main
 
 import (
@@ -15,7 +22,6 @@ import (
 	"log"
 	"sync"
 	"sync/atomic"
-	"time"
 
 	"tbtm"
 	"tbtm/structs"
@@ -23,18 +29,28 @@ import (
 
 const totalTasks = 400
 
+// errShutdown is the non-retryable sentinel a worker's claim transaction
+// returns once the queue is empty and the shutdown flag is set.
+var errShutdown = errors.New("taskqueue: shutdown")
+
 func main() {
-	tm := tbtm.MustNew(tbtm.WithConsistency(tbtm.ZLinearizable), tbtm.WithVersions(64))
+	tm := tbtm.MustNew(
+		tbtm.WithConsistency(tbtm.ZLinearizable),
+		tbtm.WithVersions(64),
+		tbtm.WithBlockingRetry(),
+	)
 
 	pending := structs.NewQueue[int](tm)
 	inflight := structs.NewMap[int, string](tm, 64, structs.IntHash)
 	done := tbtm.NewVar(tm, int64(0))
 	produced := tbtm.NewVar(tm, int64(0))
+	shutdown := tbtm.NewVar(tm, false)
 
 	var wg sync.WaitGroup
 
 	// Producer: enqueue tasks, bumping the produced count atomically with
-	// the enqueue.
+	// the enqueue; when everything is enqueued, raise the shutdown flag —
+	// its commit wakes any worker parked on the empty queue.
 	wg.Add(1)
 	go func() {
 		defer wg.Done()
@@ -49,9 +65,17 @@ func main() {
 				log.Fatalf("produce: %v", err)
 			}
 		}
+		if err := th.Atomic(tbtm.Short, func(tx tbtm.Tx) error {
+			return shutdown.Write(tx, true)
+		}); err != nil {
+			log.Fatalf("shutdown: %v", err)
+		}
 	}()
 
-	// Workers: claim (queue → map), "work", complete (map → counter).
+	// Workers: claim (queue → map) blocking on an empty queue, "work",
+	// complete (map → counter). The claim transaction reads the shutdown
+	// flag only on the empty path, so the flag joins the parked footprint
+	// exactly when it matters.
 	var processed atomic.Int64
 	for w := 0; w < 3; w++ {
 		wg.Add(1)
@@ -61,20 +85,26 @@ func main() {
 			for {
 				var id int
 				err := th.Atomic(tbtm.Short, func(tx tbtm.Tx) error {
-					var err error
-					id, err = pending.Dequeue(tx)
-					if err != nil {
-						return err
+					var e error
+					id, e = pending.Dequeue(tx)
+					if errors.Is(e, structs.ErrEmpty) {
+						halt, e2 := shutdown.Read(tx)
+						if e2 != nil {
+							return e2
+						}
+						if halt {
+							return errShutdown
+						}
+						return tbtm.Retry(tx)
 					}
-					_, err = inflight.Put(tx, id, fmt.Sprintf("worker-%d", w))
-					return err
+					if e != nil {
+						return e
+					}
+					_, e = inflight.Put(tx, id, fmt.Sprintf("worker-%d", w))
+					return e
 				})
-				if errors.Is(err, structs.ErrEmpty) {
-					if processed.Load() >= totalTasks {
-						return
-					}
-					time.Sleep(100 * time.Microsecond)
-					continue
+				if errors.Is(err, errShutdown) {
+					return
 				}
 				if err != nil {
 					log.Fatalf("claim: %v", err)
@@ -129,4 +159,6 @@ func main() {
 		processed.Load(), snapshots)
 	fmt.Printf("stats: %d short commits, %d long commits, %d conflicts, %d zone crossings\n",
 		st.Commits, st.LongCommits, st.Conflicts, st.ZoneCrosses)
+	fmt.Printf("blocking: %d parks, %d wakeups (%d spurious) — idle workers slept instead of spinning\n",
+		st.Parks, st.Wakeups, st.SpuriousWakeups)
 }

@@ -24,7 +24,11 @@ type Config struct {
 	// this value (default 64).
 	LongOpens float64
 	// DemoteOpens demotes a long site whose average falls below this
-	// value (default LongOpens/2). Must be below LongOpens.
+	// value (default LongOpens/2). The hysteresis band requires
+	// DemoteOpens < LongOpens; non-positive values and values at or above
+	// LongOpens fall back to LongOpens/2, so a misconfigured pair can
+	// never make sites flap between promotion at LongOpens and immediate
+	// demotion.
 	DemoteOpens float64
 	// AbortStreak promotes a site that aborted this many consecutive
 	// times with at least MinOpensForAbortPromotion opens (default 8).

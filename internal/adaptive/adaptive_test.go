@@ -121,3 +121,26 @@ func TestDefaultsApplied(t *testing.T) {
 		t.Fatal("default LongOpens not applied")
 	}
 }
+
+// TestDefaultsClampHysteresis pins the defaults audit: every degenerate
+// DemoteOpens (negative, zero, equal to LongOpens, above LongOpens) must
+// clamp to LongOpens/2, preserving the hysteresis band — a site promoted
+// at LongOpens must not demote until its average halves.
+func TestDefaultsClampHysteresis(t *testing.T) {
+	for _, demote := range []float64{-5, 0, 64, 99999} {
+		cfg := Config{LongOpens: 64, DemoteOpens: demote}
+		cfg.defaults()
+		if cfg.DemoteOpens != 32 {
+			t.Fatalf("DemoteOpens=%v: clamped to %v, want 32", demote, cfg.DemoteOpens)
+		}
+		if cfg.DemoteOpens >= cfg.LongOpens {
+			t.Fatalf("DemoteOpens=%v: no hysteresis band (%v >= %v)", demote, cfg.DemoteOpens, cfg.LongOpens)
+		}
+	}
+	// Negative promotion thresholds and smoothing factors clamp too.
+	cfg := Config{LongOpens: -1, AbortStreak: -1, MinOpensForAbortPromotion: -1, Alpha: -0.5}
+	cfg.defaults()
+	if cfg.LongOpens != 64 || cfg.AbortStreak != 8 || cfg.MinOpensForAbortPromotion != 8 || cfg.Alpha != 0.2 {
+		t.Fatalf("negative config not clamped: %+v", cfg)
+	}
+}

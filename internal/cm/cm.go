@@ -71,7 +71,10 @@ func (Suicide) Arbitrate(_, _ *core.TxMeta, _ int) Decision { return AbortSelf }
 // Polite backs off with exponentially increasing patience and, after
 // Attempts rounds, aborts the enemy.
 type Polite struct {
-	// Attempts before escalating to AbortOther. Zero means 8.
+	// Attempts before escalating to AbortOther. Non-positive values
+	// (including an explicitly negative one) select the default of 8: a
+	// negative limit would make round 0's attempt < limit test false and
+	// silently degenerate the policy to Aggressive.
 	Attempts int
 }
 
@@ -80,7 +83,7 @@ var _ Manager = (*Polite)(nil)
 // Arbitrate waits for the configured number of attempts, then kills.
 func (p *Polite) Arbitrate(_, _ *core.TxMeta, attempt int) Decision {
 	limit := p.Attempts
-	if limit == 0 {
+	if limit <= 0 {
 		limit = 8
 	}
 	if attempt < limit {
@@ -150,7 +153,9 @@ func (Greedy) Arbitrate(me, other *core.TxMeta, _ int) Decision {
 // deterministic policies can fall into when two transactions repeatedly
 // collide in the same order.
 type Randomized struct {
-	// Attempts before escalating (0 means 4).
+	// Attempts before escalating. Non-positive values select the default
+	// of 4 (a negative limit would escalate on round 0, see
+	// Polite.Attempts).
 	Attempts int
 }
 
@@ -175,7 +180,7 @@ func nextRand() uint64 {
 // Arbitrate waits or kills at random, then escalates to a fair coin.
 func (r *Randomized) Arbitrate(_, _ *core.TxMeta, attempt int) Decision {
 	limit := r.Attempts
-	if limit == 0 {
+	if limit <= 0 {
 		limit = 4
 	}
 	x := nextRand()
@@ -200,7 +205,9 @@ func (r *Randomized) Arbitrate(_, _ *core.TxMeta, attempt int) Decision {
 // (§5.2).
 type ZoneAware struct {
 	// ShortPatience is how many rounds a short transaction waits on a
-	// long one before aborting itself. Zero means 16.
+	// long one before aborting itself. Non-positive values select the
+	// default of 16 (a negative patience would abort on round 0, see
+	// Polite.Attempts).
 	ShortPatience int
 }
 
@@ -209,7 +216,7 @@ var _ Manager = (*ZoneAware)(nil)
 // Arbitrate implements the zone-aware policy.
 func (z *ZoneAware) Arbitrate(me, other *core.TxMeta, attempt int) Decision {
 	patience := z.ShortPatience
-	if patience == 0 {
+	if patience <= 0 {
 		patience = 16
 	}
 	switch {
@@ -240,15 +247,26 @@ func (z *ZoneAware) Arbitrate(me, other *core.TxMeta, attempt int) Decision {
 	}
 }
 
-// Backoff sleeps with truncated exponential backoff for the given round:
-// round 0 merely yields the processor; later rounds sleep 1µs << round,
-// capped at 256µs. All STMs use it between arbitration attempts.
+// Backoff sleeps with truncated, jittered exponential backoff for the
+// given round: round 0 merely yields the processor; later rounds sleep a
+// uniformly random duration in (512ns << r, 1µs << r] with the exponent r
+// capped at 8, i.e. at most 256µs. The cap bounds the stall any single
+// wait contributes (the unbounded spin loops around stabilize/Resolve
+// call this with an ever-growing round), and the jitter desynchronizes
+// co-scheduled threads: with deterministic delays, transactions that
+// collide once keep re-colliding on the same schedule — the symmetric
+// livelock class behind the old single-TL2 ablation hang. All STMs use
+// Backoff between arbitration attempts.
 func Backoff(round int) {
 	if round <= 0 {
 		runtime.Gosched()
 		return
 	}
 	d := time.Microsecond << uint(min(round, 8))
+	// Jitter into (d/2, d]: nextRand is a shared splitmix64 sequence, so
+	// consecutive callers — in particular distinct threads backing off
+	// from the same conflict — draw uncorrelated delays.
+	d = d/2 + time.Duration(nextRand()%uint64(d/2)) + 1
 	time.Sleep(d)
 }
 

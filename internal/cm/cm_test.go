@@ -247,6 +247,52 @@ func TestBackoffDoesNotPanic(t *testing.T) {
 	}
 }
 
+// TestBackoffCapped pins the spin-loop sweep: the exponent is capped, so
+// even the unbounded rounds of the stabilize/Resolve wait loops never
+// sleep longer than ~256µs per call (plus scheduler slop), and repeated
+// calls draw jittered (non-identical) delays rather than backing off in
+// lockstep.
+func TestBackoffCapped(t *testing.T) {
+	for _, round := range []int{8, 64, 1 << 20} {
+		start := time.Now()
+		Backoff(round)
+		if d := time.Since(start); d > 100*time.Millisecond {
+			t.Fatalf("Backoff(%d) slept %v, want capped near 256µs", round, d)
+		}
+	}
+}
+
+// TestNegativeAttemptsClamp pins the Attempts/patience clamp: an
+// explicitly negative limit must behave like the documented default, not
+// degenerate to round-0 escalation (Polite → Aggressive, ZoneAware
+// shorts → instant suicide).
+func TestNegativeAttemptsClamp(t *testing.T) {
+	a, b := active(core.Short), active(core.Short)
+	p := &Polite{Attempts: -3}
+	if got := p.Arbitrate(a, b, 0); got != Wait {
+		t.Fatalf("Polite{-3} round 0 = %v, want Wait (default limit)", got)
+	}
+	if got := p.Arbitrate(a, b, 8); got != AbortOther {
+		t.Fatalf("Polite{-3} round 8 = %v, want AbortOther", got)
+	}
+	z := &ZoneAware{ShortPatience: -1}
+	shortMe, longOther := active(core.Short), active(core.Long)
+	if got := z.Arbitrate(shortMe, longOther, 0); got != Wait {
+		t.Fatalf("ZoneAware{-1} short-vs-long round 0 = %v, want Wait", got)
+	}
+	if got := z.Arbitrate(shortMe, longOther, 16); got != AbortSelf {
+		t.Fatalf("ZoneAware{-1} short-vs-long round 16 = %v, want AbortSelf", got)
+	}
+	r := &Randomized{Attempts: -2}
+	// With a negative limit clamped to the default of 4, round 0 must
+	// never yield AbortSelf (that decision only exists past the limit).
+	for i := 0; i < 256; i++ {
+		if got := r.Arbitrate(a, b, 0); got == AbortSelf {
+			t.Fatal("Randomized{-2} escalated to AbortSelf on round 0")
+		}
+	}
+}
+
 func TestGreedy(t *testing.T) {
 	older := core.NewTxMeta(core.Short, 0)
 	younger := core.NewTxMeta(core.Short, 1)

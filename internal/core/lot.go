@@ -1,0 +1,226 @@
+package core
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// lotShards is the number of parking-lot shards. A power of two so the
+// object-ID → shard mapping is a mask; 64 shards keep commit-side wake
+// probes and park-side registrations from serializing on one lock even
+// with many hot objects.
+const lotShards = 64
+
+// Watch is one entry of a blocked transaction's read footprint: the
+// object it read (by ID, which keys the parking lot, and by handle,
+// which the owning backend uses to re-check currency) and the Seq of the
+// version it observed. Seq is recorded at read time, while the reading
+// transaction's epoch pin protects the version node, so a Watch never
+// dangles into a recycled Version: only the uint64s survive the abort.
+//
+// Per-object Seq is what "footprint changed" means under every time
+// base: scalar clocks, vector clocks and plausible clocks all install a
+// fresh version with Seq = prev.Seq+1, so a Seq mismatch is exactly "a
+// transaction committed an update to this object after my read".
+type Watch struct {
+	// ID is the object's process-unique identifier (NextObjectID).
+	ID uint64
+	// Seq is the per-object sequence number of the version the blocked
+	// transaction read.
+	Seq uint64
+	// Obj is the backend's object handle (*core.Object, *cstm.Object,
+	// ...). Only the backend that produced the Watch inspects it.
+	Obj any
+}
+
+// Waiter is one thread's parking handle. A Waiter is owned by a single
+// goroutine and reused across parks; the parking lot holds references to
+// it only between Enqueue and Dequeue.
+type Waiter struct {
+	// ch carries wakeups. Capacity 1 makes notify idempotent: any number
+	// of concurrent commits collapse into one token.
+	ch chan struct{}
+}
+
+// NewWaiter returns a parking handle for one goroutine.
+func NewWaiter() *Waiter { return &Waiter{ch: make(chan struct{}, 1)} }
+
+// notify delivers a wakeup without blocking; extra notifications beyond
+// the buffered one are dropped (the waiter is already runnable).
+func (w *Waiter) notify() {
+	select {
+	case w.ch <- struct{}{}:
+	default:
+	}
+}
+
+// Await blocks until a wakeup arrives.
+func (w *Waiter) Await() { <-w.ch }
+
+// drain discards a pending wakeup so a recycled Waiter does not wake
+// immediately on its next park from a stale notification.
+func (w *Waiter) drain() {
+	select {
+	case <-w.ch:
+	default:
+	}
+}
+
+// lotShard is one shard of the parking lot. The waiter count leads on
+// its own cache line so the commit-side fast probe (count == 0, no
+// waiters anywhere near this shard) never touches the line the mutex
+// and map bounce on; the trailing pad keeps the next shard's count off
+// this shard's map line. Shards live in an array, so the layout below
+// is load-bearing — see TestLotShardPadding.
+type lotShard struct {
+	// count is the number of registered watch entries in this shard,
+	// maintained under mu but read without it by Wake's fast path.
+	count atomic.Int64
+	_     [56]byte
+
+	mu      sync.Mutex
+	waiters map[uint64][]*Waiter
+	_       [48]byte
+}
+
+// ParkingLot is a sharded registry of threads blocked in Retry, keyed by
+// object ID. One lot serves one TM instance; every backend commit path
+// publishes a wakeup per written object through Wake.
+//
+// The no-lost-wakeup protocol is split between the lot and its caller:
+//
+//	reader: Enqueue(w, ws) → re-check footprint → Block(w) → Dequeue(w, ws)
+//	writer: install versions → Wake(id) for each written object
+//
+// Registration and the wake scan run under the same shard mutex, and
+// the commit-side fast probe reads count with sequentially consistent
+// atomics, so a writer either observes the registration (and notifies)
+// or the reader's post-Enqueue re-check observes the writer's install
+// (and skips the park). A ParkingLot contains locks and must not be
+// copied.
+type ParkingLot struct {
+	shards [lotShards]lotShard
+
+	// Counters are slow-path only (parking is the opposite of a hot
+	// loop), so plain shared atomics suffice.
+	parks    atomic.Uint64
+	wakes    atomic.Uint64
+	spurious atomic.Uint64
+}
+
+// NewParkingLot returns an empty parking lot.
+func NewParkingLot() *ParkingLot {
+	l := &ParkingLot{}
+	for i := range l.shards {
+		l.shards[i].waiters = make(map[uint64][]*Waiter)
+	}
+	return l
+}
+
+func (l *ParkingLot) shard(id uint64) *lotShard { return &l.shards[id&(lotShards-1)] }
+
+// Enqueue registers w on every watched object. Duplicate IDs in ws are
+// tolerated (read sets may contain re-reads); the matching Dequeue
+// removes all occurrences.
+func (l *ParkingLot) Enqueue(w *Waiter, ws []Watch) {
+	for i := range ws {
+		sh := l.shard(ws[i].ID)
+		sh.mu.Lock()
+		sh.waiters[ws[i].ID] = append(sh.waiters[ws[i].ID], w)
+		sh.count.Add(1)
+		sh.mu.Unlock()
+	}
+}
+
+// Dequeue removes every registration of w for the watched objects and
+// clears any pending wakeup, leaving w ready for its next park. It must
+// be called with the same watch set as the matching Enqueue.
+func (l *ParkingLot) Dequeue(w *Waiter, ws []Watch) {
+	for i := range ws {
+		sh := l.shard(ws[i].ID)
+		sh.mu.Lock()
+		list := sh.waiters[ws[i].ID]
+		kept := list[:0]
+		for _, x := range list {
+			if x != w {
+				kept = append(kept, x)
+			}
+		}
+		if removed := len(list) - len(kept); removed > 0 {
+			sh.count.Add(int64(-removed))
+		}
+		if len(kept) == 0 {
+			delete(sh.waiters, ws[i].ID)
+		} else {
+			for j := len(kept); j < len(list); j++ {
+				list[j] = nil // drop the waiter reference
+			}
+			sh.waiters[ws[i].ID] = kept
+		}
+		sh.mu.Unlock()
+	}
+	// All shards w was registered in have been locked and unlocked, so
+	// every notify aimed at those registrations has completed: the drain
+	// cannot race with a late send.
+	w.drain()
+}
+
+// Wake notifies every waiter parked on the object. Commit paths call it
+// once per written object after the new version is installed; when no
+// thread is parked anywhere near the object's shard it costs one atomic
+// load.
+func (l *ParkingLot) Wake(id uint64) {
+	sh := l.shard(id)
+	if sh.count.Load() == 0 {
+		return
+	}
+	sh.mu.Lock()
+	for _, w := range sh.waiters[id] {
+		w.notify()
+	}
+	sh.mu.Unlock()
+}
+
+// Block parks the calling goroutine on w until a wakeup arrives,
+// maintaining the park/wake counters. The caller must have Enqueued w
+// and re-checked its footprint first.
+func (l *ParkingLot) Block(w *Waiter) {
+	l.parks.Add(1)
+	w.Await()
+	l.wakes.Add(1)
+}
+
+// NoteSpurious records a wakeup that did not unblock its waiter (the
+// re-run transaction retried again).
+func (l *ParkingLot) NoteSpurious() { l.spurious.Add(1) }
+
+// Counters returns the cumulative park, wakeup and spurious-wakeup
+// counts.
+func (l *ParkingLot) Counters() (parks, wakes, spurious uint64) {
+	return l.parks.Load(), l.wakes.Load(), l.spurious.Load()
+}
+
+// StaleScalar reports whether any watch taken over the scalar-clock
+// object header (*core.Object) has advanced past its recorded Seq — the
+// shared WatchesStale body of the LSA, Z-STM and SI-STM backends.
+// Backends that recycle version nodes must hold their epoch pin across
+// the call, so a version displaced mid-scan cannot be reused before the
+// Seq read completes.
+func StaleScalar(ws []Watch) bool {
+	for i := range ws {
+		if ws[i].Obj.(*Object).Current().Seq != ws[i].Seq {
+			return true
+		}
+	}
+	return false
+}
+
+// Waiters returns the number of currently registered watch entries
+// (tests and diagnostics).
+func (l *ParkingLot) Waiters() int {
+	n := int64(0)
+	for i := range l.shards {
+		n += l.shards[i].count.Load()
+	}
+	return int(n)
+}

@@ -1,0 +1,211 @@
+package core
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+	"unsafe"
+)
+
+func TestLotWakeUnblocks(t *testing.T) {
+	l := NewParkingLot()
+	w := NewWaiter()
+	ws := []Watch{{ID: 7, Seq: 1}}
+	l.Enqueue(w, ws)
+	done := make(chan struct{})
+	go func() {
+		l.Block(w)
+		close(done)
+	}()
+	l.Wake(7)
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("waiter not woken")
+	}
+	l.Dequeue(w, ws)
+	if n := l.Waiters(); n != 0 {
+		t.Fatalf("waiters after dequeue = %d, want 0", n)
+	}
+	if parks, wakes, _ := l.Counters(); parks != 1 || wakes != 1 {
+		t.Fatalf("counters = %d/%d, want 1/1", parks, wakes)
+	}
+}
+
+// TestLotWakeBeforeBlock is the lost-wakeup unit test: a wake delivered
+// after Enqueue but before Block must still unblock the waiter (this is
+// the "writer commits between read and park" window; the facade
+// additionally re-checks the footprint, but the lot alone must already
+// buffer the token).
+func TestLotWakeBeforeBlock(t *testing.T) {
+	l := NewParkingLot()
+	w := NewWaiter()
+	ws := []Watch{{ID: 42, Seq: 1}}
+	l.Enqueue(w, ws)
+	l.Wake(42) // before the waiter sleeps
+	done := make(chan struct{})
+	go func() {
+		l.Block(w)
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("pre-block wakeup was lost")
+	}
+	l.Dequeue(w, ws)
+}
+
+func TestLotWakeWrongObjectDoesNotUnblock(t *testing.T) {
+	l := NewParkingLot()
+	w := NewWaiter()
+	ws := []Watch{{ID: 1, Seq: 1}}
+	l.Enqueue(w, ws)
+	// Same shard (1 and 1+lotShards collide mod 64), different object:
+	// must not notify.
+	l.Wake(1 + lotShards)
+	select {
+	case <-w.ch:
+		t.Fatal("woken by a different object in the same shard")
+	default:
+	}
+	l.Dequeue(w, ws)
+}
+
+func TestLotDequeueDrainsStaleWakeup(t *testing.T) {
+	l := NewParkingLot()
+	w := NewWaiter()
+	ws := []Watch{{ID: 9, Seq: 1}}
+	l.Enqueue(w, ws)
+	l.Wake(9)
+	l.Dequeue(w, ws) // never blocked: the buffered token must be drained
+	l.Enqueue(w, ws)
+	select {
+	case <-w.ch:
+		t.Fatal("stale wakeup survived Dequeue")
+	default:
+	}
+	l.Dequeue(w, ws)
+}
+
+func TestLotDuplicateWatches(t *testing.T) {
+	l := NewParkingLot()
+	w := NewWaiter()
+	// Read sets may contain re-reads: the same object twice.
+	ws := []Watch{{ID: 5, Seq: 1}, {ID: 5, Seq: 1}, {ID: 6, Seq: 1}}
+	l.Enqueue(w, ws)
+	if n := l.Waiters(); n != 3 {
+		t.Fatalf("waiters = %d, want 3", n)
+	}
+	l.Dequeue(w, ws)
+	if n := l.Waiters(); n != 0 {
+		t.Fatalf("waiters after dequeue = %d, want 0", n)
+	}
+}
+
+// TestLotShardPadding guards the layout the commit-side fast probe
+// relies on: the waiter count must lead its own cache line (no false
+// sharing with the mutex/map line writers bounce on), and a shard must
+// be a whole number of cache lines so the counts of neighbouring shards
+// in the array never share one.
+func TestLotShardPadding(t *testing.T) {
+	var sh lotShard
+	if off := unsafe.Offsetof(sh.mu); off < 64 {
+		t.Fatalf("mutex at offset %d, want >= 64 (count must own its line)", off)
+	}
+	if sz := unsafe.Sizeof(sh); sz%64 != 0 {
+		t.Fatalf("lotShard size %d is not a multiple of the cache line", sz)
+	}
+	if lotShards&(lotShards-1) != 0 {
+		t.Fatalf("lotShards = %d, want a power of two", lotShards)
+	}
+}
+
+// TestLotTorture hammers park/wake/cancel with many goroutines under
+// the race detector: parkers watch random object sets and count their
+// wakeups; wakers bump per-object versions and wake. The invariant is
+// the blocking one — a parker whose watched object was bumped after its
+// registration check must eventually unblock (the test deadlocks, and
+// times out, on any lost wakeup).
+func TestLotTorture(t *testing.T) {
+	const objects = 97 // not a multiple of lotShards: uneven shard load
+	parkers, rounds := 8, 400
+	if testing.Short() {
+		parkers, rounds = 4, 60
+	}
+
+	l := NewParkingLot()
+	var seqs [objects]atomic.Uint64
+	stop := make(chan struct{})
+
+	var wg sync.WaitGroup
+	for p := 0; p < parkers; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			w := NewWaiter()
+			rng := uint64(p)*0x9e3779b97f4a7c15 + 1
+			next := func() uint64 { rng ^= rng << 13; rng ^= rng >> 7; rng ^= rng << 17; return rng }
+			ws := make([]Watch, 0, 4)
+			for r := 0; r < rounds; r++ {
+				ws = ws[:0]
+				for i := 0; i < 1+int(next()%3); i++ {
+					id := next() % objects
+					ws = append(ws, Watch{ID: id, Seq: seqs[id].Load()})
+				}
+				l.Enqueue(w, ws)
+				stale := false
+				for _, x := range ws {
+					if seqs[x.ID].Load() != x.Seq {
+						stale = true
+						break
+					}
+				}
+				if !stale {
+					l.Block(w) // a waker must eventually bump one of ws
+				}
+				l.Dequeue(w, ws)
+				if next()%5 == 0 {
+					// Abort path: register and cancel without blocking.
+					l.Enqueue(w, ws)
+					l.Dequeue(w, ws)
+				}
+			}
+		}(p)
+	}
+
+	// Wakers: bump versions then wake, the commit-path order.
+	var wwg sync.WaitGroup
+	for k := 0; k < 2; k++ {
+		wwg.Add(1)
+		go func(k int) {
+			defer wwg.Done()
+			rng := uint64(k)*0x123456789 + 99
+			next := func() uint64 { rng ^= rng << 13; rng ^= rng >> 7; rng ^= rng << 17; return rng }
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				id := next() % objects
+				seqs[id].Add(1)
+				l.Wake(id)
+			}
+		}(k)
+	}
+
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(60 * time.Second):
+		t.Fatal("torture deadlocked: lost wakeup")
+	}
+	close(stop)
+	wwg.Wait()
+	if n := l.Waiters(); n != 0 {
+		t.Fatalf("registrations leaked: %d", n)
+	}
+}

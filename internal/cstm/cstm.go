@@ -53,6 +53,10 @@ type Config struct {
 	// chosen to maximize the chances of successful validation, trading
 	// space for long-reader concurrency.
 	Versions int
+	// Lot, when non-nil, receives a wakeup for every object an update
+	// commit installs a version into, unblocking transactions parked in
+	// the facade's Retry. Nil keeps the commit path wake-free.
+	Lot *core.ParkingLot
 }
 
 // Stats is a snapshot of an instance's cumulative counters.
@@ -301,6 +305,30 @@ func (tx *Tx) CT() vclock.TS { return tx.ct.Clone() }
 // sibling of CT).
 func (tx *Tx) CTInto(dst vclock.TS) vclock.TS { return tx.ct.CopyInto(dst) }
 
+// Watches appends the transaction's read footprint to buf as (object,
+// read-version Seq) pairs and returns the extended slice. It must be
+// called before the descriptor is recycled by the thread's next Begin.
+func (tx *Tx) Watches(buf []core.Watch) []core.Watch {
+	for i := range tx.reads {
+		r := &tx.reads[i]
+		buf = append(buf, core.Watch{ID: r.obj.ID(), Seq: r.ver.Seq, Obj: r.obj})
+	}
+	return buf
+}
+
+// WatchesStale reports whether any watched object has advanced past the
+// Seq recorded at read time. CS-STM never recycles version nodes (only
+// descriptors — their timestamps escape into VC_p), so reading the
+// current version's Seq needs no epoch pin.
+func (tx *Tx) WatchesStale(ws []core.Watch) bool {
+	for i := range ws {
+		if ws[i].Obj.(*Object).cur.Load().Seq != ws[i].Seq {
+			return true
+		}
+	}
+	return false
+}
+
 // stabilize waits until o has no committing writer, so that versions from
 // in-flight multi-object installs are never observed partially.
 func (tx *Tx) stabilize(o *Object) {
@@ -528,6 +556,11 @@ func (tx *Tx) Commit() error {
 	tx.meta.CASStatus(core.StatusCommitting, core.StatusCommitted)
 	tx.releaseLocks()
 	tx.finish()
+	if lot := tx.stm.cfg.Lot; lot != nil {
+		for _, w := range tx.writes {
+			lot.Wake(w.obj.ID())
+		}
+	}
 	if !tx.th.vcEscaped {
 		// The displaced vc buffer was never published; recover it.
 		tx.th.ctbuf = tx.th.vc

@@ -58,6 +58,10 @@ type Config struct {
 	// validation is skipped. Ignored (with no loss of correctness) on
 	// time bases that do not implement clock.StrictCommitCounting.
 	ValidationFastPath bool
+	// Lot, when non-nil, receives a wakeup for every object an update
+	// commit installs a version into, unblocking transactions parked in
+	// the facade's Retry. Nil keeps the commit path wake-free.
+	Lot *core.ParkingLot
 }
 
 // Stats is a snapshot of an STM instance's cumulative counters.
@@ -293,6 +297,32 @@ func (tx *Tx) SnapshotTime() uint64 { return tx.ub }
 // ReadSetSize returns the number of tracked read entries (zero on the
 // no-readset fast path), exposed for tests and the ablation benches.
 func (tx *Tx) ReadSetSize() int { return len(tx.reads) }
+
+// Watches appends the transaction's read footprint to buf as (object,
+// read-version Seq) pairs and returns the extended slice. It must be
+// called before the descriptor is recycled by the thread's next Begin;
+// the recorded Seqs stay meaningful afterwards (they are plain values,
+// not version pointers). Declared read-only transactions on the
+// no-readset fast path have no footprint to report.
+func (tx *Tx) Watches(buf []core.Watch) []core.Watch {
+	for i := range tx.reads {
+		r := &tx.reads[i]
+		buf = append(buf, core.Watch{ID: r.obj.ID(), Seq: r.ver.Seq, Obj: r.obj})
+	}
+	return buf
+}
+
+// WatchesStale reports whether any watched object has advanced past the
+// Seq recorded at read time. It is called after the transaction
+// finished, so it briefly re-enters the thread's epoch critical section:
+// a version displaced after the pin cannot be recycled until the
+// matching unpin, which keeps the Current().Seq read safe against the
+// version pools.
+func (tx *Tx) WatchesStale(ws []core.Watch) bool {
+	tx.th.rec.Pin()
+	defer tx.th.rec.Unpin()
+	return core.StaleScalar(ws)
+}
 
 // noReadSetFastPath reports whether this transaction skips read tracking.
 func (tx *Tx) noReadSetFastPath() bool { return tx.ro && tx.stm.cfg.NoReadSets }
@@ -534,8 +564,23 @@ func (tx *Tx) Commit() error {
 	tx.meta.CASStatus(core.StatusCommitting, core.StatusCommitted)
 	tx.releaseLocks()
 	tx.finish()
+	tx.wake()
 	tx.th.shard.Inc(cntCommits)
 	return nil
+}
+
+// wake publishes a wakeup for every written object once the commit is
+// fully visible (versions installed, status committed, locks released),
+// so a parked reader that re-runs immediately neither misses the new
+// values nor collides with our writer words.
+func (tx *Tx) wake() {
+	lot := tx.stm.cfg.Lot
+	if lot == nil {
+		return
+	}
+	for _, w := range tx.writes {
+		lot.Wake(w.obj.ID())
+	}
 }
 
 // Abort aborts the transaction explicitly. Aborting a finished

@@ -44,6 +44,14 @@ type Config struct {
 	// reads need history: a depth of 1 makes any overwritten read fail
 	// with ErrSnapshotUnavailable.
 	Versions int
+	// Lot, when non-nil, receives a wakeup for every object an update
+	// commit installs a version into, unblocking transactions parked in
+	// the facade's Retry. Snapshot-isolation reads are invisible and
+	// normally leave no trace, so a non-nil Lot additionally makes every
+	// transaction record a minimal (object, Seq) read footprint for the
+	// blocking layer to watch. Nil keeps reads trace-free and the commit
+	// path wake-free.
+	Lot *core.ParkingLot
 }
 
 // Stats is a snapshot of an instance's cumulative counters.
@@ -164,7 +172,9 @@ func (th *Thread) Begin(kind core.TxKind, readOnly bool) *Tx {
 	tx.st = th.stm.cfg.Clock.Now(th.id)
 	tx.ct = 0
 	clear(tx.writes) // release the previous transaction's objects/values
+	clear(tx.reads)
 	tx.writes = tx.writes[:0]
+	tx.reads = tx.reads[:0]
 	tx.windex.Reset()
 	tx.done = false
 	return tx
@@ -174,6 +184,15 @@ func (th *Thread) Begin(kind core.TxKind, readOnly bool) *Tx {
 type writeEntry struct {
 	obj *core.Object
 	val any
+}
+
+// readEntry records one read for the blocking layer (only when the
+// instance has a parking lot): the object and the Seq of the version the
+// snapshot served. SI needs no read set of its own — reads are never
+// validated — so this is the whole entry.
+type readEntry struct {
+	obj *core.Object
+	seq uint64
 }
 
 // Tx is an SI-STM transaction. A Tx is used by a single goroutine; after
@@ -191,6 +210,9 @@ type Tx struct {
 	ct uint64
 
 	writes []writeEntry
+	// reads is the blocking layer's footprint log, maintained only when
+	// the instance has a parking lot (see Config.Lot).
+	reads  []readEntry
 	windex core.SmallIndex
 	done   bool
 }
@@ -269,7 +291,31 @@ func (tx *Tx) Read(o *core.Object) (any, error) {
 	if v != o.Current() {
 		tx.th.shard.Inc(cntOldVersions)
 	}
+	if tx.stm.cfg.Lot != nil {
+		tx.reads = append(tx.reads, readEntry{obj: o, seq: v.Seq})
+	}
 	return v.Value, nil
+}
+
+// Watches appends the transaction's read footprint to buf as (object,
+// read-version Seq) pairs and returns the extended slice. The footprint
+// is recorded only on instances with a parking lot; elsewhere Watches
+// returns buf unchanged and the facade falls back to polling.
+func (tx *Tx) Watches(buf []core.Watch) []core.Watch {
+	for i := range tx.reads {
+		r := &tx.reads[i]
+		buf = append(buf, core.Watch{ID: r.obj.ID(), Seq: r.seq, Obj: r.obj})
+	}
+	return buf
+}
+
+// WatchesStale reports whether any watched object has advanced past the
+// Seq recorded at read time, re-entering the thread's epoch critical
+// section for the duration of the check (see lsa.Tx.WatchesStale).
+func (tx *Tx) WatchesStale(ws []core.Watch) bool {
+	tx.th.rec.Pin()
+	defer tx.th.rec.Unpin()
+	return core.StaleScalar(ws)
 }
 
 // Write buffers an update of o to val. Ownership is acquired eagerly and
@@ -363,6 +409,11 @@ func (tx *Tx) Commit() error {
 	tx.meta.CASStatus(core.StatusCommitting, core.StatusCommitted)
 	tx.releaseLocks()
 	tx.finish()
+	if lot := tx.stm.cfg.Lot; lot != nil {
+		for _, w := range tx.writes {
+			lot.Wake(w.obj.ID())
+		}
+	}
 	tx.th.shard.Inc(cntCommits)
 	return nil
 }

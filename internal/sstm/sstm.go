@@ -96,6 +96,10 @@ type Config struct {
 	// commit decision — the pre-striping behaviour, kept as the scaling
 	// baseline.
 	CommitStripes int
+	// Lot, when non-nil, receives a wakeup for every object an update
+	// commit installs a version into, unblocking transactions parked in
+	// the facade's Retry. Nil keeps the commit path wake-free.
+	Lot *core.ParkingLot
 }
 
 // Stats is a snapshot of an instance's cumulative counters.
@@ -462,6 +466,30 @@ func (tx *Tx) CT() vclock.TS { return tx.ct.Clone() }
 // sibling of CT).
 func (tx *Tx) CTInto(dst vclock.TS) vclock.TS { return tx.ct.CopyInto(dst) }
 
+// Watches appends the transaction's read footprint to buf as (object,
+// read-version Seq) pairs and returns the extended slice. It must be
+// called before the descriptor is recycled by the thread's next Begin.
+func (tx *Tx) Watches(buf []core.Watch) []core.Watch {
+	for i := range tx.reads {
+		r := &tx.reads[i]
+		buf = append(buf, core.Watch{ID: r.obj.ID(), Seq: r.ver.Seq, Obj: r.obj})
+	}
+	return buf
+}
+
+// WatchesStale reports whether any watched object has advanced past the
+// Seq recorded at read time. S-STM recycles neither versions nor
+// descriptors (records and timestamps escape into reader lists), so the
+// current version's Seq is read directly.
+func (tx *Tx) WatchesStale(ws []core.Watch) bool {
+	for i := range ws {
+		if ws[i].Obj.(*Object).cur.Load().Seq != ws[i].Seq {
+			return true
+		}
+	}
+	return false
+}
+
 func (tx *Tx) stabilize(o *Object) {
 	for round := 0; ; round++ {
 		w := o.wr.Load()
@@ -689,6 +717,11 @@ func (tx *Tx) Commit() error {
 
 	tx.releaseLocks()
 	tx.done = true
+	if lot := s.cfg.Lot; lot != nil {
+		for _, w := range tx.writes {
+			lot.Wake(w.obj.ID())
+		}
+	}
 	tx.th.vc = tx.ct
 	tx.th.shard.Inc(cntCommits)
 	return nil

@@ -32,8 +32,13 @@ type LongTx struct {
 }
 
 type longRead struct {
-	id  uint64
+	obj *core.Object
 	val any
+	// seq is the Seq of the version the read returned, recorded while
+	// the version was protected by the transaction's epoch pin so the
+	// blocking layer can watch the object without retaining the (possibly
+	// recycled) version node.
+	seq uint64
 }
 
 type longWrite struct {
@@ -146,7 +151,7 @@ func (tx *LongTx) Read(o *core.Object) (any, error) {
 	}
 	if reopened {
 		for _, r := range tx.reads {
-			if r.id == o.ID() {
+			if r.obj == o {
 				return r.val, nil
 			}
 		}
@@ -169,8 +174,29 @@ func (tx *LongTx) Read(o *core.Object) (any, error) {
 		// version was truncated. Abort and retry with a fresh zone.
 		return nil, tx.fail(core.ErrSnapshotUnavailable)
 	}
-	tx.reads = append(tx.reads, longRead{id: o.ID(), val: v.Value})
+	tx.reads = append(tx.reads, longRead{obj: o, val: v.Value, seq: v.Seq})
 	return v.Value, nil
+}
+
+// Watches appends the transaction's read footprint to buf as (object,
+// read-version Seq) pairs and returns the extended slice. It must be
+// called before the descriptor is recycled by the thread's next Begin.
+func (tx *LongTx) Watches(buf []core.Watch) []core.Watch {
+	for i := range tx.reads {
+		r := &tx.reads[i]
+		buf = append(buf, core.Watch{ID: r.obj.ID(), Seq: r.seq, Obj: r.obj})
+	}
+	return buf
+}
+
+// WatchesStale reports whether any watched object has advanced past the
+// Seq recorded at read time, re-entering the thread's epoch critical
+// section for the duration of the check (see lsa.Tx.WatchesStale).
+func (tx *LongTx) WatchesStale(ws []core.Watch) bool {
+	rec := tx.th.inner.Recycler()
+	rec.Pin()
+	defer rec.Unpin()
+	return core.StaleScalar(ws)
 }
 
 // Write opens o in write mode and buffers the update (the "private copy"
@@ -239,6 +265,11 @@ func (tx *LongTx) Commit() error {
 	tx.releaseLocks()
 	s.unregisterZone(tx.zc)
 	tx.finish()
+	if lot := s.cfg.Lot; lot != nil {
+		for _, w := range tx.writes {
+			lot.Wake(w.obj.ID())
+		}
+	}
 	tx.th.commitZone(tx.zc) // LZC_p ← T.zc (Algorithm 2 line 27)
 	tx.th.shard.Inc(cntLongCommits)
 	return nil

@@ -32,6 +32,14 @@ func (tx *ShortTx) Meta() *core.TxMeta { return tx.inner.Meta() }
 // may be recycled. A nil receiver counts as done.
 func (tx *ShortTx) Done() bool { return tx == nil || tx.inner.Done() }
 
+// Watches appends the read footprint of the underlying LSA transaction
+// to buf (see lsa.Tx.Watches).
+func (tx *ShortTx) Watches(buf []core.Watch) []core.Watch { return tx.inner.Watches(buf) }
+
+// WatchesStale reports whether any watched object has advanced past the
+// Seq recorded at read time (see lsa.Tx.WatchesStale).
+func (tx *ShortTx) WatchesStale(ws []core.Watch) bool { return tx.inner.WatchesStale(ws) }
+
 // Read opens o in read mode and returns the transaction's view of it.
 func (tx *ShortTx) Read(o *core.Object) (any, error) {
 	if err := tx.zoneCheck(o); err != nil {

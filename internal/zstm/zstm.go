@@ -49,6 +49,11 @@ type Config struct {
 	// ValidationFastPath enables the RSTM-style commit fast path for
 	// short transactions (see lsa.Config.ValidationFastPath).
 	ValidationFastPath bool
+	// Lot, when non-nil, receives a wakeup for every object an update
+	// commit installs a version into — short transactions publish through
+	// the inner LSA, long transactions from their own commit path. Nil
+	// keeps both commit paths wake-free.
+	Lot *core.ParkingLot
 }
 
 // Stats is a snapshot of a Z-STM instance's cumulative counters. Short
@@ -108,6 +113,7 @@ func New(cfg Config) *STM {
 		NoReadSets:         cfg.NoReadSets,
 		GuardLongWriters:   true,
 		ValidationFastPath: cfg.ValidationFastPath,
+		Lot:                cfg.Lot,
 	})
 	return &STM{cfg: cfg, inner: inner, zones: make(map[uint64]*core.TxMeta)}
 }

@@ -111,6 +111,8 @@ type config struct {
 
 	autoClassify  bool
 	classifyOpens float64
+
+	blockingRetry bool
 }
 
 func defaultConfig() config {
@@ -347,8 +349,27 @@ func WithZonePatience(n int) Option {
 }
 
 // WithMaxRetries bounds Atomic's retry loop; 0 (default) retries forever.
+// Parked waits under WithBlockingRetry do not count as attempts — a
+// thread blocked in Retry consumes no retries while it sleeps.
 func WithMaxRetries(n int) Option {
 	return func(cfg *config) { cfg.maxRetries = n }
+}
+
+// WithBlockingRetry enables the event-driven blocking layer: a
+// transaction body that returns Retry(tx) parks its thread on the
+// transaction's read footprint instead of polling, and every commit
+// publishes wakeups for the objects it overwrote. Works with every
+// consistency criterion; see Retry and Thread.AtomicOrElse for the
+// programming model and Stats.Parks/Wakeups/SpuriousWakeups for the
+// counters. Per written object, an update commit pays one atomic load
+// when no thread is parked near it, so on most backends leaving the
+// option on costs the hot path almost nothing. The exception is
+// SnapshotIsolation: SI reads are invisible and normally tracked
+// nowhere, so the option makes every SI transaction additionally log an
+// (object, Seq) pair per read for the blocking layer to watch. Off by
+// default.
+func WithBlockingRetry() Option {
+	return func(cfg *config) { cfg.blockingRetry = true }
 }
 
 // WithAutoClassify enables automatic long/short classification for

@@ -9,6 +9,9 @@ import (
 // ErrEmpty reports a Dequeue on an empty queue.
 var ErrEmpty = errors.New("structs: queue is empty")
 
+// ErrFull reports an Enqueue on a bounded queue at capacity.
+var ErrFull = errors.New("structs: queue is full")
+
 // qNode is the immutable payload of one queue cell.
 type qNode[T any] struct {
 	val  T
@@ -31,21 +34,46 @@ type Queue[T any] struct {
 	head *tbtm.Var[*qCell[T]] // dummy cell; its next is the front
 	tail *tbtm.Var[*qCell[T]] // last cell
 	size *tbtm.Var[int]
+	cap  int // 0 means unbounded
 }
 
-// NewQueue creates an empty queue.
-func NewQueue[T any](tm *tbtm.TM) *Queue[T] {
+// NewQueue creates an empty unbounded queue.
+func NewQueue[T any](tm *tbtm.TM) *Queue[T] { return NewBoundedQueue[T](tm, 0) }
+
+// NewBoundedQueue creates an empty queue holding at most capacity
+// elements; capacity <= 0 means unbounded. The bound is enforced by
+// Enqueue (ErrFull) and gives PutAtomic its blocking backpressure.
+func NewBoundedQueue[T any](tm *tbtm.TM, capacity int) *Queue[T] {
+	if capacity < 0 {
+		capacity = 0
+	}
 	dummy := &qCell[T]{v: tbtm.NewVar(tm, qNode[T]{sentinel: true})}
 	return &Queue[T]{
 		tm:   tm,
 		head: tbtm.NewVar(tm, dummy),
 		tail: tbtm.NewVar(tm, dummy),
 		size: tbtm.NewVar(tm, 0),
+		cap:  capacity,
 	}
 }
 
-// Enqueue appends val inside tx.
+// Cap returns the queue's capacity (0 = unbounded).
+func (q *Queue[T]) Cap() int { return q.cap }
+
+// Enqueue appends val inside tx; ErrFull if the queue is bounded and at
+// capacity (ErrFull is not retryable — callers that want blocking
+// semantics use PutAtomic). The capacity check reads the size variable
+// first, so a transaction that fails with ErrFull has the size in its
+// read footprint and a blocking producer wakes when a consumer shrinks
+// it.
 func (q *Queue[T]) Enqueue(tx tbtm.Tx, val T) error {
+	n, err := q.size.Read(tx)
+	if err != nil {
+		return err
+	}
+	if q.cap > 0 && n >= q.cap {
+		return ErrFull
+	}
 	cell := &qCell[T]{v: tbtm.NewVar(q.tm, qNode[T]{val: val})}
 	tail, err := q.tail.Read(tx)
 	if err != nil {
@@ -60,10 +88,6 @@ func (q *Queue[T]) Enqueue(tx tbtm.Tx, val T) error {
 		return err
 	}
 	if err := q.tail.Write(tx, cell); err != nil {
-		return err
-	}
-	n, err := q.size.Read(tx)
-	if err != nil {
 		return err
 	}
 	return q.size.Write(tx, n+1)
@@ -144,4 +168,34 @@ func (q *Queue[T]) DequeueAtomic(th *tbtm.Thread) (val T, err error) {
 		return e
 	})
 	return
+}
+
+// TakeAtomic removes and returns the front element, blocking while the
+// queue is empty. On a TM built with tbtm.WithBlockingRetry the calling
+// thread parks until a producer commits a Put/Enqueue (no retry-loop
+// iterations while empty); elsewhere it degrades to polling with
+// backoff.
+func (q *Queue[T]) TakeAtomic(th *tbtm.Thread) (val T, err error) {
+	err = th.Atomic(tbtm.Short, func(tx tbtm.Tx) error {
+		v, e := q.Dequeue(tx)
+		if errors.Is(e, ErrEmpty) {
+			return tbtm.Retry(tx)
+		}
+		val = v
+		return e
+	})
+	return
+}
+
+// PutAtomic appends val, blocking while a bounded queue is at capacity
+// (the producer-side dual of TakeAtomic; on an unbounded queue it never
+// blocks and is equivalent to EnqueueAtomic).
+func (q *Queue[T]) PutAtomic(th *tbtm.Thread, val T) error {
+	return th.Atomic(tbtm.Short, func(tx tbtm.Tx) error {
+		err := q.Enqueue(tx, val)
+		if errors.Is(err, ErrFull) {
+			return tbtm.Retry(tx)
+		}
+		return err
+	})
 }

@@ -1,0 +1,176 @@
+package structs
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"tbtm"
+)
+
+// TestQueueTakeAtomicParks is the PR's acceptance test at the structure
+// level: a blocked TakeAtomic consumer performs zero retry-loop
+// iterations while the queue is empty — it parks (visible in the Parks
+// counter, with the abort counter frozen) — and wakes within one
+// committed Put.
+func TestQueueTakeAtomicParks(t *testing.T) {
+	tm := tbtm.MustNew(tbtm.WithBlockingRetry())
+	q := NewQueue[int](tm)
+
+	got := make(chan int, 1)
+	go func() {
+		th := tm.NewThread()
+		v, err := q.TakeAtomic(th)
+		if err != nil {
+			t.Errorf("take: %v", err)
+		}
+		got <- v
+	}()
+
+	deadline := time.Now().Add(10 * time.Second)
+	for tm.Stats().Parks < 1 {
+		if time.Now().After(deadline) {
+			t.Fatal("consumer never parked")
+		}
+		time.Sleep(100 * time.Microsecond)
+	}
+	// Zero retry-loop iterations while empty: the abort counter (one
+	// increment per aborted attempt) must not move while the consumer is
+	// parked.
+	frozen := tm.Stats().Aborts
+	time.Sleep(20 * time.Millisecond)
+	if now := tm.Stats().Aborts; now != frozen {
+		t.Fatalf("parked TakeAtomic kept polling: aborts %d -> %d", frozen, now)
+	}
+
+	th := tm.NewThread()
+	if err := q.PutAtomic(th, 42); err != nil {
+		t.Fatalf("put: %v", err)
+	}
+	select {
+	case v := <-got:
+		if v != 42 {
+			t.Fatalf("took %d, want 42", v)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("consumer did not wake within one committed Put")
+	}
+	if st := tm.Stats(); st.Parks < 1 || st.Wakeups < 1 {
+		t.Fatalf("parks=%d wakeups=%d, want >= 1 each", st.Parks, st.Wakeups)
+	}
+}
+
+// TestBoundedQueuePutAtomicBlocks: the producer-side dual — PutAtomic on
+// a full bounded queue parks until a consumer frees a slot.
+func TestBoundedQueuePutAtomicBlocks(t *testing.T) {
+	tm := tbtm.MustNew(tbtm.WithBlockingRetry())
+	q := NewBoundedQueue[int](tm, 2)
+	th := tm.NewThread()
+	if err := q.PutAtomic(th, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := q.PutAtomic(th, 2); err != nil {
+		t.Fatal(err)
+	}
+	// Non-blocking enqueue reports full.
+	if err := q.EnqueueAtomic(th, 3); err != ErrFull {
+		t.Fatalf("EnqueueAtomic on full queue = %v, want ErrFull", err)
+	}
+
+	done := make(chan error, 1)
+	go func() {
+		pth := tm.NewThread()
+		done <- q.PutAtomic(pth, 3)
+	}()
+	deadline := time.Now().Add(10 * time.Second)
+	for tm.Stats().Parks < 1 {
+		if time.Now().After(deadline) {
+			t.Fatal("producer never parked on the full queue")
+		}
+		time.Sleep(100 * time.Microsecond)
+	}
+	if v, err := q.TakeAtomic(th); err != nil || v != 1 {
+		t.Fatalf("take = %d, %v", v, err)
+	}
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("blocked producer did not wake after a take freed a slot")
+	}
+	if v, err := q.TakeAtomic(th); err != nil || v != 2 {
+		t.Fatalf("take = %d, %v", v, err)
+	}
+	if v, err := q.TakeAtomic(th); err != nil || v != 3 {
+		t.Fatalf("take = %d, %v", v, err)
+	}
+}
+
+// TestQueueBlockingPipeline pushes a full producer/consumer pipeline
+// through a small bounded queue across several criteria: conservation
+// (every produced element consumed exactly once) and termination (no
+// lost wakeup on either the empty or the full edge).
+func TestQueueBlockingPipeline(t *testing.T) {
+	levels := []tbtm.Consistency{tbtm.ZLinearizable, tbtm.Serializable, tbtm.CausallySerializable}
+	producers, consumers, per := 3, 3, 150
+	if testing.Short() {
+		producers, consumers, per = 2, 2, 40
+	}
+	quota := producers * per / consumers
+	for _, level := range levels {
+		t.Run(level.String(), func(t *testing.T) {
+			tm := tbtm.MustNew(tbtm.WithConsistency(level), tbtm.WithBlockingRetry())
+			q := NewBoundedQueue[int](tm, 4)
+			var wg sync.WaitGroup
+			var mu sync.Mutex
+			seen := make(map[int]int)
+			for p := 0; p < producers; p++ {
+				wg.Add(1)
+				go func(p int) {
+					defer wg.Done()
+					th := tm.NewThread()
+					for i := 0; i < per; i++ {
+						if err := q.PutAtomic(th, p*per+i); err != nil {
+							t.Errorf("put: %v", err)
+							return
+						}
+					}
+				}(p)
+			}
+			for c := 0; c < consumers; c++ {
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					th := tm.NewThread()
+					for i := 0; i < quota; i++ {
+						v, err := q.TakeAtomic(th)
+						if err != nil {
+							t.Errorf("take: %v", err)
+							return
+						}
+						mu.Lock()
+						seen[v]++
+						mu.Unlock()
+					}
+				}()
+			}
+			done := make(chan struct{})
+			go func() { wg.Wait(); close(done) }()
+			select {
+			case <-done:
+			case <-time.After(120 * time.Second):
+				t.Fatal("pipeline deadlocked: lost wakeup")
+			}
+			if len(seen) != producers*per {
+				t.Fatalf("consumed %d distinct elements, want %d", len(seen), producers*per)
+			}
+			for v, n := range seen {
+				if n != 1 {
+					t.Fatalf("element %d consumed %d times", v, n)
+				}
+			}
+		})
+	}
+}

@@ -49,6 +49,36 @@ func BenchmarkQueueEnqueueDequeue(b *testing.B) {
 	}
 }
 
+// BenchmarkQueueBlockingHandoff measures the event-driven producer →
+// consumer handoff: the consumer parks on the empty queue, the producer
+// wakes it per element. Compare against BenchmarkQueueEnqueueDequeue to
+// see the cost of a park/wake round trip; the wake probe itself is the
+// one atomic load an uncontended commit pays.
+func BenchmarkQueueBlockingHandoff(b *testing.B) {
+	tm := tbtm.MustNew(tbtm.WithConsistency(tbtm.ZLinearizable), tbtm.WithBlockingRetry())
+	q := NewQueue[int](tm)
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		th := tm.NewThread()
+		for i := 0; i < b.N; i++ {
+			if _, err := q.TakeAtomic(th); err != nil {
+				b.Error(err)
+				return
+			}
+		}
+	}()
+	th := tm.NewThread()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := q.PutAtomic(th, i); err != nil {
+			b.Fatal(err)
+		}
+	}
+	<-done
+}
+
 func BenchmarkMapPutGet(b *testing.B) {
 	tm := tbtm.MustNew(tbtm.WithConsistency(tbtm.ZLinearizable))
 	m := NewMap[int, int](tm, 64, IntHash)

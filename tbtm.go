@@ -58,7 +58,40 @@ var (
 	// ErrRetriesExhausted reports that Atomic gave up after the
 	// configured maximum number of attempts.
 	ErrRetriesExhausted = errors.New("tbtm: retry limit exhausted")
+	// ErrRetryWait is the sentinel returned by Retry: the transaction
+	// body cannot proceed until some object in its read footprint is
+	// overwritten by a committed transaction. Atomic, AtomicOrElse and
+	// AtomicSite intercept it; returning it through any other path makes
+	// it an ordinary retryable error.
+	ErrRetryWait = errors.New("tbtm: retry waiting for footprint change")
 )
+
+// Retry signals from inside an Atomic (or AtomicOrElse, AtomicSite) body
+// that the transaction cannot make progress in the current state — a
+// consumer found the queue empty, a guard condition is false — and
+// should re-run only once the state changes. The body must return the
+// result immediately:
+//
+//	err := th.Atomic(tbtm.Short, func(tx tbtm.Tx) error {
+//	    v, err := q.Dequeue(tx)
+//	    if errors.Is(err, structs.ErrEmpty) {
+//	        return tbtm.Retry(tx)
+//	    }
+//	    ...
+//	})
+//
+// On a TM built with WithBlockingRetry, the current attempt is aborted
+// and the thread parks on the transaction's read footprint until a
+// committed transaction overwrites one of the objects it read ("changed"
+// means a new committed version of the object, under scalar and vector
+// time bases alike); the park consumes no CPU and does not count against
+// WithMaxRetries. Without the option — or when the footprint is empty,
+// e.g. a declared read-only transaction under WithNoReadSets — Retry
+// degrades to polling with the standard backoff.
+func Retry(tx Tx) error {
+	_ = tx // the footprint is captured from the attempt that returns this
+	return ErrRetryWait
+}
 
 // IsRetryable reports whether err is a transient transactional failure.
 func IsRetryable(err error) bool { return core.IsRetryable(err) }
@@ -97,6 +130,10 @@ type Tx interface {
 	Kind() TxKind
 	// meta exposes the kernel descriptor for internal instrumentation.
 	meta() *core.TxMeta
+	// watches appends the transaction's read footprint (for the blocking
+	// layer) and watchesStale re-checks it; see innerTx in backends.go.
+	watches(buf []core.Watch) []core.Watch
+	watchesStale(ws []core.Watch) bool
 }
 
 // Object is an opaque handle to a transactional object, bound to the TM
@@ -124,6 +161,7 @@ type TM struct {
 	cfg        config
 	b          backend
 	classifier *adaptive.Classifier // nil unless WithAutoClassify
+	lot        *core.ParkingLot     // nil unless WithBlockingRetry
 }
 
 // New creates a TM with the given options. The default configuration is
@@ -138,6 +176,9 @@ func New(opts ...Option) (*TM, error) {
 		return nil, err
 	}
 	tm := &TM{cfg: cfg}
+	if cfg.blockingRetry {
+		tm.lot = core.NewParkingLot() // before buildBackend: configs capture it
+	}
 	tm.b = buildBackend(cfg, tm)
 	if cfg.autoClassify {
 		tm.classifier = adaptive.NewClassifier(adaptive.Config{LongOpens: cfg.classifyOpens})
@@ -175,7 +216,13 @@ func (tm *TM) NewThread() *Thread {
 }
 
 // Stats returns a snapshot of the instance's cumulative counters.
-func (tm *TM) Stats() Stats { return tm.b.stats() }
+func (tm *TM) Stats() Stats {
+	s := tm.b.stats()
+	if tm.lot != nil {
+		s.Parks, s.Wakeups, s.SpuriousWakeups = tm.lot.Counters()
+	}
+	return s
+}
 
 // Stats aggregates commit/abort counters across backends. Fields that a
 // backend does not track are zero.
@@ -203,6 +250,18 @@ type Stats struct {
 	// SnapshotMisses counts aborts because no retained version was old
 	// enough for the transaction's snapshot (multi-version backends).
 	SnapshotMisses uint64
+	// Parks counts threads that blocked in Retry waiting for their read
+	// footprint to change (WithBlockingRetry only; a near-miss — the
+	// footprint changed between the failed attempt and the park — re-runs
+	// without parking and is not counted).
+	Parks uint64
+	// Wakeups counts parked threads unblocked by a committed update to a
+	// watched object.
+	Wakeups uint64
+	// SpuriousWakeups counts wakeups whose re-run called Retry again —
+	// the watched state changed but not into one the transaction could
+	// proceed from (e.g. a competing consumer emptied the queue first).
+	SpuriousWakeups uint64
 }
 
 // Thread is a per-goroutine handle. It carries the per-thread state of
@@ -210,6 +269,12 @@ type Stats struct {
 type Thread struct {
 	tm *TM
 	b  backendThread
+
+	// waiter is the thread's reusable parking handle; watchBuf is the
+	// reusable footprint buffer. Both are blocking-layer slow-path state,
+	// allocated on the thread's first park.
+	waiter   *core.Waiter
+	watchBuf []core.Watch
 }
 
 // TM returns the owning instance.
@@ -236,15 +301,27 @@ func (th *Thread) BeginReadOnly(kind TxKind) Tx { return th.b.begin(kind, true) 
 // transient conflicts with exponential backoff. fn may be re-executed
 // any number of times and must not have side effects beyond the
 // transaction. A non-retryable error from fn (or from commit) aborts the
-// transaction and is returned unchanged.
+// transaction and is returned unchanged. fn may return Retry(tx) to
+// block until the transaction's read footprint changes (see Retry).
 func (th *Thread) Atomic(kind TxKind, fn func(Tx) error) error {
-	return th.atomic(kind, false, fn)
+	return th.atomic(kind, false, fn, nil)
 }
 
 // AtomicReadOnly is Atomic for transactions that declare they will not
 // write.
 func (th *Thread) AtomicReadOnly(kind TxKind, fn func(Tx) error) error {
-	return th.atomic(kind, true, fn)
+	return th.atomic(kind, true, fn, nil)
+}
+
+// AtomicOrElse composes two alternatives (the orElse combinator of
+// Harris et al.'s composable memory transactions): it runs fn, and if fn
+// asks to Retry, runs alt in a fresh transaction of the same kind. If
+// alt also retries, the thread blocks on the union of both attempts'
+// read footprints — a committed update to anything either alternative
+// read re-runs the pair from fn. Either body committing completes the
+// call; non-retryable errors return unchanged.
+func (th *Thread) AtomicOrElse(kind TxKind, fn, alt func(Tx) error) error {
+	return th.atomic(kind, false, fn, alt)
 }
 
 // AtomicSite runs fn like Atomic but classifies the transaction as short
@@ -260,22 +337,46 @@ func (th *Thread) AtomicSite(site string, fn func(Tx) error) error {
 	}
 	kind := cls.Classify(site)
 	max := th.tm.cfg.maxRetries
+	blocked := false // see atomic
 	for attempt := 0; ; attempt++ {
 		tx := th.b.begin(kind, false)
 		err := fn(tx)
+		// Capture the open count (Prio counts opened objects across all
+		// implementations) BEFORE Commit/Abort release the descriptor:
+		// finishing ends the epoch critical section, after which the
+		// recycler may Reset the meta for another transaction, so a later
+		// Prio.Load could observe a stale or zero footprint and feed the
+		// classifier garbage.
+		opens := int(tx.meta().Prio.Load())
+		wantsRetry := errors.Is(err, ErrRetryWait)
 		if err == nil {
 			err = tx.Commit()
-		} else {
-			tx.Abort()
+		} else if !wantsRetry {
+			tx.Abort() // Retry aborts below, after the footprint is captured
 		}
-		// Prio counts opened objects across all implementations.
-		opens := int(tx.meta().Prio.Load())
-		kind = cls.Observe(site, opens, err == nil)
+		if !wantsRetry {
+			// A blocked attempt is neither a commit nor a contention
+			// abort — feeding it to the classifier would grow the site's
+			// abort streak (and promote it to Long) merely for being
+			// idle, so Retry attempts are not observed.
+			kind = cls.Observe(site, opens, err == nil)
+		}
 		if err == nil {
 			return nil
 		}
-		if !core.IsRetryable(err) {
-			return err
+		if wantsRetry {
+			rerun, didBlock := th.parkForRetry(tx, blocked)
+			if rerun {
+				blocked = didBlock
+				attempt = -1 // parked waits are not contention retries
+				continue
+			}
+			blocked = false
+		} else {
+			blocked = false
+			if !core.IsRetryable(err) {
+				return err
+			}
 		}
 		if max > 0 && attempt+1 >= max {
 			return fmt.Errorf("%w after %d attempts: %w", ErrRetriesExhausted, attempt+1, err)
@@ -284,25 +385,136 @@ func (th *Thread) AtomicSite(site string, fn func(Tx) error) error {
 	}
 }
 
-func (th *Thread) atomic(kind TxKind, ro bool, fn func(Tx) error) error {
+// atomic is the shared retry loop behind Atomic, AtomicReadOnly and
+// AtomicOrElse (alt == nil disables the orElse arm).
+func (th *Thread) atomic(kind TxKind, ro bool, fn, alt func(Tx) error) error {
 	max := th.tm.cfg.maxRetries
+	// blocked remembers that the previous re-run followed an actual park,
+	// so a re-run that immediately retries again counts as a spurious
+	// wakeup.
+	blocked := false
 	for attempt := 0; ; attempt++ {
 		tx := th.b.begin(kind, ro)
 		err := fn(tx)
 		if err == nil {
-			err = tx.Commit()
-		} else {
-			tx.Abort()
+			err = tx.Commit() // aborts internally on failure
 		}
 		if err == nil {
 			return nil
 		}
-		if !core.IsRetryable(err) {
-			return err
+		if errors.Is(err, ErrRetryWait) {
+			// Capture the footprint while the descriptor is still live,
+			// then abort the attempt; the Watch entries carry only object
+			// handles and Seq values, never version or descriptor
+			// pointers, so they stay valid across the park.
+			ws := tx.watches(th.watchBuf[:0])
+			tx.Abort()
+			if alt != nil {
+				tx2 := th.b.begin(kind, ro)
+				err2 := alt(tx2)
+				if err2 == nil {
+					err2 = tx2.Commit()
+				}
+				if err2 == nil {
+					th.watchBuf = resetWatches(ws)
+					return nil
+				}
+				if errors.Is(err2, ErrRetryWait) {
+					// Park on the union of both footprints.
+					ws = tx2.watches(ws)
+					tx2.Abort()
+					tx = tx2
+				} else {
+					tx2.Abort()
+					th.watchBuf = resetWatches(ws)
+					if !core.IsRetryable(err2) {
+						return err2
+					}
+					blocked = false
+					if max > 0 && attempt+1 >= max {
+						return fmt.Errorf("%w after %d attempts: %w", ErrRetriesExhausted, attempt+1, err2)
+					}
+					backoff(attempt)
+					continue
+				}
+			}
+			// Only now — with fn (and the alternative, if any) both asking
+			// to retry again — is the previous wakeup known to have been
+			// unproductive.
+			if blocked && th.tm.lot != nil {
+				th.tm.lot.NoteSpurious()
+			}
+			rerun, didBlock := th.parkOn(tx, ws)
+			th.watchBuf = resetWatches(ws)
+			if rerun {
+				blocked = didBlock
+				attempt = -1 // parked waits are not contention retries
+				continue
+			}
+			blocked = false
+			// No parking available (no lot, or empty footprint): degrade
+			// to the standard bounded polling below.
+		} else {
+			blocked = false
+			tx.Abort() // no-op when the error came from Commit
+			if !core.IsRetryable(err) {
+				return err
+			}
 		}
 		if max > 0 && attempt+1 >= max {
 			return fmt.Errorf("%w after %d attempts: %w", ErrRetriesExhausted, attempt+1, err)
 		}
 		backoff(attempt)
 	}
+}
+
+// parkForRetry captures tx's read footprint, aborts the attempt, and
+// parks until the footprint changes (AtomicSite's single-body variant of
+// the flow inlined in atomic). wokePrev reports that the attempt was the
+// re-run of an actual park — retrying again makes that wakeup spurious.
+func (th *Thread) parkForRetry(tx Tx, wokePrev bool) (rerun, didBlock bool) {
+	ws := tx.watches(th.watchBuf[:0])
+	tx.Abort()
+	if wokePrev && th.tm.lot != nil {
+		th.tm.lot.NoteSpurious()
+	}
+	rerun, didBlock = th.parkOn(tx, ws)
+	th.watchBuf = resetWatches(ws)
+	return rerun, didBlock
+}
+
+// parkOn blocks the thread until some watched object is overwritten by a
+// committed transaction. tx is the (finished) attempt whose backend
+// re-checks watch currency. It returns rerun=false when blocking is
+// unavailable — no parking lot, or an empty footprint — and the caller
+// must poll instead; didBlock distinguishes a real park from a near-miss
+// (the footprint changed before the thread got to sleep).
+//
+// The enqueue → re-check → block order is what makes wakeups lossless: a
+// writer that committed before our registration is caught by the
+// re-check (watchesStale observes its install), and one that commits
+// after it finds us registered and notifies.
+func (th *Thread) parkOn(tx Tx, ws []core.Watch) (rerun, didBlock bool) {
+	lot := th.tm.lot
+	if lot == nil || len(ws) == 0 {
+		return false, false
+	}
+	if th.waiter == nil {
+		th.waiter = core.NewWaiter()
+	}
+	lot.Enqueue(th.waiter, ws)
+	if tx.watchesStale(ws) {
+		lot.Dequeue(th.waiter, ws)
+		return true, false // near-miss: re-run immediately
+	}
+	lot.Block(th.waiter)
+	lot.Dequeue(th.waiter, ws)
+	return true, true
+}
+
+// resetWatches clears the buffer's object references and returns it
+// empty for reuse.
+func resetWatches(ws []core.Watch) []core.Watch {
+	clear(ws)
+	return ws[:0]
 }
