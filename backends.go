@@ -69,6 +69,7 @@ func buildBackend(cfg config, tm *TM) backend {
 			NoReadSets:         cfg.noReadSets,
 			ValidationFastPath: cfg.validationFastPath,
 			Lot:                tm.lot,
+			CommitLog:          cfg.commitLog,
 		})}
 	case SingleVersion:
 		return &lsaBackend{tm: tm, stm: lsa.New(lsa.Config{
@@ -79,6 +80,7 @@ func buildBackend(cfg config, tm *TM) backend {
 			NoReadSets:         cfg.noReadSets,
 			ValidationFastPath: cfg.validationFastPath,
 			Lot:                tm.lot,
+			CommitLog:          cfg.commitLog,
 		})}
 	case CausallySerializable:
 		csVersions := 1 // the paper's base CS-STM keeps no old versions
@@ -86,13 +88,14 @@ func buildBackend(cfg config, tm *TM) backend {
 			csVersions = cfg.versions
 		}
 		return &csBackend{tm: tm, stm: cstm.New(cstm.Config{
-			Threads:  cfg.threads,
-			Entries:  cfg.entries,
-			Mapping:  vclock.Mapping(cfg.mapping),
-			Comb:     cfg.comb,
-			CM:       buildCM(cfg),
-			Versions: csVersions,
-			Lot:      tm.lot,
+			Threads:   cfg.threads,
+			Entries:   cfg.entries,
+			Mapping:   vclock.Mapping(cfg.mapping),
+			Comb:      cfg.comb,
+			CM:        buildCM(cfg),
+			Versions:  csVersions,
+			Lot:       tm.lot,
+			CommitLog: cfg.commitLog,
 		})}
 	case Serializable:
 		return &ssBackend{tm: tm, stm: sstm.New(sstm.Config{
@@ -103,13 +106,15 @@ func buildBackend(cfg config, tm *TM) backend {
 			CM:            buildCM(cfg),
 			CommitStripes: cfg.commitStripes,
 			Lot:           tm.lot,
+			CommitLog:     cfg.commitLog,
 		})}
 	case SnapshotIsolation:
 		return &siBackend{tm: tm, stm: sistm.New(sistm.Config{
-			Clock:    buildClock(cfg),
-			CM:       buildCM(cfg),
-			Versions: cfg.versions,
-			Lot:      tm.lot,
+			Clock:     buildClock(cfg),
+			CM:        buildCM(cfg),
+			Versions:  cfg.versions,
+			Lot:       tm.lot,
+			CommitLog: cfg.commitLog,
 		})}
 	default: // ZLinearizable (validated in New)
 		return &zBackend{tm: tm, stm: zstm.New(zstm.Config{
@@ -120,6 +125,7 @@ func buildBackend(cfg config, tm *TM) backend {
 			ZonePatience:       cfg.zonePatience,
 			ValidationFastPath: cfg.validationFastPath,
 			Lot:                tm.lot,
+			CommitLog:          cfg.commitLog,
 		})}
 	}
 }
@@ -225,6 +231,8 @@ func (b *lsaBackend) stats() Stats {
 		Commits: s.Commits, Aborts: s.Aborts, Conflicts: s.Conflicts,
 		Extensions: s.Extensions, FastValidations: s.FastValidations,
 		OldVersions: s.OldVersions, SnapshotMisses: s.SnapshotMiss,
+		ExtensionsFast: s.ExtensionsFast, ExtensionsFull: s.ExtensionsFull,
+		LogWraps: s.LogWraps,
 	}
 }
 
@@ -251,7 +259,10 @@ func (b *csBackend) newObject(initial any) any { return b.stm.NewObject(initial)
 func (b *csBackend) newThread() backendThread  { return &csThread{b: b, th: b.stm.NewThread()} }
 func (b *csBackend) stats() Stats {
 	s := b.stm.Stats()
-	return Stats{Commits: s.Commits, Aborts: s.Aborts, Conflicts: s.Conflicts}
+	return Stats{
+		Commits: s.Commits, Aborts: s.Aborts, Conflicts: s.Conflicts,
+		FastValidations: s.FastValidations, LogWraps: s.LogWraps,
+	}
 }
 
 type csThread struct {
@@ -277,7 +288,10 @@ func (b *ssBackend) newObject(initial any) any { return b.stm.NewObject(initial)
 func (b *ssBackend) newThread() backendThread  { return &ssThread{b: b, th: b.stm.NewThread()} }
 func (b *ssBackend) stats() Stats {
 	s := b.stm.Stats()
-	return Stats{Commits: s.Commits, Aborts: s.Aborts, Conflicts: s.Conflicts}
+	return Stats{
+		Commits: s.Commits, Aborts: s.Aborts, Conflicts: s.Conflicts,
+		FastValidations: s.FastValidations, LogWraps: s.LogWraps,
+	}
 }
 
 type ssThread struct {
@@ -306,6 +320,8 @@ func (b *siBackend) stats() Stats {
 	return Stats{
 		Commits: s.Commits, Aborts: s.Aborts, Conflicts: s.Conflicts,
 		OldVersions: s.OldVersions, SnapshotMisses: s.SnapshotMiss,
+		Extensions: s.Advances, ExtensionsFast: s.AdvancesFast,
+		ExtensionsFull: s.AdvancesFull, LogWraps: s.LogWraps,
 	}
 }
 
@@ -337,6 +353,9 @@ func (b *zBackend) stats() Stats {
 		Aborts:          s.Short.Aborts,
 		Conflicts:       s.Short.Conflicts,
 		Extensions:      s.Short.Extensions,
+		ExtensionsFast:  s.Short.ExtensionsFast,
+		ExtensionsFull:  s.Short.ExtensionsFull,
+		LogWraps:        s.Short.LogWraps,
 		FastValidations: s.Short.FastValidations,
 		OldVersions:     s.Short.OldVersions,
 		SnapshotMisses:  s.Short.SnapshotMiss,

@@ -556,3 +556,97 @@ func BenchmarkAtomicOverhead(b *testing.B) {
 		})
 	}
 }
+
+// BenchmarkAblationCommitLogExtension is the long-reader-vs-writers
+// ablation for the PR4 commit log: one read-only transaction scans n
+// objects while a background writer keeps committing to objects ahead
+// of the scan, so every few reads the reader must extend its snapshot
+// past a fresh commit. With the commit log each extension checks only
+// the handful of log records since the previous extension
+// (ExtensionsFast); without it each extension revalidates the whole
+// read set so far, and the scan degenerates to O(n²) object touches.
+// The per-op extension counters are reported so the scaling is visible
+// regardless of wall-clock noise.
+func BenchmarkAblationCommitLogExtension(b *testing.B) {
+	for _, n := range []int{64, 256, 1024} {
+		for _, logOn := range []bool{true, false} {
+			label := "log-off"
+			if logOn {
+				label = "log-on"
+			}
+			b.Run(fmt.Sprintf("reads=%d/%s", n, label), func(b *testing.B) {
+				opts := []tbtm.Option{tbtm.WithConsistency(tbtm.Linearizable), tbtm.WithVersions(8)}
+				if !logOn {
+					opts = append(opts, tbtm.WithCommitLog(0))
+				}
+				tm := tbtm.MustNew(opts...)
+				objs := make([]tbtm.Object, n)
+				for i := range objs {
+					objs[i] = tm.NewObject(int64(0))
+				}
+
+				var (
+					pos  atomic.Int64 // reader's scan position
+					stop atomic.Bool
+					wg   sync.WaitGroup
+				)
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					th := tm.NewThread()
+					val := int64(0)
+					for !stop.Load() {
+						// Write strictly ahead of the reader so the scan keeps
+						// tripping over fresh commits without invalidating
+						// what it already read.
+						i := int(pos.Load())
+						if i+1 >= n {
+							runtime.Gosched()
+							continue
+						}
+						j := i + 1 + (i*7+int(val))%(n-i-1)
+						val++
+						_ = th.Atomic(tbtm.Short, func(tx tbtm.Tx) error {
+							return tx.Write(objs[j], val)
+						})
+						runtime.Gosched()
+					}
+				}()
+
+				th := tm.NewThread()
+				before := tm.Stats()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					pos.Store(0)
+					err := th.AtomicReadOnly(tbtm.Long, func(tx tbtm.Tx) error {
+						for k := 0; k < n; k++ {
+							pos.Store(int64(k))
+							if k%8 == 0 {
+								// Transaction-granularity scheduling on a single
+								// CPU would let the scan run to completion
+								// unopposed; yielding keeps the writer committing
+								// ahead of it (cf. withBankLoad's YieldEvery).
+								runtime.Gosched()
+							}
+							if _, err := tx.Read(objs[k]); err != nil {
+								return err
+							}
+						}
+						return nil
+					})
+					if err != nil {
+						b.Fatal(err)
+					}
+				}
+				b.StopTimer()
+				after := tm.Stats()
+				stop.Store(true)
+				wg.Wait()
+				ops := float64(b.N)
+				b.ReportMetric(float64(after.ExtensionsFast-before.ExtensionsFast)/ops, "ext-fast/op")
+				b.ReportMetric(float64(after.ExtensionsFull-before.ExtensionsFull)/ops, "ext-full/op")
+				b.ReportMetric(float64(after.LogWraps-before.LogWraps)/ops, "wraps/op")
+			})
+		}
+	}
+}

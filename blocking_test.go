@@ -137,6 +137,50 @@ func TestRetryEmptyFootprintFallsBack(t *testing.T) {
 	}
 }
 
+// TestRetryNoReadSetsFootprintPolls covers the other empty-footprint
+// shape: a declared read-only transaction under WithNoReadSets performs
+// reads but records no read set, so a Retry from it hands the blocking
+// layer nothing to park on. The loop must degrade to bounded backoff
+// polling — each re-run takes a fresh snapshot and eventually observes
+// the writer's commit — rather than park on an empty watch set and hang.
+func TestRetryNoReadSetsFootprintPolls(t *testing.T) {
+	tm := MustNew(WithConsistency(Linearizable), WithNoReadSets(), WithBlockingRetry())
+	flag := NewVar(tm, int64(0))
+
+	done := make(chan error, 1)
+	go func() {
+		th := tm.NewThread()
+		done <- th.AtomicReadOnly(Short, func(tx Tx) error {
+			v, err := flag.Read(tx)
+			if err != nil {
+				return err
+			}
+			if v == int64(0) {
+				return Retry(tx)
+			}
+			return nil
+		})
+	}()
+
+	time.Sleep(20 * time.Millisecond) // let the reader reach the empty-footprint retry path
+	wr := tm.NewThread()
+	if err := wr.Atomic(Short, func(tx Tx) error { return flag.Write(tx, int64(1)) }); err != nil {
+		t.Fatalf("writer: %v", err)
+	}
+
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("reader err = %v, want nil", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("reader hung: empty-footprint Retry must fall back to polling")
+	}
+	if p := tm.Stats().Parks; p != 0 {
+		t.Fatalf("parked %d times with no recorded footprint", p)
+	}
+}
+
 func TestAtomicOrElseTakesAlternative(t *testing.T) {
 	tm := MustNew(WithBlockingRetry())
 	a, b := NewVar(tm, 0), NewVar(tm, 5)
@@ -443,5 +487,100 @@ func TestAtomicSiteRetryDoesNotFeedClassifier(t *testing.T) {
 	}
 	if last := b.kinds[len(b.kinds)-1]; last != Short {
 		t.Fatalf("idle site promoted to %v: Retry attempts fed the classifier's abort streak", last)
+	}
+}
+
+// --- WatchesStale vs the version recycler ---
+
+// TestWatchesStaleSurvivesRecycling audits every backend's WatchesStale
+// against core.Object.InstallRecycled: a parked thread's watch re-check
+// runs while other threads install versions that displace, truncate and
+// — once the epoch grace period passes — reuse the very version nodes
+// the watches were recorded from. Single-version objects retire their
+// displaced current version on every commit, which is the most hostile
+// recycling schedule. The check must neither dereference a truncated
+// tail nor misreport: a churned object is stale, an untouched one is
+// not. Run under -race this also proves the Seq reads are pin-protected
+// (an unpinned read of a recycled node is a detectable data race).
+func TestWatchesStaleSurvivesRecycling(t *testing.T) {
+	cases := []struct {
+		name string
+		kind TxKind
+		opts []Option
+	}{
+		{"lsa", Short, []Option{WithConsistency(Linearizable), WithVersions(1)}},
+		{"single-version", Short, []Option{WithConsistency(SingleVersion)}},
+		{"zstm-short", Short, []Option{WithConsistency(ZLinearizable), WithVersions(1)}},
+		{"zstm-long", Long, []Option{WithConsistency(ZLinearizable), WithVersions(1)}},
+		{"cstm", Short, []Option{WithConsistency(CausallySerializable)}},
+		{"sstm", Short, []Option{WithConsistency(Serializable)}},
+		{"sistm", Short, []Option{WithConsistency(SnapshotIsolation), WithVersions(1)}},
+	}
+	rounds := 400
+	if testing.Short() {
+		rounds = 80
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			tm := MustNew(append([]Option{WithBlockingRetry()}, tc.opts...)...)
+			churned := NewVar(tm, int64(0))
+			quiet := NewVar(tm, int64(0))
+
+			rd := tm.NewThread()
+			tx := rd.b.begin(tc.kind, false)
+			if _, err := tx.Read(churned.Object()); err != nil {
+				t.Fatalf("read churned: %v", err)
+			}
+			if _, err := tx.Read(quiet.Object()); err != nil {
+				t.Fatalf("read quiet: %v", err)
+			}
+			ws := tx.watches(nil)
+			if len(ws) != 2 {
+				t.Fatalf("watches = %d entries, want 2", len(ws))
+			}
+			tx.Abort()
+
+			// Churn: displace, truncate and recycle versions of the watched
+			// object while the parked-side re-check runs concurrently.
+			var wg sync.WaitGroup
+			for w := 0; w < 2; w++ {
+				wg.Add(1)
+				go func(w int) {
+					defer wg.Done()
+					th := tm.NewThread()
+					for i := 0; i < rounds; i++ {
+						_ = th.Atomic(Short, func(btx Tx) error {
+							return churned.Write(btx, int64(w*rounds+i))
+						})
+					}
+				}(w)
+			}
+			stop := make(chan struct{})
+			checks := make(chan bool, 1)
+			go func() {
+				stale := false
+				for {
+					select {
+					case <-stop:
+						checks <- stale
+						return
+					default:
+						stale = tx.watchesStale(ws)
+					}
+				}
+			}()
+			wg.Wait()
+			close(stop)
+			<-checks
+
+			if !tx.watchesStale(ws) {
+				t.Fatal("watchesStale = false after the watched object was overwritten hundreds of times")
+			}
+			// The quiet object alone must still read as fresh.
+			quietOnly := ws[1:]
+			if tx.watchesStale(quietOnly) {
+				t.Fatal("watchesStale = true for an untouched object")
+			}
+		})
 	}
 }

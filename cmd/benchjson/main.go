@@ -8,7 +8,8 @@
 //
 // Series:
 //
-//	lsa/counter         LSA on the shared-counter time base
+//	lsa/counter         LSA on the shared-counter time base (commit log on)
+//	lsa/no-commit-log   LSA with the commit log disabled (WithCommitLog(0))
 //	lsa/striped-clock   LSA on the striped commit counter (WithStripedClock)
 //	zstm/short          Z-STM short transactions (default clock)
 //	sstm/serialized     S-STM with one commit stripe (the global-lock baseline)
@@ -18,7 +19,7 @@
 // Usage:
 //
 //	benchjson                         # all series, goroutines 1,2,4,8, stdout+file
-//	benchjson -out BENCH_PR2.json     # write the snapshot
+//	benchjson -out BENCH_PR4.json     # write the snapshot
 //	benchjson -goroutines 1,2,4,8,16 -benchtime 200ms
 package main
 
@@ -75,6 +76,9 @@ func allSeries() []series {
 		{"lsa/counter", func() (*tbtm.TM, error) {
 			return tbtm.New(tbtm.WithConsistency(tbtm.Linearizable))
 		}},
+		{"lsa/no-commit-log", func() (*tbtm.TM, error) {
+			return tbtm.New(tbtm.WithConsistency(tbtm.Linearizable), tbtm.WithCommitLog(0))
+		}},
 		{"lsa/striped-clock", func() (*tbtm.TM, error) {
 			return tbtm.New(tbtm.WithConsistency(tbtm.Linearizable), tbtm.WithStripedClock(16))
 		}},
@@ -99,7 +103,7 @@ func run(args []string) error {
 	goroutines := fs.String("goroutines", "1,2,4,8", "comma-separated goroutine counts")
 	benchtime := fs.Duration("benchtime", 100*time.Millisecond, "minimum measurement time per point")
 	runList := fs.String("run", "", "comma-separated series substrings to keep (default all)")
-	pr := fs.Int("pr", 2, "PR number recorded in the snapshot")
+	pr := fs.Int("pr", 4, "PR number recorded in the snapshot")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}

@@ -39,7 +39,11 @@ func TestStatsOldVersions(t *testing.T) {
 // TestStatsSnapshotMisses drives a single-version snapshot miss and
 // checks it shows up in the facade Stats.
 func TestStatsSnapshotMisses(t *testing.T) {
-	tm := tbtm.MustNew(tbtm.WithConsistency(tbtm.SnapshotIsolation), tbtm.WithVersions(1))
+	// Commit log off: with it on, the reader's empty footprint lets its
+	// snapshot advance past the writer and the miss dissolves (see
+	// TestStatsSnapshotAdvance).
+	tm := tbtm.MustNew(tbtm.WithConsistency(tbtm.SnapshotIsolation),
+		tbtm.WithVersions(1), tbtm.WithCommitLog(0))
 	reader, writer := tm.NewThread(), tm.NewThread()
 	o := tm.NewObject(int64(0))
 
@@ -109,5 +113,79 @@ func TestWithSharedCommitTimesValidation(t *testing.T) {
 	}
 	if _, err := tbtm.New(tbtm.WithSharedCommitTimes(), tbtm.WithSimRealTimeClock(4, 2, 0)); err == nil {
 		t.Error("WithSharedCommitTimes + WithSimRealTimeClock: no error")
+	}
+}
+
+// TestStatsSnapshotAdvance is TestStatsSnapshotMisses with the commit
+// log left on (the default): the reader's footprint is empty, so its
+// snapshot advances past the writer's commit and the read succeeds,
+// surfacing in the Extensions counters instead of SnapshotMisses.
+func TestStatsSnapshotAdvance(t *testing.T) {
+	tm := tbtm.MustNew(tbtm.WithConsistency(tbtm.SnapshotIsolation), tbtm.WithVersions(1))
+	reader, writer := tm.NewThread(), tm.NewThread()
+	o := tm.NewObject(int64(0))
+
+	rtx := reader.Begin(tbtm.Short)
+	if err := writer.Atomic(tbtm.Short, func(tx tbtm.Tx) error {
+		return tx.Write(o, int64(1))
+	}); err != nil {
+		t.Fatalf("writer: %v", err)
+	}
+	v, err := rtx.Read(o)
+	if err != nil {
+		t.Fatalf("read after advance = %v, want nil", err)
+	}
+	if v != int64(1) {
+		t.Fatalf("read = %v, want 1 (the advanced snapshot's value)", v)
+	}
+	if err := rtx.Commit(); err != nil {
+		t.Fatalf("reader commit: %v", err)
+	}
+	s := tm.Stats()
+	if s.Extensions == 0 || s.ExtensionsFast == 0 {
+		t.Errorf("Extensions/Fast = %d/%d, want > 0 (got %+v)", s.Extensions, s.ExtensionsFast, s)
+	}
+	if s.SnapshotMisses != 0 {
+		t.Errorf("SnapshotMisses = %d, want 0 (got %+v)", s.SnapshotMisses, s)
+	}
+}
+
+// TestStatsCommitLogFastPath pins the facade counters of the LSA-family
+// commit log: disjoint-footprint extension shows up as ExtensionsFast,
+// and turning the log off via WithCommitLog(0) restores the full-walk
+// accounting.
+func TestStatsCommitLogFastPath(t *testing.T) {
+	run := func(opts ...tbtm.Option) tbtm.Stats {
+		tm := tbtm.MustNew(append([]tbtm.Option{tbtm.WithConsistency(tbtm.Linearizable)}, opts...)...)
+		rd, wr := tm.NewThread(), tm.NewThread()
+		o1, o2 := tm.NewObject(int64(0)), tm.NewObject(int64(0))
+
+		rtx := rd.Begin(tbtm.Short)
+		if _, err := rtx.Read(o1); err != nil {
+			t.Fatalf("read o1: %v", err)
+		}
+		if err := wr.Atomic(tbtm.Short, func(tx tbtm.Tx) error {
+			return tx.Write(o2, int64(7))
+		}); err != nil {
+			t.Fatalf("writer: %v", err)
+		}
+		if _, err := rtx.Read(o2); err != nil {
+			t.Fatalf("read o2: %v", err)
+		}
+		if err := rtx.Commit(); err != nil {
+			t.Fatalf("reader commit: %v", err)
+		}
+		return tm.Stats()
+	}
+
+	on := run()
+	if on.ExtensionsFast != 1 || on.ExtensionsFull != 0 || on.Extensions != 1 {
+		t.Errorf("log on: Extensions/Fast/Full = %d/%d/%d, want 1/1/0 (got %+v)",
+			on.Extensions, on.ExtensionsFast, on.ExtensionsFull, on)
+	}
+	off := run(tbtm.WithCommitLog(0))
+	if off.ExtensionsFast != 0 || off.ExtensionsFull != 1 {
+		t.Errorf("log off: ExtensionsFast/Full = %d/%d, want 0/1 (got %+v)",
+			off.ExtensionsFast, off.ExtensionsFull, off)
 	}
 }

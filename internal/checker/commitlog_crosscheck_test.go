@@ -1,0 +1,52 @@
+package checker_test
+
+import (
+	"testing"
+
+	"tbtm/internal/conformance"
+)
+
+// TestCommitLogCrossCheck is the commit-log fast-path soundness property
+// test: the conformance drivers build every backend with CrossCheck on,
+// so each fast-path decision (snapshot extension in LSA/Z-STM, snapshot
+// advance in SI-STM, validation skip in CS-/S-STM) re-runs the full
+// read-set walk and panics if the log window admitted anything full
+// validation would reject. The workload here is deliberately hotter
+// than the plain conformance runs — few objects, many transactions —
+// so windows are dense with hits, near-misses and wraps. The checked
+// histories additionally prove the criteria still hold with the fast
+// paths active.
+func TestCommitLogCrossCheck(t *testing.T) {
+	systems := []conformance.System{
+		conformance.LSA,
+		conformance.LSAFast,
+		conformance.CSTM,
+		conformance.CSTMMulti,
+		conformance.SSTM,
+		conformance.ZSTM,
+		conformance.SISTM,
+	}
+	seeds, perThread := 4, 150
+	if testing.Short() {
+		seeds, perThread = 2, 60
+	}
+	for _, sys := range systems {
+		sys := sys
+		t.Run(sys.String(), func(t *testing.T) {
+			t.Parallel()
+			for seed := int64(1); seed <= int64(seeds); seed++ {
+				cfg := conformance.Config{
+					System:      sys,
+					Threads:     4,
+					TxPerThread: perThread,
+					Objects:     4, // hot: most windows intersect some footprint
+					Seed:        seed,
+					Yield:       true, // op-level interleaving even on one CPU
+				}
+				if _, err := conformance.Check(cfg); err != nil {
+					t.Fatalf("seed %d: %v", seed, err)
+				}
+			}
+		})
+	}
+}

@@ -247,6 +247,23 @@ func TestBackoffDoesNotPanic(t *testing.T) {
 	}
 }
 
+// TestBackoffSleepsAfterRoundZero pins the backoff progression the
+// write-acquisition loops of every backend rely on: round 0 only yields,
+// but every round from 1 on must actually sleep (jitter keeps the delay
+// in (d/2, d], so round 1 sleeps at least 1µs — time.Sleep never returns
+// early). The old write loops passed round/4, silently turning the first
+// four conflict rounds into zero-delay spins on the contended writer
+// word.
+func TestBackoffSleepsAfterRoundZero(t *testing.T) {
+	for _, round := range []int{1, 2, 3} {
+		start := time.Now()
+		Backoff(round)
+		if d := time.Since(start); d < time.Microsecond {
+			t.Fatalf("Backoff(%d) returned after %v, want >= 1µs of real sleep", round, d)
+		}
+	}
+}
+
 // TestBackoffCapped pins the spin-loop sweep: the exponent is capped, so
 // even the unbounded rounds of the stabilize/Resolve wait loops never
 // sleep longer than ~256µs per call (plus scheduler slop), and repeated

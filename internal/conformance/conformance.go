@@ -14,6 +14,7 @@ package conformance
 import (
 	"fmt"
 	"math/rand"
+	"runtime"
 	"sync"
 	"sync/atomic"
 
@@ -109,6 +110,13 @@ type Config struct {
 	Objects     int   // object universe size (default 6)
 	LongEvery   int   // every n-th transaction is long (0: never; ZSTM default 10)
 	Seed        int64 // randomness seed
+	// Yield inserts a scheduling point before every transactional
+	// operation. On a single CPU, goroutines otherwise run whole short
+	// transactions without preemption, so commits almost never interleave
+	// with a transaction's reads and the snapshot-extension / validation
+	// machinery sits idle; yielding forces op-granularity interleavings,
+	// which is what the commit-log cross-check needs to bite.
+	Yield bool
 }
 
 func (c *Config) defaults() {
@@ -228,6 +236,9 @@ func Run(cfg Config) (*checker.History, error) {
 						writes: make(map[int]any)}
 					failed := false
 					for _, op := range ops {
+						if cfg.Yield {
+							runtime.Gosched()
+						}
 						if op.write {
 							v := fmt.Sprintf("v%d", valCtr.Add(1))
 							if err := tx.write(op.obj, v); err != nil {
@@ -419,7 +430,10 @@ type lsaDriver struct {
 }
 
 func newLSADriver(cfg Config, noReadSets, fastPath bool) *lsaDriver {
-	s := lsa.New(lsa.Config{Versions: retainAll, NoReadSets: noReadSets, ValidationFastPath: fastPath})
+	// CrossCheck: every commit-log fast-path decision re-runs the full
+	// read-set walk and panics on disagreement, so each fuzz workload
+	// doubles as the fast-path soundness property test.
+	s := lsa.New(lsa.Config{Versions: retainAll, NoReadSets: noReadSets, ValidationFastPath: fastPath, CrossCheck: true})
 	d := &lsaDriver{stm: s}
 	for i := 0; i < cfg.Objects; i++ {
 		d.objs = append(d.objs, s.NewObject(fmt.Sprintf("init%d", i)))
@@ -474,11 +488,11 @@ type csDriver struct {
 }
 
 func newCSCombDriver(cfg Config) *csDriver {
-	return csDriverFor(cfg, cstm.New(cstm.Config{Threads: cfg.Threads, Entries: 2, Comb: true}))
+	return csDriverFor(cfg, cstm.New(cstm.Config{Threads: cfg.Threads, Entries: 2, Comb: true, CrossCheck: true}))
 }
 
 func newCSDriver(cfg Config, entries int, mapping vclock.Mapping, versions int) *csDriver {
-	return csDriverFor(cfg, cstm.New(cstm.Config{Threads: cfg.Threads, Entries: entries, Mapping: mapping, Versions: versions}))
+	return csDriverFor(cfg, cstm.New(cstm.Config{Threads: cfg.Threads, Entries: entries, Mapping: mapping, Versions: versions, CrossCheck: true}))
 }
 
 func csDriverFor(cfg Config, s *cstm.STM) *csDriver {
@@ -533,7 +547,7 @@ type ssDriver struct {
 }
 
 func newSSDriver(cfg Config) *ssDriver {
-	s := sstm.New(sstm.Config{Threads: cfg.Threads})
+	s := sstm.New(sstm.Config{Threads: cfg.Threads, CrossCheck: true})
 	d := &ssDriver{stm: s}
 	for i := 0; i < cfg.Objects; i++ {
 		o := s.NewObject(fmt.Sprintf("init%d", i))
@@ -584,7 +598,7 @@ type siDriver struct {
 }
 
 func newSIDriver(cfg Config) *siDriver {
-	s := sistm.New(sistm.Config{Versions: retainAll})
+	s := sistm.New(sistm.Config{Versions: retainAll, CrossCheck: true})
 	d := &siDriver{stm: s}
 	for i := 0; i < cfg.Objects; i++ {
 		d.objs = append(d.objs, s.NewObject(fmt.Sprintf("init%d", i)))
@@ -624,7 +638,7 @@ type zDriver struct {
 }
 
 func newZDriver(cfg Config) *zDriver {
-	s := zstm.New(zstm.Config{Versions: retainAll, ZonePatience: 8})
+	s := zstm.New(zstm.Config{Versions: retainAll, ZonePatience: 8, CrossCheck: true})
 	d := &zDriver{stm: s}
 	for i := 0; i < cfg.Objects; i++ {
 		d.objs = append(d.objs, s.NewObject(fmt.Sprintf("init%d", i)))

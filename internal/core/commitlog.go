@@ -1,0 +1,244 @@
+package core
+
+import (
+	"runtime"
+	"sync/atomic"
+)
+
+// logInlineIDs is the number of written-object IDs one commit-log record
+// stores inline. Together with the stamp and count words it makes a
+// record exactly one cache line (8 × 8 bytes), so concurrent readers and
+// the publishing writer never share a line with a neighbouring record.
+// Commits writing more objects publish an overflow record instead, which
+// readers treat as touching everything (they fall back to the full
+// read-set walk — correct, merely slower, and large write sets already
+// pay O(writes) elsewhere).
+const logInlineIDs = 6
+
+// logOverflow marks a record whose write set did not fit inline.
+const logOverflow = ^uint64(0)
+
+// logSpinLimit bounds how long a scanning reader waits for a claimed but
+// not-yet-published record before giving up (the publisher is between
+// its clock tick and the slot store — a handful of instructions unless
+// it was preempted). Beyond the limit the reader reports LogUnpublished
+// and validates the slow way.
+const logSpinLimit = 128
+
+// LogVerdict is the outcome of a commit-log window check.
+type LogVerdict uint8
+
+const (
+	// LogClear: every record in the window was readable and none of the
+	// written objects is in the transaction's footprint. The snapshot
+	// extends without touching the read set.
+	LogClear LogVerdict = iota
+	// LogHit: some record in the window wrote an object the transaction
+	// read. The caller must fall back to full validation — the record may
+	// stem from a writer that subsequently aborted (records are published
+	// before the writer's own validation), so a hit is not yet a conflict.
+	LogHit
+	// LogWrapped: part of the window has been overwritten by newer
+	// commits (the ring wrapped) or lies beyond the ring's span. Full
+	// validation required.
+	LogWrapped
+	// LogUnpublished: a record in the window was claimed but its
+	// publisher had not filled the slot within the spin budget. Full
+	// validation required.
+	LogUnpublished
+)
+
+// String returns the verdict name.
+func (v LogVerdict) String() string {
+	switch v {
+	case LogClear:
+		return "clear"
+	case LogHit:
+		return "hit"
+	case LogWrapped:
+		return "wrapped"
+	case LogUnpublished:
+		return "unpublished"
+	default:
+		return "invalid"
+	}
+}
+
+// logRecord is one slot of the ring: the commit tick it currently holds
+// (seqlock-style stamp) plus the written-object IDs of that commit. All
+// fields are atomics so the seqlock read protocol is race-clean: a
+// reader that loses the stamp re-check discards whatever it read.
+//
+// Stamp protocol for tick t occupying slot t&mask:
+//
+//	writer: stamp ← t<<1|1 (busy), fill n and ids, stamp ← t<<1
+//	reader: s1 := stamp; if s1 != t<<1 → not (or no longer) t's record;
+//	        read fields; s2 := stamp; if s2 != s1 → torn, retry/fail
+type logRecord struct {
+	stamp atomic.Uint64
+	n     atomic.Uint64 // id count, or logOverflow
+	ids   [logInlineIDs]atomic.Uint64
+}
+
+// CommitLog is a fixed-size global log of committed (and committing)
+// update transactions: a lock-free ring of (commit tick, written-object
+// IDs) records that every backend's commit path publishes into. Snapshot
+// extension and commit-time validation then check only the log window
+// between the transaction's snapshot and the target time against the
+// transaction's read footprint — O(commits in the window) instead of
+// O(read-set size) — falling back to the full read-set walk when the
+// window wrapped, a record was oversized, or a record hit the footprint.
+//
+// A log instance is keyed by a dense, process-unique tick sequence and
+// is used in exactly one of two modes:
+//
+//   - Clock mode (scalar backends on a strictly commit-counting time
+//     base): the tick is the commit time itself. Committers call Publish
+//     with the time they acquired; the acquisition is the claim, so a
+//     reader that observed Now() == t knows every record with tick <= t
+//     is claimed and either published or imminently so.
+//
+//   - Claim mode (vector-clock backends, whose commit timestamps are
+//     neither scalar nor dense): the tick comes from the log's own
+//     counter via Append. Readers bound windows with Claimed().
+//
+// Records are conservative: a committer publishes its write set after
+// claiming its tick and before validating its own read set, so records
+// of writers that go on to abort remain in the log. Readers therefore
+// treat a hit as "must validate fully", never as a conflict by itself.
+type CommitLog struct {
+	mask uint64
+	recs []logRecord
+	next atomic.Uint64 // claim counter (claim mode only)
+}
+
+// DefaultCommitLogSlots is the ring size used when a backend enables the
+// log without an explicit size: large enough that a reader has to fall
+// behind by thousands of commits before extension degrades to the full
+// walk, small enough (256 KiB of records) to sit comfortably in L2.
+const DefaultCommitLogSlots = 4096
+
+// NewCommitLog returns a log with at least slots records, rounded up to
+// a power of two (values below 2 select DefaultCommitLogSlots).
+func NewCommitLog(slots int) *CommitLog {
+	if slots < 2 {
+		slots = DefaultCommitLogSlots
+	}
+	n := 1
+	for n < slots {
+		n <<= 1
+	}
+	return &CommitLog{mask: uint64(n - 1), recs: make([]logRecord, n)}
+}
+
+// Cap returns the ring size in records.
+func (l *CommitLog) Cap() int { return len(l.recs) }
+
+// Publish records that the commit with tick t wrote the given objects.
+// Ticks must be dense and process-unique (each value published at most
+// once); in clock mode the caller publishes immediately after acquiring
+// its commit time, before validating or installing, so that a reader
+// spinning on the slot is never left waiting across the publisher's
+// whole commit. ids is borrowed for the duration of the call only.
+func (l *CommitLog) Publish(t uint64, ids []uint64) {
+	r := &l.recs[t&l.mask]
+	r.stamp.Store(t<<1 | 1)
+	if len(ids) > logInlineIDs {
+		r.n.Store(logOverflow)
+	} else {
+		for i, id := range ids {
+			r.ids[i].Store(id)
+		}
+		r.n.Store(uint64(len(ids)))
+	}
+	r.stamp.Store(t << 1)
+}
+
+// Append claims the next tick from the log's own counter and publishes
+// ids under it, returning the tick (claim mode). The claim and the
+// publication are adjacent so readers never wait long on the slot.
+func (l *CommitLog) Append(ids []uint64) uint64 {
+	t := l.next.Add(1)
+	l.Publish(t, ids)
+	return t
+}
+
+// Claimed returns the newest tick handed out by Append (claim mode).
+// Every record with a tick at or below the returned value has been
+// claimed and is published or about to be.
+func (l *CommitLog) Claimed() uint64 { return l.next.Load() }
+
+// Check scans the window (lb, ub] and reports whether any record in it
+// wrote an object in the footprint fp. Ticks are 1-based; lb is the
+// newest tick already accounted for by the caller's snapshot and ub the
+// tick (or time) the caller wants to advance to. An empty window is
+// trivially clear.
+//
+// The scan runs oldest-first so a wrapped window fails fast, and
+// re-checks each record's stamp after reading it (seqlock) so a
+// concurrent overwrite is detected rather than half-read.
+func (l *CommitLog) Check(lb, ub uint64, fp *SmallIndex) LogVerdict {
+	if ub <= lb {
+		return LogClear
+	}
+	if ub-lb > uint64(len(l.recs)) {
+		return LogWrapped
+	}
+	for t := lb + 1; t <= ub; t++ {
+		switch l.checkOne(t, fp) {
+		case LogClear:
+		case LogHit:
+			return LogHit
+		case LogWrapped:
+			return LogWrapped
+		case LogUnpublished:
+			return LogUnpublished
+		}
+	}
+	return LogClear
+}
+
+// checkOne checks the record for tick t against fp.
+func (l *CommitLog) checkOne(t uint64, fp *SmallIndex) LogVerdict {
+	r := &l.recs[t&l.mask]
+	want := t << 1
+	for spin := 0; ; spin++ {
+		s1 := r.stamp.Load()
+		switch {
+		case s1 > want|1:
+			// A newer tick overwrote (or is overwriting) the slot.
+			return LogWrapped
+		case s1 != want:
+			// Claimed but not yet published (s1 < want covers both an
+			// older occupant and our publisher's busy stamp want|1 — wait
+			// either way; busy can also briefly show during overwrite by
+			// tick t+cap, caught by the s1 > want|1 test above next spin).
+			if spin >= logSpinLimit {
+				return LogUnpublished
+			}
+			runtime.Gosched()
+			continue
+		}
+		n := r.n.Load()
+		if n == logOverflow {
+			if r.stamp.Load() == want {
+				return LogHit // oversized write set: assume it touches us
+			}
+			continue // torn read; re-examine
+		}
+		hit := false
+		for i := uint64(0); i < n && i < logInlineIDs; i++ {
+			if _, ok := fp.Get(r.ids[i].Load()); ok {
+				hit = true
+				break
+			}
+		}
+		if r.stamp.Load() != want {
+			continue // overwritten mid-read; re-examine from the stamp
+		}
+		if hit {
+			return LogHit
+		}
+		return LogClear
+	}
+}

@@ -4,6 +4,17 @@ import (
 	"sync/atomic"
 )
 
+// LongZoneTag is folded into Version.Zone by Z-STM's long-transaction
+// installs (short installs carry the plain zone number). Long commits
+// serialize before every short labeled with their zone or a later one,
+// yet their versions land late on the scalar timeline — so a short's
+// old-version fallback must be able to tell "installed by a long" apart
+// from "installed by a same-zone short": skipping past the former tears
+// the zone serialization even when the scalar snapshot is consistent
+// (see lsa.Tx.zoneUnsafe), while skipping past the latter stays inside
+// the zone's linearizable scalar order.
+const LongZoneTag = uint64(1) << 63
+
 // objIDs issues process-unique object identifiers.
 var objIDs atomic.Uint64
 

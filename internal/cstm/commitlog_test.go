@@ -1,0 +1,113 @@
+package cstm
+
+import (
+	"errors"
+	"testing"
+
+	"tbtm/internal/core"
+)
+
+// TestCommitLogFastValidationDisjoint: a commit whose window avoided its
+// read footprint skips the successor walk.
+func TestCommitLogFastValidationDisjoint(t *testing.T) {
+	s := New(Config{Threads: 4})
+	if s.Log() == nil {
+		t.Fatal("commit log not armed by default")
+	}
+	a, b := s.NewObject(int64(0)), s.NewObject(int64(0))
+
+	tx := s.NewThread().Begin(core.Short, false)
+	if _, err := tx.Read(a); err != nil {
+		t.Fatalf("Read: %v", err)
+	}
+
+	other := s.NewThread().Begin(core.Short, false)
+	if err := other.Write(b, int64(9)); err != nil {
+		t.Fatalf("other Write: %v", err)
+	}
+	if err := other.Commit(); err != nil {
+		t.Fatalf("other Commit: %v", err)
+	}
+
+	if err := tx.Commit(); err != nil {
+		t.Fatalf("Commit: %v", err)
+	}
+	st := s.Stats()
+	if st.FastValidations < 1 {
+		t.Fatalf("FastValidations = %d, want >= 1 (stats %+v)", st.FastValidations, st)
+	}
+}
+
+// TestCommitLogConflictStillDetected: the read-then-write upgrade whose
+// T.ct absorbs the successor's timestamp must still abort — the window
+// hits the footprint and full validation runs.
+func TestCommitLogConflictStillDetected(t *testing.T) {
+	s := New(Config{Threads: 4})
+	o := s.NewObject(int64(0))
+
+	tx := s.NewThread().Begin(core.Short, false)
+	if _, err := tx.Read(o); err != nil {
+		t.Fatalf("Read: %v", err)
+	}
+
+	other := s.NewThread().Begin(core.Short, false)
+	if err := other.Write(o, int64(1)); err != nil {
+		t.Fatalf("other Write: %v", err)
+	}
+	if err := other.Commit(); err != nil {
+		t.Fatalf("other Commit: %v", err)
+	}
+
+	// The upgrade re-locks o and folds the successor's timestamp into
+	// T.ct: a true causal cycle.
+	if err := tx.Write(o, int64(2)); err != nil {
+		t.Fatalf("Write: %v", err)
+	}
+	if err := tx.Commit(); !errors.Is(err, core.ErrConflict) {
+		t.Fatalf("Commit err = %v, want ErrConflict", err)
+	}
+	st := s.Stats()
+	if st.Conflicts != 1 {
+		t.Fatalf("Conflicts = %d, want 1 (stats %+v)", st.Conflicts, st)
+	}
+}
+
+// TestCommitLogMultiVersionPickDisablesFastPath: a read served by an
+// older retained version carries a pre-existing successor the log
+// window cannot see; such transactions must take the full walk.
+func TestCommitLogMultiVersionPickDisablesFastPath(t *testing.T) {
+	s := New(Config{Threads: 4, Versions: 4})
+	o := s.NewObject(int64(0))
+	x := s.NewObject(int64(0))
+
+	// Build history on o so a picker can land on an old version: the
+	// reader absorbs x's writer timestamp first, then o is overwritten
+	// concurrently.
+	rd := s.NewThread().Begin(core.Short, false)
+	if _, err := rd.Read(x); err != nil {
+		t.Fatalf("Read x: %v", err)
+	}
+
+	wr := s.NewThread()
+	w1 := wr.Begin(core.Short, false)
+	if err := w1.Write(o, int64(1)); err != nil {
+		t.Fatalf("w1 Write: %v", err)
+	}
+	if err := w1.Commit(); err != nil {
+		t.Fatalf("w1 Commit: %v", err)
+	}
+
+	if _, err := rd.Read(o); err != nil {
+		t.Fatalf("Read o: %v", err)
+	}
+	if err := rd.Commit(); err != nil {
+		t.Fatalf("rd Commit: %v", err)
+	}
+	// Whether rd picked the old or the new version of o, the suite-level
+	// invariant is that a non-current pick never fast-validates; the
+	// cross-check harness in internal/conformance pins it under load.
+	// Here we only require that the commit succeeded and counted.
+	if st := s.Stats(); st.Commits != 2 {
+		t.Fatalf("Commits = %d, want 2 (stats %+v)", st.Commits, st)
+	}
+}

@@ -57,13 +57,28 @@ type Config struct {
 	// commit installs a version into, unblocking transactions parked in
 	// the facade's Retry. Nil keeps the commit path wake-free.
 	Lot *core.ParkingLot
+	// CommitLog sizes the global commit log (0 default-on at
+	// core.DefaultCommitLogSlots, >0 explicit size, <0 off). Vector
+	// commit timestamps are neither scalar nor dense, so the log runs in
+	// claim mode: every update commit claims the next log tick and
+	// publishes its write set under it before validating. A committing
+	// transaction whose reads all returned current versions then skips
+	// the O(reads) successor validation whenever the window between its
+	// begin and its commit avoided its read footprint.
+	CommitLog int
+	// CrossCheck makes every log-clear validation skip re-run the full
+	// successor walk and panic on disagreement (conformance harness
+	// only).
+	CrossCheck bool
 }
 
 // Stats is a snapshot of an instance's cumulative counters.
 type Stats struct {
-	Commits   uint64 // transactions committed
-	Aborts    uint64 // transactions aborted
-	Conflicts uint64 // validation failures
+	Commits         uint64 // transactions committed
+	Aborts          uint64 // transactions aborted
+	Conflicts       uint64 // validation failures
+	FastValidations uint64 // commits that skipped the successor walk (commit log)
+	LogWraps        uint64 // fast-path fallbacks because the log window wrapped
 }
 
 // Counter slots within a thread's stats shard.
@@ -71,12 +86,16 @@ const (
 	cntCommits = iota
 	cntAborts
 	cntConflicts
+	cntFastValidations
+	cntLogWraps
 )
 
 // STM is a CS-STM instance.
 type STM struct {
 	cfg   Config
 	clock *vclock.Clock
+	// log is the claim-mode commit log, nil when disabled.
+	log *core.CommitLog
 
 	nextThread atomic.Int64
 
@@ -107,8 +126,15 @@ func New(cfg Config) *STM {
 	if cfg.Comb {
 		mk = vclock.NewComb
 	}
-	return &STM{cfg: cfg, clock: mk(cfg.Threads, cfg.Entries, cfg.Mapping)}
+	s := &STM{cfg: cfg, clock: mk(cfg.Threads, cfg.Entries, cfg.Mapping)}
+	if cfg.CommitLog >= 0 {
+		s.log = core.NewCommitLog(cfg.CommitLog)
+	}
+	return s
 }
+
+// Log returns the commit log, or nil when disabled (tests).
+func (s *STM) Log() *core.CommitLog { return s.log }
 
 // Config returns the effective configuration.
 func (s *STM) Config() Config { return s.cfg }
@@ -121,9 +147,11 @@ func (s *STM) Clock() *vclock.Clock { return s.clock }
 func (s *STM) Stats() Stats {
 	c := s.shards.Snapshot()
 	return Stats{
-		Commits:   c[cntCommits],
-		Aborts:    c[cntAborts],
-		Conflicts: c[cntConflicts],
+		Commits:         c[cntCommits],
+		Aborts:          c[cntAborts],
+		Conflicts:       c[cntConflicts],
+		FastValidations: c[cntFastValidations],
+		LogWraps:        c[cntLogWraps],
 	}
 }
 
@@ -185,6 +213,7 @@ type Thread struct {
 	tx    Tx            // reusable descriptor, recycled by Begin once finished
 	ctbuf vclock.TS     // spare timestamp buffer recovered from finished transactions
 	rec   core.Recycler // epoch-gated descriptor pool
+	idbuf []uint64      // reusable write-set ID buffer for commit-log publication
 	// vcEscaped records whether the buffer behind vc was published into
 	// installed versions (an update commit's ct). A read-only commit's ct
 	// buffer stays thread-private, so when it replaces vc the old vc
@@ -241,6 +270,14 @@ func (th *Thread) Begin(kind core.TxKind, readOnly bool) *Tx {
 	tx.writes = tx.writes[:0]
 	tx.windex.Reset()
 	tx.rindex.Reset()
+	tx.allCurrent = true
+	if log := th.stm.log; log != nil {
+		// lb bounds the validation window: any commit that could install
+		// a successor to a version this transaction reads as current
+		// claims its log tick after the read (its writer was not yet
+		// committing when the read stabilized), hence after this load.
+		tx.lb = log.Claimed()
+	}
 	tx.done = false
 	return tx
 }
@@ -282,12 +319,21 @@ type Tx struct {
 	reads  []readEntry
 	writes []writeEntry
 	windex core.SmallIndex
-	// rindex deduplicates reads per object in multi-version mode, so a
-	// re-read returns the version chosen first rather than re-picking.
+	// rindex deduplicates reads per object — a re-read returns the
+	// version chosen first rather than re-picking — and doubles as the
+	// commit log's read-footprint membership test.
 	rindex core.SmallIndex
 	// scratch is pick's reusable fold buffer (multi-version mode only).
 	scratch vclock.TS
-	done    bool
+	// lb is the commit-log tick observed at Begin; the commit-time fast
+	// path scans (lb, now].
+	lb uint64
+	// allCurrent records that every read returned the object's current
+	// version. A multi-version pick of an older version may carry a
+	// pre-existing successor the log window cannot see, so such
+	// transactions always validate the slow way.
+	allCurrent bool
+	done       bool
 }
 
 // Meta exposes the shared descriptor.
@@ -376,11 +422,13 @@ func (tx *Tx) Read(o *Object) (any, error) {
 	}
 	tx.meta.Prio.Add(1)
 	tx.stabilize(o)
-	v := tx.pick(o)
-	tx.ct.MaxInto(v.CT)
-	if tx.stm.cfg.Versions > 1 {
-		tx.rindex.Put(o.ID(), len(tx.reads))
+	cur := o.cur.Load()
+	v := tx.pick(cur)
+	if v != cur {
+		tx.allCurrent = false
 	}
+	tx.ct.MaxInto(v.CT)
+	tx.rindex.Put(o.ID(), len(tx.reads))
 	tx.reads = append(tx.reads, readEntry{obj: o, ver: v})
 	return v.Value, nil
 }
@@ -396,8 +444,7 @@ func (tx *Tx) Read(o *Object) (any, error) {
 // check the current version is still returned and the conflict is left
 // to commit-time validation (it may resolve if the blocking reads are
 // upgraded to writes of the same objects).
-func (tx *Tx) pick(o *Object) *Version {
-	cur := o.cur.Load()
+func (tx *Tx) pick(cur *Version) *Version {
 	if tx.stm.cfg.Versions <= 1 {
 		return cur
 	}
@@ -479,7 +526,7 @@ func (tx *Tx) Write(o *Object, val any) error {
 				return tx.fail(core.ErrAborted)
 			}
 		}
-		cm.Backoff(round / 4)
+		cm.Backoff(round)
 	}
 }
 
@@ -527,7 +574,40 @@ func (tx *Tx) Commit() error {
 	if !tx.meta.CASStatus(core.StatusActive, core.StatusCommitting) {
 		return tx.fail(core.ErrAborted)
 	}
-	if !tx.validate() {
+	// Commit-log fast path: when every read returned a current version
+	// and no commit claimed between Begin and here touched the read
+	// footprint, no read version can have acquired a successor whose
+	// timestamp our (frozen) T.ct dominates — the successor walk is
+	// trivially clean. Commits claimed after the window bound carry a
+	// fresh clock tick T.ct cannot contain, so missing them is harmless.
+	fastOK := false
+	log := tx.stm.log
+	if log != nil && tx.allCurrent {
+		switch log.Check(tx.lb, log.Claimed(), &tx.rindex) {
+		case core.LogClear:
+			fastOK = true
+		case core.LogWrapped:
+			tx.th.shard.Inc(cntLogWraps)
+		}
+	}
+	if log != nil && len(tx.writes) > 0 {
+		// Claim our own tick and publish the write set before validating
+		// and installing, so concurrent fast paths account for our
+		// in-flight installs (an abort below leaves a harmless false
+		// positive behind).
+		ids := tx.th.idbuf[:0]
+		for i := range tx.writes {
+			ids = append(ids, tx.writes[i].obj.ID())
+		}
+		tx.th.idbuf = ids
+		log.Append(ids)
+	}
+	if fastOK {
+		if tx.stm.cfg.CrossCheck && !tx.validate() {
+			panic("cstm: commit-log fast path admitted a commit full validation rejects")
+		}
+		tx.th.shard.Inc(cntFastValidations)
+	} else if !tx.validate() {
 		tx.meta.CASStatus(core.StatusCommitting, core.StatusAborted)
 		tx.releaseLocks()
 		tx.finish()

@@ -1,0 +1,206 @@
+package lsa
+
+import (
+	"errors"
+	"sync"
+	"testing"
+
+	"tbtm/internal/core"
+)
+
+// TestCommitLogFastValidationDisjoint: a disjoint interleaved commit
+// leaves the log window clear, so commit-time validation skips the
+// read-set walk even though the bare RSTM ct==ub+1 rule does not apply.
+func TestCommitLogFastValidationDisjoint(t *testing.T) {
+	s := New(Config{})
+	if s.Log() == nil {
+		t.Fatal("commit log not armed on the default counter clock")
+	}
+	a, b := s.NewObject(int64(0)), s.NewObject(int64(0))
+
+	tx := s.NewThread().Begin(core.Short, false)
+	if _, err := tx.Read(a); err != nil {
+		t.Fatalf("Read: %v", err)
+	}
+	if err := tx.Write(a, int64(1)); err != nil {
+		t.Fatalf("Write: %v", err)
+	}
+
+	other := s.NewThread().Begin(core.Short, false)
+	if err := other.Write(b, int64(9)); err != nil {
+		t.Fatalf("other Write: %v", err)
+	}
+	if err := other.Commit(); err != nil {
+		t.Fatalf("other Commit: %v", err)
+	}
+
+	if err := tx.Commit(); err != nil {
+		t.Fatalf("Commit: %v", err)
+	}
+	st := s.Stats()
+	if st.FastValidations < 1 {
+		t.Fatalf("FastValidations = %d, want >= 1 (log window was clear)", st.FastValidations)
+	}
+	if st.Commits != 2 {
+		t.Fatalf("Commits = %d, want 2", st.Commits)
+	}
+}
+
+// TestCommitLogExtensionFast: reading an object updated after the
+// snapshot extends via the log window alone when nothing in the read
+// footprint changed.
+func TestCommitLogExtensionFast(t *testing.T) {
+	s := New(Config{})
+	o1, o2 := s.NewObject(int64(0)), s.NewObject(int64(0))
+
+	rd := s.NewThread().Begin(core.Short, false)
+	if _, err := rd.Read(o1); err != nil {
+		t.Fatalf("Read o1: %v", err)
+	}
+
+	// A writer moves o2 past the reader's snapshot.
+	wr := s.NewThread().Begin(core.Short, false)
+	if err := wr.Write(o2, int64(7)); err != nil {
+		t.Fatalf("Write: %v", err)
+	}
+	if err := wr.Commit(); err != nil {
+		t.Fatalf("wr Commit: %v", err)
+	}
+
+	// Reading o2 requires extending past the writer's commit; o2 is not
+	// yet in the footprint, so the window is clear.
+	v, err := rd.Read(o2)
+	if err != nil {
+		t.Fatalf("Read o2: %v", err)
+	}
+	if v != int64(7) {
+		t.Fatalf("Read o2 = %v, want 7", v)
+	}
+	if err := rd.Commit(); err != nil {
+		t.Fatalf("rd Commit: %v", err)
+	}
+	st := s.Stats()
+	if st.ExtensionsFast != 1 || st.ExtensionsFull != 0 {
+		t.Fatalf("ExtensionsFast/Full = %d/%d, want 1/0 (stats %+v)", st.ExtensionsFast, st.ExtensionsFull, st)
+	}
+	if st.Extensions != st.ExtensionsFast+st.ExtensionsFull {
+		t.Fatalf("Extensions = %d, want fast+full = %d", st.Extensions, st.ExtensionsFast+st.ExtensionsFull)
+	}
+}
+
+// TestCommitLogExtensionHitFallsBack: when the window hits the read
+// footprint the extension falls back to the full walk, which correctly
+// rejects it — the update transaction aborts with a conflict.
+func TestCommitLogExtensionHitFallsBack(t *testing.T) {
+	s := New(Config{})
+	o1, o2 := s.NewObject(int64(0)), s.NewObject(int64(0))
+
+	rd := s.NewThread().Begin(core.Short, false)
+	if _, err := rd.Read(o1); err != nil {
+		t.Fatalf("Read o1: %v", err)
+	}
+
+	// The writer updates both the read object and the trigger object.
+	wr := s.NewThread().Begin(core.Short, false)
+	if err := wr.Write(o1, int64(1)); err != nil {
+		t.Fatalf("Write o1: %v", err)
+	}
+	if err := wr.Write(o2, int64(2)); err != nil {
+		t.Fatalf("Write o2: %v", err)
+	}
+	if err := wr.Commit(); err != nil {
+		t.Fatalf("wr Commit: %v", err)
+	}
+
+	if _, err := rd.Read(o2); !errors.Is(err, core.ErrConflict) {
+		t.Fatalf("Read o2 err = %v, want ErrConflict (footprint changed)", err)
+	}
+	st := s.Stats()
+	if st.ExtensionsFast != 0 {
+		t.Fatalf("ExtensionsFast = %d, want 0 (the window hit o1)", st.ExtensionsFast)
+	}
+}
+
+// TestCommitLogWrapFallsBack: a reader that falls further behind than
+// the ring holds must take the full-walk path (and succeed when its
+// footprint is genuinely untouched), counting the wrap.
+func TestCommitLogWrapFallsBack(t *testing.T) {
+	s := New(Config{CommitLog: 2}) // tiny ring: wraps immediately
+	ring := s.Log().Cap()
+	o1 := s.NewObject(int64(0))
+	hot := s.NewObject(int64(0))
+	trigger := s.NewObject(int64(0))
+
+	rd := s.NewThread().Begin(core.Short, false)
+	if _, err := rd.Read(o1); err != nil {
+		t.Fatalf("Read o1: %v", err)
+	}
+
+	wr := s.NewThread()
+	for i := 0; i < 2*ring; i++ {
+		tx := wr.Begin(core.Short, false)
+		if err := tx.Write(hot, int64(i)); err != nil {
+			t.Fatalf("Write hot: %v", err)
+		}
+		if err := tx.Commit(); err != nil {
+			t.Fatalf("Commit hot: %v", err)
+		}
+	}
+	last := wr.Begin(core.Short, false)
+	if err := last.Write(trigger, int64(1)); err != nil {
+		t.Fatalf("Write trigger: %v", err)
+	}
+	if err := last.Commit(); err != nil {
+		t.Fatalf("Commit trigger: %v", err)
+	}
+
+	if _, err := rd.Read(trigger); err != nil {
+		t.Fatalf("Read trigger: %v", err)
+	}
+	if err := rd.Commit(); err != nil {
+		t.Fatalf("rd Commit: %v", err)
+	}
+	st := s.Stats()
+	if st.LogWraps == 0 {
+		t.Fatalf("LogWraps = 0, want > 0 (stats %+v)", st)
+	}
+	if st.ExtensionsFull == 0 {
+		t.Fatalf("ExtensionsFull = 0, want > 0 (wrap must fall back to the walk)")
+	}
+}
+
+// TestCommitLogCrossCheckUnderLoad runs a contended mixed workload with
+// CrossCheck on: every fast-path decision re-runs full validation and
+// panics on disagreement.
+func TestCommitLogCrossCheckUnderLoad(t *testing.T) {
+	s := New(Config{CrossCheck: true})
+	objs := make([]*core.Object, 8)
+	for i := range objs {
+		objs[i] = s.NewObject(int64(0))
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			th := s.NewThread()
+			for i := 0; i < 400; i++ {
+				tx := th.Begin(core.Short, false)
+				ok := true
+				for j := 0; j < 3 && ok; j++ {
+					o := objs[(w*3+i+j*5)%len(objs)]
+					if j == 2 {
+						ok = tx.Write(o, int64(i)) == nil
+					} else {
+						_, err := tx.Read(o)
+						ok = err == nil
+					}
+				}
+				if ok {
+					_ = tx.Commit()
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+}

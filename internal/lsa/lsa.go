@@ -62,6 +62,24 @@ type Config struct {
 	// commit installs a version into, unblocking transactions parked in
 	// the facade's Retry. Nil keeps the commit path wake-free.
 	Lot *core.ParkingLot
+	// CommitLog sizes the global commit log backing O(1) snapshot
+	// extension: every update commit publishes (commit time, written
+	// object IDs) into a fixed ring, and tryExtend validates by scanning
+	// only the log window between the snapshot and the target time
+	// against the transaction's read footprint, falling back to the full
+	// read-set walk when the window wrapped or hit the footprint. 0
+	// enables the log at core.DefaultCommitLogSlots, positive values set
+	// the ring size, and negative values disable the log. The log
+	// requires a dense tick sequence, so it is only armed on strictly
+	// commit-counting time bases (clock.StrictCommitCounting); elsewhere
+	// it is ignored with no loss of correctness, like ValidationFastPath.
+	CommitLog int
+	// CrossCheck makes every commit-log fast-path decision re-run the
+	// full read-set walk and panic if the two disagree (the log admitted
+	// an extension full validation would reject). Test harness only: the
+	// conformance fuzzer keeps it on so the torture workloads prove the
+	// fast path sound on every extension.
+	CrossCheck bool
 }
 
 // Stats is a snapshot of an STM instance's cumulative counters.
@@ -73,6 +91,9 @@ type Stats struct {
 	OldVersions     uint64 // reads served by a non-current version
 	SnapshotMiss    uint64 // aborts because no retained version was old enough
 	FastValidations uint64 // commits that skipped read-set validation (fast path)
+	ExtensionsFast  uint64 // extensions validated by the commit-log window alone
+	ExtensionsFull  uint64 // extensions that walked the full read set
+	LogWraps        uint64 // fast-path fallbacks because the log window wrapped
 }
 
 // Counter slots within a thread's stats shard.
@@ -84,6 +105,9 @@ const (
 	cntOldVersions
 	cntSnapshotMiss
 	cntFastValidations
+	cntExtensionsFast
+	cntExtensionsFull
+	cntLogWraps
 )
 
 // STM is an LSA-STM instance. Create one with New; objects and threads
@@ -93,6 +117,9 @@ type STM struct {
 	// fastOK caches whether the fast path is usable: configured on and
 	// running on a strictly commit-counting time base.
 	fastOK bool
+	// log is the global commit log, nil when disabled (Config.CommitLog
+	// < 0) or when the time base is not strictly commit-counting.
+	log *core.CommitLog
 
 	nextThread atomic.Int64
 
@@ -118,8 +145,17 @@ func New(cfg Config) *STM {
 		cfg.Versions = 8
 	}
 	_, strict := cfg.Clock.(clock.StrictCommitCounting)
-	return &STM{cfg: cfg, fastOK: cfg.ValidationFastPath && strict}
+	s := &STM{cfg: cfg, fastOK: cfg.ValidationFastPath && strict}
+	if cfg.CommitLog >= 0 && strict {
+		s.log = core.NewCommitLog(cfg.CommitLog)
+	}
+	return s
 }
+
+// Log returns the commit log, or nil when disabled. Z-STM's long
+// transactions commit through the same time base and must publish their
+// write sets here so that short-transaction extensions account for them.
+func (s *STM) Log() *core.CommitLog { return s.log }
 
 // Config returns the effective configuration.
 func (s *STM) Config() Config { return s.cfg }
@@ -153,6 +189,9 @@ func (s *STM) Stats() Stats {
 		OldVersions:     c[cntOldVersions],
 		SnapshotMiss:    c[cntSnapshotMiss],
 		FastValidations: c[cntFastValidations],
+		ExtensionsFast:  c[cntExtensionsFast],
+		ExtensionsFull:  c[cntExtensionsFull],
+		LogWraps:        c[cntLogWraps],
 	}
 }
 
@@ -165,6 +204,7 @@ type Thread struct {
 	shard *stats.Shard
 	tx    Tx            // reusable descriptor, recycled by Begin once finished
 	rec   core.Recycler // epoch-gated version/descriptor pools
+	idbuf []uint64      // reusable write-set ID buffer for commit-log publication
 }
 
 // ID returns the thread's index in the time base.
@@ -226,6 +266,7 @@ func (tx *Tx) reset(th *Thread, kind core.TxKind, readOnly bool) {
 	tx.reads = tx.reads[:0]
 	tx.writes = tx.writes[:0]
 	tx.windex.Reset()
+	tx.rindex.Reset()
 	tx.zone = 0
 	tx.commitCheck = nil
 	tx.done = false
@@ -259,6 +300,7 @@ type Tx struct {
 	reads       []readEntry
 	writes      []writeEntry
 	windex      core.SmallIndex // object ID → index into writes
+	rindex      core.SmallIndex // object ID → index into reads (footprint membership)
 	zone        uint64          // z-linearizability zone tag for installs
 	commitCheck func() error    // extra validation while committing
 	done        bool
@@ -371,6 +413,13 @@ func (tx *Tx) Read(o *core.Object) (any, error) {
 	if i, ok := tx.windex.Get(o.ID()); ok {
 		return tx.writes[i].val, nil // read-own-writes
 	}
+	if i, ok := tx.rindex.Get(o.ID()); ok {
+		// Re-read: return the version recorded first. Serving the logged
+		// entry keeps the read set free of duplicate (and potentially
+		// diverging) entries for one object and is exactly the value the
+		// snapshot at ub is committed to.
+		return tx.reads[i].ver.Value, nil
+	}
 	tx.meta.Prio.Add(1)
 
 	for {
@@ -390,6 +439,10 @@ func (tx *Tx) Read(o *core.Object) (any, error) {
 			if v == nil {
 				tx.th.shard.Inc(cntSnapshotMiss)
 				return nil, tx.fail(core.ErrSnapshotUnavailable)
+			}
+			if tx.zoneUnsafe(o, v) {
+				tx.th.shard.Inc(cntConflicts)
+				return nil, tx.fail(core.ErrConflict)
 			}
 			if v != o.Current() {
 				tx.th.shard.Inc(cntOldVersions)
@@ -411,12 +464,17 @@ func (tx *Tx) Read(o *core.Object) (any, error) {
 					tx.th.shard.Inc(cntSnapshotMiss)
 					return nil, tx.fail(core.ErrSnapshotUnavailable)
 				}
+				if tx.zoneUnsafe(o, v) {
+					tx.th.shard.Inc(cntConflicts)
+					return nil, tx.fail(core.ErrConflict)
+				}
 				tx.th.shard.Inc(cntOldVersions)
 			} else {
 				tx.th.shard.Inc(cntConflicts)
 				return nil, tx.fail(core.ErrConflict)
 			}
 		}
+		tx.rindex.Put(o.ID(), len(tx.reads))
 		tx.reads = append(tx.reads, readEntry{obj: o, ver: v})
 		return v.Value, nil
 	}
@@ -426,6 +484,13 @@ func (tx *Tx) Read(o *core.Object) (any, error) {
 // current value, revalidating every read. It returns false without side
 // effects if any read version is no longer current (or extension is
 // disabled).
+//
+// With the commit log armed, the common extension is O(commits since
+// ub): the log window (ub, now] is scanned against the read footprint,
+// and only a wrapped window or a footprint hit falls back to the full
+// read-set walk. The window is complete because on a strictly
+// commit-counting time base every tick at or below the observed now was
+// acquired — and its record claimed — before Now returned it.
 func (tx *Tx) tryExtend() bool {
 	if tx.stm.cfg.NoExtension {
 		return false
@@ -434,12 +499,67 @@ func (tx *Tx) tryExtend() bool {
 	if now <= tx.ub {
 		return false
 	}
+	if tx.logClear(tx.ub, now) {
+		tx.ub = now
+		tx.th.shard.Inc(cntExtensions)
+		tx.th.shard.Inc(cntExtensionsFast)
+		return true
+	}
 	if !tx.validateAt(now) {
 		return false
 	}
 	tx.ub = now
 	tx.th.shard.Inc(cntExtensions)
+	tx.th.shard.Inc(cntExtensionsFull)
 	return true
+}
+
+// logClear reports whether the commit log proves no transaction that
+// committed (or is committing) with a tick in (lb, ub] wrote any object
+// in the transaction's read footprint — in which case every read is
+// still the newest version at ub and the snapshot extends without
+// touching the read set. Any other outcome (hit, wrap, unpublished
+// record) means "validate the slow way", never "conflict": records are
+// published before their writer's own validation, so a hit may stem
+// from a writer that went on to abort.
+func (tx *Tx) logClear(lb, ub uint64) bool {
+	log := tx.stm.log
+	if log == nil {
+		return false
+	}
+	verdict := log.Check(lb, ub, &tx.rindex)
+	if verdict == core.LogWrapped {
+		tx.th.shard.Inc(cntLogWraps)
+	}
+	if verdict != core.LogClear {
+		return false
+	}
+	if tx.stm.cfg.CrossCheck && !tx.validateAt(ub) {
+		panic("lsa: commit-log fast path admitted an extension full validation rejects")
+	}
+	return true
+}
+
+// zoneUnsafe reports whether serving v — an old version of o, valid at
+// the scalar snapshot time — would tear the zone serialization: a
+// version newer than v installed by a long transaction whose zone is at
+// or below this transaction's label (tagged core.LongZoneTag by Z-STM's
+// long commit) must be visible to us, because every long with zone <= z
+// serializes before every short labeled z. The scalar snapshot at ub
+// can legally predate such an install — longs commit "in the past",
+// their versions landing late on the scalar timeline — so old-version
+// reads must refuse to skip them even though LSA's own linearizability
+// at ub holds. Plain LSA transactions carry zone 0 and skip the walk.
+func (tx *Tx) zoneUnsafe(o *core.Object, v *core.Version) bool {
+	if tx.zone == 0 {
+		return false
+	}
+	for w := o.Current(); w != nil && w != v; w = w.Prev() {
+		if w.Zone&core.LongZoneTag != 0 && w.Zone&^core.LongZoneTag <= tx.zone {
+			return true
+		}
+	}
+	return false
 }
 
 // validateAt reports whether every read version is still the newest
@@ -498,7 +618,11 @@ func (tx *Tx) Write(o *core.Object, val any) error {
 				return tx.fail(core.ErrAborted)
 			}
 		}
-		cm.Backoff(round / 4)
+		// The same progression as the stabilize/Resolve spin loops: round
+		// 0 merely yields, every later round sleeps. The earlier round/4
+		// damping made the first four conflict rounds zero-delay spins,
+		// hammering the writer word while the enemy tried to finish.
+		cm.Backoff(round)
 	}
 }
 
@@ -543,12 +667,22 @@ func (tx *Tx) Commit() error {
 		}
 	}
 	ct := tx.stm.cfg.Clock.CommitTime(tx.th.id)
+	// Publish the write set into the commit log immediately after
+	// acquiring the commit time and before validating: the tick is the
+	// claim, so a concurrent extension scanning past ct finds the record
+	// (or spins briefly on it) instead of missing our in-flight installs.
+	// If validation fails below, the record stays behind as a false
+	// positive — extensions that hit it merely fall back to the full
+	// walk.
+	tx.publishLog(ct)
 	// RSTM fast path: on a strictly commit-counting time base,
 	// ct == ub+1 means no transaction committed between the (validated)
 	// snapshot at ub and our commit — versions with TS <= ub were all
 	// installed or lock-protected when read (stabilize), so the read set
-	// is trivially still valid at ct.
-	if tx.stm.fastOK && ct == tx.ub+1 {
+	// is trivially still valid at ct. The commit log generalizes it: any
+	// commits in (ub, ct-1] that avoided the read footprint leave the
+	// read set just as valid at ct (tick ct is ours).
+	if (tx.stm.fastOK && ct == tx.ub+1) || tx.logClear(tx.ub, ct-1) {
 		tx.th.shard.Inc(cntFastValidations)
 	} else if !tx.validateAt(ct) {
 		tx.meta.CASStatus(core.StatusCommitting, core.StatusAborted)
@@ -567,6 +701,22 @@ func (tx *Tx) Commit() error {
 	tx.wake()
 	tx.th.shard.Inc(cntCommits)
 	return nil
+}
+
+// publishLog records the transaction's write set in the commit log
+// under its freshly acquired commit time, reusing the thread's ID
+// buffer so the hot path allocates nothing once warm.
+func (tx *Tx) publishLog(ct uint64) {
+	log := tx.stm.log
+	if log == nil {
+		return
+	}
+	ids := tx.th.idbuf[:0]
+	for i := range tx.writes {
+		ids = append(ids, tx.writes[i].obj.ID())
+	}
+	tx.th.idbuf = ids
+	log.Publish(ct, ids)
 }
 
 // wake publishes a wakeup for every written object once the commit is

@@ -52,6 +52,20 @@ type Config struct {
 	// blocking layer to watch. Nil keeps reads trace-free and the commit
 	// path wake-free.
 	Lot *core.ParkingLot
+	// CommitLog sizes the global commit log (see lsa.Config.CommitLog: 0
+	// default-on, >0 explicit size, <0 off; armed only on strictly
+	// commit-counting time bases). With the log on, SI gains snapshot
+	// advance: a transaction that would fail with ErrSnapshotUnavailable
+	// or lose first-committer-wins first tries to move its snapshot
+	// forward to now, which is sound exactly when no object it has read
+	// changed in (st, now] — the log window proves that in O(commits in
+	// the window). Every read then logs an (object, Seq) pair, as under
+	// a parking lot.
+	CommitLog int
+	// CrossCheck makes every log-clear advance re-verify each read
+	// against the object chains and panic on disagreement (conformance
+	// harness only).
+	CrossCheck bool
 }
 
 // Stats is a snapshot of an instance's cumulative counters.
@@ -61,6 +75,10 @@ type Stats struct {
 	Conflicts    uint64 // first-committer-wins losses and lost arbitrations
 	OldVersions  uint64 // reads served by a non-current version
 	SnapshotMiss uint64 // aborts because no retained version was old enough
+	Advances     uint64 // successful snapshot advances (commit log on)
+	AdvancesFast uint64 // advances proven by the log window alone
+	AdvancesFull uint64 // advances that walked the recorded reads
+	LogWraps     uint64 // fast-path fallbacks because the log window wrapped
 }
 
 // Counter slots within a thread's stats shard.
@@ -70,12 +88,19 @@ const (
 	cntConflicts
 	cntOldVersions
 	cntSnapshotMiss
+	cntAdvances
+	cntAdvancesFast
+	cntAdvancesFull
+	cntLogWraps
 )
 
 // STM is an SI-STM instance. Objects and threads are bound to the
 // instance that created them.
 type STM struct {
 	cfg Config
+	// log is the global commit log, nil when disabled or the time base
+	// is not strictly commit-counting.
+	log *core.CommitLog
 
 	nextThread atomic.Int64
 
@@ -98,8 +123,15 @@ func New(cfg Config) *STM {
 	if cfg.Versions < 1 {
 		cfg.Versions = 8
 	}
-	return &STM{cfg: cfg}
+	s := &STM{cfg: cfg}
+	if _, strict := cfg.Clock.(clock.StrictCommitCounting); strict && cfg.CommitLog >= 0 {
+		s.log = core.NewCommitLog(cfg.CommitLog)
+	}
+	return s
 }
+
+// Log returns the commit log, or nil when disabled (tests).
+func (s *STM) Log() *core.CommitLog { return s.log }
 
 // Config returns the effective configuration.
 func (s *STM) Config() Config { return s.cfg }
@@ -130,6 +162,10 @@ func (s *STM) Stats() Stats {
 		Conflicts:    c[cntConflicts],
 		OldVersions:  c[cntOldVersions],
 		SnapshotMiss: c[cntSnapshotMiss],
+		Advances:     c[cntAdvances],
+		AdvancesFast: c[cntAdvancesFast],
+		AdvancesFull: c[cntAdvancesFull],
+		LogWraps:     c[cntLogWraps],
 	}
 }
 
@@ -142,6 +178,7 @@ type Thread struct {
 	shard *stats.Shard
 	tx    Tx            // reusable descriptor, recycled by Begin once finished
 	rec   core.Recycler // epoch-gated version/descriptor pools
+	idbuf []uint64      // reusable write-set ID buffer for commit-log publication
 }
 
 // ID returns the thread's index in the time base.
@@ -176,6 +213,7 @@ func (th *Thread) Begin(kind core.TxKind, readOnly bool) *Tx {
 	tx.writes = tx.writes[:0]
 	tx.reads = tx.reads[:0]
 	tx.windex.Reset()
+	tx.rindex.Reset()
 	tx.done = false
 	return tx
 }
@@ -186,13 +224,15 @@ type writeEntry struct {
 	val any
 }
 
-// readEntry records one read for the blocking layer (only when the
-// instance has a parking lot): the object and the Seq of the version the
-// snapshot served. SI needs no read set of its own — reads are never
-// validated — so this is the whole entry.
+// readEntry records one read for the blocking layer and for snapshot
+// advance (maintained when the instance has a parking lot or a commit
+// log): the object, the Seq of the version the snapshot served, and its
+// value so re-reads are answered without re-walking the chain. Plain SI
+// without either feature keeps reads trace-free.
 type readEntry struct {
 	obj *core.Object
 	seq uint64
+	val any
 }
 
 // Tx is an SI-STM transaction. A Tx is used by a single goroutine; after
@@ -210,10 +250,12 @@ type Tx struct {
 	ct uint64
 
 	writes []writeEntry
-	// reads is the blocking layer's footprint log, maintained only when
-	// the instance has a parking lot (see Config.Lot).
+	// reads is the read-footprint log, maintained when the instance has
+	// a parking lot (see Config.Lot) or a commit log (snapshot advance
+	// re-validates against it).
 	reads  []readEntry
 	windex core.SmallIndex
+	rindex core.SmallIndex // object ID → index into reads (footprint membership)
 	done   bool
 }
 
@@ -270,7 +312,9 @@ func (tx *Tx) fail(err error) error {
 
 // Read returns the version of o current at the snapshot time. Reads are
 // invisible and never validated; they can only fail when the chain no
-// longer retains a version old enough.
+// longer retains a version old enough — and with the commit log on, the
+// transaction first tries to advance its snapshot to now, which often
+// brings the needed version back into the retained window.
 func (tx *Tx) Read(o *core.Object) (any, error) {
 	if tx.done {
 		return nil, core.ErrTxDone
@@ -281,9 +325,19 @@ func (tx *Tx) Read(o *core.Object) (any, error) {
 	if i, ok := tx.windex.Get(o.ID()); ok {
 		return tx.writes[i].val, nil // read-own-writes
 	}
+	if i, ok := tx.rindex.Get(o.ID()); ok {
+		// Re-read: the snapshot only ever advances past changes to
+		// objects outside the footprint, so the first-read value is
+		// still the one current at st.
+		return tx.reads[i].val, nil
+	}
 	tx.meta.Prio.Add(1)
 	tx.stabilize(o)
 	v := o.FindAt(tx.st)
+	if v == nil && tx.tryAdvance() {
+		tx.stabilize(o)
+		v = o.FindAt(tx.st)
+	}
 	if v == nil {
 		tx.th.shard.Inc(cntSnapshotMiss)
 		return nil, tx.fail(core.ErrSnapshotUnavailable)
@@ -291,10 +345,77 @@ func (tx *Tx) Read(o *core.Object) (any, error) {
 	if v != o.Current() {
 		tx.th.shard.Inc(cntOldVersions)
 	}
-	if tx.stm.cfg.Lot != nil {
-		tx.reads = append(tx.reads, readEntry{obj: o, seq: v.Seq})
+	if tx.tracking() {
+		tx.rindex.Put(o.ID(), len(tx.reads))
+		tx.reads = append(tx.reads, readEntry{obj: o, seq: v.Seq, val: v.Value})
 	}
 	return v.Value, nil
+}
+
+// tracking reports whether reads are footprint-logged: for the blocking
+// layer (parking lot) and/or for snapshot advance (commit log).
+func (tx *Tx) tracking() bool {
+	return tx.stm.cfg.Lot != nil || tx.stm.log != nil
+}
+
+// tryAdvance attempts to move the snapshot time forward to now. The move
+// is sound iff no object the transaction has read changed in (st, now]:
+// every earlier read then still observes the newest version at the new
+// snapshot time, and objects not yet read are simply served at the later
+// time. Write-opened objects cannot have changed — their writer locks
+// have been held since open. The common proof is the commit-log window;
+// a hit or wrap falls back to walking the recorded reads.
+func (tx *Tx) tryAdvance() bool {
+	log := tx.stm.log
+	if log == nil {
+		return false
+	}
+	now := tx.stm.cfg.Clock.Now(tx.th.id)
+	if now <= tx.st {
+		return false
+	}
+	verdict := log.Check(tx.st, now, &tx.rindex)
+	if verdict == core.LogWrapped {
+		tx.th.shard.Inc(cntLogWraps)
+	}
+	if verdict == core.LogClear {
+		if tx.stm.cfg.CrossCheck && !tx.readsNewestAt(now) {
+			panic("sistm: commit-log fast path admitted an advance the read walk rejects")
+		}
+		tx.st = now
+		tx.th.shard.Inc(cntAdvances)
+		tx.th.shard.Inc(cntAdvancesFast)
+		return true
+	}
+	// Slow path: each recorded read must still be the object's newest
+	// version (conservative — a version installed after now also blocks
+	// the advance, costing only a missed opportunity, never soundness).
+	for i := range tx.reads {
+		r := &tx.reads[i]
+		tx.stabilize(r.obj)
+		if r.obj.Current().Seq != r.seq {
+			return false
+		}
+	}
+	tx.st = now
+	tx.th.shard.Inc(cntAdvances)
+	tx.th.shard.Inc(cntAdvancesFull)
+	return true
+}
+
+// readsNewestAt reports whether every recorded read is still the newest
+// version at time t (the cross-check twin of the log window: exact, not
+// conservative). A read whose chain was truncated past recognition is
+// skipped — nothing can be asserted about it.
+func (tx *Tx) readsNewestAt(t uint64) bool {
+	for i := range tx.reads {
+		r := &tx.reads[i]
+		tx.stabilize(r.obj)
+		if v := r.obj.FindAt(t); v != nil && v.Seq != r.seq {
+			return false
+		}
+	}
+	return true
 }
 
 // Watches appends the transaction's read footprint to buf as (object,
@@ -360,17 +481,26 @@ func (tx *Tx) Write(o *core.Object, val any) error {
 				return tx.fail(core.ErrAborted)
 			}
 		}
-		cm.Backoff(round / 4)
+		cm.Backoff(round)
 	}
 }
 
 // checkFirstCommitter runs with write ownership of o held. A current
 // version newer than the snapshot means a concurrent transaction
 // committed an update to o after we took our snapshot: under
-// first-committer-wins we lose. Ownership is held from here to commit,
-// so no later version can appear and commit needs no re-check.
+// first-committer-wins we lose — unless the snapshot can advance past
+// that commit (possible exactly when nothing we read changed), which
+// dissolves the concurrency the rule exists to police. Ownership is held
+// from here to commit, so no later version can appear and commit needs
+// no re-check.
 func (tx *Tx) checkFirstCommitter(o *core.Object, val any) error {
+	if o.Current().TS > tx.st && !tx.tryAdvance() {
+		tx.th.shard.Inc(cntConflicts)
+		return tx.fail(core.ErrConflict)
+	}
 	if o.Current().TS > tx.st {
+		// The advance moved st forward but not past this install (another
+		// commit landed in between): still a first-committer loss.
 		tx.th.shard.Inc(cntConflicts)
 		return tx.fail(core.ErrConflict)
 	}
@@ -403,6 +533,17 @@ func (tx *Tx) Commit() error {
 		return tx.fail(core.ErrAborted)
 	}
 	tx.ct = tx.stm.cfg.Clock.CommitTime(tx.th.id)
+	// Publish the write set before installing, so snapshot advances
+	// scanning past tx.ct find the record instead of missing the
+	// in-flight installs (see lsa.Tx.Commit).
+	if log := tx.stm.log; log != nil {
+		ids := tx.th.idbuf[:0]
+		for i := range tx.writes {
+			ids = append(ids, tx.writes[i].obj.ID())
+		}
+		tx.th.idbuf = ids
+		log.Publish(tx.ct, ids)
+	}
 	for _, w := range tx.writes {
 		w.obj.InstallRecycled(&tx.th.rec, w.val, tx.ct, tx.meta.ID, 0)
 	}

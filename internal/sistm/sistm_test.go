@@ -137,7 +137,11 @@ func TestSnapshotReadsIgnoreLaterCommits(t *testing.T) {
 }
 
 func TestFirstCommitterWins(t *testing.T) {
-	s := newSTM(t)
+	// Without the commit log there is no snapshot advance: the baseline
+	// first-committer-wins conflict must surface. (With the log, t2's
+	// empty read footprint lets its snapshot advance past t1's commit —
+	// see TestAdvanceResolvesFirstCommitter.)
+	s := newSTM(t, func(c *Config) { c.CommitLog = -1 })
 	o := s.NewObject(int64(0))
 	t1 := s.NewThread().Begin(core.Short, false)
 	t2 := s.NewThread().Begin(core.Short, false)
@@ -162,8 +166,8 @@ func TestFirstCommitterWins(t *testing.T) {
 
 func TestFirstCommitterWinsAfterRelock(t *testing.T) {
 	// Even when the earlier committer has already released its lock, the
-	// version timestamp betrays it.
-	s := newSTM(t)
+	// version timestamp betrays it (log off: no advance, see above).
+	s := newSTM(t, func(c *Config) { c.CommitLog = -1 })
 	o := s.NewObject(int64(0))
 
 	t2 := s.NewThread().Begin(core.Short, false)
@@ -297,7 +301,8 @@ func TestAbortReleasesOwnership(t *testing.T) {
 }
 
 func TestSnapshotMissOnTruncatedChain(t *testing.T) {
-	s := newSTM(t, func(c *Config) { c.Versions = 1 })
+	// Log off: no snapshot advance, the truncated chain is fatal.
+	s := newSTM(t, func(c *Config) { c.Versions = 1; c.CommitLog = -1 })
 	o := s.NewObject(int64(0))
 	th := s.NewThread()
 
@@ -546,5 +551,95 @@ func TestWriteWriteConcurrencyOneWinner(t *testing.T) {
 	}
 	if v != int64(goroutines*increments) {
 		t.Fatalf("counter = %v, want %d (lost update)", v, goroutines*increments)
+	}
+}
+
+// TestAdvanceResolvesFirstCommitter: with the commit log on (the
+// default), a transaction with no reads advances its snapshot past a
+// concurrent commit instead of losing first-committer-wins — the
+// concurrency the rule polices has dissolved.
+func TestAdvanceResolvesFirstCommitter(t *testing.T) {
+	s := newSTM(t)
+	if s.Log() == nil {
+		t.Fatal("commit log not armed on the default counter clock")
+	}
+	o := s.NewObject(int64(0))
+	t1 := s.NewThread().Begin(core.Short, false)
+	t2 := s.NewThread().Begin(core.Short, false)
+
+	if err := t1.Write(o, int64(1)); err != nil {
+		t.Fatalf("t1 Write: %v", err)
+	}
+	if err := t1.Commit(); err != nil {
+		t.Fatalf("t1 Commit: %v", err)
+	}
+
+	if err := t2.Write(o, int64(2)); err != nil {
+		t.Fatalf("t2 Write err = %v, want nil (snapshot advanced)", err)
+	}
+	if err := t2.Commit(); err != nil {
+		t.Fatalf("t2 Commit: %v", err)
+	}
+	st := s.Stats()
+	if st.Advances < 1 || st.AdvancesFast < 1 {
+		t.Fatalf("Advances/Fast = %d/%d, want >= 1 each (stats %+v)", st.Advances, st.AdvancesFast, st)
+	}
+}
+
+// TestAdvanceResolvesTruncatedChain: a single-version overwrite no
+// longer kills a fresh reader — its snapshot advances to now and reads
+// the new value.
+func TestAdvanceResolvesTruncatedChain(t *testing.T) {
+	s := newSTM(t, func(c *Config) { c.Versions = 1 })
+	o := s.NewObject(int64(0))
+	rd := s.NewThread().Begin(core.Short, true)
+
+	wr := s.NewThread().Begin(core.Short, false)
+	if err := wr.Write(o, int64(1)); err != nil {
+		t.Fatalf("Write: %v", err)
+	}
+	if err := wr.Commit(); err != nil {
+		t.Fatalf("Commit: %v", err)
+	}
+
+	v, err := rd.Read(o)
+	if err != nil {
+		t.Fatalf("Read err = %v, want nil (snapshot advanced)", err)
+	}
+	if v != int64(1) {
+		t.Fatalf("Read = %v, want 1 (the advanced snapshot's value)", v)
+	}
+	if err := rd.Commit(); err != nil {
+		t.Fatalf("rd Commit: %v", err)
+	}
+	if st := s.Stats(); st.Advances != 1 {
+		t.Fatalf("Advances = %d, want 1 (stats %+v)", st.Advances, st)
+	}
+}
+
+// TestAdvanceBlockedByReadChange: the snapshot must NOT advance past a
+// change to an object the transaction has read — first-committer-wins
+// stands, keeping SI's per-snapshot consistency intact.
+func TestAdvanceBlockedByReadChange(t *testing.T) {
+	s := newSTM(t)
+	o := s.NewObject(int64(0))
+	t2 := s.NewThread().Begin(core.Short, false)
+	if v, err := t2.Read(o); err != nil || v != int64(0) {
+		t.Fatalf("t2 Read = %v, %v", v, err)
+	}
+
+	t1 := s.NewThread().Begin(core.Short, false)
+	if err := t1.Write(o, int64(1)); err != nil {
+		t.Fatalf("t1 Write: %v", err)
+	}
+	if err := t1.Commit(); err != nil {
+		t.Fatalf("t1 Commit: %v", err)
+	}
+
+	if err := t2.Write(o, int64(2)); !errors.Is(err, core.ErrConflict) {
+		t.Fatalf("t2 Write err = %v, want ErrConflict (o is in t2's read footprint)", err)
+	}
+	if st := s.Stats(); st.Advances != 0 {
+		t.Fatalf("Advances = %d, want 0 (stats %+v)", st.Advances, st)
 	}
 }

@@ -1,0 +1,69 @@
+package sstm
+
+import (
+	"errors"
+	"testing"
+
+	"tbtm/internal/core"
+)
+
+// TestCommitLogFastValidationDisjoint: a commit whose window avoided its
+// read footprint skips both successor walks (validation and floor
+// attachment).
+func TestCommitLogFastValidationDisjoint(t *testing.T) {
+	s := New(Config{Threads: 4})
+	if s.Log() == nil {
+		t.Fatal("commit log not armed by default")
+	}
+	a, b := s.NewObject(int64(0)), s.NewObject(int64(0))
+
+	tx := s.NewThread().Begin(core.Short, false)
+	if _, err := tx.Read(a); err != nil {
+		t.Fatalf("Read: %v", err)
+	}
+
+	other := s.NewThread().Begin(core.Short, false)
+	if err := other.Write(b, int64(9)); err != nil {
+		t.Fatalf("other Write: %v", err)
+	}
+	if err := other.Commit(); err != nil {
+		t.Fatalf("other Commit: %v", err)
+	}
+
+	if err := tx.Commit(); err != nil {
+		t.Fatalf("Commit: %v", err)
+	}
+	st := s.Stats()
+	if st.FastValidations < 1 {
+		t.Fatalf("FastValidations = %d, want >= 1 (stats %+v)", st.FastValidations, st)
+	}
+}
+
+// TestCommitLogRWConflictStillDetected: overwriting a read version must
+// still fail serializability validation when the orders cycle — the
+// window hits the footprint and the successor walk runs.
+func TestCommitLogRWConflictStillDetected(t *testing.T) {
+	s := New(Config{Threads: 4})
+	o := s.NewObject(int64(0))
+
+	tx := s.NewThread().Begin(core.Short, false)
+	if _, err := tx.Read(o); err != nil {
+		t.Fatalf("Read: %v", err)
+	}
+
+	other := s.NewThread().Begin(core.Short, false)
+	if err := other.Write(o, int64(1)); err != nil {
+		t.Fatalf("other Write: %v", err)
+	}
+	if err := other.Commit(); err != nil {
+		t.Fatalf("other Commit: %v", err)
+	}
+
+	// The upgrade folds the successor's timestamp into T.ct: a cycle.
+	if err := tx.Write(o, int64(2)); err != nil {
+		t.Fatalf("Write: %v", err)
+	}
+	if err := tx.Commit(); !errors.Is(err, core.ErrConflict) {
+		t.Fatalf("Commit err = %v, want ErrConflict", err)
+	}
+}

@@ -100,13 +100,27 @@ type Config struct {
 	// commit installs a version into, unblocking transactions parked in
 	// the facade's Retry. Nil keeps the commit path wake-free.
 	Lot *core.ParkingLot
+	// CommitLog sizes the global commit log (0 default-on, >0 explicit
+	// size, <0 off), run in claim mode as in CS-STM: every update commit
+	// claims a log tick and publishes its write set under the commit
+	// stripes before validating. A committing transaction whose window
+	// (begin, now] avoided its read footprint has successor-free reads —
+	// the nested successor-walk validation and the floor-attachment walk
+	// are both vacuous and skipped.
+	CommitLog int
+	// CrossCheck makes every log-clear skip re-verify that no read
+	// version has a successor, panicking on disagreement (conformance
+	// harness only).
+	CrossCheck bool
 }
 
 // Stats is a snapshot of an instance's cumulative counters.
 type Stats struct {
-	Commits   uint64
-	Aborts    uint64
-	Conflicts uint64 // serializability validation failures
+	Commits         uint64
+	Aborts          uint64
+	Conflicts       uint64 // serializability validation failures
+	FastValidations uint64 // commits that skipped the successor walks (commit log)
+	LogWraps        uint64 // fast-path fallbacks because the log window wrapped
 }
 
 // Counter slots within a thread's stats shard.
@@ -114,6 +128,8 @@ const (
 	cntCommits = iota
 	cntAborts
 	cntConflicts
+	cntFastValidations
+	cntLogWraps
 )
 
 // commitStripe is one commit lock, padded so neighbouring stripes do not
@@ -134,6 +150,9 @@ type STM struct {
 	// install). stripeMask is len(stripes)-1 (a power of two).
 	stripes    []commitStripe
 	stripeMask uint64
+
+	// log is the claim-mode commit log, nil when disabled.
+	log *core.CommitLog
 
 	nextThread atomic.Int64
 
@@ -167,13 +186,20 @@ func New(cfg Config) *STM {
 	if cfg.Comb {
 		mk = vclock.NewComb
 	}
-	return &STM{
+	s := &STM{
 		cfg:        cfg,
 		clock:      mk(cfg.Threads, cfg.Entries, cfg.Mapping),
 		stripes:    make([]commitStripe, n),
 		stripeMask: uint64(n - 1),
 	}
+	if cfg.CommitLog >= 0 {
+		s.log = core.NewCommitLog(cfg.CommitLog)
+	}
+	return s
 }
+
+// Log returns the commit log, or nil when disabled (tests).
+func (s *STM) Log() *core.CommitLog { return s.log }
 
 // lockFootprint locks every stripe in mask in ascending index order (the
 // fixed order makes footprint acquisition deadlock-free).
@@ -206,7 +232,10 @@ func (s *STM) Clock() *vclock.Clock { return s.clock }
 // the per-thread shards.
 func (s *STM) Stats() Stats {
 	c := s.shards.Snapshot()
-	return Stats{Commits: c[cntCommits], Aborts: c[cntAborts], Conflicts: c[cntConflicts]}
+	return Stats{
+		Commits: c[cntCommits], Aborts: c[cntAborts], Conflicts: c[cntConflicts],
+		FastValidations: c[cntFastValidations], LogWraps: c[cntLogWraps],
+	}
 }
 
 // Record is the persistent footprint of a transaction: its commit
@@ -362,6 +391,7 @@ type Thread struct {
 	shard *stats.Shard
 	tx    Tx        // reusable descriptor, recycled by Begin once finished
 	ctbuf vclock.TS // spare timestamp buffer recovered from aborted transactions
+	idbuf []uint64  // reusable write-set ID buffer for commit-log publication
 }
 
 // NewThread returns a handle for one worker goroutine.
@@ -407,6 +437,10 @@ func (th *Thread) Begin(kind core.TxKind, readOnly bool) *Tx {
 	tx.reads = tx.reads[:0]
 	tx.writes = tx.writes[:0]
 	tx.windex.Reset()
+	tx.rindex.Reset()
+	if log := th.stm.log; log != nil {
+		tx.lb = log.Claimed() // see cstm.Thread.Begin
+	}
 	tx.done = false
 	return tx
 }
@@ -448,7 +482,14 @@ type Tx struct {
 	reads  []readEntry
 	writes []writeEntry
 	windex core.SmallIndex
-	done   bool
+	// rindex deduplicates reads per object (one reader-list registration
+	// and one read entry per object) and doubles as the commit log's
+	// read-footprint membership test.
+	rindex core.SmallIndex
+	// lb is the commit-log tick observed at Begin; the commit-time fast
+	// path scans (lb, now].
+	lb   uint64
+	done bool
 }
 
 // Meta exposes the shared descriptor.
@@ -523,11 +564,18 @@ func (tx *Tx) Read(o *Object) (any, error) {
 	if i, ok := tx.windex.Get(o.ID()); ok {
 		return tx.writes[i].val, nil
 	}
+	if i, ok := tx.rindex.Get(o.ID()); ok {
+		// Re-read: return the version registered first. One read entry
+		// per object keeps the reader list and the commit-time walks
+		// duplicate-free.
+		return tx.reads[i].ver.Value, nil
+	}
 	tx.meta.Prio.Add(1)
 	tx.stabilize(o)
 	v := o.cur.Load()
 	tx.absorb(v)
 	v.addReader(tx.rec) // visible read (§4.2)
+	tx.rindex.Put(o.ID(), len(tx.reads))
 	tx.reads = append(tx.reads, readEntry{obj: o, ver: v})
 	return v.Value, nil
 }
@@ -583,7 +631,7 @@ func (tx *Tx) Write(o *Object, val any) error {
 				return tx.fail(core.ErrAborted)
 			}
 		}
-		cm.Backoff(round / 4)
+		cm.Backoff(round)
 	}
 }
 
@@ -650,6 +698,21 @@ func (tx *Tx) Commit() error {
 	s := tx.stm
 	mask := tx.footprint()
 	s.lockFootprint(mask)
+	// Commit-log fast path: with the stripes held, any successor of a
+	// read version was installed by a stripe-serialized predecessor that
+	// claimed its log tick after our read and published before
+	// unlocking — so a window (lb, now] that avoided the read footprint
+	// proves every read version successor-free, making the step 2
+	// validation and step 4 attachment walks vacuous.
+	fastOK := false
+	if log := s.log; log != nil {
+		switch log.Check(tx.lb, log.Claimed(), &tx.rindex) {
+		case core.LogClear:
+			fastOK = true
+		case core.LogWrapped:
+			tx.th.shard.Inc(cntLogWraps)
+		}
+	}
 	// Step 1: re-absorb floors and committed readers of overwritten
 	// versions.
 	for _, r := range tx.reads {
@@ -664,18 +727,30 @@ func (tx *Tx) Commit() error {
 		w.base.absorbReaders(tx.rec, tx.ct)
 	}
 	// Step 2: validate.
-	for _, r := range tx.reads {
-		for succ := r.ver.next.Load(); succ != nil; succ = succ.next.Load() {
-			if succ.CT.LessEq(tx.ct) {
-				tx.meta.CASStatus(core.StatusCommitting, core.StatusAborted)
-				s.unlockFootprint(mask)
-				tx.releaseLocks()
-				tx.done = true
-				tx.th.ctbuf = tx.ct
-				tx.ct = nil
-				tx.th.shard.Inc(cntAborts)
-				tx.th.shard.Inc(cntConflicts)
-				return core.ErrConflict
+	if fastOK {
+		if s.cfg.CrossCheck {
+			for _, r := range tx.reads {
+				if r.ver.next.Load() != nil {
+					panic("sstm: commit-log fast path admitted a read with a successor")
+				}
+			}
+		}
+		tx.th.shard.Inc(cntFastValidations)
+	}
+	if !fastOK {
+		for _, r := range tx.reads {
+			for succ := r.ver.next.Load(); succ != nil; succ = succ.next.Load() {
+				if succ.CT.LessEq(tx.ct) {
+					tx.meta.CASStatus(core.StatusCommitting, core.StatusAborted)
+					s.unlockFootprint(mask)
+					tx.releaseLocks()
+					tx.done = true
+					tx.th.ctbuf = tx.ct
+					tx.ct = nil
+					tx.th.shard.Inc(cntAborts)
+					tx.th.shard.Inc(cntConflicts)
+					return core.ErrConflict
+				}
 			}
 		}
 	}
@@ -683,6 +758,18 @@ func (tx *Tx) Commit() error {
 	// under the stripes.
 	if len(tx.writes) > 0 {
 		s.clock.Stamp(tx.th.id, tx.ct)
+		if log := s.log; log != nil {
+			// Claim our log tick and publish the write set under the
+			// stripes, before installing: a later committer sharing any of
+			// our stripes reads the claim counter after we unlock and so
+			// finds this record in its window.
+			ids := tx.th.idbuf[:0]
+			for i := range tx.writes {
+				ids = append(ids, tx.writes[i].obj.id)
+			}
+			tx.th.idbuf = ids
+			log.Append(ids)
+		}
 	}
 	tx.rec.TS = tx.ct // the ct buffer escapes into the record here
 	if len(tx.writes) > 0 {
@@ -693,11 +780,14 @@ func (tx *Tx) Commit() error {
 	}
 	// Step 4: attach our order to every successor writer, along the whole
 	// successor chain (each overwrote a version we read, so we precede
-	// each of them).
-	for _, r := range tx.reads {
-		for succ := r.ver.next.Load(); succ != nil; succ = succ.next.Load() {
-			if succ.Writer != nil {
-				succ.Writer.raiseFloor(tx.ct)
+	// each of them). Skipped on the fast path: the reads are
+	// successor-free.
+	if !fastOK {
+		for _, r := range tx.reads {
+			for succ := r.ver.next.Load(); succ != nil; succ = succ.next.Load() {
+				if succ.Writer != nil {
+					succ.Writer.raiseFloor(tx.ct)
+				}
 			}
 		}
 	}

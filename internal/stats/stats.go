@@ -20,13 +20,16 @@ import (
 	"sync/atomic"
 )
 
-// NumSlots is the number of counters per shard. Eight 8-byte slots fill
-// exactly one 64-byte cache line; every backend's counter block fits.
-const NumSlots = 8
+// NumSlots is the number of counters per shard. Sixteen 8-byte slots
+// fill exactly two 64-byte cache lines; every backend's counter block
+// fits (LSA carries ten counters since the commit-log extension split).
+// Both lines are written only by the owning thread, so the growth costs
+// contention nothing.
+const NumSlots = 16
 
-// Shard is one thread's private counter block. The slot array fills one
-// cache line and the trailing pad keeps the next heap object off it, so
-// increments by the owning thread never contend with other shards.
+// Shard is one thread's private counter block. The slot array fills two
+// cache lines and the trailing pad keeps the next heap object off them,
+// so increments by the owning thread never contend with other shards.
 type Shard struct {
 	slots [NumSlots]atomic.Uint64
 	_     [64]byte

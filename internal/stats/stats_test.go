@@ -7,11 +7,11 @@ import (
 )
 
 func TestShardFillsCacheLine(t *testing.T) {
-	if got := unsafe.Sizeof(Shard{}.slots); got != 64 {
-		t.Fatalf("slot block is %d bytes, want 64 (one cache line)", got)
+	if got := unsafe.Sizeof(Shard{}.slots); got != 128 {
+		t.Fatalf("slot block is %d bytes, want 128 (two whole cache lines)", got)
 	}
-	if got := unsafe.Sizeof(Shard{}); got < 128 {
-		t.Fatalf("Shard is %d bytes, want >= 128 (padded)", got)
+	if got := unsafe.Sizeof(Shard{}); got < 192 {
+		t.Fatalf("Shard is %d bytes, want >= 192 (padded)", got)
 	}
 }
 

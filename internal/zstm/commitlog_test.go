@@ -1,0 +1,93 @@
+package zstm
+
+import (
+	"errors"
+	"testing"
+
+	"tbtm/internal/core"
+)
+
+// TestLongCommitPublishesToLog pins the seam between long commits and
+// short-transaction snapshot extension: a long transaction ticks the
+// same time base as the short-side LSA, so its write set must land in
+// the same commit log. If it did not, every tick a long acquired would
+// sit unpublished in the ring and shorts could never fast-extend across
+// it (an unpublished slot degrades to the full walk — safe, but the
+// whole point of the log is lost).
+func TestLongCommitPublishesToLog(t *testing.T) {
+	s := New(Config{})
+	if s.LSA().Log() == nil {
+		t.Fatal("commit log not armed on the default counter clock")
+	}
+	o1 := s.NewObject(int64(0))
+	o2 := s.NewObject(int64(0))
+	o3 := s.NewObject(int64(0))
+
+	short := s.NewThread().BeginShort(false)
+	if v, err := short.Read(o1); err != nil || v != int64(0) {
+		t.Fatalf("short Read o1 = %v, %v", v, err)
+	}
+
+	// A long transaction commits a disjoint write: its record must be
+	// readable in the log window.
+	long := s.NewThread().BeginLong(false)
+	if err := long.Write(o3, int64(3)); err != nil {
+		t.Fatalf("long Write o3: %v", err)
+	}
+	if err := long.Commit(); err != nil {
+		t.Fatalf("long Commit: %v", err)
+	}
+
+	// A short writer moves o2 past the reader's snapshot, forcing an
+	// extension whose window spans the long's tick.
+	wr := s.NewThread().BeginShort(false)
+	if err := wr.Write(o2, int64(2)); err != nil {
+		t.Fatalf("wr Write o2: %v", err)
+	}
+	if err := wr.Commit(); err != nil {
+		t.Fatalf("wr Commit: %v", err)
+	}
+
+	if v, err := short.Read(o2); err != nil || v != int64(2) {
+		t.Fatalf("short Read o2 = %v, %v", v, err)
+	}
+	if err := short.Commit(); err != nil {
+		t.Fatalf("short Commit: %v", err)
+	}
+	st := s.Stats()
+	if st.Short.ExtensionsFast != 1 {
+		t.Fatalf("ExtensionsFast = %d, want 1 — a fallback here means the long's tick sat unpublished in the log (stats %+v)",
+			st.Short.ExtensionsFast, st)
+	}
+}
+
+// TestShortExtensionRejectedAcrossLongWrite: when the long's write set
+// does hit the short's read footprint, the extension falls back to the
+// full walk and the stale snapshot is rejected.
+func TestShortExtensionRejectedAcrossLongWrite(t *testing.T) {
+	s := New(Config{})
+	o1, o2 := s.NewObject(int64(0)), s.NewObject(int64(0))
+
+	short := s.NewThread().BeginShort(false)
+	if v, err := short.Read(o1); err != nil || v != int64(0) {
+		t.Fatalf("short Read o1 = %v, %v", v, err)
+	}
+
+	long := s.NewThread().BeginLong(false)
+	if err := long.Write(o1, int64(1)); err != nil {
+		t.Fatalf("long Write o1: %v", err)
+	}
+	if err := long.Write(o2, int64(2)); err != nil {
+		t.Fatalf("long Write o2: %v", err)
+	}
+	if err := long.Commit(); err != nil {
+		t.Fatalf("long Commit: %v", err)
+	}
+
+	if _, err := short.Read(o2); !errors.Is(err, core.ErrConflict) {
+		t.Fatalf("short Read o2 err = %v, want ErrConflict", err)
+	}
+	if st := s.Stats(); st.Short.ExtensionsFast != 0 {
+		t.Fatalf("ExtensionsFast = %d, want 0 (stats %+v)", st.Short.ExtensionsFast, st)
+	}
+}

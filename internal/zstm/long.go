@@ -80,6 +80,21 @@ func (tx *LongTx) fail(err error) error {
 // (abort if a higher zone already passed us), arbitrate with any active
 // writer, and for writes acquire ownership. reopened reports that this
 // transaction had already opened o (o.zc equals our unique zone number).
+//
+// Ordering is load-bearing for write opens: ownership is acquired
+// BEFORE the zone stamp is raised. The stamp tells same-zone shorts "o
+// belongs to my zone, read freely", while the guard that keeps a short
+// from reading around an active long writer (lsa GuardLongWriters) is
+// the writer word — stamping first opened a window (stamp published,
+// lock not yet held) in which a same-zone short slipped past both
+// checks, read the value this transaction was about to overwrite, and
+// committed a validation the long never re-checks: a serializability
+// cycle (regression: the hot conformance workloads and
+// TestCrossingWaitsForLongInstalls). Read opens keep stamp-first — a
+// read-opened object is never overwritten by this transaction, so a
+// short reading it behind the stamp is safe. A write open of an object
+// this transaction previously read-opened (the stamp is already out)
+// retains a residual window; see Write.
 func (tx *LongTx) open(o *core.Object, write bool) (reopened bool, err error) {
 	if tx.done {
 		return false, core.ErrTxDone
@@ -90,9 +105,17 @@ func (tx *LongTx) open(o *core.Object, write bool) (reopened bool, err error) {
 	tx.meta.Prio.Add(1)
 	if o.ZC() == tx.zc {
 		reopened = true
-	} else if !o.RaiseZC(tx.zc) {
+	} else if !write && !o.RaiseZC(tx.zc) {
 		// A long transaction with a higher zone number beat us to this
 		// object (Algorithm 2 lines 19-20).
+		tx.th.shard.Inc(cntLongPassed)
+		return false, tx.fail(core.ErrConflict)
+	} else if write && o.ZC() > tx.zc {
+		// Same rule for write opens, checked non-mutatingly before the
+		// lock loop: the stamp is a CAS-max, so a higher stamp means we
+		// can never own this object — abort now instead of arbitrating
+		// with (and possibly killing) the object's innocent writer only
+		// for stampOwned to discover the pass after winning the lock.
 		tx.th.shard.Inc(cntLongPassed)
 		return false, tx.fail(core.ErrConflict)
 	}
@@ -107,7 +130,7 @@ func (tx *LongTx) open(o *core.Object, write bool) (reopened bool, err error) {
 				return reopened, nil
 			}
 			if o.CASWriter(nil, tx.meta) {
-				return reopened, nil
+				return reopened, tx.stampOwned(o)
 			}
 		case w == tx.meta:
 			return reopened, nil
@@ -118,7 +141,7 @@ func (tx *LongTx) open(o *core.Object, write bool) (reopened bool, err error) {
 				return reopened, nil
 			}
 			if o.CASWriter(w, tx.meta) {
-				return reopened, nil
+				return reopened, tx.stampOwned(o)
 			}
 		default:
 			// Active or committing writer: arbitrate (Algorithm 2 lines
@@ -128,8 +151,22 @@ func (tx *LongTx) open(o *core.Object, write bool) (reopened bool, err error) {
 				return reopened, tx.fail(core.ErrAborted)
 			}
 		}
-		cm.Backoff(round / 4)
+		cm.Backoff(round)
 	}
+}
+
+// stampOwned raises o's zone stamp with write ownership already held
+// (the write-open order above). On failure — a higher zone passed us
+// between the lock and the stamp — the ownership just acquired is
+// released before aborting, so the passing transaction is not blocked
+// by a dead lock holder longer than a stabilize round.
+func (tx *LongTx) stampOwned(o *core.Object) error {
+	if o.ZC() == tx.zc || o.RaiseZC(tx.zc) {
+		return nil
+	}
+	o.ReleaseWriter(tx.meta)
+	tx.th.shard.Inc(cntLongPassed)
+	return tx.fail(core.ErrConflict)
 }
 
 // Read opens o in read mode and returns its current committed value. The
@@ -202,6 +239,16 @@ func (tx *LongTx) WatchesStale(ws []core.Watch) bool {
 // Write opens o in write mode and buffers the update (the "private copy"
 // of Algorithm 2 line 14; values are immutable so buffering the new value
 // is equivalent to duplicating the object).
+//
+// Caveat (inherited from the paper's §5.1 exactly-once-open model): a
+// write of an object this transaction previously READ-opened upgrades
+// an already-published zone stamp, so a same-zone short may have read
+// the object between the read-open and this write's lock acquisition —
+// a window the stamp-after-lock ordering of first-time write opens
+// cannot close. Long transactions should write-open read-modify-write
+// objects directly (Write then Read is served from the private copy);
+// the conformance workloads and the paper's algorithms open each
+// object exactly once.
 func (tx *LongTx) Write(o *core.Object, val any) error {
 	if tx.done {
 		return core.ErrTxDone
@@ -256,9 +303,26 @@ func (tx *LongTx) Commit() error {
 	}
 	if len(tx.writes) > 0 {
 		ct := s.inner.Clock().CommitTime(tx.th.inner.ID())
+		// Long transactions tick the same time base as the short-side LSA,
+		// so their write sets must reach the same commit log: a short
+		// transaction fast-extending across ct would otherwise never see
+		// these installs. Published before installing, like lsa.Tx.Commit.
+		if log := s.inner.Log(); log != nil {
+			ids := tx.th.idbuf[:0]
+			for i := range tx.writes {
+				ids = append(ids, tx.writes[i].obj.ID())
+			}
+			tx.th.idbuf = ids
+			log.Publish(ct, ids)
+		}
 		rec := tx.th.inner.Recycler()
 		for _, w := range tx.writes {
-			w.obj.InstallRecycled(rec, w.val, ct, tx.meta.ID, tx.zc)
+			// The LongZoneTag marks these versions as long-installed: a
+			// short labeled with this zone (or a later one) must never
+			// read around them via the old-version fallback, while the
+			// same-zone-skip in LongTx.Read (which matches the plain zone
+			// number) keeps ignoring only short installs.
+			w.obj.InstallRecycled(rec, w.val, ct, tx.meta.ID, tx.zc|core.LongZoneTag)
 		}
 	}
 	tx.meta.CASStatus(core.StatusCommitting, core.StatusCommitted)

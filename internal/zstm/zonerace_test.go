@@ -1,0 +1,143 @@
+package zstm
+
+import (
+	"errors"
+	"testing"
+
+	"tbtm/internal/core"
+)
+
+// TestCrossingWaitsForLongInstalls pins the zoneActive semantics the
+// crossing path relies on: a zone stays active while its owner is
+// Committing — including after the commit counter has been raised to
+// its zone but before its buffered writes are installed. The old
+// `z <= CT → inactive` early-out let a short cross into the zone in
+// that window, draw a commit time below the long's install timestamps,
+// and validate a read the long was about to overwrite.
+func TestCrossingWaitsForLongInstalls(t *testing.T) {
+	s := New(Config{})
+	long := s.NewThread().BeginLong(false)
+	z := long.ZC()
+
+	if !s.zoneActive(z) {
+		t.Fatal("freshly begun long's zone not active")
+	}
+	// Simulate the long mid-commit: status Committing, CT already raised
+	// to its zone (the real Commit does exactly this before installing).
+	if !long.Meta().CASStatus(core.StatusActive, core.StatusCommitting) {
+		t.Fatal("CAS to committing failed")
+	}
+	s.ct.Store(z)
+	if !s.zoneActive(z) {
+		t.Fatal("zone inactive while its owner is still committing (CT raised, installs pending)")
+	}
+	if !long.Meta().CASStatus(core.StatusCommitting, core.StatusCommitted) {
+		t.Fatal("CAS to committed failed")
+	}
+	if s.zoneActive(z) {
+		t.Fatal("zone still active after its owner committed")
+	}
+	s.unregisterZone(z)
+	if s.zoneActive(z) {
+		t.Fatal("unregistered zone active")
+	}
+}
+
+// TestRevalidateSeesMaskedActiveZone: the per-object zone stamp is a
+// CAS-max, so a later (even aborted) long masks the stamp of an
+// earlier, still-active long that read the object. A short committing a
+// write to such an object must still detect the masked active zone and
+// abort — otherwise the active long's validation-free read is torn.
+func TestRevalidateSeesMaskedActiveZone(t *testing.T) {
+	s := New(Config{})
+	o := s.NewObject(int64(0))
+
+	// L1 (low zone) reads o and stays active.
+	l1 := s.NewThread().BeginLong(false)
+	if v, err := l1.Read(o); err != nil || v != int64(0) {
+		t.Fatalf("l1 Read = %v, %v", v, err)
+	}
+	// L2 (higher zone) stamps o past L1's stamp, then aborts.
+	l2 := s.NewThread().BeginLong(false)
+	if v, err := l2.Read(o); err != nil || v != int64(0) {
+		t.Fatalf("l2 Read = %v, %v", v, err)
+	}
+	l2.Abort()
+	if got := o.ZC(); got != l2.ZC() {
+		t.Fatalf("o.ZC() = %d, want the aborted long's stamp %d (CAS-max)", got, l2.ZC())
+	}
+
+	// A short writing o sees only the dead stamp; the masked active L1
+	// must still force a conflict at commit.
+	sh := s.NewThread().BeginShort(false)
+	if err := sh.Write(o, int64(7)); err != nil {
+		t.Fatalf("short Write: %v", err)
+	}
+	if err := sh.Commit(); !errors.Is(err, core.ErrConflict) {
+		t.Fatalf("short Commit err = %v, want ErrConflict (active zone %d masked by dead stamp %d)",
+			err, l1.ZC(), l2.ZC())
+	}
+
+	// L1's snapshot is intact (its read of o was never overwritten) and
+	// it commits. (A re-read of o would abort l1 by the Thomas rule —
+	// the higher stamp passed it — which is the paper's intended
+	// behaviour, orthogonal to this regression.)
+	if err := l1.Commit(); err != nil {
+		t.Fatalf("l1 Commit: %v", err)
+	}
+}
+
+// TestReadOnlyFallbackRespectsZoneOrder: a read-only short labeled with
+// zone z serializes after every long with zone <= z, so its
+// multi-version fallback must not serve a version older than such a
+// long's install — even though the scalar snapshot at ub is perfectly
+// LSA-consistent (the long's versions land late on the scalar
+// timeline).
+func TestReadOnlyFallbackRespectsZoneOrder(t *testing.T) {
+	s := New(Config{})
+	a := s.NewObject(int64(10))
+	c := s.NewObject(int64(20))
+	d := s.NewObject(int64(30))
+
+	long := s.NewThread().BeginLong(false)
+	if _, err := long.Read(d); err != nil {
+		t.Fatalf("long Read d: %v", err)
+	}
+	if _, err := long.Read(c); err != nil {
+		t.Fatalf("long Read c: %v", err)
+	}
+	if err := long.Write(a, int64(11)); err != nil {
+		t.Fatalf("long Write a: %v", err)
+	}
+
+	// The read-only short joins the long's zone via its first open.
+	ro := s.NewThread().BeginShort(true)
+	if v, err := ro.Read(d); err != nil || v != int64(30) {
+		t.Fatalf("ro Read d = %v, %v", v, err)
+	}
+	if v, err := ro.Read(c); err != nil || v != int64(20) {
+		t.Fatalf("ro Read c = %v, %v", v, err)
+	}
+
+	// A same-zone writer moves c past the reader's snapshot so the
+	// upcoming extension fails and the old-version fallback kicks in.
+	wr := s.NewThread().BeginShort(false)
+	if err := wr.Write(c, int64(21)); err != nil {
+		t.Fatalf("wr Write c: %v", err)
+	}
+	if err := wr.Commit(); err != nil {
+		t.Fatalf("wr Commit: %v", err)
+	}
+
+	if err := long.Commit(); err != nil {
+		t.Fatalf("long Commit: %v", err)
+	}
+
+	// Reading a now forces an extension (a changed at the long's commit
+	// time), which fails on c; the fallback would serve the pre-long
+	// version of a — ordering this zone-labeled reader before the long
+	// it is labeled after. It must conflict instead.
+	if _, err := ro.Read(a); !errors.Is(err, core.ErrConflict) {
+		t.Fatalf("ro Read a err = %v, want ErrConflict (fallback past a long install)", err)
+	}
+}

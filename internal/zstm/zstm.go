@@ -54,6 +54,12 @@ type Config struct {
 	// the inner LSA, long transactions from their own commit path. Nil
 	// keeps both commit paths wake-free.
 	Lot *core.ParkingLot
+	// CommitLog sizes the commit log of the inner LSA (see
+	// lsa.Config.CommitLog): 0 default-on, >0 explicit size, <0 off.
+	// Long transactions publish their write sets into the same log.
+	CommitLog int
+	// CrossCheck forwards lsa.Config.CrossCheck to the inner LSA.
+	CrossCheck bool
 }
 
 // Stats is a snapshot of a Z-STM instance's cumulative counters. Short
@@ -114,6 +120,8 @@ func New(cfg Config) *STM {
 		GuardLongWriters:   true,
 		ValidationFastPath: cfg.ValidationFastPath,
 		Lot:                cfg.Lot,
+		CommitLog:          cfg.CommitLog,
+		CrossCheck:         cfg.CrossCheck,
 	})
 	return &STM{cfg: cfg, inner: inner, zones: make(map[uint64]*core.TxMeta)}
 }
@@ -166,11 +174,22 @@ func (s *STM) unregisterZone(z uint64) {
 
 // zoneActive reports whether zone z might still be defined by a running
 // long transaction. Zone 0 is the primordial zone and never active. A
-// zone at or below CT has committed; a zone above CT whose owner is gone
-// or terminal has aborted (owners unregister only after CT is updated on
-// commit, so a missing entry above CT means an abort).
+// zone is active while its registered owner is Active or Committing —
+// deliberately including the window after the owner won the commit-order
+// race (CT raised to z) but before its buffered writes are installed.
+// Treating the zone as settled in that window was a serializability
+// hole: a short transaction holding a stale invisible read of an object
+// the long was about to overwrite could cross into the zone the moment
+// CT moved, draw a commit time below the long's install timestamps, and
+// validate successfully — ordering itself before the long on the object
+// it read and after the long on the objects it wrote, a cycle the
+// validation-free long can never detect (regression:
+// TestCrossingWaitsForLongInstalls and the hot conformance workloads).
+// A zone with no registered owner has finished: at or below CT it
+// committed, above CT it aborted (owners unregister only after CT is
+// updated on commit, so a missing entry above CT means an abort).
 func (s *STM) zoneActive(z uint64) bool {
-	if z == 0 || z <= s.ct.Load() {
+	if z == 0 {
 		return false
 	}
 	s.mu.Lock()
@@ -183,6 +202,33 @@ func (s *STM) zoneActive(z uint64) bool {
 	return st == core.StatusActive || st == core.StatusCommitting
 }
 
+// activeZoneAtOrBelow reports whether any long transaction with a zone
+// number at or below limit — other than except, the caller's own zone —
+// is still Active or Committing. Any such long may have opened (and
+// stamped) the object whose current stamp is limit before a higher zone
+// re-stamped it; only the registry remembers it. The registry holds one
+// entry per in-flight long, so the scan is short.
+func (s *STM) activeZoneAtOrBelow(limit, except uint64) bool {
+	if limit == 0 {
+		// Zone numbers start at 1: an unstamped object (the common case
+		// in workloads without long transactions) can never hide a
+		// masked zone, and skipping the registry mutex here keeps short
+		// update commits lock-free on that path.
+		return false
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for z, m := range s.zones {
+		if z == except || z > limit {
+			continue
+		}
+		if st := m.Status(); st == core.StatusActive || st == core.StatusCommitting {
+			return true
+		}
+	}
+	return false
+}
+
 // Thread is a per-goroutine handle. It carries LZC_p, the zone of the
 // thread's most recently committed transaction (Algorithms 2 and 3),
 // plus a stats shard and reusable short/long transaction descriptors so
@@ -192,8 +238,9 @@ type Thread struct {
 	inner *lsa.Thread
 	lzc   uint64
 	shard *stats.Shard
-	stx   ShortTx // reusable short descriptor, recycled by BeginShort
-	ltx   LongTx  // reusable long descriptor, recycled by BeginLong
+	stx   ShortTx  // reusable short descriptor, recycled by BeginShort
+	ltx   LongTx   // reusable long descriptor, recycled by BeginLong
+	idbuf []uint64 // reusable write-set ID buffer for long commit-log publication
 }
 
 // ID returns the thread's index in the time base.

@@ -113,6 +113,9 @@ type config struct {
 	classifyOpens float64
 
 	blockingRetry bool
+
+	// commitLog: 0 default-on, >0 explicit ring size, <0 disabled.
+	commitLog int
 }
 
 func defaultConfig() config {
@@ -383,6 +386,36 @@ func WithAutoClassify(longOpens float64) Option {
 	return func(cfg *config) {
 		cfg.autoClassify = true
 		cfg.classifyOpens = longOpens
+	}
+}
+
+// WithCommitLog sizes the global commit log, the structure behind O(1)
+// amortized snapshot extension: every update commit publishes (commit
+// tick, written object IDs) into a fixed lock-free ring, and snapshot
+// extension (Linearizable, SingleVersion, ZLinearizable shorts),
+// snapshot advance (SnapshotIsolation) and commit-time validation
+// (CausallySerializable, Serializable, plus the scalar backends'
+// commits) check only the log window since the transaction's snapshot
+// against its read footprint — O(commits in the window) instead of
+// O(read-set size) — falling back to the full read-set walk when the
+// window wrapped or hit the footprint.
+//
+// The log is ON by default with a ring of core.DefaultCommitLogSlots
+// records. size > 0 sets the ring size (rounded up to a power of two);
+// size <= 0 turns the log off, restoring the pre-log full-validation
+// paths (the ablation baseline). On scalar time bases the log needs a
+// dense commit-counting tick sequence, so it arms only on the default
+// shared counter; under WithStripedClock, WithSharedCommitTimes,
+// WithSimRealTimeClock or WithTimeBase it is ignored with no loss of
+// correctness, like WithValidationFastPath. See Stats.ExtensionsFast,
+// Stats.ExtensionsFull and Stats.LogWraps for the effect.
+func WithCommitLog(size int) Option {
+	return func(cfg *config) {
+		if size <= 0 {
+			cfg.commitLog = -1
+			return
+		}
+		cfg.commitLog = size
 	}
 }
 

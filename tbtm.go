@@ -231,8 +231,20 @@ type Stats struct {
 	Commits, Aborts uint64
 	// Conflicts counts validation failures and lost arbitrations.
 	Conflicts uint64
-	// Extensions counts successful LSA snapshot extensions.
+	// Extensions counts successful snapshot extensions (LSA-family
+	// backends) or snapshot advances (SnapshotIsolation with the commit
+	// log).
 	Extensions uint64
+	// ExtensionsFast counts extensions/advances validated by the commit
+	// log window alone — no read-set walk (see WithCommitLog).
+	ExtensionsFast uint64
+	// ExtensionsFull counts extensions/advances that fell back to the
+	// full read-set walk (log off, window wrapped, or footprint hit).
+	ExtensionsFull uint64
+	// LogWraps counts commit-log fast-path fallbacks caused by the log
+	// window wrapping (the transaction fell further behind than the ring
+	// holds; raise WithCommitLog's size if this dominates).
+	LogWraps uint64
 	// LongCommits and LongAborts count Z-STM long transactions.
 	LongCommits, LongAborts uint64
 	// ZoneCrosses counts short aborts due to zone crossings (Z-STM).
@@ -240,9 +252,10 @@ type Stats struct {
 	// ZoneWaits counts zone crossings resolved by waiting for the long
 	// transaction to finish (Z-STM).
 	ZoneWaits uint64
-	// FastValidations counts commits that skipped read-set validation
+	// FastValidations counts commits that skipped read-set validation —
 	// via the RSTM fast path (LSA-family backends with
-	// WithValidationFastPath).
+	// WithValidationFastPath) or via a clear commit-log window (any
+	// backend with the commit log on).
 	FastValidations uint64
 	// OldVersions counts reads served by a non-current retained version
 	// (multi-version backends: LSA, SI-STM, Z-STM shorts).
