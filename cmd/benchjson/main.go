@@ -15,6 +15,9 @@
 //	sstm/serialized     S-STM with one commit stripe (the global-lock baseline)
 //	sstm/striped        S-STM with the default 64 commit stripes
 //	sistm/counter       SI-STM on the shared counter
+//	server/throughput   an in-process tbtmd driven over loopback TCP by
+//	                    the closed-loop load generator (cmd/tbtmload's
+//	                    engine); goroutines = client connections
 //
 // Usage:
 //
@@ -27,6 +30,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"net"
 	"os"
 	"runtime"
 	"strconv"
@@ -36,6 +40,7 @@ import (
 	"time"
 
 	"tbtm"
+	"tbtm/server"
 )
 
 // Point is one measured configuration.
@@ -103,7 +108,7 @@ func run(args []string) error {
 	goroutines := fs.String("goroutines", "1,2,4,8", "comma-separated goroutine counts")
 	benchtime := fs.Duration("benchtime", 100*time.Millisecond, "minimum measurement time per point")
 	runList := fs.String("run", "", "comma-separated series substrings to keep (default all)")
-	pr := fs.Int("pr", 4, "PR number recorded in the snapshot")
+	pr := fs.Int("pr", 5, "PR number recorded in the snapshot")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -155,6 +160,18 @@ func run(args []string) error {
 		}
 	}
 
+	if keep(serverSeries) {
+		for _, g := range gs {
+			p, err := measureServer(g, *benchtime)
+			if err != nil {
+				return err
+			}
+			snap.Points = append(snap.Points, p)
+			fmt.Fprintf(os.Stderr, "%-20s g=%-3d %10.1f ns/op %6.1f allocs/op %12.0f commits/s\n",
+				serverSeries, g, p.NsPerOp, p.AllocsPerOp, p.CommitsPerSec)
+		}
+	}
+
 	enc, err := json.MarshalIndent(snap, "", "  ")
 	if err != nil {
 		return err
@@ -168,6 +185,53 @@ func run(args []string) error {
 		os.Stdout.Write(enc)
 	}
 	return nil
+}
+
+// serverSeries is the wire-protocol series: an in-process tbtmd on a
+// loopback port, hammered by the closed-loop load generator. ns_per_op
+// here is closed-loop latency per connection (protocol round trip
+// included), and allocs cover the whole process — server and clients
+// share it — so the number is an upper bound on either side.
+const serverSeries = "server/throughput"
+
+func measureServer(conns int, benchtime time.Duration) (Point, error) {
+	srv, err := server.New(server.Config{})
+	if err != nil {
+		return Point{}, err
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return Point{}, err
+	}
+	go srv.Serve(ln)
+	defer srv.Close()
+
+	runtime.GC()
+	var m0, m1 runtime.MemStats
+	runtime.ReadMemStats(&m0)
+	res, err := server.RunLoad(server.LoadConfig{
+		Addr:       ln.Addr().String(),
+		Conns:      conns,
+		Duration:   benchtime,
+		Keys:       256,
+		ReadRatio:  0.8,
+		MultiRatio: 0.05,
+	})
+	runtime.ReadMemStats(&m1)
+	if err != nil {
+		return Point{}, err
+	}
+	if res.Ops == 0 {
+		return Point{}, fmt.Errorf("%s at %d connections: no operations completed", serverSeries, conns)
+	}
+	return Point{
+		Series:        serverSeries,
+		Goroutines:    conns,
+		NsPerOp:       res.NsPerOp,
+		AllocsPerOp:   float64(m1.Mallocs-m0.Mallocs) / float64(res.Ops),
+		BytesPerOp:    float64(m1.TotalAlloc-m0.TotalAlloc) / float64(res.Ops),
+		CommitsPerSec: res.OpsPerS,
+	}, nil
 }
 
 // measure runs one series at one goroutine count: every goroutine owns a

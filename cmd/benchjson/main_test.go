@@ -32,6 +32,30 @@ func TestRunTinySnapshot(t *testing.T) {
 	}
 }
 
+func TestRunServerSeries(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "bench.json")
+	if err := run([]string{"-out", out, "-benchtime", "150ms", "-goroutines", "2", "-run", "server"}); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var snap Snapshot
+	if err := json.Unmarshal(raw, &snap); err != nil {
+		t.Fatalf("snapshot is not valid JSON: %v", err)
+	}
+	if len(snap.Points) != 1 || snap.Points[0].Series != "server/throughput" {
+		t.Fatalf("points = %+v", snap.Points)
+	}
+	if snap.Points[0].CommitsPerSec <= 0 {
+		t.Fatalf("degenerate server point: %+v", snap.Points[0])
+	}
+	if snap.PR != 5 {
+		t.Fatalf("pr = %d, want default 5", snap.PR)
+	}
+}
+
 func TestRunRejectsBadGoroutines(t *testing.T) {
 	if err := run([]string{"-goroutines", "1,zero"}); err == nil {
 		t.Fatal("bad goroutine list accepted")

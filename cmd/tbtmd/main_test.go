@@ -1,0 +1,63 @@
+package main
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"tbtm/server"
+)
+
+func TestRunBadFlag(t *testing.T) {
+	if err := run([]string{"-definitely-not-a-flag"}); err == nil {
+		t.Fatal("bad flag accepted")
+	}
+}
+
+func TestRunBadConsistency(t *testing.T) {
+	err := run([]string{"-consistency", "nonsense"})
+	if err == nil || !strings.Contains(err.Error(), "unknown consistency") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+// TestRunServesAndExits starts tbtmd on an ephemeral port with a short
+// -duration, verifies it answers the protocol, and waits for the
+// graceful self-shutdown.
+func TestRunServesAndExits(t *testing.T) {
+	const addr = "127.0.0.1:17427"
+	done := make(chan error, 1)
+	go func() {
+		done <- run([]string{"-addr", addr, "-duration", "2s", "-consistency", "lsa", "-stats-every", "500ms"})
+	}()
+
+	var cl *server.Client
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		var err error
+		cl, err = server.DialTimeout(addr, time.Second)
+		if err == nil {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("server never came up: %v", err)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	defer cl.Close()
+	if err := cl.Set("k", []byte("v")); err != nil {
+		t.Fatalf("set: %v", err)
+	}
+	if v, ok, err := cl.Get("k"); err != nil || !ok || string(v) != "v" {
+		t.Fatalf("get = %q ok=%v err=%v", v, ok, err)
+	}
+
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("run: %v", err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("tbtmd did not exit after -duration")
+	}
+}

@@ -1,0 +1,156 @@
+// Command tbtmload is a closed-loop load generator for tbtmd. Each
+// connection issues one operation at a time — GETs and SETs over a
+// skewed keyspace, MULTI scripts, and optionally blocking BTAKEs fed by
+// a dedicated token connection — for a fixed duration, then the tool
+// reports throughput in the same JSON series shape as cmd/benchjson, so
+// server numbers join the repo's benchmark trajectory.
+//
+// Usage:
+//
+//	tbtmload -addr 127.0.0.1:7420 -duration 5s -conns 8
+//	tbtmload -addr :7420 -read-ratio 0.9 -skew 1.2 -multi-ratio 0.1
+//	tbtmload -addr :7420 -blocking-ratio 0.05          # park/wake mix
+//	tbtmload -addr :7420 -wait 5s -min-ops 1           # CI smoke: retry
+//	   dialing until the server is up, fail unless ops committed
+//
+// The tool exits non-zero when fewer than -min-ops operations complete
+// or the server-side commit delta over the window is zero — the smoke
+// assertion CI relies on.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"tbtm/server"
+)
+
+// Point and Snapshot mirror cmd/benchjson's emitted document shape so
+// the two tools' outputs concatenate into one trajectory.
+type Point struct {
+	Series        string  `json:"series"`
+	Goroutines    int     `json:"goroutines"`
+	NsPerOp       float64 `json:"ns_per_op"`
+	AllocsPerOp   float64 `json:"allocs_per_op"`
+	BytesPerOp    float64 `json:"bytes_per_op"`
+	CommitsPerSec float64 `json:"commits_per_sec"`
+}
+
+type Snapshot struct {
+	PR        int     `json:"pr"`
+	GoVersion string  `json:"go_version"`
+	NumCPU    int     `json:"num_cpu"`
+	GOARCH    string  `json:"goarch"`
+	Note      string  `json:"note,omitempty"`
+	Benchtime string  `json:"benchtime"`
+	Points    []Point `json:"points"`
+}
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "tbtmload:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("tbtmload", flag.ContinueOnError)
+	addr := fs.String("addr", "127.0.0.1:7420", "tbtmd address")
+	conns := fs.Int("conns", 4, "closed-loop connections")
+	duration := fs.Duration("duration", 2*time.Second, "measurement window")
+	keys := fs.Int("keys", 1024, "keyspace size")
+	valsize := fs.Int("valsize", 64, "SET payload bytes")
+	readRatio := fs.Float64("read-ratio", 0.8, "GET share of plain single-key traffic")
+	multiRatio := fs.Float64("multi-ratio", 0.05, "MULTI script share of traffic")
+	txnSize := fs.Int("txn-size", 8, "MULTI script length")
+	blockingRatio := fs.Float64("blocking-ratio", 0, "blocking BTAKE share of traffic")
+	skew := fs.Float64("skew", 0, "key distribution: 0 uniform, >1 Zipf s")
+	seed := fs.Int64("seed", 1, "per-connection RNG seed base")
+	wait := fs.Duration("wait", 0, "retry dialing for this long before failing")
+	minOps := fs.Uint64("min-ops", 1, "fail unless at least this many ops complete")
+	out := fs.String("out", "", "write the JSON snapshot to this file (default stdout)")
+	seriesName := fs.String("series", "server/throughput", "series name recorded in the snapshot")
+	pr := fs.Int("pr", 5, "PR number recorded in the snapshot")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	cfg := server.LoadConfig{
+		Addr:          *addr,
+		Conns:         *conns,
+		Duration:      *duration,
+		Keys:          *keys,
+		ValueSize:     *valsize,
+		ReadRatio:     *readRatio,
+		MultiRatio:    *multiRatio,
+		TxnSize:       *txnSize,
+		BlockingRatio: *blockingRatio,
+		Skew:          *skew,
+		Seed:          *seed,
+		Wait:          *wait,
+		DialTimeout:   2 * time.Second,
+	}
+
+	// Client-side allocation accounting brackets the run; against a
+	// remote server it covers only this process (the generator), which
+	// is the interesting side for a closed-loop tool.
+	runtime.GC()
+	var m0, m1 runtime.MemStats
+	runtime.ReadMemStats(&m0)
+	res, err := server.RunLoad(cfg)
+	runtime.ReadMemStats(&m1)
+	if err != nil {
+		return err
+	}
+
+	fmt.Fprintf(os.Stderr,
+		"tbtmload: %d ops in %v (%.0f ops/s, %.1f µs/op closed-loop) gets=%d sets=%d multis=%d blocking=%d errors=%d engine-commits=%d\n",
+		res.Ops, res.Elapsed.Round(time.Millisecond), res.OpsPerS, res.NsPerOp/1e3,
+		res.Gets, res.Sets, res.Multis, res.Blocking, res.Errors, res.EngineCommits)
+
+	if res.Ops < *minOps {
+		return fmt.Errorf("only %d ops completed, want >= %d", res.Ops, *minOps)
+	}
+	if res.EngineCommits == 0 {
+		return fmt.Errorf("server-side commit delta is zero over the window")
+	}
+	if res.Errors > 0 {
+		return fmt.Errorf("%d operations failed", res.Errors)
+	}
+
+	p := Point{
+		Series:        *seriesName,
+		Goroutines:    *conns,
+		NsPerOp:       res.NsPerOp,
+		CommitsPerSec: res.OpsPerS,
+	}
+	if res.Ops > 0 {
+		p.AllocsPerOp = float64(m1.Mallocs-m0.Mallocs) / float64(res.Ops)
+		p.BytesPerOp = float64(m1.TotalAlloc-m0.TotalAlloc) / float64(res.Ops)
+	}
+	snap := Snapshot{
+		PR:        *pr,
+		GoVersion: runtime.Version(),
+		NumCPU:    runtime.NumCPU(),
+		GOARCH:    runtime.GOARCH,
+		Benchtime: (*duration).String(),
+		Points:    []Point{p},
+	}
+	if runtime.NumCPU() == 1 {
+		snap.Note = "single-CPU host: connections timeshare one core, so parallel speedups are not visible in wall-clock"
+	}
+	doc, err := json.MarshalIndent(snap, "", "  ")
+	if err != nil {
+		return err
+	}
+	doc = append(doc, '\n')
+	if *out != "" {
+		return os.WriteFile(*out, doc, 0o644)
+	}
+	_, err = os.Stdout.Write(doc)
+	return err
+}

@@ -1,0 +1,73 @@
+package main
+
+import (
+	"encoding/json"
+	"net"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"tbtm/server"
+)
+
+// startServer brings up an in-process tbtmd for the load tool to hit.
+func startServer(t *testing.T) string {
+	t.Helper()
+	srv, err := server.New(server.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go srv.Serve(ln)
+	t.Cleanup(func() { srv.Close() })
+	return ln.Addr().String()
+}
+
+func TestRunBadFlag(t *testing.T) {
+	if err := run([]string{"-definitely-not-a-flag"}); err == nil {
+		t.Fatal("bad flag accepted")
+	}
+}
+
+func TestRunAgainstLiveServer(t *testing.T) {
+	addr := startServer(t)
+	out := filepath.Join(t.TempDir(), "load.json")
+	err := run([]string{
+		"-addr", addr,
+		"-duration", "300ms",
+		"-conns", "2",
+		"-keys", "64",
+		"-multi-ratio", "0.1",
+		"-blocking-ratio", "0.05",
+		"-out", out,
+	})
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	doc, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var snap Snapshot
+	if err := json.Unmarshal(doc, &snap); err != nil {
+		t.Fatalf("bad snapshot JSON: %v\n%s", err, doc)
+	}
+	if len(snap.Points) != 1 || snap.Points[0].Series != "server/throughput" {
+		t.Fatalf("snapshot points = %+v", snap.Points)
+	}
+	if snap.Points[0].CommitsPerSec <= 0 {
+		t.Fatalf("no throughput recorded: %+v", snap.Points[0])
+	}
+	if snap.PR != 5 {
+		t.Fatalf("pr = %d, want default 5", snap.PR)
+	}
+}
+
+func TestRunUnreachableServer(t *testing.T) {
+	if err := run([]string{"-addr", "127.0.0.1:1", "-duration", "100ms"}); err == nil {
+		t.Fatal("load against a dead address succeeded")
+	}
+}

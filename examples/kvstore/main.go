@@ -1,236 +1,221 @@
-// KVStore: a transactional key-value store with consistent range scans,
-// built on the public API. Short transactions put and delete keys while
-// a long read-only transaction snapshots the whole store — the classic
-// workload the paper's introduction motivates (long transactions over
-// many objects competing with short updates).
+// KVStore: the repo's key-value workload, served over the wire. By
+// default this example starts an in-process tbtmd on a loopback port
+// and drives it as a network CLIENT: atomic MULTI/EXEC scripts
+// increment counter/mirror pairs, consistent RANGE snapshots check the
+// pair invariant while writers run, and a blocking BTAKE parks
+// server-side until a remote SET wakes it — the classic workload the
+// paper's introduction motivates (long transactions over many objects
+// competing with short updates), now with a protocol in between.
 //
-// The store is a fixed array of buckets, each bucket a persistent
-// (copy-on-write) list of key/value pairs, because tbtm values are
-// immutable snapshots.
+//	go run ./examples/kvstore                  # in-process server, wire client
+//	go run ./examples/kvstore -addr host:port  # drive an external tbtmd
+//	go run ./examples/kvstore -inprocess       # PR1-era in-process demo
 package main
 
 import (
+	"errors"
+	"flag"
 	"fmt"
 	"log"
-	"sort"
+	"net"
+	"strconv"
 	"sync"
-	"sync/atomic"
 	"time"
 
 	"tbtm"
+	"tbtm/server"
 )
 
-// entry is an immutable key/value pair node; bucket values are []entry
-// slices replaced wholesale on update (copy-on-write).
-type entry struct {
-	key string
-	val int
-}
-
-// Store is a transactional hash map.
-type Store struct {
-	tm      *tbtm.TM
-	buckets []*tbtm.Var[[]entry]
-}
-
-// NewStore creates a store with the given bucket count.
-func NewStore(tm *tbtm.TM, buckets int) *Store {
-	s := &Store{tm: tm, buckets: make([]*tbtm.Var[[]entry], buckets)}
-	for i := range s.buckets {
-		s.buckets[i] = tbtm.NewVar(tm, []entry(nil))
-	}
-	return s
-}
-
-func (s *Store) bucket(key string) *tbtm.Var[[]entry] {
-	h := uint32(2166136261)
-	for i := 0; i < len(key); i++ {
-		h = (h ^ uint32(key[i])) * 16777619
-	}
-	return s.buckets[int(h)%len(s.buckets)]
-}
-
-// Put inserts or updates a key in a short transaction.
-func (s *Store) Put(th *tbtm.Thread, key string, val int) error {
-	b := s.bucket(key)
-	return th.Atomic(tbtm.Short, func(tx tbtm.Tx) error {
-		old, err := b.Read(tx)
-		if err != nil {
-			return err
-		}
-		next := make([]entry, 0, len(old)+1)
-		replaced := false
-		for _, e := range old {
-			if e.key == key {
-				next = append(next, entry{key: key, val: val})
-				replaced = true
-			} else {
-				next = append(next, e)
-			}
-		}
-		if !replaced {
-			next = append(next, entry{key: key, val: val})
-		}
-		return b.Write(tx, next)
-	})
-}
-
-// Get reads a key in a short read-only transaction.
-func (s *Store) Get(th *tbtm.Thread, key string) (int, bool, error) {
-	b := s.bucket(key)
-	var val int
-	var ok bool
-	err := th.AtomicReadOnly(tbtm.Short, func(tx tbtm.Tx) error {
-		es, err := b.Read(tx)
-		if err != nil {
-			return err
-		}
-		val, ok = 0, false
-		for _, e := range es {
-			if e.key == key {
-				val, ok = e.val, true
-				return nil
-			}
-		}
-		return nil
-	})
-	return val, ok, err
-}
-
-// Delete removes a key in a short transaction.
-func (s *Store) Delete(th *tbtm.Thread, key string) error {
-	b := s.bucket(key)
-	return th.Atomic(tbtm.Short, func(tx tbtm.Tx) error {
-		old, err := b.Read(tx)
-		if err != nil {
-			return err
-		}
-		next := make([]entry, 0, len(old))
-		for _, e := range old {
-			if e.key != key {
-				next = append(next, e)
-			}
-		}
-		return b.Write(tx, next)
-	})
-}
-
-// Snapshot scans the whole store in one long read-only transaction,
-// returning a consistent point-in-time view.
-func (s *Store) Snapshot(th *tbtm.Thread) (map[string]int, error) {
-	var snap map[string]int
-	err := th.AtomicReadOnly(tbtm.Long, func(tx tbtm.Tx) error {
-		snap = make(map[string]int)
-		for _, b := range s.buckets {
-			es, err := b.Read(tx)
-			if err != nil {
-				return err
-			}
-			for _, e := range es {
-				snap[e.key] = e.val
-			}
-		}
-		return nil
-	})
-	return snap, err
-}
+const pairs = 16
 
 func main() {
-	tm, err := tbtm.New(tbtm.WithConsistency(tbtm.ZLinearizable))
-	if err != nil {
+	inprocess := flag.Bool("inprocess", false, "run the original in-process demo (no networking)")
+	addr := flag.String("addr", "", "drive an external tbtmd at this address (default: start one in-process)")
+	flag.Parse()
+	if *inprocess {
+		runInProcess()
+		return
+	}
+	if err := runClient(*addr); err != nil {
 		log.Fatal(err)
 	}
-	store := NewStore(tm, 64)
+}
 
-	// Seed: counters c0..c15, each starting at 0. Writers increment a
-	// counter and its mirror together; every snapshot must see
-	// counter == mirror for all pairs.
-	seedTh := tm.NewThread()
-	for i := 0; i < 16; i++ {
-		if err := store.Put(seedTh, fmt.Sprintf("c%d", i), 0); err != nil {
-			log.Fatal(err)
+func runClient(addr string) error {
+	// Start an in-process server unless pointed at an external one. The
+	// demo only ever talks to it through the wire protocol.
+	if addr == "" {
+		srv, err := server.New(server.Config{Consistency: tbtm.ZLinearizable})
+		if err != nil {
+			return err
 		}
-		if err := store.Put(seedTh, fmt.Sprintf("m%d", i), 0); err != nil {
-			log.Fatal(err)
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return err
 		}
+		go srv.Serve(ln)
+		defer srv.Close()
+		addr = ln.Addr().String()
+		fmt.Printf("kvstore: started in-process tbtmd on %s\n", addr)
 	}
 
-	var stop atomic.Bool
+	// Seed all counter/mirror pairs in ONE atomic script.
+	seed, err := server.Dial(addr)
+	if err != nil {
+		return err
+	}
+	defer seed.Close()
+	var script []server.MultiOp
+	for i := 0; i < pairs; i++ {
+		script = append(script,
+			server.MSet("c"+strconv.Itoa(i), []byte("0")),
+			server.MSet("m"+strconv.Itoa(i), []byte("0")))
+	}
+	if _, committed, err := seed.MultiExec(script); err != nil || !committed {
+		return fmt.Errorf("seeding: committed=%v err=%v", committed, err)
+	}
+
+	// Writers: each picks a pair and increments counter AND mirror via
+	// an optimistic MULTI(CAS, CAS) — the script commits atomically or
+	// rolls back entirely, so no snapshot can ever see a torn pair.
+	const (
+		writers       = 3
+		incrPerWriter = 40
+	)
 	var wg sync.WaitGroup
-	for w := 0; w < 3; w++ {
+	werrs := make(chan error, writers)
+	for w := 0; w < writers; w++ {
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
-			th := tm.NewThread()
-			i := 0
-			for !stop.Load() {
-				i++
-				k := (w*7 + i) % 16
-				ck, mk := fmt.Sprintf("c%d", k), fmt.Sprintf("m%d", k)
-				// Paired increment in ONE transaction across two buckets.
-				cb, mb := store.bucket(ck), store.bucket(mk)
-				err := th.Atomic(tbtm.Short, func(tx tbtm.Tx) error {
-					bump := func(b *tbtm.Var[[]entry], key string) error {
-						es, err := b.Read(tx)
-						if err != nil {
-							return err
-						}
-						next := make([]entry, len(es))
-						copy(next, es)
-						for j := range next {
-							if next[j].key == key {
-								next[j].val++
-							}
-						}
-						return b.Write(tx, next)
+			cl, err := server.Dial(addr)
+			if err != nil {
+				werrs <- err
+				return
+			}
+			defer cl.Close()
+			for i := 0; i < incrPerWriter; i++ {
+				k := strconv.Itoa((w*7 + i) % pairs)
+				for {
+					res, committed, err := cl.MultiExec([]server.MultiOp{
+						server.MGet("c" + k), server.MGet("m" + k),
+					})
+					if err != nil || !committed {
+						werrs <- fmt.Errorf("read pair: committed=%v err=%v", committed, err)
+						return
 					}
-					if err := bump(cb, ck); err != nil {
-						return err
+					cur, _ := strconv.Atoi(string(res[0].Val))
+					next := []byte(strconv.Itoa(cur + 1))
+					_, committed, err = cl.MultiExec([]server.MultiOp{
+						server.MCas("c"+k, res[0].Val, true, next),
+						server.MCas("m"+k, res[1].Val, true, next),
+					})
+					if err != nil {
+						werrs <- err
+						return
 					}
-					return bump(mb, mk)
-				})
-				if err != nil {
-					log.Fatalf("paired increment: %v", err)
+					if committed {
+						break // both cells advanced atomically
+					}
+					// Lost the race: re-read and retry the script.
 				}
 			}
 		}(w)
 	}
 
-	// Snapshots: counter/mirror pairs must always match. Space them out
-	// so the writers make progress between scans.
-	th := tm.NewThread()
-	for round := 0; round < 30; round++ {
-		time.Sleep(2 * time.Millisecond)
-		snap, err := store.Snapshot(th)
-		if err != nil {
-			log.Fatal(err)
+	// Snapshot reader: a RANGE is one long read-only transaction
+	// server-side, so counter == mirror must hold in every reply even
+	// while writers commit between pairs.
+	snapCl, err := server.Dial(addr)
+	if err != nil {
+		return err
+	}
+	defer snapCl.Close()
+	snapshots := 0
+	writersDone := make(chan struct{})
+	go func() { wg.Wait(); close(writersDone) }()
+	for done := false; !done; {
+		select {
+		case <-writersDone:
+			done = true
+		default:
+			time.Sleep(2 * time.Millisecond)
 		}
-		for i := 0; i < 16; i++ {
-			c, m := snap[fmt.Sprintf("c%d", i)], snap[fmt.Sprintf("m%d", i)]
-			if c != m {
-				log.Fatalf("snapshot %d torn: c%d=%d m%d=%d", round, i, c, i, m)
+		kvs, err := snapCl.Range("", "", 0)
+		if err != nil {
+			return fmt.Errorf("snapshot: %w", err)
+		}
+		snap := make(map[string]string, len(kvs))
+		for _, kv := range kvs {
+			snap[kv.Key] = string(kv.Val)
+		}
+		for i := 0; i < pairs; i++ {
+			k := strconv.Itoa(i)
+			if snap["c"+k] != snap["m"+k] {
+				return fmt.Errorf("snapshot %d torn: c%s=%s m%s=%s",
+					snapshots, k, snap["c"+k], k, snap["m"+k])
 			}
 		}
+		snapshots++
 	}
-	stop.Store(true)
-	wg.Wait()
+	select {
+	case err := <-werrs:
+		return err
+	default:
+	}
 
-	snap, err := store.Snapshot(th)
+	// Blocking take over the wire: the consumer parks server-side (no
+	// engine thread burned) until the producer's SET commits.
+	taken := make(chan []byte, 1)
+	terr := make(chan error, 1)
+	consumer, err := server.Dial(addr)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
-	keys := make([]string, 0, len(snap))
-	for k := range snap {
-		keys = append(keys, k)
-	}
-	sort.Strings(keys)
-	var total int
-	for _, k := range keys {
-		if k[0] == 'c' {
-			total += snap[k]
+	defer consumer.Close()
+	go func() {
+		v, err := consumer.BTake("job")
+		if err != nil {
+			terr <- err
+			return
 		}
+		taken <- v
+	}()
+	time.Sleep(20 * time.Millisecond) // let the consumer park
+	if err := seed.Set("job", []byte("build-the-thing")); err != nil {
+		return err
 	}
-	fmt.Printf("store holds %d keys; 30 consistent snapshots taken; %d total increments\n",
-		len(snap), total)
-	fmt.Printf("stats: %+v\n", tm.Stats())
+	select {
+	case v := <-taken:
+		fmt.Printf("kvstore: blocking take woken by remote SET: %q\n", v)
+	case err := <-terr:
+		return fmt.Errorf("blocking take: %w", err)
+	case <-time.After(10 * time.Second):
+		return errors.New("blocking take never woke")
+	}
+
+	// Tally and report through the wire.
+	total := 0
+	for i := 0; i < pairs; i++ {
+		v, _, err := seed.Get("c" + strconv.Itoa(i))
+		if err != nil {
+			return err
+		}
+		n, _ := strconv.Atoi(string(v))
+		total += n
+	}
+	stats, err := seed.Stats()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("kvstore: %d consistent snapshots, %d total increments (want %d)\n",
+		snapshots, total, writers*incrPerWriter)
+	fmt.Printf("kvstore: engine commits=%d aborts=%d parks=%d wakeups=%d; executor acquires=%d waits=%d\n",
+		stats.Engine.Commits+stats.Engine.LongCommits, stats.Engine.Aborts,
+		stats.Engine.Parks, stats.Engine.Wakeups,
+		stats.Metrics.Executor.Acquires, stats.Metrics.Executor.AcquireWaits)
+	if total != writers*incrPerWriter {
+		return fmt.Errorf("lost increments: %d != %d", total, writers*incrPerWriter)
+	}
+	return nil
 }

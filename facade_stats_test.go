@@ -189,3 +189,36 @@ func TestStatsCommitLogFastPath(t *testing.T) {
 			off.ExtensionsFast, off.ExtensionsFull, off)
 	}
 }
+
+// TestStatsSub pins the interval-delta helper long-running servers use
+// for periodic rate reporting: counters are cumulative, Sub isolates a
+// window.
+func TestStatsSub(t *testing.T) {
+	tm := tbtm.MustNew(tbtm.WithConsistency(tbtm.Linearizable))
+	th := tm.NewThread()
+	obj := tm.NewObject(int64(0))
+	bump := func(n int) {
+		for i := 0; i < n; i++ {
+			if err := th.Atomic(tbtm.Short, func(tx tbtm.Tx) error {
+				return tx.Write(obj, int64(i))
+			}); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	bump(3)
+	prev := tm.Stats()
+	bump(5)
+	d := tm.Stats().Sub(prev)
+	if d.Commits != 5 {
+		t.Fatalf("interval commits = %d, want 5 (prev %+v)", d.Commits, prev)
+	}
+	if d.Aborts != 0 || d.Parks != 0 {
+		t.Fatalf("quiet counters moved: %+v", d)
+	}
+	// Sub of a snapshot with itself is all-zero.
+	cur := tm.Stats()
+	if z := cur.Sub(cur); z != (tbtm.Stats{}) {
+		t.Fatalf("self-delta not zero: %+v", z)
+	}
+}

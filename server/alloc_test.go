@@ -1,0 +1,123 @@
+package server
+
+import (
+	"testing"
+
+	"tbtm"
+)
+
+// The server-side allocation contract. The engine's warm paths are
+// zero-alloc (root alloc_test.go); the server must not squander that
+// between the socket and the store. Three properties pin it:
+//
+//  1. Site strings are package constants, so AtomicSite's classifier
+//     lookup never allocates a key — building "set:"+key per request
+//     would regress this pin.
+//  2. The executor's Acquire/Do/Release cycle is channel+atomics only.
+//  3. A warm single-key read through executor + classifier + store
+//     allocates NOTHING on LSA; a warm overwrite allocates only what
+//     genuinely escapes (the copied bucket slice and its interface
+//     box), independent of request count.
+//
+// The conn layer's remaining per-request conversion — wire key bytes to
+// the map's string key — is covered by the single-entry cache pinned in
+// TestKeyStringCacheAllocs.
+const (
+	maxAllocsWarmGet = 0
+	// The overwrite path rebuilds the bucket's []mapEntry slice (one
+	// alloc) and boxes it into the Object's `any` slot (a second); the
+	// skiplist index is untouched when the key already exists.
+	maxAllocsWarmSet = 2
+)
+
+func TestWarmServerOpAllocs(t *testing.T) {
+	srv, err := New(Config{Consistency: tbtm.Linearizable, Leases: 2, BlockingLeases: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := srv.Executor()
+	val := []byte("payload")
+
+	// Prebound closures, as the conn handler holds them.
+	setFn := func(th *tbtm.Thread) error {
+		return srv.store.set(th, "hot", val)
+	}
+	getFn := func(th *tbtm.Thread) error {
+		_, _, err := srv.store.get(th, "hot")
+		return err
+	}
+	doSet := func() {
+		if err := e.Do(nil, OpSet, false, setFn); err != nil {
+			t.Fatalf("set: %v", err)
+		}
+	}
+	doGet := func() {
+		if err := e.Do(nil, OpGet, false, getFn); err != nil {
+			t.Fatalf("get: %v", err)
+		}
+	}
+	for i := 0; i < 64; i++ { // warm descriptors, pools, classifier site
+		doSet()
+		doGet()
+	}
+	if n := testing.AllocsPerRun(200, doGet); n > maxAllocsWarmGet {
+		t.Errorf("warm server GET: %.1f allocs/op, want <= %d", n, maxAllocsWarmGet)
+	}
+	if n := testing.AllocsPerRun(200, doSet); n > maxAllocsWarmSet {
+		t.Errorf("warm server SET: %.1f allocs/op, want <= %d", n, maxAllocsWarmSet)
+	}
+}
+
+// TestWarmBlockingOpAllocs pins the non-parking fast path of the
+// blocking opcodes: a WAIT whose expectation is already stale answers
+// without parking and without allocating (LSA, warm).
+func TestWarmBlockingOpAllocs(t *testing.T) {
+	srv, err := New(Config{Consistency: tbtm.Linearizable, Leases: 1, BlockingLeases: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := srv.Executor()
+	if err := e.Do(nil, OpSet, false, func(th *tbtm.Thread) error {
+		return srv.store.set(th, "w", []byte("current"))
+	}); err != nil {
+		t.Fatal(err)
+	}
+	old := []byte("stale")
+	waitFn := func(th *tbtm.Thread) error {
+		_, _, err := srv.store.wait(th, "w", true, old, nil)
+		return err
+	}
+	doWait := func() {
+		if err := e.Do(nil, OpWait, true, waitFn); err != nil {
+			t.Fatalf("wait: %v", err)
+		}
+	}
+	for i := 0; i < 64; i++ {
+		doWait()
+	}
+	if n := testing.AllocsPerRun(200, doWait); n > 0 {
+		t.Errorf("warm non-parking WAIT: %.1f allocs/op, want 0", n)
+	}
+}
+
+// TestKeyStringCacheAllocs pins the conn layer's single-entry key
+// cache: a client hammering one key converts the wire bytes to the
+// store's string key once per key change, not once per request.
+func TestKeyStringCacheAllocs(t *testing.T) {
+	cn := &conn{}
+	wire := []byte("hot-key")
+	if got := cn.keyString(wire); got != "hot-key" {
+		t.Fatalf("keyString = %q", got)
+	}
+	if n := testing.AllocsPerRun(200, func() {
+		if cn.keyString(wire) != "hot-key" {
+			t.Fatal("cache miss on identical key")
+		}
+	}); n > 0 {
+		t.Errorf("cached keyString: %.1f allocs/op, want 0", n)
+	}
+	// A different key replaces the cache entry and still works.
+	if got := cn.keyString([]byte("other")); got != "other" {
+		t.Fatalf("keyString after change = %q", got)
+	}
+}

@@ -1,0 +1,374 @@
+package server
+
+import (
+	"bufio"
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"time"
+)
+
+// Client is a tbtmd connection. A Client carries one request at a time
+// and is NOT safe for concurrent use; open one Client per goroutine
+// (connections are cheap — it is engine Threads the server pools, not
+// sockets). Blocking calls (BTake, Wait) return only when the server
+// answers: a remote commit changes the watched key, or shutdown wakes
+// the parked transaction (ErrServerClosed).
+type Client struct {
+	c   net.Conn
+	br  *bufio.Reader
+	bw  *bufio.Writer
+	hdr [4]byte
+
+	out      []byte // reusable request build buffer
+	in       []byte // reusable response frame buffer
+	maxFrame int
+}
+
+// Dial connects to a tbtmd server.
+func Dial(addr string) (*Client, error) {
+	return DialTimeout(addr, 0)
+}
+
+// DialTimeout is Dial with a connect timeout (0 = none).
+func DialTimeout(addr string, timeout time.Duration) (*Client, error) {
+	c, err := net.DialTimeout("tcp", addr, timeout)
+	if err != nil {
+		return nil, err
+	}
+	return NewClient(c), nil
+}
+
+// NewClient wraps an established connection.
+func NewClient(c net.Conn) *Client {
+	return &Client{
+		c:        c,
+		br:       bufio.NewReader(c),
+		bw:       bufio.NewWriter(c),
+		maxFrame: DefaultMaxFrame,
+	}
+}
+
+// Close closes the connection. Closing while a blocking call is in
+// flight (from another goroutine) unblocks it with an error — the one
+// concurrency the Client supports.
+func (c *Client) Close() error { return c.c.Close() }
+
+// roundTrip sends the built request payload and returns the response
+// status and payload (valid until the next call).
+func (c *Client) roundTrip(req []byte) (Status, []byte, error) {
+	c.out = req[:0]
+	if err := writeFrame(c.bw, &c.hdr, req); err != nil {
+		return 0, nil, err
+	}
+	if err := c.bw.Flush(); err != nil {
+		return 0, nil, err
+	}
+	payload, buf, err := readFrame(c.br, &c.hdr, c.in, c.maxFrame)
+	c.in = buf
+	if err != nil {
+		return 0, nil, err
+	}
+	if len(payload) == 0 {
+		return 0, nil, errTruncated
+	}
+	return Status(payload[0]), payload[1:], nil
+}
+
+// err maps non-OK statuses to errors (StatusNotFound is handled by the
+// typed accessors, not here).
+func statusErr(st Status, p []byte) error {
+	switch st {
+	case StatusOK, StatusNotFound:
+		return nil
+	case StatusClosed:
+		return ErrServerClosed
+	case StatusError:
+		msg, _, err := takeBytes(p)
+		if err != nil {
+			return fmt.Errorf("server: error response (unreadable message)")
+		}
+		return errors.New(string(msg))
+	}
+	return fmt.Errorf("server: unknown response status %d", st)
+}
+
+// Ping round-trips an empty request.
+func (c *Client) Ping() error {
+	st, p, err := c.roundTrip(append(c.out[:0], byte(OpPing)))
+	if err != nil {
+		return err
+	}
+	return statusErr(st, p)
+}
+
+// Get reads key. ok is false when the key does not exist. The returned
+// slice is valid until the next call on this Client.
+func (c *Client) Get(key string) (val []byte, ok bool, err error) {
+	req := appendString(append(c.out[:0], byte(OpGet)), key)
+	st, p, err := c.roundTrip(req)
+	if err != nil {
+		return nil, false, err
+	}
+	if st == StatusNotFound {
+		return nil, false, nil
+	}
+	if err := statusErr(st, p); err != nil {
+		return nil, false, err
+	}
+	v, _, err := takeBytes(p)
+	return v, true, err
+}
+
+// Set writes key = val.
+func (c *Client) Set(key string, val []byte) error {
+	req := appendString(append(c.out[:0], byte(OpSet)), key)
+	req = appendBytes(req, val)
+	st, p, err := c.roundTrip(req)
+	if err != nil {
+		return err
+	}
+	return statusErr(st, p)
+}
+
+// Del removes key, reporting whether it existed.
+func (c *Client) Del(key string) (deleted bool, err error) {
+	req := appendString(append(c.out[:0], byte(OpDel)), key)
+	st, p, err := c.roundTrip(req)
+	if err != nil {
+		return false, err
+	}
+	if err := statusErr(st, p); err != nil {
+		return false, err
+	}
+	b, _, err := takeByte(p)
+	return b != 0, err
+}
+
+// Cas compares-and-swaps: when expectPresent, the swap succeeds iff key
+// holds exactly expect; when !expectPresent, iff key is absent
+// (create-if-absent). On success key is set to val.
+func (c *Client) Cas(key string, expect []byte, expectPresent bool, val []byte) (swapped bool, err error) {
+	req := appendString(append(c.out[:0], byte(OpCas)), key)
+	req = append(req, boolByte(expectPresent))
+	req = appendBytes(req, expect)
+	req = appendBytes(req, val)
+	st, p, err := c.roundTrip(req)
+	if err != nil {
+		return false, err
+	}
+	if err := statusErr(st, p); err != nil {
+		return false, err
+	}
+	b, _, err := takeByte(p)
+	return b != 0, err
+}
+
+// KV is one pair of a Range reply.
+type KV struct {
+	Key string
+	Val []byte
+}
+
+// Range returns up to limit pairs with from <= key < to in ascending
+// order, as ONE consistent snapshot (a long read-only transaction
+// server-side). to == "" means unbounded above; limit 0 means no limit.
+func (c *Client) Range(from, to string, limit int) ([]KV, error) {
+	req := appendString(append(c.out[:0], byte(OpRange)), from)
+	req = appendString(req, to)
+	req = binary.AppendUvarint(req, uint64(limit))
+	st, p, err := c.roundTrip(req)
+	if err != nil {
+		return nil, err
+	}
+	if err := statusErr(st, p); err != nil {
+		return nil, err
+	}
+	n, p, err := takeUvarint(p)
+	if err != nil {
+		return nil, err
+	}
+	// Cap the preallocation by what the payload could possibly hold
+	// (each pair takes at least two length bytes): a corrupt count must
+	// not translate into a giant allocation before decode detects it.
+	capHint := n
+	if max := uint64(len(p)) / 2; capHint > max {
+		capHint = max
+	}
+	out := make([]KV, 0, capHint)
+	for i := uint64(0); i < n; i++ {
+		var k, v []byte
+		if k, p, err = takeBytes(p); err != nil {
+			return nil, err
+		}
+		if v, p, err = takeBytes(p); err != nil {
+			return nil, err
+		}
+		out = append(out, KV{Key: string(k), Val: append([]byte(nil), v...)})
+	}
+	return out, nil
+}
+
+// MultiOp is one operation of a MultiExec script.
+type MultiOp struct {
+	// Op must be OpGet, OpSet, OpDel or OpCas.
+	Op            Op
+	Key           string
+	Val           []byte
+	Expect        []byte
+	ExpectPresent bool
+}
+
+// MGet, MSet, MDel and MCas build script entries.
+func MGet(key string) MultiOp           { return MultiOp{Op: OpGet, Key: key} }
+func MSet(key string, v []byte) MultiOp { return MultiOp{Op: OpSet, Key: key, Val: v} }
+func MDel(key string) MultiOp           { return MultiOp{Op: OpDel, Key: key} }
+
+// MCas builds a CAS entry; see Client.Cas for the semantics. A failed
+// CAS aborts the whole script.
+func MCas(key string, expect []byte, expectPresent bool, v []byte) MultiOp {
+	return MultiOp{Op: OpCas, Key: key, Expect: expect, ExpectPresent: expectPresent, Val: v}
+}
+
+// MultiResult is the outcome of one script operation. OK means: found
+// (get), deleted (del), swapped (cas); always true for set.
+type MultiResult struct {
+	OK  bool
+	Val []byte // get only
+}
+
+// MultiExec runs the script as one atomic transaction server-side.
+// committed reports whether it took effect: a failed CAS rolls the
+// whole script back and returns committed = false, with results
+// covering the ops up to and including the failed one. Reads in a
+// committed script observe the script's own earlier writes.
+func (c *Client) MultiExec(ops []MultiOp) (results []MultiResult, committed bool, err error) {
+	req := append(c.out[:0], byte(OpMulti))
+	req = binary.AppendUvarint(req, uint64(len(ops)))
+	for i := range ops {
+		op := &ops[i]
+		req = append(req, byte(op.Op))
+		req = appendString(req, op.Key)
+		switch op.Op {
+		case OpGet, OpDel:
+		case OpSet:
+			req = appendBytes(req, op.Val)
+		case OpCas:
+			req = append(req, boolByte(op.ExpectPresent))
+			req = appendBytes(req, op.Expect)
+			req = appendBytes(req, op.Val)
+		default:
+			return nil, false, fmt.Errorf("server: opcode %s not valid in multi", op.Op)
+		}
+	}
+	st, p, err := c.roundTrip(req)
+	if err != nil {
+		return nil, false, err
+	}
+	if err := statusErr(st, p); err != nil {
+		return nil, false, err
+	}
+	cb, p, err := takeByte(p)
+	if err != nil {
+		return nil, false, err
+	}
+	committed = cb != 0
+	n, p, err := takeUvarint(p)
+	if err != nil {
+		return nil, false, err
+	}
+	results = make([]MultiResult, 0, n)
+	for i := uint64(0); int(i) < int(n) && int(i) < len(ops); i++ {
+		var sb byte
+		if sb, p, err = takeByte(p); err != nil {
+			return nil, false, err
+		}
+		res := MultiResult{}
+		switch ops[i].Op {
+		case OpGet:
+			res.OK = Status(sb) == StatusOK
+			if res.OK {
+				var v []byte
+				if v, p, err = takeBytes(p); err != nil {
+					return nil, false, err
+				}
+				res.Val = append([]byte(nil), v...)
+			}
+		case OpSet:
+			res.OK = Status(sb) == StatusOK
+		case OpDel, OpCas:
+			var b byte
+			if b, p, err = takeByte(p); err != nil {
+				return nil, false, err
+			}
+			res.OK = b != 0
+		}
+		results = append(results, res)
+	}
+	return results, committed, nil
+}
+
+// BTake blocks until key exists, then atomically deletes it and returns
+// its value. Woken by server shutdown it returns ErrServerClosed.
+func (c *Client) BTake(key string) ([]byte, error) {
+	req := appendString(append(c.out[:0], byte(OpBTake)), key)
+	st, p, err := c.roundTrip(req)
+	if err != nil {
+		return nil, err
+	}
+	if err := statusErr(st, p); err != nil {
+		return nil, err
+	}
+	v, _, err := takeBytes(p)
+	if err != nil {
+		return nil, err
+	}
+	return append([]byte(nil), v...), nil
+}
+
+// Wait blocks until key's state differs from (old, oldPresent), then
+// returns the new state. Woken by server shutdown it returns
+// ErrServerClosed.
+func (c *Client) Wait(key string, old []byte, oldPresent bool) (val []byte, present bool, err error) {
+	req := appendString(append(c.out[:0], byte(OpWait)), key)
+	req = append(req, boolByte(oldPresent))
+	req = appendBytes(req, old)
+	st, p, err := c.roundTrip(req)
+	if err != nil {
+		return nil, false, err
+	}
+	if err := statusErr(st, p); err != nil {
+		return nil, false, err
+	}
+	pb, p, err := takeByte(p)
+	if err != nil {
+		return nil, false, err
+	}
+	if pb == 0 {
+		return nil, false, nil
+	}
+	v, _, err := takeBytes(p)
+	if err != nil {
+		return nil, false, err
+	}
+	return append([]byte(nil), v...), true, nil
+}
+
+// Stats fetches the server's engine and executor counters.
+func (c *Client) Stats() (StatsReply, error) {
+	var reply StatsReply
+	st, p, err := c.roundTrip(append(c.out[:0], byte(OpStats)))
+	if err != nil {
+		return reply, err
+	}
+	if err := statusErr(st, p); err != nil {
+		return reply, err
+	}
+	doc, _, err := takeBytes(p)
+	if err != nil {
+		return reply, err
+	}
+	return reply, json.Unmarshal(doc, &reply)
+}

@@ -1,0 +1,191 @@
+// The Thread-executor: the seam between "M connections" and "N engine
+// Threads".
+//
+// The engine's scaling machinery is built around long-lived, per-worker
+// Thread handles: a Thread owns its reusable transaction descriptor and
+// read/write logs (PR1), an epoch slot and recycler pools for version
+// reclamation (PR2), and a shard of the sharded statistics counters.
+// Handing every TCP connection its own *tbtm.Thread would break all
+// three at scale — ten thousand idle connections would mean ten
+// thousand registered epoch slots to scan on every grace-period check
+// and ten thousand stats shards to sum, and a reconnecting client would
+// leak a descriptor set per connection since Thread state is retained
+// for the TM's lifetime.
+//
+// The executor instead owns a bounded pool of Threads and leases them
+// to requests. Two tranches with different lifetimes:
+//
+//   - fast leases serve non-blocking operations. They are held for one
+//     begin→commit window, so a small pool (a few per core) saturates
+//     the engine; requests beyond the pool queue FIFO, which is the
+//     server's backpressure.
+//
+//   - blocking leases serve BTAKE/WAIT. A blocked operation PARKS
+//     inside tbtm.Retry holding its lease: the park/wake protocol
+//     revalidates and re-runs on the same Thread, whose descriptor and
+//     waiter the parking lot references, so the lease cannot be
+//     returned mid-park. Parked Threads are cheap by design — a parked
+//     waiter holds only (object, Seq) pairs, no epoch pin, so a parked
+//     lease never stalls the recycler (PR3) — which is why the blocking
+//     tranche can be much larger than the fast one, and why parked
+//     clients consume no engine CPU.
+//
+// A Lease moves between goroutines (handler to handler) but is used by
+// at most one at a time; the pool channels provide the happens-before
+// edge each handoff needs, preserving the engine's thread-confinement
+// contract.
+package server
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"time"
+
+	"tbtm"
+)
+
+// ErrExecutorClosed reports an Acquire on a closed executor.
+var ErrExecutorClosed = errors.New("server: executor closed")
+
+// Lease is temporary ownership of one engine Thread. The holder may run
+// any number of transactions on Thread() and must Release exactly once;
+// after Release the Thread must not be used.
+type Lease struct {
+	th   *tbtm.Thread
+	pool chan *Lease
+}
+
+// Thread returns the leased engine thread.
+func (l *Lease) Thread() *tbtm.Thread { return l.th }
+
+// Executor leases a bounded pool of engine Threads to requests.
+type Executor struct {
+	tm       *tbtm.TM
+	fast     chan *Lease
+	blocking chan *Lease
+	nFast    int
+	nBlock   int
+	done     chan struct{}
+	closing  sync.Once
+	m        *Metrics
+}
+
+// NewExecutor creates an executor over tm with the given tranche sizes
+// (both must be >= 1). Threads are created eagerly so the steady state
+// allocates nothing.
+func NewExecutor(tm *tbtm.TM, fastLeases, blockingLeases int, m *Metrics) *Executor {
+	if fastLeases < 1 {
+		fastLeases = 1
+	}
+	if blockingLeases < 1 {
+		blockingLeases = 1
+	}
+	if m == nil {
+		m = &Metrics{}
+	}
+	e := &Executor{
+		tm:       tm,
+		fast:     make(chan *Lease, fastLeases),
+		blocking: make(chan *Lease, blockingLeases),
+		nFast:    fastLeases,
+		nBlock:   blockingLeases,
+		done:     make(chan struct{}),
+		m:        m,
+	}
+	for i := 0; i < fastLeases; i++ {
+		e.fast <- &Lease{th: tm.NewThread(), pool: e.fast}
+	}
+	for i := 0; i < blockingLeases; i++ {
+		e.blocking <- &Lease{th: tm.NewThread(), pool: e.blocking}
+	}
+	return e
+}
+
+// Metrics returns the executor's metrics sink.
+func (e *Executor) Metrics() *Metrics { return e.m }
+
+// Acquire leases a Thread, blocking when the tranche is exhausted.
+// blocking selects the tranche: true for operations that may park
+// (BTAKE/WAIT), false for everything else. Queued acquirers are served
+// FIFO. Acquire fails with ctx.Err() when ctx ends first and
+// ErrExecutorClosed when the executor closes; ctx may be nil for
+// wait-forever.
+func (e *Executor) Acquire(ctx context.Context, blocking bool) (*Lease, error) {
+	pool := e.fast
+	gauge := &e.m.fastInUse
+	if blocking {
+		pool = e.blocking
+		gauge = &e.m.blockingInUse
+	}
+	e.m.acquires.Add(1)
+	select {
+	case l := <-pool:
+		gauge.Add(1)
+		return l, nil
+	default:
+	}
+	// Slow path: queue with backpressure accounting.
+	e.m.acquireWaits.Add(1)
+	e.m.waiters.Add(1)
+	t0 := time.Now()
+	defer func() {
+		e.m.waiters.Add(-1)
+		e.m.acquireWaitNs.Add(uint64(time.Since(t0).Nanoseconds()))
+	}()
+	var ctxDone <-chan struct{}
+	if ctx != nil {
+		ctxDone = ctx.Done()
+	}
+	select {
+	case l := <-pool:
+		gauge.Add(1)
+		return l, nil
+	case <-ctxDone:
+		e.m.rejects.Add(1)
+		return nil, ctx.Err()
+	case <-e.done:
+		e.m.rejects.Add(1)
+		return nil, ErrExecutorClosed
+	}
+}
+
+// Release returns a lease to its pool.
+func (e *Executor) Release(l *Lease) {
+	if l.pool == e.fast {
+		e.m.fastInUse.Add(-1)
+	} else {
+		e.m.blockingInUse.Add(-1)
+	}
+	l.pool <- l
+}
+
+// Do leases a Thread, runs fn on it, records the operation's latency
+// and outcome under op, and releases the lease — even when fn blocks
+// for a long time in a parked transaction, the lease is pinned to fn
+// for its whole duration. ErrServerClosed outcomes are not counted as
+// errors (shutdown wakeups are expected).
+func (e *Executor) Do(ctx context.Context, op Op, blocking bool, fn func(*tbtm.Thread) error) error {
+	l, err := e.Acquire(ctx, blocking)
+	if err != nil {
+		return err
+	}
+	t0 := time.Now()
+	err = fn(l.th)
+	merr := err
+	if errors.Is(merr, ErrServerClosed) {
+		merr = nil
+	}
+	e.m.ops[op].record(time.Since(t0), merr)
+	e.Release(l)
+	return err
+}
+
+// Close unblocks every queued Acquire with ErrExecutorClosed and makes
+// future Acquires fail. Leases already granted stay valid until
+// released; Close does not wait for them (the server drains in-flight
+// requests itself, and parked holders are woken by the store's shutdown
+// flag, not by the executor).
+func (e *Executor) Close() {
+	e.closing.Do(func() { close(e.done) })
+}

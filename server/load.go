@@ -1,0 +1,321 @@
+package server
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"net"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// LoadConfig parameterises RunLoad, the closed-loop load generator
+// behind cmd/tbtmload and cmd/benchjson's server/throughput series.
+type LoadConfig struct {
+	// Addr is the server to hammer.
+	Addr string
+	// Conns is the number of closed-loop client connections.
+	Conns int
+	// Duration is the measurement window.
+	Duration time.Duration
+	// Keys sizes the keyspace (default 1024).
+	Keys int
+	// ValueSize is the SET payload size in bytes (default 64).
+	ValueSize int
+	// ReadRatio splits the plain single-key traffic between GET and SET
+	// and is honored exactly as given: 0 means write-only, 1 read-only.
+	// Applies to the share left after MultiRatio and BlockingRatio.
+	// (cmd/tbtmload's flag default is 0.8.)
+	ReadRatio float64
+	// MultiRatio is the fraction of operations that are MULTI scripts
+	// of TxnSize sub-ops (half reads, half writes).
+	MultiRatio float64
+	// TxnSize is the MULTI script length (default 8).
+	TxnSize int
+	// BlockingRatio is the fraction of operations that are blocking
+	// BTAKEs against a small token keyspace. When > 0 a dedicated
+	// feeder connection SETs tokens round-robin so takers always wake.
+	BlockingRatio float64
+	// BlockKeys sizes the token keyspace (default 16).
+	BlockKeys int
+	// Skew selects the key distribution: 0 uniform, > 1 a Zipf
+	// parameter s (typical 1.1).
+	Skew float64
+	// Seed seeds the per-connection generators (0 = 1).
+	Seed int64
+	// DialTimeout bounds each connection attempt; Wait additionally
+	// retries dialing until the server is up (for CI races between
+	// server start and load start). Both default to 0 (no retry).
+	DialTimeout time.Duration
+	Wait        time.Duration
+}
+
+// LoadResult is the aggregate outcome of one RunLoad window.
+type LoadResult struct {
+	Ops      uint64        `json:"ops"`
+	Errors   uint64        `json:"errors"`
+	Gets     uint64        `json:"gets"`
+	Sets     uint64        `json:"sets"`
+	Multis   uint64        `json:"multis"`
+	Blocking uint64        `json:"blocking"`
+	Elapsed  time.Duration `json:"elapsed_ns"`
+	NsPerOp  float64       `json:"ns_per_op"`
+	OpsPerS  float64       `json:"ops_per_sec"`
+	// EngineCommits is the server-side commit delta over the window
+	// (fetched via OpStats), the ground truth that operations really
+	// committed transactions.
+	EngineCommits uint64 `json:"engine_commits"`
+}
+
+func (cfg *LoadConfig) defaults() error {
+	if cfg.Addr == "" {
+		return errors.New("server: load config needs an address")
+	}
+	if cfg.Conns <= 0 {
+		cfg.Conns = 4
+	}
+	if cfg.Duration <= 0 {
+		cfg.Duration = time.Second
+	}
+	if cfg.Keys <= 0 {
+		cfg.Keys = 1024
+	}
+	if cfg.ValueSize <= 0 {
+		cfg.ValueSize = 64
+	}
+	if cfg.ReadRatio < 0 || cfg.ReadRatio > 1 {
+		return fmt.Errorf("server: read ratio %v outside [0,1]", cfg.ReadRatio)
+	}
+	if cfg.MultiRatio < 0 || cfg.BlockingRatio < 0 || cfg.MultiRatio+cfg.BlockingRatio > 1 {
+		return fmt.Errorf("server: multi ratio %v + blocking ratio %v outside [0,1]", cfg.MultiRatio, cfg.BlockingRatio)
+	}
+	if cfg.TxnSize <= 0 {
+		cfg.TxnSize = 8
+	}
+	if cfg.BlockKeys <= 0 {
+		cfg.BlockKeys = 16
+	}
+	if cfg.Seed == 0 {
+		cfg.Seed = 1
+	}
+	return nil
+}
+
+// dial connects honoring Wait/DialTimeout.
+func (cfg *LoadConfig) dial() (*Client, error) {
+	deadline := time.Now().Add(cfg.Wait)
+	for {
+		cl, err := DialTimeout(cfg.Addr, cfg.DialTimeout)
+		if err == nil {
+			return cl, nil
+		}
+		if time.Now().After(deadline) {
+			return nil, err
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+}
+
+// loadWorker is one closed-loop connection's state.
+type loadWorker struct {
+	cl   *Client
+	rng  *rand.Rand
+	zipf *rand.Zipf
+
+	ops, errs, gets, sets, multis, blocking uint64
+}
+
+// RunLoad drives cfg.Conns closed-loop connections against cfg.Addr for
+// cfg.Duration and reports aggregate throughput plus the server-side
+// commit delta. Connection errors after the deadline (the coordinator
+// closes lingering blocked connections) are not counted as errors.
+func RunLoad(cfg LoadConfig) (LoadResult, error) {
+	if err := cfg.defaults(); err != nil {
+		return LoadResult{}, err
+	}
+
+	// One extra control connection: pre-window stats, post-window stats,
+	// and seeding.
+	ctl, err := cfg.dial()
+	if err != nil {
+		return LoadResult{}, err
+	}
+	defer ctl.Close()
+	// Seed the keyspace so GETs hit and the skiplist index has shape.
+	val := make([]byte, cfg.ValueSize)
+	for i := range val {
+		val[i] = byte('a' + i%26)
+	}
+	seedOps := make([]MultiOp, 0, 64)
+	for i := 0; i < cfg.Keys; {
+		seedOps = seedOps[:0]
+		for ; i < cfg.Keys && len(seedOps) < 64; i++ {
+			seedOps = append(seedOps, MSet(loadKey(i), val))
+		}
+		if _, _, err := ctl.MultiExec(seedOps); err != nil {
+			return LoadResult{}, fmt.Errorf("seeding: %w", err)
+		}
+	}
+	statsBefore, err := ctl.Stats()
+	if err != nil {
+		return LoadResult{}, err
+	}
+
+	workers := make([]*loadWorker, cfg.Conns)
+	for i := range workers {
+		cl, err := cfg.dial()
+		if err != nil {
+			return LoadResult{}, err
+		}
+		w := &loadWorker{cl: cl, rng: rand.New(rand.NewSource(cfg.Seed + int64(i)))}
+		if cfg.Skew > 1 {
+			w.zipf = rand.NewZipf(w.rng, cfg.Skew, 1, uint64(cfg.Keys-1))
+		}
+		workers[i] = w
+	}
+
+	var (
+		stop    atomic.Bool
+		wg      sync.WaitGroup
+		ferr    atomic.Value
+		feederC *Client
+	)
+
+	// Feeder: keeps the blocking token keyspace supplied so BTAKErs
+	// always eventually wake. Throttled so it does not dominate the
+	// measured throughput.
+	if cfg.BlockingRatio > 0 {
+		feederC, err = cfg.dial()
+		if err != nil {
+			return LoadResult{}, err
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			i := 0
+			for !stop.Load() {
+				if err := feederC.Set(blockKey(i%cfg.BlockKeys), val); err != nil {
+					if !stop.Load() {
+						ferr.Store(err)
+					}
+					return
+				}
+				i++
+				time.Sleep(100 * time.Microsecond)
+			}
+		}()
+	}
+
+	t0 := time.Now()
+	for _, w := range workers {
+		wg.Add(1)
+		go func(w *loadWorker) {
+			defer wg.Done()
+			w.run(&cfg, &stop, val)
+		}(w)
+	}
+
+	time.Sleep(cfg.Duration)
+	stop.Store(true)
+	// Grace for in-flight round trips, then cut blocked stragglers
+	// loose: a parked BTAKE only returns when a token arrives, and the
+	// feeder has stopped.
+	grace := time.AfterFunc(250*time.Millisecond, func() {
+		for _, w := range workers {
+			w.cl.Close()
+		}
+		if feederC != nil {
+			feederC.Close()
+		}
+	})
+	wg.Wait()
+	grace.Stop()
+	elapsed := time.Since(t0)
+
+	if e := ferr.Load(); e != nil {
+		return LoadResult{}, fmt.Errorf("feeder: %w", e.(error))
+	}
+
+	res := LoadResult{Elapsed: elapsed}
+	for _, w := range workers {
+		res.Ops += w.ops
+		res.Errors += w.errs
+		res.Gets += w.gets
+		res.Sets += w.sets
+		res.Multis += w.multis
+		res.Blocking += w.blocking
+	}
+	if res.Ops > 0 {
+		res.NsPerOp = float64(elapsed.Nanoseconds()) * float64(cfg.Conns) / float64(res.Ops)
+		res.OpsPerS = float64(res.Ops) / elapsed.Seconds()
+	}
+	statsAfter, err := ctl.Stats()
+	if err != nil {
+		return res, err
+	}
+	eng := statsAfter.Engine.Sub(statsBefore.Engine)
+	res.EngineCommits = eng.Commits + eng.LongCommits
+	for _, w := range workers {
+		w.cl.Close()
+	}
+	if feederC != nil {
+		feederC.Close() // no-op when the grace timer already cut it loose
+	}
+	return res, nil
+}
+
+// run is one worker's closed loop.
+func (w *loadWorker) run(cfg *LoadConfig, stop *atomic.Bool, val []byte) {
+	defer w.cl.Close()
+	scratch := make([]MultiOp, 0, cfg.TxnSize)
+	for !stop.Load() {
+		x := w.rng.Float64()
+		var err error
+		switch {
+		case x < cfg.BlockingRatio:
+			_, err = w.cl.BTake(blockKey(w.rng.Intn(cfg.BlockKeys)))
+			w.blocking++
+		case x < cfg.BlockingRatio+cfg.MultiRatio:
+			scratch = scratch[:0]
+			for i := 0; i < cfg.TxnSize; i++ {
+				k := loadKey(w.key(cfg))
+				if i%2 == 0 {
+					scratch = append(scratch, MGet(k))
+				} else {
+					scratch = append(scratch, MSet(k, val))
+				}
+			}
+			_, _, err = w.cl.MultiExec(scratch)
+			w.multis++
+		default:
+			k := loadKey(w.key(cfg))
+			if w.rng.Float64() < cfg.ReadRatio {
+				_, _, err = w.cl.Get(k)
+				w.gets++
+			} else {
+				err = w.cl.Set(k, val)
+				w.sets++
+			}
+		}
+		if err != nil {
+			if stop.Load() || errors.Is(err, ErrServerClosed) || errors.Is(err, net.ErrClosed) {
+				return
+			}
+			w.errs++
+		}
+		w.ops++
+	}
+}
+
+// key draws a key index under the configured distribution.
+func (w *loadWorker) key(cfg *LoadConfig) int {
+	if w.zipf != nil {
+		return int(w.zipf.Uint64())
+	}
+	return w.rng.Intn(cfg.Keys)
+}
+
+func loadKey(i int) string  { return "k:" + strconv.Itoa(i) }
+func blockKey(i int) string { return "bq:" + strconv.Itoa(i) }

@@ -1,0 +1,117 @@
+package server
+
+import (
+	"math/bits"
+	"sync/atomic"
+	"time"
+)
+
+// latBuckets is the number of exponential latency buckets: bucket i
+// holds operations with latency in [2^i, 2^(i+1)) microseconds, with
+// the first and last buckets absorbing the tails. 22 buckets span <1µs
+// to >2s.
+const latBuckets = 22
+
+// opMetrics is the per-opcode slice of the server's metrics: counts,
+// errors, cumulative latency and an exponential latency histogram. All
+// fields are updated with atomics; recording allocates nothing.
+type opMetrics struct {
+	count   atomic.Uint64
+	errs    atomic.Uint64
+	totalNs atomic.Uint64
+	buckets [latBuckets]atomic.Uint64
+}
+
+func (m *opMetrics) record(d time.Duration, err error) {
+	m.count.Add(1)
+	if err != nil {
+		m.errs.Add(1)
+	}
+	ns := uint64(d.Nanoseconds())
+	m.totalNs.Add(ns)
+	b := bits.Len64(ns / 1000) // microseconds, log2
+	if b >= latBuckets {
+		b = latBuckets - 1
+	}
+	m.buckets[b].Add(1)
+}
+
+// Metrics aggregates the server's operational counters: per-opcode
+// latency and the executor's lease/backpressure gauges. It is exported
+// over the wire by OpStats.
+type Metrics struct {
+	ops [opMax]opMetrics
+
+	// Executor gauges and counters.
+	fastInUse     atomic.Int64
+	blockingInUse atomic.Int64
+	waiters       atomic.Int64
+	acquires      atomic.Uint64
+	acquireWaits  atomic.Uint64 // acquisitions that had to queue
+	acquireWaitNs atomic.Uint64
+	rejects       atomic.Uint64 // acquisitions abandoned (ctx done / closed)
+}
+
+// OpCounters is the snapshot of one opcode's metrics.
+type OpCounters struct {
+	Count    uint64   `json:"count"`
+	Errors   uint64   `json:"errors"`
+	AvgUs    float64  `json:"avg_us"`
+	LatencyH []uint64 `json:"latency_log2us,omitempty"`
+}
+
+// ExecutorStats is the snapshot of the executor's lease accounting.
+type ExecutorStats struct {
+	FastLeases     int    `json:"fast_leases"`
+	BlockingLeases int    `json:"blocking_leases"`
+	FastInUse      int64  `json:"fast_in_use"`
+	BlockingInUse  int64  `json:"blocking_in_use"`
+	Waiters        int64  `json:"waiters"`
+	Acquires       uint64 `json:"acquires"`
+	AcquireWaits   uint64 `json:"acquire_waits"`
+	AcquireWaitUs  uint64 `json:"acquire_wait_us"`
+	Rejects        uint64 `json:"rejects"`
+}
+
+// MetricsSnapshot is the JSON form of Metrics.
+type MetricsSnapshot struct {
+	Ops      map[string]OpCounters `json:"ops"`
+	Executor ExecutorStats         `json:"executor"`
+}
+
+// snapshot captures the current counters. pool sizes come from the
+// executor (the Metrics struct does not know them).
+func (m *Metrics) snapshot(fastLeases, blockingLeases int) MetricsSnapshot {
+	out := MetricsSnapshot{Ops: make(map[string]OpCounters)}
+	for op := Op(1); op < opMax; op++ {
+		om := &m.ops[op]
+		n := om.count.Load()
+		if n == 0 {
+			continue
+		}
+		s := OpCounters{Count: n, Errors: om.errs.Load()}
+		s.AvgUs = float64(om.totalNs.Load()) / float64(n) / 1e3
+		h := make([]uint64, latBuckets)
+		nonzero := false
+		for i := range h {
+			h[i] = om.buckets[i].Load()
+			nonzero = nonzero || h[i] != 0
+		}
+		if nonzero {
+			s.LatencyH = h
+		}
+		out.Ops[op.String()] = s
+	}
+	out.Executor = ExecutorStats{
+		FastLeases:     fastLeases,
+		BlockingLeases: blockingLeases,
+		FastInUse:      m.fastInUse.Load(),
+		BlockingInUse:  m.blockingInUse.Load(),
+		Waiters:        m.waiters.Load(),
+		Acquires:       m.acquires.Load(),
+		AcquireWaits:   m.acquireWaits.Load(),
+		AcquireWaitUs:  m.acquireWaitNs.Load() / 1e3,
+		Rejects:        m.rejects.Load(),
+	}
+	return out
+}

@@ -1,0 +1,332 @@
+// Package server exposes a tbtm instance over TCP: tbtmd, a
+// transactional key-value server. The package provides the wire
+// protocol, the request executor that leases engine Threads to
+// connections, the server itself, a matching client, and a closed-loop
+// load generator.
+//
+// # Wire protocol
+//
+// Every request and every response is one frame: a 4-byte big-endian
+// payload length followed by the payload. A request payload is an opcode
+// byte followed by opcode-specific fields; byte strings are encoded as a
+// uvarint length followed by the bytes. A response payload is a status
+// byte followed by status/opcode-specific fields. One request gets
+// exactly one response, in order; a connection carries one request at a
+// time from the server's point of view, but clients may pipeline.
+//
+// Blocking opcodes (BTAKE, WAIT) may take arbitrarily long to answer:
+// the server parks the transaction on its read footprint (tbtm.Retry)
+// and replies when a remote commit changes the watched keys — or with
+// StatusClosed when the server shuts down.
+package server
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// Op is a protocol opcode.
+type Op byte
+
+// Protocol opcodes. OpGet..OpCas are also valid sub-opcodes inside an
+// OpMulti script.
+const (
+	// OpPing answers StatusOK with no payload.
+	OpPing Op = iota + 1
+	// OpGet reads one key: key. Response: value, or StatusNotFound.
+	OpGet
+	// OpSet writes one key: key, value. Response: StatusOK.
+	OpSet
+	// OpDel deletes one key: key. Response: one byte, 1 if the key
+	// existed.
+	OpDel
+	// OpCas compares-and-swaps one key: key, expect-present byte,
+	// expected value, new value. The swap succeeds when the key's
+	// presence matches expect-present and (if present) its value equals
+	// the expected bytes; on success the key is set to the new value.
+	// With expect-present = 0 it is create-if-absent. Response: one
+	// byte, 1 if swapped.
+	OpCas
+	// OpRange scans keys in ascending order: from, to, uvarint limit.
+	// The scan covers from <= key < to; an empty to means unbounded
+	// above; limit 0 means unlimited. Response: uvarint count, then
+	// count x (key, value) — one consistent snapshot.
+	OpRange
+	// OpMulti executes a script as ONE atomic transaction: uvarint
+	// count, then count sub-requests (OpGet/OpSet/OpDel/OpCas, encoded
+	// exactly like the top-level forms, opcode byte included). A failed
+	// OpCas aborts the whole script: nothing commits. Response: one
+	// committed byte, uvarint result count, then per-sub-op responses
+	// (status byte + payload as for the top-level op); when committed =
+	// 0 the results end at the sub-op that failed.
+	OpMulti
+	// OpBTake blocks until the key exists, then deletes it and returns
+	// its value: key. Response: value, or StatusClosed on shutdown.
+	OpBTake
+	// OpWait blocks until the key's state differs from the given one:
+	// key, old-present byte, old value. Response: present byte + value,
+	// or StatusClosed on shutdown.
+	OpWait
+	// OpStats answers a JSON StatsReply (engine + executor counters).
+	OpStats
+
+	opMax
+)
+
+// String names the opcode for metrics and errors.
+func (o Op) String() string {
+	switch o {
+	case OpPing:
+		return "ping"
+	case OpGet:
+		return "get"
+	case OpSet:
+		return "set"
+	case OpDel:
+		return "del"
+	case OpCas:
+		return "cas"
+	case OpRange:
+		return "range"
+	case OpMulti:
+		return "multi"
+	case OpBTake:
+		return "btake"
+	case OpWait:
+		return "wait"
+	case OpStats:
+		return "stats"
+	}
+	return fmt.Sprintf("op(%d)", byte(o))
+}
+
+// Status is the first byte of every response payload.
+type Status byte
+
+// Response statuses.
+const (
+	// StatusOK carries the opcode's success payload.
+	StatusOK Status = iota
+	// StatusNotFound reports a missing key (OpGet).
+	StatusNotFound
+	// StatusError carries an error string; the connection stays usable.
+	StatusError
+	// StatusClosed reports that the server is shutting down; blocked
+	// operations answer it when woken by shutdown.
+	StatusClosed
+)
+
+// DefaultMaxFrame bounds the payload size both sides will read.
+const DefaultMaxFrame = 1 << 20
+
+// Framing and parse errors.
+var (
+	// ErrFrameTooLarge reports a frame above the size limit.
+	ErrFrameTooLarge = errors.New("server: frame exceeds size limit")
+	// errTruncated reports a payload shorter than its opcode requires.
+	errTruncated = errors.New("server: truncated request payload")
+)
+
+// writeFrame writes one length-prefixed frame. hdr is scratch space for
+// the length prefix (to keep the hot path allocation-free).
+func writeFrame(w io.Writer, hdr *[4]byte, payload []byte) error {
+	binary.BigEndian.PutUint32(hdr[:], uint32(len(payload)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(payload)
+	return err
+}
+
+// readFrame reads one frame into buf (grown as needed) and returns the
+// payload slice, which is valid until the next call.
+func readFrame(r io.Reader, hdr *[4]byte, buf []byte, maxFrame int) ([]byte, []byte, error) {
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, buf, err
+	}
+	n := int(binary.BigEndian.Uint32(hdr[:]))
+	if n > maxFrame {
+		return nil, buf, ErrFrameTooLarge
+	}
+	if cap(buf) < n {
+		buf = make([]byte, n)
+	}
+	buf = buf[:n]
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return nil, buf, err
+	}
+	return buf, buf, nil
+}
+
+// appendBytes appends a uvarint-length-prefixed byte string.
+func appendBytes(b, p []byte) []byte {
+	b = binary.AppendUvarint(b, uint64(len(p)))
+	return append(b, p...)
+}
+
+// appendString is appendBytes for string payloads without conversion.
+func appendString(b []byte, s string) []byte {
+	b = binary.AppendUvarint(b, uint64(len(s)))
+	return append(b, s...)
+}
+
+// takeBytes consumes one uvarint-length-prefixed byte string from p,
+// returning the string (aliasing p) and the rest.
+func takeBytes(p []byte) ([]byte, []byte, error) {
+	n, sz := binary.Uvarint(p)
+	if sz <= 0 || uint64(len(p)-sz) < n {
+		return nil, p, errTruncated
+	}
+	return p[sz : sz+int(n)], p[sz+int(n):], nil
+}
+
+// takeUvarint consumes one uvarint from p.
+func takeUvarint(p []byte) (uint64, []byte, error) {
+	n, sz := binary.Uvarint(p)
+	if sz <= 0 {
+		return 0, p, errTruncated
+	}
+	return n, p[sz:], nil
+}
+
+// takeByte consumes one byte from p.
+func takeByte(p []byte) (byte, []byte, error) {
+	if len(p) < 1 {
+		return 0, p, errTruncated
+	}
+	return p[0], p[1:], nil
+}
+
+// subReq is one decoded operation: either a top-level single-key request
+// or one entry of an OpMulti script. All byte slices alias the frame
+// buffer and are valid only until the next frame is read.
+type subReq struct {
+	op            Op
+	key           []byte
+	val           []byte
+	expect        []byte
+	expectPresent bool
+}
+
+// request is a decoded request frame, reused across requests on a
+// connection.
+type request struct {
+	op Op
+
+	// Single-key ops and OpWait reuse the subReq fields.
+	subReq
+
+	// OpRange.
+	from, to []byte
+	limit    int
+
+	// OpMulti.
+	multi []subReq
+}
+
+// parseSingle decodes the fields of one single-key operation (after the
+// opcode byte) into sub.
+func parseSingle(op Op, p []byte, sub *subReq) ([]byte, error) {
+	var err error
+	sub.op = op
+	sub.val, sub.expect = nil, nil
+	sub.expectPresent = false
+	if sub.key, p, err = takeBytes(p); err != nil {
+		return p, err
+	}
+	switch op {
+	case OpGet, OpDel, OpBTake:
+	case OpSet:
+		if sub.val, p, err = takeBytes(p); err != nil {
+			return p, err
+		}
+	case OpCas:
+		var flag byte
+		if flag, p, err = takeByte(p); err != nil {
+			return p, err
+		}
+		sub.expectPresent = flag != 0
+		if sub.expect, p, err = takeBytes(p); err != nil {
+			return p, err
+		}
+		if sub.val, p, err = takeBytes(p); err != nil {
+			return p, err
+		}
+	default:
+		return p, fmt.Errorf("server: opcode %s not valid here", op)
+	}
+	return p, nil
+}
+
+// parseRequest decodes payload into req, reusing req's buffers. The
+// decoded request aliases payload.
+func parseRequest(payload []byte, req *request) error {
+	op, p, err := takeByte(payload)
+	if err != nil {
+		return err
+	}
+	req.op = Op(op)
+	switch req.op {
+	case OpPing, OpStats:
+		return nil
+	case OpGet, OpSet, OpDel, OpCas, OpBTake:
+		_, err = parseSingle(req.op, p, &req.subReq)
+		return err
+	case OpWait:
+		req.subReq.op = OpWait
+		req.val, req.expect = nil, nil
+		if req.key, p, err = takeBytes(p); err != nil {
+			return err
+		}
+		var flag byte
+		if flag, p, err = takeByte(p); err != nil {
+			return err
+		}
+		req.expectPresent = flag != 0
+		req.expect, _, err = takeBytes(p)
+		return err
+	case OpRange:
+		if req.from, p, err = takeBytes(p); err != nil {
+			return err
+		}
+		if req.to, p, err = takeBytes(p); err != nil {
+			return err
+		}
+		n, _, err := takeUvarint(p)
+		if err != nil {
+			return err
+		}
+		// Clamp: a wire limit beyond any plausible reply is "unlimited
+		// up to the frame bound", never a negative int after conversion.
+		if n > 1<<31-1 {
+			n = 1<<31 - 1
+		}
+		req.limit = int(n)
+		return nil
+	case OpMulti:
+		n, p, err := takeUvarint(p)
+		if err != nil {
+			return err
+		}
+		if n > uint64(len(payload)) { // each sub-op takes >= 1 byte
+			return errTruncated
+		}
+		req.multi = req.multi[:0]
+		for i := uint64(0); i < n; i++ {
+			var op byte
+			if op, p, err = takeByte(p); err != nil {
+				return err
+			}
+			var sub subReq
+			if p, err = parseSingle(Op(op), p, &sub); err != nil {
+				return err
+			}
+			req.multi = append(req.multi, sub)
+		}
+		return nil
+	default:
+		return fmt.Errorf("server: unknown opcode %d", op)
+	}
+}

@@ -1,0 +1,124 @@
+package server
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"testing"
+)
+
+func TestFrameRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	var hdr [4]byte
+	payloads := [][]byte{nil, {0x01}, bytes.Repeat([]byte("xy"), 1000)}
+	for _, p := range payloads {
+		if err := writeFrame(&buf, &hdr, p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var scratch []byte
+	for _, want := range payloads {
+		got, s, err := readFrame(&buf, &hdr, scratch, DefaultMaxFrame)
+		scratch = s
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Fatalf("frame = %q, want %q", got, want)
+		}
+	}
+}
+
+func TestFrameTooLarge(t *testing.T) {
+	var buf bytes.Buffer
+	var hdr [4]byte
+	if err := writeFrame(&buf, &hdr, make([]byte, 100)); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := readFrame(&buf, &hdr, nil, 10); !errors.Is(err, ErrFrameTooLarge) {
+		t.Fatalf("err = %v, want ErrFrameTooLarge", err)
+	}
+}
+
+func TestParseRequestRoundTrip(t *testing.T) {
+	var req request
+
+	// SET with fields.
+	p := appendString([]byte{byte(OpSet)}, "key")
+	p = appendBytes(p, []byte("value"))
+	if err := parseRequest(p, &req); err != nil {
+		t.Fatal(err)
+	}
+	if req.op != OpSet || string(req.key) != "key" || string(req.val) != "value" {
+		t.Fatalf("parsed %+v", req)
+	}
+
+	// CAS with flags.
+	p = appendString([]byte{byte(OpCas)}, "k")
+	p = append(p, 1)
+	p = appendBytes(p, []byte("old"))
+	p = appendBytes(p, []byte("new"))
+	if err := parseRequest(p, &req); err != nil {
+		t.Fatal(err)
+	}
+	if !req.expectPresent || string(req.expect) != "old" || string(req.val) != "new" {
+		t.Fatalf("parsed %+v", req)
+	}
+
+	// RANGE.
+	p = appendString([]byte{byte(OpRange)}, "a")
+	p = appendString(p, "z")
+	p = binary.AppendUvarint(p, 7)
+	if err := parseRequest(p, &req); err != nil {
+		t.Fatal(err)
+	}
+	if string(req.from) != "a" || string(req.to) != "z" || req.limit != 7 {
+		t.Fatalf("parsed %+v", req)
+	}
+
+	// MULTI with a mix, reusing the same request struct.
+	p = []byte{byte(OpMulti)}
+	p = binary.AppendUvarint(p, 2)
+	p = appendString(append(p, byte(OpGet)), "g")
+	p = appendString(append(p, byte(OpSet)), "s")
+	p = appendBytes(p, []byte("sv"))
+	if err := parseRequest(p, &req); err != nil {
+		t.Fatal(err)
+	}
+	if len(req.multi) != 2 || req.multi[0].op != OpGet || string(req.multi[1].val) != "sv" {
+		t.Fatalf("parsed multi %+v", req.multi)
+	}
+
+	// BTAKE and WAIT.
+	p = appendString([]byte{byte(OpBTake)}, "q")
+	if err := parseRequest(p, &req); err != nil || string(req.key) != "q" {
+		t.Fatalf("btake parse: %v %+v", err, req)
+	}
+	p = appendString([]byte{byte(OpWait)}, "w")
+	p = append(p, 1)
+	p = appendBytes(p, []byte("ov"))
+	if err := parseRequest(p, &req); err != nil {
+		t.Fatal(err)
+	}
+	if string(req.key) != "w" || !req.expectPresent || string(req.expect) != "ov" {
+		t.Fatalf("wait parse %+v", req)
+	}
+}
+
+func TestParseRequestTruncated(t *testing.T) {
+	var req request
+	cases := [][]byte{
+		{},                      // empty
+		{byte(OpSet)},           // missing key
+		{byte(OpSet), 3, 'a'},   // short key
+		{byte(OpCas), 1, 'k'},   // missing flag and values
+		{byte(OpMulti), 0xFF},   // bad count varint (single 0xFF byte)
+		{byte(OpMulti), 5},      // count larger than payload
+		{byte(OpRange), 1, 'a'}, // missing to and limit
+	}
+	for i, p := range cases {
+		if err := parseRequest(p, &req); err == nil {
+			t.Errorf("case %d (% x): parse accepted a truncated request", i, p)
+		}
+	}
+}

@@ -1,0 +1,580 @@
+package server
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"runtime"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"tbtm"
+)
+
+// Config configures a Server. The zero value is usable: ZLinearizable,
+// auto-sized lease pools, 1024 hash buckets.
+type Config struct {
+	// Consistency selects the engine's criterion (0 = ZLinearizable).
+	// The server works on every backend; the acceptance workloads run at
+	// least Linearizable (LSA) and Serializable (S-STM).
+	Consistency tbtm.Consistency
+	// Leases sizes the fast (non-blocking) lease tranche; 0 means
+	// 2*GOMAXPROCS. See the executor's package comment for the contract.
+	Leases int
+	// BlockingLeases sizes the blocking tranche (BTAKE/WAIT); 0 means
+	// 64. Parked leases hold no epoch pin, so this can be generous.
+	BlockingLeases int
+	// Buckets sizes the value hash map (0 = 1024).
+	Buckets int
+	// MaxFrame bounds request payloads (0 = DefaultMaxFrame).
+	MaxFrame int
+	// LongOpens overrides the classifier's long-promotion threshold
+	// (0 = the adaptive package default).
+	LongOpens float64
+	// TMOptions are appended to the server's own engine options;
+	// invariant-bearing options (WithBlockingRetry, WithAutoClassify,
+	// vector-clock WithThreads sizing) are applied after, so they win.
+	TMOptions []tbtm.Option
+}
+
+// StatsReply is the JSON document answered to OpStats.
+type StatsReply struct {
+	Engine   tbtm.Stats      `json:"engine"`
+	Metrics  MetricsSnapshot `json:"metrics"`
+	Conns    int64           `json:"conns"`
+	UptimeMs int64           `json:"uptime_ms"`
+}
+
+// Server is a tbtmd instance: one engine, one executor, one store, any
+// number of listeners (normally one).
+type Server struct {
+	cfg   Config
+	tm    *tbtm.TM
+	exec  *Executor
+	store store
+
+	// sysTh runs the server's own transactions (the shutdown commit). It
+	// is dedicated: at shutdown every pool lease may be parked.
+	sysTh *tbtm.Thread
+
+	// cancelTh commits per-connection cancel flags when disconnect
+	// monitors fire; guarded by cancelMu (Thread handles are not
+	// concurrency-safe, and monitors are rare).
+	cancelMu sync.Mutex
+	cancelTh *tbtm.Thread
+
+	start    time.Time
+	closed   atomic.Bool
+	inflight atomic.Int64 // requests between decode and response write
+	conns    atomic.Int64
+
+	mu      sync.Mutex
+	ln      net.Listener
+	open    map[net.Conn]struct{}
+	serving sync.WaitGroup
+}
+
+// New builds a Server (and its TM) from cfg.
+func New(cfg Config) (*Server, error) {
+	if cfg.Consistency == 0 {
+		cfg.Consistency = tbtm.ZLinearizable
+	}
+	if cfg.Leases <= 0 {
+		cfg.Leases = 2 * runtime.GOMAXPROCS(0)
+	}
+	if cfg.BlockingLeases <= 0 {
+		cfg.BlockingLeases = 64
+	}
+	if cfg.Buckets <= 0 {
+		cfg.Buckets = 1024
+	}
+	if cfg.MaxFrame <= 0 {
+		cfg.MaxFrame = DefaultMaxFrame
+	}
+	opts := []tbtm.Option{tbtm.WithConsistency(cfg.Consistency)}
+	opts = append(opts, cfg.TMOptions...)
+	// The server's invariants go last so they cannot be overridden:
+	// blocking ops park (never spin), update sites classify themselves,
+	// and vector time bases are sized for every pooled Thread plus the
+	// system thread.
+	opts = append(opts,
+		tbtm.WithBlockingRetry(),
+		tbtm.WithAutoClassify(cfg.LongOpens),
+	)
+	if cfg.Consistency == tbtm.CausallySerializable || cfg.Consistency == tbtm.Serializable {
+		opts = append(opts, tbtm.WithThreads(cfg.Leases+cfg.BlockingLeases+2))
+	}
+	tm, err := tbtm.New(opts...)
+	if err != nil {
+		return nil, err
+	}
+	s := &Server{
+		cfg:   cfg,
+		tm:    tm,
+		store: newStore(tm, cfg.Buckets),
+		start: time.Now(),
+		open:  make(map[net.Conn]struct{}),
+	}
+	s.exec = NewExecutor(tm, cfg.Leases, cfg.BlockingLeases, &Metrics{})
+	s.sysTh = tm.NewThread()
+	s.cancelTh = tm.NewThread()
+	return s, nil
+}
+
+// TM returns the server's engine (for embedding servers in tests and
+// examples).
+func (s *Server) TM() *tbtm.TM { return s.tm }
+
+// Executor returns the server's Thread-executor.
+func (s *Server) Executor() *Executor { return s.exec }
+
+// ListenAndServe listens on addr and serves until Close.
+func (s *Server) ListenAndServe(addr string) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	return s.Serve(ln)
+}
+
+// Addr returns the bound listener address ("" before Serve).
+func (s *Server) Addr() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.ln == nil {
+		return ""
+	}
+	return s.ln.Addr().String()
+}
+
+// Serve accepts connections on ln until Close. It returns nil after a
+// graceful Close and the accept error otherwise.
+func (s *Server) Serve(ln net.Listener) error {
+	s.mu.Lock()
+	if s.closed.Load() {
+		s.mu.Unlock()
+		ln.Close()
+		return ErrServerClosed
+	}
+	s.ln = ln
+	s.mu.Unlock()
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			if s.closed.Load() {
+				return nil
+			}
+			return err
+		}
+		s.mu.Lock()
+		if s.closed.Load() {
+			s.mu.Unlock()
+			conn.Close()
+			continue
+		}
+		s.open[conn] = struct{}{}
+		s.serving.Add(1)
+		s.mu.Unlock()
+		s.conns.Add(1)
+		go s.handle(conn)
+	}
+}
+
+// Close shuts the server down gracefully: stop accepting, commit the
+// shutdown flag (which wakes every parked BTAKE/WAIT — they answer
+// StatusClosed), drain in-flight responses, then close connections and
+// the executor. Safe to call more than once.
+func (s *Server) Close() error {
+	if !s.closed.CompareAndSwap(false, true) {
+		return nil
+	}
+	s.mu.Lock()
+	if s.ln != nil {
+		s.ln.Close()
+	}
+	s.mu.Unlock()
+	// Wake parked clients; their handlers write StatusClosed responses.
+	if err := s.store.markClosed(s.sysTh); err != nil {
+		return err
+	}
+	// Drain: wait (bounded) for in-flight requests to write responses.
+	for deadline := time.Now().Add(5 * time.Second); s.inflight.Load() > 0; {
+		if time.Now().After(deadline) {
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+	s.mu.Lock()
+	for c := range s.open {
+		c.Close()
+	}
+	s.mu.Unlock()
+	s.serving.Wait()
+	s.exec.Close()
+	return nil
+}
+
+// conn is the per-connection state: buffered IO plus every buffer the
+// request/response cycle needs, allocated once per connection so the
+// warm request path allocates nothing.
+type conn struct {
+	s   *Server
+	c   net.Conn
+	br  *bufio.Reader
+	bw  *bufio.Writer
+	hdr [4]byte
+
+	frame []byte  // reusable request frame buffer
+	req   request // decoded request (aliases frame)
+	resp  []byte  // reusable response build buffer
+
+	results []subResult // reusable multi result buffer
+	msubs   []multiSub  // reusable materialised multi script
+
+	// Blocking-op disconnect detection: cancel is the connection's
+	// transactional hang-up flag (created on the first blocking op; a
+	// parked BTAKE/WAIT reads it on the park path, so committing it
+	// wakes the parked transaction), and monDone joins the Peek monitor
+	// before the next frame read touches br.
+	cancel  *tbtm.Var[bool]
+	monDone chan struct{}
+
+	// Hot-path state for the prebound closures below: the two
+	// single-key operations a warm client hammers (GET, SET) run
+	// through closures built once per connection, so serving them
+	// allocates neither a closure nor captured variables per request.
+	opKey  string
+	opVal  []byte
+	getVal []byte
+	getOK  bool
+	getFn  func(*tbtm.Thread) error
+	setFn  func(*tbtm.Thread) error
+
+	// Single-entry key-string cache: a client hammering one key (the
+	// warm hot path the alloc tests pin) converts wire bytes to the
+	// map's string key once, not per request. keyRaw holds a private
+	// copy of the cached key's bytes for the equality check (the frame
+	// buffer is reused).
+	keyRaw []byte
+	keyStr string
+}
+
+// handle serves one connection until EOF, error, or server close.
+func (s *Server) handle(c net.Conn) {
+	defer s.serving.Done()
+	defer s.conns.Add(-1)
+	cn := &conn{
+		s:  s,
+		c:  c,
+		br: bufio.NewReader(c),
+		bw: bufio.NewWriter(c),
+	}
+	cn.getFn = func(th *tbtm.Thread) error {
+		var e error
+		cn.getVal, cn.getOK, e = s.store.get(th, cn.opKey)
+		return e
+	}
+	cn.setFn = func(th *tbtm.Thread) error {
+		return s.store.set(th, cn.opKey, cn.opVal)
+	}
+	defer func() {
+		s.mu.Lock()
+		delete(s.open, c)
+		s.mu.Unlock()
+		c.Close()
+	}()
+	for {
+		payload, buf, err := readFrame(cn.br, &cn.hdr, cn.frame, s.cfg.MaxFrame)
+		cn.frame = buf
+		if err != nil {
+			return // EOF, conn closed, or a framing error we cannot answer
+		}
+		s.inflight.Add(1)
+		err = cn.serveOne(payload)
+		s.inflight.Add(-1)
+		if cn.monDone != nil {
+			// A blocking op ran: its disconnect monitor is parked in
+			// br.Peek. It returns when the client sends the next request
+			// (without consuming it) or hangs up; either way it must be
+			// out of br before the next readFrame.
+			<-cn.monDone
+			cn.monDone = nil
+		}
+		if err != nil {
+			return
+		}
+	}
+}
+
+// startMonitor watches the connection for a hang-up while a blocking
+// operation is (possibly) parked: the handler goroutine is inside the
+// transaction, so a second goroutine peeks the read side. Peek consumes
+// nothing — an error means the client hung up, and committing the
+// cancel flag wakes the parked transaction so the lease is returned
+// and, for BTAKE, the key is NOT consumed for a client that can no
+// longer receive it.
+//
+// Scope: detection covers clients awaiting the blocking response — the
+// strict request/response discipline of the reference Client. If Peek
+// sees DATA the client has pipelined a request behind the blocking op;
+// it was alive a moment ago, the monitor stands down (peeking deeper
+// would have to consume), and a crash after that point is noticed when
+// the pipelined request's turn comes to read the socket. Until then a
+// parked lease can be held for a crashed pipelining client — bounded by
+// the blocking tranche and reclaimed by feed-or-shutdown, and the
+// tranche is sized generously precisely because parked leases are
+// cheap.
+func (cn *conn) startMonitor() {
+	if cn.cancel == nil {
+		cn.cancel = tbtm.NewVar(cn.s.tm, false)
+	}
+	done := make(chan struct{})
+	cn.monDone = done
+	go func() {
+		defer close(done)
+		if _, err := cn.br.Peek(1); err != nil {
+			cn.s.cancelBlocked(cn.cancel)
+		}
+	}()
+}
+
+// cancelBlocked commits a connection's hang-up flag.
+func (s *Server) cancelBlocked(v *tbtm.Var[bool]) {
+	s.cancelMu.Lock()
+	defer s.cancelMu.Unlock()
+	_ = s.cancelTh.Atomic(tbtm.Short, func(tx tbtm.Tx) error {
+		return v.Write(tx, true)
+	})
+}
+
+// keyString converts a wire key to the store's string key through the
+// connection's single-entry cache.
+func (cn *conn) keyString(b []byte) string {
+	if bytes.Equal(b, cn.keyRaw) && cn.keyStr != "" {
+		return cn.keyStr
+	}
+	cn.keyRaw = append(cn.keyRaw[:0], b...)
+	cn.keyStr = string(b)
+	return cn.keyStr
+}
+
+// serveOne decodes one request payload, executes it, and writes the
+// response frame. A non-nil return tears the connection down.
+func (cn *conn) serveOne(payload []byte) error {
+	s := cn.s
+	out := cn.resp[:0]
+	if err := parseRequest(payload, &cn.req); err != nil {
+		out = append(out, byte(StatusError))
+		out = appendString(out, err.Error())
+		return cn.flush(out)
+	}
+	req := &cn.req
+	if s.closed.Load() {
+		out = append(out, byte(StatusClosed))
+		return cn.flush(out)
+	}
+	switch req.op {
+	case OpPing:
+		out = append(out, byte(StatusOK))
+
+	case OpGet:
+		cn.opKey = cn.keyString(req.key)
+		err := s.exec.Do(nil, OpGet, false, cn.getFn)
+		if err == nil && !cn.getOK {
+			out = append(out, byte(StatusNotFound))
+		} else {
+			out = cn.status(out, err, nil)
+			if err == nil {
+				out = appendBytes(out, cn.getVal)
+			}
+		}
+		cn.getVal = nil
+
+	case OpSet:
+		cn.opKey = cn.keyString(req.key)
+		cn.opVal = copyBytes(req.val)
+		err := s.exec.Do(nil, OpSet, false, cn.setFn)
+		cn.opVal = nil
+		out = cn.status(out, err, nil)
+
+	case OpDel:
+		var deleted bool
+		err := s.exec.Do(nil, OpDel, false, func(th *tbtm.Thread) error {
+			var e error
+			deleted, e = s.store.del(th, cn.keyString(req.key))
+			return e
+		})
+		out = cn.status(out, err, func(out []byte) []byte {
+			return append(out, boolByte(deleted))
+		})
+
+	case OpCas:
+		var swapped bool
+		err := s.exec.Do(nil, OpCas, false, func(th *tbtm.Thread) error {
+			var e error
+			swapped, e = s.store.cas(th, cn.keyString(req.key), req.expectPresent, req.expect, copyBytes(req.val))
+			return e
+		})
+		out = cn.status(out, err, func(out []byte) []byte {
+			return append(out, boolByte(swapped))
+		})
+
+	case OpRange:
+		var pairs []kv
+		err := s.exec.Do(nil, OpRange, false, func(th *tbtm.Thread) error {
+			var e error
+			pairs, e = s.store.rangeScan(th, string(req.from), string(req.to), req.limit)
+			return e
+		})
+		out = cn.status(out, err, func(out []byte) []byte {
+			out = binary.AppendUvarint(out, uint64(len(pairs)))
+			for _, p := range pairs {
+				out = appendString(out, p.key)
+				out = appendBytes(out, p.val)
+			}
+			return out
+		})
+
+	case OpMulti:
+		cn.msubs = materialize(req.multi, cn.msubs)
+		var committed bool
+		err := s.exec.Do(nil, OpMulti, false, func(th *tbtm.Thread) error {
+			var e error
+			committed, e = s.store.multi(th, cn.msubs, &cn.results)
+			return e
+		})
+		out = cn.status(out, err, func(out []byte) []byte {
+			out = append(out, boolByte(committed))
+			out = binary.AppendUvarint(out, uint64(len(cn.results)))
+			for i := range cn.results {
+				r := &cn.results[i]
+				out = append(out, byte(r.status))
+				switch req.multi[i].op {
+				case OpGet:
+					if r.status == StatusOK {
+						out = appendBytes(out, r.val)
+					}
+				case OpSet:
+				case OpDel, OpCas:
+					out = append(out, boolByte(r.present))
+				}
+			}
+			return out
+		})
+
+	case OpBTake:
+		cn.startMonitor()
+		var val []byte
+		err := s.exec.Do(nil, OpBTake, true, func(th *tbtm.Thread) error {
+			var e error
+			val, e = s.store.btake(th, cn.keyString(req.key), cn.cancel)
+			return e
+		})
+		out = cn.status(out, err, func(out []byte) []byte {
+			return appendBytes(out, val)
+		})
+
+	case OpWait:
+		cn.startMonitor()
+		var val []byte
+		var present bool
+		err := s.exec.Do(nil, OpWait, true, func(th *tbtm.Thread) error {
+			var e error
+			val, present, e = s.store.wait(th, cn.keyString(req.key), req.expectPresent, req.expect, cn.cancel)
+			return e
+		})
+		out = cn.status(out, err, func(out []byte) []byte {
+			out = append(out, boolByte(present))
+			if present {
+				out = appendBytes(out, val)
+			}
+			return out
+		})
+
+	case OpStats:
+		reply := StatsReply{
+			Engine:   s.tm.Stats(),
+			Metrics:  s.exec.m.snapshot(s.exec.nFast, s.exec.nBlock),
+			Conns:    s.conns.Load(),
+			UptimeMs: time.Since(s.start).Milliseconds(),
+		}
+		doc, err := json.Marshal(reply)
+		out = cn.status(out, err, func(out []byte) []byte {
+			return appendBytes(out, doc)
+		})
+
+	default:
+		out = append(out, byte(StatusError))
+		out = appendString(out, fmt.Sprintf("server: unknown opcode %d", req.op))
+	}
+	return cn.flush(out)
+}
+
+// status appends the response head for err, then — on success — lets ok
+// append the payload. ErrServerClosed maps to StatusClosed, every other
+// error to StatusError with its message.
+func (cn *conn) status(out []byte, err error, ok func([]byte) []byte) []byte {
+	switch {
+	case err == nil:
+		out = append(out, byte(StatusOK))
+		if ok != nil {
+			out = ok(out)
+		}
+	case errors.Is(err, ErrServerClosed) || errors.Is(err, ErrExecutorClosed), errors.Is(err, errClientGone):
+		out = append(out, byte(StatusClosed)) // for errClientGone nobody is reading; the frame keeps the stream well-formed
+	default:
+		out = append(out, byte(StatusError))
+		out = appendString(out, err.Error())
+	}
+	return out
+}
+
+// flush writes the response frame and retains the (possibly grown)
+// buffer for reuse. Responses obey the same frame bound as requests: an
+// oversized reply (an unbounded RANGE over a big store) is replaced by
+// a StatusError frame rather than desynchronising a client whose
+// readFrame would reject the length prefix without consuming the body.
+func (cn *conn) flush(out []byte) error {
+	if len(out) > cn.s.cfg.MaxFrame {
+		out = append(out[:0], byte(StatusError))
+		out = appendString(out, fmt.Sprintf(
+			"server: reply exceeds the %d-byte frame limit; narrow the range or pass a limit and resume from the last key", cn.s.cfg.MaxFrame))
+	}
+	cn.resp = out[:0]
+	if err := writeFrame(cn.bw, &cn.hdr, out); err != nil {
+		return err
+	}
+	return cn.bw.Flush()
+}
+
+func boolByte(b bool) byte {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// ParseConsistency maps a command-line name to a consistency criterion.
+func ParseConsistency(name string) (tbtm.Consistency, error) {
+	switch strings.ToLower(name) {
+	case "lsa", "linearizable":
+		return tbtm.Linearizable, nil
+	case "single", "tl2", "singleversion":
+		return tbtm.SingleVersion, nil
+	case "causal", "cstm", "causallyserializable":
+		return tbtm.CausallySerializable, nil
+	case "serializable", "sstm":
+		return tbtm.Serializable, nil
+	case "zlin", "zstm", "zlinearizable":
+		return tbtm.ZLinearizable, nil
+	case "si", "sistm", "snapshotisolation":
+		return tbtm.SnapshotIsolation, nil
+	}
+	return 0, fmt.Errorf("server: unknown consistency %q (lsa|single|causal|serializable|zlin|si)", name)
+}

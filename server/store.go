@@ -1,0 +1,360 @@
+package server
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+
+	"tbtm"
+	"tbtm/structs"
+)
+
+// ErrServerClosed reports an operation refused — or a blocked operation
+// woken — because the server is shutting down.
+var ErrServerClosed = errors.New("server: closed")
+
+// errClientGone wakes a parked operation whose client disconnected; the
+// connection is torn down without consuming the watched key.
+var errClientGone = errors.New("server: client disconnected")
+
+// scriptAbort is returned from inside an OpMulti transaction body when a
+// CAS sub-op fails: it is non-retryable, so Atomic aborts the attempt
+// and nothing in the script commits. failed is the index of the sub-op
+// that failed.
+type scriptAbort struct{ failed int }
+
+func (a *scriptAbort) Error() string {
+	return fmt.Sprintf("server: multi script aborted at op %d", a.failed)
+}
+
+// Classifier sites for the executor's update paths. They are package
+// constants on purpose: AtomicSite keys its per-site statistics by the
+// string, and building the name per request ("set:"+key and the like)
+// would both allocate on the hot path and explode the site table.
+// TestWarmServerOpAllocs pins the no-per-request-allocation property.
+const (
+	siteSet   = "tbtmd/set"
+	siteDel   = "tbtmd/del"
+	siteCas   = "tbtmd/cas"
+	siteMulti = "tbtmd/multi"
+	siteBTake = "tbtmd/btake"
+)
+
+// store is the server's transactional state: a hash map holding the
+// values and a skip-list index over the keys for ordered RANGE scans,
+// updated together inside every writing transaction, plus the shutdown
+// flag blocking operations watch.
+//
+// Values are stored as the []byte handed in, never copied or mutated
+// afterwards (the library's immutable-snapshot rule), so callers must
+// pass buffers they will not reuse — the connection handler copies out
+// of its frame buffer, and readers may send a returned value without
+// copying.
+type store struct {
+	vals *structs.Map[string, []byte]
+	keys *structs.SkipList[string]
+	// closed is read by blocking bodies on their retry path only, so it
+	// joins the parked footprint exactly when a client is parked: the
+	// shutdown commit wakes every parked client.
+	closed *tbtm.Var[bool]
+}
+
+func newStore(tm *tbtm.TM, buckets int) store {
+	return store{
+		vals:   structs.NewMap[string, []byte](tm, buckets, structs.StringHash),
+		keys:   structs.NewSkipList[string](tm, func(a, b string) bool { return a < b }),
+		closed: tbtm.NewVar(tm, false),
+	}
+}
+
+// getTx reads key inside tx.
+func (s *store) getTx(tx tbtm.Tx, key string) ([]byte, bool, error) {
+	return s.vals.Get(tx, key)
+}
+
+// setTx writes key inside tx, maintaining the range index.
+func (s *store) setTx(tx tbtm.Tx, key string, val []byte) error {
+	inserted, err := s.vals.Put(tx, key, val)
+	if err != nil {
+		return err
+	}
+	if inserted {
+		_, err = s.keys.Insert(tx, key)
+	}
+	return err
+}
+
+// delTx removes key inside tx, maintaining the range index.
+func (s *store) delTx(tx tbtm.Tx, key string) (bool, error) {
+	deleted, err := s.vals.Delete(tx, key)
+	if err != nil || !deleted {
+		return false, err
+	}
+	if _, err := s.keys.Remove(tx, key); err != nil {
+		return false, err
+	}
+	return true, nil
+}
+
+// casTx compares-and-swaps key inside tx: the swap applies iff the key's
+// presence matches expectPresent and, when present, its bytes equal
+// expect.
+func (s *store) casTx(tx tbtm.Tx, key string, expectPresent bool, expect, val []byte) (bool, error) {
+	cur, ok, err := s.vals.Get(tx, key)
+	if err != nil {
+		return false, err
+	}
+	if ok != expectPresent || (ok && !bytes.Equal(cur, expect)) {
+		return false, nil
+	}
+	return true, s.setTx(tx, key, val)
+}
+
+// get runs a single-key read in its own short read-only transaction.
+func (s *store) get(th *tbtm.Thread, key string) (val []byte, ok bool, err error) {
+	err = th.AtomicReadOnly(tbtm.Short, func(tx tbtm.Tx) error {
+		var e error
+		val, ok, e = s.getTx(tx, key)
+		return e
+	})
+	return
+}
+
+// set runs a single-key write under the classifier's siteSet.
+func (s *store) set(th *tbtm.Thread, key string, val []byte) error {
+	return th.AtomicSite(siteSet, func(tx tbtm.Tx) error {
+		return s.setTx(tx, key, val)
+	})
+}
+
+// del runs a single-key delete under siteDel.
+func (s *store) del(th *tbtm.Thread, key string) (deleted bool, err error) {
+	err = th.AtomicSite(siteDel, func(tx tbtm.Tx) error {
+		var e error
+		deleted, e = s.delTx(tx, key)
+		return e
+	})
+	return
+}
+
+// cas runs a compare-and-swap under siteCas.
+func (s *store) cas(th *tbtm.Thread, key string, expectPresent bool, expect, val []byte) (swapped bool, err error) {
+	err = th.AtomicSite(siteCas, func(tx tbtm.Tx) error {
+		var e error
+		swapped, e = s.casTx(tx, key, expectPresent, expect, val)
+		return e
+	})
+	return
+}
+
+// kv is one key/value pair of a RANGE reply.
+type kv struct {
+	key string
+	val []byte
+}
+
+// rangeScan returns, in one long read-only transaction, up to limit
+// pairs with from <= key < to (to == "" means unbounded above, limit 0
+// means unlimited). The whole scan is one consistent snapshot.
+func (s *store) rangeScan(th *tbtm.Thread, from, to string, limit int) ([]kv, error) {
+	var out []kv
+	err := th.AtomicReadOnly(tbtm.Long, func(tx tbtm.Tx) error {
+		out = out[:0]
+		return s.keys.AscendFrom(tx, from, func(k string) (bool, error) {
+			if to != "" && k >= to {
+				return false, nil
+			}
+			v, ok, err := s.vals.Get(tx, k)
+			if err != nil {
+				return false, err
+			}
+			if ok { // the index is maintained with the map; ok is always true
+				out = append(out, kv{key: k, val: v})
+			}
+			return limit == 0 || len(out) < limit, nil
+		})
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// subResult is the outcome of one sub-op of a multi script.
+type subResult struct {
+	status  Status
+	val     []byte
+	present bool // OpGet found / OpDel deleted / OpCas swapped
+}
+
+// multiSub is one script operation with its key and stored value
+// already materialised (string key, private value copy): the conversion
+// is retry-invariant, so callers do it ONCE before the transaction
+// rather than on every conflict re-run. expect may alias the caller's
+// frame buffer — it is only compared inside the attempt, never stored.
+type multiSub struct {
+	op            Op
+	key           string
+	val           []byte
+	expect        []byte
+	expectPresent bool
+}
+
+// materialize converts parsed sub-requests into retry-stable script
+// entries, reusing dst.
+func materialize(subs []subReq, dst []multiSub) []multiSub {
+	dst = dst[:0]
+	for i := range subs {
+		sub := &subs[i]
+		m := multiSub{op: sub.op, key: string(sub.key), expect: sub.expect, expectPresent: sub.expectPresent}
+		if sub.op == OpSet || sub.op == OpCas {
+			m.val = copyBytes(sub.val)
+		}
+		dst = append(dst, m)
+	}
+	return dst
+}
+
+// multi executes a script as one transaction under siteMulti. committed
+// reports whether the script took effect: a failed CAS returns
+// committed = false with results up to and including the failed sub-op,
+// and nothing is written. results is reset and refilled on every attempt
+// so the caller can pass a reused buffer.
+func (s *store) multi(th *tbtm.Thread, subs []multiSub, results *[]subResult) (committed bool, err error) {
+	err = th.AtomicSite(siteMulti, func(tx tbtm.Tx) error {
+		*results = (*results)[:0]
+		for i := range subs {
+			sub := &subs[i]
+			res := subResult{status: StatusOK}
+			switch sub.op {
+			case OpGet:
+				v, ok, err := s.getTx(tx, sub.key)
+				if err != nil {
+					return err
+				}
+				res.val, res.present = v, ok
+				if !ok {
+					res.status = StatusNotFound
+				}
+			case OpSet:
+				if err := s.setTx(tx, sub.key, sub.val); err != nil {
+					return err
+				}
+			case OpDel:
+				ok, err := s.delTx(tx, sub.key)
+				if err != nil {
+					return err
+				}
+				res.present = ok
+			case OpCas:
+				ok, err := s.casTx(tx, sub.key, sub.expectPresent, sub.expect, sub.val)
+				if err != nil {
+					return err
+				}
+				res.present = ok
+				if !ok {
+					*results = append(*results, res)
+					return &scriptAbort{failed: i}
+				}
+			default:
+				return fmt.Errorf("server: opcode %s not valid in multi", sub.op)
+			}
+			*results = append(*results, res)
+		}
+		return nil
+	})
+	var abort *scriptAbort
+	if errors.As(err, &abort) {
+		return false, nil
+	}
+	return err == nil, err
+}
+
+// btake blocks until key exists, then deletes and returns it; woken by
+// shutdown it returns ErrServerClosed, and woken by the connection's
+// cancel flag (the client hung up mid-park) it returns errClientGone
+// WITHOUT consuming the key. The shutdown and cancel flags are read
+// only on the empty path so they join exactly the parked footprint.
+func (s *store) btake(th *tbtm.Thread, key string, cancel *tbtm.Var[bool]) (val []byte, err error) {
+	err = th.AtomicSite(siteBTake, func(tx tbtm.Tx) error {
+		v, ok, e := s.getTx(tx, key)
+		if e != nil {
+			return e
+		}
+		if !ok {
+			if e := s.checkLive(tx, cancel); e != nil {
+				return e
+			}
+			return tbtm.Retry(tx)
+		}
+		if _, e := s.delTx(tx, key); e != nil {
+			return e
+		}
+		val = v
+		return nil
+	})
+	return
+}
+
+// checkLive returns the reason a blocked operation must give up: server
+// shutdown or (when the caller watches one) a disconnected client. Both
+// variables are read here, on the about-to-park path, so their commits
+// wake the parked transaction.
+func (s *store) checkLive(tx tbtm.Tx, cancel *tbtm.Var[bool]) error {
+	halt, err := s.closed.Read(tx)
+	if err != nil {
+		return err
+	}
+	if halt {
+		return ErrServerClosed
+	}
+	if cancel != nil {
+		gone, err := cancel.Read(tx)
+		if err != nil {
+			return err
+		}
+		if gone {
+			return errClientGone
+		}
+	}
+	return nil
+}
+
+// wait blocks until key's state differs from (oldPresent, old), then
+// returns the new state; woken by shutdown it returns ErrServerClosed,
+// by a client disconnect errClientGone (see btake).
+func (s *store) wait(th *tbtm.Thread, key string, oldPresent bool, old []byte, cancel *tbtm.Var[bool]) (val []byte, present bool, err error) {
+	err = th.AtomicReadOnly(tbtm.Short, func(tx tbtm.Tx) error {
+		v, ok, e := s.getTx(tx, key)
+		if e != nil {
+			return e
+		}
+		if ok != oldPresent || (ok && !bytes.Equal(v, old)) {
+			val, present = v, ok
+			return nil
+		}
+		if e := s.checkLive(tx, cancel); e != nil {
+			return e
+		}
+		return tbtm.Retry(tx)
+	})
+	return
+}
+
+// markClosed commits the shutdown flag, waking every parked client.
+func (s *store) markClosed(th *tbtm.Thread) error {
+	return th.Atomic(tbtm.Short, func(tx tbtm.Tx) error {
+		return s.closed.Write(tx, true)
+	})
+}
+
+// copyBytes returns a private copy of b; transactional values must not
+// alias the reusable frame buffer.
+func copyBytes(b []byte) []byte {
+	if len(b) == 0 {
+		return nil
+	}
+	out := make([]byte, len(b))
+	copy(out, b)
+	return out
+}

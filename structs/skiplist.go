@@ -224,23 +224,46 @@ func (s *SkipList[K]) Min(tx tbtm.Tx) (k K, ok bool, err error) {
 // inside tx. Like Keys it walks the bottom level, so it is a long access
 // pattern when the range is wide.
 func (s *SkipList[K]) Range(tx tbtm.Tx, from, to K) ([]K, error) {
-	_, predNodes, _, _, err := s.findPreds(tx, from)
+	var out []K
+	err := s.AscendFrom(tx, from, func(k K) (bool, error) {
+		if !s.less(k, to) {
+			return false, nil
+		}
+		out = append(out, k)
+		return true, nil
+	})
 	if err != nil {
 		return nil, err
 	}
-	var out []K
+	return out, nil
+}
+
+// AscendFrom visits, in ascending order, every key k with from <= k,
+// calling fn for each; iteration stops when fn returns false or errors.
+// It is the streaming form of Range for callers that bound results by
+// count rather than by key — a network server answering a limited range
+// query visits exactly the cells it returns instead of materialising the
+// whole suffix.
+func (s *SkipList[K]) AscendFrom(tx tbtm.Tx, from K, fn func(K) (bool, error)) error {
+	_, predNodes, _, _, err := s.findPreds(tx, from)
+	if err != nil {
+		return err
+	}
 	for cell := predNodes[0].next[0]; cell != nil; {
 		node, err := cell.v.Read(tx)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		if !s.less(node.key, to) {
-			break
+		more, err := fn(node.key)
+		if err != nil {
+			return err
 		}
-		out = append(out, node.key)
+		if !more {
+			return nil
+		}
 		cell = node.next[0]
 	}
-	return out, nil
+	return nil
 }
 
 // Keys returns all keys in ascending order inside tx — a whole-structure

@@ -147,6 +147,80 @@ func TestSkipListRange(t *testing.T) {
 	}
 }
 
+func TestSkipListAscendFrom(t *testing.T) {
+	_, s, th := newIntSkipList(t)
+	for i := 0; i < 100; i += 10 {
+		if _, err := s.InsertAtomic(th, i); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Bounded visit: start mid-set, stop after three keys — the
+	// streaming form a server uses for limited range queries.
+	var got []int
+	err := th.AtomicReadOnly(tbtm.Long, func(tx tbtm.Tx) error {
+		got = got[:0]
+		return s.AscendFrom(tx, 25, func(k int) (bool, error) {
+			got = append(got, k)
+			return len(got) < 3, nil
+		})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []int{30, 40, 50}
+	if len(got) != len(want) {
+		t.Fatalf("AscendFrom = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("AscendFrom = %v, want %v", got, want)
+		}
+	}
+
+	// From an existing key the visit is inclusive; past the maximum it
+	// visits nothing.
+	err = th.AtomicReadOnly(tbtm.Long, func(tx tbtm.Tx) error {
+		got = got[:0]
+		return s.AscendFrom(tx, 90, func(k int) (bool, error) {
+			got = append(got, k)
+			return true, nil
+		})
+	})
+	if err != nil || len(got) != 1 || got[0] != 90 {
+		t.Fatalf("AscendFrom(90) = %v, %v", got, err)
+	}
+	err = th.AtomicReadOnly(tbtm.Long, func(tx tbtm.Tx) error {
+		return s.AscendFrom(tx, 91, func(k int) (bool, error) {
+			t.Errorf("AscendFrom(91) visited %d", k)
+			return false, nil
+		})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// A callback error aborts the walk and surfaces unchanged.
+	sentinel := tbtm.ErrReadOnly // any distinguishable error value
+	err = th.AtomicReadOnly(tbtm.Long, func(tx tbtm.Tx) error {
+		visits := 0
+		err := s.AscendFrom(tx, 0, func(k int) (bool, error) {
+			visits++
+			if visits == 2 {
+				return false, sentinel
+			}
+			return true, nil
+		})
+		if err != sentinel {
+			t.Errorf("callback error = %v, want sentinel", err)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
 // TestSkipListModelProperty drives a random operation sequence against
 // both the skip list and a reference map, checking observable agreement
 // after every operation (single-threaded model test via testing/quick).

@@ -277,6 +277,33 @@ type Stats struct {
 	SpuriousWakeups uint64
 }
 
+// Sub returns the element-wise difference s - prev. Counters are
+// cumulative for the TM's lifetime, so long-running processes that
+// report periodic rates (a server logging per-interval commit counts, a
+// load generator isolating its own window) subtract the snapshot taken
+// at the start of the interval.
+func (s Stats) Sub(prev Stats) Stats {
+	return Stats{
+		Commits:         s.Commits - prev.Commits,
+		Aborts:          s.Aborts - prev.Aborts,
+		Conflicts:       s.Conflicts - prev.Conflicts,
+		Extensions:      s.Extensions - prev.Extensions,
+		ExtensionsFast:  s.ExtensionsFast - prev.ExtensionsFast,
+		ExtensionsFull:  s.ExtensionsFull - prev.ExtensionsFull,
+		LogWraps:        s.LogWraps - prev.LogWraps,
+		LongCommits:     s.LongCommits - prev.LongCommits,
+		LongAborts:      s.LongAborts - prev.LongAborts,
+		ZoneCrosses:     s.ZoneCrosses - prev.ZoneCrosses,
+		ZoneWaits:       s.ZoneWaits - prev.ZoneWaits,
+		FastValidations: s.FastValidations - prev.FastValidations,
+		OldVersions:     s.OldVersions - prev.OldVersions,
+		SnapshotMisses:  s.SnapshotMisses - prev.SnapshotMisses,
+		Parks:           s.Parks - prev.Parks,
+		Wakeups:         s.Wakeups - prev.Wakeups,
+		SpuriousWakeups: s.SpuriousWakeups - prev.SpuriousWakeups,
+	}
+}
+
 // Thread is a per-goroutine handle. It carries the per-thread state of
 // the underlying algorithm and a reference to the TM.
 type Thread struct {
