@@ -18,6 +18,9 @@
 //	server/throughput   an in-process tbtmd driven over loopback TCP by
 //	                    the closed-loop load generator (cmd/tbtmload's
 //	                    engine); goroutines = client connections
+//	server/pipelined    the same server driven by 2 pipelined+batched
+//	                    connections at increasing window depths;
+//	                    goroutines = pipeline depth (1, 4, 16, 64)
 //
 // Usage:
 //
@@ -51,6 +54,10 @@ type Point struct {
 	AllocsPerOp   float64 `json:"allocs_per_op"`
 	BytesPerOp    float64 `json:"bytes_per_op"`
 	CommitsPerSec float64 `json:"commits_per_sec"`
+	// P50Us/P99Us are per-op latency percentiles for the server series
+	// (zero and omitted for the in-process engine series).
+	P50Us float64 `json:"p50_us,omitempty"`
+	P99Us float64 `json:"p99_us,omitempty"`
 }
 
 // Snapshot is the emitted document.
@@ -108,7 +115,7 @@ func run(args []string) error {
 	goroutines := fs.String("goroutines", "1,2,4,8", "comma-separated goroutine counts")
 	benchtime := fs.Duration("benchtime", 100*time.Millisecond, "minimum measurement time per point")
 	runList := fs.String("run", "", "comma-separated series substrings to keep (default all)")
-	pr := fs.Int("pr", 5, "PR number recorded in the snapshot")
+	pr := fs.Int("pr", 6, "PR number recorded in the snapshot")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -172,6 +179,18 @@ func run(args []string) error {
 		}
 	}
 
+	if keep(pipelinedSeries) {
+		for _, depth := range pipelineDepths {
+			p, err := measurePipelined(depth, *benchtime)
+			if err != nil {
+				return err
+			}
+			snap.Points = append(snap.Points, p)
+			fmt.Fprintf(os.Stderr, "%-20s d=%-3d %10.1f ns/op %6.1f allocs/op %12.0f commits/s  p50 %.0fµs p99 %.0fµs\n",
+				pipelinedSeries, depth, p.NsPerOp, p.AllocsPerOp, p.CommitsPerSec, p.P50Us, p.P99Us)
+		}
+	}
+
 	enc, err := json.MarshalIndent(snap, "", "  ")
 	if err != nil {
 		return err
@@ -231,6 +250,59 @@ func measureServer(conns int, benchtime time.Duration) (Point, error) {
 		AllocsPerOp:   float64(m1.Mallocs-m0.Mallocs) / float64(res.Ops),
 		BytesPerOp:    float64(m1.TotalAlloc-m0.TotalAlloc) / float64(res.Ops),
 		CommitsPerSec: res.OpsPerS,
+	}, nil
+}
+
+// pipelinedSeries measures what pipelining itself buys: a fixed 2
+// connections drive the server at increasing window depths, flushing
+// each window in one write so the server batches it under one lease.
+// The Goroutines field records the DEPTH, not a connection count. The
+// workload is the plain single-key mix (no MULTI) so depth-1 is an
+// apples-to-apples baseline for the synchronous protocol.
+const pipelinedSeries = "server/pipelined"
+
+var pipelineDepths = []int{1, 4, 16, 64}
+
+func measurePipelined(depth int, benchtime time.Duration) (Point, error) {
+	srv, err := server.New(server.Config{})
+	if err != nil {
+		return Point{}, err
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return Point{}, err
+	}
+	go srv.Serve(ln)
+	defer srv.Close()
+
+	runtime.GC()
+	var m0, m1 runtime.MemStats
+	runtime.ReadMemStats(&m0)
+	res, err := server.RunLoad(server.LoadConfig{
+		Addr:      ln.Addr().String(),
+		Conns:     2,
+		Duration:  benchtime,
+		Keys:      256,
+		ReadRatio: 0.8,
+		Pipeline:  depth,
+		Batch:     true,
+	})
+	runtime.ReadMemStats(&m1)
+	if err != nil {
+		return Point{}, err
+	}
+	if res.Ops == 0 {
+		return Point{}, fmt.Errorf("%s at depth %d: no operations completed", pipelinedSeries, depth)
+	}
+	return Point{
+		Series:        pipelinedSeries,
+		Goroutines:    depth,
+		NsPerOp:       res.NsPerOp,
+		AllocsPerOp:   float64(m1.Mallocs-m0.Mallocs) / float64(res.Ops),
+		BytesPerOp:    float64(m1.TotalAlloc-m0.TotalAlloc) / float64(res.Ops),
+		CommitsPerSec: res.OpsPerS,
+		P50Us:         res.P50Us,
+		P99Us:         res.P99Us,
 	}, nil
 }
 

@@ -34,7 +34,7 @@ func TestRunTinySnapshot(t *testing.T) {
 
 func TestRunServerSeries(t *testing.T) {
 	out := filepath.Join(t.TempDir(), "bench.json")
-	if err := run([]string{"-out", out, "-benchtime", "150ms", "-goroutines", "2", "-run", "server"}); err != nil {
+	if err := run([]string{"-out", out, "-benchtime", "150ms", "-goroutines", "2", "-run", "server/throughput"}); err != nil {
 		t.Fatal(err)
 	}
 	raw, err := os.ReadFile(out)
@@ -51,8 +51,34 @@ func TestRunServerSeries(t *testing.T) {
 	if snap.Points[0].CommitsPerSec <= 0 {
 		t.Fatalf("degenerate server point: %+v", snap.Points[0])
 	}
-	if snap.PR != 5 {
-		t.Fatalf("pr = %d, want default 5", snap.PR)
+	if snap.PR != 6 {
+		t.Fatalf("pr = %d, want default 6", snap.PR)
+	}
+}
+
+func TestRunPipelinedSeries(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "bench.json")
+	if err := run([]string{"-out", out, "-benchtime", "50ms", "-run", "server/pipelined"}); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var snap Snapshot
+	if err := json.Unmarshal(raw, &snap); err != nil {
+		t.Fatalf("snapshot is not valid JSON: %v", err)
+	}
+	if len(snap.Points) != len(pipelineDepths) {
+		t.Fatalf("got %d points, want %d: %+v", len(snap.Points), len(pipelineDepths), snap.Points)
+	}
+	for i, p := range snap.Points {
+		if p.Series != pipelinedSeries || p.Goroutines != pipelineDepths[i] {
+			t.Fatalf("point %d = %+v, want %s at depth %d", i, p, pipelinedSeries, pipelineDepths[i])
+		}
+		if p.CommitsPerSec <= 0 || p.P50Us <= 0 || p.P99Us < p.P50Us {
+			t.Fatalf("degenerate pipelined point: %+v", p)
+		}
 	}
 }
 

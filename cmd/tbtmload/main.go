@@ -1,13 +1,17 @@
 // Command tbtmload is a closed-loop load generator for tbtmd. Each
-// connection issues one operation at a time — GETs and SETs over a
-// skewed keyspace, MULTI scripts, and optionally blocking BTAKEs fed by
-// a dedicated token connection — for a fixed duration, then the tool
-// reports throughput in the same JSON series shape as cmd/benchjson, so
-// server numbers join the repo's benchmark trajectory.
+// connection issues operations — GETs and SETs over a skewed keyspace,
+// MULTI scripts, and optionally blocking BTAKEs fed by a dedicated
+// pipelined token connection — for a fixed duration, then the tool
+// reports throughput and latency percentiles in the same JSON series
+// shape as cmd/benchjson, so server numbers join the repo's benchmark
+// trajectory. With -pipeline N each connection keeps N requests
+// outstanding; -batch flushes each window in one write, which lets the
+// server execute it under one lease.
 //
 // Usage:
 //
 //	tbtmload -addr 127.0.0.1:7420 -duration 5s -conns 8
+//	tbtmload -addr :7420 -pipeline 16 -batch           # pipelined windows
 //	tbtmload -addr :7420 -read-ratio 0.9 -skew 1.2 -multi-ratio 0.1
 //	tbtmload -addr :7420 -blocking-ratio 0.05          # park/wake mix
 //	tbtmload -addr :7420 -wait 5s -min-ops 1           # CI smoke: retry
@@ -38,6 +42,8 @@ type Point struct {
 	AllocsPerOp   float64 `json:"allocs_per_op"`
 	BytesPerOp    float64 `json:"bytes_per_op"`
 	CommitsPerSec float64 `json:"commits_per_sec"`
+	P50Us         float64 `json:"p50_us,omitempty"`
+	P99Us         float64 `json:"p99_us,omitempty"`
 }
 
 type Snapshot struct {
@@ -68,13 +74,15 @@ func run(args []string) error {
 	multiRatio := fs.Float64("multi-ratio", 0.05, "MULTI script share of traffic")
 	txnSize := fs.Int("txn-size", 8, "MULTI script length")
 	blockingRatio := fs.Float64("blocking-ratio", 0, "blocking BTAKE share of traffic")
+	pipeline := fs.Int("pipeline", 1, "requests kept outstanding per connection (1 = synchronous)")
+	batch := fs.Bool("batch", false, "flush each pipelined window in one write (server batches it under one lease)")
 	skew := fs.Float64("skew", 0, "key distribution: 0 uniform, >1 Zipf s")
 	seed := fs.Int64("seed", 1, "per-connection RNG seed base")
 	wait := fs.Duration("wait", 0, "retry dialing for this long before failing")
 	minOps := fs.Uint64("min-ops", 1, "fail unless at least this many ops complete")
 	out := fs.String("out", "", "write the JSON snapshot to this file (default stdout)")
 	seriesName := fs.String("series", "server/throughput", "series name recorded in the snapshot")
-	pr := fs.Int("pr", 5, "PR number recorded in the snapshot")
+	pr := fs.Int("pr", 6, "PR number recorded in the snapshot")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -89,6 +97,8 @@ func run(args []string) error {
 		MultiRatio:    *multiRatio,
 		TxnSize:       *txnSize,
 		BlockingRatio: *blockingRatio,
+		Pipeline:      *pipeline,
+		Batch:         *batch,
 		Skew:          *skew,
 		Seed:          *seed,
 		Wait:          *wait,
@@ -108,8 +118,9 @@ func run(args []string) error {
 	}
 
 	fmt.Fprintf(os.Stderr,
-		"tbtmload: %d ops in %v (%.0f ops/s, %.1f µs/op closed-loop) gets=%d sets=%d multis=%d blocking=%d errors=%d engine-commits=%d\n",
+		"tbtmload: %d ops in %v (%.0f ops/s, %.1f µs/op closed-loop, p50 %.0fµs p99 %.0fµs) gets=%d sets=%d multis=%d blocking=%d errors=%d engine-commits=%d\n",
 		res.Ops, res.Elapsed.Round(time.Millisecond), res.OpsPerS, res.NsPerOp/1e3,
+		res.P50Us, res.P99Us,
 		res.Gets, res.Sets, res.Multis, res.Blocking, res.Errors, res.EngineCommits)
 
 	if res.Ops < *minOps {
@@ -127,6 +138,8 @@ func run(args []string) error {
 		Goroutines:    *conns,
 		NsPerOp:       res.NsPerOp,
 		CommitsPerSec: res.OpsPerS,
+		P50Us:         res.P50Us,
+		P99Us:         res.P99Us,
 	}
 	if res.Ops > 0 {
 		p.AllocsPerOp = float64(m1.Mallocs-m0.Mallocs) / float64(res.Ops)

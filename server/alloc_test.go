@@ -1,6 +1,9 @@
 package server
 
 import (
+	"encoding/binary"
+	"fmt"
+	"io"
 	"testing"
 
 	"tbtm"
@@ -20,8 +23,9 @@ import (
 //     box), independent of request count.
 //
 // The conn layer's remaining per-request conversion — wire key bytes to
-// the map's string key — is covered by the single-entry cache pinned in
-// TestKeyStringCacheAllocs.
+// the map's string key — is covered by the direct-mapped cache pinned
+// in TestKeyStringCacheAllocs, and the pipelined decode→batch→execute→
+// encode cycle by TestWarmPipelinedBurstAllocs.
 const (
 	maxAllocsWarmGet = 0
 	// The overwrite path rebuilds the bucket's []mapEntry slice (one
@@ -100,11 +104,13 @@ func TestWarmBlockingOpAllocs(t *testing.T) {
 	}
 }
 
-// TestKeyStringCacheAllocs pins the conn layer's single-entry key
-// cache: a client hammering one key converts the wire bytes to the
-// store's string key once per key change, not once per request.
+// TestKeyStringCacheAllocs pins the conn layer's direct-mapped key
+// cache: a client hammering a small working set of keys converts the
+// wire bytes to the store's string key once per key, not once per
+// request — a pipelined burst touches several keys, so the cache must
+// hold more than one.
 func TestKeyStringCacheAllocs(t *testing.T) {
-	cn := &conn{}
+	cn := &pconn{}
 	wire := []byte("hot-key")
 	if got := cn.keyString(wire); got != "hot-key" {
 		t.Fatalf("keyString = %q", got)
@@ -116,8 +122,123 @@ func TestKeyStringCacheAllocs(t *testing.T) {
 	}); n > 0 {
 		t.Errorf("cached keyString: %.1f allocs/op, want 0", n)
 	}
-	// A different key replaces the cache entry and still works.
+	// A working set of keys in DISTINCT slots stays cached as a whole:
+	// no key evicts another, so a warm multi-key burst converts nothing.
+	keys := distinctSlotKeys(t, 4)
+	for _, k := range keys {
+		if got := cn.keyString([]byte(k)); got != k {
+			t.Fatalf("keyString(%q) = %q", k, got)
+		}
+	}
+	wires := make([][]byte, len(keys))
+	for i, k := range keys {
+		wires[i] = []byte(k)
+	}
+	if n := testing.AllocsPerRun(200, func() {
+		for i, w := range wires {
+			if cn.keyString(w) != keys[i] {
+				t.Fatal("cache miss on resident key")
+			}
+		}
+	}); n > 0 {
+		t.Errorf("cached multi-key keyString: %.1f allocs/op, want 0", n)
+	}
+	// A colliding key replaces its slot's entry and still works.
 	if got := cn.keyString([]byte("other")); got != "other" {
 		t.Fatalf("keyString after change = %q", got)
+	}
+}
+
+// distinctSlotKeys generates n keys mapping to pairwise distinct cache
+// slots, so a test working set cannot self-evict.
+func distinctSlotKeys(t *testing.T, n int) []string {
+	t.Helper()
+	used := make(map[int]bool)
+	var keys []string
+	for i := 0; len(keys) < n && i < 256; i++ {
+		k := fmt.Sprintf("key-%d", i)
+		if s := keySlot([]byte(k)); !used[s] {
+			used[s] = true
+			keys = append(keys, k)
+		}
+	}
+	if len(keys) < n {
+		t.Fatalf("could not find %d distinct-slot keys", n)
+	}
+	return keys
+}
+
+// TestWarmPipelinedBurstAllocs pins the whole pipelined fast path: a
+// warm burst of 16 GETs — decode, batch accumulation, one shared
+// lease, one read-only transaction, response encode, coalesced flush —
+// amortizes to at most 1 alloc per op.
+func TestWarmPipelinedBurstAllocs(t *testing.T) {
+	srv, err := New(Config{Consistency: tbtm.Linearizable, Leases: 2, BlockingLeases: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	keys := distinctSlotKeys(t, 4)
+	for _, k := range keys {
+		if err := srv.exec.Do(nil, OpSet, false, func(th *tbtm.Thread) error {
+			return srv.store.set(th, k, []byte("payload"))
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	cn := newPconn(srv, nil)
+	cn.w = io.Discard
+
+	// Prebuild a 16-GET burst over the resident working set.
+	const burstOps = 16
+	var burst []byte
+	var payload []byte
+	for i := 0; i < burstOps; i++ {
+		payload = binary.AppendUvarint(payload[:0], uint64(i+1))
+		payload = append(payload, byte(OpGet))
+		payload = appendString(payload, keys[i%len(keys)])
+		var hdr [4]byte
+		binary.BigEndian.PutUint32(hdr[:], uint32(len(payload)))
+		burst = append(burst, hdr[:]...)
+		burst = append(burst, payload...)
+	}
+	doBurst := func() {
+		cn.in = append(cn.in[:0], burst...)
+		cn.inoff = 0
+		if err := cn.processBurst(); err != nil {
+			t.Fatalf("burst: %v", err)
+		}
+	}
+	for i := 0; i < 64; i++ { // warm buffers, cache, descriptors
+		doBurst()
+	}
+	if n := testing.AllocsPerRun(200, doBurst); n > burstOps {
+		t.Errorf("warm pipelined 16-GET burst: %.1f allocs (%.2f/op), want <= 1/op",
+			n, n/burstOps)
+	}
+}
+
+// TestResponseWriterFlushAllocs pins the coalescing writer: queueing a
+// warm response frame and flushing the wire allocates nothing.
+func TestResponseWriterFlushAllocs(t *testing.T) {
+	srv, err := New(Config{Consistency: tbtm.Linearizable, Leases: 1, BlockingLeases: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cn := newPconn(srv, nil)
+	cn.w = io.Discard
+	cycle := func() {
+		b := cn.beginResp(42)
+		b = append(b, byte(StatusOK))
+		b = appendBytes(b, []byte("response-payload"))
+		cn.queueResp(b)
+		if err := cn.flushWire(); err != nil {
+			t.Fatalf("flush: %v", err)
+		}
+	}
+	for i := 0; i < 16; i++ {
+		cycle()
+	}
+	if n := testing.AllocsPerRun(200, cycle); n > 0 {
+		t.Errorf("response queue+flush: %.1f allocs/op, want 0", n)
 	}
 }

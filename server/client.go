@@ -16,12 +16,15 @@ import (
 // sockets). Blocking calls (BTake, Wait) return only when the server
 // answers: a remote commit changes the watched key, or shutdown wakes
 // the parked transaction (ErrServerClosed).
+//
+// To keep many requests outstanding on the connection, use Pipe.
 type Client struct {
 	c   net.Conn
 	br  *bufio.Reader
 	bw  *bufio.Writer
 	hdr [4]byte
 
+	seq      uint64 // last assigned request sequence ID
 	out      []byte // reusable request build buffer
 	in       []byte // reusable response frame buffer
 	maxFrame int
@@ -56,8 +59,18 @@ func NewClient(c net.Conn) *Client {
 // concurrency the Client supports.
 func (c *Client) Close() error { return c.c.Close() }
 
+// newReq assigns the next sequence ID and starts a request payload:
+// uvarint sequence ID, opcode byte.
+func (c *Client) newReq(op Op) []byte {
+	c.seq++
+	req := binary.AppendUvarint(c.out[:0], c.seq)
+	return append(req, byte(op))
+}
+
 // roundTrip sends the built request payload and returns the response
-// status and payload (valid until the next call).
+// status and payload (valid until the next call). The synchronous
+// Client has exactly one request outstanding, so the echoed sequence
+// ID must match the one just assigned.
 func (c *Client) roundTrip(req []byte) (Status, []byte, error) {
 	c.out = req[:0]
 	if err := writeFrame(c.bw, &c.hdr, req); err != nil {
@@ -71,10 +84,17 @@ func (c *Client) roundTrip(req []byte) (Status, []byte, error) {
 	if err != nil {
 		return 0, nil, err
 	}
-	if len(payload) == 0 {
+	seq, p, err := takeUvarint(payload)
+	if err != nil {
+		return 0, nil, err
+	}
+	if seq != c.seq {
+		return 0, nil, fmt.Errorf("server: response for sequence %d, want %d", seq, c.seq)
+	}
+	if len(p) == 0 {
 		return 0, nil, errTruncated
 	}
-	return Status(payload[0]), payload[1:], nil
+	return Status(p[0]), p[1:], nil
 }
 
 // err maps non-OK statuses to errors (StatusNotFound is handled by the
@@ -97,7 +117,7 @@ func statusErr(st Status, p []byte) error {
 
 // Ping round-trips an empty request.
 func (c *Client) Ping() error {
-	st, p, err := c.roundTrip(append(c.out[:0], byte(OpPing)))
+	st, p, err := c.roundTrip(c.newReq(OpPing))
 	if err != nil {
 		return err
 	}
@@ -107,7 +127,7 @@ func (c *Client) Ping() error {
 // Get reads key. ok is false when the key does not exist. The returned
 // slice is valid until the next call on this Client.
 func (c *Client) Get(key string) (val []byte, ok bool, err error) {
-	req := appendString(append(c.out[:0], byte(OpGet)), key)
+	req := appendString(c.newReq(OpGet), key)
 	st, p, err := c.roundTrip(req)
 	if err != nil {
 		return nil, false, err
@@ -124,7 +144,7 @@ func (c *Client) Get(key string) (val []byte, ok bool, err error) {
 
 // Set writes key = val.
 func (c *Client) Set(key string, val []byte) error {
-	req := appendString(append(c.out[:0], byte(OpSet)), key)
+	req := appendString(c.newReq(OpSet), key)
 	req = appendBytes(req, val)
 	st, p, err := c.roundTrip(req)
 	if err != nil {
@@ -135,7 +155,7 @@ func (c *Client) Set(key string, val []byte) error {
 
 // Del removes key, reporting whether it existed.
 func (c *Client) Del(key string) (deleted bool, err error) {
-	req := appendString(append(c.out[:0], byte(OpDel)), key)
+	req := appendString(c.newReq(OpDel), key)
 	st, p, err := c.roundTrip(req)
 	if err != nil {
 		return false, err
@@ -151,7 +171,7 @@ func (c *Client) Del(key string) (deleted bool, err error) {
 // holds exactly expect; when !expectPresent, iff key is absent
 // (create-if-absent). On success key is set to val.
 func (c *Client) Cas(key string, expect []byte, expectPresent bool, val []byte) (swapped bool, err error) {
-	req := appendString(append(c.out[:0], byte(OpCas)), key)
+	req := appendString(c.newReq(OpCas), key)
 	req = append(req, boolByte(expectPresent))
 	req = appendBytes(req, expect)
 	req = appendBytes(req, val)
@@ -176,7 +196,7 @@ type KV struct {
 // order, as ONE consistent snapshot (a long read-only transaction
 // server-side). to == "" means unbounded above; limit 0 means no limit.
 func (c *Client) Range(from, to string, limit int) ([]KV, error) {
-	req := appendString(append(c.out[:0], byte(OpRange)), from)
+	req := appendString(c.newReq(OpRange), from)
 	req = appendString(req, to)
 	req = binary.AppendUvarint(req, uint64(limit))
 	st, p, err := c.roundTrip(req)
@@ -245,7 +265,7 @@ type MultiResult struct {
 // covering the ops up to and including the failed one. Reads in a
 // committed script observe the script's own earlier writes.
 func (c *Client) MultiExec(ops []MultiOp) (results []MultiResult, committed bool, err error) {
-	req := append(c.out[:0], byte(OpMulti))
+	req := c.newReq(OpMulti)
 	req = binary.AppendUvarint(req, uint64(len(ops)))
 	for i := range ops {
 		op := &ops[i]
@@ -313,7 +333,7 @@ func (c *Client) MultiExec(ops []MultiOp) (results []MultiResult, committed bool
 // BTake blocks until key exists, then atomically deletes it and returns
 // its value. Woken by server shutdown it returns ErrServerClosed.
 func (c *Client) BTake(key string) ([]byte, error) {
-	req := appendString(append(c.out[:0], byte(OpBTake)), key)
+	req := appendString(c.newReq(OpBTake), key)
 	st, p, err := c.roundTrip(req)
 	if err != nil {
 		return nil, err
@@ -332,7 +352,7 @@ func (c *Client) BTake(key string) ([]byte, error) {
 // returns the new state. Woken by server shutdown it returns
 // ErrServerClosed.
 func (c *Client) Wait(key string, old []byte, oldPresent bool) (val []byte, present bool, err error) {
-	req := appendString(append(c.out[:0], byte(OpWait)), key)
+	req := appendString(c.newReq(OpWait), key)
 	req = append(req, boolByte(oldPresent))
 	req = appendBytes(req, old)
 	st, p, err := c.roundTrip(req)
@@ -359,7 +379,7 @@ func (c *Client) Wait(key string, old []byte, oldPresent bool) (val []byte, pres
 // Stats fetches the server's engine and executor counters.
 func (c *Client) Stats() (StatsReply, error) {
 	var reply StatsReply
-	st, p, err := c.roundTrip(append(c.out[:0], byte(OpStats)))
+	st, p, err := c.roundTrip(c.newReq(OpStats))
 	if err != nil {
 		return reply, err
 	}

@@ -1,0 +1,208 @@
+// Pipe: the pipelined client API.
+//
+// A Pipe keeps many requests outstanding on one connection: enqueue
+// calls build frames into the connection's write buffer without
+// flushing, Flush pushes the window to the server in one write, and
+// Recv returns responses one at a time. Non-blocking responses arrive
+// in request order; blocking ones (BTake, Wait) arrive whenever they
+// complete — the Seq field of each Reply is what matches a response to
+// its request either way.
+package server
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// Reply is one pipelined response, decoded generically. Val is valid
+// only until the next Recv on the Pipe.
+type Reply struct {
+	// Seq echoes the sequence ID the enqueue call returned.
+	Seq uint64
+	// Op is the opcode of the matched request.
+	Op Op
+	// Status is the wire status byte.
+	Status Status
+	// OK is the opcode's boolean outcome: found (Get), deleted (Del),
+	// swapped (Cas), present (Wait), committed (Multi); true on success
+	// for Ping/Set/BTake.
+	OK bool
+	// Val is the returned value for Get/BTake/Wait (nil otherwise).
+	Val []byte
+	// Err is the decoded error for StatusError/StatusClosed replies.
+	Err error
+}
+
+// Pipe pipelines requests over its Client's connection. It shares the
+// Client's buffers and sequence counter: interleave synchronous Client
+// calls and Pipe windows freely, but only when no pipelined request is
+// outstanding (the synchronous reader would swallow pipelined
+// responses). Like the Client, a Pipe is not safe for concurrent use.
+type Pipe struct {
+	c       *Client
+	pending map[uint64]Op
+}
+
+// Pipe returns a pipelined view of the client's connection.
+func (c *Client) Pipe() *Pipe {
+	return &Pipe{c: c, pending: make(map[uint64]Op)}
+}
+
+// Outstanding reports how many requests await a Recv.
+func (p *Pipe) Outstanding() int { return len(p.pending) }
+
+// enqueue writes the built request frame into the client's buffered
+// writer without flushing and records it as pending.
+func (p *Pipe) enqueue(req []byte) uint64 {
+	c := p.c
+	var op Op
+	if _, n := binary.Uvarint(req); n > 0 && n < len(req) {
+		op = Op(req[n])
+	}
+	c.out = req[:0]
+	if err := writeFrame(c.bw, &c.hdr, req); err != nil {
+		// The write error will resurface on Flush/Recv; the request still
+		// counts as pending so Recv's bookkeeping stays consistent.
+		_ = err
+	}
+	p.pending[c.seq] = op
+	return c.seq
+}
+
+// Ping enqueues a ping.
+func (p *Pipe) Ping() uint64 { return p.enqueue(p.c.newReq(OpPing)) }
+
+// Get enqueues a read of key.
+func (p *Pipe) Get(key string) uint64 {
+	return p.enqueue(appendString(p.c.newReq(OpGet), key))
+}
+
+// Set enqueues key = val.
+func (p *Pipe) Set(key string, val []byte) uint64 {
+	req := appendString(p.c.newReq(OpSet), key)
+	return p.enqueue(appendBytes(req, val))
+}
+
+// Del enqueues a delete of key.
+func (p *Pipe) Del(key string) uint64 {
+	return p.enqueue(appendString(p.c.newReq(OpDel), key))
+}
+
+// Cas enqueues a compare-and-swap (see Client.Cas for semantics).
+func (p *Pipe) Cas(key string, expect []byte, expectPresent bool, val []byte) uint64 {
+	req := appendString(p.c.newReq(OpCas), key)
+	req = append(req, boolByte(expectPresent))
+	req = appendBytes(req, expect)
+	return p.enqueue(appendBytes(req, val))
+}
+
+// BTake enqueues a blocking take. Its Reply may arrive after replies
+// to later requests.
+func (p *Pipe) BTake(key string) uint64 {
+	return p.enqueue(appendString(p.c.newReq(OpBTake), key))
+}
+
+// Wait enqueues a blocking wait-for-change (see Client.Wait). Its
+// Reply may arrive after replies to later requests.
+func (p *Pipe) Wait(key string, old []byte, oldPresent bool) uint64 {
+	req := appendString(p.c.newReq(OpWait), key)
+	req = append(req, boolByte(oldPresent))
+	return p.enqueue(appendBytes(req, old))
+}
+
+// Multi enqueues a script (see Client.MultiExec). The Reply's OK is
+// the committed flag; per-op results are not decoded on the pipelined
+// path.
+func (p *Pipe) Multi(ops []MultiOp) (uint64, error) {
+	req := p.c.newReq(OpMulti)
+	req = binary.AppendUvarint(req, uint64(len(ops)))
+	for i := range ops {
+		op := &ops[i]
+		req = append(req, byte(op.Op))
+		req = appendString(req, op.Key)
+		switch op.Op {
+		case OpGet, OpDel:
+		case OpSet:
+			req = appendBytes(req, op.Val)
+		case OpCas:
+			req = append(req, boolByte(op.ExpectPresent))
+			req = appendBytes(req, op.Expect)
+			req = appendBytes(req, op.Val)
+		default:
+			return 0, fmt.Errorf("server: opcode %s not valid in multi", op.Op)
+		}
+	}
+	return p.enqueue(req), nil
+}
+
+// Flush sends every enqueued request to the server in one write.
+func (p *Pipe) Flush() error { return p.c.bw.Flush() }
+
+// Recv reads the next response. It flushes first, so a bare
+// enqueue-then-Recv loop cannot deadlock on an unsent window. Reply.Val
+// is valid until the next Recv.
+func (p *Pipe) Recv() (Reply, error) {
+	c := p.c
+	if len(p.pending) == 0 {
+		return Reply{}, errors.New("server: Recv with no outstanding requests")
+	}
+	if err := c.bw.Flush(); err != nil {
+		return Reply{}, err
+	}
+	payload, buf, err := readFrame(c.br, &c.hdr, c.in, c.maxFrame)
+	c.in = buf
+	if err != nil {
+		return Reply{}, err
+	}
+	seq, body, err := takeUvarint(payload)
+	if err != nil {
+		return Reply{}, err
+	}
+	op, ok := p.pending[seq]
+	if !ok {
+		return Reply{}, fmt.Errorf("server: response for unknown sequence %d", seq)
+	}
+	delete(p.pending, seq)
+	st, body, err := takeByte(body)
+	if err != nil {
+		return Reply{}, err
+	}
+	r := Reply{Seq: seq, Op: op, Status: Status(st)}
+	if err := statusErr(r.Status, body); err != nil {
+		r.Err = err
+		return r, nil
+	}
+	switch op {
+	case OpPing, OpSet:
+		r.OK = r.Status == StatusOK
+	case OpGet, OpBTake:
+		if r.Status == StatusOK {
+			r.OK = true
+			r.Val, _, err = takeBytes(body)
+		}
+	case OpDel, OpCas:
+		var b byte
+		if b, _, err = takeByte(body); err == nil {
+			r.OK = b != 0
+		}
+	case OpWait:
+		var b byte
+		if b, body, err = takeByte(body); err == nil && b != 0 {
+			r.OK = true
+			r.Val, _, err = takeBytes(body)
+		}
+	case OpMulti:
+		var b byte
+		if b, _, err = takeByte(body); err == nil {
+			r.OK = b != 0
+		}
+	case OpStats:
+		r.OK = true
+		r.Val, _, err = takeBytes(body)
+	}
+	if err != nil {
+		return Reply{}, err
+	}
+	return r, nil
+}

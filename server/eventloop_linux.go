@@ -1,0 +1,246 @@
+//go:build linux
+
+// Shared epoll event loops: the Linux connection I/O driver.
+//
+// PR5 spent two goroutines per connection (a frame reader and a Peek
+// monitor); with pipelining the monitor is gone, and on Linux the
+// reader goroutine goes too. A small fixed set of loops (one per core
+// by default) owns every idle connection: each loop parks in one
+// epoll_wait covering all its connections, and a readable burst is
+// drained with raw reads into the connection's accumulation buffer and
+// processed inline — decode, batch, execute, coalesced flush — without
+// a goroutine switch. The Go runtime's netpoller still backs the WRITE
+// side (responses go out via net.Conn.Write, which handles partial
+// writes and EAGAIN), so the loops only ever drive reads.
+//
+// Ownership rule: the loop that owns a connection is the only code
+// that closes its socket. Server.Close marks connections dead and
+// shuts their read side; the loop observes that (EOF or the dead flag
+// after a wake) and tears the connection down itself. An fd number is
+// therefore never reused while a loop might still read it.
+//
+// Blocking ops never hold a loop: dispatchBlocking moves them to
+// dedicated goroutines, so a connection parked in BTAKE/WAIT costs its
+// loop nothing and later requests from other connections keep flowing.
+package server
+
+import (
+	"errors"
+	"io"
+	"net"
+	"sync"
+	"syscall"
+)
+
+var errNotPollable = errors.New("server: connection not pollable")
+
+// burstReadBound caps how many bytes one connection may drain per
+// event so a firehose connection cannot starve its loop's siblings;
+// level-triggered epoll re-arms for the remainder.
+const burstReadBound = 1 << 20
+
+// newEventLoops starts n epoll loops.
+func newEventLoops(s *Server, n int) ([]*evloop, error) {
+	loops := make([]*evloop, 0, n)
+	for i := 0; i < n; i++ {
+		l, err := newEvloop(s)
+		if err != nil {
+			for _, p := range loops {
+				p.wake() // loops exit on wake once the server is closed; at
+				// construction failure they own no conns and just die
+				p.closeFDs()
+			}
+			return nil, err
+		}
+		loops = append(loops, l)
+		s.loopWG.Add(1)
+		go l.run()
+	}
+	return loops, nil
+}
+
+type evloop struct {
+	s     *Server
+	epfd  int
+	wakeR int // pipe read end, registered in epfd
+	wakeW int
+
+	mu    sync.Mutex
+	conns map[int]*pconn // by fd
+}
+
+func newEvloop(s *Server) (*evloop, error) {
+	epfd, err := syscall.EpollCreate1(syscall.EPOLL_CLOEXEC)
+	if err != nil {
+		return nil, err
+	}
+	var p [2]int
+	if err := syscall.Pipe2(p[:], syscall.O_NONBLOCK|syscall.O_CLOEXEC); err != nil {
+		syscall.Close(epfd)
+		return nil, err
+	}
+	l := &evloop{s: s, epfd: epfd, wakeR: p[0], wakeW: p[1], conns: make(map[int]*pconn)}
+	ev := syscall.EpollEvent{Events: syscall.EPOLLIN, Fd: int32(p[0])}
+	if err := syscall.EpollCtl(epfd, syscall.EPOLL_CTL_ADD, p[0], &ev); err != nil {
+		l.closeFDs()
+		return nil, err
+	}
+	return l, nil
+}
+
+func (l *evloop) closeFDs() {
+	syscall.Close(l.epfd)
+	syscall.Close(l.wakeR)
+	syscall.Close(l.wakeW)
+}
+
+// add registers a connection with the loop. The fd is extracted once;
+// the socket stays open (and the fd number stable) until this loop's
+// teardown closes it, per the ownership rule above.
+func (l *evloop) add(cn *pconn) error {
+	tc, ok := cn.c.(*net.TCPConn)
+	if !ok {
+		return errNotPollable
+	}
+	sc, err := tc.SyscallConn()
+	if err != nil {
+		return err
+	}
+	fd := -1
+	if cerr := sc.Control(func(f uintptr) { fd = int(f) }); cerr != nil {
+		return cerr
+	}
+	cn.fd = fd
+	l.mu.Lock()
+	l.conns[fd] = cn
+	l.mu.Unlock()
+	ev := syscall.EpollEvent{Events: syscall.EPOLLIN | syscall.EPOLLRDHUP, Fd: int32(fd)}
+	if err := syscall.EpollCtl(l.epfd, syscall.EPOLL_CTL_ADD, fd, &ev); err != nil {
+		l.mu.Lock()
+		delete(l.conns, fd)
+		l.mu.Unlock()
+		cn.fd = -1
+		return err
+	}
+	return nil
+}
+
+// wake nudges the loop out of epoll_wait (to sweep dead connections
+// and, once the server is closed and empty, to exit). Safe from any
+// goroutine; a full pipe already guarantees a pending wake.
+func (l *evloop) wake() {
+	var b [1]byte
+	for {
+		_, err := syscall.Write(l.wakeW, b[:])
+		if err != syscall.EINTR {
+			return
+		}
+	}
+}
+
+func (l *evloop) drainWake() {
+	var b [64]byte
+	for {
+		n, err := syscall.Read(l.wakeR, b[:])
+		if n < len(b) || err != nil {
+			return
+		}
+	}
+}
+
+func (l *evloop) run() {
+	defer l.s.loopWG.Done()
+	defer l.closeFDs()
+	events := make([]syscall.EpollEvent, 64)
+	for {
+		n, err := syscall.EpollWait(l.epfd, events, -1)
+		if err != nil {
+			if err == syscall.EINTR {
+				continue
+			}
+			return
+		}
+		woken := false
+		for i := 0; i < n; i++ {
+			fd := int(events[i].Fd)
+			if fd == l.wakeR {
+				l.drainWake()
+				woken = true
+				continue
+			}
+			l.mu.Lock()
+			cn := l.conns[fd]
+			l.mu.Unlock()
+			if cn == nil {
+				continue
+			}
+			if cn.dead.Load() || cn.readAndProcess() != nil {
+				l.detach(cn)
+			}
+		}
+		if woken || l.s.closed.Load() {
+			if l.sweep() {
+				return
+			}
+		}
+	}
+}
+
+// sweep tears down dead connections and reports whether the loop
+// should exit (server closed and nothing left to own).
+func (l *evloop) sweep() bool {
+	l.mu.Lock()
+	var dead []*pconn
+	for _, cn := range l.conns {
+		if cn.dead.Load() {
+			dead = append(dead, cn)
+		}
+	}
+	remaining := len(l.conns) - len(dead)
+	l.mu.Unlock()
+	for _, cn := range dead {
+		l.detach(cn)
+	}
+	return l.s.closed.Load() && remaining == 0
+}
+
+func (l *evloop) detach(cn *pconn) {
+	if cn.fd >= 0 {
+		_ = syscall.EpollCtl(l.epfd, syscall.EPOLL_CTL_DEL, cn.fd, nil)
+		l.mu.Lock()
+		delete(l.conns, cn.fd)
+		l.mu.Unlock()
+	}
+	cn.teardown()
+}
+
+// readAndProcess drains the readable socket into the accumulation
+// buffer (the listener's sockets are non-blocking) and processes the
+// buffered burst. A non-nil return tears the connection down.
+func (cn *pconn) readAndProcess() error {
+	total := 0
+	for total < burstReadBound {
+		cn.grow(1)
+		n, err := syscall.Read(cn.fd, cn.in[len(cn.in):cap(cn.in)])
+		if n > 0 {
+			cn.in = cn.in[:len(cn.in)+n]
+			total += n
+		}
+		if err == syscall.EAGAIN {
+			break
+		}
+		if err == syscall.EINTR {
+			continue
+		}
+		if err != nil {
+			return err
+		}
+		if n == 0 {
+			return io.EOF
+		}
+	}
+	if total == 0 {
+		return nil // spurious wakeup
+	}
+	return cn.processBurst()
+}

@@ -1,0 +1,17 @@
+//go:build !linux
+
+package server
+
+// newEventLoops reports no shared-poller driver on this platform; the
+// server falls back to one reader goroutine per connection, where the
+// Go runtime's netpoller is the event loop.
+func newEventLoops(s *Server, n int) ([]*evloop, error) {
+	return nil, nil
+}
+
+// evloop is a stub so the platform-independent server code compiles;
+// it is never instantiated here.
+type evloop struct{}
+
+func (l *evloop) add(cn *pconn) error { return nil }
+func (l *evloop) wake()               {}

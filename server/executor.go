@@ -181,6 +181,29 @@ func (e *Executor) Do(ctx context.Context, op Op, blocking bool, fn func(*tbtm.T
 	return err
 }
 
+// DoBatch is Do for a pipelined batch of n operations sharing one fast
+// lease and one begin→commit window: the per-op lease acquire/release
+// and per-op commit that Do pays become per-batch costs. It records the
+// batch under the executor's batch metrics and returns the elapsed
+// execution time so the caller can attribute amortized per-op latency.
+func (e *Executor) DoBatch(ctx context.Context, n int, fn func(*tbtm.Thread) error) (time.Duration, error) {
+	l, err := e.Acquire(ctx, false)
+	if err != nil {
+		return 0, err
+	}
+	t0 := time.Now()
+	err = fn(l.th)
+	d := time.Since(t0)
+	merr := err
+	if errors.Is(merr, ErrServerClosed) {
+		merr = nil
+	}
+	e.m.batch.record(d, merr)
+	e.m.batchedOps.Add(uint64(n))
+	e.Release(l)
+	return d, err
+}
+
 // Close unblocks every queued Acquire with ErrExecutorClosed and makes
 // future Acquires fail. Leases already granted stay valid until
 // released; Close does not wait for them (the server drains in-flight

@@ -3,6 +3,7 @@ package server
 import (
 	"errors"
 	"fmt"
+	"math/bits"
 	"math/rand"
 	"net"
 	"strconv"
@@ -45,6 +46,16 @@ type LoadConfig struct {
 	Skew float64
 	// Seed seeds the per-connection generators (0 = 1).
 	Seed int64
+	// Pipeline is the number of requests each connection keeps
+	// outstanding (<= 1 = classic synchronous round trips). With a
+	// depth > 1 every worker drives a Pipe: enqueue a window, flush,
+	// drain.
+	Pipeline int
+	// Batch flushes a pipelined window in ONE write (letting the server
+	// batch the window under one lease); without it every enqueued
+	// request is flushed immediately, which pipelines but rarely
+	// batches. Ignored when Pipeline <= 1.
+	Batch bool
 	// DialTimeout bounds each connection attempt; Wait additionally
 	// retries dialing until the server is up (for CI races between
 	// server start and load start). Both default to 0 (no retry).
@@ -63,6 +74,11 @@ type LoadResult struct {
 	Elapsed  time.Duration `json:"elapsed_ns"`
 	NsPerOp  float64       `json:"ns_per_op"`
 	OpsPerS  float64       `json:"ops_per_sec"`
+	// P50Us/P99Us are per-operation latency percentiles in microseconds,
+	// measured enqueue-to-reply (so a batched pipelined request's queueing
+	// time inside its window counts against it).
+	P50Us float64 `json:"p50_us"`
+	P99Us float64 `json:"p99_us"`
 	// EngineCommits is the server-side commit delta over the window
 	// (fetched via OpStats), the ground truth that operations really
 	// committed transactions.
@@ -100,6 +116,9 @@ func (cfg *LoadConfig) defaults() error {
 	if cfg.Seed == 0 {
 		cfg.Seed = 1
 	}
+	if cfg.Pipeline < 1 {
+		cfg.Pipeline = 1
+	}
 	return nil
 }
 
@@ -118,11 +137,75 @@ func (cfg *LoadConfig) dial() (*Client, error) {
 	}
 }
 
+// latHist is a log-linear latency histogram: histSub sub-buckets per
+// power-of-two octave of microseconds, giving <= 25% quantile error
+// with a few hundred fixed buckets and no recording allocation.
+const (
+	histSub     = 4
+	histBuckets = 256
+)
+
+type latHist struct {
+	buckets [histBuckets]uint64
+	count   uint64
+}
+
+func latBucket(us uint64) int {
+	if us < histSub {
+		return int(us)
+	}
+	o := bits.Len64(us) - 1 // top bit position, >= 2
+	sub := us >> uint(o-2)  // in [histSub, 2*histSub)
+	b := (o-2)*histSub + int(sub)
+	if b >= histBuckets {
+		b = histBuckets - 1
+	}
+	return b
+}
+
+func (h *latHist) record(d time.Duration) {
+	h.buckets[latBucket(uint64(d.Microseconds()))]++
+	h.count++
+}
+
+func (h *latHist) merge(o *latHist) {
+	for i, n := range o.buckets {
+		h.buckets[i] += n
+	}
+	h.count += o.count
+}
+
+// quantile returns the q-quantile in microseconds (bucket midpoint).
+func (h *latHist) quantile(q float64) float64 {
+	if h.count == 0 {
+		return 0
+	}
+	target := uint64(q * float64(h.count))
+	if target >= h.count {
+		target = h.count - 1
+	}
+	var cum uint64
+	for i, n := range h.buckets {
+		cum += n
+		if cum > target {
+			if i < histSub {
+				return float64(i)
+			}
+			o := i/histSub + 1
+			sub := uint64(i - (o-2)*histSub)
+			lower := sub << uint(o-2)
+			return float64(lower) + float64(uint64(1)<<uint(o-2))/2
+		}
+	}
+	return 0
+}
+
 // loadWorker is one closed-loop connection's state.
 type loadWorker struct {
 	cl   *Client
 	rng  *rand.Rand
 	zipf *rand.Zipf
+	hist latHist
 
 	ops, errs, gets, sets, multis, blocking uint64
 }
@@ -184,8 +267,9 @@ func RunLoad(cfg LoadConfig) (LoadResult, error) {
 	)
 
 	// Feeder: keeps the blocking token keyspace supplied so BTAKErs
-	// always eventually wake. Throttled so it does not dominate the
-	// measured throughput.
+	// always eventually wake. It drives a pipelined window — a burst of
+	// SETs per flush — so one throttled connection can keep up with many
+	// takers. Throttled so it does not dominate the measured throughput.
 	if cfg.BlockingRatio > 0 {
 		feederC, err = cfg.dial()
 		if err != nil {
@@ -194,15 +278,21 @@ func RunLoad(cfg LoadConfig) (LoadResult, error) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			fp := feederC.Pipe()
 			i := 0
 			for !stop.Load() {
-				if err := feederC.Set(blockKey(i%cfg.BlockKeys), val); err != nil {
-					if !stop.Load() {
-						ferr.Store(err)
-					}
-					return
+				for j := 0; j < 8; j++ {
+					fp.Set(blockKey(i%cfg.BlockKeys), val)
+					i++
 				}
-				i++
+				for fp.Outstanding() > 0 {
+					if _, err := fp.Recv(); err != nil {
+						if !stop.Load() {
+							ferr.Store(err)
+						}
+						return
+					}
+				}
 				time.Sleep(100 * time.Microsecond)
 			}
 		}()
@@ -213,7 +303,11 @@ func RunLoad(cfg LoadConfig) (LoadResult, error) {
 		wg.Add(1)
 		go func(w *loadWorker) {
 			defer wg.Done()
-			w.run(&cfg, &stop, val)
+			if cfg.Pipeline > 1 {
+				w.runPipelined(&cfg, &stop, val)
+			} else {
+				w.run(&cfg, &stop, val)
+			}
 		}(w)
 	}
 
@@ -239,6 +333,7 @@ func RunLoad(cfg LoadConfig) (LoadResult, error) {
 	}
 
 	res := LoadResult{Elapsed: elapsed}
+	var hist latHist
 	for _, w := range workers {
 		res.Ops += w.ops
 		res.Errors += w.errs
@@ -246,10 +341,13 @@ func RunLoad(cfg LoadConfig) (LoadResult, error) {
 		res.Sets += w.sets
 		res.Multis += w.multis
 		res.Blocking += w.blocking
+		hist.merge(&w.hist)
 	}
 	if res.Ops > 0 {
 		res.NsPerOp = float64(elapsed.Nanoseconds()) * float64(cfg.Conns) / float64(res.Ops)
 		res.OpsPerS = float64(res.Ops) / elapsed.Seconds()
+		res.P50Us = hist.quantile(0.50)
+		res.P99Us = hist.quantile(0.99)
 	}
 	statsAfter, err := ctl.Stats()
 	if err != nil {
@@ -266,13 +364,14 @@ func RunLoad(cfg LoadConfig) (LoadResult, error) {
 	return res, nil
 }
 
-// run is one worker's closed loop.
+// run is one worker's closed loop (synchronous round trips).
 func (w *loadWorker) run(cfg *LoadConfig, stop *atomic.Bool, val []byte) {
 	defer w.cl.Close()
 	scratch := make([]MultiOp, 0, cfg.TxnSize)
 	for !stop.Load() {
 		x := w.rng.Float64()
 		var err error
+		t0 := time.Now()
 		switch {
 		case x < cfg.BlockingRatio:
 			_, err = w.cl.BTake(blockKey(w.rng.Intn(cfg.BlockKeys)))
@@ -305,7 +404,75 @@ func (w *loadWorker) run(cfg *LoadConfig, stop *atomic.Bool, val []byte) {
 			}
 			w.errs++
 		}
+		w.hist.record(time.Since(t0))
 		w.ops++
+	}
+}
+
+// runPipelined is one worker's windowed loop: enqueue cfg.Pipeline
+// requests, flush (once with cfg.Batch, per-request otherwise), drain
+// every reply, repeat. Latency is measured enqueue-to-reply per
+// request, matched by sequence ID (blocking replies can arrive out of
+// order).
+func (w *loadWorker) runPipelined(cfg *LoadConfig, stop *atomic.Bool, val []byte) {
+	defer w.cl.Close()
+	p := w.cl.Pipe()
+	scratch := make([]MultiOp, 0, cfg.TxnSize)
+	t0s := make(map[uint64]time.Time, cfg.Pipeline)
+	for !stop.Load() {
+		for i := 0; i < cfg.Pipeline; i++ {
+			x := w.rng.Float64()
+			var seq uint64
+			switch {
+			case x < cfg.BlockingRatio:
+				seq = p.BTake(blockKey(w.rng.Intn(cfg.BlockKeys)))
+				w.blocking++
+			case x < cfg.BlockingRatio+cfg.MultiRatio:
+				scratch = scratch[:0]
+				for j := 0; j < cfg.TxnSize; j++ {
+					k := loadKey(w.key(cfg))
+					if j%2 == 0 {
+						scratch = append(scratch, MGet(k))
+					} else {
+						scratch = append(scratch, MSet(k, val))
+					}
+				}
+				seq, _ = p.Multi(scratch)
+				w.multis++
+			default:
+				k := loadKey(w.key(cfg))
+				if w.rng.Float64() < cfg.ReadRatio {
+					seq = p.Get(k)
+					w.gets++
+				} else {
+					seq = p.Set(k, val)
+					w.sets++
+				}
+			}
+			t0s[seq] = time.Now()
+			if !cfg.Batch {
+				if err := p.Flush(); err != nil {
+					return
+				}
+			}
+		}
+		for p.Outstanding() > 0 {
+			r, err := p.Recv()
+			if err != nil {
+				return // connection cut (deadline grace) or closed server
+			}
+			if t0, ok := t0s[r.Seq]; ok {
+				w.hist.record(time.Since(t0))
+				delete(t0s, r.Seq)
+			}
+			if r.Err != nil {
+				if stop.Load() || errors.Is(r.Err, ErrServerClosed) {
+					return
+				}
+				w.errs++
+			}
+			w.ops++
+		}
 	}
 }
 

@@ -1,0 +1,63 @@
+package server
+
+import (
+	"testing"
+	"time"
+)
+
+// TestLatHistQuantile sanity-checks the log-linear histogram: known
+// durations land in the right quantiles within bucket resolution.
+func TestLatHistQuantile(t *testing.T) {
+	var h latHist
+	// 99 ops at ~100µs, 1 op at ~10ms.
+	for i := 0; i < 99; i++ {
+		h.record(100 * time.Microsecond)
+	}
+	h.record(10 * time.Millisecond)
+	p50 := h.quantile(0.50)
+	if p50 < 64 || p50 > 160 {
+		t.Errorf("p50 = %.0fµs, want ~100µs (within bucket resolution)", p50)
+	}
+	p99 := h.quantile(0.99)
+	if p99 < 8192 || p99 > 16384 {
+		t.Errorf("p99 = %.0fµs, want ~10000µs (within bucket resolution)", p99)
+	}
+	if h.quantile(0.0) > p50 || p50 > h.quantile(1.0) {
+		t.Error("quantiles not monotone")
+	}
+}
+
+// TestRunLoadPipelined runs the load generator end to end in its
+// pipelined+batched mode against a live server and checks the result
+// invariants: ops flowed, none errored, the engine really committed,
+// batches formed, and latency percentiles are populated.
+func TestRunLoadPipelined(t *testing.T) {
+	srv, addr := startServer(t, Config{})
+	res, err := RunLoad(LoadConfig{
+		Addr:      addr,
+		Conns:     2,
+		Duration:  300 * time.Millisecond,
+		Keys:      64,
+		ReadRatio: 0.8,
+		Pipeline:  16,
+		Batch:     true,
+	})
+	if err != nil {
+		t.Fatalf("RunLoad: %v", err)
+	}
+	if res.Ops == 0 {
+		t.Fatal("pipelined load did zero ops")
+	}
+	if res.Errors != 0 {
+		t.Fatalf("pipelined load: %d errors", res.Errors)
+	}
+	if res.EngineCommits == 0 {
+		t.Fatal("no engine commits observed over the window")
+	}
+	if res.P50Us <= 0 || res.P99Us < res.P50Us {
+		t.Fatalf("latency percentiles p50=%v p99=%v", res.P50Us, res.P99Us)
+	}
+	if got := srv.exec.m.batch.count.Load(); got == 0 {
+		t.Fatal("no server-side batches formed under pipelined+batched load")
+	}
+}

@@ -42,6 +42,12 @@ func (m *opMetrics) record(d time.Duration, err error) {
 type Metrics struct {
 	ops [opMax]opMetrics
 
+	// batch aggregates pipelined batches (one entry per batch, not per
+	// constituent op); batchedOps counts the ops the batches carried, so
+	// batchedOps/batch.count is the realized mean batch size.
+	batch      opMetrics
+	batchedOps atomic.Uint64
+
 	// Executor gauges and counters.
 	fastInUse     atomic.Int64
 	blockingInUse atomic.Int64
@@ -71,6 +77,11 @@ type ExecutorStats struct {
 	AcquireWaits   uint64 `json:"acquire_waits"`
 	AcquireWaitUs  uint64 `json:"acquire_wait_us"`
 	Rejects        uint64 `json:"rejects"`
+	// Batches counts pipelined batches executed under one lease;
+	// BatchedOps the wire ops they carried (mean batch size =
+	// BatchedOps/Batches).
+	Batches    uint64 `json:"batches"`
+	BatchedOps uint64 `json:"batched_ops"`
 }
 
 // MetricsSnapshot is the JSON form of Metrics.
@@ -102,6 +113,11 @@ func (m *Metrics) snapshot(fastLeases, blockingLeases int) MetricsSnapshot {
 		}
 		out.Ops[op.String()] = s
 	}
+	if n := m.batch.count.Load(); n > 0 {
+		s := OpCounters{Count: n, Errors: m.batch.errs.Load()}
+		s.AvgUs = float64(m.batch.totalNs.Load()) / float64(n) / 1e3
+		out.Ops["batch"] = s
+	}
 	out.Executor = ExecutorStats{
 		FastLeases:     fastLeases,
 		BlockingLeases: blockingLeases,
@@ -112,6 +128,8 @@ func (m *Metrics) snapshot(fastLeases, blockingLeases int) MetricsSnapshot {
 		AcquireWaits:   m.acquireWaits.Load(),
 		AcquireWaitUs:  m.acquireWaitNs.Load() / 1e3,
 		Rejects:        m.rejects.Load(),
+		Batches:        m.batch.count.Load(),
+		BatchedOps:     m.batchedOps.Load(),
 	}
 	return out
 }

@@ -7,17 +7,25 @@
 // # Wire protocol
 //
 // Every request and every response is one frame: a 4-byte big-endian
-// payload length followed by the payload. A request payload is an opcode
-// byte followed by opcode-specific fields; byte strings are encoded as a
-// uvarint length followed by the bytes. A response payload is a status
-// byte followed by status/opcode-specific fields. One request gets
-// exactly one response, in order; a connection carries one request at a
-// time from the server's point of view, but clients may pipeline.
+// payload length followed by the payload. A request payload is a
+// client-assigned uvarint sequence ID, an opcode byte, and
+// opcode-specific fields; byte strings are encoded as a uvarint length
+// followed by the bytes. A response payload echoes the request's
+// sequence ID, then a status byte and status/opcode-specific fields.
+// One request gets exactly one response.
 //
-// Blocking opcodes (BTAKE, WAIT) may take arbitrarily long to answer:
-// the server parks the transaction on its read footprint (tbtm.Retry)
-// and replies when a remote commit changes the watched keys — or with
-// StatusClosed when the server shuts down.
+// The protocol is pipelined: a client may have any number of requests
+// outstanding on one connection. The server decodes requests greedily
+// from each readable burst and answers non-blocking operations in
+// request order, so a client that never uses blocking opcodes may rely
+// on ordering alone. Blocking opcodes (BTAKE, WAIT) may take
+// arbitrarily long: the server parks the transaction on its read
+// footprint (tbtm.Retry) and replies when a remote commit changes the
+// watched keys — or with StatusClosed when the server shuts down.
+// Their responses are written whenever they complete, possibly AFTER
+// the responses to later requests on the same connection; the echoed
+// sequence ID is what matches them back. Later non-blocking requests
+// on the same connection keep flowing while a blocking one is parked.
 package server
 
 import (

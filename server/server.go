@@ -1,11 +1,6 @@
 package server
 
 import (
-	"bufio"
-	"bytes"
-	"encoding/binary"
-	"encoding/json"
-	"errors"
 	"fmt"
 	"net"
 	"runtime"
@@ -37,6 +32,19 @@ type Config struct {
 	// LongOpens overrides the classifier's long-promotion threshold
 	// (0 = the adaptive package default).
 	LongOpens float64
+	// EventLoops selects the connection I/O driver. 0 (the default)
+	// means one shared reader event loop per core (GOMAXPROCS) on
+	// platforms with a poller the server can drive directly (Linux
+	// epoll), and the portable goroutine-per-connection driver
+	// elsewhere; > 0 forces that many event loops; < 0 forces the
+	// portable driver everywhere. Connections parked in blocking ops
+	// never occupy a loop either way — blocking work always runs on
+	// dedicated goroutines.
+	EventLoops int
+	// MaxBatch caps how many consecutive non-blocking single-key ops
+	// from one pipelined burst are executed under a single lease and
+	// commit window (0 = 64).
+	MaxBatch int
 	// TMOptions are appended to the server's own engine options;
 	// invariant-bearing options (WithBlockingRetry, WithAutoClassify,
 	// vector-clock WithThreads sizing) are applied after, so they win.
@@ -54,18 +62,19 @@ type StatsReply struct {
 // Server is a tbtmd instance: one engine, one executor, one store, any
 // number of listeners (normally one).
 type Server struct {
-	cfg   Config
-	tm    *tbtm.TM
-	exec  *Executor
-	store store
+	cfg      Config
+	maxBatch int
+	tm       *tbtm.TM
+	exec     *Executor
+	store    store
 
 	// sysTh runs the server's own transactions (the shutdown commit). It
 	// is dedicated: at shutdown every pool lease may be parked.
 	sysTh *tbtm.Thread
 
-	// cancelTh commits per-connection cancel flags when disconnect
-	// monitors fire; guarded by cancelMu (Thread handles are not
-	// concurrency-safe, and monitors are rare).
+	// cancelTh commits per-connection cancel flags when connection
+	// teardown finds parked blocking ops; guarded by cancelMu (Thread
+	// handles are not concurrency-safe, and teardowns are rare).
 	cancelMu sync.Mutex
 	cancelTh *tbtm.Thread
 
@@ -74,9 +83,16 @@ type Server struct {
 	inflight atomic.Int64 // requests between decode and response write
 	conns    atomic.Int64
 
+	// Connection I/O drivers: shared event loops (Linux) or one
+	// goroutine per connection (portable fallback).
+	loopOnce sync.Once
+	loops    []*evloop
+	loopIdx  atomic.Uint32
+	loopWG   sync.WaitGroup
+
 	mu      sync.Mutex
 	ln      net.Listener
-	open    map[net.Conn]struct{}
+	open    map[net.Conn]*pconn
 	serving sync.WaitGroup
 }
 
@@ -97,6 +113,9 @@ func New(cfg Config) (*Server, error) {
 	if cfg.MaxFrame <= 0 {
 		cfg.MaxFrame = DefaultMaxFrame
 	}
+	if cfg.MaxBatch <= 0 {
+		cfg.MaxBatch = 64
+	}
 	opts := []tbtm.Option{tbtm.WithConsistency(cfg.Consistency)}
 	opts = append(opts, cfg.TMOptions...)
 	// The server's invariants go last so they cannot be overridden:
@@ -115,11 +134,12 @@ func New(cfg Config) (*Server, error) {
 		return nil, err
 	}
 	s := &Server{
-		cfg:   cfg,
-		tm:    tm,
-		store: newStore(tm, cfg.Buckets),
-		start: time.Now(),
-		open:  make(map[net.Conn]struct{}),
+		cfg:      cfg,
+		maxBatch: cfg.MaxBatch,
+		tm:       tm,
+		store:    newStore(tm, cfg.Buckets),
+		start:    time.Now(),
+		open:     make(map[net.Conn]*pconn),
 	}
 	s.exec = NewExecutor(tm, cfg.Leases, cfg.BlockingLeases, &Metrics{})
 	s.sysTh = tm.NewThread()
@@ -164,6 +184,19 @@ func (s *Server) Serve(ln net.Listener) error {
 	}
 	s.ln = ln
 	s.mu.Unlock()
+	s.loopOnce.Do(func() {
+		n := s.cfg.EventLoops
+		if n == 0 {
+			n = runtime.GOMAXPROCS(0)
+		}
+		if n > 0 {
+			// A loop-construction error (fd limits) is not fatal: the
+			// portable driver serves every connection instead.
+			if loops, err := newEventLoops(s, n); err == nil {
+				s.loops = loops
+			}
+		}
+	})
 	for {
 		conn, err := ln.Accept()
 		if err != nil {
@@ -172,24 +205,40 @@ func (s *Server) Serve(ln net.Listener) error {
 			}
 			return err
 		}
+		cn := newPconn(s, conn)
 		s.mu.Lock()
 		if s.closed.Load() {
 			s.mu.Unlock()
 			conn.Close()
 			continue
 		}
-		s.open[conn] = struct{}{}
+		s.open[conn] = cn
 		s.serving.Add(1)
 		s.mu.Unlock()
 		s.conns.Add(1)
-		go s.handle(conn)
+		s.attach(cn)
 	}
+}
+
+// attach hands a registered connection to an I/O driver: the next
+// event loop round-robin, or a dedicated reader goroutine when there
+// are no loops (or the connection is not pollable).
+func (s *Server) attach(cn *pconn) {
+	if len(s.loops) > 0 {
+		if _, ok := cn.c.(*net.TCPConn); ok {
+			i := int(s.loopIdx.Add(1)) % len(s.loops)
+			if s.loops[i].add(cn) == nil {
+				return
+			}
+		}
+	}
+	go s.serveConnFallback(cn)
 }
 
 // Close shuts the server down gracefully: stop accepting, commit the
 // shutdown flag (which wakes every parked BTAKE/WAIT — they answer
-// StatusClosed), drain in-flight responses, then close connections and
-// the executor. Safe to call more than once.
+// StatusClosed), drain in-flight responses, then tear connections down
+// and stop the event loops. Safe to call more than once.
 func (s *Server) Close() error {
 	if !s.closed.CompareAndSwap(false, true) {
 		return nil
@@ -210,138 +259,49 @@ func (s *Server) Close() error {
 		}
 		time.Sleep(time.Millisecond)
 	}
+	// Anything still queued for a lease answers StatusClosed from here.
+	s.exec.Close()
+	// Hand connections back to their owning drivers: mark them dead and
+	// shut the READ side, which surfaces as EOF in the driver. The owner
+	// closes the socket itself, so a shared event loop never races a
+	// reused fd number.
 	s.mu.Lock()
-	for c := range s.open {
-		c.Close()
+	for c, cn := range s.open {
+		cn.dead.Store(true)
+		if tc, ok := c.(*net.TCPConn); ok {
+			tc.CloseRead()
+		} else {
+			c.Close()
+		}
 	}
 	s.mu.Unlock()
-	s.serving.Wait()
-	s.exec.Close()
+	s.wakeLoops()
+	// A driver can still be wedged writing to a client that stopped
+	// reading; after a grace period close those sockets outright.
+	done := make(chan struct{})
+	go func() {
+		s.serving.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		s.mu.Lock()
+		for c := range s.open {
+			c.Close()
+		}
+		s.mu.Unlock()
+		<-done
+	}
+	s.wakeLoops()
+	s.loopWG.Wait()
 	return nil
 }
 
-// conn is the per-connection state: buffered IO plus every buffer the
-// request/response cycle needs, allocated once per connection so the
-// warm request path allocates nothing.
-type conn struct {
-	s   *Server
-	c   net.Conn
-	br  *bufio.Reader
-	bw  *bufio.Writer
-	hdr [4]byte
-
-	frame []byte  // reusable request frame buffer
-	req   request // decoded request (aliases frame)
-	resp  []byte  // reusable response build buffer
-
-	results []subResult // reusable multi result buffer
-	msubs   []multiSub  // reusable materialised multi script
-
-	// Blocking-op disconnect detection: cancel is the connection's
-	// transactional hang-up flag (created on the first blocking op; a
-	// parked BTAKE/WAIT reads it on the park path, so committing it
-	// wakes the parked transaction), and monDone joins the Peek monitor
-	// before the next frame read touches br.
-	cancel  *tbtm.Var[bool]
-	monDone chan struct{}
-
-	// Hot-path state for the prebound closures below: the two
-	// single-key operations a warm client hammers (GET, SET) run
-	// through closures built once per connection, so serving them
-	// allocates neither a closure nor captured variables per request.
-	opKey  string
-	opVal  []byte
-	getVal []byte
-	getOK  bool
-	getFn  func(*tbtm.Thread) error
-	setFn  func(*tbtm.Thread) error
-
-	// Single-entry key-string cache: a client hammering one key (the
-	// warm hot path the alloc tests pin) converts wire bytes to the
-	// map's string key once, not per request. keyRaw holds a private
-	// copy of the cached key's bytes for the equality check (the frame
-	// buffer is reused).
-	keyRaw []byte
-	keyStr string
-}
-
-// handle serves one connection until EOF, error, or server close.
-func (s *Server) handle(c net.Conn) {
-	defer s.serving.Done()
-	defer s.conns.Add(-1)
-	cn := &conn{
-		s:  s,
-		c:  c,
-		br: bufio.NewReader(c),
-		bw: bufio.NewWriter(c),
+func (s *Server) wakeLoops() {
+	for _, l := range s.loops {
+		l.wake()
 	}
-	cn.getFn = func(th *tbtm.Thread) error {
-		var e error
-		cn.getVal, cn.getOK, e = s.store.get(th, cn.opKey)
-		return e
-	}
-	cn.setFn = func(th *tbtm.Thread) error {
-		return s.store.set(th, cn.opKey, cn.opVal)
-	}
-	defer func() {
-		s.mu.Lock()
-		delete(s.open, c)
-		s.mu.Unlock()
-		c.Close()
-	}()
-	for {
-		payload, buf, err := readFrame(cn.br, &cn.hdr, cn.frame, s.cfg.MaxFrame)
-		cn.frame = buf
-		if err != nil {
-			return // EOF, conn closed, or a framing error we cannot answer
-		}
-		s.inflight.Add(1)
-		err = cn.serveOne(payload)
-		s.inflight.Add(-1)
-		if cn.monDone != nil {
-			// A blocking op ran: its disconnect monitor is parked in
-			// br.Peek. It returns when the client sends the next request
-			// (without consuming it) or hangs up; either way it must be
-			// out of br before the next readFrame.
-			<-cn.monDone
-			cn.monDone = nil
-		}
-		if err != nil {
-			return
-		}
-	}
-}
-
-// startMonitor watches the connection for a hang-up while a blocking
-// operation is (possibly) parked: the handler goroutine is inside the
-// transaction, so a second goroutine peeks the read side. Peek consumes
-// nothing — an error means the client hung up, and committing the
-// cancel flag wakes the parked transaction so the lease is returned
-// and, for BTAKE, the key is NOT consumed for a client that can no
-// longer receive it.
-//
-// Scope: detection covers clients awaiting the blocking response — the
-// strict request/response discipline of the reference Client. If Peek
-// sees DATA the client has pipelined a request behind the blocking op;
-// it was alive a moment ago, the monitor stands down (peeking deeper
-// would have to consume), and a crash after that point is noticed when
-// the pipelined request's turn comes to read the socket. Until then a
-// parked lease can be held for a crashed pipelining client — bounded by
-// the blocking tranche and reclaimed by feed-or-shutdown, and the
-// tranche is sized generously precisely because parked leases are
-// cheap.
-func (cn *conn) startMonitor() {
-	if cn.cancel == nil {
-		cn.cancel = tbtm.NewVar(cn.s.tm, false)
-	}
-	done := make(chan struct{})
-	cn.monDone = done
-	go func() {
-		defer close(done)
-		if _, err := cn.br.Peek(1); err != nil {
-			cn.s.cancelBlocked(cn.cancel)
-		}
-	}()
 }
 
 // cancelBlocked commits a connection's hang-up flag.
@@ -351,206 +311,6 @@ func (s *Server) cancelBlocked(v *tbtm.Var[bool]) {
 	_ = s.cancelTh.Atomic(tbtm.Short, func(tx tbtm.Tx) error {
 		return v.Write(tx, true)
 	})
-}
-
-// keyString converts a wire key to the store's string key through the
-// connection's single-entry cache.
-func (cn *conn) keyString(b []byte) string {
-	if bytes.Equal(b, cn.keyRaw) && cn.keyStr != "" {
-		return cn.keyStr
-	}
-	cn.keyRaw = append(cn.keyRaw[:0], b...)
-	cn.keyStr = string(b)
-	return cn.keyStr
-}
-
-// serveOne decodes one request payload, executes it, and writes the
-// response frame. A non-nil return tears the connection down.
-func (cn *conn) serveOne(payload []byte) error {
-	s := cn.s
-	out := cn.resp[:0]
-	if err := parseRequest(payload, &cn.req); err != nil {
-		out = append(out, byte(StatusError))
-		out = appendString(out, err.Error())
-		return cn.flush(out)
-	}
-	req := &cn.req
-	if s.closed.Load() {
-		out = append(out, byte(StatusClosed))
-		return cn.flush(out)
-	}
-	switch req.op {
-	case OpPing:
-		out = append(out, byte(StatusOK))
-
-	case OpGet:
-		cn.opKey = cn.keyString(req.key)
-		err := s.exec.Do(nil, OpGet, false, cn.getFn)
-		if err == nil && !cn.getOK {
-			out = append(out, byte(StatusNotFound))
-		} else {
-			out = cn.status(out, err, nil)
-			if err == nil {
-				out = appendBytes(out, cn.getVal)
-			}
-		}
-		cn.getVal = nil
-
-	case OpSet:
-		cn.opKey = cn.keyString(req.key)
-		cn.opVal = copyBytes(req.val)
-		err := s.exec.Do(nil, OpSet, false, cn.setFn)
-		cn.opVal = nil
-		out = cn.status(out, err, nil)
-
-	case OpDel:
-		var deleted bool
-		err := s.exec.Do(nil, OpDel, false, func(th *tbtm.Thread) error {
-			var e error
-			deleted, e = s.store.del(th, cn.keyString(req.key))
-			return e
-		})
-		out = cn.status(out, err, func(out []byte) []byte {
-			return append(out, boolByte(deleted))
-		})
-
-	case OpCas:
-		var swapped bool
-		err := s.exec.Do(nil, OpCas, false, func(th *tbtm.Thread) error {
-			var e error
-			swapped, e = s.store.cas(th, cn.keyString(req.key), req.expectPresent, req.expect, copyBytes(req.val))
-			return e
-		})
-		out = cn.status(out, err, func(out []byte) []byte {
-			return append(out, boolByte(swapped))
-		})
-
-	case OpRange:
-		var pairs []kv
-		err := s.exec.Do(nil, OpRange, false, func(th *tbtm.Thread) error {
-			var e error
-			pairs, e = s.store.rangeScan(th, string(req.from), string(req.to), req.limit)
-			return e
-		})
-		out = cn.status(out, err, func(out []byte) []byte {
-			out = binary.AppendUvarint(out, uint64(len(pairs)))
-			for _, p := range pairs {
-				out = appendString(out, p.key)
-				out = appendBytes(out, p.val)
-			}
-			return out
-		})
-
-	case OpMulti:
-		cn.msubs = materialize(req.multi, cn.msubs)
-		var committed bool
-		err := s.exec.Do(nil, OpMulti, false, func(th *tbtm.Thread) error {
-			var e error
-			committed, e = s.store.multi(th, cn.msubs, &cn.results)
-			return e
-		})
-		out = cn.status(out, err, func(out []byte) []byte {
-			out = append(out, boolByte(committed))
-			out = binary.AppendUvarint(out, uint64(len(cn.results)))
-			for i := range cn.results {
-				r := &cn.results[i]
-				out = append(out, byte(r.status))
-				switch req.multi[i].op {
-				case OpGet:
-					if r.status == StatusOK {
-						out = appendBytes(out, r.val)
-					}
-				case OpSet:
-				case OpDel, OpCas:
-					out = append(out, boolByte(r.present))
-				}
-			}
-			return out
-		})
-
-	case OpBTake:
-		cn.startMonitor()
-		var val []byte
-		err := s.exec.Do(nil, OpBTake, true, func(th *tbtm.Thread) error {
-			var e error
-			val, e = s.store.btake(th, cn.keyString(req.key), cn.cancel)
-			return e
-		})
-		out = cn.status(out, err, func(out []byte) []byte {
-			return appendBytes(out, val)
-		})
-
-	case OpWait:
-		cn.startMonitor()
-		var val []byte
-		var present bool
-		err := s.exec.Do(nil, OpWait, true, func(th *tbtm.Thread) error {
-			var e error
-			val, present, e = s.store.wait(th, cn.keyString(req.key), req.expectPresent, req.expect, cn.cancel)
-			return e
-		})
-		out = cn.status(out, err, func(out []byte) []byte {
-			out = append(out, boolByte(present))
-			if present {
-				out = appendBytes(out, val)
-			}
-			return out
-		})
-
-	case OpStats:
-		reply := StatsReply{
-			Engine:   s.tm.Stats(),
-			Metrics:  s.exec.m.snapshot(s.exec.nFast, s.exec.nBlock),
-			Conns:    s.conns.Load(),
-			UptimeMs: time.Since(s.start).Milliseconds(),
-		}
-		doc, err := json.Marshal(reply)
-		out = cn.status(out, err, func(out []byte) []byte {
-			return appendBytes(out, doc)
-		})
-
-	default:
-		out = append(out, byte(StatusError))
-		out = appendString(out, fmt.Sprintf("server: unknown opcode %d", req.op))
-	}
-	return cn.flush(out)
-}
-
-// status appends the response head for err, then — on success — lets ok
-// append the payload. ErrServerClosed maps to StatusClosed, every other
-// error to StatusError with its message.
-func (cn *conn) status(out []byte, err error, ok func([]byte) []byte) []byte {
-	switch {
-	case err == nil:
-		out = append(out, byte(StatusOK))
-		if ok != nil {
-			out = ok(out)
-		}
-	case errors.Is(err, ErrServerClosed) || errors.Is(err, ErrExecutorClosed), errors.Is(err, errClientGone):
-		out = append(out, byte(StatusClosed)) // for errClientGone nobody is reading; the frame keeps the stream well-formed
-	default:
-		out = append(out, byte(StatusError))
-		out = appendString(out, err.Error())
-	}
-	return out
-}
-
-// flush writes the response frame and retains the (possibly grown)
-// buffer for reuse. Responses obey the same frame bound as requests: an
-// oversized reply (an unbounded RANGE over a big store) is replaced by
-// a StatusError frame rather than desynchronising a client whose
-// readFrame would reject the length prefix without consuming the body.
-func (cn *conn) flush(out []byte) error {
-	if len(out) > cn.s.cfg.MaxFrame {
-		out = append(out[:0], byte(StatusError))
-		out = appendString(out, fmt.Sprintf(
-			"server: reply exceeds the %d-byte frame limit; narrow the range or pass a limit and resume from the last key", cn.s.cfg.MaxFrame))
-	}
-	cn.resp = out[:0]
-	if err := writeFrame(cn.bw, &cn.hdr, out); err != nil {
-		return err
-	}
-	return cn.bw.Flush()
 }
 
 func boolByte(b bool) byte {

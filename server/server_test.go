@@ -469,8 +469,8 @@ func TestServerGracefulShutdownWithParkedClients(t *testing.T) {
 func TestServerErrorKeepsConnectionUsable(t *testing.T) {
 	_, addr := startServer(t, Config{})
 	cl := dialT(t, addr)
-	// Hand-write a bogus opcode frame.
-	st, p, err := cl.roundTrip(append(cl.out[:0], 0xEE))
+	// Hand-write a bogus opcode frame (sequence ID, then junk).
+	st, p, err := cl.roundTrip(cl.newReq(Op(0xEE)))
 	if err != nil {
 		t.Fatalf("round trip: %v", err)
 	}

@@ -38,6 +38,7 @@ const (
 	siteCas   = "tbtmd/cas"
 	siteMulti = "tbtmd/multi"
 	siteBTake = "tbtmd/btake"
+	siteBatch = "tbtmd/batch"
 )
 
 // store is the server's transactional state: a hash map holding the
@@ -268,6 +269,111 @@ func (s *store) multi(th *tbtm.Thread, subs []multiSub, results *[]subResult) (c
 		return false, nil
 	}
 	return err == nil, err
+}
+
+// execBatch runs a pipelined batch of independent single-key operations
+// under ONE transaction — one lease, one begin→commit window, one
+// commit tick for the whole batch. This is the server-side analogue of
+// the engine's amortized snapshot validation: k wire ops pay one commit
+// instead of k.
+//
+// Semantics are those of the ops run back to back at the commit point:
+// reads see the batch's own earlier writes, and a failed CAS is a
+// RESULT (present = false), not an abort — unlike a MULTI script, the
+// batch's ops belong to independent requests that merely shared a
+// window, so one op's compare failure must not roll back its
+// neighbours. results is reset and refilled on every conflict re-run.
+func (s *store) execBatch(th *tbtm.Thread, subs []multiSub, results *[]subResult) error {
+	return th.AtomicSite(siteBatch, func(tx tbtm.Tx) error {
+		return s.batchBody(tx, subs, results)
+	})
+}
+
+// execBatchRO is execBatch for an all-read batch: a short read-only
+// transaction, so a pipelined GET burst rides the engine's zero-alloc
+// read path and never touches the commit path at all.
+func (s *store) execBatchRO(th *tbtm.Thread, subs []multiSub, results *[]subResult) error {
+	return th.AtomicReadOnly(tbtm.Short, func(tx tbtm.Tx) error {
+		return s.batchBody(tx, subs, results)
+	})
+}
+
+// batchBody executes the batch ops inside tx, one subResult each.
+func (s *store) batchBody(tx tbtm.Tx, subs []multiSub, results *[]subResult) error {
+	*results = (*results)[:0]
+	for i := range subs {
+		sub := &subs[i]
+		res := subResult{status: StatusOK}
+		switch sub.op {
+		case OpGet:
+			v, ok, err := s.getTx(tx, sub.key)
+			if err != nil {
+				return err
+			}
+			res.val, res.present = v, ok
+			if !ok {
+				res.status = StatusNotFound
+			}
+		case OpSet:
+			if err := s.setTx(tx, sub.key, sub.val); err != nil {
+				return err
+			}
+		case OpDel:
+			ok, err := s.delTx(tx, sub.key)
+			if err != nil {
+				return err
+			}
+			res.present = ok
+		case OpCas:
+			ok, err := s.casTx(tx, sub.key, sub.expectPresent, sub.expect, sub.val)
+			if err != nil {
+				return err
+			}
+			res.present = ok // a failed CAS is a result here, never an abort
+		default:
+			return fmt.Errorf("server: opcode %s not valid in a batch", sub.op)
+		}
+		*results = append(*results, res)
+	}
+	return nil
+}
+
+// execOne runs a single batch entry in its own transaction — the
+// depth-1 path, and the re-run path when a whole batch failed with a
+// genuine error ("first error doesn't poison later independent ops":
+// each op then succeeds or fails on its own).
+func (s *store) execOne(th *tbtm.Thread, sub *multiSub) (subResult, error) {
+	res := subResult{status: StatusOK}
+	switch sub.op {
+	case OpGet:
+		v, ok, err := s.get(th, sub.key)
+		if err != nil {
+			return res, err
+		}
+		res.val, res.present = v, ok
+		if !ok {
+			res.status = StatusNotFound
+		}
+	case OpSet:
+		if err := s.set(th, sub.key, sub.val); err != nil {
+			return res, err
+		}
+	case OpDel:
+		ok, err := s.del(th, sub.key)
+		if err != nil {
+			return res, err
+		}
+		res.present = ok
+	case OpCas:
+		ok, err := s.cas(th, sub.key, sub.expectPresent, sub.expect, sub.val)
+		if err != nil {
+			return res, err
+		}
+		res.present = ok
+	default:
+		return res, fmt.Errorf("server: opcode %s not valid in a batch", sub.op)
+	}
+	return res, nil
 }
 
 // btake blocks until key exists, then deletes and returns it; woken by
