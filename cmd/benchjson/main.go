@@ -21,6 +21,12 @@
 //	server/pipelined    the same server driven by 2 pipelined+batched
 //	                    connections at increasing window depths;
 //	                    goroutines = pipeline depth (1, 4, 16, 64)
+//	server/durable/*    a durable server (real on-disk WAL in a temp
+//	                    dir) at each ack mode — none, relaxed, strict —
+//	                    driven by 2 pipelined+batched connections at
+//	                    depth 16 with a 50/50 read/write mix; the spread
+//	                    across modes prices the fsync-per-ack contract
+//	                    and the group-commit recovery of it
 //
 // Usage:
 //
@@ -115,7 +121,7 @@ func run(args []string) error {
 	goroutines := fs.String("goroutines", "1,2,4,8", "comma-separated goroutine counts")
 	benchtime := fs.Duration("benchtime", 100*time.Millisecond, "minimum measurement time per point")
 	runList := fs.String("run", "", "comma-separated series substrings to keep (default all)")
-	pr := fs.Int("pr", 6, "PR number recorded in the snapshot")
+	pr := fs.Int("pr", 7, "PR number recorded in the snapshot")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -189,6 +195,20 @@ func run(args []string) error {
 			fmt.Fprintf(os.Stderr, "%-20s d=%-3d %10.1f ns/op %6.1f allocs/op %12.0f commits/s  p50 %.0fµs p99 %.0fµs\n",
 				pipelinedSeries, depth, p.NsPerOp, p.AllocsPerOp, p.CommitsPerSec, p.P50Us, p.P99Us)
 		}
+	}
+
+	for _, mode := range durableModes {
+		name := durableSeriesPrefix + mode
+		if !keep(name) {
+			continue
+		}
+		p, err := measureDurable(mode, *benchtime)
+		if err != nil {
+			return err
+		}
+		snap.Points = append(snap.Points, p)
+		fmt.Fprintf(os.Stderr, "%-20s d=16  %10.1f ns/op %6.1f allocs/op %12.0f commits/s  p50 %.0fµs p99 %.0fµs\n",
+			name, p.NsPerOp, p.AllocsPerOp, p.CommitsPerSec, p.P50Us, p.P99Us)
 	}
 
 	enc, err := json.MarshalIndent(snap, "", "  ")
@@ -297,6 +317,66 @@ func measurePipelined(depth int, benchtime time.Duration) (Point, error) {
 	return Point{
 		Series:        pipelinedSeries,
 		Goroutines:    depth,
+		NsPerOp:       res.NsPerOp,
+		AllocsPerOp:   float64(m1.Mallocs-m0.Mallocs) / float64(res.Ops),
+		BytesPerOp:    float64(m1.TotalAlloc-m0.TotalAlloc) / float64(res.Ops),
+		CommitsPerSec: res.OpsPerS,
+		P50Us:         res.P50Us,
+		P99Us:         res.P99Us,
+	}, nil
+}
+
+// durableSeriesPrefix measures what durability costs on the wire: the
+// same pipelined+batched drive as server/pipelined at a fixed depth of
+// 16, but against a durable server writing a real on-disk WAL in a
+// temp directory, once per ack mode. ReadRatio drops to 0.5 so half
+// the traffic actually exercises the log. "none" prices the WAL write
+// path alone, "relaxed" adds background group fsync, "strict" makes
+// every SET ack wait for its group's fsync — the full contract the
+// crash drill verifies.
+const durableSeriesPrefix = "server/durable/"
+
+var durableModes = []string{"none", "relaxed", "strict"}
+
+func measureDurable(mode string, benchtime time.Duration) (Point, error) {
+	dir, err := os.MkdirTemp("", "benchjson-wal-*")
+	if err != nil {
+		return Point{}, err
+	}
+	defer os.RemoveAll(dir)
+	srv, err := server.New(server.Config{DataDir: dir, Durability: mode})
+	if err != nil {
+		return Point{}, err
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return Point{}, err
+	}
+	go srv.Serve(ln)
+	defer srv.Close()
+
+	runtime.GC()
+	var m0, m1 runtime.MemStats
+	runtime.ReadMemStats(&m0)
+	res, err := server.RunLoad(server.LoadConfig{
+		Addr:      ln.Addr().String(),
+		Conns:     2,
+		Duration:  benchtime,
+		Keys:      256,
+		ReadRatio: 0.5,
+		Pipeline:  16,
+		Batch:     true,
+	})
+	runtime.ReadMemStats(&m1)
+	if err != nil {
+		return Point{}, err
+	}
+	if res.Ops == 0 {
+		return Point{}, fmt.Errorf("%s%s: no operations completed", durableSeriesPrefix, mode)
+	}
+	return Point{
+		Series:        durableSeriesPrefix + mode,
+		Goroutines:    16,
 		NsPerOp:       res.NsPerOp,
 		AllocsPerOp:   float64(m1.Mallocs-m0.Mallocs) / float64(res.Ops),
 		BytesPerOp:    float64(m1.TotalAlloc-m0.TotalAlloc) / float64(res.Ops),

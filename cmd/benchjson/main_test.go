@@ -51,8 +51,8 @@ func TestRunServerSeries(t *testing.T) {
 	if snap.Points[0].CommitsPerSec <= 0 {
 		t.Fatalf("degenerate server point: %+v", snap.Points[0])
 	}
-	if snap.PR != 6 {
-		t.Fatalf("pr = %d, want default 6", snap.PR)
+	if snap.PR != 7 {
+		t.Fatalf("pr = %d, want default 7", snap.PR)
 	}
 }
 

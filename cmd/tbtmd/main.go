@@ -10,6 +10,16 @@
 //	tbtmd -addr 127.0.0.1:7420 -consistency lsa -leases 8
 //	tbtmd -stats-every 10s              # log per-interval engine stats
 //	tbtmd -duration 30s                 # serve, then exit gracefully (CI smoke)
+//	tbtmd -data-dir /var/lib/tbtmd      # durable: WAL + checkpoints + recovery
+//	tbtmd -data-dir d -durability relaxed -fsync-interval 2ms
+//
+// With -data-dir the server write-ahead-logs every update commit and
+// recovers the store from the latest checkpoint plus the log tail on
+// startup (truncating at the first torn or corrupt record). -durability
+// picks the acknowledgement contract: strict (default) acknowledges
+// only after fsync, relaxed after the OS write with group fsync in the
+// background, none never fsyncs outside rotation. Requires a
+// scalar-clock criterion (not causal/serializable).
 //
 // SIGINT/SIGTERM shut the server down gracefully: parked clients are
 // woken with StatusClosed, in-flight responses drain, then connections
@@ -47,6 +57,12 @@ func run(args []string) error {
 	versions := fs.Int("versions", 0, "retained versions per object (0 = engine default)")
 	statsEvery := fs.Duration("stats-every", 0, "log per-interval engine stats at this period (0 = off)")
 	duration := fs.Duration("duration", 0, "serve for this long, then exit gracefully (0 = until signal)")
+	dataDir := fs.String("data-dir", "", "durability directory for WAL + checkpoints (empty = in-memory only)")
+	durability := fs.String("durability", "strict", "WAL ack mode with -data-dir: strict|relaxed|none")
+	fsyncEvery := fs.Int("fsync-every", 0, "relaxed mode: fsync after this many records (0 = 256)")
+	fsyncInterval := fs.Duration("fsync-interval", 0, "relaxed mode: fsync at least this often (0 = 5ms)")
+	segmentBytes := fs.Int64("segment-bytes", 0, "rotate WAL segments at this size (0 = 8MiB)")
+	checkpointBytes := fs.Int64("checkpoint-bytes", 0, "checkpoint when live WAL bytes exceed this (0 = 64MiB)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -55,10 +71,16 @@ func run(args []string) error {
 		return err
 	}
 	cfg := server.Config{
-		Consistency:    c,
-		Leases:         *leases,
-		BlockingLeases: *blockingLeases,
-		Buckets:        *buckets,
+		Consistency:     c,
+		Leases:          *leases,
+		BlockingLeases:  *blockingLeases,
+		Buckets:         *buckets,
+		DataDir:         *dataDir,
+		Durability:      *durability,
+		FsyncEvery:      *fsyncEvery,
+		FsyncInterval:   *fsyncInterval,
+		SegmentBytes:    *segmentBytes,
+		CheckpointBytes: *checkpointBytes,
 	}
 	if *versions > 0 {
 		cfg.TMOptions = append(cfg.TMOptions, tbtm.WithVersions(*versions))
@@ -67,12 +89,24 @@ func run(args []string) error {
 	if err != nil {
 		return err
 	}
+	if rec := srv.Recovery(); rec != nil {
+		torn := ""
+		if rec.TornTail {
+			torn = ", torn tail truncated"
+		}
+		log.Printf("tbtmd: recovered %d keys from %s (%d log records over %d segments, checkpoint seq %d, %d corrupt records skipped%s, epoch %d)",
+			len(rec.Keys), *dataDir, rec.Records, rec.Segments, rec.CheckpointSeq, rec.Skipped, torn, rec.Epoch)
+	}
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
 		return err
 	}
-	log.Printf("tbtmd: serving %s on %s (leases=%s blocking=%s)",
-		*consistency, ln.Addr(), cfgOrDefault(*leases, "auto"), cfgOrDefault(*blockingLeases, "64"))
+	mode := "off"
+	if *dataDir != "" {
+		mode = *durability
+	}
+	log.Printf("tbtmd: serving %s on %s (leases=%s blocking=%s durability=%s)",
+		*consistency, ln.Addr(), cfgOrDefault(*leases, "auto"), cfgOrDefault(*blockingLeases, "64"), mode)
 
 	stop := make(chan struct{})
 	closeDone := make(chan error, 1)

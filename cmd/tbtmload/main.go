@@ -19,7 +19,11 @@
 //
 // The tool exits non-zero when fewer than -min-ops operations complete
 // or the server-side commit delta over the window is zero — the smoke
-// assertion CI relies on.
+// assertion CI relies on. A window cut short because the server closed
+// or reset connections mid-run (a crash drill killing tbtmd, say) is
+// NOT a failure: the tool reports the partial counters with
+// "truncated": true and exits zero, as long as -min-ops was still met
+// before the cut.
 package main
 
 import (
@@ -44,6 +48,7 @@ type Point struct {
 	CommitsPerSec float64 `json:"commits_per_sec"`
 	P50Us         float64 `json:"p50_us,omitempty"`
 	P99Us         float64 `json:"p99_us,omitempty"`
+	Truncated     bool    `json:"truncated,omitempty"`
 }
 
 type Snapshot struct {
@@ -82,7 +87,7 @@ func run(args []string) error {
 	minOps := fs.Uint64("min-ops", 1, "fail unless at least this many ops complete")
 	out := fs.String("out", "", "write the JSON snapshot to this file (default stdout)")
 	seriesName := fs.String("series", "server/throughput", "series name recorded in the snapshot")
-	pr := fs.Int("pr", 6, "PR number recorded in the snapshot")
+	pr := fs.Int("pr", 7, "PR number recorded in the snapshot")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -117,20 +122,29 @@ func run(args []string) error {
 		return err
 	}
 
+	trunc := ""
+	if res.Truncated {
+		trunc = " TRUNCATED (server closed or reset mid-window; partial counters)"
+	}
 	fmt.Fprintf(os.Stderr,
-		"tbtmload: %d ops in %v (%.0f ops/s, %.1f µs/op closed-loop, p50 %.0fµs p99 %.0fµs) gets=%d sets=%d multis=%d blocking=%d errors=%d engine-commits=%d\n",
+		"tbtmload: %d ops in %v (%.0f ops/s, %.1f µs/op closed-loop, p50 %.0fµs p99 %.0fµs) gets=%d sets=%d multis=%d blocking=%d errors=%d engine-commits=%d%s\n",
 		res.Ops, res.Elapsed.Round(time.Millisecond), res.OpsPerS, res.NsPerOp/1e3,
 		res.P50Us, res.P99Us,
-		res.Gets, res.Sets, res.Multis, res.Blocking, res.Errors, res.EngineCommits)
+		res.Gets, res.Sets, res.Multis, res.Blocking, res.Errors, res.EngineCommits, trunc)
 
 	if res.Ops < *minOps {
 		return fmt.Errorf("only %d ops completed, want >= %d", res.Ops, *minOps)
 	}
-	if res.EngineCommits == 0 {
-		return fmt.Errorf("server-side commit delta is zero over the window")
-	}
-	if res.Errors > 0 {
-		return fmt.Errorf("%d operations failed", res.Errors)
+	// A truncated window skips the commit-delta and error assertions:
+	// the server may have died before the post-window stats fetch, and
+	// connection-cut fallout is expected, not a generator bug.
+	if !res.Truncated {
+		if res.EngineCommits == 0 {
+			return fmt.Errorf("server-side commit delta is zero over the window")
+		}
+		if res.Errors > 0 {
+			return fmt.Errorf("%d operations failed", res.Errors)
+		}
 	}
 
 	p := Point{
@@ -140,6 +154,7 @@ func run(args []string) error {
 		CommitsPerSec: res.OpsPerS,
 		P50Us:         res.P50Us,
 		P99Us:         res.P99Us,
+		Truncated:     res.Truncated,
 	}
 	if res.Ops > 0 {
 		p.AllocsPerOp = float64(m1.Mallocs-m0.Mallocs) / float64(res.Ops)

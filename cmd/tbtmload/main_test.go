@@ -61,8 +61,8 @@ func TestRunAgainstLiveServer(t *testing.T) {
 	if snap.Points[0].CommitsPerSec <= 0 {
 		t.Fatalf("no throughput recorded: %+v", snap.Points[0])
 	}
-	if snap.PR != 6 {
-		t.Fatalf("pr = %d, want default 6", snap.PR)
+	if snap.PR != 7 {
+		t.Fatalf("pr = %d, want default 7", snap.PR)
 	}
 }
 

@@ -97,6 +97,14 @@ type TxMeta struct {
 	// Retries counts how many times this logical transaction has been
 	// re-executed after an abort; used by backoff policies.
 	Retries int
+	// CommitTick is the scalar commit time the transaction installed its
+	// writes under, recorded by the backend's commit path on a successful
+	// update commit. Write-free commits leave it zero. A plain field is
+	// safe under the recycler discipline: only the owning thread writes it
+	// (at commit) and reads it (after Commit returns, before the
+	// descriptor is recycled). Vector-clock backends (CS-STM, S-STM) have
+	// no scalar commit time and never set it.
+	CommitTick uint64
 
 	status atomic.Int32
 }
@@ -120,6 +128,7 @@ func (m *TxMeta) Reset(kind TxKind, threadID int) {
 	m.ThreadID = threadID
 	m.Prio.Store(0)
 	m.Retries = 0
+	m.CommitTick = 0
 	m.status.Store(int32(StatusActive))
 }
 

@@ -667,6 +667,7 @@ func (tx *Tx) Commit() error {
 		}
 	}
 	ct := tx.stm.cfg.Clock.CommitTime(tx.th.id)
+	tx.meta.CommitTick = ct
 	// Publish the write set into the commit log immediately after
 	// acquiring the commit time and before validating: the tick is the
 	// claim, so a concurrent extension scanning past ct finds the record

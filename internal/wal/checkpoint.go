@@ -1,0 +1,187 @@
+package wal
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"path/filepath"
+	"strings"
+)
+
+var errCkptCorrupt = errors.New("wal: corrupt checkpoint")
+
+// Checkpoint durably writes a point-in-time snapshot covering every
+// record up to and including upTo, then rotates the active segment and
+// prunes segments and older checkpoints the snapshot supersedes, so
+// the next recovery loads the checkpoint and replays only WAL written
+// after it.
+//
+// The caller must guarantee the snapshot/seq contract: iter must
+// observe every commit whose record was assigned a seq <= upTo, and no
+// commit is allowed to slip between "seq assigned" and "visible to a
+// snapshot begun now" (tbtmd holds its checkpoint gate across
+// commit+Append and reads upTo under that gate's write lock; see
+// server/store).
+//
+// iter streams the snapshot: it calls emit once per live pair and
+// returns an error to abandon the checkpoint.
+func (l *Log) Checkpoint(upTo uint64, count int, iter func(emit func(key string, val []byte) error) error) error {
+	if l.failed.Load() {
+		return l.err()
+	}
+	final := filepath.Join(l.dir, ckptName(upTo))
+	tmp := final + ".tmp"
+	f, err := l.fs.Create(tmp)
+	if err != nil {
+		return err
+	}
+	w := bufio.NewWriterSize(f, 1<<16)
+	crc := crc32.New(castagnoli)
+	out := func(b []byte) error {
+		if _, err := w.Write(b); err != nil {
+			return err
+		}
+		crc.Write(b)
+		return nil
+	}
+	var hdr []byte
+	hdr = append(hdr, ckptMagic...)
+	if _, err := w.Write(hdr); err != nil {
+		f.Close()
+		return err
+	}
+	var fixed [16]byte
+	binary.BigEndian.PutUint64(fixed[:8], upTo)
+	binary.BigEndian.PutUint64(fixed[8:], uint64(count))
+	if err := out(fixed[:]); err != nil {
+		f.Close()
+		return err
+	}
+	emitted := 0
+	var scratch []byte
+	emit := func(key string, val []byte) error {
+		emitted++
+		scratch = binary.AppendUvarint(scratch[:0], uint64(len(key)))
+		scratch = append(scratch, key...)
+		scratch = binary.AppendUvarint(scratch, uint64(len(val)))
+		if err := out(scratch); err != nil {
+			return err
+		}
+		return out(val)
+	}
+	if err := iter(emit); err != nil {
+		f.Close()
+		l.fs.Remove(tmp)
+		return err
+	}
+	if emitted != count {
+		f.Close()
+		l.fs.Remove(tmp)
+		return fmt.Errorf("wal: checkpoint emitted %d pairs, caller declared %d", emitted, count)
+	}
+	var sum [4]byte
+	binary.BigEndian.PutUint32(sum[:], crc.Sum32())
+	if _, err := w.Write(sum[:]); err != nil {
+		f.Close()
+		return err
+	}
+	if err := w.Flush(); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	if err := l.fs.Rename(tmp, final); err != nil {
+		return err
+	}
+	if err := l.fs.SyncDir(l.dir); err != nil {
+		return err
+	}
+	l.pruneLocked(upTo)
+	l.nCkpts.Add(1)
+	l.sinceCkpt.Store(0)
+	return nil
+}
+
+// pruneLocked rotates the active segment if it holds records the new
+// checkpoint covers, then removes superseded segments and older
+// checkpoint files. Failures to remove are ignored (retried implicitly
+// by the next checkpoint); failures to rotate wedge the log like any
+// other write error.
+func (l *Log) pruneLocked(upTo uint64) {
+	l.iomu.Lock()
+	defer l.iomu.Unlock()
+	l.ckptSeq = upTo
+	// Rotate so the active segment starts after the checkpoint — only
+	// when it actually contains covered records.
+	l.mu.Lock()
+	next := l.nextSeq
+	l.mu.Unlock()
+	if l.seg != nil && l.segFirst <= upTo && next > l.segFirst {
+		l.rotateLocked(next)
+	}
+	kept := l.segments[:0]
+	for _, s := range l.segments {
+		if s.last <= upTo {
+			l.fs.Remove(s.name)
+		} else {
+			kept = append(kept, s)
+		}
+	}
+	l.segments = kept
+	// Drop older checkpoints and any interrupted temp files.
+	if names, err := l.fs.ReadDir(l.dir); err == nil {
+		for _, name := range names {
+			if s, ok := parseCkptName(name); ok && s < upTo {
+				l.fs.Remove(filepath.Join(l.dir, name))
+			}
+			if strings.HasSuffix(name, ".tmp") {
+				l.fs.Remove(filepath.Join(l.dir, name))
+			}
+		}
+		l.fs.SyncDir(l.dir)
+	}
+}
+
+// readCheckpoint loads and validates one checkpoint file.
+func readCheckpoint(fs FS, name string) (map[string][]byte, error) {
+	data, err := readAll(fs, name)
+	if err != nil {
+		return nil, err
+	}
+	if len(data) < len(ckptMagic)+16+4 || string(data[:len(ckptMagic)]) != ckptMagic {
+		return nil, errCkptCorrupt
+	}
+	body := data[len(ckptMagic) : len(data)-4]
+	want := binary.BigEndian.Uint32(data[len(data)-4:])
+	if crc32.Checksum(body, castagnoli) != want {
+		return nil, errCkptCorrupt
+	}
+	count := binary.BigEndian.Uint64(body[8:16])
+	p := body[16:]
+	if count > uint64(len(p)) {
+		return nil, errCkptCorrupt
+	}
+	out := make(map[string][]byte, count)
+	for i := uint64(0); i < count; i++ {
+		var k, v []byte
+		if k, p, err = takeLenBytes(p); err != nil {
+			return nil, errCkptCorrupt
+		}
+		if v, p, err = takeLenBytes(p); err != nil {
+			return nil, errCkptCorrupt
+		}
+		out[string(k)] = append([]byte(nil), v...)
+	}
+	if len(p) != 0 {
+		return nil, errCkptCorrupt
+	}
+	return out, nil
+}

@@ -1,0 +1,98 @@
+// Package wal is tbtmd's write-ahead log: length-prefixed CRC32C
+// records appended to segment files by a group-commit batcher, plus
+// point-in-time checkpoints so recovery replays only the WAL written
+// after the last checkpoint. The package is deliberately independent of
+// the STM engine — callers feed it (commit tick, key/value ops) tuples
+// and decide what "acknowledged" means by choosing a durability Mode.
+//
+// All file access goes through the FS interface so tests can run the
+// log against an in-memory filesystem with crash semantics (MemFS) and
+// wrap any FS with fault injection (InjectFS).
+package wal
+
+import (
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+)
+
+// File is the write handle the log needs from a filesystem: buffered
+// appends, a durability barrier, and close.
+type File interface {
+	io.Writer
+	// Sync makes previously written data durable. A short write or a
+	// Sync error wedges the log (see Log), so implementations must not
+	// return transient errors lightly.
+	Sync() error
+	Close() error
+}
+
+// FS is the filesystem surface the log uses. Paths are passed through
+// verbatim; implementations decide how to root them.
+type FS interface {
+	// Create opens name for writing, truncating any existing content.
+	Create(name string) (File, error)
+	// Open opens name for reading.
+	Open(name string) (io.ReadCloser, error)
+	// ReadDir lists the file names (not paths) in dir.
+	ReadDir(dir string) ([]string, error)
+	// Rename atomically replaces newpath with oldpath.
+	Rename(oldpath, newpath string) error
+	Remove(name string) error
+	MkdirAll(dir string) error
+	// SyncDir makes directory-level operations (create, rename, remove)
+	// durable.
+	SyncDir(dir string) error
+	// Truncate cuts name to size bytes (recovery uses it to drop a torn
+	// tail).
+	Truncate(name string, size int64) error
+}
+
+// OsFS is the real filesystem.
+type OsFS struct{}
+
+type osFile struct{ *os.File }
+
+func (OsFS) Create(name string) (File, error) {
+	f, err := os.OpenFile(name, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	return osFile{f}, nil
+}
+
+func (OsFS) Open(name string) (io.ReadCloser, error) { return os.Open(name) }
+
+func (OsFS) ReadDir(dir string) ([]string, error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	names := make([]string, 0, len(ents))
+	for _, e := range ents {
+		if !e.IsDir() {
+			names = append(names, e.Name())
+		}
+	}
+	sort.Strings(names)
+	return names, nil
+}
+
+func (OsFS) Rename(oldpath, newpath string) error { return os.Rename(oldpath, newpath) }
+func (OsFS) Remove(name string) error             { return os.Remove(name) }
+func (OsFS) MkdirAll(dir string) error            { return os.MkdirAll(dir, 0o755) }
+
+func (OsFS) SyncDir(dir string) error {
+	d, err := os.Open(filepath.Clean(dir))
+	if err != nil {
+		return err
+	}
+	err = d.Sync()
+	if cerr := d.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+func (OsFS) Truncate(name string, size int64) error { return os.Truncate(name, size) }

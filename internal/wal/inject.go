@@ -1,0 +1,115 @@
+package wal
+
+import (
+	"io"
+	"sync"
+)
+
+// Injector intercepts file operations for fault injection. The torture
+// tests use it to force short writes, silent bit-flips, and fsync
+// errors at chosen points; production code never installs one.
+type Injector interface {
+	// Write inspects a pending append to name and returns the bytes
+	// that actually reach the file. Returning a shorter slice models a
+	// short write (the wrapper reports io.ErrShortWrite); returning
+	// mutated bytes of the same length models silent corruption the CRC
+	// must catch; returning an error fails the write outright.
+	Write(name string, b []byte) ([]byte, error)
+	// Sync returns a non-nil error to make the fsync of name fail.
+	Sync(name string) error
+}
+
+// InjectFS wraps an FS, consulting an Injector before every file write
+// and fsync. Directory-level operations pass through untouched.
+type InjectFS struct {
+	FS
+	Inj Injector
+}
+
+func (ifs *InjectFS) Create(name string) (File, error) {
+	f, err := ifs.FS.Create(name)
+	if err != nil {
+		return nil, err
+	}
+	return &injectFile{File: f, name: name, inj: ifs.Inj}, nil
+}
+
+type injectFile struct {
+	File
+	name string
+	inj  Injector
+}
+
+func (f *injectFile) Write(b []byte) (int, error) {
+	out, err := f.inj.Write(f.name, b)
+	if len(out) > 0 {
+		n, werr := f.File.Write(out)
+		if werr != nil {
+			return n, werr
+		}
+	}
+	if err != nil {
+		return len(out), err
+	}
+	if len(out) < len(b) {
+		return len(out), io.ErrShortWrite
+	}
+	return len(b), nil
+}
+
+func (f *injectFile) Sync() error {
+	if err := f.inj.Sync(f.name); err != nil {
+		return err
+	}
+	return f.File.Sync()
+}
+
+// ScriptInjector is a programmable Injector: it counts write and sync
+// calls and fires one configured fault when the corresponding trigger
+// count is reached. Safe for concurrent use.
+type ScriptInjector struct {
+	mu     sync.Mutex
+	writes int
+	syncs  int
+
+	// FailWriteAt makes the Nth write (1-based) fail with WriteErr
+	// after writing CutTo bytes (a short write when CutTo < len).
+	FailWriteAt int
+	CutTo       int
+	WriteErr    error
+	// FlipBitAt flips the low bit of the middle byte of the Nth write —
+	// silent corruption.
+	FlipBitAt int
+	// FailSyncAt makes the Nth sync (1-based) fail with SyncErr.
+	FailSyncAt int
+	SyncErr    error
+}
+
+func (s *ScriptInjector) Write(name string, b []byte) ([]byte, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.writes++
+	if s.FailWriteAt != 0 && s.writes == s.FailWriteAt {
+		cut := s.CutTo
+		if cut > len(b) {
+			cut = len(b)
+		}
+		return b[:cut], s.WriteErr
+	}
+	if s.FlipBitAt != 0 && s.writes == s.FlipBitAt && len(b) > 0 {
+		out := append([]byte(nil), b...)
+		out[len(out)/2] ^= 1
+		return out, nil
+	}
+	return b, nil
+}
+
+func (s *ScriptInjector) Sync(name string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.syncs++
+	if s.FailSyncAt != 0 && s.syncs == s.FailSyncAt {
+		return s.SyncErr
+	}
+	return nil
+}

@@ -1,0 +1,310 @@
+package wal
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"math/rand"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// MemFS is an in-memory FS with crash semantics, the substrate of the
+// crash-torture tests. It distinguishes three durability levels the way
+// a real disk does:
+//
+//   - data written but not fsynced lives in a per-file unsynced tail
+//     that Crash may cut at ANY byte boundary (torn records);
+//   - directory operations (create, rename, remove) are journaled and
+//     undone by Crash unless a SyncDir intervened;
+//   - fsynced data under a dir-synced name always survives.
+//
+// Crash(rng) simulates pulling the plug: it picks a random surviving
+// prefix of every unsynced tail and undoes a random suffix of the
+// pending directory journal, leaving exactly the states a real
+// power-cut could leave. The zero value is not usable; use NewMemFS.
+type MemFS struct {
+	mu    sync.Mutex
+	files map[string]*memFile
+	// journal holds directory operations not yet covered by a SyncDir,
+	// oldest first, with enough state to undo each.
+	journal []memOp
+}
+
+type memFile struct {
+	synced   []byte
+	unsynced []byte
+}
+
+func (f *memFile) bytes() []byte {
+	out := make([]byte, 0, len(f.synced)+len(f.unsynced))
+	out = append(out, f.synced...)
+	return append(out, f.unsynced...)
+}
+
+type memOpKind int
+
+const (
+	memCreate memOpKind = iota
+	memRename
+	memRemove
+)
+
+type memOp struct {
+	kind     memOpKind
+	name     string   // created / removed name, or rename target
+	from     string   // rename source
+	prev     *memFile // displaced or removed content, for undo
+	prevFrom *memFile // rename: source content, restored on undo
+}
+
+// NewMemFS returns an empty in-memory filesystem.
+func NewMemFS() *MemFS { return &MemFS{files: make(map[string]*memFile)} }
+
+type memHandle struct {
+	fs   *MemFS
+	name string
+}
+
+func (h *memHandle) file() (*memFile, error) {
+	f := h.fs.files[h.name]
+	if f == nil {
+		return nil, fmt.Errorf("memfs: %s: file removed", h.name)
+	}
+	return f, nil
+}
+
+func (h *memHandle) Write(b []byte) (int, error) {
+	h.fs.mu.Lock()
+	defer h.fs.mu.Unlock()
+	f, err := h.file()
+	if err != nil {
+		return 0, err
+	}
+	f.unsynced = append(f.unsynced, b...)
+	return len(b), nil
+}
+
+func (h *memHandle) Sync() error {
+	h.fs.mu.Lock()
+	defer h.fs.mu.Unlock()
+	f, err := h.file()
+	if err != nil {
+		return err
+	}
+	f.synced = append(f.synced, f.unsynced...)
+	f.unsynced = nil
+	return nil
+}
+
+func (h *memHandle) Close() error { return nil }
+
+func (m *MemFS) Create(name string) (File, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	prev := m.files[name]
+	m.files[name] = &memFile{}
+	m.journal = append(m.journal, memOp{kind: memCreate, name: name, prev: prev})
+	return &memHandle{fs: m, name: name}, nil
+}
+
+func (m *MemFS) Open(name string) (io.ReadCloser, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	f := m.files[name]
+	if f == nil {
+		return nil, fmt.Errorf("memfs: %s: no such file", name)
+	}
+	return io.NopCloser(bytes.NewReader(f.bytes())), nil
+}
+
+func (m *MemFS) ReadDir(dir string) ([]string, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	names := make([]string, 0, len(m.files))
+	prefix := dir
+	if prefix != "" && prefix[len(prefix)-1] != '/' {
+		prefix += "/"
+	}
+	for name := range m.files {
+		if strings.HasPrefix(name, prefix) && len(name) > len(prefix) {
+			rest := name[len(prefix):]
+			if !strings.Contains(rest, "/") {
+				names = append(names, rest)
+			}
+		}
+	}
+	sort.Strings(names)
+	return names, nil
+}
+
+func (m *MemFS) Rename(oldpath, newpath string) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	f := m.files[oldpath]
+	if f == nil {
+		return fmt.Errorf("memfs: %s: no such file", oldpath)
+	}
+	m.journal = append(m.journal, memOp{
+		kind: memRename, name: newpath, from: oldpath,
+		prev: m.files[newpath], prevFrom: f,
+	})
+	m.files[newpath] = f
+	delete(m.files, oldpath)
+	return nil
+}
+
+func (m *MemFS) Remove(name string) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	f := m.files[name]
+	if f == nil {
+		return fmt.Errorf("memfs: %s: no such file", name)
+	}
+	m.journal = append(m.journal, memOp{kind: memRemove, name: name, prev: f})
+	delete(m.files, name)
+	return nil
+}
+
+func (m *MemFS) MkdirAll(string) error { return nil }
+
+func (m *MemFS) SyncDir(string) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.journal = nil
+	return nil
+}
+
+func (m *MemFS) Truncate(name string, size int64) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	f := m.files[name]
+	if f == nil {
+		return fmt.Errorf("memfs: %s: no such file", name)
+	}
+	all := f.bytes()
+	if int64(len(all)) < size {
+		return fmt.Errorf("memfs: %s: truncate beyond end", name)
+	}
+	all = all[:size]
+	// A truncate that survives a crash must be durable; model it as an
+	// immediate metadata+data sync of the shortened file (recovery is
+	// the only caller and runs single-threaded before serving).
+	f.synced = all
+	f.unsynced = nil
+	return nil
+}
+
+// Crash simulates a power cut: every unsynced tail survives only up to
+// a random byte boundary, and a random suffix of the pending directory
+// journal is undone (files created, renamed or removed since the last
+// SyncDir may revert). The filesystem is left in a state a subsequent
+// recovery must cope with.
+func (m *MemFS) Crash(rng *rand.Rand) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	// Undo a random suffix of the directory journal, newest first.
+	keep := 0
+	if n := len(m.journal); n > 0 {
+		keep = rng.Intn(n + 1)
+	}
+	for i := len(m.journal) - 1; i >= keep; i-- {
+		op := m.journal[i]
+		switch op.kind {
+		case memCreate:
+			if op.prev == nil {
+				delete(m.files, op.name)
+			} else {
+				m.files[op.name] = op.prev
+			}
+		case memRename:
+			if op.prev == nil {
+				delete(m.files, op.name)
+			} else {
+				m.files[op.name] = op.prev
+			}
+			m.files[op.from] = op.prevFrom
+		case memRemove:
+			m.files[op.name] = op.prev
+		}
+	}
+	m.journal = nil
+	// Cut every unsynced tail at a random byte boundary.
+	for _, f := range m.files {
+		if n := len(f.unsynced); n > 0 {
+			f.unsynced = f.unsynced[:rng.Intn(n+1)]
+		}
+		f.synced = append(f.synced, f.unsynced...)
+		f.unsynced = nil
+	}
+}
+
+// CrashClone returns a deep copy of the filesystem as a crash at this
+// instant could leave it — unsynced tails cut at random byte
+// boundaries, a random suffix of the pending directory journal undone —
+// without disturbing this instance. The torture tests clone mid-load
+// (atomically with respect to concurrent writes) and recover from the
+// clone, modeling SIGKILL-and-restart-elsewhere.
+func (m *MemFS) CrashClone(rng *rand.Rand) *MemFS {
+	m.mu.Lock()
+	out := NewMemFS()
+	for name, f := range m.files {
+		out.files[name] = &memFile{
+			synced:   append([]byte(nil), f.synced...),
+			unsynced: append([]byte(nil), f.unsynced...),
+		}
+	}
+	for _, op := range m.journal {
+		cp := op
+		// The clone's journal entries must point at the clone's files
+		// where possible; displaced content copies are shared read-only
+		// snapshots, which is fine — Crash only re-links them.
+		if op.prev != nil {
+			cp.prev = &memFile{synced: op.prev.bytes()}
+		}
+		if op.prevFrom != nil {
+			if nf := out.files[op.name]; nf != nil && m.files[op.name] == op.prevFrom {
+				cp.prevFrom = nf
+			} else {
+				cp.prevFrom = &memFile{synced: op.prevFrom.bytes()}
+			}
+		}
+		out.journal = append(out.journal, cp)
+	}
+	m.mu.Unlock()
+	out.Crash(rng)
+	return out
+}
+
+// Snapshot returns a deep copy of the current on-"disk" state (synced
+// and unsynced bytes concatenated), for tests that want to recover from
+// a clean image without crashing this instance.
+func (m *MemFS) Snapshot() *MemFS {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := NewMemFS()
+	for name, f := range m.files {
+		out.files[name] = &memFile{synced: f.bytes()}
+	}
+	return out
+}
+
+// ReadFile returns the full current content of name, or nil if absent.
+func (m *MemFS) ReadFile(name string) []byte {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	f := m.files[name]
+	if f == nil {
+		return nil
+	}
+	return f.bytes()
+}
+
+// WriteFile replaces name's content as fully durable bytes (test setup
+// for corruption scenarios).
+func (m *MemFS) WriteFile(name string, data []byte) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.files[name] = &memFile{synced: append([]byte(nil), data...)}
+}

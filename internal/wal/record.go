@@ -1,0 +1,219 @@
+package wal
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+)
+
+// On-disk formats. A segment file is
+//
+//	magic "TBTMWAL1" | u64 epoch | u64 firstSeq          (24-byte header)
+//	record*
+//
+// where each record is
+//
+//	u32 payloadLen | u32 CRC32C(payload) | payload
+//	payload = uvarint seq | uvarint tick | uvarint nops |
+//	          nops × (op byte | uvarint klen | key | [uvarint vlen | val])
+//
+// seq is the global append order (dense across segments and restarts),
+// tick the engine commit time of the transaction the record describes,
+// and epoch a counter bumped on every recovery so ticks from different
+// process lifetimes (each starting a fresh engine clock) stay ordered:
+// replay compares (epoch, tick) lexicographically per key.
+//
+// A checkpoint file is
+//
+//	magic "TBTMCKP1" | u64 upToSeq | u64 count |
+//	count × (uvarint klen | key | uvarint vlen | val) |
+//	u32 CRC32C(everything after the magic)
+//
+// written to a .tmp name, fsynced, then renamed — a checkpoint is
+// either wholly valid or ignored.
+
+const (
+	segMagic  = "TBTMWAL1"
+	ckptMagic = "TBTMCKP1"
+
+	segHeaderSize = 8 + 8 + 8
+	recHeaderSize = 4 + 4
+
+	opSet = 1
+	opDel = 2
+
+	// maxRecordSize bounds a single record; a length prefix beyond it is
+	// treated as corruption rather than attempted as an allocation.
+	maxRecordSize = 1 << 30
+)
+
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+var (
+	errBadMagic = errors.New("wal: bad magic")
+	errTorn     = errors.New("wal: torn or corrupt record")
+)
+
+// Op is one key mutation of a committed transaction. Records carry the
+// transaction's effective write set: one record per commit, so a crash
+// can never surface part of a MULTI.
+type Op struct {
+	Del bool
+	Key string
+	Val []byte
+}
+
+func segName(firstSeq uint64) string           { return fmt.Sprintf("wal-%016x.log", firstSeq) }
+func ckptName(upTo uint64) string              { return fmt.Sprintf("ckpt-%016x.db", upTo) }
+func parseSegName(name string) (uint64, bool)  { return parseHexName(name, "wal-", ".log") }
+func parseCkptName(name string) (uint64, bool) { return parseHexName(name, "ckpt-", ".db") }
+
+func parseHexName(name, prefix, suffix string) (uint64, bool) {
+	if len(name) != len(prefix)+16+len(suffix) ||
+		name[:len(prefix)] != prefix || name[len(name)-len(suffix):] != suffix {
+		return 0, false
+	}
+	var v uint64
+	for _, c := range name[len(prefix) : len(prefix)+16] {
+		switch {
+		case c >= '0' && c <= '9':
+			v = v<<4 | uint64(c-'0')
+		case c >= 'a' && c <= 'f':
+			v = v<<4 | uint64(c-'a'+10)
+		default:
+			return 0, false
+		}
+	}
+	return v, true
+}
+
+func appendSegHeader(buf []byte, epoch, firstSeq uint64) []byte {
+	buf = append(buf, segMagic...)
+	buf = binary.BigEndian.AppendUint64(buf, epoch)
+	return binary.BigEndian.AppendUint64(buf, firstSeq)
+}
+
+func parseSegHeader(b []byte) (epoch, firstSeq uint64, err error) {
+	if len(b) < segHeaderSize {
+		return 0, 0, errTorn
+	}
+	if string(b[:8]) != segMagic {
+		return 0, 0, errBadMagic
+	}
+	return binary.BigEndian.Uint64(b[8:16]), binary.BigEndian.Uint64(b[16:24]), nil
+}
+
+// appendRecord encodes one record (header + payload) onto buf.
+func appendRecord(buf []byte, seq, tick uint64, ops []Op) []byte {
+	hdrAt := len(buf)
+	buf = append(buf, 0, 0, 0, 0, 0, 0, 0, 0) // length + crc backfilled below
+	payloadAt := len(buf)
+	buf = binary.AppendUvarint(buf, seq)
+	buf = binary.AppendUvarint(buf, tick)
+	buf = binary.AppendUvarint(buf, uint64(len(ops)))
+	for i := range ops {
+		op := &ops[i]
+		if op.Del {
+			buf = append(buf, opDel)
+			buf = binary.AppendUvarint(buf, uint64(len(op.Key)))
+			buf = append(buf, op.Key...)
+		} else {
+			buf = append(buf, opSet)
+			buf = binary.AppendUvarint(buf, uint64(len(op.Key)))
+			buf = append(buf, op.Key...)
+			buf = binary.AppendUvarint(buf, uint64(len(op.Val)))
+			buf = append(buf, op.Val...)
+		}
+	}
+	payload := buf[payloadAt:]
+	binary.BigEndian.PutUint32(buf[hdrAt:], uint32(len(payload)))
+	binary.BigEndian.PutUint32(buf[hdrAt+4:], crc32.Checksum(payload, castagnoli))
+	return buf
+}
+
+// record is a decoded WAL record.
+type record struct {
+	seq  uint64
+	tick uint64
+	ops  []Op
+}
+
+// nextRecord decodes the record at the head of b. It returns the
+// record, the number of bytes consumed, and errTorn when the bytes do
+// not form a complete, CRC-clean record — the caller treats that point
+// as the crash tail.
+func nextRecord(b []byte) (record, int, error) {
+	var rec record
+	if len(b) < recHeaderSize {
+		return rec, 0, errTorn
+	}
+	n := binary.BigEndian.Uint32(b)
+	crc := binary.BigEndian.Uint32(b[4:])
+	if n == 0 || n > maxRecordSize || recHeaderSize+int(n) > len(b) {
+		return rec, 0, errTorn
+	}
+	payload := b[recHeaderSize : recHeaderSize+int(n)]
+	if crc32.Checksum(payload, castagnoli) != crc {
+		return rec, 0, errTorn
+	}
+	p := payload
+	var err error
+	if rec.seq, p, err = takeUvarint(p); err != nil {
+		return rec, 0, errTorn
+	}
+	if rec.tick, p, err = takeUvarint(p); err != nil {
+		return rec, 0, errTorn
+	}
+	nops, p, err := takeUvarint(p)
+	if err != nil || nops > uint64(len(p)) {
+		return rec, 0, errTorn
+	}
+	rec.ops = make([]Op, 0, nops)
+	for i := uint64(0); i < nops; i++ {
+		var op Op
+		var code byte
+		if len(p) == 0 {
+			return rec, 0, errTorn
+		}
+		code, p = p[0], p[1:]
+		var k []byte
+		if k, p, err = takeLenBytes(p); err != nil {
+			return rec, 0, errTorn
+		}
+		op.Key = string(k)
+		switch code {
+		case opSet:
+			var v []byte
+			if v, p, err = takeLenBytes(p); err != nil {
+				return rec, 0, errTorn
+			}
+			op.Val = append([]byte(nil), v...)
+		case opDel:
+			op.Del = true
+		default:
+			return rec, 0, errTorn
+		}
+		rec.ops = append(rec.ops, op)
+	}
+	if len(p) != 0 {
+		return rec, 0, errTorn
+	}
+	return rec, recHeaderSize + int(n), nil
+}
+
+func takeUvarint(b []byte) (uint64, []byte, error) {
+	v, n := binary.Uvarint(b)
+	if n <= 0 {
+		return 0, nil, errTorn
+	}
+	return v, b[n:], nil
+}
+
+func takeLenBytes(b []byte) ([]byte, []byte, error) {
+	n, b, err := takeUvarint(b)
+	if err != nil || n > uint64(len(b)) {
+		return nil, nil, errTorn
+	}
+	return b[:n], b[n:], nil
+}

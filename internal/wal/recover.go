@@ -1,0 +1,236 @@
+package wal
+
+import (
+	"fmt"
+	"io"
+	"path/filepath"
+	"sort"
+)
+
+// Recovered describes what Open reconstructed from the data directory.
+type Recovered struct {
+	// Keys is the recovered live key space: latest valid checkpoint
+	// plus every WAL record after it, resolved per key by highest
+	// (epoch, commit tick).
+	Keys map[string][]byte
+	// CheckpointSeq is the sequence the loaded checkpoint covers (0 if
+	// none was found).
+	CheckpointSeq uint64
+	// CheckpointKeys counts pairs loaded from the checkpoint.
+	CheckpointKeys int
+	// Records counts WAL records replayed (seq > CheckpointSeq);
+	// Skipped counts records at or below it.
+	Records uint64
+	Skipped uint64
+	// Segments counts WAL segment files scanned.
+	Segments int
+	// TornTail reports that the scan hit a torn or CRC-failing record;
+	// the segment was truncated at the last clean record and any later
+	// segments discarded, treating that point as the crash.
+	TornTail bool
+	// Epoch is the fresh epoch this process run will stamp on new
+	// segments (always greater than any epoch seen on disk).
+	Epoch uint64
+	// NextSeq is the first sequence number new appends will use.
+	NextSeq uint64
+}
+
+// replayEntry is one key's current winner during the replay fold.
+type replayEntry struct {
+	epoch uint64
+	tick  uint64
+	val   []byte
+	del   bool
+}
+
+// Open recovers the data directory and returns a ready Log positioned
+// after the last durable record, plus a description of what was
+// recovered. A fresh/empty directory yields an empty Recovered and a
+// log starting at seq 1.
+func Open(opts Options) (*Log, *Recovered, error) {
+	o := opts.withDefaults()
+	fs, dir := o.FS, o.Dir
+	if err := fs.MkdirAll(dir); err != nil {
+		return nil, nil, err
+	}
+	names, err := fs.ReadDir(dir)
+	if err != nil {
+		return nil, nil, err
+	}
+
+	rec := &Recovered{Keys: make(map[string][]byte)}
+
+	// Latest valid checkpoint wins; leftovers (older checkpoints,
+	// interrupted .tmp files) are cleaned by the next checkpoint.
+	var ckptSeqs []uint64
+	segFirst := map[uint64]string{}
+	var segSeqs []uint64
+	for _, name := range names {
+		if s, ok := parseCkptName(name); ok {
+			ckptSeqs = append(ckptSeqs, s)
+		} else if s, ok := parseSegName(name); ok {
+			segFirst[s] = name
+			segSeqs = append(segSeqs, s)
+		}
+	}
+	sort.Slice(ckptSeqs, func(i, j int) bool { return ckptSeqs[i] > ckptSeqs[j] })
+	sort.Slice(segSeqs, func(i, j int) bool { return segSeqs[i] < segSeqs[j] })
+
+	base := map[string][]byte{}
+	for _, s := range ckptSeqs {
+		pairs, err := readCheckpoint(fs, filepath.Join(dir, ckptName(s)))
+		if err != nil {
+			continue // corrupt or torn checkpoint: try the previous one
+		}
+		base = pairs
+		rec.CheckpointSeq = s
+		rec.CheckpointKeys = len(pairs)
+		break
+	}
+
+	// Scan segments in seq order, folding records newer than the
+	// checkpoint into the replay map. The first torn or CRC-failing
+	// record is the crash point: truncate there, discard later
+	// segments.
+	replay := map[string]*replayEntry{}
+	var maxEpoch, maxSeq uint64
+	maxSeq = rec.CheckpointSeq
+scan:
+	for i, first := range segSeqs {
+		name := filepath.Join(dir, segFirst[first])
+		data, err := readAll(fs, name)
+		if err != nil {
+			return nil, nil, fmt.Errorf("wal: reading %s: %w", name, err)
+		}
+		epoch, hdrFirst, err := parseSegHeader(data)
+		if err != nil || hdrFirst != first {
+			// An unreadable header means the segment never became
+			// durable (crash during creation): treat like a torn tail at
+			// offset zero.
+			rec.TornTail = true
+			removeFrom(fs, dir, segSeqs[i:], segFirst)
+			break scan
+		}
+		rec.Segments++
+		if epoch > maxEpoch {
+			maxEpoch = epoch
+		}
+		off := segHeaderSize
+		for off < len(data) {
+			r, n, err := nextRecord(data[off:])
+			if err != nil {
+				// Crash point: drop the tail of this segment and every
+				// later segment.
+				rec.TornTail = true
+				if terr := fs.Truncate(name, int64(off)); terr != nil {
+					return nil, nil, fmt.Errorf("wal: truncating torn tail of %s: %w", name, terr)
+				}
+				removeFrom(fs, dir, segSeqs[i+1:], segFirst)
+				break scan
+			}
+			off += n
+			if r.seq > maxSeq {
+				maxSeq = r.seq
+			}
+			if r.seq <= rec.CheckpointSeq {
+				rec.Skipped++
+				continue
+			}
+			rec.Records++
+			for j := range r.ops {
+				op := &r.ops[j]
+				cur := replay[op.Key]
+				if cur == nil {
+					replay[op.Key] = &replayEntry{epoch: epoch, tick: r.tick, val: op.Val, del: op.Del}
+					continue
+				}
+				if epoch > cur.epoch || (epoch == cur.epoch && r.tick >= cur.tick) {
+					cur.epoch, cur.tick, cur.val, cur.del = epoch, r.tick, op.Val, op.Del
+				}
+			}
+		}
+	}
+
+	// A checkpoint-less directory whose earliest segment does not start
+	// at seq 1 has lost its prefix (e.g. the only checkpoint was
+	// corrupted after its covered segments were pruned). Serving from
+	// it would silently drop data — fail instead.
+	if rec.CheckpointSeq == 0 && len(segSeqs) > 0 {
+		if lowest := segSeqs[0]; lowest > 1 {
+			return nil, nil, fmt.Errorf("wal: no valid checkpoint but first segment starts at seq %d: data directory is missing its prefix", lowest)
+		}
+	}
+
+	for k, v := range base {
+		rec.Keys[k] = v
+	}
+	for k, e := range replay {
+		if e.del {
+			delete(rec.Keys, k)
+		} else {
+			rec.Keys[k] = e.val
+		}
+	}
+
+	rec.Epoch = maxEpoch + 1
+	rec.NextSeq = maxSeq + 1
+
+	l := &Log{
+		opts:    o,
+		fs:      fs,
+		dir:     dir,
+		epoch:   rec.Epoch,
+		nextSeq: rec.NextSeq,
+		ckptSeq: rec.CheckpointSeq,
+		work:    make(chan struct{}, 1),
+		quit:    make(chan struct{}),
+		done:    make(chan struct{}),
+	}
+	// Pre-existing segments stay until a checkpoint passes them; a new
+	// active segment always starts at NextSeq, so every segment belongs
+	// to exactly one epoch. Segments at or past NextSeq hold no live
+	// records (a crash can leave a freshly rotated, still-empty segment
+	// behind) — the new active segment may reuse their name, so they
+	// must not be tracked for pruning.
+	for i, first := range segSeqs {
+		fsName, ok := segFirst[first]
+		if !ok || first >= rec.NextSeq {
+			continue
+		}
+		last := rec.NextSeq - 1
+		if i+1 < len(segSeqs) {
+			last = segSeqs[i+1] - 1
+		}
+		l.segments = append(l.segments, segInfo{name: filepath.Join(dir, fsName), first: first, last: last})
+	}
+	l.iomu.Lock()
+	err = l.openSegmentLocked(rec.NextSeq)
+	l.iomu.Unlock()
+	if err != nil {
+		return nil, nil, err
+	}
+	go l.run()
+	return l, rec, nil
+}
+
+// removeFrom deletes the named segments (post-crash-point debris) and
+// forgets them so the Log does not track them. Removal failures are
+// ignored: recovery already decided these bytes are dead, and the next
+// recovery will re-discard them.
+func removeFrom(fs FS, dir string, firsts []uint64, segFirst map[uint64]string) {
+	for _, f := range firsts {
+		if name, ok := segFirst[f]; ok {
+			fs.Remove(filepath.Join(dir, name))
+			delete(segFirst, f)
+		}
+	}
+}
+
+func readAll(fs FS, name string) ([]byte, error) {
+	f, err := fs.Open(name)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return io.ReadAll(f)
+}

@@ -1,0 +1,564 @@
+package wal
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Mode selects what an acknowledged append means.
+type Mode int
+
+const (
+	// ModeNone acknowledges immediately: records reach the OS only as
+	// the batcher drains and are fsynced only on rotation and close. A
+	// crash may lose any acknowledged-but-unsynced commit.
+	ModeNone Mode = iota
+	// ModeRelaxed acknowledges once the record is in a segment write
+	// (OS page cache); fsync runs in the background every FsyncEvery
+	// records or FsyncInterval, whichever comes first. A crash loses at
+	// most that window.
+	ModeRelaxed
+	// ModeStrict acknowledges only after the record's fsync completes.
+	// Group commit keeps this viable: all appends that arrive while one
+	// fsync is in flight share the next write+fsync pair.
+	ModeStrict
+)
+
+func (m Mode) String() string {
+	switch m {
+	case ModeNone:
+		return "none"
+	case ModeRelaxed:
+		return "relaxed"
+	case ModeStrict:
+		return "strict"
+	}
+	return fmt.Sprintf("Mode(%d)", int(m))
+}
+
+// ParseMode parses none|relaxed|strict.
+func ParseMode(s string) (Mode, error) {
+	switch s {
+	case "none":
+		return ModeNone, nil
+	case "relaxed":
+		return ModeRelaxed, nil
+	case "strict":
+		return ModeStrict, nil
+	}
+	return 0, fmt.Errorf("wal: unknown durability mode %q (want none, relaxed or strict)", s)
+}
+
+// ErrFailed is returned by Append and Ticket.Wait after the log has
+// wedged on an I/O error (ENOSPC, EIO, a failed fsync...). The log
+// never retries a failed disk: the caller is expected to stop issuing
+// updates (tbtmd flips to read-only mode).
+var ErrFailed = errors.New("wal: log failed")
+
+// ErrClosed is returned by Append after Close.
+var ErrClosed = errors.New("wal: log closed")
+
+// Options configures Open.
+type Options struct {
+	// Dir is the data directory (created if absent).
+	Dir string
+	// FS is the filesystem; nil means the real one.
+	FS FS
+	// Mode is the durability mode (default ModeNone — the zero value
+	// must not silently promise durability it doesn't deliver... but
+	// callers should set it explicitly).
+	Mode Mode
+	// FsyncEvery caps how many records may be written-but-unsynced in
+	// ModeRelaxed before a foreground fsync (default 256).
+	FsyncEvery int
+	// FsyncInterval bounds how long a written record may stay unsynced
+	// in ModeRelaxed (default 5ms).
+	FsyncInterval time.Duration
+	// SegmentBytes is the rotation threshold (default 8 MiB).
+	SegmentBytes int64
+	// OnFailure, when set, is called exactly once from the batcher when
+	// the log wedges on an I/O error.
+	OnFailure func(error)
+}
+
+func (o *Options) withDefaults() Options {
+	out := *o
+	if out.FS == nil {
+		out.FS = OsFS{}
+	}
+	if out.FsyncEvery <= 0 {
+		out.FsyncEvery = 256
+	}
+	if out.FsyncInterval <= 0 {
+		out.FsyncInterval = 5 * time.Millisecond
+	}
+	if out.SegmentBytes <= 0 {
+		out.SegmentBytes = 8 << 20
+	}
+	return out
+}
+
+// batch is one group-commit unit: the concatenated records of every
+// Append that arrived while the batcher was busy, written with one
+// Write call and covered by one fsync.
+type batch struct {
+	buf   []byte
+	recs  int
+	first uint64 // first and last seq in buf, for rotation bookkeeping
+	last  uint64
+
+	werr    error         // write error; set before written closes
+	serr    error         // write or fsync error; set before synced closes
+	written chan struct{} // closed when the buffered write completed
+	synced  chan struct{} // closed when a covering fsync completed
+}
+
+func newBatch() *batch {
+	return &batch{written: make(chan struct{}), synced: make(chan struct{})}
+}
+
+// Ticket is the handle an Append returns; Wait blocks until the record
+// is acknowledged per the log's mode. The zero Ticket waits for
+// nothing (a disabled log).
+type Ticket struct {
+	l *Log
+	b *batch
+}
+
+// Wait blocks until the append is acknowledged: immediately in
+// ModeNone, after the segment write in ModeRelaxed, after the covering
+// fsync in ModeStrict. It returns the I/O error that wedged the log,
+// if any.
+func (t Ticket) Wait() error {
+	if t.b == nil || t.l == nil {
+		return nil
+	}
+	switch t.l.opts.Mode {
+	case ModeStrict:
+		<-t.b.synced
+		return t.b.serr
+	case ModeRelaxed:
+		<-t.b.written
+		return t.b.werr
+	default:
+		return nil
+	}
+}
+
+type segInfo struct {
+	name  string
+	first uint64
+	last  uint64
+}
+
+// Log is a write-ahead log with group commit. Appends from any number
+// of goroutines are coalesced by a single batcher goroutine into
+// buffered segment writes and shared fsyncs.
+type Log struct {
+	opts  Options
+	fs    FS
+	dir   string
+	epoch uint64
+
+	// mu guards the append side: the open batch and the seq counter.
+	mu      sync.Mutex
+	cur     *batch
+	nextSeq uint64
+	closing bool
+
+	work chan struct{} // batcher wakeup, capacity 1
+	quit chan struct{}
+	done chan struct{}
+
+	// iomu guards the file side: active segment, rotation, checkpoint
+	// pruning. The batcher holds it across write+fsync; Checkpoint
+	// holds it across rotation and pruning.
+	iomu        sync.Mutex
+	seg         File
+	segWriter   *bufio.Writer
+	segName     string
+	segFirst    uint64
+	segSize     int64
+	segments    []segInfo // closed segments, oldest first
+	pendingSync []*batch  // written batches awaiting a covering fsync
+	unsyncedRec int
+	ckptSeq     uint64
+
+	failed  atomic.Bool
+	failmu  sync.Mutex
+	failerr error
+
+	// counters (atomics; see Stats)
+	nRecords   atomic.Uint64
+	nBatches   atomic.Uint64
+	nFsyncs    atomic.Uint64
+	nBytes     atomic.Uint64
+	nRotations atomic.Uint64
+	nCkpts     atomic.Uint64
+	sinceCkpt  atomic.Int64 // bytes appended since the last checkpoint
+}
+
+// Append assigns the next sequence number to one committed
+// transaction's effective write set and hands it to the batcher. The
+// returned Ticket's Wait blocks until the record is acknowledged per
+// the log's Mode. ops must be non-empty; key and value bytes are
+// copied during encoding and may be reused immediately.
+//
+// The caller must ensure Append is invoked in a context where seq
+// assignment order is meaningful for its own checkpointing (tbtmd
+// holds its checkpoint gate across commit+Append; see server/store).
+func (l *Log) Append(tick uint64, ops []Op) (Ticket, error) {
+	if l.failed.Load() {
+		return Ticket{}, l.err()
+	}
+	l.mu.Lock()
+	if l.closing {
+		l.mu.Unlock()
+		return Ticket{}, ErrClosed
+	}
+	b := l.cur
+	if b == nil {
+		b = newBatch()
+		l.cur = b
+	}
+	seq := l.nextSeq
+	l.nextSeq++
+	if b.recs == 0 {
+		b.first = seq
+	}
+	b.last = seq
+	was := len(b.buf)
+	b.buf = appendRecord(b.buf, seq, tick, ops)
+	b.recs++
+	l.sinceCkpt.Add(int64(len(b.buf) - was))
+	l.mu.Unlock()
+	select {
+	case l.work <- struct{}{}:
+	default:
+	}
+	return Ticket{l: l, b: b}, nil
+}
+
+// LastAssignedSeq returns the highest sequence number assigned so far
+// (0 if none). With the caller's checkpoint gate held, every commit up
+// to this point has its record at or below the returned seq.
+func (l *Log) LastAssignedSeq() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.nextSeq - 1
+}
+
+// NeedCheckpoint reports whether at least threshold bytes of records
+// were appended since the last checkpoint.
+func (l *Log) NeedCheckpoint(threshold int64) bool {
+	return !l.failed.Load() && l.sinceCkpt.Load() >= threshold
+}
+
+// Failed reports whether the log has wedged on an I/O error.
+func (l *Log) Failed() bool { return l.failed.Load() }
+
+func (l *Log) err() error {
+	l.failmu.Lock()
+	defer l.failmu.Unlock()
+	if l.failerr != nil {
+		return l.failerr
+	}
+	return ErrFailed
+}
+
+// fail wedges the log on its first I/O error: all current and future
+// waiters get the error, and OnFailure fires once.
+func (l *Log) fail(err error) {
+	if !l.failed.CompareAndSwap(false, true) {
+		return
+	}
+	l.failmu.Lock()
+	l.failerr = fmt.Errorf("%w: %w", ErrFailed, err)
+	l.failmu.Unlock()
+	if l.opts.OnFailure != nil {
+		l.opts.OnFailure(err)
+	}
+}
+
+// run is the batcher: it drains open batches into buffered segment
+// writes, decides when to fsync per the mode, and completes tickets.
+func (l *Log) run() {
+	defer close(l.done)
+	var tickC <-chan time.Time
+	var ticker *time.Ticker
+	if l.opts.Mode == ModeRelaxed {
+		ticker = time.NewTicker(l.opts.FsyncInterval)
+		tickC = ticker.C
+		defer ticker.Stop()
+	}
+	for {
+		select {
+		case <-l.work:
+			l.drain()
+		case <-tickC:
+			l.iomu.Lock()
+			if l.unsyncedRec > 0 {
+				l.syncLocked()
+			}
+			l.iomu.Unlock()
+		case <-l.quit:
+			l.drain()
+			l.iomu.Lock()
+			l.syncLocked()
+			if l.seg != nil {
+				l.seg.Close()
+				l.seg = nil
+			}
+			l.iomu.Unlock()
+			return
+		}
+	}
+}
+
+func (l *Log) drain() {
+	for {
+		l.mu.Lock()
+		b := l.cur
+		l.cur = nil
+		l.mu.Unlock()
+		if b == nil {
+			return
+		}
+		l.writeBatch(b)
+	}
+}
+
+func (l *Log) writeBatch(b *batch) {
+	l.iomu.Lock()
+	defer l.iomu.Unlock()
+	if !l.failed.Load() && l.segSize >= l.opts.SegmentBytes {
+		l.rotateLocked(b.first)
+	}
+	if l.failed.Load() || l.seg == nil {
+		b.werr = l.err()
+		b.serr = b.werr
+		close(b.written)
+		close(b.synced)
+		return
+	}
+	err := l.writeAll(b.buf)
+	b.werr = err
+	l.nBatches.Add(1)
+	l.nRecords.Add(uint64(b.recs))
+	l.nBytes.Add(uint64(len(b.buf)))
+	l.segSize += int64(len(b.buf))
+	close(b.written)
+	if err != nil {
+		b.serr = err
+		close(b.synced)
+		l.fail(err)
+		l.completePending(l.err())
+		return
+	}
+	l.pendingSync = append(l.pendingSync, b)
+	l.unsyncedRec += b.recs
+	switch l.opts.Mode {
+	case ModeStrict:
+		l.syncLocked()
+	case ModeRelaxed:
+		if l.unsyncedRec >= l.opts.FsyncEvery {
+			l.syncLocked()
+		}
+	}
+}
+
+// writeAll writes b through the buffered writer, turning short writes
+// into errors.
+func (l *Log) writeAll(b []byte) error {
+	n, err := l.segWriter.Write(b)
+	if err == nil && n < len(b) {
+		err = fmt.Errorf("wal: short write (%d of %d bytes)", n, len(b))
+	}
+	return err
+}
+
+// syncLocked flushes the buffered writer, fsyncs the active segment,
+// and completes every pending ticket. Caller holds iomu.
+func (l *Log) syncLocked() {
+	if l.seg == nil {
+		err := ErrClosed
+		if l.failed.Load() {
+			err = l.err()
+		}
+		l.completePending(err)
+		l.unsyncedRec = 0
+		return
+	}
+	err := l.segWriter.Flush()
+	if err == nil {
+		err = l.seg.Sync()
+		l.nFsyncs.Add(1)
+	}
+	if err != nil {
+		l.fail(err)
+		err = l.err()
+	}
+	l.completePending(err)
+	l.unsyncedRec = 0
+}
+
+func (l *Log) completePending(err error) {
+	for _, pb := range l.pendingSync {
+		pb.serr = err
+		close(pb.synced)
+	}
+	l.pendingSync = nil
+}
+
+// rotateLocked closes the active segment (fsyncing it so the segment
+// boundary is durable) and opens a fresh one whose first record will
+// be nextFirst. Caller holds iomu.
+func (l *Log) rotateLocked(nextFirst uint64) {
+	if l.seg != nil {
+		l.syncLocked()
+		l.seg.Close()
+		l.segments = append(l.segments, segInfo{name: l.segName, first: l.segFirst, last: nextFirst - 1})
+		l.seg = nil
+	}
+	if l.failed.Load() {
+		return
+	}
+	if err := l.openSegmentLocked(nextFirst); err != nil {
+		l.fail(err)
+		return
+	}
+	l.nRotations.Add(1)
+}
+
+// openSegmentLocked creates and headers a new active segment starting
+// at firstSeq. Caller holds iomu.
+func (l *Log) openSegmentLocked(firstSeq uint64) error {
+	name := filepath.Join(l.dir, segName(firstSeq))
+	f, err := l.fs.Create(name)
+	if err != nil {
+		return err
+	}
+	w := bufio.NewWriterSize(f, 1<<16)
+	hdr := appendSegHeader(nil, l.epoch, firstSeq)
+	if _, err := w.Write(hdr); err != nil {
+		f.Close()
+		return err
+	}
+	if err := w.Flush(); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	if err := l.fs.SyncDir(l.dir); err != nil {
+		f.Close()
+		return err
+	}
+	l.seg = f
+	l.segWriter = w
+	l.segName = name
+	l.segFirst = firstSeq
+	l.segSize = int64(segHeaderSize)
+	return nil
+}
+
+// Sync forces a flush+fsync of everything appended so far (used by
+// tests and by Close).
+func (l *Log) Sync() error {
+	l.drainFromCaller()
+	l.iomu.Lock()
+	defer l.iomu.Unlock()
+	if l.failed.Load() {
+		return l.err()
+	}
+	l.syncLocked()
+	if l.failed.Load() {
+		return l.err()
+	}
+	return nil
+}
+
+// drainFromCaller hands any open batch to the batcher and waits for it
+// to be written, so a following fsync covers it.
+func (l *Log) drainFromCaller() {
+	l.mu.Lock()
+	b := l.cur
+	l.mu.Unlock()
+	if b == nil {
+		return
+	}
+	select {
+	case l.work <- struct{}{}:
+	default:
+	}
+	select {
+	case <-b.written:
+	case <-l.done:
+	}
+}
+
+// Close drains outstanding appends, fsyncs, and closes the active
+// segment. Appends racing Close may fail with ErrClosed.
+func (l *Log) Close() error {
+	l.mu.Lock()
+	if l.closing {
+		l.mu.Unlock()
+		<-l.done
+		return nil
+	}
+	l.closing = true
+	l.mu.Unlock()
+	close(l.quit)
+	<-l.done
+	if l.failed.Load() {
+		return l.err()
+	}
+	return nil
+}
+
+// StatsSnapshot is a point-in-time view of the log's counters.
+type StatsSnapshot struct {
+	Mode          string `json:"mode"`
+	Records       uint64 `json:"records"`
+	Batches       uint64 `json:"batches"`
+	Fsyncs        uint64 `json:"fsyncs"`
+	Bytes         uint64 `json:"bytes"`
+	Rotations     uint64 `json:"rotations"`
+	Segments      int    `json:"segments"`
+	CheckpointSeq uint64 `json:"checkpoint_seq"`
+	Checkpoints   uint64 `json:"checkpoints"`
+	Failed        bool   `json:"failed"`
+	LastError     string `json:"last_error,omitempty"`
+}
+
+// Stats returns current counters.
+func (l *Log) Stats() StatsSnapshot {
+	s := StatsSnapshot{
+		Mode:      l.opts.Mode.String(),
+		Records:   l.nRecords.Load(),
+		Batches:   l.nBatches.Load(),
+		Fsyncs:    l.nFsyncs.Load(),
+		Bytes:     l.nBytes.Load(),
+		Rotations: l.nRotations.Load(),
+		Failed:    l.failed.Load(),
+	}
+	s.Checkpoints = l.nCkpts.Load()
+	l.iomu.Lock()
+	s.Segments = len(l.segments)
+	if l.seg != nil {
+		s.Segments++
+	}
+	s.CheckpointSeq = l.ckptSeq
+	l.iomu.Unlock()
+	if s.Failed {
+		s.LastError = l.err().Error()
+	}
+	return s
+}

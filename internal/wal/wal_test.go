@@ -1,0 +1,320 @@
+package wal
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func openMem(t *testing.T, fs *MemFS, mode Mode) (*Log, *Recovered) {
+	t.Helper()
+	l, rec, err := Open(Options{Dir: "d", FS: fs, Mode: mode, SegmentBytes: 1 << 20})
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	return l, rec
+}
+
+func mustAppend(t *testing.T, l *Log, tick uint64, ops ...Op) Ticket {
+	t.Helper()
+	tk, err := l.Append(tick, ops)
+	if err != nil {
+		t.Fatalf("Append: %v", err)
+	}
+	return tk
+}
+
+func set(k, v string) Op { return Op{Key: k, Val: []byte(v)} }
+func del(k string) Op    { return Op{Del: true, Key: k} }
+
+func TestAppendRecoverBasic(t *testing.T) {
+	fs := NewMemFS()
+	l, rec := openMem(t, fs, ModeStrict)
+	if len(rec.Keys) != 0 || rec.Epoch != 1 || rec.NextSeq != 1 {
+		t.Fatalf("fresh dir: %+v", rec)
+	}
+	mustAppend(t, l, 1, set("a", "1"))
+	mustAppend(t, l, 2, set("b", "2"), set("c", "3")) // multi-op record
+	mustAppend(t, l, 3, del("a"))
+	tk := mustAppend(t, l, 4, set("b", "4"))
+	if err := tk.Wait(); err != nil {
+		t.Fatalf("Wait: %v", err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+
+	l2, rec2 := openMem(t, fs, ModeStrict)
+	defer l2.Close()
+	if rec2.Records != 4 || rec2.TornTail {
+		t.Fatalf("recovered: %+v", rec2)
+	}
+	if rec2.Epoch != 2 || rec2.NextSeq != 5 {
+		t.Fatalf("epoch/nextseq: %+v", rec2)
+	}
+	want := map[string]string{"b": "4", "c": "3"}
+	if len(rec2.Keys) != len(want) {
+		t.Fatalf("keys: %v", rec2.Keys)
+	}
+	for k, v := range want {
+		if string(rec2.Keys[k]) != v {
+			t.Fatalf("key %s = %q, want %q", k, rec2.Keys[k], v)
+		}
+	}
+}
+
+func TestOutOfOrderTicksResolvePerKey(t *testing.T) {
+	// Append order and tick order disagree (possible when commits from
+	// different threads reach Append out of commit order): the higher
+	// tick must win regardless of seq order.
+	fs := NewMemFS()
+	l, _ := openMem(t, fs, ModeRelaxed)
+	mustAppend(t, l, 9, set("k", "later"))
+	mustAppend(t, l, 5, set("k", "earlier"))
+	l.Close()
+	l2, rec := openMem(t, fs, ModeRelaxed)
+	defer l2.Close()
+	if string(rec.Keys["k"]) != "later" {
+		t.Fatalf("k = %q, want later", rec.Keys["k"])
+	}
+}
+
+func TestModesAllRecoverAfterCleanClose(t *testing.T) {
+	for _, mode := range []Mode{ModeNone, ModeRelaxed, ModeStrict} {
+		t.Run(mode.String(), func(t *testing.T) {
+			fs := NewMemFS()
+			l, _ := openMem(t, fs, mode)
+			for i := 0; i < 100; i++ {
+				tk := mustAppend(t, l, uint64(i+1), set(fmt.Sprintf("k%02d", i%10), fmt.Sprintf("v%d", i)))
+				if err := tk.Wait(); err != nil {
+					t.Fatalf("Wait: %v", err)
+				}
+			}
+			if err := l.Close(); err != nil {
+				t.Fatalf("Close: %v", err)
+			}
+			l2, rec := openMem(t, fs, mode)
+			defer l2.Close()
+			if len(rec.Keys) != 10 {
+				t.Fatalf("keys after close: %d, want 10", len(rec.Keys))
+			}
+			for i := 0; i < 10; i++ {
+				k := fmt.Sprintf("k%02d", i)
+				want := fmt.Sprintf("v%d", 90+i)
+				if string(rec.Keys[k]) != want {
+					t.Fatalf("%s = %q, want %q", k, rec.Keys[k], want)
+				}
+			}
+		})
+	}
+}
+
+func TestGroupCommitCoalesces(t *testing.T) {
+	fs := NewMemFS()
+	l, _ := openMem(t, fs, ModeStrict)
+	defer l.Close()
+	const G, N = 8, 50
+	var wg sync.WaitGroup
+	var tick atomic.Uint64
+	for g := 0; g < G; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < N; i++ {
+				tk, err := l.Append(tick.Add(1), []Op{set(fmt.Sprintf("g%d", g), "v")})
+				if err != nil {
+					t.Errorf("Append: %v", err)
+					return
+				}
+				if err := tk.Wait(); err != nil {
+					t.Errorf("Wait: %v", err)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	s := l.Stats()
+	if s.Records != G*N {
+		t.Fatalf("records = %d, want %d", s.Records, G*N)
+	}
+	// Group commit: batches (and so fsyncs) must not exceed records,
+	// and with concurrent appenders there is usually real coalescing;
+	// the hard assertion is only the invariant, not the ratio.
+	if s.Batches > s.Records || s.Fsyncs == 0 {
+		t.Fatalf("stats: %+v", s)
+	}
+	t.Logf("records=%d batches=%d fsyncs=%d", s.Records, s.Batches, s.Fsyncs)
+}
+
+func TestRotationCheckpointPrune(t *testing.T) {
+	fs := NewMemFS()
+	l, rec, err := Open(Options{Dir: "d", FS: fs, Mode: ModeRelaxed, SegmentBytes: 512})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = rec
+	state := map[string]string{}
+	for i := 0; i < 200; i++ {
+		k := fmt.Sprintf("k%03d", i%20)
+		v := fmt.Sprintf("v%d", i)
+		state[k] = v
+		mustAppend(t, l, uint64(i+1), set(k, v)).Wait()
+	}
+	if err := l.Sync(); err != nil {
+		t.Fatalf("Sync: %v", err)
+	}
+	if l.Stats().Rotations == 0 {
+		t.Fatalf("expected rotations with 512-byte segments: %+v", l.Stats())
+	}
+	upTo := l.LastAssignedSeq()
+	err = l.Checkpoint(upTo, len(state), func(emit func(string, []byte) error) error {
+		for k, v := range state {
+			if err := emit(k, []byte(v)); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("Checkpoint: %v", err)
+	}
+	// All pre-checkpoint segments must be gone.
+	names, _ := fs.ReadDir("d")
+	segs, ckpts := 0, 0
+	for _, n := range names {
+		if _, ok := parseSegName(n); ok {
+			segs++
+		}
+		if _, ok := parseCkptName(n); ok {
+			ckpts++
+		}
+	}
+	if ckpts != 1 || segs != 1 {
+		t.Fatalf("after checkpoint: %v", names)
+	}
+	// A few post-checkpoint appends, then recover.
+	mustAppend(t, l, 1000, set("k000", "post")).Wait()
+	l.Close()
+
+	l2, rec2 := openMem(t, fs, ModeRelaxed)
+	l2.Close()
+	if rec2.CheckpointSeq != upTo || rec2.CheckpointKeys != len(state) {
+		t.Fatalf("recovered: %+v", rec2)
+	}
+	if rec2.Records != 1 {
+		t.Fatalf("replayed %d records, want 1 (post-checkpoint only)", rec2.Records)
+	}
+	state["k000"] = "post"
+	for k, v := range state {
+		if string(rec2.Keys[k]) != v {
+			t.Fatalf("%s = %q, want %q", k, rec2.Keys[k], v)
+		}
+	}
+
+	// Duplicate replay idempotence: recovering the same image twice
+	// (the first recovery truncates nothing here) gives the same state.
+	l3, rec3 := openMem(t, fs, ModeRelaxed)
+	l3.Close()
+	if len(rec3.Keys) != len(rec2.Keys) {
+		t.Fatalf("second recovery diverged: %d vs %d keys", len(rec3.Keys), len(rec2.Keys))
+	}
+}
+
+func TestSyncFailureWedgesLog(t *testing.T) {
+	fs := NewMemFS()
+	boom := errors.New("simulated EIO")
+	inj := &ScriptInjector{FailSyncAt: 3, SyncErr: boom} // syncs 1-2: segment header syncs
+	var failures atomic.Int32
+	l, _, err := Open(Options{
+		Dir: "d", FS: &InjectFS{FS: fs, Inj: inj}, Mode: ModeStrict,
+		OnFailure: func(error) { failures.Add(1) },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// First append's fsync is sync #3 (header sync + dir sync are 1-2
+	// only if the FS routes them through Sync; count empirically: keep
+	// appending until the log wedges).
+	var werr error
+	for i := 0; i < 10; i++ {
+		tk, err := l.Append(uint64(i+1), []Op{set("k", "v")})
+		if err != nil {
+			werr = err
+			break
+		}
+		if err := tk.Wait(); err != nil {
+			werr = err
+			break
+		}
+	}
+	if werr == nil || !errors.Is(werr, ErrFailed) && !errors.Is(werr, boom) {
+		t.Fatalf("expected wedge, got %v", werr)
+	}
+	if !l.Failed() {
+		t.Fatal("log not marked failed")
+	}
+	if _, err := l.Append(99, []Op{set("k", "v")}); !errors.Is(err, ErrFailed) {
+		t.Fatalf("append after wedge: %v", err)
+	}
+	if failures.Load() != 1 {
+		t.Fatalf("OnFailure fired %d times", failures.Load())
+	}
+	l.Close()
+}
+
+func TestShortWriteWedgesButEarlierRecordsSurvive(t *testing.T) {
+	fs := NewMemFS()
+	l, _ := openMem(t, fs, ModeStrict)
+	mustAppend(t, l, 1, set("a", "1")).Wait()
+	l.Close()
+
+	// Reopen with an injector that cuts the second record's write short.
+	inj := &ScriptInjector{CutTo: 3}
+	l2, _, err := Open(Options{Dir: "d", FS: &InjectFS{FS: fs, Inj: inj}, Mode: ModeStrict})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustAppend(t, l2, 2, set("b", "2")).Wait()
+	inj.mu.Lock()
+	inj.FailWriteAt = inj.writes + 1
+	inj.mu.Unlock()
+	tk := mustAppend(t, l2, 3, set("c", "3"))
+	if err := tk.Wait(); err == nil {
+		t.Fatal("short write not surfaced")
+	}
+	l2.Close()
+
+	l3, rec := openMem(t, fs, ModeStrict)
+	defer l3.Close()
+	if string(rec.Keys["a"]) != "1" || string(rec.Keys["b"]) != "2" {
+		t.Fatalf("acked records lost: %v", rec.Keys)
+	}
+	if _, ok := rec.Keys["c"]; ok {
+		t.Fatal("failed record resurfaced")
+	}
+	if !rec.TornTail {
+		t.Fatal("expected torn tail from the 3-byte fragment")
+	}
+}
+
+func TestRelaxedIntervalSyncs(t *testing.T) {
+	fs := NewMemFS()
+	l, _, err := Open(Options{Dir: "d", FS: fs, Mode: ModeRelaxed,
+		FsyncEvery: 1 << 30, FsyncInterval: time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	mustAppend(t, l, 1, set("a", "1")).Wait()
+	deadline := time.Now().Add(2 * time.Second)
+	for l.Stats().Fsyncs == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("interval fsync never fired")
+		}
+		time.Sleep(time.Millisecond)
+	}
+}

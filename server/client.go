@@ -105,6 +105,8 @@ func statusErr(st Status, p []byte) error {
 		return nil
 	case StatusClosed:
 		return ErrServerClosed
+	case StatusReadOnly:
+		return ErrReadOnlyMode
 	case StatusError:
 		msg, _, err := takeBytes(p)
 		if err != nil {

@@ -403,10 +403,14 @@ func appendSubResp(b []byte, op Op, r *subResult) []byte {
 }
 
 // appendErrStatus encodes a failed op's response head: shutdown maps to
-// StatusClosed, everything else to StatusError with the message.
+// StatusClosed, read-only degradation to StatusReadOnly, everything
+// else to StatusError with the message.
 func appendErrStatus(b []byte, err error) []byte {
 	if errors.Is(err, ErrServerClosed) || errors.Is(err, ErrExecutorClosed) || errors.Is(err, errClientGone) {
 		return append(b, byte(StatusClosed))
+	}
+	if errors.Is(err, ErrReadOnlyMode) {
+		return append(b, byte(StatusReadOnly))
 	}
 	b = append(b, byte(StatusError))
 	return appendString(b, err.Error())
@@ -474,6 +478,12 @@ func (cn *pconn) execSolo(seq uint64) error {
 			Metrics:  s.exec.m.snapshot(s.exec.nFast, s.exec.nBlock),
 			Conns:    s.conns.Load(),
 			UptimeMs: time.Since(s.start).Milliseconds(),
+		}
+		if d := s.store.dur; d != nil {
+			reply.WAL = &WALStatsReply{
+				StatsSnapshot: s.wlog.Stats(),
+				ReadOnly:      d.readOnly.Load(),
+			}
 		}
 		doc, err := json.Marshal(reply)
 		if err != nil {

@@ -1,0 +1,421 @@
+// Durability: the write-ahead path between the in-memory engine and
+// internal/wal.
+//
+// With Config.DataDir set, every update operation logs its EFFECTIVE
+// write set — one WAL record per committed transaction — and replies
+// only after the record is acknowledged per the configured mode
+// (none/relaxed/strict; see wal.Mode). Reads never touch the WAL.
+//
+// The ordering contract between commits and checkpoints is a single
+// RWMutex, the checkpoint gate. Every update path holds the READ side
+// across [engine commit → WAL sequence assignment]; the checkpointer
+// takes the WRITE side for the instant it reads LastAssignedSeq as the
+// checkpoint's upper bound S, then releases it and snapshots. That
+// interlock proves the recovery invariant:
+//
+//   - while the gate is held exclusively, no commit sits between "took
+//     effect in the engine" and "has a WAL seq", so every commit with
+//     seq <= S is already engine-visible and the RANGE snapshot taken
+//     AFTER the gate drops observes it;
+//   - any commit that lands after the gate drops gets seq > S and is
+//     replayed over the checkpoint at recovery;
+//   - a commit both visible in the snapshot and replayed (seq > S but
+//     committed before the snapshot began) is harmless: replay resolves
+//     per key by highest (epoch, commit tick), which the snapshot value
+//     already carries.
+//
+// The WAL ticket is waited on AFTER the gate is released, so the gate
+// is held only for the in-memory commit plus an in-memory encode —
+// never across an fsync — and a checkpoint can never be delayed by
+// group-commit latency. Blocking operations (BTAKE) are restructured so
+// they never PARK under the gate either: parking waits for the key's
+// existence outside the gate, and only the non-blocking take attempt
+// runs under it.
+//
+// Failure policy: the first WAL I/O error (ENOSPC, EIO, a failed
+// fsync) wedges the log permanently and flips the server to read-only.
+// Reads keep being served from memory; updates answer StatusReadOnly.
+// An update whose engine commit succeeded but whose WAL write failed
+// also answers StatusReadOnly: the contract is "acknowledged implies
+// durable", not "unacknowledged implies absent" — the in-memory value
+// may survive until restart, and recovery serves the last durable
+// state.
+package server
+
+import (
+	"errors"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"tbtm"
+	"tbtm/internal/wal"
+)
+
+// ErrReadOnlyMode reports an update refused — or an update whose
+// durability could not be guaranteed — because the server degraded to
+// read-only after a write-ahead-log I/O failure. Reads still succeed.
+var ErrReadOnlyMode = errors.New("server: read-only (write-ahead log failed)")
+
+// durability is the store's write-ahead state; nil when the server runs
+// without a data directory (every path then short-circuits to the plain
+// in-memory methods, preserving their allocation profile).
+type durability struct {
+	log *wal.Log
+	// gate is the checkpoint gate described in the package comment.
+	gate sync.RWMutex
+	// readOnly flips (once, permanently) when the WAL wedges; checked
+	// first on every update path and exported via STATS.
+	readOnly atomic.Bool
+}
+
+// settle waits out a WAL ticket per the log's mode and maps WAL
+// failures into the wire error space. The zero Ticket (nothing was
+// appended) settles immediately.
+func (d *durability) settle(tk wal.Ticket, werr error) error {
+	if werr == nil {
+		werr = tk.Wait()
+	}
+	if werr == nil {
+		return nil
+	}
+	if errors.Is(werr, wal.ErrClosed) {
+		return ErrServerClosed
+	}
+	return ErrReadOnlyMode
+}
+
+// setDurable is set with WAL: commit and append under the gate, wait
+// outside it.
+func (s *store) setDurable(th *tbtm.Thread, key string, val []byte) error {
+	d := s.dur
+	if d.readOnly.Load() {
+		return ErrReadOnlyMode
+	}
+	d.gate.RLock()
+	err := s.setMem(th, key, val)
+	var tk wal.Ticket
+	var werr error
+	if err == nil {
+		tk, werr = d.log.Append(th.LastCommitTick(), []wal.Op{{Key: key, Val: val}})
+	}
+	d.gate.RUnlock()
+	if err != nil {
+		return err
+	}
+	return d.settle(tk, werr)
+}
+
+// delDurable logs the delete only when it took effect (deleting an
+// absent key commits nothing and writes nothing).
+func (s *store) delDurable(th *tbtm.Thread, key string) (bool, error) {
+	d := s.dur
+	if d.readOnly.Load() {
+		return false, ErrReadOnlyMode
+	}
+	d.gate.RLock()
+	deleted, err := s.delMem(th, key)
+	var tk wal.Ticket
+	var werr error
+	if err == nil && deleted {
+		tk, werr = d.log.Append(th.LastCommitTick(), []wal.Op{{Del: true, Key: key}})
+	}
+	d.gate.RUnlock()
+	if err != nil {
+		return false, err
+	}
+	if serr := d.settle(tk, werr); serr != nil {
+		return false, serr
+	}
+	return deleted, nil
+}
+
+// casDurable logs the swap only when it succeeded.
+func (s *store) casDurable(th *tbtm.Thread, key string, expectPresent bool, expect, val []byte) (bool, error) {
+	d := s.dur
+	if d.readOnly.Load() {
+		return false, ErrReadOnlyMode
+	}
+	d.gate.RLock()
+	swapped, err := s.casMem(th, key, expectPresent, expect, val)
+	var tk wal.Ticket
+	var werr error
+	if err == nil && swapped {
+		tk, werr = d.log.Append(th.LastCommitTick(), []wal.Op{{Key: key, Val: val}})
+	}
+	d.gate.RUnlock()
+	if err != nil {
+		return false, err
+	}
+	if serr := d.settle(tk, werr); serr != nil {
+		return false, serr
+	}
+	return swapped, nil
+}
+
+// effectiveOps folds a committed script's performed writes into WAL
+// ops, in script order so replay reproduces last-write-wins within the
+// record: every SET, every DEL that found its key, every CAS that
+// swapped. GETs and missed DELs/CASes contribute nothing.
+func effectiveOps(subs []multiSub, results []subResult) []wal.Op {
+	var ops []wal.Op
+	for i := range subs {
+		sub := &subs[i]
+		switch sub.op {
+		case OpSet:
+			ops = append(ops, wal.Op{Key: sub.key, Val: sub.val})
+		case OpDel:
+			if results[i].present {
+				ops = append(ops, wal.Op{Del: true, Key: sub.key})
+			}
+		case OpCas:
+			if results[i].present {
+				ops = append(ops, wal.Op{Key: sub.key, Val: sub.val})
+			}
+		}
+	}
+	return ops
+}
+
+// multiDurable logs a committed script as ONE record, so a MULTI is
+// atomic across a crash exactly as it is atomic in memory: recovery
+// replays all of its effective writes or none (a torn record is
+// discarded whole).
+func (s *store) multiDurable(th *tbtm.Thread, subs []multiSub, results *[]subResult) (bool, error) {
+	d := s.dur
+	if d.readOnly.Load() {
+		return false, ErrReadOnlyMode
+	}
+	d.gate.RLock()
+	committed, err := s.multiMem(th, subs, results)
+	var tk wal.Ticket
+	var werr error
+	if err == nil && committed {
+		if ops := effectiveOps(subs, *results); len(ops) > 0 {
+			tk, werr = d.log.Append(th.LastCommitTick(), ops)
+		}
+	}
+	d.gate.RUnlock()
+	if err != nil {
+		return false, err
+	}
+	if !committed {
+		return false, nil
+	}
+	if serr := d.settle(tk, werr); serr != nil {
+		return false, serr
+	}
+	return true, nil
+}
+
+// execBatchDurable logs a committed batch window as one record of its
+// effective writes. The batch committed as one engine transaction, so
+// one record preserves its atomicity across a crash too.
+func (s *store) execBatchDurable(th *tbtm.Thread, subs []multiSub, results *[]subResult) error {
+	d := s.dur
+	if d.readOnly.Load() {
+		return ErrReadOnlyMode
+	}
+	d.gate.RLock()
+	err := s.execBatchMem(th, subs, results)
+	var tk wal.Ticket
+	var werr error
+	if err == nil {
+		if ops := effectiveOps(subs, *results); len(ops) > 0 {
+			tk, werr = d.log.Append(th.LastCommitTick(), ops)
+		}
+	}
+	d.gate.RUnlock()
+	if err != nil {
+		return err
+	}
+	return d.settle(tk, werr)
+}
+
+// btakeDurable is btake restructured for the checkpoint gate: the plain
+// version parks INSIDE its update transaction, and a parked transaction
+// holding the gate's read side would deadlock the checkpointer. Here
+// the park is a read-only existence wait OUTSIDE the gate, and only a
+// non-blocking take attempt runs under it; a key that vanishes between
+// wake and take (another taker won) loops back to parking.
+func (s *store) btakeDurable(th *tbtm.Thread, key string, cancel *tbtm.Var[bool]) ([]byte, error) {
+	d := s.dur
+	for {
+		if d.readOnly.Load() {
+			return nil, ErrReadOnlyMode
+		}
+		// Park until the key exists (or shutdown / client hang-up).
+		err := th.AtomicReadOnly(tbtm.Short, func(tx tbtm.Tx) error {
+			_, ok, e := s.getTx(tx, key)
+			if e != nil {
+				return e
+			}
+			if ok {
+				return nil
+			}
+			if e := s.checkLive(tx, cancel); e != nil {
+				return e
+			}
+			return tbtm.Retry(tx)
+		})
+		if err != nil {
+			return nil, err
+		}
+		var val []byte
+		var took bool
+		d.gate.RLock()
+		err = th.AtomicSite(siteBTake, func(tx tbtm.Tx) error {
+			val, took = nil, false
+			v, ok, e := s.getTx(tx, key)
+			if e != nil {
+				return e
+			}
+			if !ok {
+				return nil // raced away; commit empty-handed and re-park
+			}
+			if _, e := s.delTx(tx, key); e != nil {
+				return e
+			}
+			val, took = v, true
+			return nil
+		})
+		var tk wal.Ticket
+		var werr error
+		if err == nil && took {
+			tk, werr = d.log.Append(th.LastCommitTick(), []wal.Op{{Del: true, Key: key}})
+		}
+		d.gate.RUnlock()
+		if err != nil {
+			return nil, err
+		}
+		if !took {
+			continue
+		}
+		if serr := d.settle(tk, werr); serr != nil {
+			// The take committed in memory but is not durable; the client
+			// must not treat the value as consumed.
+			return nil, serr
+		}
+		return val, nil
+	}
+}
+
+// enableDurability opens (and recovers) the data directory, seeds the
+// store from the recovered image, and starts the checkpointer. Called
+// from New before the server accepts connections.
+func (s *Server) enableDurability(cfg Config) error {
+	mode := wal.ModeStrict
+	if cfg.Durability != "" {
+		var err error
+		mode, err = wal.ParseMode(cfg.Durability)
+		if err != nil {
+			return err
+		}
+	}
+	d := &durability{}
+	log, rec, err := wal.Open(wal.Options{
+		Dir:           cfg.DataDir,
+		FS:            cfg.WALFS,
+		Mode:          mode,
+		FsyncEvery:    cfg.FsyncEvery,
+		FsyncInterval: cfg.FsyncInterval,
+		SegmentBytes:  cfg.SegmentBytes,
+		OnFailure:     func(error) { d.readOnly.Store(true) },
+	})
+	if err != nil {
+		return err
+	}
+	// Seed the store from the recovered image through the raw in-memory
+	// paths: recovery must not re-append what the log already holds.
+	// Chunked so no single seeding transaction grows unboundedly.
+	keys := make([]string, 0, len(rec.Keys))
+	for k := range rec.Keys {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	const chunk = 512
+	for len(keys) > 0 {
+		part := keys
+		if len(part) > chunk {
+			part = keys[:chunk]
+		}
+		keys = keys[len(part):]
+		err := s.sysTh.Atomic(tbtm.Long, func(tx tbtm.Tx) error {
+			for _, k := range part {
+				if err := s.store.setTx(tx, k, rec.Keys[k]); err != nil {
+					return err
+				}
+			}
+			return nil
+		})
+		if err != nil {
+			log.Close()
+			return err
+		}
+	}
+	d.log = log
+	s.store.dur = d
+	s.wlog = log
+	s.recovered = rec
+	s.ckptBytes = cfg.CheckpointBytes
+	if s.ckptBytes <= 0 {
+		s.ckptBytes = 64 << 20
+	}
+	s.ckptTh = s.tm.NewThread()
+	s.ckptStop = make(chan struct{})
+	s.ckptDone = make(chan struct{})
+	go s.checkpointLoop()
+	return nil
+}
+
+// Recovery describes what the server reconstructed from its data
+// directory at startup (nil without one).
+func (s *Server) Recovery() *wal.Recovered { return s.recovered }
+
+// checkpointLoop polls the WAL growth counter and writes a checkpoint
+// whenever CheckpointBytes of records accumulated since the last one.
+func (s *Server) checkpointLoop() {
+	defer close(s.ckptDone)
+	t := time.NewTicker(250 * time.Millisecond)
+	defer t.Stop()
+	for {
+		select {
+		case <-s.ckptStop:
+			return
+		case <-t.C:
+			if s.wlog.NeedCheckpoint(s.ckptBytes) {
+				// Errors are advisory: a transient snapshot failure retries
+				// on the next tick, and a wedged log refuses checkpoints
+				// itself (the server is read-only by then anyway).
+				_ = s.checkpoint()
+			}
+		}
+	}
+}
+
+// checkpoint writes one consistent snapshot and lets the WAL prune
+// everything it supersedes. See the package comment for why reading
+// LastAssignedSeq under the gate's write lock and THEN snapshotting
+// yields a bound S such that checkpoint ∪ replay(seq > S) is exact.
+func (s *Server) checkpoint() error {
+	d := s.store.dur
+	d.gate.Lock()
+	upTo := s.wlog.LastAssignedSeq()
+	d.gate.Unlock()
+	if upTo == 0 {
+		return nil
+	}
+	pairs, err := s.store.rangeScan(s.ckptTh, "", "", 0)
+	if err != nil {
+		return err
+	}
+	return s.wlog.Checkpoint(upTo, len(pairs), func(emit func(string, []byte) error) error {
+		for _, p := range pairs {
+			if err := emit(p.key, p.val); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+}

@@ -1,0 +1,249 @@
+package server
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"net"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"tbtm/internal/wal"
+)
+
+// TestCrashTortureBankServer is the end-to-end durability torture: a
+// bank of accounts with a fixed total balance, concurrent transfer
+// clients over real TCP connections, and a crash (lossy MemFS clone at
+// a random point) instead of a clean shutdown — repeated across many
+// randomized crash points. After each crash the server is rebuilt from
+// whatever the "disk" kept and must satisfy:
+//
+//   - conservation: the account balances sum to the seeded total;
+//   - no negatives: every balance is >= 0 (transfers check funds);
+//   - acked durability (strict mode): every transfer acknowledged
+//     before the crash point is reflected — verified via a
+//     monotonically increasing counter key whose recovered value must
+//     be at least the highest acknowledged write.
+//
+// The acked-bookkeeping is frozen BEFORE the clone is taken, so an ack
+// that races the crash is never counted against the recovered state.
+func TestCrashTortureBankServer(t *testing.T) {
+	iters := 50
+	if testing.Short() {
+		iters = 10
+	}
+	const (
+		accounts = 8
+		initial  = 100
+		workers  = 3
+	)
+
+	fs := wal.NewMemFS()
+	for it := 0; it < iters; it++ {
+		rng := rand.New(rand.NewSource(int64(0xBA2C + it)))
+		srv, err := New(Config{DataDir: "bank", WALFS: fs, Durability: "strict",
+			SegmentBytes: 4096, CheckpointBytes: 16384})
+		if err != nil {
+			t.Fatalf("iter %d: New: %v", it, err)
+		}
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		go srv.Serve(ln)
+		addr := ln.Addr().String()
+
+		// First iteration seeds the bank; later ones inherit the
+		// recovered state and only verify + continue the workload.
+		seedCl, err := Dial(addr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if it == 0 {
+			for i := 0; i < accounts; i++ {
+				if err := seedCl.Set(fmt.Sprintf("acct:%d", i), []byte(strconv.Itoa(initial))); err != nil {
+					t.Fatalf("seed: %v", err)
+				}
+			}
+			if err := seedCl.Set("counter", []byte("0")); err != nil {
+				t.Fatal(err)
+			}
+		} else {
+			verifyBank(t, it, seedCl, accounts, accounts*initial, 0)
+		}
+		// Recovered floor for the counter this round.
+		cv, ok, err := seedCl.Get("counter")
+		if err != nil || !ok {
+			t.Fatalf("iter %d: counter missing (err=%v)", it, err)
+		}
+		counterFloor, _ := strconv.Atoi(string(cv))
+		seedCl.Close()
+
+		// frozen flips before the crash clone is taken; acks that land
+		// after it are NOT recorded, so ackedCounter is a sound lower
+		// bound on what the clone must contain.
+		var frozen atomic.Bool
+		var ackedCounter atomic.Int64
+		ackedCounter.Store(int64(counterFloor))
+		var completed atomic.Int64
+
+		var wg sync.WaitGroup
+		stop := make(chan struct{})
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				cl, err := Dial(addr)
+				if err != nil {
+					return
+				}
+				defer cl.Close()
+				wrng := rand.New(rand.NewSource(int64(it*31 + w)))
+				for {
+					select {
+					case <-stop:
+						return
+					default:
+					}
+					i := wrng.Intn(accounts)
+					j := wrng.Intn(accounts)
+					if i == j {
+						continue
+					}
+					ki, kj := fmt.Sprintf("acct:%d", i), fmt.Sprintf("acct:%d", j)
+					vi, oki, err := cl.Get(ki)
+					if err != nil {
+						return
+					}
+					vj, okj, err := cl.Get(kj)
+					if err != nil {
+						return
+					}
+					if !oki || !okj {
+						t.Errorf("iter %d: account missing mid-run", it)
+						return
+					}
+					bi, _ := strconv.Atoi(string(vi))
+					bj, _ := strconv.Atoi(string(vj))
+					if bi == 0 {
+						continue
+					}
+					_, committed, err := cl.MultiExec([]MultiOp{
+						MCas(ki, vi, true, []byte(strconv.Itoa(bi-1))),
+						MCas(kj, vj, true, []byte(strconv.Itoa(bj+1))),
+					})
+					if err != nil {
+						return
+					}
+					if committed {
+						completed.Add(1)
+					}
+				}
+			}(w)
+		}
+		// The counter worker: strictly increasing Set acks give us the
+		// durability floor to check after recovery.
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			cl, err := Dial(addr)
+			if err != nil {
+				return
+			}
+			defer cl.Close()
+			for n := counterFloor + 1; ; n++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				if err := cl.Set("counter", []byte(strconv.Itoa(n))); err != nil {
+					return
+				}
+				completed.Add(1)
+				// The ack happened before the freeze check: only then is
+				// it guaranteed to precede the crash clone.
+				if !frozen.Load() {
+					ackedCounter.Store(int64(n))
+				}
+			}
+		}()
+
+		// Let a random number of operations complete, then crash.
+		cut := int64(rng.Intn(40) + 5)
+		deadline := time.Now().Add(5 * time.Second)
+		for completed.Load() < cut && time.Now().Before(deadline) {
+			time.Sleep(time.Millisecond)
+		}
+		frozen.Store(true)
+		crashFS := fs.CrashClone(rng)
+		close(stop)
+		wg.Wait()
+		srv.Close()
+		ln.Close()
+
+		// Recover from the lossy clone and sweep.
+		fs = crashFS
+		rsrv, err := New(Config{DataDir: "bank", WALFS: fs, Durability: "strict"})
+		if err != nil {
+			t.Fatalf("iter %d: recovery New: %v", it, err)
+		}
+		rln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		go rsrv.Serve(rln)
+		rcl, err := Dial(rln.Addr().String())
+		if err != nil {
+			t.Fatal(err)
+		}
+		verifyBank(t, it, rcl, accounts, accounts*initial, ackedCounter.Load())
+		rcl.Close()
+		if err := rsrv.Close(); err != nil && !errors.Is(err, ErrServerClosed) {
+			t.Fatalf("iter %d: close recovered: %v", it, err)
+		}
+		rln.Close()
+		if t.Failed() {
+			t.Fatalf("iter %d: bank invariants violated after crash", it)
+		}
+	}
+}
+
+// verifyBank asserts conservation, non-negativity, and the acked
+// counter floor on a freshly recovered server.
+func verifyBank(t *testing.T, it int, cl *Client, accounts, total int, ackedFloor int64) {
+	t.Helper()
+	pairs, err := cl.Range("acct:", "acct;", 0)
+	if err != nil {
+		t.Fatalf("iter %d: range: %v", it, err)
+	}
+	if len(pairs) != accounts {
+		t.Fatalf("iter %d: recovered %d accounts, want %d", it, len(pairs), accounts)
+	}
+	sum := 0
+	for _, kv := range pairs {
+		b, err := strconv.Atoi(string(kv.Val))
+		if err != nil {
+			t.Fatalf("iter %d: %s holds %q", it, kv.Key, kv.Val)
+		}
+		if b < 0 {
+			t.Fatalf("iter %d: %s went negative: %d", it, kv.Key, b)
+		}
+		sum += b
+	}
+	if sum != total {
+		t.Fatalf("iter %d: balances sum to %d, want %d (money %s)",
+			it, sum, total, map[bool]string{true: "created", false: "destroyed"}[sum > total])
+	}
+	cv, ok, err := cl.Get("counter")
+	if err != nil || !ok {
+		t.Fatalf("iter %d: counter missing after recovery (err=%v)", it, err)
+	}
+	got, _ := strconv.Atoi(string(cv))
+	if int64(got) < ackedFloor {
+		t.Fatalf("iter %d: counter recovered as %d, below acked floor %d — an acknowledged strict-mode write was lost", it, got, ackedFloor)
+	}
+}

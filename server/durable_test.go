@@ -1,0 +1,296 @@
+package server
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"testing"
+	"time"
+
+	"tbtm"
+	"tbtm/internal/wal"
+)
+
+// durableServer spins an in-process durable server on a loopback port
+// over the given MemFS and returns it with a connected client.
+func durableServer(t *testing.T, fs *wal.MemFS, cfg Config) (*Server, *Client) {
+	t.Helper()
+	cfg.DataDir = "d"
+	if cfg.WALFS == nil {
+		cfg.WALFS = fs
+	}
+	if cfg.Durability == "" {
+		cfg.Durability = "strict"
+	}
+	srv, err := New(cfg)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go srv.Serve(ln)
+	cl, err := DialTimeout(ln.Addr().String(), 2*time.Second)
+	if err != nil {
+		t.Fatalf("dial: %v", err)
+	}
+	return srv, cl
+}
+
+func TestDurableRecoveryRoundTrip(t *testing.T) {
+	fs := wal.NewMemFS()
+	srv, cl := durableServer(t, fs, Config{})
+	if rec := srv.Recovery(); rec == nil || len(rec.Keys) != 0 {
+		t.Fatalf("fresh recovery: %+v", rec)
+	}
+	if err := cl.Set("a", []byte("1")); err != nil {
+		t.Fatal(err)
+	}
+	if err := cl.Set("b", []byte("2")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cl.Del("a"); err != nil {
+		t.Fatal(err)
+	}
+	if swapped, err := cl.Cas("b", []byte("2"), true, []byte("3")); err != nil || !swapped {
+		t.Fatalf("cas: swapped=%v err=%v", swapped, err)
+	}
+	// A CAS that fails must log nothing.
+	if swapped, err := cl.Cas("b", []byte("stale"), true, []byte("X")); err != nil || swapped {
+		t.Fatalf("stale cas: swapped=%v err=%v", swapped, err)
+	}
+	cl.Close()
+	if err := srv.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+
+	srv2, cl2 := durableServer(t, fs, Config{})
+	defer srv2.Close()
+	defer cl2.Close()
+	rec := srv2.Recovery()
+	if rec == nil || rec.TornTail {
+		t.Fatalf("recovery: %+v", rec)
+	}
+	if _, ok, _ := cl2.Get("a"); ok {
+		t.Fatal("deleted key resurfaced after recovery")
+	}
+	v, ok, err := cl2.Get("b")
+	if err != nil || !ok || string(v) != "3" {
+		t.Fatalf("b = %q ok=%v err=%v, want 3", v, ok, err)
+	}
+}
+
+func TestDurableVectorClockRefused(t *testing.T) {
+	for _, c := range []tbtm.Consistency{tbtm.CausallySerializable, tbtm.Serializable} {
+		_, err := New(Config{Consistency: c, DataDir: "d", WALFS: wal.NewMemFS()})
+		if err == nil {
+			t.Fatalf("%v: durable server built without a scalar clock", c)
+		}
+	}
+}
+
+func TestDurableMultiOneRecordAndAtomicity(t *testing.T) {
+	fs := wal.NewMemFS()
+	srv, cl := durableServer(t, fs, Config{})
+	defer srv.Close()
+	defer cl.Close()
+	before := srv.wlog.Stats().Records
+	// A committed script with several writes is ONE record.
+	_, committed, err := cl.MultiExec([]MultiOp{
+		MSet("x", []byte("1")),
+		MSet("y", []byte("2")),
+		MDel("missing"), // ineffective: not logged
+		MGet("x"),
+	})
+	if err != nil || !committed {
+		t.Fatalf("multi: committed=%v err=%v", committed, err)
+	}
+	if got := srv.wlog.Stats().Records - before; got != 1 {
+		t.Fatalf("committed multi appended %d records, want 1", got)
+	}
+	// An aborted script (failed CAS) logs nothing.
+	before = srv.wlog.Stats().Records
+	_, committed, err = cl.MultiExec([]MultiOp{
+		MSet("z", []byte("never")),
+		MCas("x", []byte("stale"), true, []byte("no")),
+	})
+	if err != nil || committed {
+		t.Fatalf("aborted multi: committed=%v err=%v", committed, err)
+	}
+	if got := srv.wlog.Stats().Records - before; got != 0 {
+		t.Fatalf("aborted multi appended %d records, want 0", got)
+	}
+	// A read-only script appends nothing either.
+	before = srv.wlog.Stats().Records
+	if _, _, err := cl.MultiExec([]MultiOp{MGet("x"), MGet("y")}); err != nil {
+		t.Fatal(err)
+	}
+	if got := srv.wlog.Stats().Records - before; got != 0 {
+		t.Fatalf("read-only multi appended %d records, want 0", got)
+	}
+}
+
+func TestDurableBTakeLogsConsumption(t *testing.T) {
+	fs := wal.NewMemFS()
+	srv, cl := durableServer(t, fs, Config{})
+	if err := cl.Set("token", []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	// Parked taker woken by a later SET: the take must be durable too.
+	done := make(chan error, 1)
+	go func() {
+		v, err := cl.BTake("token")
+		if err == nil && string(v) != "v" {
+			err = fmt.Errorf("btake returned %q", v)
+		}
+		done <- err
+	}()
+	if err := <-done; err != nil {
+		t.Fatalf("btake: %v", err)
+	}
+	cl.Close()
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+	srv2, cl2 := durableServer(t, fs, Config{})
+	defer srv2.Close()
+	defer cl2.Close()
+	if _, ok, _ := cl2.Get("token"); ok {
+		t.Fatal("taken token resurfaced after recovery")
+	}
+}
+
+func TestDurableCheckpointRecoversAndPrunes(t *testing.T) {
+	fs := wal.NewMemFS()
+	srv, cl := durableServer(t, fs, Config{SegmentBytes: 1024, CheckpointBytes: 2048})
+	val := []byte("0123456789abcdef")
+	for i := 0; i < 200; i++ {
+		if err := cl.Set(fmt.Sprintf("k%03d", i%50), append(val, byte('0'+i%10))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for srv.wlog.Stats().Checkpoints == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("checkpointer never fired")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	// More writes after the checkpoint so recovery replays both layers.
+	for i := 0; i < 50; i++ {
+		if err := cl.Set(fmt.Sprintf("k%03d", i), []byte("post")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	cl.Close()
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	srv2, cl2 := durableServer(t, fs, Config{})
+	defer srv2.Close()
+	defer cl2.Close()
+	rec := srv2.Recovery()
+	if rec.CheckpointSeq == 0 {
+		t.Fatalf("recovery ignored the checkpoint: %+v", rec)
+	}
+	if len(rec.Keys) != 50 {
+		t.Fatalf("recovered %d keys, want 50", len(rec.Keys))
+	}
+	for i := 0; i < 50; i++ {
+		v, ok, err := cl2.Get(fmt.Sprintf("k%03d", i))
+		if err != nil || !ok {
+			t.Fatalf("k%03d missing after recovery (err=%v)", i, err)
+		}
+		if string(v) != "post" {
+			t.Fatalf("k%03d = %q, want post", i, v)
+		}
+	}
+}
+
+func TestDurableReadOnlyDegradation(t *testing.T) {
+	fs := wal.NewMemFS()
+	boom := errors.New("simulated ENOSPC")
+	inj := &wal.ScriptInjector{FailSyncAt: 4, SyncErr: boom}
+	srv, cl := durableServer(t, fs, Config{WALFS: &wal.InjectFS{FS: fs, Inj: inj}})
+	defer srv.Close()
+	defer cl.Close()
+
+	// Writes succeed until the injected fsync failure wedges the log…
+	var gotRO bool
+	for i := 0; i < 20; i++ {
+		err := cl.Set("k", []byte("v"))
+		if err == nil {
+			continue
+		}
+		if !errors.Is(err, ErrReadOnlyMode) {
+			t.Fatalf("set error = %v, want ErrReadOnlyMode", err)
+		}
+		gotRO = true
+		break
+	}
+	if !gotRO {
+		t.Fatal("log never wedged despite injected fsync failure")
+	}
+	// …after which every update answers StatusReadOnly on the wire:
+	if err := cl.Set("k2", []byte("v")); !errors.Is(err, ErrReadOnlyMode) {
+		t.Fatalf("set after wedge = %v, want ErrReadOnlyMode", err)
+	}
+	if _, err := cl.Del("k"); !errors.Is(err, ErrReadOnlyMode) {
+		t.Fatalf("del after wedge = %v, want ErrReadOnlyMode", err)
+	}
+	if _, _, err := cl.MultiExec([]MultiOp{MSet("a", []byte("b"))}); !errors.Is(err, ErrReadOnlyMode) {
+		t.Fatalf("multi after wedge = %v, want ErrReadOnlyMode", err)
+	}
+	if _, err := cl.BTake("k"); !errors.Is(err, ErrReadOnlyMode) {
+		t.Fatalf("btake after wedge = %v, want ErrReadOnlyMode", err)
+	}
+	// Reads keep being served from memory, including read-only scripts.
+	if _, _, err := cl.Get("k"); err != nil {
+		t.Fatalf("read in read-only mode: %v", err)
+	}
+	if _, err := cl.Range("", "", 0); err != nil {
+		t.Fatalf("range in read-only mode: %v", err)
+	}
+	if _, _, err := cl.MultiExec([]MultiOp{MGet("k")}); err != nil {
+		t.Fatalf("read-only multi in read-only mode: %v", err)
+	}
+	// And STATS reports the gauge.
+	reply, err := cl.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reply.WAL == nil || !reply.WAL.ReadOnly || !reply.WAL.Failed {
+		t.Fatalf("stats WAL section: %+v", reply.WAL)
+	}
+}
+
+func TestDurableModesRoundTrip(t *testing.T) {
+	for _, mode := range []string{"none", "relaxed", "strict"} {
+		t.Run(mode, func(t *testing.T) {
+			fs := wal.NewMemFS()
+			srv, cl := durableServer(t, fs, Config{Durability: mode})
+			for i := 0; i < 30; i++ {
+				if err := cl.Set(fmt.Sprintf("k%d", i%5), []byte(fmt.Sprintf("v%d", i))); err != nil {
+					t.Fatal(err)
+				}
+			}
+			cl.Close()
+			if err := srv.Close(); err != nil {
+				t.Fatal(err)
+			}
+			// A clean close makes every mode fully durable.
+			srv2, cl2 := durableServer(t, fs, Config{Durability: mode})
+			defer srv2.Close()
+			defer cl2.Close()
+			for i := 0; i < 5; i++ {
+				v, ok, err := cl2.Get(fmt.Sprintf("k%d", i))
+				want := fmt.Sprintf("v%d", 25+i)
+				if err != nil || !ok || string(v) != want {
+					t.Fatalf("k%d = %q ok=%v err=%v, want %q", i, v, ok, err, want)
+				}
+			}
+		})
+	}
+}

@@ -3,12 +3,14 @@ package server
 import (
 	"errors"
 	"fmt"
+	"io"
 	"math/bits"
 	"math/rand"
 	"net"
 	"strconv"
 	"sync"
 	"sync/atomic"
+	"syscall"
 	"time"
 )
 
@@ -83,6 +85,29 @@ type LoadResult struct {
 	// (fetched via OpStats), the ground truth that operations really
 	// committed transactions.
 	EngineCommits uint64 `json:"engine_commits"`
+	// Truncated reports that the window ended early on at least one
+	// connection — the server closed or reset mid-run (e.g. it was
+	// killed under a crash drill). The counters then cover only the
+	// operations that completed, and EngineCommits may be zero if the
+	// post-window stats fetch found the server gone. A truncated run is
+	// a partial measurement, not a failure.
+	Truncated bool `json:"truncated"`
+}
+
+// isAbortedConn classifies errors that mean "the connection (or the
+// whole server) went away", as opposed to a protocol-level failure:
+// these truncate a load window rather than failing it.
+func isAbortedConn(err error) bool {
+	if err == nil {
+		return false
+	}
+	if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) ||
+		errors.Is(err, net.ErrClosed) || errors.Is(err, ErrServerClosed) ||
+		errors.Is(err, syscall.ECONNRESET) || errors.Is(err, syscall.EPIPE) {
+		return true
+	}
+	var ne net.Error
+	return errors.As(err, &ne)
 }
 
 func (cfg *LoadConfig) defaults() error {
@@ -208,6 +233,7 @@ type loadWorker struct {
 	hist latHist
 
 	ops, errs, gets, sets, multis, blocking uint64
+	truncated                               bool
 }
 
 // RunLoad drives cfg.Conns closed-loop connections against cfg.Addr for
@@ -260,10 +286,11 @@ func RunLoad(cfg LoadConfig) (LoadResult, error) {
 	}
 
 	var (
-		stop    atomic.Bool
-		wg      sync.WaitGroup
-		ferr    atomic.Value
-		feederC *Client
+		stop      atomic.Bool
+		truncated atomic.Bool // a connection died mid-window
+		wg        sync.WaitGroup
+		ferr      atomic.Value
+		feederC   *Client
 	)
 
 	// Feeder: keeps the blocking token keyspace supplied so BTAKErs
@@ -288,7 +315,11 @@ func RunLoad(cfg LoadConfig) (LoadResult, error) {
 				for fp.Outstanding() > 0 {
 					if _, err := fp.Recv(); err != nil {
 						if !stop.Load() {
-							ferr.Store(err)
+							if isAbortedConn(err) {
+								truncated.Store(true)
+							} else {
+								ferr.Store(err)
+							}
 						}
 						return
 					}
@@ -332,7 +363,7 @@ func RunLoad(cfg LoadConfig) (LoadResult, error) {
 		return LoadResult{}, fmt.Errorf("feeder: %w", e.(error))
 	}
 
-	res := LoadResult{Elapsed: elapsed}
+	res := LoadResult{Elapsed: elapsed, Truncated: truncated.Load()}
 	var hist latHist
 	for _, w := range workers {
 		res.Ops += w.ops
@@ -341,6 +372,7 @@ func RunLoad(cfg LoadConfig) (LoadResult, error) {
 		res.Sets += w.sets
 		res.Multis += w.multis
 		res.Blocking += w.blocking
+		res.Truncated = res.Truncated || w.truncated
 		hist.merge(&w.hist)
 	}
 	if res.Ops > 0 {
@@ -349,12 +381,18 @@ func RunLoad(cfg LoadConfig) (LoadResult, error) {
 		res.P50Us = hist.quantile(0.50)
 		res.P99Us = hist.quantile(0.99)
 	}
+	// On a truncated run the server may be gone: report the partial
+	// counters (with EngineCommits zero) rather than failing the window.
 	statsAfter, err := ctl.Stats()
-	if err != nil {
+	switch {
+	case err == nil:
+		eng := statsAfter.Engine.Sub(statsBefore.Engine)
+		res.EngineCommits = eng.Commits + eng.LongCommits
+	case isAbortedConn(err):
+		res.Truncated = true
+	default:
 		return res, err
 	}
-	eng := statsAfter.Engine.Sub(statsBefore.Engine)
-	res.EngineCommits = eng.Commits + eng.LongCommits
 	for _, w := range workers {
 		w.cl.Close()
 	}
@@ -399,7 +437,11 @@ func (w *loadWorker) run(cfg *LoadConfig, stop *atomic.Bool, val []byte) {
 			}
 		}
 		if err != nil {
-			if stop.Load() || errors.Is(err, ErrServerClosed) || errors.Is(err, net.ErrClosed) {
+			if stop.Load() {
+				return
+			}
+			if isAbortedConn(err) {
+				w.truncated = true
 				return
 			}
 			w.errs++
@@ -452,6 +494,7 @@ func (w *loadWorker) runPipelined(cfg *LoadConfig, stop *atomic.Bool, val []byte
 			t0s[seq] = time.Now()
 			if !cfg.Batch {
 				if err := p.Flush(); err != nil {
+					w.truncated = !stop.Load()
 					return
 				}
 			}
@@ -459,14 +502,22 @@ func (w *loadWorker) runPipelined(cfg *LoadConfig, stop *atomic.Bool, val []byte
 		for p.Outstanding() > 0 {
 			r, err := p.Recv()
 			if err != nil {
-				return // connection cut (deadline grace) or closed server
+				// Connection cut (deadline grace, server killed) or closed
+				// server: a truncated window, unless we are the ones
+				// shutting down.
+				w.truncated = !stop.Load()
+				return
 			}
 			if t0, ok := t0s[r.Seq]; ok {
 				w.hist.record(time.Since(t0))
 				delete(t0s, r.Seq)
 			}
 			if r.Err != nil {
-				if stop.Load() || errors.Is(r.Err, ErrServerClosed) {
+				if stop.Load() {
+					return
+				}
+				if isAbortedConn(r.Err) {
+					w.truncated = true
 					return
 				}
 				w.errs++

@@ -124,6 +124,10 @@ const (
 	// StatusClosed reports that the server is shutting down; blocked
 	// operations answer it when woken by shutdown.
 	StatusClosed
+	// StatusReadOnly reports an update refused (or an acknowledgement
+	// withheld) because the server degraded to read-only after a
+	// write-ahead-log I/O failure; reads keep succeeding.
+	StatusReadOnly
 )
 
 // DefaultMaxFrame bounds the payload size both sides will read.

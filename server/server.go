@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"tbtm"
+	"tbtm/internal/wal"
 )
 
 // Config configures a Server. The zero value is usable: ZLinearizable,
@@ -49,6 +50,33 @@ type Config struct {
 	// invariant-bearing options (WithBlockingRetry, WithAutoClassify,
 	// vector-clock WithThreads sizing) are applied after, so they win.
 	TMOptions []tbtm.Option
+
+	// DataDir enables durability: every update is appended to a
+	// write-ahead log under this directory before it is acknowledged
+	// (per Durability), consistent checkpoints bound replay, and New
+	// recovers the directory's state before serving. Empty = in-memory
+	// only. Durability requires a scalar-clock consistency criterion
+	// (it logs engine commit ticks); CausallySerializable and
+	// Serializable are refused.
+	DataDir string
+	// Durability selects what an acknowledged update means with
+	// DataDir set: "strict" (default; fsynced before the reply),
+	// "relaxed" (written to the OS before the reply, fsynced in the
+	// background), or "none" (replied after the in-memory commit; the
+	// log is best-effort).
+	Durability string
+	// FsyncEvery / FsyncInterval tune relaxed-mode background fsyncs
+	// (0 = the WAL defaults: 256 records / 5ms).
+	FsyncEvery    int
+	FsyncInterval time.Duration
+	// SegmentBytes is the WAL segment rotation threshold (0 = 8 MiB).
+	SegmentBytes int64
+	// CheckpointBytes triggers a checkpoint once this many bytes of WAL
+	// records accumulated since the last one (0 = 64 MiB).
+	CheckpointBytes int64
+	// WALFS overrides the filesystem the WAL writes through (fault
+	// injection and crash tests); nil means the real disk.
+	WALFS wal.FS
 }
 
 // StatsReply is the JSON document answered to OpStats.
@@ -57,6 +85,15 @@ type StatsReply struct {
 	Metrics  MetricsSnapshot `json:"metrics"`
 	Conns    int64           `json:"conns"`
 	UptimeMs int64           `json:"uptime_ms"`
+	// WAL is present only on durable servers (Config.DataDir set).
+	WAL *WALStatsReply `json:"wal,omitempty"`
+}
+
+// WALStatsReply is the durability section of StatsReply: the log's
+// counters plus the read-only degradation gauge.
+type WALStatsReply struct {
+	wal.StatsSnapshot
+	ReadOnly bool `json:"read_only"`
 }
 
 // Server is a tbtmd instance: one engine, one executor, one store, any
@@ -77,6 +114,16 @@ type Server struct {
 	// handles are not concurrency-safe, and teardowns are rare).
 	cancelMu sync.Mutex
 	cancelTh *tbtm.Thread
+
+	// Durability state (nil / zero without Config.DataDir): the WAL,
+	// what recovery reconstructed, and the checkpointer's thread and
+	// lifecycle. The checkpoint gate itself lives in store.dur.
+	wlog      *wal.Log
+	recovered *wal.Recovered
+	ckptTh    *tbtm.Thread
+	ckptBytes int64
+	ckptStop  chan struct{}
+	ckptDone  chan struct{}
 
 	start    time.Time
 	closed   atomic.Bool
@@ -116,6 +163,10 @@ func New(cfg Config) (*Server, error) {
 	if cfg.MaxBatch <= 0 {
 		cfg.MaxBatch = 64
 	}
+	if cfg.DataDir != "" &&
+		(cfg.Consistency == tbtm.CausallySerializable || cfg.Consistency == tbtm.Serializable) {
+		return nil, fmt.Errorf("server: durability (DataDir) requires a scalar-clock consistency criterion; %v uses vector time and has no total commit-tick order for WAL replay", cfg.Consistency)
+	}
 	opts := []tbtm.Option{tbtm.WithConsistency(cfg.Consistency)}
 	opts = append(opts, cfg.TMOptions...)
 	// The server's invariants go last so they cannot be overridden:
@@ -144,6 +195,11 @@ func New(cfg Config) (*Server, error) {
 	s.exec = NewExecutor(tm, cfg.Leases, cfg.BlockingLeases, &Metrics{})
 	s.sysTh = tm.NewThread()
 	s.cancelTh = tm.NewThread()
+	if cfg.DataDir != "" {
+		if err := s.enableDurability(cfg); err != nil {
+			return nil, err
+		}
+	}
 	return s, nil
 }
 
@@ -295,6 +351,17 @@ func (s *Server) Close() error {
 	}
 	s.wakeLoops()
 	s.loopWG.Wait()
+	// Durable shutdown: every connection and lease is drained by now, so
+	// no appender races the close. The WAL drains its open batch, fsyncs
+	// and closes the active segment — a clean close leaves nothing for
+	// the next recovery to truncate.
+	if s.ckptStop != nil {
+		close(s.ckptStop)
+		<-s.ckptDone
+	}
+	if s.wlog != nil {
+		s.wlog.Close()
+	}
 	return nil
 }
 

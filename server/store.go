@@ -58,6 +58,11 @@ type store struct {
 	// joins the parked footprint exactly when a client is parked: the
 	// shutdown commit wakes every parked client.
 	closed *tbtm.Var[bool]
+	// dur is the write-ahead state (nil without Config.DataDir). Update
+	// methods route through their *Durable counterparts when set; the
+	// *Mem methods below are the raw in-memory paths either way, and the
+	// only paths recovery seeding uses. See server/durable.go.
+	dur *durability
 }
 
 func newStore(tm *tbtm.TM, buckets int) store {
@@ -123,13 +128,27 @@ func (s *store) get(th *tbtm.Thread, key string) (val []byte, ok bool, err error
 
 // set runs a single-key write under the classifier's siteSet.
 func (s *store) set(th *tbtm.Thread, key string, val []byte) error {
+	if s.dur != nil {
+		return s.setDurable(th, key, val)
+	}
+	return s.setMem(th, key, val)
+}
+
+func (s *store) setMem(th *tbtm.Thread, key string, val []byte) error {
 	return th.AtomicSite(siteSet, func(tx tbtm.Tx) error {
 		return s.setTx(tx, key, val)
 	})
 }
 
 // del runs a single-key delete under siteDel.
-func (s *store) del(th *tbtm.Thread, key string) (deleted bool, err error) {
+func (s *store) del(th *tbtm.Thread, key string) (bool, error) {
+	if s.dur != nil {
+		return s.delDurable(th, key)
+	}
+	return s.delMem(th, key)
+}
+
+func (s *store) delMem(th *tbtm.Thread, key string) (deleted bool, err error) {
 	err = th.AtomicSite(siteDel, func(tx tbtm.Tx) error {
 		var e error
 		deleted, e = s.delTx(tx, key)
@@ -139,7 +158,14 @@ func (s *store) del(th *tbtm.Thread, key string) (deleted bool, err error) {
 }
 
 // cas runs a compare-and-swap under siteCas.
-func (s *store) cas(th *tbtm.Thread, key string, expectPresent bool, expect, val []byte) (swapped bool, err error) {
+func (s *store) cas(th *tbtm.Thread, key string, expectPresent bool, expect, val []byte) (bool, error) {
+	if s.dur != nil {
+		return s.casDurable(th, key, expectPresent, expect, val)
+	}
+	return s.casMem(th, key, expectPresent, expect, val)
+}
+
+func (s *store) casMem(th *tbtm.Thread, key string, expectPresent bool, expect, val []byte) (swapped bool, err error) {
 	err = th.AtomicSite(siteCas, func(tx tbtm.Tx) error {
 		var e error
 		swapped, e = s.casTx(tx, key, expectPresent, expect, val)
@@ -220,8 +246,27 @@ func materialize(subs []subReq, dst []multiSub) []multiSub {
 // reports whether the script took effect: a failed CAS returns
 // committed = false with results up to and including the failed sub-op,
 // and nothing is written. results is reset and refilled on every attempt
-// so the caller can pass a reused buffer.
-func (s *store) multi(th *tbtm.Thread, subs []multiSub, results *[]subResult) (committed bool, err error) {
+// so the caller can pass a reused buffer. A script with no write ops
+// takes the plain path even on a durable store: it cannot log anything,
+// and a read-only script stays answerable in read-only mode.
+func (s *store) multi(th *tbtm.Thread, subs []multiSub, results *[]subResult) (bool, error) {
+	if s.dur != nil && !readOnlySubs(subs) {
+		return s.multiDurable(th, subs, results)
+	}
+	return s.multiMem(th, subs, results)
+}
+
+// readOnlySubs reports whether every sub-op is a GET.
+func readOnlySubs(subs []multiSub) bool {
+	for i := range subs {
+		if subs[i].op != OpGet {
+			return false
+		}
+	}
+	return true
+}
+
+func (s *store) multiMem(th *tbtm.Thread, subs []multiSub, results *[]subResult) (committed bool, err error) {
 	err = th.AtomicSite(siteMulti, func(tx tbtm.Tx) error {
 		*results = (*results)[:0]
 		for i := range subs {
@@ -284,6 +329,13 @@ func (s *store) multi(th *tbtm.Thread, subs []multiSub, results *[]subResult) (c
 // window, so one op's compare failure must not roll back its
 // neighbours. results is reset and refilled on every conflict re-run.
 func (s *store) execBatch(th *tbtm.Thread, subs []multiSub, results *[]subResult) error {
+	if s.dur != nil {
+		return s.execBatchDurable(th, subs, results)
+	}
+	return s.execBatchMem(th, subs, results)
+}
+
+func (s *store) execBatchMem(th *tbtm.Thread, subs []multiSub, results *[]subResult) error {
 	return th.AtomicSite(siteBatch, func(tx tbtm.Tx) error {
 		return s.batchBody(tx, subs, results)
 	})
@@ -381,7 +433,16 @@ func (s *store) execOne(th *tbtm.Thread, sub *multiSub) (subResult, error) {
 // cancel flag (the client hung up mid-park) it returns errClientGone
 // WITHOUT consuming the key. The shutdown and cancel flags are read
 // only on the empty path so they join exactly the parked footprint.
-func (s *store) btake(th *tbtm.Thread, key string, cancel *tbtm.Var[bool]) (val []byte, err error) {
+// On a durable store the park happens outside the checkpoint gate (see
+// btakeDurable); here the whole wait-and-take is one transaction.
+func (s *store) btake(th *tbtm.Thread, key string, cancel *tbtm.Var[bool]) ([]byte, error) {
+	if s.dur != nil {
+		return s.btakeDurable(th, key, cancel)
+	}
+	return s.btakeMem(th, key, cancel)
+}
+
+func (s *store) btakeMem(th *tbtm.Thread, key string, cancel *tbtm.Var[bool]) (val []byte, err error) {
 	err = th.AtomicSite(siteBTake, func(tx tbtm.Tx) error {
 		v, ok, e := s.getTx(tx, key)
 		if e != nil {

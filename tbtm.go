@@ -315,6 +315,31 @@ type Thread struct {
 	// allocated on the thread's first park.
 	waiter   *core.Waiter
 	watchBuf []core.Watch
+
+	// lastCommitTick is the scalar commit time of the thread's most
+	// recent committed update transaction (see LastCommitTick).
+	lastCommitTick uint64
+}
+
+// LastCommitTick returns the engine commit time under which this
+// thread's most recent *update* transaction committed through the
+// Atomic* helpers installed its writes (manual Begin/Commit pairs are
+// not tracked). Read-only and write-free commits leave it unchanged. Ticks
+// are totally ordered and dense on scalar-clock backends (Linearizable,
+// SingleVersion, ZLinearizable, SnapshotIsolation); conflicting
+// transactions commit in tick order, so per-object state can be
+// reconstructed by replaying writes in tick order — the property a
+// write-ahead log consumer needs. Vector-clock backends
+// (CausallySerializable, Serializable) have no scalar commit time and
+// always report zero.
+func (th *Thread) LastCommitTick() uint64 { return th.lastCommitTick }
+
+// noteCommit records a successful commit's tick; write-free commits
+// (tick zero) are ignored so the last update commit stays observable.
+func (th *Thread) noteCommit(tx Tx) {
+	if ct := tx.meta().CommitTick; ct != 0 {
+		th.lastCommitTick = ct
+	}
 }
 
 // TM returns the owning instance.
@@ -402,6 +427,7 @@ func (th *Thread) AtomicSite(site string, fn func(Tx) error) error {
 			kind = cls.Observe(site, opens, err == nil)
 		}
 		if err == nil {
+			th.noteCommit(tx)
 			return nil
 		}
 		if wantsRetry {
@@ -440,6 +466,7 @@ func (th *Thread) atomic(kind TxKind, ro bool, fn, alt func(Tx) error) error {
 			err = tx.Commit() // aborts internally on failure
 		}
 		if err == nil {
+			th.noteCommit(tx)
 			return nil
 		}
 		if errors.Is(err, ErrRetryWait) {
@@ -456,6 +483,7 @@ func (th *Thread) atomic(kind TxKind, ro bool, fn, alt func(Tx) error) error {
 					err2 = tx2.Commit()
 				}
 				if err2 == nil {
+					th.noteCommit(tx2)
 					th.watchBuf = resetWatches(ws)
 					return nil
 				}
