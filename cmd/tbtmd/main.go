@@ -126,8 +126,15 @@ func run(args []string) error {
 
 	if *statsEvery > 0 {
 		go func() {
+			tick := time.NewTicker(*statsEvery)
+			defer tick.Stop()
 			prev := srv.TM().Stats()
-			for range time.Tick(*statsEvery) {
+			for {
+				select {
+				case <-tick.C:
+				case <-stop:
+					return
+				}
 				cur := srv.TM().Stats()
 				d := cur.Sub(prev)
 				prev = cur

@@ -1,0 +1,99 @@
+// Command tbtmvet is the repo's contract checker: a multichecker that
+// runs every analyzer registered in internal/lint over the module.
+// CI runs it as a blocking lane; locally:
+//
+//	go run ./cmd/tbtmvet ./...
+//	go run ./cmd/tbtmvet -list
+//	go run ./cmd/tbtmvet -only noalloc,epochpin ./internal/core
+//
+// Exit status is 1 when any analyzer reports a finding, 2 on driver
+// errors (load or type-check failures). Suppress a single finding
+// with a `//tbtm:ignore <analyzer>` comment on the flagged line — the
+// suppression is visible in review, unlike a silently narrowed check.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"tbtm/internal/lint"
+	"tbtm/internal/lint/analysis"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("tbtmvet", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	list := fs.Bool("list", false, "print the registered analyzers and exit")
+	only := fs.String("only", "", "comma-separated analyzer names to run (default: all)")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	analyzers := lint.Analyzers()
+	if *list {
+		for _, a := range analyzers {
+			fmt.Fprintf(stdout, "%s\t%s\n", a.Name, a.Doc)
+		}
+		return 0
+	}
+	if *only != "" {
+		keep := map[string]bool{}
+		for _, n := range strings.Split(*only, ",") {
+			keep[strings.TrimSpace(n)] = true
+		}
+		var filtered []*analysis.Analyzer
+		for _, a := range analyzers {
+			if keep[a.Name] {
+				filtered = append(filtered, a)
+				delete(keep, a.Name)
+			}
+		}
+		for n := range keep {
+			fmt.Fprintf(stderr, "tbtmvet: unknown analyzer %q (see -list)\n", n)
+			return 2
+		}
+		analyzers = filtered
+	}
+
+	patterns := fs.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	cwd, err := os.Getwd()
+	if err != nil {
+		fmt.Fprintf(stderr, "tbtmvet: %v\n", err)
+		return 2
+	}
+	pkgs, fset, dirs, err := analysis.Load(cwd, patterns...)
+	if err != nil {
+		fmt.Fprintf(stderr, "tbtmvet: %v\n", err)
+		return 2
+	}
+	diags, err := analysis.Run(pkgs, fset, dirs, analyzers)
+	if err != nil {
+		fmt.Fprintf(stderr, "tbtmvet: %v\n", err)
+		return 2
+	}
+	for _, d := range diags {
+		pos := fset.Position(d.Pos)
+		name := pos.Filename
+		if rel, err := filepath.Rel(cwd, name); err == nil && !strings.HasPrefix(rel, "..") {
+			name = rel
+		}
+		fmt.Fprintf(stdout, "%s:%d:%d: [%s] %s\n", name, pos.Line, pos.Column, d.Analyzer, d.Message)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(stderr, "tbtmvet: %d finding(s) across %d package(s)\n", len(diags), len(pkgs))
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,47 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"tbtm/internal/lint"
+)
+
+// TestListMatchesRegistry keeps the binary's -list output in sync
+// with the internal/lint registry (the registry's own meta-test ties
+// the registry to the analyzer directories, closing the loop).
+func TestListMatchesRegistry(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"-list"}, &out, &errb); code != 0 {
+		t.Fatalf("tbtmvet -list exited %d: %s", code, errb.String())
+	}
+	var listed []string
+	for _, line := range strings.Split(strings.TrimSpace(out.String()), "\n") {
+		name, _, ok := strings.Cut(line, "\t")
+		if !ok {
+			t.Fatalf("malformed -list line %q", line)
+		}
+		listed = append(listed, name)
+	}
+	reg := lint.Analyzers()
+	if len(listed) != len(reg) {
+		t.Fatalf("-list shows %d analyzers, registry has %d", len(listed), len(reg))
+	}
+	for i, a := range reg {
+		if listed[i] != a.Name {
+			t.Errorf("-list[%d] = %q, registry has %q", i, listed[i], a.Name)
+		}
+	}
+}
+
+// TestUnknownOnlyRejected guards the -only validation path.
+func TestUnknownOnlyRejected(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"-only", "nosuch"}, &out, &errb); code != 2 {
+		t.Fatalf("expected exit 2 for unknown analyzer, got %d", code)
+	}
+	if !strings.Contains(errb.String(), "unknown analyzer") {
+		t.Fatalf("missing unknown-analyzer message: %s", errb.String())
+	}
+}

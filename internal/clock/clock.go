@@ -63,9 +63,13 @@ func (c *Counter) StrictCommitCounting() {}
 func NewCounter() *Counter { return &Counter{} }
 
 // Now returns the counter's current value.
+//
+//tbtm:noalloc
 func (c *Counter) Now(int) uint64 { return c.c.Load() }
 
 // CommitTime atomically increments the counter and returns the new value.
+//
+//tbtm:noalloc
 func (c *Counter) CommitTime(int) uint64 { return c.c.Add(1) }
 
 // SharingCounter approximates TL2's commit-time sharing (paper §3: "at
@@ -88,10 +92,14 @@ var _ TimeBase = (*SharingCounter)(nil)
 func NewSharingCounter() *SharingCounter { return &SharingCounter{} }
 
 // Now returns the counter's current value.
+//
+//tbtm:noalloc
 func (s *SharingCounter) Now(int) uint64 { return s.c.Load() }
 
 // CommitTime increments the counter once; on CAS failure it adopts the
 // concurrent winner's value rather than retrying.
+//
+//tbtm:noalloc
 func (s *SharingCounter) CommitTime(int) uint64 {
 	cur := s.c.Load()
 	if s.c.CompareAndSwap(cur, cur+1) {
@@ -155,6 +163,8 @@ func NewStripedCounter(k int) *StripedCounter {
 func (s *StripedCounter) Slots() int { return len(s.slots) }
 
 // max returns the maximum time any slot has issued.
+//
+//tbtm:noalloc
 func (s *StripedCounter) max() uint64 {
 	var m uint64
 	for i := range s.slots {
@@ -167,11 +177,15 @@ func (s *StripedCounter) max() uint64 {
 
 // Now returns the newest commit time issued anywhere: K uncontended
 // loads, no stores.
+//
+//tbtm:noalloc
 func (s *StripedCounter) Now(int) uint64 { return s.max() }
 
 // CommitTime returns a fresh commit time from thread's slot: the
 // smallest value in the slot's congruence class that exceeds every time
 // issued so far. Only threads sharing a slot contend on the CAS.
+//
+//tbtm:noalloc
 func (s *StripedCounter) CommitTime(thread int) uint64 {
 	k := uint64(len(s.slots))
 	if thread < 0 {

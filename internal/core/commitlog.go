@@ -74,6 +74,8 @@ func (v LogVerdict) String() string {
 //	writer: stamp ← t<<1|1 (busy), fill n and ids, stamp ← t<<1
 //	reader: s1 := stamp; if s1 != t<<1 → not (or no longer) t's record;
 //	        read fields; s2 := stamp; if s2 != s1 → torn, retry/fail
+//
+//tbtm:seqlock
 type logRecord struct {
 	stamp atomic.Uint64
 	n     atomic.Uint64 // id count, or logOverflow
@@ -140,6 +142,8 @@ func (l *CommitLog) Cap() int { return len(l.recs) }
 // its commit time, before validating or installing, so that a reader
 // spinning on the slot is never left waiting across the publisher's
 // whole commit. ids is borrowed for the duration of the call only.
+//
+//tbtm:noalloc
 func (l *CommitLog) Publish(t uint64, ids []uint64) {
 	r := &l.recs[t&l.mask]
 	r.stamp.Store(t<<1 | 1)
@@ -157,6 +161,8 @@ func (l *CommitLog) Publish(t uint64, ids []uint64) {
 // Append claims the next tick from the log's own counter and publishes
 // ids under it, returning the tick (claim mode). The claim and the
 // publication are adjacent so readers never wait long on the slot.
+//
+//tbtm:noalloc
 func (l *CommitLog) Append(ids []uint64) uint64 {
 	t := l.next.Add(1)
 	l.Publish(t, ids)
@@ -177,6 +183,8 @@ func (l *CommitLog) Claimed() uint64 { return l.next.Load() }
 // The scan runs oldest-first so a wrapped window fails fast, and
 // re-checks each record's stamp after reading it (seqlock) so a
 // concurrent overwrite is detected rather than half-read.
+//
+//tbtm:noalloc
 func (l *CommitLog) Check(lb, ub uint64, fp *SmallIndex) LogVerdict {
 	if ub <= lb {
 		return LogClear
@@ -199,6 +207,8 @@ func (l *CommitLog) Check(lb, ub uint64, fp *SmallIndex) LogVerdict {
 }
 
 // checkOne checks the record for tick t against fp.
+//
+//tbtm:noalloc
 func (l *CommitLog) checkOne(t uint64, fp *SmallIndex) LogVerdict {
 	r := &l.recs[t&l.mask]
 	want := t << 1

@@ -22,6 +22,8 @@ type SmallIndex struct {
 }
 
 // Get returns the position stored for key.
+//
+//tbtm:noalloc
 func (ix *SmallIndex) Get(key uint64) (int, bool) {
 	for i := 0; i < ix.n; i++ {
 		if ix.keys[i] == key {

@@ -206,6 +206,9 @@ func (l *ParkingLot) Counters() (parks, wakes, spurious uint64) {
 // Backends that recycle version nodes must hold their epoch pin across
 // the call, so a version displaced mid-scan cannot be reused before the
 // Seq read completes.
+//
+//tbtm:pinned
+//tbtm:noalloc
 func StaleScalar(ws []Watch) bool {
 	for i := range ws {
 		if ws[i].Obj.(*Object).Current().Seq != ws[i].Seq {

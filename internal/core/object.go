@@ -64,6 +64,8 @@ type Version struct {
 
 // Prev returns the next-older retained version, or nil if truncated or
 // initial.
+//
+//tbtm:noalloc
 func (v *Version) Prev() *Version { return v.prev.Load() }
 
 // Object is the fat object header shared by the scalar-clock STMs
@@ -96,12 +98,16 @@ func NewObject(value any, keep int) *Object {
 }
 
 // ID returns the object's process-unique identifier.
+//
+//tbtm:noalloc
 func (o *Object) ID() uint64 { return o.id }
 
 // Retain returns the configured version retention depth.
 func (o *Object) Retain() int { return o.keep }
 
 // Current returns the newest committed version. It never returns nil.
+//
+//tbtm:noalloc
 func (o *Object) Current() *Version { return o.cur.Load() }
 
 // FindAt returns the newest version with TS <= t, or nil if every
@@ -198,6 +204,8 @@ func (o *Object) InstallRecycled(rec *Recycler, value any, ts, writerID, zone ui
 // Writer returns the transaction currently holding write ownership, or
 // nil. A non-nil owner whose status is terminal is a stale lock that the
 // next acquirer may steal.
+//
+//tbtm:noalloc
 func (o *Object) Writer() *TxMeta { return o.wr.Load() }
 
 // CASWriter attempts to swing write ownership from old to new (either may

@@ -86,6 +86,8 @@ func (d *Domain) Register() *Slot {
 }
 
 // Epoch returns the current global epoch.
+//
+//tbtm:noalloc
 func (d *Domain) Epoch() uint64 {
 	if e := d.global.Load(); e != 0 {
 		return e
@@ -97,12 +99,16 @@ func (d *Domain) Epoch() uint64 {
 // Safe returns the newest epoch whose retirements are reclaimable: nodes
 // retired at an epoch ≤ Safe() can no longer be referenced by any reader
 // and may be reused.
+//
+//tbtm:noalloc
 func (d *Domain) Safe() uint64 { return d.Epoch() - 2 }
 
 // TryAdvance attempts to move the global epoch forward by one. It fails
 // (harmlessly) if some pinned slot has not yet observed the current
 // epoch, or if it loses the CAS to a concurrent advancer. It reports
 // whether the epoch moved.
+//
+//tbtm:noalloc
 func (d *Domain) TryAdvance() bool {
 	e := d.Epoch()
 	slots := d.slots.Load()
@@ -119,6 +125,8 @@ func (d *Domain) TryAdvance() bool {
 // Pin enters a critical section: until the matching Unpin, any node
 // reachable now, or retired after this point, will not be reused. Pin
 // nests; only the outermost publishes.
+//
+//tbtm:noalloc
 func (s *Slot) Pin() {
 	s.depth++
 	if s.depth != 1 {
@@ -139,6 +147,8 @@ func (s *Slot) Pin() {
 }
 
 // Unpin leaves the critical section entered by the matching Pin.
+//
+//tbtm:noalloc
 func (s *Slot) Unpin() {
 	s.depth--
 	if s.depth == 0 {

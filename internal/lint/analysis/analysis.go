@@ -1,0 +1,97 @@
+// Package analysis is a self-contained miniature of
+// golang.org/x/tools/go/analysis, carrying exactly the surface the tbtm
+// analyzers need: an Analyzer value with a Run function, a Pass bundling
+// one type-checked package, and positioned Diagnostics. The repo builds
+// offline against the standard library only, so vendoring the real
+// framework is not an option; the API mirrors it closely enough that a
+// future PR with network access can swap the import path and delete this
+// package.
+//
+// Differences from x/tools worth knowing:
+//
+//   - Packages are loaded via `go list -export -json -deps` and
+//     type-checked from source, with imports satisfied by the build
+//     cache's export data (see Load). There is no separate driver
+//     protocol; cmd/tbtmvet is the only driver.
+//   - Instead of Facts, a Pass carries Directives: every `//tbtm:...`
+//     function annotation harvested from all packages in the load, so
+//     analyzers can answer "is this cross-package callee annotated?"
+//     without a fact serialization layer.
+//   - Suppression is uniform: a `//tbtm:ignore <analyzer>` comment on a
+//     line drops that analyzer's diagnostics for the line (the runner
+//     applies it, not each analyzer).
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// Analyzer describes one static check. Name doubles as the suppression
+// key for //tbtm:ignore comments and must match the analyzer's package
+// directory under internal/lint (the registry meta-test enforces this).
+type Analyzer struct {
+	Name string
+	Doc  string
+
+	// Match restricts which packages the analyzer runs over; nil means
+	// every package. Fixture packages are always matched by name so
+	// analysistest works for restricted analyzers.
+	Match func(pkgPath string) bool
+
+	// Run performs the check, reporting findings through the Pass. An
+	// error aborts the whole vet run (reserved for internal failures,
+	// not findings).
+	Run func(*Pass) error
+}
+
+// Diagnostic is one finding at a position.
+type Diagnostic struct {
+	Pos      token.Pos
+	Message  string
+	Analyzer string
+}
+
+// Pass bundles everything an analyzer sees for one package.
+type Pass struct {
+	Analyzer   *Analyzer
+	Fset       *token.FileSet
+	Files      []*ast.File
+	Pkg        *types.Package
+	TypesInfo  *types.Info
+	TypesSizes types.Sizes
+
+	// Directives holds every //tbtm: function annotation from every
+	// package in the same load (keyed by types.Func.FullName), so
+	// contract checks see cross-package annotations.
+	Directives *DirectiveSet
+
+	report func(Diagnostic)
+}
+
+// Report records one finding.
+func (p *Pass) Report(d Diagnostic) {
+	d.Analyzer = p.Analyzer.Name
+	p.report(d)
+}
+
+// Reportf records one finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// Matches reports whether the analyzer applies to a package path,
+// treating a nil Match as "everything". The final path element is also
+// tested so fixture packages (named after their analyzer) always match.
+func (a *Analyzer) Matches(pkgPath string) bool {
+	if a.Match == nil {
+		return true
+	}
+	if i := strings.LastIndexByte(pkgPath, '/'); pkgPath[i+1:] == a.Name {
+		return true
+	}
+	return a.Match(pkgPath)
+}

@@ -1,0 +1,208 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// Directive names attached to function declarations. A directive is a
+// comment line of the form `//tbtm:<name>` (no space after the slashes,
+// like //go: directives) in the function's doc comment; anything after
+// the name on the line is free-form justification.
+const (
+	// DirNoalloc marks a function whose body must not allocate: the
+	// noalloc analyzer rejects allocating constructs in it and requires
+	// its callees to be noalloc or allocok.
+	DirNoalloc = "noalloc"
+	// DirAllocok marks a function callable from noalloc contexts even
+	// though its own body may allocate (amortized or slow-path
+	// allocations the author vouches for). Its body is not checked.
+	DirAllocok = "allocok"
+	// DirPinned marks a function that runs with an epoch pin held (or
+	// that takes one): the epochpin analyzer rejects blocking
+	// constructs in it and in its same-package callees.
+	DirPinned = "pinned"
+	// DirSeqlock marks a struct type as a seqlock record: a stamp field
+	// plus atomically published payload fields (see the seqlock
+	// analyzer for the protocol it then enforces).
+	DirSeqlock = "seqlock"
+)
+
+// DirectiveSet indexes //tbtm: annotations for a whole load: function
+// directives by types.Func.FullName, type directives by the
+// *types.TypeName's full name, and per-line ignore suppressions.
+type DirectiveSet struct {
+	funcs map[string]map[string]bool // FullName -> directive -> present
+	types map[string]map[string]bool // "pkgpath.TypeName" -> directive
+	// ignores maps file name -> line -> analyzer names suppressed there
+	// (the wildcard "*" suppresses every analyzer on the line).
+	ignores map[string]map[int]map[string]bool
+}
+
+// NewDirectiveSet returns an empty set.
+func NewDirectiveSet() *DirectiveSet {
+	return &DirectiveSet{
+		funcs:   map[string]map[string]bool{},
+		types:   map[string]map[string]bool{},
+		ignores: map[string]map[int]map[string]bool{},
+	}
+}
+
+// FuncHas reports whether fn carries the directive.
+func (s *DirectiveSet) FuncHas(fn *types.Func, dir string) bool {
+	if fn == nil {
+		return false
+	}
+	return s.funcs[fn.FullName()][dir]
+}
+
+// TypeHas reports whether the named type carries the directive.
+func (s *DirectiveSet) TypeHas(tn *types.TypeName, dir string) bool {
+	if tn == nil {
+		return false
+	}
+	return s.types[typeKey(tn)][dir]
+}
+
+// Ignored reports whether diagnostics from the analyzer are suppressed
+// on the line holding pos.
+func (s *DirectiveSet) Ignored(fset *token.FileSet, pos token.Pos, analyzer string) bool {
+	p := fset.Position(pos)
+	lines := s.ignores[p.Filename]
+	if lines == nil {
+		return false
+	}
+	set := lines[p.Line]
+	return set[analyzer] || set["*"]
+}
+
+func typeKey(tn *types.TypeName) string {
+	if tn.Pkg() == nil {
+		return tn.Name()
+	}
+	return tn.Pkg().Path() + "." + tn.Name()
+}
+
+func (s *DirectiveSet) addFunc(name, dir string) {
+	m := s.funcs[name]
+	if m == nil {
+		m = map[string]bool{}
+		s.funcs[name] = m
+	}
+	m[dir] = true
+}
+
+func (s *DirectiveSet) addType(key, dir string) {
+	m := s.types[key]
+	if m == nil {
+		m = map[string]bool{}
+		s.types[key] = m
+	}
+	m[dir] = true
+}
+
+// Harvest scans one type-checked file for //tbtm: directives and ignore
+// comments, adding them to the set.
+func (s *DirectiveSet) Harvest(fset *token.FileSet, f *ast.File, info *types.Info) {
+	for _, decl := range f.Decls {
+		switch d := decl.(type) {
+		case *ast.FuncDecl:
+			for _, dir := range commentDirectives(d.Doc) {
+				if fn, ok := info.Defs[d.Name].(*types.Func); ok {
+					s.addFunc(fn.FullName(), dir)
+				}
+			}
+		case *ast.GenDecl:
+			// A directive may sit on the GenDecl (`//tbtm:seqlock` above
+			// `type foo struct`) or on an individual TypeSpec inside a
+			// parenthesized block.
+			declDirs := commentDirectives(d.Doc)
+			for _, spec := range d.Specs {
+				ts, ok := spec.(*ast.TypeSpec)
+				if !ok {
+					continue
+				}
+				dirs := append(declDirs, commentDirectives(ts.Doc)...)
+				for _, dir := range dirs {
+					if tn, ok := info.Defs[ts.Name].(*types.TypeName); ok {
+						s.addType(typeKey(tn), dir)
+					}
+				}
+			}
+		}
+	}
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			rest, ok := strings.CutPrefix(c.Text, "//tbtm:ignore")
+			if !ok {
+				continue
+			}
+			p := fset.Position(c.Pos())
+			lines := s.ignores[p.Filename]
+			if lines == nil {
+				lines = map[int]map[string]bool{}
+				s.ignores[p.Filename] = lines
+			}
+			set := lines[p.Line]
+			if set == nil {
+				set = map[string]bool{}
+				lines[p.Line] = set
+			}
+			// A justification may follow the analyzer names after a dash:
+			//	//tbtm:ignore walerr — hash.Hash.Write never errors
+			if i := strings.IndexAny(rest, "—"); i >= 0 {
+				rest = rest[:i]
+			}
+			if i := strings.Index(rest, "--"); i >= 0 {
+				rest = rest[:i]
+			}
+			names := strings.Fields(rest)
+			if len(names) == 0 {
+				set["*"] = true
+			}
+			for _, n := range names {
+				set[n] = true
+			}
+		}
+	}
+}
+
+// commentDirectives returns the //tbtm: directive names (first word
+// after the colon-joined prefix) present in a comment group.
+func commentDirectives(cg *ast.CommentGroup) []string {
+	if cg == nil {
+		return nil
+	}
+	var out []string
+	for _, c := range cg.List {
+		rest, ok := strings.CutPrefix(c.Text, "//tbtm:")
+		if !ok || strings.HasPrefix(rest, "ignore") {
+			continue
+		}
+		if fields := strings.Fields(rest); len(fields) > 0 {
+			out = append(out, fields[0])
+		}
+	}
+	return out
+}
+
+// FuncDirective resolves the *types.Func for a called expression (a
+// plain call or a method call through a selector) so callers can query
+// FuncHas on it; nil when the callee is not a statically known function.
+func CalleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		fn, _ := info.Uses[fun].(*types.Func)
+		return fn
+	case *ast.SelectorExpr:
+		if sel, ok := info.Selections[fun]; ok {
+			fn, _ := sel.Obj().(*types.Func)
+			return fn
+		}
+		fn, _ := info.Uses[fun.Sel].(*types.Func)
+		return fn
+	}
+	return nil
+}

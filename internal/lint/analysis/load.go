@@ -1,0 +1,261 @@
+package analysis
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"runtime"
+	"sort"
+	"strings"
+)
+
+// Package is one loaded, type-checked package ready for analysis.
+type Package struct {
+	PkgPath string
+	Dir     string
+	Files   []*ast.File
+	Types   *types.Package
+	Info    *types.Info
+}
+
+// Load lists patterns with the go tool (in dir), type-checks every
+// non-dependency module package from source, and returns the packages
+// plus the shared FileSet and the harvested directive set. Imports are
+// satisfied from the build cache's export data, which `go list -export`
+// produces as a side effect — so a load works offline and never
+// re-type-checks the standard library.
+func Load(dir string, patterns ...string) ([]*Package, *token.FileSet, *DirectiveSet, error) {
+	args := append([]string{"list", "-export", "-json", "-deps", "--"}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, nil, nil, fmt.Errorf("go list: %v\n%s", err, stderr.String())
+	}
+
+	type listPkg struct {
+		ImportPath string
+		Dir        string
+		Export     string
+		Standard   bool
+		DepOnly    bool
+		GoFiles    []string
+		Module     *struct{ Path string }
+	}
+	exports := map[string]string{}
+	var targets []*listPkg
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		var p listPkg
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, nil, nil, fmt.Errorf("go list output: %v", err)
+		}
+		if p.Export != "" {
+			exports[p.ImportPath] = p.Export
+		}
+		if !p.Standard && !p.DepOnly && p.Module != nil {
+			q := p
+			targets = append(targets, &q)
+		}
+	}
+
+	fset := token.NewFileSet()
+	imp := importer.ForCompiler(fset, "gc", func(path string) (io.ReadCloser, error) {
+		f, ok := exports[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(f)
+	})
+	sizes := types.SizesFor("gc", runtime.GOARCH)
+	dirs := NewDirectiveSet()
+
+	var pkgs []*Package
+	for _, p := range targets {
+		var files []*ast.File
+		for _, gf := range p.GoFiles {
+			f, err := parser.ParseFile(fset, filepath.Join(p.Dir, gf), nil, parser.ParseComments)
+			if err != nil {
+				return nil, nil, nil, err
+			}
+			files = append(files, f)
+		}
+		info := newInfo()
+		conf := types.Config{Importer: imp, Sizes: sizes}
+		tpkg, err := conf.Check(p.ImportPath, fset, files, info)
+		if err != nil {
+			return nil, nil, nil, fmt.Errorf("type-check %s: %v", p.ImportPath, err)
+		}
+		for _, f := range files {
+			dirs.Harvest(fset, f, info)
+		}
+		pkgs = append(pkgs, &Package{
+			PkgPath: p.ImportPath,
+			Dir:     p.Dir,
+			Files:   files,
+			Types:   tpkg,
+			Info:    info,
+		})
+	}
+	return pkgs, fset, dirs, nil
+}
+
+// LoadDir parses and type-checks one directory as a single package
+// outside any module package list (analysistest fixtures). modDir is
+// where `go list` runs to resolve the fixture's imports.
+func LoadDir(modDir, pkgDir string) (*Package, *token.FileSet, *DirectiveSet, error) {
+	ents, err := os.ReadDir(pkgDir)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, e := range ents {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		f, err := parser.ParseFile(fset, filepath.Join(pkgDir, e.Name()), nil, parser.ParseComments)
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		return nil, nil, nil, fmt.Errorf("no Go files in %s", pkgDir)
+	}
+
+	// Resolve the fixture's imports through the module's build cache.
+	seen := map[string]bool{}
+	var imports []string
+	for _, f := range files {
+		for _, im := range f.Imports {
+			path := strings.Trim(im.Path.Value, `"`)
+			if path != "unsafe" && !seen[path] {
+				seen[path] = true
+				imports = append(imports, path)
+			}
+		}
+	}
+	exports := map[string]string{}
+	if len(imports) > 0 {
+		args := append([]string{"list", "-export", "-json", "-deps", "--"}, imports...)
+		cmd := exec.Command("go", args...)
+		cmd.Dir = modDir
+		var stderr bytes.Buffer
+		cmd.Stderr = &stderr
+		out, err := cmd.Output()
+		if err != nil {
+			return nil, nil, nil, fmt.Errorf("go list %v: %v\n%s", imports, err, stderr.String())
+		}
+		type listPkg struct {
+			ImportPath string
+			Export     string
+		}
+		dec := json.NewDecoder(bytes.NewReader(out))
+		for {
+			var p listPkg
+			if err := dec.Decode(&p); err == io.EOF {
+				break
+			} else if err != nil {
+				return nil, nil, nil, err
+			}
+			if p.Export != "" {
+				exports[p.ImportPath] = p.Export
+			}
+		}
+	}
+	imp := importer.ForCompiler(fset, "gc", func(path string) (io.ReadCloser, error) {
+		f, ok := exports[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(f)
+	})
+
+	name := files[0].Name.Name
+	info := newInfo()
+	conf := types.Config{Importer: imp, Sizes: types.SizesFor("gc", runtime.GOARCH)}
+	tpkg, err := conf.Check(name, fset, files, info)
+	if err != nil {
+		return nil, nil, nil, fmt.Errorf("type-check %s: %v", pkgDir, err)
+	}
+	dirs := NewDirectiveSet()
+	for _, f := range files {
+		dirs.Harvest(fset, f, info)
+	}
+	return &Package{PkgPath: name, Dir: pkgDir, Files: files, Types: tpkg, Info: info}, fset, dirs, nil
+}
+
+func newInfo() *types.Info {
+	return &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Implicits:  map[ast.Node]types.Object{},
+		Instances:  map[*ast.Ident]types.Instance{},
+		Scopes:     map[ast.Node]*types.Scope{},
+	}
+}
+
+// Run executes the analyzers over the packages, returning surviving
+// diagnostics (ignore-suppressed ones dropped) ordered by position.
+func Run(pkgs []*Package, fset *token.FileSet, dirs *DirectiveSet, analyzers []*Analyzer) ([]Diagnostic, error) {
+	var diags []Diagnostic
+	sizes := types.SizesFor("gc", runtime.GOARCH)
+	for _, pkg := range pkgs {
+		for _, a := range analyzers {
+			if !a.Matches(pkg.PkgPath) {
+				continue
+			}
+			pass := &Pass{
+				Analyzer:   a,
+				Fset:       fset,
+				Files:      pkg.Files,
+				Pkg:        pkg.Types,
+				TypesInfo:  pkg.Info,
+				TypesSizes: sizes,
+				Directives: dirs,
+				report: func(d Diagnostic) {
+					if !dirs.Ignored(fset, d.Pos, d.Analyzer) {
+						diags = append(diags, d)
+					}
+				},
+			}
+			if err := a.Run(pass); err != nil {
+				return nil, fmt.Errorf("%s on %s: %v", a.Name, pkg.PkgPath, err)
+			}
+		}
+	}
+	sortDiags(fset, diags)
+	return diags, nil
+}
+
+func sortDiags(fset *token.FileSet, diags []Diagnostic) {
+	sort.Slice(diags, func(i, j int) bool {
+		pa, pb := fset.Position(diags[i].Pos), fset.Position(diags[j].Pos)
+		if pa.Filename != pb.Filename {
+			return pa.Filename < pb.Filename
+		}
+		if pa.Line != pb.Line {
+			return pa.Line < pb.Line
+		}
+		if pa.Column != pb.Column {
+			return pa.Column < pb.Column
+		}
+		return diags[i].Analyzer < diags[j].Analyzer
+	})
+}

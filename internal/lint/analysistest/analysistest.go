@@ -1,0 +1,125 @@
+// Package analysistest runs one analyzer over a fixture package and
+// checks its diagnostics against `// want` comments, mirroring
+// golang.org/x/tools/go/analysis/analysistest for the in-repo mini
+// framework.
+//
+// Fixtures live in testdata/src/<pkg>/ next to the analyzer. A line
+// that must be flagged carries a comment of the form
+//
+//	x = y // want `regexp` `another regexp`
+//
+// with one backquoted (or double-quoted) regexp per expected
+// diagnostic on that line. The run fails on any unexpected diagnostic
+// and on any unmatched expectation — so a fixture proves both that the
+// analyzer fires where it must and stays quiet where it must not.
+package analysistest
+
+import (
+	"fmt"
+	"go/token"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+
+	"tbtm/internal/lint/analysis"
+)
+
+// wantRE matches one quoted expectation in a want comment.
+var wantRE = regexp.MustCompile("`([^`]*)`|\"([^\"]*)\"")
+
+type expectation struct {
+	file string
+	line int
+	re   *regexp.Regexp
+	raw  string
+	hit  bool
+}
+
+// Run loads testdata/src/<pkg>, applies the analyzer, and reports any
+// mismatch between its diagnostics and the fixture's want comments.
+func Run(t *testing.T, testdata string, a *analysis.Analyzer, pkg string) {
+	t.Helper()
+	dir := filepath.Join(testdata, "src", pkg)
+	loaded, fset, dirs, err := analysis.LoadDir(moduleRoot(t), dir)
+	if err != nil {
+		t.Fatalf("loading fixture %s: %v", dir, err)
+	}
+	if !a.Matches(loaded.PkgPath) {
+		t.Fatalf("analyzer %s does not match fixture package %q", a.Name, loaded.PkgPath)
+	}
+	diags, err := analysis.Run([]*analysis.Package{loaded}, fset, dirs, []*analysis.Analyzer{a})
+	if err != nil {
+		t.Fatalf("running %s: %v", a.Name, err)
+	}
+
+	var wants []*expectation
+	for _, f := range loaded.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := c.Text
+				i := strings.Index(text, "want ")
+				if i < 0 {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				for _, m := range wantRE.FindAllStringSubmatch(text[i+len("want "):], -1) {
+					raw := m[1]
+					if raw == "" {
+						raw = m[2]
+					}
+					re, err := regexp.Compile(raw)
+					if err != nil {
+						t.Fatalf("%s: bad want regexp %q: %v", pos, raw, err)
+					}
+					wants = append(wants, &expectation{file: pos.Filename, line: pos.Line, re: re, raw: raw})
+				}
+			}
+		}
+	}
+
+	for _, d := range diags {
+		pos := fset.Position(d.Pos)
+		if !claim(wants, pos, d.Message) {
+			t.Errorf("%s: unexpected diagnostic: %s", pos, d.Message)
+		}
+	}
+	for _, w := range wants {
+		if !w.hit {
+			t.Errorf("%s:%d: no diagnostic matching %q", w.file, w.line, w.raw)
+		}
+	}
+}
+
+func claim(wants []*expectation, pos token.Position, msg string) bool {
+	for _, w := range wants {
+		if !w.hit && w.file == pos.Filename && w.line == pos.Line && w.re.MatchString(msg) {
+			w.hit = true
+			return true
+		}
+	}
+	return false
+}
+
+// moduleRoot finds the enclosing module directory so fixture imports
+// resolve against the repo's build cache.
+func moduleRoot(t *testing.T) string {
+	t.Helper()
+	out, err := exec.Command("go", "env", "GOMOD").Output()
+	if err != nil || strings.TrimSpace(string(out)) == "" {
+		t.Fatalf("locating module root: %v", err)
+	}
+	return filepath.Dir(strings.TrimSpace(string(out)))
+}
+
+// TestData returns the testdata directory next to the caller's package
+// (x/tools parity helper): analyzers call analysistest.Run(t,
+// analysistest.TestData(), Analyzer, "pkgname").
+func TestData() string {
+	abs, err := filepath.Abs("testdata")
+	if err != nil {
+		panic(fmt.Sprintf("analysistest: %v", err))
+	}
+	return abs
+}

@@ -1,0 +1,192 @@
+// Package atomicmix enforces two sync/atomic hygiene contracts:
+//
+//   - a struct field accessed through the function-style atomic API
+//     (atomic.LoadUint64(&s.f), atomic.AddUint64(&s.f, 1), ...)
+//     anywhere must be accessed that way everywhere — one plain read
+//     mixed in is a data race the race detector only catches if the
+//     interleaving happens to occur under test;
+//   - a plain int64/uint64 field used with 64-bit atomic functions
+//     must be 8-byte aligned on 32-bit targets, where the Go ABI only
+//     guarantees 4-byte struct alignment. The check computes offsets
+//     under GOARCH=386 sizes so amd64-only CI still catches it (the
+//     cross-arch compile smoke backs it with a real 32-bit build).
+//
+// Fields of the atomic.Uint64-style wrapper types are exempt from
+// both: their methods are the only access path, and the runtime
+// align64 mechanism guarantees their alignment since Go 1.19 — which
+// is also the recommended fix for any finding here.
+package atomicmix
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"tbtm/internal/lint/analysis"
+)
+
+// Analyzer is the atomicmix pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "atomicmix",
+	Doc:  "flag mixed atomic/plain field access and 64-bit atomics unaligned on 32-bit targets",
+	Run:  run,
+}
+
+// fieldUse accumulates how one struct field is accessed.
+type fieldUse struct {
+	atomicSites []ast.Node // &s.f passed to a sync/atomic function
+	plainSites  []ast.Node // any other s.f read/write
+	sixtyFour   bool       // some atomic access was a 64-bit op
+}
+
+func run(pass *analysis.Pass) error {
+	info := pass.TypesInfo
+	uses := map[*types.Var]*fieldUse{}
+	// Selector nodes consumed as &-operands of atomic calls, so the
+	// plain-access walk can skip them.
+	consumed := map[ast.Node]bool{}
+
+	fieldOf := func(e ast.Expr) *types.Var {
+		sel, ok := ast.Unparen(e).(*ast.SelectorExpr)
+		if !ok {
+			return nil
+		}
+		selection, ok := info.Selections[sel]
+		if !ok || selection.Kind() != types.FieldVal {
+			return nil
+		}
+		v, _ := selection.Obj().(*types.Var)
+		if v == nil || v.Pkg() != pass.Pkg {
+			return nil
+		}
+		return v
+	}
+	use := func(v *types.Var) *fieldUse {
+		u := uses[v]
+		if u == nil {
+			u = &fieldUse{}
+			uses[v] = u
+		}
+		return u
+	}
+
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := analysis.CalleeFunc(info, call)
+			if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "sync/atomic" {
+				return true
+			}
+			// Function-style API only: methods of the wrapper types have
+			// a receiver and need no checking.
+			if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+				return true
+			}
+			if len(call.Args) == 0 {
+				return true
+			}
+			addr, ok := ast.Unparen(call.Args[0]).(*ast.UnaryExpr)
+			if !ok {
+				return true
+			}
+			if v := fieldOf(addr.X); v != nil {
+				u := use(v)
+				u.atomicSites = append(u.atomicSites, call)
+				if strings.HasSuffix(fn.Name(), "64") {
+					u.sixtyFour = true
+				}
+				consumed[ast.Unparen(addr.X)] = true
+			}
+			return true
+		})
+	}
+	if len(uses) == 0 {
+		return nil
+	}
+
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok || consumed[sel] {
+				return true
+			}
+			v := fieldOf(sel)
+			if v == nil {
+				return true
+			}
+			if u, tracked := uses[v]; tracked {
+				u.plainSites = append(u.plainSites, sel)
+			}
+			return true
+		})
+	}
+
+	for v, u := range uses {
+		if len(u.atomicSites) == 0 {
+			continue
+		}
+		for _, site := range u.plainSites {
+			pass.Reportf(site.Pos(), "field %s is accessed with sync/atomic elsewhere; this plain access races with the atomic users (use the atomic API or an atomic.%s field)", v.Name(), wrapperFor(v.Type()))
+		}
+	}
+
+	checkAlignment(pass, uses)
+	return nil
+}
+
+// checkAlignment verifies 8-byte alignment of 64-bit atomically
+// accessed plain fields under 32-bit layout rules.
+func checkAlignment(pass *analysis.Pass, uses map[*types.Var]*fieldUse) {
+	sizes32 := types.SizesFor("gc", "386")
+	scope := pass.Pkg.Scope()
+	for _, name := range scope.Names() {
+		tn, ok := scope.Lookup(name).(*types.TypeName)
+		if !ok || tn.IsAlias() {
+			continue
+		}
+		st, ok := tn.Type().Underlying().(*types.Struct)
+		if !ok {
+			continue
+		}
+		n := st.NumFields()
+		fields := make([]*types.Var, n)
+		for i := 0; i < n; i++ {
+			fields[i] = st.Field(i)
+		}
+		offsets := sizes32.Offsetsof(fields)
+		for i, f := range fields {
+			u, tracked := uses[f]
+			if !tracked || !u.sixtyFour || len(u.atomicSites) == 0 {
+				continue
+			}
+			if offsets[i]%8 != 0 {
+				pass.Reportf(f.Pos(), "field %s.%s is used with 64-bit sync/atomic operations but sits at offset %d under GOARCH=386 (not 8-byte aligned); use atomic.%s or move the field to the front", tn.Name(), f.Name(), offsets[i], wrapperFor(f.Type()))
+			}
+		}
+	}
+}
+
+// wrapperFor names the sync/atomic wrapper type matching a plain
+// integer type, for the fix suggestion.
+func wrapperFor(t types.Type) string {
+	b, ok := t.Underlying().(*types.Basic)
+	if !ok {
+		return "Value"
+	}
+	switch b.Kind() {
+	case types.Int32:
+		return "Int32"
+	case types.Int64:
+		return "Int64"
+	case types.Uint32:
+		return "Uint32"
+	case types.Uint64:
+		return "Uint64"
+	case types.Uintptr:
+		return "Uintptr"
+	}
+	return "Value"
+}

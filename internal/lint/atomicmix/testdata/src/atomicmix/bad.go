@@ -1,0 +1,30 @@
+package atomicmix
+
+import "sync/atomic"
+
+type mixed struct {
+	hits uint64
+}
+
+func bump(m *mixed) {
+	atomic.AddUint64(&m.hits, 1)
+}
+
+func peek(m *mixed) uint64 {
+	return m.hits // want `field hits is accessed with sync/atomic elsewhere; this plain access races`
+}
+
+func reset(m *mixed) {
+	m.hits = 0 // want `field hits is accessed with sync/atomic elsewhere; this plain access races`
+}
+
+// misaligned puts a 64-bit atomic field after a uint32: offset 4 on
+// 386, where atomic.AddUint64 faults or tears.
+type misaligned struct {
+	flags uint32
+	count uint64 // want `field misaligned.count is used with 64-bit sync/atomic operations but sits at offset 4 under GOARCH=386`
+}
+
+func countUp(m *misaligned) uint64 {
+	return atomic.AddUint64(&m.count, 1)
+}

@@ -1,0 +1,32 @@
+package atomicmix
+
+import "sync/atomic"
+
+// wrapped uses the atomic wrapper types: only atomic access is
+// possible and align64 guarantees placement, so nothing to flag.
+type wrapped struct {
+	flags uint32
+	count atomic.Uint64
+}
+
+func wrappedOps(w *wrapped) uint64 {
+	w.count.Add(1)
+	return w.count.Load()
+}
+
+// consistent uses the function API everywhere and leads with the
+// 64-bit field, so it is aligned even under 32-bit layout.
+type consistent struct {
+	n     uint64
+	flags uint32
+}
+
+func addC(c *consistent) { atomic.AddUint64(&c.n, 1) }
+func getC(c *consistent) uint64 {
+	return atomic.LoadUint64(&c.n)
+}
+
+// plainOnly is never touched atomically; plain access is fine.
+type plainOnly struct{ n uint64 }
+
+func bumpPlain(p *plainOnly) { p.n++ }

@@ -1,0 +1,309 @@
+// Package epochpin enforces the PR2 reclamation contract: code running
+// inside an epoch critical section (between Slot.Pin/Recycler.Pin and
+// the matching Unpin) must never block. A parked or I/O-waiting thread
+// keeps its slot pinned at an old epoch, which stalls Domain.TryAdvance
+// for every thread and wedges version/descriptor recycling — the
+// invariant was previously stated only in comments in core/lot.go and
+// server/executor.go.
+//
+// The analyzer recognizes pinned regions two ways:
+//
+//   - lexically: inside a function, after a call to a method named Pin
+//     and before the matching Unpin (a `defer x.Unpin()` extends the
+//     region to the end of the function);
+//   - by annotation: a function marked `//tbtm:pinned` runs with a pin
+//     held for its whole body (the callers pin; lsa.Tx.Read is the
+//     archetype).
+//
+// Inside a pinned region it flags channel sends/receives outside a
+// select with default, selects without default, mutex and RWMutex
+// acquisition, WaitGroup/Cond waits, time.Sleep and friends, calls
+// into I/O packages (os, net, syscall, os/exec), the engine's own
+// parking primitives (ParkingLot.Block, Waiter.Await, wal waits), and
+// calls to same-package functions that transitively do any of the
+// above. runtime.Gosched is allowed: yielding keeps the scheduler
+// moving without holding the pin across an unbounded wait.
+package epochpin
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"tbtm/internal/lint/analysis"
+)
+
+// Analyzer is the epochpin pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "epochpin",
+	Doc:  "forbid blocking operations while an epoch pin is held",
+	Run:  run,
+}
+
+// ioPackages are packages whose calls imply syscalls or unbounded
+// waits.
+var ioPackages = map[string]bool{
+	"os":      true,
+	"net":     true,
+	"syscall": true,
+	"os/exec": true,
+}
+
+// blockedFuncs are fully qualified functions known to park or wait,
+// keyed by types.Func.FullName.
+var blockedFuncs = map[string]string{
+	"(*tbtm/internal/core.ParkingLot).Block": "parks the goroutine on the lot",
+	"(tbtm/internal/core.Waiter).Await":      "parks until a wakeup",
+	"(*tbtm/internal/core.Waiter).Await":     "parks until a wakeup",
+	"(tbtm/internal/wal.Ticket).Wait":        "waits for a WAL write/fsync",
+	"(*tbtm/internal/wal.Log).Sync":          "waits for an fsync",
+	"(*tbtm/internal/wal.Log).Close":         "waits for the WAL batcher",
+	"time.Sleep":                             "sleeps",
+	"time.After":                             "waits on a timer",
+	"time.Tick":                              "waits on a ticker",
+	"(*sync.Mutex).Lock":                     "may wait on a mutex",
+	"(*sync.RWMutex).Lock":                   "may wait on a write lock",
+	"(*sync.RWMutex).RLock":                  "may wait on a read lock",
+	"(*sync.WaitGroup).Wait":                 "waits on a WaitGroup",
+	"(*sync.Cond).Wait":                      "waits on a condition variable",
+}
+
+// blocker is one blocking construct found in a function body.
+type blocker struct {
+	pos    token.Pos
+	reason string
+}
+
+func run(pass *analysis.Pass) error {
+	// Memoized per-function transitive blocking classification for
+	// same-package calls. The map holds a *blocker (nil entry = known
+	// non-blocking; in-progress entries start nil, which also breaks
+	// recursion cycles conservatively toward "non-blocking").
+	decls := map[*types.Func]*ast.FuncDecl{}
+	for _, f := range pass.Files {
+		for _, d := range f.Decls {
+			if fd, ok := d.(*ast.FuncDecl); ok && fd.Body != nil {
+				if fn, ok := pass.TypesInfo.Defs[fd.Name].(*types.Func); ok {
+					decls[fn] = fd
+				}
+			}
+		}
+	}
+	memo := map[*types.Func]*blocker{}
+	visiting := map[*types.Func]bool{}
+
+	var firstBlocker func(fn *types.Func) *blocker
+	// directBlocker classifies one AST node; descend tells the walker
+	// whether to keep walking below the node.
+	directBlocker := func(n ast.Node, transitive bool, fb func(*types.Func) *blocker) (*blocker, bool) {
+		switch node := n.(type) {
+		case *ast.SendStmt:
+			return &blocker{node.Pos(), "channel send can block"}, true
+		case *ast.UnaryExpr:
+			if node.Op == token.ARROW {
+				return &blocker{node.Pos(), "channel receive can block"}, true
+			}
+		case *ast.SelectStmt:
+			hasDefault := false
+			for _, c := range node.Body.List {
+				if cc, ok := c.(*ast.CommClause); ok && cc.Comm == nil {
+					hasDefault = true
+				}
+			}
+			if !hasDefault {
+				return &blocker{node.Pos(), "select without default can block"}, true
+			}
+			// Non-blocking select: its comm clauses are fine, but still
+			// walk the case bodies.
+			return nil, true
+		case *ast.CallExpr:
+			fn := analysis.CalleeFunc(pass.TypesInfo, node)
+			if fn == nil {
+				return nil, true
+			}
+			if reason, ok := blockedFuncs[fn.FullName()]; ok {
+				return &blocker{node.Pos(), fmt.Sprintf("%s %s", fn.Name(), reason)}, true
+			}
+			if pkg := fn.Pkg(); pkg != nil {
+				if ioPackages[pkg.Path()] {
+					return &blocker{node.Pos(), fmt.Sprintf("%s.%s does I/O or syscalls", pkg.Path(), fn.Name())}, true
+				}
+				if transitive && pkg == pass.Pkg && fn.Name() != "Unpin" {
+					if b := fb(fn); b != nil {
+						return &blocker{node.Pos(), fmt.Sprintf("calls %s, which %s", fn.Name(), b.reason)}, true
+					}
+				}
+			}
+		}
+		return nil, true
+	}
+
+	firstBlocker = func(fn *types.Func) *blocker {
+		if b, ok := memo[fn]; ok {
+			return b
+		}
+		if visiting[fn] {
+			return nil // cycle: assume non-blocking rather than diverge
+		}
+		fd, ok := decls[fn]
+		if !ok {
+			return nil
+		}
+		visiting[fn] = true
+		var found *blocker
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			if found != nil {
+				return false
+			}
+			// Inside select-with-default the comm operations are
+			// non-blocking; skip the whole select if it has a default,
+			// except we must still scan case bodies — handled by treating
+			// the clauses individually below.
+			if sel, ok := n.(*ast.SelectStmt); ok && hasDefaultClause(sel) {
+				for _, c := range sel.Body.List {
+					cc := c.(*ast.CommClause)
+					for _, stmt := range cc.Body {
+						ast.Inspect(stmt, func(m ast.Node) bool {
+							if found != nil {
+								return false
+							}
+							if b, _ := directBlocker(m, true, firstBlocker); b != nil {
+								found = b
+							}
+							return found == nil
+						})
+					}
+				}
+				return false
+			}
+			if b, _ := directBlocker(n, true, firstBlocker); b != nil {
+				found = b
+			}
+			return found == nil
+		})
+		delete(visiting, fn)
+		memo[fn] = found
+		return found
+	}
+
+	for _, f := range pass.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			fn, _ := pass.TypesInfo.Defs[fd.Name].(*types.Func)
+			annotated := fn != nil && pass.Directives.FuncHas(fn, analysis.DirPinned)
+			checkFunc(pass, fd, annotated, directBlocker, firstBlocker)
+		}
+	}
+	return nil
+}
+
+func hasDefaultClause(sel *ast.SelectStmt) bool {
+	for _, c := range sel.Body.List {
+		if cc, ok := c.(*ast.CommClause); ok && cc.Comm == nil {
+			return true
+		}
+	}
+	return false
+}
+
+// pinCall reports whether the statement's expression is a call to a
+// method named name ("Pin"/"Unpin").
+func pinCall(info *types.Info, e ast.Expr, name string) bool {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	fn := analysis.CalleeFunc(info, call)
+	return fn != nil && fn.Name() == name
+}
+
+// checkFunc walks one function, tracking the lexical pin depth, and
+// reports blocking constructs found while pinned (or anywhere, if the
+// whole function is annotated //tbtm:pinned).
+func checkFunc(pass *analysis.Pass, fd *ast.FuncDecl, annotated bool,
+	direct func(ast.Node, bool, func(*types.Func) *blocker) (*blocker, bool),
+	fb func(*types.Func) *blocker) {
+
+	// Collect pin events in lexical order.
+	type event struct {
+		pos   token.Pos
+		delta int
+	}
+	var events []event
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch node := n.(type) {
+		case *ast.ExprStmt:
+			if pinCall(pass.TypesInfo, node.X, "Pin") {
+				events = append(events, event{node.Pos(), +1})
+			}
+			if pinCall(pass.TypesInfo, node.X, "Unpin") {
+				events = append(events, event{node.Pos(), -1})
+			}
+		case *ast.DeferStmt:
+			if pinCall(pass.TypesInfo, node.Call, "Unpin") {
+				// The pin stays held to the end of the function: no -1.
+				return false
+			}
+		case *ast.FuncLit:
+			return false // closures run later, in their own context
+		}
+		return true
+	})
+	pinnedAt := func(pos token.Pos) bool {
+		if annotated {
+			return true
+		}
+		depth := 0
+		for _, e := range events {
+			if e.pos >= pos {
+				break
+			}
+			depth += e.delta
+			if depth < 0 {
+				depth = 0
+			}
+		}
+		return depth > 0
+	}
+	if !annotated && len(events) == 0 {
+		return
+	}
+
+	where := "while an epoch pin is held"
+	if annotated {
+		where = "in //tbtm:pinned function " + fd.Name.Name
+	}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if fl, ok := n.(*ast.FuncLit); ok {
+			_ = fl
+			return false
+		}
+		if sel, ok := n.(*ast.SelectStmt); ok && hasDefaultClause(sel) {
+			// Non-blocking select: scan only the clause bodies.
+			for _, c := range sel.Body.List {
+				cc := c.(*ast.CommClause)
+				for _, stmt := range cc.Body {
+					ast.Inspect(stmt, func(m ast.Node) bool {
+						if b, _ := direct(m, true, fb); b != nil && pinnedAt(b.pos) {
+							pass.Reportf(b.pos, "%s %s", b.reason, where)
+							return false
+						}
+						return true
+					})
+				}
+			}
+			return false
+		}
+		if b, _ := direct(n, true, fb); b != nil && pinnedAt(b.pos) {
+			pass.Reportf(b.pos, "%s %s", b.reason, where)
+			// Keep walking siblings but not below the reported node, so
+			// one construct yields one diagnostic.
+			return false
+		}
+		return true
+	})
+}

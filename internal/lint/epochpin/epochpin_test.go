@@ -1,0 +1,12 @@
+package epochpin_test
+
+import (
+	"testing"
+
+	"tbtm/internal/lint/analysistest"
+	"tbtm/internal/lint/epochpin"
+)
+
+func TestEpochpin(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), epochpin.Analyzer, "epochpin")
+}

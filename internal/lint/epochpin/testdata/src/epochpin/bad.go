@@ -1,0 +1,57 @@
+package epochpin
+
+import (
+	"sync"
+	"time"
+)
+
+type slot struct{ depth int }
+
+func (s *slot) Pin()   { s.depth++ }
+func (s *slot) Unpin() { s.depth-- }
+
+var mu sync.Mutex
+var ch = make(chan struct{}, 1)
+
+// blockingWhilePinned holds the pin across a park.
+func blockingWhilePinned(s *slot) {
+	s.Pin()
+	<-ch // want `channel receive can block while an epoch pin is held`
+	s.Unpin()
+}
+
+// mutexWhilePinned holds the pin across a lock acquisition.
+func mutexWhilePinned(s *slot) {
+	s.Pin()
+	defer s.Unpin()
+	mu.Lock() // want `Lock may wait on a mutex while an epoch pin is held`
+	mu.Unlock()
+}
+
+// sleeper is annotated as running pinned by its callers.
+//
+//tbtm:pinned
+func sleeper() {
+	time.Sleep(time.Millisecond) // want `Sleep sleeps in //tbtm:pinned function sleeper`
+}
+
+// helper blocks; transitiveBlock reaches it while pinned.
+func helper() {
+	ch <- struct{}{}
+}
+
+func transitiveBlock(s *slot) {
+	s.Pin()
+	helper() // want `calls helper, which channel send can block while an epoch pin is held`
+	s.Unpin()
+}
+
+// selectNoDefault can park the goroutine.
+//
+//tbtm:pinned
+func selectNoDefault() {
+	select { // want `select without default can block in //tbtm:pinned function selectNoDefault`
+	case <-ch:
+	case ch <- struct{}{}:
+	}
+}

@@ -1,0 +1,47 @@
+package epochpin
+
+import (
+	"runtime"
+	"sync/atomic"
+)
+
+var counter atomic.Uint64
+
+// unpinnedBlocking blocks, but only after releasing the pin — the
+// contract allows that.
+func unpinnedBlocking(s *slot) {
+	s.Pin()
+	counter.Add(1)
+	s.Unpin()
+	<-ch
+}
+
+// pinnedFastPath mirrors the engine's pinned hot path: atomics,
+// non-blocking notify, and a scheduler yield are all fine.
+//
+//tbtm:pinned
+func pinnedFastPath() uint64 {
+	select {
+	case ch <- struct{}{}:
+	default:
+	}
+	runtime.Gosched()
+	return counter.Load()
+}
+
+// nonBlockingHelper is reachable from a pinned region and clean.
+func nonBlockingHelper() { counter.Add(1) }
+
+func pinnedCallsClean(s *slot) {
+	s.Pin()
+	defer s.Unpin()
+	nonBlockingHelper()
+}
+
+// closuresRunLater: a func literal built while pinned is not executed
+// while pinned (the engine hands wakeup closures off post-commit).
+func closuresRunLater(s *slot) func() {
+	s.Pin()
+	defer s.Unpin()
+	return func() { <-ch }
+}

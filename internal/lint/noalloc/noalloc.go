@@ -1,0 +1,300 @@
+// Package noalloc turns the repo's AllocsPerRun pins into a
+// compile-time contract. A function annotated `//tbtm:noalloc` must
+// not contain allocating constructs; the benchmarks then only have to
+// witness that the annotation set covers the hot path, instead of
+// being the sole line of defense against an accidental allocation
+// sneaking into a warm loop.
+//
+// Flagged inside a //tbtm:noalloc function:
+//
+//   - make, new, &CompositeLit, and map/slice literals;
+//   - func literals (closure headers escape) and go statements;
+//   - string concatenation and string<->[]byte/[]rune conversions;
+//   - interface boxing: passing or converting a concrete
+//     non-pointer-shaped value to an interface (pointers, maps, chans
+//     and funcs ride in the interface word without allocating);
+//   - map writes (growth allocates);
+//   - calls to functions that are neither allowlisted (sync/atomic,
+//     sync lock/unlock, runtime.Gosched, math, math/bits) nor
+//     themselves annotated //tbtm:noalloc or //tbtm:allocok.
+//
+// Deliberately allowed: append (the engine's descriptor-reuse contract
+// makes append-into-retained-capacity the idiom — amortized zero, and
+// the AllocsPerRun pins keep it honest), plain defer, stack composite
+// literals, and calls through interfaces (the concrete methods carry
+// their own annotations; dynamic dispatch cannot be checked here).
+// `//tbtm:allocok` marks a callee as vouched-for without checking its
+// body; `//tbtm:ignore noalloc` suppresses one line.
+package noalloc
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"tbtm/internal/lint/analysis"
+)
+
+// Analyzer is the noalloc pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "noalloc",
+	Doc:  "reject allocating constructs in //tbtm:noalloc functions",
+	Run:  run,
+}
+
+// allowedPackages may be called freely from noalloc functions.
+var allowedPackages = map[string]bool{
+	"sync/atomic": true,
+	"math":        true,
+	"math/bits":   true,
+}
+
+// allowedFuncs are individual allowlisted functions/methods by
+// FullName.
+var allowedFuncs = map[string]bool{
+	"runtime.Gosched":   true,
+	"runtime.KeepAlive": true,
+	// encoding/binary helpers that only write into caller-provided
+	// buffers (append is the amortized-zero idiom; the Put/Uvarint
+	// forms touch no heap at all).
+	"encoding/binary.AppendUvarint":            true,
+	"encoding/binary.Uvarint":                  true,
+	"(encoding/binary.bigEndian).PutUint32":    true,
+	"(encoding/binary.bigEndian).PutUint64":    true,
+	"(encoding/binary.bigEndian).Uint32":       true,
+	"(encoding/binary.bigEndian).Uint64":       true,
+	"(encoding/binary.littleEndian).PutUint32": true,
+	"(encoding/binary.littleEndian).PutUint64": true,
+	"(encoding/binary.littleEndian).Uint32":    true,
+	"(encoding/binary.littleEndian).Uint64":    true,
+	"(*sync.Mutex).Lock":                       true,
+	"(*sync.Mutex).Unlock":                     true,
+	"(*sync.Mutex).TryLock":                    true,
+	"(*sync.RWMutex).Lock":                     true,
+	"(*sync.RWMutex).Unlock":                   true,
+	"(*sync.RWMutex).RLock":                    true,
+	"(*sync.RWMutex).RUnlock":                  true,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			fn, _ := pass.TypesInfo.Defs[fd.Name].(*types.Func)
+			if fn == nil || !pass.Directives.FuncHas(fn, analysis.DirNoalloc) {
+				continue
+			}
+			checkFunc(pass, fd)
+		}
+	}
+	return nil
+}
+
+// pointerShaped reports whether a concrete value of type t fits the
+// interface data word without boxing.
+func pointerShaped(t types.Type) bool {
+	switch t.Underlying().(type) {
+	case *types.Pointer, *types.Chan, *types.Map, *types.Signature:
+		return true
+	case *types.Basic:
+		return t.Underlying().(*types.Basic).Kind() == types.UnsafePointer
+	}
+	return false
+}
+
+func isInterface(t types.Type) bool {
+	if _, ok := t.(*types.TypeParam); ok {
+		return false
+	}
+	_, ok := t.Underlying().(*types.Interface)
+	return ok
+}
+
+func checkFunc(pass *analysis.Pass, fd *ast.FuncDecl) {
+	info := pass.TypesInfo
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch node := n.(type) {
+		case *ast.FuncLit:
+			pass.Reportf(node.Pos(), "func literal in //tbtm:noalloc function %s (closures allocate when they capture)", fd.Name.Name)
+			return false
+		case *ast.GoStmt:
+			pass.Reportf(node.Pos(), "go statement in //tbtm:noalloc function %s allocates a goroutine", fd.Name.Name)
+		case *ast.UnaryExpr:
+			if node.Op == token.AND {
+				if _, ok := ast.Unparen(node.X).(*ast.CompositeLit); ok {
+					pass.Reportf(node.Pos(), "&composite literal in //tbtm:noalloc function %s heap-allocates when it escapes", fd.Name.Name)
+				}
+			}
+		case *ast.CompositeLit:
+			if tv, ok := info.Types[node]; ok {
+				switch tv.Type.Underlying().(type) {
+				case *types.Map:
+					pass.Reportf(node.Pos(), "map literal in //tbtm:noalloc function %s allocates", fd.Name.Name)
+				case *types.Slice:
+					pass.Reportf(node.Pos(), "slice literal in //tbtm:noalloc function %s allocates", fd.Name.Name)
+				}
+			}
+		case *ast.BinaryExpr:
+			if node.Op == token.ADD {
+				if tv, ok := info.Types[node]; ok {
+					if b, ok := tv.Type.Underlying().(*types.Basic); ok && b.Info()&types.IsString != 0 {
+						pass.Reportf(node.Pos(), "string concatenation in //tbtm:noalloc function %s allocates", fd.Name.Name)
+					}
+				}
+			}
+		case *ast.AssignStmt:
+			for _, lhs := range node.Lhs {
+				if ix, ok := ast.Unparen(lhs).(*ast.IndexExpr); ok {
+					if tv, ok := info.Types[ix.X]; ok {
+						if _, isMap := tv.Type.Underlying().(*types.Map); isMap {
+							pass.Reportf(lhs.Pos(), "map write in //tbtm:noalloc function %s can allocate on growth", fd.Name.Name)
+						}
+					}
+				}
+			}
+			if node.Tok == token.ADD_ASSIGN {
+				if tv, ok := info.Types[node.Lhs[0]]; ok {
+					if b, ok := tv.Type.Underlying().(*types.Basic); ok && b.Info()&types.IsString != 0 {
+						pass.Reportf(node.Pos(), "string concatenation in //tbtm:noalloc function %s allocates", fd.Name.Name)
+					}
+				}
+			}
+		case *ast.CallExpr:
+			checkCall(pass, fd, node)
+		}
+		return true
+	})
+}
+
+func checkCall(pass *analysis.Pass, fd *ast.FuncDecl, call *ast.CallExpr) {
+	info := pass.TypesInfo
+
+	// Builtins: make and new always allocate; append/len/cap/copy are
+	// fine (append is the amortized-zero reuse idiom).
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+		if _, isBuiltin := info.Uses[id].(*types.Builtin); isBuiltin {
+			switch id.Name {
+			case "make":
+				pass.Reportf(call.Pos(), "make in //tbtm:noalloc function %s allocates", fd.Name.Name)
+			case "new":
+				pass.Reportf(call.Pos(), "new in //tbtm:noalloc function %s allocates", fd.Name.Name)
+			}
+			return
+		}
+	}
+
+	// Conversions: T(x).
+	if tv, ok := info.Types[call.Fun]; ok && tv.IsType() {
+		target := tv.Type
+		if len(call.Args) == 1 {
+			argT := info.Types[call.Args[0]].Type
+			checkConversion(pass, fd, call.Pos(), argT, target)
+		}
+		return
+	}
+
+	fn := analysis.CalleeFunc(info, call)
+	if fn != nil {
+		sig, _ := fn.Type().(*types.Signature)
+		if sig != nil && sig.Recv() != nil {
+			if isInterface(sig.Recv().Type()) {
+				checkBoxing(pass, fd, call, sig)
+				return // dynamic dispatch: concrete impls carry the contract
+			}
+		}
+		if pkg := fn.Pkg(); pkg != nil && pkg != pass.Pkg {
+			if allowedPackages[pkg.Path()] || allowedFuncs[fn.FullName()] {
+				checkBoxing(pass, fd, call, sig)
+				return
+			}
+		}
+		if !pass.Directives.FuncHas(fn, analysis.DirNoalloc) && !pass.Directives.FuncHas(fn, analysis.DirAllocok) {
+			pass.Reportf(call.Pos(), "call to %s from //tbtm:noalloc function %s: callee is not allowlisted and not annotated //tbtm:noalloc or //tbtm:allocok", fn.Name(), fd.Name.Name)
+		}
+		if sig != nil {
+			checkBoxing(pass, fd, call, sig)
+		}
+		return
+	}
+
+	if _, ok := ast.Unparen(call.Fun).(*ast.FuncLit); ok {
+		return // the literal itself is already flagged
+	}
+
+	// Calling a function value (field, variable): allocation behavior
+	// unknowable statically.
+	pass.Reportf(call.Pos(), "indirect call in //tbtm:noalloc function %s cannot be verified allocation-free", fd.Name.Name)
+}
+
+// checkConversion flags conversions that allocate.
+func checkConversion(pass *analysis.Pass, fd *ast.FuncDecl, pos token.Pos, from, to types.Type) {
+	if from == nil || to == nil {
+		return
+	}
+	toStr := isStringT(to)
+	fromStr := isStringT(from)
+	if toStr && isByteOrRuneSlice(from) {
+		pass.Reportf(pos, "[]byte/[]rune→string conversion in //tbtm:noalloc function %s allocates", fd.Name.Name)
+		return
+	}
+	if fromStr && isByteOrRuneSlice(to) {
+		pass.Reportf(pos, "string→slice conversion in //tbtm:noalloc function %s allocates", fd.Name.Name)
+		return
+	}
+	if isInterface(to) && !isInterface(from) && !pointerShaped(from) {
+		pass.Reportf(pos, "conversion to interface boxes a %s in //tbtm:noalloc function %s", from.String(), fd.Name.Name)
+	}
+}
+
+// checkBoxing flags concrete non-pointer-shaped arguments passed to
+// interface parameters.
+func checkBoxing(pass *analysis.Pass, fd *ast.FuncDecl, call *ast.CallExpr, sig *types.Signature) {
+	if sig == nil {
+		return
+	}
+	params := sig.Params()
+	for i, arg := range call.Args {
+		var pt types.Type
+		switch {
+		case sig.Variadic() && i >= params.Len()-1:
+			last := params.At(params.Len() - 1).Type()
+			if sl, ok := last.Underlying().(*types.Slice); ok {
+				pt = sl.Elem()
+			}
+		case i < params.Len():
+			pt = params.At(i).Type()
+		}
+		if pt == nil || !isInterface(pt) {
+			continue
+		}
+		tv, ok := pass.TypesInfo.Types[arg]
+		if !ok || tv.Type == nil {
+			continue
+		}
+		at := tv.Type
+		if b, ok := at.(*types.Basic); ok && b.Kind() == types.UntypedNil {
+			continue
+		}
+		if isInterface(at) || pointerShaped(at) {
+			continue
+		}
+		pass.Reportf(arg.Pos(), "passing %s to interface parameter boxes it in //tbtm:noalloc function %s", at.String(), fd.Name.Name)
+	}
+}
+
+func isStringT(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+func isByteOrRuneSlice(t types.Type) bool {
+	sl, ok := t.Underlying().(*types.Slice)
+	if !ok {
+		return false
+	}
+	b, ok := sl.Elem().Underlying().(*types.Basic)
+	return ok && (b.Kind() == types.Byte || b.Kind() == types.Rune || b.Kind() == types.Uint8 || b.Kind() == types.Int32)
+}

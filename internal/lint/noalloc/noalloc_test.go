@@ -1,0 +1,12 @@
+package noalloc_test
+
+import (
+	"testing"
+
+	"tbtm/internal/lint/analysistest"
+	"tbtm/internal/lint/noalloc"
+)
+
+func TestNoalloc(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), noalloc.Analyzer, "noalloc")
+}

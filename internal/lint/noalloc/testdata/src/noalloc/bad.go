@@ -1,0 +1,62 @@
+package noalloc
+
+import "fmt"
+
+type ring struct {
+	slots []uint64
+	m     map[uint64]int
+}
+
+//tbtm:noalloc
+func badMake(n int) []uint64 {
+	return make([]uint64, n) // want `make in //tbtm:noalloc function badMake allocates`
+}
+
+//tbtm:noalloc
+func badNew() *ring {
+	return new(ring) // want `new in //tbtm:noalloc function badNew allocates`
+}
+
+//tbtm:noalloc
+func badLit() *ring {
+	return &ring{} // want `&composite literal in //tbtm:noalloc function badLit heap-allocates`
+}
+
+//tbtm:noalloc
+func badClosure(n uint64) func() uint64 {
+	return func() uint64 { return n } // want `func literal in //tbtm:noalloc function badClosure`
+}
+
+//tbtm:noalloc
+func badConcat(a, b string) string {
+	return a + b // want `string concatenation in //tbtm:noalloc function badConcat allocates`
+}
+
+//tbtm:noalloc
+func badStringConv(b []byte) string {
+	return string(b) // want `\[\]byte/\[\]rune→string conversion in //tbtm:noalloc function badStringConv allocates`
+}
+
+//tbtm:noalloc
+func badBoxing(r *ring, n uint64) {
+	fmt.Println(n) // want `call to Println from //tbtm:noalloc function badBoxing` `passing uint64 to interface parameter boxes it`
+}
+
+//tbtm:noalloc
+func badMapWrite(r *ring, k uint64) {
+	r.m[k] = 1 // want `map write in //tbtm:noalloc function badMapWrite can allocate on growth`
+}
+
+//tbtm:noalloc
+func badGo() {
+	go func() {}() // want `go statement in //tbtm:noalloc function badGo allocates a goroutine` `func literal in //tbtm:noalloc function badGo`
+}
+
+// plainHelper has no annotation, so noalloc callers may not lean on
+// it.
+func plainHelper() {}
+
+//tbtm:noalloc
+func badCallee() {
+	plainHelper() // want `call to plainHelper from //tbtm:noalloc function badCallee: callee is not allowlisted`
+}

@@ -1,0 +1,53 @@
+package noalloc
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+type shard struct {
+	mu sync.Mutex
+	n  atomic.Uint64
+}
+
+// reuseAppend grows into retained capacity — the descriptor-reuse
+// idiom; append is deliberately allowed.
+//
+//tbtm:noalloc
+func reuseAppend(buf []uint64, v uint64) []uint64 {
+	buf = buf[:0]
+	return append(buf, v)
+}
+
+//tbtm:noalloc
+func fastPath(s *shard) uint64 {
+	s.mu.Lock()
+	v := s.n.Load()
+	s.mu.Unlock()
+	runtime.Gosched()
+	return v
+}
+
+// vouchedFor allocates on its slow path; the author takes
+// responsibility with allocok, so noalloc callers may use it.
+//
+//tbtm:allocok slow path allocates at most once per epoch
+func vouchedFor(s *shard) *shard {
+	if s == nil {
+		return &shard{}
+	}
+	return s
+}
+
+//tbtm:noalloc
+func callsVouched(s *shard) uint64 {
+	return vouchedFor(s).n.Load()
+}
+
+// pointerIface: pointers ride in the interface word without boxing.
+//
+//tbtm:noalloc
+func pointerIface(s *shard) any {
+	return any(s)
+}

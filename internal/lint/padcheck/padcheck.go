@@ -1,0 +1,242 @@
+// Package padcheck verifies that cache-line padding in sharded
+// structures actually does its job. The engine leans on manual `_
+// [N]byte` (or `_ pad`) spacer fields — lotShard's count/map split,
+// the striped clock slots, the stats shards, epoch.Slot — and the only
+// prior guard was a single hand-written size test for lotShard. The
+// analyzer generalizes it with types.Sizes:
+//
+//   - every blank byte-array spacer must put the fields before and
+//     after it on distinct 64-byte cache lines (a spacer that shrank
+//     below the neighbour's tail is silently useless);
+//   - a padded struct used as an array or slice element must have a
+//     size that is a multiple of the cache line, or elements share
+//     lines and the padding defeats itself;
+//   - a padded struct must not be copied by value: the copy tears the
+//     layout away from the atomics it isolates (and the big spacer
+//     copies are pure waste on any hot path).
+package padcheck
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"tbtm/internal/lint/analysis"
+)
+
+const cacheLine = 64
+
+// Analyzer is the padcheck pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "padcheck",
+	Doc:  "verify that [N]byte spacer fields really separate cache lines and padded structs are not copied",
+	Run:  run,
+}
+
+// isPadField reports whether f is a blank spacer: `_ [N]byte` or a
+// named type (like epoch's `pad`) whose underlying type is a byte
+// array.
+func isPadField(f *types.Var) bool {
+	if f.Name() != "_" {
+		return false
+	}
+	arr, ok := f.Type().Underlying().(*types.Array)
+	if !ok {
+		return false
+	}
+	b, ok := arr.Elem().Underlying().(*types.Basic)
+	return ok && b.Kind() == types.Byte
+}
+
+// paddedStructs returns the named struct types declared in the package
+// that contain at least one spacer field.
+func paddedStructs(pass *analysis.Pass) map[*types.Named]*types.Struct {
+	out := map[*types.Named]*types.Struct{}
+	scope := pass.Pkg.Scope()
+	for _, name := range scope.Names() {
+		tn, ok := scope.Lookup(name).(*types.TypeName)
+		if !ok || tn.IsAlias() {
+			continue
+		}
+		named, ok := tn.Type().(*types.Named)
+		if !ok {
+			continue
+		}
+		st, ok := named.Underlying().(*types.Struct)
+		if !ok {
+			continue
+		}
+		for i := 0; i < st.NumFields(); i++ {
+			if isPadField(st.Field(i)) {
+				out[named] = st
+				break
+			}
+		}
+	}
+	return out
+}
+
+func run(pass *analysis.Pass) error {
+	padded := paddedStructs(pass)
+	if len(padded) == 0 {
+		return nil
+	}
+
+	for named, st := range padded {
+		checkLayout(pass, named, st)
+	}
+
+	// Is any padded struct an array/slice element somewhere in the
+	// package? Then its size must tile cache lines exactly.
+	elemChecked := map[*types.Named]bool{}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			var elem types.Type
+			switch t := n.(type) {
+			case *ast.ArrayType:
+				if tv, ok := pass.TypesInfo.Types[t.Elt]; ok && tv.IsType() {
+					elem = tv.Type
+				}
+			default:
+				return true
+			}
+			if named, ok := elem.(*types.Named); ok && !elemChecked[named] {
+				if st, isPadded := padded[named]; isPadded {
+					elemChecked[named] = true
+					size := pass.TypesSizes.Sizeof(st)
+					if size%cacheLine != 0 {
+						pass.Reportf(n.Pos(), "%s is an array/slice element but its size %d is not a multiple of the %d-byte cache line, so elements share lines despite padding", named.Obj().Name(), size, cacheLine)
+					}
+				}
+			}
+			return true
+		})
+	}
+
+	checkCopies(pass, padded)
+	return nil
+}
+
+// checkLayout verifies each spacer separates its neighbours onto
+// distinct cache lines.
+func checkLayout(pass *analysis.Pass, named *types.Named, st *types.Struct) {
+	n := st.NumFields()
+	fields := make([]*types.Var, n)
+	for i := 0; i < n; i++ {
+		fields[i] = st.Field(i)
+	}
+	offsets := pass.TypesSizes.Offsetsof(fields)
+	for i := 0; i < n; i++ {
+		if !isPadField(fields[i]) {
+			continue
+		}
+		before := -1
+		for j := i - 1; j >= 0; j-- {
+			if !isPadField(fields[j]) {
+				before = j
+				break
+			}
+		}
+		after := -1
+		for j := i + 1; j < n; j++ {
+			if !isPadField(fields[j]) {
+				after = j
+				break
+			}
+		}
+		if before < 0 || after < 0 {
+			continue // leading/trailing spacer: no pair to separate
+		}
+		endBefore := offsets[before] + pass.TypesSizes.Sizeof(fields[before].Type()) - 1
+		if endBefore/cacheLine == offsets[after]/cacheLine {
+			pass.Reportf(fields[i].Pos(), "pad between %s.%s and %s.%s leaves both on cache line %d (offsets %d and %d); widen the spacer", named.Obj().Name(), fields[before].Name(), named.Obj().Name(), fields[after].Name(), endBefore/cacheLine, offsets[before], offsets[after])
+		}
+	}
+}
+
+// exprType resolves an expression's type, falling back to Defs/Uses
+// for identifiers the Types map skips (range-clause definitions).
+func exprType(info *types.Info, e ast.Expr) types.Type {
+	if tv, ok := info.Types[e]; ok {
+		return tv.Type
+	}
+	if id, ok := e.(*ast.Ident); ok {
+		if obj := info.Defs[id]; obj != nil {
+			return obj.Type()
+		}
+		if obj := info.Uses[id]; obj != nil {
+			return obj.Type()
+		}
+	}
+	return nil
+}
+
+// checkCopies flags by-value copies of padded structs.
+func checkCopies(pass *analysis.Pass, padded map[*types.Named]*types.Struct) {
+	isPadded := func(t types.Type) (*types.Named, bool) {
+		named, ok := t.(*types.Named)
+		if !ok {
+			return nil, false
+		}
+		_, ok = padded[named]
+		return named, ok
+	}
+	reportCopy := func(pos token.Pos, what string, named *types.Named) {
+		pass.Reportf(pos, "%s copies padded struct %s by value; pass *%s so the cache-line layout stays shared", what, named.Obj().Name(), named.Obj().Name())
+	}
+
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch node := n.(type) {
+			case *ast.FuncDecl:
+				if node.Recv != nil {
+					for _, rf := range node.Recv.List {
+						if tv, ok := pass.TypesInfo.Types[rf.Type]; ok {
+							if named, ok := isPadded(tv.Type); ok {
+								reportCopy(rf.Type.Pos(), "value receiver", named)
+							}
+						}
+					}
+				}
+				if node.Type.Params != nil {
+					for _, pf := range node.Type.Params.List {
+						if tv, ok := pass.TypesInfo.Types[pf.Type]; ok {
+							if named, ok := isPadded(tv.Type); ok {
+								reportCopy(pf.Type.Pos(), "parameter", named)
+							}
+						}
+					}
+				}
+			case *ast.AssignStmt:
+				for i, rhs := range node.Rhs {
+					if len(node.Lhs) == len(node.Rhs) {
+						if id, ok := node.Lhs[i].(*ast.Ident); ok && id.Name == "_" {
+							continue // discarding, not copying into live storage
+						}
+					}
+					if tv, ok := pass.TypesInfo.Types[rhs]; ok && tv.IsValue() {
+						// Copying out of a variable, dereference, index or
+						// field is a layout-tearing copy; constructing a
+						// fresh value (composite literal, function result)
+						// is not.
+						switch ast.Unparen(rhs).(type) {
+						case *ast.Ident, *ast.StarExpr, *ast.SelectorExpr, *ast.IndexExpr:
+							if named, ok := isPadded(tv.Type); ok {
+								reportCopy(rhs.Pos(), "assignment", named)
+							}
+						}
+					}
+				}
+			case *ast.RangeStmt:
+				if node.Value != nil {
+					if t := exprType(pass.TypesInfo, node.Value); t != nil {
+						if named, ok := isPadded(t); ok {
+							reportCopy(node.Value.Pos(), "range value", named)
+						}
+					}
+				}
+			}
+			return true
+		})
+	}
+}

@@ -1,0 +1,12 @@
+package padcheck_test
+
+import (
+	"testing"
+
+	"tbtm/internal/lint/analysistest"
+	"tbtm/internal/lint/padcheck"
+)
+
+func TestPadcheck(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), padcheck.Analyzer, "padcheck")
+}

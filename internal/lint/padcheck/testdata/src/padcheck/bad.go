@@ -1,0 +1,41 @@
+package padcheck
+
+import "sync/atomic"
+
+// badShard's spacer is too small: count (8 bytes at offset 0) plus a
+// 16-byte pad leaves hits at offset 24 — same cache line.
+type badShard struct {
+	count atomic.Int64
+	_     [16]byte // want `pad between badShard.count and badShard.hits leaves both on cache line 0`
+	hits  atomic.Int64
+}
+
+// oddShard is padded but 72 bytes: as an array element, neighbours
+// share lines.
+type oddShard struct {
+	n atomic.Int64
+	_ [64]byte
+}
+
+var oddRing [8]oddShard // want `oddShard is an array/slice element but its size 72 is not a multiple`
+
+type copyTarget struct {
+	n atomic.Int64
+	_ [56]byte
+	m atomic.Int64
+	_ [56]byte
+}
+
+func (c copyTarget) byValue() int64 { // want `value receiver copies padded struct copyTarget`
+	return c.n.Load()
+}
+
+func consume(c copyTarget) {} // want `parameter copies padded struct copyTarget`
+
+func copies(p *copyTarget, ring []copyTarget) {
+	local := *p // want `assignment copies padded struct copyTarget`
+	_ = local
+	for _, c := range ring { // want `range value copies padded struct copyTarget`
+		_ = c
+	}
+}

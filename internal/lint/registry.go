@@ -1,0 +1,29 @@
+// Package lint is the registry of the repo's contract analyzers.
+// cmd/tbtmvet runs exactly this list; the meta-test in
+// registry_test.go keeps the list in sync with the analyzer packages
+// on disk, so adding an analyzer directory without registering it (or
+// vice versa) fails the build lane.
+package lint
+
+import (
+	"tbtm/internal/lint/analysis"
+	"tbtm/internal/lint/atomicmix"
+	"tbtm/internal/lint/epochpin"
+	"tbtm/internal/lint/noalloc"
+	"tbtm/internal/lint/padcheck"
+	"tbtm/internal/lint/seqlock"
+	"tbtm/internal/lint/walerr"
+)
+
+// Analyzers returns every registered contract analyzer, in the order
+// tbtmvet runs them.
+func Analyzers() []*analysis.Analyzer {
+	return []*analysis.Analyzer{
+		atomicmix.Analyzer,
+		epochpin.Analyzer,
+		noalloc.Analyzer,
+		padcheck.Analyzer,
+		seqlock.Analyzer,
+		walerr.Analyzer,
+	}
+}

@@ -1,0 +1,52 @@
+package lint
+
+import (
+	"os"
+	"testing"
+)
+
+// framework directories under internal/lint that are not analyzers.
+var frameworkDirs = map[string]bool{
+	"analysis":     true,
+	"analysistest": true,
+	"testdata":     true,
+}
+
+// TestRegistryMatchesDirectories is the meta-test: every analyzer
+// package on disk is registered under its directory name, and every
+// registered analyzer has a package directory — so tbtmvet can never
+// silently run a stale list.
+func TestRegistryMatchesDirectories(t *testing.T) {
+	registered := map[string]bool{}
+	for _, a := range Analyzers() {
+		if a.Name == "" || a.Doc == "" || a.Run == nil {
+			t.Errorf("analyzer %q is missing Name, Doc or Run", a.Name)
+		}
+		if registered[a.Name] {
+			t.Errorf("analyzer %q registered twice", a.Name)
+		}
+		registered[a.Name] = true
+	}
+
+	ents, err := os.ReadDir(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	onDisk := map[string]bool{}
+	for _, e := range ents {
+		if e.IsDir() && !frameworkDirs[e.Name()] {
+			onDisk[e.Name()] = true
+		}
+	}
+
+	for name := range onDisk {
+		if !registered[name] {
+			t.Errorf("analyzer package internal/lint/%s exists but is not in Analyzers()", name)
+		}
+	}
+	for name := range registered {
+		if !onDisk[name] {
+			t.Errorf("analyzer %q is registered but internal/lint/%s does not exist", name, name)
+		}
+	}
+}

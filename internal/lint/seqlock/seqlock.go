@@ -1,0 +1,264 @@
+// Package seqlock enforces the commit-log ring's stamped-record read
+// and write protocol, generalized behind a `//tbtm:seqlock` type
+// directive. The protocol (internal/core/commitlog.go) is:
+//
+//	writer: stamp ← busy, fill payload fields, stamp ← published
+//	reader: s1 := stamp; read payload; s2 := stamp; s1 != s2 → torn
+//
+// One forgotten re-check and a reader consumes a half-overwritten
+// record — exactly the class of bug PR4's fuzzing had to dig out at
+// runtime. The analyzer checks, for every struct marked
+// //tbtm:seqlock:
+//
+//   - the struct has a `stamp` field and every field is a sync/atomic
+//     type (or an array of them), so no access can be a plain read;
+//   - any function loading a payload field also loads the stamp both
+//     before and after that read (lexically), and any function storing
+//     a payload field stores the stamp on both sides — the shape of a
+//     correct seqlock section;
+//   - the struct is never copied by value (a copy's stamp certifies
+//     nothing about the copied payload).
+package seqlock
+
+import (
+	"go/ast"
+	"go/types"
+
+	"tbtm/internal/lint/analysis"
+)
+
+// Analyzer is the seqlock pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "seqlock",
+	Doc:  "enforce the stamp/payload seqlock protocol on //tbtm:seqlock structs",
+	Run:  run,
+}
+
+const stampField = "stamp"
+
+// isAtomicType reports whether t is a sync/atomic value type or an
+// array of them.
+func isAtomicType(t types.Type) bool {
+	if arr, ok := t.Underlying().(*types.Array); ok {
+		return isAtomicType(arr.Elem())
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	pkg := named.Obj().Pkg()
+	return pkg != nil && pkg.Path() == "sync/atomic"
+}
+
+// seqlockStructs returns the //tbtm:seqlock-marked named struct types
+// declared in this package.
+func seqlockStructs(pass *analysis.Pass) map[*types.Named]*types.Struct {
+	out := map[*types.Named]*types.Struct{}
+	scope := pass.Pkg.Scope()
+	for _, name := range scope.Names() {
+		tn, ok := scope.Lookup(name).(*types.TypeName)
+		if !ok || !pass.Directives.TypeHas(tn, analysis.DirSeqlock) {
+			continue
+		}
+		named, ok := tn.Type().(*types.Named)
+		if !ok {
+			continue
+		}
+		if st, ok := named.Underlying().(*types.Struct); ok {
+			out[named] = st
+		}
+	}
+	return out
+}
+
+func run(pass *analysis.Pass) error {
+	marked := seqlockStructs(pass)
+	if len(marked) == 0 {
+		return nil
+	}
+
+	for named, st := range marked {
+		hasStamp := false
+		for i := 0; i < st.NumFields(); i++ {
+			f := st.Field(i)
+			if f.Name() == stampField {
+				hasStamp = true
+			}
+			if !isAtomicType(f.Type()) {
+				pass.Reportf(f.Pos(), "field %s of seqlock struct %s is not a sync/atomic type; every field must be readable under the torn-read protocol", f.Name(), named.Obj().Name())
+			}
+		}
+		if !hasStamp {
+			pass.Reportf(named.Obj().Pos(), "seqlock struct %s has no %q field to version its payload", named.Obj().Name(), stampField)
+		}
+	}
+
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkFunc(pass, marked, fd)
+		}
+	}
+
+	checkCopies(pass, marked)
+	return nil
+}
+
+// access is one atomic call on a field of a seqlock struct.
+type access struct {
+	call  *ast.CallExpr
+	owner *types.Named
+	field string
+	store bool // Store/Swap/CompareAndSwap/Add vs Load
+}
+
+// fieldAccess classifies a call as an atomic access to a seqlock
+// struct's field, unwrapping array indexing (ids[i].Load()).
+func fieldAccess(pass *analysis.Pass, marked map[*types.Named]*types.Struct, call *ast.CallExpr) (access, bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return access{}, false
+	}
+	var store bool
+	switch sel.Sel.Name {
+	case "Load":
+		store = false
+	case "Store", "Swap", "CompareAndSwap", "Add", "Or", "And":
+		store = true
+	default:
+		return access{}, false
+	}
+	// Walk down to the field selection: r.stamp, r.ids[i], (&r.n) ...
+	x := ast.Unparen(sel.X)
+	for {
+		switch e := x.(type) {
+		case *ast.IndexExpr:
+			x = ast.Unparen(e.X)
+			continue
+		case *ast.UnaryExpr:
+			x = ast.Unparen(e.X)
+			continue
+		}
+		break
+	}
+	fieldSel, ok := x.(*ast.SelectorExpr)
+	if !ok {
+		return access{}, false
+	}
+	selection, ok := pass.TypesInfo.Selections[fieldSel]
+	if !ok || selection.Kind() != types.FieldVal {
+		return access{}, false
+	}
+	recv := selection.Recv()
+	if ptr, ok := recv.Underlying().(*types.Pointer); ok {
+		recv = ptr.Elem()
+	}
+	named, ok := recv.(*types.Named)
+	if !ok {
+		return access{}, false
+	}
+	if _, ok := marked[named]; !ok {
+		return access{}, false
+	}
+	return access{call: call, owner: named, field: selection.Obj().Name(), store: store}, true
+}
+
+// checkFunc enforces the bracketing rule inside one function: every
+// payload access must have a stamp access of the same polarity both
+// before and after it.
+func checkFunc(pass *analysis.Pass, marked map[*types.Named]*types.Struct, fd *ast.FuncDecl) {
+	var accesses []access
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if call, ok := n.(*ast.CallExpr); ok {
+			if a, ok := fieldAccess(pass, marked, call); ok {
+				accesses = append(accesses, a)
+			}
+		}
+		return true
+	})
+	for _, a := range accesses {
+		if a.field == stampField {
+			continue
+		}
+		verb, role := "load", "read"
+		if a.store {
+			verb, role = "store", "write"
+		}
+		before, after := false, false
+		for _, s := range accesses {
+			if s.field != stampField || s.owner != a.owner || s.store != a.store {
+				continue
+			}
+			if s.call.Pos() < a.call.Pos() {
+				before = true
+			}
+			if s.call.Pos() > a.call.Pos() {
+				after = true
+			}
+		}
+		if !before || !after {
+			pass.Reportf(a.call.Pos(), "%s of seqlock field %s.%s is not bracketed by stamp %ss (missing %s); the %s can be torn by a concurrent writer", role, a.owner.Obj().Name(), a.field, verb, missing(before, after), role)
+		}
+	}
+}
+
+func missing(before, after bool) string {
+	switch {
+	case !before && !after:
+		return "both sides"
+	case !before:
+		return "the opening stamp access"
+	default:
+		return "the re-check after"
+	}
+}
+
+// checkCopies flags by-value copies of seqlock structs.
+func checkCopies(pass *analysis.Pass, marked map[*types.Named]*types.Struct) {
+	isMarked := func(t types.Type) (*types.Named, bool) {
+		named, ok := t.(*types.Named)
+		if !ok {
+			return nil, false
+		}
+		_, ok = marked[named]
+		return named, ok
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch node := n.(type) {
+			case *ast.AssignStmt:
+				for i, rhs := range node.Rhs {
+					if len(node.Lhs) == len(node.Rhs) {
+						if id, ok := node.Lhs[i].(*ast.Ident); ok && id.Name == "_" {
+							continue
+						}
+					}
+					tv, ok := pass.TypesInfo.Types[rhs]
+					if !ok || !tv.IsValue() {
+						continue
+					}
+					switch ast.Unparen(rhs).(type) {
+					case *ast.Ident, *ast.StarExpr, *ast.SelectorExpr, *ast.IndexExpr:
+						if named, ok := isMarked(tv.Type); ok {
+							pass.Reportf(rhs.Pos(), "seqlock struct %s copied by value; a copy's stamp does not cover its payload", named.Obj().Name())
+						}
+					}
+				}
+			case *ast.FuncDecl:
+				if node.Recv != nil {
+					for _, rf := range node.Recv.List {
+						if tv, ok := pass.TypesInfo.Types[rf.Type]; ok {
+							if named, ok := isMarked(tv.Type); ok {
+								pass.Reportf(rf.Type.Pos(), "seqlock struct %s used as value receiver; a copy's stamp does not cover its payload", named.Obj().Name())
+							}
+						}
+					}
+				}
+			}
+			return true
+		})
+	}
+}

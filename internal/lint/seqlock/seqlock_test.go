@@ -1,0 +1,12 @@
+package seqlock_test
+
+import (
+	"testing"
+
+	"tbtm/internal/lint/analysistest"
+	"tbtm/internal/lint/seqlock"
+)
+
+func TestSeqlock(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), seqlock.Analyzer, "seqlock")
+}

@@ -1,0 +1,41 @@
+package seqlock
+
+import "sync/atomic"
+
+//tbtm:seqlock
+type badRecord struct {
+	stamp atomic.Uint64
+	n     atomic.Uint64
+	extra uint64 // want `field extra of seqlock struct badRecord is not a sync/atomic type`
+}
+
+//tbtm:seqlock
+type stampless struct { // want `seqlock struct stampless has no "stamp" field`
+	n atomic.Uint64
+}
+
+// tornReader loads the payload without re-checking the stamp after.
+func tornReader(r *badRecord) uint64 {
+	s1 := r.stamp.Load()
+	if s1&1 != 0 {
+		return 0
+	}
+	return r.n.Load() // want `read of seqlock field badRecord.n is not bracketed by stamp loads \(missing the re-check after\)`
+}
+
+// blindReader never consults the stamp at all.
+func blindReader(r *badRecord) uint64 {
+	return r.n.Load() // want `read of seqlock field badRecord.n is not bracketed by stamp loads \(missing both sides\)`
+}
+
+// tornWriter publishes the payload without marking the record busy
+// first.
+func tornWriter(r *badRecord, v uint64) {
+	r.n.Store(v) // want `write of seqlock field badRecord.n is not bracketed by stamp stores \(missing the opening stamp access\)`
+	r.stamp.Store(2)
+}
+
+func copied(r *badRecord) badRecord {
+	snap := *r // want `seqlock struct badRecord copied by value`
+	return snap
+}

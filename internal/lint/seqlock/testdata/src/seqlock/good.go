@@ -1,0 +1,39 @@
+package seqlock
+
+import "sync/atomic"
+
+// goodRecord mirrors the engine's commit-log record.
+//
+//tbtm:seqlock
+type goodRecord struct {
+	stamp atomic.Uint64
+	n     atomic.Uint64
+	ids   [6]atomic.Uint64
+}
+
+// publish follows the writer protocol: busy stamp, payload, release
+// stamp.
+func publish(r *goodRecord, t uint64, ids []uint64) {
+	r.stamp.Store(t<<1 | 1)
+	r.n.Store(uint64(len(ids)))
+	for i, id := range ids {
+		r.ids[i].Store(id)
+	}
+	r.stamp.Store(t << 1)
+}
+
+// read follows the reader protocol: stamp, payload, stamp re-check.
+func read(r *goodRecord, t uint64) (uint64, bool) {
+	want := t << 1
+	for {
+		s1 := r.stamp.Load()
+		if s1 != want {
+			return 0, false
+		}
+		n := r.n.Load()
+		if r.stamp.Load() != want {
+			continue
+		}
+		return n, true
+	}
+}

@@ -1,0 +1,29 @@
+package walerr
+
+import "os"
+
+type segment struct{ f *os.File }
+
+func (s *segment) Sync() error  { return s.f.Sync() }
+func (s *segment) Close() error { return s.f.Close() }
+
+// fireAndForget reproduces the miss the contract exists for: the
+// fsync error evaporates and acked commits stop being durable.
+func fireAndForget(s *segment, buf []byte) {
+	s.f.Write(buf) // want `error from Write is discarded; WAL I/O errors must wedge the log`
+	s.Sync()       // want `error from Sync is discarded; WAL I/O errors must wedge the log`
+}
+
+func blankError(s *segment, buf []byte) int {
+	n, _ := s.f.Write(buf) // want `error from Write assigned to _; WAL I/O errors must wedge the log`
+	return n
+}
+
+// noticedAndDropped checks the error, then does nothing with it.
+func noticedAndDropped(s *segment) bool {
+	err := s.Sync()
+	if err != nil { // want `err checked against nil but the branch never uses it: the WAL error is swallowed`
+		return false
+	}
+	return true
+}

@@ -1,0 +1,57 @@
+package walerr
+
+import (
+	"errors"
+	"os"
+)
+
+var errWedged = errors.New("wal: log failed")
+var errTorn = errors.New("wal: torn record")
+
+type log struct {
+	seg    *segment
+	failed bool
+}
+
+// fail is the wedge: the first I/O error sticks.
+func (l *log) fail(err error) {
+	if !l.failed {
+		l.failed = true
+	}
+}
+
+// routed handles every error: propagated or wedged, never dropped.
+func (l *log) routed(buf []byte) error {
+	if _, err := l.seg.f.Write(buf); err != nil {
+		l.fail(err)
+		return err
+	}
+	if err := l.seg.Sync(); err != nil {
+		l.fail(err)
+		return errWedged
+	}
+	// Close errors are exempt: the sync above already certified the
+	// data, so a close failure carries no durability information.
+	l.seg.Close()
+	return nil
+}
+
+// normalized maps a parse failure to a sentinel: the caller still sees
+// a non-nil error, so nothing is swallowed.
+func normalized(l *log, buf []byte) error {
+	if _, err := l.seg.f.Write(buf); err != nil {
+		return errTorn
+	}
+	if err := l.seg.Sync(); err != nil {
+		panic("unreachable in tests")
+	}
+	return nil
+}
+
+// prune removals are best-effort by contract: a failed Remove is
+// retried by the next checkpoint and never loses committed data.
+func prune(names []string) {
+	for _, n := range names {
+		os.Remove(n)
+	}
+}

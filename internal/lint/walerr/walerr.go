@@ -1,0 +1,164 @@
+// Package walerr enforces internal/wal's failure contract at compile
+// time. The WAL's promise is "the first I/O error wedges the log":
+// every write/fsync error must reach Log.fail (and through it the
+// OnFailure callback that flips tbtmd read-only) or be returned to a
+// caller that does. Before this analyzer the contract was convention
+// only — one swallowed error and acknowledged commits can silently
+// stop hitting disk while the server keeps acking.
+//
+// Two patterns are flagged, in WAL packages only:
+//
+//   - a discarded I/O error: calling Write/Flush/Sync/Create/SyncDir/
+//     Truncate/Rename as a bare statement or assigning its error to _.
+//     (Close is exempt: the log fsyncs before closing, so a close
+//     error carries no durability information. Remove is exempt:
+//     segment/checkpoint pruning is best-effort by contract — a failed
+//     removal is retried by the next checkpoint and never loses data.)
+//   - a swallowed check: `if err != nil { ... }` whose body never uses
+//     err — the error was noticed and then dropped on the floor
+//     instead of being routed to the wedge or propagated. A branch
+//     that returns a non-nil error of its own (sentinel normalization
+//     such as errTorn/errCkptCorrupt on the read path) or panics still
+//     fails the operation, so it is not a swallow.
+package walerr
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"tbtm/internal/lint/analysis"
+)
+
+// Analyzer is the walerr pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "walerr",
+	Doc:  "forbid discarding or swallowing I/O errors in internal/wal",
+	Match: func(pkgPath string) bool {
+		return strings.Contains(pkgPath, "internal/wal")
+	},
+	Run: run,
+}
+
+// ioMethods are the I/O calls whose errors carry durability meaning.
+var ioMethods = map[string]bool{
+	"Write":       true,
+	"WriteAt":     true,
+	"WriteString": true,
+	"Flush":       true,
+	"Sync":        true,
+	"Create":      true,
+	"SyncDir":     true,
+	"Truncate":    true,
+	"Rename":      true,
+}
+
+func run(pass *analysis.Pass) error {
+	info := pass.TypesInfo
+
+	// ioCall reports whether the call is an I/O method whose last
+	// result is an error.
+	ioCall := func(call *ast.CallExpr) (string, bool) {
+		fn := analysis.CalleeFunc(info, call)
+		if fn == nil || !ioMethods[fn.Name()] {
+			return "", false
+		}
+		sig, ok := fn.Type().(*types.Signature)
+		if !ok || sig.Results().Len() == 0 {
+			return "", false
+		}
+		last := sig.Results().At(sig.Results().Len() - 1).Type()
+		if !types.Identical(last, types.Universe.Lookup("error").Type()) {
+			return "", false
+		}
+		return fn.Name(), true
+	}
+
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch node := n.(type) {
+			case *ast.ExprStmt:
+				if call, ok := ast.Unparen(node.X).(*ast.CallExpr); ok {
+					if name, ok := ioCall(call); ok {
+						pass.Reportf(call.Pos(), "error from %s is discarded; WAL I/O errors must wedge the log (fail/OnFailure) or be returned", name)
+					}
+				}
+			case *ast.AssignStmt:
+				for i, rhs := range node.Rhs {
+					call, ok := ast.Unparen(rhs).(*ast.CallExpr)
+					if !ok || len(node.Rhs) != 1 {
+						continue
+					}
+					name, ok := ioCall(call)
+					if !ok {
+						continue
+					}
+					// The error is the last LHS position in a multi-assign
+					// from one call; in a 1:1 assign it is the only LHS.
+					errPos := len(node.Lhs) - 1
+					if i == 0 {
+						if id, ok := node.Lhs[errPos].(*ast.Ident); ok && id.Name == "_" {
+							pass.Reportf(id.Pos(), "error from %s assigned to _; WAL I/O errors must wedge the log (fail/OnFailure) or be returned", name)
+						}
+					}
+				}
+			case *ast.IfStmt:
+				checkSwallowed(pass, node)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// checkSwallowed flags `if err != nil` bodies that never use err and
+// do not fail the operation some other way (returning a non-nil error
+// of their own, or panicking).
+func checkSwallowed(pass *analysis.Pass, ifs *ast.IfStmt) {
+	bin, ok := ifs.Cond.(*ast.BinaryExpr)
+	if !ok || bin.Op != token.NEQ {
+		return
+	}
+	var errIdent *ast.Ident
+	for _, side := range []ast.Expr{bin.X, bin.Y} {
+		if id, ok := ast.Unparen(side).(*ast.Ident); ok && id.Name != "nil" {
+			if obj := pass.TypesInfo.Uses[id]; obj != nil &&
+				types.Identical(obj.Type(), types.Universe.Lookup("error").Type()) {
+				errIdent = id
+			}
+		}
+	}
+	if errIdent == nil {
+		return
+	}
+	obj := pass.TypesInfo.Uses[errIdent]
+	errType := types.Universe.Lookup("error").Type()
+	used := false
+	ast.Inspect(ifs.Body, func(n ast.Node) bool {
+		switch node := n.(type) {
+		case *ast.Ident:
+			if pass.TypesInfo.Uses[node] == obj {
+				used = true
+			}
+		case *ast.ReturnStmt:
+			// Returning a non-nil error (a wrapped error or a sentinel
+			// like errTorn) fails the operation: the caller still sees
+			// a failure, so nothing was swallowed.
+			for _, res := range node.Results {
+				tv, ok := pass.TypesInfo.Types[res]
+				if ok && !tv.IsNil() && types.AssignableTo(tv.Type, errType) {
+					used = true
+				}
+			}
+		case *ast.CallExpr:
+			if id, ok := ast.Unparen(node.Fun).(*ast.Ident); ok && id.Name == "panic" {
+				used = true
+			}
+		}
+		return !used
+	})
+	if !used {
+		pass.Reportf(ifs.Pos(), "%s checked against nil but the branch never uses it: the WAL error is swallowed instead of wedging the log or propagating", errIdent.Name)
+	}
+}

@@ -1,0 +1,12 @@
+package walerr_test
+
+import (
+	"testing"
+
+	"tbtm/internal/lint/analysistest"
+	"tbtm/internal/lint/walerr"
+)
+
+func TestWalerr(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), walerr.Analyzer, "walerr")
+}

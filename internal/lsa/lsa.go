@@ -372,6 +372,8 @@ func (tx *Tx) noReadSetFastPath() bool { return tx.ro && tx.stm.cfg.NoReadSets }
 // stabilize waits until o has no committing writer (its install is in
 // flight) and returns the current writer, which is nil, tx's own meta, a
 // still-active enemy, or a terminal leftover.
+//
+//tbtm:pinned
 func (tx *Tx) stabilize(o *core.Object) *core.TxMeta {
 	for round := 0; ; round++ {
 		w := o.Writer()
@@ -387,6 +389,9 @@ func (tx *Tx) stabilize(o *core.Object) *core.TxMeta {
 }
 
 // newestAt returns the newest version of o with TS <= t, or nil.
+//
+//tbtm:pinned
+//tbtm:noalloc
 func newestAt(o *core.Object, t uint64) *core.Version {
 	for v := o.Current(); v != nil; v = v.Prev() {
 		if v.TS <= t {
@@ -403,6 +408,8 @@ func (tx *Tx) fail(err error) error {
 }
 
 // Read returns the transaction's view of o.
+//
+//tbtm:pinned
 func (tx *Tx) Read(o *core.Object) (any, error) {
 	if tx.done {
 		return nil, core.ErrTxDone
@@ -491,6 +498,8 @@ func (tx *Tx) Read(o *core.Object) (any, error) {
 // read-set walk. The window is complete because on a strictly
 // commit-counting time base every tick at or below the observed now was
 // acquired — and its record claimed — before Now returned it.
+//
+//tbtm:pinned
 func (tx *Tx) tryExtend() bool {
 	if tx.stm.cfg.NoExtension {
 		return false
@@ -522,6 +531,8 @@ func (tx *Tx) tryExtend() bool {
 // record) means "validate the slow way", never "conflict": records are
 // published before their writer's own validation, so a hit may stem
 // from a writer that went on to abort.
+//
+//tbtm:pinned
 func (tx *Tx) logClear(lb, ub uint64) bool {
 	log := tx.stm.log
 	if log == nil {
@@ -550,6 +561,9 @@ func (tx *Tx) logClear(lb, ub uint64) bool {
 // their versions landing late on the scalar timeline — so old-version
 // reads must refuse to skip them even though LSA's own linearizability
 // at ub holds. Plain LSA transactions carry zone 0 and skip the walk.
+//
+//tbtm:pinned
+//tbtm:noalloc
 func (tx *Tx) zoneUnsafe(o *core.Object, v *core.Version) bool {
 	if tx.zone == 0 {
 		return false
@@ -565,6 +579,8 @@ func (tx *Tx) zoneUnsafe(o *core.Object, v *core.Version) bool {
 // validateAt reports whether every read version is still the newest
 // version at time t. Committing writers are waited out first so that
 // in-flight installs (whose commit time may be <= t) are observed.
+//
+//tbtm:pinned
 func (tx *Tx) validateAt(t uint64) bool {
 	for _, r := range tx.reads {
 		tx.stabilize(r.obj)
@@ -707,6 +723,8 @@ func (tx *Tx) Commit() error {
 // publishLog records the transaction's write set in the commit log
 // under its freshly acquired commit time, reusing the thread's ID
 // buffer so the hot path allocates nothing once warm.
+//
+//tbtm:noalloc
 func (tx *Tx) publishLog(ct uint64) {
 	log := tx.stm.log
 	if log == nil {

@@ -79,7 +79,7 @@ func Open(opts Options) (*Log, *Recovered, error) {
 	base := map[string][]byte{}
 	for _, s := range ckptSeqs {
 		pairs, err := readCheckpoint(fs, filepath.Join(dir, ckptName(s)))
-		if err != nil {
+		if err != nil { //tbtm:ignore walerr — fallback policy: a bad checkpoint is skipped, the previous one is authoritative
 			continue // corrupt or torn checkpoint: try the previous one
 		}
 		base = pairs

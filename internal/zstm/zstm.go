@@ -306,6 +306,11 @@ func (th *Thread) BeginLong(readOnly bool) *LongTx {
 	tx.writes = tx.writes[:0]
 	tx.windex.Reset()
 	tx.done = false
-	th.stm.registerZone(tx.zc, tx.meta)
+	// registerZone takes stm.mu while this thread is pinned. The
+	// critical section is a bounded map insert (no I/O, no waits), so
+	// it cannot stall epoch advancement for longer than a map write;
+	// registration cannot move before Pin because the meta comes from
+	// the epoch-gated recycler.
+	th.stm.registerZone(tx.zc, tx.meta) //tbtm:ignore epochpin — bounded map-insert critical section under pin
 	return tx
 }

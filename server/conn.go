@@ -61,6 +61,8 @@ type keyCacheEntry struct {
 }
 
 // keySlot hashes key bytes to a cache slot (FNV-1a, truncated).
+//
+//tbtm:noalloc
 func keySlot(b []byte) int {
 	h := uint32(2166136261)
 	for _, c := range b {
@@ -141,6 +143,8 @@ func newPconn(s *Server, c net.Conn) *pconn {
 
 // keyString converts a wire key to the store's string key through the
 // connection's direct-mapped cache.
+//
+//tbtm:allocok
 func (cn *pconn) keyString(b []byte) string {
 	e := &cn.keys[keySlot(b)]
 	if e.str != "" && bytes.Equal(b, e.raw) {
@@ -152,6 +156,8 @@ func (cn *pconn) keyString(b []byte) string {
 }
 
 // grow ensures at least n spare bytes in the read buffer.
+//
+//tbtm:allocok
 func (cn *pconn) grow(n int) {
 	if cap(cn.in)-len(cn.in) >= n {
 		return
@@ -175,6 +181,8 @@ func (cn *pconn) grow(n int) {
 
 // compact drops the consumed prefix, moving any partial frame to the
 // front of the buffer.
+//
+//tbtm:noalloc
 func (cn *pconn) compact() {
 	if cn.inoff == 0 {
 		return
@@ -385,6 +393,8 @@ func (cn *pconn) rerunSolo(batchErr error) {
 
 // appendSubResp encodes one batch entry's wire response body (after the
 // sequence ID): the same formats as the top-level single-key ops.
+//
+//tbtm:noalloc
 func appendSubResp(b []byte, op Op, r *subResult) []byte {
 	switch op {
 	case OpGet:
@@ -573,6 +583,8 @@ func (cn *pconn) dispatchBlocking(seq uint64) {
 }
 
 // beginResp starts a response body in the reader-owned scratch buffer.
+//
+//tbtm:noalloc
 func (cn *pconn) beginResp(seq uint64) []byte {
 	return binary.AppendUvarint(cn.resp[:0], seq)
 }
@@ -581,13 +593,11 @@ func (cn *pconn) beginResp(seq uint64) []byte {
 // body (an unbounded RANGE over a big store) is replaced by a
 // StatusError frame rather than desynchronising a client whose
 // readFrame would reject the length prefix without consuming the body.
+//
+//tbtm:noalloc
 func (cn *pconn) queueResp(body []byte) {
 	if len(body) > cn.s.cfg.MaxFrame {
-		seq, _, _ := takeUvarint(body)
-		body = binary.AppendUvarint(body[:0], seq)
-		body = append(body, byte(StatusError))
-		body = appendString(body, fmt.Sprintf(
-			"server: reply exceeds the %d-byte frame limit; narrow the range or pass a limit and resume from the last key", cn.s.cfg.MaxFrame))
+		body = cn.oversizedResp(body)
 	}
 	cn.wmu.Lock()
 	var hdr [4]byte
@@ -603,7 +613,22 @@ func (cn *pconn) queueResp(body []byte) {
 	}
 }
 
+// oversizedResp rewrites an over-limit body into a StatusError frame.
+// Cold by construction: it only runs when a reply already blew the
+// frame limit, so the formatting allocation is irrelevant.
+//
+//tbtm:allocok
+func (cn *pconn) oversizedResp(body []byte) []byte {
+	seq, _, _ := takeUvarint(body)
+	body = binary.AppendUvarint(body[:0], seq)
+	body = append(body, byte(StatusError))
+	return appendString(body, fmt.Sprintf(
+		"server: reply exceeds the %d-byte frame limit; narrow the range or pass a limit and resume from the last key", cn.s.cfg.MaxFrame))
+}
+
 // flushWire writes the buffered response frames with one Write.
+//
+//tbtm:noalloc
 func (cn *pconn) flushWire() error {
 	cn.wmu.Lock()
 	defer cn.wmu.Unlock()

@@ -173,12 +173,16 @@ func readFrame(r io.Reader, hdr *[4]byte, buf []byte, maxFrame int) ([]byte, []b
 }
 
 // appendBytes appends a uvarint-length-prefixed byte string.
+//
+//tbtm:noalloc
 func appendBytes(b, p []byte) []byte {
 	b = binary.AppendUvarint(b, uint64(len(p)))
 	return append(b, p...)
 }
 
 // appendString is appendBytes for string payloads without conversion.
+//
+//tbtm:noalloc
 func appendString(b []byte, s string) []byte {
 	b = binary.AppendUvarint(b, uint64(len(s)))
 	return append(b, s...)
@@ -195,6 +199,8 @@ func takeBytes(p []byte) ([]byte, []byte, error) {
 }
 
 // takeUvarint consumes one uvarint from p.
+//
+//tbtm:noalloc
 func takeUvarint(p []byte) (uint64, []byte, error) {
 	n, sz := binary.Uvarint(p)
 	if sz <= 0 {

@@ -380,6 +380,8 @@ func (s *Server) cancelBlocked(v *tbtm.Var[bool]) {
 	})
 }
 
+//
+//tbtm:noalloc
 func boolByte(b bool) byte {
 	if b {
 		return 1
