@@ -68,13 +68,14 @@ type Point struct {
 
 // Snapshot is the emitted document.
 type Snapshot struct {
-	PR        int     `json:"pr"`
-	GoVersion string  `json:"go_version"`
-	NumCPU    int     `json:"num_cpu"`
-	GOARCH    string  `json:"goarch"`
-	Note      string  `json:"note,omitempty"`
-	Benchtime string  `json:"benchtime"`
-	Points    []Point `json:"points"`
+	PR         int     `json:"pr"`
+	GoVersion  string  `json:"go_version"`
+	NumCPU     int     `json:"num_cpu"`
+	GOMAXPROCS int     `json:"gomaxprocs"`
+	GOARCH     string  `json:"goarch"`
+	Note       string  `json:"note,omitempty"`
+	Benchtime  string  `json:"benchtime"`
+	Points     []Point `json:"points"`
 }
 
 func main() {
@@ -148,14 +149,19 @@ func run(args []string) error {
 	}
 
 	snap := Snapshot{
-		PR:        *pr,
-		GoVersion: runtime.Version(),
-		NumCPU:    runtime.NumCPU(),
-		GOARCH:    runtime.GOARCH,
-		Benchtime: benchtime.String(),
+		PR:         *pr,
+		GoVersion:  runtime.Version(),
+		NumCPU:     runtime.NumCPU(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		GOARCH:     runtime.GOARCH,
+		Benchtime:  benchtime.String(),
 	}
+	// Stamp the parallelism the numbers were measured under into the
+	// human-readable note too: a snapshot compared across hosts is
+	// meaningless without it.
+	snap.Note = fmt.Sprintf("num_cpu=%d gomaxprocs=%d", runtime.NumCPU(), runtime.GOMAXPROCS(0))
 	if runtime.NumCPU() == 1 {
-		snap.Note = "single-CPU host: goroutines timeshare one core, so parallel speedups are not visible in wall-clock"
+		snap.Note += "; single-CPU host: goroutines timeshare one core, so parallel speedups are not visible in wall-clock"
 	}
 
 	for _, s := range allSeries() {

@@ -1,0 +1,164 @@
+// Command replsmoke drives and verifies the CI replication drill: a
+// durable primary, a read replica following its WAL, a kill -9 of the
+// replica mid-stream, a restart, and a catch-up assertion.
+//
+//	replsmoke -mode seed -primary :7420 -keys 32 -round 1
+//	replsmoke -mode verify -primary :7420 -replica :7421 -keys 32 -round 1
+//
+// Seed writes keys repl:0..N-1 with values "round-<r>-<i>" to the
+// PRIMARY. Verify polls the REPLICA's STATS until it reports a live
+// primary connection with zero replication lag, then:
+//
+//   - reads every sentinel from the replica and compares it with the
+//     seeded round's value (a torn or stale replica fails the drill),
+//   - requires a SET against the replica to be refused with the
+//     replica-specific read-only status (routing, not degradation),
+//   - prints the replica's final lag/applied gauges.
+//
+// Both modes exit non-zero on any violation; the CI job's shell does
+// the process choreography (start, kill -9, restart) around them.
+package main
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"tbtm/server"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "replsmoke:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("replsmoke", flag.ContinueOnError)
+	mode := fs.String("mode", "", "seed | verify")
+	primary := fs.String("primary", "127.0.0.1:7420", "primary tbtmd address")
+	replica := fs.String("replica", "127.0.0.1:7421", "replica tbtmd address (verify)")
+	keys := fs.Int("keys", 32, "number of sentinel keys")
+	round := fs.Int("round", 1, "seeding round stamped into the values")
+	wait := fs.Duration("wait", 10*time.Second, "dial-retry budget per server")
+	lagWait := fs.Duration("lag-wait", 30*time.Second, "how long verify waits for replication lag to reach 0")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	switch *mode {
+	case "seed":
+		cl, err := dial(*primary, *wait)
+		if err != nil {
+			return err
+		}
+		defer cl.Close()
+		for i := 0; i < *keys; i++ {
+			if err := cl.Set(sentinelKey(i), []byte(sentinelVal(*round, i))); err != nil {
+				return fmt.Errorf("seeding %s: %w", sentinelKey(i), err)
+			}
+		}
+		fmt.Printf("replsmoke: seeded %d sentinels at round %d on %s\n", *keys, *round, *primary)
+		return nil
+
+	case "verify":
+		rcl, err := dial(*replica, *wait)
+		if err != nil {
+			return err
+		}
+		defer rcl.Close()
+		pcl, err := dial(*primary, *wait)
+		if err != nil {
+			return err
+		}
+		defer pcl.Close()
+
+		// Catch-up: the replica must reach a connected, zero-lag state
+		// with everything the PRIMARY's WAL has assigned applied. The
+		// replica's own lag gauge is computed against its last-heard
+		// primary seq, which trails the truth between heartbeats, so the
+		// gate reads the primary's STATS directly.
+		deadline := time.Now().Add(*lagWait)
+		var st server.StatsReply
+		for {
+			pst, err := pcl.Stats()
+			if err != nil {
+				return fmt.Errorf("primary stats: %w", err)
+			}
+			if pst.WAL == nil {
+				return fmt.Errorf("primary at %s reports no WAL section (not durable?)", *primary)
+			}
+			st, err = rcl.Stats()
+			if err != nil {
+				return fmt.Errorf("replica stats: %w", err)
+			}
+			if st.Repl == nil {
+				return fmt.Errorf("replica at %s reports no replication section (not started with -replica-of?)", *replica)
+			}
+			if st.Repl.Connected && st.Repl.Lag == 0 && st.Repl.AppliedSeq >= pst.WAL.LastSeq {
+				break
+			}
+			if time.Now().After(deadline) {
+				return fmt.Errorf("replica never caught up within %v: connected=%v lag=%d applied=%d primary=%d (primary wal seq %d)",
+					*lagWait, st.Repl.Connected, st.Repl.Lag, st.Repl.AppliedSeq, st.Repl.PrimarySeq, pst.WAL.LastSeq)
+			}
+			time.Sleep(50 * time.Millisecond)
+		}
+
+		bad := 0
+		for i := 0; i < *keys; i++ {
+			v, ok, err := rcl.Get(sentinelKey(i))
+			if err != nil {
+				return fmt.Errorf("replica read %s: %w", sentinelKey(i), err)
+			}
+			if !ok {
+				fmt.Fprintf(os.Stderr, "replsmoke: %s MISSING on the replica\n", sentinelKey(i))
+				bad++
+			} else if string(v) != sentinelVal(*round, i) {
+				fmt.Fprintf(os.Stderr, "replsmoke: %s = %q on the replica, want %q\n",
+					sentinelKey(i), v, sentinelVal(*round, i))
+				bad++
+			}
+		}
+		if bad > 0 {
+			return fmt.Errorf("%d of %d sentinels wrong on the caught-up replica", bad, *keys)
+		}
+
+		// Writes must be refused with the replica routing error, not the
+		// primary's degradation error and not success.
+		if err := rcl.Set("repl-smoke-write", []byte("x")); !errors.Is(err, server.ErrReplicaRead) {
+			return fmt.Errorf("replica SET = %v, want ErrReplicaRead", err)
+		}
+		fmt.Printf("replsmoke: replica caught up (applied=%d, bootstraps=%d, reconnects=%d); %d sentinels match round %d; writes refused\n",
+			st.Repl.AppliedSeq, st.Repl.Bootstraps, st.Repl.Reconnects, *keys, *round)
+		return nil
+
+	default:
+		return fmt.Errorf("unknown -mode %q (want seed or verify)", *mode)
+	}
+}
+
+// dial retries until the server answers or the wait budget runs out, so
+// the drill does not race a restarting server's listen.
+func dial(addr string, wait time.Duration) (*server.Client, error) {
+	deadline := time.Now().Add(wait)
+	for {
+		cl, err := server.DialTimeout(addr, 2*time.Second)
+		if err == nil {
+			if err = cl.Ping(); err == nil {
+				return cl, nil
+			}
+			cl.Close()
+		}
+		if time.Now().After(deadline) {
+			return nil, fmt.Errorf("server at %s not reachable within %v: %w", addr, wait, err)
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+}
+
+func sentinelKey(i int) string        { return fmt.Sprintf("repl:%d", i) }
+func sentinelVal(r int, i int) string { return fmt.Sprintf("round-%d-%d", r, i) }

@@ -12,6 +12,7 @@
 //	tbtmd -duration 30s                 # serve, then exit gracefully (CI smoke)
 //	tbtmd -data-dir /var/lib/tbtmd      # durable: WAL + checkpoints + recovery
 //	tbtmd -data-dir d -durability relaxed -fsync-interval 2ms
+//	tbtmd -replica-of 10.0.0.1:7420     # read replica following that primary's WAL
 //
 // With -data-dir the server write-ahead-logs every update commit and
 // recovers the store from the latest checkpoint plus the log tail on
@@ -20,6 +21,13 @@
 // only after fsync, relaxed after the OS write with group fsync in the
 // background, none never fsyncs outside rotation. Requires a
 // scalar-clock criterion (not causal/serializable).
+//
+// With -replica-of the server is a read replica: it bootstraps from the
+// primary's newest checkpoint, tails its WAL, applies every record as
+// an ordinary engine transaction, serves reads (GET/RANGE/read-only
+// MULTI, and WAIT woken by replicated writes) from snapshot-consistent
+// local state, and refuses writes with a replica-specific read-only
+// status. STATS reports the replication lag.
 //
 // SIGINT/SIGTERM shut the server down gracefully: parked clients are
 // woken with StatusClosed, in-flight responses drain, then connections
@@ -63,6 +71,8 @@ func run(args []string) error {
 	fsyncInterval := fs.Duration("fsync-interval", 0, "relaxed mode: fsync at least this often (0 = 5ms)")
 	segmentBytes := fs.Int64("segment-bytes", 0, "rotate WAL segments at this size (0 = 8MiB)")
 	checkpointBytes := fs.Int64("checkpoint-bytes", 0, "checkpoint when live WAL bytes exceed this (0 = 64MiB)")
+	replicaOf := fs.String("replica-of", "", "follow the durable primary at this address as a read replica (excludes -data-dir)")
+	replicaBackoff := fs.Duration("replica-backoff", 0, "replica initial reconnect delay (0 = 50ms, doubling to 2s)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -81,6 +91,8 @@ func run(args []string) error {
 		FsyncInterval:   *fsyncInterval,
 		SegmentBytes:    *segmentBytes,
 		CheckpointBytes: *checkpointBytes,
+		ReplicaOf:       *replicaOf,
+		ReplicaBackoff:  *replicaBackoff,
 	}
 	if *versions > 0 {
 		cfg.TMOptions = append(cfg.TMOptions, tbtm.WithVersions(*versions))
@@ -105,8 +117,12 @@ func run(args []string) error {
 	if *dataDir != "" {
 		mode = *durability
 	}
-	log.Printf("tbtmd: serving %s on %s (leases=%s blocking=%s durability=%s)",
-		*consistency, ln.Addr(), cfgOrDefault(*leases, "auto"), cfgOrDefault(*blockingLeases, "64"), mode)
+	role := ""
+	if *replicaOf != "" {
+		role = fmt.Sprintf(" replica-of=%s", *replicaOf)
+	}
+	log.Printf("tbtmd: serving %s on %s (leases=%s blocking=%s durability=%s%s)",
+		*consistency, ln.Addr(), cfgOrDefault(*leases, "auto"), cfgOrDefault(*blockingLeases, "64"), mode, role)
 
 	stop := make(chan struct{})
 	closeDone := make(chan error, 1)
@@ -138,8 +154,13 @@ func run(args []string) error {
 				cur := srv.TM().Stats()
 				d := cur.Sub(prev)
 				prev = cur
-				log.Printf("tbtmd: interval commits=%d aborts=%d conflicts=%d parks=%d wakeups=%d",
-					d.Commits+d.LongCommits, d.Aborts+d.LongAborts, d.Conflicts, d.Parks, d.Wakeups)
+				repl := ""
+				if *replicaOf != "" {
+					rs := srv.ReplicaStats()
+					repl = fmt.Sprintf(" repl-lag=%d repl-applied=%d repl-connected=%v", rs.Lag, rs.AppliedSeq, rs.Connected)
+				}
+				log.Printf("tbtmd: interval commits=%d aborts=%d conflicts=%d parks=%d wakeups=%d%s",
+					d.Commits+d.LongCommits, d.Aborts+d.LongAborts, d.Conflicts, d.Parks, d.Wakeups, repl)
 			}
 		}()
 	}

@@ -1,0 +1,378 @@
+package wal
+
+// Live tail: following the log past a given sequence number.
+//
+// A Follower streams the log's records — sealed segments, the growing
+// active segment, and then batches as the batcher writes them — to a
+// consumer (tbtmd's replication layer). The contract is seq-contiguous
+// delivery: every call to Recv returns a chunk of whole records whose
+// first seq is exactly one past the last chunk's, in one epoch.
+//
+// The design splits delivery into two phases:
+//
+//   - FILE phase: while the follower is behind the subscribe-time
+//     boundary, chunks are read straight from segment files. The
+//     boundary is the last seq the batcher had written when the
+//     follower subscribed, captured under iomu right after flushing the
+//     segment writer — so every record at or below it is file-visible,
+//     and bytes past it (possibly torn mid-write at the live edge) are
+//     never examined.
+//
+//   - LIVE phase: at the boundary the follower switches to its
+//     subscription channel, which the batcher feeds one chunk per
+//     written batch (the batch buffer itself — immutable once written —
+//     shared by every subscriber, no copies). Subscription happened
+//     under the same iomu hold that read the boundary, and batches are
+//     written under iomu in seq order, so the first live chunk starts
+//     exactly at boundary+1.
+//
+// A follower that cannot keep up does not stall the batcher: the
+// subscription channel is buffered, and when it fills the batcher
+// CLOSES it and forgets the subscriber. The follower observes the
+// closed channel and falls back to the file phase (re-subscribing for a
+// fresh boundary), re-reading what it missed from the files. Rotation
+// is transparent (chunks never span segments; sealed segments are
+// plain files); checkpoint pruning under an active follower surfaces as
+// a failed file open, reported as ErrPruned — the consumer restarts
+// from the latest checkpoint, which is exactly what pruning promises is
+// sufficient.
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"path/filepath"
+)
+
+// ErrPruned reports that the requested position has been pruned by a
+// checkpoint: the follower must bootstrap from the latest checkpoint
+// instead of tailing records.
+var ErrPruned = errors.New("wal: position pruned by checkpoint; bootstrap from checkpoint")
+
+// ErrStopped reports that Recv returned because the caller's stop
+// channel closed.
+var ErrStopped = errors.New("wal: follower stopped")
+
+// maxFileChunk bounds one file-phase chunk (whole records only).
+const maxFileChunk = 256 << 10
+
+// Chunk is one seq-contiguous run of raw encoded records from a single
+// epoch. Bytes is owned by the log (a batch buffer or a file read);
+// consumers must not modify it, and must copy if they retain it past
+// the next Recv.
+type Chunk struct {
+	Epoch uint64
+	First uint64
+	Last  uint64
+	Bytes []byte
+}
+
+// subscriber is one live-phase listener. The batcher sends each written
+// batch's chunk non-blockingly; a full channel means the follower
+// lagged, and the batcher closes the channel instead of waiting.
+type subscriber struct {
+	ch chan Chunk
+}
+
+// Record is a decoded WAL record (the exported face of the on-disk
+// format, for replicas applying shipped chunks).
+type Record struct {
+	Seq  uint64
+	Tick uint64
+	Ops  []Op
+}
+
+// DecodeRecord decodes the record at the head of b, returning it and
+// the encoded size. Errors mean torn or corrupt bytes.
+func DecodeRecord(b []byte) (Record, int, error) {
+	r, n, err := nextRecord(b)
+	if err != nil {
+		return Record{}, 0, err
+	}
+	return Record{Seq: r.seq, Tick: r.tick, Ops: r.ops}, n, nil
+}
+
+// CheckpointSeq returns the seq the newest on-disk checkpoint covers (0
+// if none).
+func (l *Log) CheckpointSeq() uint64 {
+	l.iomu.Lock()
+	defer l.iomu.Unlock()
+	return l.ckptSeq
+}
+
+// ReadCheckpoint loads the newest checkpoint's pairs and the seq it
+// covers (nil, 0 when no checkpoint exists). It retries when a
+// concurrent checkpoint prunes the file it was reading.
+func (l *Log) ReadCheckpoint() (map[string][]byte, uint64, error) {
+	for tries := 0; ; tries++ {
+		upTo := l.CheckpointSeq()
+		if upTo == 0 {
+			return nil, 0, nil
+		}
+		pairs, err := readCheckpoint(l.fs, filepath.Join(l.dir, ckptName(upTo)))
+		if err == nil {
+			return pairs, upTo, nil
+		}
+		// A newer checkpoint may have pruned this one mid-read; retry
+		// against the new one. A stable failure is real corruption.
+		if l.CheckpointSeq() == upTo || tries >= 3 {
+			return nil, 0, fmt.Errorf("wal: reading checkpoint %d: %w", upTo, err)
+		}
+	}
+}
+
+// Follower streams records past a position. Not safe for concurrent
+// use; Close when done.
+type Follower struct {
+	l        *Log
+	pos      uint64 // last seq delivered to the consumer
+	boundary uint64 // file phase covers (pos, boundary]; live past it
+	sub      *subscriber
+}
+
+// Follow opens a follower positioned after afterSeq: the first chunk
+// Recv returns starts at afterSeq+1. ErrPruned means that position is
+// below the pruning horizon — bootstrap from the checkpoint (see
+// ReadCheckpoint) and follow from its covered seq instead.
+func (l *Log) Follow(afterSeq uint64) (*Follower, error) {
+	l.mu.Lock()
+	closing := l.closing
+	l.mu.Unlock()
+	if closing {
+		return nil, ErrClosed
+	}
+	if afterSeq < l.CheckpointSeq() {
+		return nil, ErrPruned
+	}
+	f := &Follower{l: l, pos: afterSeq}
+	if err := f.resubscribe(); err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+// resubscribe registers a fresh live subscription and captures its
+// boundary: everything at or below it is file-visible (the segment
+// writer is flushed under the same iomu hold), everything past it will
+// arrive on the channel.
+func (f *Follower) resubscribe() error {
+	l := f.l
+	l.iomu.Lock()
+	defer l.iomu.Unlock()
+	if l.seg != nil && !l.failed.Load() {
+		if err := l.segWriter.Flush(); err != nil {
+			l.fail(err)
+		}
+	}
+	f.sub = &subscriber{ch: make(chan Chunk, 64)}
+	l.subs = append(l.subs, f.sub)
+	f.boundary = l.lastWritten
+	return nil
+}
+
+// Close detaches the follower from the log.
+func (f *Follower) Close() {
+	l := f.l
+	l.iomu.Lock()
+	defer l.iomu.Unlock()
+	for i, s := range l.subs {
+		if s == f.sub {
+			l.subs = append(l.subs[:i], l.subs[i+1:]...)
+			break
+		}
+	}
+	f.sub = nil
+}
+
+// Recv returns the next chunk, blocking in the live phase until the
+// batcher writes one (or stop closes). Errors: ErrStopped (caller's
+// stop), ErrClosed (log shut down), ErrPruned (a checkpoint pruned the
+// follower's position; re-bootstrap), ErrFailed (log wedged).
+func (f *Follower) Recv(stop <-chan struct{}) (Chunk, error) {
+	for {
+		if f.pos < f.boundary {
+			c, err := f.readFileChunk()
+			if err != nil {
+				return Chunk{}, err
+			}
+			f.pos = c.Last
+			return c, nil
+		}
+		select {
+		case c, ok := <-f.sub.ch:
+			if !ok {
+				// Lagged (batcher dropped us) or the log is going away.
+				f.l.mu.Lock()
+				closing := f.l.closing
+				f.l.mu.Unlock()
+				if closing {
+					return Chunk{}, ErrClosed
+				}
+				if f.l.failed.Load() {
+					return Chunk{}, f.l.err()
+				}
+				if err := f.resubscribe(); err != nil {
+					return Chunk{}, err
+				}
+				continue
+			}
+			if c.Last <= f.pos {
+				continue // stale (already read from files after a lag)
+			}
+			if c.First != f.pos+1 {
+				// Gap: a chunk was dropped between channel sends. Fall
+				// back to the files for the missing range.
+				if err := f.resubscribe(); err != nil {
+					return Chunk{}, err
+				}
+				continue
+			}
+			f.pos = c.Last
+			return c, nil
+		case <-stop:
+			return Chunk{}, ErrStopped
+		}
+	}
+}
+
+// ScanRecord validates the record at the head of b (length + CRC) and
+// returns its seq and encoded size without decoding the ops — the file
+// phase and the replication shipper move raw bytes and only need
+// boundaries.
+func ScanRecord(b []byte) (seq uint64, n int, err error) {
+	if len(b) < recHeaderSize {
+		return 0, 0, errTorn
+	}
+	ln := int(binary.BigEndian.Uint32(b))
+	if ln == 0 || ln > maxRecordSize || recHeaderSize+ln > len(b) {
+		return 0, 0, errTorn
+	}
+	payload := b[recHeaderSize : recHeaderSize+ln]
+	if crc32.Checksum(payload, castagnoli) != binary.BigEndian.Uint32(b[4:]) {
+		return 0, 0, errTorn
+	}
+	seq, _, uerr := takeUvarint(payload)
+	if uerr != nil {
+		return 0, 0, errTorn
+	}
+	return seq, recHeaderSize + ln, nil
+}
+
+// readFileChunk reads the next run of records in (pos, boundary] from
+// segment files: locate the segment holding pos+1, skip records already
+// delivered, and collect whole records up to the boundary or the chunk
+// size cap. A failed open means a checkpoint pruned the segment —
+// ErrPruned.
+func (f *Follower) readFileChunk() (Chunk, error) {
+	l := f.l
+	target := f.pos + 1
+	for {
+		l.iomu.Lock()
+		segs := make([]segInfo, 0, len(l.segments)+1)
+		segs = append(segs, l.segments...)
+		if l.seg != nil {
+			segs = append(segs, segInfo{name: l.segName, first: l.segFirst, last: l.lastWritten})
+		}
+		l.iomu.Unlock()
+
+		idx := -1
+		for i := range segs {
+			if segs[i].first <= target {
+				idx = i
+			} else {
+				break
+			}
+		}
+		if idx < 0 {
+			return Chunk{}, ErrPruned
+		}
+		seg := segs[idx]
+		data, err := readAll(l.fs, seg.name)
+		if err != nil {
+			// The segment vanished between the snapshot and the read: a
+			// checkpoint pruned it. (The active segment cannot vanish.)
+			return Chunk{}, ErrPruned
+		}
+		epoch, _, err := parseSegHeader(data)
+		if err != nil {
+			return Chunk{}, fmt.Errorf("wal: following %s: %w", seg.name, err)
+		}
+		var c Chunk
+		c.Epoch = epoch
+		start := -1
+		off := segHeaderSize
+		for off < len(data) {
+			seq, n, err := ScanRecord(data[off:])
+			if err != nil { //tbtm:ignore walerr — torn bytes at the live edge end the scan by design; sealed-segment corruption below the boundary is recovery's to report, not the follower's
+				// Torn bytes below the boundary in a sealed segment would
+				// be corruption, but reaching them means every record we
+				// wanted from this segment was already collected or the
+				// segment ended early; in the active segment they are the
+				// live edge. Either way stop here.
+				break
+			}
+			if seq > f.boundary {
+				break
+			}
+			if seq > f.pos {
+				if start < 0 {
+					start = off
+					c.First = seq
+				}
+				c.Last = seq
+				if off+n-start >= maxFileChunk {
+					off += n
+					break
+				}
+			}
+			off += n
+		}
+		if start >= 0 {
+			c.Bytes = data[start:off]
+			return c, nil
+		}
+		// Nothing new in this segment: the target lives in a later one
+		// (this segment ends below target after pruning-rotation), or the
+		// boundary moved behind a torn live edge. Advance past this
+		// segment if possible; otherwise report the gap.
+		if idx+1 < len(segs) && segs[idx+1].first <= f.boundary {
+			target = segs[idx+1].first
+			continue
+		}
+		return Chunk{}, fmt.Errorf("wal: follower found no records in (%d, %d] of %s", f.pos, f.boundary, seg.name)
+	}
+}
+
+// notifySubsLocked hands a written batch to every live subscriber.
+// Caller holds iomu. The batch buffer is immutable from here on and is
+// shared, not copied; a subscriber whose channel is full is dropped
+// (closed channel = "you lagged; re-read the files").
+func (l *Log) notifySubsLocked(b *batch) {
+	if len(l.subs) == 0 {
+		return
+	}
+	c := Chunk{Epoch: l.epoch, First: b.first, Last: b.last, Bytes: b.buf}
+	keep := l.subs[:0]
+	for _, s := range l.subs {
+		select {
+		case s.ch <- c:
+			keep = append(keep, s)
+		default:
+			close(s.ch)
+		}
+	}
+	for i := len(keep); i < len(l.subs); i++ {
+		l.subs[i] = nil
+	}
+	l.subs = keep
+}
+
+// closeSubsLocked drops every subscriber (shutdown or a wedged log).
+// Caller holds iomu.
+func (l *Log) closeSubsLocked() {
+	for _, s := range l.subs {
+		close(s.ch)
+	}
+	l.subs = nil
+}

@@ -1,0 +1,310 @@
+package wal
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+)
+
+// collectRecords drains chunks from f until the last delivered seq
+// reaches want, asserting seq contiguity across chunks, and returns
+// every decoded record in order.
+func collectRecords(t *testing.T, f *Follower, after, want uint64) []Record {
+	t.Helper()
+	stop := make(chan struct{})
+	time.AfterFunc(30*time.Second, func() { close(stop) })
+	var out []Record
+	pos := after
+	for pos < want {
+		c, err := f.Recv(stop)
+		if err != nil {
+			t.Fatalf("Recv after seq %d: %v", pos, err)
+		}
+		if c.First != pos+1 {
+			t.Fatalf("chunk starts at %d, want %d (gap)", c.First, pos+1)
+		}
+		b := c.Bytes
+		for len(b) > 0 {
+			rec, n, err := DecodeRecord(b)
+			if err != nil {
+				t.Fatalf("decode at seq %d: %v", pos+1, err)
+			}
+			if rec.Seq != pos+1 {
+				t.Fatalf("record seq %d, want %d", rec.Seq, pos+1)
+			}
+			out = append(out, rec)
+			pos = rec.Seq
+			b = b[n:]
+		}
+		if pos != c.Last {
+			t.Fatalf("chunk claimed Last=%d but decoded through %d", c.Last, pos)
+		}
+	}
+	return out
+}
+
+// TestFollowFileThenLive pins the two-phase hand-off: records appended
+// before Follow arrive from segment files, records appended after
+// arrive from the live subscription, and the seam is seq-contiguous.
+func TestFollowFileThenLive(t *testing.T) {
+	fs := NewMemFS()
+	l, _ := openMem(t, fs, ModeStrict)
+	defer l.Close()
+	for i := 1; i <= 5; i++ {
+		mustAppend(t, l, uint64(i), set(fmt.Sprintf("k%d", i), "v")).Wait()
+	}
+	f, err := l.Follow(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	recs := collectRecords(t, f, 0, 5)
+	if len(recs) != 5 || recs[0].Ops[0].Key != "k1" || recs[4].Ops[0].Key != "k5" {
+		t.Fatalf("file phase: %+v", recs)
+	}
+	// Live phase: the next append arrives on the subscription.
+	mustAppend(t, l, 6, set("k6", "v"), del("k1")).Wait()
+	recs = collectRecords(t, f, 5, 6)
+	if len(recs) != 1 || len(recs[0].Ops) != 2 || !recs[0].Ops[1].Del {
+		t.Fatalf("live phase: %+v", recs)
+	}
+}
+
+// TestFollowRotationMidTail: the tailed range spans several rotated
+// segments; chunks never span a rotation and coverage stays contiguous.
+func TestFollowRotationMidTail(t *testing.T) {
+	fs := NewMemFS()
+	l, _, err := Open(Options{Dir: "d", FS: fs, Mode: ModeStrict, SegmentBytes: 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	val := string(bytes.Repeat([]byte("x"), 64))
+	// Half the records before the follower exists...
+	for i := 1; i <= 10; i++ {
+		mustAppend(t, l, uint64(i), set(fmt.Sprintf("k%02d", i), val)).Wait()
+	}
+	f, err := l.Follow(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	recs := collectRecords(t, f, 0, 10)
+	// ...and half appended while tailing, still rotating every few
+	// records (64-byte values against a 256-byte segment cap).
+	for i := 11; i <= 20; i++ {
+		mustAppend(t, l, uint64(i), set(fmt.Sprintf("k%02d", i), val)).Wait()
+	}
+	recs = append(recs, collectRecords(t, f, 10, 20)...)
+	if len(recs) != 20 {
+		t.Fatalf("got %d records, want 20", len(recs))
+	}
+	if st := l.Stats(); st.Segments < 3 {
+		t.Fatalf("test never rotated: %d segments", st.Segments)
+	}
+	for i, r := range recs {
+		if want := fmt.Sprintf("k%02d", i+1); r.Ops[0].Key != want {
+			t.Fatalf("record %d key = %s, want %s", i, r.Ops[0].Key, want)
+		}
+	}
+}
+
+// TestFollowTornTailAtLiveEdge: garbage past the follower's boundary in
+// the active segment (what a torn batch write leaves) must not corrupt
+// file-phase delivery, and live-phase chunks (fed from batch buffers,
+// not file reads) keep flowing after it.
+func TestFollowTornTailAtLiveEdge(t *testing.T) {
+	fs := NewMemFS()
+	l, _ := openMem(t, fs, ModeStrict)
+	defer l.Close()
+	for i := 1; i <= 3; i++ {
+		mustAppend(t, l, uint64(i), set(fmt.Sprintf("k%d", i), "v")).Wait()
+	}
+	f, err := l.Follow(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	// Tear the live edge: half a record header plus junk after the last
+	// written record.
+	name := l.segName
+	data := fs.ReadFile(name)
+	fs.WriteFile(name, append(append([]byte{}, data...), 0x00, 0x00, 0x01, 0xFF, 0xde, 0xad))
+	recs := collectRecords(t, f, 0, 3)
+	if len(recs) != 3 {
+		t.Fatalf("file phase through torn edge: %d records, want 3", len(recs))
+	}
+	// Live chunks bypass the file, so the torn bytes stay harmless.
+	mustAppend(t, l, 4, set("k4", "v")).Wait()
+	if recs := collectRecords(t, f, 3, 4); recs[0].Ops[0].Key != "k4" {
+		t.Fatalf("live after torn edge: %+v", recs)
+	}
+}
+
+// TestFollowPrunedUnderActiveFollower: a checkpoint pruning the
+// follower's position mid-tail surfaces ErrPruned from Recv (or an
+// immediate ErrPruned from a stale Follow), and re-bootstrapping from
+// ReadCheckpoint + Follow(coveredSeq) resumes cleanly.
+func TestFollowPrunedUnderActiveFollower(t *testing.T) {
+	fs := NewMemFS()
+	l, _, err := Open(Options{Dir: "d", FS: fs, Mode: ModeStrict, SegmentBytes: 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	state := map[string]string{}
+	val := string(bytes.Repeat([]byte("y"), 64))
+	for i := 1; i <= 12; i++ {
+		k := fmt.Sprintf("k%02d", i)
+		state[k] = val
+		mustAppend(t, l, uint64(i), set(k, val)).Wait()
+	}
+	f, err := l.Follow(0) // attached, but has read nothing yet
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if err := l.Checkpoint(10, len(state), func(emit func(string, []byte) error) error {
+		for k, v := range state {
+			if err := emit(k, []byte(v)); err != nil {
+				return err
+			}
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	stop := make(chan struct{})
+	time.AfterFunc(30*time.Second, func() { close(stop) })
+	if _, err := f.Recv(stop); !errors.Is(err, ErrPruned) {
+		t.Fatalf("Recv under prune = %v, want ErrPruned", err)
+	}
+	// A fresh Follow below the horizon refuses immediately.
+	if _, err := l.Follow(3); !errors.Is(err, ErrPruned) {
+		t.Fatalf("Follow(3) = %v, want ErrPruned", err)
+	}
+	// Re-bootstrap: checkpoint pairs + tail from its covered seq.
+	pairs, upTo, err := l.ReadCheckpoint()
+	if err != nil || upTo != 10 || len(pairs) != 12 {
+		t.Fatalf("ReadCheckpoint: upTo=%d pairs=%d err=%v", upTo, len(pairs), err)
+	}
+	f2, err := l.Follow(upTo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f2.Close()
+	recs := collectRecords(t, f2, 10, 12)
+	if len(recs) != 2 || recs[0].Seq != 11 || recs[1].Seq != 12 {
+		t.Fatalf("post-bootstrap tail: %+v", recs)
+	}
+}
+
+// TestFollowLaggedSubscriberRereadsFiles: a follower that stops calling
+// Recv while the batcher writes more than its channel buffers is
+// dropped (closed channel), and recovers by re-reading the files —
+// still seq-contiguous, no records lost.
+func TestFollowLaggedSubscriberRereadsFiles(t *testing.T) {
+	fs := NewMemFS()
+	l, _ := openMem(t, fs, ModeStrict)
+	defer l.Close()
+	f, err := l.Follow(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	// Overflow the 64-chunk subscription buffer without a single Recv.
+	const total = 80
+	for i := 1; i <= total; i++ {
+		mustAppend(t, l, uint64(i), set(fmt.Sprintf("k%02d", i), "v")).Wait()
+	}
+	recs := collectRecords(t, f, 0, total)
+	if len(recs) != total {
+		t.Fatalf("lagged follower delivered %d records, want %d", len(recs), total)
+	}
+}
+
+// TestFollowerRestartResumesFromSeq: closing a follower and re-following
+// from the last delivered seq resumes exactly past it — including
+// across a log restart, where the records continue in a NEW epoch and
+// chunks carry it.
+func TestFollowerRestartResumesFromSeq(t *testing.T) {
+	fs := NewMemFS()
+	l, _ := openMem(t, fs, ModeStrict)
+	for i := 1; i <= 6; i++ {
+		mustAppend(t, l, uint64(i), set(fmt.Sprintf("k%d", i), "v")).Wait()
+	}
+	f, err := l.Follow(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs := collectRecords(t, f, 0, 6)
+	last := recs[len(recs)-1].Seq
+	f.Close() // crash of the consumer: position survives only consumer-side
+
+	// More records land while no follower is attached.
+	mustAppend(t, l, 7, set("k7", "v")).Wait()
+	mustAppend(t, l, 8, set("k8", "v")).Wait()
+	f2, err := l.Follow(last)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs = collectRecords(t, f2, last, 8)
+	if len(recs) != 2 || recs[0].Seq != last+1 || recs[1].Seq != 8 {
+		t.Fatalf("resume after %d: %+v", last, recs)
+	}
+	f2.Close()
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Restart the log: epoch bumps, seqs continue. A follower resuming
+	// from the pre-restart position sees the old records under the old
+	// epoch and the new ones under the new.
+	l2, rec := openMem(t, fs, ModeStrict)
+	defer l2.Close()
+	mustAppend(t, l2, 100, set("post", "restart")).Wait()
+	f3, err := l2.Follow(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f3.Close()
+	stop := make(chan struct{})
+	time.AfterFunc(30*time.Second, func() { close(stop) })
+	c, err := f3.Recv(stop)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.First != 9 || c.Epoch != rec.Epoch {
+		t.Fatalf("post-restart chunk: first=%d epoch=%d, want 9/%d", c.First, c.Epoch, rec.Epoch)
+	}
+	rec2, _, err := DecodeRecord(c.Bytes)
+	if err != nil || rec2.Ops[0].Key != "post" {
+		t.Fatalf("post-restart record: %+v err=%v", rec2, err)
+	}
+
+	// And a follower from 0 spans BOTH epochs contiguously, with the
+	// epoch changing at the restart boundary.
+	f4, err := l2.Follow(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f4.Close()
+	seen := map[uint64]bool{}
+	pos := uint64(0)
+	for pos < 9 {
+		c, err := f4.Recv(stop)
+		if err != nil {
+			t.Fatalf("span Recv: %v", err)
+		}
+		if c.First != pos+1 {
+			t.Fatalf("span gap: first=%d, want %d", c.First, pos+1)
+		}
+		seen[c.Epoch] = true
+		pos = c.Last
+	}
+	if len(seen) != 2 {
+		t.Fatalf("expected chunks from 2 epochs, saw %v", seen)
+	}
+}

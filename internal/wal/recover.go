@@ -182,9 +182,12 @@ scan:
 		epoch:   rec.Epoch,
 		nextSeq: rec.NextSeq,
 		ckptSeq: rec.CheckpointSeq,
-		work:    make(chan struct{}, 1),
-		quit:    make(chan struct{}),
-		done:    make(chan struct{}),
+		// Everything recovered is file-visible: a follower's file phase
+		// covers it without waiting for a fresh append.
+		lastWritten: rec.NextSeq - 1,
+		work:        make(chan struct{}, 1),
+		quit:        make(chan struct{}),
+		done:        make(chan struct{}),
 	}
 	// Pre-existing segments stay until a checkpoint passes them; a new
 	// active segment always starts at NextSeq, so every segment belongs

@@ -188,6 +188,8 @@ type Log struct {
 	pendingSync []*batch  // written batches awaiting a covering fsync
 	unsyncedRec int
 	ckptSeq     uint64
+	lastWritten uint64        // highest seq handed to the segment writer
+	subs        []*subscriber // live-tail followers (see follow.go)
 
 	failed  atomic.Bool
 	failmu  sync.Mutex
@@ -314,6 +316,7 @@ func (l *Log) run() {
 				l.seg.Close()
 				l.seg = nil
 			}
+			l.closeSubsLocked()
 			l.iomu.Unlock()
 			return
 		}
@@ -344,6 +347,7 @@ func (l *Log) writeBatch(b *batch) {
 		b.serr = b.werr
 		close(b.written)
 		close(b.synced)
+		l.closeSubsLocked()
 		return
 	}
 	err := l.writeAll(b.buf)
@@ -358,8 +362,11 @@ func (l *Log) writeBatch(b *batch) {
 		close(b.synced)
 		l.fail(err)
 		l.completePending(l.err())
+		l.closeSubsLocked()
 		return
 	}
+	l.lastWritten = b.last
+	l.notifySubsLocked(b)
 	l.pendingSync = append(l.pendingSync, b)
 	l.unsyncedRec += b.recs
 	switch l.opts.Mode {
@@ -532,6 +539,7 @@ type StatsSnapshot struct {
 	Bytes         uint64 `json:"bytes"`
 	Rotations     uint64 `json:"rotations"`
 	Segments      int    `json:"segments"`
+	LastSeq       uint64 `json:"last_seq"`
 	CheckpointSeq uint64 `json:"checkpoint_seq"`
 	Checkpoints   uint64 `json:"checkpoints"`
 	Failed        bool   `json:"failed"`
@@ -550,6 +558,7 @@ func (l *Log) Stats() StatsSnapshot {
 		Failed:    l.failed.Load(),
 	}
 	s.Checkpoints = l.nCkpts.Load()
+	s.LastSeq = l.LastAssignedSeq()
 	l.iomu.Lock()
 	s.Segments = len(l.segments)
 	if l.seg != nil {

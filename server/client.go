@@ -106,6 +106,12 @@ func statusErr(st Status, p []byte) error {
 	case StatusClosed:
 		return ErrServerClosed
 	case StatusReadOnly:
+		// The reason byte distinguishes a replica (fail over to the
+		// primary) from a degraded primary (operator attention); its
+		// absence means a pre-replication server — WAL degradation.
+		if b, _, err := takeByte(p); err == nil && b == ReadOnlyReplica {
+			return ErrReplicaRead
+		}
 		return ErrReadOnlyMode
 	case StatusError:
 		msg, _, err := takeBytes(p)

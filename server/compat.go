@@ -1,0 +1,90 @@
+package server
+
+import (
+	"tbtm/server/engine"
+	"tbtm/server/wire"
+)
+
+// Re-exports: the protocol and engine layers moved into server/wire and
+// server/engine (see the package comment); the names below keep the
+// root package's public surface — and the client, which speaks the wire
+// types directly — stable across the split.
+
+// Op is the request opcode (see server/wire).
+type Op = wire.Op
+
+// Status is the response status byte (see server/wire).
+type Status = wire.Status
+
+const (
+	OpPing      = wire.OpPing
+	OpGet       = wire.OpGet
+	OpSet       = wire.OpSet
+	OpDel       = wire.OpDel
+	OpCas       = wire.OpCas
+	OpRange     = wire.OpRange
+	OpMulti     = wire.OpMulti
+	OpBTake     = wire.OpBTake
+	OpWait      = wire.OpWait
+	OpStats     = wire.OpStats
+	OpReplicate = wire.OpReplicate
+
+	// ReadOnly reason bytes (follow StatusReadOnly on the wire).
+	ReadOnlyWAL     = wire.ReadOnlyWAL
+	ReadOnlyReplica = wire.ReadOnlyReplica
+
+	StatusOK       = wire.StatusOK
+	StatusNotFound = wire.StatusNotFound
+	StatusError    = wire.StatusError
+	StatusClosed   = wire.StatusClosed
+	StatusReadOnly = wire.StatusReadOnly
+)
+
+// DefaultMaxFrame bounds the payload size both sides will read.
+const DefaultMaxFrame = wire.DefaultMaxFrame
+
+// Framing errors.
+var (
+	ErrFrameTooLarge = wire.ErrFrameTooLarge
+	errTruncated     = wire.ErrTruncated
+)
+
+// Lifecycle and refusal errors (see server/engine).
+var (
+	ErrServerClosed = engine.ErrServerClosed
+	ErrClientGone   = engine.ErrClientGone
+	// ErrReadOnlyMode: a durable primary degraded to read-only after a
+	// WAL failure (fail-stop for writes; reads keep serving).
+	ErrReadOnlyMode = engine.ErrReadOnly
+	// ErrReplicaRead: the server is a read replica; writes must go to
+	// the primary. Distinct from ErrReadOnlyMode so clients can fail
+	// over instead of alerting.
+	ErrReplicaRead = engine.ErrReplicaRead
+)
+
+// Executor, its metrics, and their JSON faces (see server/engine).
+type (
+	Executor        = engine.Executor
+	Lease           = engine.Lease
+	Metrics         = engine.Metrics
+	MetricsSnapshot = engine.MetricsSnapshot
+	OpCounters      = engine.OpCounters
+	ExecutorStats   = engine.ExecutorStats
+)
+
+// NewExecutor builds a Thread-leasing executor (see server/engine).
+var NewExecutor = engine.NewExecutor
+
+// Wire helpers the client shares with the server side.
+var (
+	writeFrame   = wire.WriteFrame
+	readFrame    = wire.ReadFrame
+	appendBytes  = wire.AppendBytes
+	appendString = wire.AppendString
+	takeBytes    = wire.TakeBytes
+	takeUvarint  = wire.TakeUvarint
+	takeByte     = wire.TakeByte
+)
+
+//tbtm:noalloc
+func boolByte(b bool) byte { return wire.BoolByte(b) }

@@ -1,0 +1,475 @@
+// Package durable is the write-ahead path between the in-memory engine
+// and internal/wal: it wraps an *engine.Store with a WAL so that every
+// update operation logs its EFFECTIVE write set — one record per
+// committed transaction — and replies only after the record is
+// acknowledged per the configured mode (none/relaxed/strict; see
+// wal.Mode). Reads never touch the WAL. The wrapper implements
+// engine.KV, so the transport drives it exactly like the plain store.
+//
+// The ordering contract between commits and checkpoints is a single
+// RWMutex, the checkpoint gate. Every update path holds the READ side
+// across [engine commit → WAL sequence assignment]; the checkpointer
+// takes the WRITE side for the instant it reads LastAssignedSeq as the
+// checkpoint's upper bound S, then releases it and snapshots. That
+// interlock proves the recovery invariant:
+//
+//   - while the gate is held exclusively, no commit sits between "took
+//     effect in the engine" and "has a WAL seq", so every commit with
+//     seq <= S is already engine-visible and the RANGE snapshot taken
+//     AFTER the gate drops observes it;
+//   - any commit that lands after the gate drops gets seq > S and is
+//     replayed over the checkpoint at recovery;
+//   - a commit both visible in the snapshot and replayed (seq > S but
+//     committed before the snapshot began) is harmless: replay resolves
+//     per key by highest (epoch, commit tick), which the snapshot value
+//     already carries.
+//
+// The same invariant is what makes replica bootstrap exact: a replica
+// that loads checkpoint S and then applies shipped records with seq > S
+// under the same (epoch, tick) resolution reconstructs the primary
+// state — see server/repl.
+//
+// The WAL ticket is waited on AFTER the gate is released, so the gate
+// is held only for the in-memory commit plus an in-memory encode —
+// never across an fsync — and a checkpoint can never be delayed by
+// group-commit latency. Blocking operations (BTAKE) are restructured so
+// they never PARK under the gate either: parking waits for the key's
+// existence outside the gate, and only the non-blocking take attempt
+// runs under it.
+//
+// Failure policy: the first WAL I/O error (ENOSPC, EIO, a failed
+// fsync) wedges the log permanently and flips the store to read-only.
+// Reads keep being served from memory; updates answer StatusReadOnly.
+// An update whose engine commit succeeded but whose WAL write failed
+// also answers StatusReadOnly: the contract is "acknowledged implies
+// durable", not "unacknowledged implies absent" — the in-memory value
+// may survive until restart, and recovery serves the last durable
+// state.
+package durable
+
+import (
+	"errors"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"tbtm"
+	"tbtm/internal/wal"
+	"tbtm/server/engine"
+	"tbtm/server/wire"
+)
+
+// Config selects the WAL's directory and acknowledgement behaviour.
+type Config struct {
+	// Dir is the data directory (required).
+	Dir string
+	// FS overrides the filesystem (tests); nil means the real one.
+	FS wal.FS
+	// Mode is the durability mode ("none", "relaxed", "strict"); empty
+	// means strict.
+	Mode string
+	// FsyncEvery / FsyncInterval / SegmentBytes tune the WAL (zero means
+	// the wal package defaults).
+	FsyncEvery    int
+	FsyncInterval time.Duration
+	SegmentBytes  int64
+}
+
+// Store wraps an in-memory engine.Store with write-ahead logging. It
+// implements engine.KV.
+type Store struct {
+	base *engine.Store
+	log  *wal.Log
+	// gate is the checkpoint gate described in the package comment.
+	gate sync.RWMutex
+	// readOnly flips (once, permanently) when the WAL wedges; checked
+	// first on every update path and exported via STATS.
+	readOnly atomic.Bool
+}
+
+// Open opens (and recovers) the data directory, seeds base from the
+// recovered image, and returns the durable wrapper. seedTh runs the
+// seeding transactions; it must not race other users of base — callers
+// open durability before serving.
+func Open(base *engine.Store, seedTh *tbtm.Thread, cfg Config) (*Store, *wal.Recovered, error) {
+	mode := wal.ModeStrict
+	if cfg.Mode != "" {
+		var err error
+		mode, err = wal.ParseMode(cfg.Mode)
+		if err != nil {
+			return nil, nil, err
+		}
+	}
+	d := &Store{base: base}
+	log, rec, err := wal.Open(wal.Options{
+		Dir:           cfg.Dir,
+		FS:            cfg.FS,
+		Mode:          mode,
+		FsyncEvery:    cfg.FsyncEvery,
+		FsyncInterval: cfg.FsyncInterval,
+		SegmentBytes:  cfg.SegmentBytes,
+		OnFailure:     func(error) { d.readOnly.Store(true) },
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	// Seed the store from the recovered image through the raw in-memory
+	// paths: recovery must not re-append what the log already holds.
+	// Chunked so no single seeding transaction grows unboundedly.
+	keys := make([]string, 0, len(rec.Keys))
+	for k := range rec.Keys {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	const chunk = 512
+	for len(keys) > 0 {
+		part := keys
+		if len(part) > chunk {
+			part = keys[:chunk]
+		}
+		keys = keys[len(part):]
+		err := seedTh.Atomic(tbtm.Long, func(tx tbtm.Tx) error {
+			for _, k := range part {
+				if err := base.SetTx(tx, k, rec.Keys[k]); err != nil {
+					return err
+				}
+			}
+			return nil
+		})
+		if err != nil {
+			log.Close()
+			return nil, nil, err
+		}
+	}
+	d.log = log
+	return d, rec, nil
+}
+
+// Log exposes the underlying WAL (stats, live-tail followers).
+func (d *Store) Log() *wal.Log { return d.log }
+
+// ReadOnly reports whether the store degraded to read-only.
+func (d *Store) ReadOnly() bool { return d.readOnly.Load() }
+
+// Close shuts the WAL down (flushing and syncing buffered records).
+func (d *Store) Close() error { return d.log.Close() }
+
+// settle waits out a WAL ticket per the log's mode and maps WAL
+// failures into the wire error space. The zero Ticket (nothing was
+// appended) settles immediately.
+func (d *Store) settle(tk wal.Ticket, werr error) error {
+	if werr == nil {
+		werr = tk.Wait()
+	}
+	if werr == nil {
+		return nil
+	}
+	if errors.Is(werr, wal.ErrClosed) {
+		return engine.ErrServerClosed
+	}
+	return engine.ErrReadOnly
+}
+
+// Get reads from memory; reads never touch the WAL.
+func (d *Store) Get(th *tbtm.Thread, key string) ([]byte, bool, error) {
+	return d.base.Get(th, key)
+}
+
+// RangeScan reads from memory.
+func (d *Store) RangeScan(th *tbtm.Thread, from, to string, limit int) ([]engine.Pair, error) {
+	return d.base.RangeScan(th, from, to, limit)
+}
+
+// Wait parks on memory state; it writes nothing.
+func (d *Store) Wait(th *tbtm.Thread, key string, oldPresent bool, old []byte, cancel *tbtm.Var[bool]) ([]byte, bool, error) {
+	return d.base.Wait(th, key, oldPresent, old, cancel)
+}
+
+// MarkClosed commits the shutdown flag (in memory only).
+func (d *Store) MarkClosed(th *tbtm.Thread) error {
+	return d.base.MarkClosed(th)
+}
+
+// Set commits and appends under the gate, waits outside it.
+func (d *Store) Set(th *tbtm.Thread, key string, val []byte) error {
+	if d.readOnly.Load() {
+		return engine.ErrReadOnly
+	}
+	d.gate.RLock()
+	err := d.base.Set(th, key, val)
+	var tk wal.Ticket
+	var werr error
+	if err == nil {
+		tk, werr = d.log.Append(th.LastCommitTick(), []wal.Op{{Key: key, Val: val}})
+	}
+	d.gate.RUnlock()
+	if err != nil {
+		return err
+	}
+	return d.settle(tk, werr)
+}
+
+// Del logs the delete only when it took effect (deleting an absent key
+// commits nothing and writes nothing).
+func (d *Store) Del(th *tbtm.Thread, key string) (bool, error) {
+	if d.readOnly.Load() {
+		return false, engine.ErrReadOnly
+	}
+	d.gate.RLock()
+	deleted, err := d.base.Del(th, key)
+	var tk wal.Ticket
+	var werr error
+	if err == nil && deleted {
+		tk, werr = d.log.Append(th.LastCommitTick(), []wal.Op{{Del: true, Key: key}})
+	}
+	d.gate.RUnlock()
+	if err != nil {
+		return false, err
+	}
+	if serr := d.settle(tk, werr); serr != nil {
+		return false, serr
+	}
+	return deleted, nil
+}
+
+// Cas logs the swap only when it succeeded.
+func (d *Store) Cas(th *tbtm.Thread, key string, expectPresent bool, expect, val []byte) (bool, error) {
+	if d.readOnly.Load() {
+		return false, engine.ErrReadOnly
+	}
+	d.gate.RLock()
+	swapped, err := d.base.Cas(th, key, expectPresent, expect, val)
+	var tk wal.Ticket
+	var werr error
+	if err == nil && swapped {
+		tk, werr = d.log.Append(th.LastCommitTick(), []wal.Op{{Key: key, Val: val}})
+	}
+	d.gate.RUnlock()
+	if err != nil {
+		return false, err
+	}
+	if serr := d.settle(tk, werr); serr != nil {
+		return false, serr
+	}
+	return swapped, nil
+}
+
+// effectiveOps folds a committed script's performed writes into WAL
+// ops, in script order so replay reproduces last-write-wins within the
+// record: every SET, every DEL that found its key, every CAS that
+// swapped. GETs and missed DELs/CASes contribute nothing.
+func effectiveOps(subs []engine.MultiSub, results []engine.SubResult) []wal.Op {
+	var ops []wal.Op
+	for i := range subs {
+		sub := &subs[i]
+		switch sub.Op {
+		case wire.OpSet:
+			ops = append(ops, wal.Op{Key: sub.Key, Val: sub.Val})
+		case wire.OpDel:
+			if results[i].Present {
+				ops = append(ops, wal.Op{Del: true, Key: sub.Key})
+			}
+		case wire.OpCas:
+			if results[i].Present {
+				ops = append(ops, wal.Op{Key: sub.Key, Val: sub.Val})
+			}
+		}
+	}
+	return ops
+}
+
+// Multi logs a committed script as ONE record, so a MULTI is atomic
+// across a crash exactly as it is atomic in memory: recovery replays
+// all of its effective writes or none (a torn record is discarded
+// whole).
+func (d *Store) Multi(th *tbtm.Thread, subs []engine.MultiSub, results *[]engine.SubResult) (bool, error) {
+	if engine.ReadOnlySubs(subs) {
+		return d.base.Multi(th, subs, results)
+	}
+	if d.readOnly.Load() {
+		return false, engine.ErrReadOnly
+	}
+	d.gate.RLock()
+	committed, err := d.base.Multi(th, subs, results)
+	var tk wal.Ticket
+	var werr error
+	if err == nil && committed {
+		if ops := effectiveOps(subs, *results); len(ops) > 0 {
+			tk, werr = d.log.Append(th.LastCommitTick(), ops)
+		}
+	}
+	d.gate.RUnlock()
+	if err != nil {
+		return false, err
+	}
+	if !committed {
+		return false, nil
+	}
+	if serr := d.settle(tk, werr); serr != nil {
+		return false, serr
+	}
+	return true, nil
+}
+
+// ExecBatch logs a committed batch window as one record of its
+// effective writes. The batch committed as one engine transaction, so
+// one record preserves its atomicity across a crash too.
+func (d *Store) ExecBatch(th *tbtm.Thread, subs []engine.MultiSub, results *[]engine.SubResult) error {
+	if d.readOnly.Load() {
+		return engine.ErrReadOnly
+	}
+	d.gate.RLock()
+	err := d.base.ExecBatch(th, subs, results)
+	var tk wal.Ticket
+	var werr error
+	if err == nil {
+		if ops := effectiveOps(subs, *results); len(ops) > 0 {
+			tk, werr = d.log.Append(th.LastCommitTick(), ops)
+		}
+	}
+	d.gate.RUnlock()
+	if err != nil {
+		return err
+	}
+	return d.settle(tk, werr)
+}
+
+// ExecBatchRO runs an all-read batch straight on memory.
+func (d *Store) ExecBatchRO(th *tbtm.Thread, subs []engine.MultiSub, results *[]engine.SubResult) error {
+	return d.base.ExecBatchRO(th, subs, results)
+}
+
+// ExecOne routes the single-op path through this layer's own methods so
+// each op keeps durable semantics.
+func (d *Store) ExecOne(th *tbtm.Thread, sub *engine.MultiSub) (engine.SubResult, error) {
+	return engine.ExecOneOn(d, th, sub)
+}
+
+// BTake is btake restructured for the checkpoint gate: the plain
+// version parks INSIDE its update transaction, and a parked transaction
+// holding the gate's read side would deadlock the checkpointer. Here
+// the park is a read-only existence wait OUTSIDE the gate, and only a
+// non-blocking take attempt runs under it; a key that vanishes between
+// wake and take (another taker won) loops back to parking.
+func (d *Store) BTake(th *tbtm.Thread, key string, cancel *tbtm.Var[bool]) ([]byte, error) {
+	for {
+		if d.readOnly.Load() {
+			return nil, engine.ErrReadOnly
+		}
+		// Park until the key exists (or shutdown / client hang-up).
+		err := th.AtomicReadOnly(tbtm.Short, func(tx tbtm.Tx) error {
+			_, ok, e := d.base.GetTx(tx, key)
+			if e != nil {
+				return e
+			}
+			if ok {
+				return nil
+			}
+			if e := d.base.CheckLive(tx, cancel); e != nil {
+				return e
+			}
+			return tbtm.Retry(tx)
+		})
+		if err != nil {
+			return nil, err
+		}
+		var val []byte
+		var took bool
+		d.gate.RLock()
+		err = th.AtomicSite(engine.SiteBTake, func(tx tbtm.Tx) error {
+			val, took = nil, false
+			v, ok, e := d.base.GetTx(tx, key)
+			if e != nil {
+				return e
+			}
+			if !ok {
+				return nil // raced away; commit empty-handed and re-park
+			}
+			if _, e := d.base.DelTx(tx, key); e != nil {
+				return e
+			}
+			val, took = v, true
+			return nil
+		})
+		var tk wal.Ticket
+		var werr error
+		if err == nil && took {
+			tk, werr = d.log.Append(th.LastCommitTick(), []wal.Op{{Del: true, Key: key}})
+		}
+		d.gate.RUnlock()
+		if err != nil {
+			return nil, err
+		}
+		if !took {
+			continue
+		}
+		if serr := d.settle(tk, werr); serr != nil {
+			// The take committed in memory but is not durable; the client
+			// must not treat the value as consumed.
+			return nil, serr
+		}
+		return val, nil
+	}
+}
+
+// Checkpoint writes one consistent snapshot on th and lets the WAL
+// prune everything it supersedes. See the package comment for why
+// reading LastAssignedSeq under the gate's write lock and THEN
+// snapshotting yields a bound S such that checkpoint ∪ replay(seq > S)
+// is exact.
+func (d *Store) Checkpoint(th *tbtm.Thread) error {
+	d.gate.Lock()
+	upTo := d.log.LastAssignedSeq()
+	d.gate.Unlock()
+	if upTo == 0 {
+		return nil
+	}
+	pairs, err := d.base.RangeScan(th, "", "", 0)
+	if err != nil {
+		return err
+	}
+	return d.log.Checkpoint(upTo, len(pairs), func(emit func(string, []byte) error) error {
+		for _, p := range pairs {
+			if err := emit(p.Key, p.Val); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+}
+
+// StartCheckpointer starts a loop that polls the WAL growth counter and
+// writes a checkpoint on th whenever thresholdBytes of records
+// accumulated since the last one. The returned stop function blocks
+// until the loop exits; call it before Close.
+func (d *Store) StartCheckpointer(th *tbtm.Thread, thresholdBytes int64) (stop func()) {
+	if thresholdBytes <= 0 {
+		thresholdBytes = 64 << 20
+	}
+	quit := make(chan struct{})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		t := time.NewTicker(250 * time.Millisecond)
+		defer t.Stop()
+		for {
+			select {
+			case <-quit:
+				return
+			case <-t.C:
+				if d.log.NeedCheckpoint(thresholdBytes) {
+					// Errors are advisory: a transient snapshot failure
+					// retries on the next tick, and a wedged log refuses
+					// checkpoints itself (the store is read-only by then
+					// anyway).
+					_ = d.Checkpoint(th)
+				}
+			}
+		}
+	}()
+	return func() {
+		close(quit)
+		<-done
+	}
+}

@@ -95,7 +95,7 @@ func TestDurableMultiOneRecordAndAtomicity(t *testing.T) {
 	srv, cl := durableServer(t, fs, Config{})
 	defer srv.Close()
 	defer cl.Close()
-	before := srv.wlog.Stats().Records
+	before := srv.dur.Log().Stats().Records
 	// A committed script with several writes is ONE record.
 	_, committed, err := cl.MultiExec([]MultiOp{
 		MSet("x", []byte("1")),
@@ -106,11 +106,11 @@ func TestDurableMultiOneRecordAndAtomicity(t *testing.T) {
 	if err != nil || !committed {
 		t.Fatalf("multi: committed=%v err=%v", committed, err)
 	}
-	if got := srv.wlog.Stats().Records - before; got != 1 {
+	if got := srv.dur.Log().Stats().Records - before; got != 1 {
 		t.Fatalf("committed multi appended %d records, want 1", got)
 	}
 	// An aborted script (failed CAS) logs nothing.
-	before = srv.wlog.Stats().Records
+	before = srv.dur.Log().Stats().Records
 	_, committed, err = cl.MultiExec([]MultiOp{
 		MSet("z", []byte("never")),
 		MCas("x", []byte("stale"), true, []byte("no")),
@@ -118,15 +118,15 @@ func TestDurableMultiOneRecordAndAtomicity(t *testing.T) {
 	if err != nil || committed {
 		t.Fatalf("aborted multi: committed=%v err=%v", committed, err)
 	}
-	if got := srv.wlog.Stats().Records - before; got != 0 {
+	if got := srv.dur.Log().Stats().Records - before; got != 0 {
 		t.Fatalf("aborted multi appended %d records, want 0", got)
 	}
 	// A read-only script appends nothing either.
-	before = srv.wlog.Stats().Records
+	before = srv.dur.Log().Stats().Records
 	if _, _, err := cl.MultiExec([]MultiOp{MGet("x"), MGet("y")}); err != nil {
 		t.Fatal(err)
 	}
-	if got := srv.wlog.Stats().Records - before; got != 0 {
+	if got := srv.dur.Log().Stats().Records - before; got != 0 {
 		t.Fatalf("read-only multi appended %d records, want 0", got)
 	}
 }
@@ -171,7 +171,7 @@ func TestDurableCheckpointRecoversAndPrunes(t *testing.T) {
 		}
 	}
 	deadline := time.Now().Add(10 * time.Second)
-	for srv.wlog.Stats().Checkpoints == 0 {
+	for srv.dur.Log().Stats().Checkpoints == 0 {
 		if time.Now().After(deadline) {
 			t.Fatal("checkpointer never fired")
 		}

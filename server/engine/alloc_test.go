@@ -1,0 +1,103 @@
+package engine
+
+import (
+	"testing"
+
+	"tbtm"
+	"tbtm/server/wire"
+)
+
+// The engine layer's allocation contract. The STM's warm paths are
+// zero-alloc (root alloc_test.go); the executor + store must not
+// squander that between lease and bucket:
+//
+//  1. Site strings are package constants, so AtomicSite's classifier
+//     lookup never allocates a key — building "set:"+key per request
+//     would regress this pin.
+//  2. The executor's Acquire/Do/Release cycle is channel+atomics only.
+//  3. A warm single-key read through executor + classifier + store
+//     allocates NOTHING on LSA; a warm overwrite allocates only what
+//     genuinely escapes (the copied bucket slice and its interface
+//     box), independent of request count.
+const (
+	maxAllocsWarmGet = 0
+	// The overwrite path rebuilds the bucket's []mapEntry slice (one
+	// alloc) and boxes it into the Object's `any` slot (a second); the
+	// skiplist index is untouched when the key already exists.
+	maxAllocsWarmSet = 2
+)
+
+func newAllocEngine(t *testing.T, fast, blocking int) (*Store, *Executor) {
+	t.Helper()
+	tm, err := tbtm.New(
+		tbtm.WithConsistency(tbtm.ZLinearizable),
+		tbtm.WithBlockingRetry(),
+		tbtm.WithAutoClassify(0),
+	)
+	if err != nil {
+		t.Fatalf("tbtm.New: %v", err)
+	}
+	return NewStore(tm, 1024), NewExecutor(tm, fast, blocking, &Metrics{})
+}
+
+func TestWarmServerOpAllocs(t *testing.T) {
+	store, e := newAllocEngine(t, 2, 1)
+	val := []byte("payload")
+
+	// Prebound closures, as the conn handler holds them.
+	setFn := func(th *tbtm.Thread) error {
+		return store.Set(th, "hot", val)
+	}
+	getFn := func(th *tbtm.Thread) error {
+		_, _, err := store.Get(th, "hot")
+		return err
+	}
+	doSet := func() {
+		if err := e.Do(nil, wire.OpSet, false, setFn); err != nil {
+			t.Fatalf("set: %v", err)
+		}
+	}
+	doGet := func() {
+		if err := e.Do(nil, wire.OpGet, false, getFn); err != nil {
+			t.Fatalf("get: %v", err)
+		}
+	}
+	for i := 0; i < 64; i++ { // warm descriptors, pools, classifier site
+		doSet()
+		doGet()
+	}
+	if n := testing.AllocsPerRun(200, doGet); n > maxAllocsWarmGet {
+		t.Errorf("warm server GET: %.1f allocs/op, want <= %d", n, maxAllocsWarmGet)
+	}
+	if n := testing.AllocsPerRun(200, doSet); n > maxAllocsWarmSet {
+		t.Errorf("warm server SET: %.1f allocs/op, want <= %d", n, maxAllocsWarmSet)
+	}
+}
+
+// TestWarmBlockingOpAllocs pins the non-parking fast path of the
+// blocking opcodes: a WAIT whose expectation is already stale answers
+// without parking and without allocating (LSA, warm).
+func TestWarmBlockingOpAllocs(t *testing.T) {
+	store, e := newAllocEngine(t, 1, 1)
+	if err := e.Do(nil, wire.OpSet, false, func(th *tbtm.Thread) error {
+		return store.Set(th, "w", []byte("current"))
+	}); err != nil {
+		t.Fatal(err)
+	}
+	old := []byte("stale")
+	waitFn := func(th *tbtm.Thread) error {
+		_, _, err := store.Wait(th, "w", true, old, nil)
+		return err
+	}
+	doWait := func() {
+		if err := e.Do(nil, wire.OpWait, true, waitFn); err != nil {
+			t.Fatalf("wait: %v", err)
+		}
+	}
+	for i := 0; i < 64; i++ {
+		doWait()
+	}
+	if n := testing.AllocsPerRun(200, doWait); n > 0 {
+		t.Errorf("warm non-parking WAIT: %.1f allocs/op, want 0", n)
+	}
+}

@@ -1,0 +1,28 @@
+package engine
+
+import "errors"
+
+// ErrServerClosed reports an operation refused — or a blocked operation
+// woken — because the server is shutting down.
+var ErrServerClosed = errors.New("server: closed")
+
+// ErrClientGone wakes a parked operation whose client disconnected; the
+// connection is torn down without consuming the watched key.
+var ErrClientGone = errors.New("server: client disconnected")
+
+// ErrExecutorClosed reports an Acquire on a closed executor.
+var ErrExecutorClosed = errors.New("server: executor closed")
+
+// ErrReadOnly reports an update refused — or an update whose durability
+// could not be guaranteed — because the server degraded to read-only
+// after a write-ahead-log I/O failure. Reads still succeed.
+//
+// It lives here (not in server/durable) so the transport can map it to
+// StatusReadOnly without depending on the durability layer.
+var ErrReadOnly = errors.New("server: read-only (write-ahead log failed)")
+
+// ErrReplicaRead reports an update sent to a replica: replicas serve
+// snapshot-consistent reads only, and writes must go to the primary.
+// Distinct from ErrReadOnly so clients can tell a retryable routing
+// mistake from a primary's permanent ENOSPC degradation.
+var ErrReplicaRead = errors.New("server: replica is read-only; write to the primary")

@@ -34,7 +34,7 @@
 // at most one at a time; the pool channels provide the happens-before
 // edge each handoff needs, preserving the engine's thread-confinement
 // contract.
-package server
+package engine
 
 import (
 	"context"
@@ -43,10 +43,8 @@ import (
 	"time"
 
 	"tbtm"
+	"tbtm/server/wire"
 )
-
-// ErrExecutorClosed reports an Acquire on a closed executor.
-var ErrExecutorClosed = errors.New("server: executor closed")
 
 // Lease is temporary ownership of one engine Thread. The holder may run
 // any number of transactions on Thread() and must Release exactly once;
@@ -104,6 +102,18 @@ func NewExecutor(tm *tbtm.TM, fastLeases, blockingLeases int, m *Metrics) *Execu
 
 // Metrics returns the executor's metrics sink.
 func (e *Executor) Metrics() *Metrics { return e.m }
+
+// FastLeases returns the fast tranche size.
+func (e *Executor) FastLeases() int { return e.nFast }
+
+// BlockingLeases returns the blocking tranche size.
+func (e *Executor) BlockingLeases() int { return e.nBlock }
+
+// MetricsSnapshot captures the executor's counters with its pool sizes
+// filled in.
+func (e *Executor) MetricsSnapshot() MetricsSnapshot {
+	return e.m.Snapshot(e.nFast, e.nBlock)
+}
 
 // Acquire leases a Thread, blocking when the tranche is exhausted.
 // blocking selects the tranche: true for operations that may park
@@ -165,7 +175,7 @@ func (e *Executor) Release(l *Lease) {
 // for a long time in a parked transaction, the lease is pinned to fn
 // for its whole duration. ErrServerClosed outcomes are not counted as
 // errors (shutdown wakeups are expected).
-func (e *Executor) Do(ctx context.Context, op Op, blocking bool, fn func(*tbtm.Thread) error) error {
+func (e *Executor) Do(ctx context.Context, op wire.Op, blocking bool, fn func(*tbtm.Thread) error) error {
 	l, err := e.Acquire(ctx, blocking)
 	if err != nil {
 		return err

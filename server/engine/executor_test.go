@@ -1,4 +1,4 @@
-package server
+package engine
 
 import (
 	"context"
@@ -10,25 +10,29 @@ import (
 	"time"
 
 	"tbtm"
+	"tbtm/server/wire"
 )
 
-// newTestServer builds a Server without a listener: executor tests
-// exercise the lease machinery and the store directly, in-process.
-func newTestServer(t *testing.T, cfg Config) *Server {
+// newTestEngine builds the engine trio the way the composition root
+// does: TM with the server's invariant options, store, executor.
+func newTestEngine(t *testing.T, fast, blocking int) (*tbtm.TM, *Store, *Executor) {
 	t.Helper()
-	srv, err := New(cfg)
+	tm, err := tbtm.New(
+		tbtm.WithConsistency(tbtm.ZLinearizable),
+		tbtm.WithBlockingRetry(),
+		tbtm.WithAutoClassify(0),
+	)
 	if err != nil {
-		t.Fatalf("New: %v", err)
+		t.Fatalf("tbtm.New: %v", err)
 	}
-	return srv
+	return tm, NewStore(tm, 1024), NewExecutor(tm, fast, blocking, &Metrics{})
 }
 
 // TestExecutorLeaseFairness floods a single-lease tranche from many
 // goroutines: every acquirer must get through (FIFO queuing, no
 // starvation).
 func TestExecutorLeaseFairness(t *testing.T) {
-	srv := newTestServer(t, Config{Leases: 1, BlockingLeases: 1})
-	e := srv.Executor()
+	_, _, e := newTestEngine(t, 1, 1)
 	const (
 		goroutines = 32
 		rounds     = 50
@@ -77,8 +81,7 @@ func TestExecutorLeaseFairness(t *testing.T) {
 // acquirers queue (visible in the waiters gauge), a context deadline
 // rejects them, and a release hands the lease to a queued waiter.
 func TestExecutorBackpressure(t *testing.T) {
-	srv := newTestServer(t, Config{Leases: 1, BlockingLeases: 1})
-	e := srv.Executor()
+	_, _, e := newTestEngine(t, 1, 1)
 	l, err := e.Acquire(nil, false)
 	if err != nil {
 		t.Fatal(err)
@@ -128,8 +131,7 @@ func TestExecutorBackpressure(t *testing.T) {
 // TestExecutorCloseUnblocksWaiters: Close must fail queued acquirers
 // with ErrExecutorClosed and future acquires likewise.
 func TestExecutorCloseUnblocksWaiters(t *testing.T) {
-	srv := newTestServer(t, Config{Leases: 1, BlockingLeases: 1})
-	e := srv.Executor()
+	_, _, e := newTestEngine(t, 1, 1)
 	l, err := e.Acquire(nil, false)
 	if err != nil {
 		t.Fatal(err)
@@ -167,12 +169,10 @@ func TestExecutorCloseUnblocksWaiters(t *testing.T) {
 // committing at full speed on the fast tranche, i.e. a parked lease
 // stalls neither the lease pool nor the epoch recycler.
 func TestBlockingLeaseHeldAcrossParkWake(t *testing.T) {
-	srv := newTestServer(t, Config{Leases: 2, BlockingLeases: 1})
-	e := srv.Executor()
-	tm := srv.TM()
+	tm, store, e := newTestEngine(t, 2, 1)
 
-	if err := e.Do(nil, OpSet, false, func(th *tbtm.Thread) error {
-		return srv.store.set(th, "watched", []byte("v1"))
+	if err := e.Do(nil, wire.OpSet, false, func(th *tbtm.Thread) error {
+		return store.Set(th, "watched", []byte("v1"))
 	}); err != nil {
 		t.Fatal(err)
 	}
@@ -180,8 +180,8 @@ func TestBlockingLeaseHeldAcrossParkWake(t *testing.T) {
 	woke := make(chan []byte, 1)
 	errc := make(chan error, 1)
 	go func() {
-		err := e.Do(nil, OpWait, true, func(th *tbtm.Thread) error {
-			v, _, err := srv.store.wait(th, "watched", true, []byte("v1"), nil)
+		err := e.Do(nil, wire.OpWait, true, func(th *tbtm.Thread) error {
+			v, _, err := store.Wait(th, "watched", true, []byte("v1"), nil)
 			if err == nil {
 				woke <- v
 			}
@@ -211,8 +211,8 @@ func TestBlockingLeaseHeldAcrossParkWake(t *testing.T) {
 	const burst = 2000
 	before := tm.Stats().Commits
 	for i := 0; i < burst; i++ {
-		if err := e.Do(nil, OpSet, false, func(th *tbtm.Thread) error {
-			return srv.store.set(th, "unrelated", []byte("x"))
+		if err := e.Do(nil, wire.OpSet, false, func(th *tbtm.Thread) error {
+			return store.Set(th, "unrelated", []byte("x"))
 		}); err != nil {
 			t.Fatalf("burst set %d: %v", i, err)
 		}
@@ -230,8 +230,8 @@ func TestBlockingLeaseHeldAcrossParkWake(t *testing.T) {
 
 	// Now change the watched key: the parked transaction must wake on
 	// the SAME lease and deliver the new value.
-	if err := e.Do(nil, OpSet, false, func(th *tbtm.Thread) error {
-		return srv.store.set(th, "watched", []byte("v2"))
+	if err := e.Do(nil, wire.OpSet, false, func(th *tbtm.Thread) error {
+		return store.Set(th, "watched", []byte("v2"))
 	}); err != nil {
 		t.Fatal(err)
 	}
@@ -258,31 +258,32 @@ func TestBlockingLeaseHeldAcrossParkWake(t *testing.T) {
 	}
 }
 
-// TestExecutorShutdownWithParkedLeases: a graceful server Close while
-// every blocking lease is parked must wake them all (ErrServerClosed)
-// and leave the executor drained.
+// TestExecutorShutdownWithParkedLeases: the composition root's shutdown
+// sequence — commit the store's closed flag, then close the executor —
+// while every blocking lease is parked must wake them all
+// (ErrServerClosed) and leave the executor drained.
 func TestExecutorShutdownWithParkedLeases(t *testing.T) {
-	srv := newTestServer(t, Config{Leases: 2, BlockingLeases: 3})
-	e := srv.Executor()
+	tm, store, e := newTestEngine(t, 2, 3)
 	const parked = 3
 	errs := make(chan error, parked)
 	for i := 0; i < parked; i++ {
 		go func(i int) {
-			errs <- e.Do(nil, OpBTake, true, func(th *tbtm.Thread) error {
-				_, err := srv.store.btake(th, fmt.Sprintf("nothing:%d", i), nil)
+			errs <- e.Do(nil, wire.OpBTake, true, func(th *tbtm.Thread) error {
+				_, err := store.BTake(th, fmt.Sprintf("nothing:%d", i), nil)
 				return err
 			})
 		}(i)
 	}
 	deadline := time.Now().Add(30 * time.Second)
-	for srv.TM().Stats().Parks < parked {
+	for tm.Stats().Parks < parked {
 		if time.Now().After(deadline) {
-			t.Fatalf("parks = %d, want %d", srv.TM().Stats().Parks, parked)
+			t.Fatalf("parks = %d, want %d", tm.Stats().Parks, parked)
 		}
 		time.Sleep(time.Millisecond)
 	}
-	if err := srv.Close(); err != nil {
-		t.Fatalf("close: %v", err)
+	sysTh := tm.NewThread()
+	if err := store.MarkClosed(sysTh); err != nil {
+		t.Fatalf("mark closed: %v", err)
 	}
 	for i := 0; i < parked; i++ {
 		select {
@@ -294,6 +295,7 @@ func TestExecutorShutdownWithParkedLeases(t *testing.T) {
 			t.Fatal("parked lease not woken by shutdown")
 		}
 	}
+	e.Close()
 	if got := e.Metrics().blockingInUse.Load(); got != 0 {
 		t.Fatalf("blocking leases still in use after shutdown: %d", got)
 	}
@@ -302,8 +304,7 @@ func TestExecutorShutdownWithParkedLeases(t *testing.T) {
 // TestExecutorHammer drives mixed fast and blocking traffic directly at
 // the executor under contention-sized pools; honors -short.
 func TestExecutorHammer(t *testing.T) {
-	srv := newTestServer(t, Config{Leases: 2, BlockingLeases: 4})
-	e := srv.Executor()
+	tm, store, e := newTestEngine(t, 2, 4)
 	workers := 12
 	iters := 150
 	if testing.Short() {
@@ -317,8 +318,8 @@ func TestExecutorHammer(t *testing.T) {
 	go func() {
 		defer feedWG.Done()
 		for i := 0; !stop.Load(); i++ {
-			err := e.Do(nil, OpSet, false, func(th *tbtm.Thread) error {
-				return srv.store.set(th, "tok:"+fmt.Sprint(i%8), []byte("t"))
+			err := e.Do(nil, wire.OpSet, false, func(th *tbtm.Thread) error {
+				return store.Set(th, "tok:"+fmt.Sprint(i%8), []byte("t"))
 			})
 			if err != nil {
 				return
@@ -336,17 +337,17 @@ func TestExecutorHammer(t *testing.T) {
 				var err error
 				switch i % 4 {
 				case 0:
-					err = e.Do(nil, OpSet, false, func(th *tbtm.Thread) error {
-						return srv.store.set(th, fmt.Sprintf("k:%d", (w*7+i)%32), []byte("v"))
+					err = e.Do(nil, wire.OpSet, false, func(th *tbtm.Thread) error {
+						return store.Set(th, fmt.Sprintf("k:%d", (w*7+i)%32), []byte("v"))
 					})
 				case 1, 2:
-					err = e.Do(nil, OpGet, false, func(th *tbtm.Thread) error {
-						_, _, e := srv.store.get(th, fmt.Sprintf("k:%d", i%32))
+					err = e.Do(nil, wire.OpGet, false, func(th *tbtm.Thread) error {
+						_, _, e := store.Get(th, fmt.Sprintf("k:%d", i%32))
 						return e
 					})
 				case 3:
-					err = e.Do(nil, OpBTake, true, func(th *tbtm.Thread) error {
-						_, e := srv.store.btake(th, "tok:"+fmt.Sprint(i%8), nil)
+					err = e.Do(nil, wire.OpBTake, true, func(th *tbtm.Thread) error {
+						_, e := store.BTake(th, "tok:"+fmt.Sprint(i%8), nil)
 						return e
 					})
 				}
@@ -382,7 +383,7 @@ func TestExecutorHammer(t *testing.T) {
 	if m.fastInUse.Load() != 0 || m.blockingInUse.Load() != 0 {
 		t.Fatalf("leases leaked: fast=%d blocking=%d", m.fastInUse.Load(), m.blockingInUse.Load())
 	}
-	if srv.TM().Stats().Commits == 0 {
+	if tm.Stats().Commits == 0 {
 		t.Fatal("hammer committed nothing")
 	}
 }

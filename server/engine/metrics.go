@@ -1,9 +1,11 @@
-package server
+package engine
 
 import (
 	"math/bits"
 	"sync/atomic"
 	"time"
+
+	"tbtm/server/wire"
 )
 
 // latBuckets is the number of exponential latency buckets: bucket i
@@ -40,7 +42,7 @@ func (m *opMetrics) record(d time.Duration, err error) {
 // latency and the executor's lease/backpressure gauges. It is exported
 // over the wire by OpStats.
 type Metrics struct {
-	ops [opMax]opMetrics
+	ops [wire.OpMax]opMetrics
 
 	// batch aggregates pipelined batches (one entry per batch, not per
 	// constituent op); batchedOps counts the ops the batches carried, so
@@ -57,6 +59,22 @@ type Metrics struct {
 	acquireWaitNs atomic.Uint64
 	rejects       atomic.Uint64 // acquisitions abandoned (ctx done / closed)
 }
+
+// RecordOp records one operation's latency and outcome under op. The
+// transport uses it to attribute a batch's amortized per-op latency to
+// the constituent opcodes.
+func (m *Metrics) RecordOp(op wire.Op, d time.Duration, err error) {
+	m.ops[op].record(d, err)
+}
+
+// BlockingInUse returns the blocking-tranche in-use gauge (tests use it
+// to observe lease pinning across park/wake).
+func (m *Metrics) BlockingInUse() int64 { return m.blockingInUse.Load() }
+
+// BatchCount and BatchedOps expose the pipelining counters (tests
+// assert that bursts actually coalesce).
+func (m *Metrics) BatchCount() uint64 { return m.batch.count.Load() }
+func (m *Metrics) BatchedOps() uint64 { return m.batchedOps.Load() }
 
 // OpCounters is the snapshot of one opcode's metrics.
 type OpCounters struct {
@@ -90,11 +108,11 @@ type MetricsSnapshot struct {
 	Executor ExecutorStats         `json:"executor"`
 }
 
-// snapshot captures the current counters. pool sizes come from the
+// Snapshot captures the current counters. pool sizes come from the
 // executor (the Metrics struct does not know them).
-func (m *Metrics) snapshot(fastLeases, blockingLeases int) MetricsSnapshot {
+func (m *Metrics) Snapshot(fastLeases, blockingLeases int) MetricsSnapshot {
 	out := MetricsSnapshot{Ops: make(map[string]OpCounters)}
-	for op := Op(1); op < opMax; op++ {
+	for op := wire.Op(1); op < wire.OpMax; op++ {
 		om := &m.ops[op]
 		n := om.count.Load()
 		if n == 0 {

@@ -1,0 +1,508 @@
+// Package engine is the server's operation layer: the transactional
+// store (hash map + ordered key index), the Thread-leasing executor,
+// pipelined batch execution, MULTI scripts, and the per-opcode metrics.
+// It sits between server/wire (pure protocol types) and the layers
+// above it — server/durable wraps the Store's write paths with
+// write-ahead logging, server/repl wraps them with replica read-only
+// routing, and server/transport drives any KV implementation over the
+// wire.
+package engine
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+
+	"tbtm"
+	"tbtm/server/wire"
+	"tbtm/structs"
+)
+
+// scriptAbort is returned from inside an OpMulti transaction body when a
+// CAS sub-op fails: it is non-retryable, so Atomic aborts the attempt
+// and nothing in the script commits. failed is the index of the sub-op
+// that failed.
+type scriptAbort struct{ failed int }
+
+func (a *scriptAbort) Error() string {
+	return fmt.Sprintf("server: multi script aborted at op %d", a.failed)
+}
+
+// Classifier sites for the executor's update paths. They are package
+// constants on purpose: AtomicSite keys its per-site statistics by the
+// string, and building the name per request ("set:"+key and the like)
+// would both allocate on the hot path and explode the site table.
+// TestWarmServerOpAllocs pins the no-per-request-allocation property.
+const (
+	siteSet   = "tbtmd/set"
+	siteDel   = "tbtmd/del"
+	siteCas   = "tbtmd/cas"
+	siteMulti = "tbtmd/multi"
+	// SiteBTake is exported: server/durable restructures BTAKE around
+	// the checkpoint gate and runs the take attempt under this site.
+	SiteBTake = "tbtmd/btake"
+	siteBatch = "tbtmd/batch"
+)
+
+// KV is the operation surface the transport drives. *Store implements
+// it with plain in-memory transactions; server/durable and server/repl
+// wrap a *Store to add write-ahead logging and replica read-only
+// routing without the transport knowing the difference.
+type KV interface {
+	Get(th *tbtm.Thread, key string) (val []byte, ok bool, err error)
+	Set(th *tbtm.Thread, key string, val []byte) error
+	Del(th *tbtm.Thread, key string) (bool, error)
+	Cas(th *tbtm.Thread, key string, expectPresent bool, expect, val []byte) (bool, error)
+	RangeScan(th *tbtm.Thread, from, to string, limit int) ([]Pair, error)
+	Multi(th *tbtm.Thread, subs []MultiSub, results *[]SubResult) (committed bool, err error)
+	ExecBatch(th *tbtm.Thread, subs []MultiSub, results *[]SubResult) error
+	ExecBatchRO(th *tbtm.Thread, subs []MultiSub, results *[]SubResult) error
+	ExecOne(th *tbtm.Thread, sub *MultiSub) (SubResult, error)
+	BTake(th *tbtm.Thread, key string, cancel *tbtm.Var[bool]) ([]byte, error)
+	Wait(th *tbtm.Thread, key string, oldPresent bool, old []byte, cancel *tbtm.Var[bool]) (val []byte, present bool, err error)
+	MarkClosed(th *tbtm.Thread) error
+}
+
+// Store is the server's transactional state: a hash map holding the
+// values and a skip-list index over the keys for ordered RANGE scans,
+// updated together inside every writing transaction, plus the shutdown
+// flag blocking operations watch.
+//
+// Values are stored as the []byte handed in, never copied or mutated
+// afterwards (the library's immutable-snapshot rule), so callers must
+// pass buffers they will not reuse — the connection handler copies out
+// of its frame buffer, and readers may send a returned value without
+// copying.
+type Store struct {
+	vals *structs.Map[string, []byte]
+	keys *structs.SkipList[string]
+	// closed is read by blocking bodies on their retry path only, so it
+	// joins the parked footprint exactly when a client is parked: the
+	// shutdown commit wakes every parked client.
+	closed *tbtm.Var[bool]
+}
+
+// NewStore builds the store's transactional structures on tm.
+func NewStore(tm *tbtm.TM, buckets int) *Store {
+	return &Store{
+		vals:   structs.NewMap[string, []byte](tm, buckets, structs.StringHash),
+		keys:   structs.NewSkipList[string](tm, func(a, b string) bool { return a < b }),
+		closed: tbtm.NewVar(tm, false),
+	}
+}
+
+// GetTx reads key inside tx.
+func (s *Store) GetTx(tx tbtm.Tx, key string) ([]byte, bool, error) {
+	return s.vals.Get(tx, key)
+}
+
+// SetTx writes key inside tx, maintaining the range index.
+func (s *Store) SetTx(tx tbtm.Tx, key string, val []byte) error {
+	inserted, err := s.vals.Put(tx, key, val)
+	if err != nil {
+		return err
+	}
+	if inserted {
+		_, err = s.keys.Insert(tx, key)
+	}
+	return err
+}
+
+// DelTx removes key inside tx, maintaining the range index.
+func (s *Store) DelTx(tx tbtm.Tx, key string) (bool, error) {
+	deleted, err := s.vals.Delete(tx, key)
+	if err != nil || !deleted {
+		return false, err
+	}
+	if _, err := s.keys.Remove(tx, key); err != nil {
+		return false, err
+	}
+	return true, nil
+}
+
+// CasTx compares-and-swaps key inside tx: the swap applies iff the key's
+// presence matches expectPresent and, when present, its bytes equal
+// expect.
+func (s *Store) CasTx(tx tbtm.Tx, key string, expectPresent bool, expect, val []byte) (bool, error) {
+	cur, ok, err := s.vals.Get(tx, key)
+	if err != nil {
+		return false, err
+	}
+	if ok != expectPresent || (ok && !bytes.Equal(cur, expect)) {
+		return false, nil
+	}
+	return true, s.SetTx(tx, key, val)
+}
+
+// Get runs a single-key read in its own short read-only transaction.
+func (s *Store) Get(th *tbtm.Thread, key string) (val []byte, ok bool, err error) {
+	err = th.AtomicReadOnly(tbtm.Short, func(tx tbtm.Tx) error {
+		var e error
+		val, ok, e = s.GetTx(tx, key)
+		return e
+	})
+	return
+}
+
+// Set runs a single-key write under the classifier's siteSet.
+func (s *Store) Set(th *tbtm.Thread, key string, val []byte) error {
+	return th.AtomicSite(siteSet, func(tx tbtm.Tx) error {
+		return s.SetTx(tx, key, val)
+	})
+}
+
+// Del runs a single-key delete under siteDel.
+func (s *Store) Del(th *tbtm.Thread, key string) (deleted bool, err error) {
+	err = th.AtomicSite(siteDel, func(tx tbtm.Tx) error {
+		var e error
+		deleted, e = s.DelTx(tx, key)
+		return e
+	})
+	return
+}
+
+// Cas runs a compare-and-swap under siteCas.
+func (s *Store) Cas(th *tbtm.Thread, key string, expectPresent bool, expect, val []byte) (swapped bool, err error) {
+	err = th.AtomicSite(siteCas, func(tx tbtm.Tx) error {
+		var e error
+		swapped, e = s.CasTx(tx, key, expectPresent, expect, val)
+		return e
+	})
+	return
+}
+
+// Pair is one key/value pair of a RANGE reply.
+type Pair struct {
+	Key string
+	Val []byte
+}
+
+// RangeScan returns, in one long read-only transaction, up to limit
+// pairs with from <= key < to (to == "" means unbounded above, limit 0
+// means unlimited). The whole scan is one consistent snapshot.
+func (s *Store) RangeScan(th *tbtm.Thread, from, to string, limit int) ([]Pair, error) {
+	var out []Pair
+	err := th.AtomicReadOnly(tbtm.Long, func(tx tbtm.Tx) error {
+		out = out[:0]
+		return s.keys.AscendFrom(tx, from, func(k string) (bool, error) {
+			if to != "" && k >= to {
+				return false, nil
+			}
+			v, ok, err := s.vals.Get(tx, k)
+			if err != nil {
+				return false, err
+			}
+			if ok { // the index is maintained with the map; ok is always true
+				out = append(out, Pair{Key: k, Val: v})
+			}
+			return limit == 0 || len(out) < limit, nil
+		})
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// SubResult is the outcome of one sub-op of a multi script.
+type SubResult struct {
+	Status  wire.Status
+	Val     []byte
+	Present bool // OpGet found / OpDel deleted / OpCas swapped
+}
+
+// MultiSub is one script operation with its key and stored value
+// already materialised (string key, private value copy): the conversion
+// is retry-invariant, so callers do it ONCE before the transaction
+// rather than on every conflict re-run. Expect may alias the caller's
+// frame buffer — it is only compared inside the attempt, never stored.
+type MultiSub struct {
+	Op            wire.Op
+	Key           string
+	Val           []byte
+	Expect        []byte
+	ExpectPresent bool
+}
+
+// Materialize converts parsed sub-requests into retry-stable script
+// entries, reusing dst.
+func Materialize(subs []wire.SubReq, dst []MultiSub) []MultiSub {
+	dst = dst[:0]
+	for i := range subs {
+		sub := &subs[i]
+		m := MultiSub{Op: sub.Op, Key: string(sub.Key), Expect: sub.Expect, ExpectPresent: sub.ExpectPresent}
+		if sub.Op == wire.OpSet || sub.Op == wire.OpCas {
+			m.Val = CopyBytes(sub.Val)
+		}
+		dst = append(dst, m)
+	}
+	return dst
+}
+
+// ReadOnlySubs reports whether every sub-op is a GET.
+func ReadOnlySubs(subs []MultiSub) bool {
+	for i := range subs {
+		if subs[i].Op != wire.OpGet {
+			return false
+		}
+	}
+	return true
+}
+
+// Multi executes a script as one transaction under siteMulti. committed
+// reports whether the script took effect: a failed CAS returns
+// committed = false with results up to and including the failed sub-op,
+// and nothing is written. results is reset and refilled on every attempt
+// so the caller can pass a reused buffer.
+func (s *Store) Multi(th *tbtm.Thread, subs []MultiSub, results *[]SubResult) (committed bool, err error) {
+	err = th.AtomicSite(siteMulti, func(tx tbtm.Tx) error {
+		*results = (*results)[:0]
+		for i := range subs {
+			sub := &subs[i]
+			res := SubResult{Status: wire.StatusOK}
+			switch sub.Op {
+			case wire.OpGet:
+				v, ok, err := s.GetTx(tx, sub.Key)
+				if err != nil {
+					return err
+				}
+				res.Val, res.Present = v, ok
+				if !ok {
+					res.Status = wire.StatusNotFound
+				}
+			case wire.OpSet:
+				if err := s.SetTx(tx, sub.Key, sub.Val); err != nil {
+					return err
+				}
+			case wire.OpDel:
+				ok, err := s.DelTx(tx, sub.Key)
+				if err != nil {
+					return err
+				}
+				res.Present = ok
+			case wire.OpCas:
+				ok, err := s.CasTx(tx, sub.Key, sub.ExpectPresent, sub.Expect, sub.Val)
+				if err != nil {
+					return err
+				}
+				res.Present = ok
+				if !ok {
+					*results = append(*results, res)
+					return &scriptAbort{failed: i}
+				}
+			default:
+				return fmt.Errorf("server: opcode %s not valid in multi", sub.Op)
+			}
+			*results = append(*results, res)
+		}
+		return nil
+	})
+	var abort *scriptAbort
+	if errors.As(err, &abort) {
+		return false, nil
+	}
+	return err == nil, err
+}
+
+// ExecBatch runs a pipelined batch of independent single-key operations
+// under ONE transaction — one lease, one begin→commit window, one
+// commit tick for the whole batch. This is the server-side analogue of
+// the engine's amortized snapshot validation: k wire ops pay one commit
+// instead of k.
+//
+// Semantics are those of the ops run back to back at the commit point:
+// reads see the batch's own earlier writes, and a failed CAS is a
+// RESULT (present = false), not an abort — unlike a MULTI script, the
+// batch's ops belong to independent requests that merely shared a
+// window, so one op's compare failure must not roll back its
+// neighbours. results is reset and refilled on every conflict re-run.
+func (s *Store) ExecBatch(th *tbtm.Thread, subs []MultiSub, results *[]SubResult) error {
+	return th.AtomicSite(siteBatch, func(tx tbtm.Tx) error {
+		return s.batchBody(tx, subs, results)
+	})
+}
+
+// ExecBatchRO is ExecBatch for an all-read batch: a short read-only
+// transaction, so a pipelined GET burst rides the engine's zero-alloc
+// read path and never touches the commit path at all.
+func (s *Store) ExecBatchRO(th *tbtm.Thread, subs []MultiSub, results *[]SubResult) error {
+	return th.AtomicReadOnly(tbtm.Short, func(tx tbtm.Tx) error {
+		return s.batchBody(tx, subs, results)
+	})
+}
+
+// batchBody executes the batch ops inside tx, one SubResult each.
+func (s *Store) batchBody(tx tbtm.Tx, subs []MultiSub, results *[]SubResult) error {
+	*results = (*results)[:0]
+	for i := range subs {
+		sub := &subs[i]
+		res := SubResult{Status: wire.StatusOK}
+		switch sub.Op {
+		case wire.OpGet:
+			v, ok, err := s.GetTx(tx, sub.Key)
+			if err != nil {
+				return err
+			}
+			res.Val, res.Present = v, ok
+			if !ok {
+				res.Status = wire.StatusNotFound
+			}
+		case wire.OpSet:
+			if err := s.SetTx(tx, sub.Key, sub.Val); err != nil {
+				return err
+			}
+		case wire.OpDel:
+			ok, err := s.DelTx(tx, sub.Key)
+			if err != nil {
+				return err
+			}
+			res.Present = ok
+		case wire.OpCas:
+			ok, err := s.CasTx(tx, sub.Key, sub.ExpectPresent, sub.Expect, sub.Val)
+			if err != nil {
+				return err
+			}
+			res.Present = ok // a failed CAS is a result here, never an abort
+		default:
+			return fmt.Errorf("server: opcode %s not valid in a batch", sub.Op)
+		}
+		*results = append(*results, res)
+	}
+	return nil
+}
+
+// ExecOne runs a single batch entry in its own transaction — the
+// depth-1 path, and the re-run path when a whole batch failed with a
+// genuine error ("first error doesn't poison later independent ops":
+// each op then succeeds or fails on its own).
+func (s *Store) ExecOne(th *tbtm.Thread, sub *MultiSub) (SubResult, error) {
+	return ExecOneOn(s, th, sub)
+}
+
+// ExecOneOn is ExecOne over any KV implementation: the durable and
+// replica wrappers route their per-op re-runs through their own
+// Get/Set/Del/Cas so each op keeps its layer's semantics.
+func ExecOneOn(kv KV, th *tbtm.Thread, sub *MultiSub) (SubResult, error) {
+	res := SubResult{Status: wire.StatusOK}
+	switch sub.Op {
+	case wire.OpGet:
+		v, ok, err := kv.Get(th, sub.Key)
+		if err != nil {
+			return res, err
+		}
+		res.Val, res.Present = v, ok
+		if !ok {
+			res.Status = wire.StatusNotFound
+		}
+	case wire.OpSet:
+		if err := kv.Set(th, sub.Key, sub.Val); err != nil {
+			return res, err
+		}
+	case wire.OpDel:
+		ok, err := kv.Del(th, sub.Key)
+		if err != nil {
+			return res, err
+		}
+		res.Present = ok
+	case wire.OpCas:
+		ok, err := kv.Cas(th, sub.Key, sub.ExpectPresent, sub.Expect, sub.Val)
+		if err != nil {
+			return res, err
+		}
+		res.Present = ok
+	default:
+		return res, fmt.Errorf("server: opcode %s not valid in a batch", sub.Op)
+	}
+	return res, nil
+}
+
+// BTake blocks until key exists, then deletes and returns it; woken by
+// shutdown it returns ErrServerClosed, and woken by the connection's
+// cancel flag (the client hung up mid-park) it returns ErrClientGone
+// WITHOUT consuming the key. The shutdown and cancel flags are read
+// only on the empty path so they join exactly the parked footprint.
+// On a durable store the park happens outside the checkpoint gate (see
+// server/durable); here the whole wait-and-take is one transaction.
+func (s *Store) BTake(th *tbtm.Thread, key string, cancel *tbtm.Var[bool]) (val []byte, err error) {
+	err = th.AtomicSite(SiteBTake, func(tx tbtm.Tx) error {
+		v, ok, e := s.GetTx(tx, key)
+		if e != nil {
+			return e
+		}
+		if !ok {
+			if e := s.CheckLive(tx, cancel); e != nil {
+				return e
+			}
+			return tbtm.Retry(tx)
+		}
+		if _, e := s.DelTx(tx, key); e != nil {
+			return e
+		}
+		val = v
+		return nil
+	})
+	return
+}
+
+// CheckLive returns the reason a blocked operation must give up: server
+// shutdown or (when the caller watches one) a disconnected client. Both
+// variables are read here, on the about-to-park path, so their commits
+// wake the parked transaction.
+func (s *Store) CheckLive(tx tbtm.Tx, cancel *tbtm.Var[bool]) error {
+	halt, err := s.closed.Read(tx)
+	if err != nil {
+		return err
+	}
+	if halt {
+		return ErrServerClosed
+	}
+	if cancel != nil {
+		gone, err := cancel.Read(tx)
+		if err != nil {
+			return err
+		}
+		if gone {
+			return ErrClientGone
+		}
+	}
+	return nil
+}
+
+// Wait blocks until key's state differs from (oldPresent, old), then
+// returns the new state; woken by shutdown it returns ErrServerClosed,
+// by a client disconnect ErrClientGone (see BTake).
+func (s *Store) Wait(th *tbtm.Thread, key string, oldPresent bool, old []byte, cancel *tbtm.Var[bool]) (val []byte, present bool, err error) {
+	err = th.AtomicReadOnly(tbtm.Short, func(tx tbtm.Tx) error {
+		v, ok, e := s.GetTx(tx, key)
+		if e != nil {
+			return e
+		}
+		if ok != oldPresent || (ok && !bytes.Equal(v, old)) {
+			val, present = v, ok
+			return nil
+		}
+		if e := s.CheckLive(tx, cancel); e != nil {
+			return e
+		}
+		return tbtm.Retry(tx)
+	})
+	return
+}
+
+// MarkClosed commits the shutdown flag, waking every parked client.
+func (s *Store) MarkClosed(th *tbtm.Thread) error {
+	return th.Atomic(tbtm.Short, func(tx tbtm.Tx) error {
+		return s.closed.Write(tx, true)
+	})
+}
+
+// CopyBytes returns a private copy of b; transactional values must not
+// alias the reusable frame buffer.
+func CopyBytes(b []byte) []byte {
+	if len(b) == 0 {
+		return nil
+	}
+	out := make([]byte, len(b))
+	copy(out, b)
+	return out
+}

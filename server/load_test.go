@@ -57,7 +57,7 @@ func TestRunLoadPipelined(t *testing.T) {
 	if res.P50Us <= 0 || res.P99Us < res.P50Us {
 		t.Fatalf("latency percentiles p50=%v p99=%v", res.P50Us, res.P99Us)
 	}
-	if got := srv.exec.m.batch.count.Load(); got == 0 {
+	if got := srv.exec.Metrics().BatchCount(); got == 0 {
 		t.Fatal("no server-side batches formed under pipelined+batched load")
 	}
 }

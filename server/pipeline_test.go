@@ -7,12 +7,9 @@ package server
 
 import (
 	"bytes"
-	"encoding/binary"
 	"fmt"
 	"testing"
 	"time"
-
-	"tbtm"
 )
 
 // forEachDriver runs fn once per connection I/O driver.
@@ -163,104 +160,6 @@ func TestServerBatchCasIndependence(t *testing.T) {
 			t.Fatalf("guard = %q ok=%v, want untouched \"actual\"", r.Val, r.OK)
 		}
 	})
-}
-
-// TestServerBatchCasIndependenceDeterministic drives the conn layer
-// directly — no TCP timing — so the window provably decodes into ONE
-// batch, then asserts the same policy: per-op CAS results, one shared
-// commit window, reads seeing the batch's earlier writes.
-func TestServerBatchCasIndependenceDeterministic(t *testing.T) {
-	srv, err := New(Config{Consistency: tbtm.Linearizable})
-	if err != nil {
-		t.Fatal(err)
-	}
-	cn := newPconn(srv, nil)
-	var out bytes.Buffer
-	cn.w = &out
-
-	var burst []byte
-	var payload []byte
-	frame := func(build func([]byte) []byte) {
-		payload = build(payload[:0])
-		var hdr [4]byte
-		binary.BigEndian.PutUint32(hdr[:], uint32(len(payload)))
-		burst = append(burst, hdr[:]...)
-		burst = append(burst, payload...)
-	}
-	single := func(seq uint64, op Op, key string, rest ...[]byte) {
-		frame(func(b []byte) []byte {
-			b = binary.AppendUvarint(b, seq)
-			b = append(b, byte(op))
-			b = appendString(b, key)
-			for _, r := range rest {
-				b = append(b, r...)
-			}
-			return b
-		})
-	}
-	lp := func(p []byte) []byte { return appendBytes(nil, p) }
-
-	single(1, OpSet, "a", lp([]byte("1")))
-	single(2, OpCas, "a", []byte{1}, lp([]byte("wrong")), lp([]byte("x")))
-	single(3, OpSet, "b", lp([]byte("2")))
-	single(4, OpGet, "a")
-	single(5, OpGet, "b")
-
-	cn.in = append(cn.in[:0], burst...)
-	if err := cn.processBurst(); err != nil {
-		t.Fatalf("processBurst: %v", err)
-	}
-	// One burst of five batchable ops = exactly one executor batch.
-	if got := srv.exec.m.batch.count.Load(); got != 1 {
-		t.Fatalf("batches = %d, want 1", got)
-	}
-	if got := srv.exec.m.batchedOps.Load(); got != 5 {
-		t.Fatalf("batched ops = %d, want 5", got)
-	}
-
-	read := func() (uint64, Status, []byte) {
-		t.Helper()
-		var hdr [4]byte
-		p, _, err := readFrame(&out, &hdr, nil, DefaultMaxFrame)
-		if err != nil {
-			t.Fatalf("readFrame: %v", err)
-		}
-		seq, body, err := takeUvarint(p)
-		if err != nil {
-			t.Fatalf("seq: %v", err)
-		}
-		st, body, err := takeByte(body)
-		if err != nil {
-			t.Fatalf("status: %v", err)
-		}
-		return seq, Status(st), body
-	}
-	for want := uint64(1); want <= 5; want++ {
-		seq, st, body := read()
-		if seq != want {
-			t.Fatalf("response order: seq %d, want %d", seq, want)
-		}
-		switch want {
-		case 2: // failed CAS: StatusOK, swapped = 0
-			if st != StatusOK || len(body) != 1 || body[0] != 0 {
-				t.Fatalf("cas reply: status %d body %v, want OK/0", st, body)
-			}
-		case 4: // read of a key the SAME batch wrote
-			v, _, err := takeBytes(body)
-			if st != StatusOK || err != nil || !bytes.Equal(v, []byte("1")) {
-				t.Fatalf("get a: status %d val %q err %v, want \"1\"", st, v, err)
-			}
-		case 5:
-			v, _, err := takeBytes(body)
-			if st != StatusOK || err != nil || !bytes.Equal(v, []byte("2")) {
-				t.Fatalf("get b: status %d val %q err %v, want \"2\"", st, v, err)
-			}
-		default:
-			if st != StatusOK {
-				t.Fatalf("seq %d: status %d, want OK", want, st)
-			}
-		}
-	}
 }
 
 // TestServerPipelinedParkedBTake pins the blocking/pipelining split: a

@@ -1,0 +1,235 @@
+// Package repl ships the primary's write-ahead log to read replicas
+// and applies it on the replica side.
+//
+// The stream a primary serves is self-synchronizing: a follower
+// subscribes with the last sequence number it has applied, and the
+// primary answers with whichever of two shapes covers the gap —
+//
+//   - a CHECKPOINT BOOTSTRAP (CkptBegin / CkptPairs… / CkptEnd) when
+//     the follower's position has been pruned: the newest on-disk
+//     checkpoint's pairs, after which the follower atomically replaces
+//     its state and continues from the checkpoint's covered seq;
+//
+//   - a RECORD TAIL (ReplRecords frames carrying raw WAL bytes) when
+//     the records past the follower's position still exist, via the
+//     WAL's live-tail API (file phase for the backlog, then batches as
+//     the group-commit batcher writes them).
+//
+// Records are shipped in WAL sequence order, which is NOT per-key
+// commit order: two transactions can hold the commit→append window
+// concurrently and be assigned sequence numbers opposite to their
+// engine commit ticks. The replica therefore resolves writes per key
+// by (epoch, commit tick), exactly as crash recovery does — seq is
+// only the transport cursor, tick is the truth. The same rule makes
+// checkpoint hand-off exact: every record with seq > the checkpoint's
+// covered seq committed entirely after the checkpoint gate's write
+// instant, so "checkpoint + records above its seq, resolved by
+// (epoch, tick)" reconstructs the primary's state with no gap and no
+// double-apply ambiguity.
+package repl
+
+import (
+	"encoding/binary"
+	"errors"
+	"time"
+
+	"tbtm/internal/wal"
+	"tbtm/server/wire"
+)
+
+// Stream is the frame writer a primary pushes the replication stream
+// through; server/transport's Stream implements it. Begin starts a
+// frame body (the subscription's sequence ID pre-applied), Flush
+// frames and writes it, Stop is closed when the connection dies.
+type Stream interface {
+	Begin() []byte
+	Flush(body []byte) error
+	Stop() <-chan struct{}
+}
+
+// maxShipPayload bounds one stream frame's record / checkpoint-pair
+// payload, comfortably under any sane frame limit. Chunks split at
+// record boundaries; a single record larger than this ships alone.
+const maxShipPayload = 256 << 10
+
+// heartbeatEvery is the idle-stream heartbeat period: often enough
+// that a replica's lag gauge is fresh, rare enough to be free.
+const heartbeatEvery = 500 * time.Millisecond
+
+// errStopped reports the connection died under the stream.
+var errStopped = errors.New("repl: stream stopped")
+
+// ServePrimary serves one replication subscription over st: hello,
+// then checkpoint bootstrap and/or record tail as the follower's
+// position requires, until the stream or the log dies. The returned
+// error becomes the stream's terminal status frame.
+func ServePrimary(l *wal.Log, st Stream, afterSeq uint64) error {
+	b := st.Begin()
+	b = append(b, byte(wire.StatusOK), wire.ReplHello)
+	b = binary.AppendUvarint(b, wire.ReplVersion)
+	b = binary.AppendUvarint(b, l.LastAssignedSeq())
+	if err := st.Flush(b); err != nil {
+		return err
+	}
+
+	pos := afterSeq
+	for {
+		if pos < l.CheckpointSeq() {
+			upTo, err := shipCheckpoint(l, st)
+			if err != nil {
+				return err
+			}
+			if upTo > pos {
+				pos = upTo
+			}
+		}
+		f, err := l.Follow(pos)
+		if errors.Is(err, wal.ErrPruned) {
+			continue // a checkpoint advanced past pos since we checked; bootstrap
+		}
+		if err != nil {
+			return err
+		}
+		pos, err = pump(l, st, f, pos)
+		f.Close()
+		if errors.Is(err, wal.ErrPruned) {
+			continue // pruned mid-tail; re-bootstrap from the new checkpoint
+		}
+		return err
+	}
+}
+
+// shipCheckpoint sends the newest checkpoint as a bracketed pair
+// stream and returns the seq it covers. A concurrent prune retries
+// inside ReadCheckpoint; no checkpoint at all returns 0 (the caller
+// falls through to tailing records from wherever it stands).
+func shipCheckpoint(l *wal.Log, st Stream) (uint64, error) {
+	pairs, upTo, err := l.ReadCheckpoint()
+	if err != nil {
+		return 0, err
+	}
+	if upTo == 0 {
+		return 0, nil
+	}
+	b := st.Begin()
+	b = append(b, byte(wire.StatusOK), wire.ReplCkptBegin)
+	b = binary.AppendUvarint(b, upTo)
+	b = binary.AppendUvarint(b, uint64(len(pairs)))
+	if err := st.Flush(b); err != nil {
+		return 0, err
+	}
+
+	keys := make([]string, 0, len(pairs))
+	for k := range pairs {
+		keys = append(keys, k)
+	}
+	var body []byte
+	for i := 0; i < len(keys); {
+		// The pair count prefixes the chunk, so pairs accumulate in a
+		// side buffer first (at least one pair per chunk, however big).
+		body = body[:0]
+		n := 0
+		for i < len(keys) && (n == 0 || len(body) < maxShipPayload) {
+			k := keys[i]
+			body = wire.AppendString(body, k)
+			body = wire.AppendBytes(body, pairs[k])
+			n++
+			i++
+		}
+		b = st.Begin()
+		b = append(b, byte(wire.StatusOK), wire.ReplCkptPairs)
+		b = binary.AppendUvarint(b, uint64(n))
+		b = append(b, body...)
+		if err := st.Flush(b); err != nil {
+			return 0, err
+		}
+	}
+
+	b = st.Begin()
+	b = append(b, byte(wire.StatusOK), wire.ReplCkptEnd)
+	b = binary.AppendUvarint(b, upTo)
+	return upTo, st.Flush(b)
+}
+
+// pump streams chunks from the follower until the stream, the log, or
+// the follower's position dies, returning the last shipped seq. A
+// helper goroutine blocks in Recv so this loop can also service the
+// heartbeat ticker and the stream's stop channel; chunk buffers are
+// stable once handed over (batch buffers are immutable after write,
+// file-phase reads are fresh allocations), so the overlap between
+// shipping chunk N and receiving N+1 is safe.
+func pump(l *wal.Log, st Stream, f *wal.Follower, pos uint64) (uint64, error) {
+	chunks := make(chan wal.Chunk)
+	errc := make(chan error, 1)
+	rstop := make(chan struct{})
+	done := make(chan struct{})
+	// Join the receiver before returning: the caller Closes the
+	// follower as soon as pump is back, and Follower is single-caller —
+	// a Recv still in flight would race the Close.
+	defer func() { close(rstop); <-done }()
+	go func() {
+		defer close(done)
+		for {
+			c, err := f.Recv(rstop)
+			if err != nil {
+				errc <- err
+				return
+			}
+			select {
+			case chunks <- c:
+			case <-rstop:
+				return
+			}
+		}
+	}()
+
+	hb := time.NewTicker(heartbeatEvery)
+	defer hb.Stop()
+	for {
+		select {
+		case c := <-chunks:
+			if err := shipChunk(l, st, c); err != nil {
+				return pos, err
+			}
+			pos = c.Last
+		case err := <-errc:
+			return pos, err
+		case <-hb.C:
+			b := st.Begin()
+			b = append(b, byte(wire.StatusOK), wire.ReplHeartbeat)
+			b = binary.AppendUvarint(b, l.LastAssignedSeq())
+			if err := st.Flush(b); err != nil {
+				return pos, err
+			}
+		case <-st.Stop():
+			return pos, errStopped
+		}
+	}
+}
+
+// shipChunk frames one chunk's raw record bytes, split at record
+// boundaries into frames of at most maxShipPayload (a single larger
+// record ships alone — records cannot be split).
+func shipChunk(l *wal.Log, st Stream, c wal.Chunk) error {
+	raw := c.Bytes
+	for len(raw) > 0 {
+		end := 0
+		for end < len(raw) && end < maxShipPayload {
+			_, n, err := wal.ScanRecord(raw[end:])
+			if err != nil {
+				return err // shipped bytes must be whole records
+			}
+			end += n
+		}
+		b := st.Begin()
+		b = append(b, byte(wire.StatusOK), wire.ReplRecords)
+		b = binary.AppendUvarint(b, c.Epoch)
+		b = binary.AppendUvarint(b, l.LastAssignedSeq())
+		b = append(b, raw[:end]...)
+		if err := st.Flush(b); err != nil {
+			return err
+		}
+		raw = raw[end:]
+	}
+	return nil
+}

@@ -1,0 +1,79 @@
+package repl
+
+import (
+	"tbtm"
+	"tbtm/server/engine"
+)
+
+// ReadOnlyKV is the serving face of a replica's store: reads pass
+// through (each is one consistent snapshot of whatever the applier has
+// committed), writes and BTAKE answer engine.ErrReplicaRead — which the
+// transport encodes as StatusReadOnly with the replica reason byte, so
+// clients can tell "write to the primary" from a primary's own WAL
+// degradation. WAIT works: a replica is a fine place to watch a key
+// change, the applier's commits wake parked watchers like any other
+// transaction.
+type ReadOnlyKV struct {
+	s *engine.Store
+}
+
+// NewReadOnlyKV wraps the replica's store for serving.
+func NewReadOnlyKV(s *engine.Store) *ReadOnlyKV { return &ReadOnlyKV{s: s} }
+
+func (r *ReadOnlyKV) Get(th *tbtm.Thread, key string) ([]byte, bool, error) {
+	return r.s.Get(th, key)
+}
+
+func (r *ReadOnlyKV) Set(th *tbtm.Thread, key string, val []byte) error {
+	return engine.ErrReplicaRead
+}
+
+func (r *ReadOnlyKV) Del(th *tbtm.Thread, key string) (bool, error) {
+	return false, engine.ErrReplicaRead
+}
+
+func (r *ReadOnlyKV) Cas(th *tbtm.Thread, key string, expectPresent bool, expect, val []byte) (bool, error) {
+	return false, engine.ErrReplicaRead
+}
+
+func (r *ReadOnlyKV) RangeScan(th *tbtm.Thread, from, to string, limit int) ([]engine.Pair, error) {
+	return r.s.RangeScan(th, from, to, limit)
+}
+
+// Multi runs all-read scripts (a consistent multi-key snapshot is
+// exactly what replicas are for); any writing sub-op refuses whole.
+func (r *ReadOnlyKV) Multi(th *tbtm.Thread, subs []engine.MultiSub, results *[]engine.SubResult) (bool, error) {
+	if !engine.ReadOnlySubs(subs) {
+		return false, engine.ErrReplicaRead
+	}
+	return r.s.Multi(th, subs, results)
+}
+
+// ExecBatch refuses (it is only chosen when the batch writes); the
+// transport's solo re-run then answers each op individually — reads
+// succeed, writes get their read-only status.
+func (r *ReadOnlyKV) ExecBatch(th *tbtm.Thread, subs []engine.MultiSub, results *[]engine.SubResult) error {
+	return engine.ErrReplicaRead
+}
+
+func (r *ReadOnlyKV) ExecBatchRO(th *tbtm.Thread, subs []engine.MultiSub, results *[]engine.SubResult) error {
+	return r.s.ExecBatchRO(th, subs, results)
+}
+
+func (r *ReadOnlyKV) ExecOne(th *tbtm.Thread, sub *engine.MultiSub) (engine.SubResult, error) {
+	return engine.ExecOneOn(r, th, sub)
+}
+
+// BTake refuses: consuming a key on a replica would diverge from the
+// primary.
+func (r *ReadOnlyKV) BTake(th *tbtm.Thread, key string, cancel *tbtm.Var[bool]) ([]byte, error) {
+	return nil, engine.ErrReplicaRead
+}
+
+func (r *ReadOnlyKV) Wait(th *tbtm.Thread, key string, oldPresent bool, old []byte, cancel *tbtm.Var[bool]) ([]byte, bool, error) {
+	return r.s.Wait(th, key, oldPresent, old, cancel)
+}
+
+func (r *ReadOnlyKV) MarkClosed(th *tbtm.Thread) error {
+	return r.s.MarkClosed(th)
+}

@@ -1,0 +1,454 @@
+package repl
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"tbtm"
+	"tbtm/internal/wal"
+	"tbtm/server/engine"
+	"tbtm/server/wire"
+)
+
+// epochTick orders writes the way recovery does: epoch first, then the
+// engine commit tick within the epoch.
+type epochTick struct {
+	epoch, tick uint64
+}
+
+// wins reports whether a write stamped a may overwrite state stamped
+// b. Ties apply (>=): ops within one record share a stamp and apply in
+// script order, and recovery resolves equal stamps the same way.
+func (a epochTick) wins(b epochTick) bool {
+	return a.epoch > b.epoch || (a.epoch == b.epoch && a.tick >= b.tick)
+}
+
+// ReplicaConfig configures a replication follower.
+type ReplicaConfig struct {
+	// Primary is the primary tbtmd's wire address.
+	Primary string
+	// Store is the replica's local store; the applier is its ONLY
+	// writer (the serving side wraps it read-only, see ReadOnlyKV).
+	Store *engine.Store
+	// Thread is the applier's dedicated engine thread.
+	Thread *tbtm.Thread
+	// MaxFrame bounds stream frames (default wire.DefaultMaxFrame).
+	MaxFrame int
+	// DialTimeout bounds one connection attempt (default 3s).
+	DialTimeout time.Duration
+	// Backoff is the initial reconnect delay, doubling to 2s (default
+	// 50ms).
+	Backoff time.Duration
+}
+
+// ReplStats is the replica section of the STATS document.
+type ReplStats struct {
+	Primary    string `json:"primary"`
+	Connected  bool   `json:"connected"`
+	PrimarySeq uint64 `json:"primary_seq"`
+	AppliedSeq uint64 `json:"applied_seq"`
+	Lag        uint64 `json:"lag"`
+	Records    uint64 `json:"records_applied"`
+	Bootstraps uint64 `json:"bootstraps"`
+	Reconnects uint64 `json:"reconnects"`
+}
+
+// Replica follows a primary: it dials, subscribes with the last
+// applied seq, applies checkpoint bootstraps atomically and records
+// as ordinary engine transactions, and reconnects with backoff until
+// stopped. All application happens on one goroutine owning cfg.Thread.
+type Replica struct {
+	cfg ReplicaConfig
+
+	connected  atomic.Bool
+	applied    atomic.Uint64
+	primarySeq atomic.Uint64
+	records    atomic.Uint64
+	bootstraps atomic.Uint64
+	reconnects atomic.Uint64
+
+	// guard is the per-key (epoch, tick) LWW map: WAL seq order is not
+	// per-key commit order, so every applied write is stamped and later
+	// records lose per key when their stamp is older. Reset on
+	// bootstrap (the checkpoint subsumes every stamp at or below its
+	// covered seq; records above it always carry newer-or-equal ticks
+	// per key than the snapshot they post-date).
+	guard map[string]epochTick
+	apply []bool // per-op winner flags, precomputed outside the tx body
+
+	// Checkpoint under assembly between CkptBegin and CkptEnd.
+	pending     map[string][]byte
+	pendingUpTo uint64
+
+	mu      sync.Mutex
+	conn    net.Conn // current connection, closed by Stop to unblock reads
+	stopped bool
+
+	stop chan struct{}
+	done chan struct{}
+}
+
+// StartReplica begins following cfg.Primary. Stop ends it.
+func StartReplica(cfg ReplicaConfig) *Replica {
+	if cfg.MaxFrame <= 0 {
+		cfg.MaxFrame = wire.DefaultMaxFrame
+	}
+	if cfg.DialTimeout <= 0 {
+		cfg.DialTimeout = 3 * time.Second
+	}
+	if cfg.Backoff <= 0 {
+		cfg.Backoff = 50 * time.Millisecond
+	}
+	r := &Replica{
+		cfg:   cfg,
+		guard: make(map[string]epochTick),
+		stop:  make(chan struct{}),
+		done:  make(chan struct{}),
+	}
+	go r.run()
+	return r
+}
+
+// Stop disconnects and waits for the applier goroutine to exit.
+func (r *Replica) Stop() {
+	r.mu.Lock()
+	if !r.stopped {
+		r.stopped = true
+		close(r.stop)
+		if r.conn != nil {
+			r.conn.Close()
+		}
+	}
+	r.mu.Unlock()
+	<-r.done
+}
+
+// Stats snapshots the replication gauges. Lag is the primary's last
+// announced seq minus the last applied one (0 when caught up; the
+// primary's heartbeats keep it fresh while idle).
+func (r *Replica) Stats() ReplStats {
+	applied, primary := r.applied.Load(), r.primarySeq.Load()
+	var lag uint64
+	if primary > applied {
+		lag = primary - applied
+	}
+	return ReplStats{
+		Primary:    r.cfg.Primary,
+		Connected:  r.connected.Load(),
+		PrimarySeq: primary,
+		AppliedSeq: applied,
+		Lag:        lag,
+		Records:    r.records.Load(),
+		Bootstraps: r.bootstraps.Load(),
+		Reconnects: r.reconnects.Load(),
+	}
+}
+
+// BreakConnForTest severs the current upstream connection (if any),
+// forcing the follower through its reconnect path. Test hook.
+func (r *Replica) BreakConnForTest() {
+	r.mu.Lock()
+	if r.conn != nil {
+		r.conn.Close()
+	}
+	r.mu.Unlock()
+}
+
+// setConn publishes the live connection for Stop to close; a Stop that
+// already ran closes it here instead.
+func (r *Replica) setConn(c net.Conn) {
+	r.mu.Lock()
+	r.conn = c
+	if r.stopped && c != nil {
+		c.Close()
+	}
+	r.mu.Unlock()
+}
+
+// sleep waits d or until Stop; false means stopped.
+func (r *Replica) sleep(d time.Duration) bool {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return true
+	case <-r.stop:
+		return false
+	}
+}
+
+func (r *Replica) run() {
+	defer close(r.done)
+	backoff := r.cfg.Backoff
+	for {
+		select {
+		case <-r.stop:
+			return
+		default:
+		}
+		c, err := net.DialTimeout("tcp", r.cfg.Primary, r.cfg.DialTimeout)
+		if err != nil {
+			r.reconnects.Add(1)
+			if !r.sleep(backoff) {
+				return
+			}
+			if backoff *= 2; backoff > 2*time.Second {
+				backoff = 2 * time.Second
+			}
+			continue
+		}
+		backoff = r.cfg.Backoff
+		r.setConn(c)
+		_ = r.stream(c) // any error means reconnect; the loop is the retry
+		r.setConn(nil)
+		c.Close()
+		r.connected.Store(false)
+		select {
+		case <-r.stop:
+			return
+		default:
+		}
+		r.reconnects.Add(1)
+		if !r.sleep(backoff) {
+			return
+		}
+	}
+}
+
+// stream subscribes on one connection and applies frames until it
+// dies. The subscription asks for everything after the last APPLIED
+// seq, so a mid-stream crash resumes exactly where application
+// stopped — re-sent records a restarted replica already holds are
+// rejected per key by the guard map anyway.
+func (r *Replica) stream(c net.Conn) error {
+	var hdr [4]byte
+	body := binary.AppendUvarint(nil, 1) // one subscription per conn; seq 1
+	body = append(body, byte(wire.OpReplicate))
+	body = binary.AppendUvarint(body, r.applied.Load())
+	if err := wire.WriteFrame(c, &hdr, body); err != nil {
+		return err
+	}
+	r.connected.Store(true)
+
+	br := bufio.NewReaderSize(c, 64<<10)
+	var buf []byte
+	for {
+		payload, nbuf, err := wire.ReadFrame(br, &hdr, buf, r.cfg.MaxFrame)
+		buf = nbuf
+		if err != nil {
+			return err
+		}
+		if err := r.applyFrame(payload); err != nil {
+			return err
+		}
+	}
+}
+
+// applyFrame decodes and applies one stream frame.
+func (r *Replica) applyFrame(payload []byte) error {
+	_, p, err := wire.TakeUvarint(payload) // echoed subscription seq
+	if err != nil {
+		return err
+	}
+	st, p, err := wire.TakeByte(p)
+	if err != nil {
+		return err
+	}
+	switch wire.Status(st) {
+	case wire.StatusOK:
+	case wire.StatusClosed:
+		return fmt.Errorf("repl: primary closed the stream")
+	case wire.StatusError:
+		msg, _, _ := wire.TakeBytes(p)
+		return fmt.Errorf("repl: primary: %s", msg)
+	default:
+		return fmt.Errorf("repl: unexpected stream status %d", st)
+	}
+	kind, p, err := wire.TakeByte(p)
+	if err != nil {
+		return err
+	}
+	switch kind {
+	case wire.ReplHello:
+		ver, p2, err := wire.TakeUvarint(p)
+		if err != nil {
+			return err
+		}
+		if ver != wire.ReplVersion {
+			return fmt.Errorf("repl: primary speaks stream version %d, want %d", ver, wire.ReplVersion)
+		}
+		last, _, err := wire.TakeUvarint(p2)
+		if err != nil {
+			return err
+		}
+		r.notePrimary(last)
+	case wire.ReplCkptBegin:
+		upTo, p2, err := wire.TakeUvarint(p)
+		if err != nil {
+			return err
+		}
+		count, _, err := wire.TakeUvarint(p2)
+		if err != nil {
+			return err
+		}
+		if count > uint64(len(p)) { // cheap sanity bound before allocating
+			count = uint64(len(p))
+		}
+		r.pending = make(map[string][]byte, count)
+		r.pendingUpTo = upTo
+	case wire.ReplCkptPairs:
+		if r.pending == nil {
+			return fmt.Errorf("repl: checkpoint pairs outside a bootstrap")
+		}
+		n, p2, err := wire.TakeUvarint(p)
+		if err != nil {
+			return err
+		}
+		for j := uint64(0); j < n; j++ {
+			var k, v []byte
+			if k, p2, err = wire.TakeBytes(p2); err != nil {
+				return err
+			}
+			if v, p2, err = wire.TakeBytes(p2); err != nil {
+				return err
+			}
+			// The frame buffer is reused; stored pairs need copies.
+			r.pending[string(k)] = engine.CopyBytes(v)
+		}
+	case wire.ReplCkptEnd:
+		if r.pending == nil {
+			return fmt.Errorf("repl: checkpoint end outside a bootstrap")
+		}
+		if err := r.applyBootstrap(); err != nil {
+			return err
+		}
+	case wire.ReplRecords:
+		epoch, p2, err := wire.TakeUvarint(p)
+		if err != nil {
+			return err
+		}
+		last, p2, err := wire.TakeUvarint(p2)
+		if err != nil {
+			return err
+		}
+		r.notePrimary(last)
+		for len(p2) > 0 {
+			rec, n, err := wal.DecodeRecord(p2)
+			if err != nil {
+				return err
+			}
+			if err := r.applyRecord(epoch, rec); err != nil {
+				return err
+			}
+			p2 = p2[n:]
+		}
+	case wire.ReplHeartbeat:
+		last, _, err := wire.TakeUvarint(p)
+		if err != nil {
+			return err
+		}
+		r.notePrimary(last)
+	default:
+		return fmt.Errorf("repl: unknown stream frame kind %d", kind)
+	}
+	return nil
+}
+
+// notePrimary advances the primary's announced seq (monotone: frames
+// can carry a stale LastAssignedSeq read taken before a later frame's).
+func (r *Replica) notePrimary(seq uint64) {
+	if seq > r.primarySeq.Load() {
+		r.primarySeq.Store(seq) // applier goroutine is the only writer
+	}
+}
+
+// applyBootstrap replaces the replica's state with the assembled
+// checkpoint in ONE long transaction — a reader's RANGE snapshot sees
+// wholly old or wholly new state, never a mix. The guard map resets:
+// the checkpoint subsumes every write at or below its covered seq, and
+// records above it post-date the snapshot per key.
+func (r *Replica) applyBootstrap() error {
+	pending, upTo := r.pending, r.pendingUpTo
+	r.pending = nil
+	// The applier is the store's only writer, so this pre-transaction
+	// snapshot of the key set is still current inside the transaction.
+	cur, err := r.cfg.Store.RangeScan(r.cfg.Thread, "", "", 0)
+	if err != nil {
+		return err
+	}
+	err = r.cfg.Thread.Atomic(tbtm.Long, func(tx tbtm.Tx) error {
+		for i := range cur {
+			if _, ok := pending[cur[i].Key]; !ok {
+				if _, e := r.cfg.Store.DelTx(tx, cur[i].Key); e != nil {
+					return e
+				}
+			}
+		}
+		for k, v := range pending {
+			if e := r.cfg.Store.SetTx(tx, k, v); e != nil {
+				return e
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	r.guard = make(map[string]epochTick, len(pending))
+	r.applied.Store(upTo)
+	r.notePrimary(upTo)
+	r.bootstraps.Add(1)
+	return nil
+}
+
+// applyRecord applies one shipped record as one engine transaction.
+// Winner flags are precomputed against the guard map so the retryable
+// transaction body only reads them; the guard updates after commit.
+func (r *Replica) applyRecord(epoch uint64, rec wal.Record) error {
+	if rec.Seq <= r.applied.Load() {
+		return nil // overlap after a resubscribe; already applied
+	}
+	et := epochTick{epoch: epoch, tick: rec.Tick}
+	r.apply = r.apply[:0]
+	any := false
+	for i := range rec.Ops {
+		win := et.wins(r.guard[rec.Ops[i].Key])
+		r.apply = append(r.apply, win)
+		any = any || win
+	}
+	if any {
+		st := r.cfg.Store
+		err := r.cfg.Thread.Atomic(tbtm.Short, func(tx tbtm.Tx) error {
+			for i := range rec.Ops {
+				if !r.apply[i] {
+					continue
+				}
+				op := &rec.Ops[i]
+				if op.Del {
+					if _, e := st.DelTx(tx, op.Key); e != nil {
+						return e
+					}
+				} else if e := st.SetTx(tx, op.Key, op.Val); e != nil {
+					return e
+				}
+			}
+			return nil
+		})
+		if err != nil {
+			return err
+		}
+		for i := range rec.Ops {
+			if r.apply[i] {
+				r.guard[rec.Ops[i].Key] = et
+			}
+		}
+	}
+	r.records.Add(1)
+	r.applied.Store(rec.Seq)
+	return nil
+}

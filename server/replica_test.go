@@ -1,0 +1,330 @@
+package server
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+
+	"tbtm/internal/wal"
+)
+
+// replicaOf starts a read replica following the primary at paddr and
+// returns it with its address.
+func replicaOf(t *testing.T, paddr string, cfg Config) (*Server, string) {
+	t.Helper()
+	cfg.ReplicaOf = paddr
+	if cfg.ReplicaBackoff == 0 {
+		cfg.ReplicaBackoff = 5 * time.Millisecond
+	}
+	return startServer(t, cfg)
+}
+
+// waitReplicaCaughtUp polls until the replica reports zero lag with a
+// live primary connection AND has applied everything the primary's WAL
+// has assigned. The replica's own lag gauge is computed against its
+// last-heard primary seq, which trails the truth between heartbeats —
+// comparing against the primary's LastAssignedSeq directly is what
+// makes this helper race-free against a writer that just acked.
+func waitReplicaCaughtUp(t *testing.T, p, r *Server) {
+	t.Helper()
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		target := p.dur.Log().LastAssignedSeq()
+		st := r.ReplicaStats()
+		if st.Connected && st.Lag == 0 && st.AppliedSeq >= target {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("replica never caught up (primary seq %d): %+v", target, st)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+// TestReplicaCatchUpAndReadOnly: a replica follows a durable primary's
+// WAL, serves the replicated state to readers, refuses writes with the
+// replica-specific error, and reports zero lag once the primary goes
+// quiet.
+func TestReplicaCatchUpAndReadOnly(t *testing.T) {
+	fs := wal.NewMemFS()
+	psrv, pcl := durableServer(t, fs, Config{})
+
+	// State written BEFORE the replica exists arrives via the tail (or
+	// checkpoint) during bootstrap.
+	if err := pcl.Set("seeded", []byte("early")); err != nil {
+		t.Fatal(err)
+	}
+
+	rsrv, raddr := replicaOf(t, pcl.c.RemoteAddr().String(), Config{})
+	waitReplicaCaughtUp(t, psrv, rsrv)
+	rcl := dialT(t, raddr)
+
+	if v, ok, err := rcl.Get("seeded"); err != nil || !ok || !bytes.Equal(v, []byte("early")) {
+		t.Fatalf("replica get seeded = %q ok=%v err=%v", v, ok, err)
+	}
+
+	// State written AFTER bootstrap arrives via the live tail.
+	if err := pcl.Set("live", []byte("later")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := pcl.Del("seeded"); err != nil {
+		t.Fatal(err)
+	}
+	waitReplicaCaughtUp(t, psrv, rsrv)
+	if v, ok, err := rcl.Get("live"); err != nil || !ok || !bytes.Equal(v, []byte("later")) {
+		t.Fatalf("replica get live = %q ok=%v err=%v", v, ok, err)
+	}
+	if _, ok, err := rcl.Get("seeded"); err != nil || ok {
+		t.Fatalf("replica still has deleted key: ok=%v err=%v", ok, err)
+	}
+
+	// Writes are refused with the replica error — typed distinctly from
+	// the primary's WAL-degradation read-only error, so clients can
+	// fail over instead of alerting.
+	if err := rcl.Set("nope", []byte("x")); !errors.Is(err, ErrReplicaRead) {
+		t.Fatalf("replica SET error = %v, want ErrReplicaRead", err)
+	}
+	if errors.Is(ErrReplicaRead, ErrReadOnlyMode) || errors.Is(ErrReadOnlyMode, ErrReplicaRead) {
+		t.Fatal("ErrReplicaRead and ErrReadOnlyMode must be distinct")
+	}
+	if _, err := rcl.Del("live"); !errors.Is(err, ErrReplicaRead) {
+		t.Fatalf("replica DEL error = %v, want ErrReplicaRead", err)
+	}
+	if _, err := rcl.Cas("live", []byte("later"), true, []byte("x")); !errors.Is(err, ErrReplicaRead) {
+		t.Fatalf("replica CAS error = %v, want ErrReplicaRead", err)
+	}
+	// A write MULTI is refused whole; a read-only MULTI serves.
+	if _, _, err := rcl.MultiExec([]MultiOp{MGet("live"), MSet("x", []byte("y"))}); !errors.Is(err, ErrReplicaRead) {
+		t.Fatalf("replica write MULTI error = %v, want ErrReplicaRead", err)
+	}
+	res, committed, err := rcl.MultiExec([]MultiOp{MGet("live"), MGet("absent")})
+	if err != nil || !committed || len(res) != 2 || !res[0].OK || res[1].OK {
+		t.Fatalf("replica read MULTI = %+v committed=%v err=%v", res, committed, err)
+	}
+
+	// STATS carries the replication section.
+	reply, err := rcl.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reply.Repl == nil || !reply.Repl.Connected || reply.Repl.Lag != 0 || reply.Repl.AppliedSeq == 0 {
+		t.Fatalf("replica STATS repl section = %+v", reply.Repl)
+	}
+
+	// The replicated applier commits as ordinary transactions: a WAIT
+	// parked on the replica wakes when the primary's write arrives.
+	woke := make(chan error, 1)
+	waiter := dialT(t, raddr)
+	go func() {
+		v, present, err := waiter.Wait("watched", nil, false)
+		if err == nil && (!present || !bytes.Equal(v, []byte("arrived"))) {
+			err = fmt.Errorf("wait woke with %q present=%v", v, present)
+		}
+		woke <- err
+	}()
+	waitParked(t, rsrv.TM(), 1)
+	if err := pcl.Set("watched", []byte("arrived")); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-woke:
+		if err != nil {
+			t.Fatalf("replica WAIT: %v", err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("replica WAIT not woken by replicated write")
+	}
+}
+
+// TestReplicaSnapshotConsistencyUnderLoad is the acceptance check: the
+// replica serves RANGE as ONE consistent snapshot while the primary
+// commits concurrently. The primary updates eight keys atomically per
+// round (one MULTI = one WAL record); any replica RANGE must observe
+// all eight at the same round, never a torn mix.
+func TestReplicaSnapshotConsistencyUnderLoad(t *testing.T) {
+	fs := wal.NewMemFS()
+	psrv, pcl := durableServer(t, fs, Config{})
+	const fan = 8
+
+	round := func(r int) []MultiOp {
+		ops := make([]MultiOp, fan)
+		for i := range ops {
+			ops[i] = MSet(fmt.Sprintf("inv:%d", i), []byte(fmt.Sprintf("v%06d", r)))
+		}
+		return ops
+	}
+	if _, committed, err := pcl.MultiExec(round(0)); err != nil || !committed {
+		t.Fatalf("seed round: committed=%v err=%v", committed, err)
+	}
+
+	rsrv, raddr := replicaOf(t, pcl.c.RemoteAddr().String(), Config{})
+	waitReplicaCaughtUp(t, psrv, rsrv)
+	rcl := dialT(t, raddr)
+
+	rounds := 300
+	if testing.Short() {
+		rounds = 60
+	}
+	writerDone := make(chan error, 1)
+	go func() {
+		for r := 1; r <= rounds; r++ {
+			if _, committed, err := pcl.MultiExec(round(r)); err != nil || !committed {
+				writerDone <- fmt.Errorf("round %d: committed=%v err=%v", r, committed, err)
+				return
+			}
+		}
+		writerDone <- nil
+	}()
+
+	// Hammer RANGE on the replica while the writer runs: every snapshot
+	// must be internally consistent (all eight keys, one round).
+	scans := 0
+	for done := false; !done; {
+		select {
+		case err := <-writerDone:
+			if err != nil {
+				t.Fatal(err)
+			}
+			done = true
+		default:
+		}
+		kvs, err := rcl.Range("inv:", "inv;", 0)
+		if err != nil {
+			t.Fatalf("replica range: %v", err)
+		}
+		if len(kvs) != fan {
+			t.Fatalf("torn snapshot: %d keys, want %d", len(kvs), fan)
+		}
+		for _, kv := range kvs[1:] {
+			if !bytes.Equal(kv.Val, kvs[0].Val) {
+				t.Fatalf("torn snapshot: %s=%q vs %s=%q", kvs[0].Key, kvs[0].Val, kv.Key, kv.Val)
+			}
+		}
+		scans++
+	}
+	if scans == 0 {
+		t.Fatal("no concurrent scans ran")
+	}
+
+	// Writes stopped: lag drains to zero and the final snapshot is the
+	// final round.
+	waitReplicaCaughtUp(t, psrv, rsrv)
+	kvs, err := rcl.Range("inv:", "inv;", 0)
+	if err != nil || len(kvs) != fan {
+		t.Fatalf("final range: %d keys err=%v", len(kvs), err)
+	}
+	want := []byte(fmt.Sprintf("v%06d", rounds))
+	for _, kv := range kvs {
+		if !bytes.Equal(kv.Val, want) {
+			t.Fatalf("final %s = %q, want %q", kv.Key, kv.Val, want)
+		}
+	}
+}
+
+// TestReplicaBootstrapFromCheckpoint forces the primary through
+// checkpoints (small segments, aggressive threshold) so its early WAL
+// is pruned, then attaches a replica: bootstrap must come from the
+// checkpoint snapshot plus the surviving tail, and a replica attached
+// BEFORE the pruning must survive it (re-bootstrap on ErrPruned).
+func TestReplicaBootstrapFromCheckpoint(t *testing.T) {
+	fs := wal.NewMemFS()
+	psrv, pcl := durableServer(t, fs, Config{SegmentBytes: 2048, CheckpointBytes: 4096})
+
+	// An early follower that will live through checkpointing/pruning.
+	early, earlyAddr := replicaOf(t, pcl.c.RemoteAddr().String(), Config{})
+	waitReplicaCaughtUp(t, psrv, early)
+
+	val := bytes.Repeat([]byte("x"), 128)
+	for i := 0; i < 400; i++ {
+		if err := pcl.Set(fmt.Sprintf("bulk:%03d", i%50), val); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := pcl.Set("marker", []byte("present")); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(30 * time.Second)
+	for psrv.dur.Log().Stats().Checkpoints == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("primary never checkpointed")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+
+	// A replica attached fresh now must bootstrap through the
+	// checkpoint (the early WAL may be gone).
+	late, lateAddr := replicaOf(t, pcl.c.RemoteAddr().String(), Config{})
+	waitReplicaCaughtUp(t, psrv, late)
+	for _, addr := range []string{earlyAddr, lateAddr} {
+		cl := dialT(t, addr)
+		if v, ok, err := cl.Get("marker"); err != nil || !ok || !bytes.Equal(v, []byte("present")) {
+			t.Fatalf("replica %s marker = %q ok=%v err=%v", addr, v, ok, err)
+		}
+		kvs, err := cl.Range("bulk:", "bulk;", 0)
+		if err != nil || len(kvs) != 50 {
+			t.Fatalf("replica %s bulk range: %d keys err=%v", addr, len(kvs), err)
+		}
+	}
+	waitReplicaCaughtUp(t, psrv, early)
+}
+
+// TestReplicaReconnects: a replica outliving a broken connection (the
+// primary's listener stays, the stream's conn is torn) re-dials and
+// resumes from its applied position without losing state.
+func TestReplicaReconnects(t *testing.T) {
+	fs := wal.NewMemFS()
+	psrv, pcl := durableServer(t, fs, Config{})
+	if err := pcl.Set("pre", []byte("1")); err != nil {
+		t.Fatal(err)
+	}
+	rsrv, raddr := replicaOf(t, pcl.c.RemoteAddr().String(), Config{})
+	waitReplicaCaughtUp(t, psrv, rsrv)
+
+	// Tear the replica's upstream connection out from under it.
+	rsrv.replica.BreakConnForTest()
+	if err := pcl.Set("post", []byte("2")); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(30 * time.Second)
+	for rsrv.ReplicaStats().Reconnects == 0 {
+		if time.Now().After(deadline) {
+			t.Fatalf("replica never reconnected: %+v", rsrv.ReplicaStats())
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	waitReplicaCaughtUp(t, psrv, rsrv)
+	rcl := dialT(t, raddr)
+	for k, want := range map[string]string{"pre": "1", "post": "2"} {
+		if v, ok, err := rcl.Get(k); err != nil || !ok || string(v) != want {
+			t.Fatalf("after reconnect, %s = %q ok=%v err=%v", k, v, ok, err)
+		}
+	}
+}
+
+// TestReplicaRefusesDataDir pins the config refusal: a server cannot be
+// both a durable primary and a replica.
+func TestReplicaRefusesDataDir(t *testing.T) {
+	_, err := New(Config{DataDir: "d", WALFS: wal.NewMemFS(), ReplicaOf: "127.0.0.1:1"})
+	if err == nil {
+		t.Fatal("New accepted DataDir+ReplicaOf")
+	}
+}
+
+// TestReplicateRefusedWithoutWAL: OpReplicate against a plain in-memory
+// server answers an error rather than hanging or panicking.
+func TestReplicateRefusedWithoutWAL(t *testing.T) {
+	_, addr := startServer(t, Config{})
+	rsrv, _ := replicaOf(t, addr, Config{})
+	deadline := time.Now().Add(10 * time.Second)
+	for rsrv.ReplicaStats().Reconnects < 2 {
+		if time.Now().After(deadline) {
+			t.Fatalf("replica of a WAL-less primary should cycle reconnects: %+v", rsrv.ReplicaStats())
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	if rsrv.ReplicaStats().AppliedSeq != 0 {
+		t.Fatalf("applied from a WAL-less primary: %+v", rsrv.ReplicaStats())
+	}
+}

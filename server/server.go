@@ -1,6 +1,26 @@
+// Package server is tbtmd: a transactional key-value server over the
+// tbtm engine, speaking a pipelined length-prefixed binary protocol.
+//
+// The package is a thin COMPOSITION ROOT over four layers, each its own
+// package with no knowledge of the ones above it:
+//
+//	server/wire      protocol: opcodes, statuses, framing, parsing
+//	server/engine    operations: store, executor leases, batching, MULTI
+//	server/durable   durability: WAL gating, checkpoints, degradation
+//	server/repl      replication: WAL shipping, replica application
+//	server/transport connection I/O: event loops, bursts, batching
+//
+// Server wires them together: it builds the engine and store, wraps the
+// store durable (Config.DataDir) or replica-read-only (Config.ReplicaOf),
+// hands the result to the transport as an engine.KV, and implements
+// transport.Host — the narrow callback surface (shutdown flag, in-flight
+// accounting, stats document, replication streams) the transport needs
+// from the world above it. The client (Client, Pipe) lives here too,
+// speaking server/wire types re-exported for compatibility.
 package server
 
 import (
+	"encoding/json"
 	"fmt"
 	"net"
 	"runtime"
@@ -11,6 +31,10 @@ import (
 
 	"tbtm"
 	"tbtm/internal/wal"
+	"tbtm/server/durable"
+	"tbtm/server/engine"
+	"tbtm/server/repl"
+	"tbtm/server/transport"
 )
 
 // Config configures a Server. The zero value is usable: ZLinearizable,
@@ -77,6 +101,18 @@ type Config struct {
 	// WALFS overrides the filesystem the WAL writes through (fault
 	// injection and crash tests); nil means the real disk.
 	WALFS wal.FS
+
+	// ReplicaOf turns the server into a read replica of the primary at
+	// this address: it bootstraps from the primary's newest checkpoint,
+	// applies shipped WAL records as ordinary transactions, and serves
+	// reads (GET/RANGE/read-only MULTI/WAIT) from consistent local
+	// snapshots; writes answer StatusReadOnly with the replica reason.
+	// Mutually exclusive with DataDir — the replica's durability story
+	// IS the primary's WAL. The primary must itself be durable.
+	ReplicaOf string
+	// ReplicaBackoff is the replica's initial reconnect delay (0 =
+	// 50ms, doubling to 2s). Tests shrink it.
+	ReplicaBackoff time.Duration
 }
 
 // StatsReply is the JSON document answered to OpStats.
@@ -87,6 +123,8 @@ type StatsReply struct {
 	UptimeMs int64           `json:"uptime_ms"`
 	// WAL is present only on durable servers (Config.DataDir set).
 	WAL *WALStatsReply `json:"wal,omitempty"`
+	// Repl is present only on replicas (Config.ReplicaOf set).
+	Repl *repl.ReplStats `json:"repl,omitempty"`
 }
 
 // WALStatsReply is the durability section of StatsReply: the log's
@@ -99,11 +137,14 @@ type WALStatsReply struct {
 // Server is a tbtmd instance: one engine, one executor, one store, any
 // number of listeners (normally one).
 type Server struct {
-	cfg      Config
-	maxBatch int
-	tm       *tbtm.TM
-	exec     *Executor
-	store    store
+	cfg   Config
+	tcfg  transport.Config
+	tm    *tbtm.TM
+	exec  *engine.Executor
+	store *engine.Store
+	// kv is the serving surface the transport drives: the store itself,
+	// its durable wrapper, or the replica's read-only wrapper.
+	kv engine.KV
 
 	// sysTh runs the server's own transactions (the shutdown commit). It
 	// is dedicated: at shutdown every pool lease may be parked.
@@ -115,31 +156,28 @@ type Server struct {
 	cancelMu sync.Mutex
 	cancelTh *tbtm.Thread
 
-	// Durability state (nil / zero without Config.DataDir): the WAL,
-	// what recovery reconstructed, and the checkpointer's thread and
-	// lifecycle. The checkpoint gate itself lives in store.dur.
-	wlog      *wal.Log
+	// Durability state (nil without Config.DataDir): the wrapped store,
+	// what recovery reconstructed, and the background checkpointer.
+	dur       *durable.Store
 	recovered *wal.Recovered
-	ckptTh    *tbtm.Thread
-	ckptBytes int64
-	ckptStop  chan struct{}
-	ckptDone  chan struct{}
+	ckptStop  func()
+
+	// replica is the replication follower (nil unless Config.ReplicaOf).
+	replica *repl.Replica
 
 	start    time.Time
 	closed   atomic.Bool
 	inflight atomic.Int64 // requests between decode and response write
 	conns    atomic.Int64
 
-	// Connection I/O drivers: shared event loops (Linux) or one
-	// goroutine per connection (portable fallback).
+	// loops drives connection I/O on platforms with shared event loops;
+	// nil (or declining Attach) falls back to goroutine-per-connection.
 	loopOnce sync.Once
-	loops    []*evloop
-	loopIdx  atomic.Uint32
-	loopWG   sync.WaitGroup
+	loops    *transport.LoopSet
 
 	mu      sync.Mutex
 	ln      net.Listener
-	open    map[net.Conn]*pconn
+	open    map[net.Conn]*transport.Conn
 	serving sync.WaitGroup
 }
 
@@ -163,6 +201,9 @@ func New(cfg Config) (*Server, error) {
 	if cfg.MaxBatch <= 0 {
 		cfg.MaxBatch = 64
 	}
+	if cfg.DataDir != "" && cfg.ReplicaOf != "" {
+		return nil, fmt.Errorf("server: DataDir and ReplicaOf are mutually exclusive; a replica's durability is the primary's WAL")
+	}
 	if cfg.DataDir != "" &&
 		(cfg.Consistency == tbtm.CausallySerializable || cfg.Consistency == tbtm.Serializable) {
 		return nil, fmt.Errorf("server: durability (DataDir) requires a scalar-clock consistency criterion; %v uses vector time and has no total commit-tick order for WAL replay", cfg.Consistency)
@@ -172,33 +213,55 @@ func New(cfg Config) (*Server, error) {
 	// The server's invariants go last so they cannot be overridden:
 	// blocking ops park (never spin), update sites classify themselves,
 	// and vector time bases are sized for every pooled Thread plus the
-	// system thread.
+	// system, cancel, and replica-applier threads.
 	opts = append(opts,
 		tbtm.WithBlockingRetry(),
 		tbtm.WithAutoClassify(cfg.LongOpens),
 	)
 	if cfg.Consistency == tbtm.CausallySerializable || cfg.Consistency == tbtm.Serializable {
-		opts = append(opts, tbtm.WithThreads(cfg.Leases+cfg.BlockingLeases+2))
+		opts = append(opts, tbtm.WithThreads(cfg.Leases+cfg.BlockingLeases+3))
 	}
 	tm, err := tbtm.New(opts...)
 	if err != nil {
 		return nil, err
 	}
 	s := &Server{
-		cfg:      cfg,
-		maxBatch: cfg.MaxBatch,
-		tm:       tm,
-		store:    newStore(tm, cfg.Buckets),
-		start:    time.Now(),
-		open:     make(map[net.Conn]*pconn),
+		cfg:   cfg,
+		tcfg:  transport.Config{MaxFrame: cfg.MaxFrame, MaxBatch: cfg.MaxBatch},
+		tm:    tm,
+		store: engine.NewStore(tm, cfg.Buckets),
+		start: time.Now(),
+		open:  make(map[net.Conn]*transport.Conn),
 	}
-	s.exec = NewExecutor(tm, cfg.Leases, cfg.BlockingLeases, &Metrics{})
+	s.kv = s.store
+	s.exec = engine.NewExecutor(tm, cfg.Leases, cfg.BlockingLeases, &engine.Metrics{})
 	s.sysTh = tm.NewThread()
 	s.cancelTh = tm.NewThread()
 	if cfg.DataDir != "" {
-		if err := s.enableDurability(cfg); err != nil {
+		dur, rec, err := durable.Open(s.store, s.sysTh, durable.Config{
+			Dir:           cfg.DataDir,
+			FS:            cfg.WALFS,
+			Mode:          cfg.Durability,
+			FsyncEvery:    cfg.FsyncEvery,
+			FsyncInterval: cfg.FsyncInterval,
+			SegmentBytes:  cfg.SegmentBytes,
+		})
+		if err != nil {
 			return nil, err
 		}
+		s.dur, s.recovered = dur, rec
+		s.kv = dur
+		s.ckptStop = dur.StartCheckpointer(tm.NewThread(), cfg.CheckpointBytes)
+	}
+	if cfg.ReplicaOf != "" {
+		s.kv = repl.NewReadOnlyKV(s.store)
+		s.replica = repl.StartReplica(repl.ReplicaConfig{
+			Primary:  cfg.ReplicaOf,
+			Store:    s.store,
+			Thread:   tm.NewThread(),
+			MaxFrame: cfg.MaxFrame,
+			Backoff:  cfg.ReplicaBackoff,
+		})
 	}
 	return s, nil
 }
@@ -209,6 +272,19 @@ func (s *Server) TM() *tbtm.TM { return s.tm }
 
 // Executor returns the server's Thread-executor.
 func (s *Server) Executor() *Executor { return s.exec }
+
+// Recovery describes what durable startup reconstructed (nil on
+// in-memory servers).
+func (s *Server) Recovery() *wal.Recovered { return s.recovered }
+
+// ReplicaStats snapshots the replication follower's gauges (zero value
+// on non-replicas).
+func (s *Server) ReplicaStats() repl.ReplStats {
+	if s.replica == nil {
+		return repl.ReplStats{}
+	}
+	return s.replica.Stats()
+}
 
 // ListenAndServe listens on addr and serves until Close.
 func (s *Server) ListenAndServe(addr string) error {
@@ -248,7 +324,7 @@ func (s *Server) Serve(ln net.Listener) error {
 		if n > 0 {
 			// A loop-construction error (fd limits) is not fatal: the
 			// portable driver serves every connection instead.
-			if loops, err := newEventLoops(s, n); err == nil {
+			if loops, err := transport.NewLoopSet(s, n); err == nil {
 				s.loops = loops
 			}
 		}
@@ -261,7 +337,7 @@ func (s *Server) Serve(ln net.Listener) error {
 			}
 			return err
 		}
-		cn := newPconn(s, conn)
+		cn := transport.NewConn(s, s.tcfg, s.exec, s.kv, conn)
 		s.mu.Lock()
 		if s.closed.Load() {
 			s.mu.Unlock()
@@ -272,23 +348,10 @@ func (s *Server) Serve(ln net.Listener) error {
 		s.serving.Add(1)
 		s.mu.Unlock()
 		s.conns.Add(1)
-		s.attach(cn)
-	}
-}
-
-// attach hands a registered connection to an I/O driver: the next
-// event loop round-robin, or a dedicated reader goroutine when there
-// are no loops (or the connection is not pollable).
-func (s *Server) attach(cn *pconn) {
-	if len(s.loops) > 0 {
-		if _, ok := cn.c.(*net.TCPConn); ok {
-			i := int(s.loopIdx.Add(1)) % len(s.loops)
-			if s.loops[i].add(cn) == nil {
-				return
-			}
+		if !s.loops.Attach(cn) {
+			go transport.ServeFallback(cn)
 		}
 	}
-	go s.serveConnFallback(cn)
 }
 
 // Close shuts the server down gracefully: stop accepting, commit the
@@ -305,7 +368,7 @@ func (s *Server) Close() error {
 	}
 	s.mu.Unlock()
 	// Wake parked clients; their handlers write StatusClosed responses.
-	if err := s.store.markClosed(s.sysTh); err != nil {
+	if err := s.kv.MarkClosed(s.sysTh); err != nil {
 		return err
 	}
 	// Drain: wait (bounded) for in-flight requests to write responses.
@@ -323,7 +386,7 @@ func (s *Server) Close() error {
 	// reused fd number.
 	s.mu.Lock()
 	for c, cn := range s.open {
-		cn.dead.Store(true)
+		cn.MarkDead()
 		if tc, ok := c.(*net.TCPConn); ok {
 			tc.CloseRead()
 		} else {
@@ -331,7 +394,7 @@ func (s *Server) Close() error {
 		}
 	}
 	s.mu.Unlock()
-	s.wakeLoops()
+	s.loops.Wake()
 	// A driver can still be wedged writing to a client that stopped
 	// reading; after a grace period close those sockets outright.
 	done := make(chan struct{})
@@ -349,30 +412,41 @@ func (s *Server) Close() error {
 		s.mu.Unlock()
 		<-done
 	}
-	s.wakeLoops()
-	s.loopWG.Wait()
+	s.loops.Wake()
+	s.loops.Wait()
+	// Replica shutdown: the applier disconnects from the primary and
+	// stops; readers are gone by now.
+	if s.replica != nil {
+		s.replica.Stop()
+	}
 	// Durable shutdown: every connection and lease is drained by now, so
 	// no appender races the close. The WAL drains its open batch, fsyncs
 	// and closes the active segment — a clean close leaves nothing for
 	// the next recovery to truncate.
 	if s.ckptStop != nil {
-		close(s.ckptStop)
-		<-s.ckptDone
+		s.ckptStop()
 	}
-	if s.wlog != nil {
-		s.wlog.Close()
+	if s.dur != nil {
+		s.dur.Close()
 	}
 	return nil
 }
 
-func (s *Server) wakeLoops() {
-	for _, l := range s.loops {
-		l.wake()
-	}
-}
+// The transport.Host implementation: the callback surface connections
+// use to reach the composition root.
 
-// cancelBlocked commits a connection's hang-up flag.
-func (s *Server) cancelBlocked(v *tbtm.Var[bool]) {
+// Closed reports server shutdown to the transport.
+func (s *Server) Closed() bool { return s.closed.Load() }
+
+// InflightAdd tracks requests between decode and response write.
+func (s *Server) InflightAdd(delta int64) { s.inflight.Add(delta) }
+
+// NewCancelVar allocates a connection's transactional hang-up flag.
+func (s *Server) NewCancelVar() *tbtm.Var[bool] { return tbtm.NewVar(s.tm, false) }
+
+// CancelBlocked commits a connection's hang-up flag, waking its parked
+// blocking ops.
+func (s *Server) CancelBlocked(v *tbtm.Var[bool]) {
 	s.cancelMu.Lock()
 	defer s.cancelMu.Unlock()
 	_ = s.cancelTh.Atomic(tbtm.Short, func(tx tbtm.Tx) error {
@@ -380,13 +454,45 @@ func (s *Server) cancelBlocked(v *tbtm.Var[bool]) {
 	})
 }
 
-//
-//tbtm:noalloc
-func boolByte(b bool) byte {
-	if b {
-		return 1
+// StatsJSON renders the OpStats reply document.
+func (s *Server) StatsJSON() ([]byte, error) {
+	reply := StatsReply{
+		Engine:   s.tm.Stats(),
+		Metrics:  s.exec.MetricsSnapshot(),
+		Conns:    s.conns.Load(),
+		UptimeMs: time.Since(s.start).Milliseconds(),
 	}
-	return 0
+	if s.dur != nil {
+		reply.WAL = &WALStatsReply{
+			StatsSnapshot: s.dur.Log().Stats(),
+			ReadOnly:      s.dur.ReadOnly(),
+		}
+	}
+	if s.replica != nil {
+		rs := s.replica.Stats()
+		reply.Repl = &rs
+	}
+	return json.Marshal(&reply)
+}
+
+// ConnDone deregisters a torn-down connection.
+func (s *Server) ConnDone(cn *transport.Conn) {
+	s.mu.Lock()
+	delete(s.open, cn.NetConn())
+	s.mu.Unlock()
+	s.conns.Add(-1)
+	s.serving.Done()
+}
+
+// Replicate serves one OpReplicate subscription: durable primaries ship
+// their WAL, everything else refuses (an in-memory server has no log to
+// ship, and a replica must not be chained off — its applier is not a
+// WAL).
+func (s *Server) Replicate(st *transport.Stream, afterSeq uint64) error {
+	if s.dur == nil {
+		return fmt.Errorf("server: not a durable primary; replication needs -data-dir")
+	}
+	return repl.ServePrimary(s.dur.Log(), st, afterSeq)
 }
 
 // ParseConsistency maps a command-line name to a consistency criterion.

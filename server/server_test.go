@@ -578,7 +578,7 @@ func TestServerBlockingClientDisconnectReclaimsLease(t *testing.T) {
 		errc <- err
 	}()
 	waitParked(t, srv.TM(), 1)
-	if got := srv.exec.Metrics().blockingInUse.Load(); got != 1 {
+	if got := srv.exec.Metrics().BlockingInUse(); got != 1 {
 		t.Fatalf("blocking in use = %d, want 1", got)
 	}
 
@@ -586,7 +586,7 @@ func TestServerBlockingClientDisconnectReclaimsLease(t *testing.T) {
 	// transaction wakes with errClientGone, and the lease returns.
 	cl.Close()
 	deadline := time.Now().Add(30 * time.Second)
-	for srv.exec.Metrics().blockingInUse.Load() != 0 {
+	for srv.exec.Metrics().BlockingInUse() != 0 {
 		if time.Now().After(deadline) {
 			t.Fatal("disconnected client's blocking lease never reclaimed")
 		}

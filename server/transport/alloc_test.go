@@ -1,0 +1,187 @@
+package transport
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"testing"
+
+	"tbtm"
+	"tbtm/server/engine"
+	"tbtm/server/wire"
+)
+
+// The transport's allocation contract: between the socket and the
+// engine's zero-alloc warm paths, the conn layer must not squander the
+// budget. The direct-mapped key cache converts wire bytes to map string
+// keys once per key (TestKeyStringCacheAllocs), the pipelined decode→
+// batch→execute→encode cycle amortizes to ≤1 alloc/op
+// (TestWarmPipelinedBurstAllocs), and the coalescing response writer is
+// zero-alloc warm (TestResponseWriterFlushAllocs).
+
+// stubHost is the minimal Host a decode-level Conn test needs: never
+// closed, no drain accounting, no stats, no replication.
+type stubHost struct {
+	tm *tbtm.TM
+}
+
+func (h *stubHost) Closed() bool                  { return false }
+func (h *stubHost) InflightAdd(delta int64)       {}
+func (h *stubHost) NewCancelVar() *tbtm.Var[bool] { return tbtm.NewVar(h.tm, false) }
+func (h *stubHost) CancelBlocked(v *tbtm.Var[bool]) {
+	th := h.tm.NewThread()
+	_ = th.Atomic(tbtm.Short, func(tx tbtm.Tx) error { return v.Write(tx, true) })
+}
+func (h *stubHost) StatsJSON() ([]byte, error) { return []byte("{}"), nil }
+func (h *stubHost) ConnDone(cn *Conn)          {}
+func (h *stubHost) Replicate(st *Stream, afterSeq uint64) error {
+	return fmt.Errorf("transport test host: no WAL")
+}
+
+// newTestConn wires a Conn to a fresh engine with the write side pointed
+// at io.Discard, the way the composition root would minus the socket.
+func newTestConn(t *testing.T) (*Conn, *engine.Store, *engine.Executor) {
+	t.Helper()
+	tm, err := tbtm.New(
+		tbtm.WithConsistency(tbtm.ZLinearizable),
+		tbtm.WithBlockingRetry(),
+		tbtm.WithAutoClassify(0),
+	)
+	if err != nil {
+		t.Fatalf("tbtm.New: %v", err)
+	}
+	store := engine.NewStore(tm, 1024)
+	exec := engine.NewExecutor(tm, 2, 1, &engine.Metrics{})
+	cn := NewConn(&stubHost{tm: tm}, Config{MaxFrame: wire.DefaultMaxFrame, MaxBatch: 64}, exec, store, nil)
+	cn.w = io.Discard
+	return cn, store, exec
+}
+
+// TestKeyStringCacheAllocs pins the conn layer's direct-mapped key
+// cache: a client hammering a small working set of keys converts the
+// wire bytes to the store's string key once per key, not once per
+// request — a pipelined burst touches several keys, so the cache must
+// hold more than one.
+func TestKeyStringCacheAllocs(t *testing.T) {
+	cn := &Conn{}
+	wireKey := []byte("hot-key")
+	if got := cn.keyString(wireKey); got != "hot-key" {
+		t.Fatalf("keyString = %q", got)
+	}
+	if n := testing.AllocsPerRun(200, func() {
+		if cn.keyString(wireKey) != "hot-key" {
+			t.Fatal("cache miss on identical key")
+		}
+	}); n > 0 {
+		t.Errorf("cached keyString: %.1f allocs/op, want 0", n)
+	}
+	// A working set of keys in DISTINCT slots stays cached as a whole:
+	// no key evicts another, so a warm multi-key burst converts nothing.
+	keys := distinctSlotKeys(t, 4)
+	for _, k := range keys {
+		if got := cn.keyString([]byte(k)); got != k {
+			t.Fatalf("keyString(%q) = %q", k, got)
+		}
+	}
+	wires := make([][]byte, len(keys))
+	for i, k := range keys {
+		wires[i] = []byte(k)
+	}
+	if n := testing.AllocsPerRun(200, func() {
+		for i, w := range wires {
+			if cn.keyString(w) != keys[i] {
+				t.Fatal("cache miss on resident key")
+			}
+		}
+	}); n > 0 {
+		t.Errorf("cached multi-key keyString: %.1f allocs/op, want 0", n)
+	}
+	// A colliding key replaces its slot's entry and still works.
+	if got := cn.keyString([]byte("other")); got != "other" {
+		t.Fatalf("keyString after change = %q", got)
+	}
+}
+
+// distinctSlotKeys generates n keys mapping to pairwise distinct cache
+// slots, so a test working set cannot self-evict.
+func distinctSlotKeys(t *testing.T, n int) []string {
+	t.Helper()
+	used := make(map[int]bool)
+	var keys []string
+	for i := 0; len(keys) < n && i < 256; i++ {
+		k := fmt.Sprintf("key-%d", i)
+		if s := keySlot([]byte(k)); !used[s] {
+			used[s] = true
+			keys = append(keys, k)
+		}
+	}
+	if len(keys) < n {
+		t.Fatalf("could not find %d distinct-slot keys", n)
+	}
+	return keys
+}
+
+// TestWarmPipelinedBurstAllocs pins the whole pipelined fast path: a
+// warm burst of 16 GETs — decode, batch accumulation, one shared
+// lease, one read-only transaction, response encode, coalesced flush —
+// amortizes to at most 1 alloc per op.
+func TestWarmPipelinedBurstAllocs(t *testing.T) {
+	cn, store, exec := newTestConn(t)
+	keys := distinctSlotKeys(t, 4)
+	for _, k := range keys {
+		if err := exec.Do(nil, wire.OpSet, false, func(th *tbtm.Thread) error {
+			return store.Set(th, k, []byte("payload"))
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Prebuild a 16-GET burst over the resident working set.
+	const burstOps = 16
+	var burst []byte
+	var payload []byte
+	for i := 0; i < burstOps; i++ {
+		payload = binary.AppendUvarint(payload[:0], uint64(i+1))
+		payload = append(payload, byte(wire.OpGet))
+		payload = wire.AppendString(payload, keys[i%len(keys)])
+		var hdr [4]byte
+		binary.BigEndian.PutUint32(hdr[:], uint32(len(payload)))
+		burst = append(burst, hdr[:]...)
+		burst = append(burst, payload...)
+	}
+	doBurst := func() {
+		cn.in = append(cn.in[:0], burst...)
+		cn.inoff = 0
+		if err := cn.processBurst(); err != nil {
+			t.Fatalf("burst: %v", err)
+		}
+	}
+	for i := 0; i < 64; i++ { // warm buffers, cache, descriptors
+		doBurst()
+	}
+	if n := testing.AllocsPerRun(200, doBurst); n > burstOps {
+		t.Errorf("warm pipelined 16-GET burst: %.1f allocs (%.2f/op), want <= 1/op",
+			n, n/burstOps)
+	}
+}
+
+// TestResponseWriterFlushAllocs pins the coalescing writer: queueing a
+// warm response frame and flushing the wire allocates nothing.
+func TestResponseWriterFlushAllocs(t *testing.T) {
+	cn, _, _ := newTestConn(t)
+	cycle := func() {
+		b := cn.beginResp(42)
+		b = append(b, byte(wire.StatusOK))
+		b = wire.AppendBytes(b, []byte("response-payload"))
+		cn.queueResp(b)
+		if err := cn.flushWire(); err != nil {
+			t.Fatalf("flush: %v", err)
+		}
+	}
+	for i := 0; i < 16; i++ {
+		cycle()
+	}
+	if n := testing.AllocsPerRun(200, cycle); n > 0 {
+		t.Errorf("response queue+flush: %.1f allocs/op, want 0", n)
+	}
+}

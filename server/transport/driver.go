@@ -1,0 +1,52 @@
+//go:build linux
+
+package transport
+
+import (
+	"net"
+	"sync"
+	"sync/atomic"
+)
+
+// LoopSet is a fixed set of shared epoll event loops; connections are
+// attached round-robin and owned by their loop until teardown.
+type LoopSet struct {
+	host  Host
+	loops []*evloop
+	idx   atomic.Uint32
+	wg    sync.WaitGroup
+}
+
+// Attach hands a connection to the next loop round-robin. It reports
+// false when the connection cannot be loop-driven (not a TCP socket,
+// or registration failed); the caller runs ServeFallback instead.
+func (ls *LoopSet) Attach(cn *Conn) bool {
+	if ls == nil || len(ls.loops) == 0 {
+		return false
+	}
+	if _, ok := cn.c.(*net.TCPConn); !ok {
+		return false
+	}
+	i := int(ls.idx.Add(1)) % len(ls.loops)
+	return ls.loops[i].add(cn) == nil
+}
+
+// Wake nudges every loop out of epoll_wait (after marking connections
+// dead, and again when shutdown wants the loops to exit).
+func (ls *LoopSet) Wake() {
+	if ls == nil {
+		return
+	}
+	for _, l := range ls.loops {
+		l.wake()
+	}
+}
+
+// Wait blocks until every loop has exited (host closed and all owned
+// connections torn down).
+func (ls *LoopSet) Wait() {
+	if ls == nil {
+		return
+	}
+	ls.wg.Wait()
+}

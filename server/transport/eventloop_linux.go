@@ -14,15 +14,16 @@
 // writes and EAGAIN), so the loops only ever drive reads.
 //
 // Ownership rule: the loop that owns a connection is the only code
-// that closes its socket. Server.Close marks connections dead and
+// that closes its socket. The host's Close marks connections dead and
 // shuts their read side; the loop observes that (EOF or the dead flag
 // after a wake) and tears the connection down itself. An fd number is
 // therefore never reused while a loop might still read it.
 //
-// Blocking ops never hold a loop: dispatchBlocking moves them to
-// dedicated goroutines, so a connection parked in BTAKE/WAIT costs its
-// loop nothing and later requests from other connections keep flowing.
-package server
+// Blocking ops never hold a loop: dispatchBlocking and
+// dispatchReplicate move them to dedicated goroutines, so a connection
+// parked in BTAKE/WAIT or pumping a replication stream costs its loop
+// nothing and later requests from other connections keep flowing.
+package transport
 
 import (
 	"errors"
@@ -39,37 +40,39 @@ var errNotPollable = errors.New("server: connection not pollable")
 // level-triggered epoll re-arms for the remainder.
 const burstReadBound = 1 << 20
 
-// newEventLoops starts n epoll loops.
-func newEventLoops(s *Server, n int) ([]*evloop, error) {
-	loops := make([]*evloop, 0, n)
+// NewLoopSet starts n epoll loops over host. An error (fd limits)
+// returns nil; the caller falls back to ServeFallback for every
+// connection.
+func NewLoopSet(host Host, n int) (*LoopSet, error) {
+	ls := &LoopSet{host: host}
 	for i := 0; i < n; i++ {
-		l, err := newEvloop(s)
+		l, err := newEvloop(ls)
 		if err != nil {
-			for _, p := range loops {
-				p.wake() // loops exit on wake once the server is closed; at
+			for _, p := range ls.loops {
+				p.wake() // loops exit on wake once the host is closed; at
 				// construction failure they own no conns and just die
 				p.closeFDs()
 			}
 			return nil, err
 		}
-		loops = append(loops, l)
-		s.loopWG.Add(1)
+		ls.loops = append(ls.loops, l)
+		ls.wg.Add(1)
 		go l.run()
 	}
-	return loops, nil
+	return ls, nil
 }
 
 type evloop struct {
-	s     *Server
+	ls    *LoopSet
 	epfd  int
 	wakeR int // pipe read end, registered in epfd
 	wakeW int
 
 	mu    sync.Mutex
-	conns map[int]*pconn // by fd
+	conns map[int]*Conn // by fd
 }
 
-func newEvloop(s *Server) (*evloop, error) {
+func newEvloop(ls *LoopSet) (*evloop, error) {
 	epfd, err := syscall.EpollCreate1(syscall.EPOLL_CLOEXEC)
 	if err != nil {
 		return nil, err
@@ -79,7 +82,7 @@ func newEvloop(s *Server) (*evloop, error) {
 		syscall.Close(epfd)
 		return nil, err
 	}
-	l := &evloop{s: s, epfd: epfd, wakeR: p[0], wakeW: p[1], conns: make(map[int]*pconn)}
+	l := &evloop{ls: ls, epfd: epfd, wakeR: p[0], wakeW: p[1], conns: make(map[int]*Conn)}
 	ev := syscall.EpollEvent{Events: syscall.EPOLLIN, Fd: int32(p[0])}
 	if err := syscall.EpollCtl(epfd, syscall.EPOLL_CTL_ADD, p[0], &ev); err != nil {
 		l.closeFDs()
@@ -97,7 +100,7 @@ func (l *evloop) closeFDs() {
 // add registers a connection with the loop. The fd is extracted once;
 // the socket stays open (and the fd number stable) until this loop's
 // teardown closes it, per the ownership rule above.
-func (l *evloop) add(cn *pconn) error {
+func (l *evloop) add(cn *Conn) error {
 	tc, ok := cn.c.(*net.TCPConn)
 	if !ok {
 		return errNotPollable
@@ -126,7 +129,7 @@ func (l *evloop) add(cn *pconn) error {
 }
 
 // wake nudges the loop out of epoll_wait (to sweep dead connections
-// and, once the server is closed and empty, to exit). Safe from any
+// and, once the host is closed and empty, to exit). Safe from any
 // goroutine; a full pipe already guarantees a pending wake.
 func (l *evloop) wake() {
 	var b [1]byte
@@ -149,7 +152,7 @@ func (l *evloop) drainWake() {
 }
 
 func (l *evloop) run() {
-	defer l.s.loopWG.Done()
+	defer l.ls.wg.Done()
 	defer l.closeFDs()
 	events := make([]syscall.EpollEvent, 64)
 	for {
@@ -178,7 +181,7 @@ func (l *evloop) run() {
 				l.detach(cn)
 			}
 		}
-		if woken || l.s.closed.Load() {
+		if woken || l.ls.host.Closed() {
 			if l.sweep() {
 				return
 			}
@@ -187,10 +190,10 @@ func (l *evloop) run() {
 }
 
 // sweep tears down dead connections and reports whether the loop
-// should exit (server closed and nothing left to own).
+// should exit (host closed and nothing left to own).
 func (l *evloop) sweep() bool {
 	l.mu.Lock()
-	var dead []*pconn
+	var dead []*Conn
 	for _, cn := range l.conns {
 		if cn.dead.Load() {
 			dead = append(dead, cn)
@@ -201,10 +204,10 @@ func (l *evloop) sweep() bool {
 	for _, cn := range dead {
 		l.detach(cn)
 	}
-	return l.s.closed.Load() && remaining == 0
+	return l.ls.host.Closed() && remaining == 0
 }
 
-func (l *evloop) detach(cn *pconn) {
+func (l *evloop) detach(cn *Conn) {
 	if cn.fd >= 0 {
 		_ = syscall.EpollCtl(l.epfd, syscall.EPOLL_CTL_DEL, cn.fd, nil)
 		l.mu.Lock()
@@ -217,7 +220,7 @@ func (l *evloop) detach(cn *pconn) {
 // readAndProcess drains the readable socket into the accumulation
 // buffer (the listener's sockets are non-blocking) and processes the
 // buffered burst. A non-nil return tears the connection down.
-func (cn *pconn) readAndProcess() error {
+func (cn *Conn) readAndProcess() error {
 	total := 0
 	for total < burstReadBound {
 		cn.grow(1)

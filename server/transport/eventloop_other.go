@@ -1,0 +1,23 @@
+//go:build !linux
+
+package transport
+
+// This platform has no shared-poller driver; the host falls back to one
+// reader goroutine per connection (ServeFallback), where the Go
+// runtime's netpoller is the event loop.
+
+// LoopSet is a stub so the platform-independent composition code
+// compiles; NewLoopSet never returns a usable one here.
+type LoopSet struct{}
+
+// NewLoopSet reports no shared-poller driver on this platform.
+func NewLoopSet(host Host, n int) (*LoopSet, error) { return nil, nil }
+
+// Attach always declines; every connection uses ServeFallback.
+func (ls *LoopSet) Attach(cn *Conn) bool { return false }
+
+// Wake is a no-op without loops.
+func (ls *LoopSet) Wake() {}
+
+// Wait is a no-op without loops.
+func (ls *LoopSet) Wait() {}

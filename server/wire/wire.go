@@ -1,8 +1,8 @@
-// Package server exposes a tbtm instance over TCP: tbtmd, a
-// transactional key-value server. The package provides the wire
-// protocol, the request executor that leases engine Threads to
-// connections, the server itself, a matching client, and a closed-loop
-// load generator.
+// Package wire defines the tbtmd protocol: framing, sequence IDs,
+// opcodes, status codes, and request/response encode-decode. It is the
+// bottom layer of the server stack — pure byte manipulation with no
+// engine, store, or I/O-driver dependencies — shared by the server's
+// transport, the client, and the replication subsystem.
 //
 // # Wire protocol
 //
@@ -12,7 +12,8 @@
 // opcode-specific fields; byte strings are encoded as a uvarint length
 // followed by the bytes. A response payload echoes the request's
 // sequence ID, then a status byte and status/opcode-specific fields.
-// One request gets exactly one response.
+// One request gets exactly one response — except OpReplicate, which
+// subscribes the connection to a response STREAM (see below).
 //
 // The protocol is pipelined: a client may have any number of requests
 // outstanding on one connection. The server decodes requests greedily
@@ -20,13 +21,12 @@
 // request order, so a client that never uses blocking opcodes may rely
 // on ordering alone. Blocking opcodes (BTAKE, WAIT) may take
 // arbitrarily long: the server parks the transaction on its read
-// footprint (tbtm.Retry) and replies when a remote commit changes the
-// watched keys — or with StatusClosed when the server shuts down.
-// Their responses are written whenever they complete, possibly AFTER
-// the responses to later requests on the same connection; the echoed
-// sequence ID is what matches them back. Later non-blocking requests
-// on the same connection keep flowing while a blocking one is parked.
-package server
+// footprint and replies when a remote commit changes the watched keys
+// — or with StatusClosed when the server shuts down. Their responses
+// are written whenever they complete, possibly AFTER the responses to
+// later requests on the same connection; the echoed sequence ID is
+// what matches them back.
+package wire
 
 import (
 	"encoding/binary"
@@ -79,8 +79,18 @@ const (
 	OpWait
 	// OpStats answers a JSON StatsReply (engine + executor counters).
 	OpStats
+	// OpReplicate subscribes the connection to the primary's WAL:
+	// uvarint afterSeq (the last record the follower already applied; 0
+	// for none). The response is a STREAM of frames, every one echoing
+	// this request's sequence ID with StatusOK and a kind byte (the
+	// Repl* constants) — checkpoint bootstrap first when the follower
+	// is behind the primary's pruning horizon, then records and
+	// heartbeats until either side closes. Terminal conditions answer a
+	// normal StatusError/StatusClosed frame.
+	OpReplicate
 
-	opMax
+	// OpMax bounds the opcode space (for per-opcode metric arrays).
+	OpMax
 )
 
 // String names the opcode for metrics and errors.
@@ -106,6 +116,8 @@ func (o Op) String() string {
 		return "wait"
 	case OpStats:
 		return "stats"
+	case OpReplicate:
+		return "replicate"
 	}
 	return fmt.Sprintf("op(%d)", byte(o))
 }
@@ -125,10 +137,50 @@ const (
 	// operations answer it when woken by shutdown.
 	StatusClosed
 	// StatusReadOnly reports an update refused (or an acknowledgement
-	// withheld) because the server degraded to read-only after a
-	// write-ahead-log I/O failure; reads keep succeeding.
+	// withheld) because this server does not accept writes. A reason
+	// byte follows (ReadOnlyWAL, ReadOnlyReplica); reads keep
+	// succeeding either way.
 	StatusReadOnly
 )
+
+// StatusReadOnly reason codes: why this server refuses updates.
+const (
+	// ReadOnlyWAL: a primary degraded to read-only after a
+	// write-ahead-log I/O failure (ENOSPC, EIO, a failed fsync).
+	ReadOnlyWAL byte = 0
+	// ReadOnlyReplica: the server is a replica; writes must go to its
+	// primary.
+	ReadOnlyReplica byte = 1
+)
+
+// OpReplicate stream frame kinds: the byte after the StatusOK of every
+// stream frame. Checkpoint bootstrap is bracketed by ReplCkptBegin /
+// ReplCkptEnd; steady state is ReplRecords and ReplHeartbeat.
+const (
+	// ReplHello opens the stream: uvarint protocol version (1), uvarint
+	// primary's last assigned WAL seq.
+	ReplHello byte = 1
+	// ReplCkptBegin announces a checkpoint bootstrap: uvarint upToSeq
+	// (the seq the checkpoint covers), uvarint pair count.
+	ReplCkptBegin byte = 2
+	// ReplCkptPairs carries a chunk of checkpoint pairs: uvarint n,
+	// then n x (key, value).
+	ReplCkptPairs byte = 3
+	// ReplCkptEnd closes the bootstrap; records follow from upToSeq.
+	ReplCkptEnd byte = 4
+	// ReplRecords carries raw WAL records: uvarint epoch, uvarint
+	// primary's last assigned seq (for lag), then raw record bytes
+	// (self-delimiting; decode with the WAL record codec) to the end of
+	// the frame.
+	ReplRecords byte = 5
+	// ReplHeartbeat keeps lag fresh while the primary is idle: uvarint
+	// primary's last assigned seq.
+	ReplHeartbeat byte = 6
+)
+
+// ReplVersion is the replication stream protocol version ReplHello
+// announces.
+const ReplVersion = 1
 
 // DefaultMaxFrame bounds the payload size both sides will read.
 const DefaultMaxFrame = 1 << 20
@@ -137,13 +189,13 @@ const DefaultMaxFrame = 1 << 20
 var (
 	// ErrFrameTooLarge reports a frame above the size limit.
 	ErrFrameTooLarge = errors.New("server: frame exceeds size limit")
-	// errTruncated reports a payload shorter than its opcode requires.
-	errTruncated = errors.New("server: truncated request payload")
+	// ErrTruncated reports a payload shorter than its opcode requires.
+	ErrTruncated = errors.New("server: truncated request payload")
 )
 
-// writeFrame writes one length-prefixed frame. hdr is scratch space for
+// WriteFrame writes one length-prefixed frame. hdr is scratch space for
 // the length prefix (to keep the hot path allocation-free).
-func writeFrame(w io.Writer, hdr *[4]byte, payload []byte) error {
+func WriteFrame(w io.Writer, hdr *[4]byte, payload []byte) error {
 	binary.BigEndian.PutUint32(hdr[:], uint32(len(payload)))
 	if _, err := w.Write(hdr[:]); err != nil {
 		return err
@@ -152,9 +204,9 @@ func writeFrame(w io.Writer, hdr *[4]byte, payload []byte) error {
 	return err
 }
 
-// readFrame reads one frame into buf (grown as needed) and returns the
+// ReadFrame reads one frame into buf (grown as needed) and returns the
 // payload slice, which is valid until the next call.
-func readFrame(r io.Reader, hdr *[4]byte, buf []byte, maxFrame int) ([]byte, []byte, error) {
+func ReadFrame(r io.Reader, hdr *[4]byte, buf []byte, maxFrame int) ([]byte, []byte, error) {
 	if _, err := io.ReadFull(r, hdr[:]); err != nil {
 		return nil, buf, err
 	}
@@ -172,104 +224,117 @@ func readFrame(r io.Reader, hdr *[4]byte, buf []byte, maxFrame int) ([]byte, []b
 	return buf, buf, nil
 }
 
-// appendBytes appends a uvarint-length-prefixed byte string.
+// AppendBytes appends a uvarint-length-prefixed byte string.
 //
 //tbtm:noalloc
-func appendBytes(b, p []byte) []byte {
+func AppendBytes(b, p []byte) []byte {
 	b = binary.AppendUvarint(b, uint64(len(p)))
 	return append(b, p...)
 }
 
-// appendString is appendBytes for string payloads without conversion.
+// AppendString is AppendBytes for string payloads without conversion.
 //
 //tbtm:noalloc
-func appendString(b []byte, s string) []byte {
+func AppendString(b []byte, s string) []byte {
 	b = binary.AppendUvarint(b, uint64(len(s)))
 	return append(b, s...)
 }
 
-// takeBytes consumes one uvarint-length-prefixed byte string from p,
+// TakeBytes consumes one uvarint-length-prefixed byte string from p,
 // returning the string (aliasing p) and the rest.
-func takeBytes(p []byte) ([]byte, []byte, error) {
+func TakeBytes(p []byte) ([]byte, []byte, error) {
 	n, sz := binary.Uvarint(p)
 	if sz <= 0 || uint64(len(p)-sz) < n {
-		return nil, p, errTruncated
+		return nil, p, ErrTruncated
 	}
 	return p[sz : sz+int(n)], p[sz+int(n):], nil
 }
 
-// takeUvarint consumes one uvarint from p.
+// TakeUvarint consumes one uvarint from p.
 //
 //tbtm:noalloc
-func takeUvarint(p []byte) (uint64, []byte, error) {
+func TakeUvarint(p []byte) (uint64, []byte, error) {
 	n, sz := binary.Uvarint(p)
 	if sz <= 0 {
-		return 0, p, errTruncated
+		return 0, p, ErrTruncated
 	}
 	return n, p[sz:], nil
 }
 
-// takeByte consumes one byte from p.
-func takeByte(p []byte) (byte, []byte, error) {
+// TakeByte consumes one byte from p.
+func TakeByte(p []byte) (byte, []byte, error) {
 	if len(p) < 1 {
-		return 0, p, errTruncated
+		return 0, p, ErrTruncated
 	}
 	return p[0], p[1:], nil
 }
 
-// subReq is one decoded operation: either a top-level single-key request
-// or one entry of an OpMulti script. All byte slices alias the frame
-// buffer and are valid only until the next frame is read.
-type subReq struct {
-	op            Op
-	key           []byte
-	val           []byte
-	expect        []byte
-	expectPresent bool
+// BoolByte encodes a bool as the protocol's 0/1 byte.
+//
+//tbtm:noalloc
+func BoolByte(b bool) byte {
+	if b {
+		return 1
+	}
+	return 0
 }
 
-// request is a decoded request frame, reused across requests on a
-// connection.
-type request struct {
-	op Op
+// SubReq is one decoded operation: either a top-level single-key request
+// or one entry of an OpMulti script. All byte slices alias the frame
+// buffer and are valid only until the next frame is read.
+type SubReq struct {
+	Op            Op
+	Key           []byte
+	Val           []byte
+	Expect        []byte
+	ExpectPresent bool
+}
 
-	// Single-key ops and OpWait reuse the subReq fields.
-	subReq
+// Request is a decoded request frame, reused across requests on a
+// connection.
+type Request struct {
+	Op Op
+
+	// Single-key ops and OpWait reuse the SubReq fields.
+	SubReq
 
 	// OpRange.
-	from, to []byte
-	limit    int
+	From, To []byte
+	Limit    int
 
 	// OpMulti.
-	multi []subReq
+	Multi []SubReq
+
+	// OpReplicate: the last WAL seq the follower already holds.
+	After uint64
 }
 
 // parseSingle decodes the fields of one single-key operation (after the
 // opcode byte) into sub.
-func parseSingle(op Op, p []byte, sub *subReq) ([]byte, error) {
+func parseSingle(op Op, p []byte, sub *SubReq) ([]byte, error) {
 	var err error
-	sub.op = op
-	sub.val, sub.expect = nil, nil
-	sub.expectPresent = false
-	if sub.key, p, err = takeBytes(p); err != nil {
+	sub.Op = op
+	sub.Val, sub.Expect = nil, nil
+	sub.ExpectPresent = false
+	if sub.Key, p, err = TakeBytes(p); err != nil {
 		return p, err
 	}
 	switch op {
 	case OpGet, OpDel, OpBTake:
 	case OpSet:
-		if sub.val, p, err = takeBytes(p); err != nil {
+		if sub.Val, p, err = TakeBytes(p); err != nil {
 			return p, err
 		}
 	case OpCas:
 		var flag byte
-		if flag, p, err = takeByte(p); err != nil {
+		if flag, p, err = TakeByte(p); err != nil {
 			return p, err
 		}
-		sub.expectPresent = flag != 0
-		if sub.expect, p, err = takeBytes(p); err != nil {
+		sub.ExpectPresent = flag != 0
+		if sub.Expect, p, err = TakeBytes(p); err != nil {
 			return p, err
 		}
-		if sub.val, p, err = takeBytes(p); err != nil {
+		if sub.Val, p, err = TakeBytes(p); err != nil {
 			return p, err
 		}
 	default:
@@ -278,41 +343,41 @@ func parseSingle(op Op, p []byte, sub *subReq) ([]byte, error) {
 	return p, nil
 }
 
-// parseRequest decodes payload into req, reusing req's buffers. The
+// ParseRequest decodes payload into req, reusing req's buffers. The
 // decoded request aliases payload.
-func parseRequest(payload []byte, req *request) error {
-	op, p, err := takeByte(payload)
+func ParseRequest(payload []byte, req *Request) error {
+	op, p, err := TakeByte(payload)
 	if err != nil {
 		return err
 	}
-	req.op = Op(op)
-	switch req.op {
+	req.Op = Op(op)
+	switch req.Op {
 	case OpPing, OpStats:
 		return nil
 	case OpGet, OpSet, OpDel, OpCas, OpBTake:
-		_, err = parseSingle(req.op, p, &req.subReq)
+		_, err = parseSingle(req.Op, p, &req.SubReq)
 		return err
 	case OpWait:
-		req.subReq.op = OpWait
-		req.val, req.expect = nil, nil
-		if req.key, p, err = takeBytes(p); err != nil {
+		req.SubReq.Op = OpWait
+		req.Val, req.Expect = nil, nil
+		if req.Key, p, err = TakeBytes(p); err != nil {
 			return err
 		}
 		var flag byte
-		if flag, p, err = takeByte(p); err != nil {
+		if flag, p, err = TakeByte(p); err != nil {
 			return err
 		}
-		req.expectPresent = flag != 0
-		req.expect, _, err = takeBytes(p)
+		req.ExpectPresent = flag != 0
+		req.Expect, _, err = TakeBytes(p)
 		return err
 	case OpRange:
-		if req.from, p, err = takeBytes(p); err != nil {
+		if req.From, p, err = TakeBytes(p); err != nil {
 			return err
 		}
-		if req.to, p, err = takeBytes(p); err != nil {
+		if req.To, p, err = TakeBytes(p); err != nil {
 			return err
 		}
-		n, _, err := takeUvarint(p)
+		n, _, err := TakeUvarint(p)
 		if err != nil {
 			return err
 		}
@@ -321,29 +386,32 @@ func parseRequest(payload []byte, req *request) error {
 		if n > 1<<31-1 {
 			n = 1<<31 - 1
 		}
-		req.limit = int(n)
+		req.Limit = int(n)
 		return nil
 	case OpMulti:
-		n, p, err := takeUvarint(p)
+		n, p, err := TakeUvarint(p)
 		if err != nil {
 			return err
 		}
 		if n > uint64(len(payload)) { // each sub-op takes >= 1 byte
-			return errTruncated
+			return ErrTruncated
 		}
-		req.multi = req.multi[:0]
+		req.Multi = req.Multi[:0]
 		for i := uint64(0); i < n; i++ {
 			var op byte
-			if op, p, err = takeByte(p); err != nil {
+			if op, p, err = TakeByte(p); err != nil {
 				return err
 			}
-			var sub subReq
+			var sub SubReq
 			if p, err = parseSingle(Op(op), p, &sub); err != nil {
 				return err
 			}
-			req.multi = append(req.multi, sub)
+			req.Multi = append(req.Multi, sub)
 		}
 		return nil
+	case OpReplicate:
+		req.After, _, err = TakeUvarint(p)
+		return err
 	default:
 		return fmt.Errorf("server: unknown opcode %d", op)
 	}

@@ -1,0 +1,134 @@
+package wire
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"testing"
+)
+
+func TestFrameRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	var hdr [4]byte
+	payloads := [][]byte{nil, {0x01}, bytes.Repeat([]byte("xy"), 1000)}
+	for _, p := range payloads {
+		if err := WriteFrame(&buf, &hdr, p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var scratch []byte
+	for _, want := range payloads {
+		got, s, err := ReadFrame(&buf, &hdr, scratch, DefaultMaxFrame)
+		scratch = s
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Fatalf("frame = %q, want %q", got, want)
+		}
+	}
+}
+
+func TestFrameTooLarge(t *testing.T) {
+	var buf bytes.Buffer
+	var hdr [4]byte
+	if err := WriteFrame(&buf, &hdr, make([]byte, 100)); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := ReadFrame(&buf, &hdr, nil, 10); !errors.Is(err, ErrFrameTooLarge) {
+		t.Fatalf("err = %v, want ErrFrameTooLarge", err)
+	}
+}
+
+func TestParseRequestRoundTrip(t *testing.T) {
+	var req Request
+
+	// SET with fields.
+	p := AppendString([]byte{byte(OpSet)}, "key")
+	p = AppendBytes(p, []byte("value"))
+	if err := ParseRequest(p, &req); err != nil {
+		t.Fatal(err)
+	}
+	if req.Op != OpSet || string(req.Key) != "key" || string(req.Val) != "value" {
+		t.Fatalf("parsed %+v", req)
+	}
+
+	// CAS with flags.
+	p = AppendString([]byte{byte(OpCas)}, "k")
+	p = append(p, 1)
+	p = AppendBytes(p, []byte("old"))
+	p = AppendBytes(p, []byte("new"))
+	if err := ParseRequest(p, &req); err != nil {
+		t.Fatal(err)
+	}
+	if !req.ExpectPresent || string(req.Expect) != "old" || string(req.Val) != "new" {
+		t.Fatalf("parsed %+v", req)
+	}
+
+	// RANGE.
+	p = AppendString([]byte{byte(OpRange)}, "a")
+	p = AppendString(p, "z")
+	p = binary.AppendUvarint(p, 7)
+	if err := ParseRequest(p, &req); err != nil {
+		t.Fatal(err)
+	}
+	if string(req.From) != "a" || string(req.To) != "z" || req.Limit != 7 {
+		t.Fatalf("parsed %+v", req)
+	}
+
+	// MULTI with a mix, reusing the same request struct.
+	p = []byte{byte(OpMulti)}
+	p = binary.AppendUvarint(p, 2)
+	p = AppendString(append(p, byte(OpGet)), "g")
+	p = AppendString(append(p, byte(OpSet)), "s")
+	p = AppendBytes(p, []byte("sv"))
+	if err := ParseRequest(p, &req); err != nil {
+		t.Fatal(err)
+	}
+	if len(req.Multi) != 2 || req.Multi[0].Op != OpGet || string(req.Multi[1].Val) != "sv" {
+		t.Fatalf("parsed multi %+v", req.Multi)
+	}
+
+	// BTAKE and WAIT.
+	p = AppendString([]byte{byte(OpBTake)}, "q")
+	if err := ParseRequest(p, &req); err != nil || string(req.Key) != "q" {
+		t.Fatalf("btake parse: %v %+v", err, req)
+	}
+	p = AppendString([]byte{byte(OpWait)}, "w")
+	p = append(p, 1)
+	p = AppendBytes(p, []byte("ov"))
+	if err := ParseRequest(p, &req); err != nil {
+		t.Fatal(err)
+	}
+	if string(req.Key) != "w" || !req.ExpectPresent || string(req.Expect) != "ov" {
+		t.Fatalf("wait parse %+v", req)
+	}
+
+	// REPLICATE carries the follower's resume position.
+	p = binary.AppendUvarint([]byte{byte(OpReplicate)}, 417)
+	if err := ParseRequest(p, &req); err != nil {
+		t.Fatal(err)
+	}
+	if req.Op != OpReplicate || req.After != 417 {
+		t.Fatalf("replicate parse %+v", req)
+	}
+}
+
+func TestParseRequestTruncated(t *testing.T) {
+	var req Request
+	cases := [][]byte{
+		{},                      // empty
+		{byte(OpSet)},           // missing key
+		{byte(OpSet), 3, 'a'},   // short key
+		{byte(OpCas), 1, 'k'},   // missing flag and values
+		{byte(OpMulti), 0xFF},   // bad count varint (single 0xFF byte)
+		{byte(OpMulti), 5},      // count larger than payload
+		{byte(OpRange), 1, 'a'}, // missing to and limit
+		{byte(OpReplicate)},     // missing position
+	}
+	for i, p := range cases {
+		if err := ParseRequest(p, &req); err == nil {
+			t.Errorf("case %d (% x): parse accepted a truncated request", i, p)
+		}
+	}
+}
