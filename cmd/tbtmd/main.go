@@ -13,6 +13,15 @@
 //	tbtmd -data-dir /var/lib/tbtmd      # durable: WAL + checkpoints + recovery
 //	tbtmd -data-dir d -durability relaxed -fsync-interval 2ms
 //	tbtmd -replica-of 10.0.0.1:7420     # read replica following that primary's WAL
+//	tbtmd -debug-addr 127.0.0.1:7421    # /metrics (Prometheus), /trace, /debug/pprof
+//	tbtmd -slow-op 10ms                 # log slow ops with their phase breakdown
+//
+// The flight recorder is armed by default: per-event-loop rings of
+// phase events (decode, lease wait, engine exec, WAL gate, fsync wait,
+// response flush) dumpable via the TRACE wire verb, the debug
+// endpoint's /trace, or SIGUSR1 (to stderr). -flight-recorder=false
+// disarms it; -slow-op additionally logs any op over the threshold
+// with its per-phase time breakdown inline.
 //
 // With -data-dir the server write-ahead-logs every update commit and
 // recovers the store from the latest checkpoint plus the log tail on
@@ -39,6 +48,7 @@ import (
 	"fmt"
 	"log"
 	"net"
+	"net/http"
 	"os"
 	"os/signal"
 	"syscall"
@@ -73,6 +83,10 @@ func run(args []string) error {
 	checkpointBytes := fs.Int64("checkpoint-bytes", 0, "checkpoint when live WAL bytes exceed this (0 = 64MiB)")
 	replicaOf := fs.String("replica-of", "", "follow the durable primary at this address as a read replica (excludes -data-dir)")
 	replicaBackoff := fs.Duration("replica-backoff", 0, "replica initial reconnect delay (0 = 50ms, doubling to 2s)")
+	debugAddr := fs.String("debug-addr", "", "serve /metrics (Prometheus), /trace and /debug/pprof on this address (empty = off)")
+	slowOp := fs.Duration("slow-op", 0, "log any op slower than this with its phase breakdown (0 = off)")
+	flightRecorder := fs.Bool("flight-recorder", true, "arm the flight recorder (phase-event rings behind TRACE and SIGUSR1)")
+	traceRing := fs.Int("trace-ring", 0, "flight-recorder events per ring (0 = 4096)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -93,6 +107,9 @@ func run(args []string) error {
 		CheckpointBytes: *checkpointBytes,
 		ReplicaOf:       *replicaOf,
 		ReplicaBackoff:  *replicaBackoff,
+		RecorderEvents:  *traceRing,
+		RecorderOff:     !*flightRecorder,
+		SlowOp:          *slowOp,
 	}
 	if *versions > 0 {
 		cfg.TMOptions = append(cfg.TMOptions, tbtm.WithVersions(*versions))
@@ -123,6 +140,31 @@ func run(args []string) error {
 	}
 	log.Printf("tbtmd: serving %s on %s (leases=%s blocking=%s durability=%s%s)",
 		*consistency, ln.Addr(), cfgOrDefault(*leases, "auto"), cfgOrDefault(*blockingLeases, "64"), mode, role)
+
+	if *debugAddr != "" {
+		dln, derr := net.Listen("tcp", *debugAddr)
+		if derr != nil {
+			return derr
+		}
+		defer dln.Close()
+		log.Printf("tbtmd: debug endpoint (/metrics, /trace, /debug/pprof) on %s", dln.Addr())
+		go func() { _ = http.Serve(dln, srv.DebugHandler()) }()
+	}
+
+	// SIGUSR1 dumps the flight recorder to stderr (one JSON document
+	// per signal) without disturbing service.
+	usr1 := make(chan os.Signal, 1)
+	signal.Notify(usr1, syscall.SIGUSR1)
+	go func() {
+		for range usr1 {
+			doc, terr := srv.TraceJSON(0)
+			if terr != nil {
+				log.Printf("tbtmd: trace dump: %v", terr)
+				continue
+			}
+			os.Stderr.Write(append(doc, '\n'))
+		}
+	}()
 
 	stop := make(chan struct{})
 	closeDone := make(chan error, 1)

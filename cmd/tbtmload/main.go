@@ -16,6 +16,11 @@
 //	tbtmload -addr :7420 -blocking-ratio 0.05          # park/wake mix
 //	tbtmload -addr :7420 -wait 5s -min-ops 1           # CI smoke: retry
 //	   dialing until the server is up, fail unless ops committed
+//	tbtmload -addr :7420 -metrics-url http://127.0.0.1:7421/metrics
+//	   # scrape the server's exposition endpoint at the window
+//	   # boundaries and embed server-side fsync and lease-wait
+//	   # percentiles (computed from the histogram delta over the
+//	   # window) next to the client-side p50/p99
 //
 // The tool exits non-zero when fewer than -min-ops operations complete
 // or the server-side commit delta over the window is zero — the smoke
@@ -30,10 +35,12 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"net/http"
 	"os"
 	"runtime"
 	"time"
 
+	"tbtm/internal/telemetry"
 	"tbtm/server"
 )
 
@@ -49,6 +56,14 @@ type Point struct {
 	P50Us         float64 `json:"p50_us,omitempty"`
 	P99Us         float64 `json:"p99_us,omitempty"`
 	Truncated     bool    `json:"truncated,omitempty"`
+
+	// Server-side percentiles over the measurement window, computed
+	// from the /metrics histogram deltas when -metrics-url is set:
+	// where the wall-clock went on the other side of the wire.
+	ServerFsyncP50Us     float64 `json:"server_fsync_p50_us,omitempty"`
+	ServerFsyncP99Us     float64 `json:"server_fsync_p99_us,omitempty"`
+	ServerLeaseWaitP50Us float64 `json:"server_lease_wait_p50_us,omitempty"`
+	ServerLeaseWaitP99Us float64 `json:"server_lease_wait_p99_us,omitempty"`
 }
 
 type Snapshot struct {
@@ -85,6 +100,7 @@ func run(args []string) error {
 	seed := fs.Int64("seed", 1, "per-connection RNG seed base")
 	wait := fs.Duration("wait", 0, "retry dialing for this long before failing")
 	minOps := fs.Uint64("min-ops", 1, "fail unless at least this many ops complete")
+	metricsURL := fs.String("metrics-url", "", "scrape this Prometheus endpoint at the window boundaries for server-side percentiles (e.g. http://127.0.0.1:7421/metrics)")
 	out := fs.String("out", "", "write the JSON snapshot to this file (default stdout)")
 	seriesName := fs.String("series", "server/throughput", "series name recorded in the snapshot")
 	pr := fs.Int("pr", 7, "PR number recorded in the snapshot")
@@ -110,6 +126,17 @@ func run(args []string) error {
 		DialTimeout:   2 * time.Second,
 	}
 
+	// The pre-window scrape anchors the histogram deltas; a failed
+	// scrape degrades to client-side numbers only (the server may not
+	// have a debug endpoint).
+	var preScrape *telemetry.Scrape
+	if *metricsURL != "" {
+		var serr error
+		if preScrape, serr = scrapeMetrics(*metricsURL); serr != nil {
+			fmt.Fprintf(os.Stderr, "tbtmload: pre-window scrape: %v\n", serr)
+		}
+	}
+
 	// Client-side allocation accounting brackets the run; against a
 	// remote server it covers only this process (the generator), which
 	// is the interesting side for a closed-loop tool.
@@ -120,6 +147,14 @@ func run(args []string) error {
 	runtime.ReadMemStats(&m1)
 	if err != nil {
 		return err
+	}
+
+	var postScrape *telemetry.Scrape
+	if *metricsURL != "" && preScrape != nil {
+		var serr error
+		if postScrape, serr = scrapeMetrics(*metricsURL); serr != nil {
+			fmt.Fprintf(os.Stderr, "tbtmload: post-window scrape: %v\n", serr)
+		}
 	}
 
 	trunc := ""
@@ -160,6 +195,17 @@ func run(args []string) error {
 		p.AllocsPerOp = float64(m1.Mallocs-m0.Mallocs) / float64(res.Ops)
 		p.BytesPerOp = float64(m1.TotalAlloc-m0.TotalAlloc) / float64(res.Ops)
 	}
+	if postScrape != nil {
+		p.ServerFsyncP50Us, p.ServerFsyncP99Us = windowQuantiles(
+			preScrape, postScrape, "tbtmd_wal_fsync_seconds")
+		p.ServerLeaseWaitP50Us, p.ServerLeaseWaitP99Us = windowQuantiles(
+			preScrape, postScrape, "tbtmd_lease_wait_seconds")
+		if p.ServerFsyncP99Us > 0 || p.ServerLeaseWaitP99Us > 0 {
+			fmt.Fprintf(os.Stderr,
+				"tbtmload: server-side window percentiles: fsync p50 %.0fµs p99 %.0fµs, lease-wait p50 %.0fµs p99 %.0fµs\n",
+				p.ServerFsyncP50Us, p.ServerFsyncP99Us, p.ServerLeaseWaitP50Us, p.ServerLeaseWaitP99Us)
+		}
+	}
 	snap := Snapshot{
 		PR:        *pr,
 		GoVersion: runtime.Version(),
@@ -181,4 +227,35 @@ func run(args []string) error {
 	}
 	_, err = os.Stdout.Write(doc)
 	return err
+}
+
+// scrapeMetrics fetches and parses one Prometheus text exposition.
+func scrapeMetrics(url string) (*telemetry.Scrape, error) {
+	c := &http.Client{Timeout: 5 * time.Second}
+	resp, err := c.Get(url)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("scrape %s: %s", url, resp.Status)
+	}
+	return telemetry.ParseScrape(resp.Body)
+}
+
+// windowQuantiles computes p50/p99 in microseconds from the named
+// histogram's delta between two scrapes; zeros when the metric is
+// absent (in-memory server) or saw no observations in the window.
+func windowQuantiles(before, after *telemetry.Scrape, name string) (p50, p99 float64) {
+	b, a := before.Hist(name), after.Hist(name)
+	if a == nil {
+		return 0, 0
+	}
+	if v, ok := telemetry.HistDeltaQuantile(a, b, 0.50); ok {
+		p50 = v * 1e6
+	}
+	if v, ok := telemetry.HistDeltaQuantile(a, b, 0.99); ok {
+		p99 = v * 1e6
+	}
+	return p50, p99
 }

@@ -126,6 +126,10 @@ const (
 	numReasons
 )
 
+// NumReasons is the number of distinct Reason values (including
+// ReasonNone); callers sizing per-reason counter arrays use it.
+const NumReasons = int(numReasons)
+
 // String returns the reason name.
 func (r Reason) String() string {
 	switch r {

@@ -1,0 +1,123 @@
+// Package telemetry is the unified observability plane: lock-free
+// log2 histograms, a registry that renders every layer's counters in
+// Prometheus text exposition format, and a zero-alloc flight recorder
+// that stamps per-op phase events (decode, lease wait, execution,
+// WAL gate, fsync, flush) into ring buffers for post-hoc slow-op
+// reconstruction.
+//
+// The package deliberately has no dependencies beyond the standard
+// library and defines no metric types of its own state: registry
+// families are closures over atomics that already exist in the
+// engine, WAL, replication, and stats layers.
+package telemetry
+
+import (
+	"math/bits"
+	"sync/atomic"
+)
+
+// HistBuckets is the number of log2 buckets in a Hist. Bucket i holds
+// observations v with bits.Len64(v) == i, i.e. v in [2^(i-1), 2^i);
+// bucket 0 holds v == 0 and the last bucket absorbs the high tail.
+// 40 buckets span 1ns to ~9min when observations are nanoseconds.
+const HistBuckets = 40
+
+// Hist is a fixed-shape concurrent histogram: a power-of-two bucket
+// array plus count/sum, all updated with atomics. Observe allocates
+// nothing and takes a handful of nanoseconds, so it can sit on the
+// server's warm path; snapshots are taken bucket-by-bucket without
+// locking (scrapes tolerate torn reads across buckets).
+type Hist struct {
+	count   atomic.Uint64
+	sum     atomic.Uint64
+	buckets [HistBuckets]atomic.Uint64
+}
+
+// Observe records one observation. Units are the caller's choice
+// (the server records nanoseconds for latencies and record counts
+// for batch sizes); the bucket boundaries are powers of two of that
+// unit.
+//
+//tbtm:noalloc
+func (h *Hist) Observe(v uint64) {
+	h.count.Add(1)
+	h.sum.Add(v)
+	b := bits.Len64(v)
+	if b >= HistBuckets {
+		b = HistBuckets - 1
+	}
+	h.buckets[b].Add(1)
+}
+
+// Count and Sum return the running totals.
+func (h *Hist) Count() uint64 { return h.count.Load() }
+func (h *Hist) Sum() uint64   { return h.sum.Load() }
+
+// Load copies the current bucket counts into a plain array.
+func (h *Hist) Load() [HistBuckets]uint64 {
+	var out [HistBuckets]uint64
+	for i := range out {
+		out[i] = h.buckets[i].Load()
+	}
+	return out
+}
+
+// BucketUpper returns the inclusive upper bound of bucket i in the
+// observation's unit: 0 for bucket 0, otherwise 2^i - 1 (the largest
+// v with bits.Len64(v) == i).
+func BucketUpper(i int) uint64 {
+	if i <= 0 {
+		return 0
+	}
+	if i >= 64 {
+		return ^uint64(0)
+	}
+	return 1<<uint(i) - 1
+}
+
+// Quantile estimates the q-quantile (0 <= q <= 1) from a bucket
+// snapshot, interpolating linearly inside the winning bucket. It is
+// the shared estimator for load-report percentiles; with log2 buckets
+// the error is bounded by a factor of two.
+func Quantile(counts [HistBuckets]uint64, q float64) uint64 {
+	var total uint64
+	for _, c := range counts {
+		total += c
+	}
+	if total == 0 {
+		return 0
+	}
+	rank := uint64(q * float64(total))
+	if rank >= total {
+		rank = total - 1
+	}
+	var seen uint64
+	for i, c := range counts {
+		if c == 0 {
+			continue
+		}
+		if seen+c > rank {
+			lo := uint64(0)
+			if i > 0 {
+				lo = uint64(1) << uint(i-1)
+			}
+			hi := BucketUpper(i)
+			frac := float64(rank-seen) / float64(c)
+			return lo + uint64(frac*float64(hi-lo))
+		}
+		seen += c
+	}
+	return BucketUpper(HistBuckets - 1)
+}
+
+// Sub returns a-b elementwise, clamping at zero. Load generators use
+// it to window histogram deltas between scrapes.
+func Sub(a, b [HistBuckets]uint64) [HistBuckets]uint64 {
+	var out [HistBuckets]uint64
+	for i := range out {
+		if a[i] > b[i] {
+			out[i] = a[i] - b[i]
+		}
+	}
+	return out
+}

@@ -1,0 +1,237 @@
+package telemetry
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// This file is the consumer side of the exposition format: a small
+// parser for the subset of the Prometheus text format the registry
+// emits. tbtmload uses it to window server-side histograms between
+// scrapes; the exposition tests use it to validate /metrics
+// line-by-line.
+
+// ScrapedBucket is one cumulative histogram bucket from a scrape.
+type ScrapedBucket struct {
+	Le  float64 // upper bound; math.Inf(1) for +Inf
+	Cum uint64
+}
+
+// ScrapedHist is one histogram series reassembled from its _bucket,
+// _sum and _count lines.
+type ScrapedHist struct {
+	Buckets []ScrapedBucket
+	Sum     float64
+	Count   uint64
+}
+
+// Scrape is one parsed exposition document.
+type Scrape struct {
+	// Values maps "name" or "name{labels}" (labels as emitted,
+	// including le) to the sample value.
+	Values map[string]float64
+	// Hists maps "base" or "base{labels-without-le}" to reassembled
+	// histograms.
+	Hists map[string]*ScrapedHist
+	// Help and Types map family name to its HELP text and TYPE.
+	Help  map[string]string
+	Types map[string]string
+}
+
+// Value returns a plain sample by its full key.
+func (s *Scrape) Value(key string) (float64, bool) {
+	v, ok := s.Values[key]
+	return v, ok
+}
+
+// Hist returns a histogram series by its base key (nil if absent).
+func (s *Scrape) Hist(key string) *ScrapedHist { return s.Hists[key] }
+
+func (s *Scrape) hist(key string) *ScrapedHist {
+	h := s.Hists[key]
+	if h == nil {
+		h = &ScrapedHist{}
+		s.Hists[key] = h
+	}
+	return h
+}
+
+// splitSample cuts a sample line into name, raw label string (without
+// braces, "" if none) and the value text.
+func splitSample(line string) (name, labels, val string, err error) {
+	if i := strings.IndexByte(line, '{'); i >= 0 {
+		j := strings.LastIndexByte(line, '}')
+		if j < i {
+			return "", "", "", fmt.Errorf("unbalanced braces: %q", line)
+		}
+		return line[:i], line[i+1 : j], strings.TrimSpace(line[j+1:]), nil
+	}
+	i := strings.IndexByte(line, ' ')
+	if i < 0 {
+		return "", "", "", fmt.Errorf("no value: %q", line)
+	}
+	return line[:i], "", strings.TrimSpace(line[i+1:]), nil
+}
+
+// extractLe pulls the le label out of a label string, returning the
+// remaining labels.
+func extractLe(labels string) (le string, rest string) {
+	parts := strings.Split(labels, ",")
+	kept := parts[:0]
+	for _, p := range parts {
+		if v, ok := strings.CutPrefix(p, `le="`); ok {
+			le = strings.TrimSuffix(v, `"`)
+			continue
+		}
+		kept = append(kept, p)
+	}
+	return le, strings.Join(kept, ",")
+}
+
+// ParseScrape parses an exposition document. Unknown lines are
+// errors: the format the registry emits is small enough to parse
+// exactly, and strictness is what makes the CI assertion meaningful.
+func ParseScrape(r io.Reader) (*Scrape, error) {
+	s := &Scrape{
+		Values: map[string]float64{},
+		Hists:  map[string]*ScrapedHist{},
+		Help:   map[string]string{},
+		Types:  map[string]string{},
+	}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64<<10), 1<<20)
+	for sc.Scan() {
+		line := strings.TrimRight(sc.Text(), " \t")
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			fields := strings.SplitN(line, " ", 4)
+			if len(fields) >= 3 {
+				switch fields[1] {
+				case "HELP":
+					help := ""
+					if len(fields) == 4 {
+						help = fields[3]
+					}
+					s.Help[fields[2]] = help
+				case "TYPE":
+					if len(fields) == 4 {
+						s.Types[fields[2]] = fields[3]
+					}
+				}
+			}
+			continue
+		}
+		name, labels, valStr, err := splitSample(line)
+		if err != nil {
+			return nil, err
+		}
+		v, err := strconv.ParseFloat(valStr, 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad value in %q: %v", line, err)
+		}
+		key := name
+		if labels != "" {
+			key = name + "{" + labels + "}"
+		}
+		s.Values[key] = v
+
+		histKey := func(base, rest string) string {
+			if rest == "" {
+				return base
+			}
+			return base + "{" + rest + "}"
+		}
+		switch {
+		case strings.HasSuffix(name, "_bucket"):
+			le, rest := extractLe(labels)
+			if le == "" {
+				break
+			}
+			base := strings.TrimSuffix(name, "_bucket")
+			bound := math.Inf(1)
+			if le != "+Inf" {
+				bound, err = strconv.ParseFloat(le, 64)
+				if err != nil {
+					return nil, fmt.Errorf("bad le in %q: %v", line, err)
+				}
+			}
+			h := s.hist(histKey(base, rest))
+			h.Buckets = append(h.Buckets, ScrapedBucket{Le: bound, Cum: uint64(v)})
+		case strings.HasSuffix(name, "_sum"):
+			s.hist(histKey(strings.TrimSuffix(name, "_sum"), labels)).Sum = v
+		case strings.HasSuffix(name, "_count"):
+			s.hist(histKey(strings.TrimSuffix(name, "_count"), labels)).Count = uint64(v)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	for _, h := range s.Hists {
+		sort.Slice(h.Buckets, func(i, j int) bool { return h.Buckets[i].Le < h.Buckets[j].Le })
+	}
+	return s, nil
+}
+
+// cumAt returns the cumulative count at upper bound le (the largest
+// bucket with Le <= le), or 0 when the hist is nil.
+func (h *ScrapedHist) cumAt(le float64) uint64 {
+	if h == nil {
+		return 0
+	}
+	var cum uint64
+	for _, b := range h.Buckets {
+		if b.Le <= le {
+			cum = b.Cum
+		}
+	}
+	return cum
+}
+
+// HistDeltaQuantile estimates the q-quantile of the observations that
+// arrived between two scrapes of the same histogram series. before
+// may be nil (whole-life quantile). Returns false when no
+// observations arrived in the window.
+func HistDeltaQuantile(after, before *ScrapedHist, q float64) (float64, bool) {
+	if after == nil || len(after.Buckets) == 0 {
+		return 0, false
+	}
+	var beforeCount uint64
+	if before != nil {
+		beforeCount = before.Count
+	}
+	if after.Count <= beforeCount {
+		return 0, false
+	}
+	total := after.Count - beforeCount
+	rank := q * float64(total)
+	prevLe := 0.0
+	var prevCum uint64
+	for _, b := range after.Buckets {
+		dCum := b.Cum - before.cumAt(b.Le)
+		if float64(dCum) >= rank && dCum > 0 {
+			inBucket := dCum - prevCum
+			if math.IsInf(b.Le, 1) || inBucket == 0 {
+				return prevLe, true
+			}
+			frac := (rank - float64(prevCum)) / float64(inBucket)
+			if frac < 0 {
+				frac = 0
+			} else if frac > 1 {
+				frac = 1
+			}
+			return prevLe + frac*(b.Le-prevLe), true
+		}
+		prevCum = dCum
+		if !math.IsInf(b.Le, 1) {
+			prevLe = b.Le
+		}
+	}
+	return prevLe, true
+}

@@ -1,0 +1,183 @@
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"sync"
+)
+
+// Kind is the Prometheus type of a metric family.
+type Kind int
+
+const (
+	Counter Kind = iota
+	Gauge
+	Histogram
+)
+
+func (k Kind) String() string {
+	switch k {
+	case Counter:
+		return "counter"
+	case Gauge:
+		return "gauge"
+	case Histogram:
+		return "histogram"
+	}
+	return "untyped"
+}
+
+// Family is one metric family: a name, help text, a type, and a
+// Collect closure that reads the live values at scrape time. The
+// closure emits zero or more series via the Emitter; it must not
+// retain the Emitter. Families adapt existing atomics — they hold no
+// state of their own.
+type Family struct {
+	Name    string
+	Help    string
+	Kind    Kind
+	Collect func(e *Emitter)
+}
+
+// Emitter renders one family's series during a scrape. Labels are
+// passed pre-rendered (`op="get"`) or empty; values are float64 as
+// the text format requires.
+type Emitter struct {
+	w    io.Writer
+	name string
+	err  error
+}
+
+func (e *Emitter) printf(format string, args ...any) {
+	if e.err == nil {
+		_, e.err = fmt.Fprintf(e.w, format, args...)
+	}
+}
+
+// Value emits one sample: name{labels} v.
+func (e *Emitter) Value(labels string, v float64) {
+	if labels == "" {
+		e.printf("%s %g\n", e.name, v)
+		return
+	}
+	e.printf("%s{%s} %g\n", e.name, labels, v)
+}
+
+// Hist emits a full Prometheus histogram (cumulative le buckets plus
+// _sum and _count) from a Hist snapshot. scale converts the Hist's
+// unit to the exposed unit (1e-9 for nanosecond observations exposed
+// as seconds; 1 for unitless sizes). Empty buckets are elided except
+// the mandatory +Inf.
+func (e *Emitter) Hist(labels string, h *Hist, scale float64) {
+	counts := h.Load()
+	pre := labels
+	if pre != "" {
+		pre += ","
+	}
+	var cum uint64
+	for i, c := range counts {
+		cum += c
+		if c == 0 {
+			continue
+		}
+		e.printf("%s_bucket{%sle=\"%g\"} %d\n",
+			e.name, pre, float64(BucketUpper(i))*scale, cum)
+	}
+	e.printf("%s_bucket{%sle=\"+Inf\"} %d\n", e.name, pre, cum)
+	if labels == "" {
+		e.printf("%s_sum %g\n", e.name, float64(h.Sum())*scale)
+		e.printf("%s_count %d\n", e.name, cum)
+		return
+	}
+	e.printf("%s_sum{%s} %g\n", e.name, labels, float64(h.Sum())*scale)
+	e.printf("%s_count{%s} %d\n", e.name, labels, cum)
+}
+
+// Registry is an ordered set of families. Registration happens at
+// server construction; scrapes iterate in registration order so the
+// output is stable and diffable.
+type Registry struct {
+	mu   sync.Mutex
+	fams []Family
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry { return &Registry{} }
+
+// MustRegister appends families. It panics on a duplicate or invalid
+// name — registration is static wiring, so failing loudly at startup
+// beats a silently shadowed metric.
+func (r *Registry) MustRegister(fams ...Family) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, f := range fams {
+		if !validName(f.Name) {
+			panic("telemetry: invalid metric name " + f.Name)
+		}
+		for _, have := range r.fams {
+			if have.Name == f.Name {
+				panic("telemetry: duplicate metric " + f.Name)
+			}
+		}
+		r.fams = append(r.fams, f)
+	}
+}
+
+func validName(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, c := range s {
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_', c == ':':
+		case c >= '0' && c <= '9':
+			if i == 0 {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// WritePrometheus renders every family in text exposition format.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	r.mu.Lock()
+	fams := make([]Family, len(r.fams))
+	copy(fams, r.fams)
+	r.mu.Unlock()
+	for _, f := range fams {
+		e := &Emitter{w: w, name: f.Name}
+		e.printf("# HELP %s %s\n", f.Name, f.Help)
+		e.printf("# TYPE %s %s\n", f.Name, f.Kind)
+		f.Collect(e)
+		if e.err != nil {
+			return e.err
+		}
+	}
+	return nil
+}
+
+// Handler serves the registry at any path (conventionally /metrics).
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = r.WritePrometheus(w)
+	})
+}
+
+// Names returns the registered family names, sorted (tests pin the
+// catalogue against it).
+func (r *Registry) Names() []string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]string, len(r.fams))
+	for i, f := range r.fams {
+		out[i] = f.Name
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,299 @@
+package telemetry
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestHistBuckets(t *testing.T) {
+	var h Hist
+	for _, v := range []uint64{0, 1, 2, 3, 1000, 1 << 35} {
+		h.Observe(v)
+	}
+	if h.Count() != 6 {
+		t.Fatalf("count = %d", h.Count())
+	}
+	want := uint64(0 + 1 + 2 + 3 + 1000 + 1<<35)
+	if h.Sum() != want {
+		t.Fatalf("sum = %d want %d", h.Sum(), want)
+	}
+	counts := h.Load()
+	if counts[0] != 1 { // v == 0
+		t.Fatalf("bucket0 = %d", counts[0])
+	}
+	if counts[1] != 1 { // v == 1
+		t.Fatalf("bucket1 = %d", counts[1])
+	}
+	if counts[2] != 2 { // v in {2,3}
+		t.Fatalf("bucket2 = %d", counts[2])
+	}
+	if counts[10] != 1 { // 1000 in [512,1024)
+		t.Fatalf("bucket10 = %d", counts[10])
+	}
+	if counts[36] != 1 {
+		t.Fatalf("bucket36 = %d", counts[36])
+	}
+}
+
+func TestHistQuantile(t *testing.T) {
+	var h Hist
+	for i := 0; i < 1000; i++ {
+		h.Observe(100) // bucket 7: [64,128)
+	}
+	h.Observe(1 << 20)
+	c := h.Load()
+	p50 := Quantile(c, 0.5)
+	if p50 < 64 || p50 > 127 {
+		t.Fatalf("p50 = %d, want within [64,127]", p50)
+	}
+	if q := Quantile(c, 0.9999); q < 1<<19 {
+		t.Fatalf("p9999 = %d, want the outlier bucket", q)
+	}
+	var zero [HistBuckets]uint64
+	if Quantile(zero, 0.5) != 0 {
+		t.Fatal("empty quantile should be 0")
+	}
+}
+
+func TestHistObserveAllocs(t *testing.T) {
+	var h Hist
+	if n := testing.AllocsPerRun(100, func() { h.Observe(42) }); n != 0 {
+		t.Fatalf("Observe allocates %v/op", n)
+	}
+}
+
+func TestRegistryRoundTrip(t *testing.T) {
+	r := NewRegistry()
+	var h Hist
+	for _, v := range []uint64{10, 2000, 2000, 1 << 30} {
+		h.Observe(v)
+	}
+	r.MustRegister(
+		Family{Name: "t_reqs_total", Help: "requests", Kind: Counter, Collect: func(e *Emitter) {
+			e.Value(`op="get"`, 7)
+			e.Value(`op="set"`, 3)
+		}},
+		Family{Name: "t_conns", Help: "open conns", Kind: Gauge, Collect: func(e *Emitter) {
+			e.Value("", 2)
+		}},
+		Family{Name: "t_lat_seconds", Help: "latency", Kind: Histogram, Collect: func(e *Emitter) {
+			e.Hist("", &h, 1e-9)
+		}},
+	)
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	text := buf.String()
+	s, err := ParseScrape(strings.NewReader(text))
+	if err != nil {
+		t.Fatalf("parse: %v\n%s", err, text)
+	}
+	if v, _ := s.Value(`t_reqs_total{op="get"}`); v != 7 {
+		t.Fatalf("get counter = %v", v)
+	}
+	if v, _ := s.Value("t_conns"); v != 2 {
+		t.Fatalf("gauge = %v", v)
+	}
+	if s.Types["t_lat_seconds"] != "histogram" || s.Help["t_reqs_total"] != "requests" {
+		t.Fatalf("missing HELP/TYPE: %v %v", s.Types, s.Help)
+	}
+	hh := s.Hist("t_lat_seconds")
+	if hh == nil || hh.Count != 4 {
+		t.Fatalf("hist = %+v", hh)
+	}
+	// Buckets must be cumulative and monotone, ending at count.
+	var last uint64
+	for _, b := range hh.Buckets {
+		if b.Cum < last {
+			t.Fatalf("non-monotone bucket: %+v", hh.Buckets)
+		}
+		last = b.Cum
+	}
+	if last != hh.Count {
+		t.Fatalf("+Inf bucket %d != count %d", last, hh.Count)
+	}
+	wantSum := float64(10+2000+2000+1<<30) * 1e-9
+	if diff := hh.Sum - wantSum; diff > 1e-9 || diff < -1e-9 {
+		t.Fatalf("sum = %v want %v", hh.Sum, wantSum)
+	}
+}
+
+func TestRegistryRejectsDuplicates(t *testing.T) {
+	r := NewRegistry()
+	r.MustRegister(Family{Name: "a_total", Kind: Counter, Collect: func(*Emitter) {}})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("duplicate registration should panic")
+		}
+	}()
+	r.MustRegister(Family{Name: "a_total", Kind: Counter, Collect: func(*Emitter) {}})
+}
+
+func TestRingWrapAndSnapshot(t *testing.T) {
+	rec := NewRecorder(4)
+	r := rec.Ring()
+	for i := 0; i < 10; i++ {
+		r.Record(EvExec, 1, 1, uint64(i), 1, int64(i+1), 5)
+	}
+	evs := rec.Snapshot(0)
+	if len(evs) != 4 {
+		t.Fatalf("snapshot kept %d events", len(evs))
+	}
+	for i, e := range evs {
+		if e.Seq != uint64(6+i) {
+			t.Fatalf("event %d seq %d, want oldest-first tail", i, e.Seq)
+		}
+	}
+	if rec.Dropped() != 6 {
+		t.Fatalf("dropped = %d", rec.Dropped())
+	}
+	if rec.Recorded() != 10 {
+		t.Fatalf("recorded = %d", rec.Recorded())
+	}
+}
+
+func TestDisarmedRecorderIsQuiet(t *testing.T) {
+	rec := NewRecorder(8)
+	rec.Arm(false)
+	r := rec.Ring()
+	if r.Now() != 0 {
+		t.Fatal("disarmed Now should return 0")
+	}
+	r.Record(EvExec, 1, 1, 1, 1, 1, 1)
+	r.Op(1, 1, 1, 1, 1)
+	if len(rec.Snapshot(0)) != 0 {
+		t.Fatal("disarmed recorder recorded events")
+	}
+	var nilRing *Ring
+	nilRing.Record(EvExec, 1, 1, 1, 1, 1, 1) // must not panic
+	if nilRing.Span(EvExec, 1, 1, 1, 1, 1) != 0 {
+		t.Fatal("nil ring Span should return 0")
+	}
+}
+
+func TestRecordPathAllocs(t *testing.T) {
+	rec := NewRecorder(64)
+	r := rec.Ring()
+	if n := testing.AllocsPerRun(200, func() {
+		start := r.Now()
+		r.Record(EvDecode, 0, 1, 2, 16, start, 10)
+		end := r.Span(EvLeaseWait, 3, 1, 2, 0, start)
+		r.Span(EvExec, 3, 1, 2, 1, end)
+		r.Op(3, 1, 2, 16, start)
+	}); n != 0 {
+		t.Fatalf("record path allocates %v/op", n)
+	}
+}
+
+func TestSlowOpLog(t *testing.T) {
+	rec := NewRecorder(64)
+	var out bytes.Buffer
+	rec.SetSlowOp(time.Nanosecond, &out)
+	rec.SetOpNames(func(op uint8) string { return "get" })
+	r := rec.Ring()
+	start := r.Now()
+	end := r.Span(EvLeaseWait, 3, 7, 42, 0, start)
+	r.Span(EvExec, 3, 7, 42, 3, end)
+	r.Op(3, 7, 42, 16, start)
+	line := out.String()
+	for _, want := range []string{"slow op", "op=get", "conn=7", "seq=42", "ops=16", "lease_wait=", "exec=", "attempts=3"} {
+		if !strings.Contains(line, want) {
+			t.Fatalf("slow-op line missing %q: %q", want, line)
+		}
+	}
+}
+
+func TestDumpJSON(t *testing.T) {
+	rec := NewRecorder(16)
+	rec.SetOpNames(func(op uint8) string { return "set" })
+	r := rec.Ring()
+	start := r.Now()
+	r.Span(EvFsync, 2, 1, 9, 0, start)
+	r.Op(2, 1, 9, 1, start)
+	raw, err := rec.DumpJSON(100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var d struct {
+		Armed  bool `json:"armed"`
+		Events []struct {
+			Kind string `json:"kind"`
+			Op   string `json:"op"`
+			Seq  uint64 `json:"seq"`
+		} `json:"events"`
+	}
+	if err := json.Unmarshal(raw, &d); err != nil {
+		t.Fatalf("dump is not JSON: %v\n%s", err, raw)
+	}
+	if !d.Armed || len(d.Events) != 2 {
+		t.Fatalf("dump = %s", raw)
+	}
+	if d.Events[0].Kind != "fsync" || d.Events[1].Kind != "op" || d.Events[1].Op != "set" {
+		t.Fatalf("dump events = %+v", d.Events)
+	}
+}
+
+func TestRingPool(t *testing.T) {
+	rec := NewRecorder(8)
+	a := rec.AcquireRing()
+	b := rec.AcquireRing()
+	if a == b {
+		t.Fatal("distinct acquires share a ring")
+	}
+	rec.ReleaseRing(a)
+	if c := rec.AcquireRing(); c != a {
+		t.Fatal("released ring not reused")
+	}
+	// Past the cap, acquires share the overflow ring.
+	var rings []*Ring
+	for i := 0; i < maxRings+4; i++ {
+		rings = append(rings, rec.AcquireRing())
+	}
+	if rings[len(rings)-1] != rings[len(rings)-2] {
+		t.Fatal("over-cap acquires should share the overflow ring")
+	}
+}
+
+func TestHistDeltaQuantile(t *testing.T) {
+	mk := func(obs ...uint64) *ScrapedHist {
+		var h Hist
+		for _, v := range obs {
+			h.Observe(v)
+		}
+		var buf bytes.Buffer
+		r := NewRegistry()
+		r.MustRegister(Family{Name: "x_seconds", Kind: Histogram, Collect: func(e *Emitter) {
+			e.Hist("", &h, 1e-9)
+		}})
+		if err := r.WritePrometheus(&buf); err != nil {
+			t.Fatal(err)
+		}
+		s, err := ParseScrape(&buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return s.Hist("x_seconds")
+	}
+	before := mk(100, 100, 100)
+	// After = before plus 1000 observations near 1µs.
+	obs := []uint64{100, 100, 100}
+	for i := 0; i < 1000; i++ {
+		obs = append(obs, 1000)
+	}
+	after := mk(obs...)
+	q, ok := HistDeltaQuantile(after, before, 0.5)
+	if !ok {
+		t.Fatal("no delta observations seen")
+	}
+	// 1000ns falls in (512ns, 1024ns]; exposed in seconds.
+	if q < 256e-9 || q > 1100e-9 {
+		t.Fatalf("delta p50 = %v, want ~1µs", q)
+	}
+	if _, ok := HistDeltaQuantile(before, before, 0.5); ok {
+		t.Fatal("empty window should report !ok")
+	}
+}

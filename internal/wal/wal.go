@@ -8,6 +8,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"tbtm/internal/telemetry"
 )
 
 // Mode selects what an acknowledged append means.
@@ -203,7 +205,21 @@ type Log struct {
 	nRotations atomic.Uint64
 	nCkpts     atomic.Uint64
 	sinceCkpt  atomic.Int64 // bytes appended since the last checkpoint
+
+	// fsyncH is the fsync-latency histogram (ns); batchH the
+	// group-commit batch-size histogram (records per batch). Both feed
+	// the telemetry registry.
+	fsyncH telemetry.Hist
+	batchH telemetry.Hist
 }
+
+// FsyncLatency returns the live fsync-latency histogram (nanoseconds
+// per flush+fsync pair).
+func (l *Log) FsyncLatency() *telemetry.Hist { return &l.fsyncH }
+
+// BatchSizes returns the group-commit batch-size histogram (records
+// coalesced per segment write).
+func (l *Log) BatchSizes() *telemetry.Hist { return &l.batchH }
 
 // Append assigns the next sequence number to one committed
 // transaction's effective write set and hands it to the batcher. The
@@ -354,6 +370,7 @@ func (l *Log) writeBatch(b *batch) {
 	b.werr = err
 	l.nBatches.Add(1)
 	l.nRecords.Add(uint64(b.recs))
+	l.batchH.Observe(uint64(b.recs))
 	l.nBytes.Add(uint64(len(b.buf)))
 	l.segSize += int64(len(b.buf))
 	close(b.written)
@@ -401,10 +418,12 @@ func (l *Log) syncLocked() {
 		l.unsyncedRec = 0
 		return
 	}
+	t0 := time.Now()
 	err := l.segWriter.Flush()
 	if err == nil {
 		err = l.seg.Sync()
 		l.nFsyncs.Add(1)
+		l.fsyncH.Observe(uint64(time.Since(t0).Nanoseconds()))
 	}
 	if err != nil {
 		l.fail(err)

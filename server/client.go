@@ -400,3 +400,22 @@ func (c *Client) Stats() (StatsReply, error) {
 	}
 	return reply, json.Unmarshal(doc, &reply)
 }
+
+// Trace fetches the server's flight-recorder dump — the merged,
+// time-ordered phase events — as a raw JSON document. max bounds the
+// event count (0 = the server default).
+func (c *Client) Trace(max int) ([]byte, error) {
+	req := binary.AppendUvarint(c.newReq(OpTrace), uint64(max))
+	st, p, err := c.roundTrip(req)
+	if err != nil {
+		return nil, err
+	}
+	if err := statusErr(st, p); err != nil {
+		return nil, err
+	}
+	doc, _, err := takeBytes(p)
+	if err != nil {
+		return nil, err
+	}
+	return append([]byte(nil), doc...), nil
+}

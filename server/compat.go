@@ -28,6 +28,8 @@ const (
 	OpWait      = wire.OpWait
 	OpStats     = wire.OpStats
 	OpReplicate = wire.OpReplicate
+	OpTrace     = wire.OpTrace
+	OpMax       = wire.OpMax
 
 	// ReadOnly reason bytes (follow StatusReadOnly on the wire).
 	ReadOnlyWAL     = wire.ReadOnlyWAL

@@ -55,10 +55,27 @@ import (
 	"time"
 
 	"tbtm"
+	"tbtm/internal/telemetry"
 	"tbtm/internal/wal"
 	"tbtm/server/engine"
 	"tbtm/server/wire"
 )
+
+// gateStart stamps the start of a checkpoint-gate acquisition on th's
+// attached flight-recorder ring (0 when unattached or disarmed — the
+// telemetry calls are nil-safe no-ops for internal threads like the
+// checkpointer and replica applier).
+func gateStart(th *tbtm.Thread) int64 {
+	r, _, _ := th.Trace()
+	return r.Now()
+}
+
+// gateAcquired records the EvWALGate span: how long the op waited for
+// the gate's read side (nonzero while a checkpoint wedges writers).
+func gateAcquired(th *tbtm.Thread, t0 int64) {
+	r, conn, seq := th.Trace()
+	r.Span(telemetry.EvWALGate, 0, conn, seq, 0, t0)
+}
 
 // Config selects the WAL's directory and acknowledgement behaviour.
 type Config struct {
@@ -171,6 +188,17 @@ func (d *Store) settle(tk wal.Ticket, werr error) error {
 	return engine.ErrReadOnly
 }
 
+// settleTraced is settle bracketed by an EvFsync span: the time the op
+// spent waiting on its group-commit ticket (write ack for relaxed,
+// fsync for strict).
+func (d *Store) settleTraced(th *tbtm.Thread, tk wal.Ticket, werr error) error {
+	r, conn, seq := th.Trace()
+	t0 := r.Now()
+	err := d.settle(tk, werr)
+	r.Span(telemetry.EvFsync, 0, conn, seq, 0, t0)
+	return err
+}
+
 // Get reads from memory; reads never touch the WAL.
 func (d *Store) Get(th *tbtm.Thread, key string) ([]byte, bool, error) {
 	return d.base.Get(th, key)
@@ -196,7 +224,9 @@ func (d *Store) Set(th *tbtm.Thread, key string, val []byte) error {
 	if d.readOnly.Load() {
 		return engine.ErrReadOnly
 	}
+	g0 := gateStart(th)
 	d.gate.RLock()
+	gateAcquired(th, g0)
 	err := d.base.Set(th, key, val)
 	var tk wal.Ticket
 	var werr error
@@ -207,7 +237,7 @@ func (d *Store) Set(th *tbtm.Thread, key string, val []byte) error {
 	if err != nil {
 		return err
 	}
-	return d.settle(tk, werr)
+	return d.settleTraced(th, tk, werr)
 }
 
 // Del logs the delete only when it took effect (deleting an absent key
@@ -216,7 +246,9 @@ func (d *Store) Del(th *tbtm.Thread, key string) (bool, error) {
 	if d.readOnly.Load() {
 		return false, engine.ErrReadOnly
 	}
+	g0 := gateStart(th)
 	d.gate.RLock()
+	gateAcquired(th, g0)
 	deleted, err := d.base.Del(th, key)
 	var tk wal.Ticket
 	var werr error
@@ -227,7 +259,7 @@ func (d *Store) Del(th *tbtm.Thread, key string) (bool, error) {
 	if err != nil {
 		return false, err
 	}
-	if serr := d.settle(tk, werr); serr != nil {
+	if serr := d.settleTraced(th, tk, werr); serr != nil {
 		return false, serr
 	}
 	return deleted, nil
@@ -238,7 +270,9 @@ func (d *Store) Cas(th *tbtm.Thread, key string, expectPresent bool, expect, val
 	if d.readOnly.Load() {
 		return false, engine.ErrReadOnly
 	}
+	g0 := gateStart(th)
 	d.gate.RLock()
+	gateAcquired(th, g0)
 	swapped, err := d.base.Cas(th, key, expectPresent, expect, val)
 	var tk wal.Ticket
 	var werr error
@@ -249,7 +283,7 @@ func (d *Store) Cas(th *tbtm.Thread, key string, expectPresent bool, expect, val
 	if err != nil {
 		return false, err
 	}
-	if serr := d.settle(tk, werr); serr != nil {
+	if serr := d.settleTraced(th, tk, werr); serr != nil {
 		return false, serr
 	}
 	return swapped, nil
@@ -290,7 +324,9 @@ func (d *Store) Multi(th *tbtm.Thread, subs []engine.MultiSub, results *[]engine
 	if d.readOnly.Load() {
 		return false, engine.ErrReadOnly
 	}
+	g0 := gateStart(th)
 	d.gate.RLock()
+	gateAcquired(th, g0)
 	committed, err := d.base.Multi(th, subs, results)
 	var tk wal.Ticket
 	var werr error
@@ -306,7 +342,7 @@ func (d *Store) Multi(th *tbtm.Thread, subs []engine.MultiSub, results *[]engine
 	if !committed {
 		return false, nil
 	}
-	if serr := d.settle(tk, werr); serr != nil {
+	if serr := d.settleTraced(th, tk, werr); serr != nil {
 		return false, serr
 	}
 	return true, nil
@@ -319,7 +355,9 @@ func (d *Store) ExecBatch(th *tbtm.Thread, subs []engine.MultiSub, results *[]en
 	if d.readOnly.Load() {
 		return engine.ErrReadOnly
 	}
+	g0 := gateStart(th)
 	d.gate.RLock()
+	gateAcquired(th, g0)
 	err := d.base.ExecBatch(th, subs, results)
 	var tk wal.Ticket
 	var werr error
@@ -332,7 +370,7 @@ func (d *Store) ExecBatch(th *tbtm.Thread, subs []engine.MultiSub, results *[]en
 	if err != nil {
 		return err
 	}
-	return d.settle(tk, werr)
+	return d.settleTraced(th, tk, werr)
 }
 
 // ExecBatchRO runs an all-read batch straight on memory.
@@ -376,7 +414,9 @@ func (d *Store) BTake(th *tbtm.Thread, key string, cancel *tbtm.Var[bool]) ([]by
 		}
 		var val []byte
 		var took bool
+		g0 := gateStart(th)
 		d.gate.RLock()
+		gateAcquired(th, g0)
 		err = th.AtomicSite(engine.SiteBTake, func(tx tbtm.Tx) error {
 			val, took = nil, false
 			v, ok, e := d.base.GetTx(tx, key)
@@ -404,7 +444,7 @@ func (d *Store) BTake(th *tbtm.Thread, key string, cancel *tbtm.Var[bool]) ([]by
 		if !took {
 			continue
 		}
-		if serr := d.settle(tk, werr); serr != nil {
+		if serr := d.settleTraced(th, tk, werr); serr != nil {
 			// The take committed in memory but is not durable; the client
 			// must not treat the value as consumed.
 			return nil, serr

@@ -141,7 +141,9 @@ func (e *Executor) Acquire(ctx context.Context, blocking bool) (*Lease, error) {
 	t0 := time.Now()
 	defer func() {
 		e.m.waiters.Add(-1)
-		e.m.acquireWaitNs.Add(uint64(time.Since(t0).Nanoseconds()))
+		ns := uint64(time.Since(t0).Nanoseconds())
+		e.m.acquireWaitNs.Add(ns)
+		e.m.leaseWaitH.Observe(ns)
 	}()
 	var ctxDone <-chan struct{}
 	if ctx != nil {

@@ -1,46 +1,34 @@
 package engine
 
 import (
-	"math/bits"
 	"sync/atomic"
 	"time"
 
+	"tbtm/internal/telemetry"
 	"tbtm/server/wire"
 )
 
-// latBuckets is the number of exponential latency buckets: bucket i
-// holds operations with latency in [2^i, 2^(i+1)) microseconds, with
-// the first and last buckets absorbing the tails. 22 buckets span <1µs
-// to >2s.
-const latBuckets = 22
-
-// opMetrics is the per-opcode slice of the server's metrics: counts,
-// errors, cumulative latency and an exponential latency histogram. All
-// fields are updated with atomics; recording allocates nothing.
+// opMetrics is the per-opcode slice of the server's metrics: errors
+// plus a shared log2 latency histogram (count and cumulative time
+// ride inside the histogram). Buckets are NANOSECOND powers of two —
+// an earlier revision bucketed microseconds, which collapsed every
+// sub-µs fast-path op into bucket 0 and made the in-process fast path
+// invisible; TestOpMetricsSubMicrosecond pins the fix.
 type opMetrics struct {
-	count   atomic.Uint64
-	errs    atomic.Uint64
-	totalNs atomic.Uint64
-	buckets [latBuckets]atomic.Uint64
+	errs atomic.Uint64
+	lat  telemetry.Hist
 }
 
 func (m *opMetrics) record(d time.Duration, err error) {
-	m.count.Add(1)
 	if err != nil {
 		m.errs.Add(1)
 	}
-	ns := uint64(d.Nanoseconds())
-	m.totalNs.Add(ns)
-	b := bits.Len64(ns / 1000) // microseconds, log2
-	if b >= latBuckets {
-		b = latBuckets - 1
-	}
-	m.buckets[b].Add(1)
+	m.lat.Observe(uint64(d.Nanoseconds()))
 }
 
 // Metrics aggregates the server's operational counters: per-opcode
 // latency and the executor's lease/backpressure gauges. It is exported
-// over the wire by OpStats.
+// over the wire by OpStats and scraped by the telemetry registry.
 type Metrics struct {
 	ops [wire.OpMax]opMetrics
 
@@ -58,6 +46,10 @@ type Metrics struct {
 	acquireWaits  atomic.Uint64 // acquisitions that had to queue
 	acquireWaitNs atomic.Uint64
 	rejects       atomic.Uint64 // acquisitions abandoned (ctx done / closed)
+
+	// leaseWaitH is the wait-time histogram (ns) for acquisitions that
+	// queued — the server's backpressure signal, exposed at /metrics.
+	leaseWaitH telemetry.Hist
 }
 
 // RecordOp records one operation's latency and outcome under op. The
@@ -73,15 +65,30 @@ func (m *Metrics) BlockingInUse() int64 { return m.blockingInUse.Load() }
 
 // BatchCount and BatchedOps expose the pipelining counters (tests
 // assert that bursts actually coalesce).
-func (m *Metrics) BatchCount() uint64 { return m.batch.count.Load() }
+func (m *Metrics) BatchCount() uint64 { return m.batch.lat.Count() }
 func (m *Metrics) BatchedOps() uint64 { return m.batchedOps.Load() }
+
+// OpLatency returns the live latency histogram for op (the telemetry
+// registry adapts it into a Prometheus histogram).
+func (m *Metrics) OpLatency(op wire.Op) *telemetry.Hist { return &m.ops[op].lat }
+
+// OpErrors returns op's cumulative error count.
+func (m *Metrics) OpErrors(op wire.Op) uint64 { return m.ops[op].errs.Load() }
+
+// BatchLatency returns the per-batch latency histogram.
+func (m *Metrics) BatchLatency() *telemetry.Hist { return &m.batch.lat }
+
+// LeaseWait returns the queued-acquire wait histogram.
+func (m *Metrics) LeaseWait() *telemetry.Hist { return &m.leaseWaitH }
 
 // OpCounters is the snapshot of one opcode's metrics.
 type OpCounters struct {
-	Count    uint64   `json:"count"`
-	Errors   uint64   `json:"errors"`
-	AvgUs    float64  `json:"avg_us"`
-	LatencyH []uint64 `json:"latency_log2us,omitempty"`
+	Count  uint64  `json:"count"`
+	Errors uint64  `json:"errors"`
+	AvgUs  float64 `json:"avg_us"`
+	// LatencyH buckets are log2 NANOSECONDS: entry i counts ops with
+	// latency in [2^(i-1), 2^i) ns (entry 0: < 1ns).
+	LatencyH []uint64 `json:"latency_log2ns,omitempty"`
 }
 
 // ExecutorStats is the snapshot of the executor's lease accounting.
@@ -114,26 +121,30 @@ func (m *Metrics) Snapshot(fastLeases, blockingLeases int) MetricsSnapshot {
 	out := MetricsSnapshot{Ops: make(map[string]OpCounters)}
 	for op := wire.Op(1); op < wire.OpMax; op++ {
 		om := &m.ops[op]
-		n := om.count.Load()
+		n := om.lat.Count()
 		if n == 0 {
 			continue
 		}
 		s := OpCounters{Count: n, Errors: om.errs.Load()}
-		s.AvgUs = float64(om.totalNs.Load()) / float64(n) / 1e3
-		h := make([]uint64, latBuckets)
+		s.AvgUs = float64(om.lat.Sum()) / float64(n) / 1e3
+		counts := om.lat.Load()
 		nonzero := false
-		for i := range h {
-			h[i] = om.buckets[i].Load()
-			nonzero = nonzero || h[i] != 0
+		for _, c := range counts {
+			if c != 0 {
+				nonzero = true
+				break
+			}
 		}
 		if nonzero {
+			h := make([]uint64, telemetry.HistBuckets)
+			copy(h, counts[:])
 			s.LatencyH = h
 		}
 		out.Ops[op.String()] = s
 	}
-	if n := m.batch.count.Load(); n > 0 {
+	if n := m.batch.lat.Count(); n > 0 {
 		s := OpCounters{Count: n, Errors: m.batch.errs.Load()}
-		s.AvgUs = float64(m.batch.totalNs.Load()) / float64(n) / 1e3
+		s.AvgUs = float64(m.batch.lat.Sum()) / float64(n) / 1e3
 		out.Ops["batch"] = s
 	}
 	out.Executor = ExecutorStats{
@@ -146,7 +157,7 @@ func (m *Metrics) Snapshot(fastLeases, blockingLeases int) MetricsSnapshot {
 		AcquireWaits:   m.acquireWaits.Load(),
 		AcquireWaitUs:  m.acquireWaitNs.Load() / 1e3,
 		Rejects:        m.rejects.Load(),
-		Batches:        m.batch.count.Load(),
+		Batches:        m.batch.lat.Count(),
 		BatchedOps:     m.batchedOps.Load(),
 	}
 	return out

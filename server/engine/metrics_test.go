@@ -1,0 +1,60 @@
+package engine
+
+import (
+	"errors"
+	"math/bits"
+	"testing"
+	"time"
+
+	"tbtm/server/wire"
+)
+
+// TestOpMetricsSubMicrosecond pins the latency-bucket regression: an
+// earlier revision bucketed microseconds, which collapsed every
+// sub-µs op into bucket 0 and made the in-process fast path invisible
+// in both STATS and /metrics. Buckets are log2 NANOSECONDS — sub-µs
+// observations must land in distinct nonzero buckets.
+func TestOpMetricsSubMicrosecond(t *testing.T) {
+	var m Metrics
+
+	m.RecordOp(wire.OpGet, 500*time.Nanosecond, nil)
+	counts := m.OpLatency(wire.OpGet).Load()
+	if counts[0] != 0 {
+		t.Errorf("500ns op landed in bucket 0 — the µs-bucket regression")
+	}
+	want := bits.Len64(500) // [256ns, 512ns)
+	if counts[want] != 1 {
+		t.Errorf("500ns op: bucket[%d] = %d, want 1 (buckets: %v)", want, counts[want], counts)
+	}
+
+	// Sub-µs latencies of different magnitudes stay distinguishable.
+	m.RecordOp(wire.OpSet, 100*time.Nanosecond, nil)
+	m.RecordOp(wire.OpSet, 900*time.Nanosecond, nil)
+	c := m.OpLatency(wire.OpSet).Load()
+	b100, b900 := bits.Len64(100), bits.Len64(900)
+	if b100 == b900 {
+		t.Fatalf("test keys collide: both in bucket %d", b100)
+	}
+	if c[b100] != 1 || c[b900] != 1 {
+		t.Errorf("100ns/900ns ops: bucket[%d]=%d bucket[%d]=%d, want 1 and 1",
+			b100, c[b100], b900, c[b900])
+	}
+
+	// The snapshot carries the same resolution out to STATS: average in
+	// µs as a float (not truncated to 0) and the raw ns-log2 buckets.
+	m.RecordOp(wire.OpGet, 500*time.Nanosecond, errors.New("boom"))
+	snap := m.Snapshot(2, 1)
+	oc, ok := snap.Ops[wire.OpGet.String()]
+	if !ok {
+		t.Fatal("snapshot missing get")
+	}
+	if oc.Count != 2 || oc.Errors != 1 {
+		t.Errorf("get counters: count=%d errors=%d, want 2 and 1", oc.Count, oc.Errors)
+	}
+	if oc.AvgUs <= 0 || oc.AvgUs >= 1 {
+		t.Errorf("get AvgUs = %v, want in (0, 1) for 500ns ops", oc.AvgUs)
+	}
+	if len(oc.LatencyH) == 0 || oc.LatencyH[want] != 2 {
+		t.Errorf("snapshot LatencyH[%d] = %v, want 2", want, oc.LatencyH)
+	}
+}

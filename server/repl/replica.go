@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"tbtm"
+	"tbtm/internal/telemetry"
 	"tbtm/internal/wal"
 	"tbtm/server/engine"
 	"tbtm/server/wire"
@@ -44,6 +45,9 @@ type ReplicaConfig struct {
 	// Backoff is the initial reconnect delay, doubling to 2s (default
 	// 50ms).
 	Backoff time.Duration
+	// Ring is the applier's flight-recorder sink (nil disables): one
+	// EvReplApply event per applied record, Seq = the WAL sequence.
+	Ring *telemetry.Ring
 }
 
 // ReplStats is the replica section of the STATS document.
@@ -413,6 +417,7 @@ func (r *Replica) applyRecord(epoch uint64, rec wal.Record) error {
 	if rec.Seq <= r.applied.Load() {
 		return nil // overlap after a resubscribe; already applied
 	}
+	t0 := r.cfg.Ring.Now()
 	et := epochTick{epoch: epoch, tick: rec.Tick}
 	r.apply = r.apply[:0]
 	any := false
@@ -450,5 +455,6 @@ func (r *Replica) applyRecord(epoch uint64, rec wal.Record) error {
 	}
 	r.records.Add(1)
 	r.applied.Store(rec.Seq)
+	r.cfg.Ring.Span(telemetry.EvReplApply, 0, 0, rec.Seq, uint32(len(rec.Ops)), t0)
 	return nil
 }

@@ -22,6 +22,7 @@ package server
 import (
 	"encoding/json"
 	"fmt"
+	"io"
 	"net"
 	"runtime"
 	"strings"
@@ -30,11 +31,13 @@ import (
 	"time"
 
 	"tbtm"
+	"tbtm/internal/telemetry"
 	"tbtm/internal/wal"
 	"tbtm/server/durable"
 	"tbtm/server/engine"
 	"tbtm/server/repl"
 	"tbtm/server/transport"
+	"tbtm/server/wire"
 )
 
 // Config configures a Server. The zero value is usable: ZLinearizable,
@@ -113,14 +116,31 @@ type Config struct {
 	// ReplicaBackoff is the replica's initial reconnect delay (0 =
 	// 50ms, doubling to 2s). Tests shrink it.
 	ReplicaBackoff time.Duration
+
+	// RecorderEvents sizes each flight-recorder ring (0 =
+	// telemetry.DefaultRingEvents). The recorder is armed by default —
+	// recording one phase event is a mutex-guarded store into a
+	// preallocated slot; RecorderOff starts it disarmed, reducing every
+	// record site to one atomic load.
+	RecorderEvents int
+	RecorderOff    bool
+	// SlowOp logs any completed op slower than this threshold with its
+	// phase breakdown reconstructed from the flight recorder (0
+	// disables). SlowOpWriter overrides the log sink (default stderr).
+	SlowOp       time.Duration
+	SlowOpWriter io.Writer
 }
 
 // StatsReply is the JSON document answered to OpStats.
 type StatsReply struct {
-	Engine   tbtm.Stats      `json:"engine"`
-	Metrics  MetricsSnapshot `json:"metrics"`
-	Conns    int64           `json:"conns"`
-	UptimeMs int64           `json:"uptime_ms"`
+	Engine tbtm.Stats `json:"engine"`
+	// Aborts breaks the engine's failed attempts down by the
+	// internal/metrics taxonomy (conflict, explicit abort, snapshot
+	// miss, other).
+	Aborts   tbtm.AbortReasons `json:"aborts"`
+	Metrics  MetricsSnapshot   `json:"metrics"`
+	Conns    int64             `json:"conns"`
+	UptimeMs int64             `json:"uptime_ms"`
 	// WAL is present only on durable servers (Config.DataDir set).
 	WAL *WALStatsReply `json:"wal,omitempty"`
 	// Repl is present only on replicas (Config.ReplicaOf set).
@@ -164,6 +184,13 @@ type Server struct {
 
 	// replica is the replication follower (nil unless Config.ReplicaOf).
 	replica *repl.Replica
+
+	// rec is the flight recorder; reg the unified metrics registry over
+	// every layer's counters (built lazily — WAL and replica families
+	// depend on what New wired up).
+	rec     *telemetry.Recorder
+	regOnce sync.Once
+	reg     *telemetry.Registry
 
 	start    time.Time
 	closed   atomic.Bool
@@ -225,13 +252,22 @@ func New(cfg Config) (*Server, error) {
 	if err != nil {
 		return nil, err
 	}
+	rec := telemetry.NewRecorder(cfg.RecorderEvents)
+	rec.SetOpNames(func(op uint8) string { return wire.Op(op).String() })
+	if cfg.RecorderOff {
+		rec.Arm(false)
+	}
+	if cfg.SlowOp > 0 {
+		rec.SetSlowOp(cfg.SlowOp, cfg.SlowOpWriter)
+	}
 	s := &Server{
 		cfg:   cfg,
-		tcfg:  transport.Config{MaxFrame: cfg.MaxFrame, MaxBatch: cfg.MaxBatch},
+		tcfg:  transport.Config{MaxFrame: cfg.MaxFrame, MaxBatch: cfg.MaxBatch, Recorder: rec},
 		tm:    tm,
 		store: engine.NewStore(tm, cfg.Buckets),
 		start: time.Now(),
 		open:  make(map[net.Conn]*transport.Conn),
+		rec:   rec,
 	}
 	s.kv = s.store
 	s.exec = engine.NewExecutor(tm, cfg.Leases, cfg.BlockingLeases, &engine.Metrics{})
@@ -261,6 +297,7 @@ func New(cfg Config) (*Server, error) {
 			Thread:   tm.NewThread(),
 			MaxFrame: cfg.MaxFrame,
 			Backoff:  cfg.ReplicaBackoff,
+			Ring:     rec.Ring(),
 		})
 	}
 	return s, nil
@@ -324,7 +361,7 @@ func (s *Server) Serve(ln net.Listener) error {
 		if n > 0 {
 			// A loop-construction error (fd limits) is not fatal: the
 			// portable driver serves every connection instead.
-			if loops, err := transport.NewLoopSet(s, n); err == nil {
+			if loops, err := transport.NewLoopSet(s, n, s.rec); err == nil {
 				s.loops = loops
 			}
 		}
@@ -458,6 +495,7 @@ func (s *Server) CancelBlocked(v *tbtm.Var[bool]) {
 func (s *Server) StatsJSON() ([]byte, error) {
 	reply := StatsReply{
 		Engine:   s.tm.Stats(),
+		Aborts:   s.tm.AbortReasons(),
 		Metrics:  s.exec.MetricsSnapshot(),
 		Conns:    s.conns.Load(),
 		UptimeMs: time.Since(s.start).Milliseconds(),
@@ -482,6 +520,12 @@ func (s *Server) ConnDone(cn *transport.Conn) {
 	s.mu.Unlock()
 	s.conns.Add(-1)
 	s.serving.Done()
+}
+
+// TraceJSON dumps the flight recorder — the OpTrace reply and the
+// debug endpoint's /trace document.
+func (s *Server) TraceJSON(max int) ([]byte, error) {
+	return s.rec.DumpJSON(max)
 }
 
 // Replicate serves one OpReplicate subscription: durable primaries ship

@@ -1,0 +1,541 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"sort"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"tbtm/internal/telemetry"
+	"tbtm/internal/wal"
+)
+
+// These tests pin the observability surface end to end: the Prometheus
+// exposition scraped from a live loaded server (line-by-line format
+// validation plus histogram-consistency invariants), the STATS JSON
+// schema across in-memory, durable, and replica servers, the TRACE
+// verb's flight-recorder dump, and the slow-op log.
+
+// driveLoad runs a small mixed workload so every hot-path family has
+// nonzero counters: sets, gets, a miss, and one failing op for the
+// error counter.
+func driveLoad(t *testing.T, cl *Client) {
+	t.Helper()
+	for i := 0; i < 64; i++ {
+		k := fmt.Sprintf("k%d", i%8)
+		if err := cl.Set(k, []byte("v")); err != nil {
+			t.Fatalf("set: %v", err)
+		}
+		if _, ok, err := cl.Get(k); err != nil || !ok {
+			t.Fatalf("get: ok=%v err=%v", ok, err)
+		}
+	}
+	if _, ok, err := cl.Get("absent"); err != nil || ok {
+		t.Fatalf("get absent: ok=%v err=%v", ok, err)
+	}
+}
+
+// TestMetricsExpositionLive scrapes /metrics from a live in-process
+// server under load and validates the text format line by line: every
+// family announces itself with a HELP/TYPE pair before its samples,
+// every sample belongs to a registered family, histograms are
+// cumulative and internally consistent, and the load actually shows
+// up in the op counters.
+func TestMetricsExpositionLive(t *testing.T) {
+	srv, addr := startServer(t, Config{})
+	cl := dialT(t, addr)
+	driveLoad(t, cl)
+
+	ts := httptest.NewServer(srv.DebugHandler())
+	defer ts.Close()
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatalf("scrape: %v", err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain; version=0.0.4") {
+		t.Errorf("Content-Type = %q, want Prometheus text exposition", ct)
+	}
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("read body: %v", err)
+	}
+
+	validateExpositionLines(t, raw, srv.Registry().Names())
+
+	s, err := telemetry.ParseScrape(bytes.NewReader(raw))
+	if err != nil {
+		t.Fatalf("ParseScrape: %v", err)
+	}
+
+	// Every registered family must expose HELP and a valid TYPE.
+	for _, name := range srv.Registry().Names() {
+		if s.Help[name] == "" {
+			t.Errorf("family %s: missing or empty HELP", name)
+		}
+		switch s.Types[name] {
+		case "counter", "gauge", "histogram":
+		default:
+			t.Errorf("family %s: TYPE = %q", name, s.Types[name])
+		}
+	}
+
+	// Histogram invariants: buckets cumulative and monotone, a +Inf
+	// bucket terminating the series, and _count agreeing with it.
+	for key, h := range s.Hists {
+		if len(h.Buckets) == 0 {
+			t.Errorf("hist %s: no buckets", key)
+			continue
+		}
+		last := h.Buckets[len(h.Buckets)-1]
+		if !math.IsInf(last.Le, 1) {
+			t.Errorf("hist %s: last bucket le=%v, want +Inf", key, last.Le)
+		}
+		var prev uint64
+		for _, b := range h.Buckets {
+			if b.Cum < prev {
+				t.Errorf("hist %s: bucket le=%v cum=%d below previous %d", key, b.Le, b.Cum, prev)
+			}
+			prev = b.Cum
+		}
+		if last.Cum != h.Count {
+			t.Errorf("hist %s: +Inf cum %d != _count %d", key, last.Cum, h.Count)
+		}
+		if h.Count > 0 && h.Sum < 0 {
+			t.Errorf("hist %s: negative _sum %v", key, h.Sum)
+		}
+	}
+
+	// The workload must be visible: op counters, engine commits, the
+	// armed recorder with events, and the lease pools.
+	atLeast := func(key string, min float64) {
+		t.Helper()
+		v, ok := s.Value(key)
+		if !ok || v < min {
+			t.Errorf("%s = %v (present=%v), want >= %v", key, v, ok, min)
+		}
+	}
+	atLeast(`tbtmd_ops_total{op="get"}`, 65)
+	atLeast(`tbtmd_ops_total{op="set"}`, 64)
+	atLeast("tbtmd_engine_commits_total", 128)
+	atLeast("tbtmd_recorder_armed", 1)
+	atLeast("tbtmd_recorder_events_total", 1)
+	atLeast(`tbtmd_executor_leases{tranche="fast"}`, 1)
+	atLeast("tbtmd_conns", 1)
+	if h := s.Hist(`tbtmd_op_latency_seconds{op="get"}`); h == nil || h.Count < 65 {
+		t.Errorf("get latency histogram missing or undercounted: %+v", h)
+	}
+	// Latencies are seconds: a warm GET is well under a second, so the
+	// scaled histogram's mean must be sane (catches a botched 1e-9
+	// scale factor).
+	if h := s.Hist(`tbtmd_op_latency_seconds{op="get"}`); h != nil && h.Count > 0 {
+		if mean := h.Sum / float64(h.Count); mean <= 0 || mean > 1 {
+			t.Errorf("get latency mean = %vs, want (0, 1s)", mean)
+		}
+	}
+}
+
+// validateExpositionLines walks the raw exposition text asserting the
+// line grammar: HELP then TYPE for each family, samples only under
+// their family's header, sample names derived from a registered
+// family (bare, or histogram _bucket/_sum/_count).
+func validateExpositionLines(t *testing.T, raw []byte, families []string) {
+	t.Helper()
+	known := make(map[string]bool, len(families))
+	for _, f := range families {
+		known[f] = true
+	}
+	base := func(name string) string {
+		for _, suf := range []string{"_bucket", "_sum", "_count"} {
+			if b, ok := strings.CutSuffix(name, suf); ok && known[b] {
+				return b
+			}
+		}
+		return name
+	}
+	var cur string // family announced by the last HELP/TYPE pair
+	pendingHelp := ""
+	seen := map[string]bool{}
+	for i, line := range strings.Split(string(raw), "\n") {
+		if line == "" {
+			continue
+		}
+		switch {
+		case strings.HasPrefix(line, "# HELP "):
+			fields := strings.SplitN(line, " ", 4)
+			if len(fields) < 4 || fields[3] == "" {
+				t.Errorf("line %d: HELP without text: %q", i+1, line)
+			}
+			pendingHelp = fields[2]
+		case strings.HasPrefix(line, "# TYPE "):
+			fields := strings.SplitN(line, " ", 4)
+			if len(fields) != 4 {
+				t.Fatalf("line %d: malformed TYPE: %q", i+1, line)
+			}
+			if fields[2] != pendingHelp {
+				t.Errorf("line %d: TYPE %s not preceded by its HELP (last HELP %q)", i+1, fields[2], pendingHelp)
+			}
+			cur = fields[2]
+			if !known[cur] {
+				t.Errorf("line %d: TYPE for unregistered family %s", i+1, cur)
+			}
+			if seen[cur] {
+				t.Errorf("line %d: family %s announced twice", i+1, cur)
+			}
+			seen[cur] = true
+		case strings.HasPrefix(line, "#"):
+			t.Errorf("line %d: unexpected comment %q", i+1, line)
+		default:
+			name := line
+			if j := strings.IndexAny(line, "{ "); j >= 0 {
+				name = line[:j]
+			}
+			if b := base(name); b != cur {
+				t.Errorf("line %d: sample %s outside its family block (current %s)", i+1, name, cur)
+			}
+		}
+	}
+	// Families render in sorted order so scrapes diff cleanly.
+	if !sort.StringsAreSorted(families) {
+		t.Error("Registry.Names() not sorted")
+	}
+}
+
+// keySet returns the sorted keys of a decoded JSON object.
+func keySet(t *testing.T, raw json.RawMessage, ctx string) []string {
+	t.Helper()
+	var m map[string]json.RawMessage
+	if err := json.Unmarshal(raw, &m); err != nil {
+		t.Fatalf("%s: not an object: %v", ctx, err)
+	}
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+func wantKeys(t *testing.T, got []string, ctx string, want ...string) {
+	t.Helper()
+	sort.Strings(want)
+	if fmt.Sprint(got) != fmt.Sprint(want) {
+		t.Errorf("%s keys = %v, want %v", ctx, got, want)
+	}
+}
+
+// statsDoc fetches and splits the raw STATS document.
+func statsDoc(t *testing.T, srv *Server) map[string]json.RawMessage {
+	t.Helper()
+	doc, err := srv.StatsJSON()
+	if err != nil {
+		t.Fatalf("StatsJSON: %v", err)
+	}
+	var top map[string]json.RawMessage
+	if err := json.Unmarshal(doc, &top); err != nil {
+		t.Fatalf("STATS not an object: %v\n%s", err, doc)
+	}
+	return top
+}
+
+// TestStatsSchemaPinned pins the full STATS document shape — the keys
+// monitoring dashboards and tbtmload depend on — across the three
+// server roles. The wal and repl sections must appear exactly when the
+// server has those layers, and the abort-reason taxonomy is always
+// present.
+func TestStatsSchemaPinned(t *testing.T) {
+	t.Run("memory", func(t *testing.T) {
+		srv, addr := startServer(t, Config{})
+		cl := dialT(t, addr)
+		driveLoad(t, cl)
+		top := statsDoc(t, srv)
+		wantKeys(t, keysOf(top), "top",
+			"engine", "aborts", "metrics", "conns", "uptime_ms")
+		wantKeys(t, keySet(t, top["aborts"], "aborts"), "aborts",
+			"conflict", "aborted", "snapshot_miss", "other")
+		wantKeys(t, keySet(t, top["metrics"], "metrics"), "metrics", "ops", "executor")
+		var m struct {
+			Executor map[string]json.RawMessage `json:"executor"`
+			Ops      map[string]json.RawMessage `json:"ops"`
+		}
+		if err := json.Unmarshal(top["metrics"], &m); err != nil {
+			t.Fatal(err)
+		}
+		var exKeys []string
+		for k := range m.Executor {
+			exKeys = append(exKeys, k)
+		}
+		sort.Strings(exKeys)
+		wantKeys(t, exKeys, "metrics.executor",
+			"fast_leases", "blocking_leases", "fast_in_use", "blocking_in_use",
+			"waiters", "acquires", "acquire_waits", "acquire_wait_us", "rejects",
+			"batches", "batched_ops")
+		if _, ok := m.Ops["get"]; !ok {
+			t.Errorf("metrics.ops missing %q after load: have %v", "get", len(m.Ops))
+		}
+		// The engine section is owned by package tbtm; assert the fields
+		// the registry adapts rather than pinning the whole struct.
+		eng := keySet(t, top["engine"], "engine")
+		for _, k := range []string{"Commits", "Aborts", "Conflicts", "SnapshotMisses", "Parks", "Wakeups", "SpuriousWakeups", "ExtensionsFast", "ExtensionsFull"} {
+			if !contains(eng, k) {
+				t.Errorf("engine section missing %s (have %v)", k, eng)
+			}
+		}
+	})
+
+	t.Run("durable", func(t *testing.T) {
+		fs := wal.NewMemFS()
+		srv, cl := durableServer(t, fs, Config{})
+		defer srv.Close()
+		defer cl.Close()
+		if err := cl.Set("k", []byte("v")); err != nil {
+			t.Fatal(err)
+		}
+		top := statsDoc(t, srv)
+		wantKeys(t, keysOf(top), "durable top",
+			"engine", "aborts", "metrics", "conns", "uptime_ms", "wal")
+		wantKeys(t, keySet(t, top["wal"], "wal"), "wal",
+			"mode", "records", "batches", "fsyncs", "bytes", "rotations",
+			"segments", "last_seq", "checkpoint_seq", "checkpoints", "failed",
+			"read_only")
+		var w struct {
+			Records uint64 `json:"records"`
+			Fsyncs  uint64 `json:"fsyncs"`
+		}
+		if err := json.Unmarshal(top["wal"], &w); err != nil {
+			t.Fatal(err)
+		}
+		if w.Records == 0 || w.Fsyncs == 0 {
+			t.Errorf("durable server after a strict SET: records=%d fsyncs=%d, want both > 0", w.Records, w.Fsyncs)
+		}
+	})
+
+	t.Run("replica", func(t *testing.T) {
+		fs := wal.NewMemFS()
+		psrv, pcl := durableServer(t, fs, Config{})
+		defer psrv.Close()
+		defer pcl.Close()
+		if err := pcl.Set("k", []byte("v")); err != nil {
+			t.Fatal(err)
+		}
+		rsrv, _ := replicaOf(t, pcl.c.RemoteAddr().String(), Config{})
+		waitReplicaCaughtUp(t, psrv, rsrv)
+		top := statsDoc(t, rsrv)
+		wantKeys(t, keysOf(top), "replica top",
+			"engine", "aborts", "metrics", "conns", "uptime_ms", "repl")
+		wantKeys(t, keySet(t, top["repl"], "repl"), "repl",
+			"primary", "connected", "primary_seq", "applied_seq", "lag",
+			"records_applied", "bootstraps", "reconnects")
+	})
+}
+
+// keysOf returns the sorted key set of an already-split document.
+func keysOf(m map[string]json.RawMessage) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+func contains(ss []string, want string) bool {
+	for _, s := range ss {
+		if s == want {
+			return true
+		}
+	}
+	return false
+}
+
+// traceDump mirrors the recorder's DumpJSON document.
+type traceDump struct {
+	Armed      bool   `json:"armed"`
+	RingEvents int    `json:"ring_events"`
+	Rings      int    `json:"rings"`
+	Recorded   uint64 `json:"recorded"`
+	Dropped    uint64 `json:"dropped"`
+	Events     []struct {
+		TS   int64  `json:"ts_ns"`
+		Dur  int64  `json:"dur_ns"`
+		Kind string `json:"kind"`
+		Op   string `json:"op,omitempty"`
+		Conn uint32 `json:"conn"`
+		Seq  uint64 `json:"seq"`
+		Aux  uint32 `json:"aux,omitempty"`
+	} `json:"events"`
+	Truncated bool `json:"truncated,omitempty"`
+}
+
+// TestTraceVerbEndToEnd drives load through a live server and pulls
+// the flight recorder over the wire with the TRACE verb: the dump must
+// be armed, time-ordered, carry the phase taxonomy for the executed
+// ops, and honor the max bound (over HTTP /trace too).
+func TestTraceVerbEndToEnd(t *testing.T) {
+	srv, addr := startServer(t, Config{})
+	cl := dialT(t, addr)
+	driveLoad(t, cl)
+
+	doc, err := cl.Trace(0)
+	if err != nil {
+		t.Fatalf("TRACE: %v", err)
+	}
+	var d traceDump
+	if err := json.Unmarshal(doc, &d); err != nil {
+		t.Fatalf("TRACE dump not valid JSON: %v\n%s", err, doc)
+	}
+	if !d.Armed {
+		t.Error("recorder not armed by default")
+	}
+	if len(d.Events) == 0 || d.Recorded == 0 {
+		t.Fatalf("no events after load: recorded=%d events=%d", d.Recorded, len(d.Events))
+	}
+	valid := map[string]bool{
+		"op": true, "decode": true, "lease_wait": true, "exec": true,
+		"wal_gate": true, "fsync": true, "flush": true, "repl_apply": true,
+	}
+	kinds := map[string]int{}
+	prevTS := int64(-1)
+	for _, e := range d.Events {
+		if !valid[e.Kind] {
+			t.Fatalf("unknown event kind %q", e.Kind)
+		}
+		kinds[e.Kind]++
+		if e.TS < prevTS {
+			t.Fatalf("events not time-ordered: %d after %d", e.TS, prevTS)
+		}
+		prevTS = e.TS
+		if e.Dur < 0 {
+			t.Errorf("negative duration %d on %s", e.Dur, e.Kind)
+		}
+		if e.Kind == "op" && e.Op == "" {
+			t.Errorf("op envelope without opcode name: %+v", e)
+		}
+	}
+	for _, k := range []string{"op", "exec", "lease_wait"} {
+		if kinds[k] == 0 {
+			t.Errorf("no %q events recorded under load (kinds: %v)", k, kinds)
+		}
+	}
+
+	// The max bound truncates and says so.
+	doc, err = cl.Trace(5)
+	if err != nil {
+		t.Fatalf("TRACE max=5: %v", err)
+	}
+	var bounded traceDump
+	if err := json.Unmarshal(doc, &bounded); err != nil {
+		t.Fatal(err)
+	}
+	if len(bounded.Events) > 5 {
+		t.Errorf("TRACE max=5 returned %d events", len(bounded.Events))
+	}
+	if !bounded.Truncated {
+		t.Error("bounded dump not marked truncated")
+	}
+
+	// Same document over the debug endpoint.
+	ts := httptest.NewServer(srv.DebugHandler())
+	defer ts.Close()
+	resp, err := http.Get(ts.URL + "/trace?max=5")
+	if err != nil {
+		t.Fatalf("GET /trace: %v", err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "application/json" {
+		t.Errorf("/trace Content-Type = %q", ct)
+	}
+	var httpDump traceDump
+	if err := json.NewDecoder(resp.Body).Decode(&httpDump); err != nil {
+		t.Fatalf("/trace body: %v", err)
+	}
+	if len(httpDump.Events) > 5 {
+		t.Errorf("/trace?max=5 returned %d events", len(httpDump.Events))
+	}
+}
+
+// syncBuf is a mutex-guarded byte buffer: the slow-op log writes from
+// serving goroutines while the test polls it.
+type syncBuf struct {
+	mu sync.Mutex
+	b  bytes.Buffer
+}
+
+func (s *syncBuf) Write(p []byte) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.Write(p)
+}
+
+func (s *syncBuf) String() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.String()
+}
+
+// TestSlowOpLog arms the slow-op log with a 1ns threshold so every op
+// trips it, and asserts the emitted line carries the op name and the
+// phase breakdown.
+func TestSlowOpLog(t *testing.T) {
+	var buf syncBuf
+	_, addr := startServer(t, Config{SlowOp: time.Nanosecond, SlowOpWriter: &buf})
+	cl := dialT(t, addr)
+	if err := cl.Set("k", []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		out := buf.String()
+		if strings.Contains(out, "tbtm slow op:") && strings.Contains(out, `op=set`) {
+			if !strings.Contains(out, "dur=") || !strings.Contains(out, "exec=") {
+				t.Fatalf("slow-op line missing phase breakdown:\n%s", out)
+			}
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("no slow-op line with a 1ns threshold; log so far:\n%s", out)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// TestRecorderDisarmed pins the -flight-recorder=false path: no events
+// accumulate, and the exposition says so.
+func TestRecorderDisarmed(t *testing.T) {
+	srv, addr := startServer(t, Config{RecorderOff: true})
+	cl := dialT(t, addr)
+	driveLoad(t, cl)
+	if srv.Recorder().Recorded() != 0 {
+		t.Errorf("disarmed recorder recorded %d events", srv.Recorder().Recorded())
+	}
+	var rb bytes.Buffer
+	if err := srv.Registry().WritePrometheus(&rb); err != nil {
+		t.Fatal(err)
+	}
+	s, err := telemetry.ParseScrape(bytes.NewReader(rb.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := s.Value("tbtmd_recorder_armed"); v != 0 {
+		t.Errorf("tbtmd_recorder_armed = %v on a disarmed server", v)
+	}
+	doc, err := cl.Trace(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var d traceDump
+	if err := json.Unmarshal(doc, &d); err != nil {
+		t.Fatal(err)
+	}
+	if d.Armed || len(d.Events) != 0 {
+		t.Errorf("disarmed TRACE dump: armed=%v events=%d", d.Armed, len(d.Events))
+	}
+}

@@ -7,6 +7,7 @@ import (
 	"testing"
 
 	"tbtm"
+	"tbtm/internal/telemetry"
 	"tbtm/server/engine"
 	"tbtm/server/wire"
 )
@@ -36,6 +37,9 @@ func (h *stubHost) StatsJSON() ([]byte, error) { return []byte("{}"), nil }
 func (h *stubHost) ConnDone(cn *Conn)          {}
 func (h *stubHost) Replicate(st *Stream, afterSeq uint64) error {
 	return fmt.Errorf("transport test host: no WAL")
+}
+func (h *stubHost) TraceJSON(max int) ([]byte, error) {
+	return []byte(`{"armed":false,"events":[]}`), nil
 }
 
 // newTestConn wires a Conn to a fresh engine with the write side pointed
@@ -124,9 +128,16 @@ func distinctSlotKeys(t *testing.T, n int) []string {
 // TestWarmPipelinedBurstAllocs pins the whole pipelined fast path: a
 // warm burst of 16 GETs — decode, batch accumulation, one shared
 // lease, one read-only transaction, response encode, coalesced flush —
-// amortizes to at most 1 alloc per op.
+// amortizes to at most 1 alloc per op WITH the flight recorder armed
+// and recording every phase event (the recorder's record path is part
+// of the warm path's allocation contract).
 func TestWarmPipelinedBurstAllocs(t *testing.T) {
 	cn, store, exec := newTestConn(t)
+	rec := telemetry.NewRecorder(256)
+	cn.ring = rec.Ring()
+	if !rec.Armed() {
+		t.Fatal("recorder should arm by default")
+	}
 	keys := distinctSlotKeys(t, 4)
 	for _, k := range keys {
 		if err := exec.Do(nil, wire.OpSet, false, func(th *tbtm.Thread) error {
@@ -162,6 +173,9 @@ func TestWarmPipelinedBurstAllocs(t *testing.T) {
 	if n := testing.AllocsPerRun(200, doBurst); n > burstOps {
 		t.Errorf("warm pipelined 16-GET burst: %.1f allocs (%.2f/op), want <= 1/op",
 			n, n/burstOps)
+	}
+	if rec.Recorded() == 0 {
+		t.Fatal("armed recorder saw no events across warm bursts")
 	}
 }
 

@@ -49,6 +49,7 @@ import (
 	"time"
 
 	"tbtm"
+	"tbtm/internal/telemetry"
 	"tbtm/server/engine"
 	"tbtm/server/wire"
 )
@@ -60,6 +61,10 @@ type Config struct {
 	// MaxBatch caps how many consecutive non-blocking single-key ops
 	// from one pipelined burst share a lease and commit window.
 	MaxBatch int
+	// Recorder is the host's flight recorder (nil disables tracing).
+	// Event loops record into one permanent ring per loop; fallback
+	// connections borrow pooled rings.
+	Recorder *telemetry.Recorder
 }
 
 // Host is what the transport needs from the server around it. The
@@ -86,6 +91,9 @@ type Host interface {
 	// becomes the stream's terminal frame. Hosts without a WAL return a
 	// plain error.
 	Replicate(st *Stream, afterSeq uint64) error
+	// TraceJSON dumps the host's flight recorder (at most max events, 0
+	// for the host default) as one JSON document — the OpTrace reply.
+	TraceJSON(max int) ([]byte, error)
 }
 
 // keyCacheSlots sizes the per-connection direct-mapped key-string
@@ -166,17 +174,41 @@ type Conn struct {
 	batchFn   func(*tbtm.Thread) error
 	batchROFn func(*tbtm.Thread) error
 
+	// Flight-recorder state. ring is the event sink (the owning event
+	// loop's permanent ring, or a pooled ring on the fallback driver);
+	// id tags this connection's events. evOp/evSeq/evT0 carry the
+	// in-flight op's envelope — set before the executor call so the
+	// prebound closures (which cannot take parameters) can see them.
+	ring  *telemetry.Ring
+	id    uint32
+	evOp  uint8
+	evSeq uint64
+	evT0  int64
+
 	down sync.Once
 }
+
+// connIDSeq issues recorder-scoped connection IDs (trace correlation
+// only; not the host's connection registry).
+var connIDSeq atomic.Uint32
 
 // NewConn builds the per-connection state over c. The host must have
 // registered the connection already (ConnDone undoes that exactly
 // once).
 func NewConn(host Host, cfg Config, exec *engine.Executor, kv engine.KV, c net.Conn) *Conn {
 	cn := &Conn{host: host, cfg: cfg, exec: exec, kv: kv, c: c, w: c, fd: -1,
-		replStop: make(chan struct{})}
+		replStop: make(chan struct{}), id: connIDSeq.Add(1)}
+	// The closures run under the lease: everything before them was
+	// lease-wait, everything inside them is engine execution. Begins()
+	// deltas count transactions started, so Aux-1 on the EvExec event is
+	// the op's conflict-retry count. Every trace call is nil-safe and a
+	// few atomic loads when the recorder is disarmed.
 	cn.oneFn = func(th *tbtm.Thread) error {
+		t := cn.ring.Span(telemetry.EvLeaseWait, cn.evOp, cn.id, cn.evSeq, 0, cn.evT0)
+		th.AttachTrace(cn.ring, cn.id, cn.evSeq)
+		b0 := th.Begins()
 		res, err := kv.ExecOne(th, &cn.batch[cn.oneIdx])
+		cn.ring.Span(telemetry.EvExec, cn.evOp, cn.id, cn.evSeq, uint32(th.Begins()-b0), t)
 		if err != nil {
 			return err
 		}
@@ -184,10 +216,20 @@ func NewConn(host Host, cfg Config, exec *engine.Executor, kv engine.KV, c net.C
 		return nil
 	}
 	cn.batchFn = func(th *tbtm.Thread) error {
-		return kv.ExecBatch(th, cn.batch, &cn.results)
+		t := cn.ring.Span(telemetry.EvLeaseWait, cn.evOp, cn.id, cn.evSeq, 0, cn.evT0)
+		th.AttachTrace(cn.ring, cn.id, cn.evSeq)
+		b0 := th.Begins()
+		err := kv.ExecBatch(th, cn.batch, &cn.results)
+		cn.ring.Span(telemetry.EvExec, cn.evOp, cn.id, cn.evSeq, uint32(th.Begins()-b0), t)
+		return err
 	}
 	cn.batchROFn = func(th *tbtm.Thread) error {
-		return kv.ExecBatchRO(th, cn.batch, &cn.results)
+		t := cn.ring.Span(telemetry.EvLeaseWait, cn.evOp, cn.id, cn.evSeq, 0, cn.evT0)
+		th.AttachTrace(cn.ring, cn.id, cn.evSeq)
+		b0 := th.Begins()
+		err := kv.ExecBatchRO(th, cn.batch, &cn.results)
+		cn.ring.Span(telemetry.EvExec, cn.evOp, cn.id, cn.evSeq, uint32(th.Begins()-b0), t)
+		return err
 	}
 	return cn
 }
@@ -258,6 +300,9 @@ func (cn *Conn) compact() {
 // requests alias cn.in, which is stable until compact() at the end —
 // batch execution therefore always happens inside the burst.
 func (cn *Conn) processBurst() error {
+	t0 := cn.ring.Now()
+	frames := uint32(0)
+	firstSeq := uint64(0)
 	for {
 		rest := cn.in[cn.inoff:]
 		if len(rest) < 4 {
@@ -279,15 +324,31 @@ func (cn *Conn) processBurst() error {
 		if err != nil {
 			return err // cannot even attribute a response; desynced
 		}
+		if frames == 0 {
+			firstSeq = seq
+		}
+		frames++
 		if err := cn.dispatch(seq, body); err != nil {
 			return err
 		}
+	}
+	// The decode span covers the burst's frame-scan loop. Batchable ops
+	// only accumulate there, so for pipelined GET/SET bursts this is
+	// pure decode cost; bursts carrying solo or blocking ops fold their
+	// inline dispatch in too.
+	if frames > 0 {
+		cn.ring.Span(telemetry.EvDecode, 0, cn.id, firstSeq, frames, t0)
 	}
 	if err := cn.flushBatch(); err != nil {
 		return err
 	}
 	cn.compact()
-	return cn.flushWire()
+	ft := cn.ring.Now()
+	err := cn.flushWire()
+	if frames > 0 {
+		cn.ring.Span(telemetry.EvFlush, 0, cn.id, firstSeq, 0, ft)
+	}
+	return err
 }
 
 // dispatch routes one decoded request. Batchable ops accumulate; every
@@ -336,7 +397,7 @@ func (cn *Conn) dispatch(seq uint64, body []byte) error {
 		}
 		cn.dispatchReplicate(seq)
 		return nil
-	case wire.OpRange, wire.OpMulti, wire.OpStats:
+	case wire.OpRange, wire.OpMulti, wire.OpStats, wire.OpTrace:
 		if err := cn.flushBatch(); err != nil {
 			return err
 		}
@@ -383,6 +444,10 @@ func (cn *Conn) flushBatch() error {
 	cn.host.InflightAdd(1)
 	defer cn.host.InflightAdd(-1)
 
+	cn.evOp = uint8(cn.batch[0].Op)
+	cn.evSeq = cn.batchSeqs[0]
+	cn.evT0 = cn.ring.Now()
+
 	var err error
 	if n == 1 {
 		cn.oneIdx = 0
@@ -424,6 +489,9 @@ func (cn *Conn) flushBatch() error {
 			cn.queueResp(b)
 		}
 	}
+	// The envelope event for the whole batch (Aux = op count) — also
+	// the slow-op checkpoint.
+	cn.ring.Op(cn.evOp, cn.id, cn.evSeq, uint32(n), cn.evT0)
 	cn.batch = cn.batch[:0]
 	cn.batchSeqs = cn.batchSeqs[:0]
 	return nil
@@ -499,11 +567,15 @@ func (cn *Conn) execSolo(seq uint64) error {
 	cn.host.InflightAdd(1)
 	defer cn.host.InflightAdd(-1)
 	req := &cn.req
+	cn.evOp = uint8(req.Op)
+	cn.evSeq = seq
+	cn.evT0 = cn.ring.Now()
 	b := cn.beginResp(seq)
 	switch req.Op {
 	case wire.OpRange:
 		var pairs []engine.Pair
 		err := cn.exec.Do(nil, wire.OpRange, false, func(th *tbtm.Thread) error {
+			th.AttachTrace(cn.ring, cn.id, seq)
 			var e error
 			pairs, e = cn.kv.RangeScan(th, string(req.From), string(req.To), req.Limit)
 			return e
@@ -523,6 +595,7 @@ func (cn *Conn) execSolo(seq uint64) error {
 		cn.msubs = cn.materialize(req.Multi, cn.msubs)
 		var committed bool
 		err := cn.exec.Do(nil, wire.OpMulti, false, func(th *tbtm.Thread) error {
+			th.AttachTrace(cn.ring, cn.id, seq)
 			var e error
 			committed, e = cn.kv.Multi(th, cn.msubs, &cn.results)
 			return e
@@ -555,8 +628,22 @@ func (cn *Conn) execSolo(seq uint64) error {
 		}
 		b = append(b, byte(wire.StatusOK))
 		b = wire.AppendBytes(b, doc)
+
+	case wire.OpTrace:
+		max := int(req.TraceMax)
+		if req.TraceMax > 1<<30 {
+			max = 1 << 30
+		}
+		doc, err := cn.host.TraceJSON(max)
+		if err != nil {
+			b = appendErrStatus(b, err)
+			break
+		}
+		b = append(b, byte(wire.StatusOK))
+		b = wire.AppendBytes(b, doc)
 	}
 	cn.queueResp(b)
+	cn.ring.Op(cn.evOp, cn.id, seq, 1, cn.evT0)
 	return nil
 }
 
@@ -598,10 +685,15 @@ func (cn *Conn) dispatchBlocking(seq uint64) {
 	go func() {
 		defer cn.blockingOut.Add(-1)
 		defer cn.host.InflightAdd(-1)
+		// The ring's mutex makes recording from this goroutine safe.
+		// The envelope is recorded as a plain span, NOT through Op():
+		// a BTAKE parked for minutes is normal, not a slow op.
+		t0 := cn.ring.Now()
 		b := binary.AppendUvarint(make([]byte, 0, 64), seq)
 		if op == wire.OpBTake {
 			var val []byte
 			err := cn.exec.Do(nil, wire.OpBTake, true, func(th *tbtm.Thread) error {
+				th.AttachTrace(cn.ring, cn.id, seq)
 				var e error
 				val, e = cn.kv.BTake(th, key, cancel)
 				return e
@@ -616,6 +708,7 @@ func (cn *Conn) dispatchBlocking(seq uint64) {
 			var val []byte
 			var present bool
 			err := cn.exec.Do(nil, wire.OpWait, true, func(th *tbtm.Thread) error {
+				th.AttachTrace(cn.ring, cn.id, seq)
 				var e error
 				val, present, e = cn.kv.Wait(th, key, expectPresent, old, cancel)
 				return e
@@ -629,6 +722,7 @@ func (cn *Conn) dispatchBlocking(seq uint64) {
 				}
 			}
 		}
+		cn.ring.Span(telemetry.EvOp, uint8(op), cn.id, seq, 1, t0)
 		cn.queueResp(b)
 		_ = cn.flushWire() // nobody else will flush for us; errors mean the client is gone
 	}()
@@ -776,6 +870,10 @@ func (cn *Conn) teardown() {
 // host disabled loops), and for non-TCP listeners. It blocks until the
 // connection dies; run it on its own goroutine.
 func ServeFallback(cn *Conn) {
+	if rec := cn.cfg.Recorder; rec != nil && cn.ring == nil {
+		cn.ring = rec.AcquireRing()
+		defer rec.ReleaseRing(cn.ring)
+	}
 	defer cn.teardown()
 	for {
 		cn.grow(1)

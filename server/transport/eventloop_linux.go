@@ -31,6 +31,8 @@ import (
 	"net"
 	"sync"
 	"syscall"
+
+	"tbtm/internal/telemetry"
 )
 
 var errNotPollable = errors.New("server: connection not pollable")
@@ -40,13 +42,13 @@ var errNotPollable = errors.New("server: connection not pollable")
 // level-triggered epoll re-arms for the remainder.
 const burstReadBound = 1 << 20
 
-// NewLoopSet starts n epoll loops over host. An error (fd limits)
-// returns nil; the caller falls back to ServeFallback for every
-// connection.
-func NewLoopSet(host Host, n int) (*LoopSet, error) {
+// NewLoopSet starts n epoll loops over host, each owning one permanent
+// flight-recorder ring (rec may be nil). An error (fd limits) returns
+// nil; the caller falls back to ServeFallback for every connection.
+func NewLoopSet(host Host, n int, rec *telemetry.Recorder) (*LoopSet, error) {
 	ls := &LoopSet{host: host}
 	for i := 0; i < n; i++ {
-		l, err := newEvloop(ls)
+		l, err := newEvloop(ls, rec)
 		if err != nil {
 			for _, p := range ls.loops {
 				p.wake() // loops exit on wake once the host is closed; at
@@ -68,11 +70,16 @@ type evloop struct {
 	wakeR int // pipe read end, registered in epfd
 	wakeW int
 
+	// ring is the loop's flight-recorder sink; every connection the loop
+	// owns records into it (single-writer in steady state — the loop
+	// processes its connections serially).
+	ring *telemetry.Ring
+
 	mu    sync.Mutex
 	conns map[int]*Conn // by fd
 }
 
-func newEvloop(ls *LoopSet) (*evloop, error) {
+func newEvloop(ls *LoopSet, rec *telemetry.Recorder) (*evloop, error) {
 	epfd, err := syscall.EpollCreate1(syscall.EPOLL_CLOEXEC)
 	if err != nil {
 		return nil, err
@@ -82,7 +89,8 @@ func newEvloop(ls *LoopSet) (*evloop, error) {
 		syscall.Close(epfd)
 		return nil, err
 	}
-	l := &evloop{ls: ls, epfd: epfd, wakeR: p[0], wakeW: p[1], conns: make(map[int]*Conn)}
+	l := &evloop{ls: ls, epfd: epfd, wakeR: p[0], wakeW: p[1], conns: make(map[int]*Conn),
+		ring: rec.Ring()}
 	ev := syscall.EpollEvent{Events: syscall.EPOLLIN, Fd: int32(p[0])}
 	if err := syscall.EpollCtl(epfd, syscall.EPOLL_CTL_ADD, p[0], &ev); err != nil {
 		l.closeFDs()
@@ -114,6 +122,7 @@ func (l *evloop) add(cn *Conn) error {
 		return cerr
 	}
 	cn.fd = fd
+	cn.ring = l.ring
 	l.mu.Lock()
 	l.conns[fd] = cn
 	l.mu.Unlock()

@@ -2,6 +2,8 @@
 
 package transport
 
+import "tbtm/internal/telemetry"
+
 // This platform has no shared-poller driver; the host falls back to one
 // reader goroutine per connection (ServeFallback), where the Go
 // runtime's netpoller is the event loop.
@@ -11,7 +13,7 @@ package transport
 type LoopSet struct{}
 
 // NewLoopSet reports no shared-poller driver on this platform.
-func NewLoopSet(host Host, n int) (*LoopSet, error) { return nil, nil }
+func NewLoopSet(host Host, n int, rec *telemetry.Recorder) (*LoopSet, error) { return nil, nil }
 
 // Attach always declines; every connection uses ServeFallback.
 func (ls *LoopSet) Attach(cn *Conn) bool { return false }

@@ -88,6 +88,10 @@ const (
 	// heartbeats until either side closes. Terminal conditions answer a
 	// normal StatusError/StatusClosed frame.
 	OpReplicate
+	// OpTrace dumps the server's flight recorder: uvarint max events (0
+	// for the server default). Response: a JSON document of the merged,
+	// time-ordered phase events (see internal/telemetry).
+	OpTrace
 
 	// OpMax bounds the opcode space (for per-opcode metric arrays).
 	OpMax
@@ -118,6 +122,8 @@ func (o Op) String() string {
 		return "stats"
 	case OpReplicate:
 		return "replicate"
+	case OpTrace:
+		return "trace"
 	}
 	return fmt.Sprintf("op(%d)", byte(o))
 }
@@ -307,6 +313,9 @@ type Request struct {
 
 	// OpReplicate: the last WAL seq the follower already holds.
 	After uint64
+
+	// OpTrace: maximum events to dump (0 = server default).
+	TraceMax uint64
 }
 
 // parseSingle decodes the fields of one single-key operation (after the
@@ -411,6 +420,9 @@ func ParseRequest(payload []byte, req *Request) error {
 		return nil
 	case OpReplicate:
 		req.After, _, err = TakeUvarint(p)
+		return err
+	case OpTrace:
+		req.TraceMax, _, err = TakeUvarint(p)
 		return err
 	default:
 		return fmt.Errorf("server: unknown opcode %d", op)

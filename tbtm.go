@@ -37,6 +37,9 @@ import (
 
 	"tbtm/internal/adaptive"
 	"tbtm/internal/core"
+	"tbtm/internal/metrics"
+	"tbtm/internal/stats"
+	"tbtm/internal/telemetry"
 )
 
 // Sentinel errors. They alias the kernel's values so errors.Is works on
@@ -162,6 +165,11 @@ type TM struct {
 	b          backend
 	classifier *adaptive.Classifier // nil unless WithAutoClassify
 	lot        *core.ParkingLot     // nil unless WithBlockingRetry
+
+	// reasons aggregates failed-attempt counts by abort reason across
+	// the instance's threads (one stats shard per Thread; see
+	// AbortReasons). The zero Set is ready to use.
+	reasons stats.Set
 }
 
 // New creates a TM with the given options. The default configuration is
@@ -212,7 +220,36 @@ func (tm *TM) NewObject(initial any) Object {
 // cumulative), so create one handle per worker and reuse it rather
 // than allocating a handle per request.
 func (tm *TM) NewThread() *Thread {
-	return &Thread{tm: tm, b: tm.b.newThread()}
+	return &Thread{tm: tm, b: tm.b.newThread(), reasons: tm.reasons.NewShard()}
+}
+
+// AbortReasons is the per-reason breakdown of failed transaction
+// attempts made through the Atomic* helpers (manual Begin/Commit
+// pairs are not classified). Retry-wait parks are not aborts and are
+// counted separately in Stats.Parks.
+type AbortReasons struct {
+	// Conflict counts validation failures and lost arbitrations.
+	Conflict uint64 `json:"conflict"`
+	// Aborted counts contention-manager and explicit aborts.
+	Aborted uint64 `json:"aborted"`
+	// SnapshotMiss counts attempts that found no retained version old
+	// enough for their snapshot.
+	SnapshotMiss uint64 `json:"snapshot_miss"`
+	// Other counts failures outside the sentinel taxonomy (including
+	// non-retryable application errors returned through commit).
+	Other uint64 `json:"other"`
+}
+
+// AbortReasons returns the instance's cumulative failed-attempt
+// counts classified by the internal/metrics taxonomy.
+func (tm *TM) AbortReasons() AbortReasons {
+	snap := tm.reasons.Snapshot()
+	return AbortReasons{
+		Conflict:     snap[int(metrics.ReasonConflict)],
+		Aborted:      snap[int(metrics.ReasonAborted)],
+		SnapshotMiss: snap[int(metrics.ReasonSnapshotMiss)],
+		Other:        snap[int(metrics.ReasonOther)],
+	}
 }
 
 // Stats returns a snapshot of the instance's cumulative counters.
@@ -319,6 +356,59 @@ type Thread struct {
 	// lastCommitTick is the scalar commit time of the thread's most
 	// recent committed update transaction (see LastCommitTick).
 	lastCommitTick uint64
+
+	// begins counts transactions begun on this thread. Single-goroutine
+	// by the Thread contract, so a plain field; the server's transport
+	// diffs it around an op to recover the attempt count for the flight
+	// recorder (attempts-1 = conflict retries).
+	begins uint64
+
+	// reasons is this thread's shard of the TM's abort-reason counters.
+	reasons *stats.Shard
+
+	// trRing (with trConn/trSeq correlation ids) attaches the thread to
+	// a flight-recorder ring so deeper layers (the durable store's WAL
+	// gate and fsync waits) can record phase events against the wire op
+	// currently executing on this thread. Nil for unattached threads.
+	trRing *telemetry.Ring
+	trConn uint32
+	trSeq  uint64
+}
+
+// Begins returns the cumulative number of transactions begun on this
+// thread. Only the owning goroutine may call it.
+func (th *Thread) Begins() uint64 { return th.begins }
+
+// AttachTrace points the thread at a flight-recorder ring with the
+// given correlation ids (conn, seq). The server's transport attaches
+// before dispatching each wire op; a nil ring detaches.
+//
+//tbtm:noalloc
+func (th *Thread) AttachTrace(r *telemetry.Ring, conn uint32, seq uint64) {
+	th.trRing, th.trConn, th.trSeq = r, conn, seq
+}
+
+// Trace returns the attached ring and correlation ids (ring is nil
+// when unattached; telemetry record calls are nil-safe).
+//
+//tbtm:noalloc
+func (th *Thread) Trace() (*telemetry.Ring, uint32, uint64) {
+	return th.trRing, th.trConn, th.trSeq
+}
+
+// begin starts a backend transaction, counting it.
+func (th *Thread) begin(kind TxKind, ro bool) Tx {
+	th.begins++
+	return th.b.begin(kind, ro)
+}
+
+// noteAbort classifies one failed attempt into the TM's abort-reason
+// counters (cold path: attempts that fail are about to back off or
+// return).
+func (th *Thread) noteAbort(err error) {
+	if th.reasons != nil {
+		th.reasons.Inc(int(metrics.Classify(err)))
+	}
 }
 
 // LastCommitTick returns the engine commit time under which this
@@ -355,12 +445,12 @@ func (th *Thread) ID() int { return th.b.id() }
 // transaction must not be retained across the next Begin on the same
 // thread. This keeps the warm begin→commit path free of descriptor
 // allocations.
-func (th *Thread) Begin(kind TxKind) Tx { return th.b.begin(kind, false) }
+func (th *Thread) Begin(kind TxKind) Tx { return th.begin(kind, false) }
 
 // BeginReadOnly starts a transaction that declares it will not write.
 // Read-only transactions enable old-version fallbacks and, with
 // WithNoReadSets, skip read-set maintenance entirely.
-func (th *Thread) BeginReadOnly(kind TxKind) Tx { return th.b.begin(kind, true) }
+func (th *Thread) BeginReadOnly(kind TxKind) Tx { return th.begin(kind, true) }
 
 // Atomic runs fn inside a transaction of the given kind, retrying on
 // transient conflicts with exponential backoff. fn may be re-executed
@@ -404,7 +494,7 @@ func (th *Thread) AtomicSite(site string, fn func(Tx) error) error {
 	max := th.tm.cfg.maxRetries
 	blocked := false // see atomic
 	for attempt := 0; ; attempt++ {
-		tx := th.b.begin(kind, false)
+		tx := th.begin(kind, false)
 		err := fn(tx)
 		// Capture the open count (Prio counts opened objects across all
 		// implementations) BEFORE Commit/Abort release the descriptor:
@@ -440,6 +530,7 @@ func (th *Thread) AtomicSite(site string, fn func(Tx) error) error {
 			blocked = false
 		} else {
 			blocked = false
+			th.noteAbort(err)
 			if !core.IsRetryable(err) {
 				return err
 			}
@@ -460,7 +551,7 @@ func (th *Thread) atomic(kind TxKind, ro bool, fn, alt func(Tx) error) error {
 	// wakeup.
 	blocked := false
 	for attempt := 0; ; attempt++ {
-		tx := th.b.begin(kind, ro)
+		tx := th.begin(kind, ro)
 		err := fn(tx)
 		if err == nil {
 			err = tx.Commit() // aborts internally on failure
@@ -477,7 +568,7 @@ func (th *Thread) atomic(kind TxKind, ro bool, fn, alt func(Tx) error) error {
 			ws := tx.watches(th.watchBuf[:0])
 			tx.Abort()
 			if alt != nil {
-				tx2 := th.b.begin(kind, ro)
+				tx2 := th.begin(kind, ro)
 				err2 := alt(tx2)
 				if err2 == nil {
 					err2 = tx2.Commit()
@@ -494,6 +585,7 @@ func (th *Thread) atomic(kind TxKind, ro bool, fn, alt func(Tx) error) error {
 					tx = tx2
 				} else {
 					tx2.Abort()
+					th.noteAbort(err2)
 					th.watchBuf = resetWatches(ws)
 					if !core.IsRetryable(err2) {
 						return err2
@@ -525,6 +617,7 @@ func (th *Thread) atomic(kind TxKind, ro bool, fn, alt func(Tx) error) error {
 		} else {
 			blocked = false
 			tx.Abort() // no-op when the error came from Commit
+			th.noteAbort(err)
 			if !core.IsRetryable(err) {
 				return err
 			}
